@@ -1,0 +1,212 @@
+//! Design-choice ablations called out in DESIGN.md §5 — measurements beyond
+//! the paper's figures that justify (or probe) implementation decisions.
+
+use bench::Testbed;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dscl_cache::{Cache, ClockCache, GdsCache, InProcessLru};
+use dscl_delta::DeltaChainStore;
+use kvapi::mem::MemKv;
+use kvapi::KeyValue;
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use udsm::{AsyncKeyValue, ThreadPool};
+
+/// Zipf-ish rank sampler (approximate, via inverse power CDF).
+fn zipf_sample(rng: &mut SmallRng, n: usize, skew: f64) -> usize {
+    let u: f64 = rand::distributions::Open01.sample(rng);
+    let r = (n as f64).powf(1.0 - skew.min(0.99));
+    (((1.0 - u * (1.0 - 1.0 / r)).powf(-1.0 / (1.0 - skew.min(0.99))) - 1.0) as usize).min(n - 1)
+}
+
+/// Replacement-policy ablation: hit rate under a Zipf workload at a cache
+/// sized to a fraction of the working set. Criterion measures the op rate;
+/// hit rates print once per policy.
+fn replacement_policies(c: &mut Criterion) {
+    let universe = 2000usize;
+    let obj = 1000usize;
+    let mut group = c.benchmark_group("ablation_replacement_zipf");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let caches: Vec<(&str, Arc<dyn Cache>)> = vec![
+        ("lru", Arc::new(InProcessLru::new((universe / 5 * (obj + 80)) as u64))),
+        ("clock", Arc::new(ClockCache::new(universe / 5))),
+        ("gds", Arc::new(GdsCache::new((universe / 5 * obj) as u64))),
+    ];
+    for (name, cache) in caches {
+        let mut rng = SmallRng::seed_from_u64(5);
+        group.bench_function(BenchmarkId::new(name, "zipf1.1"), |b| {
+            b.iter(|| {
+                let k = format!("z{}", zipf_sample(&mut rng, universe, 1.1));
+                if cache.get(&k).is_none() {
+                    cache.put(&k, Bytes::from(vec![0u8; obj]));
+                }
+            })
+        });
+        let s = cache.stats();
+        println!("{name}: hit rate {:.3} over {} lookups", s.hit_rate(), s.hits + s.misses);
+    }
+    group.finish();
+}
+
+/// Concurrency ablation: sharded vs single-lock LRU under 8 threads.
+fn cache_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cache_sharding");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, shards) in [("single_lock", 1usize), ("sharded_16", 16)] {
+        let cache = Arc::new(InProcessLru::with_shards(64 << 20, shards));
+        // Pre-fill.
+        for i in 0..512 {
+            cache.put(&format!("k{i}"), Bytes::from(vec![0u8; 256]));
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let threads: Vec<_> = (0..8)
+                    .map(|t| {
+                        let cache = cache.clone();
+                        std::thread::spawn(move || {
+                            let mut rng = SmallRng::seed_from_u64(t);
+                            for _ in 0..2000 {
+                                let k = format!("k{}", rng.gen_range(0..512));
+                                std::hint::black_box(cache.get(&k));
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// §IV ablation: client-managed delta chains vs full-object writes for
+/// small edits on a large object — and the read penalty deltas incur.
+fn delta_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_delta_vs_full");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let base = {
+        let mut v = vec![0u8; 200_000];
+        let mut x = 1u32;
+        for b in v.iter_mut() {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            *b = (x >> 24) as u8;
+        }
+        v
+    };
+
+    group.bench_function("full_write_small_edit", |b| {
+        let store = MemKv::new("full");
+        let mut v = base.clone();
+        store.put("doc", &v).unwrap();
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            v[1000] = i;
+            store.put("doc", &v).unwrap();
+        })
+    });
+
+    group.bench_function("delta_write_small_edit", |b| {
+        let store = DeltaChainStore::new(MemKv::new("delta"), 16);
+        let mut v = base.clone();
+        store.put("doc", &v).unwrap();
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            v[1000] = i;
+            store.put("doc", &v).unwrap();
+        })
+    });
+
+    // Read penalty: reconstructing through a chain vs a direct read.
+    let plain = MemKv::new("plain");
+    plain.put("doc", &base).unwrap();
+    group.bench_function("read_direct", |b| b.iter(|| plain.get("doc").unwrap().unwrap()));
+    let chain = DeltaChainStore::new(MemKv::new("chain"), 16);
+    let mut v = base.clone();
+    chain.put("doc", &v).unwrap();
+    for i in 0..8 {
+        v[i * 100] = i as u8;
+        chain.put("doc", &v).unwrap();
+    }
+    group.bench_function("read_through_8_deltas", |b| {
+        b.iter(|| chain.get("doc").unwrap().unwrap())
+    });
+    group.finish();
+}
+
+/// §II-A ablation: completing a batch of independent puts synchronously vs
+/// through the asynchronous interface (thread pool overlap) against a
+/// high-latency store.
+fn async_vs_sync(c: &mut Criterion) {
+    let tb = Testbed::start(0.02);
+    let mut group = c.benchmark_group("ablation_async_vs_sync");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let store = tb.cloud2();
+    let value = vec![7u8; 1000];
+
+    group.bench_function("sync_8_puts", |b| {
+        b.iter(|| {
+            for i in 0..8 {
+                store.put(&format!("sync{i}"), &value).unwrap();
+            }
+        })
+    });
+
+    let pool = Arc::new(ThreadPool::new(8));
+    let akv = AsyncKeyValue::new(store.clone(), pool);
+    group.bench_function("async_8_puts", |b| {
+        b.iter(|| {
+            let futures: Vec<_> =
+                (0..8).map(|i| akv.put(&format!("async{i}"), value.clone())).collect();
+            for f in futures {
+                f.get().as_ref().as_ref().unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+/// §III ablation: revalidating an expired entry (304, no body) vs
+/// refetching the full object from the slow store.
+fn revalidate_vs_refetch(c: &mut Criterion) {
+    let tb = Testbed::start(0.02);
+    let mut group = c.benchmark_group("ablation_revalidation");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let store = tb.cloud1();
+    let value = vec![9u8; 500_000];
+    store.put("doc", &value).unwrap();
+    let v = store.get_versioned("doc").unwrap().unwrap();
+
+    group.bench_function("refetch_500k", |b| {
+        b.iter(|| store.get("doc").unwrap().unwrap())
+    });
+    group.bench_function("revalidate_304", |b| {
+        b.iter(|| store.get_if_none_match("doc", v.etag).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    replacement_policies,
+    cache_sharding,
+    delta_chains,
+    async_vs_sync,
+    revalidate_vs_refetch
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion mirror of Figures 9 & 10: per-store read/write latency across
+//! object sizes.
+//!
+//! WAN latencies are scaled to 2 % so `cargo bench` finishes in minutes;
+//! the *relative* ordering between stores — the figures' shape — is
+//! preserved. Use the `repro` binary for paper-scale absolute numbers.
+
+use bench::Testbed;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use udsm::workload::ValueSource;
+
+const SIZES: [usize; 3] = [1_000, 50_000, 1_000_000];
+
+fn fig09_read(c: &mut Criterion) {
+    let tb = Testbed::start(0.02);
+    let source = ValueSource::synthetic();
+    let mut group = c.benchmark_group("fig09_read_latency");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (name, store) in tb.all_stores() {
+        for size in SIZES {
+            let key = format!("bench-{size}");
+            let value = source.generate(size, size as u64).unwrap();
+            store.put(&key, &value).unwrap();
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                b.iter(|| store.get(&key).unwrap().unwrap())
+            });
+            store.delete(&key).unwrap();
+        }
+    }
+    group.finish();
+}
+
+fn fig10_write(c: &mut Criterion) {
+    let tb = Testbed::start(0.02);
+    let source = ValueSource::synthetic();
+    let mut group = c.benchmark_group("fig10_write_latency");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (name, store) in tb.all_stores() {
+        for size in SIZES {
+            let value = source.generate(size, size as u64).unwrap();
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    store.put(&format!("bench-w-{}", i % 8), &value).unwrap()
+                })
+            });
+        }
+        store.clear().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig09_read, fig10_write);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion mirror of Figures 11–19: the cache-hit path of each cache type
+//! against the miss path of each store.
+//!
+//! The paper's hit-rate curves are linear interpolations between exactly
+//! these two measurements (its own methodology), so benchmarking hit and
+//! miss paths pins both endpoints. The in-process/remote comparison
+//! (Fig. 19 discussion) falls out of the `cache_hit` group: the in-process
+//! hit is flat across sizes, the remote hit grows with transfer size.
+
+use bench::Testbed;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dscl::EnhancedClient;
+use dscl_cache::{Cache, InProcessLru};
+use kvapi::KeyValue;
+use std::sync::Arc;
+use udsm::workload::ValueSource;
+
+const SIZES: [usize; 3] = [1_000, 50_000, 1_000_000];
+
+fn cache_hit_paths(c: &mut Criterion) {
+    let tb = Testbed::start(0.02);
+    let source = ValueSource::synthetic();
+    let mut group = c.benchmark_group("fig11_19_cache_hit");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let inproc: Arc<dyn Cache> = Arc::new(InProcessLru::new(256 << 20));
+    let remote: Arc<dyn Cache> = Arc::new(tb.remote_cache());
+    for (label, cache) in [("in_process", &inproc), ("remote_redis", &remote)] {
+        for size in SIZES {
+            let key = format!("hit-{size}");
+            let value = Bytes::from(source.generate(size, size as u64).unwrap());
+            cache.put(&key, value);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                b.iter(|| cache.get(&key).expect("primed"))
+            });
+            cache.remove(&key);
+        }
+    }
+    group.finish();
+}
+
+fn store_miss_paths(c: &mut Criterion) {
+    let tb = Testbed::start(0.02);
+    let source = ValueSource::synthetic();
+    let mut group = c.benchmark_group("fig11_19_store_miss");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (name, store) in tb.all_stores() {
+        let size = 50_000usize;
+        let key = "miss-50000";
+        store.put(key, &source.generate(size, 1).unwrap()).unwrap();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(BenchmarkId::new(name, size), |b| {
+            b.iter(|| store.get(key).unwrap().unwrap())
+        });
+        store.delete(key).unwrap();
+    }
+    group.finish();
+}
+
+/// End-to-end enhanced-client read at a controlled hit rate, over the
+/// slowest store (cloud1): the integrated path the application actually
+/// runs, complementing the endpoint measurements above.
+fn enhanced_client_hit_rates(c: &mut Criterion) {
+    let tb = Testbed::start(0.02);
+    let source = ValueSource::synthetic();
+    let mut group = c.benchmark_group("fig11_enhanced_client");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let size = 50_000usize;
+    for hit_pct in [0u32, 50, 100] {
+        let client = EnhancedClient::new(tb.cloud1())
+            .with_cache(Arc::new(InProcessLru::new(64 << 20)));
+        // `hit_pct`% of the key universe is pre-warmed in the cache.
+        let universe = 10u32;
+        for i in 0..universe {
+            let key = format!("ec-{i}");
+            let value = source.generate(size, u64::from(i)).unwrap();
+            client.store().put(&key, &value).unwrap();
+            if i * 100 < hit_pct * universe {
+                client.cache_put(&key, &value, None).unwrap();
+            }
+        }
+        group.bench_function(BenchmarkId::new("cloud1_hit_pct", hit_pct), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                // Read round-robin; warmed keys hit, the rest miss (and
+                // then hit on later rounds — so this measures a converged
+                // cache for hit_pct=100 and a mixed stream otherwise).
+                let key = format!("ec-{}", i % universe);
+                i += 1;
+                client.get(&key).unwrap().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_hit_paths, store_miss_paths, enhanced_client_hit_rates);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion mirror of Figure 20: AES encryption/decryption overhead, plus
+//! key-size and cipher-mode ablations beyond the paper's AES-128 numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dscl_crypto::codec::Mode;
+use dscl_crypto::{sha256, Aes, AesCodec, KeySize};
+use kvapi::codec::Codec;
+use udsm::workload::ValueSource;
+
+const SIZES: [usize; 3] = [1_000, 50_000, 1_000_000];
+
+fn fig20_aes128(c: &mut Criterion) {
+    let codec = AesCodec::aes128(&[0x42; 16]);
+    let source = ValueSource::synthetic();
+    let mut group = c.benchmark_group("fig20_aes128");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for size in SIZES {
+        let plain = source.generate(size, size as u64).unwrap();
+        let encrypted = codec.encode(&plain).unwrap();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encrypt", size), &size, |b, _| {
+            b.iter(|| codec.encode(&plain).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt", size), &size, |b, _| {
+            b.iter(|| codec.decode(&encrypted).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: key size (128/192/256) and mode (CBC/CTR) at one payload size.
+fn aes_variants(c: &mut Criterion) {
+    let source = ValueSource::synthetic();
+    let plain = source.generate(100_000, 7).unwrap();
+    let mut group = c.benchmark_group("aes_variants_100k");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(plain.len() as u64));
+    let variants: [(&str, KeySize, Mode); 4] = [
+        ("aes128_cbc", KeySize::Aes128, Mode::Cbc),
+        ("aes256_cbc", KeySize::Aes256, Mode::Cbc),
+        ("aes128_ctr", KeySize::Aes128, Mode::Ctr),
+        ("aes256_ctr", KeySize::Aes256, Mode::Ctr),
+    ];
+    for (label, size, mode) in variants {
+        let key = vec![0x5au8; size.key_len()];
+        let codec = AesCodec::new(&key, size, mode);
+        group.bench_function(label, |b| b.iter(|| codec.encode(&plain).unwrap()));
+    }
+    group.finish();
+}
+
+/// Raw block throughput (no mode overhead) and SHA-256 for etag costs.
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let aes = Aes::new_128(&[1u8; 16]);
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("aes128_block", |b| {
+        let mut block = [7u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            block
+        })
+    });
+    let data = vec![3u8; 100_000];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_100k", |b| b.iter(|| sha256(&data)));
+    group.finish();
+}
+
+criterion_group!(benches, fig20_aes128, aes_variants, primitives);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion mirror of Figure 21: gzip compression/decompression overhead,
+//! plus compression-level and input-entropy ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dscl_compress::{deflate, gzip_compress, gzip_decompress, inflate, Level};
+use udsm::workload::ValueSource;
+
+const SIZES: [usize; 3] = [1_000, 50_000, 1_000_000];
+
+fn fig21_gzip(c: &mut Criterion) {
+    // File-like (mostly structured) input, matching the paper's use of
+    // file data.
+    let source = ValueSource::Synthetic { seed: 42, compressibility: 0.85 };
+    let mut group = c.benchmark_group("fig21_gzip");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for size in SIZES {
+        let plain = source.generate(size, size as u64).unwrap();
+        let compressed = gzip_compress(&plain, Level::Default);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("compress", size), &size, |b, _| {
+            b.iter(|| gzip_compress(&plain, Level::Default))
+        });
+        group.bench_with_input(BenchmarkId::new("decompress", size), &size, |b, _| {
+            b.iter(|| gzip_decompress(&compressed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: compression level effort vs ratio at one size.
+fn levels(c: &mut Criterion) {
+    let source = ValueSource::Synthetic { seed: 42, compressibility: 0.85 };
+    let plain = source.generate(200_000, 1).unwrap();
+    let mut group = c.benchmark_group("deflate_levels_200k");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(plain.len() as u64));
+    for (label, level) in [
+        ("store", Level::Store),
+        ("fast", Level::Fast),
+        ("default", Level::Default),
+        ("best", Level::Best),
+    ] {
+        let out_len = deflate(&plain, level).len();
+        println!("deflate level {label}: {} -> {} bytes", plain.len(), out_len);
+        group.bench_function(label, |b| b.iter(|| deflate(&plain, level)));
+    }
+    group.finish();
+}
+
+/// Ablation: input entropy. Compression work collapses on incompressible
+/// data (the encoder prices dynamic vs stored and bails early).
+fn entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflate_entropy_200k");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for (label, compressibility) in [("random", 0.0), ("mixed", 0.5), ("text_like", 0.9)] {
+        let plain = ValueSource::Synthetic { seed: 9, compressibility }
+            .generate(200_000, 2)
+            .unwrap();
+        group.throughput(Throughput::Bytes(plain.len() as u64));
+        let compressed = deflate(&plain, Level::Default);
+        group.bench_function(BenchmarkId::new("compress", label), |b| {
+            b.iter(|| deflate(&plain, Level::Default))
+        });
+        group.bench_function(BenchmarkId::new("decompress", label), |b| {
+            b.iter(|| inflate(&compressed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig21_gzip, levels, entropy);
+criterion_main!(benches);

@@ -1,0 +1,307 @@
+//! `repro` — regenerate every table/figure of the paper's evaluation (§V).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro            # full run (paper-scale WAN latencies)
+//! cargo run --release -p bench --bin repro -- --quick # scaled-down latencies, fewer points
+//! cargo run --release -p bench --bin repro -- --fig 9 --fig 20
+//! ```
+//!
+//! Output: `results/figNN_*.dat` (gnuplot columns), `results/summary.md`
+//! (markdown tables + the shape checks EXPERIMENTS.md records).
+
+use bench::Testbed;
+use dscl_compress::GzipCodec;
+use dscl_crypto::AesCodec;
+use dscl_cache::{Cache, InProcessLru};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use udsm::workload::{log_sizes, to_markdown, write_gnuplot, Series, ValueSource, WorkloadSpec};
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    figs: Vec<u32>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, out: PathBuf::from("results"), figs: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
+            "--fig" => args
+                .figs
+                .push(it.next().expect("--fig needs a number").parse().expect("numeric figure")),
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--quick] [--out DIR] [--fig N]...");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Report {
+    out_dir: PathBuf,
+    summary: String,
+    checks: Vec<(String, bool)>,
+}
+
+impl Report {
+    fn section(&mut self, title: &str) {
+        println!("\n=== {title} ===");
+        let _ = writeln!(self.summary, "\n## {title}\n");
+    }
+
+    fn emit(&mut self, file: &str, series: &[Series]) {
+        let path = self.out_dir.join(file);
+        write_gnuplot(&path, series).expect("write results file");
+        println!("wrote {}", path.display());
+        let md = to_markdown(series);
+        println!("{md}");
+        let _ = writeln!(self.summary, "{md}");
+    }
+
+    fn check(&mut self, name: &str, pass: bool) {
+        println!("[{}] {name}", if pass { "PASS" } else { "FAIL" });
+        let _ = writeln!(self.summary, "- **{}** {name}", if pass { "PASS" } else { "FAIL" });
+        self.checks.push((name.to_string(), pass));
+    }
+}
+
+/// Latency at the largest size ≤ `size` in a series.
+fn at(series: &Series, size: f64) -> f64 {
+    series
+        .points
+        .iter().rfind(|(x, _)| *x <= size)
+        .or_else(|| series.points.first())
+        .map(|&(_, y)| y)
+        .expect("non-empty series")
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let scale = if args.quick { 0.05 } else { 1.0 };
+    let want = |fig: u32| args.figs.is_empty() || args.figs.contains(&fig);
+
+    println!("starting testbed (WAN latency scale {scale})…");
+    let tb = Testbed::start(scale);
+    let spec = WorkloadSpec {
+        sizes: if args.quick {
+            vec![100, 10_000, 1_000_000]
+        } else {
+            log_sizes(100, 1_000_000, 1)
+        },
+        ops_per_point: if args.quick { 3 } else { 5 },
+        runs: if args.quick { 2 } else { 4 }, // paper: 4 runs per point
+        source: ValueSource::synthetic(),
+        hit_rates: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+    };
+    let mut report = Report {
+        out_dir: args.out.clone(),
+        summary: String::from("# Reproduction run\n"),
+        checks: Vec::new(),
+    };
+    let _ = writeln!(
+        report.summary,
+        "\nscale={scale}, sizes={:?}, ops/point={}, runs={}\n",
+        spec.sizes, spec.ops_per_point, spec.runs
+    );
+
+    let stores = tb.all_stores();
+
+    // ---- Figure 9: read latency vs size, all stores ----
+    let mut fig9: Vec<Series> = Vec::new();
+    if want(9) {
+        report.section("Figure 9: read latency vs object size");
+        for (name, store) in &stores {
+            fig9.push(spec.read_sweep(store.as_ref(), name).expect("read sweep"));
+        }
+        report.emit("fig09_read_latency.dat", &fig9);
+        let by = |label: &str| fig9.iter().find(|s| s.label == label).expect("series");
+        report.check(
+            "cloud stores slowest (reads, small objects)",
+            at(by("cloud1"), 1e3) > at(by("filesystem"), 1e3)
+                && at(by("cloud2"), 1e3) > at(by("filesystem"), 1e3)
+                && at(by("cloud1"), 1e3) > at(by("redis"), 1e3),
+        );
+        report.check(
+            "cloud1 slower than cloud2 (reads)",
+            at(by("cloud1"), 1e6) > at(by("cloud2"), 1e6),
+        );
+        report.check(
+            "redis beats minisql for small reads",
+            at(by("redis"), 1e3) < at(by("minisql"), 1e3),
+        );
+        report.check(
+            "filesystem catches redis for large reads (crossover)",
+            at(by("filesystem"), 1e6) <= at(by("redis"), 1e6) * 1.5,
+        );
+    }
+
+    // ---- Figure 10: write latency vs size, all stores ----
+    if want(10) {
+        report.section("Figure 10: write latency vs object size");
+        let mut fig10: Vec<Series> = Vec::new();
+        for (name, store) in &stores {
+            fig10.push(spec.write_sweep(store.as_ref(), name).expect("write sweep"));
+        }
+        report.emit("fig10_write_latency.dat", &fig10);
+        let by = |label: &str| fig10.iter().find(|s| s.label == label).expect("series");
+        report.check(
+            "cloud1 has the highest write latency",
+            ["cloud2", "filesystem", "minisql", "redis"]
+                .iter()
+                .all(|o| at(by("cloud1"), 1e4) > at(by(o), 1e4)),
+        );
+        report.check(
+            "minisql writes are the slowest local store (costly commits)",
+            at(by("minisql"), 1e3) > at(by("redis"), 1e3)
+                && at(by("minisql"), 1e3) > at(by("filesystem"), 1e3),
+        );
+        if !fig9.is_empty() {
+            let read_sql = fig9.iter().find(|s| s.label == "minisql").expect("series");
+            report.check(
+                "minisql writes ≫ minisql reads",
+                at(by("minisql"), 1e4) > at(read_sql, 1e4) * 2.0,
+            );
+        }
+    }
+
+    // ---- Figures 11–19: caching sweeps ----
+    // (store, in-process figure number, remote figure number; redis gets
+    // only the in-process figure — Fig. 19.)
+    let fig_map: [(&str, u32, Option<u32>); 5] = [
+        ("cloud1", 11, Some(12)),
+        ("cloud2", 13, Some(14)),
+        ("minisql", 15, Some(16)),
+        ("filesystem", 17, Some(18)),
+        ("redis", 19, None),
+    ];
+    let mut fs_remote: Vec<Series> = Vec::new();
+    let mut cloud1_inproc: Vec<Series> = Vec::new();
+    for (store_name, inproc_fig, remote_fig) in fig_map {
+        let store = stores
+            .iter()
+            .find(|(n, _)| *n == store_name)
+            .map(|(_, s)| s.clone())
+            .expect("store exists");
+        if want(inproc_fig) {
+            report.section(&format!(
+                "Figure {inproc_fig}: {store_name} reads with in-process cache"
+            ));
+            let cache = InProcessLru::new(256 << 20);
+            let series = spec
+                .cached_read_sweep(store.as_ref(), &cache, store_name)
+                .expect("cached sweep");
+            report.emit(&format!("fig{inproc_fig:02}_{store_name}_inprocess.dat"), &series);
+            if store_name == "cloud1" {
+                cloud1_inproc = series;
+            }
+        }
+        if let Some(fig) = remote_fig {
+            if want(fig) {
+                report.section(&format!(
+                    "Figure {fig}: {store_name} reads with remote (redis) cache"
+                ));
+                let cache = tb.remote_cache();
+                let series = spec
+                    .cached_read_sweep(store.as_ref(), &cache, store_name)
+                    .expect("cached sweep");
+                report.emit(&format!("fig{fig:02}_{store_name}_remote.dat"), &series);
+                if store_name == "filesystem" {
+                    fs_remote = series;
+                }
+                cache.clear();
+            }
+        }
+    }
+    if !cloud1_inproc.is_empty() {
+        let hit100 = cloud1_inproc.last().expect("series");
+        let nocache = cloud1_inproc.first().expect("series");
+        report.check(
+            "in-process 100% hits are orders of magnitude below cloud1 reads",
+            at(hit100, 1e4) < at(nocache, 1e4) / 50.0,
+        );
+        report.check(
+            "in-process hit latency is size-independent (flat curve)",
+            at(hit100, 1e6) < at(hit100, 1e3) * 20.0 + 0.05,
+        );
+    }
+    if !fs_remote.is_empty() {
+        // Paper Fig. 18: "for larger objects, performance is better without
+        // using Redis" — the robust half of the claim. (The paper also saw
+        // redis *helping* for small objects; on a modern Linux testbed the
+        // page-cache read of a small file is faster than a loopback TCP
+        // round trip, so that half inverts — recorded in EXPERIMENTS.md.)
+        let hit100 = fs_remote.last().expect("series");
+        let nocache = fs_remote.first().expect("series");
+        report.check(
+            "remote cache does not help filesystem at large sizes (Fig. 18)",
+            at(hit100, 1e6) > at(nocache, 1e6) * 0.8,
+        );
+    }
+
+    // ---- Figure 20: AES-128 encrypt/decrypt ----
+    if want(20) {
+        report.section("Figure 20: AES-128 encryption/decryption overhead");
+        let codec = AesCodec::aes128(&[0x42; 16]);
+        let (enc, dec) = spec.codec_sweep(&codec).expect("codec sweep");
+        let series = vec![enc, dec];
+        report.emit("fig20_aes.dat", &series);
+        report.check(
+            "AES encrypt and decrypt costs are similar (symmetric cipher)",
+            {
+                let e = at(&series[0], 1e6);
+                let d = at(&series[1], 1e6);
+                e / d < 4.0 && d / e < 4.0
+            },
+        );
+    }
+
+    // ---- Figure 21: gzip compress/decompress ----
+    if want(21) {
+        report.section("Figure 21: gzip compression/decompression overhead");
+        let codec = GzipCodec::default();
+        // The paper compressed data from files — mostly structured
+        // content. Match the input class, since half-noise data would
+        // understate the encoder's match-finding work.
+        let mut gz_spec = spec.clone();
+        gz_spec.source = ValueSource::Synthetic { seed: 42, compressibility: 0.85 };
+        let (enc, dec) = gz_spec.codec_sweep(&codec).expect("codec sweep");
+        let series = vec![enc, dec];
+        report.emit("fig21_gzip.dat", &series);
+        report.check(
+            "compression is several times more expensive than decompression",
+            at(&series[0], 1e6) > at(&series[1], 1e6) * 2.0,
+        );
+    }
+
+    // ---- summary ----
+    let failed: Vec<&(String, bool)> = report.checks.iter().filter(|(_, p)| !p).collect();
+    let _ = writeln!(
+        report.summary,
+        "\n## Result: {}/{} shape checks passed\n",
+        report.checks.len() - failed.len(),
+        report.checks.len()
+    );
+    std::fs::write(args.out.join("summary.md"), &report.summary).expect("write summary");
+    println!(
+        "\n{}/{} shape checks passed; summary at {}",
+        report.checks.len() - failed.len(),
+        report.checks.len(),
+        args.out.join("summary.md").display()
+    );
+    if !failed.is_empty() {
+        for (name, _) in failed {
+            eprintln!("FAILED: {name}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared benchmark testbed: the paper's five stores, assembled.
+//!
+//! §V tests: a file system, a MySQL database (→ minisql), two commercial
+//! cloud stores (→ cloudstore with the cloud1/cloud2 WAN profiles), and a
+//! Redis instance (→ miniredis) which "also acts as a remote process cache
+//! for the other data stores"; a Guava cache (→ `InProcessLru`) acts as the
+//! in-process cache. [`Testbed::start`] brings all of that up on loopback
+//! ports; `scale` shrinks the injected WAN latencies proportionally so quick
+//! runs keep the figures' *shape* at a fraction of the wall-clock cost.
+
+use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
+use fskv::FsKv;
+use kvapi::KeyValue;
+use minisql::wal::SyncMode;
+use minisql::{SqlKv, SqlServer, SqlServerConfig};
+use miniredis::{RedisKv, RemoteCache, Server as RedisServer};
+use netsim::Profile;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Handles to every running server plus client factories.
+pub struct Testbed {
+    /// Temp root for fskv and minisql data.
+    pub dir: PathBuf,
+    redis: RedisServer,
+    cloud1: CloudServer,
+    cloud2: CloudServer,
+    sql: SqlServer,
+    remove_on_drop: bool,
+}
+
+impl Testbed {
+    /// Start every server. `scale` multiplies the WAN latency profiles
+    /// (1.0 = paper-like, 0.05 = quick CI runs).
+    pub fn start(scale: f64) -> Testbed {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "udsm-testbed-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create testbed dir");
+        let redis = RedisServer::start().expect("start miniredis");
+        let cloud1 = CloudServer::start(CloudServerConfig {
+            latency: Profile::Cloud1.scaled_model(scale),
+            seed: 0xc1,
+            ..Default::default()
+        })
+        .expect("start cloud1");
+        let cloud2 = CloudServer::start(CloudServerConfig {
+            latency: Profile::Cloud2.scaled_model(scale),
+            seed: 0xc2,
+            ..Default::default()
+        })
+        .expect("start cloud2");
+        let sql = SqlServer::start(SqlServerConfig {
+            data_dir: Some(dir.join("minisql")),
+            sync: SyncMode::Always, // the paper's "costly commit operations"
+            ..Default::default()
+        })
+        .expect("start minisql");
+        Testbed { dir, redis, cloud1, cloud2, sql, remove_on_drop: true }
+    }
+
+    /// File system store client.
+    pub fn fs(&self) -> Arc<dyn KeyValue> {
+        Arc::new(
+            FsKv::open(self.dir.join("fskv")).expect("open fskv").with_name("filesystem"),
+        )
+    }
+
+    /// SQL store client (the MySQL stand-in).
+    pub fn sql(&self) -> Arc<dyn KeyValue> {
+        Arc::new(SqlKv::connect(self.sql.addr()).expect("connect minisql").with_name("minisql"))
+    }
+
+    /// Cloud Store 1 client (distant, variable).
+    pub fn cloud1(&self) -> Arc<dyn KeyValue> {
+        Arc::new(CloudClient::connect(self.cloud1.addr()).with_name("cloud1"))
+    }
+
+    /// Cloud Store 2 client (closer, steadier).
+    pub fn cloud2(&self) -> Arc<dyn KeyValue> {
+        Arc::new(CloudClient::connect(self.cloud2.addr()).with_name("cloud2"))
+    }
+
+    /// Redis-as-a-data-store client (namespaced away from the cache role).
+    pub fn redis(&self) -> Arc<dyn KeyValue> {
+        Arc::new(RedisKv::connect(self.redis.addr()).with_prefix("data:").with_name("redis"))
+    }
+
+    /// The remote process cache (same Redis instance, `cache:` namespace —
+    /// exactly the paper's setup).
+    pub fn remote_cache(&self) -> RemoteCache {
+        RemoteCache::connect(self.redis.addr())
+    }
+
+    /// All five stores in the paper's order.
+    pub fn all_stores(&self) -> Vec<(&'static str, Arc<dyn KeyValue>)> {
+        vec![
+            ("filesystem", self.fs()),
+            ("minisql", self.sql()),
+            ("cloud1", self.cloud1()),
+            ("cloud2", self.cloud2()),
+            ("redis", self.redis()),
+        ]
+    }
+
+    /// Keep the data directory on drop (debugging).
+    pub fn keep_dir(&mut self) {
+        self.remove_on_drop = false;
+    }
+}
+
+impl Drop for Testbed {
+    fn drop(&mut self) {
+        if self.remove_on_drop {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_brings_up_all_five_stores() {
+        let tb = Testbed::start(0.0);
+        for (name, store) in tb.all_stores() {
+            store.put("smoke", name.as_bytes()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                store.get("smoke").unwrap().as_deref(),
+                Some(name.as_bytes()),
+                "{name}"
+            );
+            store.clear().unwrap();
+        }
+        let cache = tb.remote_cache();
+        assert!(cache.ping().unwrap());
+    }
+
+    #[test]
+    fn redis_store_and_cache_namespaces_are_disjoint() {
+        use dscl_cache::Cache;
+        let tb = Testbed::start(0.0);
+        let store = tb.redis();
+        let cache = tb.remote_cache();
+        store.put("k", b"store-value").unwrap();
+        cache.put("k", bytes::Bytes::from_static(b"cache-value"));
+        assert_eq!(store.get("k").unwrap().unwrap(), &b"store-value"[..]);
+        assert_eq!(cache.get("k").unwrap(), bytes::Bytes::from_static(b"cache-value"));
+        store.clear().unwrap();
+        assert_eq!(cache.get("k").unwrap(), bytes::Bytes::from_static(b"cache-value"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Any key-value store as a cache (the paper's third caching approach).
+//!
+//! §III: "The third approach for achieving caching is provided by the UDSM.
+//! … any data store supported by the UDSM can function as a cache or
+//! secondary repository for another data store supported by the UDSM."
+//! [`StoreCache`] adapts a [`KeyValue`] store to the [`Cache`] interface;
+//! store errors are absorbed as misses/no-ops because a cache, unlike a
+//! store, is allowed to forget.
+
+use crate::api::{Cache, CacheStats, Counters};
+use bytes::Bytes;
+use kvapi::KeyValue;
+
+/// A [`Cache`] backed by an arbitrary [`KeyValue`] store.
+///
+/// Note the semantic shift the adapter performs: the underlying store's
+/// failures (network blips, timeouts) degrade to cache misses rather than
+/// surfacing as errors, and `put`/`remove` failures are dropped — the
+/// authoritative copy lives in the main data store, so losing a cached copy
+/// is always safe.
+pub struct StoreCache<S> {
+    store: S,
+    name: String,
+    counters: Counters,
+}
+
+impl<S: KeyValue> StoreCache<S> {
+    /// Wrap a store.
+    pub fn new(store: S) -> StoreCache<S> {
+        let name = format!("store-cache({})", store.name());
+        StoreCache { store, name, counters: Counters::default() }
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.store
+    }
+}
+
+impl<S: KeyValue> Cache for StoreCache<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, key: &str) -> Option<Bytes> {
+        match self.store.get(key) {
+            Ok(Some(v)) => {
+                self.counters.hit();
+                Some(v)
+            }
+            Ok(None) | Err(_) => {
+                self.counters.miss();
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &str, value: Bytes) {
+        self.counters.insert();
+        let _ = self.store.put(key, &value);
+    }
+
+    fn remove(&self, key: &str) -> bool {
+        self.store.delete(key).unwrap_or(false)
+    }
+
+    fn clear(&self) {
+        let _ = self.store.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.store.stats().map(|s| s.keys as usize).unwrap_or(0)
+    }
+
+    fn stats(&self) -> CacheStats {
+        let st = self.store.stats().unwrap_or_default();
+        self.counters.snapshot(st.bytes, st.keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+    use kvapi::{Result, StoreError};
+
+    #[test]
+    fn store_backed_cache_basics() {
+        let c = StoreCache::new(MemKv::new("mem"));
+        assert!(c.get("k").is_none());
+        c.put("k", Bytes::from_static(b"v"));
+        assert_eq!(c.get("k").unwrap(), Bytes::from_static(b"v"));
+        assert!(c.remove("k"));
+        assert_eq!(c.len(), 0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    /// A store that always fails: the cache must degrade, not error.
+    struct FailingStore;
+    impl KeyValue for FailingStore {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn put(&self, _: &str, _: &[u8]) -> Result<()> {
+            Err(StoreError::Timeout)
+        }
+        fn get(&self, _: &str) -> Result<Option<Bytes>> {
+            Err(StoreError::Timeout)
+        }
+        fn delete(&self, _: &str) -> Result<bool> {
+            Err(StoreError::Timeout)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            Err(StoreError::Timeout)
+        }
+        fn clear(&self) -> Result<()> {
+            Err(StoreError::Timeout)
+        }
+        fn stats(&self) -> Result<kvapi::StoreStats> {
+            Err(StoreError::Timeout)
+        }
+    }
+
+    #[test]
+    fn failures_degrade_to_misses() {
+        let c = StoreCache::new(FailingStore);
+        c.put("k", Bytes::from_static(b"v")); // swallowed
+        assert!(c.get("k").is_none()); // miss, not panic/error
+        assert!(!c.remove("k"));
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+}

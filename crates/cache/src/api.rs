@@ -1,0 +1,157 @@
+//! The [`Cache`] trait and shared statistics plumbing.
+
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache hit/miss/eviction counters. Cheap to clone (it is a snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values displaced by the replacement policy.
+    pub evictions: u64,
+    /// Values inserted.
+    pub insertions: u64,
+    /// Current payload bytes held.
+    pub bytes: u64,
+    /// Current entry count.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in \[0,1\]; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Internal atomic counters shared by the implementations in this crate.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub insertions: AtomicU64,
+}
+
+impl Counters {
+    pub fn snapshot(&self, bytes: u64, entries: u64) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            bytes,
+            entries,
+        }
+    }
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn evict(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn insert(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The cache interface (paper §III, Fig. 4).
+///
+/// Values are `Bytes` (reference-counted), so an in-process `get` hands the
+/// caller a zero-copy view — the property behind the paper's observation
+/// that in-process cache reads are fast and size-independent. Caches are
+/// *not* responsible for expiration: the DSCL stores expiry metadata inside
+/// the value envelope.
+pub trait Cache: Send + Sync {
+    /// Short display name ("lru", "clock", "gds", "remote-redis", ...).
+    fn name(&self) -> &str;
+
+    /// Look up `key`. Counts a hit or miss.
+    fn get(&self, key: &str) -> Option<Bytes>;
+
+    /// Insert or replace `key`. May trigger evictions.
+    fn put(&self, key: &str, value: Bytes);
+
+    /// Remove `key`; returns whether it was present.
+    fn remove(&self, key: &str) -> bool;
+
+    /// Drop every entry.
+    fn clear(&self);
+
+    /// Current entry count.
+    fn len(&self) -> usize;
+
+    /// True when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    fn stats(&self) -> CacheStats;
+}
+
+/// `Arc<C>` is a cache too, so callers can share one.
+impl<C: Cache + ?Sized> Cache for Arc<C> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn get(&self, key: &str) -> Option<Bytes> {
+        (**self).get(key)
+    }
+    fn put(&self, key: &str, value: Bytes) {
+        (**self).put(key, value)
+    }
+    fn remove(&self, key: &str) -> bool {
+        (**self).remove(key)
+    }
+    fn clear(&self) {
+        (**self).clear()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn stats(&self) -> CacheStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_math() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_snapshot() {
+        let c = Counters::default();
+        c.hit();
+        c.hit();
+        c.miss();
+        c.evict();
+        c.insert();
+        let s = c.snapshot(10, 1);
+        assert_eq!(
+            s,
+            CacheStats { hits: 2, misses: 1, evictions: 1, insertions: 1, bytes: 10, entries: 1 }
+        );
+    }
+}

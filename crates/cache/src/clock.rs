@@ -1,0 +1,241 @@
+//! CLOCK replacement: one reference bit per entry, a sweeping hand.
+//!
+//! The paper cites MemC3's memcached optimizations, which replace strict
+//! LRU with "a CLOCK-based eviction algorithm requiring only one extra bit
+//! per cache entry" to cut metadata and lock traffic. This implementation
+//! exists both as a usable policy and as the comparison point for the
+//! replacement-policy ablation benchmark.
+
+use crate::api::{Cache, CacheStats, Counters};
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+struct Slot {
+    key: String,
+    value: Bytes,
+    referenced: bool,
+}
+
+struct Inner {
+    slots: Vec<Option<Slot>>,
+    map: std::collections::HashMap<String, usize>,
+    hand: usize,
+    bytes: u64,
+}
+
+/// Fixed-capacity (entry-count) CLOCK cache.
+pub struct ClockCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    counters: Counters,
+}
+
+impl ClockCache {
+    /// Cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> ClockCache {
+        let capacity = capacity.max(1);
+        ClockCache {
+            inner: Mutex::new(Inner {
+                slots: (0..capacity).map(|_| None).collect(),
+                map: std::collections::HashMap::new(),
+                hand: 0,
+                bytes: 0,
+            }),
+            capacity,
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl Cache for ClockCache {
+    fn name(&self) -> &str {
+        "clock"
+    }
+
+    fn get(&self, key: &str) -> Option<Bytes> {
+        let mut g = self.inner.lock();
+        match g.map.get(key).copied() {
+            Some(idx) => {
+                let slot = g.slots[idx].as_mut().expect("mapped slot is filled");
+                slot.referenced = true;
+                let v = slot.value.clone();
+                drop(g);
+                self.counters.hit();
+                Some(v)
+            }
+            None => {
+                drop(g);
+                self.counters.miss();
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &str, value: Bytes) {
+        let mut g = self.inner.lock();
+        self.counters.insert();
+        if let Some(idx) = g.map.get(key).copied() {
+            let old_len = {
+                let slot = g.slots[idx].as_mut().expect("mapped slot is filled");
+                let old = slot.value.len() as u64;
+                slot.value = value.clone();
+                slot.referenced = true;
+                old
+            };
+            g.bytes = g.bytes - old_len + value.len() as u64;
+            return;
+        }
+        // Find a victim slot: sweep, clearing reference bits, until an
+        // unreferenced (or empty) slot appears. Bounded by 2 full sweeps.
+        let mut victim = None;
+        for _ in 0..2 * self.capacity {
+            let hand = g.hand;
+            g.hand = (hand + 1) % self.capacity;
+            match g.slots[hand] {
+                None => {
+                    victim = Some(hand);
+                    break;
+                }
+                Some(ref mut slot) if slot.referenced => {
+                    slot.referenced = false;
+                }
+                Some(_) => {
+                    victim = Some(hand);
+                    break;
+                }
+            }
+        }
+        let idx = victim.unwrap_or(0);
+        if let Some(old) = g.slots[idx].take() {
+            g.bytes -= old.value.len() as u64;
+            g.map.remove(&old.key);
+            self.counters.evict();
+        }
+        g.bytes += value.len() as u64;
+        g.map.insert(key.to_string(), idx);
+        g.slots[idx] = Some(Slot { key: key.to_string(), value, referenced: true });
+    }
+
+    fn remove(&self, key: &str) -> bool {
+        let mut g = self.inner.lock();
+        match g.map.remove(key) {
+            Some(idx) => {
+                if let Some(old) = g.slots[idx].take() {
+                    g.bytes -= old.value.len() as u64;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clear(&self) {
+        let mut g = self.inner.lock();
+        for s in g.slots.iter_mut() {
+            *s = None;
+        }
+        g.map.clear();
+        g.bytes = 0;
+        g.hand = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        let g = self.inner.lock();
+        self.counters.snapshot(g.bytes, g.map.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let c = ClockCache::new(8);
+        c.put("a", Bytes::from_static(b"1"));
+        assert_eq!(c.get("a").unwrap(), Bytes::from_static(b"1"));
+        assert!(c.get("b").is_none());
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let c = ClockCache::new(10);
+        for i in 0..100 {
+            c.put(&format!("k{i}"), Bytes::from_static(b"v"));
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.stats().evictions, 90);
+    }
+
+    #[test]
+    fn reference_bit_protects_touched_entries() {
+        let c = ClockCache::new(4);
+        for k in ["a", "b", "c", "d"] {
+            c.put(k, Bytes::from_static(b"v"));
+        }
+        // Freshly inserted entries all carry the reference bit, so this
+        // insert sweeps once (clearing every bit) and evicts like FIFO.
+        c.put("e", Bytes::from_static(b"v"));
+        assert!(c.get("a").is_none(), "first insert under pressure evicts FIFO-style");
+        // Now only "e" (fresh) and "c" (touched here) hold reference bits;
+        // the next insertion must evict one of the untouched b/d instead.
+        assert!(c.get("c").is_some());
+        c.put("f", Bytes::from_static(b"v"));
+        assert!(
+            c.get("c").is_some(),
+            "entry with reference bit set was evicted ahead of unreferenced ones"
+        );
+        let survivors = ["b", "d"].iter().filter(|k| c.get(k).is_some()).count();
+        assert_eq!(survivors, 1, "exactly one unreferenced entry should have been evicted");
+    }
+
+    #[test]
+    fn replace_updates_value_and_bytes() {
+        let c = ClockCache::new(4);
+        c.put("k", Bytes::from(vec![0u8; 100]));
+        c.put("k", Bytes::from(vec![1u8; 10]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().bytes, 10);
+        assert_eq!(c.get("k").unwrap(), Bytes::from(vec![1u8; 10]));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = ClockCache::new(4);
+        c.put("a", Bytes::from_static(b"1"));
+        c.put("b", Bytes::from_static(b"2"));
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().bytes, 0);
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let c = Arc::new(ClockCache::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        let k = format!("k{}", (t * 13 + i) % 100);
+                        c.put(&k, Bytes::from(vec![t as u8; 8]));
+                        let _ = c.get(&k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 64);
+    }
+}

@@ -1,0 +1,48 @@
+//! # dscl-cache — pluggable caches for enhanced data store clients
+//!
+//! §III of the paper: "The DSCL also supports multiple different types of
+//! caches via a Cache interface which defines how an application interacts
+//! with caches. There are multiple implementations of the Cache interface
+//! which applications can choose from."
+//!
+//! This crate provides the [`Cache`] trait and the *in-process* family of
+//! implementations (the paper's Guava-cache role):
+//!
+//! * [`InProcessLru`] — sharded, byte-budgeted, least-recently-used;
+//! * [`ClockCache`] — CLOCK eviction, one reference bit per entry (the
+//!   memcached optimization the paper cites from MemC3);
+//! * [`GdsCache`] — Greedy-Dual-Size, the size-aware policy the paper cites
+//!   for caches holding variably sized objects;
+//! * [`ObjectCache`] — a typed cache storing `Arc<V>` directly, with no
+//!   serialization, demonstrating the paper's point that in-process caches
+//!   can hold objects (or references) at pointer speed, plus the
+//!   copy-on-store variant that protects cached values from later mutation;
+//! * [`StoreCache`] — adapter exposing *any* [`kvapi::KeyValue`] store
+//!   through the Cache interface (the paper's third caching approach: "any
+//!   data store supported by the UDSM can function as a cache … for another
+//!   data store").
+//!
+//! The *remote-process* implementation (the paper's Redis role) lives in the
+//! `miniredis` crate, which implements this same [`Cache`] trait over its
+//! client.
+//!
+//! Expiration times are deliberately **not** handled here: the paper is
+//! explicit that "cache expiration times are managed by the DSCL and not by
+//! the underlying cache", so the DSCL layer (`dscl` crate) wraps values with
+//! expiration metadata before they reach a cache.
+
+pub mod adapter;
+pub mod api;
+pub mod clock;
+pub mod gds;
+pub mod hitrate;
+pub mod lru;
+pub mod object;
+
+pub use adapter::StoreCache;
+pub use api::{Cache, CacheStats};
+pub use clock::ClockCache;
+pub use gds::GdsCache;
+pub use hitrate::{HitRateProfiler, ProfiledCache};
+pub use lru::InProcessLru;
+pub use object::ObjectCache;

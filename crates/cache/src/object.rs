@@ -1,0 +1,178 @@
+//! Typed in-process object cache — no serialization.
+//!
+//! §III of the paper (in-process caches): "Java objects can directly be
+//! cached. Data serialization is not required. In order to reduce overhead
+//! when the object is cached, the object (or a reference to it) can be
+//! stored directly in the cache. One consequence of this approach is that
+//! changes to the object from the application will change the cached object
+//! itself. In order to prevent the value of a cached object from being
+//! modified … a copy of the object can be made before the object is cached."
+//!
+//! Rust's ownership system changes the failure mode but the design space is
+//! the same: [`ObjectCache`] stores `Arc<V>` (a reference — zero copies,
+//! shared immutably), and [`ObjectCache::put_copied`] clones the value first
+//! so the caller's original can keep being mutated independently — the
+//! paper's copy-before-caching option, with its copying overhead.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry<V> {
+    value: Arc<V>,
+    tick: u64,
+}
+
+struct Inner<V> {
+    map: HashMap<String, Entry<V>>,
+    tick: u64,
+}
+
+/// Count-bounded LRU cache of typed values behind `Arc`.
+pub struct ObjectCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+}
+
+impl<V> ObjectCache<V> {
+    /// Cache holding at most `capacity` objects (LRU eviction).
+    pub fn new(capacity: usize) -> ObjectCache<V> {
+        ObjectCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Store a reference to `value` (no copy). The cache and all getters
+    /// share the same immutable object.
+    pub fn put(&self, key: impl Into<String>, value: Arc<V>) {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        g.map.insert(key.into(), Entry { value, tick });
+        if g.map.len() > self.capacity {
+            // Evict the least recently used entry (linear scan: this cache
+            // is for moderate numbers of rich objects, not byte hoards).
+            if let Some(victim) = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                g.map.remove(&victim);
+            }
+        }
+    }
+
+    /// Retrieve a shared reference to the cached object.
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        let e = g.map.get_mut(key)?;
+        e.tick = tick;
+        Some(e.value.clone())
+    }
+
+    /// Remove an entry.
+    pub fn remove(&self, key: &str) -> bool {
+        self.inner.lock().map.remove(key).is_some()
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+impl<V: Clone> ObjectCache<V> {
+    /// Copy-before-caching: clones `value` so later mutations of the
+    /// caller's copy cannot be observed through the cache (the paper's
+    /// defensive-copy option; costs one clone).
+    pub fn put_copied(&self, key: impl Into<String>, value: &V) {
+        self.put(key, Arc::new(value.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Doc {
+        title: String,
+        body: Vec<u8>,
+    }
+
+    #[test]
+    fn stores_references_without_copying() {
+        let cache: ObjectCache<Doc> = ObjectCache::new(10);
+        let doc = Arc::new(Doc { title: "t".into(), body: vec![1, 2, 3] });
+        cache.put("d", doc.clone());
+        let got = cache.get("d").unwrap();
+        assert!(Arc::ptr_eq(&doc, &got), "cache must hand back the same allocation");
+    }
+
+    #[test]
+    fn put_copied_isolates_mutations() {
+        let cache: ObjectCache<Doc> = ObjectCache::new(10);
+        let mut doc = Doc { title: "original".into(), body: vec![1] };
+        cache.put_copied("d", &doc);
+        doc.title = "mutated".into();
+        assert_eq!(cache.get("d").unwrap().title, "original");
+    }
+
+    #[test]
+    fn lru_eviction_by_count() {
+        let cache: ObjectCache<u32> = ObjectCache::new(3);
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            cache.put(*k, Arc::new(i as u32));
+        }
+        let _ = cache.get("a"); // refresh a
+        cache.put("d", Arc::new(9));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get("b").is_none(), "b was LRU and should be gone");
+        assert!(cache.get("a").is_some());
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let cache: ObjectCache<u32> = ObjectCache::new(5);
+        cache.put("x", Arc::new(1));
+        assert!(cache.remove("x"));
+        assert!(!cache.remove("x"));
+        cache.put("y", Arc::new(2));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_use() {
+        let cache = Arc::new(ObjectCache::<String>::new(32));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        c.put(format!("k{}", i % 40), Arc::new(format!("{t}:{i}")));
+                        let _ = c.get(&format!("k{}", i % 40));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 32);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based invariants for the in-process caches.
+//!
+//! A cache may forget, but it must never lie: any value returned must be
+//! the most recently inserted value for that key, and budgets must hold
+//! after arbitrary operation sequences.
+
+use bytes::Bytes;
+use dscl_cache::{Cache, ClockCache, GdsCache, InProcessLru};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Get(u8),
+    Remove(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200))
+                .prop_map(|(k, v)| Op::Put(k, v)),
+            any::<u8>().prop_map(Op::Get),
+            any::<u8>().prop_map(Op::Remove),
+        ],
+        1..120,
+    )
+}
+
+fn check_cache_honesty(cache: &dyn Cache, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut oracle: HashMap<u8, Vec<u8>> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                cache.put(&format!("k{k}"), Bytes::from(v.clone()));
+                oracle.insert(*k, v.clone());
+            }
+            Op::Get(k) => {
+                if let Some(got) = cache.get(&format!("k{k}")) {
+                    let expect = oracle.get(k);
+                    prop_assert_eq!(
+                        Some(&got.to_vec()),
+                        expect,
+                        "cache returned a value that was never the latest for k{}",
+                        k
+                    );
+                }
+                // A miss is always legal (eviction).
+            }
+            Op::Remove(k) => {
+                cache.remove(&format!("k{k}"));
+                oracle.remove(k);
+                prop_assert!(cache.get(&format!("k{k}")).is_none(), "removed key resurfaced");
+                oracle.remove(k);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_never_lies_and_respects_budget(ops in ops()) {
+        let cache = InProcessLru::new(4000);
+        check_cache_honesty(&cache, &ops)?;
+        let stats = cache.stats();
+        prop_assert!(stats.bytes <= 4000, "budget exceeded: {} bytes", stats.bytes);
+    }
+
+    #[test]
+    fn clock_never_lies_and_respects_capacity(ops in ops()) {
+        let cache = ClockCache::new(16);
+        check_cache_honesty(&cache, &ops)?;
+        prop_assert!(cache.len() <= 16);
+    }
+
+    #[test]
+    fn gds_never_lies_and_respects_budget(ops in ops()) {
+        let cache = GdsCache::new(4000);
+        check_cache_honesty(&cache, &ops)?;
+        prop_assert!(cache.stats().bytes <= 4000);
+    }
+
+    /// Single-shard LRU with roomy budget = perfect map (no evictions):
+    /// every get must hit with the oracle's value.
+    #[test]
+    fn unevicted_lru_is_a_perfect_map(ops in ops()) {
+        let cache = InProcessLru::with_shards(10_000_000, 1);
+        let mut oracle: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    cache.put(&format!("k{k}"), Bytes::from(v.clone()));
+                    oracle.insert(*k, v.clone());
+                }
+                Op::Get(k) => {
+                    let got = cache.get(&format!("k{k}")).map(|b| b.to_vec());
+                    prop_assert_eq!(&got, &oracle.get(k).cloned());
+                }
+                Op::Remove(k) => {
+                    cache.remove(&format!("k{k}"));
+                    oracle.remove(k);
+                }
+            }
+        }
+        prop_assert_eq!(cache.len(), oracle.len());
+    }
+}

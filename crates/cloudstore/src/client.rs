@@ -1,0 +1,332 @@
+//! [`CloudClient`] — the cloud store's client, implementing the common
+//! key-value interface with *native* conditional gets.
+//!
+//! Unlike stores whose protocols lack revalidation (which fall back to the
+//! trait's fetch-and-compare default), this client sends `If-None-Match`
+//! and receives `304 Not Modified` without a body — the paper's Figure 7
+//! interaction, saving both bandwidth and transfer time for unchanged
+//! objects.
+
+use crate::http::{
+    escape_segment, read_response, unescape_segment, write_request, Request, Response,
+};
+use bytes::Bytes;
+use kvapi::{CondGet, Etag, KeyValue, Result, StoreError, StoreStats, Versioned};
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr, timeout: Duration) -> Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Conn { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+}
+
+/// HTTP client for a [`crate::CloudServer`], usable as a `KeyValue` store.
+///
+/// Keeps a pool of keep-alive connections so concurrent callers (e.g. the
+/// UDSM's asynchronous interface fanning out on its thread pool) issue
+/// requests in parallel instead of serializing on one socket.
+pub struct CloudClient {
+    addr: SocketAddr,
+    name: String,
+    timeout: Duration,
+    pool: Mutex<Vec<Conn>>,
+    max_idle: usize,
+}
+
+impl CloudClient {
+    /// Connect (lazily) to a cloud store server.
+    pub fn connect(addr: SocketAddr) -> CloudClient {
+        CloudClient {
+            addr,
+            name: "cloud".to_string(),
+            // Generous: the simulated WAN adds hundreds of ms, and large
+            // objects ride a modeled ~MB/s bandwidth.
+            timeout: Duration::from_secs(120),
+            pool: Mutex::new(Vec::new()),
+            max_idle: 16,
+        }
+    }
+
+    /// Set the display name ("cloud1"/"cloud2" in the benchmarks).
+    pub fn with_name(mut self, name: impl Into<String>) -> CloudClient {
+        self.name = name.into();
+        self
+    }
+
+    /// Override the request timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> CloudClient {
+        self.timeout = timeout;
+        self
+    }
+
+    fn round_trip(&self, req: &Request) -> Result<Response> {
+        let head_only = req.method == "HEAD";
+        // First attempt may reuse a pooled (possibly stale) connection;
+        // on transient failure, retry once on a freshly opened one.
+        for attempt in 0..2 {
+            let mut conn = match self.pool.lock().pop() {
+                Some(c) if attempt == 0 => c,
+                _ => Conn::open(self.addr, self.timeout)?,
+            };
+            let result = write_request(&mut conn.writer, req)
+                .map_err(StoreError::from)
+                .and_then(|()| read_response(&mut conn.reader, head_only));
+            match result {
+                Ok(resp) => {
+                    let mut pool = self.pool.lock();
+                    if pool.len() < self.max_idle {
+                        pool.push(conn);
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if e.is_transient() && attempt == 0 => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second attempt returns")
+    }
+
+    fn object_path(key: &str) -> String {
+        format!("/v1/objects/{}", escape_segment(key))
+    }
+
+    fn parse_versioned(resp: &Response) -> Result<Versioned> {
+        let etag = resp
+            .header("etag")
+            .and_then(Etag::from_hex)
+            .ok_or_else(|| StoreError::protocol("response missing etag"))?;
+        let modified_ms = resp
+            .header("x-modified-ms")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        Ok(Versioned::with_etag(Bytes::copy_from_slice(&resp.body), etag, modified_ms))
+    }
+
+    /// Health check.
+    pub fn ping(&self) -> Result<bool> {
+        Ok(self.round_trip(&Request::new("GET", "/v1/ping"))?.status == 200)
+    }
+}
+
+impl KeyValue for CloudClient {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        let req = Request::new("PUT", &Self::object_path(key)).with_body(value.to_vec());
+        let resp = self.round_trip(&req)?;
+        match resp.status {
+            200 | 201 => Ok(()),
+            s => Err(StoreError::Rejected(format!("PUT returned {s}"))),
+        }
+    }
+
+    fn put_versioned(&self, key: &str, value: &[u8]) -> Result<Etag> {
+        let req = Request::new("PUT", &Self::object_path(key)).with_body(value.to_vec());
+        let resp = self.round_trip(&req)?;
+        match resp.status {
+            200 | 201 => resp
+                .header("etag")
+                .and_then(Etag::from_hex)
+                .ok_or_else(|| StoreError::protocol("PUT response missing etag")),
+            s => Err(StoreError::Rejected(format!("PUT returned {s}"))),
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        let resp = self.round_trip(&Request::new("GET", &Self::object_path(key)))?;
+        match resp.status {
+            200 => Ok(Some(Bytes::from(resp.body))),
+            404 => Ok(None),
+            s => Err(StoreError::Rejected(format!("GET returned {s}"))),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        let resp = self.round_trip(&Request::new("DELETE", &Self::object_path(key)))?;
+        match resp.status {
+            204 => Ok(true),
+            404 => Ok(false),
+            s => Err(StoreError::Rejected(format!("DELETE returned {s}"))),
+        }
+    }
+
+    fn contains(&self, key: &str) -> Result<bool> {
+        let resp = self.round_trip(&Request::new("HEAD", &Self::object_path(key)))?;
+        Ok(resp.status == 200)
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let resp = self.round_trip(&Request::new("GET", "/v1/keys"))?;
+        if resp.status != 200 {
+            return Err(StoreError::Rejected(format!("keys returned {}", resp.status)));
+        }
+        let text = String::from_utf8(resp.body)
+            .map_err(|_| StoreError::protocol("non-utf8 key list"))?;
+        Ok(text.lines().filter_map(unescape_segment).collect())
+    }
+
+    fn clear(&self) -> Result<()> {
+        let resp = self.round_trip(&Request::new("POST", "/v1/clear"))?;
+        if resp.status == 200 {
+            Ok(())
+        } else {
+            Err(StoreError::Rejected(format!("clear returned {}", resp.status)))
+        }
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        let resp = self.round_trip(&Request::new("GET", "/v1/stats"))?;
+        let text = String::from_utf8(resp.body)
+            .map_err(|_| StoreError::protocol("non-utf8 stats"))?;
+        let mut parts = text.split_whitespace();
+        let keys = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+        let bytes = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+        Ok(StoreStats { keys, bytes })
+    }
+
+    fn get_versioned(&self, key: &str) -> Result<Option<Versioned>> {
+        let resp = self.round_trip(&Request::new("GET", &Self::object_path(key)))?;
+        match resp.status {
+            200 => Ok(Some(Self::parse_versioned(&resp)?)),
+            404 => Ok(None),
+            s => Err(StoreError::Rejected(format!("GET returned {s}"))),
+        }
+    }
+
+    fn get_if_none_match(&self, key: &str, etag: Etag) -> Result<CondGet> {
+        let req = Request::new("GET", &Self::object_path(key))
+            .with_header("if-none-match", format!("\"{}\"", etag.to_hex()));
+        let resp = self.round_trip(&req)?;
+        match resp.status {
+            304 => Ok(CondGet::NotModified),
+            200 => Ok(CondGet::Modified(Self::parse_versioned(&resp)?)),
+            404 => Ok(CondGet::Missing),
+            s => Err(StoreError::Rejected(format!("conditional GET returned {s}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CloudServer;
+    use std::sync::Arc;
+
+    #[test]
+    fn contract() {
+        let server = CloudServer::start_local().unwrap();
+        kvapi::contract::run_all(&CloudClient::connect(server.addr()));
+    }
+
+    #[test]
+    fn contract_concurrent() {
+        let server = CloudServer::start_local().unwrap();
+        kvapi::contract::run_all_concurrent(Arc::new(CloudClient::connect(server.addr())));
+    }
+
+    #[test]
+    fn native_conditional_get_uses_304() {
+        let server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr());
+        c.put("obj", b"version 1").unwrap();
+        let v = c.get_versioned("obj").unwrap().unwrap();
+        assert_eq!(&v.data[..], b"version 1");
+        assert!(v.modified_ms > 0);
+        // Matching etag → NotModified (no body crossed the wire).
+        assert_eq!(c.get_if_none_match("obj", v.etag).unwrap(), CondGet::NotModified);
+        // Server-side update → Modified with new tag.
+        c.put("obj", b"version 2").unwrap();
+        match c.get_if_none_match("obj", v.etag).unwrap() {
+            CondGet::Modified(nv) => {
+                assert_eq!(&nv.data[..], b"version 2");
+                assert_ne!(nv.etag, v.etag);
+            }
+            other => panic!("expected Modified, got {other:?}"),
+        }
+        c.delete("obj").unwrap();
+        assert_eq!(c.get_if_none_match("obj", v.etag).unwrap(), CondGet::Missing);
+    }
+
+    #[test]
+    fn server_assigns_fresh_etags_per_put() {
+        let server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr());
+        c.put("k", b"same bytes").unwrap();
+        let t1 = c.get_versioned("k").unwrap().unwrap().etag;
+        c.put("k", b"same bytes").unwrap();
+        let t2 = c.get_versioned("k").unwrap().unwrap().etag;
+        assert_ne!(t1, t2, "cloud store uses version-counter etags");
+    }
+
+    #[test]
+    fn latency_injection_slows_requests() {
+        use netsim::LatencyModel;
+        let server = CloudServer::start(crate::server::CloudServerConfig {
+            latency: LatencyModel {
+                base_rtt_ms: 30.0,
+                jitter_sigma: 0.0,
+                bandwidth_bps: f64::INFINITY,
+                contention_prob: 0.0,
+                contention_mult: 1.0,
+                service_ms: 0.0,
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let c = CloudClient::connect(server.addr());
+        c.put("k", b"v").unwrap();
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            c.get("k").unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(85),
+            "3 gets at 30ms injected RTT took only {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn stats_and_ping() {
+        let server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr());
+        assert!(c.ping().unwrap());
+        c.put("a", &[0u8; 100]).unwrap();
+        c.put("b", &[0u8; 50]).unwrap();
+        let st = c.stats().unwrap();
+        assert_eq!(st.keys, 2);
+        assert_eq!(st.bytes, 150);
+    }
+
+    #[test]
+    fn stopped_server_yields_errors_not_hangs() {
+        let mut server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr()).with_timeout(Duration::from_millis(500));
+        c.put("k", b"v").unwrap();
+        server.stop();
+        assert!(c.get("k").is_err());
+    }
+
+    #[test]
+    fn request_counter_visible() {
+        let server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr());
+        c.put("k", b"v").unwrap();
+        c.get("k").unwrap();
+        assert!(server.requests_served.load(std::sync::atomic::Ordering::Relaxed) >= 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Minimal HTTP/1.1 framing: enough for an object-store protocol.
+//!
+//! Supports: request/status lines, headers, `Content-Length` bodies,
+//! keep-alive (the default in 1.1) and `Connection: close`. Chunked
+//! transfer encoding is deliberately out of scope — both ends of this
+//! protocol always know their body lengths.
+
+use kvapi::{Result, StoreError};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Maximum accepted header block size — guards the server against garbage.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body size (1 GiB).
+const MAX_BODY_BYTES: usize = 1 << 30;
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method (GET/PUT/DELETE/HEAD/POST).
+    pub method: String,
+    /// Request target (path + optional query), percent-encoded.
+    pub path: String,
+    /// Header map, keys lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes (empty when no Content-Length).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a request.
+    pub fn new(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Attach a body (sets Content-Length on write).
+    pub fn with_body(mut self, body: Vec<u8>) -> Request {
+        self.body = body;
+        self
+    }
+
+    /// Set a header (key stored lower-case).
+    pub fn with_header(mut self, key: &str, value: impl Into<String>) -> Request {
+        self.headers.insert(key.to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Header lookup (case-insensitive).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 304, 404, ...).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header map, keys lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Build a response with a standard reason phrase.
+    pub fn new(status: u16) -> Response {
+        let reason = match status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        Response {
+            status,
+            reason: reason.to_string(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Attach a body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// Set a header (key stored lower-case).
+    pub fn with_header(mut self, key: &str, value: impl Into<String>) -> Response {
+        self.headers.insert(key.to_ascii_lowercase(), value.into());
+        self
+    }
+
+    /// Header lookup (case-insensitive).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+    }
+}
+
+fn read_head(r: &mut impl BufRead) -> Result<Option<Vec<String>>> {
+    let mut lines = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            // Clean EOF before any bytes = peer closed between requests.
+            return if lines.is_empty() && total == 0 {
+                Ok(None)
+            } else {
+                Err(StoreError::protocol("connection closed mid-header"))
+            };
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(StoreError::protocol("header block too large"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            return Ok(Some(lines));
+        }
+        lines.push(trimmed.to_string());
+    }
+}
+
+fn parse_headers(lines: &[String]) -> Result<BTreeMap<String, String>> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| StoreError::protocol(format!("malformed header {line:?}")))?;
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+    Ok(headers)
+}
+
+fn read_body(r: &mut impl BufRead, headers: &BTreeMap<String, String>) -> Result<Vec<u8>> {
+    let len = match headers.get("content-length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| StoreError::protocol(format!("bad content-length {v:?}")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(StoreError::protocol("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|_| StoreError::protocol("truncated body"))?;
+    Ok(body)
+}
+
+/// Read one request; `Ok(None)` on clean connection close.
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>> {
+    let Some(lines) = read_head(r)? else { return Ok(None) };
+    let first = lines.first().ok_or_else(|| StoreError::protocol("empty request"))?;
+    let mut parts = first.split_whitespace();
+    let (method, path, version) = (
+        parts.next().ok_or_else(|| StoreError::protocol("missing method"))?,
+        parts.next().ok_or_else(|| StoreError::protocol("missing path"))?,
+        parts.next().unwrap_or("HTTP/1.1"),
+    );
+    if !version.starts_with("HTTP/1.") {
+        return Err(StoreError::protocol(format!("unsupported version {version}")));
+    }
+    let headers = parse_headers(&lines[1..])?;
+    let body = read_body(r, &headers)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Write a request (always emits Content-Length, keeps the connection open).
+pub fn write_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
+    write!(w, "{} {} HTTP/1.1\r\n", req.method, req.path)?;
+    for (k, v) in &req.headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "content-length: {}\r\n\r\n", req.body.len())?;
+    w.write_all(&req.body)?;
+    w.flush()
+}
+
+/// Read one response. `head_only` skips the body (HEAD requests / 304s).
+pub fn read_response(r: &mut impl BufRead, head_only: bool) -> Result<Response> {
+    let lines = read_head(r)?.ok_or(StoreError::Closed)?;
+    let first = lines.first().ok_or_else(|| StoreError::protocol("empty response"))?;
+    let mut parts = first.splitn(3, ' ');
+    let _version = parts.next().unwrap_or_default();
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| StoreError::protocol(format!("bad status line {first:?}")))?;
+    let reason = parts.next().unwrap_or("").to_string();
+    let headers = parse_headers(&lines[1..])?;
+    let body = if head_only || status == 304 || status == 204 {
+        Vec::new()
+    } else {
+        read_body(r, &headers)?
+    };
+    Ok(Response { status, reason, headers, body })
+}
+
+/// Write a response. 304/204 suppress the body per the RFC, but
+/// Content-Length is still advertised for bookkeeping.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, resp.reason)?;
+    for (k, v) in &resp.headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "content-length: {}\r\n\r\n", resp.body.len())?;
+    if resp.status != 304 && resp.status != 204 {
+        w.write_all(&resp.body)?;
+    }
+    w.flush()
+}
+
+/// Percent-encode a key for use as one path segment.
+pub fn escape_segment(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for &b in key.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_segment`].
+pub fn unescape_segment(seg: &str) -> Option<String> {
+    let bytes = seg.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = seg.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::new("PUT", "/v1/objects/key%20x")
+            .with_header("X-Custom", "val")
+            .with_body(b"hello body".to_vec());
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let got = read_request(&mut BufReader::new(&buf[..])).unwrap().unwrap();
+        assert_eq!(got.method, "PUT");
+        assert_eq!(got.path, "/v1/objects/key%20x");
+        assert_eq!(got.header("x-custom"), Some("val"));
+        assert_eq!(got.body, b"hello body");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::new(200)
+            .with_header("ETag", "\"abc\"")
+            .with_body(b"payload".to_vec());
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let got = read_response(&mut BufReader::new(&buf[..]), false).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.header("etag"), Some("\"abc\""));
+        assert_eq!(got.body, b"payload");
+    }
+
+    #[test]
+    fn not_modified_has_no_body_on_the_wire() {
+        let resp = Response::new(304).with_header("ETag", "\"x\"");
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified"));
+        let got = read_response(&mut BufReader::new(&buf[..]), false).unwrap();
+        assert_eq!(got.status, 304);
+        assert!(got.body.is_empty());
+    }
+
+    #[test]
+    fn multiple_requests_on_one_connection() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::new("GET", "/a")).unwrap();
+        write_request(&mut buf, &Request::new("GET", "/b").with_body(b"x".to_vec())).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_request(&mut r).unwrap().unwrap().path, "/a");
+        let second = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"x");
+        assert!(read_request(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            "GET /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+        ] {
+            assert!(
+                read_request(&mut BufReader::new(bad.as_bytes())).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let text = "PUT /k HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        assert!(read_request(&mut BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn segment_escaping_round_trip() {
+        for key in ["plain", "with space", "a/b?c=d", "uni-ключ", "%25", "dots..dots"] {
+            let esc = escape_segment(key);
+            assert!(!esc.contains('/') && !esc.contains(' ') && !esc.contains('?'));
+            assert_eq!(unescape_segment(&esc).as_deref(), Some(key));
+        }
+    }
+}

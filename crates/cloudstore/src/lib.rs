@@ -1,0 +1,31 @@
+//! # cloudstore — a simulated cloud object store over real HTTP/TCP
+//!
+//! The paper benchmarks two commercial cloud data stores ("Cloud Store 1"
+//! and "Cloud Store 2" — Cloudant-like and OpenStack-Object-Storage-like
+//! services) that are geographically distant from the client. Those services
+//! are not reachable here, so this crate runs the whole client/server stack
+//! locally and injects wide-area delay from `netsim`:
+//!
+//! * [`http`] — a minimal HTTP/1.1 implementation (request/response framing,
+//!   headers, keep-alive), because data store clients in the paper talk to
+//!   their servers "using a protocol such as HTTP";
+//! * [`server`] — an object-store server with ETags, conditional GET
+//!   (`If-None-Match` → `304 Not Modified`, the revalidation mechanism §III
+//!   builds on), listing, and a per-request latency model;
+//! * [`client`] — an HTTP client implementing [`kvapi::KeyValue`], with a
+//!   **native** conditional get that really does skip the body transfer on
+//!   304 — exactly the bandwidth saving the paper describes.
+//!
+//! What the substitution preserves: the client executes real socket I/O,
+//! HTTP framing and header parsing; latency grows with object size through
+//! the modeled bandwidth; Cloud Store 1 is slower and far more variable
+//! than Cloud Store 2 (lognormal jitter + contention spikes). What it does
+//! not preserve: absolute numbers of the authors' 2016 WAN paths — the
+//! reproduction targets the figures' *shape*, per EXPERIMENTS.md.
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::CloudClient;
+pub use server::{CloudServer, CloudServerConfig};

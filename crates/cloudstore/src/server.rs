@@ -1,0 +1,261 @@
+//! The object-store server with injected WAN latency.
+//!
+//! REST-ish protocol (all keys percent-encoded path segments):
+//!
+//! | request | reply |
+//! |---|---|
+//! | `PUT /v1/objects/{key}` (body) | `201` + `ETag` |
+//! | `GET /v1/objects/{key}` | `200` + body + `ETag` + `X-Modified-Ms`, or `404` |
+//! | `GET` with `If-None-Match` | `304` when the tag matches |
+//! | `HEAD /v1/objects/{key}` | `200` headers only / `404` |
+//! | `DELETE /v1/objects/{key}` | `204` / `404` |
+//! | `GET /v1/keys` | newline-separated key list |
+//! | `POST /v1/clear` | `200` |
+//! | `GET /v1/stats` | `{keys} {bytes}` |
+//!
+//! Each request sleeps for a delay drawn from the configured
+//! [`netsim::LatencyModel`] before replying, sized by the dominant payload
+//! direction — which is what makes latency grow with object size in the
+//! reproduced figures.
+
+use crate::http::{read_request, unescape_segment, write_response, Request, Response};
+use bytes::Bytes;
+use kvapi::value::{now_millis, Etag};
+use kvapi::Result;
+use netsim::{LatencyModel, LatencySampler};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct CloudServerConfig {
+    /// Bind address (port 0 = ephemeral).
+    pub bind: SocketAddr,
+    /// Injected latency model.
+    pub latency: LatencyModel,
+    /// RNG seed for the latency sampler (fixed = reproducible runs).
+    pub seed: u64,
+}
+
+impl Default for CloudServerConfig {
+    fn default() -> Self {
+        CloudServerConfig {
+            bind: "127.0.0.1:0".parse().expect("static addr"),
+            latency: LatencyModel::zero(),
+            seed: 0xc10d,
+        }
+    }
+}
+
+struct Object {
+    data: Bytes,
+    etag: Etag,
+    modified_ms: u64,
+}
+
+#[derive(Default)]
+struct ObjectMap {
+    map: HashMap<String, Object>,
+    bytes: u64,
+    version: u64,
+}
+
+/// A running cloud object-store server.
+pub struct CloudServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    /// Requests served (observability).
+    pub requests_served: Arc<AtomicU64>,
+}
+
+impl CloudServer {
+    /// Start with zero injected latency (useful for functional tests).
+    pub fn start_local() -> Result<CloudServer> {
+        CloudServer::start(CloudServerConfig::default())
+    }
+
+    /// Start with a latency profile.
+    pub fn start_with_profile(profile: netsim::Profile, seed: u64) -> Result<CloudServer> {
+        CloudServer::start(CloudServerConfig {
+            latency: profile.model(),
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// Start with explicit config.
+    pub fn start(cfg: CloudServerConfig) -> Result<CloudServer> {
+        let listener = TcpListener::bind(cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let objects = Arc::new(RwLock::new(ObjectMap::default()));
+        let sampler = Arc::new(cfg.latency.sampler(cfg.seed));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let served = requests_served.clone();
+            let conns = conns.clone();
+            Some(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Ok(clone) = stream.try_clone() {
+                        let mut g = conns.lock();
+                        g.retain(|s| s.peer_addr().is_ok());
+                        g.push(clone);
+                    }
+                    let objects = objects.clone();
+                    let sampler = sampler.clone();
+                    let served = served.clone();
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, objects, sampler, served);
+                    });
+                }
+            }))
+        };
+
+        Ok(CloudServer { addr, shutdown, accept_thread, conns, requests_served })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server and sever connections.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CloudServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    objects: Arc<RwLock<ObjectMap>>,
+    sampler: Arc<LatencySampler>,
+    served: Arc<AtomicU64>,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(req) = read_request(&mut reader)? {
+        served.fetch_add(1, Ordering::Relaxed);
+        let resp = route(&req, &objects);
+        // Inject WAN delay sized by the dominant payload direction. A 304
+        // only carries headers, which is exactly why revalidation saves
+        // bandwidth and time in the reproduced experiments.
+        let payload = if resp.status == 304 { 0 } else { req.body.len().max(resp.body.len()) };
+        std::thread::sleep(sampler.sample(payload));
+        let head_only = req.method == "HEAD";
+        let mut resp = resp;
+        if head_only {
+            resp.body.clear();
+        }
+        write_response(&mut writer, &resp)?;
+    }
+    Ok(())
+}
+
+fn route(req: &Request, objects: &RwLock<ObjectMap>) -> Response {
+    let path = req.path.as_str();
+    if let Some(seg) = path.strip_prefix("/v1/objects/") {
+        let Some(key) = unescape_segment(seg) else {
+            return Response::new(400).with_body(b"bad key encoding".to_vec());
+        };
+        return match req.method.as_str() {
+            "PUT" => {
+                let mut g = objects.write();
+                g.version += 1;
+                let etag = Etag(g.version);
+                if let Some(old) = g.map.get(&key) {
+                    g.bytes -= old.data.len() as u64;
+                }
+                g.bytes += req.body.len() as u64;
+                g.map.insert(
+                    key,
+                    Object {
+                        data: Bytes::copy_from_slice(&req.body),
+                        etag,
+                        modified_ms: now_millis(),
+                    },
+                );
+                Response::new(201).with_header("etag", format!("\"{}\"", etag.to_hex()))
+            }
+            "GET" | "HEAD" => {
+                let g = objects.read();
+                match g.map.get(&key) {
+                    None => Response::new(404),
+                    Some(obj) => {
+                        if let Some(tag) = req.header("if-none-match") {
+                            if Etag::from_hex(tag) == Some(obj.etag) {
+                                return Response::new(304)
+                                    .with_header("etag", format!("\"{}\"", obj.etag.to_hex()));
+                            }
+                        }
+                        Response::new(200)
+                            .with_header("etag", format!("\"{}\"", obj.etag.to_hex()))
+                            .with_header("x-modified-ms", obj.modified_ms.to_string())
+                            .with_body(obj.data.to_vec())
+                    }
+                }
+            }
+            "DELETE" => {
+                let mut g = objects.write();
+                match g.map.remove(&key) {
+                    Some(old) => {
+                        g.bytes -= old.data.len() as u64;
+                        Response::new(204)
+                    }
+                    None => Response::new(404),
+                }
+            }
+            _ => Response::new(405),
+        };
+    }
+    match (req.method.as_str(), path) {
+        ("GET", "/v1/keys") => {
+            let g = objects.read();
+            let mut body = String::new();
+            for k in g.map.keys() {
+                body.push_str(&crate::http::escape_segment(k));
+                body.push('\n');
+            }
+            Response::new(200).with_body(body.into_bytes())
+        }
+        ("POST", "/v1/clear") => {
+            let mut g = objects.write();
+            g.map.clear();
+            g.bytes = 0;
+            Response::new(200)
+        }
+        ("GET", "/v1/stats") => {
+            let g = objects.read();
+            Response::new(200).with_body(format!("{} {}", g.map.len(), g.bytes).into_bytes())
+        }
+        ("GET", "/v1/ping") => Response::new(200).with_body(b"pong".to_vec()),
+        _ => Response::new(404).with_body(b"no such route".to_vec()),
+    }
+}

@@ -1,0 +1,263 @@
+//! LSB-first bit I/O, as DEFLATE requires.
+//!
+//! RFC 1951 packs bits into bytes starting from the least-significant bit.
+//! Huffman *codes* are an exception: they are stored most-significant-bit
+//! first, which callers handle by bit-reversing the code before calling
+//! [`BitWriter::write_bits`] (see [`reverse_bits`]).
+
+/// Reverse the low `len` bits of `code` (used to emit Huffman codes).
+#[inline]
+pub fn reverse_bits(code: u16, len: u8) -> u16 {
+    let mut out = 0u16;
+    for i in 0..len {
+        out |= ((code >> i) & 1) << (len - 1 - i);
+    }
+    out
+}
+
+/// Accumulates bits LSB-first into a byte vector.
+#[derive(Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// Fresh writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Write the low `n` bits of `value` (n ≤ 32), LSB first.
+    #[inline]
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || u64::from(value) < (1u64 << n));
+        self.bit_buf |= u64::from(value) << self.bit_count;
+        self.bit_count += n;
+        while self.bit_count >= 8 {
+            self.out.push((self.bit_buf & 0xff) as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Write a Huffman code of length `len`: DEFLATE stores codes MSB-first.
+    #[inline]
+    pub fn write_code(&mut self, code: u16, len: u8) {
+        self.write_bits(u32::from(reverse_bits(code, len)), u32::from(len));
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.bit_count > 0 {
+            self.out.push((self.bit_buf & 0xff) as u8);
+            self.bit_buf = 0;
+            self.bit_count = 0;
+        }
+    }
+
+    /// Append raw bytes; the writer must be byte-aligned.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.bit_count, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Flush any partial byte and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+
+    /// Bits written so far (for encoder cost accounting).
+    pub fn bit_len(&self) -> u64 {
+        (self.out.len() as u64) * 8 + u64::from(self.bit_count)
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+/// Error returned when the stream ends mid-read.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UnexpectedEof;
+
+impl<'a> BitReader<'a> {
+    /// Read from `data`.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.bit_count <= 56 && self.pos < self.data.len() {
+            self.bit_buf |= u64::from(self.data[self.pos]) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    /// Read `n` bits (n ≤ 32) as an integer, LSB-first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u32, UnexpectedEof> {
+        debug_assert!(n <= 32);
+        if self.bit_count < n {
+            self.refill();
+            if self.bit_count < n {
+                return Err(UnexpectedEof);
+            }
+        }
+        let mask = if n == 32 { u64::MAX >> 32 } else { (1u64 << n) - 1 };
+        let v = (self.bit_buf & mask) as u32;
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(v)
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u32, UnexpectedEof> {
+        self.read_bits(1)
+    }
+
+    /// Peek up to `n` bits without consuming; returns `(value, available)`.
+    /// Missing high bits (past end of stream) read as zero, with
+    /// `available` reporting how many were real.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> (u32, u32) {
+        debug_assert!(n <= 32);
+        if self.bit_count < n {
+            self.refill();
+        }
+        let avail = self.bit_count.min(n);
+        let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        ((self.bit_buf & mask) as u32, avail)
+    }
+
+    /// Consume `n` bits previously peeked. `n` must not exceed the
+    /// `available` reported by [`BitReader::peek_bits`].
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.bit_count);
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+    }
+
+    /// Discard bits up to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    /// Read `n` raw bytes; the reader must be byte-aligned.
+    pub fn read_bytes(&mut self, n: usize) -> Result<Vec<u8>, UnexpectedEof> {
+        debug_assert_eq!(self.bit_count % 8, 0, "read_bytes requires byte alignment");
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Ok(out)
+    }
+
+    /// True when no complete bit remains.
+    pub fn is_empty(&self) -> bool {
+        self.bit_count == 0 && self.pos >= self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b11110000, 8);
+        w.write_bits(0x12345, 20);
+        w.write_bits(1, 1);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0b11110000);
+        assert_eq!(r.read_bits(20).unwrap(), 0x12345);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn lsb_first_byte_layout() {
+        let mut w = BitWriter::new();
+        // Bits: 1,0,1 then 5-bit value 0b00001 → byte is 0b00001_101 = 0x0D.
+        w.write_bits(0b101, 3);
+        w.write_bits(1, 5);
+        assert_eq!(w.finish(), vec![0x0d]);
+    }
+
+    #[test]
+    fn reverse_bits_examples() {
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0b0011000, 7), 0b0001100);
+        assert_eq!(reverse_bits(0x0F, 8), 0xF0);
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align_byte();
+        w.write_bytes(b"\xAA\xBB");
+        let buf = w.finish();
+        assert_eq!(buf, vec![0x01, 0xAA, 0xBB]);
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read_bit().unwrap(), 1);
+        r.align_byte();
+        assert_eq!(r.read_bytes(2).unwrap(), vec![0xAA, 0xBB]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn eof_detection() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1), Err(UnexpectedEof));
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 5);
+        w.write_bits(0, 11);
+        assert_eq!(w.bit_len(), 16);
+    }
+
+    #[test]
+    fn long_stream_round_trip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let items: Vec<(u32, u32)> = (0..5000)
+            .map(|_| {
+                let n = rng.gen_range(1..=24);
+                (rng.gen_range(0..(1u32 << n)), n)
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, n) in &items {
+            w.write_bits(v, n);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &(v, n) in &items {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! [`GzipCodec`] — plugs compression into the DSCL value pipeline.
+//!
+//! §III of the paper: "The DSCL compression capabilities can also be used to
+//! reduce the size of cached objects, allowing more objects to be stored
+//! using the same amount of cache space" — balanced against CPU overhead,
+//! which the benchmarks (Fig. 21) quantify.
+
+use crate::deflate::Level;
+use crate::gzip::{gzip_compress, gzip_decompress_with_limit};
+use kvapi::codec::Codec;
+use kvapi::Result;
+
+/// Default cap on decompressed size: prevents a corrupted or hostile stored
+/// value from exhausting memory on read.
+pub const DEFAULT_MAX_DECOMPRESSED: usize = 1 << 30;
+
+/// gzip compression as a [`Codec`] stage.
+pub struct GzipCodec {
+    level: Level,
+    max_out: usize,
+}
+
+impl Default for GzipCodec {
+    fn default() -> Self {
+        GzipCodec::new(Level::Default)
+    }
+}
+
+impl GzipCodec {
+    /// Codec at the given compression level.
+    pub fn new(level: Level) -> GzipCodec {
+        GzipCodec { level, max_out: DEFAULT_MAX_DECOMPRESSED }
+    }
+
+    /// Override the decompressed-size cap.
+    pub fn with_max_decompressed(mut self, max_out: usize) -> GzipCodec {
+        self.max_out = max_out;
+        self
+    }
+}
+
+impl Codec for GzipCodec {
+    fn name(&self) -> &str {
+        "gzip"
+    }
+
+    fn encode(&self, plain: &[u8]) -> Result<Vec<u8>> {
+        Ok(gzip_compress(plain, self.level))
+    }
+
+    fn decode(&self, encoded: &[u8]) -> Result<Vec<u8>> {
+        gzip_decompress_with_limit(encoded, self.max_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trip() {
+        let c = GzipCodec::default();
+        let data = b"codec layer round trip ".repeat(50);
+        let enc = c.encode(&data).unwrap();
+        assert!(enc.len() < data.len());
+        assert_eq!(c.decode(&enc).unwrap(), data);
+        assert_eq!(c.name(), "gzip");
+    }
+
+    #[test]
+    fn cap_applies() {
+        let c = GzipCodec::default().with_max_decompressed(16);
+        let enc = c.encode(&vec![0u8; 1000]).unwrap();
+        assert!(c.decode(&enc).is_err());
+    }
+}

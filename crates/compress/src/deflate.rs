@@ -1,0 +1,607 @@
+//! DEFLATE (RFC 1951): encoder with stored / fixed / dynamic blocks and a
+//! full inflater.
+//!
+//! The encoder tokenizes the input once ([`crate::lz77`]), then prices the
+//! token stream under fixed Huffman codes, dynamic Huffman codes (including
+//! the code-length-code header), and raw storage, and emits whichever block
+//! type is smallest — the same decision zlib makes per block. The entire
+//! input is emitted as a single block (DEFLATE places no limit on
+//! non-stored block sizes).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{canonical_codes, code_lengths, Decoder};
+use crate::lz77::{expand, tokenize, Effort, Token, MAX_MATCH, MIN_MATCH};
+use kvapi::{Result, StoreError};
+
+/// Compression level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// No compression: stored blocks only.
+    Store,
+    /// Fast: shallow match search, fixed-vs-dynamic pricing still applies.
+    Fast,
+    /// Balanced default (what the paper's gzip default corresponds to).
+    Default,
+    /// Maximum effort match search.
+    Best,
+}
+
+impl Level {
+    fn effort(self) -> Effort {
+        match self {
+            Level::Store | Level::Fast => Effort::for_level(1),
+            Level::Default => Effort::for_level(6),
+            Level::Best => Effort::for_level(9),
+        }
+    }
+}
+
+// ---- length / distance code tables (RFC 1951 §3.2.5) ----
+
+/// (base length, extra bits) for length codes 257..=285, indexed by code-257.
+const LENGTH_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// (base distance, extra bits) for distance codes 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Order in which code-length-code lengths appear in the dynamic header.
+const CL_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// Map a match length (3..=258) to (code, extra bits, extra value).
+fn length_code(len: u16) -> (u16, u8, u16) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+    // Linear scan is fine: table has 29 entries and this is not the hot
+    // loop (match finding dominates).
+    for (i, &(base, extra)) in LENGTH_TABLE.iter().enumerate().rev() {
+        if len >= base {
+            return (257 + i as u16, extra, len - base);
+        }
+    }
+    unreachable!()
+}
+
+/// Map a distance (1..=32768) to (code, extra bits, extra value).
+fn dist_code(dist: u16) -> (u16, u8, u16) {
+    for (i, &(base, extra)) in DIST_TABLE.iter().enumerate().rev() {
+        if dist >= base {
+            return (i as u16, extra, dist - base);
+        }
+    }
+    unreachable!()
+}
+
+fn fixed_lit_lengths() -> Vec<u8> {
+    let mut l = vec![0u8; 288];
+    l[0..144].fill(8);
+    l[144..256].fill(9);
+    l[256..280].fill(7);
+    l[280..288].fill(8);
+    l
+}
+
+fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; 30]
+}
+
+// ---- encoder ----
+
+/// Compress `data` into a raw DEFLATE stream.
+pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if level == Level::Store {
+        write_stored(&mut w, data);
+        return w.finish();
+    }
+    let tokens = tokenize(data, level.effort());
+
+    // Symbol frequencies (end-of-block is always sent once).
+    let mut lit_freq = [0u32; 286];
+    let mut dist_freq = [0u32; 30];
+    lit_freq[256] = 1;
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_code(len).0 as usize] += 1;
+                dist_freq[dist_code(dist).0 as usize] += 1;
+            }
+        }
+    }
+
+    let mut dyn_lit_lens = code_lengths(&lit_freq, 15);
+    let mut dyn_dist_lens = code_lengths(&dist_freq, 15);
+    // A block with no matches still must declare one distance code so
+    // decoders can build a (trivially unused) distance table.
+    if dyn_dist_lens.iter().all(|&l| l == 0) {
+        dyn_dist_lens[0] = 1;
+    }
+    // HLIT/HDIST require at least 257/1 entries.
+    let hlit = dyn_lit_lens.iter().rposition(|&l| l > 0).unwrap().max(256) + 1;
+    let hdist = dyn_dist_lens.iter().rposition(|&l| l > 0).unwrap_or(0) + 1;
+    dyn_lit_lens.truncate(hlit.max(257));
+    dyn_dist_lens.truncate(hdist.max(1));
+
+    // Price the three block encodings.
+    let fixed_lits = fixed_lit_lengths();
+    let fixed_dists = fixed_dist_lengths();
+    let cost = |lit_lens: &[u8], dist_lens: &[u8]| -> u64 {
+        let mut bits = 0u64;
+        for (sym, &f) in lit_freq.iter().enumerate() {
+            if f > 0 {
+                bits += u64::from(f) * u64::from(lit_lens[sym]);
+                if sym > 256 {
+                    bits += u64::from(f) * u64::from(LENGTH_TABLE[sym - 257].1);
+                }
+            }
+        }
+        for (sym, &f) in dist_freq.iter().enumerate() {
+            if f > 0 {
+                bits += u64::from(f) * u64::from(dist_lens[sym])
+                    + u64::from(f) * u64::from(DIST_TABLE[sym].1);
+            }
+        }
+        bits
+    };
+    let (cl_syms, cl_lens, cl_header_bits) = build_cl_header(&dyn_lit_lens, &dyn_dist_lens);
+    let dyn_cost = cost(&dyn_lit_lens, &dyn_dist_lens) + cl_header_bits + 17; // +HLIT/HDIST/HCLEN
+    let fixed_cost = cost(&fixed_lits, &fixed_dists);
+    let stored_cost = 40 + (data.len() as u64) * 8 + (data.len() as u64 / 65535) * 40;
+
+    if stored_cost < dyn_cost && stored_cost < fixed_cost {
+        write_stored(&mut w, data);
+    } else if fixed_cost <= dyn_cost {
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(1, 2); // fixed
+        write_tokens(&mut w, &tokens, &fixed_lits, &fixed_dists);
+    } else {
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(2, 2); // dynamic
+        write_dyn_header(&mut w, &dyn_lit_lens, &dyn_dist_lens, &cl_syms, &cl_lens);
+        write_tokens(&mut w, &tokens, &dyn_lit_lens, &dyn_dist_lens);
+    }
+    w.finish()
+}
+
+fn write_stored(w: &mut BitWriter, data: &[u8]) {
+    let mut chunks: Vec<&[u8]> = data.chunks(65535).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
+    }
+    let last = chunks.len() - 1;
+    for (i, chunk) in chunks.iter().enumerate() {
+        w.write_bits(u32::from(i == last), 1); // BFINAL
+        w.write_bits(0, 2); // stored
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(chunk);
+    }
+}
+
+fn write_tokens(w: &mut BitWriter, tokens: &[Token], lit_lens: &[u8], dist_lens: &[u8]) {
+    let lit_codes = canonical_codes(lit_lens);
+    let dist_codes = canonical_codes(dist_lens);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => {
+                w.write_code(lit_codes[b as usize], lit_lens[b as usize]);
+            }
+            Token::Match { len, dist } => {
+                let (lc, le, lv) = length_code(len);
+                w.write_code(lit_codes[lc as usize], lit_lens[lc as usize]);
+                if le > 0 {
+                    w.write_bits(u32::from(lv), u32::from(le));
+                }
+                let (dc, de, dv) = dist_code(dist);
+                w.write_code(dist_codes[dc as usize], dist_lens[dc as usize]);
+                if de > 0 {
+                    w.write_bits(u32::from(dv), u32::from(de));
+                }
+            }
+        }
+    }
+    // End of block.
+    w.write_code(lit_codes[256], lit_lens[256]);
+}
+
+/// RLE-encode the concatenated lit+dist code lengths into code-length-code
+/// symbols (16 = repeat previous 3..6, 17 = zeros 3..10, 18 = zeros
+/// 11..138), build the CL Huffman code, and return
+/// (symbol stream, CL lengths, total header bits excluding HLIT/HDIST/HCLEN).
+fn build_cl_header(lit_lens: &[u8], dist_lens: &[u8]) -> (Vec<(u8, u8, u8)>, Vec<u8>, u64) {
+    let all: Vec<u8> = lit_lens.iter().chain(dist_lens.iter()).copied().collect();
+    let mut syms: Vec<(u8, u8, u8)> = Vec::new(); // (symbol, extra value, extra bits)
+    let mut i = 0usize;
+    while i < all.len() {
+        let cur = all[i];
+        let mut run = 1usize;
+        while i + run < all.len() && all[i + run] == cur {
+            run += 1;
+        }
+        if cur == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                syms.push((18, (take - 11) as u8, 7));
+                left -= take;
+            }
+            if left >= 3 {
+                syms.push((17, (left - 3) as u8, 3));
+                left = 0;
+            }
+            for _ in 0..left {
+                syms.push((0, 0, 0));
+            }
+        } else {
+            syms.push((cur, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                syms.push((16, (take - 3) as u8, 2));
+                left -= take;
+            }
+            for _ in 0..left {
+                syms.push((cur, 0, 0));
+            }
+        }
+        i += run;
+    }
+    let mut cl_freq = [0u32; 19];
+    for &(s, _, _) in &syms {
+        cl_freq[s as usize] += 1;
+    }
+    let cl_lens = code_lengths(&cl_freq, 7);
+    let hclen = CL_ORDER
+        .iter()
+        .rposition(|&s| cl_lens[s] > 0)
+        .map(|p| p + 1)
+        .unwrap_or(4)
+        .max(4);
+    let mut bits = (hclen as u64) * 3;
+    for &(s, _, eb) in &syms {
+        bits += u64::from(cl_lens[s as usize]) + u64::from(eb);
+    }
+    (syms, cl_lens, bits)
+}
+
+fn write_dyn_header(
+    w: &mut BitWriter,
+    lit_lens: &[u8],
+    dist_lens: &[u8],
+    cl_syms: &[(u8, u8, u8)],
+    cl_lens: &[u8],
+) {
+    let hclen = CL_ORDER
+        .iter()
+        .rposition(|&s| cl_lens[s] > 0)
+        .map(|p| p + 1)
+        .unwrap_or(4)
+        .max(4);
+    w.write_bits((lit_lens.len() - 257) as u32, 5);
+    w.write_bits((dist_lens.len() - 1) as u32, 5);
+    w.write_bits((hclen - 4) as u32, 4);
+    for &s in CL_ORDER.iter().take(hclen) {
+        w.write_bits(u32::from(cl_lens[s]), 3);
+    }
+    let cl_codes = canonical_codes(cl_lens);
+    for &(s, ev, eb) in cl_syms {
+        w.write_code(cl_codes[s as usize], cl_lens[s as usize]);
+        if eb > 0 {
+            w.write_bits(u32::from(ev), u32::from(eb));
+        }
+    }
+}
+
+// ---- decoder ----
+
+/// Decompress a raw DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
+    inflate_with_limit(data, usize::MAX)
+}
+
+/// Decompress with an output-size cap (guards against decompression bombs
+/// when handling untrusted input).
+pub fn inflate_with_limit(data: &[u8], max_out: usize) -> Result<Vec<u8>> {
+    let mut r = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+    let eof = |_| StoreError::corrupt("truncated deflate stream");
+    loop {
+        let bfinal = r.read_bit().map_err(eof)?;
+        let btype = r.read_bits(2).map_err(eof)?;
+        match btype {
+            0 => {
+                r.align_byte();
+                let len_bytes = r.read_bytes(4).map_err(eof)?;
+                let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]);
+                let nlen = u16::from_le_bytes([len_bytes[2], len_bytes[3]]);
+                if len != !nlen {
+                    return Err(StoreError::corrupt("stored block LEN/NLEN mismatch"));
+                }
+                if out.len() + len as usize > max_out {
+                    return Err(StoreError::corrupt("inflate output exceeds limit"));
+                }
+                out.extend_from_slice(&r.read_bytes(len as usize).map_err(eof)?);
+            }
+            1 => {
+                let lit = Decoder::new(&fixed_lit_lengths())?;
+                let dist = Decoder::new(&fixed_dist_lengths())?;
+                inflate_block(&mut r, &lit, &dist, &mut out, max_out)?;
+            }
+            2 => {
+                let hlit = r.read_bits(5).map_err(eof)? as usize + 257;
+                let hdist = r.read_bits(5).map_err(eof)? as usize + 1;
+                let hclen = r.read_bits(4).map_err(eof)? as usize + 4;
+                let mut cl_lens = [0u8; 19];
+                for &s in CL_ORDER.iter().take(hclen) {
+                    cl_lens[s] = r.read_bits(3).map_err(eof)? as u8;
+                }
+                let cl = Decoder::new(&cl_lens)?;
+                let mut lens = Vec::with_capacity(hlit + hdist);
+                while lens.len() < hlit + hdist {
+                    match cl.decode(&mut r)? {
+                        s @ 0..=15 => lens.push(s as u8),
+                        16 => {
+                            let &prev = lens
+                                .last()
+                                .ok_or_else(|| StoreError::corrupt("repeat with no previous length"))?;
+                            let n = 3 + r.read_bits(2).map_err(eof)?;
+                            lens.extend(std::iter::repeat_n(prev, n as usize));
+                        }
+                        17 => {
+                            let n = 3 + r.read_bits(3).map_err(eof)?;
+                            lens.extend(std::iter::repeat_n(0u8, n as usize));
+                        }
+                        18 => {
+                            let n = 11 + r.read_bits(7).map_err(eof)?;
+                            lens.extend(std::iter::repeat_n(0u8, n as usize));
+                        }
+                        other => {
+                            return Err(StoreError::corrupt(format!(
+                                "invalid code-length symbol {other}"
+                            )))
+                        }
+                    }
+                }
+                if lens.len() != hlit + hdist {
+                    return Err(StoreError::corrupt("code length run overflows table"));
+                }
+                let lit = Decoder::new(&lens[..hlit])?;
+                let dist = Decoder::new(&lens[hlit..])?;
+                inflate_block(&mut r, &lit, &dist, &mut out, max_out)?;
+            }
+            _ => return Err(StoreError::corrupt("reserved block type 3")),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    out: &mut Vec<u8>,
+    max_out: usize,
+) -> Result<()> {
+    let eof = |_| StoreError::corrupt("truncated deflate block");
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => {
+                if out.len() >= max_out {
+                    return Err(StoreError::corrupt("inflate output exceeds limit"));
+                }
+                out.push(sym as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_TABLE[sym as usize - 257];
+                let len = base + r.read_bits(u32::from(extra)).map_err(eof)? as u16;
+                let dsym = dist.decode(r)?;
+                if dsym as usize >= DIST_TABLE.len() {
+                    return Err(StoreError::corrupt("invalid distance code"));
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym as usize];
+                let d = dbase as usize + r.read_bits(u32::from(dextra)).map_err(eof)? as usize;
+                if d > out.len() {
+                    return Err(StoreError::corrupt("distance beyond output start"));
+                }
+                if out.len() + len as usize > max_out {
+                    return Err(StoreError::corrupt("inflate output exceeds limit"));
+                }
+                let len = len as usize;
+                let start = out.len() - d;
+                if d >= len {
+                    // Non-overlapping: one memcpy-style append.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping copy: the output from `start` onward is
+                    // periodic with period `d`, so append whole periods
+                    // read from `start`, doubling the materialized run —
+                    // O(log(len/d)) appends. Every chunk except the last is
+                    // a multiple of `d`, keeping the period aligned.
+                    let mut copied = 0;
+                    while copied < len {
+                        let chunk = (d + copied).min(len - copied);
+                        out.extend_from_within(start..start + chunk);
+                        copied += chunk;
+                    }
+                }
+            }
+            _ => return Err(StoreError::corrupt(format!("invalid literal/length symbol {sym}"))),
+        }
+    }
+}
+
+/// Expose token expansion for tests of upper layers.
+pub fn debug_expand(tokens: &[Token]) -> Vec<u8> {
+    expand(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], level: Level) -> usize {
+        let c = deflate(data, level);
+        let d = inflate(&c).unwrap_or_else(|e| panic!("inflate failed at {level:?}: {e}"));
+        assert_eq!(d, data, "round trip at {level:?}");
+        c.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            round_trip(b"", level);
+        }
+    }
+
+    #[test]
+    fn small_inputs_all_levels() {
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            round_trip(b"a", level);
+            round_trip(b"hello, world", level);
+            round_trip(&[0u8; 300], level);
+        }
+    }
+
+    #[test]
+    fn compressible_text_shrinks() {
+        let data = "the universal data store manager provides a common interface. "
+            .repeat(300)
+            .into_bytes();
+        let n = round_trip(&data, Level::Default);
+        assert!(n < data.len() / 5, "text should compress >5x, got {n} of {}", data.len());
+    }
+
+    #[test]
+    fn incompressible_data_stays_close_to_original() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
+        let n = round_trip(&data, Level::Default);
+        // Encoder should fall back to (near-)stored; allow small overhead.
+        assert!(n <= data.len() + data.len() / 100 + 64, "random data blew up: {n}");
+    }
+
+    #[test]
+    fn long_runs() {
+        let data = vec![7u8; 100_000];
+        let n = round_trip(&data, Level::Default);
+        assert!(n < 600, "run of one byte should compress to almost nothing, got {n}");
+    }
+
+    #[test]
+    fn stored_blocks_chunk_over_64k() {
+        let data = vec![1u8; 70_000];
+        let c = deflate(&data, Level::Store);
+        assert_eq!(inflate(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_pattern_structured_data() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.extend_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(b"key=");
+            data.extend_from_slice(format!("{}", i % 97).as_bytes());
+            data.push(b'\n');
+        }
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            round_trip(&data, level);
+        }
+    }
+
+    #[test]
+    fn inflate_rejects_garbage() {
+        assert!(inflate(&[]).is_err());
+        assert!(inflate(&[0xff, 0xff, 0xff]).is_err());
+        // Reserved block type.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(3, 2);
+        assert!(inflate(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn inflate_rejects_bad_stored_header() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_byte();
+        w.write_bytes(&5u16.to_le_bytes());
+        w.write_bytes(&5u16.to_le_bytes()); // should be !5
+        w.write_bytes(b"hello");
+        assert!(inflate(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn inflate_respects_output_limit() {
+        let data = vec![0u8; 10_000];
+        let c = deflate(&data, Level::Default);
+        assert!(inflate_with_limit(&c, 100).is_err());
+        assert_eq!(inflate_with_limit(&c, 10_000).unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = b"some reasonably long input with repeats repeats repeats".repeat(10);
+        let c = deflate(&data, Level::Default);
+        for cut in [1, c.len() / 2, c.len() - 1] {
+            assert!(inflate(&c[..cut]).is_err(), "truncation at {cut} went undetected");
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_known_bits() {
+        // "deflate of a single literal 'A' + EOB with fixed codes":
+        // 'A' (0x41) has fixed code 0x71 (8 bits), EOB is 0000000 (7 bits).
+        // Header: BFINAL=1, BTYPE=01. We just verify our encoder's fixed
+        // path produces a stream a reference decoder state machine (ours)
+        // accepts and that the first byte matches the expected layout:
+        // bits (lsb first): 1, 10 → 0b011 in low bits.
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        let lits = fixed_lit_lengths();
+        let dists = fixed_dist_lengths();
+        write_tokens(&mut w, &[Token::Literal(b'A')], &lits, &dists);
+        let buf = w.finish();
+        assert_eq!(buf[0] & 0b111, 0b011);
+        assert_eq!(inflate(&buf).unwrap(), b"A");
+    }
+
+    #[test]
+    fn length_and_dist_code_tables() {
+        assert_eq!(length_code(3), (257, 0, 0));
+        assert_eq!(length_code(10), (264, 0, 0));
+        assert_eq!(length_code(11), (265, 1, 0));
+        assert_eq!(length_code(12), (265, 1, 1));
+        assert_eq!(length_code(258), (285, 0, 0));
+        assert_eq!(dist_code(1), (0, 0, 0));
+        assert_eq!(dist_code(4), (3, 0, 0));
+        assert_eq!(dist_code(5), (4, 1, 0));
+        assert_eq!(dist_code(24577), (29, 13, 0));
+        assert_eq!(dist_code(32768), (29, 13, 8191));
+    }
+}

@@ -1,0 +1,184 @@
+//! gzip container (RFC 1952) around the DEFLATE stream.
+
+use crate::crc32::crc32;
+use crate::deflate::{deflate, inflate_with_limit, Level};
+use kvapi::{Result, StoreError};
+
+const MAGIC: [u8; 2] = [0x1f, 0x8b];
+const CM_DEFLATE: u8 = 8;
+
+const FTEXT: u8 = 1 << 0;
+const FHCRC: u8 = 1 << 1;
+const FEXTRA: u8 = 1 << 2;
+const FNAME: u8 = 1 << 3;
+const FCOMMENT: u8 = 1 << 4;
+
+/// Compress `data` into a gzip member.
+pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
+    let body = deflate(data, level);
+    let mut out = Vec::with_capacity(body.len() + 18);
+    out.extend_from_slice(&MAGIC);
+    out.push(CM_DEFLATE);
+    out.push(0); // FLG: no extras
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME unknown
+    out.push(match level {
+        Level::Best => 2,
+        Level::Fast | Level::Store => 4,
+        Level::Default => 0,
+    }); // XFL
+    out.push(255); // OS unknown
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompress a gzip member, verifying CRC-32 and length trailer.
+/// Handles optional header fields (FEXTRA/FNAME/FCOMMENT/FHCRC) so streams
+/// produced by standard tools also decode.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    gzip_decompress_with_limit(data, usize::MAX)
+}
+
+/// As [`gzip_decompress`] with an output-size cap.
+pub fn gzip_decompress_with_limit(data: &[u8], max_out: usize) -> Result<Vec<u8>> {
+    if data.len() < 18 {
+        return Err(StoreError::corrupt("gzip stream too short"));
+    }
+    if data[0..2] != MAGIC {
+        return Err(StoreError::corrupt("bad gzip magic"));
+    }
+    if data[2] != CM_DEFLATE {
+        return Err(StoreError::corrupt(format!("unsupported gzip method {}", data[2])));
+    }
+    let flg = data[3];
+    if flg & !(FTEXT | FHCRC | FEXTRA | FNAME | FCOMMENT) != 0 {
+        return Err(StoreError::corrupt("reserved gzip flag bits set"));
+    }
+    let mut pos = 10usize;
+    let need = |pos: usize, n: usize| -> Result<()> {
+        if pos + n > data.len() {
+            Err(StoreError::corrupt("truncated gzip header"))
+        } else {
+            Ok(())
+        }
+    };
+    if flg & FEXTRA != 0 {
+        need(pos, 2)?;
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        need(pos + 2, xlen)?;
+        pos += 2 + xlen;
+    }
+    for flag in [FNAME, FCOMMENT] {
+        if flg & flag != 0 {
+            let end = data[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| StoreError::corrupt("unterminated gzip header string"))?;
+            pos += end + 1;
+        }
+    }
+    if flg & FHCRC != 0 {
+        need(pos, 2)?;
+        let want = u16::from_le_bytes([data[pos], data[pos + 1]]);
+        let got = (crc32(&data[..pos]) & 0xffff) as u16;
+        if want != got {
+            return Err(StoreError::corrupt("gzip header CRC mismatch"));
+        }
+        pos += 2;
+    }
+    if data.len() < pos + 8 {
+        return Err(StoreError::corrupt("gzip stream missing trailer"));
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate_with_limit(body, max_out)?;
+    let trailer = &data[data.len() - 8..];
+    let want_crc = u32::from_le_bytes(trailer[0..4].try_into().unwrap());
+    let want_len = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+    if crc32(&out) != want_crc {
+        return Err(StoreError::corrupt("gzip payload CRC mismatch"));
+    }
+    if out.len() as u32 != want_len {
+        return Err(StoreError::corrupt("gzip ISIZE mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_levels() {
+        let data = b"gzip container round trip with some repetition repetition".repeat(20);
+        for level in [Level::Store, Level::Fast, Level::Default, Level::Best] {
+            let c = gzip_compress(&data, level);
+            assert_eq!(gzip_decompress(&c).unwrap(), data, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn header_layout() {
+        let c = gzip_compress(b"x", Level::Default);
+        assert_eq!(&c[0..2], &[0x1f, 0x8b]);
+        assert_eq!(c[2], 8);
+        assert_eq!(c[3], 0);
+        assert_eq!(c[9], 255);
+    }
+
+    #[test]
+    fn corrupt_payload_detected_by_crc() {
+        let data = b"payload integrity matters".repeat(10);
+        let mut c = gzip_compress(&data, Level::Store); // stored: flips reach payload
+        let mid = c.len() / 2;
+        c[mid] ^= 0x40;
+        assert!(gzip_decompress(&c).is_err());
+    }
+
+    #[test]
+    fn bad_magic_and_method_rejected() {
+        let mut c = gzip_compress(b"abc", Level::Default);
+        c[0] = 0;
+        assert!(gzip_decompress(&c).is_err());
+        let mut c2 = gzip_compress(b"abc", Level::Default);
+        c2[2] = 7;
+        assert!(gzip_decompress(&c2).is_err());
+    }
+
+    #[test]
+    fn truncated_trailer_rejected() {
+        let c = gzip_compress(b"abcdef", Level::Default);
+        assert!(gzip_decompress(&c[..c.len() - 3]).is_err());
+        assert!(gzip_decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn optional_header_fields_skipped() {
+        // Hand-build a member with FNAME + FEXTRA around our deflate body.
+        let payload = b"with optional header fields";
+        let body = crate::deflate::deflate(payload, Level::Default);
+        let mut c = vec![0x1f, 0x8b, 8, FEXTRA | FNAME, 0, 0, 0, 0, 0, 255];
+        c.extend_from_slice(&3u16.to_le_bytes()); // XLEN
+        c.extend_from_slice(b"abc"); // extra field
+        c.extend_from_slice(b"file.txt\0"); // name
+        c.extend_from_slice(&body);
+        c.extend_from_slice(&crc32(payload).to_le_bytes());
+        c.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&c).unwrap(), payload);
+    }
+
+    #[test]
+    fn isize_mismatch_detected() {
+        let mut c = gzip_compress(b"isize check", Level::Default);
+        let n = c.len();
+        c[n - 1] ^= 0xff;
+        assert!(gzip_decompress(&c).is_err());
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let data = vec![0u8; 5000];
+        let c = gzip_compress(&data, Level::Default);
+        assert!(gzip_decompress_with_limit(&c, 10).is_err());
+    }
+}

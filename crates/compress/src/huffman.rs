@@ -1,0 +1,301 @@
+//! Canonical Huffman codes: length-limited construction (package-merge)
+//! and a table-driven canonical decoder, per RFC 1951 §3.2.2.
+
+use crate::bitio::BitReader;
+use kvapi::{Result, StoreError};
+
+/// Build optimal length-limited code lengths for `freqs` (index = symbol),
+/// with every assigned length ≤ `limit`. Symbols with zero frequency get
+/// length 0 (no code). Uses the package-merge algorithm, which is optimal
+/// under a length limit (plain Huffman is not, once depths exceed the
+/// limit).
+pub fn code_lengths(freqs: &[u32], limit: u8) -> Vec<u8> {
+    let mut lengths = vec![0u8; freqs.len()];
+    let mut items: Vec<(u32, usize)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(s, &f)| (f, s))
+        .collect();
+    match items.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs one bit on the wire.
+            lengths[items[0].1] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    items.sort_unstable();
+    assert!(
+        (items.len() as u64) <= (1u64 << limit),
+        "alphabet of {} symbols cannot fit in {}-bit codes",
+        items.len(),
+        limit
+    );
+
+    // Package-merge. A node's `leaves` lists the original item indices it
+    // contains; alphabets here are small (≤ 288 symbols, limit ≤ 15) so the
+    // quadratic bookkeeping is immaterial.
+    #[derive(Clone)]
+    struct Node {
+        weight: u64,
+        leaves: Vec<u16>,
+    }
+    let base: Vec<Node> = items
+        .iter()
+        .enumerate()
+        .map(|(i, &(w, _))| Node { weight: u64::from(w), leaves: vec![i as u16] })
+        .collect();
+
+    let mut list = base.clone();
+    for _ in 1..limit {
+        // Package adjacent pairs…
+        let mut packaged: Vec<Node> = Vec::with_capacity(list.len() / 2);
+        for pair in list.chunks_exact(2) {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            packaged.push(Node { weight: pair[0].weight + pair[1].weight, leaves });
+        }
+        // …then merge with the original items, keeping ascending weight.
+        let mut merged = Vec::with_capacity(base.len() + packaged.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base.len() || j < packaged.len() {
+            let take_base = j >= packaged.len()
+                || (i < base.len() && base[i].weight <= packaged[j].weight);
+            if take_base {
+                merged.push(base[i].clone());
+                i += 1;
+            } else {
+                merged.push(packaged[j].clone());
+                j += 1;
+            }
+        }
+        list = merged;
+    }
+
+    // The first 2n-2 nodes of the final list define the solution: each
+    // time an item appears in a selected node, its code length grows by 1.
+    let mut depth = vec![0u8; items.len()];
+    for node in list.iter().take(2 * items.len() - 2) {
+        for &leaf in &node.leaves {
+            depth[leaf as usize] += 1;
+        }
+    }
+    for (i, &(_, sym)) in items.iter().enumerate() {
+        lengths[sym] = depth[i];
+    }
+    lengths
+}
+
+/// Assign canonical code values to `lengths` (RFC 1951 §3.2.2). Returns
+/// `codes[symbol]`; symbols with length 0 get code 0 (unused).
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u16; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u16; max_len + 2];
+    let mut code = 0u16;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    let mut codes = vec![0u16; lengths.len()];
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next_code[l as usize];
+            next_code[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// Canonical Huffman decoder built from code lengths.
+///
+/// Decoding is table-driven (the zlib approach): a single lookup table
+/// indexed by the next `max_len` bits of the stream yields the symbol and
+/// its code length in O(1), instead of walking the code bit by bit.
+pub struct Decoder {
+    /// table[peeked_bits] = (symbol, code length); length 0 = invalid code.
+    table: Vec<(u16, u8)>,
+    max_len: u8,
+}
+
+impl Decoder {
+    /// Build a decoder; errors if the lengths describe an invalid
+    /// (over-subscribed) code.
+    pub fn new(lengths: &[u8]) -> Result<Decoder> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return Err(StoreError::corrupt("huffman table with no codes"));
+        }
+        let mut counts = vec![0u16; max_len as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        // Kraft inequality check: reject over-subscribed codes. (gzip/zlib
+        // accept incomplete codes in some spots; we accept them too, they
+        // simply can't decode certain bit patterns.)
+        let mut left = 1i64;
+        for &count in counts.iter().skip(1) {
+            left <<= 1;
+            left -= i64::from(count);
+            if left < 0 {
+                return Err(StoreError::corrupt("over-subscribed huffman code"));
+            }
+        }
+        let _ = counts; // Kraft check above is the only use
+        let codes = canonical_codes(lengths);
+        let mut table = vec![(0u16, 0u8); 1usize << max_len];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            // On the wire the code appears bit-reversed in the low `len`
+            // bits of the peeked value; every setting of the remaining high
+            // bits maps to this symbol.
+            let wire = crate::bitio::reverse_bits(codes[sym], len) as usize;
+            let step = 1usize << len;
+            let mut idx = wire;
+            while idx < table.len() {
+                table[idx] = (sym as u16, len);
+                idx += step;
+            }
+        }
+        Ok(Decoder { table, max_len })
+    }
+
+    /// Decode one symbol (bits are MSB-of-code-first per DEFLATE).
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let (peek, avail) = r.peek_bits(u32::from(self.max_len));
+        let (sym, len) = self.table[peek as usize];
+        if len == 0 || u32::from(len) > avail {
+            return Err(StoreError::corrupt(if avail < u32::from(self.max_len) {
+                "eof inside huffman code"
+            } else {
+                "invalid huffman code"
+            }));
+        }
+        r.consume(u32::from(len));
+        Ok(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    #[test]
+    fn rfc1951_worked_example() {
+        // RFC 1951 §3.2.2 example: alphabet ABCDEFGH with lengths
+        // (3,3,3,3,3,2,4,4) yields these canonical codes.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn kraft_equality_for_built_codes() {
+        let freqs = [5u32, 9, 12, 13, 16, 45, 0, 3];
+        let lengths = code_lengths(&freqs, 15);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "optimal code should be complete, kraft={kraft}");
+        // Higher frequency ⇒ not-longer code.
+        assert!(lengths[5] <= lengths[0]);
+        assert_eq!(lengths[6], 0, "zero-frequency symbol must get no code");
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        // Fibonacci-ish weights force deep trees in plain Huffman.
+        let freqs: Vec<u32> = {
+            let mut v = vec![1u32, 1];
+            for i in 2..20 {
+                let next = v[i - 1] + v[i - 2];
+                v.push(next);
+            }
+            v
+        };
+        for limit in [7u8, 9, 15] {
+            let lengths = code_lengths(&freqs, limit);
+            assert!(lengths.iter().all(|&l| l <= limit), "limit {limit} violated: {lengths:?}");
+            let kraft: f64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-i32::from(l)))
+                .sum();
+            assert!(kraft <= 1.0 + 1e-12, "invalid code at limit {limit}");
+        }
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = code_lengths(&[0, 0, 7, 0], 15);
+        assert_eq!(lengths, vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        assert_eq!(code_lengths(&[0, 0, 0], 15), vec![0, 0, 0]);
+        assert!(Decoder::new(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        // Random frequency profile over a 64-symbol alphabet.
+        let freqs: Vec<u32> = (0..64).map(|_| rng.gen_range(0..1000)).collect();
+        let lengths = code_lengths(&freqs, 15);
+        let codes = canonical_codes(&lengths);
+        let dec = Decoder::new(&lengths).unwrap();
+        let syms: Vec<u16> = (0..2000)
+            .map(|_| loop {
+                let s = rng.gen_range(0..64u16);
+                if lengths[s as usize] > 0 {
+                    break s;
+                }
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            w.write_code(codes[s as usize], lengths[s as usize]);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &s in &syms {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        // Three 1-bit codes is impossible.
+        assert!(Decoder::new(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_after_valid_prefix() {
+        // Incomplete code: single symbol of length 2; pattern "11" is not
+        // assigned.
+        let lengths = [2u8];
+        let dec = Decoder::new(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2); // reversed or not, still '11'
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

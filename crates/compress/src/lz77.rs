@@ -1,0 +1,261 @@
+//! LZ77 match finding over a 32 KiB window with hash chains.
+//!
+//! Produces the token stream (`Literal` / `Match`) that the DEFLATE encoder
+//! turns into Huffman-coded symbols. Match-finding effort scales with the
+//! compression level, which is why compression costs several times more
+//! than decompression (the paper's Fig. 21 observation).
+
+/// DEFLATE window size.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum encodable match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum encodable match length.
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length, `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance, `1..=WINDOW_SIZE`.
+        dist: u16,
+    },
+}
+
+/// Match-finder effort knobs derived from the compression level.
+#[derive(Clone, Copy, Debug)]
+pub struct Effort {
+    /// Maximum hash-chain links followed per position.
+    pub max_chain: usize,
+    /// Stop searching once a match of this length is found.
+    pub good_enough: usize,
+    /// Use one-step-lazy matching.
+    pub lazy: bool,
+}
+
+impl Effort {
+    /// Effort for a 1–9 compression level.
+    pub fn for_level(level: u8) -> Effort {
+        match level {
+            0 | 1 => Effort { max_chain: 4, good_enough: 8, lazy: false },
+            2 | 3 => Effort { max_chain: 16, good_enough: 16, lazy: false },
+            4..=6 => Effort { max_chain: 64, good_enough: 64, lazy: true },
+            7 | 8 => Effort { max_chain: 256, good_enough: 128, lazy: true },
+            _ => Effort { max_chain: 1024, good_enough: MAX_MATCH, lazy: true },
+        }
+    }
+}
+
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (u32::from(data[i]) << 16) | (u32::from(data[i + 1]) << 8) | u32::from(data[i + 2]);
+    ((v.wrapping_mul(0x9e37_79b1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `data` with hash-chain match finding.
+pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h (+1, 0 = none);
+    // prev[i % WINDOW] = previous position in the same chain (+1).
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; WINDOW_SIZE];
+
+    let insert = |head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i % WINDOW_SIZE] = head[h];
+            head[h] = (i + 1) as u32;
+        }
+    };
+
+    let find = |head: &[u32], prev: &[u32], i: usize, min_beat: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > n {
+            return None;
+        }
+        let max_len = (n - i).min(MAX_MATCH);
+        let mut best_len = min_beat.max(MIN_MATCH - 1);
+        let mut best_dist = 0usize;
+        let mut cand = head[hash3(data, i)] as usize;
+        let mut chain = effort.max_chain;
+        while cand != 0 && chain > 0 {
+            let j = cand - 1;
+            if i - j > WINDOW_SIZE {
+                break;
+            }
+            // Quick reject via the byte just past the current best.
+            if best_len < max_len && data[j + best_len] == data[i + best_len] {
+                let mut l = 0usize;
+                while l < max_len && data[j + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - j;
+                    if l >= effort.good_enough || l == max_len {
+                        break;
+                    }
+                }
+            }
+            cand = prev[j % WINDOW_SIZE] as usize;
+            chain -= 1;
+        }
+        if best_dist > 0 && best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        let here = find(&head, &prev, i, 0);
+        match here {
+            None => {
+                tokens.push(Token::Literal(data[i]));
+                insert(&mut head, &mut prev, data, i);
+                i += 1;
+            }
+            Some((mut len, mut dist)) => {
+                // One-step lazy: if the next position has a strictly better
+                // match, emit a literal here instead (zlib's heuristic).
+                let mut first_uninserted = i;
+                if effort.lazy && i + 1 < n && len < effort.good_enough {
+                    insert(&mut head, &mut prev, data, i);
+                    first_uninserted = i + 1;
+                    if let Some((nlen, ndist)) = find(&head, &prev, i + 1, len) {
+                        if nlen > len {
+                            tokens.push(Token::Literal(data[i]));
+                            i += 1;
+                            len = nlen;
+                            dist = ndist;
+                        }
+                    }
+                }
+                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                for k in first_uninserted.max(i)..(i + len).min(n) {
+                    insert(&mut head, &mut prev, data, k);
+                }
+                i += len;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expand a token stream back into bytes (the decoder's copy loop; also the
+/// reference oracle for tokenizer tests).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                // Overlapping copies are the point (e.g. dist=1 run fills).
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], level: u8) {
+        let tokens = tokenize(data, Effort::for_level(level));
+        assert_eq!(expand(&tokens), data, "level {level}");
+        for t in &tokens {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(*len as usize)));
+                assert!((1..=WINDOW_SIZE).contains(&(*dist as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for level in [1, 6, 9] {
+            round_trip(b"", level);
+            round_trip(b"a", level);
+            round_trip(b"ab", level);
+            round_trip(b"abc", level);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_uses_matches() {
+        let data = b"abcabcabcabcabcabcabcabcabcabc".to_vec();
+        let tokens = tokenize(&data, Effort::for_level(6));
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "repetitive data should produce matches: {tokens:?}"
+        );
+        assert!(tokens.len() < data.len() / 2);
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn run_of_one_byte_overlapping_match() {
+        let data = vec![b'x'; 1000];
+        let tokens = tokenize(&data, Effort::for_level(6));
+        assert_eq!(expand(&tokens), data);
+        // A long run should compress to a handful of tokens via dist-1
+        // overlapping matches.
+        assert!(tokens.len() <= 8, "got {} tokens", tokens.len());
+    }
+
+    #[test]
+    fn random_data_round_trips_all_levels() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        for level in [1, 3, 6, 9] {
+            round_trip(&data, level);
+        }
+    }
+
+    #[test]
+    fn text_like_data_round_trips() {
+        let data = "the quick brown fox jumps over the lazy dog. "
+            .repeat(200)
+            .into_bytes();
+        for level in [1, 6, 9] {
+            round_trip(&data, level);
+        }
+    }
+
+    #[test]
+    fn matches_never_cross_window() {
+        // 40 KiB of repeating pattern with period > MIN_MATCH; every match
+        // distance must stay within the 32 KiB window.
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 7) as u8).collect();
+        let tokens = tokenize(&data, Effort::for_level(9));
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn expand_handles_overlap() {
+        let tokens = vec![
+            Token::Literal(b'a'),
+            Token::Match { len: 5, dist: 1 },
+        ];
+        assert_eq!(expand(&tokens), b"aaaaaa");
+    }
+}

@@ -1,0 +1,563 @@
+//! [`EnhancedClient`] — tight integration of caching, encryption and
+//! compression over any store.
+
+use crate::config::{CacheContent, CachePolicy, DsclConfig};
+use crate::envelope::Envelope;
+use crate::stats::{DsclStats, StatsCell};
+use bytes::Bytes;
+use dscl_cache::Cache;
+use kvapi::codec::{Codec, Pipeline};
+use kvapi::value::now_millis;
+use kvapi::{CondGet, Etag, KeyValue, Result, StoreStats, Versioned};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An enhanced data store client (paper §II): wraps a store with an
+/// optional cache and an optional codec pipeline, and implements
+/// [`KeyValue`] itself so applications and higher layers (UDSM) cannot tell
+/// the difference — except in latency.
+pub struct EnhancedClient<S> {
+    store: S,
+    cache: Option<Arc<dyn Cache>>,
+    pipeline: Pipeline,
+    config: DsclConfig,
+    name: String,
+    stats: StatsCell,
+}
+
+impl<S: KeyValue> EnhancedClient<S> {
+    /// Wrap a store with default config: no cache, identity pipeline.
+    pub fn new(store: S) -> EnhancedClient<S> {
+        let name = format!("dscl({})", store.name());
+        EnhancedClient {
+            store,
+            cache: None,
+            pipeline: Pipeline::new(),
+            config: DsclConfig::default(),
+            name,
+            stats: StatsCell::default(),
+        }
+    }
+
+    /// Attach a cache (in-process, remote, or any store via `StoreCache`).
+    pub fn with_cache(mut self, cache: Arc<dyn Cache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Append a codec stage (applied on writes in the order added; compress
+    /// before encrypt, since ciphertext does not compress).
+    pub fn with_codec(mut self, codec: Box<dyn Codec>) -> Self {
+        self.pipeline = self.pipeline.then(codec);
+        self
+    }
+
+    /// Replace the config.
+    pub fn with_config(mut self, config: DsclConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the default TTL.
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.config.default_ttl = Some(ttl);
+        self
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> DsclStats {
+        self.stats.snapshot()
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<dyn Cache>> {
+        self.cache.as_ref()
+    }
+
+    // ---- explicit DSCL API (the paper's second approach) ----
+
+    /// Run the codec pipeline forward (what a `put` sends to the server).
+    pub fn encode_value(&self, plain: &[u8]) -> Result<Vec<u8>> {
+        self.pipeline.encode(plain)
+    }
+
+    /// Invert [`EnhancedClient::encode_value`].
+    pub fn decode_value(&self, encoded: &[u8]) -> Result<Vec<u8>> {
+        self.pipeline.decode(encoded)
+    }
+
+    /// Explicitly place a value in the cache with a TTL, bypassing the
+    /// store entirely.
+    pub fn cache_put(&self, key: &str, plain: &[u8], ttl: Option<Duration>) -> Result<()> {
+        let Some(cache) = &self.cache else { return Ok(()) };
+        let (payload, encoded) = match self.config.cache_content {
+            CacheContent::Plaintext => (Bytes::copy_from_slice(plain), false),
+            CacheContent::Encoded => (Bytes::from(self.pipeline.encode(plain)?), true),
+        };
+        let etag = Etag::of_bytes(plain);
+        let env = Envelope::new(etag, self.config.ttl_ms(ttl), encoded, payload);
+        cache.put(key, env.encode());
+        Ok(())
+    }
+
+    /// Explicit cache lookup. Returns the plaintext if a *fresh* entry is
+    /// present; never touches the store.
+    pub fn cache_get(&self, key: &str) -> Result<Option<Bytes>> {
+        let Some(cache) = &self.cache else { return Ok(None) };
+        let Some(raw) = cache.get(key) else { return Ok(None) };
+        let env = Envelope::decode(&raw)?;
+        if env.is_expired(now_millis()) {
+            return Ok(None);
+        }
+        self.materialize(&env).map(Some)
+    }
+
+    /// Explicitly drop a cached entry.
+    pub fn cache_invalidate(&self, key: &str) {
+        if let Some(cache) = &self.cache {
+            cache.remove(key);
+        }
+    }
+
+    /// Force a revalidation round-trip for `key` regardless of expiry.
+    /// Returns true when the cached copy was still current.
+    pub fn revalidate(&self, key: &str) -> Result<bool> {
+        let Some(cache) = &self.cache else { return Ok(false) };
+        let Some(raw) = cache.get(key) else { return Ok(false) };
+        let mut env = Envelope::decode(&raw)?;
+        self.stats.add(&self.stats.revalidations, 1);
+        match self.store.get_if_none_match(key, env.etag)? {
+            CondGet::NotModified => {
+                self.stats.add(&self.stats.revalidated_current, 1);
+                env.touch();
+                cache.put(key, env.encode());
+                Ok(true)
+            }
+            CondGet::Modified(v) => {
+                self.install(key, &v)?;
+                Ok(false)
+            }
+            CondGet::Missing => {
+                cache.remove(key);
+                Ok(false)
+            }
+        }
+    }
+
+    // ---- internals ----
+
+    /// Extract plaintext from an envelope.
+    fn materialize(&self, env: &Envelope) -> Result<Bytes> {
+        if env.encoded {
+            Ok(Bytes::from(self.pipeline.decode(&env.payload)?))
+        } else {
+            Ok(env.payload.clone())
+        }
+    }
+
+    /// Put a freshly fetched versioned value into the cache; returns the
+    /// plaintext.
+    fn install(&self, key: &str, v: &Versioned) -> Result<Bytes> {
+        let plain = Bytes::from(self.pipeline.decode(&v.data)?);
+        if let Some(cache) = &self.cache {
+            let (payload, encoded) = match self.config.cache_content {
+                CacheContent::Plaintext => (plain.clone(), false),
+                CacheContent::Encoded => (v.data.clone(), true),
+            };
+            let env = Envelope::new(v.etag, self.config.ttl_ms(None), encoded, payload);
+            cache.put(key, env.encode());
+        }
+        Ok(plain)
+    }
+
+    /// `put` with an explicit TTL override for the cached copy.
+    pub fn put_with_ttl(&self, key: &str, value: &[u8], ttl: Option<Duration>) -> Result<()> {
+        let encoded = self.pipeline.encode(value)?;
+        self.stats.add(&self.stats.bytes_encoded, value.len() as u64);
+        self.stats.add(&self.stats.bytes_stored, encoded.len() as u64);
+        // put_versioned returns the store's authoritative etag from the
+        // write itself — no extra round trip.
+        let etag = self.store.put_versioned(key, &encoded)?;
+        match (&self.cache, self.config.policy) {
+            (Some(cache), CachePolicy::WriteThrough) => {
+                let (payload, enc_flag) = match self.config.cache_content {
+                    CacheContent::Plaintext => (Bytes::copy_from_slice(value), false),
+                    CacheContent::Encoded => (Bytes::from(encoded), true),
+                };
+                let env = Envelope::new(etag, self.config.ttl_ms(ttl), enc_flag, payload);
+                cache.put(key, env.encode());
+            }
+            (Some(cache), CachePolicy::Invalidate) => {
+                cache.remove(key);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+impl<S: KeyValue> KeyValue for EnhancedClient<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.put_with_ttl(key, value, None)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        // 1. Fresh cache entry → hit.
+        if let Some(cache) = &self.cache {
+            if let Some(raw) = cache.get(key) {
+                match Envelope::decode(&raw) {
+                    Ok(mut env) => {
+                        if !env.is_expired(now_millis()) {
+                            self.stats.add(&self.stats.cache_hits, 1);
+                            return self.materialize(&env).map(Some);
+                        }
+                        // 2. Expired entry → revalidate (paper Fig. 7).
+                        if self.config.revalidate {
+                            self.stats.add(&self.stats.revalidations, 1);
+                            match self.store.get_if_none_match(key, env.etag)? {
+                                CondGet::NotModified => {
+                                    self.stats.add(&self.stats.revalidated_current, 1);
+                                    env.touch();
+                                    cache.put(key, env.encode());
+                                    return self.materialize(&env).map(Some);
+                                }
+                                CondGet::Modified(v) => {
+                                    return self.install(key, &v).map(Some);
+                                }
+                                CondGet::Missing => {
+                                    cache.remove(key);
+                                    return Ok(None);
+                                }
+                            }
+                        }
+                        cache.remove(key);
+                    }
+                    Err(_) => {
+                        // Foreign bytes in the cache namespace: drop them.
+                        cache.remove(key);
+                    }
+                }
+            }
+            self.stats.add(&self.stats.cache_misses, 1);
+        }
+        // 3. Miss → fetch, decode, populate.
+        match self.store.get_versioned(key)? {
+            None => Ok(None),
+            Some(v) => self.install(key, &v).map(Some),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        if let Some(cache) = &self.cache {
+            cache.remove(key);
+        }
+        self.store.delete(key)
+    }
+
+    fn contains(&self, key: &str) -> Result<bool> {
+        if let Some(cache) = &self.cache {
+            if let Some(raw) = cache.get(key) {
+                if let Ok(env) = Envelope::decode(&raw) {
+                    if !env.is_expired(now_millis()) {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        self.store.contains(key)
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        self.store.keys()
+    }
+
+    fn clear(&self) -> Result<()> {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+        self.store.clear()
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        self.store.stats()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.store.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscl_cache::InProcessLru;
+    use dscl_compress::GzipCodec;
+    use dscl_crypto::AesCodec;
+    use kvapi::mem::MemKv;
+    use kvapi::StoreError;
+    use parking_lot::Mutex;
+
+    fn lru() -> Arc<dyn Cache> {
+        Arc::new(InProcessLru::new(1 << 22))
+    }
+
+    #[test]
+    fn contract_plain() {
+        kvapi::contract::run_all(&EnhancedClient::new(MemKv::new("m")));
+    }
+
+    #[test]
+    fn contract_with_cache_and_codecs() {
+        let client = EnhancedClient::new(MemKv::new("m"))
+            .with_cache(lru())
+            .with_codec(Box::new(GzipCodec::default()))
+            .with_codec(Box::new(AesCodec::aes128(&[7u8; 16])));
+        kvapi::contract::run_all(&client);
+    }
+
+    /// A store that counts gets, to observe cache effectiveness.
+    struct CountingStore {
+        inner: MemKv,
+        gets: std::sync::atomic::AtomicU64,
+        cond_gets: std::sync::atomic::AtomicU64,
+    }
+    impl CountingStore {
+        fn new() -> Self {
+            CountingStore {
+                inner: MemKv::new("counted"),
+                gets: Default::default(),
+                cond_gets: Default::default(),
+            }
+        }
+        fn gets(&self) -> u64 {
+            self.gets.load(std::sync::atomic::Ordering::Relaxed)
+        }
+        fn cond_gets(&self) -> u64 {
+            self.cond_gets.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+    impl KeyValue for CountingStore {
+        fn name(&self) -> &str {
+            "counted"
+        }
+        fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+            self.inner.put(k, v)
+        }
+        fn get(&self, k: &str) -> Result<Option<Bytes>> {
+            self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.get(k)
+        }
+        fn get_versioned(&self, k: &str) -> Result<Option<Versioned>> {
+            self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.get_versioned(k)
+        }
+        fn get_if_none_match(&self, k: &str, etag: Etag) -> Result<CondGet> {
+            self.cond_gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.get_if_none_match(k, etag)
+        }
+        fn delete(&self, k: &str) -> Result<bool> {
+            self.inner.delete(k)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.inner.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.inner.clear()
+        }
+    }
+
+    #[test]
+    fn cached_reads_skip_the_store() {
+        let client = EnhancedClient::new(CountingStore::new()).with_cache(lru());
+        client.put("k", b"value").unwrap();
+        for _ in 0..10 {
+            assert_eq!(client.get("k").unwrap().unwrap(), &b"value"[..]);
+        }
+        // Write-through populated the cache; no get should reach the store.
+        assert_eq!(client.store().gets(), 0, "reads leaked past the cache");
+        assert_eq!(client.stats().cache_hits, 10);
+    }
+
+    #[test]
+    fn invalidate_policy_repopulates_on_read() {
+        let cfg = DsclConfig { policy: CachePolicy::Invalidate, ..Default::default() };
+        let client = EnhancedClient::new(CountingStore::new()).with_cache(lru()).with_config(cfg);
+        client.put("k", b"v1").unwrap();
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v1"[..]); // miss → store
+        assert_eq!(client.store().gets(), 1);
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v1"[..]); // now cached
+        assert_eq!(client.store().gets(), 1);
+        client.put("k", b"v2").unwrap(); // invalidates
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v2"[..]);
+        assert_eq!(client.store().gets(), 2);
+    }
+
+    #[test]
+    fn expired_entries_revalidate_not_refetch() {
+        let client = EnhancedClient::new(CountingStore::new())
+            .with_cache(lru())
+            .with_ttl(Duration::from_millis(30));
+        client.put("k", b"stable value").unwrap();
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"stable value"[..]);
+        std::thread::sleep(Duration::from_millis(40));
+        // Expired → conditional get → NotModified (value unchanged).
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"stable value"[..]);
+        assert_eq!(client.store().cond_gets(), 1, "should have revalidated");
+        assert_eq!(client.store().gets(), 0, "revalidation must not refetch the body");
+        let s = client.stats();
+        assert_eq!(s.revalidations, 1);
+        assert_eq!(s.revalidated_current, 1);
+        // Touch refreshed the TTL: an immediate read is a plain hit again.
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"stable value"[..]);
+        assert_eq!(client.store().cond_gets(), 1);
+    }
+
+    #[test]
+    fn expired_entries_fetch_new_version_when_changed() {
+        let client = EnhancedClient::new(CountingStore::new())
+            .with_cache(lru())
+            .with_ttl(Duration::from_millis(30));
+        client.put("k", b"old").unwrap();
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"old"[..]);
+        // Out-of-band update (another client writing directly to the store).
+        client.store().inner.put("k", b"new").unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"new"[..]);
+        // And the fresh value is cached again.
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"new"[..]);
+        assert_eq!(client.stats().revalidated_current, 0);
+    }
+
+    #[test]
+    fn deleted_at_store_detected_on_revalidation() {
+        let client = EnhancedClient::new(CountingStore::new())
+            .with_cache(lru())
+            .with_ttl(Duration::from_millis(20));
+        client.put("k", b"v").unwrap();
+        assert!(client.get("k").unwrap().is_some());
+        client.store().inner.delete("k").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(client.get("k").unwrap(), None, "stale cache must not resurrect deletes");
+        assert_eq!(client.get("k").unwrap(), None);
+    }
+
+    #[test]
+    fn compression_reduces_stored_bytes() {
+        let client =
+            EnhancedClient::new(MemKv::new("m")).with_codec(Box::new(GzipCodec::default()));
+        let text = "very repetitive content ".repeat(200);
+        client.put("doc", text.as_bytes()).unwrap();
+        let s = client.stats();
+        assert!(s.bytes_stored < s.bytes_encoded / 5, "{s:?}");
+        // Raw store holds gzip, client round-trips plaintext.
+        let raw = client.store().get("doc").unwrap().unwrap();
+        assert_eq!(&raw[..2], &[0x1f, 0x8b], "store should hold gzip bytes");
+        assert_eq!(client.get("doc").unwrap().unwrap(), text.as_bytes());
+    }
+
+    #[test]
+    fn encryption_hides_plaintext_from_store_and_cache() {
+        let cache = lru();
+        let cfg = DsclConfig { cache_content: CacheContent::Encoded, ..Default::default() };
+        let client = EnhancedClient::new(MemKv::new("m"))
+            .with_cache(cache.clone())
+            .with_codec(Box::new(AesCodec::aes128(&[1u8; 16])))
+            .with_config(cfg);
+        client.put("secret", b"attack at dawn").unwrap();
+        let raw_store = client.store().get("secret").unwrap().unwrap();
+        assert!(!raw_store.windows(6).any(|w| w == b"attack"), "plaintext leaked to store");
+        let raw_cache = cache.get("secret").unwrap();
+        assert!(!raw_cache.windows(6).any(|w| w == b"attack"), "plaintext leaked to cache");
+        assert_eq!(client.get("secret").unwrap().unwrap(), &b"attack at dawn"[..]);
+        assert_eq!(client.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn explicit_api_works_without_store() {
+        let client = EnhancedClient::new(MemKv::new("m")).with_cache(lru());
+        client.cache_put("side", b"cached only", Some(Duration::from_secs(60))).unwrap();
+        assert_eq!(client.cache_get("side").unwrap().unwrap(), &b"cached only"[..]);
+        assert_eq!(client.store().get("side").unwrap(), None, "store untouched");
+        client.cache_invalidate("side");
+        assert_eq!(client.cache_get("side").unwrap(), None);
+    }
+
+    #[test]
+    fn explicit_revalidate() {
+        let client = EnhancedClient::new(CountingStore::new()).with_cache(lru());
+        client.put("k", b"v").unwrap();
+        assert!(client.revalidate("k").unwrap(), "fresh value is current");
+        client.store().inner.put("k", b"v2").unwrap();
+        assert!(!client.revalidate("k").unwrap(), "changed value is not current");
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v2"[..]);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_dropped_not_fatal() {
+        let cache = lru();
+        let client = EnhancedClient::new(MemKv::new("m")).with_cache(cache.clone());
+        client.put("k", b"good").unwrap();
+        cache.put("k", Bytes::from_static(b"not an envelope"));
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"good"[..]);
+    }
+
+    /// A cache wrapper whose entries can be frozen, to test store-error
+    /// propagation during revalidation.
+    struct FlakyStore {
+        inner: MemKv,
+        fail: Mutex<bool>,
+    }
+    impl KeyValue for FlakyStore {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+            self.inner.put(k, v)
+        }
+        fn get(&self, k: &str) -> Result<Option<Bytes>> {
+            if *self.fail.lock() {
+                return Err(StoreError::Timeout);
+            }
+            self.inner.get(k)
+        }
+        fn get_if_none_match(&self, k: &str, e: Etag) -> Result<CondGet> {
+            if *self.fail.lock() {
+                return Err(StoreError::Timeout);
+            }
+            self.inner.get_if_none_match(k, e)
+        }
+        fn delete(&self, k: &str) -> Result<bool> {
+            self.inner.delete(k)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.inner.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.inner.clear()
+        }
+    }
+
+    #[test]
+    fn fresh_cache_masks_store_outage_but_expiry_surfaces_it() {
+        let flaky = FlakyStore { inner: MemKv::new("f"), fail: Mutex::new(false) };
+        let client = EnhancedClient::new(flaky).with_cache(lru()).with_ttl(Duration::from_millis(50));
+        client.put("k", b"v").unwrap();
+        *client.store().fail.lock() = true;
+        // Paper §III: a well-managed cache lets the application continue
+        // through poor connectivity — while the entry is fresh.
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v"[..]);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(client.get("k").is_err(), "expired + dead store must surface the error");
+        *client.store().fail.lock() = false;
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v"[..]);
+    }
+}

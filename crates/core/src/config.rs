@@ -1,0 +1,82 @@
+//! Enhanced-client configuration.
+
+use std::time::Duration;
+
+/// How `put`/`delete` keep the cache consistent with the store (§III's
+//  "techniques for keeping caches updated and consistent").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Writes update the cache with the new value (reads after writes hit).
+    WriteThrough,
+    /// Writes invalidate the cached entry (next read repopulates).
+    Invalidate,
+    /// Writes leave the cache alone (only safe for read-only cached data;
+    /// provided for measurements).
+    None,
+}
+
+/// What form cached payloads take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheContent {
+    /// Cache holds decoded plaintext: hits cost nothing beyond the lookup.
+    Plaintext,
+    /// Cache holds the codec-pipeline output (compressed and/or encrypted):
+    /// hits pay decode CPU, but "a cache may be storing confidential data
+    /// for extended periods of time" (§III) stays protected, and compressed
+    /// entries let the same cache budget hold more objects.
+    Encoded,
+}
+
+/// Tunables for [`crate::EnhancedClient`].
+#[derive(Clone, Debug)]
+pub struct DsclConfig {
+    /// Write-side cache consistency policy.
+    pub policy: CachePolicy,
+    /// Default TTL for cached objects; `None` = no expiry.
+    pub default_ttl: Option<Duration>,
+    /// Cached payload form.
+    pub cache_content: CacheContent,
+    /// Revalidate expired entries with a conditional get instead of
+    /// refetching (§III / Fig. 7). When false, expired entries are treated
+    /// as misses.
+    pub revalidate: bool,
+}
+
+impl Default for DsclConfig {
+    fn default() -> Self {
+        DsclConfig {
+            policy: CachePolicy::WriteThrough,
+            default_ttl: None,
+            cache_content: CacheContent::Plaintext,
+            revalidate: true,
+        }
+    }
+}
+
+impl DsclConfig {
+    /// TTL in ms (0 = none) for envelope headers.
+    pub(crate) fn ttl_ms(&self, over: Option<Duration>) -> u64 {
+        over.or(self.default_ttl).map(|d| d.as_millis() as u64).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = DsclConfig::default();
+        assert_eq!(c.policy, CachePolicy::WriteThrough);
+        assert_eq!(c.cache_content, CacheContent::Plaintext);
+        assert!(c.revalidate);
+        assert_eq!(c.ttl_ms(None), 0);
+    }
+
+    #[test]
+    fn ttl_resolution() {
+        let c = DsclConfig { default_ttl: Some(Duration::from_secs(2)), ..Default::default() };
+        assert_eq!(c.ttl_ms(None), 2000);
+        assert_eq!(c.ttl_ms(Some(Duration::from_millis(500))), 500);
+    }
+}

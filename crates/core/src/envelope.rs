@@ -1,0 +1,138 @@
+//! The cache-entry envelope: payload plus the metadata the DSCL needs for
+//! expiration management and revalidation.
+//!
+//! §III: "Cache expiration times are managed by the DSCL and not by the
+//! underlying cache", partly because an expired object "does not necessarily
+//! mean that the object is obsolete" — the DSCL keeps it and revalidates
+//! with the server using the stored entity tag. The envelope carries exactly
+//! that state.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "DSE1" | flags u8 | etag u64 | stored_ms u64 | ttl_ms u64 | payload…
+//! ```
+
+use bytes::Bytes;
+use kvapi::value::now_millis;
+use kvapi::{Etag, Result, StoreError};
+
+const MAGIC: &[u8; 4] = b"DSE1";
+const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8;
+
+/// Payload is stored in transformed (compressed/encrypted) form.
+pub const FLAG_ENCODED: u8 = 1 << 0;
+
+/// A cached value with DSCL metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Entity tag of the *stored* (server-side) representation — what
+    /// revalidation sends as `If-None-Match`.
+    pub etag: Etag,
+    /// When the entry was cached / last revalidated (ms since epoch).
+    pub stored_ms: u64,
+    /// Time-to-live in ms; 0 = never expires.
+    pub ttl_ms: u64,
+    /// True when `payload` still carries the codec-pipeline encoding.
+    pub encoded: bool,
+    /// The value bytes.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Build an envelope stamped "now".
+    pub fn new(etag: Etag, ttl_ms: u64, encoded: bool, payload: Bytes) -> Envelope {
+        Envelope { etag, stored_ms: now_millis(), ttl_ms, encoded, payload }
+    }
+
+    /// Has the TTL elapsed at `now_ms`?
+    pub fn is_expired(&self, now_ms: u64) -> bool {
+        self.ttl_ms != 0 && now_ms >= self.stored_ms.saturating_add(self.ttl_ms)
+    }
+
+    /// Refresh the stored timestamp (after a successful revalidation: the
+    /// object was confirmed current, so its TTL restarts).
+    pub fn touch(&mut self) {
+        self.stored_ms = now_millis();
+    }
+
+    /// Serialize for placement in a byte cache.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(MAGIC);
+        out.push(if self.encoded { FLAG_ENCODED } else { 0 });
+        out.extend_from_slice(&self.etag.0.to_le_bytes());
+        out.extend_from_slice(&self.stored_ms.to_le_bytes());
+        out.extend_from_slice(&self.ttl_ms.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        Bytes::from(out)
+    }
+
+    /// Deserialize from a byte cache entry.
+    pub fn decode(data: &[u8]) -> Result<Envelope> {
+        if data.len() < HEADER_LEN || &data[..4] != MAGIC {
+            return Err(StoreError::corrupt("not a DSCL cache envelope"));
+        }
+        let flags = data[4];
+        if flags & !FLAG_ENCODED != 0 {
+            return Err(StoreError::corrupt("unknown envelope flags"));
+        }
+        let etag = Etag(u64::from_le_bytes(data[5..13].try_into().expect("sized")));
+        let stored_ms = u64::from_le_bytes(data[13..21].try_into().expect("sized"));
+        let ttl_ms = u64::from_le_bytes(data[21..29].try_into().expect("sized"));
+        Ok(Envelope {
+            etag,
+            stored_ms,
+            ttl_ms,
+            encoded: flags & FLAG_ENCODED != 0,
+            payload: Bytes::copy_from_slice(&data[HEADER_LEN..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let e = Envelope::new(Etag(0xdead_beef), 5000, true, Bytes::from_static(b"payload"));
+        let decoded = Envelope::decode(&e.encode()).unwrap();
+        assert_eq!(decoded, e);
+        let plain = Envelope::new(Etag(1), 0, false, Bytes::new());
+        assert_eq!(Envelope::decode(&plain.encode()).unwrap(), plain);
+    }
+
+    #[test]
+    fn expiry_logic() {
+        let mut e = Envelope::new(Etag(1), 100, false, Bytes::from_static(b"x"));
+        let born = e.stored_ms;
+        assert!(!e.is_expired(born));
+        assert!(!e.is_expired(born + 99));
+        assert!(e.is_expired(born + 100));
+        assert!(e.is_expired(born + 10_000));
+        // ttl 0 = immortal.
+        e.ttl_ms = 0;
+        assert!(!e.is_expired(u64::MAX));
+    }
+
+    #[test]
+    fn touch_restarts_ttl() {
+        let mut e = Envelope::new(Etag(1), 50, false, Bytes::from_static(b"x"));
+        e.stored_ms -= 60; // pretend it aged out
+        assert!(e.is_expired(now_millis()));
+        e.touch();
+        assert!(!e.is_expired(now_millis()));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Envelope::decode(b"").is_err());
+        assert!(Envelope::decode(b"too short").is_err());
+        assert!(Envelope::decode(&[0u8; 64]).is_err());
+        // Unknown flag bit.
+        let mut bytes = Envelope::new(Etag(1), 0, false, Bytes::new()).encode().to_vec();
+        bytes[4] = 0x80;
+        assert!(Envelope::decode(&bytes).is_err());
+    }
+}

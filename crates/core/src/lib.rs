@@ -1,0 +1,42 @@
+//! # dscl — the Data Store Client Library
+//!
+//! This crate is the paper's primary contribution: a library that gives any
+//! data store client **integrated caching, encryption, and compression**
+//! (§II), with expiration-time management and revalidation handled by the
+//! library rather than the underlying cache (§III).
+//!
+//! The paper describes three ways applications consume these capabilities;
+//! all three exist here:
+//!
+//! 1. **Tight integration** — [`EnhancedClient`] wraps any
+//!    [`kvapi::KeyValue`] store and itself implements `KeyValue`: every
+//!    `get` consults the cache (with revalidation on expiry), every `put`
+//!    runs the codec pipeline and keeps the cache consistent. The
+//!    application keeps calling ordinary store methods; the enhancement is
+//!    transparent. (In the paper this is "modifying the data store client
+//!    source" — in Rust, generic wrapping achieves it without source
+//!    changes.)
+//! 2. **Explicit DSCL API** — the same operations exposed directly
+//!    ([`EnhancedClient::cache_put`], [`cache_get`], [`revalidate`],
+//!    [`encode_value`], …) for applications that need fine-grained control.
+//!    As the paper notes, tight integration and the explicit API compose:
+//!    "using a combination of the first and second caching approaches is
+//!    often desirable."
+//! 3. **Any store as a cache** — `dscl_cache::StoreCache` adapts any
+//!    `KeyValue` store into the [`Cache`](dscl_cache::Cache) interface, so
+//!    "any data store supported by the UDSM can function as a cache …
+//!    for another data store".
+//!
+//! [`cache_get`]: EnhancedClient::cache_get
+//! [`revalidate`]: EnhancedClient::revalidate
+//! [`encode_value`]: EnhancedClient::encode_value
+
+pub mod client;
+pub mod config;
+pub mod envelope;
+pub mod stats;
+
+pub use client::EnhancedClient;
+pub use config::{CacheContent, CachePolicy, DsclConfig};
+pub use envelope::Envelope;
+pub use stats::DsclStats;

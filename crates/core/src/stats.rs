@@ -1,0 +1,65 @@
+//! Counters the enhanced client keeps about its own behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of enhanced-client activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsclStats {
+    /// Reads served from a fresh cache entry.
+    pub cache_hits: u64,
+    /// Reads that went to the store because nothing (usable) was cached.
+    pub cache_misses: u64,
+    /// Conditional gets issued for expired entries.
+    pub revalidations: u64,
+    /// Revalidations answered `NotModified` (the bandwidth-saving case).
+    pub revalidated_current: u64,
+    /// Bytes of plaintext passed through the encode pipeline on writes.
+    pub bytes_encoded: u64,
+    /// Bytes produced by the encode pipeline (measures compression benefit).
+    pub bytes_stored: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct StatsCell {
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub revalidations: AtomicU64,
+    pub revalidated_current: AtomicU64,
+    pub bytes_encoded: AtomicU64,
+    pub bytes_stored: AtomicU64,
+}
+
+impl StatsCell {
+    pub fn snapshot(&self) -> DsclStats {
+        DsclStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            revalidations: self.revalidations.load(Ordering::Relaxed),
+            revalidated_current: self.revalidated_current.load(Ordering::Relaxed),
+            bytes_encoded: self.bytes_encoded.load(Ordering::Relaxed),
+            bytes_stored: self.bytes_stored.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn add(&self, field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let c = StatsCell::default();
+        c.add(&c.cache_hits, 3);
+        c.add(&c.bytes_encoded, 100);
+        c.add(&c.bytes_stored, 40);
+        let s = c.snapshot();
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.bytes_encoded, 100);
+        assert_eq!(s.bytes_stored, 40);
+        assert_eq!(s.cache_misses, 0);
+    }
+}

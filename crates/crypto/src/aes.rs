@@ -1,0 +1,393 @@
+//! The AES block cipher (FIPS-197).
+//!
+//! The S-box is not transcribed from the standard but *derived* at compile
+//! time from its mathematical definition — the affine transform of the
+//! multiplicative inverse in GF(2⁸) — which makes the table
+//! correct-by-construction; the FIPS known-answer tests below then validate
+//! the whole cipher.
+
+/// Multiply two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+const fn build_sbox() -> [u8; 256] {
+    // Multiplicative inverses by brute force (const-eval, done once).
+    let mut inv = [0u8; 256];
+    let mut x = 1usize;
+    while x < 256 {
+        let mut y = 1usize;
+        while y < 256 {
+            if gmul(x as u8, y as u8) == 1 {
+                inv[x] = y as u8;
+                break;
+            }
+            y += 1;
+        }
+        x += 1;
+    }
+    let mut sbox = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let b = inv[i];
+        // Affine transform: s = b ⊕ rotl1(b) ⊕ rotl2(b) ⊕ rotl3(b) ⊕ rotl4(b) ⊕ 0x63
+        let s = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        sbox[i] = s;
+        i += 1;
+    }
+    sbox
+}
+
+const fn invert_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+pub(crate) const SBOX: [u8; 256] = build_sbox();
+pub(crate) const INV_SBOX: [u8; 256] = invert_sbox(&SBOX);
+
+/// Round constants for key expansion (enough for AES-256's 14 rounds).
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Supported key sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds — what the paper benchmarks (Fig. 20).
+    Aes128,
+    /// 192-bit key, 12 rounds.
+    Aes192,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    fn nk(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes192 => 6,
+            KeySize::Aes256 => 8,
+        }
+    }
+    fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes192 => 12,
+            KeySize::Aes256 => 14,
+        }
+    }
+    /// Key length in bytes.
+    pub fn key_len(self) -> usize {
+        self.nk() * 4
+    }
+}
+
+/// An expanded AES key, ready to encrypt/decrypt 16-byte blocks.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expand `key`; its length must match `size`.
+    ///
+    /// # Panics
+    /// Panics if `key.len() != size.key_len()` — key material length is a
+    /// programming error, not a runtime condition.
+    pub fn new(key: &[u8], size: KeySize) -> Aes {
+        assert_eq!(key.len(), size.key_len(), "AES key length mismatch");
+        let nk = size.nk();
+        let rounds = size.rounds();
+        let nwords = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(nwords);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..nwords {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp = [
+                    SBOX[temp[1] as usize] ^ RCON[i / nk],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                    SBOX[temp[0] as usize],
+                ];
+            } else if nk > 6 && i % nk == 4 {
+                temp = [
+                    SBOX[temp[0] as usize],
+                    SBOX[temp[1] as usize],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                ];
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = (0..=rounds)
+            .map(|r| {
+                let mut rk = [0u8; 16];
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, rounds }
+    }
+
+    /// Convenience constructor for the common 128-bit case.
+    pub fn new_128(key: &[u8; 16]) -> Aes {
+        Aes::new(key, KeySize::Aes128)
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        for r in (1..self.rounds).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Number of rounds (10/12/14) — exposed for tests.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+// The state is stored column-major: block[4*c + r] is row r, column c —
+// i.e. exactly the byte order of the input, per FIPS-197 §3.4.
+
+#[inline]
+fn add_round_key(b: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        b[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(b: &mut [u8; 16]) {
+    for x in b.iter_mut() {
+        *x = SBOX[*x as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(b: &mut [u8; 16]) {
+    for x in b.iter_mut() {
+        *x = INV_SBOX[*x as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(b: &mut [u8; 16]) {
+    // Row r rotates left by r. Row r occupies indices r, r+4, r+8, r+12.
+    let t = *b;
+    for r in 1..4 {
+        for c in 0..4 {
+            b[r + 4 * c] = t[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(b: &mut [u8; 16]) {
+    let t = *b;
+    for r in 1..4 {
+        for c in 0..4 {
+            b[r + 4 * ((c + r) % 4)] = t[r + 4 * c];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        b[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        b[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        b[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        b[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        b[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        b[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot values from the FIPS-197 table.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+        // Inverse property for every byte.
+        for i in 0..256 {
+            assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn gmul_basics() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS-197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(1, 0xab), 0xab);
+        assert_eq!(gmul(0, 0xab), 0);
+    }
+
+    /// FIPS-197 Appendix C known-answer tests for all three key sizes.
+    #[test]
+    fn fips197_appendix_c() {
+        let plain = hex("00112233445566778899aabbccddeeff");
+        let cases = [
+            (
+                "000102030405060708090a0b0c0d0e0f",
+                KeySize::Aes128,
+                "69c4e0d86a7b0430d8cdb78070b4c55a",
+            ),
+            (
+                "000102030405060708090a0b0c0d0e0f1011121314151617",
+                KeySize::Aes192,
+                "dda97ca4864cdfe06eaf70a0ec0d7191",
+            ),
+            (
+                "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+                KeySize::Aes256,
+                "8ea2b7ca516745bfeafc49904b496089",
+            ),
+        ];
+        for (key_hex, size, cipher_hex) in cases {
+            let aes = Aes::new(&hex(key_hex), size);
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&plain);
+            aes.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), hex(cipher_hex), "encrypt mismatch for {size:?}");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block.to_vec(), plain, "decrypt mismatch for {size:?}");
+        }
+    }
+
+    /// FIPS-197 Appendix B worked example (AES-128).
+    #[test]
+    fn fips197_appendix_b() {
+        let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"), KeySize::Aes128);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&hex("3243f6a8885a308d313198a2e0370734"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(Aes::new(&[0; 16], KeySize::Aes128).rounds(), 10);
+        assert_eq!(Aes::new(&[0; 24], KeySize::Aes192).rounds(), 12);
+        assert_eq!(Aes::new(&[0; 32], KeySize::Aes256).rounds(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "key length mismatch")]
+    fn wrong_key_length_panics() {
+        let _ = Aes::new(&[0u8; 15], KeySize::Aes128);
+    }
+
+    #[test]
+    fn shift_rows_inverts() {
+        let mut b: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = b;
+        shift_rows(&mut b);
+        assert_ne!(b, orig);
+        inv_shift_rows(&mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverts() {
+        let mut b: [u8; 16] = core::array::from_fn(|i| (i * 17 + 3) as u8);
+        let orig = b;
+        mix_columns(&mut b);
+        inv_mix_columns(&mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn encrypt_decrypt_random_blocks() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let key: [u8; 16] = rng.gen();
+        let aes = Aes::new_128(&key);
+        for _ in 0..256 {
+            let orig: [u8; 16] = rng.gen();
+            let mut b = orig;
+            aes.encrypt_block(&mut b);
+            assert_ne!(b, orig);
+            aes.decrypt_block(&mut b);
+            assert_eq!(b, orig);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! [`AesCodec`] — plugs AES into the DSCL value pipeline.
+//!
+//! Wire format of an encoded value:
+//!
+//! ```text
+//! +-------+------------------+----------------------+
+//! | magic | 16-byte IV/nonce | ciphertext           |
+//! +-------+------------------+----------------------+
+//! ```
+//!
+//! `magic` is one byte identifying the mode (CBC or CTR) so a client can
+//! detect configuration mismatches instead of returning garbage. A fresh
+//! random IV is drawn per message, which is what makes encrypting the same
+//! value twice produce different bytes (tested below).
+
+use crate::aes::{Aes, KeySize};
+use crate::modes::{cbc_decrypt, cbc_encrypt, ctr_xor};
+use kvapi::codec::Codec;
+use kvapi::{Result, StoreError};
+use rand::RngCore;
+
+const MAGIC_CBC: u8 = 0xC1;
+const MAGIC_CTR: u8 = 0xC2;
+
+/// Cipher mode for [`AesCodec`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// CBC with PKCS#7 padding — the classic choice, ciphertext grows by
+    /// up to one block.
+    Cbc,
+    /// CTR keystream — length-preserving.
+    Ctr,
+}
+
+/// AES encryption as a [`Codec`] stage.
+pub struct AesCodec {
+    aes: Aes,
+    mode: Mode,
+    name: String,
+}
+
+impl AesCodec {
+    /// Build a codec from raw key material.
+    pub fn new(key: &[u8], size: KeySize, mode: Mode) -> AesCodec {
+        let bits = size.key_len() * 8;
+        let name = match mode {
+            Mode::Cbc => format!("aes-{bits}-cbc"),
+            Mode::Ctr => format!("aes-{bits}-ctr"),
+        };
+        AesCodec { aes: Aes::new(key, size), mode, name }
+    }
+
+    /// The paper's configuration: AES-128 (CBC).
+    pub fn aes128(key: &[u8; 16]) -> AesCodec {
+        AesCodec::new(key, KeySize::Aes128, Mode::Cbc)
+    }
+
+    /// Derive a key from a passphrase via SHA-256 (examples convenience;
+    /// real deployments should use a KDF with a salt and work factor).
+    pub fn from_passphrase(passphrase: &str, size: KeySize, mode: Mode) -> AesCodec {
+        let digest = crate::sha256::sha256(passphrase.as_bytes());
+        AesCodec::new(&digest[..size.key_len()], size, mode)
+    }
+}
+
+impl Codec for AesCodec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn encode(&self, plain: &[u8]) -> Result<Vec<u8>> {
+        let mut iv = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut iv);
+        let (magic, body) = match self.mode {
+            Mode::Cbc => (MAGIC_CBC, cbc_encrypt(&self.aes, &iv, plain)),
+            Mode::Ctr => (MAGIC_CTR, ctr_xor(&self.aes, &iv, plain)),
+        };
+        let mut out = Vec::with_capacity(1 + 16 + body.len());
+        out.push(magic);
+        out.extend_from_slice(&iv);
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+
+    fn decode(&self, encoded: &[u8]) -> Result<Vec<u8>> {
+        if encoded.len() < 17 {
+            return Err(StoreError::codec("encrypted value too short"));
+        }
+        let magic = encoded[0];
+        let expected = match self.mode {
+            Mode::Cbc => MAGIC_CBC,
+            Mode::Ctr => MAGIC_CTR,
+        };
+        if magic != expected {
+            return Err(StoreError::codec(format!(
+                "cipher mode mismatch: value has magic {magic:#x}, codec is {}",
+                self.name
+            )));
+        }
+        let mut iv = [0u8; 16];
+        iv.copy_from_slice(&encoded[1..17]);
+        let body = &encoded[17..];
+        match self.mode {
+            Mode::Cbc => cbc_decrypt(&self.aes, &iv, body),
+            Mode::Ctr => Ok(ctr_xor(&self.aes, &iv, body)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_both_modes() {
+        for mode in [Mode::Cbc, Mode::Ctr] {
+            let c = AesCodec::new(&[42u8; 16], KeySize::Aes128, mode);
+            for len in [0usize, 1, 15, 16, 17, 1000] {
+                let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+                let enc = c.encode(&data).unwrap();
+                if !data.is_empty() {
+                    assert_ne!(&enc[17..], &data[..data.len().min(enc.len() - 17)]);
+                }
+                assert_eq!(c.decode(&enc).unwrap(), data, "mode {mode:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_iv_per_message() {
+        let c = AesCodec::aes128(&[1u8; 16]);
+        let a = c.encode(b"same plaintext").unwrap();
+        let b = c.encode(b"same plaintext").unwrap();
+        assert_ne!(a, b, "two encryptions of the same value must differ (fresh IV)");
+        assert_eq!(c.decode(&a).unwrap(), c.decode(&b).unwrap());
+    }
+
+    #[test]
+    fn ctr_is_length_preserving_cbc_is_not() {
+        let plain = vec![9u8; 100];
+        let ctr = AesCodec::new(&[2u8; 16], KeySize::Aes128, Mode::Ctr);
+        assert_eq!(ctr.encode(&plain).unwrap().len(), 1 + 16 + 100);
+        let cbc = AesCodec::new(&[2u8; 16], KeySize::Aes128, Mode::Cbc);
+        assert_eq!(cbc.encode(&plain).unwrap().len(), 1 + 16 + 112); // padded to 112
+    }
+
+    #[test]
+    fn mode_mismatch_detected() {
+        let cbc = AesCodec::new(&[3u8; 16], KeySize::Aes128, Mode::Cbc);
+        let ctr = AesCodec::new(&[3u8; 16], KeySize::Aes128, Mode::Ctr);
+        let enc = cbc.encode(b"hello").unwrap();
+        let err = ctr.decode(&enc).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt_cbc() {
+        let a = AesCodec::aes128(&[5u8; 16]);
+        let b = AesCodec::aes128(&[6u8; 16]);
+        let enc = a.encode(b"secret secret secret").unwrap();
+        match b.decode(&enc) {
+            Err(_) => {}
+            Ok(p) => assert_ne!(p, b"secret secret secret".to_vec()),
+        }
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let c = AesCodec::aes128(&[0u8; 16]);
+        assert!(c.decode(&[]).is_err());
+        assert!(c.decode(&[MAGIC_CBC; 10]).is_err());
+    }
+
+    #[test]
+    fn passphrase_derivation_is_deterministic() {
+        let a = AesCodec::from_passphrase("hunter2", KeySize::Aes256, Mode::Ctr);
+        let b = AesCodec::from_passphrase("hunter2", KeySize::Aes256, Mode::Ctr);
+        let enc = a.encode(b"data").unwrap();
+        assert_eq!(b.decode(&enc).unwrap(), b"data");
+        assert_eq!(a.name(), "aes-256-ctr");
+    }
+}

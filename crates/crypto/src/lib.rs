@@ -1,0 +1,36 @@
+//! # dscl-crypto — client-side encryption for enhanced data store clients
+//!
+//! §II/§III of the paper make client-side encryption a core DSCL capability:
+//! the server may not encrypt data, may not be trusted, or the channel may be
+//! insecure; caches in particular "may be storing confidential data for
+//! extended periods of time" and should often hold ciphertext. The paper's
+//! evaluation (Fig. 20) measures AES-128 encryption/decryption overhead.
+//!
+//! This crate implements, from scratch (no external crypto dependency is
+//! available offline):
+//!
+//! * the AES block cipher (128/192/256-bit keys) per FIPS-197, with S-boxes
+//!   *computed* from the GF(2⁸) definition at compile time and validated
+//!   against the FIPS known-answer vectors;
+//! * CBC and CTR modes with PKCS#7 padding (CBC);
+//! * SHA-256 (FIPS 180-4), used for strong entity tags and key derivation in
+//!   examples;
+//! * [`AesCodec`], a [`kvapi::codec::Codec`] so encryption slots into the
+//!   DSCL value pipeline. Each message gets a fresh random IV, prepended to
+//!   the ciphertext.
+//!
+//! **Scope note:** this is a faithful, well-tested implementation of the
+//! algorithms, sufficient for reproducing the paper's measurements. It is
+//! table-free in the hot path? No — it is a straightforward byte-oriented
+//! implementation and makes no constant-time claims; do not lift it into a
+//! production system that must resist cache-timing adversaries.
+
+pub mod aes;
+pub mod codec;
+pub mod modes;
+pub mod sha256;
+
+pub use aes::{Aes, KeySize};
+pub use codec::AesCodec;
+pub use modes::{cbc_decrypt, cbc_encrypt, ctr_xor, pkcs7_pad, pkcs7_unpad};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,198 @@
+//! Block cipher modes of operation: CBC (with PKCS#7) and CTR.
+
+use crate::aes::Aes;
+use kvapi::{Result, StoreError};
+
+/// PKCS#7-pad `data` to a multiple of 16 bytes. Always appends at least one
+/// byte, so padding is unambiguous.
+pub fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
+    let pad = 16 - data.len() % 16;
+    let mut out = Vec::with_capacity(data.len() + pad);
+    out.extend_from_slice(data);
+    out.resize(data.len() + pad, pad as u8);
+    out
+}
+
+/// Strip PKCS#7 padding; errors on malformed padding.
+pub fn pkcs7_unpad(data: &[u8]) -> Result<Vec<u8>> {
+    let &last = data.last().ok_or_else(|| StoreError::codec("empty ciphertext"))?;
+    let pad = last as usize;
+    if pad == 0 || pad > 16 || pad > data.len() {
+        return Err(StoreError::codec("invalid PKCS#7 padding length"));
+    }
+    if !data[data.len() - pad..].iter().all(|&b| b == last) {
+        return Err(StoreError::codec("inconsistent PKCS#7 padding bytes"));
+    }
+    Ok(data[..data.len() - pad].to_vec())
+}
+
+/// CBC-encrypt `plain` (will be PKCS#7 padded) under `aes` with `iv`.
+pub fn cbc_encrypt(aes: &Aes, iv: &[u8; 16], plain: &[u8]) -> Vec<u8> {
+    let padded = pkcs7_pad(plain);
+    let mut out = Vec::with_capacity(padded.len());
+    let mut prev = *iv;
+    for chunk in padded.chunks_exact(16) {
+        let mut block = [0u8; 16];
+        for i in 0..16 {
+            block[i] = chunk[i] ^ prev[i];
+        }
+        aes.encrypt_block(&mut block);
+        out.extend_from_slice(&block);
+        prev = block;
+    }
+    out
+}
+
+/// CBC-decrypt and unpad. Errors if the ciphertext is not a positive
+/// multiple of the block size or the padding is invalid.
+pub fn cbc_decrypt(aes: &Aes, iv: &[u8; 16], cipher: &[u8]) -> Result<Vec<u8>> {
+    if cipher.is_empty() || !cipher.len().is_multiple_of(16) {
+        return Err(StoreError::codec("ciphertext length not a positive multiple of 16"));
+    }
+    let mut out = Vec::with_capacity(cipher.len());
+    let mut prev = *iv;
+    for chunk in cipher.chunks_exact(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        let saved = block;
+        aes.decrypt_block(&mut block);
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        out.extend_from_slice(&block);
+        prev = saved;
+    }
+    pkcs7_unpad(&out)
+}
+
+/// CTR-mode keystream XOR: encryption and decryption are the same
+/// operation. The 16-byte `nonce` is treated as a big-endian 128-bit
+/// counter incremented per block. No padding; output length equals input
+/// length.
+pub fn ctr_xor(aes: &Aes, nonce: &[u8; 16], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut counter = *nonce;
+    for chunk in data.chunks(16) {
+        let mut ks = counter;
+        aes.encrypt_block(&mut ks);
+        for (i, &b) in chunk.iter().enumerate() {
+            out.push(b ^ ks[i]);
+        }
+        // Big-endian increment of the whole counter block.
+        for byte in counter.iter_mut().rev() {
+            let (v, overflow) = byte.overflowing_add(1);
+            *byte = v;
+            if !overflow {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{Aes, KeySize};
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn pkcs7_round_trip_all_residues() {
+        for len in 0..50 {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let padded = pkcs7_pad(&data);
+            assert_eq!(padded.len() % 16, 0);
+            assert!(padded.len() > data.len(), "must always add padding");
+            assert_eq!(pkcs7_unpad(&padded).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn pkcs7_rejects_malformed() {
+        assert!(pkcs7_unpad(&[]).is_err());
+        assert!(pkcs7_unpad(&[0u8; 16]).is_err()); // pad byte 0
+        let mut bad = pkcs7_pad(b"hello");
+        bad[15] = 17; // pad length > block
+        assert!(pkcs7_unpad(&bad).is_err());
+        let mut bad2 = pkcs7_pad(b"hello");
+        let n = bad2.len();
+        bad2[n - 2] ^= 1; // inconsistent padding byte
+        assert!(pkcs7_unpad(&bad2).is_err());
+    }
+
+    /// NIST SP 800-38A F.2.1: AES-128-CBC known-answer test.
+    #[test]
+    fn nist_cbc_aes128() {
+        let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"), KeySize::Aes128);
+        let iv: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let plain = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ));
+        let expect = hex(concat!(
+            "7649abac8119b246cee98e9b12e9197d",
+            "5086cb9b507219ee95db113a917678b2",
+            "73bed6b8e3c1743b7116e69e22229516",
+            "3ff1caa1681fac09120eca307586e1a7"
+        ));
+        let cipher = cbc_encrypt(&aes, &iv, &plain);
+        // Our CBC always pads, so the NIST ciphertext is a prefix.
+        assert_eq!(&cipher[..expect.len()], &expect[..]);
+        assert_eq!(cipher.len(), expect.len() + 16);
+        assert_eq!(cbc_decrypt(&aes, &iv, &cipher).unwrap(), plain);
+    }
+
+    /// NIST SP 800-38A F.5.1: AES-128-CTR known-answer test.
+    #[test]
+    fn nist_ctr_aes128() {
+        let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"), KeySize::Aes128);
+        let nonce: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let plain = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+        ));
+        let expect = hex(concat!(
+            "874d6191b620e3261bef6864990db6ce",
+            "9806f66b7970fdff8617187bb9fffdff"
+        ));
+        let cipher = ctr_xor(&aes, &nonce, &plain);
+        assert_eq!(cipher, expect);
+        assert_eq!(ctr_xor(&aes, &nonce, &cipher), plain);
+    }
+
+    #[test]
+    fn ctr_handles_partial_blocks_and_counter_carry() {
+        let aes = Aes::new_128(&[7u8; 16]);
+        // Nonce that will carry across several bytes on increment.
+        let nonce = [0xff; 16];
+        let data: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let enc = ctr_xor(&aes, &nonce, &data);
+        assert_eq!(enc.len(), data.len());
+        assert_eq!(ctr_xor(&aes, &nonce, &enc), data);
+    }
+
+    #[test]
+    fn cbc_rejects_bad_lengths() {
+        let aes = Aes::new_128(&[1u8; 16]);
+        let iv = [0u8; 16];
+        assert!(cbc_decrypt(&aes, &iv, &[]).is_err());
+        assert!(cbc_decrypt(&aes, &iv, &[0u8; 17]).is_err());
+    }
+
+    #[test]
+    fn cbc_wrong_iv_fails_or_garbles() {
+        let aes = Aes::new_128(&[9u8; 16]);
+        let iv = [3u8; 16];
+        let cipher = cbc_encrypt(&aes, &iv, b"attack at dawn");
+        let wrong_iv = [4u8; 16];
+        match cbc_decrypt(&aes, &wrong_iv, &cipher) {
+            Err(_) => {}                                      // padding destroyed
+            Ok(p) => assert_ne!(p, b"attack at dawn".to_vec()), // or garbled
+        }
+    }
+}

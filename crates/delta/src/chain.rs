@@ -1,0 +1,323 @@
+//! Client-managed delta chains over any [`KeyValue`] store (paper §IV).
+//!
+//! "If the server does not have support for delta encoding, the client can
+//! handle all of the delta encoding operations …: the client communicates an
+//! update to the server by storing a delta at the server with an appropriate
+//! name. After some number of deltas have been sent to the server, the
+//! client will send a complete object to the server after which the previous
+//! deltas can be deleted. If a delta encoded object needs to be read from
+//! the server, the base object and all deltas will have to be retrieved."
+//!
+//! [`DeltaChainStore`] implements that protocol and counts bytes moved in
+//! each direction, so benchmarks can reproduce the paper's conclusion that
+//! client-only delta management "will often not be of much benefit because
+//! of the additional reads and writes".
+
+use crate::encode::{apply, encode, DEFAULT_WINDOW};
+use bytes::Bytes;
+use kvapi::{KeyValue, Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-direction byte counters (reads = bytes fetched from the underlying
+/// store, writes = bytes sent to it).
+#[derive(Debug, Default)]
+pub struct Traffic {
+    /// Bytes read from the underlying store.
+    pub read: AtomicU64,
+    /// Bytes written to the underlying store.
+    pub written: AtomicU64,
+}
+
+impl Traffic {
+    /// Snapshot (read, written).
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.read.load(Ordering::Relaxed), self.written.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct Manifest {
+    /// Base generation; bumps on every consolidation.
+    gen: u64,
+    /// Number of deltas stacked on the current base.
+    deltas: u32,
+}
+
+/// A [`KeyValue`] layer that writes updates as delta chains.
+pub struct DeltaChainStore<S> {
+    inner: S,
+    name: String,
+    /// Consolidate after this many stacked deltas.
+    max_deltas: u32,
+    /// Minimum match window for encoding.
+    window: usize,
+    /// Byte traffic to the underlying store.
+    pub traffic: Traffic,
+}
+
+impl<S: KeyValue> DeltaChainStore<S> {
+    /// Wrap `inner`, consolidating every `max_deltas` updates.
+    pub fn new(inner: S, max_deltas: u32) -> DeltaChainStore<S> {
+        let name = format!("delta({})", inner.name());
+        DeltaChainStore {
+            inner,
+            name,
+            max_deltas: max_deltas.max(1),
+            window: DEFAULT_WINDOW,
+            traffic: Traffic::default(),
+        }
+    }
+
+    /// Override the match window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Access the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn meta_key(key: &str) -> String {
+        format!("{key}##meta")
+    }
+    fn base_key(key: &str, gen: u64) -> String {
+        format!("{key}##base.{gen}")
+    }
+    fn delta_key(key: &str, gen: u64, i: u32) -> String {
+        format!("{key}##delta.{gen}.{i}")
+    }
+
+    fn read_manifest(&self, key: &str) -> Result<Option<Manifest>> {
+        match self.inner.get(&Self::meta_key(key))? {
+            None => Ok(None),
+            Some(raw) => {
+                self.traffic.read.fetch_add(raw.len() as u64, Ordering::Relaxed);
+                serde_json::from_slice(&raw)
+                    .map(Some)
+                    .map_err(|e| StoreError::corrupt(format!("bad delta manifest: {e}")))
+            }
+        }
+    }
+
+    fn write_manifest(&self, key: &str, m: &Manifest) -> Result<()> {
+        let raw = serde_json::to_vec(m).expect("manifest serializes");
+        self.traffic.written.fetch_add(raw.len() as u64, Ordering::Relaxed);
+        self.inner.put(&Self::meta_key(key), &raw)
+    }
+
+    fn tracked_get(&self, key: &str) -> Result<Option<Bytes>> {
+        let v = self.inner.get(key)?;
+        if let Some(ref b) = v {
+            self.traffic.read.fetch_add(b.len() as u64, Ordering::Relaxed);
+        }
+        Ok(v)
+    }
+
+    fn tracked_put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.traffic.written.fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.inner.put(key, value)
+    }
+
+    /// Reconstruct the current value: base plus every stacked delta.
+    fn reconstruct(&self, key: &str, m: &Manifest) -> Result<Option<Vec<u8>>> {
+        let base = match self.tracked_get(&Self::base_key(key, m.gen))? {
+            None => return Ok(None),
+            Some(b) => b,
+        };
+        let mut cur = base.to_vec();
+        for i in 0..m.deltas {
+            let d = self
+                .tracked_get(&Self::delta_key(key, m.gen, i))?
+                .ok_or_else(|| StoreError::corrupt(format!("missing delta {i} for {key}")))?;
+            cur = apply(&cur, &d)?;
+        }
+        Ok(Some(cur))
+    }
+
+    fn delete_chain(&self, key: &str, m: &Manifest) -> Result<()> {
+        self.inner.delete(&Self::base_key(key, m.gen))?;
+        for i in 0..m.deltas {
+            self.inner.delete(&Self::delta_key(key, m.gen, i))?;
+        }
+        Ok(())
+    }
+
+    fn consolidate(&self, key: &str, old: Option<&Manifest>, value: &[u8]) -> Result<()> {
+        let gen = old.map(|m| m.gen + 1).unwrap_or(0);
+        self.tracked_put(&Self::base_key(key, gen), value)?;
+        self.write_manifest(key, &Manifest { gen, deltas: 0 })?;
+        if let Some(m) = old {
+            self.delete_chain(key, m)?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: KeyValue> KeyValue for DeltaChainStore<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        match self.read_manifest(key)? {
+            None => self.consolidate(key, None, value),
+            Some(m) => {
+                let Some(current) = self.reconstruct(key, &m)? else {
+                    return self.consolidate(key, None, value);
+                };
+                let delta = encode(&current, value, self.window);
+                // Send the delta only while the chain is short and the delta
+                // actually saves bytes; otherwise send a fresh base.
+                if m.deltas < self.max_deltas && delta.len() < value.len() {
+                    self.tracked_put(&Self::delta_key(key, m.gen, m.deltas), &delta)?;
+                    self.write_manifest(key, &Manifest { gen: m.gen, deltas: m.deltas + 1 })
+                } else {
+                    self.consolidate(key, Some(&m), value)
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        match self.read_manifest(key)? {
+            None => Ok(None),
+            Some(m) => Ok(self.reconstruct(key, &m)?.map(Bytes::from)),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        match self.read_manifest(key)? {
+            None => Ok(false),
+            Some(m) => {
+                self.delete_chain(key, &m)?;
+                self.inner.delete(&Self::meta_key(key))?;
+                Ok(true)
+            }
+        }
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .keys()?
+            .into_iter()
+            .filter_map(|k| k.strip_suffix("##meta").map(str::to_string))
+            .collect())
+    }
+
+    fn clear(&self) -> Result<()> {
+        self.inner.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+
+    fn store(max: u32) -> DeltaChainStore<MemKv> {
+        DeltaChainStore::new(MemKv::new("mem"), max)
+    }
+
+    #[test]
+    fn contract() {
+        kvapi::contract::run_all(&store(4));
+    }
+
+    #[test]
+    fn updates_become_deltas_then_consolidate() {
+        let s = store(3);
+        let v0 = b"the quick brown fox jumps over the lazy dog".repeat(20);
+        s.put("doc", &v0).unwrap();
+        let inner_keys_after_base = s.inner().keys().unwrap().len();
+        assert_eq!(inner_keys_after_base, 2); // meta + base
+
+        // Three small edits → three deltas.
+        let mut v = v0.clone();
+        for i in 0..3u8 {
+            v[10] = b'A' + i;
+            s.put("doc", &v).unwrap();
+            assert_eq!(s.get("doc").unwrap().unwrap(), v);
+        }
+        assert_eq!(s.inner().keys().unwrap().len(), 2 + 3);
+
+        // Fourth edit exceeds max_deltas → consolidation back to meta+base.
+        v[11] = b'Z';
+        s.put("doc", &v).unwrap();
+        assert_eq!(s.inner().keys().unwrap().len(), 2);
+        assert_eq!(s.get("doc").unwrap().unwrap(), v);
+    }
+
+    #[test]
+    fn small_edits_send_fewer_bytes_than_full_writes() {
+        let s = store(8);
+        let mut v = vec![7u8; 100_000];
+        s.put("big", &v).unwrap();
+        let (_, after_base) = s.traffic.snapshot();
+        for i in 0..5 {
+            v[i * 1000] = i as u8;
+            s.put("big", &v).unwrap();
+        }
+        let (_, total) = s.traffic.snapshot();
+        let update_bytes = total - after_base;
+        assert!(
+            update_bytes < 5 * 1000,
+            "five tiny edits should cost far less than 5 full objects, cost {update_bytes}"
+        );
+    }
+
+    #[test]
+    fn reads_pay_for_the_whole_chain() {
+        // The paper's caveat: without server support, reads must fetch base
+        // + all deltas.
+        let s = store(10);
+        let mut v = b"0123456789".repeat(1000);
+        s.put("k", &v).unwrap();
+        for i in 0..4 {
+            v[i] = b'x';
+            s.put("k", &v).unwrap();
+        }
+        let (read_before, _) = s.traffic.snapshot();
+        let got = s.get("k").unwrap().unwrap();
+        assert_eq!(got, v);
+        let (read_after, _) = s.traffic.snapshot();
+        assert!(
+            read_after - read_before > v.len() as u64,
+            "a chained read must fetch base + deltas (> object size)"
+        );
+    }
+
+    #[test]
+    fn dissimilar_update_skips_delta() {
+        let s = store(8);
+        s.put("k", &vec![1u8; 5000]).unwrap();
+        s.put("k", &vec![2u8; 5000]).unwrap(); // nothing shared → full write
+        assert_eq!(s.inner().keys().unwrap().len(), 2, "should have consolidated");
+        assert_eq!(s.get("k").unwrap().unwrap(), vec![2u8; 5000]);
+    }
+
+    #[test]
+    fn delete_removes_every_fragment() {
+        let s = store(4);
+        let mut v = b"abcdefgh".repeat(100);
+        s.put("k", &v).unwrap();
+        v[3] = b'!';
+        s.put("k", &v).unwrap();
+        assert!(s.delete("k").unwrap());
+        assert!(s.inner().keys().unwrap().is_empty());
+        assert!(!s.delete("k").unwrap());
+    }
+
+    #[test]
+    fn keys_lists_logical_keys_only() {
+        let s = store(4);
+        s.put("a", b"value one for a").unwrap();
+        s.put("b", b"value one for b").unwrap();
+        let mut keys = s.keys().unwrap();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Delta encode/apply.
+//!
+//! Format (all integers LEB128 varints):
+//!
+//! ```text
+//! magic "DL1\n" | varint base_len | varint target_len | ops…
+//! op 0x01: Copy   — varint offset (into base), varint len
+//! op 0x02: Insert — varint len, raw bytes
+//! ```
+//!
+//! The encoder indexes every window of the base with the rolling hash, then
+//! scans the target; matches of at least the window size are extended both
+//! forwards and backwards to maximal length before being emitted as `Copy`
+//! ops (the paper's "expanded to the maximum possible size"). `base_len` is
+//! recorded so [`apply`] can reject a mismatched base outright instead of
+//! producing garbage.
+
+use crate::rolling::RollingHash;
+use kvapi::{Result, StoreError};
+use std::collections::HashMap;
+
+/// Default minimum match length (the paper's `WINDOW_SIZE`, "e.g. 5"; we
+/// default slightly larger because `Copy` ops cost ~3–11 bytes to encode).
+pub const DEFAULT_WINDOW: usize = 8;
+
+const MAGIC: &[u8; 4] = b"DL1\n";
+const OP_COPY: u8 = 0x01;
+const OP_INSERT: u8 = 0x02;
+
+/// One delta operation (exposed for tests and tooling).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Copy `len` bytes from `offset` in the base.
+    Copy {
+        /// Byte offset into the base object.
+        offset: usize,
+        /// Number of bytes to copy.
+        len: usize,
+    },
+    /// Insert literal bytes.
+    Insert(Vec<u8>),
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = data
+            .get(*pos)
+            .ok_or_else(|| StoreError::corrupt("truncated varint in delta"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StoreError::corrupt("varint overflow in delta"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Compute a delta that transforms `base` into `target`, with minimum match
+/// length `window`.
+pub fn encode(base: &[u8], target: &[u8], window: usize) -> Vec<u8> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(MAGIC);
+    push_varint(&mut out, base.len() as u64);
+    push_varint(&mut out, target.len() as u64);
+
+    // Index every window position of the base.
+    let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+    if base.len() >= window {
+        let mut rh = RollingHash::new(base, window);
+        index.entry(rh.hash()).or_default().push(0);
+        for i in 1..=(base.len() - window) {
+            rh.roll(base[i - 1], base[i + window - 1]);
+            // Cap chain length: pathological inputs (e.g. all one byte)
+            // otherwise make candidate lists quadratic to scan.
+            let entry = index.entry(rh.hash()).or_default();
+            if entry.len() < 32 {
+                entry.push(i as u32);
+            }
+        }
+    }
+
+    let mut pending: Vec<u8> = Vec::new(); // literals awaiting emission
+    let flush = |out: &mut Vec<u8>, pending: &mut Vec<u8>| {
+        if !pending.is_empty() {
+            out.push(OP_INSERT);
+            push_varint(out, pending.len() as u64);
+            out.extend_from_slice(pending);
+            pending.clear();
+        }
+    };
+
+    let mut i = 0usize;
+    let mut rh: Option<RollingHash> = if target.len() >= window {
+        Some(RollingHash::new(target, window))
+    } else {
+        None
+    };
+    let mut rh_pos = 0usize; // position rh currently describes
+    while i < target.len() {
+        let mut matched = false;
+        if target.len() - i >= window {
+            // Advance the rolling hash to position i.
+            let rh = rh.as_mut().expect("rolling hash exists when window fits");
+            while rh_pos < i {
+                rh.roll(target[rh_pos], target[rh_pos + window]);
+                rh_pos += 1;
+            }
+            if let Some(cands) = index.get(&rh.hash()) {
+                // Choose the candidate giving the longest verified match.
+                let mut best: Option<(usize, usize)> = None; // (base_off, len)
+                for &c in cands {
+                    let c = c as usize;
+                    if base[c..c + window] != target[i..i + window] {
+                        continue; // hash collision
+                    }
+                    let mut len = window;
+                    while c + len < base.len()
+                        && i + len < target.len()
+                        && base[c + len] == target[i + len]
+                    {
+                        len += 1;
+                    }
+                    if best.map(|(_, bl)| len > bl).unwrap_or(true) {
+                        best = Some((c, len));
+                    }
+                }
+                if let Some((mut off, fwd_len)) = best {
+                    // Extend backwards into pending literals: bytes we were
+                    // about to emit as an Insert that also precede the match
+                    // in the base can join the Copy instead.
+                    let mut back = 0usize;
+                    while off > 0
+                        && !pending.is_empty()
+                        && base[off - 1] == *pending.last().unwrap()
+                    {
+                        off -= 1;
+                        back += 1;
+                        pending.pop();
+                    }
+                    flush(&mut out, &mut pending);
+                    out.push(OP_COPY);
+                    push_varint(&mut out, off as u64);
+                    push_varint(&mut out, (back + fwd_len) as u64);
+                    i += fwd_len;
+                    matched = true;
+                }
+            }
+        }
+        if !matched {
+            pending.push(target[i]);
+            i += 1;
+        }
+    }
+    flush(&mut out, &mut pending);
+    out
+}
+
+/// Total serialized size of a delta for quick "is it worth it" checks.
+pub fn encoded_len(delta: &[u8]) -> usize {
+    delta.len()
+}
+
+/// Apply a delta to `base`, producing the target. Rejects deltas whose
+/// recorded base length does not match.
+pub fn apply(base: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    if delta.len() < 4 || &delta[..4] != MAGIC {
+        return Err(StoreError::corrupt("bad delta magic"));
+    }
+    pos += 4;
+    let base_len = read_varint(delta, &mut pos)? as usize;
+    if base_len != base.len() {
+        return Err(StoreError::corrupt(format!(
+            "delta expects base of {base_len} bytes, got {}",
+            base.len()
+        )));
+    }
+    let target_len = read_varint(delta, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(target_len);
+    while pos < delta.len() {
+        let op = delta[pos];
+        pos += 1;
+        match op {
+            OP_COPY => {
+                let off = read_varint(delta, &mut pos)? as usize;
+                let len = read_varint(delta, &mut pos)? as usize;
+                let end = off
+                    .checked_add(len)
+                    .ok_or_else(|| StoreError::corrupt("copy range overflow"))?;
+                if end > base.len() {
+                    return Err(StoreError::corrupt("copy range beyond base"));
+                }
+                out.extend_from_slice(&base[off..end]);
+            }
+            OP_INSERT => {
+                let len = read_varint(delta, &mut pos)? as usize;
+                let end = pos
+                    .checked_add(len)
+                    .ok_or_else(|| StoreError::corrupt("insert length overflow"))?;
+                if end > delta.len() {
+                    return Err(StoreError::corrupt("insert runs past delta end"));
+                }
+                out.extend_from_slice(&delta[pos..end]);
+                pos = end;
+            }
+            other => return Err(StoreError::corrupt(format!("unknown delta op {other:#x}"))),
+        }
+    }
+    if out.len() != target_len {
+        return Err(StoreError::corrupt(format!(
+            "delta produced {} bytes, header said {target_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(base: &[u8], target: &[u8], window: usize) -> usize {
+        let d = encode(base, target, window);
+        assert_eq!(apply(base, &d).unwrap(), target, "window {window}");
+        d.len()
+    }
+
+    #[test]
+    fn identical_objects_give_tiny_delta() {
+        let data = b"identical content, fairly long so a copy op wins".repeat(10);
+        let n = round_trip(&data, &data, DEFAULT_WINDOW);
+        assert!(n < 32, "identity delta should be a single Copy, got {n} bytes");
+    }
+
+    #[test]
+    fn paper_figure8_array_update() {
+        // Fig. 8: a 13-element array where only elements 5 and 6 change;
+        // the delta encodes [unchanged 0..5][new values][unchanged 7..13].
+        let base: Vec<u8> = (0u8..13).flat_map(|i| [i, i, i, i]).collect(); // 4-byte "elements"
+        let mut target = base.clone();
+        target[20..24].copy_from_slice(&[0xAA; 4]); // element 5
+        target[24..28].copy_from_slice(&[0xBB; 4]); // element 6
+        let d = encode(&base, &target, 5);
+        assert_eq!(apply(&base, &d).unwrap(), target);
+        assert!(
+            d.len() < target.len() / 2,
+            "delta ({}) should be a fraction of the object ({})",
+            d.len(),
+            target.len()
+        );
+    }
+
+    #[test]
+    fn disjoint_objects_fall_back_to_insert() {
+        let base = vec![1u8; 100];
+        let target = vec![2u8; 100];
+        let n = round_trip(&base, &target, DEFAULT_WINDOW);
+        assert!(n >= 100, "no shared content: delta must carry the payload");
+    }
+
+    #[test]
+    fn empty_base_and_empty_target() {
+        round_trip(b"", b"some fresh content", DEFAULT_WINDOW);
+        round_trip(b"old content", b"", DEFAULT_WINDOW);
+        round_trip(b"", b"", DEFAULT_WINDOW);
+    }
+
+    #[test]
+    fn target_shorter_than_window() {
+        round_trip(b"a long enough base string", b"ab", 8);
+    }
+
+    #[test]
+    fn insert_then_long_match() {
+        let base = b"the quick brown fox jumps over the lazy dog".repeat(5);
+        let mut target = b"PREFIX:".to_vec();
+        target.extend_from_slice(&base);
+        let n = round_trip(&base, &target, DEFAULT_WINDOW);
+        assert!(n < 40, "prefix insert + one copy expected, got {n}");
+    }
+
+    #[test]
+    fn backward_extension_joins_pending_literals() {
+        // Target repeats base content but the match finder first sees it
+        // mid-window; backward extension should recover the full copy.
+        let base = b"0123456789abcdefghij0123456789abcdefghij".to_vec();
+        let target = b"XX0123456789abcdefghijYY".to_vec();
+        round_trip(&base, &target, 8);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let base = b"version one of the object".to_vec();
+        let target = b"version two of the object".to_vec();
+        let d = encode(&base, &target, DEFAULT_WINDOW);
+        let err = apply(b"a different base!", &d).unwrap_err();
+        assert!(err.to_string().contains("base"), "{err}");
+    }
+
+    #[test]
+    fn apply_rejects_corrupt_delta() {
+        assert!(apply(b"x", b"").is_err());
+        assert!(apply(b"x", b"NOPE").is_err());
+        let base = b"some base data for the delta".to_vec();
+        let mut d = encode(&base, &base, DEFAULT_WINDOW);
+        // Corrupt the op stream.
+        let n = d.len();
+        d[n - 1] ^= 0xff;
+        assert!(apply(&base, &d).is_err());
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_edit_on_large_object_is_cheap() {
+        // 64 KiB object, 100-byte edit in the middle: delta should be tiny
+        // relative to the object — the paper's motivating scenario.
+        let mut base = Vec::with_capacity(1 << 16);
+        let mut x = 12345u32;
+        for _ in 0..(1 << 16) {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            base.push((x >> 24) as u8);
+        }
+        let mut target = base.clone();
+        for (i, b) in target[30_000..30_100].iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let n = round_trip(&base, &target, DEFAULT_WINDOW);
+        assert!(n < 400, "100-byte edit on 64 KiB object gave {n}-byte delta");
+    }
+
+    #[test]
+    fn window_size_affects_granularity() {
+        // With a huge window, short shared substrings are not exploited.
+        let base = b"shared-fragment".repeat(3);
+        let mut target = Vec::new();
+        for chunk in base.chunks(15) {
+            target.extend_from_slice(chunk);
+            target.push(b'|');
+        }
+        let small = encode(&base, &target, 5);
+        let large = encode(&base, &target, 64);
+        assert_eq!(apply(&base, &small).unwrap(), target);
+        assert_eq!(apply(&base, &large).unwrap(), target);
+        assert!(small.len() <= large.len());
+    }
+}

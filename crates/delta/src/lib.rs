@@ -1,0 +1,27 @@
+//! # dscl-delta — delta encoding for enhanced data store clients
+//!
+//! §IV of the paper: when a client updates an object, it can send the server
+//! a *delta* against the previous version instead of the whole object. "Our
+//! delta encoding algorithm uses key ideas from the Rabin-Karp string
+//! matching algorithm": the base version's substrings of length
+//! `WINDOW_SIZE` are indexed in a hash table using a **rolling hash** (the
+//! hash of the window starting at `b[i+1]` is computed in O(1) from the one
+//! at `b[i]`), candidate matches are verified byte-for-byte, and each match
+//! of at least `WINDOW_SIZE` bytes "is expanded to the maximum possible
+//! size before being encoded".
+//!
+//! The paper also describes operating **without server support**: the client
+//! stores deltas as additional objects, periodically consolidating them into
+//! a full object — and warns this "will often not be of much benefit because
+//! of the additional reads and writes". [`chain::DeltaChainStore`]
+//! implements exactly that scheme over any [`kvapi::KeyValue`] store and
+//! instruments the byte traffic so the ablation benchmark can reproduce the
+//! claim.
+
+pub mod chain;
+pub mod encode;
+pub mod rolling;
+
+pub use chain::DeltaChainStore;
+pub use encode::{apply, encode, encoded_len, DeltaOp, DEFAULT_WINDOW};
+pub use rolling::RollingHash;

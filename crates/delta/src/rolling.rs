@@ -1,0 +1,123 @@
+//! Rabin–Karp rolling hash over a fixed-size window.
+//!
+//! Polynomial hash `h = b[0]·B^(w-1) + b[1]·B^(w-2) + … + b[w-1]` in the
+//! 2⁶⁴ ring (wrapping arithmetic). Sliding the window one byte —
+//! [`RollingHash::roll`] — costs one multiply, one subtract-multiply and one
+//! add, which is what makes indexing *every* window position of the base
+//! object affordable (the paper's efficiency argument for Rabin-Karp).
+
+/// Multiplier; an odd constant with good bit dispersion.
+const BASE: u64 = 0x0000_0100_0000_01b3; // FNV prime reused as polynomial base
+
+/// Rolling hash state for a window of fixed size.
+#[derive(Clone, Debug)]
+pub struct RollingHash {
+    window: usize,
+    /// BASE^(window-1), used to remove the outgoing byte.
+    top_power: u64,
+    hash: u64,
+}
+
+impl RollingHash {
+    /// Initialize over the first `window` bytes of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() < window` or `window == 0`.
+    pub fn new(data: &[u8], window: usize) -> RollingHash {
+        assert!(window > 0, "window must be positive");
+        assert!(data.len() >= window, "data shorter than window");
+        let mut hash = 0u64;
+        for &b in &data[..window] {
+            hash = hash.wrapping_mul(BASE).wrapping_add(u64::from(b));
+        }
+        let mut top_power = 1u64;
+        for _ in 0..window - 1 {
+            top_power = top_power.wrapping_mul(BASE);
+        }
+        RollingHash { window, top_power, hash }
+    }
+
+    /// Current hash value.
+    #[inline]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Slide one byte: remove `out` (the byte leaving the window), add `inb`.
+    #[inline]
+    pub fn roll(&mut self, out: u8, inb: u8) {
+        self.hash = self
+            .hash
+            .wrapping_sub(u64::from(out).wrapping_mul(self.top_power))
+            .wrapping_mul(BASE)
+            .wrapping_add(u64::from(inb));
+    }
+
+    /// Hash an arbitrary window from scratch (the non-rolling reference).
+    pub fn hash_of(data: &[u8]) -> u64 {
+        let mut hash = 0u64;
+        for &b in data {
+            hash = hash.wrapping_mul(BASE).wrapping_add(u64::from(b));
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_matches_scratch_everywhere() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 31 % 251) as u8).collect();
+        for window in [1usize, 2, 5, 8, 16, 64] {
+            let mut rh = RollingHash::new(&data, window);
+            assert_eq!(rh.hash(), RollingHash::hash_of(&data[..window]));
+            for i in 1..=(data.len() - window) {
+                rh.roll(data[i - 1], data[i + window - 1]);
+                assert_eq!(
+                    rh.hash(),
+                    RollingHash::hash_of(&data[i..i + window]),
+                    "window {window} position {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_windows_hash_equal() {
+        let a = b"abcdefgh_abcdefgh";
+        let h1 = RollingHash::hash_of(&a[0..8]);
+        let h2 = RollingHash::hash_of(&a[9..17]);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn different_windows_usually_differ() {
+        // Not a collision-resistance proof, just a smoke test that the
+        // hash disperses: all 3-byte windows of a de Bruijn-ish sequence.
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for w in data.windows(3) {
+            seen.insert(RollingHash::hash_of(w));
+        }
+        assert_eq!(seen.len(), 254);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than window")]
+    fn window_longer_than_data_panics() {
+        let _ = RollingHash::new(b"ab", 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = RollingHash::new(b"ab", 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests: `apply(base, encode(base, target)) == target` for
+//! arbitrary inputs, edits, and window sizes.
+
+use dscl_delta::{apply, encode, DEFAULT_WINDOW};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_arbitrary(
+        base in proptest::collection::vec(any::<u8>(), 0..4000),
+        target in proptest::collection::vec(any::<u8>(), 0..4000),
+        window in 1usize..32
+    ) {
+        let d = encode(&base, &target, window);
+        prop_assert_eq!(apply(&base, &d).unwrap(), target);
+    }
+
+    /// Realistic case: the target is the base with a bounded random edit —
+    /// exactly what delta encoding is for. Also asserts the efficiency
+    /// property: the delta is much smaller than the object once the shared
+    /// content dominates.
+    #[test]
+    fn round_trip_edited_base(
+        base in proptest::collection::vec(any::<u8>(), 500..3000),
+        edit in proptest::collection::vec(any::<u8>(), 1..50),
+        pos_seed in any::<usize>()
+    ) {
+        let pos = pos_seed % base.len();
+        let mut target = base.clone();
+        for (i, &b) in edit.iter().enumerate() {
+            if pos + i < target.len() {
+                target[pos + i] = b;
+            }
+        }
+        let d = encode(&base, &target, DEFAULT_WINDOW);
+        prop_assert_eq!(apply(&base, &d).unwrap(), target);
+    }
+
+    /// Insertion/deletion edits (length-changing), not just substitutions.
+    #[test]
+    fn round_trip_splice(
+        base in proptest::collection::vec(any::<u8>(), 100..2000),
+        insert in proptest::collection::vec(any::<u8>(), 0..200),
+        cut in 0usize..100,
+        pos_seed in any::<usize>()
+    ) {
+        let pos = pos_seed % base.len();
+        let cut_end = (pos + cut).min(base.len());
+        let mut target = base[..pos].to_vec();
+        target.extend_from_slice(&insert);
+        target.extend_from_slice(&base[cut_end..]);
+        let d = encode(&base, &target, DEFAULT_WINDOW);
+        prop_assert_eq!(apply(&base, &d).unwrap(), target);
+    }
+
+    /// Corrupting any single byte of a delta must never silently succeed
+    /// with a wrong result of the expected length... it may still produce a
+    /// valid-but-different decode only if the corruption hit an Insert
+    /// payload, in which case output differs from target — acceptable; what
+    /// must never happen is an out-of-bounds panic.
+    #[test]
+    fn corrupt_delta_never_panics(
+        base in proptest::collection::vec(any::<u8>(), 0..500),
+        target in proptest::collection::vec(any::<u8>(), 1..500),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255
+    ) {
+        let d = encode(&base, &target, DEFAULT_WINDOW);
+        let mut bad = d.clone();
+        let pos = pos_seed % bad.len();
+        bad[pos] ^= xor;
+        let _ = apply(&base, &bad); // must not panic
+    }
+}

@@ -1,0 +1,311 @@
+//! # fskv — file-system-backed key-value store
+//!
+//! One of the five stores the paper benchmarks is "a file system on the
+//! client node accessed via standard Java method calls". This crate is the
+//! Rust equivalent: one file per key under a root directory, with
+//!
+//! * percent-escaped file names so arbitrary keys (slashes, spaces, unicode)
+//!   are safe,
+//! * atomic updates (write to a temp file, then rename), so a crashed writer
+//!   can never leave a half-written value visible,
+//! * optional fsync-per-write durability (off by default, matching how the
+//!   paper's Java client used the file system).
+//!
+//! As the paper notes, "the file system client might benefit from caching
+//! performed by the underlying file system" — reads here hit the OS page
+//! cache exactly the same way.
+
+use bytes::Bytes;
+use kvapi::{KeyValue, Result, StoreError, StoreStats};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SUFFIX: &str = ".val";
+
+/// File-per-key store rooted at a directory.
+pub struct FsKv {
+    root: PathBuf,
+    name: String,
+    fsync: bool,
+    tmp_counter: AtomicU64,
+}
+
+impl FsKv {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<FsKv> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(FsKv { root, name: "fskv".to_string(), fsync: false, tmp_counter: AtomicU64::new(0) })
+    }
+
+    /// Enable fsync-per-write durability.
+    pub fn with_fsync(mut self, fsync: bool) -> FsKv {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Override the display name (useful when several instances coexist).
+    pub fn with_name(mut self, name: impl Into<String>) -> FsKv {
+        self.name = name.into();
+        self
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn escape(key: &str) -> String {
+        let mut out = String::with_capacity(key.len() + 8);
+        for &b in key.as_bytes() {
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => {
+                    out.push(b as char)
+                }
+                _ => out.push_str(&format!("%{b:02X}")),
+            }
+        }
+        out
+    }
+
+    fn unescape(name: &str) -> Option<String> {
+        let bytes = name.as_bytes();
+        let mut out = Vec::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'%' {
+                if i + 2 > bytes.len() && i + 2 > bytes.len() - 1 {
+                    return None;
+                }
+                let hex = name.get(i + 1..i + 3)?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            } else {
+                out.push(bytes[i]);
+                i += 1;
+            }
+        }
+        String::from_utf8(out).ok()
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{}{SUFFIX}", Self::escape(key)))
+    }
+}
+
+impl KeyValue for FsKv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        let final_path = self.path_for(key);
+        // Unique temp name: concurrent writers to the same key must not
+        // clobber each other's scratch file.
+        let tmp = self.root.join(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(value)?;
+            if self.fsync {
+                f.sync_all()?;
+            }
+        }
+        fs::rename(&tmp, &final_path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        match fs::read(self.path_for(key)) {
+            Ok(data) => Ok(Some(Bytes::from(data))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn contains(&self, key: &str) -> Result<bool> {
+        Ok(self.path_for(key).exists())
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(SUFFIX) {
+                if let Some(key) = Self::unescape(stem) {
+                    out.push(key);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn clear(&self) -> Result<()> {
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(SUFFIX) {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        let mut st = StoreStats::default();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(SUFFIX) {
+                st.keys += 1;
+                st.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        Ok(st)
+    }
+
+    fn sync(&self) -> Result<()> {
+        // Sync the directory so renames are durable.
+        let dir = fs::File::open(&self.root)?;
+        dir.sync_all().map_err(StoreError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store() -> (FsKv, tempdir::TempDir) {
+        let dir = tempdir::TempDir::new();
+        let kv = FsKv::open(dir.path()).unwrap();
+        (kv, dir)
+    }
+
+    /// Minimal self-cleaning temp dir (std has no tempdir; avoid a dep).
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempDir(PathBuf);
+        impl TempDir {
+            pub fn new() -> TempDir {
+                let p = std::env::temp_dir().join(format!(
+                    "fskv-test-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&p).unwrap();
+                TempDir(p)
+            }
+            pub fn path(&self) -> &Path {
+                &self.0
+            }
+        }
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn contract() {
+        let (kv, _d) = temp_store();
+        kvapi::contract::run_all(&kv);
+    }
+
+    #[test]
+    fn contract_concurrent() {
+        let (kv, _d) = temp_store();
+        kvapi::contract::run_all_concurrent(std::sync::Arc::new(kv));
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        for key in ["simple", "with space", "a/b/c", "%already", "uni-ключ", "..", "a.b_c-d"] {
+            let esc = FsKv::escape(key);
+            assert!(
+                esc.bytes().all(|b| b.is_ascii_alphanumeric() || b"._-%".contains(&b)),
+                "escape left unsafe bytes: {esc}"
+            );
+            assert_eq!(FsKv::unescape(&esc).as_deref(), Some(key));
+        }
+    }
+
+    #[test]
+    fn values_survive_reopen() {
+        let dir = tempdir::TempDir::new();
+        {
+            let kv = FsKv::open(dir.path()).unwrap();
+            kv.put("persisted", b"across reopen").unwrap();
+            kv.sync().unwrap();
+        }
+        let kv = FsKv::open(dir.path()).unwrap();
+        assert_eq!(kv.get("persisted").unwrap().unwrap(), &b"across reopen"[..]);
+    }
+
+    #[test]
+    fn temp_files_are_not_listed_as_keys() {
+        let (kv, d) = temp_store();
+        kv.put("real", b"x").unwrap();
+        std::fs::write(d.path().join(".tmp.999.0"), b"junk").unwrap();
+        std::fs::write(d.path().join("unrelated.txt"), b"junk").unwrap();
+        assert_eq!(kv.keys().unwrap(), vec!["real"]);
+        let st = kv.stats().unwrap();
+        assert_eq!(st.keys, 1);
+    }
+
+    #[test]
+    fn fsync_mode_works() {
+        let (kv, _d) = temp_store();
+        let kv = kv.with_fsync(true);
+        kv.put("durable", b"yes").unwrap();
+        assert_eq!(kv.get("durable").unwrap().unwrap(), &b"yes"[..]);
+    }
+
+    #[test]
+    fn overwrite_is_atomic_under_concurrency() {
+        // Readers must always see one complete value, never a mix.
+        use std::sync::Arc;
+        let (kv, _d) = temp_store();
+        let kv = Arc::new(kv);
+        let a = vec![b'A'; 4096];
+        let b = vec![b'B'; 4096];
+        kv.put("k", &a).unwrap();
+        let writer = {
+            let kv = kv.clone();
+            let (a, b) = (a.clone(), b.clone());
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    kv.put("k", if i % 2 == 0 { &b } else { &a }).unwrap();
+                }
+            })
+        };
+        for _ in 0..200 {
+            let v = kv.get("k").unwrap().unwrap();
+            assert!(
+                v[..] == a[..] || v[..] == b[..],
+                "torn read: first byte {:?}, last byte {:?}",
+                v.first(),
+                v.last()
+            );
+        }
+        writer.join().unwrap();
+    }
+}

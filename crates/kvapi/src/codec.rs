@@ -1,0 +1,153 @@
+//! Byte-transformer interface shared by the encryption and compression
+//! crates.
+//!
+//! The DSCL applies value transformations as a pipeline: on `put`, each
+//! configured codec's [`Codec::encode`] runs in order; on `get`,
+//! [`Codec::decode`] runs in reverse order. Implementations must be inverse
+//! pairs: `decode(encode(x)) == x` for all `x` (the crates verify this with
+//! property-based tests).
+
+use crate::error::Result;
+
+/// A reversible byte transformation (encryption, compression, ...).
+pub trait Codec: Send + Sync {
+    /// Short name used in diagnostics ("aes-128-cbc", "gzip", ...).
+    fn name(&self) -> &str;
+
+    /// Transform plaintext bytes into encoded bytes.
+    fn encode(&self, plain: &[u8]) -> Result<Vec<u8>>;
+
+    /// Invert [`Codec::encode`].
+    fn decode(&self, encoded: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// A pipeline of codecs applied in order on encode, reverse order on decode.
+///
+/// An empty pipeline is the identity transformation.
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn Codec>>,
+}
+
+impl Pipeline {
+    /// An empty (identity) pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Append a stage; returns `self` for builder-style chaining.
+    pub fn then(mut self, stage: Box<dyn Codec>) -> Pipeline {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Run every stage's `encode` in order.
+    pub fn encode(&self, plain: &[u8]) -> Result<Vec<u8>> {
+        let mut cur = plain.to_vec();
+        for s in &self.stages {
+            cur = s.encode(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Run every stage's `decode` in reverse order.
+    pub fn decode(&self, encoded: &[u8]) -> Result<Vec<u8>> {
+        let mut cur = encoded.to_vec();
+        for s in self.stages.iter().rev() {
+            cur = s.decode(&cur)?;
+        }
+        Ok(cur)
+    }
+}
+
+impl Codec for Pipeline {
+    fn name(&self) -> &str {
+        "pipeline"
+    }
+    fn encode(&self, plain: &[u8]) -> Result<Vec<u8>> {
+        Pipeline::encode(self, plain)
+    }
+    fn decode(&self, encoded: &[u8]) -> Result<Vec<u8>> {
+        Pipeline::decode(self, encoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR with a constant — its own inverse; good enough to test plumbing.
+    struct Xor(u8);
+    impl Codec for Xor {
+        fn name(&self) -> &str {
+            "xor"
+        }
+        fn encode(&self, p: &[u8]) -> Result<Vec<u8>> {
+            Ok(p.iter().map(|b| b ^ self.0).collect())
+        }
+        fn decode(&self, e: &[u8]) -> Result<Vec<u8>> {
+            self.encode(e)
+        }
+    }
+
+    /// Prepends a marker byte — order-sensitive, so stage ordering is
+    /// observable.
+    struct Tag(u8);
+    impl Codec for Tag {
+        fn name(&self) -> &str {
+            "tag"
+        }
+        fn encode(&self, p: &[u8]) -> Result<Vec<u8>> {
+            let mut v = vec![self.0];
+            v.extend_from_slice(p);
+            Ok(v)
+        }
+        fn decode(&self, e: &[u8]) -> Result<Vec<u8>> {
+            if e.first() != Some(&self.0) {
+                return Err(crate::StoreError::codec("bad tag"));
+            }
+            Ok(e[1..].to_vec())
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let p = Pipeline::new();
+        assert!(p.is_empty());
+        assert_eq!(p.encode(b"abc").unwrap(), b"abc");
+        assert_eq!(p.decode(b"abc").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn stages_apply_in_order_and_reverse() {
+        let p = Pipeline::new().then(Box::new(Tag(1))).then(Box::new(Tag(2)));
+        let enc = p.encode(b"x").unwrap();
+        // Tag(2) runs last on encode, so its marker is outermost.
+        assert_eq!(enc, vec![2, 1, b'x']);
+        assert_eq!(p.decode(&enc).unwrap(), b"x");
+    }
+
+    #[test]
+    fn mixed_pipeline_round_trips() {
+        let p = Pipeline::new().then(Box::new(Xor(0x5a))).then(Box::new(Tag(9)));
+        assert_eq!(p.len(), 2);
+        let data = b"the quick brown fox";
+        assert_eq!(p.decode(&p.encode(data).unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_error_propagates() {
+        let p = Pipeline::new().then(Box::new(Tag(7)));
+        assert!(p.decode(b"\x08oops").is_err());
+    }
+}

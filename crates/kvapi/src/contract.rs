@@ -1,0 +1,249 @@
+//! Store conformance suite.
+//!
+//! Every [`KeyValue`] implementation in the workspace runs this suite from
+//! its own test module (and the root integration tests run it against the
+//! full client/server stacks). Holding all stores to one executable
+//! specification is what makes them interchangeable behind the UDSM's common
+//! interface — the paper's core design property.
+//!
+//! Call [`run_all`] with a freshly created, empty store. The functions panic
+//! with a descriptive message on any violation, so they compose naturally
+//! with `#[test]`.
+
+use crate::traits::{CondGet, KeyValue};
+use crate::value::Etag;
+use std::sync::Arc;
+
+/// Run every contract check against `store`. The store must start empty and
+/// may be left in an arbitrary state.
+pub fn run_all<S: KeyValue>(store: &S) {
+    basic_crud(store);
+    overwrite_replaces(store);
+    delete_semantics(store);
+    empty_and_binary_values(store);
+    key_enumeration_and_clear(store);
+    large_values(store);
+    conditional_get(store);
+    unusual_keys(store);
+}
+
+/// As `run_all` but additionally hammers the store from several threads.
+/// Requires `Arc` because the store crosses thread boundaries.
+pub fn run_all_concurrent(store: Arc<dyn KeyValue>) {
+    run_all(&store);
+    concurrent_access(store);
+}
+
+/// put → get → contains round trip.
+pub fn basic_crud<S: KeyValue>(s: &S) {
+    s.clear().expect("clear");
+    assert_eq!(s.get("missing").expect("get missing"), None, "get of absent key must be None");
+    assert!(!s.contains("missing").expect("contains missing"));
+    s.put("alpha", b"one").expect("put");
+    assert_eq!(s.get("alpha").expect("get").as_deref(), Some(&b"one"[..]));
+    assert!(s.contains("alpha").expect("contains"));
+}
+
+/// A second put must fully replace the first value, including when the new
+/// value is shorter.
+pub fn overwrite_replaces<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+    s.put("k", b"a considerably longer first value").unwrap();
+    s.put("k", b"short").unwrap();
+    assert_eq!(
+        s.get("k").unwrap().as_deref(),
+        Some(&b"short"[..]),
+        "overwrite must not leave trailing bytes from the longer old value"
+    );
+}
+
+/// delete returns whether a value existed and removes it.
+pub fn delete_semantics<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+    s.put("d", b"x").unwrap();
+    assert!(s.delete("d").expect("delete existing"), "delete of present key must return true");
+    assert!(!s.delete("d").expect("delete absent"), "delete of absent key must return false");
+    assert_eq!(s.get("d").unwrap(), None);
+}
+
+/// Empty values and arbitrary binary payloads (all 256 byte values, NULs)
+/// must round-trip unmodified.
+pub fn empty_and_binary_values<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+    s.put("empty", b"").unwrap();
+    assert_eq!(s.get("empty").unwrap().as_deref(), Some(&b""[..]), "empty value must round-trip");
+    let all: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+    s.put("binary", &all).unwrap();
+    assert_eq!(s.get("binary").unwrap().as_deref(), Some(&all[..]), "binary payload mangled");
+}
+
+/// keys() sees exactly the live keys; clear() empties the store.
+pub fn key_enumeration_and_clear<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+    for i in 0..10 {
+        s.put(&format!("key{i}"), format!("v{i}").as_bytes()).unwrap();
+    }
+    s.delete("key3").unwrap();
+    let mut keys = s.keys().expect("keys");
+    keys.sort();
+    let expected: Vec<String> =
+        (0..10).filter(|i| *i != 3).map(|i| format!("key{i}")).collect();
+    assert_eq!(keys, expected);
+    s.clear().expect("clear");
+    assert!(s.keys().unwrap().is_empty(), "clear must remove every key");
+    assert_eq!(s.stats().unwrap().keys, 0);
+}
+
+/// A 1 MiB pseudo-random value round-trips byte-for-byte.
+pub fn large_values<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+    // xorshift so the payload is incompressible-ish and position-dependent.
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let big: Vec<u8> = (0..1 << 20)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect();
+    s.put("big", &big).unwrap();
+    let got = s.get("big").unwrap().expect("large value lost");
+    assert_eq!(got.len(), big.len());
+    assert!(got[..] == big[..], "large value corrupted");
+}
+
+/// Versioned + conditional reads follow HTTP-like semantics.
+pub fn conditional_get<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+    s.put("c", b"v1").unwrap();
+    let v = s.get_versioned("c").expect("get_versioned").expect("present");
+    assert_eq!(&v.data[..], b"v1");
+    assert_eq!(
+        s.get_if_none_match("c", v.etag).unwrap(),
+        CondGet::NotModified,
+        "matching etag must yield NotModified"
+    );
+    s.put("c", b"v2").unwrap();
+    match s.get_if_none_match("c", v.etag).unwrap() {
+        CondGet::Modified(nv) => {
+            assert_eq!(&nv.data[..], b"v2");
+            assert_ne!(nv.etag, v.etag, "new version must carry a new etag");
+        }
+        other => panic!("expected Modified after overwrite, got {other:?}"),
+    }
+    s.delete("c").unwrap();
+    assert_eq!(s.get_if_none_match("c", v.etag).unwrap(), CondGet::Missing);
+    // A bogus etag against a present key is just a miss → Modified.
+    s.put("c", b"v3").unwrap();
+    assert!(matches!(
+        s.get_if_none_match("c", Etag(0xdead_beef)).unwrap(),
+        CondGet::Modified(_)
+    ));
+    // put_versioned's returned tag must validate as current immediately.
+    let tag = s.put_versioned("pv", b"tagged value").expect("put_versioned");
+    assert_eq!(
+        s.get_if_none_match("pv", tag).unwrap(),
+        CondGet::NotModified,
+        "etag returned by put_versioned must match the stored version"
+    );
+}
+
+/// Keys with separators, dots, unicode and length stress.
+pub fn unusual_keys<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+    let keys = [
+        "with space",
+        "path/like/key",
+        "dotted.name.v2",
+        "uni-ключ-鍵",
+        "UPPER_lower-123",
+        &"long".repeat(40),
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        s.put(k, format!("val{i}").as_bytes()).unwrap();
+    }
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(
+            s.get(k).unwrap().as_deref(),
+            Some(format!("val{i}").as_bytes()),
+            "key {k:?} did not round-trip"
+        );
+    }
+    assert_eq!(s.keys().unwrap().len(), keys.len());
+}
+
+/// Many threads doing disjoint and overlapping writes; the store must stay
+/// internally consistent (no torn values: every read observes some complete
+/// previously written value).
+pub fn concurrent_access(store: Arc<dyn KeyValue>) {
+    store.clear().unwrap();
+    let threads = 6;
+    let iters = 100;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let s = store.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..iters {
+                let key = format!("shared{}", i % 8);
+                let val = format!("t{t}-i{i}");
+                s.put(&key, val.as_bytes()).unwrap();
+                if let Some(got) = s.get(&key).unwrap() {
+                    let txt = std::str::from_utf8(&got).expect("value must be valid utf8");
+                    assert!(
+                        txt.starts_with('t') && txt.contains("-i"),
+                        "torn read: {txt:?}"
+                    );
+                }
+                let own = format!("own-{t}-{i}");
+                s.put(&own, val.as_bytes()).unwrap();
+                assert_eq!(s.get(&own).unwrap().as_deref(), Some(val.as_bytes()));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let st = store.stats().unwrap();
+    assert_eq!(st.keys as usize, 8 + threads * iters);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemKv;
+
+    // The suite itself is exercised against MemKv in mem.rs; here we check
+    // that it *detects* violations, using a deliberately broken store.
+    struct Broken(MemKv);
+    impl KeyValue for Broken {
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn put(&self, k: &str, v: &[u8]) -> crate::Result<()> {
+            // Bug: truncates values to 4 bytes.
+            self.0.put(k, &v[..v.len().min(4)])
+        }
+        fn get(&self, k: &str) -> crate::Result<Option<bytes::Bytes>> {
+            self.0.get(k)
+        }
+        fn delete(&self, k: &str) -> crate::Result<bool> {
+            self.0.delete(k)
+        }
+        fn keys(&self) -> crate::Result<Vec<String>> {
+            self.0.keys()
+        }
+        fn clear(&self) -> crate::Result<()> {
+            self.0.clear()
+        }
+    }
+
+    #[test]
+    fn suite_catches_truncating_store() {
+        let broken = Broken(MemKv::new("b"));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_all(&broken);
+        }));
+        assert!(res.is_err(), "contract suite failed to catch a truncating store");
+    }
+}

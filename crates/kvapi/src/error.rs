@@ -1,0 +1,126 @@
+//! The common error type shared by every data store implementation.
+//!
+//! All stores — local and remote — surface failures through [`StoreError`],
+//! so layers stacked on top of the key-value interface (caching, encryption,
+//! monitoring) handle errors uniformly regardless of which store produced
+//! them.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors surfaced by data store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (file system, socket, ...).
+    Io(std::io::Error),
+    /// The remote peer violated the wire protocol.
+    Protocol(String),
+    /// Persisted data failed an integrity check (bad checksum, bad frame).
+    Corrupt(String),
+    /// The store rejected the request (e.g. SQL constraint violation).
+    Rejected(String),
+    /// The operation is not supported by this store.
+    Unsupported(&'static str),
+    /// A concurrent modification conflict (compare-and-set style failures).
+    Conflict(String),
+    /// The store or connection has been closed.
+    Closed,
+    /// The operation did not complete within its deadline.
+    Timeout,
+    /// Payload failed to decode after retrieval (decryption/decompression).
+    Codec(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl StoreError {
+    /// Build a protocol error from anything displayable.
+    pub fn protocol(msg: impl fmt::Display) -> Self {
+        StoreError::Protocol(msg.to_string())
+    }
+
+    /// Build a corruption error from anything displayable.
+    pub fn corrupt(msg: impl fmt::Display) -> Self {
+        StoreError::Corrupt(msg.to_string())
+    }
+
+    /// Build a codec error from anything displayable.
+    pub fn codec(msg: impl fmt::Display) -> Self {
+        StoreError::Codec(msg.to_string())
+    }
+
+    /// True when retrying the operation may plausibly succeed.
+    ///
+    /// Used by clients with reconnect logic: I/O and timeout failures are
+    /// transient, protocol/corruption/rejection failures are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Io(_) | StoreError::Timeout | StoreError::Closed
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Protocol(m) => write!(f, "protocol error: {m}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            StoreError::Rejected(m) => write!(f, "request rejected: {m}"),
+            StoreError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            StoreError::Conflict(m) => write!(f, "conflict: {m}"),
+            StoreError::Closed => write!(f, "store closed"),
+            StoreError::Timeout => write!(f, "operation timed out"),
+            StoreError::Codec(m) => write!(f, "codec error: {m}"),
+            StoreError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = StoreError::Protocol("bad frame".into());
+        assert!(e.to_string().contains("bad frame"));
+        let e = StoreError::Io(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(StoreError::Timeout.is_transient());
+        assert!(StoreError::Closed.is_transient());
+        assert!(StoreError::Io(std::io::Error::other("x")).is_transient());
+        assert!(!StoreError::Protocol("x".into()).is_transient());
+        assert!(!StoreError::Corrupt("x".into()).is_transient());
+        assert!(!StoreError::Unsupported("x").is_transient());
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let e = StoreError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,38 @@
+//! # kvapi — the common key-value interface
+//!
+//! This crate defines the *common key-value interface* at the heart of the
+//! Universal Data Store Manager (UDSM) described in
+//! "Providing Enhanced Functionality for Data Store Clients" (ICDE 2017).
+//!
+//! Every data store in the workspace — file system (`fskv`), relational
+//! database (`minisql`), remote cache (`miniredis`), simulated cloud
+//! object stores (`cloudstore`) and plain in-memory maps — implements the
+//! [`KeyValue`] trait. Code written against `dyn KeyValue` (asynchronous
+//! interfaces, performance monitoring, workload generation, caching layers)
+//! therefore works with *any* store, which is exactly the property the paper
+//! exploits: "Once a data store implements the key-value interface, no
+//! additional work is required to automatically get an asynchronous
+//! interface, performance monitoring, or workload generation."
+//!
+//! The crate also provides:
+//!
+//! * [`StoreError`] / [`Result`] — the common error type,
+//! * [`Versioned`] and [`Etag`] — versioned values used for cache
+//!   revalidation (the HTTP `If-None-Match` analogue from §III of the paper),
+//! * [`codec::Codec`] — the byte-transformer interface implemented by the
+//!   encryption and compression crates,
+//! * [`mem::MemKv`] — a reference in-memory store,
+//! * [`contract`] — a reusable conformance suite that every store's test
+//!   module runs, so all stores are held to identical semantics.
+
+pub mod codec;
+pub mod contract;
+pub mod error;
+pub mod mem;
+pub mod traits;
+pub mod value;
+
+pub use bytes::Bytes;
+pub use error::{Result, StoreError};
+pub use traits::{CondGet, KeyValue, StoreStats};
+pub use value::{Etag, Versioned};

@@ -1,0 +1,185 @@
+//! A reference in-memory store.
+//!
+//! `MemKv` is the simplest possible [`KeyValue`] implementation: a sharded
+//! hash map guarded by `parking_lot::RwLock`s. It serves three roles in the
+//! workspace:
+//!
+//! * the reference semantics against which the [`contract`](crate::contract)
+//!   suite was written,
+//! * a fast baseline store for examples and tests, and
+//! * the backing map reused by the `miniredis` and `cloudstore` servers.
+
+use crate::error::Result;
+use crate::traits::{CondGet, KeyValue, StoreStats};
+use crate::value::{now_millis, Etag, Versioned};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+const SHARDS: usize = 16;
+
+struct Entry {
+    data: Bytes,
+    etag: Etag,
+    modified_ms: u64,
+    version: u64,
+}
+
+/// Sharded in-memory key-value store with native version tracking.
+pub struct MemKv {
+    name: String,
+    shards: Vec<RwLock<HashMap<String, Entry>>>,
+}
+
+impl MemKv {
+    /// Create an empty store with the given display name.
+    pub fn new(name: impl Into<String>) -> MemKv {
+        MemKv {
+            name: name.into(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+}
+
+impl Default for MemKv {
+    fn default() -> Self {
+        MemKv::new("mem")
+    }
+}
+
+impl KeyValue for MemKv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        let data = Bytes::copy_from_slice(value);
+        let etag = Etag::of_bytes(&data);
+        let mut shard = self.shard(key).write();
+        let version = shard.get(key).map(|e| e.version + 1).unwrap_or(0);
+        shard.insert(
+            key.to_string(),
+            Entry { data, etag, modified_ms: now_millis(), version },
+        );
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        Ok(self.shard(key).read().get(key).map(|e| e.data.clone()))
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        Ok(self.shard(key).write().remove(key).is_some())
+    }
+
+    fn contains(&self, key: &str) -> Result<bool> {
+        Ok(self.shard(key).read().contains_key(key))
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.read().keys().cloned());
+        }
+        Ok(out)
+    }
+
+    fn clear(&self) -> Result<()> {
+        for s in &self.shards {
+            s.write().clear();
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        let mut st = StoreStats::default();
+        for s in &self.shards {
+            let g = s.read();
+            st.keys += g.len() as u64;
+            st.bytes += g.values().map(|e| e.data.len() as u64).sum::<u64>();
+        }
+        Ok(st)
+    }
+
+    fn get_versioned(&self, key: &str) -> Result<Option<Versioned>> {
+        Ok(self.shard(key).read().get(key).map(|e| Versioned {
+            data: e.data.clone(),
+            etag: e.etag,
+            modified_ms: e.modified_ms,
+        }))
+    }
+
+    fn get_if_none_match(&self, key: &str, etag: Etag) -> Result<CondGet> {
+        let shard = self.shard(key).read();
+        match shard.get(key) {
+            None => Ok(CondGet::Missing),
+            Some(e) if e.etag == etag => Ok(CondGet::NotModified),
+            Some(e) => Ok(CondGet::Modified(Versioned {
+                data: e.data.clone(),
+                etag: e.etag,
+                modified_ms: e.modified_ms,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn contract() {
+        crate::contract::run_all(&MemKv::new("mem"));
+    }
+
+    #[test]
+    fn overwrites_bump_versions() {
+        let kv = MemKv::new("m");
+        kv.put("k", b"a").unwrap();
+        let shard = kv.shard("k").read();
+        assert_eq!(shard.get("k").unwrap().version, 0);
+        drop(shard);
+        kv.put("k", b"b").unwrap();
+        assert_eq!(kv.shard("k").read().get("k").unwrap().version, 1);
+    }
+
+    #[test]
+    fn stats_tracks_bytes() {
+        let kv = MemKv::new("m");
+        kv.put("a", &[0u8; 100]).unwrap();
+        kv.put("b", &[0u8; 50]).unwrap();
+        let st = kv.stats().unwrap();
+        assert_eq!(st.keys, 2);
+        assert_eq!(st.bytes, 150);
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets() {
+        let kv = Arc::new(MemKv::new("m"));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let kv = kv.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let key = format!("k{}", (t * 200 + i) % 50);
+                    kv.put(&key, format!("v{t}-{i}").as_bytes()).unwrap();
+                    let got = kv.get(&key).unwrap();
+                    assert!(got.is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.stats().unwrap().keys, 50);
+    }
+}

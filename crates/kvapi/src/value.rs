@@ -1,0 +1,157 @@
+//! Versioned values and entity tags.
+//!
+//! §III of the paper describes expiration-time management in the DSCL: an
+//! expired cached object is not necessarily obsolete, so the client can
+//! *revalidate* it with the server "in a manner similar to an HTTP GET
+//! request with an If-Modified-Since header", sending "a timestamp, entity
+//! tag, or other information identifying the version". [`Etag`] is that
+//! entity tag and [`Versioned`] is a value bundled with its tag and storage
+//! timestamp.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// An entity tag identifying one version of a stored object.
+///
+/// Stores either assign monotonically increasing version counters or derive
+/// the tag from the content ([`Etag::of_bytes`], an FNV-1a content hash).
+/// Two values with equal tags are treated as identical for revalidation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Etag(pub u64);
+
+impl Etag {
+    /// Content-derived tag: 64-bit FNV-1a over the value bytes.
+    ///
+    /// FNV is not collision-resistant against adversaries; it is used here
+    /// the way HTTP servers use weak validators. Stores that need strong
+    /// validators may assign version counters instead.
+    pub fn of_bytes(data: &[u8]) -> Etag {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &b in data {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        Etag(h)
+    }
+
+    /// Render as the fixed-width hex form used on the wire (HTTP header,
+    /// RESP field) by the remote stores.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the wire form produced by [`Etag::to_hex`].
+    pub fn from_hex(s: &str) -> Option<Etag> {
+        u64::from_str_radix(s.trim().trim_matches('"'), 16).ok().map(Etag)
+    }
+}
+
+impl fmt::Debug for Etag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Etag({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Etag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Milliseconds since the Unix epoch; the timestamp granularity used across
+/// the workspace (wire protocols, WAL records, monitor samples).
+pub fn now_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A value together with its version metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Versioned {
+    /// The stored bytes. `Bytes` is reference-counted, so handing a
+    /// `Versioned` to multiple layers (cache + application) never copies
+    /// the payload.
+    pub data: Bytes,
+    /// Entity tag for this version.
+    pub etag: Etag,
+    /// When the store recorded this version (ms since epoch). Zero when the
+    /// store does not track modification times.
+    pub modified_ms: u64,
+}
+
+impl Versioned {
+    /// Wrap raw bytes, deriving a content etag and stamping the current time.
+    pub fn new(data: impl Into<Bytes>) -> Versioned {
+        let data = data.into();
+        let etag = Etag::of_bytes(&data);
+        Versioned { data, etag, modified_ms: now_millis() }
+    }
+
+    /// Wrap raw bytes with an explicit store-assigned tag.
+    pub fn with_etag(data: impl Into<Bytes>, etag: Etag, modified_ms: u64) -> Versioned {
+        Versioned { data: data.into(), etag, modified_ms }
+    }
+
+    /// Length of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn etag_is_content_derived_and_stable() {
+        let a = Etag::of_bytes(b"hello");
+        let b = Etag::of_bytes(b"hello");
+        let c = Etag::of_bytes(b"hellp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn etag_empty_input_is_fnv_offset() {
+        assert_eq!(Etag::of_bytes(b"").0, 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn etag_hex_round_trip() {
+        let e = Etag::of_bytes(b"round trip");
+        assert_eq!(Etag::from_hex(&e.to_hex()), Some(e));
+        // Quoted (HTTP-style) and whitespace-padded forms also parse.
+        assert_eq!(Etag::from_hex(&format!("\"{}\"", e.to_hex())), Some(e));
+        assert_eq!(Etag::from_hex(&format!("  {}  ", e.to_hex())), Some(e));
+        assert_eq!(Etag::from_hex("not hex"), None);
+    }
+
+    #[test]
+    fn versioned_new_derives_etag() {
+        let v = Versioned::new(&b"payload"[..]);
+        assert_eq!(v.etag, Etag::of_bytes(b"payload"));
+        assert_eq!(v.len(), 7);
+        assert!(!v.is_empty());
+        assert!(v.modified_ms > 0);
+    }
+
+    #[test]
+    fn now_millis_is_monotonic_enough() {
+        let a = now_millis();
+        let b = now_millis();
+        assert!(b >= a);
+        // Sanity: after 2020-01-01.
+        assert!(a > 1_577_836_800_000);
+    }
+}

@@ -1,0 +1,158 @@
+//! [`RemoteCache`] — miniredis as a remote process cache.
+//!
+//! §III of the paper: "A remote process cache can run on a separate node
+//! from the application … can be shared by multiple clients … However,
+//! remote process caches are generally slower than in-process caches"
+//! because of interprocess communication and serialization. This adapter
+//! implements the `dscl-cache` [`Cache`] trait over the miniredis client, so
+//! the DSCL can use a remote cache interchangeably with the in-process ones
+//! — the benchmark harness uses exactly that symmetry to regenerate the
+//! in-process-vs-remote figures (11–19).
+//!
+//! Like all caches (and unlike stores), it absorbs transport errors as
+//! misses: a flaky cache degrades performance, never correctness.
+
+use crate::client::RedisClient;
+use bytes::Bytes;
+use dscl_cache::{Cache, CacheStats};
+use kvapi::Result;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Remote-process cache backed by a miniredis server.
+pub struct RemoteCache {
+    client: RedisClient,
+    prefix: String,
+    name: String,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl RemoteCache {
+    /// Connect to a miniredis server.
+    pub fn connect(addr: SocketAddr) -> RemoteCache {
+        RemoteCache {
+            client: RedisClient::connect(addr),
+            prefix: "cache:".to_string(),
+            name: "remote-redis".to_string(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Namespace cache entries (defaults to `cache:`).
+    pub fn with_prefix(mut self, prefix: impl Into<String>) -> RemoteCache {
+        self.prefix = prefix.into();
+        self
+    }
+
+    fn full(&self, key: &str) -> String {
+        format!("{}{key}", self.prefix)
+    }
+
+    /// Ping the server (used by setup code to fail fast).
+    pub fn ping(&self) -> Result<bool> {
+        self.client.ping()
+    }
+}
+
+impl Cache for RemoteCache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn get(&self, key: &str) -> Option<Bytes> {
+        match self.client.get(&self.full(key)) {
+            Ok(Some(v)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &str, value: Bytes) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        let _ = self.client.set(&self.full(key), &value);
+    }
+
+    fn remove(&self, key: &str) -> bool {
+        self.client.del(&self.full(key)).unwrap_or(false)
+    }
+
+    fn clear(&self) {
+        if let Ok(keys) = self.client.keys(&format!("{}*", self.prefix)) {
+            for k in keys {
+                let _ = self.client.del(&k);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.client.keys(&format!("{}*", self.prefix)).map(|k| k.len()).unwrap_or(0)
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: 0, // server-side; not tracked per client
+            insertions: self.insertions.load(Ordering::Relaxed),
+            bytes: 0,
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    #[test]
+    fn cache_semantics_end_to_end() {
+        let server = Server::start().unwrap();
+        let c = RemoteCache::connect(server.addr());
+        assert!(c.ping().unwrap());
+        assert!(c.get("k").is_none());
+        c.put("k", Bytes::from_static(b"v"));
+        assert_eq!(c.get("k").unwrap(), Bytes::from_static(b"v"));
+        assert_eq!(c.len(), 1);
+        assert!(c.remove("k"));
+        assert!(!c.remove("k"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn clear_respects_prefix() {
+        let server = Server::start().unwrap();
+        let cache = RemoteCache::connect(server.addr());
+        let other = RedisClient::connect(server.addr());
+        other.set("data:primary", b"keep me").unwrap();
+        cache.put("x", Bytes::from_static(b"1"));
+        cache.put("y", Bytes::from_static(b"2"));
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(other.get("data:primary").unwrap().unwrap(), &b"keep me"[..]);
+    }
+
+    #[test]
+    fn dead_server_degrades_to_misses() {
+        let mut server = Server::start().unwrap();
+        let c = RemoteCache::connect(server.addr());
+        c.put("k", Bytes::from_static(b"v"));
+        server.stop();
+        // With the server gone, gets are misses and puts are dropped —
+        // never panics or hangs.
+        assert!(c.get("k").is_none());
+        c.put("k2", Bytes::from_static(b"v2"));
+        assert!(!c.remove("k"));
+        assert_eq!(c.len(), 0);
+    }
+}

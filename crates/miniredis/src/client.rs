@@ -1,0 +1,450 @@
+//! A Jedis-like client for the miniredis server.
+//!
+//! One TCP connection guarded by a mutex, lazy reconnect after transient
+//! failures, and a pipelining entry point ([`RedisClient::pipeline`]) that
+//! sends a batch of commands before reading any replies — the standard
+//! round-trip-amortization trick.
+
+use crate::resp::{command, read_value, write_value, Value};
+use bytes::Bytes;
+use kvapi::{Result, StoreError};
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr, timeout: Duration) -> Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Conn { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    fn round_trip(&mut self, cmd: &Value) -> Result<Value> {
+        write_value(&mut self.writer, cmd)?;
+        self.writer.flush()?;
+        read_value(&mut self.reader)
+    }
+}
+
+/// Thread-safe client handle.
+///
+/// Maintains a small pool of connections so concurrent callers (the UDSM
+/// thread pool, multi-threaded cache users) run in parallel rather than
+/// serializing on one socket — like Jedis's pooled mode.
+pub struct RedisClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    pool: Mutex<Vec<Conn>>,
+    max_idle: usize,
+}
+
+impl RedisClient {
+    /// Connect to a server (lazily; the first command opens the socket).
+    pub fn connect(addr: SocketAddr) -> RedisClient {
+        RedisClient {
+            addr,
+            timeout: Duration::from_secs(10),
+            pool: Mutex::new(Vec::new()),
+            max_idle: 16,
+        }
+    }
+
+    /// Override the per-operation timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> RedisClient {
+        self.timeout = timeout;
+        self
+    }
+
+    fn checkout(&self, fresh: bool) -> Result<Conn> {
+        if !fresh {
+            if let Some(c) = self.pool.lock().pop() {
+                return Ok(c);
+            }
+        }
+        Conn::open(self.addr, self.timeout)
+    }
+
+    fn checkin(&self, conn: Conn) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.max_idle {
+            pool.push(conn);
+        }
+    }
+
+    /// Issue one command, retrying once on a fresh connection after a
+    /// transient failure (a pooled socket may have gone stale).
+    pub fn exec(&self, parts: &[&[u8]]) -> Result<Value> {
+        let cmd = command(parts);
+        for attempt in 0..2 {
+            let mut conn = self.checkout(attempt > 0)?;
+            match conn.round_trip(&cmd) {
+                Ok(v) => {
+                    self.checkin(conn);
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() && attempt == 0 => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on second attempt")
+    }
+
+    /// Send all commands, then read all replies (pipelining).
+    pub fn pipeline(&self, cmds: &[Vec<Vec<u8>>]) -> Result<Vec<Value>> {
+        let mut conn = self.checkout(false)?;
+        let result = (|| {
+            for parts in cmds {
+                let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+                write_value(&mut conn.writer, &command(&refs))?;
+            }
+            conn.writer.flush()?;
+            let mut replies = Vec::with_capacity(cmds.len());
+            for _ in cmds {
+                replies.push(read_value(&mut conn.reader)?);
+            }
+            Ok(replies)
+        })();
+        if result.is_ok() {
+            self.checkin(conn);
+        }
+        result
+    }
+
+    fn expect_ok(v: Value) -> Result<()> {
+        match v {
+            Value::Simple(s) if s == "OK" => Ok(()),
+            Value::Error(e) => Err(StoreError::Rejected(e)),
+            other => Err(StoreError::protocol(format!("expected +OK, got {other:?}"))),
+        }
+    }
+
+    fn expect_int(v: Value) -> Result<i64> {
+        match v {
+            Value::Int(n) => Ok(n),
+            Value::Error(e) => Err(StoreError::Rejected(e)),
+            other => Err(StoreError::protocol(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// `PING` → true when the server answers PONG.
+    pub fn ping(&self) -> Result<bool> {
+        Ok(matches!(self.exec(&[b"PING"])?, Value::Simple(s) if s == "PONG"))
+    }
+
+    /// `SET key value`.
+    pub fn set(&self, key: &str, value: &[u8]) -> Result<()> {
+        Self::expect_ok(self.exec(&[b"SET", key.as_bytes(), value])?)
+    }
+
+    /// `SET key value PX ms`.
+    pub fn set_px(&self, key: &str, value: &[u8], ttl_ms: u64) -> Result<()> {
+        let ms = ttl_ms.to_string();
+        Self::expect_ok(self.exec(&[b"SET", key.as_bytes(), value, b"PX", ms.as_bytes()])?)
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        match self.exec(&[b"GET", key.as_bytes()])? {
+            Value::Bulk(b) => Ok(b),
+            Value::Error(e) => Err(StoreError::Rejected(e)),
+            other => Err(StoreError::protocol(format!("expected bulk, got {other:?}"))),
+        }
+    }
+
+    /// `DEL key` → whether a value existed.
+    pub fn del(&self, key: &str) -> Result<bool> {
+        Ok(Self::expect_int(self.exec(&[b"DEL", key.as_bytes()])?)? > 0)
+    }
+
+    /// `EXISTS key`.
+    pub fn exists(&self, key: &str) -> Result<bool> {
+        Ok(Self::expect_int(self.exec(&[b"EXISTS", key.as_bytes()])?)? > 0)
+    }
+
+    /// `PEXPIRE key ms` → whether the key existed.
+    pub fn pexpire(&self, key: &str, ttl_ms: u64) -> Result<bool> {
+        let ms = ttl_ms.to_string();
+        Ok(Self::expect_int(self.exec(&[b"PEXPIRE", key.as_bytes(), ms.as_bytes()])?)? > 0)
+    }
+
+    /// `PTTL key` → remaining ms, `None` if no TTL, error text if missing.
+    pub fn pttl(&self, key: &str) -> Result<Option<i64>> {
+        match Self::expect_int(self.exec(&[b"PTTL", key.as_bytes()])?)? {
+            -2 => Err(StoreError::Rejected("no such key".into())),
+            -1 => Ok(None),
+            n => Ok(Some(n)),
+        }
+    }
+
+    /// `INCR key`.
+    pub fn incr(&self, key: &str) -> Result<i64> {
+        Self::expect_int(self.exec(&[b"INCR", key.as_bytes()])?)
+    }
+
+    /// `KEYS pattern`.
+    pub fn keys(&self, pattern: &str) -> Result<Vec<String>> {
+        match self.exec(&[b"KEYS", pattern.as_bytes()])? {
+            Value::Array(Some(items)) => items
+                .into_iter()
+                .map(|v| match v {
+                    Value::Bulk(Some(b)) => String::from_utf8(b.to_vec())
+                        .map_err(|_| StoreError::protocol("non-utf8 key")),
+                    other => Err(StoreError::protocol(format!("bad KEYS item {other:?}"))),
+                })
+                .collect(),
+            other => Err(StoreError::protocol(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// `SCAN`: iterate all keys matching `pattern` in batches, following
+    /// cursors until the server reports completion.
+    pub fn scan(&self, pattern: &str, batch: usize) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut cursor = "0".to_string();
+        let count = batch.max(1).to_string();
+        loop {
+            let reply = self.exec(&[
+                b"SCAN",
+                cursor.as_bytes(),
+                b"MATCH",
+                pattern.as_bytes(),
+                b"COUNT",
+                count.as_bytes(),
+            ])?;
+            let Value::Array(Some(mut parts)) = reply else {
+                return Err(StoreError::protocol("bad SCAN reply"));
+            };
+            if parts.len() != 2 {
+                return Err(StoreError::protocol("SCAN reply must have 2 elements"));
+            }
+            let keys = parts.pop().expect("len checked");
+            let cur = parts.pop().expect("len checked");
+            let Value::Bulk(Some(c)) = cur else {
+                return Err(StoreError::protocol("bad SCAN cursor"));
+            };
+            cursor = String::from_utf8(c.to_vec())
+                .map_err(|_| StoreError::protocol("non-utf8 cursor"))?;
+            let Value::Array(Some(items)) = keys else {
+                return Err(StoreError::protocol("bad SCAN key list"));
+            };
+            for item in items {
+                match item {
+                    Value::Bulk(Some(b)) => out.push(
+                        String::from_utf8(b.to_vec())
+                            .map_err(|_| StoreError::protocol("non-utf8 key"))?,
+                    ),
+                    other => {
+                        return Err(StoreError::protocol(format!("bad SCAN item {other:?}")))
+                    }
+                }
+            }
+            if cursor == "0" {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// `DBSIZE`.
+    pub fn dbsize(&self) -> Result<i64> {
+        Self::expect_int(self.exec(&[b"DBSIZE"])?)
+    }
+
+    /// `FLUSHALL`.
+    pub fn flushall(&self) -> Result<()> {
+        Self::expect_ok(self.exec(&[b"FLUSHALL"])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+
+    #[test]
+    fn basic_commands_end_to_end() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        assert!(c.ping().unwrap());
+        c.set("k", b"v").unwrap();
+        assert_eq!(c.get("k").unwrap().unwrap(), Bytes::from_static(b"v"));
+        assert!(c.exists("k").unwrap());
+        assert!(c.del("k").unwrap());
+        assert!(!c.del("k").unwrap());
+        assert_eq!(c.get("k").unwrap(), None);
+    }
+
+    #[test]
+    fn ttl_expiry_end_to_end() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        c.set_px("soon", b"gone", 60).unwrap();
+        assert!(c.get("soon").unwrap().is_some());
+        let ttl = c.pttl("soon").unwrap().unwrap();
+        assert!(ttl > 0 && ttl <= 60, "ttl={ttl}");
+        std::thread::sleep(Duration::from_millis(90));
+        assert_eq!(c.get("soon").unwrap(), None, "value must expire");
+        // pexpire on an existing key
+        c.set("later", b"v").unwrap();
+        assert!(c.pexpire("later", 50).unwrap());
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!c.exists("later").unwrap());
+    }
+
+    #[test]
+    fn incr_and_dbsize() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        assert_eq!(c.incr("counter").unwrap(), 1);
+        assert_eq!(c.incr("counter").unwrap(), 2);
+        c.set("text", b"not a number").unwrap();
+        assert!(c.incr("text").is_err());
+        assert_eq!(c.dbsize().unwrap(), 2);
+        c.flushall().unwrap();
+        assert_eq!(c.dbsize().unwrap(), 0);
+    }
+
+    #[test]
+    fn keys_patterns() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        c.set("user:1", b"a").unwrap();
+        c.set("user:2", b"b").unwrap();
+        c.set("other", b"c").unwrap();
+        let mut users = c.keys("user:*").unwrap();
+        users.sort();
+        assert_eq!(users, vec!["user:1", "user:2"]);
+        assert_eq!(c.keys("*").unwrap().len(), 3);
+        assert_eq!(c.keys("other").unwrap(), vec!["other"]);
+    }
+
+    #[test]
+    fn pipeline_round_trips() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        let cmds: Vec<Vec<Vec<u8>>> = (0..10)
+            .map(|i| {
+                vec![
+                    b"SET".to_vec(),
+                    format!("p{i}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                ]
+            })
+            .collect();
+        let replies = c.pipeline(&cmds).unwrap();
+        assert_eq!(replies.len(), 10);
+        assert!(replies.iter().all(|r| *r == Value::ok()));
+        assert_eq!(c.dbsize().unwrap(), 10);
+    }
+
+    #[test]
+    fn reconnects_after_server_restart_fails_gracefully() {
+        let mut server = Server::start().unwrap();
+        let addr = server.addr();
+        let c = RedisClient::connect(addr).with_timeout(Duration::from_millis(500));
+        c.set("k", b"v").unwrap();
+        server.stop();
+        // Server gone: command must error, not hang or panic.
+        assert!(c.ping().is_err() || c.get("k").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        match c.exec(&[b"NOSUCHCMD"]).unwrap() {
+            Value::Error(e) => assert!(e.contains("unknown command")),
+            other => panic!("expected error reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_safe_values() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        c.set("bin", &data).unwrap();
+        assert_eq!(c.get("bin").unwrap().unwrap(), Bytes::from(data));
+    }
+
+    #[test]
+    fn memory_bound_evicts_lru() {
+        let server = Server::start_with(crate::server::ServerConfig {
+            max_memory: 5_000,
+            ..Default::default()
+        })
+        .unwrap();
+        let c = RedisClient::connect(server.addr());
+        for i in 0..100 {
+            c.set(&format!("k{i}"), &[0u8; 100]).unwrap();
+        }
+        let n = c.dbsize().unwrap();
+        assert!(n < 100, "eviction should have kicked in, still have {n}");
+        assert!(n > 10, "should retain a working set, only {n} left");
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Server::start().unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let c = RedisClient::connect(addr);
+                    for i in 0..100 {
+                        let k = format!("t{t}-{i}");
+                        c.set(&k, k.as_bytes()).unwrap();
+                        assert_eq!(c.get(&k).unwrap().unwrap(), Bytes::from(k.into_bytes()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = RedisClient::connect(addr);
+        assert_eq!(c.dbsize().unwrap(), 600);
+    }
+}
+
+#[cfg(test)]
+mod scan_tests {
+    use super::*;
+    use crate::server::Server;
+
+    #[test]
+    fn scan_iterates_everything_in_batches() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        for i in 0..57 {
+            c.set(&format!("key:{i:03}"), b"v").unwrap();
+        }
+        c.set("other", b"v").unwrap();
+        let mut keys = c.scan("key:*", 10).unwrap();
+        keys.sort();
+        assert_eq!(keys.len(), 57);
+        assert_eq!(keys[0], "key:000");
+        assert_eq!(keys[56], "key:056");
+        // Exact-match and match-all patterns.
+        assert_eq!(c.scan("other", 5).unwrap(), vec!["other"]);
+        assert_eq!(c.scan("*", 7).unwrap().len(), 58);
+        assert!(c.scan("missing*", 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_skips_expired_entries() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        c.set("live", b"v").unwrap();
+        c.set_px("dying", b"v", 30).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert_eq!(c.scan("*", 10).unwrap(), vec!["live"]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # miniredis — a Redis-compatible remote-process cache, from scratch
+//!
+//! The paper uses "a Redis instance running on the client node accessed via
+//! the Jedis client" both as a data store in its own right (Figs. 9/10/19)
+//! and as the **remote process cache** for every other store
+//! (Figs. 12/14/16/18). No Redis is available offline, so this crate
+//! implements the relevant slice of it over real TCP:
+//!
+//! * [`resp`] — the RESP2 wire protocol (what Redis and Jedis speak);
+//! * [`server`] — a threaded server with per-key expiration, lazy + active
+//!   expiry, and approximate-LRU eviction under a memory bound (sampling
+//!   eviction, like real Redis's `allkeys-lru`);
+//! * [`client`] — a Jedis-like client with reconnect and pipelining;
+//! * [`RedisKv`] — the client exposed through the common [`kvapi::KeyValue`]
+//!   interface;
+//! * [`RemoteCache`] — the client exposed through the `dscl-cache`
+//!   [`Cache`](dscl_cache::Cache) interface, which is what makes it a
+//!   drop-in *remote process cache* for the DSCL.
+//!
+//! Because client and server are separate processes-worth of machinery
+//! talking through the loopback stack, reads genuinely pay interprocess
+//! communication + serialization — the overhead the paper measures when
+//! comparing remote-process against in-process caching (its Fig. 19
+//! discussion).
+
+pub mod cache;
+pub mod persist;
+pub mod client;
+pub mod resp;
+pub mod server;
+pub mod store;
+
+pub use cache::RemoteCache;
+pub use client::RedisClient;
+pub use server::{Server, ServerConfig};
+pub use store::RedisKv;

@@ -1,0 +1,179 @@
+//! Snapshot persistence — miniredis's RDB analogue.
+//!
+//! §III of the paper: "Some caches such as redis have the ability to back
+//! up data in persistent storage … It is also often desirable to store some
+//! data from a cache persistently before shutting down a cache process.
+//! That way, when the cache is restarted, it can quickly be brought to a
+//! warm state by reading in the data previously stored persistently."
+//!
+//! Format: `MRDB` magic, entry count, then per entry:
+//! `key_len u32 | key | val_len u32 | val | expires_at u64 (0 = none)`.
+//! Entries whose TTL has already elapsed are skipped at save time and again
+//! at load time, so a snapshot never resurrects dead values.
+
+use kvapi::value::now_millis;
+use kvapi::{Result, StoreError};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MRDB";
+
+/// One persisted entry.
+pub struct SnapshotEntry {
+    /// Key.
+    pub key: String,
+    /// Value bytes.
+    pub value: Vec<u8>,
+    /// Absolute expiry in ms since epoch; `None` = immortal.
+    pub expires_at: Option<u64>,
+}
+
+/// Write entries to `path` atomically (tmp + rename). Already-expired
+/// entries are dropped.
+pub fn save(path: impl AsRef<Path>, entries: impl Iterator<Item = SnapshotEntry>) -> Result<u64> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    let now = now_millis();
+    let mut written = 0u64;
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC)?;
+        // Count written later? Stream format instead: sentinel-free, read
+        // to EOF. Keep it simple and robust: no count field.
+        for e in entries {
+            if e.expires_at.map(|t| t <= now).unwrap_or(false) {
+                continue;
+            }
+            w.write_all(&(e.key.len() as u32).to_le_bytes())?;
+            w.write_all(e.key.as_bytes())?;
+            w.write_all(&(e.value.len() as u32).to_le_bytes())?;
+            w.write_all(&e.value)?;
+            w.write_all(&e.expires_at.unwrap_or(0).to_le_bytes())?;
+            written += 1;
+        }
+        w.flush()?;
+        w.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(written)
+}
+
+/// Load a snapshot; missing file = empty. Expired entries are skipped.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<SnapshotEntry>> {
+    let file = match std::fs::File::open(path.as_ref()) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(|_| StoreError::corrupt("snapshot too short"))?;
+    if &magic != MAGIC {
+        return Err(StoreError::corrupt("bad snapshot magic"));
+    }
+    let now = now_millis();
+    let mut out = Vec::new();
+    loop {
+        let mut len4 = [0u8; 4];
+        match r.read_exact(&mut len4) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let key_len = u32::from_le_bytes(len4) as usize;
+        if key_len > 1 << 20 {
+            return Err(StoreError::corrupt("implausible key length"));
+        }
+        let mut key = vec![0u8; key_len];
+        r.read_exact(&mut key).map_err(|_| StoreError::corrupt("truncated snapshot key"))?;
+        r.read_exact(&mut len4).map_err(|_| StoreError::corrupt("truncated snapshot"))?;
+        let val_len = u32::from_le_bytes(len4) as usize;
+        if val_len > 1 << 30 {
+            return Err(StoreError::corrupt("implausible value length"));
+        }
+        let mut value = vec![0u8; val_len];
+        r.read_exact(&mut value).map_err(|_| StoreError::corrupt("truncated snapshot value"))?;
+        let mut exp8 = [0u8; 8];
+        r.read_exact(&mut exp8).map_err(|_| StoreError::corrupt("truncated snapshot expiry"))?;
+        let expires_at = match u64::from_le_bytes(exp8) {
+            0 => None,
+            t => Some(t),
+        };
+        if expires_at.map(|t| t <= now).unwrap_or(false) {
+            continue;
+        }
+        let key = String::from_utf8(key).map_err(|_| StoreError::corrupt("non-utf8 key"))?;
+        out.push(SnapshotEntry { key, value, expires_at });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mrdb-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = temp("rt");
+        let entries = vec![
+            SnapshotEntry { key: "a".into(), value: b"1".to_vec(), expires_at: None },
+            SnapshotEntry {
+                key: "b".into(),
+                value: vec![0u8; 10_000],
+                expires_at: Some(now_millis() + 60_000),
+            },
+        ];
+        assert_eq!(save(&path, entries.into_iter()).unwrap(), 2);
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].key, "a");
+        assert_eq!(loaded[1].value.len(), 10_000);
+        assert!(loaded[1].expires_at.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn expired_entries_dropped_on_save_and_load() {
+        let path = temp("exp");
+        let entries = vec![
+            SnapshotEntry { key: "live".into(), value: b"x".to_vec(), expires_at: None },
+            SnapshotEntry { key: "dead".into(), value: b"y".to_vec(), expires_at: Some(1) },
+        ];
+        assert_eq!(save(&path, entries.into_iter()).unwrap(), 1, "dead entry skipped at save");
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].key, "live");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        assert!(load(temp("missing")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected() {
+        let path = temp("bad");
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::write(&path, b"MRDB\xff\xff\xff\xff").unwrap();
+        assert!(load(&path).is_err());
+        // Truncated mid-entry.
+        save(
+            &path,
+            vec![SnapshotEntry { key: "k".into(), value: vec![9; 100], expires_at: None }]
+                .into_iter(),
+        )
+        .unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data.truncate(data.len() - 20);
+        std::fs::write(&path, &data).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

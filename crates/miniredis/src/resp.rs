@@ -1,0 +1,215 @@
+//! RESP2 (REdis Serialization Protocol) encoding and decoding.
+//!
+//! The five frame types: simple strings (`+OK\r\n`), errors (`-ERR …`),
+//! integers (`:42`), bulk strings (`$5\r\nhello\r\n`, `$-1` = nil) and
+//! arrays (`*2\r\n…`, `*-1` = nil array).
+
+use bytes::Bytes;
+use kvapi::{Result, StoreError};
+use std::io::{BufRead, Write};
+
+/// One RESP value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// `+...` simple string.
+    Simple(String),
+    /// `-...` error reply.
+    Error(String),
+    /// `:n` integer.
+    Int(i64),
+    /// `$n` bulk string; `None` is the nil bulk (`$-1`).
+    Bulk(Option<Bytes>),
+    /// `*n` array; `None` is the nil array (`*-1`).
+    Array(Option<Vec<Value>>),
+}
+
+impl Value {
+    /// Convenience: a non-nil bulk from bytes.
+    pub fn bulk(data: impl Into<Bytes>) -> Value {
+        Value::Bulk(Some(data.into()))
+    }
+
+    /// Convenience: the nil bulk.
+    pub fn nil() -> Value {
+        Value::Bulk(None)
+    }
+
+    /// Convenience: `+OK`.
+    pub fn ok() -> Value {
+        Value::Simple("OK".to_string())
+    }
+}
+
+/// Serialize `v` to `w`.
+pub fn write_value(w: &mut impl Write, v: &Value) -> std::io::Result<()> {
+    match v {
+        Value::Simple(s) => {
+            debug_assert!(!s.contains('\r') && !s.contains('\n'));
+            write!(w, "+{s}\r\n")
+        }
+        Value::Error(s) => write!(w, "-{s}\r\n"),
+        Value::Int(n) => write!(w, ":{n}\r\n"),
+        Value::Bulk(None) => w.write_all(b"$-1\r\n"),
+        Value::Bulk(Some(data)) => {
+            write!(w, "${}\r\n", data.len())?;
+            w.write_all(data)?;
+            w.write_all(b"\r\n")
+        }
+        Value::Array(None) => w.write_all(b"*-1\r\n"),
+        Value::Array(Some(items)) => {
+            write!(w, "*{}\r\n", items.len())?;
+            for item in items {
+                write_value(w, item)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(StoreError::Closed);
+    }
+    if !line.ends_with("\r\n") {
+        return Err(StoreError::protocol("RESP line missing CRLF"));
+    }
+    line.truncate(line.len() - 2);
+    Ok(line)
+}
+
+/// Deserialize one value from `r`. Returns `StoreError::Closed` on clean EOF
+/// at a frame boundary.
+pub fn read_value(r: &mut impl BufRead) -> Result<Value> {
+    let line = read_line(r)?;
+    let (kind, rest) = line
+        .split_at_checked(1)
+        .ok_or_else(|| StoreError::protocol("empty RESP frame"))?;
+    match kind {
+        "+" => Ok(Value::Simple(rest.to_string())),
+        "-" => Ok(Value::Error(rest.to_string())),
+        ":" => rest
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| StoreError::protocol(format!("bad integer {rest:?}"))),
+        "$" => {
+            let n: i64 =
+                rest.parse().map_err(|_| StoreError::protocol(format!("bad bulk len {rest:?}")))?;
+            if n < 0 {
+                return Ok(Value::Bulk(None));
+            }
+            if n > 512 * 1024 * 1024 {
+                return Err(StoreError::protocol("bulk string too large"));
+            }
+            let mut buf = vec![0u8; n as usize + 2];
+            r.read_exact(&mut buf)
+                .map_err(|_| StoreError::protocol("truncated bulk string"))?;
+            if &buf[n as usize..] != b"\r\n" {
+                return Err(StoreError::protocol("bulk string missing CRLF"));
+            }
+            buf.truncate(n as usize);
+            Ok(Value::Bulk(Some(Bytes::from(buf))))
+        }
+        "*" => {
+            let n: i64 = rest
+                .parse()
+                .map_err(|_| StoreError::protocol(format!("bad array len {rest:?}")))?;
+            if n < 0 {
+                return Ok(Value::Array(None));
+            }
+            if n > 1_000_000 {
+                return Err(StoreError::protocol("array too large"));
+            }
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                items.push(read_value(r)?);
+            }
+            Ok(Value::Array(Some(items)))
+        }
+        other => Err(StoreError::protocol(format!("unknown RESP type {other:?}"))),
+    }
+}
+
+/// Encode a client command (array of bulk strings).
+pub fn command(parts: &[&[u8]]) -> Value {
+    Value::Array(Some(parts.iter().map(|p| Value::bulk(Bytes::copy_from_slice(p))).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        write_value(&mut buf, v).unwrap();
+        read_value(&mut BufReader::new(&buf[..])).unwrap()
+    }
+
+    #[test]
+    fn all_types_round_trip() {
+        for v in [
+            Value::Simple("OK".into()),
+            Value::Error("ERR something broke".into()),
+            Value::Int(0),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::bulk(&b"hello"[..]),
+            Value::bulk(&b""[..]),
+            Value::bulk(&b"with\r\nnewlines\0and nul"[..]),
+            Value::nil(),
+            Value::Array(None),
+            Value::Array(Some(vec![])),
+            Value::Array(Some(vec![
+                Value::bulk(&b"SET"[..]),
+                Value::bulk(&b"key"[..]),
+                Value::Int(7),
+                Value::Array(Some(vec![Value::nil()])),
+            ])),
+        ] {
+            assert_eq!(round_trip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn wire_format_examples() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &Value::ok()).unwrap();
+        assert_eq!(buf, b"+OK\r\n");
+        buf.clear();
+        write_value(&mut buf, &Value::bulk(&b"hey"[..])).unwrap();
+        assert_eq!(buf, b"$3\r\nhey\r\n");
+        buf.clear();
+        write_value(&mut buf, &Value::nil()).unwrap();
+        assert_eq!(buf, b"$-1\r\n");
+        buf.clear();
+        write_value(&mut buf, &command(&[b"GET", b"k"])).unwrap();
+        assert_eq!(buf, b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n");
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        for bad in [
+            &b"hello\r\n"[..],          // unknown type
+            &b"$5\r\nhi\r\n"[..],       // bulk shorter than declared
+            &b":notanum\r\n"[..],       // bad integer
+            &b"$3\r\nabcXY"[..],        // missing CRLF terminator
+            &b"*2\r\n:1\r\n"[..],       // truncated array
+        ] {
+            assert!(
+                read_value(&mut BufReader::new(bad)).is_err(),
+                "accepted malformed {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_is_closed() {
+        let empty: &[u8] = b"";
+        match read_value(&mut BufReader::new(empty)) {
+            Err(StoreError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+}

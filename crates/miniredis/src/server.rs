@@ -1,0 +1,668 @@
+//! The miniredis server: threaded TCP, per-key expiry, bounded memory with
+//! approximate-LRU eviction.
+
+use crate::resp::{read_value, write_value, Value};
+use bytes::Bytes;
+use kvapi::value::now_millis;
+use kvapi::{Result, StoreError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub bind: SocketAddr,
+    /// Soft memory bound in payload bytes; 0 = unbounded.
+    pub max_memory: u64,
+    /// Active-expiry sweep interval.
+    pub sweep_interval: Duration,
+    /// Snapshot file for warm restarts (paper §III: "when the cache is
+    /// restarted, it can quickly be brought to a warm state"). Loaded at
+    /// startup, written by the `SAVE` command and on [`Server::stop`].
+    pub persistence: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:0".parse().expect("static addr parses"),
+            max_memory: 0,
+            sweep_interval: Duration::from_millis(100),
+            persistence: None,
+        }
+    }
+}
+
+struct Entry {
+    data: Bytes,
+    /// Absolute expiry, ms since epoch; `None` = no TTL.
+    expires_at: Option<u64>,
+    /// Logical clock for approximate LRU.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Db {
+    map: HashMap<String, Entry>,
+    bytes: u64,
+}
+
+impl Db {
+    fn charge(key: &str, data: &Bytes) -> u64 {
+        key.len() as u64 + data.len() as u64
+    }
+
+    fn insert(&mut self, key: String, e: Entry) {
+        if let Some(old) = self.map.get(&key) {
+            self.bytes -= Self::charge(&key, &old.data);
+        }
+        self.bytes += Self::charge(&key, &e.data);
+        self.map.insert(key, e);
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        if let Some(old) = self.map.remove(key) {
+            self.bytes -= Self::charge(key, &old.data);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop the entry if its TTL has elapsed; returns true if it is live.
+    fn check_live(&mut self, key: &str, now: u64) -> bool {
+        let dead = match self.map.get(key) {
+            Some(e) => e.expires_at.map(|t| t <= now).unwrap_or(false),
+            None => return false,
+        };
+        if dead {
+            self.remove(key);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Sampling eviction: pick up to 8 candidates, evict the least recently
+    /// used, repeat until under budget (Redis's `allkeys-lru` approach).
+    fn evict_until_under(&mut self, budget: u64) -> u64 {
+        let mut evicted = 0;
+        while budget > 0 && self.bytes > budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .take(8)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("map non-empty");
+            self.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A running miniredis server. Dropping it shuts the listener down.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    sweep_thread: Option<JoinHandle<()>>,
+    /// Established connections, so `stop` can sever them.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    db: Arc<Mutex<Db>>,
+    persistence: Option<PathBuf>,
+    /// Total commands served (observability for tests).
+    pub commands_served: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Start with default config on an ephemeral loopback port.
+    pub fn start() -> Result<Server> {
+        Server::start_with(ServerConfig::default())
+    }
+
+    /// Start with explicit config.
+    pub fn start_with(cfg: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let db = Arc::new(Mutex::new(Db::default()));
+        if let Some(path) = &cfg.persistence {
+            let mut g = db.lock();
+            for e in crate::persist::load(path)? {
+                g.insert(
+                    e.key,
+                    Entry { data: Bytes::from(e.value), expires_at: e.expires_at, last_used: 0 },
+                );
+            }
+        }
+        let clock = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let commands_served = Arc::new(AtomicU64::new(0));
+
+        let sweep_thread = {
+            let db = db.clone();
+            let shutdown = shutdown.clone();
+            let interval = cfg.sweep_interval;
+            Some(std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    let now = now_millis();
+                    let mut g = db.lock();
+                    let dead: Vec<String> = g
+                        .map
+                        .iter()
+                        .filter(|(_, e)| e.expires_at.map(|t| t <= now).unwrap_or(false))
+                        .map(|(k, _)| k.clone())
+                        .collect();
+                    for k in dead {
+                        g.remove(&k);
+                    }
+                }
+            }))
+        };
+
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let persistence = cfg.persistence.clone();
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let commands_served = commands_served.clone();
+            let conns = conns.clone();
+            let db = db.clone();
+            let persistence = persistence.clone();
+            let max_memory = cfg.max_memory;
+            Some(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Ok(clone) = stream.try_clone() {
+                        let mut g = conns.lock();
+                        // Keep the registry from growing without bound.
+                        g.retain(|s| s.peer_addr().is_ok());
+                        g.push(clone);
+                    }
+                    let db = db.clone();
+                    let clock = clock.clone();
+                    let served = commands_served.clone();
+                    let persist = persistence.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, db, clock, max_memory, served, persist);
+                    });
+                }
+            }))
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread,
+            sweep_thread,
+            conns,
+            db,
+            persistence,
+            commands_served,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Write a snapshot now (the `SAVE` path, callable in-process).
+    pub fn save_snapshot(&self) -> Result<u64> {
+        match &self.persistence {
+            None => Ok(0),
+            Some(path) => save_db(&self.db, path),
+        }
+    }
+
+    /// Request shutdown, sever established connections, join the service
+    /// threads, and (when configured) persist a final snapshot.
+    pub fn stop(&mut self) {
+        let _ = self.save_snapshot();
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sweep_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn save_db(db: &Mutex<Db>, path: &PathBuf) -> Result<u64> {
+    // Clone entries out under the lock, write outside it.
+    let entries: Vec<crate::persist::SnapshotEntry> = {
+        let g = db.lock();
+        g.map
+            .iter()
+            .map(|(k, e)| crate::persist::SnapshotEntry {
+                key: k.clone(),
+                value: e.data.to_vec(),
+                expires_at: e.expires_at,
+            })
+            .collect()
+    };
+    crate::persist::save(path, entries.into_iter())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    db: Arc<Mutex<Db>>,
+    clock: Arc<AtomicU64>,
+    max_memory: u64,
+    served: Arc<AtomicU64>,
+    persist: Option<PathBuf>,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = match read_value(&mut reader) {
+            Ok(f) => f,
+            Err(StoreError::Closed) => return Ok(()),
+            Err(e) => {
+                let _ = write_value(&mut writer, &Value::Error(format!("ERR protocol: {e}")));
+                let _ = writer.flush();
+                return Err(e);
+            }
+        };
+        served.fetch_add(1, Ordering::Relaxed);
+        let reply = dispatch(frame, &db, &clock, max_memory, persist.as_ref());
+        write_value(&mut writer, &reply)?;
+        writer.flush()?;
+    }
+}
+
+fn arg_str(v: &Value) -> Option<String> {
+    match v {
+        Value::Bulk(Some(b)) => String::from_utf8(b.to_vec()).ok(),
+        Value::Simple(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn arg_bytes(v: &Value) -> Option<Bytes> {
+    match v {
+        Value::Bulk(Some(b)) => Some(b.clone()),
+        Value::Simple(s) => Some(Bytes::copy_from_slice(s.as_bytes())),
+        _ => None,
+    }
+}
+
+fn err(msg: impl std::fmt::Display) -> Value {
+    Value::Error(format!("ERR {msg}"))
+}
+
+fn wrong_args(cmd: &str) -> Value {
+    Value::Error(format!("ERR wrong number of arguments for '{cmd}'"))
+}
+
+fn dispatch(
+    frame: Value,
+    db: &Mutex<Db>,
+    clock: &AtomicU64,
+    max_memory: u64,
+    persist: Option<&PathBuf>,
+) -> Value {
+    let Value::Array(Some(parts)) = frame else {
+        return err("expected command array");
+    };
+    if parts.is_empty() {
+        return err("empty command");
+    }
+    let Some(cmd) = arg_str(&parts[0]) else {
+        return err("command name must be a bulk string");
+    };
+    let cmd = cmd.to_ascii_uppercase();
+    let args = &parts[1..];
+    let now = now_millis();
+    let tick = clock.fetch_add(1, Ordering::Relaxed);
+
+    match cmd.as_str() {
+        "PING" => {
+            if let Some(msg) = args.first().and_then(arg_bytes) {
+                Value::Bulk(Some(msg))
+            } else {
+                Value::Simple("PONG".into())
+            }
+        }
+        "ECHO" => match args.first().and_then(arg_bytes) {
+            Some(b) => Value::Bulk(Some(b)),
+            None => wrong_args("echo"),
+        },
+        "SET" => {
+            let (Some(key), Some(val)) =
+                (args.first().and_then(arg_str), args.get(1).and_then(arg_bytes))
+            else {
+                return wrong_args("set");
+            };
+            // Options: EX seconds | PX millis | NX
+            let mut expires_at = None;
+            let mut nx = false;
+            let mut i = 2;
+            while i < args.len() {
+                match arg_str(&args[i]).map(|s| s.to_ascii_uppercase()).as_deref() {
+                    Some("EX") => {
+                        let Some(secs) =
+                            args.get(i + 1).and_then(arg_str).and_then(|s| s.parse::<u64>().ok())
+                        else {
+                            return err("invalid EX argument");
+                        };
+                        expires_at = Some(now + secs * 1000);
+                        i += 2;
+                    }
+                    Some("PX") => {
+                        let Some(ms) =
+                            args.get(i + 1).and_then(arg_str).and_then(|s| s.parse::<u64>().ok())
+                        else {
+                            return err("invalid PX argument");
+                        };
+                        expires_at = Some(now + ms);
+                        i += 2;
+                    }
+                    Some("NX") => {
+                        nx = true;
+                        i += 1;
+                    }
+                    other => return err(format!("unknown SET option {other:?}")),
+                }
+            }
+            let mut g = db.lock();
+            if nx && g.check_live(&key, now) {
+                return Value::nil();
+            }
+            g.insert(key, Entry { data: val, expires_at, last_used: tick });
+            if max_memory > 0 {
+                g.evict_until_under(max_memory);
+            }
+            Value::ok()
+        }
+        "GET" => {
+            let Some(key) = args.first().and_then(arg_str) else {
+                return wrong_args("get");
+            };
+            let mut g = db.lock();
+            if !g.check_live(&key, now) {
+                return Value::nil();
+            }
+            let e = g.map.get_mut(&key).expect("live key present");
+            e.last_used = tick;
+            Value::Bulk(Some(e.data.clone()))
+        }
+        "DEL" => {
+            let mut n = 0i64;
+            let mut g = db.lock();
+            for a in args {
+                if let Some(key) = arg_str(a) {
+                    if g.check_live(&key, now) && g.remove(&key) {
+                        n += 1;
+                    }
+                }
+            }
+            Value::Int(n)
+        }
+        "EXISTS" => {
+            let mut n = 0i64;
+            let mut g = db.lock();
+            for a in args {
+                if let Some(key) = arg_str(a) {
+                    if g.check_live(&key, now) {
+                        n += 1;
+                    }
+                }
+            }
+            Value::Int(n)
+        }
+        "PEXPIRE" | "EXPIRE" => {
+            let (Some(key), Some(amount)) = (
+                args.first().and_then(arg_str),
+                args.get(1).and_then(arg_str).and_then(|s| s.parse::<u64>().ok()),
+            ) else {
+                return wrong_args("expire");
+            };
+            let ms = if cmd == "EXPIRE" { amount * 1000 } else { amount };
+            let mut g = db.lock();
+            if !g.check_live(&key, now) {
+                return Value::Int(0);
+            }
+            g.map.get_mut(&key).expect("live").expires_at = Some(now + ms);
+            Value::Int(1)
+        }
+        "PERSIST" => {
+            let Some(key) = args.first().and_then(arg_str) else {
+                return wrong_args("persist");
+            };
+            let mut g = db.lock();
+            if !g.check_live(&key, now) {
+                return Value::Int(0);
+            }
+            let e = g.map.get_mut(&key).expect("live");
+            let had = e.expires_at.take().is_some();
+            Value::Int(i64::from(had))
+        }
+        "PTTL" | "TTL" => {
+            let Some(key) = args.first().and_then(arg_str) else {
+                return wrong_args("ttl");
+            };
+            let mut g = db.lock();
+            if !g.check_live(&key, now) {
+                return Value::Int(-2);
+            }
+            match g.map[&key].expires_at {
+                None => Value::Int(-1),
+                Some(t) => {
+                    let remain = t.saturating_sub(now);
+                    Value::Int(if cmd == "TTL" { (remain / 1000) as i64 } else { remain as i64 })
+                }
+            }
+        }
+        "INCR" | "INCRBY" => {
+            let Some(key) = args.first().and_then(arg_str) else {
+                return wrong_args("incr");
+            };
+            let by: i64 = if cmd == "INCRBY" {
+                match args.get(1).and_then(arg_str).and_then(|s| s.parse().ok()) {
+                    Some(v) => v,
+                    None => return err("value is not an integer"),
+                }
+            } else {
+                1
+            };
+            let mut g = db.lock();
+            let cur: i64 = if g.check_live(&key, now) {
+                match std::str::from_utf8(&g.map[&key].data)
+                    .ok()
+                    .and_then(|s| s.parse::<i64>().ok())
+                {
+                    Some(v) => v,
+                    None => return err("value is not an integer or out of range"),
+                }
+            } else {
+                0
+            };
+            let next = cur.wrapping_add(by);
+            let expires_at = g.map.get(&key).and_then(|e| e.expires_at);
+            g.insert(
+                key,
+                Entry {
+                    data: Bytes::from(next.to_string().into_bytes()),
+                    expires_at,
+                    last_used: tick,
+                },
+            );
+            Value::Int(next)
+        }
+        "MGET" => {
+            let mut g = db.lock();
+            let items = args
+                .iter()
+                .map(|a| match arg_str(a) {
+                    Some(key) if g.check_live(&key, now) => {
+                        Value::Bulk(Some(g.map[&key].data.clone()))
+                    }
+                    _ => Value::nil(),
+                })
+                .collect();
+            Value::Array(Some(items))
+        }
+        "MSET" => {
+            if args.is_empty() || args.len() % 2 != 0 {
+                return wrong_args("mset");
+            }
+            let mut g = db.lock();
+            for pair in args.chunks_exact(2) {
+                let (Some(key), Some(val)) = (arg_str(&pair[0]), arg_bytes(&pair[1])) else {
+                    return err("bad MSET pair");
+                };
+                g.insert(key, Entry { data: val, expires_at: None, last_used: tick });
+            }
+            if max_memory > 0 {
+                g.evict_until_under(max_memory);
+            }
+            Value::ok()
+        }
+        "KEYS" => {
+            // Pattern support: "*" (everything) and prefix* only — that is
+            // all the clients in this workspace use.
+            let pattern = args.first().and_then(arg_str).unwrap_or_else(|| "*".into());
+            let mut g = db.lock();
+            let all: Vec<String> = g.map.keys().cloned().collect();
+            let mut live = Vec::new();
+            for k in all {
+                if g.check_live(&k, now) {
+                    let matches = if pattern == "*" {
+                        true
+                    } else if let Some(prefix) = pattern.strip_suffix('*') {
+                        k.starts_with(prefix)
+                    } else {
+                        k == pattern
+                    };
+                    if matches {
+                        live.push(k);
+                    }
+                }
+            }
+            Value::Array(Some(
+                live.into_iter().map(|k| Value::bulk(Bytes::from(k.into_bytes()))).collect(),
+            ))
+        }
+        "SCAN" => {
+            // Cursor-based iteration: the cursor is a position in the
+            // sorted key space (we return keys > cursor_key). Unlike real
+            // Redis's reverse-binary cursors this may miss keys inserted
+            // mid-scan, but it always terminates and never repeats —
+            // documented trade-off for a cache-role server.
+            let Some(cursor) = args.first().and_then(arg_str) else {
+                return wrong_args("scan");
+            };
+            let mut pattern: Option<String> = None;
+            let mut count = 10usize;
+            let mut i = 1;
+            while i < args.len() {
+                match arg_str(&args[i]).map(|s| s.to_ascii_uppercase()).as_deref() {
+                    Some("MATCH") => {
+                        pattern = args.get(i + 1).and_then(arg_str);
+                        i += 2;
+                    }
+                    Some("COUNT") => {
+                        count = args
+                            .get(i + 1)
+                            .and_then(arg_str)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or(10);
+                        i += 2;
+                    }
+                    other => return err(format!("unknown SCAN option {other:?}")),
+                }
+            }
+            let matches = |k: &str| match &pattern {
+                None => true,
+                Some(p) if p == "*" => true,
+                Some(p) => match p.strip_suffix('*') {
+                    Some(prefix) => k.starts_with(prefix),
+                    None => k == p,
+                },
+            };
+            let mut g = db.lock();
+            let mut keys: Vec<String> = g.map.keys().cloned().collect();
+            keys.sort();
+            let mut batch = Vec::new();
+            let mut next_cursor = String::from("0");
+            for k in keys {
+                if (cursor != "0" && k.as_str() <= cursor.as_str()) || !g.check_live(&k, now) {
+                    continue;
+                }
+                if !matches(&k) {
+                    continue;
+                }
+                if batch.len() == count {
+                    next_cursor = batch.last().cloned().expect("non-empty batch");
+                    break;
+                }
+                batch.push(k);
+            }
+            Value::Array(Some(vec![
+                Value::bulk(Bytes::from(next_cursor.into_bytes())),
+                Value::Array(Some(
+                    batch
+                        .into_iter()
+                        .map(|k| Value::bulk(Bytes::from(k.into_bytes())))
+                        .collect(),
+                )),
+            ]))
+        }
+        "DBSIZE" => {
+            let mut g = db.lock();
+            let all: Vec<String> = g.map.keys().cloned().collect();
+            let mut n = 0i64;
+            for k in all {
+                if g.check_live(&k, now) {
+                    n += 1;
+                }
+            }
+            Value::Int(n)
+        }
+        "FLUSHALL" | "FLUSHDB" => {
+            let mut g = db.lock();
+            g.map.clear();
+            g.bytes = 0;
+            Value::ok()
+        }
+        "SAVE" | "BGSAVE" => match persist {
+            None => err("persistence not configured"),
+            Some(path) => match save_db(db, path) {
+                Ok(n) => Value::Simple(format!("OK saved {n}")),
+                Err(e) => err(format!("save failed: {e}")),
+            },
+        },
+        "INFO" => {
+            let g = db.lock();
+            let body = format!("# miniredis\r\nkeys:{}\r\nbytes:{}\r\n", g.map.len(), g.bytes);
+            Value::Bulk(Some(Bytes::from(body.into_bytes())))
+        }
+        other => Value::Error(format!("ERR unknown command '{other}'")),
+    }
+}

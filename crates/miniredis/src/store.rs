@@ -1,0 +1,130 @@
+//! [`RedisKv`] — the miniredis client behind the common key-value interface.
+//!
+//! This is how the paper's UDSM exposes Redis: as one more implementation of
+//! `KeyValue<K,V>`, interchangeable with the file system, SQL database, and
+//! cloud stores.
+
+use crate::client::RedisClient;
+use bytes::Bytes;
+use kvapi::{KeyValue, Result, StoreStats};
+use std::net::SocketAddr;
+
+/// Key-value store backed by a miniredis server.
+pub struct RedisKv {
+    client: RedisClient,
+    name: String,
+    /// Prefix applied to every key, so several logical stores can share one
+    /// server instance without colliding.
+    prefix: String,
+}
+
+impl RedisKv {
+    /// Connect to a miniredis server.
+    pub fn connect(addr: SocketAddr) -> RedisKv {
+        RedisKv { client: RedisClient::connect(addr), name: "redis".into(), prefix: String::new() }
+    }
+
+    /// Namespace all keys with `prefix`.
+    pub fn with_prefix(mut self, prefix: impl Into<String>) -> RedisKv {
+        self.prefix = prefix.into();
+        self
+    }
+
+    /// Override the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> RedisKv {
+        self.name = name.into();
+        self
+    }
+
+    /// Borrow the underlying client (for commands beyond the key-value
+    /// interface — the paper's "native features of the underlying data
+    /// store" escape hatch).
+    pub fn client(&self) -> &RedisClient {
+        &self.client
+    }
+
+    fn full(&self, key: &str) -> String {
+        format!("{}{key}", self.prefix)
+    }
+}
+
+impl KeyValue for RedisKv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.client.set(&self.full(key), value)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        self.client.get(&self.full(key))
+    }
+
+    fn delete(&self, key: &str) -> Result<bool> {
+        self.client.del(&self.full(key))
+    }
+
+    fn contains(&self, key: &str) -> Result<bool> {
+        self.client.exists(&self.full(key))
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let pattern = format!("{}*", self.prefix);
+        Ok(self
+            .client
+            .keys(&pattern)?
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&self.prefix).map(str::to_string))
+            .collect())
+    }
+
+    fn clear(&self) -> Result<()> {
+        if self.prefix.is_empty() {
+            self.client.flushall()
+        } else {
+            for k in self.keys()? {
+                self.client.del(&self.full(&k))?;
+            }
+            Ok(())
+        }
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        Ok(StoreStats { keys: self.keys()?.len() as u64, bytes: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use std::sync::Arc;
+
+    #[test]
+    fn contract() {
+        let server = Server::start().unwrap();
+        kvapi::contract::run_all(&RedisKv::connect(server.addr()));
+    }
+
+    #[test]
+    fn contract_concurrent() {
+        let server = Server::start().unwrap();
+        kvapi::contract::run_all_concurrent(Arc::new(RedisKv::connect(server.addr())));
+    }
+
+    #[test]
+    fn prefixes_isolate_logical_stores() {
+        let server = Server::start().unwrap();
+        let a = RedisKv::connect(server.addr()).with_prefix("a:");
+        let b = RedisKv::connect(server.addr()).with_prefix("b:");
+        a.put("k", b"from-a").unwrap();
+        b.put("k", b"from-b").unwrap();
+        assert_eq!(a.get("k").unwrap().unwrap(), &b"from-a"[..]);
+        assert_eq!(b.get("k").unwrap().unwrap(), &b"from-b"[..]);
+        a.clear().unwrap();
+        assert_eq!(a.get("k").unwrap(), None);
+        assert_eq!(b.get("k").unwrap().unwrap(), &b"from-b"[..], "clear must respect prefix");
+        assert_eq!(b.keys().unwrap(), vec!["k"]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for miniredis: RESP frames round-trip, and the
+//! server is a faithful map for arbitrary binary keys/values.
+
+use bytes::Bytes;
+use miniredis::resp::{read_value, write_value, Value};
+use miniredis::{RedisClient, Server};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Arbitrary RESP values, recursively (depth-limited arrays).
+fn resp_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        "[^\r\n]{0,30}".prop_map(Value::Simple),
+        "[^\r\n]{0,30}".prop_map(Value::Error),
+        any::<i64>().prop_map(Value::Int),
+        proptest::collection::vec(any::<u8>(), 0..100)
+            .prop_map(|v| Value::Bulk(Some(Bytes::from(v)))),
+        Just(Value::Bulk(None)),
+        Just(Value::Array(None)),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(|items| Value::Array(Some(items)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn resp_round_trip(v in resp_value()) {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &v).unwrap();
+        let got = read_value(&mut BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    /// Arbitrary garbage either parses to *something* or errors — never
+    /// panics, never loops.
+    #[test]
+    fn resp_reader_is_total(garbage in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = read_value(&mut BufReader::new(&garbage[..]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The server behaves as a map for random operation sequences, checked
+    /// against a HashMap oracle. (Few cases: each spins up a TCP server.)
+    #[test]
+    fn server_matches_hashmap_oracle(
+        ops in proptest::collection::vec(
+            (0u8..4, "[a-z]{1,6}", proptest::collection::vec(any::<u8>(), 0..50)),
+            1..40
+        )
+    ) {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        let mut oracle: std::collections::HashMap<String, Vec<u8>> = Default::default();
+        for (op, key, val) in &ops {
+            match op % 4 {
+                0 | 1 => {
+                    c.set(key, val).unwrap();
+                    oracle.insert(key.clone(), val.clone());
+                }
+                2 => {
+                    let got = c.del(key).unwrap();
+                    let expect = oracle.remove(key).is_some();
+                    prop_assert_eq!(got, expect, "DEL {}", key);
+                }
+                _ => {
+                    let got = c.get(key).unwrap().map(|b| b.to_vec());
+                    prop_assert_eq!(&got, &oracle.get(key).cloned(), "GET {}", key);
+                }
+            }
+        }
+        prop_assert_eq!(c.dbsize().unwrap() as usize, oracle.len());
+    }
+}

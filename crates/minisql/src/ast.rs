@@ -1,0 +1,202 @@
+//! Abstract syntax for the supported SQL subset.
+
+use crate::value::{SqlType, SqlValue};
+use serde::{Deserialize, Serialize};
+
+/// A column definition in CREATE TABLE.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (case-preserved; lookups are case-insensitive).
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// PRIMARY KEY?
+    pub primary_key: bool,
+    /// NOT NULL?
+    pub not_null: bool,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `LIKE`
+    Like,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(SqlValue),
+    /// Column reference.
+    Col(String),
+    /// Binary operation.
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+    /// `NOT e`
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `e IS NULL` / `e IS NOT NULL`
+    IsNull(Box<Expr>, bool),
+}
+
+/// ORDER BY direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(col)` — counts non-NULL values.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+/// One aggregate term in a projection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument column (`None` only for `COUNT(*)`).
+    pub col: Option<String>,
+}
+
+/// Select column list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    /// `*`
+    All,
+    /// Named columns.
+    Columns(Vec<String>),
+    /// Aggregate terms, optionally preceded by the GROUP BY column.
+    Aggregates(Vec<Aggregate>),
+}
+
+/// One SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+        /// IF NOT EXISTS?
+        if_not_exists: bool,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS?
+        if_exists: bool,
+    },
+    /// CREATE INDEX — a secondary index on one column.
+    CreateIndex {
+        /// Index name (unique per database).
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// IF NOT EXISTS?
+        if_not_exists: bool,
+    },
+    /// DROP INDEX.
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// IF EXISTS?
+        if_exists: bool,
+    },
+    /// INSERT.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Explicit column list (empty = table order).
+        columns: Vec<String>,
+        /// One or more rows of value expressions.
+        rows: Vec<Vec<Expr>>,
+        /// INSERT OR REPLACE?
+        or_replace: bool,
+    },
+    /// SELECT.
+    Select {
+        /// Projection.
+        projection: Projection,
+        /// Table name.
+        table: String,
+        /// WHERE clause.
+        filter: Option<Expr>,
+        /// GROUP BY column (aggregates only).
+        group_by: Option<String>,
+        /// ORDER BY column + direction.
+        order_by: Option<(String, Order)>,
+        /// LIMIT.
+        limit: Option<usize>,
+        /// OFFSET.
+        offset: Option<usize>,
+    },
+    /// UPDATE.
+    Update {
+        /// Table name.
+        table: String,
+        /// SET assignments.
+        sets: Vec<(String, Expr)>,
+        /// WHERE clause.
+        filter: Option<Expr>,
+    },
+    /// DELETE.
+    Delete {
+        /// Table name.
+        table: String,
+        /// WHERE clause.
+        filter: Option<Expr>,
+    },
+    /// BEGIN.
+    Begin,
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK.
+    Rollback,
+}

@@ -1,0 +1,234 @@
+//! A JDBC-like client for the minisql server.
+//!
+//! `?` placeholders are bound client-side: values are rendered as SQL
+//! literals with proper escaping before the statement is sent — the same
+//! effective contract as JDBC's `PreparedStatement` for this engine.
+
+use crate::engine::ResultSet;
+use crate::server::{read_frame, write_frame, WireRequest, WireResponse};
+use crate::value::SqlValue;
+use kvapi::{Result, StoreError};
+use parking_lot::Mutex;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr, timeout: Duration) -> Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Conn { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+}
+
+/// Thread-safe client for a [`crate::SqlServer`].
+///
+/// Pools connections so concurrent statements from different threads run in
+/// parallel (like a JDBC connection pool).
+pub struct MiniSqlClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    pool: Mutex<Vec<Conn>>,
+    max_idle: usize,
+}
+
+impl MiniSqlClient {
+    /// Connect lazily to `addr`.
+    pub fn connect(addr: SocketAddr) -> MiniSqlClient {
+        MiniSqlClient {
+            addr,
+            timeout: Duration::from_secs(30),
+            pool: Mutex::new(Vec::new()),
+            max_idle: 16,
+        }
+    }
+
+    /// Override the per-statement timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> MiniSqlClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Execute a statement verbatim.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        let request =
+            serde_json::to_vec(&WireRequest { sql: sql.to_string() }).expect("serializes");
+        for attempt in 0..2 {
+            let mut conn = match self.pool.lock().pop() {
+                Some(c) if attempt == 0 => c,
+                _ => Conn::open(self.addr, self.timeout)?,
+            };
+            let outcome = write_frame(&mut conn.writer, &request)
+                .map_err(StoreError::from)
+                .and_then(|()| read_frame(&mut conn.reader));
+            match outcome {
+                Ok(Some(payload)) => {
+                    let mut pool = self.pool.lock();
+                    if pool.len() < self.max_idle {
+                        pool.push(conn);
+                    }
+                    drop(pool);
+                    let resp: WireResponse = serde_json::from_slice(&payload)
+                        .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
+                    return match resp {
+                        WireResponse::Ok(rs) => Ok(rs),
+                        WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
+                    };
+                }
+                Ok(None) if attempt == 0 => continue,
+                Ok(None) => return Err(StoreError::Closed),
+                Err(e) if e.is_transient() && attempt == 0 => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second attempt returns")
+    }
+
+    /// Execute with `?` parameter binding.
+    pub fn execute_bound(&self, sql: &str, params: &[SqlValue]) -> Result<ResultSet> {
+        self.execute(&bind(sql, params)?)
+    }
+}
+
+/// Substitute `?` placeholders (outside string/blob literals) with rendered
+/// literals.
+pub fn bind(sql: &str, params: &[SqlValue]) -> Result<String> {
+    let mut out = String::with_capacity(sql.len() + params.len() * 8);
+    let mut params_iter = params.iter();
+    let mut chars = sql.chars().peekable();
+    let mut used = 0usize;
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                // Copy the string literal wholesale (handling '' escapes).
+                out.push(c);
+                for inner in chars.by_ref() {
+                    out.push(inner);
+                    if inner == '\'' {
+                        break;
+                    }
+                }
+                // A doubled quote means we're still inside; the simple copy
+                // above treats each quote pair independently, which is
+                // equivalent for placeholder scanning purposes.
+            }
+            '?' => match params_iter.next() {
+                Some(v) => {
+                    used += 1;
+                    out.push_str(&v.to_literal());
+                }
+                None => {
+                    return Err(StoreError::Rejected(format!(
+                        "statement has more than {} placeholders",
+                        params.len()
+                    )))
+                }
+            },
+            other => out.push(other),
+        }
+    }
+    if used != params.len() {
+        return Err(StoreError::Rejected(format!(
+            "{} parameters provided, {used} placeholders found",
+            params.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SqlServer;
+
+    #[test]
+    fn bind_renders_literals() {
+        let sql = bind(
+            "INSERT INTO t VALUES (?, ?, ?, ?)",
+            &[
+                SqlValue::Int(5),
+                SqlValue::Text("it's".into()),
+                SqlValue::Blob(vec![0xab]),
+                SqlValue::Null,
+            ],
+        )
+        .unwrap();
+        assert_eq!(sql, "INSERT INTO t VALUES (5, 'it''s', x'ab', NULL)");
+    }
+
+    #[test]
+    fn bind_ignores_question_marks_in_strings() {
+        let sql = bind("SELECT * FROM t WHERE a = 'what?' AND b = ?", &[SqlValue::Int(1)])
+            .unwrap();
+        assert_eq!(sql, "SELECT * FROM t WHERE a = 'what?' AND b = 1");
+    }
+
+    #[test]
+    fn bind_arity_checked() {
+        assert!(bind("SELECT ?", &[]).is_err());
+        assert!(bind("SELECT 1", &[SqlValue::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = MiniSqlClient::connect(server.addr());
+        c.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v BLOB)").unwrap();
+        c.execute_bound(
+            "INSERT INTO t VALUES (?, ?)",
+            &[SqlValue::Text("key1".into()), SqlValue::Blob(b"value1".to_vec())],
+        )
+        .unwrap();
+        let rs = c
+            .execute_bound("SELECT v FROM t WHERE k = ?", &[SqlValue::Text("key1".into())])
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&SqlValue::Blob(b"value1".to_vec())));
+        // Errors travel back as rejections.
+        let err = c.execute("SELECT * FROM missing").unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_database() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let addr = server.addr();
+        let setup = MiniSqlClient::connect(addr);
+        setup.execute("CREATE TABLE c (id INT PRIMARY KEY, who TEXT)").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let c = MiniSqlClient::connect(addr);
+                    for i in 0..50 {
+                        c.execute_bound(
+                            "INSERT INTO c VALUES (?, ?)",
+                            &[SqlValue::Int((t * 50 + i) as i64), SqlValue::Text(format!("t{t}"))],
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rs = setup.execute("SELECT COUNT(*) FROM c").unwrap();
+        assert_eq!(rs.scalar(), Some(&SqlValue::Int(200)));
+    }
+
+    #[test]
+    fn server_stop_breaks_clients_cleanly() {
+        let mut server = SqlServer::start_in_memory().unwrap();
+        let c = MiniSqlClient::connect(server.addr())
+            .with_timeout(std::time::Duration::from_millis(500));
+        c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        server.stop();
+        assert!(c.execute("SELECT * FROM t").is_err());
+    }
+}

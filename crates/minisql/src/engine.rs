@@ -1,0 +1,1120 @@
+//! The storage and execution engine.
+//!
+//! Tables store rows in a slab (`Vec<Option<Row>>`) with a `BTreeMap`
+//! primary-key index. `WHERE pk = literal` takes the index (the point-lookup
+//! path a MySQL client hits for key-value access); other filters scan.
+//! Transactions are single-writer (one big lock — this models a database
+//! used as a local key-value backend, not a concurrency research vehicle)
+//! with an undo log for rollback and a write-ahead log for durability.
+
+use crate::ast::*;
+use crate::parser::parse;
+use crate::value::{PkKey, SqlValue};
+use crate::wal::{read_snapshot, write_snapshot, SyncMode, Wal, WalRecord};
+use kvapi::{Result, StoreError};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+
+type Row = Vec<SqlValue>;
+
+/// The result of executing one statement.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Column names (empty for non-queries).
+    pub columns: Vec<String>,
+    /// Result rows (empty for non-queries).
+    pub rows: Vec<Row>,
+    /// Rows affected by a mutation.
+    pub affected: u64,
+}
+
+impl ResultSet {
+    fn affected(n: u64) -> ResultSet {
+        ResultSet { affected: n, ..Default::default() }
+    }
+
+    /// First value of the first row, if any (convenience for point reads).
+    pub fn scalar(&self) -> Option<&SqlValue> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct TableSnapshot {
+    schema: Vec<ColumnDef>,
+    rows: Vec<Row>,
+    /// Secondary-indexed column positions (rebuilt on load).
+    #[serde(default)]
+    indexed_cols: Vec<usize>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct DbSnapshot {
+    tables: Vec<(String, TableSnapshot)>,
+    txn_counter: u64,
+    /// index name → (table, column position).
+    #[serde(default)]
+    indexes: Vec<(String, (String, usize))>,
+}
+
+struct Table {
+    schema: Vec<ColumnDef>,
+    pk: Option<usize>,
+    rows: Vec<Option<Row>>,
+    index: BTreeMap<PkKey, usize>,
+    /// Secondary indexes: column position → value → slots.
+    secondary: HashMap<usize, BTreeMap<PkKey, Vec<usize>>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Table {
+    fn new(schema: Vec<ColumnDef>) -> Table {
+        let pk = schema.iter().position(|c| c.primary_key);
+        Table {
+            schema,
+            pk,
+            rows: Vec::new(),
+            index: BTreeMap::new(),
+            secondary: HashMap::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn col_index(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    fn pk_key(&self, row: &Row) -> Option<PkKey> {
+        self.pk.map(|i| PkKey(row[i].clone()))
+    }
+
+    fn secondary_add(&mut self, slot: usize, row: &Row) {
+        for (&ci, map) in self.secondary.iter_mut() {
+            map.entry(PkKey(row[ci].clone())).or_default().push(slot);
+        }
+    }
+
+    fn secondary_remove(&mut self, slot: usize, row: &Row) {
+        for (&ci, map) in self.secondary.iter_mut() {
+            let key = PkKey(row[ci].clone());
+            if let Some(slots) = map.get_mut(&key) {
+                slots.retain(|&s| s != slot);
+                if slots.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Build (or rebuild) a secondary index over every live row.
+    fn build_secondary(&mut self, ci: usize) {
+        let mut map: BTreeMap<PkKey, Vec<usize>> = BTreeMap::new();
+        for (slot, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                map.entry(PkKey(row[ci].clone())).or_default().push(slot);
+            }
+        }
+        self.secondary.insert(ci, map);
+    }
+
+    /// Swap the row in `slot`, keeping every index consistent. The caller
+    /// has already verified PK uniqueness for `new_row`.
+    fn replace_row(&mut self, slot: usize, new_row: Row) -> Row {
+        let old = self.rows[slot].take().expect("replace_row on live slot");
+        if let Some(pk) = self.pk_key(&old) {
+            self.index.remove(&pk);
+        }
+        self.secondary_remove(slot, &old);
+        if let Some(pk) = self.pk_key(&new_row) {
+            self.index.insert(pk, slot);
+        }
+        self.secondary_add(slot, &new_row);
+        self.rows[slot] = Some(new_row);
+        old
+    }
+
+    /// Insert a row into a fresh slot; the caller has already checked PK
+    /// uniqueness. Returns the slot.
+    fn insert_row(&mut self, row: Row) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.rows[s] = Some(row);
+                s
+            }
+            None => {
+                self.rows.push(Some(row));
+                self.rows.len() - 1
+            }
+        };
+        let row_ref = self.rows[slot].clone().expect("just inserted");
+        if let Some(pk) = self.pk_key(&row_ref) {
+            self.index.insert(pk, slot);
+        }
+        self.secondary_add(slot, &row_ref);
+        self.live += 1;
+        slot
+    }
+
+    fn remove_slot(&mut self, slot: usize) -> Option<Row> {
+        let row = self.rows[slot].take()?;
+        if let Some(pk) = self.pk_key(&row) {
+            self.index.remove(&pk);
+        }
+        self.secondary_remove(slot, &row);
+        self.free.push(slot);
+        self.live -= 1;
+        Some(row)
+    }
+
+    /// Restore a previously removed row into its original slot.
+    fn restore_slot(&mut self, slot: usize, row: Row) {
+        debug_assert!(self.rows[slot].is_none());
+        self.free.retain(|&s| s != slot);
+        if let Some(pk) = self.pk_key(&row) {
+            self.index.insert(pk, slot);
+        }
+        self.secondary_add(slot, &row);
+        self.rows[slot] = Some(row);
+        self.live += 1;
+    }
+
+    fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().flatten().cloned().collect(),
+            indexed_cols: self.secondary.keys().copied().collect(),
+        }
+    }
+
+    fn from_snapshot(s: TableSnapshot) -> Table {
+        let mut t = Table::new(s.schema);
+        for &ci in &s.indexed_cols {
+            t.secondary.insert(ci, BTreeMap::new());
+        }
+        for row in s.rows {
+            t.insert_row(row);
+        }
+        t
+    }
+
+    /// Slots matching a filter; uses the PK index (unique) or a secondary
+    /// index (multi-valued) for `col = literal` point lookups.
+    fn candidate_slots(&self, filter: Option<&Expr>) -> Vec<usize> {
+        if let Some(expr) = filter {
+            if let Some(pk_col) = self.pk {
+                if let Some(lit) = point_lookup_literal(expr, &self.schema[pk_col].name) {
+                    return self.index.get(&PkKey(lit)).map(|&s| vec![s]).unwrap_or_default();
+                }
+            }
+            for (&ci, map) in &self.secondary {
+                if let Some(lit) = point_lookup_literal(expr, &self.schema[ci].name) {
+                    return map.get(&PkKey(lit)).cloned().unwrap_or_default();
+                }
+            }
+        }
+        (0..self.rows.len()).filter(|&s| self.rows[s].is_some()).collect()
+    }
+}
+
+/// Match `pk = literal` / `literal = pk` for the index fast path.
+fn point_lookup_literal(expr: &Expr, pk_name: &str) -> Option<SqlValue> {
+    let Expr::Bin(lhs, BinOp::Eq, rhs) = expr else { return None };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c))
+            if c.eq_ignore_ascii_case(pk_name) =>
+        {
+            Some(v.clone())
+        }
+        _ => None,
+    }
+}
+
+#[allow(clippy::enum_variant_names)]
+enum UndoOp {
+    UnInsert { table: String, slot: usize },
+    UnDelete { table: String, slot: usize, row: Row },
+    UnUpdate { table: String, slot: usize, old_row: Row },
+    UnCreate { table: String },
+    UnDrop { table: String, snapshot: TableSnapshot, index_names: Vec<(String, usize)> },
+    UnCreateIndex { name: String },
+    UnDropIndex { name: String, table: String, col: usize },
+}
+
+struct Txn {
+    undo: Vec<UndoOp>,
+    statements: Vec<String>,
+}
+
+struct Inner {
+    tables: HashMap<String, Table>,
+    /// index name (lowercase) → (table lowercase, column position).
+    indexes: HashMap<String, (String, usize)>,
+    wal: Option<Wal>,
+    snapshot_path: Option<PathBuf>,
+    checkpoint_threshold: u64,
+    txn: Option<Txn>,
+    txn_counter: u64,
+}
+
+/// A minisql database instance.
+pub struct Database {
+    inner: Mutex<Inner>,
+}
+
+impl Database {
+    /// Volatile in-memory database (no WAL).
+    pub fn in_memory() -> Database {
+        Database {
+            inner: Mutex::new(Inner {
+                tables: HashMap::new(),
+                indexes: HashMap::new(),
+                wal: None,
+                snapshot_path: None,
+                checkpoint_threshold: 8 * 1024 * 1024,
+                txn: None,
+                txn_counter: 0,
+            }),
+        }
+    }
+
+    /// Durable database rooted at `dir` (creates `wal.log` / `db.snapshot`).
+    /// Runs crash recovery: loads the snapshot, then replays the WAL.
+    pub fn open(dir: impl AsRef<Path>, sync: SyncMode) -> Result<Database> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let wal_path = dir.join("wal.log");
+        let snapshot_path = dir.join("db.snapshot");
+
+        let db = Database::in_memory();
+        {
+            let mut inner = db.inner.lock();
+            if let Some(blob) = read_snapshot(&snapshot_path)? {
+                let snap: DbSnapshot = serde_json::from_slice(&blob)
+                    .map_err(|e| StoreError::corrupt(format!("bad snapshot: {e}")))?;
+                inner.txn_counter = snap.txn_counter;
+                inner.indexes = snap.indexes.into_iter().collect();
+                for (name, ts) in snap.tables {
+                    inner.tables.insert(name, Table::from_snapshot(ts));
+                }
+            }
+            inner.snapshot_path = Some(snapshot_path);
+        }
+        // Replay committed transactions (WAL not yet attached, so replayed
+        // statements are not re-logged).
+        let records = Wal::replay(&wal_path)?;
+        for rec in &records {
+            for sql in &rec.statements {
+                // Replay failures mean the log postdates a schema change we
+                // lost — surface loudly rather than continuing from a
+                // half-recovered state.
+                db.execute(sql).map_err(|e| {
+                    StoreError::corrupt(format!("WAL replay failed on {sql:?}: {e}"))
+                })?;
+            }
+        }
+        {
+            let mut inner = db.inner.lock();
+            if let Some(last) = records.last() {
+                inner.txn_counter = inner.txn_counter.max(last.txn);
+            }
+            inner.wal = Some(Wal::open(&wal_path, sync)?);
+        }
+        Ok(db)
+    }
+
+    /// Set the WAL size that triggers an automatic checkpoint.
+    pub fn set_checkpoint_threshold(&self, bytes: u64) {
+        self.inner.lock().checkpoint_threshold = bytes;
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        let stmt = parse(sql)?;
+        let mut inner = self.inner.lock();
+        inner.execute_stmt(stmt, sql)
+    }
+
+    /// Force a checkpoint: snapshot to disk, truncate the WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.inner.lock().checkpoint()
+    }
+
+    /// Table names (lower-cased), for tooling.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.lock().tables.keys().cloned().collect()
+    }
+}
+
+impl Inner {
+    fn execute_stmt(&mut self, stmt: Statement, sql: &str) -> Result<ResultSet> {
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(StoreError::Rejected("already in a transaction".into()));
+                }
+                self.txn = Some(Txn { undo: Vec::new(), statements: Vec::new() });
+                Ok(ResultSet::default())
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| StoreError::Rejected("no transaction to commit".into()))?;
+                self.log_commit(txn.statements)?;
+                Ok(ResultSet::default())
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| StoreError::Rejected("no transaction to roll back".into()))?;
+                self.apply_undo(txn.undo);
+                Ok(ResultSet::default())
+            }
+            Statement::Select { .. } => self.run_select(stmt),
+            mutating => {
+                // Statement-level atomicity: on error, roll back just this
+                // statement's effects.
+                let explicit = self.txn.is_some();
+                if !explicit {
+                    self.txn = Some(Txn { undo: Vec::new(), statements: Vec::new() });
+                }
+                let undo_mark = self.txn.as_ref().expect("txn exists").undo.len();
+                let result = self.run_mutation(mutating);
+                match result {
+                    Ok(rs) => {
+                        self.txn.as_mut().expect("txn exists").statements.push(sql.to_string());
+                        if !explicit {
+                            let txn = self.txn.take().expect("txn exists");
+                            self.log_commit(txn.statements)?;
+                        }
+                        Ok(rs)
+                    }
+                    Err(e) => {
+                        let txn = self.txn.as_mut().expect("txn exists");
+                        let tail: Vec<UndoOp> = txn.undo.drain(undo_mark..).collect();
+                        self.apply_undo(tail);
+                        if !explicit {
+                            self.txn = None;
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn log_commit(&mut self, statements: Vec<String>) -> Result<()> {
+        if statements.is_empty() {
+            return Ok(());
+        }
+        self.txn_counter += 1;
+        let txn = self.txn_counter;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&WalRecord { txn, statements })?;
+            if wal.bytes() > self.checkpoint_threshold && self.snapshot_path.is_some() {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> Result<()> {
+        let Some(path) = self.snapshot_path.clone() else {
+            return Ok(());
+        };
+        let snap = DbSnapshot {
+            tables: self.tables.iter().map(|(n, t)| (n.clone(), t.snapshot())).collect(),
+            txn_counter: self.txn_counter,
+            indexes: self.indexes.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        };
+        let blob = serde_json::to_vec(&snap).expect("snapshot serializes");
+        write_snapshot(&path, &blob)?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.truncate()?;
+        }
+        Ok(())
+    }
+
+    fn apply_undo(&mut self, ops: Vec<UndoOp>) {
+        for op in ops.into_iter().rev() {
+            match op {
+                UndoOp::UnInsert { table, slot } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.remove_slot(slot);
+                    }
+                }
+                UndoOp::UnDelete { table, slot, row } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.restore_slot(slot, row);
+                    }
+                }
+                UndoOp::UnUpdate { table, slot, old_row } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.replace_row(slot, old_row);
+                    }
+                }
+                UndoOp::UnCreate { table } => {
+                    self.tables.remove(&table);
+                }
+                UndoOp::UnDrop { table, snapshot, index_names } => {
+                    self.tables.insert(table.clone(), Table::from_snapshot(snapshot));
+                    for (name, col) in index_names {
+                        self.indexes.insert(name, (table.clone(), col));
+                    }
+                }
+                UndoOp::UnCreateIndex { name } => {
+                    if let Some((table, col)) = self.indexes.remove(&name) {
+                        if let Some(t) = self.tables.get_mut(&table) {
+                            t.secondary.remove(&col);
+                        }
+                    }
+                }
+                UndoOp::UnDropIndex { name, table, col } => {
+                    if let Some(t) = self.tables.get_mut(&table) {
+                        t.build_secondary(col);
+                    }
+                    self.indexes.insert(name, (table, col));
+                }
+            }
+        }
+    }
+
+    fn push_undo(&mut self, op: UndoOp) {
+        self.txn.as_mut().expect("mutations run inside a txn").undo.push(op);
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| StoreError::Rejected(format!("no such table {name:?}")))
+    }
+
+    fn run_mutation(&mut self, stmt: Statement) -> Result<ResultSet> {
+        match stmt {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.contains_key(&key) {
+                    return if if_not_exists {
+                        Ok(ResultSet::default())
+                    } else {
+                        Err(StoreError::Rejected(format!("table {name:?} already exists")))
+                    };
+                }
+                // Duplicate column names are a schema error.
+                for (i, c) in columns.iter().enumerate() {
+                    if columns[..i].iter().any(|o| o.name.eq_ignore_ascii_case(&c.name)) {
+                        return Err(StoreError::Rejected(format!(
+                            "duplicate column {:?}",
+                            c.name
+                        )));
+                    }
+                }
+                if columns.is_empty() {
+                    return Err(StoreError::Rejected("table needs at least one column".into()));
+                }
+                self.tables.insert(key.clone(), Table::new(columns));
+                self.push_undo(UndoOp::UnCreate { table: key });
+                Ok(ResultSet::default())
+            }
+            Statement::DropTable { name, if_exists } => {
+                let key = name.to_ascii_lowercase();
+                match self.tables.remove(&key) {
+                    Some(t) => {
+                        let index_names: Vec<(String, usize)> = self
+                            .indexes
+                            .iter()
+                            .filter(|(_, (tbl, _))| *tbl == key)
+                            .map(|(n, (_, c))| (n.clone(), *c))
+                            .collect();
+                        for (n, _) in &index_names {
+                            self.indexes.remove(n);
+                        }
+                        self.push_undo(UndoOp::UnDrop {
+                            table: key,
+                            snapshot: t.snapshot(),
+                            index_names,
+                        });
+                        Ok(ResultSet::default())
+                    }
+                    None if if_exists => Ok(ResultSet::default()),
+                    None => Err(StoreError::Rejected(format!("no such table {name:?}"))),
+                }
+            }
+            Statement::CreateIndex { name, table, column, if_not_exists } => {
+                let iname = name.to_ascii_lowercase();
+                if self.indexes.contains_key(&iname) {
+                    return if if_not_exists {
+                        Ok(ResultSet::default())
+                    } else {
+                        Err(StoreError::Rejected(format!("index {name:?} already exists")))
+                    };
+                }
+                let tkey = table.to_ascii_lowercase();
+                let t = self.table_mut(&table)?;
+                let ci = t
+                    .col_index(&column)
+                    .ok_or_else(|| StoreError::Rejected(format!("no such column {column:?}")))?;
+                if t.pk == Some(ci) {
+                    return Err(StoreError::Rejected(
+                        "column already covered by the primary key".into(),
+                    ));
+                }
+                if t.secondary.contains_key(&ci) {
+                    return Err(StoreError::Rejected(format!(
+                        "column {column:?} already has an index"
+                    )));
+                }
+                t.build_secondary(ci);
+                self.indexes.insert(iname.clone(), (tkey, ci));
+                self.push_undo(UndoOp::UnCreateIndex { name: iname });
+                Ok(ResultSet::default())
+            }
+            Statement::DropIndex { name, if_exists } => {
+                let iname = name.to_ascii_lowercase();
+                match self.indexes.remove(&iname) {
+                    Some((table, col)) => {
+                        if let Some(t) = self.tables.get_mut(&table) {
+                            t.secondary.remove(&col);
+                        }
+                        self.push_undo(UndoOp::UnDropIndex { name: iname, table, col });
+                        Ok(ResultSet::default())
+                    }
+                    None if if_exists => Ok(ResultSet::default()),
+                    None => Err(StoreError::Rejected(format!("no such index {name:?}"))),
+                }
+            }
+            Statement::Insert { table, columns, rows, or_replace } => {
+                self.run_insert(&table, &columns, &rows, or_replace)
+            }
+            Statement::Update { table, sets, filter } => self.run_update(&table, &sets, filter),
+            Statement::Delete { table, filter } => self.run_delete(&table, filter),
+            _ => unreachable!("non-mutating statement routed to run_mutation"),
+        }
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        rows: &[Vec<Expr>],
+        or_replace: bool,
+    ) -> Result<ResultSet> {
+        let key = table.to_ascii_lowercase();
+        // Resolve column positions up front.
+        let (positions, ncols, schema) = {
+            let t = self.table_mut(table)?;
+            let ncols = t.schema.len();
+            let positions: Vec<usize> = if columns.is_empty() {
+                (0..ncols).collect()
+            } else {
+                columns
+                    .iter()
+                    .map(|c| {
+                        t.col_index(c).ok_or_else(|| {
+                            StoreError::Rejected(format!("no such column {c:?}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?
+            };
+            (positions, ncols, t.schema.clone())
+        };
+        let mut affected = 0u64;
+        for exprs in rows {
+            if exprs.len() != positions.len() {
+                return Err(StoreError::Rejected(format!(
+                    "expected {} values, got {}",
+                    positions.len(),
+                    exprs.len()
+                )));
+            }
+            let mut row: Row = vec![SqlValue::Null; ncols];
+            for (pos, expr) in positions.iter().zip(exprs) {
+                let v = eval(expr, None)?;
+                row[*pos] = v.coerce(schema[*pos].ty)?;
+            }
+            for (i, col) in schema.iter().enumerate() {
+                if (col.not_null || col.primary_key) && row[i].is_null() {
+                    return Err(StoreError::Rejected(format!(
+                        "column {:?} may not be NULL",
+                        col.name
+                    )));
+                }
+            }
+            // PK conflict handling.
+            let t = self.tables.get_mut(&key).expect("checked above");
+            if let Some(pk) = t.pk_key(&row) {
+                if let Some(&slot) = t.index.get(&pk) {
+                    if !or_replace {
+                        return Err(StoreError::Conflict(format!(
+                            "duplicate primary key {:?}",
+                            pk.0
+                        )));
+                    }
+                    let old = t.replace_row(slot, row);
+                    self.push_undo(UndoOp::UnUpdate { table: key.clone(), slot, old_row: old });
+                    affected += 1;
+                    continue;
+                }
+            }
+            let slot = t.insert_row(row);
+            self.push_undo(UndoOp::UnInsert { table: key.clone(), slot });
+            affected += 1;
+        }
+        Ok(ResultSet::affected(affected))
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        filter: Option<Expr>,
+    ) -> Result<ResultSet> {
+        let key = table.to_ascii_lowercase();
+        let t = self.table_mut(table)?;
+        let set_cols: Vec<usize> = sets
+            .iter()
+            .map(|(c, _)| {
+                t.col_index(c)
+                    .ok_or_else(|| StoreError::Rejected(format!("no such column {c:?}")))
+            })
+            .collect::<Result<_>>()?;
+        let slots = t.candidate_slots(filter.as_ref());
+        let schema = t.schema.clone();
+        let mut affected = 0u64;
+        let mut undos = Vec::new();
+        for slot in slots {
+            let t = self.tables.get_mut(&key).expect("exists");
+            let row = t.rows[slot].clone().expect("candidate slot is live");
+            if let Some(f) = &filter {
+                if !eval(f, Some((&schema, &row)))?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut new_row = row.clone();
+            for ((_, expr), &ci) in sets.iter().zip(&set_cols) {
+                let v = eval(expr, Some((&schema, &row)))?;
+                new_row[ci] = v.coerce(schema[ci].ty)?;
+                if (schema[ci].not_null || schema[ci].primary_key) && new_row[ci].is_null() {
+                    return Err(StoreError::Rejected(format!(
+                        "column {:?} may not be NULL",
+                        schema[ci].name
+                    )));
+                }
+            }
+            // PK change: enforce uniqueness before swapping.
+            let t = self.tables.get_mut(&key).expect("exists");
+            let old_pk = t.pk_key(&row);
+            let new_pk = t.pk_key(&new_row);
+            if old_pk != new_pk {
+                if let Some(npk) = &new_pk {
+                    if t.index.contains_key(npk) {
+                        // Abort the whole statement; caller unwinds undos.
+                        self.txn.as_mut().expect("in txn").undo.extend(undos);
+                        return Err(StoreError::Conflict(format!(
+                            "duplicate primary key {:?}",
+                            npk.0
+                        )));
+                    }
+                }
+            }
+            let old = t.replace_row(slot, new_row);
+            undos.push(UndoOp::UnUpdate { table: key.clone(), slot, old_row: old });
+            affected += 1;
+        }
+        self.txn.as_mut().expect("in txn").undo.extend(undos);
+        Ok(ResultSet::affected(affected))
+    }
+
+    fn run_delete(&mut self, table: &str, filter: Option<Expr>) -> Result<ResultSet> {
+        let key = table.to_ascii_lowercase();
+        let t = self.table_mut(table)?;
+        let slots = t.candidate_slots(filter.as_ref());
+        let schema = t.schema.clone();
+        let mut affected = 0u64;
+        for slot in slots {
+            let t = self.tables.get_mut(&key).expect("exists");
+            let row = t.rows[slot].clone().expect("candidate slot is live");
+            if let Some(f) = &filter {
+                if !eval(f, Some((&schema, &row)))?.is_truthy() {
+                    continue;
+                }
+            }
+            let t = self.tables.get_mut(&key).expect("exists");
+            let removed = t.remove_slot(slot).expect("live slot");
+            self.push_undo(UndoOp::UnDelete { table: key.clone(), slot, row: removed });
+            affected += 1;
+        }
+        Ok(ResultSet::affected(affected))
+    }
+
+    fn run_select(&mut self, stmt: Statement) -> Result<ResultSet> {
+        let Statement::Select { projection, table, filter, group_by, order_by, limit, offset } =
+            stmt
+        else {
+            unreachable!("run_select takes Select");
+        };
+        let t = self
+            .tables
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| StoreError::Rejected(format!("no such table {table:?}")))?;
+        let schema = &t.schema;
+        let mut matched: Vec<&Row> = Vec::new();
+        for slot in t.candidate_slots(filter.as_ref()) {
+            let row = t.rows[slot].as_ref().expect("candidate slot is live");
+            if let Some(f) = &filter {
+                if !eval(f, Some((schema, row)))?.is_truthy() {
+                    continue;
+                }
+            }
+            matched.push(row);
+        }
+        if let Some((col, dir)) = &order_by {
+            let ci = t
+                .col_index(col)
+                .ok_or_else(|| StoreError::Rejected(format!("no such column {col:?}")))?;
+            matched.sort_by(|a, b| {
+                let ord = a[ci].compare(&b[ci]).unwrap_or_else(|| {
+                    // NULLs (and incomparables) first, stable.
+                    match (a[ci].is_null(), b[ci].is_null()) {
+                        (true, false) => std::cmp::Ordering::Less,
+                        (false, true) => std::cmp::Ordering::Greater,
+                        _ => std::cmp::Ordering::Equal,
+                    }
+                });
+                if *dir == Order::Desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        let off = offset.unwrap_or(0);
+        let lim = limit.unwrap_or(usize::MAX);
+        let window = matched.into_iter().skip(off).take(lim);
+
+        match projection {
+            Projection::Aggregates(aggs) => {
+                let rows: Vec<&Row> = window.collect();
+                aggregate_rows(&aggs, group_by.as_deref(), t, rows)
+            }
+            Projection::All => Ok(ResultSet {
+                columns: schema.iter().map(|c| c.name.clone()).collect(),
+                rows: window.cloned().collect(),
+                affected: 0,
+            }),
+            Projection::Columns(cols) => {
+                let indices: Vec<usize> = cols
+                    .iter()
+                    .map(|c| {
+                        t.col_index(c)
+                            .ok_or_else(|| StoreError::Rejected(format!("no such column {c:?}")))
+                    })
+                    .collect::<Result<_>>()?;
+                Ok(ResultSet {
+                    columns: cols,
+                    rows: window
+                        .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+                        .collect(),
+                    affected: 0,
+                })
+            }
+        }
+    }
+}
+
+/// Compute aggregate projections, optionally grouped by one column.
+fn aggregate_rows(
+    aggs: &[Aggregate],
+    group_by: Option<&str>,
+    t: &Table,
+    rows: Vec<&Row>,
+) -> Result<ResultSet> {
+    // Resolve argument columns once.
+    let arg_cols: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.col {
+            None => Ok(None),
+            Some(c) => t
+                .col_index(c)
+                .map(Some)
+                .ok_or_else(|| StoreError::Rejected(format!("no such column {c:?}"))),
+        })
+        .collect::<Result<_>>()?;
+
+    let agg_name = |a: &Aggregate| -> String {
+        match (&a.func, &a.col) {
+            (AggFunc::CountStar, _) => "count".to_string(),
+            (f, Some(c)) => format!("{}({})", format!("{f:?}").to_lowercase(), c),
+            (f, None) => format!("{f:?}").to_lowercase(),
+        }
+    };
+
+    let compute = |group: &[&Row]| -> Result<Vec<SqlValue>> {
+        aggs.iter()
+            .zip(&arg_cols)
+            .map(|(a, ci)| {
+                let values = || group.iter().map(|r| &r[ci.expect("has col")]).filter(|v| !v.is_null());
+                Ok(match a.func {
+                    AggFunc::CountStar => SqlValue::Int(group.len() as i64),
+                    AggFunc::Count => SqlValue::Int(values().count() as i64),
+                    AggFunc::Sum | AggFunc::Avg => {
+                        let mut int_sum = 0i64;
+                        let mut float_sum = 0f64;
+                        let mut all_int = true;
+                        let mut n = 0u64;
+                        for v in values() {
+                            n += 1;
+                            match v {
+                                SqlValue::Int(i) => {
+                                    int_sum = int_sum.wrapping_add(*i);
+                                    float_sum += *i as f64;
+                                }
+                                SqlValue::Real(f) => {
+                                    all_int = false;
+                                    float_sum += f;
+                                }
+                                other => {
+                                    return Err(StoreError::Rejected(format!(
+                                        "cannot aggregate non-numeric {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                        if n == 0 {
+                            SqlValue::Null // SQL: aggregate of the empty set
+                        } else if a.func == AggFunc::Avg {
+                            SqlValue::Real(float_sum / n as f64)
+                        } else if all_int {
+                            SqlValue::Int(int_sum)
+                        } else {
+                            SqlValue::Real(float_sum)
+                        }
+                    }
+                    AggFunc::Min | AggFunc::Max => {
+                        let mut best: Option<&SqlValue> = None;
+                        for v in values() {
+                            best = Some(match best {
+                                None => v,
+                                Some(b) => match v.compare(b) {
+                                    Some(std::cmp::Ordering::Less)
+                                        if a.func == AggFunc::Min =>
+                                    {
+                                        v
+                                    }
+                                    Some(std::cmp::Ordering::Greater)
+                                        if a.func == AggFunc::Max =>
+                                    {
+                                        v
+                                    }
+                                    None => {
+                                        return Err(StoreError::Rejected(
+                                            "MIN/MAX over incomparable values".into(),
+                                        ))
+                                    }
+                                    _ => b,
+                                },
+                            });
+                        }
+                        best.cloned().unwrap_or(SqlValue::Null)
+                    }
+                })
+            })
+            .collect()
+    };
+
+    match group_by {
+        None => Ok(ResultSet {
+            columns: aggs.iter().map(agg_name).collect(),
+            rows: vec![compute(&rows)?],
+            affected: 0,
+        }),
+        Some(col) => {
+            let gi = t
+                .col_index(col)
+                .ok_or_else(|| StoreError::Rejected(format!("no such column {col:?}")))?;
+            // BTreeMap on the total-order key wrapper ⇒ deterministic,
+            // sorted group output.
+            let mut groups: BTreeMap<PkKey, Vec<&Row>> = BTreeMap::new();
+            for r in rows {
+                groups.entry(PkKey(r[gi].clone())).or_default().push(r);
+            }
+            let mut columns = vec![col.to_string()];
+            columns.extend(aggs.iter().map(agg_name));
+            let mut out_rows = Vec::with_capacity(groups.len());
+            for (key, group) in groups {
+                let mut row = vec![key.0];
+                row.extend(compute(&group)?);
+                out_rows.push(row);
+            }
+            Ok(ResultSet { columns, rows: out_rows, affected: 0 })
+        }
+    }
+}
+
+/// Evaluate an expression, optionally against a row.
+fn eval(expr: &Expr, env: Option<(&[ColumnDef], &Row)>) -> Result<SqlValue> {
+    use SqlValue::*;
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Col(name) => {
+            let (schema, row) =
+                env.ok_or_else(|| StoreError::Rejected(format!("no column {name:?} here")))?;
+            let i = schema
+                .iter()
+                .position(|c| c.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| StoreError::Rejected(format!("no such column {name:?}")))?;
+            Ok(row[i].clone())
+        }
+        Expr::Neg(e) => match eval(e, env)? {
+            Int(n) => Ok(Int(-n)),
+            Real(f) => Ok(Real(-f)),
+            Null => Ok(Null),
+            v => Err(StoreError::Rejected(format!("cannot negate {v:?}"))),
+        },
+        Expr::Not(e) => match eval(e, env)? {
+            Null => Ok(Null),
+            v => Ok(Bool(!v.is_truthy())),
+        },
+        Expr::IsNull(e, negated) => {
+            let isnull = eval(e, env)?.is_null();
+            Ok(Bool(isnull != *negated))
+        }
+        Expr::Bin(lhs, op, rhs) => {
+            // AND/OR need three-valued logic and short-circuiting.
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let l = eval(lhs, env)?;
+                return match op {
+                    BinOp::And => {
+                        if !l.is_null() && !l.is_truthy() {
+                            return Ok(Bool(false));
+                        }
+                        let r = eval(rhs, env)?;
+                        if !r.is_null() && !r.is_truthy() {
+                            Ok(Bool(false))
+                        } else if l.is_null() || r.is_null() {
+                            Ok(Null)
+                        } else {
+                            Ok(Bool(true))
+                        }
+                    }
+                    BinOp::Or => {
+                        if !l.is_null() && l.is_truthy() {
+                            return Ok(Bool(true));
+                        }
+                        let r = eval(rhs, env)?;
+                        if !r.is_null() && r.is_truthy() {
+                            Ok(Bool(true))
+                        } else if l.is_null() || r.is_null() {
+                            Ok(Null)
+                        } else {
+                            Ok(Bool(false))
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            let l = eval(lhs, env)?;
+            let r = eval(rhs, env)?;
+            match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    match l.compare(&r) {
+                        None => Ok(Null),
+                        Some(ord) => {
+                            let res = match op {
+                                BinOp::Eq => ord.is_eq(),
+                                BinOp::Ne => !ord.is_eq(),
+                                BinOp::Lt => ord.is_lt(),
+                                BinOp::Le => ord.is_le(),
+                                BinOp::Gt => ord.is_gt(),
+                                BinOp::Ge => ord.is_ge(),
+                                _ => unreachable!(),
+                            };
+                            Ok(Bool(res))
+                        }
+                    }
+                }
+                BinOp::Like => match (&l, &r) {
+                    (Null, _) | (_, Null) => Ok(Null),
+                    (Text(t), Text(p)) => Ok(Bool(like_match(t, p))),
+                    _ => Err(StoreError::Rejected("LIKE requires text operands".into())),
+                },
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    arith(&l, *op, &r)
+                }
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+fn arith(l: &SqlValue, op: BinOp, r: &SqlValue) -> Result<SqlValue> {
+    use SqlValue::*;
+    match (l, r) {
+        (Null, _) | (_, Null) => Ok(Null),
+        (Int(a), Int(b)) => {
+            let a = *a;
+            let b = *b;
+            match op {
+                BinOp::Add => Ok(Int(a.wrapping_add(b))),
+                BinOp::Sub => Ok(Int(a.wrapping_sub(b))),
+                BinOp::Mul => Ok(Int(a.wrapping_mul(b))),
+                BinOp::Div => {
+                    if b == 0 {
+                        Err(StoreError::Rejected("division by zero".into()))
+                    } else {
+                        Ok(Int(a.wrapping_div(b)))
+                    }
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        Err(StoreError::Rejected("modulo by zero".into()))
+                    } else {
+                        Ok(Int(a.wrapping_rem(b)))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => {
+            let fa = match l {
+                Int(a) => *a as f64,
+                Real(a) => *a,
+                v => return Err(StoreError::Rejected(format!("non-numeric operand {v:?}"))),
+            };
+            let fb = match r {
+                Int(b) => *b as f64,
+                Real(b) => *b,
+                v => return Err(StoreError::Rejected(format!("non-numeric operand {v:?}"))),
+            };
+            let out = match op {
+                BinOp::Add => fa + fb,
+                BinOp::Sub => fa - fb,
+                BinOp::Mul => fa * fb,
+                BinOp::Div => fa / fb,
+                BinOp::Mod => fa % fb,
+                _ => unreachable!(),
+            };
+            Ok(Real(out))
+        }
+    }
+}
+
+/// SQL LIKE with `%` (any run) and `_` (any single char).
+fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => (0..=t.len()).any(|i| rec(&t[i..], &p[1..])),
+            Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some(c) => t.first() == Some(c) && rec(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}

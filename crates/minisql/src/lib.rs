@@ -1,0 +1,41 @@
+//! # minisql — a small relational database engine, from scratch
+//!
+//! The paper's evaluation includes "a MySQL database running on the client
+//! node accessed via JDBC", both as a data store in its own right (Figs.
+//! 9/10) and as the backing store for the caching experiments (Figs. 15/16).
+//! No MySQL is available offline, so this crate implements the relevant
+//! slice of a relational database:
+//!
+//! * [`token`] / [`parser`] / [`ast`] — a SQL subset (CREATE/DROP TABLE,
+//!   INSERT [OR REPLACE], SELECT with WHERE/ORDER BY/LIMIT and COUNT(*),
+//!   UPDATE, DELETE, BEGIN/COMMIT/ROLLBACK);
+//! * [`engine`] — row storage with a B-tree primary-key index (point
+//!   lookups on `WHERE pk = …` take the index path, everything else scans),
+//!   expression evaluation, and transactional undo;
+//! * [`wal`] — a checksummed write-ahead log fsync'd at commit (the "costly
+//!   commit operations" behind the paper's observation that MySQL writes
+//!   are much slower than reads), with crash recovery and snapshot
+//!   checkpoints;
+//! * [`server`] / [`client`] — a length-prefixed TCP protocol and a
+//!   JDBC-like client with `?` parameter binding;
+//! * [`kv`] — the key-value bridge: a `kv(k TEXT PRIMARY KEY, v BLOB)`
+//!   table behind the common [`kvapi::KeyValue`] interface, which is
+//!   exactly how the paper implements its key-value interface for SQL
+//!   databases ("the key-value interface for SQL databases can also be
+//!   implemented using JDBC").
+
+pub mod ast;
+pub mod client;
+pub mod engine;
+pub mod kv;
+pub mod parser;
+pub mod server;
+pub mod token;
+pub mod value;
+pub mod wal;
+
+pub use client::MiniSqlClient;
+pub use engine::{Database, ResultSet};
+pub use kv::SqlKv;
+pub use server::{SqlServer, SqlServerConfig};
+pub use value::SqlValue;

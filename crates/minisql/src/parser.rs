@@ -1,0 +1,635 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::token::{tokenize, Token};
+use crate::value::{SqlType, SqlValue};
+use kvapi::{Result, StoreError};
+
+/// Parse one statement (a trailing `;` is permitted).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_sym(";");
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: impl std::fmt::Display) -> StoreError {
+        StoreError::Rejected(format!(
+            "parse error at token {}: {msg} (next: {:?})",
+            self.pos,
+            self.tokens.get(self.pos)
+        ))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_kw(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the symbol if present.
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(sym)) if *sym == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {s:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(self.error(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("INDEX") {
+                return self.create_index(false);
+            }
+            if self.eat_kw("UNIQUE") {
+                // UNIQUE indexes are not supported; be explicit.
+                return Err(self.error("UNIQUE indexes are not supported"));
+            }
+            return self.create_table();
+        }
+        if self.eat_kw("DROP") {
+            if self.eat_kw("INDEX") {
+                let if_exists = self.eat_kw("IF") && {
+                    self.expect_kw("EXISTS")?;
+                    true
+                };
+                return Ok(Statement::DropIndex { name: self.ident()?, if_exists });
+            }
+            self.expect_kw("TABLE")?;
+            let if_exists = self.eat_kw("IF") && {
+                self.expect_kw("EXISTS")?;
+                true
+            };
+            return Ok(Statement::DropTable { name: self.ident()?, if_exists });
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("SELECT") {
+            return self.select();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let filter = self.where_clause()?;
+            return Ok(Statement::Delete { table, filter });
+        }
+        if self.eat_kw("BEGIN") {
+            self.eat_kw("TRANSACTION");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") {
+            return Ok(Statement::Rollback);
+        }
+        Err(self.error("unknown statement"))
+    }
+
+    fn create_index(&mut self, _unique: bool) -> Result<Statement> {
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_sym("(")?;
+        let column = self.ident()?;
+        self.expect_sym(")")?;
+        Ok(Statement::CreateIndex { name, table, column, if_not_exists })
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("TABLE")?;
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let ty_name = self.ident()?;
+            let ty = SqlType::parse(&ty_name)
+                .ok_or_else(|| self.error(format!("unknown type {ty_name:?}")))?;
+            // Swallow optional length e.g. VARCHAR(255).
+            if self.eat_sym("(") {
+                while !self.eat_sym(")") {
+                    if self.next().is_none() {
+                        return Err(self.error("unterminated type length"));
+                    }
+                }
+            }
+            let mut primary_key = false;
+            let mut not_null = false;
+            loop {
+                if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    primary_key = true;
+                } else if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                    not_null = true;
+                } else {
+                    break;
+                }
+            }
+            columns.push(ColumnDef { name: col_name, ty, primary_key, not_null });
+            if self.eat_sym(",") {
+                continue;
+            }
+            self.expect_sym(")")?;
+            break;
+        }
+        if columns.iter().filter(|c| c.primary_key).count() > 1 {
+            return Err(self.error("multiple PRIMARY KEY columns"));
+        }
+        Ok(Statement::CreateTable { name, columns, if_not_exists })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        let or_replace = if self.eat_kw("OR") {
+            self.expect_kw("REPLACE")?;
+            true
+        } else {
+            false
+        };
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_sym("(") {
+            loop {
+                columns.push(self.ident()?);
+                if self.eat_sym(",") {
+                    continue;
+                }
+                self.expect_sym(")")?;
+                break;
+            }
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if self.eat_sym(",") {
+                    continue;
+                }
+                self.expect_sym(")")?;
+                break;
+            }
+            rows.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows, or_replace })
+    }
+
+    /// Parse one aggregate call if the next tokens form one.
+    fn try_aggregate(&mut self) -> Result<Option<Aggregate>> {
+        let func = match self.peek() {
+            Some(t) if t.is_kw("COUNT") => AggFunc::Count,
+            Some(t) if t.is_kw("SUM") => AggFunc::Sum,
+            Some(t) if t.is_kw("AVG") => AggFunc::Avg,
+            Some(t) if t.is_kw("MIN") => AggFunc::Min,
+            Some(t) if t.is_kw("MAX") => AggFunc::Max,
+            _ => return Ok(None),
+        };
+        // Only treat it as an aggregate when followed by '('; otherwise the
+        // word is an ordinary column named "count"/"min"/…
+        if !matches!(self.tokens.get(self.pos + 1), Some(Token::Sym("("))) {
+            return Ok(None);
+        }
+        self.pos += 2; // function word + '('
+        let agg = if func == AggFunc::Count && self.eat_sym("*") {
+            Aggregate { func: AggFunc::CountStar, col: None }
+        } else {
+            Aggregate { func, col: Some(self.ident()?) }
+        };
+        self.expect_sym(")")?;
+        Ok(Some(agg))
+    }
+
+    fn select(&mut self) -> Result<Statement> {
+        let projection = if self.eat_sym("*") {
+            Projection::All
+        } else if let Some(first) = self.try_aggregate()? {
+            let mut aggs = vec![first];
+            while self.eat_sym(",") {
+                match self.try_aggregate()? {
+                    Some(a) => aggs.push(a),
+                    None => {
+                        return Err(self
+                            .error("projections mixing aggregates and plain columns"))
+                    }
+                }
+            }
+            Projection::Aggregates(aggs)
+        } else {
+            let mut cols = vec![self.ident()?];
+            while self.eat_sym(",") {
+                cols.push(self.ident()?);
+            }
+            Projection::Columns(cols)
+        };
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let filter = self.where_clause()?;
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            if !matches!(projection, Projection::Aggregates(_)) {
+                return Err(self.error("GROUP BY requires aggregate projections"));
+            }
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let col = self.ident()?;
+            let dir = if self.eat_kw("DESC") {
+                Order::Desc
+            } else {
+                self.eat_kw("ASC");
+                Order::Asc
+            };
+            Some((col, dir))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") { Some(self.usize_lit()?) } else { None };
+        let offset = if self.eat_kw("OFFSET") { Some(self.usize_lit()?) } else { None };
+        Ok(Statement::Select { projection, table, filter, group_by, order_by, limit, offset })
+    }
+
+    fn usize_lit(&mut self) -> Result<usize> {
+        match self.next() {
+            Some(Token::Int(n)) if n >= 0 => Ok(n as usize),
+            other => Err(self.error(format!("expected non-negative integer, got {other:?}"))),
+        }
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_sym("=")?;
+            sets.push((col, self.expr()?));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let filter = self.where_clause()?;
+        Ok(Statement::Update { table, sets, filter })
+    }
+
+    fn where_clause(&mut self) -> Result<Option<Expr>> {
+        if self.eat_kw("WHERE") {
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < add < mul < unary.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(Box::new(lhs), BinOp::Or, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin(Box::new(lhs), BinOp::And, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(lhs), negated));
+        }
+        if self.eat_kw("LIKE") {
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Bin(Box::new(lhs), BinOp::Like, Box::new(rhs)));
+        }
+        let op = if self.eat_sym("=") {
+            BinOp::Eq
+        } else if self.eat_sym("!=") || self.eat_sym("<>") {
+            BinOp::Ne
+        } else if self.eat_sym("<=") {
+            BinOp::Le
+        } else if self.eat_sym(">=") {
+            BinOp::Ge
+        } else if self.eat_sym("<") {
+            BinOp::Lt
+        } else if self.eat_sym(">") {
+            BinOp::Gt
+        } else {
+            return Ok(lhs);
+        };
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                BinOp::Add
+            } else if self.eat_sym("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                BinOp::Mul
+            } else if self.eat_sym("/") {
+                BinOp::Div
+            } else if self.eat_sym("%") {
+                BinOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_sym("+") {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        if self.eat_sym("(") {
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Lit(SqlValue::Int(n))),
+            Some(Token::Real(f)) => Ok(Expr::Lit(SqlValue::Real(f))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(SqlValue::Text(s))),
+            Some(Token::Blob(b)) => Ok(Expr::Lit(SqlValue::Blob(b))),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("NULL") => {
+                Ok(Expr::Lit(SqlValue::Null))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("TRUE") => {
+                Ok(Expr::Lit(SqlValue::Bool(true)))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("FALSE") => {
+                Ok(Expr::Lit(SqlValue::Bool(false)))
+            }
+            Some(Token::Word(w)) => Ok(Expr::Col(w)),
+            Some(Token::Sym("?")) => Err(self.error(
+                "unbound '?' placeholder: bind parameters client-side before sending",
+            )),
+            other => Err(self.error(format!("expected expression, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse(
+            "CREATE TABLE IF NOT EXISTS kv (k TEXT PRIMARY KEY, v BLOB NOT NULL, n INT)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                assert_eq!(name, "kv");
+                assert!(if_not_exists);
+                assert_eq!(columns.len(), 3);
+                assert!(columns[0].primary_key);
+                assert!(columns[1].not_null);
+                assert_eq!(columns[2].ty, SqlType::Integer);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn varchar_length_swallowed() {
+        let s = parse("CREATE TABLE t (name VARCHAR(255) PRIMARY KEY)").unwrap();
+        match s {
+            Statement::CreateTable { columns, .. } => {
+                assert_eq!(columns[0].ty, SqlType::Text);
+                assert!(columns[0].primary_key);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row_and_or_replace() {
+        let s = parse("INSERT OR REPLACE INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Statement::Insert { table, columns, rows, or_replace } => {
+                assert_eq!(table, "t");
+                assert!(or_replace);
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][0], Expr::Lit(SqlValue::Int(2)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_full_shape() {
+        let s = parse(
+            "SELECT a, b FROM t WHERE x > 3 AND y LIKE 'pre%' ORDER BY a DESC LIMIT 5 OFFSET 2;",
+        )
+        .unwrap();
+        match s {
+            Statement::Select { projection, table, filter, order_by, limit, offset, .. } => {
+                assert_eq!(projection, Projection::Columns(vec!["a".into(), "b".into()]));
+                assert_eq!(table, "t");
+                assert!(filter.is_some());
+                assert_eq!(order_by, Some(("a".into(), Order::Desc)));
+                assert_eq!(limit, Some(5));
+                assert_eq!(offset, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let s = parse("SELECT COUNT(*) FROM t WHERE v IS NOT NULL").unwrap();
+        match s {
+            Statement::Select { projection: Projection::Aggregates(aggs), filter: Some(f), .. } => {
+                assert_eq!(aggs, vec![Aggregate { func: AggFunc::CountStar, col: None }]);
+                assert_eq!(f, Expr::IsNull(Box::new(Expr::Col("v".into())), true));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // a = 1 OR b = 2 AND c = 3  →  a=1 OR (b=2 AND c=3)
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select { filter: Some(Expr::Bin(_, BinOp::Or, rhs)), .. } = s else {
+            panic!("expected OR at top level");
+        };
+        assert!(matches!(*rhs, Expr::Bin(_, BinOp::And, _)));
+        // 1 + 2 * 3  →  1 + (2*3)
+        let s = parse("SELECT * FROM t WHERE x = 1 + 2 * 3").unwrap();
+        let Statement::Select { filter: Some(Expr::Bin(_, BinOp::Eq, rhs)), .. } = s else {
+            panic!("expected Eq at top");
+        };
+        assert!(matches!(*rhs, Expr::Bin(_, BinOp::Add, _)));
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let s = parse("SELECT * FROM t WHERE NOT x < -5").unwrap();
+        let Statement::Select { filter: Some(Expr::Not(inner)), .. } = s else {
+            panic!("expected NOT");
+        };
+        assert!(matches!(*inner, Expr::Bin(_, BinOp::Lt, _)));
+    }
+
+    #[test]
+    fn txn_statements() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("BEGIN TRANSACTION;").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let s = parse("UPDATE t SET a = a + 1, b = 'x' WHERE k = 'id'").unwrap();
+        match s {
+            Statement::Update { sets, filter, .. } => {
+                assert_eq!(sets.len(), 2);
+                assert!(filter.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("DELETE FROM t").unwrap();
+        assert_eq!(s, Statement::Delete { table: "t".into(), filter: None });
+    }
+
+    #[test]
+    fn errors_are_rejections() {
+        for bad in [
+            "SELEC * FROM t",
+            "SELECT * FROM",
+            "INSERT INTO t VALUES",
+            "CREATE TABLE t (a NOPE)",
+            "SELECT * FROM t WHERE ?",
+            "CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)",
+            "SELECT * FROM t extra garbage",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The minisql TCP server.
+//!
+//! Wire protocol: length-prefixed JSON frames.
+//! Request `{"sql": "..."}` → response `{"ok": ResultSet}` or
+//! `{"err": "message"}`. One database, many connections; execution is
+//! serialized inside [`Database`].
+
+use crate::engine::{Database, ResultSet};
+use crate::wal::SyncMode;
+use kvapi::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum accepted frame size (64 MiB).
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+#[derive(Serialize, Deserialize)]
+pub(crate) struct WireRequest {
+    pub sql: String,
+}
+
+#[derive(Serialize, Deserialize)]
+pub(crate) enum WireResponse {
+    #[serde(rename = "ok")]
+    Ok(ResultSet),
+    #[serde(rename = "err")]
+    Err(String),
+}
+
+pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+pub(crate) fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(StoreError::protocol(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|_| StoreError::protocol("truncated frame"))?;
+    Ok(Some(payload))
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct SqlServerConfig {
+    /// Bind address (port 0 = ephemeral).
+    pub bind: SocketAddr,
+    /// Data directory; `None` = in-memory database.
+    pub data_dir: Option<PathBuf>,
+    /// Commit durability.
+    pub sync: SyncMode,
+}
+
+impl Default for SqlServerConfig {
+    fn default() -> Self {
+        SqlServerConfig {
+            bind: "127.0.0.1:0".parse().expect("static addr"),
+            data_dir: None,
+            sync: SyncMode::Always,
+        }
+    }
+}
+
+/// A running minisql server.
+pub struct SqlServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
+    db: Arc<Database>,
+}
+
+impl SqlServer {
+    /// Start an in-memory server on an ephemeral port.
+    pub fn start_in_memory() -> Result<SqlServer> {
+        SqlServer::start(SqlServerConfig::default())
+    }
+
+    /// Start with explicit config (runs recovery when `data_dir` is set).
+    pub fn start(cfg: SqlServerConfig) -> Result<SqlServer> {
+        let db = Arc::new(match &cfg.data_dir {
+            Some(dir) => Database::open(dir, cfg.sync)?,
+            None => Database::in_memory(),
+        });
+        let listener = TcpListener::bind(cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<parking_lot::Mutex<Vec<TcpStream>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            let db = db.clone();
+            Some(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Ok(clone) = stream.try_clone() {
+                        let mut g = conns.lock();
+                        g.retain(|s| s.peer_addr().is_ok());
+                        g.push(clone);
+                    }
+                    let db = db.clone();
+                    std::thread::spawn(move || {
+                        let _ = serve(stream, db);
+                    });
+                }
+            }))
+        };
+
+        Ok(SqlServer { addr, shutdown, accept_thread, conns, db })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct handle to the embedded database (in-process use, tests).
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Stop the server.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SqlServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve(stream: TcpStream, db: Arc<Database>) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let response = match serde_json::from_slice::<WireRequest>(&payload) {
+            Err(e) => WireResponse::Err(format!("bad request: {e}")),
+            Ok(req) => match db.execute(&req.sql) {
+                Ok(rs) => WireResponse::Ok(rs),
+                Err(e) => WireResponse::Err(e.to_string()),
+            },
+        };
+        let bytes = serde_json::to_vec(&response).expect("response serializes");
+        write_frame(&mut writer, &bytes)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! SQL tokenizer.
+
+use kvapi::{Result, StoreError};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched by the
+    /// parser; the original spelling is preserved for identifiers).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Real(f64),
+    /// String literal (quotes and doubled-quote escapes resolved).
+    Str(String),
+    /// Blob literal `x'hex'`.
+    Blob(Vec<u8>),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// True when this token is the (case-insensitive) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+const SYMBOLS: [&str; 18] = [
+    "<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", ";", "+", "-", "/", "%", ".", "?",
+];
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: -- to end of line.
+        if c == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Blob literal x'...'
+        if (c == b'x' || c == b'X') && bytes.get(i + 1) == Some(&b'\'') {
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(StoreError::Rejected("unterminated blob literal".into()));
+            }
+            let hex = &sql[start..j];
+            if !hex.len().is_multiple_of(2) {
+                return Err(StoreError::Rejected("odd-length blob literal".into()));
+            }
+            let mut blob = Vec::with_capacity(hex.len() / 2);
+            for k in (0..hex.len()).step_by(2) {
+                blob.push(
+                    u8::from_str_radix(&hex[k..k + 2], 16)
+                        .map_err(|_| StoreError::Rejected("bad hex in blob literal".into()))?,
+                );
+            }
+            out.push(Token::Blob(blob));
+            i = j + 1;
+            continue;
+        }
+        // String literal with '' escape.
+        if c == b'\'' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            loop {
+                if j >= bytes.len() {
+                    return Err(StoreError::Rejected("unterminated string literal".into()));
+                }
+                if bytes[j] == b'\'' {
+                    if bytes.get(j + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        j += 2;
+                    } else {
+                        j += 1;
+                        break;
+                    }
+                } else {
+                    // Push the full UTF-8 character.
+                    let ch_str = &sql[j..];
+                    let ch = ch_str.chars().next().expect("in-bounds char");
+                    s.push(ch);
+                    j += ch.len_utf8();
+                }
+            }
+            out.push(Token::Str(s));
+            i = j;
+            continue;
+        }
+        // Number (integer or real; leading digit or .digit).
+        if c.is_ascii_digit() || (c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            let start = i;
+            let mut j = i;
+            let mut is_real = false;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                if bytes[j] == b'.' {
+                    if is_real {
+                        break;
+                    }
+                    is_real = true;
+                }
+                j += 1;
+            }
+            // Exponent part.
+            if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                let mut k = j + 1;
+                if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k].is_ascii_digit() {
+                    is_real = true;
+                    j = k;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+            }
+            let text = &sql[start..j];
+            if is_real {
+                let f: f64 = text
+                    .parse()
+                    .map_err(|_| StoreError::Rejected(format!("bad number {text:?}")))?;
+                out.push(Token::Real(f));
+            } else {
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| StoreError::Rejected(format!("bad number {text:?}")))?;
+                out.push(Token::Int(n));
+            }
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            out.push(Token::Word(sql[start..j].to_string()));
+            i = j;
+            continue;
+        }
+        // Quoted identifier "name" (kept as a Word).
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'"' {
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(StoreError::Rejected("unterminated quoted identifier".into()));
+            }
+            out.push(Token::Word(sql[i + 1..j].to_string()));
+            i = j + 1;
+            continue;
+        }
+        // Symbols (longest match first).
+        let rest = &sql[i..];
+        let sym = SYMBOLS.iter().find(|s| rest.starts_with(**s));
+        match sym {
+            Some(s) => {
+                out.push(Token::Sym(s));
+                i += s.len();
+            }
+            None => {
+                return Err(StoreError::Rejected(format!(
+                    "unexpected character {:?} at byte {i}",
+                    rest.chars().next().unwrap_or('?')
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_numbers_strings() {
+        let toks = tokenize("SELECT a, b2 FROM t WHERE x = 'it''s' AND y >= 3.5 LIMIT 10").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Word("a".into()));
+        assert_eq!(toks[2], Token::Sym(","));
+        assert!(toks.contains(&Token::Str("it's".into())));
+        assert!(toks.contains(&Token::Real(3.5)));
+        assert!(toks.contains(&Token::Int(10)));
+        assert!(toks.contains(&Token::Sym(">=")));
+    }
+
+    #[test]
+    fn blob_literals() {
+        let toks = tokenize("INSERT INTO t VALUES (x'deadBEEF')").unwrap();
+        assert!(toks.contains(&Token::Blob(vec![0xde, 0xad, 0xbe, 0xef])));
+        assert!(tokenize("x'abc'").is_err(), "odd length");
+        assert!(tokenize("x'zz'").is_err(), "bad hex");
+        assert!(tokenize("x'ab").is_err(), "unterminated");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Sym(","),
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_handled_as_unary_minus() {
+        // The tokenizer emits '-' separately; the parser folds it.
+        let toks = tokenize("-5").unwrap();
+        assert_eq!(toks, vec![Token::Sym("-"), Token::Int(5)]);
+    }
+
+    #[test]
+    fn exponents_and_leading_dot() {
+        assert_eq!(tokenize("1e3").unwrap(), vec![Token::Real(1000.0)]);
+        assert_eq!(tokenize("2.5e-2").unwrap(), vec![Token::Real(0.025)]);
+        assert_eq!(tokenize(".5").unwrap(), vec![Token::Real(0.5)]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("SELECT 'ключ-鍵'").unwrap();
+        assert_eq!(toks[1], Token::Str("ключ-鍵".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("SELECT \"weird name\" FROM t").unwrap();
+        assert_eq!(toks[1], Token::Word("weird name".into()));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(tokenize("SELECT @foo").is_err());
+        assert!(tokenize("'unterminated").is_err());
+    }
+}

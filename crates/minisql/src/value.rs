@@ -1,0 +1,259 @@
+//! SQL values: types, coercion, comparison, and SQL-literal rendering.
+
+use kvapi::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SqlType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Real,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes.
+    Blob,
+    /// Boolean.
+    Boolean,
+}
+
+impl SqlType {
+    /// Parse a type name (several aliases accepted, as in MySQL DDL).
+    pub fn parse(name: &str) -> Option<SqlType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" | "BIGINT" | "SMALLINT" => Some(SqlType::Integer),
+            "REAL" | "DOUBLE" | "FLOAT" => Some(SqlType::Real),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Some(SqlType::Text),
+            "BLOB" | "BYTEA" | "BINARY" | "VARBINARY" => Some(SqlType::Blob),
+            "BOOLEAN" | "BOOL" => Some(SqlType::Boolean),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One SQL value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Real(f64),
+    /// Text.
+    Text(String),
+    /// Bytes.
+    Blob(Vec<u8>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl SqlValue {
+    /// True when NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// SQL truthiness (for WHERE): NULL and false are not true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            SqlValue::Bool(b) => *b,
+            SqlValue::Int(n) => *n != 0,
+            SqlValue::Real(f) => *f != 0.0,
+            SqlValue::Null => false,
+            _ => false,
+        }
+    }
+
+    /// Coerce to a column type at insert/update time; errors on lossy or
+    /// nonsensical conversions (a simplified version of MySQL's strict
+    /// mode).
+    pub fn coerce(self, ty: SqlType) -> Result<SqlValue> {
+        let reject = |v: &SqlValue| {
+            Err(StoreError::Rejected(format!("cannot store {v:?} in {ty:?} column")))
+        };
+        match (ty, self) {
+            (_, SqlValue::Null) => Ok(SqlValue::Null),
+            (SqlType::Integer, v @ SqlValue::Int(_)) => Ok(v),
+            (SqlType::Integer, SqlValue::Bool(b)) => Ok(SqlValue::Int(i64::from(b))),
+            (SqlType::Integer, SqlValue::Real(f)) if f.fract() == 0.0 => {
+                Ok(SqlValue::Int(f as i64))
+            }
+            (SqlType::Real, SqlValue::Real(f)) => Ok(SqlValue::Real(f)),
+            (SqlType::Real, SqlValue::Int(n)) => Ok(SqlValue::Real(n as f64)),
+            (SqlType::Text, v @ SqlValue::Text(_)) => Ok(v),
+            (SqlType::Blob, v @ SqlValue::Blob(_)) => Ok(v),
+            (SqlType::Blob, SqlValue::Text(s)) => Ok(SqlValue::Blob(s.into_bytes())),
+            (SqlType::Boolean, v @ SqlValue::Bool(_)) => Ok(v),
+            (SqlType::Boolean, SqlValue::Int(0)) => Ok(SqlValue::Bool(false)),
+            (SqlType::Boolean, SqlValue::Int(1)) => Ok(SqlValue::Bool(true)),
+            (_, v) => reject(&v),
+        }
+    }
+
+    /// Three-valued comparison; `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn compare(&self, other: &SqlValue) -> Option<Ordering> {
+        use SqlValue::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Real(a), Real(b)) => a.partial_cmp(b),
+            (Int(a), Real(b)) => (*a as f64).partial_cmp(b),
+            (Real(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Blob(a), Blob(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Render as a SQL literal (used by the client's `?` binding).
+    pub fn to_literal(&self) -> String {
+        match self {
+            SqlValue::Null => "NULL".to_string(),
+            SqlValue::Int(n) => n.to_string(),
+            SqlValue::Real(f) => {
+                // Keep a decimal point so the parser reads it back as Real.
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            SqlValue::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            SqlValue::Blob(b) => {
+                let hex: String = b.iter().map(|x| format!("{x:02x}")).collect();
+                format!("x'{hex}'")
+            }
+            SqlValue::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        }
+    }
+}
+
+/// Primary-key wrapper with a **total** order so it can key a `BTreeMap`.
+/// NULL keys are rejected before construction; NaN floats order last.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PkKey(pub SqlValue);
+
+impl Eq for PkKey {}
+
+impl Ord for PkKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &SqlValue) -> u8 {
+            match v {
+                SqlValue::Null => 0,
+                SqlValue::Bool(_) => 1,
+                SqlValue::Int(_) | SqlValue::Real(_) => 2,
+                SqlValue::Text(_) => 3,
+                SqlValue::Blob(_) => 4,
+            }
+        }
+        match self.0.compare(&other.0) {
+            Some(o) => o,
+            None => rank(&self.0).cmp(&rank(&other.0)).then_with(|| {
+                // Same rank but incomparable: NaN vs number. Order NaN last.
+                let a_nan = matches!(self.0, SqlValue::Real(f) if f.is_nan());
+                let b_nan = matches!(other.0, SqlValue::Real(f) if f.is_nan());
+                a_nan.cmp(&b_nan)
+            }),
+        }
+    }
+}
+
+impl PartialOrd for PkKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_aliases() {
+        assert_eq!(SqlType::parse("int"), Some(SqlType::Integer));
+        assert_eq!(SqlType::parse("VARCHAR"), Some(SqlType::Text));
+        assert_eq!(SqlType::parse("bytea"), Some(SqlType::Blob));
+        assert_eq!(SqlType::parse("nope"), None);
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(
+            SqlValue::Real(3.0).coerce(SqlType::Integer).unwrap(),
+            SqlValue::Int(3)
+        );
+        assert!(SqlValue::Real(3.5).coerce(SqlType::Integer).is_err());
+        assert_eq!(
+            SqlValue::Int(7).coerce(SqlType::Real).unwrap(),
+            SqlValue::Real(7.0)
+        );
+        assert_eq!(
+            SqlValue::Text("ab".into()).coerce(SqlType::Blob).unwrap(),
+            SqlValue::Blob(b"ab".to_vec())
+        );
+        assert!(SqlValue::Text("ab".into()).coerce(SqlType::Integer).is_err());
+        assert_eq!(SqlValue::Null.coerce(SqlType::Integer).unwrap(), SqlValue::Null);
+    }
+
+    #[test]
+    fn comparisons() {
+        use SqlValue::*;
+        assert_eq!(Int(1).compare(&Int(2)), Some(Ordering::Less));
+        assert_eq!(Int(2).compare(&Real(2.0)), Some(Ordering::Equal));
+        assert_eq!(Text("b".into()).compare(&Text("a".into())), Some(Ordering::Greater));
+        assert_eq!(Null.compare(&Int(1)), None);
+        assert_eq!(Int(1).compare(&Text("1".into())), None);
+    }
+
+    #[test]
+    fn literal_round_trip_shapes() {
+        assert_eq!(SqlValue::Text("it's".into()).to_literal(), "'it''s'");
+        assert_eq!(SqlValue::Blob(vec![0xde, 0xad]).to_literal(), "x'dead'");
+        assert_eq!(SqlValue::Int(-5).to_literal(), "-5");
+        assert_eq!(SqlValue::Real(2.0).to_literal(), "2.0");
+        assert_eq!(SqlValue::Null.to_literal(), "NULL");
+        assert_eq!(SqlValue::Bool(true).to_literal(), "TRUE");
+    }
+
+    #[test]
+    fn pk_key_total_order() {
+        let mut keys = vec![
+            PkKey(SqlValue::Text("b".into())),
+            PkKey(SqlValue::Int(10)),
+            PkKey(SqlValue::Text("a".into())),
+            PkKey(SqlValue::Int(2)),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                PkKey(SqlValue::Int(2)),
+                PkKey(SqlValue::Int(10)),
+                PkKey(SqlValue::Text("a".into())),
+                PkKey(SqlValue::Text("b".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(SqlValue::Bool(true).is_truthy());
+        assert!(!SqlValue::Bool(false).is_truthy());
+        assert!(SqlValue::Int(5).is_truthy());
+        assert!(!SqlValue::Int(0).is_truthy());
+        assert!(!SqlValue::Null.is_truthy());
+        assert!(!SqlValue::Text("x".into()).is_truthy());
+    }
+}

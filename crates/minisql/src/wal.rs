@@ -1,0 +1,256 @@
+//! Write-ahead log with checksummed records, fsync'd commits, snapshot
+//! checkpoints, and crash recovery.
+//!
+//! The log is *logical*: each record carries the SQL text of one committed
+//! transaction. Execution is deterministic (no time/random functions in the
+//! dialect), so replaying the statements reconstructs the exact state.
+//!
+//! Record framing: `[len: u32 LE][crc32: u32 LE][payload]`, payload =
+//! JSON-encoded [`WalRecord`]. Recovery reads records until EOF or the first
+//! corrupt/truncated record (the torn tail a crash can leave) and discards
+//! everything from there on — standard WAL semantics.
+
+use kvapi::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Durability mode for commits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// fsync the log on every commit (the paper's "costly commit").
+    Always,
+    /// Leave flushing to the OS (fast, loses the tail on power failure).
+    Os,
+}
+
+/// One committed transaction.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic transaction id.
+    pub txn: u64,
+    /// The SQL statements of the transaction, in execution order.
+    pub statements: Vec<String>,
+}
+
+/// CRC-32 (IEEE, reflected) — small local copy so minisql does not depend
+/// on the compression crate.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { 0xedb8_8320 ^ (crc >> 1) } else { crc >> 1 };
+        }
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    sync: SyncMode,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path` for appending.
+    pub fn open(path: impl AsRef<Path>, sync: SyncMode) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        Ok(Wal { path, file, sync, bytes })
+    }
+
+    /// Append one committed transaction; honors the sync mode.
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        let payload = serde_json::to_vec(record).expect("record serializes");
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        if self.sync == SyncMode::Always {
+            self.file.sync_data()?;
+        }
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Current log size in bytes (drives checkpoint scheduling).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Truncate the log (after a checkpoint has made it redundant).
+    pub fn truncate(&mut self) -> Result<()> {
+        self.file = OpenOptions::new().create(true).write(true).truncate(true).open(&self.path)?;
+        self.file.sync_data()?;
+        // Reopen in append mode.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.bytes = 0;
+        Ok(())
+    }
+
+    /// Read every intact record from a log file. Stops silently at the
+    /// first torn/corrupt record (crash tail).
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
+        let mut out = Vec::new();
+        let data = match std::fs::read(path.as_ref()) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        let mut pos = 0usize;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let want_crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let Some(payload) = data.get(pos + 8..pos + 8 + len) else {
+                break; // torn tail
+            };
+            if crc32(payload) != want_crc {
+                break; // corrupt tail
+            }
+            match serde_json::from_slice::<WalRecord>(payload) {
+                Ok(rec) => out.push(rec),
+                Err(_) => break,
+            }
+            pos += 8 + len;
+        }
+        Ok(out)
+    }
+}
+
+/// Atomically write a snapshot blob next to the WAL.
+pub fn write_snapshot(path: impl AsRef<Path>, data: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("snapshot.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a snapshot blob if present.
+pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Option<Vec<u8>>> {
+    match File::open(path.as_ref()) {
+        Ok(mut f) => {
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf)?;
+            Ok(Some(buf))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "minisql-wal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    }
+
+    fn rec(txn: u64, sql: &str) -> WalRecord {
+        WalRecord { txn, statements: vec![sql.to_string()] }
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = temp_path("basic");
+        {
+            let mut wal = Wal::open(&path, SyncMode::Always).unwrap();
+            wal.append(&rec(1, "INSERT INTO t VALUES (1)")).unwrap();
+            wal.append(&rec(2, "INSERT INTO t VALUES (2)")).unwrap();
+        }
+        let records = Wal::replay(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], rec(1, "INSERT INTO t VALUES (1)"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        assert!(Wal::replay(temp_path("missing")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = temp_path("torn");
+        {
+            let mut wal = Wal::open(&path, SyncMode::Os).unwrap();
+            wal.append(&rec(1, "A")).unwrap();
+            wal.append(&rec(2, "B")).unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the end.
+        let mut data = std::fs::read(&path).unwrap();
+        data.truncate(data.len() - 5);
+        std::fs::write(&path, &data).unwrap();
+        let records = Wal::replay(&path).unwrap();
+        assert_eq!(records.len(), 1, "torn second record must be discarded");
+        assert_eq!(records[0].statements, vec!["A"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let path = temp_path("corrupt");
+        {
+            let mut wal = Wal::open(&path, SyncMode::Os).unwrap();
+            wal.append(&rec(1, "A")).unwrap();
+            wal.append(&rec(2, "B")).unwrap();
+            wal.append(&rec(3, "C")).unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a byte in the middle record's payload.
+        let mid = data.len() / 2;
+        data[mid] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        let records = Wal::replay(&path).unwrap();
+        assert!(records.len() < 3, "corruption must stop replay");
+        assert_eq!(records.first().map(|r| r.txn), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_resets() {
+        let path = temp_path("trunc");
+        let mut wal = Wal::open(&path, SyncMode::Os).unwrap();
+        wal.append(&rec(1, "A")).unwrap();
+        assert!(wal.bytes() > 0);
+        wal.truncate().unwrap();
+        assert_eq!(wal.bytes(), 0);
+        assert!(Wal::replay(&path).unwrap().is_empty());
+        // Appending still works after truncation.
+        wal.append(&rec(2, "B")).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let path = temp_path("snap");
+        assert_eq!(read_snapshot(&path).unwrap(), None);
+        write_snapshot(&path, b"state blob").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap().unwrap(), b"state blob");
+        write_snapshot(&path, b"newer state").unwrap();
+        assert_eq!(read_snapshot(&path).unwrap().unwrap(), b"newer state");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc_known_value() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+}

@@ -1,0 +1,22 @@
+//! # netsim — wide-area network latency simulation
+//!
+//! The paper evaluates two commercial cloud data stores ("Cloud Store 1" and
+//! "Cloud Store 2") that are *geographically distant* from the client; their
+//! latencies are dominated by network round-trip time, transfer bandwidth,
+//! and server-side variability ("requests ... might be competing for server
+//! resources with computing tasks from other cloud users"). We do not have
+//! those services, so the `cloudstore` crate runs a real HTTP object-store
+//! server over loopback TCP and injects delays drawn from the models in this
+//! crate. The substitution preserves what the paper measures: the *client
+//! code path* is identical (socket I/O, HTTP framing, serialization) and the
+//! delay distribution reproduces the paper's qualitative observations —
+//! high base latency, size-dependent transfer time, and heavy-tailed
+//! variance (especially for Cloud Store 1).
+//!
+//! The model is deterministic given a seed, so benchmarks are repeatable.
+
+pub mod model;
+pub mod profiles;
+
+pub use model::{LatencyModel, LatencySampler};
+pub use profiles::Profile;

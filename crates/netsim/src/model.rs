@@ -1,0 +1,210 @@
+//! The latency model: base RTT + lognormal jitter + bandwidth + contention.
+//!
+//! A request's simulated delay is composed of four parts:
+//!
+//! 1. **base round-trip time** — speed-of-light + routing distance to the
+//!    (simulated) remote region;
+//! 2. **jitter** — multiplicative lognormal noise on the RTT, the standard
+//!    model for WAN latency variation;
+//! 3. **transfer time** — `payload_bytes / bandwidth`, which makes latency
+//!    grow with object size exactly as in the paper's log–log figures;
+//! 4. **contention spikes** — with small probability the request is slowed
+//!    by a multiplicative factor, modelling the multi-tenant interference the
+//!    paper blames for Cloud Store 1's high variance.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Parameters describing one simulated network path + remote service.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Mean round-trip time, in milliseconds, for a zero-byte exchange.
+    pub base_rtt_ms: f64,
+    /// Sigma of the lognormal jitter multiplier (0 = no jitter). The
+    /// multiplier is `exp(N(0, sigma^2))`, normalized so its median is 1.
+    pub jitter_sigma: f64,
+    /// Sustained transfer bandwidth in bytes/second (applies to the larger
+    /// of the request and response payloads).
+    pub bandwidth_bps: f64,
+    /// Probability that a request hits a contention spike.
+    pub contention_prob: f64,
+    /// Multiplier applied to the whole delay during a spike.
+    pub contention_mult: f64,
+    /// Fixed per-request service time at the server, ms (parse, lookup).
+    pub service_ms: f64,
+}
+
+impl LatencyModel {
+    /// A model with no delay at all (useful for tests of the plumbing).
+    pub fn zero() -> LatencyModel {
+        LatencyModel {
+            base_rtt_ms: 0.0,
+            jitter_sigma: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            contention_prob: 0.0,
+            contention_mult: 1.0,
+            service_ms: 0.0,
+        }
+    }
+
+    /// Deterministic sampler over this model.
+    pub fn sampler(&self, seed: u64) -> LatencySampler {
+        LatencySampler { model: self.clone(), rng: Mutex::new(SmallRng::seed_from_u64(seed)) }
+    }
+
+    /// The deterministic (jitter-free, spike-free) delay for a payload —
+    /// the median of the sampled distribution. Exposed so tests can assert
+    /// the sampled values cluster around it.
+    pub fn nominal_ms(&self, payload_bytes: usize) -> f64 {
+        let transfer_ms = if self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0 {
+            payload_bytes as f64 / self.bandwidth_bps * 1000.0
+        } else {
+            0.0
+        };
+        self.base_rtt_ms + self.service_ms + transfer_ms
+    }
+}
+
+/// Draws request delays from a [`LatencyModel`] using a seeded RNG.
+///
+/// Thread-safe: the server handles connections on multiple threads but all
+/// draw from one sequence, which keeps runs reproducible for a fixed request
+/// order (and statistically identical regardless of interleaving).
+pub struct LatencySampler {
+    model: LatencyModel,
+    rng: Mutex<SmallRng>,
+}
+
+impl LatencySampler {
+    /// Sample the total delay for a request whose dominant payload is
+    /// `payload_bytes` long.
+    pub fn sample(&self, payload_bytes: usize) -> Duration {
+        let mut rng = self.rng.lock().unwrap();
+        let mut ms = self.model.nominal_ms(payload_bytes);
+        if self.model.jitter_sigma > 0.0 {
+            // Box-Muller standard normal, then lognormal multiplier with
+            // median 1 so jitter widens the distribution without shifting
+            // its center.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+            ms *= (self.model.jitter_sigma * z).exp();
+        }
+        if self.model.contention_prob > 0.0 && rng.gen_bool(self.model.contention_prob) {
+            ms *= self.model.contention_mult;
+        }
+        Duration::from_secs_f64((ms / 1000.0).max(0.0))
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_has_zero_delay() {
+        let s = LatencyModel::zero().sampler(1);
+        assert_eq!(s.sample(0), Duration::ZERO);
+        assert_eq!(s.sample(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn nominal_includes_transfer_time() {
+        let m = LatencyModel {
+            base_rtt_ms: 10.0,
+            jitter_sigma: 0.0,
+            bandwidth_bps: 1_000_000.0, // 1 MB/s
+            contention_prob: 0.0,
+            contention_mult: 1.0,
+            service_ms: 2.0,
+        };
+        // 500 KB at 1 MB/s = 500 ms transfer.
+        assert!((m.nominal_ms(500_000) - 512.0).abs() < 1e-9);
+        assert!((m.nominal_ms(0) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_free_sampling_equals_nominal() {
+        let m = LatencyModel {
+            base_rtt_ms: 25.0,
+            jitter_sigma: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            contention_prob: 0.0,
+            contention_mult: 1.0,
+            service_ms: 0.0,
+        };
+        let s = m.sampler(7);
+        for _ in 0..10 {
+            let d = s.sample(1234);
+            assert!((d.as_secs_f64() * 1000.0 - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel {
+            base_rtt_ms: 40.0,
+            jitter_sigma: 0.5,
+            bandwidth_bps: 5e6,
+            contention_prob: 0.05,
+            contention_mult: 8.0,
+            service_ms: 1.0,
+        };
+        let a: Vec<Duration> = {
+            let s = m.sampler(42);
+            (0..32).map(|i| s.sample(i * 100)).collect()
+        };
+        let b: Vec<Duration> = {
+            let s = m.sampler(42);
+            (0..32).map(|i| s.sample(i * 100)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<Duration> = {
+            let s = m.sampler(43);
+            (0..32).map(|i| s.sample(i * 100)).collect()
+        };
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn jitter_median_stays_near_nominal() {
+        let m = LatencyModel {
+            base_rtt_ms: 100.0,
+            jitter_sigma: 0.4,
+            bandwidth_bps: f64::INFINITY,
+            contention_prob: 0.0,
+            contention_mult: 1.0,
+            service_ms: 0.0,
+        };
+        let s = m.sampler(9);
+        let mut v: Vec<f64> = (0..4001).map(|_| s.sample(0).as_secs_f64() * 1000.0).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        // Lognormal with median-1 multiplier: median ≈ nominal within ~10%.
+        assert!((median - 100.0).abs() < 10.0, "median {median} drifted from nominal 100");
+    }
+
+    #[test]
+    fn contention_produces_heavy_tail() {
+        let base = LatencyModel {
+            base_rtt_ms: 50.0,
+            jitter_sigma: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            contention_prob: 0.2,
+            contention_mult: 10.0,
+            service_ms: 0.0,
+        };
+        let s = base.sampler(5);
+        let samples: Vec<f64> = (0..2000).map(|_| s.sample(0).as_secs_f64() * 1000.0).collect();
+        let spikes = samples.iter().filter(|&&ms| ms > 400.0).count();
+        let frac = spikes as f64 / samples.len() as f64;
+        assert!((frac - 0.2).abs() < 0.05, "spike fraction {frac} far from configured 0.2");
+    }
+}

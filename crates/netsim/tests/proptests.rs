@@ -1,0 +1,61 @@
+//! Property-based invariants of the latency model.
+
+use netsim::{LatencyModel, Profile};
+use proptest::prelude::*;
+
+fn model() -> impl Strategy<Value = LatencyModel> {
+    (
+        0.0f64..500.0,   // base rtt
+        0.0f64..1.0,     // jitter sigma
+        1e3f64..1e9,     // bandwidth
+        0.0f64..0.5,     // contention prob
+        1.0f64..20.0,    // contention mult
+        0.0f64..20.0,    // service ms
+    )
+        .prop_map(|(rtt, sigma, bw, cp, cm, svc)| LatencyModel {
+            base_rtt_ms: rtt,
+            jitter_sigma: sigma,
+            bandwidth_bps: bw,
+            contention_prob: cp,
+            contention_mult: cm,
+            service_ms: svc,
+        })
+}
+
+proptest! {
+    /// Delays are always finite and non-negative, for any model and size.
+    #[test]
+    fn samples_are_sane(m in model(), seed in any::<u64>(), size in 0usize..10_000_000) {
+        let s = m.sampler(seed);
+        for _ in 0..8 {
+            let d = s.sample(size);
+            prop_assert!(d.as_secs_f64().is_finite());
+            prop_assert!(d.as_secs_f64() >= 0.0);
+        }
+    }
+
+    /// Nominal latency is monotone in payload size.
+    #[test]
+    fn nominal_monotone_in_size(m in model(), a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(m.nominal_ms(small) <= m.nominal_ms(large) + 1e-9);
+    }
+
+    /// Same seed → identical sequence; scaling a profile scales nominals.
+    #[test]
+    fn determinism(seed in any::<u64>(), sizes in proptest::collection::vec(0usize..100_000, 1..16)) {
+        let m = Profile::Cloud1.model();
+        let s1 = m.sampler(seed);
+        let s2 = m.sampler(seed);
+        for &size in &sizes {
+            prop_assert_eq!(s1.sample(size), s2.sample(size));
+        }
+    }
+
+    #[test]
+    fn scaling_is_linear(factor in 0.01f64..2.0, size in 0usize..1_000_000) {
+        let full = Profile::Cloud2.model().nominal_ms(size);
+        let scaled = Profile::Cloud2.scaled_model(factor).nominal_ms(size);
+        prop_assert!((scaled - full * factor).abs() < full * 1e-6 + 1e-9);
+    }
+}

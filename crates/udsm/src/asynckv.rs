@@ -1,0 +1,250 @@
+//! Asynchronous interface over any key-value store.
+//!
+//! §II-A: "A key advantage to our UDSM is that it provides an asynchronous
+//! interface to all data stores it supports, even if a data store does not
+//! provide a client with asynchronous operations" — here, any
+//! [`KeyValue`] implementation gets async operations by construction: the
+//! blocking call runs on a pool worker and the caller holds a
+//! [`ListenableFuture`].
+
+use crate::future::ListenableFuture;
+use crate::pool::ThreadPool;
+use bytes::Bytes;
+use kvapi::{KeyValue, Result};
+use std::sync::Arc;
+
+/// Non-blocking handle to a store.
+#[derive(Clone)]
+pub struct AsyncKeyValue {
+    store: Arc<dyn KeyValue>,
+    pool: Arc<ThreadPool>,
+}
+
+impl AsyncKeyValue {
+    /// Wrap `store`, executing its operations on `pool`.
+    pub fn new(store: Arc<dyn KeyValue>, pool: Arc<ThreadPool>) -> AsyncKeyValue {
+        AsyncKeyValue { store, pool }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &Arc<dyn KeyValue> {
+        &self.store
+    }
+
+    /// Asynchronous get.
+    pub fn get(&self, key: &str) -> ListenableFuture<Result<Option<Bytes>>> {
+        let store = self.store.clone();
+        let key = key.to_string();
+        self.pool.submit(move || store.get(&key))
+    }
+
+    /// Asynchronous put. The application "can make a request to a data
+    /// store and not wait for the request to return a response before
+    /// continuing execution".
+    pub fn put(&self, key: &str, value: impl Into<Vec<u8>>) -> ListenableFuture<Result<()>> {
+        let store = self.store.clone();
+        let key = key.to_string();
+        let value = value.into();
+        self.pool.submit(move || store.put(&key, &value))
+    }
+
+    /// Asynchronous delete.
+    pub fn delete(&self, key: &str) -> ListenableFuture<Result<bool>> {
+        let store = self.store.clone();
+        let key = key.to_string();
+        self.pool.submit(move || store.delete(&key))
+    }
+
+    /// Asynchronous contains.
+    pub fn contains(&self, key: &str) -> ListenableFuture<Result<bool>> {
+        let store = self.store.clone();
+        let key = key.to_string();
+        self.pool.submit(move || store.contains(&key))
+    }
+
+    /// Asynchronous key listing.
+    pub fn keys(&self) -> ListenableFuture<Result<Vec<String>>> {
+        let store = self.store.clone();
+        self.pool.submit(move || store.keys())
+    }
+
+    /// Fan out many gets across the pool; the returned future completes
+    /// when all replies are in, preserving request order.
+    ///
+    /// The combining step runs on a pool worker *after* the per-key jobs
+    /// (FIFO queue), so this is deadlock-free even on a 1-worker pool —
+    /// but do not block on the returned future from *inside* another job
+    /// on the same single-worker pool.
+    pub fn get_many(&self, keys: &[&str]) -> ListenableFuture<Vec<Result<Option<Bytes>>>> {
+        let futures: Vec<_> = keys.iter().map(|k| self.get(k)).collect();
+        self.pool.submit(move || {
+            futures
+                .into_iter()
+                .map(|f| match Arc::try_unwrap(f.get()) {
+                    Ok(v) => v,
+                    Err(arc) => clone_result(&arc),
+                })
+                .collect()
+        })
+    }
+
+    /// Fan out many puts; completes when every write has finished,
+    /// reporting per-key results in request order.
+    pub fn put_many(
+        &self,
+        entries: Vec<(String, Vec<u8>)>,
+    ) -> ListenableFuture<Vec<Result<()>>> {
+        let futures: Vec<_> =
+            entries.into_iter().map(|(k, v)| self.put(&k, v)).collect();
+        self.pool.submit(move || {
+            futures
+                .into_iter()
+                .map(|f| match Arc::try_unwrap(f.get()) {
+                    Ok(v) => v,
+                    Err(arc) => match arc.as_ref() {
+                        Ok(()) => Ok(()),
+                        Err(e) => Err(kvapi::StoreError::Other(e.to_string())),
+                    },
+                })
+                .collect()
+        })
+    }
+}
+
+/// Clone a shared get-result (errors are not `Clone`; stringify them).
+fn clone_result(r: &Result<Option<Bytes>>) -> Result<Option<Bytes>> {
+    match r {
+        Ok(v) => Ok(v.clone()),
+        Err(e) => Err(kvapi::StoreError::Other(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    fn handle() -> AsyncKeyValue {
+        AsyncKeyValue::new(Arc::new(MemKv::new("mem")), Arc::new(ThreadPool::new(4)))
+    }
+
+    #[test]
+    fn async_round_trip() {
+        let kv = handle();
+        kv.put("k", &b"v"[..]).get().as_ref().as_ref().unwrap();
+        let got = kv.get("k").get();
+        assert_eq!(got.as_ref().as_ref().unwrap().as_deref(), Some(&b"v"[..]));
+        assert!(*kv.contains("k").get().as_ref().as_ref().unwrap());
+        assert!(kv.delete("k").get().as_ref().as_ref().unwrap());
+        assert_eq!(kv.keys().get().as_ref().as_ref().unwrap().len(), 0);
+    }
+
+    /// A deliberately slow store to show the caller overlaps its own work
+    /// with the store operation — the paper's motivation for async.
+    struct SlowStore(MemKv);
+    impl KeyValue for SlowStore {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+            std::thread::sleep(Duration::from_millis(80));
+            self.0.put(k, v)
+        }
+        fn get(&self, k: &str) -> Result<Option<Bytes>> {
+            std::thread::sleep(Duration::from_millis(80));
+            self.0.get(k)
+        }
+        fn delete(&self, k: &str) -> Result<bool> {
+            self.0.delete(k)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.0.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.0.clear()
+        }
+    }
+
+    #[test]
+    fn caller_overlaps_with_store_latency() {
+        let kv = AsyncKeyValue::new(Arc::new(SlowStore(MemKv::new("s"))), Arc::new(ThreadPool::new(4)));
+        let t0 = Instant::now();
+        let futures: Vec<_> = (0..4).map(|i| kv.put(&format!("k{i}"), vec![0u8; 8])).collect();
+        let submit_time = t0.elapsed();
+        assert!(submit_time < Duration::from_millis(40), "submission must not block: {submit_time:?}");
+        for f in futures {
+            f.get().as_ref().as_ref().unwrap();
+        }
+        let total = t0.elapsed();
+        assert!(
+            total < Duration::from_millis(250),
+            "4 × 80 ms puts on 4 workers took {total:?}"
+        );
+    }
+
+    #[test]
+    fn callbacks_on_completion() {
+        let kv = handle();
+        kv.put("k", &b"v"[..]).get();
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = hit.clone();
+        let f = kv.get("k");
+        f.add_listener(move |res| {
+            let v = res.as_ref().unwrap().as_ref().unwrap();
+            assert_eq!(&v[..], b"v");
+            h.store(true, Ordering::SeqCst);
+        });
+        f.get();
+        // `get` may wake before the worker thread runs the listener.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !hit.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "listener never fired");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn timed_get_on_async_op() {
+        let kv = AsyncKeyValue::new(
+            Arc::new(SlowStore(MemKv::new("s"))),
+            Arc::new(ThreadPool::new(1)),
+        );
+        let f = kv.get("missing");
+        assert!(f.get_timeout(Duration::from_millis(10)).is_none(), "still running");
+        let v = f.get_timeout(Duration::from_millis(500)).expect("finishes within timeout");
+        assert!(v.as_ref().as_ref().unwrap().is_none());
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_many_preserves_order() {
+        let kv = AsyncKeyValue::new(Arc::new(MemKv::new("m")), Arc::new(ThreadPool::new(4)));
+        kv.put("a", &b"1"[..]).get();
+        kv.put("c", &b"3"[..]).get();
+        let results = kv.get_many(&["a", "b", "c"]).get();
+        let results = results.as_ref();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(results[1].as_ref().unwrap(), &None);
+        assert_eq!(results[2].as_ref().unwrap().as_deref(), Some(&b"3"[..]));
+    }
+
+    #[test]
+    fn put_many_writes_everything() {
+        let store = Arc::new(MemKv::new("m"));
+        let kv = AsyncKeyValue::new(store.clone(), Arc::new(ThreadPool::new(4)));
+        let entries: Vec<(String, Vec<u8>)> =
+            (0..20).map(|i| (format!("k{i}"), vec![i as u8; 10])).collect();
+        let results = kv.put_many(entries).get();
+        assert!(results.as_ref().iter().all(|r| r.is_ok()));
+        assert_eq!(store.stats().unwrap().keys, 20);
+    }
+}

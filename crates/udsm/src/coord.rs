@@ -1,0 +1,205 @@
+//! Coordinated updates across multiple stores — the paper's §VII future
+//! work ("more coordinated features across multiple data stores such as
+//! atomic updates and two-phase commits"), implemented as an extension.
+//!
+//! Without server-side transaction support (which the paper's client-only
+//! stance rules out), true atomicity is impossible; this module provides
+//! the strongest client-side approximation: a **prepare/commit protocol
+//! with durable intent records**. A crashed coordinator leaves intent
+//! records from which [`recover`] can finish or abandon the write, and a
+//! failed prepare rolls back cleanly. Readers that only use plain `get`
+//! never observe half-written *values* — only possibly stale ones — because
+//! the real key is written last.
+
+use kvapi::value::now_millis;
+use kvapi::{KeyValue, Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+const INTENT_PREFIX: &str = "__udsm_intent__/";
+
+#[derive(Serialize, Deserialize, Debug, Clone)]
+struct Intent {
+    txid: u64,
+    key: String,
+    value: Vec<u8>,
+    at_ms: u64,
+}
+
+/// Outcome of [`recover`] for one intent record.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// The intent was re-applied (value written to its real key).
+    Committed(String),
+    /// The intent was dropped (target already newer or value matched).
+    Discarded(String),
+}
+
+/// Write `value` under `key` on every store, with intent records so a
+/// failure midway is recoverable.
+///
+/// Protocol: (1) write an intent record on every store; (2) write the real
+/// key on every store; (3) delete the intents. A failure in phase 1 rolls
+/// back written intents and reports the error — no store has seen the real
+/// key. A failure later leaves intents behind for [`recover`].
+pub fn coordinated_put(stores: &[Arc<dyn KeyValue>], key: &str, value: &[u8]) -> Result<()> {
+    if stores.is_empty() {
+        return Err(StoreError::Rejected("no stores to coordinate".into()));
+    }
+    let txid = now_millis() ^ (stores.len() as u64) << 48 ^ fastrand_like(key);
+    let intent = Intent { txid, key: key.to_string(), value: value.to_vec(), at_ms: now_millis() };
+    let blob = serde_json::to_vec(&intent).expect("intent serializes");
+    let intent_key = format!("{INTENT_PREFIX}{key}");
+
+    // Phase 1: prepare.
+    let mut prepared = 0usize;
+    for (i, store) in stores.iter().enumerate() {
+        if let Err(e) = store.put(&intent_key, &blob) {
+            // Roll back the intents already written.
+            for s in &stores[..prepared] {
+                let _ = s.delete(&intent_key);
+            }
+            return Err(StoreError::Other(format!(
+                "prepare failed on store {i} ({}): {e}",
+                store.name()
+            )));
+        }
+        prepared = i + 1;
+    }
+    // Phase 2: commit.
+    for store in stores {
+        store.put(key, value)?;
+    }
+    // Phase 3: cleanup (best effort — leftover intents are idempotent).
+    for store in stores {
+        let _ = store.delete(&intent_key);
+    }
+    Ok(())
+}
+
+/// Finish (or discard) any intent records left on `store` by a crashed
+/// coordinator: if the real key's value differs from the intent's, the
+/// intent is re-applied; otherwise it is discarded. Returns one entry per
+/// intent found.
+pub fn recover(store: &dyn KeyValue) -> Result<Vec<Recovery>> {
+    let mut out = Vec::new();
+    for k in store.keys()? {
+        let Some(orig_key) = k.strip_prefix(INTENT_PREFIX) else { continue };
+        let Some(blob) = store.get(&k)? else { continue };
+        let intent: Intent = serde_json::from_slice(&blob)
+            .map_err(|e| StoreError::corrupt(format!("bad intent record: {e}")))?;
+        let current = store.get(orig_key)?;
+        if current.as_deref() == Some(intent.value.as_slice()) {
+            out.push(Recovery::Discarded(orig_key.to_string()));
+        } else {
+            store.put(orig_key, &intent.value)?;
+            out.push(Recovery::Committed(orig_key.to_string()));
+        }
+        store.delete(&k)?;
+    }
+    Ok(out)
+}
+
+/// Cheap deterministic hash for txid mixing (not security-relevant).
+fn fastrand_like(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+    use kvapi::Bytes;
+
+    fn stores(n: usize) -> Vec<Arc<dyn KeyValue>> {
+        (0..n).map(|i| Arc::new(MemKv::new(format!("s{i}"))) as Arc<dyn KeyValue>).collect()
+    }
+
+    #[test]
+    fn happy_path_writes_everywhere_and_cleans_up() {
+        let ss = stores(3);
+        coordinated_put(&ss, "shared", b"value").unwrap();
+        for s in &ss {
+            assert_eq!(s.get("shared").unwrap().unwrap(), &b"value"[..]);
+            assert_eq!(s.keys().unwrap(), vec!["shared"], "no intent residue");
+        }
+    }
+
+    /// Store that fails all writes.
+    struct DeadStore;
+    impl KeyValue for DeadStore {
+        fn name(&self) -> &str {
+            "dead"
+        }
+        fn put(&self, _: &str, _: &[u8]) -> Result<()> {
+            Err(StoreError::Timeout)
+        }
+        fn get(&self, _: &str) -> Result<Option<Bytes>> {
+            Ok(None)
+        }
+        fn delete(&self, _: &str) -> Result<bool> {
+            Ok(false)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            Ok(vec![])
+        }
+        fn clear(&self) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn prepare_failure_rolls_back_and_no_real_writes() {
+        let good = Arc::new(MemKv::new("good"));
+        let ss: Vec<Arc<dyn KeyValue>> = vec![good.clone(), Arc::new(DeadStore)];
+        let err = coordinated_put(&ss, "k", b"v").unwrap_err();
+        assert!(err.to_string().contains("prepare failed"), "{err}");
+        assert!(good.keys().unwrap().is_empty(), "rollback must remove the intent");
+        assert_eq!(good.get("k").unwrap(), None, "real key must never be written");
+    }
+
+    #[test]
+    fn recover_finishes_interrupted_commit() {
+        let s = MemKv::new("m");
+        // Simulate a coordinator that crashed after phase 1 on this store.
+        let intent = Intent { txid: 1, key: "doc".into(), value: b"v2".to_vec(), at_ms: 0 };
+        s.put("doc", b"v1").unwrap();
+        s.put(
+            &format!("{INTENT_PREFIX}doc"),
+            &serde_json::to_vec(&intent).unwrap(),
+        )
+        .unwrap();
+        let actions = recover(&s).unwrap();
+        assert_eq!(actions, vec![Recovery::Committed("doc".into())]);
+        assert_eq!(s.get("doc").unwrap().unwrap(), &b"v2"[..]);
+        assert_eq!(s.keys().unwrap(), vec!["doc"]);
+    }
+
+    #[test]
+    fn recover_discards_already_committed_intents() {
+        let s = MemKv::new("m");
+        // Crash after phase 2 (value already written) but before cleanup.
+        let intent = Intent { txid: 1, key: "doc".into(), value: b"v2".to_vec(), at_ms: 0 };
+        s.put("doc", b"v2").unwrap();
+        s.put(
+            &format!("{INTENT_PREFIX}doc"),
+            &serde_json::to_vec(&intent).unwrap(),
+        )
+        .unwrap();
+        let actions = recover(&s).unwrap();
+        assert_eq!(actions, vec![Recovery::Discarded("doc".into())]);
+        assert_eq!(s.get("doc").unwrap().unwrap(), &b"v2"[..]);
+    }
+
+    #[test]
+    fn recover_on_clean_store_is_noop() {
+        let s = MemKv::new("m");
+        s.put("normal", b"v").unwrap();
+        assert!(recover(&s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_store_list_rejected() {
+        assert!(coordinated_put(&[], "k", b"v").is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! [`ListenableFuture`] — the result of an asynchronous data store
+//! operation.
+//!
+//! Mirrors the Java design the paper builds on: `Future` gives
+//! `is_done` / blocking `get` / timed `get`; *Listenable* adds
+//! `add_listener`, "the ability to register callbacks which are code to be
+//! executed after the future completes execution. This feature is the key
+//! reason that we use ListenableFutures instead of only Futures."
+//!
+//! Listeners registered before completion run (on the completing thread)
+//! when the value arrives; listeners registered after completion run
+//! immediately on the registering thread — same semantics as Guava.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Listener<T> = Box<dyn FnOnce(&T) + Send>;
+
+struct State<T> {
+    value: Option<Arc<T>>,
+    listeners: Vec<Listener<T>>,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+}
+
+/// Write side of a future; owned by whoever performs the work.
+pub struct Completer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Completer<T> {
+    /// Complete the future, waking waiters and firing listeners.
+    ///
+    /// Completing twice is a programming error and panics.
+    pub fn complete(self, value: T) {
+        let value = Arc::new(value);
+        let listeners = {
+            let mut g = self.shared.state.lock();
+            assert!(g.value.is_none(), "future completed twice");
+            g.value = Some(value.clone());
+            std::mem::take(&mut g.listeners)
+        };
+        self.shared.cond.notify_all();
+        for l in listeners {
+            l(&value);
+        }
+    }
+}
+
+/// Read side: poll, block, or register callbacks.
+pub struct ListenableFuture<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for ListenableFuture<T> {
+    fn clone(&self) -> Self {
+        ListenableFuture { shared: self.shared.clone() }
+    }
+}
+
+impl<T> ListenableFuture<T> {
+    /// Create an incomplete future and its completer.
+    pub fn pending() -> (ListenableFuture<T>, Completer<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { value: None, listeners: Vec::new() }),
+            cond: Condvar::new(),
+        });
+        (ListenableFuture { shared: shared.clone() }, Completer { shared })
+    }
+
+    /// An already-completed future.
+    pub fn ready(value: T) -> ListenableFuture<T> {
+        let (f, c) = ListenableFuture::pending();
+        c.complete(value);
+        f
+    }
+
+    /// Has the computation finished?
+    pub fn is_done(&self) -> bool {
+        self.shared.state.lock().value.is_some()
+    }
+
+    /// Block until the value is available and return a shared handle to it.
+    pub fn get(&self) -> Arc<T> {
+        let mut g = self.shared.state.lock();
+        while g.value.is_none() {
+            self.shared.cond.wait(&mut g);
+        }
+        g.value.clone().expect("loop exits only when set")
+    }
+
+    /// Block up to `timeout`; `None` on timeout.
+    pub fn get_timeout(&self, timeout: Duration) -> Option<Arc<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.shared.state.lock();
+        while g.value.is_none() {
+            if self.shared.cond.wait_until(&mut g, deadline).timed_out() {
+                return g.value.clone();
+            }
+        }
+        g.value.clone()
+    }
+
+    /// Register a callback to run when the value is available. If it
+    /// already is, the callback runs immediately on this thread.
+    pub fn add_listener(&self, listener: impl FnOnce(&T) + Send + 'static) {
+        let mut listener: Option<Listener<T>> = Some(Box::new(listener));
+        let immediate = {
+            let mut g = self.shared.state.lock();
+            match &g.value {
+                Some(v) => Some(v.clone()),
+                None => {
+                    g.listeners.push(listener.take().expect("listener present"));
+                    None
+                }
+            }
+        };
+        if let Some(v) = immediate {
+            // Run outside the lock so a listener may touch the future.
+            (listener.take().expect("not enqueued"))(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn blocking_get_across_threads() {
+        let (f, c) = ListenableFuture::<u32>::pending();
+        assert!(!f.is_done());
+        let waiter = {
+            let f = f.clone();
+            std::thread::spawn(move || *f.get())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        c.complete(42);
+        assert_eq!(waiter.join().unwrap(), 42);
+        assert!(f.is_done());
+        assert_eq!(*f.get(), 42, "get after completion is immediate");
+    }
+
+    #[test]
+    fn timed_get() {
+        let (f, c) = ListenableFuture::<u32>::pending();
+        assert!(f.get_timeout(Duration::from_millis(30)).is_none());
+        c.complete(7);
+        assert_eq!(*f.get_timeout(Duration::from_millis(30)).unwrap(), 7);
+    }
+
+    #[test]
+    fn listeners_fire_on_completion() {
+        let (f, c) = ListenableFuture::<String>::pending();
+        let count = Arc::new(AtomicU32::new(0));
+        for _ in 0..3 {
+            let count = count.clone();
+            f.add_listener(move |v| {
+                assert_eq!(v, "done");
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        c.complete("done".to_string());
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn listener_after_completion_runs_immediately() {
+        let f = ListenableFuture::ready(5u32);
+        let hit = Arc::new(AtomicU32::new(0));
+        let h = hit.clone();
+        f.add_listener(move |v| {
+            h.store(*v, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_complete_panics() {
+        let (_f, c) = ListenableFuture::<u32>::pending();
+        let shared = Completer { shared: c.shared.clone() };
+        c.complete(1);
+        shared.complete(2);
+    }
+}

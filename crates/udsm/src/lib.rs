@@ -1,0 +1,41 @@
+//! # udsm — the Universal Data Store Manager
+//!
+//! The paper's second contribution (§II-A): one component through which an
+//! application reaches *many* heterogeneous data stores, all behind the
+//! common key-value interface, with enhanced features applied uniformly:
+//!
+//! * [`registry`] — register any number of [`kvapi::KeyValue`] stores under
+//!   names; swap implementations without touching application code ("it is
+//!   easy to substitute different key-value store implementations within an
+//!   application as needed without changing the source code");
+//! * [`future`] / [`pool`] — the **asynchronous interface**: a fixed-size
+//!   thread pool (started once, "which avoids the costly creation of new
+//!   threads") and a `ListenableFuture` with blocking get, timed get,
+//!   `is_done`, and **callback registration** — the exact reason the paper
+//!   picks Guava's ListenableFuture over plain Futures;
+//! * [`asynckv`] — async get/put/delete over *any* registered store: "once
+//!   a data store implements the key-value interface, no additional work is
+//!   required to automatically get an asynchronous interface";
+//! * [`monitor`] — performance monitoring: summary statistics forever,
+//!   detailed samples for recent requests only, persistable "using any of
+//!   the data stores supported by the UDSM";
+//! * [`workload`] — the workload generator behind every figure in §V:
+//!   size sweeps, synthetic or user-supplied values, cache hit-rate
+//!   extrapolation, codec overhead measurement, gnuplot-ready output;
+//! * [`coord`] — the paper's §VII future work, implemented as an extension:
+//!   best-effort coordinated updates across multiple stores.
+
+pub mod asynckv;
+pub mod coord;
+pub mod future;
+pub mod monitor;
+pub mod pool;
+pub mod registry;
+pub mod workload;
+
+pub use asynckv::AsyncKeyValue;
+pub use future::ListenableFuture;
+pub use monitor::{MonitorReport, MonitoredStore, OpKind};
+pub use pool::ThreadPool;
+pub use registry::UniversalDataStoreManager;
+pub use workload::{Series, ValueSource, WorkloadSpec};

@@ -1,0 +1,329 @@
+//! Performance monitoring.
+//!
+//! §II-A: "The UDSM collects both summary performance statistics such as
+//! average latency as well as detailed performance statistics such as past
+//! latency measurements taken over a period of time. … there is thus the
+//! capability to collect detailed data for recent requests while only
+//! retaining summary statistics for older data. Performance data can be
+//! stored persistently using any of the data stores supported by the UDSM."
+//!
+//! [`MonitoredStore`] wraps any store and records per-operation latencies:
+//! running summaries (count/mean/min/max/stddev via Welford) kept forever,
+//! plus a bounded ring of recent samples. [`MonitorReport`] serializes to
+//! JSON and persists through the key-value interface itself.
+
+use bytes::Bytes;
+use kvapi::value::now_millis;
+use kvapi::{CondGet, Etag, KeyValue, Result, StoreError, StoreStats, Versioned};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Operation kinds tracked separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `get` / `get_versioned`.
+    Get,
+    /// `put` / `put_versioned`.
+    Put,
+    /// `delete`.
+    Delete,
+    /// `contains`.
+    Contains,
+    /// `get_if_none_match`.
+    CondGet,
+    /// `keys` / `clear` / `stats` (bookkeeping ops).
+    Other,
+}
+
+const KINDS: [OpKind; 6] =
+    [OpKind::Get, OpKind::Put, OpKind::Delete, OpKind::Contains, OpKind::CondGet, OpKind::Other];
+
+/// Running summary of one operation kind (Welford's online algorithm).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Minimum, ms.
+    pub min_ms: f64,
+    /// Maximum, ms.
+    pub max_ms: f64,
+    /// Welford M2 accumulator (exposed for merging).
+    pub m2: f64,
+}
+
+impl Summary {
+    fn record(&mut self, ms: f64) {
+        self.count += 1;
+        if self.count == 1 {
+            self.min_ms = ms;
+            self.max_ms = ms;
+        } else {
+            self.min_ms = self.min_ms.min(ms);
+            self.max_ms = self.max_ms.max(ms);
+        }
+        let delta = ms - self.mean_ms;
+        self.mean_ms += delta / self.count as f64;
+        self.m2 += delta * (ms - self.mean_ms);
+    }
+
+    /// Sample standard deviation, ms.
+    pub fn stddev_ms(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// One retained recent sample.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Sample {
+    /// Wall-clock timestamp, ms since epoch.
+    pub at_ms: u64,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Measured latency, ms.
+    pub latency_ms: f64,
+}
+
+/// Serializable monitoring state.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct MonitorReport {
+    /// Display name of the monitored store.
+    pub store: String,
+    /// Per-kind summaries, ordered as [`OpKind`]'s declaration.
+    pub summaries: Vec<(OpKind, Summary)>,
+    /// Recent samples, oldest first.
+    pub recent: Vec<Sample>,
+}
+
+impl MonitorReport {
+    /// Summary for one kind.
+    pub fn summary(&self, op: OpKind) -> Summary {
+        self.summaries.iter().find(|(k, _)| *k == op).map(|(_, s)| *s).unwrap_or_default()
+    }
+
+    /// Persist through any key-value store (the paper stores performance
+    /// data in UDSM-managed stores).
+    pub fn persist(&self, store: &dyn KeyValue, key: &str) -> Result<()> {
+        let blob = serde_json::to_vec(self)
+            .map_err(|e| StoreError::Other(format!("serialize report: {e}")))?;
+        store.put(key, &blob)
+    }
+
+    /// Load a previously persisted report.
+    pub fn load(store: &dyn KeyValue, key: &str) -> Result<Option<MonitorReport>> {
+        match store.get(key)? {
+            None => Ok(None),
+            Some(blob) => serde_json::from_slice(&blob)
+                .map(Some)
+                .map_err(|e| StoreError::corrupt(format!("bad report: {e}"))),
+        }
+    }
+}
+
+struct MonitorState {
+    summaries: [Summary; 6],
+    recent: VecDeque<Sample>,
+    recent_cap: usize,
+}
+
+/// A [`KeyValue`] wrapper that measures every operation.
+pub struct MonitoredStore<S> {
+    inner: S,
+    name: String,
+    state: Mutex<MonitorState>,
+}
+
+impl<S: KeyValue> MonitoredStore<S> {
+    /// Wrap `inner`, retaining up to `recent_cap` detailed samples.
+    pub fn new(inner: S, recent_cap: usize) -> MonitoredStore<S> {
+        let name = format!("monitored({})", inner.name());
+        MonitoredStore {
+            inner,
+            name,
+            state: Mutex::new(MonitorState {
+                summaries: [Summary::default(); 6],
+                recent: VecDeque::with_capacity(recent_cap.min(4096)),
+                recent_cap,
+            }),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn timed<T>(&self, op: OpKind, f: impl FnOnce(&S) -> T) -> T {
+        let t0 = Instant::now();
+        let out = f(&self.inner);
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let mut g = self.state.lock();
+        let idx = KINDS.iter().position(|k| *k == op).expect("known kind");
+        g.summaries[idx].record(ms);
+        if g.recent_cap > 0 {
+            if g.recent.len() == g.recent_cap {
+                g.recent.pop_front();
+            }
+            g.recent.push_back(Sample { at_ms: now_millis(), op, latency_ms: ms });
+        }
+        out
+    }
+
+    /// Snapshot the collected statistics.
+    pub fn report(&self) -> MonitorReport {
+        let g = self.state.lock();
+        MonitorReport {
+            store: self.inner.name().to_string(),
+            summaries: KINDS.iter().copied().zip(g.summaries).collect(),
+            recent: g.recent.iter().copied().collect(),
+        }
+    }
+
+    /// Clear all statistics.
+    pub fn reset(&self) {
+        let mut g = self.state.lock();
+        g.summaries = [Summary::default(); 6];
+        g.recent.clear();
+    }
+}
+
+impl<S: KeyValue> KeyValue for MonitoredStore<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.timed(OpKind::Put, |s| s.put(key, value))
+    }
+    fn put_versioned(&self, key: &str, value: &[u8]) -> Result<Etag> {
+        self.timed(OpKind::Put, |s| s.put_versioned(key, value))
+    }
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        self.timed(OpKind::Get, |s| s.get(key))
+    }
+    fn get_versioned(&self, key: &str) -> Result<Option<Versioned>> {
+        self.timed(OpKind::Get, |s| s.get_versioned(key))
+    }
+    fn get_if_none_match(&self, key: &str, etag: Etag) -> Result<CondGet> {
+        self.timed(OpKind::CondGet, |s| s.get_if_none_match(key, etag))
+    }
+    fn delete(&self, key: &str) -> Result<bool> {
+        self.timed(OpKind::Delete, |s| s.delete(key))
+    }
+    fn contains(&self, key: &str) -> Result<bool> {
+        self.timed(OpKind::Contains, |s| s.contains(key))
+    }
+    fn keys(&self) -> Result<Vec<String>> {
+        self.timed(OpKind::Other, |s| s.keys())
+    }
+    fn clear(&self) -> Result<()> {
+        self.timed(OpKind::Other, |s| s.clear())
+    }
+    fn stats(&self) -> Result<StoreStats> {
+        self.inner.stats()
+    }
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+
+    #[test]
+    fn contract_still_holds_when_monitored() {
+        kvapi::contract::run_all(&MonitoredStore::new(MemKv::new("m"), 100));
+    }
+
+    #[test]
+    fn summaries_accumulate() {
+        let m = MonitoredStore::new(MemKv::new("m"), 100);
+        for i in 0..10 {
+            m.put(&format!("k{i}"), b"v").unwrap();
+        }
+        for i in 0..20 {
+            let _ = m.get(&format!("k{}", i % 10)).unwrap();
+        }
+        let r = m.report();
+        assert_eq!(r.summary(OpKind::Put).count, 10);
+        assert_eq!(r.summary(OpKind::Get).count, 20);
+        assert_eq!(r.summary(OpKind::Delete).count, 0);
+        let g = r.summary(OpKind::Get);
+        assert!(g.mean_ms >= 0.0 && g.min_ms <= g.max_ms);
+        assert!(g.stddev_ms() >= 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let mut s = Summary::default();
+        let values = [1.0f64, 2.0, 4.0, 8.0, 16.0];
+        for v in values {
+            s.record(v);
+        }
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let var: f64 =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        assert!((s.mean_ms - mean).abs() < 1e-12);
+        assert!((s.stddev_ms() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 16.0);
+    }
+
+    #[test]
+    fn recent_ring_is_bounded_and_fresh() {
+        let m = MonitoredStore::new(MemKv::new("m"), 5);
+        for i in 0..25 {
+            m.put(&format!("k{i}"), b"v").unwrap();
+        }
+        let r = m.report();
+        assert_eq!(r.recent.len(), 5, "only the most recent N are detailed");
+        assert_eq!(r.summary(OpKind::Put).count, 25, "summary keeps the full history");
+        assert!(r.recent.iter().all(|s| s.op == OpKind::Put));
+        // Oldest-first ordering.
+        for w in r.recent.windows(2) {
+            assert!(w[0].at_ms <= w[1].at_ms);
+        }
+    }
+
+    #[test]
+    fn report_persists_through_any_store() {
+        let m = MonitoredStore::new(MemKv::new("m"), 10);
+        m.put("a", b"1").unwrap();
+        let _ = m.get("a").unwrap();
+        let report = m.report();
+        let archive = MemKv::new("archive");
+        report.persist(&archive, "perf/mem").unwrap();
+        let loaded = MonitorReport::load(&archive, "perf/mem").unwrap().unwrap();
+        assert_eq!(loaded, report);
+        assert_eq!(MonitorReport::load(&archive, "perf/none").unwrap(), None);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = MonitoredStore::new(MemKv::new("m"), 10);
+        m.put("a", b"1").unwrap();
+        m.reset();
+        let r = m.report();
+        assert_eq!(r.summary(OpKind::Put).count, 0);
+        assert!(r.recent.is_empty());
+    }
+
+    #[test]
+    fn conditional_gets_tracked_separately() {
+        let m = MonitoredStore::new(MemKv::new("m"), 10);
+        m.put("k", b"v").unwrap();
+        let v = m.get_versioned("k").unwrap().unwrap();
+        let _ = m.get_if_none_match("k", v.etag).unwrap();
+        let r = m.report();
+        assert_eq!(r.summary(OpKind::CondGet).count, 1);
+        assert_eq!(r.summary(OpKind::Get).count, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-size worker thread pool.
+//!
+//! §II-A: "Since creating a new thread is expensive, the UDSM uses thread
+//! pools in which a given number of threads are started up when the UDSM is
+//! initiated and maintained throughout the lifetime of the UDSM … Users can
+//! specify the thread pool size via a configuration parameter."
+
+use crate::future::ListenableFuture;
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A pool of worker threads executing submitted closures.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Start `size` workers (minimum 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("udsm-worker-{i}"))
+                    .spawn(move || {
+                        // Channel closed = pool dropped = clean exit.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), workers, size }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on a pool worker; the returned future completes with its
+    /// result.
+    pub fn submit<T: Send + Sync + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> ListenableFuture<T> {
+        let (future, completer) = ListenableFuture::pending();
+        let job: Job = Box::new(move || completer.complete(f()));
+        self.tx
+            .as_ref()
+            .expect("pool alive while not dropped")
+            .send(job)
+            .expect("workers hold the receiver while pool is alive");
+        future
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel; workers drain remaining jobs and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn submits_run_and_return_values() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let futures: Vec<_> = (0..20).map(|i| pool.submit(move || i * i)).collect();
+        for (i, f) in futures.iter().enumerate() {
+            assert_eq!(*f.get(), i * i);
+        }
+    }
+
+    #[test]
+    fn work_is_parallel() {
+        let pool = ThreadPool::new(4);
+        let t0 = std::time::Instant::now();
+        let futures: Vec<_> = (0..4)
+            .map(|_| pool.submit(|| std::thread::sleep(Duration::from_millis(80))))
+            .collect();
+        for f in &futures {
+            f.get();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "4 × 80 ms jobs on 4 workers took {elapsed:?} (serial would be ≥320 ms)"
+        );
+    }
+
+    #[test]
+    fn queued_jobs_all_run_with_one_worker() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU32::new(0));
+        let futures: Vec<_> = (0..50)
+            .map(|_| {
+                let c = counter.clone();
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for f in futures {
+            f.get();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn drop_drains_pending_work() {
+        let counter = Arc::new(AtomicU32::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..10 {
+                let c = counter.clone();
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop joins workers after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn listener_fires_from_worker_thread() {
+        let pool = ThreadPool::new(2);
+        let hit = Arc::new(AtomicU32::new(0));
+        let h = hit.clone();
+        let f = pool.submit(|| 99u32);
+        f.add_listener(move |v| {
+            h.store(*v, Ordering::SeqCst);
+        });
+        f.get();
+        // The listener runs on the worker thread (or immediately if the
+        // job already finished); `get` can wake before the worker reaches
+        // the listener, so wait briefly rather than assert instantly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while hit.load(Ordering::SeqCst) != 99 {
+            assert!(std::time::Instant::now() < deadline, "listener never fired");
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The store registry — the "manager" in Universal Data Store Manager.
+
+use crate::asynckv::AsyncKeyValue;
+use crate::pool::ThreadPool;
+use kvapi::{KeyValue, Result, StoreError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry of named stores plus the shared thread pool that powers the
+/// asynchronous interface.
+///
+/// "The UDSM is designed to allow new clients for the same data store to
+/// replace older ones as the clients evolve over time" — registering under
+/// an existing name replaces the previous client; handles already obtained
+/// keep using the old one until dropped (`Arc` semantics).
+pub struct UniversalDataStoreManager {
+    stores: RwLock<HashMap<String, Arc<dyn KeyValue>>>,
+    pool: Arc<ThreadPool>,
+}
+
+impl UniversalDataStoreManager {
+    /// Create a manager with `pool_size` async worker threads (the paper's
+    /// configurable thread pool size).
+    pub fn new(pool_size: usize) -> UniversalDataStoreManager {
+        UniversalDataStoreManager {
+            stores: RwLock::new(HashMap::new()),
+            pool: Arc::new(ThreadPool::new(pool_size)),
+        }
+    }
+
+    /// Register (or replace) a store under `name`.
+    pub fn register(&self, name: impl Into<String>, store: Arc<dyn KeyValue>) {
+        self.stores.write().insert(name.into(), store);
+    }
+
+    /// Remove a store; returns whether it existed.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.stores.write().remove(name).is_some()
+    }
+
+    /// Look up a store by name.
+    pub fn store(&self, name: &str) -> Result<Arc<dyn KeyValue>> {
+        self.stores
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::Rejected(format!("no store registered as {name:?}")))
+    }
+
+    /// Names of all registered stores (sorted for stable output).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.stores.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Asynchronous handle to a registered store — every store gets the
+    /// async interface for free.
+    pub fn async_store(&self, name: &str) -> Result<AsyncKeyValue> {
+        Ok(AsyncKeyValue::new(self.store(name)?, self.pool.clone()))
+    }
+
+    /// The shared thread pool (for callers composing their own async work).
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Copy every key from store `from` to store `to` — the common-interface
+    /// payoff: any store can seed, back up, or replace any other.
+    pub fn copy_all(&self, from: &str, to: &str) -> Result<u64> {
+        let src = self.store(from)?;
+        let dst = self.store(to)?;
+        let mut copied = 0;
+        for key in src.keys()? {
+            if let Some(v) = src.get(&key)? {
+                dst.put(&key, &v)?;
+                copied += 1;
+            }
+        }
+        Ok(copied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+
+    #[test]
+    fn register_lookup_replace() {
+        let udsm = UniversalDataStoreManager::new(2);
+        udsm.register("a", Arc::new(MemKv::new("a1")));
+        udsm.register("b", Arc::new(MemKv::new("b1")));
+        assert_eq!(udsm.names(), vec!["a", "b"]);
+        assert_eq!(udsm.store("a").unwrap().name(), "a1");
+        // Replacement: a newer client for the same logical store.
+        udsm.register("a", Arc::new(MemKv::new("a2")));
+        assert_eq!(udsm.store("a").unwrap().name(), "a2");
+        assert!(udsm.store("missing").is_err());
+        assert!(udsm.deregister("b"));
+        assert!(!udsm.deregister("b"));
+    }
+
+    #[test]
+    fn same_code_runs_on_any_store() {
+        // The paper's central claim for the common interface: application
+        // logic written once against KeyValue works on every registered
+        // store.
+        let udsm = UniversalDataStoreManager::new(2);
+        udsm.register("first", Arc::new(MemKv::new("x")));
+        udsm.register("second", Arc::new(MemKv::new("y")));
+        for name in udsm.names() {
+            let store = udsm.store(&name).unwrap();
+            store.put("shared-key", name.as_bytes()).unwrap();
+            assert_eq!(store.get("shared-key").unwrap().unwrap(), name.as_bytes());
+        }
+    }
+
+    #[test]
+    fn async_interface_for_every_store() {
+        let udsm = UniversalDataStoreManager::new(2);
+        udsm.register("mem", Arc::new(MemKv::new("mem")));
+        let akv = udsm.async_store("mem").unwrap();
+        akv.put("k", &b"async"[..]).get().as_ref().as_ref().unwrap();
+        let v = akv.get("k").get();
+        assert_eq!(v.as_ref().as_ref().unwrap().as_deref(), Some(&b"async"[..]));
+    }
+
+    #[test]
+    fn copy_between_stores() {
+        let udsm = UniversalDataStoreManager::new(2);
+        udsm.register("src", Arc::new(MemKv::new("src")));
+        udsm.register("dst", Arc::new(MemKv::new("dst")));
+        let src = udsm.store("src").unwrap();
+        for i in 0..10 {
+            src.put(&format!("k{i}"), format!("v{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(udsm.copy_all("src", "dst").unwrap(), 10);
+        let dst = udsm.store("dst").unwrap();
+        assert_eq!(dst.get("k7").unwrap().unwrap(), &b"v7"[..]);
+    }
+}

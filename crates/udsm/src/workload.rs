@@ -1,0 +1,614 @@
+//! The workload generator (paper §II-A, the engine behind every figure in
+//! §V).
+//!
+//! "The workload generator automatically generates requests over a range of
+//! different request sizes specified by the user … can synthetically
+//! generate data objects … alternatively, users can provide their own data
+//! objects … by placing the data in input files or writing a user-defined
+//! method. The workload generator also determines read latencies when
+//! caching is being used for different hit rates specified by the user.
+//! Additionally, it measures the overhead of encryption and compression.
+//! … Data from performance testing is stored in text files which can be
+//! easily imported into graph plotting tools such as gnuplot."
+//!
+//! Hit-rate handling follows the paper exactly: measure the no-cache
+//! latency and the 100 %-hit latency, then extrapolate
+//! `L(h) = h·L_hit + (1−h)·L_miss` for the requested rates.
+
+use bytes::Bytes;
+use dscl_cache::Cache;
+use kvapi::codec::Codec;
+use kvapi::{KeyValue, Result, StoreError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where test values come from.
+#[derive(Clone)]
+pub enum ValueSource {
+    /// Deterministic synthetic bytes. `compressibility` ∈ \[0,1\]: 0 = pure
+    /// noise (incompressible), 1 = a single repeated phrase (maximally
+    /// compressible); intermediate values mix the two.
+    Synthetic {
+        /// RNG seed (fixed = reproducible values).
+        seed: u64,
+        /// Fraction of structured (compressible) content.
+        compressibility: f64,
+    },
+    /// Bytes drawn from user-provided files, cycled/truncated to size
+    /// (the paper's "placing the data in input files").
+    Files(Vec<PathBuf>),
+    /// A user-defined generator (the paper's "user-defined method"):
+    /// `f(size) -> bytes`.
+    Custom(Arc<dyn Fn(usize) -> Vec<u8> + Send + Sync>),
+}
+
+impl ValueSource {
+    /// Default: moderately compressible synthetic data.
+    pub fn synthetic() -> ValueSource {
+        ValueSource::Synthetic { seed: 42, compressibility: 0.5 }
+    }
+
+    /// Produce a value of exactly `size` bytes; `index` varies content
+    /// between operations.
+    pub fn generate(&self, size: usize, index: u64) -> Result<Vec<u8>> {
+        match self {
+            ValueSource::Synthetic { seed, compressibility } => {
+                let mut rng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9e37_79b9));
+                let phrase = b"the universal data store manager stores and retrieves objects. ";
+                let mut out = Vec::with_capacity(size);
+                while out.len() < size {
+                    if rng.gen_bool(compressibility.clamp(0.0, 1.0)) {
+                        let take = phrase.len().min(size - out.len());
+                        out.extend_from_slice(&phrase[..take]);
+                    } else {
+                        let take = 16.min(size - out.len());
+                        for _ in 0..take {
+                            out.push(rng.gen());
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            ValueSource::Files(paths) => {
+                if paths.is_empty() {
+                    return Err(StoreError::Rejected("no input files".into()));
+                }
+                let path = &paths[(index as usize) % paths.len()];
+                let data = std::fs::read(path)?;
+                if data.is_empty() {
+                    return Err(StoreError::Rejected(format!("empty input file {path:?}")));
+                }
+                Ok(data.iter().copied().cycle().take(size).collect())
+            }
+            ValueSource::Custom(f) => {
+                let v = f(size);
+                if v.len() != size {
+                    return Err(StoreError::Rejected(format!(
+                        "custom generator returned {} bytes, wanted {size}",
+                        v.len()
+                    )));
+                }
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// One measured curve: label + (object size, latency ms) points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Curve label ("fskv", "redis 75% hit rate", ...).
+    pub label: String,
+    /// (size bytes, mean latency ms), ascending sizes.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Workload parameters.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Object sizes to sweep (paper figures use log-spaced sizes).
+    pub sizes: Vec<usize>,
+    /// Operations timed per (size, run).
+    pub ops_per_point: usize,
+    /// Independent runs averaged per point ("each data point is averaged
+    /// over 4 runs" in the paper).
+    pub runs: usize,
+    /// Value source.
+    pub source: ValueSource,
+    /// Cache hit rates for the caching sweeps.
+    pub hit_rates: Vec<f64>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            sizes: log_sizes(100, 1_000_000, 2),
+            ops_per_point: 10,
+            runs: 4,
+            source: ValueSource::synthetic(),
+            hit_rates: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        }
+    }
+}
+
+/// Log-spaced sizes from `min` to `max` with `per_decade` points per decade
+/// (always includes `max`).
+pub fn log_sizes(min: usize, max: usize, per_decade: usize) -> Vec<usize> {
+    assert!(min >= 1 && max >= min && per_decade >= 1);
+    let step = 10f64.powf(1.0 / per_decade as f64);
+    let mut out = Vec::new();
+    let mut x = min as f64;
+    while x < max as f64 * 0.999 {
+        out.push(x.round() as usize);
+        x *= step;
+    }
+    out.push(max);
+    out.dedup();
+    out
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+impl WorkloadSpec {
+    /// Mean read latency vs object size (Fig. 9 per store).
+    pub fn read_sweep(&self, store: &dyn KeyValue, label: &str) -> Result<Series> {
+        let mut points = Vec::with_capacity(self.sizes.len());
+        for &size in &self.sizes {
+            let key = format!("wl-read-{size}");
+            let value = self.source.generate(size, size as u64)?;
+            store.put(&key, &value)?;
+            let mut run_means = Vec::with_capacity(self.runs);
+            for _ in 0..self.runs {
+                let t0 = Instant::now();
+                for _ in 0..self.ops_per_point {
+                    let got = store
+                        .get(&key)?
+                        .ok_or_else(|| StoreError::Other("workload value vanished".into()))?;
+                    debug_assert_eq!(got.len(), size);
+                }
+                run_means
+                    .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+            }
+            points.push((size as f64, mean(&run_means)));
+            store.delete(&key)?;
+        }
+        Ok(Series { label: label.to_string(), points })
+    }
+
+    /// Mean write latency vs object size (Fig. 10 per store).
+    pub fn write_sweep(&self, store: &dyn KeyValue, label: &str) -> Result<Series> {
+        let mut points = Vec::with_capacity(self.sizes.len());
+        for &size in &self.sizes {
+            let mut run_means = Vec::with_capacity(self.runs);
+            for run in 0..self.runs {
+                // Distinct values per op so stores cannot dedupe.
+                let values: Vec<Vec<u8>> = (0..self.ops_per_point)
+                    .map(|i| self.source.generate(size, (run * 1000 + i) as u64))
+                    .collect::<Result<_>>()?;
+                let t0 = Instant::now();
+                for (i, v) in values.iter().enumerate() {
+                    store.put(&format!("wl-write-{size}-{i}"), v)?;
+                }
+                run_means
+                    .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+            }
+            for i in 0..self.ops_per_point {
+                store.delete(&format!("wl-write-{size}-{i}"))?;
+            }
+            points.push((size as f64, mean(&run_means)));
+        }
+        Ok(Series { label: label.to_string(), points })
+    }
+
+    /// Read latency vs size for each configured hit rate, against a given
+    /// cache (Figs. 11–19: one call per store × cache type).
+    ///
+    /// Measures the miss path (store read) and the hit path (cache read)
+    /// per size, then extrapolates each requested rate — the paper's
+    /// methodology verbatim.
+    pub fn cached_read_sweep(
+        &self,
+        store: &dyn KeyValue,
+        cache: &dyn Cache,
+        label_prefix: &str,
+    ) -> Result<Vec<Series>> {
+        let mut hit_curve = Vec::with_capacity(self.sizes.len());
+        let mut miss_curve = Vec::with_capacity(self.sizes.len());
+        for &size in &self.sizes {
+            let key = format!("wl-cached-{size}");
+            let value = self.source.generate(size, size as u64)?;
+            store.put(&key, &value)?;
+
+            // Miss path: read from the store (what a 0% hit rate costs).
+            let mut miss_runs = Vec::with_capacity(self.runs);
+            for _ in 0..self.runs {
+                let t0 = Instant::now();
+                for _ in 0..self.ops_per_point {
+                    let _ = store.get(&key)?;
+                }
+                miss_runs
+                    .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+            }
+
+            // Hit path: prime the cache, then read from it.
+            cache.put(&key, Bytes::from(value));
+            let mut hit_runs = Vec::with_capacity(self.runs);
+            for _ in 0..self.runs {
+                let t0 = Instant::now();
+                for _ in 0..self.ops_per_point {
+                    let got = cache.get(&key);
+                    debug_assert!(got.is_some());
+                }
+                hit_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+            }
+            cache.remove(&key);
+            store.delete(&key)?;
+            miss_curve.push((size as f64, mean(&miss_runs)));
+            hit_curve.push((size as f64, mean(&hit_runs)));
+        }
+
+        // Extrapolate L(h) = h·hit + (1−h)·miss.
+        Ok(self
+            .hit_rates
+            .iter()
+            .map(|&h| Series {
+                label: if h == 0.0 {
+                    format!("{label_prefix} no caching")
+                } else {
+                    format!("{label_prefix} {:.0}% hit rate", h * 100.0)
+                },
+                points: miss_curve
+                    .iter()
+                    .zip(&hit_curve)
+                    .map(|(&(size, miss), &(_, hit))| (size, h * hit + (1.0 - h) * miss))
+                    .collect(),
+            })
+            .collect())
+    }
+
+    /// Encode/decode latency vs size for a codec (Figs. 20/21: AES and
+    /// gzip overheads).
+    pub fn codec_sweep(&self, codec: &dyn Codec) -> Result<(Series, Series)> {
+        let mut enc_points = Vec::with_capacity(self.sizes.len());
+        let mut dec_points = Vec::with_capacity(self.sizes.len());
+        for &size in &self.sizes {
+            let value = self.source.generate(size, size as u64)?;
+            let encoded = codec.encode(&value)?;
+            let mut enc_runs = Vec::with_capacity(self.runs);
+            let mut dec_runs = Vec::with_capacity(self.runs);
+            for _ in 0..self.runs {
+                let t0 = Instant::now();
+                for _ in 0..self.ops_per_point {
+                    let out = codec.encode(&value)?;
+                    std::hint::black_box(&out);
+                }
+                enc_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+                let t0 = Instant::now();
+                for _ in 0..self.ops_per_point {
+                    let out = codec.decode(&encoded)?;
+                    std::hint::black_box(&out);
+                }
+                dec_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+            }
+            enc_points.push((size as f64, mean(&enc_runs)));
+            dec_points.push((size as f64, mean(&dec_runs)));
+        }
+        Ok((
+            Series { label: format!("{} encode", codec.name()), points: enc_points },
+            Series { label: format!("{} decode", codec.name()), points: dec_points },
+        ))
+    }
+}
+
+/// Write series as a gnuplot/Excel-friendly text file: a header comment, a
+/// label row, then `size y1 y2 …` columns. All series must share x values.
+pub fn write_gnuplot(path: impl AsRef<Path>, series: &[Series]) -> Result<()> {
+    let mut f = std::fs::File::create(path.as_ref())?;
+    writeln!(f, "# generated by udsm workload generator")?;
+    write!(f, "# size_bytes")?;
+    for s in series {
+        write!(f, "\t{}", s.label.replace(['\t', '\n'], " "))?;
+    }
+    writeln!(f)?;
+    let n = series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..n {
+        write!(f, "{}", series[0].points[i].0)?;
+        for s in series {
+            let (x, y) = s.points[i];
+            debug_assert_eq!(x, series[0].points[i].0, "series must share x values");
+            write!(f, "\t{y:.6}")?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Render series as a Markdown table (size column + one column per series).
+pub fn to_markdown(series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str("| size (bytes) |");
+    for s in series {
+        out.push_str(&format!(" {} |", s.label));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    let n = series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..n {
+        out.push_str(&format!("| {} |", series[0].points[i].0));
+        for s in series {
+            out.push_str(&format!(" {:.3} |", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dscl_cache::InProcessLru;
+    use kvapi::mem::MemKv;
+
+    fn quick_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            sizes: vec![100, 1000],
+            ops_per_point: 3,
+            runs: 2,
+            source: ValueSource::synthetic(),
+            hit_rates: vec![0.0, 0.5, 1.0],
+        }
+    }
+
+    #[test]
+    fn log_sizes_shape() {
+        let s = log_sizes(100, 100_000, 1);
+        assert_eq!(s, vec![100, 1000, 10_000, 100_000]);
+        let s2 = log_sizes(100, 1_000_000, 2);
+        assert_eq!(s2.first(), Some(&100));
+        assert_eq!(s2.last(), Some(&1_000_000));
+        assert!(s2.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(s2.len(), 9);
+    }
+
+    #[test]
+    fn synthetic_values_deterministic_and_sized() {
+        let src = ValueSource::Synthetic { seed: 7, compressibility: 0.5 };
+        let a = src.generate(5000, 1).unwrap();
+        let b = src.generate(5000, 1).unwrap();
+        let c = src.generate(5000, 2).unwrap();
+        assert_eq!(a.len(), 5000);
+        assert_eq!(a, b, "same seed+index must be deterministic");
+        assert_ne!(a, c, "different index should vary content");
+    }
+
+    #[test]
+    fn compressibility_affects_entropy() {
+        let loose = ValueSource::Synthetic { seed: 1, compressibility: 0.0 }
+            .generate(20_000, 0)
+            .unwrap();
+        let tight = ValueSource::Synthetic { seed: 1, compressibility: 1.0 }
+            .generate(20_000, 0)
+            .unwrap();
+        let distinct = |v: &[u8]| v.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(distinct(&loose) > 200);
+        assert!(distinct(&tight) < 40, "fully structured data uses a small alphabet");
+    }
+
+    #[test]
+    fn file_source_cycles() {
+        let path = std::env::temp_dir().join(format!("wl-src-{}", std::process::id()));
+        std::fs::write(&path, b"abc").unwrap();
+        let src = ValueSource::Files(vec![path.clone()]);
+        assert_eq!(src.generate(7, 0).unwrap(), b"abcabca");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn custom_source_validated() {
+        let good = ValueSource::Custom(Arc::new(|n| vec![7u8; n]));
+        assert_eq!(good.generate(5, 0).unwrap(), vec![7u8; 5]);
+        let bad = ValueSource::Custom(Arc::new(|_| vec![1, 2, 3]));
+        assert!(bad.generate(5, 0).is_err());
+    }
+
+    #[test]
+    fn read_write_sweeps_produce_points_and_clean_up() {
+        let spec = quick_spec();
+        let store = MemKv::new("m");
+        let r = spec.read_sweep(&store, "mem").unwrap();
+        assert_eq!(r.points.len(), 2);
+        assert!(r.points.iter().all(|&(_, ms)| ms >= 0.0));
+        let w = spec.write_sweep(&store, "mem").unwrap();
+        assert_eq!(w.points.len(), 2);
+        assert!(store.keys().unwrap().is_empty(), "sweeps must clean up");
+    }
+
+    #[test]
+    fn cached_sweep_interpolates_between_miss_and_hit() {
+        let spec = quick_spec();
+        let store = MemKv::new("m");
+        let cache = InProcessLru::new(1 << 22);
+        let series = spec.cached_read_sweep(&store, &cache, "mem").unwrap();
+        assert_eq!(series.len(), 3);
+        assert!(series[0].label.contains("no caching"));
+        assert!(series[2].label.contains("100%"));
+        for i in 0..series[0].points.len() {
+            let l0 = series[0].points[i].1;
+            let l50 = series[1].points[i].1;
+            let l100 = series[2].points[i].1;
+            let expect = 0.5 * l100 + 0.5 * l0;
+            assert!((l50 - expect).abs() < 1e-9, "midpoint must be exact interpolation");
+        }
+    }
+
+    #[test]
+    fn codec_sweep_measures_both_directions() {
+        let spec = quick_spec();
+        let codec = dscl_compress::GzipCodec::default();
+        let (enc, dec) = spec.codec_sweep(&codec).unwrap();
+        assert_eq!(enc.points.len(), 2);
+        assert_eq!(dec.points.len(), 2);
+        assert!(enc.label.contains("encode"));
+    }
+
+    #[test]
+    fn gnuplot_output_format() {
+        let series = vec![
+            Series { label: "a".into(), points: vec![(100.0, 1.5), (1000.0, 2.5)] },
+            Series { label: "b".into(), points: vec![(100.0, 3.0), (1000.0, 4.0)] },
+        ];
+        let path = std::env::temp_dir().join(format!("wl-gp-{}", std::process::id()));
+        write_gnuplot(&path, &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with('#'));
+        assert!(lines[1].contains("a") && lines[1].contains("b"));
+        assert!(lines[2].starts_with("100"));
+        assert_eq!(lines[2].split('\t').count(), 3);
+        std::fs::remove_file(&path).ok();
+
+        let md = to_markdown(&series);
+        assert!(md.contains("| size (bytes) | a | b |"));
+        assert!(md.contains("| 100 | 1.500 | 3.000 |"));
+    }
+}
+
+/// A side-by-side comparison of several stores (the paper's "easily
+/// compare the performance of data stores ... to pick the best option").
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// One read-latency series per store.
+    pub reads: Vec<Series>,
+    /// One write-latency series per store.
+    pub writes: Vec<Series>,
+}
+
+impl Comparison {
+    /// The store with the lowest read latency at `size` (largest swept size
+    /// ≤ `size`).
+    pub fn best_reader_at(&self, size: usize) -> Option<&str> {
+        best_at(&self.reads, size)
+    }
+
+    /// The store with the lowest write latency at `size`.
+    pub fn best_writer_at(&self, size: usize) -> Option<&str> {
+        best_at(&self.writes, size)
+    }
+
+    /// Render both tables plus per-size winners as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("### Read latency (ms)\n\n");
+        out.push_str(&to_markdown(&self.reads));
+        out.push_str("\n### Write latency (ms)\n\n");
+        out.push_str(&to_markdown(&self.writes));
+        out.push_str("\n### Winners\n\n| size | best reader | best writer |\n|---|---|---|\n");
+        if let Some(first) = self.reads.first() {
+            for &(size, _) in &first.points {
+                out.push_str(&format!(
+                    "| {size} | {} | {} |\n",
+                    self.best_reader_at(size as usize).unwrap_or("?"),
+                    self.best_writer_at(size as usize).unwrap_or("?"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn best_at(series: &[Series], size: usize) -> Option<&str> {
+    series
+        .iter()
+        .filter_map(|s| {
+            s.points
+                .iter()
+                .rfind(|(x, _)| *x <= size as f64)
+                .or_else(|| s.points.first())
+                .map(|&(_, y)| (s.label.as_str(), y))
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(label, _)| label)
+}
+
+impl WorkloadSpec {
+    /// Sweep reads and writes across every store and assemble a
+    /// [`Comparison`].
+    pub fn compare_stores(
+        &self,
+        stores: &[(&str, std::sync::Arc<dyn KeyValue>)],
+    ) -> Result<Comparison> {
+        let mut reads = Vec::with_capacity(stores.len());
+        let mut writes = Vec::with_capacity(stores.len());
+        for (name, store) in stores {
+            reads.push(self.read_sweep(store.as_ref(), name)?);
+            writes.push(self.write_sweep(store.as_ref(), name)?);
+        }
+        Ok(Comparison { reads, writes })
+    }
+}
+
+#[cfg(test)]
+mod comparison_tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+    use kvapi::{KeyValue, Result};
+    use std::sync::Arc;
+
+    /// A store with fixed artificial latency, so winners are deterministic.
+    struct Slowed(MemKv, std::time::Duration);
+    impl KeyValue for Slowed {
+        fn name(&self) -> &str {
+            "slowed"
+        }
+        fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+            std::thread::sleep(self.1);
+            self.0.put(k, v)
+        }
+        fn get(&self, k: &str) -> Result<Option<kvapi::Bytes>> {
+            std::thread::sleep(self.1);
+            self.0.get(k)
+        }
+        fn delete(&self, k: &str) -> Result<bool> {
+            self.0.delete(k)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.0.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.0.clear()
+        }
+    }
+
+    #[test]
+    fn comparison_identifies_the_faster_store() {
+        let spec = WorkloadSpec {
+            sizes: vec![100, 1000],
+            ops_per_point: 2,
+            runs: 1,
+            source: ValueSource::synthetic(),
+            hit_rates: vec![],
+        };
+        let fast: Arc<dyn KeyValue> = Arc::new(MemKv::new("fast"));
+        let slow: Arc<dyn KeyValue> =
+            Arc::new(Slowed(MemKv::new("s"), std::time::Duration::from_millis(3)));
+        let cmp = spec.compare_stores(&[("fast", fast), ("slow", slow)]).unwrap();
+        assert_eq!(cmp.best_reader_at(100), Some("fast"));
+        assert_eq!(cmp.best_writer_at(1000), Some("fast"));
+        let md = cmp.to_markdown();
+        assert!(md.contains("best reader"));
+        assert!(md.contains("| 100 | fast | fast |"));
+    }
+}

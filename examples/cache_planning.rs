@@ -1,0 +1,99 @@
+//! Cache capacity planning with the stack-distance profiler.
+//!
+//! The paper's related work highlights MIMIR: estimating an LRU cache's
+//! hit-rate *curve* from a live access stream, so operators can size caches
+//! without trial deployments. This example:
+//!
+//!   1. runs a Zipf-like workload against a (simulated) distant cloud store
+//!      through a profiled cache,
+//!   2. prints the predicted hit-rate curve and the size needed for a
+//!      target hit rate,
+//!   3. re-runs with a cache of exactly that size and compares the measured
+//!      hit rate with the prediction.
+//!
+//! ```text
+//! cargo run --release --example cache_planning
+//! ```
+
+use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
+use dscl::EnhancedClient;
+use dscl_cache::{Cache, HitRateProfiler, InProcessLru, ProfiledCache};
+use std::sync::Arc;
+use udsm_suite::prelude::*;
+
+const UNIVERSE: usize = 400;
+const ACCESSES: usize = 8_000;
+const OBJECT_BYTES: usize = 2_000;
+
+/// Zipf-ish key sampler over `UNIVERSE` keys.
+fn sample_key(state: &mut u64) -> String {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let u = ((*state >> 11) as f64) / ((1u64 << 53) as f64);
+    let rank = ((1.0 / (u + 1e-12)).powf(0.75) as usize) % UNIVERSE;
+    format!("obj{rank:04}")
+}
+
+fn main() -> Result<()> {
+    let server = CloudServer::start(CloudServerConfig {
+        latency: netsim::Profile::Cloud2.scaled_model(0.05),
+        seed: 21,
+        ..Default::default()
+    })?;
+
+    // Populate the store.
+    let seed_client = CloudClient::connect(server.addr());
+    for i in 0..UNIVERSE {
+        seed_client.put(&format!("obj{i:04}"), &vec![i as u8; OBJECT_BYTES])?;
+    }
+    println!("{UNIVERSE} objects of {OBJECT_BYTES} B populated at the cloud store");
+
+    // ---- phase 1: observe the live stream through a profiled cache ----
+    let profiled = ProfiledCache::new(InProcessLru::new(64 << 20), UNIVERSE * 2);
+    let profiler: Arc<HitRateProfiler> = profiled.profiler.clone();
+    let client =
+        EnhancedClient::new(CloudClient::connect(server.addr())).with_cache(Arc::new(profiled));
+    let mut rng = 0x1234_5678u64;
+    for _ in 0..ACCESSES {
+        let key = sample_key(&mut rng);
+        client.get(&key)?.expect("populated");
+    }
+    println!("\npredicted LRU hit-rate curve from {ACCESSES} observed accesses:");
+    println!("  entries   hit rate");
+    for (size, rate) in profiler.curve(&[10, 25, 50, 100, 200, 400]) {
+        println!("  {size:>7}   {:>6.1} %", rate * 100.0);
+    }
+    let target = 0.80;
+    let Some(needed) = profiler.size_for_hit_rate(target) else {
+        println!("target {:.0}% not reachable (cold misses dominate)", target * 100.0);
+        return Ok(());
+    };
+    println!(
+        "\n→ a cache of ~{needed} entries (≈{} KB) should reach {:.0}% hits",
+        needed * (OBJECT_BYTES + 64 + 7) / 1024,
+        target * 100.0
+    );
+
+    // ---- phase 2: validate the recommendation ----
+    // Cost per entry = key + value + envelope + bookkeeping overhead;
+    // single shard so the budget maps cleanly onto entry count.
+    let per_entry = (OBJECT_BYTES + 7 + 29 + 64) as u64;
+    let sized_cache = Arc::new(InProcessLru::with_shards(needed as u64 * per_entry, 1));
+    let client2 = EnhancedClient::new(CloudClient::connect(server.addr()))
+        .with_cache(sized_cache.clone());
+    let mut rng = 0x1234_5678u64; // same trace
+    for _ in 0..ACCESSES {
+        let key = sample_key(&mut rng);
+        client2.get(&key)?.expect("populated");
+    }
+    let measured = sized_cache.stats().hit_rate();
+    println!(
+        "measured hit rate with that cache: {:.1} % (predicted ≥ {:.0} %)",
+        measured * 100.0,
+        target * 100.0
+    );
+    assert!(
+        measured > target - 0.08,
+        "prediction was badly off: measured {measured:.3}"
+    );
+    Ok(())
+}

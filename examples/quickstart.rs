@@ -1,0 +1,101 @@
+//! Quickstart: the enhanced data store client and the UDSM in five minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through: the common key-value interface, an enhanced client with
+//! caching + compression + encryption, revalidation, the UDSM registry,
+//! the asynchronous interface, and performance monitoring.
+
+use std::sync::Arc;
+use std::time::Duration;
+use udsm_suite::prelude::*;
+
+fn main() -> Result<()> {
+    // ---- 1. Any store behind the common key-value interface ----
+    // Start with the simplest store there is. Everything below would work
+    // identically with fskv, minisql, miniredis, or a cloud store.
+    let plain_store = kvapi::mem::MemKv::new("demo");
+    plain_store.put("greeting", b"hello, data store")?;
+    println!("plain get: {:?}", plain_store.get("greeting")?);
+
+    // ---- 2. The enhanced client (DSCL) ----
+    // Wrap the store with an in-process cache, gzip compression, and
+    // AES-128 encryption. Compression runs before encryption (ciphertext
+    // does not compress). The wrapper itself implements KeyValue, so the
+    // application code does not change.
+    let client = EnhancedClient::new(plain_store)
+        .with_cache(Arc::new(InProcessLru::new(64 << 20)))
+        .with_codec(Box::new(GzipCodec::default()))
+        .with_codec(Box::new(AesCodec::aes128(b"an example key!!")))
+        .with_ttl(Duration::from_secs(60));
+
+    let document = "a fairly repetitive document body. ".repeat(100);
+    client.put("doc", document.as_bytes())?;
+
+    // The store now holds compressed ciphertext…
+    let raw = client.store().get("doc")?.expect("stored");
+    println!(
+        "stored form: {} bytes (plaintext was {}), starts {:02x?}…",
+        raw.len(),
+        document.len(),
+        &raw[..4]
+    );
+    // …while the client round-trips plaintext, serving repeats from cache.
+    assert_eq!(client.get("doc")?.unwrap(), document.as_bytes());
+    let _ = client.get("doc")?;
+    let stats = client.stats();
+    println!(
+        "dscl stats: {} cache hits, {} misses, {}→{} bytes via codecs",
+        stats.cache_hits, stats.cache_misses, stats.bytes_encoded, stats.bytes_stored
+    );
+
+    // ---- 3. The UDSM: many stores, one interface ----
+    let manager = UniversalDataStoreManager::new(4);
+    manager.register("memory", Arc::new(kvapi::mem::MemKv::new("memory")));
+    let fs_dir = std::env::temp_dir().join("udsm-quickstart");
+    manager.register("files", Arc::new(FsKv::open(&fs_dir)?));
+    println!("registered stores: {:?}", manager.names());
+
+    // The same code runs against every registered store — swap by name.
+    for name in manager.names() {
+        let store = manager.store(&name)?;
+        store.put("shared", format!("written via {name}").as_bytes())?;
+        println!("{name}: {:?}", String::from_utf8_lossy(&store.get("shared")?.unwrap()));
+    }
+
+    // ---- 4. The asynchronous interface ----
+    // Every registered store gets one automatically; ListenableFutures
+    // support blocking get, timed get, and completion callbacks.
+    let async_store = manager.async_store("memory")?;
+    let put_future = async_store.put("async-key", &b"async value"[..]);
+    put_future.add_listener(|res| {
+        println!("callback: async put finished, ok={}", res.is_ok());
+    });
+    put_future.get(); // join
+    let got = async_store.get("async-key").get();
+    println!("async get: {:?}", got.as_ref().as_ref().unwrap().as_deref());
+
+    // ---- 5. Performance monitoring ----
+    let monitored = MonitoredStore::new(kvapi::mem::MemKv::new("timed"), 32);
+    for i in 0..100 {
+        monitored.put(&format!("k{i}"), b"v")?;
+        let _ = monitored.get(&format!("k{i}"))?;
+    }
+    let report = monitored.report();
+    let get_summary = report.summary(udsm::OpKind::Get);
+    println!(
+        "monitored: {} gets, mean {:.4} ms (±{:.4}), {} recent samples retained",
+        get_summary.count,
+        get_summary.mean_ms,
+        get_summary.stddev_ms(),
+        report.recent.len()
+    );
+    // Reports persist through any store — here, back into the same one.
+    report.persist(monitored.inner(), "perf/report")?;
+    println!("report persisted under 'perf/report'");
+
+    std::fs::remove_dir_all(&fs_dir).ok();
+    Ok(())
+}

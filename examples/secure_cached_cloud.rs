@@ -1,0 +1,76 @@
+//! A confidential client for an untrusted cloud store (§III security
+//! discussion): values are compressed, then encrypted, *before* leaving the
+//! process — and the cache holds ciphertext too, because "a cache may be
+//! storing confidential data for extended periods of time".
+//!
+//! ```text
+//! cargo run --release --example secure_cached_cloud
+//! ```
+//!
+//! Also demonstrates expiration + revalidation: after the TTL lapses, the
+//! client sends a conditional GET and the (unchanged) object is confirmed
+//! with a 304 — no body crosses the simulated WAN.
+
+use cloudstore::{CloudServer, CloudServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use udsm_suite::prelude::*;
+
+fn main() -> Result<()> {
+    // An "untrusted" cloud store, 60 ms away.
+    let server = CloudServer::start(CloudServerConfig {
+        latency: netsim::Profile::Cloud2.scaled_model(0.5),
+        seed: 7,
+        ..Default::default()
+    })?;
+    let cloud = CloudClient::connect(server.addr()).with_name("untrusted-cloud");
+
+    // Enhanced client: gzip → AES-256, encrypted cache entries, 2 s TTL.
+    let client = EnhancedClient::new(cloud)
+        .with_cache(Arc::new(InProcessLru::new(32 << 20)))
+        .with_codec(Box::new(GzipCodec::default()))
+        .with_codec(Box::new(dscl_crypto::AesCodec::from_passphrase(
+            "correct horse battery staple",
+            dscl_crypto::KeySize::Aes256,
+            dscl_crypto::codec::Mode::Ctr,
+        )))
+        .with_config(DsclConfig {
+            cache_content: CacheContent::Encoded, // ciphertext in the cache
+            default_ttl: Some(Duration::from_millis(500)),
+            ..Default::default()
+        });
+
+    let secret = "patient record 4711: highly confidential. ".repeat(50);
+    let t0 = std::time::Instant::now();
+    client.put("record", secret.as_bytes())?;
+    println!("put (compress+encrypt+WAN): {:?}", t0.elapsed());
+
+    // What the server actually holds:
+    let raw = client.store().get("record")?.expect("stored");
+    assert!(!raw.windows(7).any(|w| w == b"patient"), "plaintext must not leave the client");
+    println!(
+        "server holds {} opaque bytes (plaintext was {})",
+        raw.len(),
+        secret.len()
+    );
+
+    // Cached read: no WAN, decrypt-on-hit.
+    let t0 = std::time::Instant::now();
+    assert_eq!(client.get("record")?.unwrap(), secret.as_bytes());
+    println!("cached read (decrypt only): {:?}", t0.elapsed());
+
+    // Let the TTL lapse, then read again: the client revalidates with a
+    // conditional GET; the server answers 304 and no body is transferred.
+    std::thread::sleep(Duration::from_millis(600));
+    let t0 = std::time::Instant::now();
+    assert_eq!(client.get("record")?.unwrap(), secret.as_bytes());
+    println!("expired read → revalidated via 304 in {:?}", t0.elapsed());
+
+    let s = client.stats();
+    println!(
+        "stats: {} hits, {} revalidations ({} confirmed current)",
+        s.cache_hits, s.revalidations, s.revalidated_current
+    );
+    assert_eq!(s.revalidated_current, 1);
+    Ok(())
+}

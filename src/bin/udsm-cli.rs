@@ -1,0 +1,278 @@
+//! `udsm-cli` — an interactive shell over the Universal Data Store Manager.
+//!
+//! ```text
+//! cargo run --release --bin udsm-cli -- --demo        # in-process demo servers
+//! cargo run --release --bin udsm-cli -- --fs /tmp/kv  # just a file-system store
+//! cargo run --release --bin udsm-cli -- --demo --encrypt "passphrase" --compress
+//! ```
+//!
+//! Inside the shell: `help` lists commands. Every registered store is
+//! reachable through the same commands — the common key-value interface at
+//! the keyboard.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use udsm::workload::{ValueSource, WorkloadSpec};
+use udsm::{MonitoredStore, OpKind, UniversalDataStoreManager};
+use udsm_suite::prelude::*;
+
+struct CliOptions {
+    demo: bool,
+    fs_dir: Option<String>,
+    encrypt: Option<String>,
+    compress: bool,
+    script: Option<String>,
+}
+
+fn parse_args() -> CliOptions {
+    let mut opts = CliOptions {
+        demo: false,
+        fs_dir: None,
+        encrypt: None,
+        compress: false,
+        script: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--demo" => opts.demo = true,
+            "--fs" => opts.fs_dir = it.next(),
+            "--encrypt" => opts.encrypt = it.next(),
+            "--compress" => opts.compress = true,
+            "--script" => opts.script = it.next(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: udsm-cli [--demo] [--fs DIR] [--encrypt PASSPHRASE] [--compress] [--script FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Demo servers kept alive for the session.
+struct DemoServers {
+    _redis: miniredis::Server,
+    _cloud: cloudstore::CloudServer,
+    _sql: minisql::SqlServer,
+    sql_addr: std::net::SocketAddr,
+}
+
+fn main() -> Result<()> {
+    let opts = parse_args();
+    let manager = UniversalDataStoreManager::new(4);
+    let mut demo: Option<DemoServers> = None;
+
+    if opts.demo {
+        let redis = miniredis::Server::start()?;
+        let cloud = cloudstore::CloudServer::start_with_profile(netsim::Profile::Cloud2, 1)?;
+        let sql = minisql::SqlServer::start_in_memory()?;
+        let sql_addr = sql.addr();
+        manager.register("redis", wrap(RedisKv::connect(redis.addr()), &opts));
+        manager.register("cloud", wrap(CloudClient::connect(cloud.addr()), &opts));
+        manager.register("sql", wrap(SqlKv::connect(sql_addr)?, &opts));
+        manager.register("mem", wrap(kvapi::mem::MemKv::new("mem"), &opts));
+        demo = Some(DemoServers { _redis: redis, _cloud: cloud, _sql: sql, sql_addr });
+        println!("demo servers started: redis, cloud (WAN-simulated), sql, mem");
+    }
+    if let Some(dir) = &opts.fs_dir {
+        manager.register("fs", wrap(FsKv::open(dir)?, &opts));
+        println!("file-system store at {dir} registered as 'fs'");
+    }
+    if manager.names().is_empty() {
+        eprintln!("no stores configured; try --demo or --fs DIR");
+        std::process::exit(2);
+    }
+
+    let mut current = manager.names()[0].clone();
+    println!("using store '{current}'. Type 'help' for commands.");
+
+    let stdin = std::io::stdin();
+    let mut script_lines: Vec<String> = match &opts.script {
+        Some(path) => std::fs::read_to_string(path)?
+            .lines()
+            .map(str::to_string)
+            .rev()
+            .collect(),
+        None => Vec::new(),
+    };
+
+    loop {
+        print!("udsm:{current}> ");
+        std::io::stdout().flush()?;
+        let line = if let Some(l) = script_lines.pop() {
+            println!("{l}");
+            l
+        } else {
+            let mut buf = String::new();
+            if stdin.lock().read_line(&mut buf)? == 0 {
+                break;
+            }
+            buf
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let arg1 = parts.next();
+        let rest = parts.next();
+        let result = (|| -> Result<bool> {
+            match cmd {
+                "help" => {
+                    println!(
+                        "commands:\n  stores                list registered stores\n  use <store>           switch store\n  put <key> <value>     store a value\n  get <key>             fetch a value\n  del <key>             delete a key\n  keys                  list keys\n  clear                 remove every key\n  stats                 store statistics\n  copy <from> <to>      copy all keys between stores\n  sql <statement>       raw SQL (demo sql store)\n  bench                 quick read/write sweep on the current store\n  monitor <n>           run n timed ops and print a report\n  quit                  exit"
+                    );
+                }
+                "stores" => println!("{:?} (current: {current})", manager.names()),
+                "use" => match arg1 {
+                    Some(name) if manager.store(name).is_ok() => {
+                        current = name.to_string();
+                        println!("now using '{current}'");
+                    }
+                    Some(name) => println!("no store named {name:?}"),
+                    None => println!("usage: use <store>"),
+                },
+                "put" => match (arg1, rest) {
+                    (Some(k), Some(v)) => {
+                        manager.store(&current)?.put(k, v.as_bytes())?;
+                        println!("ok ({} bytes)", v.len());
+                    }
+                    _ => println!("usage: put <key> <value>"),
+                },
+                "get" => match arg1 {
+                    Some(k) => match manager.store(&current)?.get(k)? {
+                        Some(v) => match std::str::from_utf8(&v) {
+                            Ok(s) => println!("{s}"),
+                            Err(_) => println!("<{} binary bytes>", v.len()),
+                        },
+                        None => println!("(nil)"),
+                    },
+                    None => println!("usage: get <key>"),
+                },
+                "del" => match arg1 {
+                    Some(k) => println!("{}", manager.store(&current)?.delete(k)?),
+                    None => println!("usage: del <key>"),
+                },
+                "keys" => {
+                    let mut keys = manager.store(&current)?.keys()?;
+                    keys.sort();
+                    println!("{} keys: {keys:?}", keys.len());
+                }
+                "clear" => {
+                    manager.store(&current)?.clear()?;
+                    println!("cleared");
+                }
+                "stats" => {
+                    let st = manager.store(&current)?.stats()?;
+                    println!("{} keys, {} bytes", st.keys, st.bytes);
+                }
+                "copy" => match (arg1, rest) {
+                    (Some(from), Some(to)) => {
+                        let n = manager.copy_all(from, to)?;
+                        println!("copied {n} keys from {from} to {to}");
+                    }
+                    _ => println!("usage: copy <from> <to>"),
+                },
+                "sql" => {
+                    let stmt = [arg1.unwrap_or(""), rest.unwrap_or("")].join(" ");
+                    match &demo {
+                        None => println!("sql requires --demo"),
+                        Some(d) => {
+                            let client = minisql::MiniSqlClient::connect(d.sql_addr);
+                            match client.execute(stmt.trim()) {
+                                Err(e) => println!("error: {e}"),
+                                Ok(rs) if rs.columns.is_empty() => {
+                                    println!("ok, {} rows affected", rs.affected)
+                                }
+                                Ok(rs) => {
+                                    println!("{}", rs.columns.join(" | "));
+                                    for row in &rs.rows {
+                                        let cells: Vec<String> =
+                                            row.iter().map(|v| v.to_literal()).collect();
+                                        println!("{}", cells.join(" | "));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                "bench" => {
+                    let spec = WorkloadSpec {
+                        sizes: vec![1_000, 100_000],
+                        ops_per_point: 5,
+                        runs: 2,
+                        source: ValueSource::synthetic(),
+                        hit_rates: vec![],
+                    };
+                    let store = manager.store(&current)?;
+                    let r = spec.read_sweep(store.as_ref(), &current)?;
+                    let w = spec.write_sweep(store.as_ref(), &current)?;
+                    for (label, series) in [("read", r), ("write", w)] {
+                        for (size, ms) in series.points {
+                            println!("{label} {size:>8.0} B  {ms:>10.4} ms");
+                        }
+                    }
+                }
+                "monitor" => {
+                    let n: usize = arg1.and_then(|s| s.parse().ok()).unwrap_or(100);
+                    let monitored = MonitoredStore::new(manager.store(&current)?, 32);
+                    for i in 0..n {
+                        monitored.put(&format!("__mon{i}"), b"x")?;
+                        let _ = monitored.get(&format!("__mon{i}"))?;
+                        monitored.delete(&format!("__mon{i}"))?;
+                    }
+                    let rep = monitored.report();
+                    for op in [OpKind::Get, OpKind::Put, OpKind::Delete] {
+                        let s = rep.summary(op);
+                        println!(
+                            "{op:?}: n={} mean={:.4}ms min={:.4} max={:.4} σ={:.4}",
+                            s.count,
+                            s.mean_ms,
+                            s.min_ms,
+                            s.max_ms,
+                            s.stddev_ms()
+                        );
+                    }
+                }
+                "quit" | "exit" => return Ok(true),
+                other => println!("unknown command {other:?} (try 'help')"),
+            }
+            Ok(false)
+        })();
+        match result {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => println!("error: {e}"),
+        }
+        if opts.script.is_some() && script_lines.is_empty() {
+            break; // script mode: exit at end of file
+        }
+    }
+    Ok(())
+}
+
+/// Apply the session-wide enhancement flags to a store.
+fn wrap<S: KeyValue + 'static>(store: S, opts: &CliOptions) -> Arc<dyn KeyValue> {
+    if opts.encrypt.is_none() && !opts.compress {
+        return Arc::new(store);
+    }
+    let mut client = EnhancedClient::new(store).with_cache(Arc::new(InProcessLru::new(32 << 20)));
+    if opts.compress {
+        client = client.with_codec(Box::new(GzipCodec::default()));
+    }
+    if let Some(pass) = &opts.encrypt {
+        client = client.with_codec(Box::new(dscl_crypto::AesCodec::from_passphrase(
+            pass,
+            dscl_crypto::KeySize::Aes128,
+            dscl_crypto::codec::Mode::Cbc,
+        )));
+    }
+    Arc::new(client)
+}

@@ -1,0 +1,58 @@
+//! # udsm-suite — enhanced data store clients and the Universal Data Store
+//! Manager
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! "Providing Enhanced Functionality for Data Store Clients" (ICDE 2017).
+//!
+//! * [`dscl`] — the Data Store Client Library: caching + encryption +
+//!   compression layered over any store, with expiration management and
+//!   revalidation.
+//! * [`udsm`] — the Universal Data Store Manager: registry, synchronous and
+//!   asynchronous (ListenableFuture) interfaces, performance monitoring,
+//!   workload generation.
+//! * Substrate crates: [`kvapi`] (the common interface), [`fskv`],
+//!   [`minisql`], [`miniredis`], [`cloudstore`] (the stores),
+//!   [`dscl_cache`], [`dscl_crypto`], [`dscl_compress`], [`dscl_delta`]
+//!   (the capability building blocks), and [`netsim`] (WAN simulation).
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use cloudstore;
+pub use dscl;
+pub use dscl_cache;
+pub use dscl_compress;
+pub use dscl_crypto;
+pub use dscl_delta;
+pub use fskv;
+pub use kvapi;
+pub use minisql;
+pub use miniredis;
+pub use netsim;
+pub use udsm;
+
+/// The items most applications need, in one import.
+pub mod prelude {
+    pub use cloudstore::{CloudClient, CloudServer};
+    pub use dscl::{CacheContent, CachePolicy, DsclConfig, EnhancedClient};
+    pub use dscl_cache::{Cache, InProcessLru, StoreCache};
+    pub use dscl_compress::GzipCodec;
+    pub use dscl_crypto::AesCodec;
+    pub use fskv::FsKv;
+    pub use kvapi::{Bytes, KeyValue, Result, StoreError};
+    pub use minisql::SqlKv;
+    pub use miniredis::{RedisKv, RemoteCache};
+    pub use udsm::{AsyncKeyValue, MonitoredStore, UniversalDataStoreManager, WorkloadSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let kv = kvapi::mem::MemKv::new("m");
+        kv.put("k", b"v").unwrap();
+        let client = EnhancedClient::new(kv)
+            .with_cache(std::sync::Arc::new(InProcessLru::new(1 << 20)));
+        assert_eq!(client.get("k").unwrap().unwrap(), Bytes::from_static(b"v"));
+    }
+}

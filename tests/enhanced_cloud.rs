@@ -1,0 +1,189 @@
+//! End-to-end tests of the enhanced client against the simulated cloud
+//! store: caching latency wins, real HTTP 304 revalidation, confidentiality
+//! through the full stack, and remote-process caching.
+
+use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
+use dscl::{CacheContent, DsclConfig, EnhancedClient};
+use dscl_cache::{Cache, InProcessLru};
+use dscl_compress::GzipCodec;
+use dscl_crypto::AesCodec;
+use kvapi::KeyValue;
+use miniredis::{RemoteCache, Server as RedisServer};
+use netsim::LatencyModel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn slow_cloud(rtt_ms: f64) -> CloudServer {
+    CloudServer::start(CloudServerConfig {
+        latency: LatencyModel {
+            base_rtt_ms: rtt_ms,
+            jitter_sigma: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            contention_prob: 0.0,
+            contention_mult: 1.0,
+            service_ms: 0.0,
+        },
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn cache_eliminates_wan_round_trips() {
+    let server = slow_cloud(25.0);
+    let client = EnhancedClient::new(CloudClient::connect(server.addr()))
+        .with_cache(Arc::new(InProcessLru::new(16 << 20)));
+    client.put("obj", &[1u8; 10_000]).unwrap();
+
+    // Miss-free reads after write-through population.
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        assert_eq!(client.get("obj").unwrap().unwrap().len(), 10_000);
+    }
+    let hit_time = t0.elapsed();
+    assert!(
+        hit_time < Duration::from_millis(20),
+        "20 cached reads took {hit_time:?}; they must not touch the 25 ms WAN"
+    );
+    assert_eq!(client.stats().cache_hits, 20);
+
+    // One uncached read for contrast.
+    let t0 = Instant::now();
+    let _ = client.store().get("obj").unwrap();
+    assert!(t0.elapsed() >= Duration::from_millis(20), "direct read must pay the WAN");
+}
+
+#[test]
+fn revalidation_over_real_http_304() {
+    let server = slow_cloud(10.0);
+    let client = EnhancedClient::new(CloudClient::connect(server.addr()))
+        .with_cache(Arc::new(InProcessLru::new(16 << 20)))
+        .with_ttl(Duration::from_millis(50));
+    let body = vec![7u8; 500_000];
+    client.put("big", &body).unwrap();
+    assert_eq!(client.get("big").unwrap().unwrap().len(), body.len());
+
+    std::thread::sleep(Duration::from_millis(60));
+    // Expired: this read revalidates. The 304 carries no body, so even on
+    // the 10 ms path it is far cheaper than refetching 500 KB would be
+    // under a finite-bandwidth model; here we check semantics + stats.
+    let t0 = Instant::now();
+    assert_eq!(client.get("big").unwrap().unwrap().len(), body.len());
+    let reval_time = t0.elapsed();
+    let s = client.stats();
+    assert_eq!(s.revalidations, 1);
+    assert_eq!(s.revalidated_current, 1, "unchanged object must 304");
+    assert!(reval_time >= Duration::from_millis(9), "revalidation still pays one RTT");
+
+    // Out-of-band change: next expiry must fetch the new version.
+    client.store().put("big", b"changed").unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(client.get("big").unwrap().unwrap(), &b"changed"[..]);
+    assert_eq!(client.stats().revalidations, 2);
+    assert_eq!(client.stats().revalidated_current, 1);
+}
+
+#[test]
+fn full_stack_confidentiality_and_compression() {
+    let server = CloudServer::start_local().unwrap();
+    let cache: Arc<dyn Cache> = Arc::new(InProcessLru::new(16 << 20));
+    let client = EnhancedClient::new(CloudClient::connect(server.addr()))
+        .with_cache(cache.clone())
+        .with_codec(Box::new(GzipCodec::default()))
+        .with_codec(Box::new(AesCodec::aes128(b"sixteen byte key")))
+        .with_config(DsclConfig { cache_content: CacheContent::Encoded, ..Default::default() });
+
+    let secret = "SSN 123-45-6789, diagnosis: classified. ".repeat(100);
+    client.put("phi", secret.as_bytes()).unwrap();
+
+    // Server side: compressed-then-encrypted, no plaintext, smaller than
+    // the original (compression before encryption preserved the savings).
+    let server_bytes = client.store().get("phi").unwrap().unwrap();
+    assert!(!server_bytes.windows(3).any(|w| w == b"SSN"));
+    assert!(server_bytes.len() < secret.len() / 2, "compress-then-encrypt must stay small");
+    // Cache side: same encoded bytes (CacheContent::Encoded).
+    let cached = cache.get("phi").unwrap();
+    assert!(!cached.windows(3).any(|w| w == b"SSN"));
+    // Client still round-trips plaintext.
+    assert_eq!(client.get("phi").unwrap().unwrap(), secret.as_bytes());
+}
+
+#[test]
+fn remote_process_cache_against_cloud_store() {
+    // The paper's Fig. 12 configuration: redis as a remote cache between
+    // the client and a distant cloud store.
+    let redis = RedisServer::start().unwrap();
+    let server = slow_cloud(25.0);
+    let client = EnhancedClient::new(CloudClient::connect(server.addr()))
+        .with_cache(Arc::new(RemoteCache::connect(redis.addr())));
+    client.put("obj", &[3u8; 50_000]).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..5 {
+        assert_eq!(client.get("obj").unwrap().unwrap().len(), 50_000);
+    }
+    let elapsed = t0.elapsed();
+    // Remote cache pays loopback IPC + serialization but not the WAN:
+    // far below 5 × 25 ms, far above an in-process hit.
+    assert!(
+        elapsed < Duration::from_millis(60),
+        "remote-cache hits must avoid the WAN, took {elapsed:?}"
+    );
+    assert_eq!(client.stats().cache_hits, 5);
+}
+
+#[test]
+fn cache_content_plaintext_vs_encoded_tradeoff() {
+    // Same workload, two cache configurations; both correct, the Encoded
+    // variant pays decode CPU per hit (the §III privacy/CPU trade-off).
+    let server = CloudServer::start_local().unwrap();
+    for content in [CacheContent::Plaintext, CacheContent::Encoded] {
+        let client = EnhancedClient::new(CloudClient::connect(server.addr()))
+            .with_cache(Arc::new(InProcessLru::new(16 << 20)))
+            .with_codec(Box::new(AesCodec::aes128(&[1u8; 16])))
+            .with_config(DsclConfig { cache_content: content, ..Default::default() });
+        client.put("k", b"the same plaintext either way").unwrap();
+        assert_eq!(
+            client.get("k").unwrap().unwrap(),
+            &b"the same plaintext either way"[..],
+            "{content:?}"
+        );
+        client.clear().unwrap();
+    }
+}
+
+#[test]
+fn delta_chains_compose_under_the_enhanced_client() {
+    // Full DSCL stack: cache → gzip → (delta chains → cloud). Edits ride
+    // deltas to the server, reads hit the cache, and the payload on the
+    // wire is compressed.
+    use dscl_delta::DeltaChainStore;
+    let server = slow_cloud(5.0);
+    let chain = DeltaChainStore::new(CloudClient::connect(server.addr()), 6);
+    let client = EnhancedClient::new(chain)
+        .with_cache(Arc::new(InProcessLru::new(16 << 20)))
+        .with_codec(Box::new(GzipCodec::default()));
+
+    let mut doc = "chapter one: it was a dark and stormy night. ".repeat(400).into_bytes();
+    client.put("novel", &doc).unwrap();
+    let (_, base_sent) = client.store().traffic.snapshot();
+
+    // Cached read: no store traffic at all.
+    assert_eq!(client.get("novel").unwrap().unwrap(), &doc[..]);
+    let (read_bytes, _) = client.store().traffic.snapshot();
+
+    // Small edit: the *gzipped* new doc differs wholesale from the old
+    // gzipped doc? No — the delta layer sees the codec output, so this
+    // also measures how delta-friendliness survives compression.
+    doc[100..110].copy_from_slice(b"CHAPTER 1!");
+    client.put("novel", &doc).unwrap();
+    let (_, after_edit) = client.store().traffic.snapshot();
+    assert_eq!(client.get("novel").unwrap().unwrap(), &doc[..]);
+
+    println!(
+        "base upload {base_sent} B, edit traffic {} B, read traffic {read_bytes} B",
+        after_edit - base_sent
+    );
+    // Whatever the delta efficiency, correctness must hold after the mix.
+    client.cache_invalidate("novel");
+    assert_eq!(client.get("novel").unwrap().unwrap(), &doc[..], "store round-trip");
+}

@@ -1,0 +1,184 @@
+//! Failure-injection and recovery across the stack: database crash
+//! recovery through the server, cache-outage degradation, TTL expiry at the
+//! remote cache, and coordinator crash recovery.
+
+use dscl::EnhancedClient;
+use dscl_cache::Cache;
+use kvapi::KeyValue;
+use minisql::wal::SyncMode;
+use minisql::{SqlKv, SqlServer, SqlServerConfig};
+use miniredis::{RemoteCache, Server as RedisServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn sql_server_crash_recovery_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("udsm-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let addr;
+    {
+        let server = SqlServer::start(SqlServerConfig {
+            data_dir: Some(dir.clone()),
+            sync: SyncMode::Always,
+            ..Default::default()
+        })
+        .unwrap();
+        addr = server.addr();
+        let kv = SqlKv::connect(addr).unwrap();
+        for i in 0..25 {
+            kv.put(&format!("k{i}"), format!("v{i}").as_bytes()).unwrap();
+        }
+        // Server drops here — an abrupt stop with a populated WAL.
+    }
+    // "Restart" on the same data directory.
+    let server = SqlServer::start(SqlServerConfig {
+        data_dir: Some(dir.clone()),
+        sync: SyncMode::Always,
+        ..Default::default()
+    })
+    .unwrap();
+    let kv = SqlKv::connect(server.addr()).unwrap();
+    assert_eq!(kv.stats().unwrap().keys, 25, "all committed writes must survive");
+    assert_eq!(kv.get("k13").unwrap().unwrap(), &b"v13"[..]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn remote_cache_outage_degrades_reads_not_correctness() {
+    let mut redis = RedisServer::start().unwrap();
+    let primary = kvapi::mem::MemKv::new("primary");
+    primary.put("k", b"authoritative").unwrap();
+    let client = EnhancedClient::new(primary)
+        .with_cache(Arc::new(RemoteCache::connect(redis.addr())));
+    assert_eq!(client.get("k").unwrap().unwrap(), &b"authoritative"[..]);
+    assert_eq!(client.stats().cache_misses, 1);
+
+    // Kill the cache tier. Reads keep working off the primary.
+    redis.stop();
+    for _ in 0..3 {
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"authoritative"[..]);
+    }
+    // Writes still succeed too (cache update is best-effort).
+    client.put("k2", b"still writable").unwrap();
+    assert_eq!(client.get("k2").unwrap().unwrap(), &b"still writable"[..]);
+}
+
+#[test]
+fn server_side_ttl_expiry_works_through_the_cache_interface() {
+    let redis = RedisServer::start().unwrap();
+    let cache = RemoteCache::connect(redis.addr());
+    // The DSCL manages logical expiry itself, but redis-native TTLs also
+    // work when applications set them via the native client (the paper's
+    // "native features" path).
+    let native = miniredis::RedisClient::connect(redis.addr());
+    native.set_px("cache:volatile", b"short-lived", 60).unwrap();
+    assert!(cache.get("volatile").is_some());
+    std::thread::sleep(Duration::from_millis(90));
+    assert!(cache.get("volatile").is_none(), "server-side TTL must expire the entry");
+}
+
+#[test]
+fn eviction_under_memory_pressure_preserves_store_correctness() {
+    // A tiny redis (20 KB) caching a much larger working set: heavy
+    // eviction, zero wrong answers.
+    let redis = miniredis::Server::start_with(miniredis::ServerConfig {
+        max_memory: 20_000,
+        ..Default::default()
+    })
+    .unwrap();
+    let primary = kvapi::mem::MemKv::new("primary");
+    let client = EnhancedClient::new(primary)
+        .with_cache(Arc::new(RemoteCache::connect(redis.addr())));
+    for i in 0..100 {
+        client.put(&format!("k{i}"), format!("value-{i}").repeat(60).as_bytes()).unwrap();
+    }
+    for i in (0..100).rev() {
+        assert_eq!(
+            client.get(&format!("k{i}")).unwrap().unwrap(),
+            format!("value-{i}").repeat(60).as_bytes(),
+            "eviction must never surface wrong data"
+        );
+    }
+    let s = client.stats();
+    assert!(s.cache_misses > 0, "with a 20 KB cache some reads must miss");
+}
+
+#[test]
+fn coordinator_crash_is_recoverable_per_store() {
+    // Simulate a coordinator that died between prepare and cleanup by
+    // driving the phases manually through a wrapper that fails cleanup.
+    let store = kvapi::mem::MemKv::new("s");
+    store.put("doc", b"old").unwrap();
+    // Phase-1 residue:
+    let stores: Vec<Arc<dyn KeyValue>> = vec![Arc::new(kvapi::mem::MemKv::new("other"))];
+    udsm::coord::coordinated_put(&stores, "doc", b"new").unwrap();
+    // Hand-craft residue on `store` as if it crashed mid-protocol:
+    let intent = serde_json::json!({
+        "txid": 99, "key": "doc", "value": b"new".to_vec(), "at_ms": 0
+    });
+    store.put("__udsm_intent__/doc", intent.to_string().as_bytes()).unwrap();
+    let actions = udsm::coord::recover(&store).unwrap();
+    assert_eq!(actions.len(), 1);
+    assert_eq!(store.get("doc").unwrap().unwrap(), &b"new"[..]);
+    assert!(store.keys().unwrap().iter().all(|k| !k.starts_with("__udsm_intent__")));
+}
+
+#[test]
+fn wal_checkpoint_cycle_survives_repeated_restarts() {
+    let dir = std::env::temp_dir().join(format!("udsm-cycle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for round in 0..3 {
+        let server = SqlServer::start(SqlServerConfig {
+            data_dir: Some(dir.clone()),
+            sync: SyncMode::Os,
+            ..Default::default()
+        })
+        .unwrap();
+        server.database().set_checkpoint_threshold(2048);
+        let kv = SqlKv::connect(server.addr()).unwrap();
+        let expect = round * 40;
+        assert_eq!(kv.stats().unwrap().keys, expect as u64, "round {round}");
+        for i in 0..40 {
+            kv.put(&format!("r{round}-k{i}"), b"some padding to grow the wal quickly")
+                .unwrap();
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn redis_warm_restart_from_snapshot() {
+    // Paper §III: persist cache contents before shutdown so a restarted
+    // cache comes up warm.
+    let path = std::env::temp_dir().join(format!("udsm-warm-{}.mrdb", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut server = miniredis::Server::start_with(miniredis::ServerConfig {
+            persistence: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        let c = miniredis::RedisClient::connect(server.addr());
+        c.set("warm1", b"survives").unwrap();
+        c.set_px("volatile", b"dies soon", 40).unwrap();
+        c.set("warm2", &vec![7u8; 5000]).unwrap();
+        // Explicit SAVE also works over the wire.
+        match c.exec(&[b"SAVE"]).unwrap() {
+            miniredis::resp::Value::Simple(s) => assert!(s.starts_with("OK saved")),
+            other => panic!("unexpected SAVE reply {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(60)); // let the TTL lapse
+        server.stop(); // writes the final snapshot
+    }
+    // Restart on the same snapshot: warm values present, expired one gone.
+    let server = miniredis::Server::start_with(miniredis::ServerConfig {
+        persistence: Some(path.clone()),
+        ..Default::default()
+    })
+    .unwrap();
+    let c = miniredis::RedisClient::connect(server.addr());
+    assert_eq!(c.get("warm1").unwrap().unwrap(), &b"survives"[..]);
+    assert_eq!(c.get("warm2").unwrap().unwrap().len(), 5000);
+    assert_eq!(c.get("volatile").unwrap(), None, "expired entries must not be resurrected");
+    std::fs::remove_file(&path).ok();
+}

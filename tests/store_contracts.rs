@@ -1,0 +1,83 @@
+//! One conformance suite, every store — the executable form of the paper's
+//! claim that all stores are interchangeable behind the common key-value
+//! interface. Each store also re-runs the suite wrapped in the enhanced
+//! client (with caching, compression, and encryption) and in the monitor,
+//! because wrappers must be behaviorally invisible.
+
+use cloudstore::{CloudClient, CloudServer};
+use dscl::EnhancedClient;
+use dscl_cache::InProcessLru;
+use dscl_compress::GzipCodec;
+use dscl_crypto::AesCodec;
+use fskv::FsKv;
+use kvapi::contract;
+use kvapi::KeyValue;
+use minisql::{SqlKv, SqlServer};
+use miniredis::{RedisKv, Server as RedisServer};
+use std::sync::Arc;
+use udsm::MonitoredStore;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("contract-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+#[test]
+fn fskv_contract() {
+    let dir = temp_dir("fskv");
+    contract::run_all_concurrent(Arc::new(FsKv::open(&dir).unwrap()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn minisql_contract() {
+    let server = SqlServer::start_in_memory().unwrap();
+    contract::run_all_concurrent(Arc::new(SqlKv::connect(server.addr()).unwrap()));
+}
+
+#[test]
+fn miniredis_contract() {
+    let server = RedisServer::start().unwrap();
+    contract::run_all_concurrent(Arc::new(RedisKv::connect(server.addr())));
+}
+
+#[test]
+fn cloudstore_contract() {
+    let server = CloudServer::start_local().unwrap();
+    contract::run_all_concurrent(Arc::new(CloudClient::connect(server.addr())));
+}
+
+#[test]
+fn enhanced_client_over_every_store_still_conforms() {
+    // The full stack: gzip → AES → store, with a write-through cache.
+    let redis = RedisServer::start().unwrap();
+    let cloud = CloudServer::start_local().unwrap();
+    let sql = SqlServer::start_in_memory().unwrap();
+    let dir = temp_dir("enh");
+    let stores: Vec<(&str, Arc<dyn KeyValue>)> = vec![
+        ("fskv", Arc::new(FsKv::open(&dir).unwrap())),
+        ("minisql", Arc::new(SqlKv::connect(sql.addr()).unwrap())),
+        ("redis", Arc::new(RedisKv::connect(redis.addr()))),
+        ("cloud", Arc::new(CloudClient::connect(cloud.addr()))),
+    ];
+    for (name, store) in stores {
+        let client = EnhancedClient::new(store)
+            .with_cache(Arc::new(InProcessLru::new(32 << 20)))
+            .with_codec(Box::new(GzipCodec::default()))
+            .with_codec(Box::new(AesCodec::aes128(&[9u8; 16])));
+        contract::run_all(&client);
+        println!("enhanced({name}) conforms");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn monitored_store_is_transparent() {
+    let server = RedisServer::start().unwrap();
+    let monitored = MonitoredStore::new(RedisKv::connect(server.addr()), 64);
+    contract::run_all(&monitored);
+    let report = monitored.report();
+    assert!(report.summary(udsm::OpKind::Put).count > 0);
+    assert!(report.summary(udsm::OpKind::Get).count > 0);
+}

@@ -1,0 +1,173 @@
+//! Full-system UDSM tests: many heterogeneous stores under one manager,
+//! async everywhere, monitoring persisted through a store, the workload
+//! generator against real servers, and any-store-as-cache (approach 3).
+
+use cloudstore::{CloudClient, CloudServer};
+use dscl::EnhancedClient;
+use dscl_cache::{Cache, StoreCache};
+use fskv::FsKv;
+use kvapi::KeyValue;
+use minisql::{SqlKv, SqlServer};
+use miniredis::{RedisKv, Server as RedisServer};
+use std::sync::Arc;
+use udsm::workload::{ValueSource, WorkloadSpec};
+use udsm::{MonitorReport, MonitoredStore, OpKind, UniversalDataStoreManager};
+
+struct World {
+    manager: UniversalDataStoreManager,
+    _redis: RedisServer,
+    _cloud: CloudServer,
+    _sql: SqlServer,
+    dir: std::path::PathBuf,
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn world(tag: &str) -> World {
+    let dir = std::env::temp_dir().join(format!("udsm-int-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let redis = RedisServer::start().unwrap();
+    let cloud = CloudServer::start_local().unwrap();
+    let sql = SqlServer::start_in_memory().unwrap();
+    let manager = UniversalDataStoreManager::new(4);
+    manager.register("files", Arc::new(FsKv::open(dir.join("fs")).unwrap()));
+    manager.register("sql", Arc::new(SqlKv::connect(sql.addr()).unwrap()));
+    manager.register("redis", Arc::new(RedisKv::connect(redis.addr())));
+    manager.register("cloud", Arc::new(CloudClient::connect(cloud.addr())));
+    World { manager, _redis: redis, _cloud: cloud, _sql: sql, dir }
+}
+
+#[test]
+fn one_code_path_four_real_backends() {
+    let w = world("swap");
+    assert_eq!(w.manager.names(), vec!["cloud", "files", "redis", "sql"]);
+    // The application function, written once:
+    fn save_profile(store: &dyn KeyValue, user: &str, profile: &[u8]) -> kvapi::Result<()> {
+        store.put(&format!("profiles/{user}"), profile)
+    }
+    for name in w.manager.names() {
+        let store = w.manager.store(&name).unwrap();
+        save_profile(store.as_ref(), "ada", format!("stored in {name}").as_bytes()).unwrap();
+        assert_eq!(
+            store.get("profiles/ada").unwrap().unwrap(),
+            format!("stored in {name}").as_bytes()
+        );
+    }
+}
+
+#[test]
+fn async_interface_on_every_registered_store() {
+    let w = world("async");
+    for name in w.manager.names() {
+        let akv = w.manager.async_store(&name).unwrap();
+        let puts: Vec<_> =
+            (0..8).map(|i| akv.put(&format!("async/{i}"), vec![i as u8; 1000])).collect();
+        for p in puts {
+            p.get().as_ref().as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        let keys = akv.keys().get();
+        assert_eq!(
+            keys.as_ref().as_ref().unwrap().iter().filter(|k| k.starts_with("async/")).count(),
+            8,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn monitor_persists_into_another_store() {
+    let w = world("monitor");
+    // Monitor the cloud store; persist its report into minisql — "any of
+    // the data stores supported by the UDSM" can archive performance data.
+    let monitored = MonitoredStore::new(w.manager.store("cloud").unwrap(), 50);
+    for i in 0..30 {
+        monitored.put(&format!("m{i}"), &[0u8; 256]).unwrap();
+        let _ = monitored.get(&format!("m{i}")).unwrap();
+    }
+    let report = monitored.report();
+    assert_eq!(report.summary(OpKind::Get).count, 30);
+    let archive = w.manager.store("sql").unwrap();
+    report.persist(archive.as_ref(), "perf/cloud").unwrap();
+    let loaded = MonitorReport::load(archive.as_ref(), "perf/cloud").unwrap().unwrap();
+    assert_eq!(loaded.summary(OpKind::Get).count, 30);
+    assert_eq!(loaded.recent.len(), 50);
+}
+
+#[test]
+fn workload_generator_runs_against_real_servers() {
+    let w = world("workload");
+    let spec = WorkloadSpec {
+        sizes: vec![500, 5_000],
+        ops_per_point: 3,
+        runs: 2,
+        source: ValueSource::synthetic(),
+        hit_rates: vec![0.0, 1.0],
+    };
+    for name in ["sql", "redis", "cloud"] {
+        let store = w.manager.store(name).unwrap();
+        let reads = spec.read_sweep(store.as_ref(), name).unwrap();
+        let writes = spec.write_sweep(store.as_ref(), name).unwrap();
+        assert_eq!(reads.points.len(), 2, "{name}");
+        assert_eq!(writes.points.len(), 2, "{name}");
+        assert!(reads.points.iter().all(|&(_, ms)| ms >= 0.0));
+    }
+}
+
+#[test]
+fn any_store_functions_as_cache_for_another() {
+    // Approach 3 (§III): redis as the cache tier for the cloud store, both
+    // reached through the plain key-value interface via StoreCache.
+    let w = world("storecache");
+    let cloud = w.manager.store("cloud").unwrap();
+    let redis_as_cache = StoreCache::new(w.manager.store("redis").unwrap());
+    let client = EnhancedClient::new(cloud).with_cache(Arc::new(redis_as_cache));
+    client.put("via-store-cache", b"payload").unwrap();
+    assert_eq!(client.get("via-store-cache").unwrap().unwrap(), &b"payload"[..]);
+    assert_eq!(client.stats().cache_hits, 1);
+    // The cache entries really live in redis (as DSCL envelopes).
+    let redis = w.manager.store("redis").unwrap();
+    assert!(redis.contains("via-store-cache").unwrap());
+}
+
+#[test]
+fn copy_all_migrates_between_heterogeneous_stores() {
+    let w = world("copy");
+    let sql = w.manager.store("sql").unwrap();
+    for i in 0..20 {
+        sql.put(&format!("row/{i}"), format!("value {i}").as_bytes()).unwrap();
+    }
+    // SQL → cloud migration through the common interface.
+    assert_eq!(w.manager.copy_all("sql", "cloud").unwrap(), 20);
+    let cloud = w.manager.store("cloud").unwrap();
+    assert_eq!(cloud.get("row/7").unwrap().unwrap(), &b"value 7"[..]);
+    assert_eq!(cloud.stats().unwrap().keys, 20);
+}
+
+#[test]
+fn coordinated_put_across_real_stores() {
+    let w = world("coord");
+    let stores: Vec<Arc<dyn KeyValue>> =
+        vec![w.manager.store("files").unwrap(), w.manager.store("redis").unwrap()];
+    udsm::coord::coordinated_put(&stores, "config", b"v2").unwrap();
+    for s in &stores {
+        assert_eq!(s.get("config").unwrap().unwrap(), &b"v2"[..]);
+        assert_eq!(s.keys().unwrap(), vec!["config"], "no intent residue");
+    }
+}
+
+#[test]
+fn cache_interface_over_every_store_behaves_like_a_cache() {
+    let w = world("cacheiface");
+    for name in w.manager.names() {
+        let cache = StoreCache::new(w.manager.store(&name).unwrap());
+        assert!(cache.get("nope").is_none());
+        cache.put("k", kvapi::Bytes::from_static(b"v"));
+        assert_eq!(cache.get("k").unwrap(), kvapi::Bytes::from_static(b"v"));
+        assert!(cache.remove("k"));
+        assert!(cache.get("k").is_none(), "{name}");
+    }
+}

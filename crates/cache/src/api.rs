@@ -102,6 +102,21 @@ pub trait Cache: Send + Sync {
     fn stats(&self) -> CacheStats;
 }
 
+/// Mirror a cache's counters into an [`obs::Registry`], labeled by the
+/// cache's display name. Collector-style: totals are overwritten with the
+/// current values, so calling this repeatedly (e.g. on every scrape, or
+/// after each traced DSCL operation) is idempotent.
+pub fn publish_stats(cache: &dyn Cache, registry: &obs::Registry) {
+    let s = cache.stats();
+    let label: &[(&str, &str)] = &[("cache", cache.name())];
+    registry.counter("cache_hits_total", label).set(s.hits);
+    registry.counter("cache_misses_total", label).set(s.misses);
+    registry.counter("cache_evictions_total", label).set(s.evictions);
+    registry.counter("cache_insertions_total", label).set(s.insertions);
+    registry.gauge("cache_bytes", label).set(s.bytes.min(i64::MAX as u64) as i64);
+    registry.gauge("cache_entries", label).set(s.entries.min(i64::MAX as u64) as i64);
+}
+
 /// `Arc<C>` is a cache too, so callers can share one.
 impl<C: Cache + ?Sized> Cache for Arc<C> {
     fn name(&self) -> &str {
@@ -138,6 +153,23 @@ mod tests {
         s.hits = 3;
         s.misses = 1;
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_stats_mirrors_counters() {
+        let cache = crate::InProcessLru::new(1 << 16);
+        cache.put("a", Bytes::from_static(b"xyz"));
+        cache.get("a");
+        cache.get("missing");
+        let reg = obs::Registry::new();
+        publish_stats(&cache, &reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("cache_hits_total{cache=\"lru\"} 1"), "{text}");
+        assert!(text.contains("cache_misses_total{cache=\"lru\"} 1"), "{text}");
+        assert!(text.contains("cache_entries{cache=\"lru\"} 1"), "{text}");
+        // Re-publishing is idempotent, not additive.
+        publish_stats(&cache, &reg);
+        assert!(reg.render_prometheus().contains("cache_hits_total{cache=\"lru\"} 1"));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod lru;
 pub mod object;
 
 pub use adapter::StoreCache;
-pub use api::{Cache, CacheStats};
+pub use api::{publish_stats, Cache, CacheStats};
 pub use clock::ClockCache;
 pub use gds::GdsCache;
 pub use hitrate::{HitRateProfiler, ProfiledCache};

@@ -15,7 +15,8 @@ use kvapi::{CondGet, Etag, KeyValue, Result, StoreError, StoreStats, Versioned};
 use parking_lot::Mutex;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Conn {
     reader: BufReader<TcpStream>,
@@ -43,6 +44,7 @@ pub struct CloudClient {
     timeout: Duration,
     pool: Mutex<Vec<Conn>>,
     max_idle: usize,
+    registry: Option<Arc<obs::Registry>>,
 }
 
 impl CloudClient {
@@ -56,7 +58,18 @@ impl CloudClient {
             timeout: Duration::from_secs(120),
             pool: Mutex::new(Vec::new()),
             max_idle: 16,
+            registry: None,
         }
+    }
+
+    /// Attach a metrics registry. Every round trip then counts into
+    /// `cloudstore_client_requests_total{store,method,status}` (status
+    /// `"error"` for transport failures), accumulates request/response
+    /// bytes, and records wall-clock round-trip time into the
+    /// `cloudstore_net_rtt_ns{store,method}` histogram.
+    pub fn with_registry(mut self, registry: Arc<obs::Registry>) -> CloudClient {
+        self.registry = Some(registry);
+        self
     }
 
     /// Set the display name ("cloud1"/"cloud2" in the benchmarks).
@@ -72,6 +85,29 @@ impl CloudClient {
     }
 
     fn round_trip(&self, req: &Request) -> Result<Response> {
+        let t0 = Instant::now();
+        let result = self.round_trip_inner(req);
+        if let Some(reg) = &self.registry {
+            let status = match &result {
+                Ok(resp) => resp.status.to_string(),
+                Err(_) => "error".to_string(),
+            };
+            let labels: &[(&str, &str)] =
+                &[("store", &self.name), ("method", &req.method), ("status", &status)];
+            reg.counter("cloudstore_client_requests_total", labels).inc();
+            reg.counter("cloudstore_client_bytes_sent_total", &[("store", &self.name)])
+                .add(req.body.len() as u64);
+            if let Ok(resp) = &result {
+                reg.counter("cloudstore_client_bytes_received_total", &[("store", &self.name)])
+                    .add(resp.body.len() as u64);
+            }
+            reg.histogram("cloudstore_net_rtt_ns", &[("store", &self.name), ("method", &req.method)])
+                .record_duration(t0.elapsed());
+        }
+        result
+    }
+
+    fn round_trip_inner(&self, req: &Request) -> Result<Response> {
         let head_only = req.method == "HEAD";
         // First attempt may reuse a pooled (possibly stale) connection;
         // on transient failure, retry once on a freshly opened one.
@@ -117,6 +153,15 @@ impl CloudClient {
     /// Health check.
     pub fn ping(&self) -> Result<bool> {
         Ok(self.round_trip(&Request::new("GET", "/v1/ping"))?.status == 200)
+    }
+
+    /// Scrape the server's `GET /metrics` page (Prometheus text format).
+    pub fn fetch_metrics(&self) -> Result<String> {
+        let resp = self.round_trip(&Request::new("GET", "/metrics"))?;
+        if resp.status != 200 {
+            return Err(StoreError::Rejected(format!("metrics returned {}", resp.status)));
+        }
+        String::from_utf8(resp.body).map_err(|_| StoreError::protocol("non-utf8 metrics body"))
     }
 }
 
@@ -319,6 +364,79 @@ mod tests {
         c.put("k", b"v").unwrap();
         server.stop();
         assert!(c.get("k").is_err());
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_routes_statuses_and_latency() {
+        let server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr());
+        c.put("k", b"value").unwrap();
+        c.get("k").unwrap();
+        assert_eq!(c.get("absent").unwrap(), None); // object 404
+        // Fallthrough 404: a route no handler claims.
+        let resp = c.round_trip(&Request::new("GET", "/no/such/route")).unwrap();
+        assert_eq!(resp.status, 404);
+
+        let text = c.fetch_metrics().unwrap();
+        assert!(
+            text.contains(
+                "cloudstore_requests_total{method=\"PUT\",route=\"/v1/objects\",status=\"201\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "cloudstore_requests_total{method=\"GET\",route=\"/v1/objects\",status=\"200\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "cloudstore_requests_total{method=\"GET\",route=\"/v1/objects\",status=\"404\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "cloudstore_requests_total{method=\"GET\",route=\"other\",status=\"404\"} 1"
+            ),
+            "fallthrough 404 not counted: {text}"
+        );
+        // The latency histogram saw all four object/other requests.
+        assert!(
+            text.contains("cloudstore_request_duration_ns_count{route=\"/v1/objects\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("cloudstore_bytes_in_total{route=\"/v1/objects\"} 5"), "{text}");
+        // Server-side registry agrees with what the scrape returned.
+        assert!(server.registry().render_prometheus().contains("cloudstore_requests_total"));
+    }
+
+    #[test]
+    fn client_registry_counts_round_trips() {
+        let server = CloudServer::start_local().unwrap();
+        let reg = Arc::new(obs::Registry::new());
+        let c = CloudClient::connect(server.addr()).with_name("cloud1").with_registry(reg.clone());
+        c.put("k", b"12345").unwrap();
+        c.get("k").unwrap();
+        c.get("k").unwrap();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(
+                "cloudstore_client_requests_total{method=\"GET\",status=\"200\",store=\"cloud1\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("cloudstore_client_bytes_sent_total{store=\"cloud1\"} 5"), "{text}");
+        assert!(
+            text.contains("cloudstore_client_bytes_received_total{store=\"cloud1\"} 10"),
+            "{text}"
+        );
+        let rtt = reg
+            .histogram_snapshot("cloudstore_net_rtt_ns", &[("store", "cloud1"), ("method", "GET")])
+            .unwrap();
+        assert_eq!(rtt.count, 2);
+        assert!(rtt.min > 0, "round trips take nonzero time");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `GET /v1/keys` | newline-separated key list |
 //! | `POST /v1/clear` | `200` |
 //! | `GET /v1/stats` | `{keys} {bytes}` |
+//! | `GET /metrics` | Prometheus text exposition of the server's registry |
 //!
 //! Each request sleeps for a delay drawn from the configured
 //! [`netsim::LatencyModel`] before replying, sized by the dominant payload
@@ -30,6 +31,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -73,6 +75,7 @@ pub struct CloudServer {
     conns: Arc<Mutex<Vec<TcpStream>>>,
     /// Requests served (observability).
     pub requests_served: Arc<AtomicU64>,
+    registry: Arc<obs::Registry>,
 }
 
 impl CloudServer {
@@ -99,11 +102,13 @@ impl CloudServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::new(obs::Registry::new());
 
         let accept_thread = {
             let shutdown = shutdown.clone();
             let served = requests_served.clone();
             let conns = conns.clone();
+            let registry = registry.clone();
             Some(std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
@@ -118,19 +123,27 @@ impl CloudServer {
                     let objects = objects.clone();
                     let sampler = sampler.clone();
                     let served = served.clone();
+                    let registry = registry.clone();
                     std::thread::spawn(move || {
-                        let _ = serve_connection(stream, objects, sampler, served);
+                        let _ = serve_connection(stream, objects, sampler, served, registry);
                     });
                 }
             }))
         };
 
-        Ok(CloudServer { addr, shutdown, accept_thread, conns, requests_served })
+        Ok(CloudServer { addr, shutdown, accept_thread, conns, requests_served, registry })
     }
 
     /// Bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// This server's metrics registry (per-instance, so concurrently
+    /// running servers — e.g. in tests — never mix metrics). The same data
+    /// is served over HTTP at `GET /metrics`.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// Stop the server and sever connections.
@@ -152,18 +165,42 @@ impl Drop for CloudServer {
     }
 }
 
+/// Collapse a request path onto a bounded route label (metric label values
+/// must not include per-key cardinality).
+fn route_label(path: &str) -> &'static str {
+    if path.starts_with("/v1/objects/") {
+        return "/v1/objects";
+    }
+    match path {
+        "/v1/keys" => "/v1/keys",
+        "/v1/clear" => "/v1/clear",
+        "/v1/stats" => "/v1/stats",
+        "/v1/ping" => "/v1/ping",
+        "/metrics" => "/metrics",
+        _ => "other",
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     objects: Arc<RwLock<ObjectMap>>,
     sampler: Arc<LatencySampler>,
     served: Arc<AtomicU64>,
+    registry: Arc<obs::Registry>,
 ) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(req) = read_request(&mut reader)? {
         served.fetch_add(1, Ordering::Relaxed);
-        let resp = route(&req, &objects);
+        let t0 = Instant::now();
+        let resp = if req.method == "GET" && req.path == "/metrics" {
+            Response::new(200)
+                .with_header("content-type", "text/plain; version=0.0.4")
+                .with_body(registry.render_prometheus().into_bytes())
+        } else {
+            route(&req, &objects)
+        };
         // Inject WAN delay sized by the dominant payload direction. A 304
         // only carries headers, which is exactly why revalidation saves
         // bandwidth and time in the reproduced experiments.
@@ -175,6 +212,23 @@ fn serve_connection(
             resp.body.clear();
         }
         write_response(&mut writer, &resp)?;
+        // Account after replying so the delay isn't inflated further; the
+        // histogram still includes the injected WAN latency by design.
+        let route = route_label(&req.path);
+        let status = resp.status.to_string();
+        registry
+            .counter(
+                "cloudstore_requests_total",
+                &[("route", route), ("method", &req.method), ("status", &status)],
+            )
+            .inc();
+        registry.counter("cloudstore_bytes_in_total", &[("route", route)]).add(req.body.len() as u64);
+        registry
+            .counter("cloudstore_bytes_out_total", &[("route", route)])
+            .add(resp.body.len() as u64);
+        registry
+            .histogram("cloudstore_request_duration_ns", &[("route", route)])
+            .record_duration(t0.elapsed());
     }
     Ok(())
 }

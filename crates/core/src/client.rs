@@ -9,8 +9,43 @@ use dscl_cache::Cache;
 use kvapi::codec::{Codec, Pipeline};
 use kvapi::value::now_millis;
 use kvapi::{CondGet, Etag, KeyValue, Result, StoreStats, Versioned};
+use obs::{Registry, Trace};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Stage name for a codec's `encode` direction (put path).
+fn encode_stage(codec: &str) -> &'static str {
+    if codec.contains("gzip") || codec.contains("deflate") {
+        "compress"
+    } else if codec.contains("aes") {
+        "encrypt"
+    } else if codec.contains("delta") {
+        "delta_encode"
+    } else {
+        "encode"
+    }
+}
+
+/// Stage name for a codec's `decode` direction (get path).
+fn decode_stage(codec: &str) -> &'static str {
+    if codec.contains("gzip") || codec.contains("deflate") {
+        "decompress"
+    } else if codec.contains("aes") {
+        "decrypt"
+    } else if codec.contains("delta") {
+        "delta_decode"
+    } else {
+        "decode"
+    }
+}
+
+/// Run `f` as a named stage when a trace is active, plain otherwise.
+fn timed<R>(trace: &mut Option<Trace>, stage: &'static str, f: impl FnOnce() -> R) -> R {
+    match trace {
+        Some(t) => t.time(stage, f),
+        None => f(),
+    }
+}
 
 /// An enhanced data store client (paper §II): wraps a store with an
 /// optional cache and an optional codec pipeline, and implements
@@ -23,6 +58,7 @@ pub struct EnhancedClient<S> {
     config: DsclConfig,
     name: String,
     stats: StatsCell,
+    registry: Option<Arc<Registry>>,
 }
 
 impl<S: KeyValue> EnhancedClient<S> {
@@ -36,6 +72,35 @@ impl<S: KeyValue> EnhancedClient<S> {
             config: DsclConfig::default(),
             name,
             stats: StatsCell::default(),
+            registry: None,
+        }
+    }
+
+    /// Attach a metrics registry. `get`/`put` then run under an
+    /// [`obs::Trace`], publishing per-stage latency histograms
+    /// (`dscl_stage_duration_ns{op,stage}`), per-op totals
+    /// (`dscl_op_duration_ns{op}`), and the client's cumulative counters
+    /// after every operation. Use [`obs::global()`] to share one registry
+    /// process-wide, or a fresh `Registry` per client for isolation.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The attached registry, if any.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Mirror [`EnhancedClient::stats`] and the attached cache's counters
+    /// into the attached registry. Called automatically after traced
+    /// operations; call directly before rendering metrics if you only use
+    /// the explicit API.
+    pub fn publish_metrics(&self) {
+        let Some(reg) = &self.registry else { return };
+        self.stats.snapshot().publish(reg, &self.name);
+        if let Some(cache) = &self.cache {
+            dscl_cache::publish_stats(cache.as_ref(), reg);
         }
     }
 
@@ -114,7 +179,7 @@ impl<S: KeyValue> EnhancedClient<S> {
         if env.is_expired(now_millis()) {
             return Ok(None);
         }
-        self.materialize(&env).map(Some)
+        self.materialize(&env, &mut None).map(Some)
     }
 
     /// Explicitly drop a cached entry.
@@ -139,7 +204,7 @@ impl<S: KeyValue> EnhancedClient<S> {
                 Ok(true)
             }
             CondGet::Modified(v) => {
-                self.install(key, &v)?;
+                self.install(key, &v, &mut None)?;
                 Ok(false)
             }
             CondGet::Missing => {
@@ -151,10 +216,26 @@ impl<S: KeyValue> EnhancedClient<S> {
 
     // ---- internals ----
 
+    /// Run the decode pipeline, attributing per-codec time to the trace.
+    fn decode_traced(&self, data: &[u8], trace: &mut Option<Trace>) -> Result<Vec<u8>> {
+        match trace {
+            Some(t) => self.pipeline.decode_with(data, |name, d| t.add(decode_stage(name), d)),
+            None => self.pipeline.decode(data),
+        }
+    }
+
+    /// Run the encode pipeline, attributing per-codec time to the trace.
+    fn encode_traced(&self, data: &[u8], trace: &mut Option<Trace>) -> Result<Vec<u8>> {
+        match trace {
+            Some(t) => self.pipeline.encode_with(data, |name, d| t.add(encode_stage(name), d)),
+            None => self.pipeline.encode(data),
+        }
+    }
+
     /// Extract plaintext from an envelope.
-    fn materialize(&self, env: &Envelope) -> Result<Bytes> {
+    fn materialize(&self, env: &Envelope, trace: &mut Option<Trace>) -> Result<Bytes> {
         if env.encoded {
-            Ok(Bytes::from(self.pipeline.decode(&env.payload)?))
+            Ok(Bytes::from(self.decode_traced(&env.payload, trace)?))
         } else {
             Ok(env.payload.clone())
         }
@@ -162,8 +243,8 @@ impl<S: KeyValue> EnhancedClient<S> {
 
     /// Put a freshly fetched versioned value into the cache; returns the
     /// plaintext.
-    fn install(&self, key: &str, v: &Versioned) -> Result<Bytes> {
-        let plain = Bytes::from(self.pipeline.decode(&v.data)?);
+    fn install(&self, key: &str, v: &Versioned, trace: &mut Option<Trace>) -> Result<Bytes> {
+        let plain = Bytes::from(self.decode_traced(&v.data, trace)?);
         if let Some(cache) = &self.cache {
             let (payload, encoded) = match self.config.cache_content {
                 CacheContent::Plaintext => (plain.clone(), false),
@@ -177,12 +258,33 @@ impl<S: KeyValue> EnhancedClient<S> {
 
     /// `put` with an explicit TTL override for the cached copy.
     pub fn put_with_ttl(&self, key: &str, value: &[u8], ttl: Option<Duration>) -> Result<()> {
-        let encoded = self.pipeline.encode(value)?;
+        let mut trace = self.registry.as_ref().map(|_| Trace::begin("put"));
+        let out = self.put_inner(key, value, ttl, &mut trace);
+        self.finish_trace(trace);
+        out
+    }
+
+    /// End a traced operation: publish the trace and refresh counters.
+    fn finish_trace(&self, trace: Option<Trace>) {
+        if let (Some(t), Some(reg)) = (trace, &self.registry) {
+            t.finish(reg, "dscl");
+            self.publish_metrics();
+        }
+    }
+
+    fn put_inner(
+        &self,
+        key: &str,
+        value: &[u8],
+        ttl: Option<Duration>,
+        trace: &mut Option<Trace>,
+    ) -> Result<()> {
+        let encoded = self.encode_traced(value, trace)?;
         self.stats.add(&self.stats.bytes_encoded, value.len() as u64);
         self.stats.add(&self.stats.bytes_stored, encoded.len() as u64);
         // put_versioned returns the store's authoritative etag from the
         // write itself — no extra round trip.
-        let etag = self.store.put_versioned(key, &encoded)?;
+        let etag = timed(trace, "store_io", || self.store.put_versioned(key, &encoded))?;
         match (&self.cache, self.config.policy) {
             (Some(cache), CachePolicy::WriteThrough) => {
                 let (payload, enc_flag) = match self.config.cache_content {
@@ -190,7 +292,7 @@ impl<S: KeyValue> EnhancedClient<S> {
                     CacheContent::Encoded => (Bytes::from(encoded), true),
                 };
                 let env = Envelope::new(etag, self.config.ttl_ms(ttl), enc_flag, payload);
-                cache.put(key, env.encode());
+                timed(trace, "cache_write", || cache.put(key, env.encode()));
             }
             (Some(cache), CachePolicy::Invalidate) => {
                 cache.remove(key);
@@ -199,39 +301,31 @@ impl<S: KeyValue> EnhancedClient<S> {
         }
         Ok(())
     }
-}
 
-impl<S: KeyValue> KeyValue for EnhancedClient<S> {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
-        self.put_with_ttl(key, value, None)
-    }
-
-    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+    fn get_inner(&self, key: &str, trace: &mut Option<Trace>) -> Result<Option<Bytes>> {
         // 1. Fresh cache entry → hit.
         if let Some(cache) = &self.cache {
-            if let Some(raw) = cache.get(key) {
+            if let Some(raw) = timed(trace, "cache_lookup", || cache.get(key)) {
                 match Envelope::decode(&raw) {
                     Ok(mut env) => {
                         if !env.is_expired(now_millis()) {
                             self.stats.add(&self.stats.cache_hits, 1);
-                            return self.materialize(&env).map(Some);
+                            return self.materialize(&env, trace).map(Some);
                         }
                         // 2. Expired entry → revalidate (paper Fig. 7).
                         if self.config.revalidate {
                             self.stats.add(&self.stats.revalidations, 1);
-                            match self.store.get_if_none_match(key, env.etag)? {
+                            match timed(trace, "store_io", || {
+                                self.store.get_if_none_match(key, env.etag)
+                            })? {
                                 CondGet::NotModified => {
                                     self.stats.add(&self.stats.revalidated_current, 1);
                                     env.touch();
                                     cache.put(key, env.encode());
-                                    return self.materialize(&env).map(Some);
+                                    return self.materialize(&env, trace).map(Some);
                                 }
                                 CondGet::Modified(v) => {
-                                    return self.install(key, &v).map(Some);
+                                    return self.install(key, &v, trace).map(Some);
                                 }
                                 CondGet::Missing => {
                                     cache.remove(key);
@@ -250,10 +344,27 @@ impl<S: KeyValue> KeyValue for EnhancedClient<S> {
             self.stats.add(&self.stats.cache_misses, 1);
         }
         // 3. Miss → fetch, decode, populate.
-        match self.store.get_versioned(key)? {
+        match timed(trace, "store_io", || self.store.get_versioned(key))? {
             None => Ok(None),
-            Some(v) => self.install(key, &v).map(Some),
+            Some(v) => self.install(key, &v, trace).map(Some),
         }
+    }
+}
+
+impl<S: KeyValue> KeyValue for EnhancedClient<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.put_with_ttl(key, value, None)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        let mut trace = self.registry.as_ref().map(|_| Trace::begin("get"));
+        let out = self.get_inner(key, &mut trace);
+        self.finish_trace(trace);
+        out
     }
 
     fn delete(&self, key: &str) -> Result<bool> {
@@ -499,6 +610,52 @@ mod tests {
         client.store().inner.put("k", b"v2").unwrap();
         assert!(!client.revalidate("k").unwrap(), "changed value is not current");
         assert_eq!(client.get("k").unwrap().unwrap(), &b"v2"[..]);
+    }
+
+    #[test]
+    fn traced_get_attributes_stages_and_bounds_total() {
+        let reg = Arc::new(obs::Registry::new());
+        let client = EnhancedClient::new(MemKv::new("m"))
+            .with_cache(lru())
+            .with_codec(Box::new(GzipCodec::default()))
+            .with_codec(Box::new(AesCodec::aes128(&[7u8; 16])))
+            .with_registry(reg.clone());
+        let text = "observable payload ".repeat(300);
+        client.put("k", text.as_bytes()).unwrap();
+        // Cached read (hit) and a cold read (store fetch + decode).
+        assert_eq!(client.get("k").unwrap().unwrap(), text.as_bytes());
+        client.cache_invalidate("k");
+        assert_eq!(client.get("k").unwrap().unwrap(), text.as_bytes());
+
+        let traces = reg.recent_traces();
+        assert_eq!(traces.len(), 3, "put + 2 gets");
+        for t in &traces {
+            assert!(t.stage_sum() <= t.total, "stage sum exceeds total: {t:?}");
+        }
+        // The put traced the encode pipeline and the store write.
+        let put = &traces[0];
+        let put_stages: Vec<&str> = put.stages.iter().map(|&(s, _)| s).collect();
+        assert_eq!(put_stages, ["compress", "encrypt", "store_io", "cache_write"]);
+        // The cold get traced lookup, store fetch, and the decode pipeline
+        // in reverse codec order.
+        let cold = &traces[2];
+        let cold_stages: Vec<&str> = cold.stages.iter().map(|&(s, _)| s).collect();
+        assert_eq!(cold_stages, ["cache_lookup", "store_io", "decrypt", "decompress"]);
+
+        // Histograms landed under the documented names.
+        assert_eq!(reg.histogram_snapshot("dscl_op_duration_ns", &[("op", "get")]).unwrap().count, 2);
+        assert!(
+            reg.histogram_snapshot("dscl_stage_duration_ns", &[("op", "get"), ("stage", "decrypt")])
+                .unwrap()
+                .count
+                >= 1
+        );
+        // Counters were published (1 hit from the warm get, 1 miss after
+        // the invalidate).
+        let text = reg.render_prometheus();
+        assert!(text.contains("dscl_cache_hits_total{client=\"dscl(m)\"} 1"), "{text}");
+        assert!(text.contains("dscl_cache_misses_total{client=\"dscl(m)\"} 1"), "{text}");
+        assert!(text.contains("cache_hits_total{cache=\"lru\"} 1"), "{text}");
     }
 
     #[test]

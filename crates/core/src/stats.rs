@@ -29,6 +29,25 @@ pub(crate) struct StatsCell {
     pub bytes_stored: AtomicU64,
 }
 
+impl DsclStats {
+    /// Mirror these cumulative counters into an [`obs::Registry`]
+    /// (collector-style: `Counter::set` with the current totals), labeled
+    /// with the owning client's name.
+    pub fn publish(&self, registry: &obs::Registry, client: &str) {
+        let pairs = [
+            ("dscl_cache_hits_total", self.cache_hits),
+            ("dscl_cache_misses_total", self.cache_misses),
+            ("dscl_revalidations_total", self.revalidations),
+            ("dscl_revalidated_current_total", self.revalidated_current),
+            ("dscl_bytes_encoded_total", self.bytes_encoded),
+            ("dscl_bytes_stored_total", self.bytes_stored),
+        ];
+        for (name, value) in pairs {
+            registry.counter(name, &[("client", client)]).set(value);
+        }
+    }
+}
+
 impl StatsCell {
     pub fn snapshot(&self) -> DsclStats {
         DsclStats {

@@ -8,6 +8,7 @@
 //! property-based tests).
 
 use crate::error::Result;
+use std::time::{Duration, Instant};
 
 /// A reversible byte transformation (encryption, compression, ...).
 pub trait Codec: Send + Sync {
@@ -53,18 +54,43 @@ impl Pipeline {
 
     /// Run every stage's `encode` in order.
     pub fn encode(&self, plain: &[u8]) -> Result<Vec<u8>> {
-        let mut cur = plain.to_vec();
-        for s in &self.stages {
-            cur = s.encode(&cur)?;
-        }
-        Ok(cur)
+        self.encode_with(plain, |_, _| {})
     }
 
     /// Run every stage's `decode` in reverse order.
     pub fn decode(&self, encoded: &[u8]) -> Result<Vec<u8>> {
+        self.decode_with(encoded, |_, _| {})
+    }
+
+    /// [`Pipeline::encode`], reporting each stage's codec name and wall-clock
+    /// time to `observe`. Lets callers attribute pipeline latency per stage
+    /// without this crate knowing about any metrics system.
+    pub fn encode_with(
+        &self,
+        plain: &[u8],
+        mut observe: impl FnMut(&str, Duration),
+    ) -> Result<Vec<u8>> {
+        let mut cur = plain.to_vec();
+        for s in &self.stages {
+            let t0 = Instant::now();
+            cur = s.encode(&cur)?;
+            observe(s.name(), t0.elapsed());
+        }
+        Ok(cur)
+    }
+
+    /// [`Pipeline::decode`] with the same per-stage observer as
+    /// [`Pipeline::encode_with`].
+    pub fn decode_with(
+        &self,
+        encoded: &[u8],
+        mut observe: impl FnMut(&str, Duration),
+    ) -> Result<Vec<u8>> {
         let mut cur = encoded.to_vec();
         for s in self.stages.iter().rev() {
+            let t0 = Instant::now();
             cur = s.decode(&cur)?;
+            observe(s.name(), t0.elapsed());
         }
         Ok(cur)
     }
@@ -143,6 +169,25 @@ mod tests {
         assert_eq!(p.len(), 2);
         let data = b"the quick brown fox";
         assert_eq!(p.decode(&p.encode(data).unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn observer_sees_each_stage_in_execution_order() {
+        let p = Pipeline::new().then(Box::new(Xor(0x5a))).then(Box::new(Tag(9)));
+        let mut seen = Vec::new();
+        let enc = p.encode_with(b"abc", |name, _| seen.push(name.to_string())).unwrap();
+        assert_eq!(seen, ["xor", "tag"]);
+        seen.clear();
+        p.decode_with(&enc, |name, _| seen.push(name.to_string())).unwrap();
+        assert_eq!(seen, ["tag", "xor"], "decode runs in reverse");
+    }
+
+    #[test]
+    fn observer_stops_at_failing_stage() {
+        let p = Pipeline::new().then(Box::new(Xor(1))).then(Box::new(Tag(7)));
+        let mut seen = Vec::new();
+        assert!(p.decode_with(b"\x08oops", |name, _| seen.push(name.to_string())).is_err());
+        assert!(seen.is_empty(), "failing first decode stage observed nothing");
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Log-linear latency histogram.
+//!
+//! Values (nanoseconds, but the histogram is unit-agnostic) are bucketed
+//! HDR-style: each power-of-two range is split into [`SUBBUCKETS`] linear
+//! sub-buckets, so any recorded value lands in a bucket whose width is at
+//! most `1/SUBBUCKETS` (6.25%) of the value. Values `0..SUBBUCKETS` are
+//! exact. Recording is a single relaxed `fetch_add`, so histograms can be
+//! shared across threads without locking; [`snapshot`](LatencyHistogram::snapshot)
+//! produces an immutable, mergeable copy for quantile queries and
+//! persistence.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per power-of-two range; bounds the relative error of
+/// quantile estimates at `1/SUBBUCKETS` = 6.25%.
+pub const SUBBUCKETS: usize = 16;
+
+/// log2(SUBBUCKETS).
+const SUB_BITS: u32 = 4;
+
+/// Total bucket count: values 0..16 exactly, then 16 sub-buckets for each
+/// exponent 4..=63.
+pub const BUCKETS: usize = SUBBUCKETS + (64 - SUB_BITS as usize) * SUBBUCKETS;
+
+/// Map a value to its bucket index.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros(); // >= SUB_BITS here
+    let sub = (value >> (exp - SUB_BITS)) & (SUBBUCKETS as u64 - 1);
+    ((exp - SUB_BITS + 1) as usize) * SUBBUCKETS + sub as usize
+}
+
+/// Inclusive lower bound of a bucket.
+pub fn bucket_low(index: usize) -> u64 {
+    if index < SUBBUCKETS {
+        return index as u64;
+    }
+    let group = index / SUBBUCKETS - 1;
+    let sub = (index % SUBBUCKETS) as u64;
+    let exp = group as u32 + SUB_BITS;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+/// Exclusive upper bound of a bucket (saturating at `u64::MAX`).
+pub fn bucket_high(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_low(index + 1)
+}
+
+/// Concurrent log-linear histogram.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        // `AtomicU64` isn't Copy; build the array through a Vec.
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let counts: Box<[AtomicU64; BUCKETS]> =
+            counts.into_boxed_slice().try_into().expect("bucket count");
+        LatencyHistogram {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Immutable copy for querying, merging, and persistence.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable histogram state: sparse `(bucket_index, count)` pairs plus
+/// aggregate count/sum/min/max. Mergeable and serializable.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Sparse non-empty buckets, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some(&&(i, n)), None) => {
+                    merged.push((i, n));
+                    a.next();
+                }
+                (None, Some(&&(i, n))) => {
+                    merged.push((i, n));
+                    b.next();
+                }
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, nb));
+                        b.next();
+                    } else {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    }
+                }
+            }
+        }
+        self.buckets = merged;
+        self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate (`q` in 0..=1): the midpoint of the bucket holding
+    /// the q-th recorded value, clamped to the observed min/max. Error is
+    /// bounded by the bucket width, i.e. 6.25% of the value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target value, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let low = bucket_low(index as usize);
+                let high = bucket_high(index as usize);
+                let mid = low + (high - low) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// p90 shorthand.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// p99 shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// p99.9 shorthand.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Cumulative `(upper_bound, cumulative_count)` pairs over non-empty
+    /// buckets — the shape Prometheus `_bucket{le=...}` series need.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut acc = 0;
+        self.buckets
+            .iter()
+            .map(|&(i, n)| {
+                acc += n;
+                (bucket_high(i as usize), acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUBBUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [16u64, 17, 100, 1000, 4096, 65535, 1 << 20, (1 << 40) + 12345, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v, "low({i}) > {v}");
+            assert!(v <= bucket_high(i) || bucket_high(i) == u64::MAX, "high({i}) < {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        for i in SUBBUCKETS..BUCKETS - 1 {
+            let low = bucket_low(i);
+            let high = bucket_high(i);
+            let width = high - low;
+            assert!(
+                (width as f64) <= low as f64 / (SUBBUCKETS as f64 - 1.0) + 1.0,
+                "bucket {i}: width {width} too wide for low {low}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_values_within_bucket_error() {
+        let h = LatencyHistogram::new();
+        let n = 100_000u64;
+        for v in 1..=n {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, n);
+        for (q, exact) in [(0.50, 50_000u64), (0.90, 90_000), (0.99, 99_000), (0.999, 99_900)] {
+            let got = snap.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 1.0 / SUBBUCKETS as f64,
+                "q{q}: got {got}, exact {exact}, err {err:.4}"
+            );
+        }
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, n);
+        assert_eq!(snap.sum, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let all = LatencyHistogram::new();
+        for v in (0..5000).map(|i| i * 37 % 10_000) {
+            a.record(v);
+            all.record(v);
+        }
+        for v in (0..5000).map(|i| i * 91 % 100_000) {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn merge_into_empty_preserves_min() {
+        let h = LatencyHistogram::new();
+        h.record(42);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&h.snapshot());
+        assert_eq!(empty.min, 42);
+        assert_eq!(empty.p50(), 42);
+    }
+
+    #[test]
+    fn quantile_on_single_value() {
+        let h = LatencyHistogram::new();
+        h.record(1_000_000);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = s.quantile(q);
+            let err = (got as f64 - 1_000_000.0).abs() / 1_000_000.0;
+            assert!(err <= 1.0 / SUBBUCKETS as f64, "q{q} -> {got}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 500, 70_000, 70_001, 1 << 33] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

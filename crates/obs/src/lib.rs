@@ -1,0 +1,111 @@
+//! End-to-end observability for the UDSM/DSCL stack.
+//!
+//! Three pieces, usable separately or together:
+//!
+//! * [`hist`] — a log-linear latency histogram ([`LatencyHistogram`]) with
+//!   lock-free recording, mergeable [`HistogramSnapshot`]s, and
+//!   p50/p90/p99/p99.9 queries with bounded (6.25%) relative error;
+//! * [`registry`] — a [`Registry`] of counters, gauges, and histograms
+//!   addressed by `name{label=value}`, rendering to Prometheus text
+//!   exposition or JSON; [`global()`] is the process-wide default;
+//! * [`trace`] — a per-request [`Trace`] that times named pipeline stages
+//!   (`cache_lookup`, `decompress`, `decrypt`, `net_rtt`, `store_io`, ...)
+//!   and publishes them as per-stage histograms plus a recent-trace ring.
+//!
+//! Metric naming scheme used across the workspace:
+//!
+//! * `dscl_*` — enhanced-client pipeline (`dscl_op_duration_ns{op="get"}`,
+//!   `dscl_stage_duration_ns{op="get",stage="decompress"}`);
+//! * `cache_*` — cache policy counters (`cache_hits_total{cache="lru"}`);
+//! * `cloudstore_*` — HTTP store client/server
+//!   (`cloudstore_requests_total{route="/v1/objects",method="GET",status="200"}`);
+//! * `*_total` counters, `*_ns` nanosecond histograms, bare nouns gauges.
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use registry::{global, Counter, Gauge, Registry};
+pub use trace::{CompletedTrace, Trace};
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Satellite requirement: 8 threads hammer one histogram and one
+    /// counter; every recorded event must be visible exactly once.
+    #[test]
+    fn eight_thread_count_conservation() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 25_000;
+
+        let reg = Arc::new(Registry::new());
+        let hist = reg.histogram("conc_latency_ns", &[]);
+        let counter = reg.counter("conc_events_total", &[]);
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Spread values across many buckets.
+                        hist.record(t * 1_000_000 + i);
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, THREADS * PER_THREAD);
+        assert_eq!(counter.get(), THREADS * PER_THREAD);
+        // Bucket counts sum to the total (no lost updates in the array).
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucket_total, THREADS * PER_THREAD);
+        // And the sum matches the closed form of what the threads recorded.
+        let expect_sum: u64 = (0..THREADS)
+            .map(|t| t * 1_000_000 * PER_THREAD + PER_THREAD * (PER_THREAD - 1) / 2)
+            .sum();
+        assert_eq!(snap.sum, expect_sum);
+    }
+
+    /// Merging per-thread histograms equals one shared histogram.
+    #[test]
+    fn per_thread_merge_equals_shared() {
+        const THREADS: usize = 8;
+        let shared = Arc::new(LatencyHistogram::new());
+        let locals: Vec<Arc<LatencyHistogram>> =
+            (0..THREADS).map(|_| Arc::new(LatencyHistogram::new())).collect();
+
+        let handles: Vec<_> = locals
+            .iter()
+            .enumerate()
+            .map(|(t, local)| {
+                let local = Arc::clone(local);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        let v = (t as u64 + 1) * 37 * i % 500_000;
+                        local.record(v);
+                        shared.record(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut merged = HistogramSnapshot::default();
+        for local in &locals {
+            merged.merge(&local.snapshot());
+        }
+        assert_eq!(merged, shared.snapshot());
+    }
+}

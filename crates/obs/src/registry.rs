@@ -1,0 +1,350 @@
+//! Process-wide metrics registry.
+//!
+//! Metrics are addressed by `name{label=value,...}`: looking up the same
+//! name and label set twice returns the same underlying atomic, so
+//! instrumented code can hold a handle or re-resolve per call site. The
+//! registry renders to Prometheus text exposition or JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::trace::CompletedTrace;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value. For collector-style exporters that mirror an
+    /// external cumulative counter (e.g. cache hit totals) into the
+    /// registry at scrape time; prefer `inc`/`add` everywhere else.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fully qualified metric id: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    /// `name{k="v",...}` (Prometheus form; bare name when label-free).
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+
+    /// Same but with extra labels appended (for histogram `le`).
+    fn render_with(&self, extra: &[(String, String)]) -> String {
+        let mut all = self.labels.clone();
+        all.extend_from_slice(extra);
+        let body: Vec<String> =
+            all.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+/// How many completed traces the registry retains for dumping.
+pub const RECENT_TRACES: usize = 64;
+
+/// A metrics registry. Cheap to share (`Arc`) and safe to use from any
+/// thread.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+    recent: Mutex<Vec<CompletedTrace>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Counter handle for `name{labels}` (created on first use).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics.entry(key).or_insert_with(|| Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Gauge handle for `name{labels}` (created on first use).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics.entry(key).or_insert_with(|| Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Histogram handle for `name{labels}` (created on first use).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(LatencyHistogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Record a completed trace into the bounded recent-trace ring.
+    pub(crate) fn push_trace(&self, trace: CompletedTrace) {
+        let mut recent = self.recent.lock().unwrap_or_else(|e| e.into_inner());
+        if recent.len() == RECENT_TRACES {
+            recent.remove(0);
+        }
+        recent.push(trace);
+    }
+
+    /// The most recent completed traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<CompletedTrace> {
+        self.recent.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Prometheus text exposition (text/plain; version=0.0.4).
+    ///
+    /// Histograms emit cumulative `_bucket{le="..."}` series over their
+    /// non-empty buckets plus `le="+Inf"`, `_sum`, and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let mut last_name = "";
+        for (key, metric) in metrics.iter() {
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} {kind}", key.name);
+                last_name = &key.name;
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", key.render(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", key.render(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let base = key.name.clone();
+                    for (le, cumulative) in snap.cumulative() {
+                        let bucket_key = MetricKey {
+                            name: format!("{base}_bucket"),
+                            labels: key.labels.clone(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{} {cumulative}",
+                            bucket_key.render_with(&[("le".to_string(), le.to_string())])
+                        );
+                    }
+                    let inf_key =
+                        MetricKey { name: format!("{base}_bucket"), labels: key.labels.clone() };
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        inf_key.render_with(&[("le".to_string(), "+Inf".to_string())]),
+                        snap.count
+                    );
+                    let sum_key =
+                        MetricKey { name: format!("{base}_sum"), labels: key.labels.clone() };
+                    let _ = writeln!(out, "{} {}", sum_key.render(), snap.sum);
+                    let count_key =
+                        MetricKey { name: format!("{base}_count"), labels: key.labels.clone() };
+                    let _ = writeln!(out, "{} {}", count_key.render(), snap.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON rendering: an object keyed by `name{labels}`; counters and
+    /// gauges map to numbers, histograms to summary objects.
+    pub fn render_json(&self) -> String {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::from("{");
+        for (i, (key, metric)) in metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:?}:", key.render());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                        s.count,
+                        s.sum,
+                        s.min,
+                        s.max,
+                        s.p50(),
+                        s.p90(),
+                        s.p99(),
+                        s.p999()
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Snapshot of one histogram, if registered.
+    pub fn histogram_snapshot(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+        let key = MetricKey::new(name, labels);
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics.get(&key) {
+            Some(Metric::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide default registry, used by client-side instrumentation
+/// (DSCL pipelines, cache policies, store clients). Servers typically make
+/// their own `Registry` so concurrent instances don't mix metrics.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_counter() {
+        let reg = Registry::new();
+        let a = reg.counter("requests_total", &[("route", "/v1"), ("method", "GET")]);
+        // Label order must not matter.
+        let b = reg.counter("requests_total", &[("method", "GET"), ("route", "/v1")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = Registry::new();
+        reg.counter("hits_total", &[("cache", "lru")]).add(7);
+        reg.gauge("entries", &[]).set(-3);
+        let h = reg.histogram("latency_ns", &[("op", "get")]);
+        h.record(100);
+        h.record(200_000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE hits_total counter"), "{text}");
+        assert!(text.contains("hits_total{cache=\"lru\"} 7"), "{text}");
+        assert!(text.contains("# TYPE entries gauge"), "{text}");
+        assert!(text.contains("entries -3"), "{text}");
+        assert!(text.contains("# TYPE latency_ns histogram"), "{text}");
+        assert!(text.contains("latency_ns_bucket{op=\"get\",le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("latency_ns_sum{op=\"get\"} 200100"), "{text}");
+        assert!(text.contains("latency_ns_count{op=\"get\"} 2"), "{text}");
+        // Cumulative bucket counts are monotone.
+        let mut last = 0;
+        for line in text.lines().filter(|l| l.starts_with("latency_ns_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone cumulative counts: {text}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_parseable() {
+        let reg = Registry::new();
+        reg.counter("a_total", &[]).add(1);
+        reg.histogram("lat", &[]).record(5);
+        let json = reg.render_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get("a_total"), Some(&serde_json::Value::Int(1)));
+        assert_eq!(v.get("lat").unwrap().get("count"), Some(&serde_json::Value::Int(1)));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("queue_depth", &[]);
+        g.add(10);
+        g.add(-4);
+        assert_eq!(g.get(), 6);
+    }
+}

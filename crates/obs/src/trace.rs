@@ -1,0 +1,150 @@
+//! Per-request span tracing.
+//!
+//! A [`Trace`] accompanies one logical operation (a DSCL `get`, a server
+//! request) and records how long each named stage took — `cache_lookup`,
+//! `decompress`, `net_rtt`, ... Finishing a trace publishes each stage into
+//! per-stage histograms in a [`Registry`] and pushes the trace onto the
+//! registry's recent-trace ring for dumping.
+//!
+//! Stage timings are measured inside the operation, so their sum is always
+//! ≤ the trace's total wall-clock time (the remainder is untimed glue).
+
+use std::time::{Duration, Instant};
+
+use crate::registry::Registry;
+
+/// An in-flight trace.
+pub struct Trace {
+    op: &'static str,
+    started: Instant,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl Trace {
+    /// Start a trace for one operation.
+    pub fn begin(op: &'static str) -> Trace {
+        Trace { op, started: Instant::now(), stages: Vec::with_capacity(8) }
+    }
+
+    /// Time a closure as one named stage. Stages repeat if called twice
+    /// with the same name (both samples are kept).
+    pub fn time<R>(&mut self, stage: &'static str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.stages.push((stage, t0.elapsed()));
+        out
+    }
+
+    /// Attach an externally measured stage duration.
+    pub fn add(&mut self, stage: &'static str, d: Duration) {
+        self.stages.push((stage, d));
+    }
+
+    /// End the trace: record per-stage and total latency histograms into
+    /// `registry` (`<prefix>_stage_duration_ns{op=..., stage=...}` and
+    /// `<prefix>_op_duration_ns{op=...}`) and keep the trace in the
+    /// registry's recent ring.
+    pub fn finish(self, registry: &Registry, prefix: &str) -> CompletedTrace {
+        let total = self.started.elapsed();
+        for &(stage, d) in &self.stages {
+            registry
+                .histogram(
+                    &format!("{prefix}_stage_duration_ns"),
+                    &[("op", self.op), ("stage", stage)],
+                )
+                .record_duration(d);
+        }
+        registry
+            .histogram(&format!("{prefix}_op_duration_ns"), &[("op", self.op)])
+            .record_duration(total);
+        let done = CompletedTrace { op: self.op, total, stages: self.stages };
+        registry.push_trace(done.clone());
+        done
+    }
+}
+
+/// A finished trace.
+#[derive(Clone, Debug)]
+pub struct CompletedTrace {
+    /// Operation name (`get`, `put`, ...).
+    pub op: &'static str,
+    /// Total wall-clock time of the operation.
+    pub total: Duration,
+    /// `(stage, duration)` in execution order.
+    pub stages: Vec<(&'static str, Duration)>,
+}
+
+impl CompletedTrace {
+    /// Sum of all stage durations (≤ [`CompletedTrace::total`]).
+    pub fn stage_sum(&self) -> Duration {
+        self.stages.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// One-line human rendering: `get 1.234ms [cache_lookup 0.1ms, ...]`.
+    pub fn render(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|&(s, d)| format!("{s} {:.3}ms", d.as_secs_f64() * 1e3))
+            .collect();
+        format!(
+            "{} {:.3}ms [{}]",
+            self.op,
+            self.total.as_secs_f64() * 1e3,
+            stages.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_sum_bounded_by_total() {
+        let reg = Registry::new();
+        let mut t = Trace::begin("get");
+        t.time("cache_lookup", || std::thread::sleep(Duration::from_millis(2)));
+        t.time("decompress", || std::thread::sleep(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(1)); // untimed glue
+        let done = t.finish(&reg, "dscl");
+        assert!(done.stage_sum() <= done.total, "{done:?}");
+        assert_eq!(done.stages.len(), 2);
+        assert_eq!(done.stages[0].0, "cache_lookup");
+    }
+
+    #[test]
+    fn finish_publishes_histograms_and_ring() {
+        let reg = Registry::new();
+        for _ in 0..3 {
+            let mut t = Trace::begin("put");
+            t.time("encrypt", || {});
+            t.finish(&reg, "dscl");
+        }
+        let snap = reg
+            .histogram_snapshot("dscl_stage_duration_ns", &[("op", "put"), ("stage", "encrypt")])
+            .unwrap();
+        assert_eq!(snap.count, 3);
+        let total = reg.histogram_snapshot("dscl_op_duration_ns", &[("op", "put")]).unwrap();
+        assert_eq!(total.count, 3);
+        assert_eq!(reg.recent_traces().len(), 3);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let reg = Registry::new();
+        for _ in 0..(crate::registry::RECENT_TRACES + 10) {
+            Trace::begin("x").finish(&reg, "t");
+        }
+        assert_eq!(reg.recent_traces().len(), crate::registry::RECENT_TRACES);
+    }
+
+    #[test]
+    fn external_durations_attach() {
+        let reg = Registry::new();
+        let mut t = Trace::begin("get");
+        t.add("net_rtt", Duration::from_micros(1500));
+        let done = t.finish(&reg, "cs");
+        assert_eq!(done.stages, vec![("net_rtt", Duration::from_micros(1500))]);
+    }
+}

@@ -1,0 +1,600 @@
+//! Offline shim for `proptest`.
+//!
+//! Same macro surface (`proptest!`, `prop_assert*`, `prop_oneof!`) and
+//! strategy combinators the workspace's property tests use, minus
+//! shrinking: a failing case reports its case index and panics, and cases
+//! regenerate deterministically from the test name, so failures reproduce
+//! exactly on re-run.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic per-test RNG.
+pub struct TestRng(rand::rngs::SmallRng);
+
+impl TestRng {
+    /// Seed from a test name, so each test gets a stable stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(rand::rngs::SmallRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl std::fmt::Display) -> TestCaseError {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `f` wraps an inner strategy into one
+    /// producing a container of the same type. `depth` bounds recursion;
+    /// the size-tuning parameters of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<S, F>(self, depth: u32, _desired_size: u32, _expected_branch: u32, f: F) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            base: Arc::new(self),
+            depth,
+            recurse: Arc::new(move |inner| Box::new(f(inner)) as BoxedStrategy<_>),
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform values of a primitive type.
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy for any value of a primitive type (`any::<u8>()` etc).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_standard(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one branch");
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// [`Strategy::prop_recursive`] combinator.
+pub struct Recursive<T> {
+    base: Arc<dyn Strategy<Value = T>>,
+    depth: u32,
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+/// Adapter so an `Arc`'d strategy can be re-boxed per generation.
+struct SharedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for SharedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let levels = rng.gen_range(0..=self.depth);
+        let mut strat: BoxedStrategy<T> = Box::new(SharedStrategy(Arc::clone(&self.base)));
+        for _ in 0..levels {
+            strat = (self.recurse)(strat);
+        }
+        strat.generate(rng)
+    }
+}
+
+// Integer/float ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+// Tuples of strategies are strategies over tuples.
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+// String literals are regex-subset strategies: one `.` or `[...]` class
+// with an optional `{m}` / `{m,n}` / `*` / `+` quantifier.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_simple_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (shim supports one char class with a quantifier)"));
+        let len = rng.gen_range(min..=max);
+        (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    }
+}
+
+/// Parse the `class{m,n}` regex subset; returns (alphabet, min_len, max_len).
+fn parse_simple_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let printable: Vec<char> = (0x20u8..=0x7e).map(char::from).collect();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+
+    let alphabet: Vec<char> = match chars.get(pos)? {
+        '.' => {
+            pos += 1;
+            printable
+        }
+        '[' => {
+            pos += 1;
+            let negated = chars.get(pos) == Some(&'^');
+            if negated {
+                pos += 1;
+            }
+            let mut set = Vec::new();
+            while let Some(&c) = chars.get(pos) {
+                if c == ']' {
+                    break;
+                }
+                let lo = if c == '\\' {
+                    pos += 1;
+                    match chars.get(pos)? {
+                        'r' => '\r',
+                        'n' => '\n',
+                        't' => '\t',
+                        &other => other,
+                    }
+                } else {
+                    c
+                };
+                pos += 1;
+                if chars.get(pos) == Some(&'-') && chars.get(pos + 1).is_some_and(|&c| c != ']') {
+                    let hi = chars[pos + 1];
+                    pos += 2;
+                    for v in lo as u32..=hi as u32 {
+                        set.push(char::from_u32(v)?);
+                    }
+                } else {
+                    set.push(lo);
+                }
+            }
+            if chars.get(pos) != Some(&']') {
+                return None;
+            }
+            pos += 1;
+            if negated {
+                printable.into_iter().filter(|c| !set.contains(c)).collect()
+            } else {
+                set
+            }
+        }
+        _ => return None,
+    };
+    if alphabet.is_empty() {
+        return None;
+    }
+
+    let (min, max) = match chars.get(pos) {
+        None => (1, 1),
+        Some('*') => (0, 16),
+        Some('+') => (1, 16),
+        Some('{') => {
+            let body: String = chars[pos + 1..].iter().take_while(|&&c| c != '}').collect();
+            pos += 1 + body.len();
+            if chars.get(pos) != Some(&'}') || pos + 1 != chars.len() {
+                return None;
+            }
+            match body.split_once(',') {
+                None => {
+                    let n = body.parse().ok()?;
+                    (n, n)
+                }
+                Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            }
+        }
+        Some(_) => return None,
+    };
+    Some((alphabet, min, max))
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for vectors with lengths drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — vectors of generated elements.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.sizes.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner namespace mirror (`proptest::test_runner`).
+pub mod test_runner {
+    pub use super::{TestCaseError, TestRng};
+}
+
+/// Strategy namespace mirror (`proptest::strategy`).
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+/// One-of strategy over the listed branches (uniform choice).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![
+            $( $crate::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: both sides were `{:?}`",
+                format!($($fmt)+),
+                l
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @config ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @config ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@config ($config:expr);) => {};
+    (@config ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { @config ($config); $($rest)* }
+    };
+}
+
+/// The usual glob import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subsets_parse() {
+        let mut rng = crate::TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = "[^\r\n]{0,30}".generate(&mut rng);
+            assert!(s.len() <= 30);
+            assert!(!s.contains(['\r', '\n']));
+
+            let s = ".{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_all_branches() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::deterministic("oneof");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = any::<u8>().prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 6, |inner| {
+            collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::deterministic("recursive");
+        for _ in 0..50 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, data in collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!(x < 100);
+            prop_assert!(data.len() < 10);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1, "offset check {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

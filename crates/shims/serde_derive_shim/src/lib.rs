@@ -1,0 +1,480 @@
+//! `derive(Serialize, Deserialize)` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the
+//! build environment has no registry access). Supports exactly the type
+//! shapes this workspace derives:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * tuple/newtype structs,
+//! * enums of unit, newtype and tuple variants (honouring
+//!   `#[serde(rename = "...")]`).
+//!
+//! Generics and struct-variant enums are rejected with a compile error
+//! rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = if serialize { gen_serialize(&item) } else { gen_deserialize(&item) };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal error")
+}
+
+// ---- a tiny item model ----
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    rename: Option<String>,
+    kind: VariantKind,
+}
+
+impl Variant {
+    fn tag(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---- parsing ----
+
+/// Attributes seen while scanning: the serde ones we honour.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    rename: Option<String>,
+}
+
+/// Consume leading `#[...]` attributes from `tokens[*pos]`, collecting
+/// `#[serde(...)]` contents.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<SerdeAttrs, String> {
+    let mut attrs = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(group)) = tokens.get(*pos + 1) else {
+            return Err("malformed attribute".into());
+        };
+        parse_serde_attr(&group.stream(), &mut attrs)?;
+        *pos += 2;
+    }
+    Ok(attrs)
+}
+
+/// Parse the inside of one `[...]` attribute; records serde(default) and
+/// serde(rename = "...").
+fn parse_serde_attr(stream: &TokenStream, attrs: &mut SerdeAttrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return Ok(()), // doc comments, derives on the item, etc.
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Err("expected serde(...)".into());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(ident) if ident.to_string() == "default" => {
+                attrs.default = true;
+                i += 1;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "rename" => {
+                let Some(TokenTree::Literal(lit)) = args.get(i + 2) else {
+                    return Err("expected rename = \"...\"".into());
+                };
+                let text = lit.to_string();
+                attrs.rename = Some(text.trim_matches('"').to_string());
+                i += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => {
+                return Err(format!(
+                    "unsupported serde attribute `{other}` (shim supports default, rename)"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Skip `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*pos) {
+        if ident.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    take_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive does not support generic type `{name}`"));
+        }
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Parse `name: Type, ...` named fields, honouring `#[serde(default)]`.
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, default: attrs.default });
+    }
+    Ok(fields)
+}
+
+/// Skip one type expression: consume until a top-level (angle-depth 0) `,`.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Count tuple-struct / tuple-variant fields (top-level comma count).
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos)?;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde shim derive does not support struct variant `{name}`"
+                ));
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, rename: attrs.rename, kind });
+    }
+    Ok(variants)
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = v.tag();
+                    match v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{0} => ::serde::Value::String(\"{tag}\".to_string()),",
+                            v.name
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{0}(x0) => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Serialize::to_value(x0))]),",
+                            v.name
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{0}({1}) => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Array(vec![{2}]))]),",
+                                v.name,
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let fallback = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!("return Err(::serde::missing_field(\"{name}\", \"{0}\"))", f.name)
+                    };
+                    format!(
+                        "{0}: match ::serde::field(pairs, \"{0}\") {{\n\
+                             Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                             None => {fallback},\n\
+                         }},",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let pairs = v.as_object().ok_or_else(|| ::serde::Error::msg(\
+                     format!(\"expected object for {name}, found {{}}\", v.kind())))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join("\n")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?")).collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                     format!(\"expected array for {name}, found {{}}\", v.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::Error::msg(format!(\
+                         \"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{}\" => Ok({name}::{}),", v.tag(), v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{0}\" => Ok({name}::{1}(::serde::Deserialize::from_value(inner)?)),",
+                        v.tag(),
+                        v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{0}\" => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::msg(\"expected array for variant {0}\"))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::msg(\
+                                         \"wrong arity for variant {0}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{1}({2}))\n\
+                             }}",
+                            v.tag(),
+                            v.name,
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::Error::msg(format!(\
+                         \"expected {name} variant, found {{}}\", other.kind()))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

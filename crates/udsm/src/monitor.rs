@@ -15,6 +15,7 @@
 use bytes::Bytes;
 use kvapi::value::now_millis;
 use kvapi::{CondGet, Etag, KeyValue, Result, StoreError, StoreStats, Versioned};
+use obs::{HistogramSnapshot, LatencyHistogram};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -100,12 +101,32 @@ pub struct MonitorReport {
     pub summaries: Vec<(OpKind, Summary)>,
     /// Recent samples, oldest first.
     pub recent: Vec<Sample>,
+    /// Per-kind latency histograms (nanoseconds), for percentile queries.
+    /// Defaults to empty when loading reports persisted before histograms
+    /// existed — `summary()` and `recent` still work on those.
+    #[serde(default)]
+    pub hists: Vec<(OpKind, HistogramSnapshot)>,
 }
 
 impl MonitorReport {
     /// Summary for one kind.
     pub fn summary(&self, op: OpKind) -> Summary {
         self.summaries.iter().find(|(k, _)| *k == op).map(|(_, s)| *s).unwrap_or_default()
+    }
+
+    /// Latency histogram for one kind (empty when absent).
+    pub fn histogram(&self, op: OpKind) -> HistogramSnapshot {
+        self.hists.iter().find(|(k, _)| *k == op).map(|(_, h)| h.clone()).unwrap_or_default()
+    }
+
+    /// Median latency in milliseconds for one kind (0 without samples).
+    pub fn p50_ms(&self, op: OpKind) -> f64 {
+        self.histogram(op).p50() as f64 / 1e6
+    }
+
+    /// 99th-percentile latency in milliseconds for one kind.
+    pub fn p99_ms(&self, op: OpKind) -> f64 {
+        self.histogram(op).p99() as f64 / 1e6
     }
 
     /// Persist through any key-value store (the paper stores performance
@@ -129,6 +150,7 @@ impl MonitorReport {
 
 struct MonitorState {
     summaries: [Summary; 6],
+    hists: [LatencyHistogram; 6],
     recent: VecDeque<Sample>,
     recent_cap: usize,
 }
@@ -149,6 +171,7 @@ impl<S: KeyValue> MonitoredStore<S> {
             name,
             state: Mutex::new(MonitorState {
                 summaries: [Summary::default(); 6],
+                hists: std::array::from_fn(|_| LatencyHistogram::new()),
                 recent: VecDeque::with_capacity(recent_cap.min(4096)),
                 recent_cap,
             }),
@@ -163,10 +186,12 @@ impl<S: KeyValue> MonitoredStore<S> {
     fn timed<T>(&self, op: OpKind, f: impl FnOnce(&S) -> T) -> T {
         let t0 = Instant::now();
         let out = f(&self.inner);
-        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let elapsed = t0.elapsed();
+        let ms = elapsed.as_secs_f64() * 1000.0;
         let mut g = self.state.lock();
         let idx = KINDS.iter().position(|k| *k == op).expect("known kind");
         g.summaries[idx].record(ms);
+        g.hists[idx].record_duration(elapsed);
         if g.recent_cap > 0 {
             if g.recent.len() == g.recent_cap {
                 g.recent.pop_front();
@@ -183,6 +208,7 @@ impl<S: KeyValue> MonitoredStore<S> {
             store: self.inner.name().to_string(),
             summaries: KINDS.iter().copied().zip(g.summaries).collect(),
             recent: g.recent.iter().copied().collect(),
+            hists: KINDS.iter().copied().zip(g.hists.iter().map(|h| h.snapshot())).collect(),
         }
     }
 
@@ -190,6 +216,7 @@ impl<S: KeyValue> MonitoredStore<S> {
     pub fn reset(&self) {
         let mut g = self.state.lock();
         g.summaries = [Summary::default(); 6];
+        g.hists = std::array::from_fn(|_| LatencyHistogram::new());
         g.recent.clear();
     }
 }
@@ -291,6 +318,47 @@ mod tests {
         for w in r.recent.windows(2) {
             assert!(w[0].at_ms <= w[1].at_ms);
         }
+    }
+
+    #[test]
+    fn percentiles_come_from_histograms() {
+        let m = MonitoredStore::new(MemKv::new("m"), 10);
+        for i in 0..200 {
+            m.put(&format!("k{i}"), b"v").unwrap();
+            let _ = m.get(&format!("k{i}")).unwrap();
+        }
+        let r = m.report();
+        let h = r.histogram(OpKind::Get);
+        assert_eq!(h.count, 200);
+        let p50 = r.p50_ms(OpKind::Get);
+        let p99 = r.p99_ms(OpKind::Get);
+        assert!(p50 > 0.0 && p50 <= p99, "p50={p50} p99={p99}");
+        // Histogram aggregates agree with the Welford summary.
+        let s = r.summary(OpKind::Get);
+        assert_eq!(h.count, s.count);
+        assert!((h.mean() / 1e6 - s.mean_ms).abs() <= s.mean_ms * 0.01 + 1e-3);
+        // Untouched kinds stay empty.
+        assert_eq!(r.histogram(OpKind::Delete).count, 0);
+        assert_eq!(r.p99_ms(OpKind::Delete), 0.0);
+    }
+
+    #[test]
+    fn pre_histogram_reports_still_load() {
+        // A report persisted before the hists field existed: the JSON has
+        // no "hists" key, and `#[serde(default)]` fills in an empty vec.
+        let m = MonitoredStore::new(MemKv::new("m"), 4);
+        m.put("a", b"1").unwrap();
+        let report = m.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let legacy = {
+            let idx = json.find(",\"hists\":").expect("hists serialized");
+            // Strip the hists field (it is serialized last).
+            format!("{}}}", &json[..idx])
+        };
+        let loaded: MonitorReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(loaded.summary(OpKind::Put).count, 1);
+        assert!(loaded.hists.is_empty());
+        assert_eq!(loaded.p50_ms(OpKind::Put), 0.0, "no histogram data → 0");
     }
 
     #[test]

@@ -99,12 +99,16 @@ impl ValueSource {
 }
 
 /// One measured curve: label + (object size, latency ms) points.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Series {
     /// Curve label ("fskv", "redis 75% hit rate", ...).
     pub label: String,
     /// (size bytes, mean latency ms), ascending sizes.
     pub points: Vec<(f64, f64)>,
+    /// Per-size `(p50 ms, p99 ms)` tail latencies, parallel to `points`.
+    /// Empty for derived series (e.g. hit-rate extrapolations), which have
+    /// no per-operation samples to take percentiles over.
+    pub tails: Vec<(f64, f64)>,
 }
 
 /// Workload parameters.
@@ -159,37 +163,50 @@ fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// `(p50 ms, p99 ms)` from a histogram of per-op nanosecond samples.
+fn tail_ms(hist: &obs::LatencyHistogram) -> (f64, f64) {
+    let snap = hist.snapshot();
+    (snap.p50() as f64 / 1e6, snap.p99() as f64 / 1e6)
+}
+
 impl WorkloadSpec {
     /// Mean read latency vs object size (Fig. 9 per store).
     pub fn read_sweep(&self, store: &dyn KeyValue, label: &str) -> Result<Series> {
         let mut points = Vec::with_capacity(self.sizes.len());
+        let mut tails = Vec::with_capacity(self.sizes.len());
         for &size in &self.sizes {
             let key = format!("wl-read-{size}");
             let value = self.source.generate(size, size as u64)?;
             store.put(&key, &value)?;
             let mut run_means = Vec::with_capacity(self.runs);
+            let hist = obs::LatencyHistogram::new();
             for _ in 0..self.runs {
                 let t0 = Instant::now();
                 for _ in 0..self.ops_per_point {
+                    let op0 = Instant::now();
                     let got = store
                         .get(&key)?
                         .ok_or_else(|| StoreError::Other("workload value vanished".into()))?;
+                    hist.record_duration(op0.elapsed());
                     debug_assert_eq!(got.len(), size);
                 }
                 run_means
                     .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
             }
             points.push((size as f64, mean(&run_means)));
+            tails.push(tail_ms(&hist));
             store.delete(&key)?;
         }
-        Ok(Series { label: label.to_string(), points })
+        Ok(Series { label: label.to_string(), points, tails })
     }
 
     /// Mean write latency vs object size (Fig. 10 per store).
     pub fn write_sweep(&self, store: &dyn KeyValue, label: &str) -> Result<Series> {
         let mut points = Vec::with_capacity(self.sizes.len());
+        let mut tails = Vec::with_capacity(self.sizes.len());
         for &size in &self.sizes {
             let mut run_means = Vec::with_capacity(self.runs);
+            let hist = obs::LatencyHistogram::new();
             for run in 0..self.runs {
                 // Distinct values per op so stores cannot dedupe.
                 let values: Vec<Vec<u8>> = (0..self.ops_per_point)
@@ -197,7 +214,9 @@ impl WorkloadSpec {
                     .collect::<Result<_>>()?;
                 let t0 = Instant::now();
                 for (i, v) in values.iter().enumerate() {
+                    let op0 = Instant::now();
                     store.put(&format!("wl-write-{size}-{i}"), v)?;
+                    hist.record_duration(op0.elapsed());
                 }
                 run_means
                     .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
@@ -206,8 +225,9 @@ impl WorkloadSpec {
                 store.delete(&format!("wl-write-{size}-{i}"))?;
             }
             points.push((size as f64, mean(&run_means)));
+            tails.push(tail_ms(&hist));
         }
-        Ok(Series { label: label.to_string(), points })
+        Ok(Series { label: label.to_string(), points, tails })
     }
 
     /// Read latency vs size for each configured hit rate, against a given
@@ -272,6 +292,8 @@ impl WorkloadSpec {
                     .zip(&hit_curve)
                     .map(|(&(size, miss), &(_, hit))| (size, h * hit + (1.0 - h) * miss))
                     .collect(),
+                // Extrapolated curves have no per-op samples to rank.
+                tails: Vec::new(),
             })
             .collect())
     }
@@ -281,43 +303,67 @@ impl WorkloadSpec {
     pub fn codec_sweep(&self, codec: &dyn Codec) -> Result<(Series, Series)> {
         let mut enc_points = Vec::with_capacity(self.sizes.len());
         let mut dec_points = Vec::with_capacity(self.sizes.len());
+        let mut enc_tails = Vec::with_capacity(self.sizes.len());
+        let mut dec_tails = Vec::with_capacity(self.sizes.len());
         for &size in &self.sizes {
             let value = self.source.generate(size, size as u64)?;
             let encoded = codec.encode(&value)?;
             let mut enc_runs = Vec::with_capacity(self.runs);
             let mut dec_runs = Vec::with_capacity(self.runs);
+            let enc_hist = obs::LatencyHistogram::new();
+            let dec_hist = obs::LatencyHistogram::new();
             for _ in 0..self.runs {
                 let t0 = Instant::now();
                 for _ in 0..self.ops_per_point {
+                    let op0 = Instant::now();
                     let out = codec.encode(&value)?;
+                    enc_hist.record_duration(op0.elapsed());
                     std::hint::black_box(&out);
                 }
                 enc_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
                 let t0 = Instant::now();
                 for _ in 0..self.ops_per_point {
+                    let op0 = Instant::now();
                     let out = codec.decode(&encoded)?;
+                    dec_hist.record_duration(op0.elapsed());
                     std::hint::black_box(&out);
                 }
                 dec_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
             }
             enc_points.push((size as f64, mean(&enc_runs)));
             dec_points.push((size as f64, mean(&dec_runs)));
+            enc_tails.push(tail_ms(&enc_hist));
+            dec_tails.push(tail_ms(&dec_hist));
         }
         Ok((
-            Series { label: format!("{} encode", codec.name()), points: enc_points },
-            Series { label: format!("{} decode", codec.name()), points: dec_points },
+            Series {
+                label: format!("{} encode", codec.name()),
+                points: enc_points,
+                tails: enc_tails,
+            },
+            Series {
+                label: format!("{} decode", codec.name()),
+                points: dec_points,
+                tails: dec_tails,
+            },
         ))
     }
 }
 
 /// Write series as a gnuplot/Excel-friendly text file: a header comment, a
 /// label row, then `size y1 y2 …` columns. All series must share x values.
+/// A series carrying tail data additionally contributes `label p50` and
+/// `label p99` columns right after its mean column.
 pub fn write_gnuplot(path: impl AsRef<Path>, series: &[Series]) -> Result<()> {
     let mut f = std::fs::File::create(path.as_ref())?;
     writeln!(f, "# generated by udsm workload generator")?;
     write!(f, "# size_bytes")?;
     for s in series {
-        write!(f, "\t{}", s.label.replace(['\t', '\n'], " "))?;
+        let label = s.label.replace(['\t', '\n'], " ");
+        write!(f, "\t{label}")?;
+        if !s.tails.is_empty() {
+            write!(f, "\t{label} p50\t{label} p99")?;
+        }
     }
     writeln!(f)?;
     let n = series.first().map(|s| s.points.len()).unwrap_or(0);
@@ -327,6 +373,10 @@ pub fn write_gnuplot(path: impl AsRef<Path>, series: &[Series]) -> Result<()> {
             let (x, y) = s.points[i];
             debug_assert_eq!(x, series[0].points[i].0, "series must share x values");
             write!(f, "\t{y:.6}")?;
+            if !s.tails.is_empty() {
+                let (p50, p99) = s.tails[i];
+                write!(f, "\t{p50:.6}\t{p99:.6}")?;
+            }
         }
         writeln!(f)?;
     }
@@ -435,6 +485,10 @@ mod tests {
         let w = spec.write_sweep(&store, "mem").unwrap();
         assert_eq!(w.points.len(), 2);
         assert!(store.keys().unwrap().is_empty(), "sweeps must clean up");
+        // Percentile columns ride along, one (p50, p99) pair per size.
+        assert_eq!(r.tails.len(), 2);
+        assert_eq!(w.tails.len(), 2);
+        assert!(r.tails.iter().all(|&(p50, p99)| 0.0 <= p50 && p50 <= p99));
     }
 
     #[test]
@@ -468,8 +522,8 @@ mod tests {
     #[test]
     fn gnuplot_output_format() {
         let series = vec![
-            Series { label: "a".into(), points: vec![(100.0, 1.5), (1000.0, 2.5)] },
-            Series { label: "b".into(), points: vec![(100.0, 3.0), (1000.0, 4.0)] },
+            Series { label: "a".into(), points: vec![(100.0, 1.5), (1000.0, 2.5)], tails: vec![] },
+            Series { label: "b".into(), points: vec![(100.0, 3.0), (1000.0, 4.0)], tails: vec![] },
         ];
         let path = std::env::temp_dir().join(format!("wl-gp-{}", std::process::id()));
         write_gnuplot(&path, &series).unwrap();
@@ -484,6 +538,23 @@ mod tests {
         let md = to_markdown(&series);
         assert!(md.contains("| size (bytes) | a | b |"));
         assert!(md.contains("| 100 | 1.500 | 3.000 |"));
+    }
+
+    #[test]
+    fn gnuplot_emits_percentile_columns_for_tailed_series() {
+        let series = vec![Series {
+            label: "mem".into(),
+            points: vec![(100.0, 1.5), (1000.0, 2.5)],
+            tails: vec![(1.2, 4.8), (2.0, 9.9)],
+        }];
+        let path = std::env::temp_dir().join(format!("wl-gp-tails-{}", std::process::id()));
+        write_gnuplot(&path, &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains("mem\tmem p50\tmem p99"), "{:?}", lines[1]);
+        assert_eq!(lines[2].split('\t').count(), 4, "size + mean + p50 + p99");
+        assert!(lines[2].contains("1.200000") && lines[2].contains("4.800000"), "{:?}", lines[2]);
+        std::fs::remove_file(&path).ok();
     }
 }
 

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, and lint-clean clippy.
+# The build environment is offline; all external deps are vendored shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline -- -D warnings

@@ -66,6 +66,7 @@ struct DemoServers {
 fn main() -> Result<()> {
     let opts = parse_args();
     let manager = UniversalDataStoreManager::new(4);
+    let registry = Arc::new(obs::Registry::new());
     let mut demo: Option<DemoServers> = None;
 
     if opts.demo {
@@ -73,15 +74,18 @@ fn main() -> Result<()> {
         let cloud = cloudstore::CloudServer::start_with_profile(netsim::Profile::Cloud2, 1)?;
         let sql = minisql::SqlServer::start_in_memory()?;
         let sql_addr = sql.addr();
-        manager.register("redis", wrap(RedisKv::connect(redis.addr()), &opts));
-        manager.register("cloud", wrap(CloudClient::connect(cloud.addr()), &opts));
-        manager.register("sql", wrap(SqlKv::connect(sql_addr)?, &opts));
-        manager.register("mem", wrap(kvapi::mem::MemKv::new("mem"), &opts));
+        manager.register("redis", wrap(RedisKv::connect(redis.addr()), &opts, &registry));
+        manager.register(
+            "cloud",
+            wrap(CloudClient::connect(cloud.addr()).with_registry(registry.clone()), &opts, &registry),
+        );
+        manager.register("sql", wrap(SqlKv::connect(sql_addr)?, &opts, &registry));
+        manager.register("mem", wrap(kvapi::mem::MemKv::new("mem"), &opts, &registry));
         demo = Some(DemoServers { _redis: redis, _cloud: cloud, _sql: sql, sql_addr });
         println!("demo servers started: redis, cloud (WAN-simulated), sql, mem");
     }
     if let Some(dir) = &opts.fs_dir {
-        manager.register("fs", wrap(FsKv::open(dir)?, &opts));
+        manager.register("fs", wrap(FsKv::open(dir)?, &opts, &registry));
         println!("file-system store at {dir} registered as 'fs'");
     }
     if manager.names().is_empty() {
@@ -127,7 +131,7 @@ fn main() -> Result<()> {
             match cmd {
                 "help" => {
                     println!(
-                        "commands:\n  stores                list registered stores\n  use <store>           switch store\n  put <key> <value>     store a value\n  get <key>             fetch a value\n  del <key>             delete a key\n  keys                  list keys\n  clear                 remove every key\n  stats                 store statistics\n  copy <from> <to>      copy all keys between stores\n  sql <statement>       raw SQL (demo sql store)\n  bench                 quick read/write sweep on the current store\n  monitor <n>           run n timed ops and print a report\n  quit                  exit"
+                        "commands:\n  stores                list registered stores\n  use <store>           switch store\n  put <key> <value>     store a value\n  get <key>             fetch a value\n  del <key>             delete a key\n  keys                  list keys\n  clear                 remove every key\n  stats                 store statistics\n  copy <from> <to>      copy all keys between stores\n  sql <statement>       raw SQL (demo sql store)\n  bench                 quick read/write sweep on the current store\n  monitor <n>           run n timed ops and print a report\n  metrics               dump Prometheus-style metrics (client + demo cloud server)\n  quit                  exit"
                     );
                 }
                 "stores" => println!("{:?} (current: {current})", manager.names()),
@@ -232,13 +236,30 @@ fn main() -> Result<()> {
                     for op in [OpKind::Get, OpKind::Put, OpKind::Delete] {
                         let s = rep.summary(op);
                         println!(
-                            "{op:?}: n={} mean={:.4}ms min={:.4} max={:.4} σ={:.4}",
+                            "{op:?}: n={} mean={:.4}ms p50={:.4} p99={:.4} min={:.4} max={:.4} σ={:.4}",
                             s.count,
                             s.mean_ms,
+                            rep.p50_ms(op),
+                            rep.p99_ms(op),
                             s.min_ms,
                             s.max_ms,
                             s.stddev_ms()
                         );
+                    }
+                }
+                "metrics" => {
+                    let text = registry.render_prometheus();
+                    if text.is_empty() {
+                        println!(
+                            "# client registry is empty — run some ops first \
+                             (cloud round-trips, or get/put with --encrypt/--compress)"
+                        );
+                    } else {
+                        print!("{text}");
+                    }
+                    if let Some(d) = &demo {
+                        println!("# --- cloud server {} ---", d._cloud.addr());
+                        print!("{}", d._cloud.registry().render_prometheus());
                     }
                 }
                 "quit" | "exit" => return Ok(true),
@@ -258,12 +279,19 @@ fn main() -> Result<()> {
     Ok(())
 }
 
-/// Apply the session-wide enhancement flags to a store.
-fn wrap<S: KeyValue + 'static>(store: S, opts: &CliOptions) -> Arc<dyn KeyValue> {
+/// Apply the session-wide enhancement flags to a store. Enhanced stores
+/// publish their pipeline metrics into the session registry (see `metrics`).
+fn wrap<S: KeyValue + 'static>(
+    store: S,
+    opts: &CliOptions,
+    registry: &Arc<obs::Registry>,
+) -> Arc<dyn KeyValue> {
     if opts.encrypt.is_none() && !opts.compress {
         return Arc::new(store);
     }
-    let mut client = EnhancedClient::new(store).with_cache(Arc::new(InProcessLru::new(32 << 20)));
+    let mut client = EnhancedClient::new(store)
+        .with_cache(Arc::new(InProcessLru::new(32 << 20)))
+        .with_registry(registry.clone());
     if opts.compress {
         client = client.with_codec(Box::new(GzipCodec::default()));
     }

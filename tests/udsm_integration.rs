@@ -160,6 +160,75 @@ fn coordinated_put_across_real_stores() {
 }
 
 #[test]
+fn metrics_endpoint_scrapes_over_real_tcp() {
+    let w = world("metrics");
+    let cloud = CloudClient::connect(w._cloud.addr());
+    cloud.put("obs/a", b"hello").unwrap();
+    assert_eq!(cloud.get("obs/a").unwrap().unwrap(), &b"hello"[..]);
+    let text = cloud.fetch_metrics().unwrap();
+    // At least one counter with a positive value…
+    let counter = text
+        .lines()
+        .find(|l| l.starts_with("cloudstore_requests_total{"))
+        .unwrap_or_else(|| panic!("no request counter in scrape:\n{text}"));
+    let hits: u64 = counter.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(hits >= 1, "{counter}");
+    // …and a populated latency histogram with cumulative buckets.
+    assert!(
+        text.lines().any(|l| l.starts_with("cloudstore_request_duration_ns_bucket{")
+            && l.contains("le=")),
+        "no histogram buckets in scrape:\n{text}"
+    );
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("cloudstore_request_duration_ns_count{route=\"/v1/objects\"}"))
+        .unwrap_or_else(|| panic!("no histogram count in scrape:\n{text}"));
+    let n: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(n >= 2, "{count_line}");
+}
+
+#[test]
+fn traced_get_through_full_pipeline_bounds_stage_sum_by_total() {
+    // Acceptance: a DSCL get through cache + gzip + aes over the cloud store
+    // yields a trace whose per-stage timings sum to no more than the total.
+    let w = world("trace");
+    let reg = Arc::new(obs::Registry::new());
+    let codecs = || -> Vec<Box<dyn kvapi::codec::Codec>> {
+        vec![
+            Box::new(dscl_compress::GzipCodec::default()),
+            Box::new(dscl_crypto::AesCodec::from_passphrase(
+                "secret",
+                dscl_crypto::KeySize::Aes128,
+                dscl_crypto::codec::Mode::Cbc,
+            )),
+        ]
+    };
+    let writer = EnhancedClient::new(CloudClient::connect(w._cloud.addr()))
+        .with_cache(Arc::new(dscl_cache::InProcessLru::new(1 << 20)))
+        .with_registry(reg.clone());
+    let writer = codecs().into_iter().fold(writer, |c, codec| c.with_codec(codec));
+    writer.put("traced", &[7u8; 4096]).unwrap();
+
+    // A second client with a cold cache forces the full decode path.
+    let reader = EnhancedClient::new(CloudClient::connect(w._cloud.addr()))
+        .with_cache(Arc::new(dscl_cache::InProcessLru::new(1 << 20)))
+        .with_registry(reg.clone());
+    let reader = codecs().into_iter().fold(reader, |c, codec| c.with_codec(codec));
+    assert_eq!(reader.get("traced").unwrap().unwrap(), &[7u8; 4096][..]);
+
+    let traces = reg.recent_traces();
+    assert!(!traces.is_empty());
+    for t in &traces {
+        assert!(t.stage_sum() <= t.total, "stages exceed total in {}", t.render());
+    }
+    let get = traces.iter().find(|t| t.op == "get").expect("a get trace");
+    let stages: Vec<&str> = get.stages.iter().map(|(s, _)| *s).collect();
+    for expected in ["cache_lookup", "store_io", "decrypt", "decompress"] {
+        assert!(stages.contains(&expected), "missing {expected} in {stages:?}");
+    }
+}
+
+#[test]
 fn cache_interface_over_every_store_behaves_like_a_cache() {
     let w = world("cacheiface");
     for name in w.manager.names() {

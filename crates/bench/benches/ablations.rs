@@ -32,7 +32,10 @@ fn replacement_policies(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     let caches: Vec<(&str, Arc<dyn Cache>)> = vec![
-        ("lru", Arc::new(InProcessLru::new((universe / 5 * (obj + 80)) as u64))),
+        (
+            "lru",
+            Arc::new(InProcessLru::new((universe / 5 * (obj + 80)) as u64)),
+        ),
         ("clock", Arc::new(ClockCache::new(universe / 5))),
         ("gds", Arc::new(GdsCache::new((universe / 5 * obj) as u64))),
     ];
@@ -47,7 +50,11 @@ fn replacement_policies(c: &mut Criterion) {
             })
         });
         let s = cache.stats();
-        println!("{name}: hit rate {:.3} over {} lookups", s.hit_rate(), s.hits + s.misses);
+        println!(
+            "{name}: hit rate {:.3} over {} lookups",
+            s.hit_rate(),
+            s.hits + s.misses
+        );
     }
     group.finish();
 }
@@ -131,7 +138,9 @@ fn delta_chains(c: &mut Criterion) {
     // Read penalty: reconstructing through a chain vs a direct read.
     let plain = MemKv::new("plain");
     plain.put("doc", &base).unwrap();
-    group.bench_function("read_direct", |b| b.iter(|| plain.get("doc").unwrap().unwrap()));
+    group.bench_function("read_direct", |b| {
+        b.iter(|| plain.get("doc").unwrap().unwrap())
+    });
     let chain = DeltaChainStore::new(MemKv::new("chain"), 16);
     let mut v = base.clone();
     chain.put("doc", &v).unwrap();
@@ -169,8 +178,9 @@ fn async_vs_sync(c: &mut Criterion) {
     let akv = AsyncKeyValue::new(store.clone(), pool);
     group.bench_function("async_8_puts", |b| {
         b.iter(|| {
-            let futures: Vec<_> =
-                (0..8).map(|i| akv.put(&format!("async{i}"), value.clone())).collect();
+            let futures: Vec<_> = (0..8)
+                .map(|i| akv.put(&format!("async{i}"), value.clone()))
+                .collect();
             for f in futures {
                 f.get().as_ref().as_ref().unwrap();
             }

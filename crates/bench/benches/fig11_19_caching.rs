@@ -74,8 +74,8 @@ fn enhanced_client_hit_rates(c: &mut Criterion) {
     group.sample_size(10);
     let size = 50_000usize;
     for hit_pct in [0u32, 50, 100] {
-        let client = EnhancedClient::new(tb.cloud1())
-            .with_cache(Arc::new(InProcessLru::new(64 << 20)));
+        let client =
+            EnhancedClient::new(tb.cloud1()).with_cache(Arc::new(InProcessLru::new(64 << 20)));
         // `hit_pct`% of the key universe is pre-warmed in the cache.
         let universe = 10u32;
         for i in 0..universe {
@@ -101,5 +101,10 @@ fn enhanced_client_hit_rates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cache_hit_paths, store_miss_paths, enhanced_client_hit_rates);
+criterion_group!(
+    benches,
+    cache_hit_paths,
+    store_miss_paths,
+    enhanced_client_hit_rates
+);
 criterion_main!(benches);

@@ -10,7 +10,10 @@ const SIZES: [usize; 3] = [1_000, 50_000, 1_000_000];
 fn fig21_gzip(c: &mut Criterion) {
     // File-like (mostly structured) input, matching the paper's use of
     // file data.
-    let source = ValueSource::Synthetic { seed: 42, compressibility: 0.85 };
+    let source = ValueSource::Synthetic {
+        seed: 42,
+        compressibility: 0.85,
+    };
     let mut group = c.benchmark_group("fig21_gzip");
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -31,7 +34,10 @@ fn fig21_gzip(c: &mut Criterion) {
 
 /// Ablation: compression level effort vs ratio at one size.
 fn levels(c: &mut Criterion) {
-    let source = ValueSource::Synthetic { seed: 42, compressibility: 0.85 };
+    let source = ValueSource::Synthetic {
+        seed: 42,
+        compressibility: 0.85,
+    };
     let plain = source.generate(200_000, 1).unwrap();
     let mut group = c.benchmark_group("deflate_levels_200k");
     group.warm_up_time(std::time::Duration::from_millis(500));
@@ -45,7 +51,11 @@ fn levels(c: &mut Criterion) {
         ("best", Level::Best),
     ] {
         let out_len = deflate(&plain, level).len();
-        println!("deflate level {label}: {} -> {} bytes", plain.len(), out_len);
+        println!(
+            "deflate level {label}: {} -> {} bytes",
+            plain.len(),
+            out_len
+        );
         group.bench_function(label, |b| b.iter(|| deflate(&plain, level)));
     }
     group.finish();
@@ -59,9 +69,12 @@ fn entropy(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
     for (label, compressibility) in [("random", 0.0), ("mixed", 0.5), ("text_like", 0.9)] {
-        let plain = ValueSource::Synthetic { seed: 9, compressibility }
-            .generate(200_000, 2)
-            .unwrap();
+        let plain = ValueSource::Synthetic {
+            seed: 9,
+            compressibility,
+        }
+        .generate(200_000, 2)
+        .unwrap();
         group.throughput(Throughput::Bytes(plain.len() as u64));
         let compressed = deflate(&plain, Level::Default);
         group.bench_function(BenchmarkId::new("compress", label), |b| {

@@ -10,9 +10,9 @@
 //! (markdown tables + the shape checks EXPERIMENTS.md records).
 
 use bench::Testbed;
+use dscl_cache::{Cache, InProcessLru};
 use dscl_compress::GzipCodec;
 use dscl_crypto::AesCodec;
-use dscl_cache::{Cache, InProcessLru};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use udsm::workload::{log_sizes, to_markdown, write_gnuplot, Series, ValueSource, WorkloadSpec};
@@ -24,15 +24,22 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { quick: false, out: PathBuf::from("results"), figs: Vec::new() };
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("results"),
+        figs: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
-            "--fig" => args
-                .figs
-                .push(it.next().expect("--fig needs a number").parse().expect("numeric figure")),
+            "--fig" => args.figs.push(
+                it.next()
+                    .expect("--fig needs a number")
+                    .parse()
+                    .expect("numeric figure"),
+            ),
             "--help" | "-h" => {
                 eprintln!("usage: repro [--quick] [--out DIR] [--fig N]...");
                 std::process::exit(0);
@@ -69,7 +76,11 @@ impl Report {
 
     fn check(&mut self, name: &str, pass: bool) {
         println!("[{}] {name}", if pass { "PASS" } else { "FAIL" });
-        let _ = writeln!(self.summary, "- **{}** {name}", if pass { "PASS" } else { "FAIL" });
+        let _ = writeln!(
+            self.summary,
+            "- **{}** {name}",
+            if pass { "PASS" } else { "FAIL" }
+        );
         self.checks.push((name.to_string(), pass));
     }
 }
@@ -78,7 +89,8 @@ impl Report {
 fn at(series: &Series, size: f64) -> f64 {
     series
         .points
-        .iter().rfind(|(x, _)| *x <= size)
+        .iter()
+        .rfind(|(x, _)| *x <= size)
         .or_else(|| series.points.first())
         .map(|&(_, y)| y)
         .expect("non-empty series")
@@ -200,7 +212,10 @@ fn main() {
             let series = spec
                 .cached_read_sweep(store.as_ref(), &cache, store_name)
                 .expect("cached sweep");
-            report.emit(&format!("fig{inproc_fig:02}_{store_name}_inprocess.dat"), &series);
+            report.emit(
+                &format!("fig{inproc_fig:02}_{store_name}_inprocess.dat"),
+                &series,
+            );
             if store_name == "cloud1" {
                 cloud1_inproc = series;
             }
@@ -273,7 +288,10 @@ fn main() {
         // content. Match the input class, since half-noise data would
         // understate the encoder's match-finding work.
         let mut gz_spec = spec.clone();
-        gz_spec.source = ValueSource::Synthetic { seed: 42, compressibility: 0.85 };
+        gz_spec.source = ValueSource::Synthetic {
+            seed: 42,
+            compressibility: 0.85,
+        };
         let (enc, dec) = gz_spec.codec_sweep(&codec).expect("codec sweep");
         let series = vec![enc, dec];
         report.emit("fig21_gzip.dat", &series);

@@ -11,9 +11,9 @@
 use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
 use fskv::FsKv;
 use kvapi::KeyValue;
+use miniredis::{RedisKv, RemoteCache, Server as RedisServer};
 use minisql::wal::SyncMode;
 use minisql::{SqlKv, SqlServer, SqlServerConfig};
-use miniredis::{RedisKv, RemoteCache, Server as RedisServer};
 use netsim::Profile;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -59,19 +59,32 @@ impl Testbed {
             ..Default::default()
         })
         .expect("start minisql");
-        Testbed { dir, redis, cloud1, cloud2, sql, remove_on_drop: true }
+        Testbed {
+            dir,
+            redis,
+            cloud1,
+            cloud2,
+            sql,
+            remove_on_drop: true,
+        }
     }
 
     /// File system store client.
     pub fn fs(&self) -> Arc<dyn KeyValue> {
         Arc::new(
-            FsKv::open(self.dir.join("fskv")).expect("open fskv").with_name("filesystem"),
+            FsKv::open(self.dir.join("fskv"))
+                .expect("open fskv")
+                .with_name("filesystem"),
         )
     }
 
     /// SQL store client (the MySQL stand-in).
     pub fn sql(&self) -> Arc<dyn KeyValue> {
-        Arc::new(SqlKv::connect(self.sql.addr()).expect("connect minisql").with_name("minisql"))
+        Arc::new(
+            SqlKv::connect(self.sql.addr())
+                .expect("connect minisql")
+                .with_name("minisql"),
+        )
     }
 
     /// Cloud Store 1 client (distant, variable).
@@ -86,7 +99,11 @@ impl Testbed {
 
     /// Redis-as-a-data-store client (namespaced away from the cache role).
     pub fn redis(&self) -> Arc<dyn KeyValue> {
-        Arc::new(RedisKv::connect(self.redis.addr()).with_prefix("data:").with_name("redis"))
+        Arc::new(
+            RedisKv::connect(self.redis.addr())
+                .with_prefix("data:")
+                .with_name("redis"),
+        )
     }
 
     /// The remote process cache (same Redis instance, `cache:` namespace —
@@ -128,7 +145,9 @@ mod tests {
     fn testbed_brings_up_all_five_stores() {
         let tb = Testbed::start(0.0);
         for (name, store) in tb.all_stores() {
-            store.put("smoke", name.as_bytes()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            store
+                .put("smoke", name.as_bytes())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(
                 store.get("smoke").unwrap().as_deref(),
                 Some(name.as_bytes()),
@@ -149,8 +168,14 @@ mod tests {
         store.put("k", b"store-value").unwrap();
         cache.put("k", bytes::Bytes::from_static(b"cache-value"));
         assert_eq!(store.get("k").unwrap().unwrap(), &b"store-value"[..]);
-        assert_eq!(cache.get("k").unwrap(), bytes::Bytes::from_static(b"cache-value"));
+        assert_eq!(
+            cache.get("k").unwrap(),
+            bytes::Bytes::from_static(b"cache-value")
+        );
         store.clear().unwrap();
-        assert_eq!(cache.get("k").unwrap(), bytes::Bytes::from_static(b"cache-value"));
+        assert_eq!(
+            cache.get("k").unwrap(),
+            bytes::Bytes::from_static(b"cache-value")
+        );
     }
 }

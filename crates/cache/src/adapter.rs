@@ -28,7 +28,11 @@ impl<S: KeyValue> StoreCache<S> {
     /// Wrap a store.
     pub fn new(store: S) -> StoreCache<S> {
         let name = format!("store-cache({})", store.name());
-        StoreCache { store, name, counters: Counters::default() }
+        StoreCache {
+            store,
+            name,
+            counters: Counters::default(),
+        }
     }
 
     /// Access the wrapped store.

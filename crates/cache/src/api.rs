@@ -111,10 +111,18 @@ pub fn publish_stats(cache: &dyn Cache, registry: &obs::Registry) {
     let label: &[(&str, &str)] = &[("cache", cache.name())];
     registry.counter("cache_hits_total", label).set(s.hits);
     registry.counter("cache_misses_total", label).set(s.misses);
-    registry.counter("cache_evictions_total", label).set(s.evictions);
-    registry.counter("cache_insertions_total", label).set(s.insertions);
-    registry.gauge("cache_bytes", label).set(s.bytes.min(i64::MAX as u64) as i64);
-    registry.gauge("cache_entries", label).set(s.entries.min(i64::MAX as u64) as i64);
+    registry
+        .counter("cache_evictions_total", label)
+        .set(s.evictions);
+    registry
+        .counter("cache_insertions_total", label)
+        .set(s.insertions);
+    registry
+        .gauge("cache_bytes", label)
+        .set(s.bytes.min(i64::MAX as u64) as i64);
+    registry
+        .gauge("cache_entries", label)
+        .set(s.entries.min(i64::MAX as u64) as i64);
 }
 
 /// `Arc<C>` is a cache too, so callers can share one.
@@ -165,11 +173,16 @@ mod tests {
         publish_stats(&cache, &reg);
         let text = reg.render_prometheus();
         assert!(text.contains("cache_hits_total{cache=\"lru\"} 1"), "{text}");
-        assert!(text.contains("cache_misses_total{cache=\"lru\"} 1"), "{text}");
+        assert!(
+            text.contains("cache_misses_total{cache=\"lru\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("cache_entries{cache=\"lru\"} 1"), "{text}");
         // Re-publishing is idempotent, not additive.
         publish_stats(&cache, &reg);
-        assert!(reg.render_prometheus().contains("cache_hits_total{cache=\"lru\"} 1"));
+        assert!(reg
+            .render_prometheus()
+            .contains("cache_hits_total{cache=\"lru\"} 1"));
     }
 
     #[test]
@@ -183,7 +196,14 @@ mod tests {
         let s = c.snapshot(10, 1);
         assert_eq!(
             s,
-            CacheStats { hits: 2, misses: 1, evictions: 1, insertions: 1, bytes: 10, entries: 1 }
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                evictions: 1,
+                insertions: 1,
+                bytes: 10,
+                entries: 1
+            }
         );
     }
 }

@@ -113,7 +113,11 @@ impl Cache for ClockCache {
         }
         g.bytes += value.len() as u64;
         g.map.insert(key.to_string(), idx);
-        g.slots[idx] = Some(Slot { key: key.to_string(), value, referenced: true });
+        g.slots[idx] = Some(Slot {
+            key: key.to_string(),
+            value,
+            referenced: true,
+        });
     }
 
     fn remove(&self, key: &str) -> bool {
@@ -183,7 +187,10 @@ mod tests {
         // Freshly inserted entries all carry the reference bit, so this
         // insert sweeps once (clearing every bit) and evicts like FIFO.
         c.put("e", Bytes::from_static(b"v"));
-        assert!(c.get("a").is_none(), "first insert under pressure evicts FIFO-style");
+        assert!(
+            c.get("a").is_none(),
+            "first insert under pressure evicts FIFO-style"
+        );
         // Now only "e" (fresh) and "c" (touched here) hold reference bits;
         // the next insertion must evict one of the untouched b/d instead.
         assert!(c.get("c").is_some());
@@ -193,7 +200,10 @@ mod tests {
             "entry with reference bit set was evicted ahead of unreferenced ones"
         );
         let survivors = ["b", "d"].iter().filter(|k| c.get(k).is_some()).count();
-        assert_eq!(survivors, 1, "exactly one unreferenced entry should have been evicted");
+        assert_eq!(
+            survivors, 1,
+            "exactly one unreferenced entry should have been evicted"
+        );
     }
 
     #[test]

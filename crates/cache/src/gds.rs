@@ -188,10 +188,17 @@ mod tests {
         }
         // Budget pressure: 6000 + 5000 > 10000 → something was evicted.
         // GDS(1) gives the large object the lowest H, so it goes first.
-        assert!(c.get("large").is_none(), "large cold object should be the victim");
-        let surviving_small =
-            (0..50).filter(|i| c.get(&format!("small{i}")).is_some()).count();
-        assert!(surviving_small >= 40, "small objects should survive, got {surviving_small}");
+        assert!(
+            c.get("large").is_none(),
+            "large cold object should be the victim"
+        );
+        let surviving_small = (0..50)
+            .filter(|i| c.get(&format!("small{i}")).is_some())
+            .count();
+        assert!(
+            surviving_small >= 40,
+            "small objects should survive, got {surviving_small}"
+        );
     }
 
     #[test]
@@ -205,8 +212,14 @@ mod tests {
             assert!(c.get("hot").is_some(), "hot lost at iteration {i}");
             c.put(&format!("filler{i}"), Bytes::from(vec![0u8; 400]));
         }
-        assert!(c.get("hot").is_some(), "repeatedly touched object must survive");
-        assert!(c.get("cold").is_none(), "untouched same-size object should be evicted first");
+        assert!(
+            c.get("hot").is_some(),
+            "repeatedly touched object must survive"
+        );
+        assert!(
+            c.get("cold").is_none(),
+            "untouched same-size object should be evicted first"
+        );
     }
 
     #[test]

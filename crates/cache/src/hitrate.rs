@@ -128,7 +128,10 @@ pub struct ProfiledCache<C> {
 impl<C: Cache> ProfiledCache<C> {
     /// Wrap `inner`, profiling distances up to `max_depth`.
     pub fn new(inner: C, max_depth: usize) -> ProfiledCache<C> {
-        ProfiledCache { inner, profiler: std::sync::Arc::new(HitRateProfiler::new(max_depth)) }
+        ProfiledCache {
+            inner,
+            profiler: std::sync::Arc::new(HitRateProfiler::new(max_depth)),
+        }
     }
 }
 
@@ -187,9 +190,16 @@ mod tests {
         }
         // A cache smaller than n never hits on a cyclic scan (LRU's
         // pathological case); at n it always hits after warmup.
-        assert_eq!(p.hit_rate_at(n - 1), 0.0, "LRU thrashes on a cycle one larger than itself");
+        assert_eq!(
+            p.hit_rate_at(n - 1),
+            0.0,
+            "LRU thrashes on a cycle one larger than itself"
+        );
         let at_n = p.hit_rate_at(n);
-        assert!(at_n > 0.9, "full-loop cache should hit after warmup, got {at_n}");
+        assert!(
+            at_n > 0.9,
+            "full-loop cache should hit after warmup, got {at_n}"
+        );
     }
 
     #[test]
@@ -208,7 +218,10 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[1].1 >= w[0].1, "curve must be monotone: {curve:?}");
         }
-        assert!(curve.last().unwrap().1 > 0.5, "a 256-entry cache over 200 keys should hit");
+        assert!(
+            curve.last().unwrap().1 > 0.5,
+            "a 256-entry cache over 200 keys should hit"
+        );
     }
 
     #[test]
@@ -221,7 +234,10 @@ mod tests {
         }
         let needed = p.size_for_hit_rate(0.9).expect("reachable");
         assert_eq!(needed, 5);
-        assert!(p.size_for_hit_rate(0.999).is_none(), "cold misses cap the best rate");
+        assert!(
+            p.size_for_hit_rate(0.999).is_none(),
+            "cold misses cap the best rate"
+        );
     }
 
     #[test]

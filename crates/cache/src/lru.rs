@@ -97,7 +97,12 @@ impl Shard {
             self.push_front(idx);
         } else {
             self.bytes += Self::cost(key, &value);
-            let node = Node { key: key.to_string(), value, prev: NONE, next: NONE };
+            let node = Node {
+                key: key.to_string(),
+                value,
+                prev: NONE,
+                next: NONE,
+            };
             let idx = if let Some(i) = self.free.pop() {
                 self.slab[i] = node;
                 i
@@ -157,7 +162,9 @@ impl InProcessLru {
         let shards = shards.max(1);
         let budget = (capacity_bytes / shards as u64).max(1);
         InProcessLru {
-            shards: (0..shards).map(|_| Mutex::new(Shard::new(budget))).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(budget)))
+                .collect(),
             counters: Counters::default(),
             bytes: AtomicU64::new(0),
             entries: AtomicU64::new(0),
@@ -223,8 +230,10 @@ impl Cache for InProcessLru {
 
     fn stats(&self) -> CacheStats {
         self.refresh_totals();
-        self.counters
-            .snapshot(self.bytes.load(Ordering::Relaxed), self.entries.load(Ordering::Relaxed))
+        self.counters.snapshot(
+            self.bytes.load(Ordering::Relaxed),
+            self.entries.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -320,7 +329,11 @@ mod tests {
         let ptr = v.as_ptr();
         c.put("k", v);
         let got = c.get("k").unwrap();
-        assert_eq!(got.as_ptr(), ptr, "in-process get must not copy the payload");
+        assert_eq!(
+            got.as_ptr(),
+            ptr,
+            "in-process get must not copy the payload"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl<V> ObjectCache<V> {
     /// Cache holding at most `capacity` objects (LRU eviction).
     pub fn new(capacity: usize) -> ObjectCache<V> {
         ObjectCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
             capacity: capacity.max(1),
         }
     }
@@ -117,16 +120,25 @@ mod tests {
     #[test]
     fn stores_references_without_copying() {
         let cache: ObjectCache<Doc> = ObjectCache::new(10);
-        let doc = Arc::new(Doc { title: "t".into(), body: vec![1, 2, 3] });
+        let doc = Arc::new(Doc {
+            title: "t".into(),
+            body: vec![1, 2, 3],
+        });
         cache.put("d", doc.clone());
         let got = cache.get("d").unwrap();
-        assert!(Arc::ptr_eq(&doc, &got), "cache must hand back the same allocation");
+        assert!(
+            Arc::ptr_eq(&doc, &got),
+            "cache must hand back the same allocation"
+        );
     }
 
     #[test]
     fn put_copied_isolates_mutations() {
         let cache: ObjectCache<Doc> = ObjectCache::new(10);
-        let mut doc = Doc { title: "original".into(), body: vec![1] };
+        let mut doc = Doc {
+            title: "original".into(),
+            body: vec![1],
+        };
         cache.put_copied("d", &doc);
         doc.title = "mutated".into();
         assert_eq!(cache.get("d").unwrap().title, "original");

@@ -51,7 +51,10 @@ fn check_cache_honesty(cache: &dyn Cache, ops: &[Op]) -> Result<(), TestCaseErro
             Op::Remove(k) => {
                 cache.remove(&format!("k{k}"));
                 oracle.remove(k);
-                prop_assert!(cache.get(&format!("k{k}")).is_none(), "removed key resurfaced");
+                prop_assert!(
+                    cache.get(&format!("k{k}")).is_none(),
+                    "removed key resurfaced"
+                );
                 oracle.remove(k);
             }
         }

@@ -1,0 +1,307 @@
+//! Framing for the `POST /v1/batch` multi-op protocol.
+//!
+//! A batch request carries any mix of get/put/delete operations in one HTTP
+//! round trip; the server answers every operation positionally in one
+//! response. This is what turns N WAN round trips into one: the simulated
+//! network (and a real one) charges latency per request, so a 16-key
+//! `get_many` pays ~1 RTT instead of ~16.
+//!
+//! Wire format (line-oriented header + length-prefixed binary payloads, in
+//! the spirit of the store's HTTP framing — both ends always know their
+//! lengths, so no chunking):
+//!
+//! ```text
+//! request body:                      response body:
+//!   batch/1 <n>\n                      batch/1 <n>\n
+//!   G <escaped-key>\n                  V <etag-hex> <modified-ms> <len>\n<len bytes>\n
+//!   P <escaped-key> <len>\n<bytes>\n   N\n
+//!   D <escaped-key>\n                  P <etag-hex>\n
+//!                                      D 0|1\n
+//! ```
+//!
+//! Each reply line answers the request operation at the same position:
+//! `G` → `V` (hit, with version metadata) or `N` (miss); `P` → `P` with the
+//! server-assigned etag; `D` → `D` with whether a value was present.
+
+use crate::http::{escape_segment, unescape_segment};
+use bytes::Bytes;
+use kvapi::{Etag, Result, StoreError, Versioned};
+
+/// Maximum operations accepted per batch — guards the server against a
+/// hostile or buggy client asking it to materialize an unbounded plan.
+pub const MAX_BATCH_OPS: usize = 65_536;
+
+/// One operation in a batch request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchOp {
+    /// Fetch a key.
+    Get(String),
+    /// Store a value under a key.
+    Put(String, Vec<u8>),
+    /// Remove a key.
+    Delete(String),
+}
+
+/// One positional reply in a batch response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchReply {
+    /// Get hit: the value with its version metadata.
+    Value(Versioned),
+    /// Get miss.
+    Miss,
+    /// Put acknowledged, with the etag the store now associates.
+    Put(Etag),
+    /// Delete outcome: whether a value was present.
+    Deleted(bool),
+}
+
+fn bad(msg: impl std::fmt::Display) -> StoreError {
+    StoreError::protocol(format!("batch framing: {msg}"))
+}
+
+/// Serialize a batch request body.
+pub fn encode_request(ops: &[BatchOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * ops.len());
+    out.extend_from_slice(format!("batch/1 {}\n", ops.len()).as_bytes());
+    for op in ops {
+        match op {
+            BatchOp::Get(key) => {
+                out.extend_from_slice(format!("G {}\n", escape_segment(key)).as_bytes());
+            }
+            BatchOp::Put(key, value) => {
+                out.extend_from_slice(
+                    format!("P {} {}\n", escape_segment(key), value.len()).as_bytes(),
+                );
+                out.extend_from_slice(value);
+                out.push(b'\n');
+            }
+            BatchOp::Delete(key) => {
+                out.extend_from_slice(format!("D {}\n", escape_segment(key)).as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Serialize a batch response body.
+pub fn encode_response(replies: &[BatchReply]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * replies.len());
+    out.extend_from_slice(format!("batch/1 {}\n", replies.len()).as_bytes());
+    for reply in replies {
+        match reply {
+            BatchReply::Value(v) => {
+                out.extend_from_slice(
+                    format!("V {} {} {}\n", v.etag.to_hex(), v.modified_ms, v.data.len())
+                        .as_bytes(),
+                );
+                out.extend_from_slice(&v.data);
+                out.push(b'\n');
+            }
+            BatchReply::Miss => out.extend_from_slice(b"N\n"),
+            BatchReply::Put(etag) => {
+                out.extend_from_slice(format!("P {}\n", etag.to_hex()).as_bytes());
+            }
+            BatchReply::Deleted(present) => {
+                out.extend_from_slice(format!("D {}\n", u8::from(*present)).as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Cheaply read the op count from a framed body's header line without
+/// decoding the operations (used for batch-size metrics).
+pub fn peek_len(body: &[u8]) -> Option<usize> {
+    let end = body.iter().position(|&b| b == b'\n')?;
+    std::str::from_utf8(&body[..end])
+        .ok()?
+        .strip_prefix("batch/1 ")?
+        .parse()
+        .ok()
+}
+
+/// A cursor over the framed body: header lines + raw payload runs.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn line(&mut self) -> Result<&'a str> {
+        let rest = &self.buf[self.pos..];
+        let end = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| bad("missing line terminator"))?;
+        self.pos += end + 1;
+        std::str::from_utf8(&rest[..end]).map_err(|_| bad("non-utf8 header line"))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < len + 1 {
+            return Err(bad("truncated payload"));
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        if self.buf[self.pos + len] != b'\n' {
+            return Err(bad("payload missing terminator"));
+        }
+        self.pos += len + 1;
+        Ok(out)
+    }
+}
+
+fn parse_header(cur: &mut Cursor) -> Result<usize> {
+    let header = cur.line()?;
+    let n = header
+        .strip_prefix("batch/1 ")
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| bad(format!("bad header {header:?}")))?;
+    if n > MAX_BATCH_OPS {
+        return Err(bad(format!(
+            "batch of {n} ops exceeds limit {MAX_BATCH_OPS}"
+        )));
+    }
+    Ok(n)
+}
+
+fn parse_key(seg: &str) -> Result<String> {
+    unescape_segment(seg).ok_or_else(|| bad(format!("bad key encoding {seg:?}")))
+}
+
+/// Parse a batch request body.
+pub fn decode_request(body: &[u8]) -> Result<Vec<BatchOp>> {
+    let mut cur = Cursor { buf: body, pos: 0 };
+    let n = parse_header(&mut cur)?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = cur.line()?;
+        let mut parts = line.split(' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("G"), Some(key), None) => ops.push(BatchOp::Get(parse_key(key)?)),
+            (Some("D"), Some(key), None) => ops.push(BatchOp::Delete(parse_key(key)?)),
+            (Some("P"), Some(key), Some(len)) => {
+                let len: usize = len.parse().map_err(|_| bad("bad put length"))?;
+                let value = cur.bytes(len)?.to_vec();
+                ops.push(BatchOp::Put(parse_key(key)?, value));
+            }
+            _ => return Err(bad(format!("bad op line {line:?}"))),
+        }
+    }
+    Ok(ops)
+}
+
+/// Parse a batch response body.
+pub fn decode_response(body: &[u8]) -> Result<Vec<BatchReply>> {
+    let mut cur = Cursor { buf: body, pos: 0 };
+    let n = parse_header(&mut cur)?;
+    let mut replies = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = cur.line()?;
+        let mut parts = line.split(' ');
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some("N"), None, ..) => replies.push(BatchReply::Miss),
+            (Some("D"), Some(flag), None, _) => match flag {
+                "0" => replies.push(BatchReply::Deleted(false)),
+                "1" => replies.push(BatchReply::Deleted(true)),
+                other => return Err(bad(format!("bad delete flag {other:?}"))),
+            },
+            (Some("P"), Some(tag), None, _) => {
+                let etag = Etag::from_hex(tag).ok_or_else(|| bad("bad put etag"))?;
+                replies.push(BatchReply::Put(etag));
+            }
+            (Some("V"), Some(tag), Some(modified), Some(len)) => {
+                let etag = Etag::from_hex(tag).ok_or_else(|| bad("bad value etag"))?;
+                let modified_ms: u64 = modified.parse().map_err(|_| bad("bad modified-ms"))?;
+                let len: usize = len.parse().map_err(|_| bad("bad value length"))?;
+                let data = Bytes::copy_from_slice(cur.bytes(len)?);
+                replies.push(BatchReply::Value(Versioned::with_etag(
+                    data,
+                    etag,
+                    modified_ms,
+                )));
+            }
+            _ => return Err(bad(format!("bad reply line {line:?}"))),
+        }
+    }
+    Ok(replies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_all_op_kinds() {
+        let binary: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let ops = vec![
+            BatchOp::Get("plain".into()),
+            BatchOp::Put("with space/slash".into(), binary.clone()),
+            BatchOp::Put("empty-value".into(), Vec::new()),
+            BatchOp::Delete("uni-ключ".into()),
+            BatchOp::Get("newline\nkey".into()),
+        ];
+        let body = encode_request(&ops);
+        assert_eq!(decode_request(&body).unwrap(), ops);
+    }
+
+    #[test]
+    fn response_round_trip_all_reply_kinds() {
+        let replies = vec![
+            BatchReply::Value(Versioned::with_etag(
+                Bytes::from_static(b"some\nbinary\x00value"),
+                Etag(42),
+                12345,
+            )),
+            BatchReply::Miss,
+            BatchReply::Put(Etag(0xdead_beef)),
+            BatchReply::Deleted(true),
+            BatchReply::Deleted(false),
+        ];
+        let body = encode_response(&replies);
+        assert_eq!(decode_response(&body).unwrap(), replies);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        assert_eq!(decode_request(&encode_request(&[])).unwrap(), Vec::new());
+        assert_eq!(decode_response(&encode_response(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        for bad_body in [
+            &b"garbage"[..],
+            b"batch/2 1\nG k\n",
+            b"batch/1 2\nG k\n",             // fewer ops than declared
+            b"batch/1 1\nP key 10\nshort\n", // truncated put payload
+            b"batch/1 1\nX k\n",             // unknown op
+            b"batch/1 99999999\n",           // over the op limit
+        ] {
+            assert!(decode_request(bad_body).is_err(), "accepted {bad_body:?}");
+        }
+        for bad_body in [
+            &b"batch/1 1\nV zz 0 1\nx\n"[..], // bad etag
+            b"batch/1 1\nD 7\n",              // bad delete flag
+            b"batch/1 1\nV 0 0 5\nab\n",      // truncated value
+        ] {
+            assert!(decode_response(bad_body).is_err(), "accepted {bad_body:?}");
+        }
+    }
+
+    #[test]
+    fn payload_lengths_are_binary_safe() {
+        // A value containing the header text itself must not confuse the
+        // parser (length-prefixed, not delimiter-scanned).
+        let evil = b"\nbatch/1 3\nG x\n".to_vec();
+        let ops = vec![
+            BatchOp::Put("k".into(), evil.clone()),
+            BatchOp::Get("k".into()),
+        ];
+        let decoded = decode_request(&encode_request(&ops)).unwrap();
+        assert_eq!(decoded, ops);
+        match &decoded[0] {
+            BatchOp::Put(_, v) => assert_eq!(v, &evil),
+            other => panic!("expected put, got {other:?}"),
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! interaction, saving both bandwidth and transfer time for unchanged
 //! objects.
 
+use crate::batch::{self, BatchOp, BatchReply};
 use crate::http::{
     escape_segment, read_response, unescape_segment, write_request, Request, Response,
 };
@@ -29,7 +30,10 @@ impl Conn {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        Ok(Conn { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
     }
 }
 
@@ -92,17 +96,30 @@ impl CloudClient {
                 Ok(resp) => resp.status.to_string(),
                 Err(_) => "error".to_string(),
             };
-            let labels: &[(&str, &str)] =
-                &[("store", &self.name), ("method", &req.method), ("status", &status)];
-            reg.counter("cloudstore_client_requests_total", labels).inc();
-            reg.counter("cloudstore_client_bytes_sent_total", &[("store", &self.name)])
-                .add(req.body.len() as u64);
+            let labels: &[(&str, &str)] = &[
+                ("store", &self.name),
+                ("method", &req.method),
+                ("status", &status),
+            ];
+            reg.counter("cloudstore_client_requests_total", labels)
+                .inc();
+            reg.counter(
+                "cloudstore_client_bytes_sent_total",
+                &[("store", &self.name)],
+            )
+            .add(req.body.len() as u64);
             if let Ok(resp) = &result {
-                reg.counter("cloudstore_client_bytes_received_total", &[("store", &self.name)])
-                    .add(resp.body.len() as u64);
+                reg.counter(
+                    "cloudstore_client_bytes_received_total",
+                    &[("store", &self.name)],
+                )
+                .add(resp.body.len() as u64);
             }
-            reg.histogram("cloudstore_net_rtt_ns", &[("store", &self.name), ("method", &req.method)])
-                .record_duration(t0.elapsed());
+            reg.histogram(
+                "cloudstore_net_rtt_ns",
+                &[("store", &self.name), ("method", &req.method)],
+            )
+            .record_duration(t0.elapsed());
         }
         result
     }
@@ -147,7 +164,49 @@ impl CloudClient {
             .header("x-modified-ms")
             .and_then(|s| s.parse().ok())
             .unwrap_or(0);
-        Ok(Versioned::with_etag(Bytes::copy_from_slice(&resp.body), etag, modified_ms))
+        Ok(Versioned::with_etag(
+            Bytes::copy_from_slice(&resp.body),
+            etag,
+            modified_ms,
+        ))
+    }
+
+    /// Ship a whole batch in one `POST /v1/batch` round trip. The server
+    /// answers every op positionally, so an N-key batch pays one RTT where
+    /// the trait's default loop would pay N.
+    fn run_batch(&self, ops: &[BatchOp]) -> Result<Vec<BatchReply>> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(reg) = &self.registry {
+            reg.histogram("cloudstore_client_batch_size", &[("store", &self.name)])
+                .record(ops.len() as u64);
+        }
+        let t0 = Instant::now();
+        let req = Request::new("POST", "/v1/batch").with_body(batch::encode_request(ops));
+        let resp = self.round_trip(&req)?;
+        if resp.status != 200 {
+            return Err(StoreError::Rejected(format!(
+                "batch returned {}",
+                resp.status
+            )));
+        }
+        let replies = batch::decode_response(&resp.body)?;
+        if replies.len() != ops.len() {
+            return Err(StoreError::protocol(format!(
+                "batch answered {} of {} ops",
+                replies.len(),
+                ops.len()
+            )));
+        }
+        if let Some(reg) = &self.registry {
+            reg.histogram(
+                "cloudstore_client_batch_duration_ns",
+                &[("store", &self.name)],
+            )
+            .record_duration(t0.elapsed());
+        }
+        Ok(replies)
     }
 
     /// Health check.
@@ -159,7 +218,10 @@ impl CloudClient {
     pub fn fetch_metrics(&self) -> Result<String> {
         let resp = self.round_trip(&Request::new("GET", "/metrics"))?;
         if resp.status != 200 {
-            return Err(StoreError::Rejected(format!("metrics returned {}", resp.status)));
+            return Err(StoreError::Rejected(format!(
+                "metrics returned {}",
+                resp.status
+            )));
         }
         String::from_utf8(resp.body).map_err(|_| StoreError::protocol("non-utf8 metrics body"))
     }
@@ -217,10 +279,13 @@ impl KeyValue for CloudClient {
     fn keys(&self) -> Result<Vec<String>> {
         let resp = self.round_trip(&Request::new("GET", "/v1/keys"))?;
         if resp.status != 200 {
-            return Err(StoreError::Rejected(format!("keys returned {}", resp.status)));
+            return Err(StoreError::Rejected(format!(
+                "keys returned {}",
+                resp.status
+            )));
         }
-        let text = String::from_utf8(resp.body)
-            .map_err(|_| StoreError::protocol("non-utf8 key list"))?;
+        let text =
+            String::from_utf8(resp.body).map_err(|_| StoreError::protocol("non-utf8 key list"))?;
         Ok(text.lines().filter_map(unescape_segment).collect())
     }
 
@@ -229,14 +294,17 @@ impl KeyValue for CloudClient {
         if resp.status == 200 {
             Ok(())
         } else {
-            Err(StoreError::Rejected(format!("clear returned {}", resp.status)))
+            Err(StoreError::Rejected(format!(
+                "clear returned {}",
+                resp.status
+            )))
         }
     }
 
     fn stats(&self) -> Result<StoreStats> {
         let resp = self.round_trip(&Request::new("GET", "/v1/stats"))?;
-        let text = String::from_utf8(resp.body)
-            .map_err(|_| StoreError::protocol("non-utf8 stats"))?;
+        let text =
+            String::from_utf8(resp.body).map_err(|_| StoreError::protocol("non-utf8 stats"))?;
         let mut parts = text.split_whitespace();
         let keys = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
         let bytes = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
@@ -252,6 +320,70 @@ impl KeyValue for CloudClient {
         }
     }
 
+    fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        let ops: Vec<BatchOp> = keys
+            .iter()
+            .map(|k| BatchOp::Get((*k).to_string()))
+            .collect();
+        self.run_batch(&ops)?
+            .into_iter()
+            .map(|r| match r {
+                BatchReply::Value(v) => Ok(Some(v.data)),
+                BatchReply::Miss => Ok(None),
+                other => Err(StoreError::protocol(format!("get answered with {other:?}"))),
+            })
+            .collect()
+    }
+
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        self.put_many_versioned(entries).map(|_| ())
+    }
+
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        let ops: Vec<BatchOp> = keys
+            .iter()
+            .map(|k| BatchOp::Delete((*k).to_string()))
+            .collect();
+        self.run_batch(&ops)?
+            .into_iter()
+            .map(|r| match r {
+                BatchReply::Deleted(present) => Ok(present),
+                other => Err(StoreError::protocol(format!(
+                    "delete answered with {other:?}"
+                ))),
+            })
+            .collect()
+    }
+
+    fn get_many_versioned(&self, keys: &[&str]) -> Result<Vec<Option<Versioned>>> {
+        let ops: Vec<BatchOp> = keys
+            .iter()
+            .map(|k| BatchOp::Get((*k).to_string()))
+            .collect();
+        self.run_batch(&ops)?
+            .into_iter()
+            .map(|r| match r {
+                BatchReply::Value(v) => Ok(Some(v)),
+                BatchReply::Miss => Ok(None),
+                other => Err(StoreError::protocol(format!("get answered with {other:?}"))),
+            })
+            .collect()
+    }
+
+    fn put_many_versioned(&self, entries: &[(&str, &[u8])]) -> Result<Vec<Etag>> {
+        let ops: Vec<BatchOp> = entries
+            .iter()
+            .map(|&(k, v)| BatchOp::Put(k.to_string(), v.to_vec()))
+            .collect();
+        self.run_batch(&ops)?
+            .into_iter()
+            .map(|r| match r {
+                BatchReply::Put(etag) => Ok(etag),
+                other => Err(StoreError::protocol(format!("put answered with {other:?}"))),
+            })
+            .collect()
+    }
+
     fn get_if_none_match(&self, key: &str, etag: Etag) -> Result<CondGet> {
         let req = Request::new("GET", &Self::object_path(key))
             .with_header("if-none-match", format!("\"{}\"", etag.to_hex()));
@@ -260,7 +392,9 @@ impl KeyValue for CloudClient {
             304 => Ok(CondGet::NotModified),
             200 => Ok(CondGet::Modified(Self::parse_versioned(&resp)?)),
             404 => Ok(CondGet::Missing),
-            s => Err(StoreError::Rejected(format!("conditional GET returned {s}"))),
+            s => Err(StoreError::Rejected(format!(
+                "conditional GET returned {s}"
+            ))),
         }
     }
 }
@@ -292,7 +426,10 @@ mod tests {
         assert_eq!(&v.data[..], b"version 1");
         assert!(v.modified_ms > 0);
         // Matching etag → NotModified (no body crossed the wire).
-        assert_eq!(c.get_if_none_match("obj", v.etag).unwrap(), CondGet::NotModified);
+        assert_eq!(
+            c.get_if_none_match("obj", v.etag).unwrap(),
+            CondGet::NotModified
+        );
         // Server-side update → Modified with new tag.
         c.put("obj", b"version 2").unwrap();
         match c.get_if_none_match("obj", v.etag).unwrap() {
@@ -303,7 +440,10 @@ mod tests {
             other => panic!("expected Modified, got {other:?}"),
         }
         c.delete("obj").unwrap();
-        assert_eq!(c.get_if_none_match("obj", v.etag).unwrap(), CondGet::Missing);
+        assert_eq!(
+            c.get_if_none_match("obj", v.etag).unwrap(),
+            CondGet::Missing
+        );
     }
 
     #[test]
@@ -373,8 +513,10 @@ mod tests {
         c.put("k", b"value").unwrap();
         c.get("k").unwrap();
         assert_eq!(c.get("absent").unwrap(), None); // object 404
-        // Fallthrough 404: a route no handler claims.
-        let resp = c.round_trip(&Request::new("GET", "/no/such/route")).unwrap();
+                                                    // Fallthrough 404: a route no handler claims.
+        let resp = c
+            .round_trip(&Request::new("GET", "/no/such/route"))
+            .unwrap();
         assert_eq!(resp.status, 404);
 
         let text = c.fetch_metrics().unwrap();
@@ -407,16 +549,24 @@ mod tests {
             text.contains("cloudstore_request_duration_ns_count{route=\"/v1/objects\"} 3"),
             "{text}"
         );
-        assert!(text.contains("cloudstore_bytes_in_total{route=\"/v1/objects\"} 5"), "{text}");
+        assert!(
+            text.contains("cloudstore_bytes_in_total{route=\"/v1/objects\"} 5"),
+            "{text}"
+        );
         // Server-side registry agrees with what the scrape returned.
-        assert!(server.registry().render_prometheus().contains("cloudstore_requests_total"));
+        assert!(server
+            .registry()
+            .render_prometheus()
+            .contains("cloudstore_requests_total"));
     }
 
     #[test]
     fn client_registry_counts_round_trips() {
         let server = CloudServer::start_local().unwrap();
         let reg = Arc::new(obs::Registry::new());
-        let c = CloudClient::connect(server.addr()).with_name("cloud1").with_registry(reg.clone());
+        let c = CloudClient::connect(server.addr())
+            .with_name("cloud1")
+            .with_registry(reg.clone());
         c.put("k", b"12345").unwrap();
         c.get("k").unwrap();
         c.get("k").unwrap();
@@ -427,16 +577,168 @@ mod tests {
             ),
             "{text}"
         );
-        assert!(text.contains("cloudstore_client_bytes_sent_total{store=\"cloud1\"} 5"), "{text}");
+        assert!(
+            text.contains("cloudstore_client_bytes_sent_total{store=\"cloud1\"} 5"),
+            "{text}"
+        );
         assert!(
             text.contains("cloudstore_client_bytes_received_total{store=\"cloud1\"} 10"),
             "{text}"
         );
         let rtt = reg
-            .histogram_snapshot("cloudstore_net_rtt_ns", &[("store", "cloud1"), ("method", "GET")])
+            .histogram_snapshot(
+                "cloudstore_net_rtt_ns",
+                &[("store", "cloud1"), ("method", "GET")],
+            )
             .unwrap();
         assert_eq!(rtt.count, 2);
         assert!(rtt.min > 0, "round trips take nonzero time");
+    }
+
+    #[test]
+    fn batch_ops_round_trip_with_server_etags() {
+        let server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr());
+        let tags = c
+            .put_many_versioned(&[("a", b"alpha".as_slice()), ("b", b"beta"), ("a", b"alpha2")])
+            .unwrap();
+        assert_eq!(tags.len(), 3);
+        assert_ne!(
+            tags[0], tags[2],
+            "cloud store assigns a fresh version per put"
+        );
+        // Last write wins for the duplicate key.
+        let got = c.get_many(&["a", "missing", "b"]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(b"alpha2".as_ref()));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_deref(), Some(b"beta".as_ref()));
+        // Versioned batch reads return the server's tags, usable for
+        // revalidation.
+        let vers = c.get_many_versioned(&["a", "b"]).unwrap();
+        assert_eq!(vers[0].as_ref().unwrap().etag, tags[2]);
+        assert_eq!(
+            c.get_if_none_match("b", vers[1].as_ref().unwrap().etag)
+                .unwrap(),
+            CondGet::NotModified
+        );
+        assert_eq!(
+            c.delete_many(&["a", "missing", "b"]).unwrap(),
+            vec![true, false, true]
+        );
+        assert_eq!(c.stats().unwrap().keys, 0);
+    }
+
+    #[test]
+    fn batch_amortizes_injected_rtt() {
+        use netsim::LatencyModel;
+        // 30ms per request, no jitter, infinite bandwidth: latency is purely
+        // per-round-trip, which is what batching amortizes.
+        let server = CloudServer::start(crate::server::CloudServerConfig {
+            latency: LatencyModel {
+                base_rtt_ms: 30.0,
+                jitter_sigma: 0.0,
+                bandwidth_bps: f64::INFINITY,
+                contention_prob: 0.0,
+                contention_mult: 1.0,
+                service_ms: 0.0,
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let c = CloudClient::connect(server.addr());
+        let keys: Vec<String> = (0..16).map(|i| format!("k{i}")).collect();
+        let entries: Vec<(&str, &[u8])> = keys.iter().map(|k| (k.as_str(), k.as_bytes())).collect();
+        c.put_many(&entries).unwrap();
+
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let t0 = std::time::Instant::now();
+        let got = c.get_many(&refs).unwrap();
+        let batched = t0.elapsed();
+        assert!(got.iter().all(Option::is_some));
+        // One framed request = one RTT: 16 keys must land well under 4× the
+        // 30ms single-RTT latency (the sequential default would pay ~16×).
+        assert!(
+            batched < Duration::from_millis(120),
+            "batched get_many of 16 keys took {batched:?}, expected < 4×30ms"
+        );
+        assert!(
+            batched >= Duration::from_millis(25),
+            "latency injection disappeared"
+        );
+    }
+
+    #[test]
+    fn head_contains_skips_body_latency() {
+        use netsim::LatencyModel;
+        // Finite bandwidth so transferring the body would cost real time:
+        // 1 MB at 1 MB/s ≈ 1s. An existence check must stay near the 5ms
+        // base RTT because HEAD moves no body.
+        let server = CloudServer::start(crate::server::CloudServerConfig {
+            latency: LatencyModel {
+                base_rtt_ms: 5.0,
+                jitter_sigma: 0.0,
+                bandwidth_bps: 1_000_000.0,
+                contention_prob: 0.0,
+                contention_mult: 1.0,
+                service_ms: 0.0,
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let c = CloudClient::connect(server.addr());
+        c.put("big", &vec![7u8; 1_000_000]).unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(c.contains("big").unwrap());
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "contains transferred the body: took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn batch_metrics_recorded_on_both_sides() {
+        let server = CloudServer::start_local().unwrap();
+        let reg = Arc::new(obs::Registry::new());
+        let c = CloudClient::connect(server.addr())
+            .with_name("cloud1")
+            .with_registry(reg.clone());
+        c.put_many(&[("a", b"1".as_slice()), ("b", b"2")]).unwrap();
+        c.get_many(&["a", "b", "c"]).unwrap();
+        let sizes = reg
+            .histogram_snapshot("cloudstore_client_batch_size", &[("store", "cloud1")])
+            .unwrap();
+        assert_eq!(sizes.count, 2);
+        assert_eq!(sizes.min, 2);
+        assert_eq!(sizes.max, 3);
+        let durations = reg
+            .histogram_snapshot(
+                "cloudstore_client_batch_duration_ns",
+                &[("store", "cloud1")],
+            )
+            .unwrap();
+        assert_eq!(durations.count, 2);
+        // The server counted the same batches on its side.
+        let text = c.fetch_metrics().unwrap();
+        assert!(text.contains("cloudstore_batch_ops_count 2"), "{text}");
+        assert!(
+            text.contains(
+                "cloudstore_requests_total{method=\"POST\",route=\"/v1/batch\",status=\"200\"} 2"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_batches_do_not_touch_the_network() {
+        let mut server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr()).with_timeout(Duration::from_millis(500));
+        c.ping().unwrap();
+        server.stop();
+        // With the server gone, only a zero-op batch can still succeed.
+        assert_eq!(c.get_many(&[]).unwrap(), Vec::<Option<Bytes>>::new());
+        c.put_many(&[]).unwrap();
+        assert_eq!(c.delete_many(&[]).unwrap(), Vec::<bool>::new());
     }
 
     #[test]
@@ -445,6 +747,11 @@ mod tests {
         let c = CloudClient::connect(server.addr());
         c.put("k", b"v").unwrap();
         c.get("k").unwrap();
-        assert!(server.requests_served.load(std::sync::atomic::Ordering::Relaxed) >= 2);
+        assert!(
+            server
+                .requests_served
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 2
+        );
     }
 }

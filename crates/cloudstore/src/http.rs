@@ -52,7 +52,9 @@ impl Request {
 
     /// Header lookup (case-insensitive).
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&key.to_ascii_lowercase())
+            .map(String::as_str)
     }
 }
 
@@ -105,7 +107,9 @@ impl Response {
 
     /// Header lookup (case-insensitive).
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&key.to_ascii_lowercase())
+            .map(String::as_str)
     }
 }
 
@@ -157,22 +161,33 @@ fn read_body(r: &mut impl BufRead, headers: &BTreeMap<String, String>) -> Result
         return Err(StoreError::protocol("body too large"));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(|_| StoreError::protocol("truncated body"))?;
+    r.read_exact(&mut body)
+        .map_err(|_| StoreError::protocol("truncated body"))?;
     Ok(body)
 }
 
 /// Read one request; `Ok(None)` on clean connection close.
 pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>> {
-    let Some(lines) = read_head(r)? else { return Ok(None) };
-    let first = lines.first().ok_or_else(|| StoreError::protocol("empty request"))?;
+    let Some(lines) = read_head(r)? else {
+        return Ok(None);
+    };
+    let first = lines
+        .first()
+        .ok_or_else(|| StoreError::protocol("empty request"))?;
     let mut parts = first.split_whitespace();
     let (method, path, version) = (
-        parts.next().ok_or_else(|| StoreError::protocol("missing method"))?,
-        parts.next().ok_or_else(|| StoreError::protocol("missing path"))?,
+        parts
+            .next()
+            .ok_or_else(|| StoreError::protocol("missing method"))?,
+        parts
+            .next()
+            .ok_or_else(|| StoreError::protocol("missing path"))?,
         parts.next().unwrap_or("HTTP/1.1"),
     );
     if !version.starts_with("HTTP/1.") {
-        return Err(StoreError::protocol(format!("unsupported version {version}")));
+        return Err(StoreError::protocol(format!(
+            "unsupported version {version}"
+        )));
     }
     let headers = parse_headers(&lines[1..])?;
     let body = read_body(r, &headers)?;
@@ -198,7 +213,9 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
 /// Read one response. `head_only` skips the body (HEAD requests / 304s).
 pub fn read_response(r: &mut impl BufRead, head_only: bool) -> Result<Response> {
     let lines = read_head(r)?.ok_or(StoreError::Closed)?;
-    let first = lines.first().ok_or_else(|| StoreError::protocol("empty response"))?;
+    let first = lines
+        .first()
+        .ok_or_else(|| StoreError::protocol("empty response"))?;
     let mut parts = first.splitn(3, ' ');
     let _version = parts.next().unwrap_or_default();
     let status: u16 = parts
@@ -212,7 +229,12 @@ pub fn read_response(r: &mut impl BufRead, head_only: bool) -> Result<Response> 
     } else {
         read_body(r, &headers)?
     };
-    Ok(Response { status, reason, headers, body })
+    Ok(Response {
+        status,
+        reason,
+        headers,
+        body,
+    })
 }
 
 /// Write a response. 304/204 suppress the body per the RFC, but
@@ -273,7 +295,9 @@ mod tests {
             .with_body(b"hello body".to_vec());
         let mut buf = Vec::new();
         write_request(&mut buf, &req).unwrap();
-        let got = read_request(&mut BufReader::new(&buf[..])).unwrap().unwrap();
+        let got = read_request(&mut BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
         assert_eq!(got.method, "PUT");
         assert_eq!(got.path, "/v1/objects/key%20x");
         assert_eq!(got.header("x-custom"), Some("val"));
@@ -309,7 +333,11 @@ mod tests {
     fn multiple_requests_on_one_connection() {
         let mut buf = Vec::new();
         write_request(&mut buf, &Request::new("GET", "/a")).unwrap();
-        write_request(&mut buf, &Request::new("GET", "/b").with_body(b"x".to_vec())).unwrap();
+        write_request(
+            &mut buf,
+            &Request::new("GET", "/b").with_body(b"x".to_vec()),
+        )
+        .unwrap();
         let mut r = BufReader::new(&buf[..]);
         assert_eq!(read_request(&mut r).unwrap().unwrap().path, "/a");
         let second = read_request(&mut r).unwrap().unwrap();
@@ -341,7 +369,14 @@ mod tests {
 
     #[test]
     fn segment_escaping_round_trip() {
-        for key in ["plain", "with space", "a/b?c=d", "uni-ключ", "%25", "dots..dots"] {
+        for key in [
+            "plain",
+            "with space",
+            "a/b?c=d",
+            "uni-ключ",
+            "%25",
+            "dots..dots",
+        ] {
             let esc = escape_segment(key);
             assert!(!esc.contains('/') && !esc.contains(' ') && !esc.contains('?'));
             assert_eq!(unescape_segment(&esc).as_deref(), Some(key));

@@ -23,6 +23,7 @@
 //! not preserve: absolute numbers of the authors' 2016 WAN paths — the
 //! reproduction targets the figures' *shape*, per EXPERIMENTS.md.
 
+pub mod batch;
 pub mod client;
 pub mod http;
 pub mod server;

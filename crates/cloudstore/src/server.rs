@@ -9,6 +9,7 @@
 //! | `GET` with `If-None-Match` | `304` when the tag matches |
 //! | `HEAD /v1/objects/{key}` | `200` headers only / `404` |
 //! | `DELETE /v1/objects/{key}` | `204` / `404` |
+//! | `POST /v1/batch` (framed ops) | `200` + framed replies (see [`crate::batch`]) |
 //! | `GET /v1/keys` | newline-separated key list |
 //! | `POST /v1/clear` | `200` |
 //! | `GET /v1/stats` | `{keys} {bytes}` |
@@ -19,10 +20,11 @@
 //! direction — which is what makes latency grow with object size in the
 //! reproduced figures.
 
+use crate::batch::{self, BatchOp, BatchReply};
 use crate::http::{read_request, unescape_segment, write_response, Request, Response};
 use bytes::Bytes;
 use kvapi::value::{now_millis, Etag};
-use kvapi::Result;
+use kvapi::{Result, Versioned};
 use netsim::{LatencyModel, LatencySampler};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -131,7 +133,14 @@ impl CloudServer {
             }))
         };
 
-        Ok(CloudServer { addr, shutdown, accept_thread, conns, requests_served, registry })
+        Ok(CloudServer {
+            addr,
+            shutdown,
+            accept_thread,
+            conns,
+            requests_served,
+            registry,
+        })
     }
 
     /// Bound address.
@@ -172,6 +181,7 @@ fn route_label(path: &str) -> &'static str {
         return "/v1/objects";
     }
     match path {
+        "/v1/batch" => "/v1/batch",
         "/v1/keys" => "/v1/keys",
         "/v1/clear" => "/v1/clear",
         "/v1/stats" => "/v1/stats",
@@ -201,16 +211,21 @@ fn serve_connection(
         } else {
             route(&req, &objects)
         };
+        let mut resp = resp;
+        if req.method == "HEAD" {
+            // Drop the body before sizing the delay: an existence check only
+            // transfers headers, so it must not be charged body latency.
+            resp.body.clear();
+        }
         // Inject WAN delay sized by the dominant payload direction. A 304
         // only carries headers, which is exactly why revalidation saves
         // bandwidth and time in the reproduced experiments.
-        let payload = if resp.status == 304 { 0 } else { req.body.len().max(resp.body.len()) };
+        let payload = if resp.status == 304 {
+            0
+        } else {
+            req.body.len().max(resp.body.len())
+        };
         std::thread::sleep(sampler.sample(payload));
-        let head_only = req.method == "HEAD";
-        let mut resp = resp;
-        if head_only {
-            resp.body.clear();
-        }
         write_response(&mut writer, &resp)?;
         // Account after replying so the delay isn't inflated further; the
         // histogram still includes the injected WAN latency by design.
@@ -219,16 +234,29 @@ fn serve_connection(
         registry
             .counter(
                 "cloudstore_requests_total",
-                &[("route", route), ("method", &req.method), ("status", &status)],
+                &[
+                    ("route", route),
+                    ("method", &req.method),
+                    ("status", &status),
+                ],
             )
             .inc();
-        registry.counter("cloudstore_bytes_in_total", &[("route", route)]).add(req.body.len() as u64);
+        registry
+            .counter("cloudstore_bytes_in_total", &[("route", route)])
+            .add(req.body.len() as u64);
         registry
             .counter("cloudstore_bytes_out_total", &[("route", route)])
             .add(resp.body.len() as u64);
         registry
             .histogram("cloudstore_request_duration_ns", &[("route", route)])
             .record_duration(t0.elapsed());
+        if req.path == "/v1/batch" {
+            if let Some(n) = batch::peek_len(&req.body) {
+                registry
+                    .histogram("cloudstore_batch_ops", &[])
+                    .record(n as u64);
+            }
+        }
     }
     Ok(())
 }
@@ -299,6 +327,15 @@ fn route(req: &Request, objects: &RwLock<ObjectMap>) -> Response {
             }
             Response::new(200).with_body(body.into_bytes())
         }
+        ("POST", "/v1/batch") => match batch::decode_request(&req.body) {
+            Err(e) => Response::new(400).with_body(e.to_string().into_bytes()),
+            Ok(ops) => {
+                let replies = apply_batch(ops, objects);
+                Response::new(200)
+                    .with_header("content-type", "application/x-batch")
+                    .with_body(batch::encode_response(&replies))
+            }
+        },
         ("POST", "/v1/clear") => {
             let mut g = objects.write();
             g.map.clear();
@@ -312,4 +349,48 @@ fn route(req: &Request, objects: &RwLock<ObjectMap>) -> Response {
         ("GET", "/v1/ping") => Response::new(200).with_body(b"pong".to_vec()),
         _ => Response::new(404).with_body(b"no such route".to_vec()),
     }
+}
+
+/// Apply a batch under one write lock, answering each op positionally.
+/// Holding the lock across the whole batch makes the batch appear atomic to
+/// other connections, though clients must not rely on that (the trait
+/// documents batches as an optimization, not a transaction).
+fn apply_batch(ops: Vec<BatchOp>, objects: &RwLock<ObjectMap>) -> Vec<BatchReply> {
+    let mut g = objects.write();
+    ops.into_iter()
+        .map(|op| match op {
+            BatchOp::Get(key) => match g.map.get(&key) {
+                Some(obj) => BatchReply::Value(Versioned::with_etag(
+                    obj.data.clone(),
+                    obj.etag,
+                    obj.modified_ms,
+                )),
+                None => BatchReply::Miss,
+            },
+            BatchOp::Put(key, value) => {
+                g.version += 1;
+                let etag = Etag(g.version);
+                if let Some(old) = g.map.get(&key) {
+                    g.bytes -= old.data.len() as u64;
+                }
+                g.bytes += value.len() as u64;
+                g.map.insert(
+                    key,
+                    Object {
+                        data: Bytes::from(value),
+                        etag,
+                        modified_ms: now_millis(),
+                    },
+                );
+                BatchReply::Put(etag)
+            }
+            BatchOp::Delete(key) => match g.map.remove(&key) {
+                Some(old) => {
+                    g.bytes -= old.data.len() as u64;
+                    BatchReply::Deleted(true)
+                }
+                None => BatchReply::Deleted(false),
+            },
+        })
+        .collect()
 }

@@ -91,7 +91,12 @@ pub struct UnexpectedEof;
 impl<'a> BitReader<'a> {
     /// Read from `data`.
     pub fn new(data: &'a [u8]) -> BitReader<'a> {
-        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     #[inline]
@@ -113,7 +118,11 @@ impl<'a> BitReader<'a> {
                 return Err(UnexpectedEof);
             }
         }
-        let mask = if n == 32 { u64::MAX >> 32 } else { (1u64 << n) - 1 };
+        let mask = if n == 32 {
+            u64::MAX >> 32
+        } else {
+            (1u64 << n) - 1
+        };
         let v = (self.bit_buf & mask) as u32;
         self.bit_buf >>= n;
         self.bit_count -= n;

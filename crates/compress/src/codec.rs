@@ -29,7 +29,10 @@ impl Default for GzipCodec {
 impl GzipCodec {
     /// Codec at the given compression level.
     pub fn new(level: Level) -> GzipCodec {
-        GzipCodec { level, max_out: DEFAULT_MAX_DECOMPRESSED }
+        GzipCodec {
+            level,
+            max_out: DEFAULT_MAX_DECOMPRESSED,
+        }
     }
 
     /// Override the decompressed-size cap.

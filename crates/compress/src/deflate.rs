@@ -40,29 +40,75 @@ impl Level {
 
 /// (base length, extra bits) for length codes 257..=285, indexed by code-257.
 const LENGTH_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// (base distance, extra bits) for distance codes 0..=29.
 const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4),
-    (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8),
-    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 /// Order in which code-length-code lengths appear in the dynamic header.
-const CL_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+const CL_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 /// Map a match length (3..=258) to (code, extra bits, extra value).
 fn length_code(len: u16) -> (u16, u8, u16) {
@@ -359,9 +405,9 @@ pub fn inflate_with_limit(data: &[u8], max_out: usize) -> Result<Vec<u8>> {
                     match cl.decode(&mut r)? {
                         s @ 0..=15 => lens.push(s as u8),
                         16 => {
-                            let &prev = lens
-                                .last()
-                                .ok_or_else(|| StoreError::corrupt("repeat with no previous length"))?;
+                            let &prev = lens.last().ok_or_else(|| {
+                                StoreError::corrupt("repeat with no previous length")
+                            })?;
                             let n = 3 + r.read_bits(2).map_err(eof)?;
                             lens.extend(std::iter::repeat_n(prev, n as usize));
                         }
@@ -448,7 +494,11 @@ fn inflate_block(
                     }
                 }
             }
-            _ => return Err(StoreError::corrupt(format!("invalid literal/length symbol {sym}"))),
+            _ => {
+                return Err(StoreError::corrupt(format!(
+                    "invalid literal/length symbol {sym}"
+                )))
+            }
         }
     }
 }
@@ -491,7 +541,11 @@ mod tests {
             .repeat(300)
             .into_bytes();
         let n = round_trip(&data, Level::Default);
-        assert!(n < data.len() / 5, "text should compress >5x, got {n} of {}", data.len());
+        assert!(
+            n < data.len() / 5,
+            "text should compress >5x, got {n} of {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -501,14 +555,20 @@ mod tests {
         let data: Vec<u8> = (0..50_000).map(|_| rng.gen()).collect();
         let n = round_trip(&data, Level::Default);
         // Encoder should fall back to (near-)stored; allow small overhead.
-        assert!(n <= data.len() + data.len() / 100 + 64, "random data blew up: {n}");
+        assert!(
+            n <= data.len() + data.len() / 100 + 64,
+            "random data blew up: {n}"
+        );
     }
 
     #[test]
     fn long_runs() {
         let data = vec![7u8; 100_000];
         let n = round_trip(&data, Level::Default);
-        assert!(n < 600, "run of one byte should compress to almost nothing, got {n}");
+        assert!(
+            n < 600,
+            "run of one byte should compress to almost nothing, got {n}"
+        );
     }
 
     #[test]
@@ -568,7 +628,10 @@ mod tests {
         let data = b"some reasonably long input with repeats repeats repeats".repeat(10);
         let c = deflate(&data, Level::Default);
         for cut in [1, c.len() / 2, c.len() - 1] {
-            assert!(inflate(&c[..cut]).is_err(), "truncation at {cut} went undetected");
+            assert!(
+                inflate(&c[..cut]).is_err(),
+                "truncation at {cut} went undetected"
+            );
         }
     }
 

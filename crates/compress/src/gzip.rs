@@ -49,7 +49,10 @@ pub fn gzip_decompress_with_limit(data: &[u8], max_out: usize) -> Result<Vec<u8>
         return Err(StoreError::corrupt("bad gzip magic"));
     }
     if data[2] != CM_DEFLATE {
-        return Err(StoreError::corrupt(format!("unsupported gzip method {}", data[2])));
+        return Err(StoreError::corrupt(format!(
+            "unsupported gzip method {}",
+            data[2]
+        )));
     }
     let flg = data[3];
     if flg & !(FTEXT | FHCRC | FEXTRA | FNAME | FCOMMENT) != 0 {

@@ -45,7 +45,10 @@ pub fn code_lengths(freqs: &[u32], limit: u8) -> Vec<u8> {
     let base: Vec<Node> = items
         .iter()
         .enumerate()
-        .map(|(i, &(w, _))| Node { weight: u64::from(w), leaves: vec![i as u16] })
+        .map(|(i, &(w, _))| Node {
+            weight: u64::from(w),
+            leaves: vec![i as u16],
+        })
         .collect();
 
     let mut list = base.clone();
@@ -55,14 +58,17 @@ pub fn code_lengths(freqs: &[u32], limit: u8) -> Vec<u8> {
         for pair in list.chunks_exact(2) {
             let mut leaves = pair[0].leaves.clone();
             leaves.extend_from_slice(&pair[1].leaves);
-            packaged.push(Node { weight: pair[0].weight + pair[1].weight, leaves });
+            packaged.push(Node {
+                weight: pair[0].weight + pair[1].weight,
+                leaves,
+            });
         }
         // …then merge with the original items, keeping ascending weight.
         let mut merged = Vec::with_capacity(base.len() + packaged.len());
         let (mut i, mut j) = (0, 0);
         while i < base.len() || j < packaged.len() {
-            let take_base = j >= packaged.len()
-                || (i < base.len() && base[i].weight <= packaged[j].weight);
+            let take_base =
+                j >= packaged.len() || (i < base.len() && base[i].weight <= packaged[j].weight);
             if take_base {
                 merged.push(base[i].clone());
                 i += 1;
@@ -199,7 +205,10 @@ mod tests {
         // (3,3,3,3,3,2,4,4) yields these canonical codes.
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]
@@ -211,7 +220,10 @@ mod tests {
             .filter(|&&l| l > 0)
             .map(|&l| 2f64.powi(-i32::from(l)))
             .sum();
-        assert!((kraft - 1.0).abs() < 1e-12, "optimal code should be complete, kraft={kraft}");
+        assert!(
+            (kraft - 1.0).abs() < 1e-12,
+            "optimal code should be complete, kraft={kraft}"
+        );
         // Higher frequency ⇒ not-longer code.
         assert!(lengths[5] <= lengths[0]);
         assert_eq!(lengths[6], 0, "zero-frequency symbol must get no code");
@@ -230,7 +242,10 @@ mod tests {
         };
         for limit in [7u8, 9, 15] {
             let lengths = code_lengths(&freqs, limit);
-            assert!(lengths.iter().all(|&l| l <= limit), "limit {limit} violated: {lengths:?}");
+            assert!(
+                lengths.iter().all(|&l| l <= limit),
+                "limit {limit} violated: {lengths:?}"
+            );
             let kraft: f64 = lengths
                 .iter()
                 .filter(|&&l| l > 0)

@@ -41,11 +41,31 @@ impl Effort {
     /// Effort for a 1–9 compression level.
     pub fn for_level(level: u8) -> Effort {
         match level {
-            0 | 1 => Effort { max_chain: 4, good_enough: 8, lazy: false },
-            2 | 3 => Effort { max_chain: 16, good_enough: 16, lazy: false },
-            4..=6 => Effort { max_chain: 64, good_enough: 64, lazy: true },
-            7 | 8 => Effort { max_chain: 256, good_enough: 128, lazy: true },
-            _ => Effort { max_chain: 1024, good_enough: MAX_MATCH, lazy: true },
+            0 | 1 => Effort {
+                max_chain: 4,
+                good_enough: 8,
+                lazy: false,
+            },
+            2 | 3 => Effort {
+                max_chain: 16,
+                good_enough: 16,
+                lazy: false,
+            },
+            4..=6 => Effort {
+                max_chain: 64,
+                good_enough: 64,
+                lazy: true,
+            },
+            7 | 8 => Effort {
+                max_chain: 256,
+                good_enough: 128,
+                lazy: true,
+            },
+            _ => Effort {
+                max_chain: 1024,
+                good_enough: MAX_MATCH,
+                lazy: true,
+            },
         }
     }
 }
@@ -143,7 +163,10 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
                         }
                     }
                 }
-                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
                 for k in first_uninserted.max(i)..(i + len).min(n) {
                     insert(&mut head, &mut prev, data, k);
                 }
@@ -252,10 +275,7 @@ mod tests {
 
     #[test]
     fn expand_handles_overlap() {
-        let tokens = vec![
-            Token::Literal(b'a'),
-            Token::Match { len: 5, dist: 1 },
-        ];
+        let tokens = vec![Token::Literal(b'a'), Token::Match { len: 5, dist: 1 }];
         assert_eq!(expand(&tokens), b"aaaaaa");
     }
 }

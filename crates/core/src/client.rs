@@ -159,7 +159,9 @@ impl<S: KeyValue> EnhancedClient<S> {
     /// Explicitly place a value in the cache with a TTL, bypassing the
     /// store entirely.
     pub fn cache_put(&self, key: &str, plain: &[u8], ttl: Option<Duration>) -> Result<()> {
-        let Some(cache) = &self.cache else { return Ok(()) };
+        let Some(cache) = &self.cache else {
+            return Ok(());
+        };
         let (payload, encoded) = match self.config.cache_content {
             CacheContent::Plaintext => (Bytes::copy_from_slice(plain), false),
             CacheContent::Encoded => (Bytes::from(self.pipeline.encode(plain)?), true),
@@ -173,8 +175,12 @@ impl<S: KeyValue> EnhancedClient<S> {
     /// Explicit cache lookup. Returns the plaintext if a *fresh* entry is
     /// present; never touches the store.
     pub fn cache_get(&self, key: &str) -> Result<Option<Bytes>> {
-        let Some(cache) = &self.cache else { return Ok(None) };
-        let Some(raw) = cache.get(key) else { return Ok(None) };
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        let Some(raw) = cache.get(key) else {
+            return Ok(None);
+        };
         let env = Envelope::decode(&raw)?;
         if env.is_expired(now_millis()) {
             return Ok(None);
@@ -192,8 +198,12 @@ impl<S: KeyValue> EnhancedClient<S> {
     /// Force a revalidation round-trip for `key` regardless of expiry.
     /// Returns true when the cached copy was still current.
     pub fn revalidate(&self, key: &str) -> Result<bool> {
-        let Some(cache) = &self.cache else { return Ok(false) };
-        let Some(raw) = cache.get(key) else { return Ok(false) };
+        let Some(cache) = &self.cache else {
+            return Ok(false);
+        };
+        let Some(raw) = cache.get(key) else {
+            return Ok(false);
+        };
         let mut env = Envelope::decode(&raw)?;
         self.stats.add(&self.stats.revalidations, 1);
         match self.store.get_if_none_match(key, env.etag)? {
@@ -219,7 +229,9 @@ impl<S: KeyValue> EnhancedClient<S> {
     /// Run the decode pipeline, attributing per-codec time to the trace.
     fn decode_traced(&self, data: &[u8], trace: &mut Option<Trace>) -> Result<Vec<u8>> {
         match trace {
-            Some(t) => self.pipeline.decode_with(data, |name, d| t.add(decode_stage(name), d)),
+            Some(t) => self
+                .pipeline
+                .decode_with(data, |name, d| t.add(decode_stage(name), d)),
             None => self.pipeline.decode(data),
         }
     }
@@ -227,7 +239,9 @@ impl<S: KeyValue> EnhancedClient<S> {
     /// Run the encode pipeline, attributing per-codec time to the trace.
     fn encode_traced(&self, data: &[u8], trace: &mut Option<Trace>) -> Result<Vec<u8>> {
         match trace {
-            Some(t) => self.pipeline.encode_with(data, |name, d| t.add(encode_stage(name), d)),
+            Some(t) => self
+                .pipeline
+                .encode_with(data, |name, d| t.add(encode_stage(name), d)),
             None => self.pipeline.encode(data),
         }
     }
@@ -280,11 +294,15 @@ impl<S: KeyValue> EnhancedClient<S> {
         trace: &mut Option<Trace>,
     ) -> Result<()> {
         let encoded = self.encode_traced(value, trace)?;
-        self.stats.add(&self.stats.bytes_encoded, value.len() as u64);
-        self.stats.add(&self.stats.bytes_stored, encoded.len() as u64);
+        self.stats
+            .add(&self.stats.bytes_encoded, value.len() as u64);
+        self.stats
+            .add(&self.stats.bytes_stored, encoded.len() as u64);
         // put_versioned returns the store's authoritative etag from the
         // write itself — no extra round trip.
-        let etag = timed(trace, "store_io", || self.store.put_versioned(key, &encoded))?;
+        let etag = timed(trace, "store_io", || {
+            self.store.put_versioned(key, &encoded)
+        })?;
         match (&self.cache, self.config.policy) {
             (Some(cache), CachePolicy::WriteThrough) => {
                 let (payload, enc_flag) = match self.config.cache_content {
@@ -296,6 +314,134 @@ impl<S: KeyValue> EnhancedClient<S> {
             }
             (Some(cache), CachePolicy::Invalidate) => {
                 cache.remove(key);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Record a batch's size so RTT amortization is visible in `/metrics`
+    /// (`dscl_batch_size{op}`); per-batch latency lands in
+    /// `dscl_op_duration_ns{op}` via the trace.
+    fn record_batch(&self, op: &'static str, n: usize) {
+        if let Some(reg) = &self.registry {
+            reg.histogram("dscl_batch_size", &[("op", op)])
+                .record(n as u64);
+        }
+    }
+
+    /// Batch get: one pass over the cache, then one grouped store fetch for
+    /// every miss. Expired entries are treated as misses here — the batch
+    /// path trades per-key revalidation round trips for a single grouped
+    /// refetch, which is the better deal once more than one key is stale.
+    fn get_many_inner(
+        &self,
+        keys: &[&str],
+        trace: &mut Option<Trace>,
+    ) -> Result<Vec<Option<Bytes>>> {
+        let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
+        let mut miss_positions: Vec<usize> = Vec::new();
+        if let Some(cache) = &self.cache {
+            let now = now_millis();
+            let mut hit_envs: Vec<(usize, Envelope)> = Vec::new();
+            timed(trace, "cache_lookup", || {
+                for (i, key) in keys.iter().enumerate() {
+                    match cache.get(key) {
+                        Some(raw) => match Envelope::decode(&raw) {
+                            Ok(env) if !env.is_expired(now) => hit_envs.push((i, env)),
+                            _ => {
+                                // Expired or foreign bytes: refetch with the
+                                // rest of the batch.
+                                cache.remove(key);
+                                miss_positions.push(i);
+                            }
+                        },
+                        None => miss_positions.push(i),
+                    }
+                }
+            });
+            self.stats
+                .add(&self.stats.cache_hits, hit_envs.len() as u64);
+            self.stats
+                .add(&self.stats.cache_misses, miss_positions.len() as u64);
+            // Materialize outside the lookup stage so codec time is
+            // attributed to the decode stages, as on the single-key path.
+            for (i, env) in &hit_envs {
+                out[*i] = Some(self.materialize(env, trace)?);
+            }
+        } else {
+            miss_positions = (0..keys.len()).collect();
+        }
+        if miss_positions.is_empty() {
+            return Ok(out);
+        }
+        let miss_keys: Vec<&str> = miss_positions.iter().map(|&i| keys[i]).collect();
+        let fetched = timed(trace, "store_io", || {
+            self.store.get_many_versioned(&miss_keys)
+        })?;
+        if fetched.len() != miss_keys.len() {
+            return Err(kvapi::StoreError::protocol(format!(
+                "store answered {} of {} batched gets",
+                fetched.len(),
+                miss_keys.len()
+            )));
+        }
+        for (&pos, v) in miss_positions.iter().zip(fetched) {
+            if let Some(v) = v {
+                out[pos] = Some(self.install(keys[pos], &v, trace)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batch put: per-key codec work, one grouped store write, then one
+    /// cache pass applying the write policy per key.
+    fn put_many_inner(&self, entries: &[(&str, &[u8])], trace: &mut Option<Trace>) -> Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut encoded = Vec::with_capacity(entries.len());
+        for (_, value) in entries {
+            let e = self.encode_traced(value, trace)?;
+            self.stats
+                .add(&self.stats.bytes_encoded, value.len() as u64);
+            self.stats.add(&self.stats.bytes_stored, e.len() as u64);
+            encoded.push(e);
+        }
+        let store_entries: Vec<(&str, &[u8])> = entries
+            .iter()
+            .zip(&encoded)
+            .map(|(&(k, _), e)| (k, e.as_slice()))
+            .collect();
+        let etags = timed(trace, "store_io", || {
+            self.store.put_many_versioned(&store_entries)
+        })?;
+        if etags.len() != entries.len() {
+            return Err(kvapi::StoreError::protocol(format!(
+                "store answered {} of {} batched puts",
+                etags.len(),
+                entries.len()
+            )));
+        }
+        match (&self.cache, self.config.policy) {
+            (Some(cache), CachePolicy::WriteThrough) => {
+                timed(trace, "cache_write", || {
+                    // Batch order, so a duplicate key caches its last write —
+                    // matching what the store now holds.
+                    for ((&(key, value), enc), &etag) in entries.iter().zip(&encoded).zip(&etags) {
+                        let (payload, enc_flag) = match self.config.cache_content {
+                            CacheContent::Plaintext => (Bytes::copy_from_slice(value), false),
+                            CacheContent::Encoded => (Bytes::from(enc.clone()), true),
+                        };
+                        let env = Envelope::new(etag, self.config.ttl_ms(None), enc_flag, payload);
+                        cache.put(key, env.encode());
+                    }
+                });
+            }
+            (Some(cache), CachePolicy::Invalidate) => {
+                for (key, _) in entries {
+                    cache.remove(key);
+                }
             }
             _ => {}
         }
@@ -402,6 +548,32 @@ impl<S: KeyValue> KeyValue for EnhancedClient<S> {
         self.store.stats()
     }
 
+    fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        self.record_batch("get_many", keys.len());
+        let mut trace = self.registry.as_ref().map(|_| Trace::begin("get_many"));
+        let out = self.get_many_inner(keys, &mut trace);
+        self.finish_trace(trace);
+        out
+    }
+
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        self.record_batch("put_many", entries.len());
+        let mut trace = self.registry.as_ref().map(|_| Trace::begin("put_many"));
+        let out = self.put_many_inner(entries, &mut trace);
+        self.finish_trace(trace);
+        out
+    }
+
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        self.record_batch("delete_many", keys.len());
+        if let Some(cache) = &self.cache {
+            for key in keys {
+                cache.remove(key);
+            }
+        }
+        self.store.delete_many(keys)
+    }
+
     fn sync(&self) -> Result<()> {
         self.store.sync()
     }
@@ -440,6 +612,7 @@ mod tests {
         inner: MemKv,
         gets: std::sync::atomic::AtomicU64,
         cond_gets: std::sync::atomic::AtomicU64,
+        batch_gets: std::sync::atomic::AtomicU64,
     }
     impl CountingStore {
         fn new() -> Self {
@@ -447,6 +620,7 @@ mod tests {
                 inner: MemKv::new("counted"),
                 gets: Default::default(),
                 cond_gets: Default::default(),
+                batch_gets: Default::default(),
             }
         }
         fn gets(&self) -> u64 {
@@ -454,6 +628,9 @@ mod tests {
         }
         fn cond_gets(&self) -> u64 {
             self.cond_gets.load(std::sync::atomic::Ordering::Relaxed)
+        }
+        fn batch_gets(&self) -> u64 {
+            self.batch_gets.load(std::sync::atomic::Ordering::Relaxed)
         }
     }
     impl KeyValue for CountingStore {
@@ -472,8 +649,14 @@ mod tests {
             self.inner.get_versioned(k)
         }
         fn get_if_none_match(&self, k: &str, etag: Etag) -> Result<CondGet> {
-            self.cond_gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.cond_gets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.inner.get_if_none_match(k, etag)
+        }
+        fn get_many_versioned(&self, keys: &[&str]) -> Result<Vec<Option<Versioned>>> {
+            self.batch_gets
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.get_many_versioned(keys)
         }
         fn delete(&self, k: &str) -> Result<bool> {
             self.inner.delete(k)
@@ -500,8 +683,13 @@ mod tests {
 
     #[test]
     fn invalidate_policy_repopulates_on_read() {
-        let cfg = DsclConfig { policy: CachePolicy::Invalidate, ..Default::default() };
-        let client = EnhancedClient::new(CountingStore::new()).with_cache(lru()).with_config(cfg);
+        let cfg = DsclConfig {
+            policy: CachePolicy::Invalidate,
+            ..Default::default()
+        };
+        let client = EnhancedClient::new(CountingStore::new())
+            .with_cache(lru())
+            .with_config(cfg);
         client.put("k", b"v1").unwrap();
         assert_eq!(client.get("k").unwrap().unwrap(), &b"v1"[..]); // miss → store
         assert_eq!(client.store().gets(), 1);
@@ -523,7 +711,11 @@ mod tests {
         // Expired → conditional get → NotModified (value unchanged).
         assert_eq!(client.get("k").unwrap().unwrap(), &b"stable value"[..]);
         assert_eq!(client.store().cond_gets(), 1, "should have revalidated");
-        assert_eq!(client.store().gets(), 0, "revalidation must not refetch the body");
+        assert_eq!(
+            client.store().gets(),
+            0,
+            "revalidation must not refetch the body"
+        );
         let s = client.stats();
         assert_eq!(s.revalidations, 1);
         assert_eq!(s.revalidated_current, 1);
@@ -557,7 +749,11 @@ mod tests {
         assert!(client.get("k").unwrap().is_some());
         client.store().inner.delete("k").unwrap();
         std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(client.get("k").unwrap(), None, "stale cache must not resurrect deletes");
+        assert_eq!(
+            client.get("k").unwrap(),
+            None,
+            "stale cache must not resurrect deletes"
+        );
         assert_eq!(client.get("k").unwrap(), None);
     }
 
@@ -578,25 +774,42 @@ mod tests {
     #[test]
     fn encryption_hides_plaintext_from_store_and_cache() {
         let cache = lru();
-        let cfg = DsclConfig { cache_content: CacheContent::Encoded, ..Default::default() };
+        let cfg = DsclConfig {
+            cache_content: CacheContent::Encoded,
+            ..Default::default()
+        };
         let client = EnhancedClient::new(MemKv::new("m"))
             .with_cache(cache.clone())
             .with_codec(Box::new(AesCodec::aes128(&[1u8; 16])))
             .with_config(cfg);
         client.put("secret", b"attack at dawn").unwrap();
         let raw_store = client.store().get("secret").unwrap().unwrap();
-        assert!(!raw_store.windows(6).any(|w| w == b"attack"), "plaintext leaked to store");
+        assert!(
+            !raw_store.windows(6).any(|w| w == b"attack"),
+            "plaintext leaked to store"
+        );
         let raw_cache = cache.get("secret").unwrap();
-        assert!(!raw_cache.windows(6).any(|w| w == b"attack"), "plaintext leaked to cache");
-        assert_eq!(client.get("secret").unwrap().unwrap(), &b"attack at dawn"[..]);
+        assert!(
+            !raw_cache.windows(6).any(|w| w == b"attack"),
+            "plaintext leaked to cache"
+        );
+        assert_eq!(
+            client.get("secret").unwrap().unwrap(),
+            &b"attack at dawn"[..]
+        );
         assert_eq!(client.stats().cache_hits, 1);
     }
 
     #[test]
     fn explicit_api_works_without_store() {
         let client = EnhancedClient::new(MemKv::new("m")).with_cache(lru());
-        client.cache_put("side", b"cached only", Some(Duration::from_secs(60))).unwrap();
-        assert_eq!(client.cache_get("side").unwrap().unwrap(), &b"cached only"[..]);
+        client
+            .cache_put("side", b"cached only", Some(Duration::from_secs(60)))
+            .unwrap();
+        assert_eq!(
+            client.cache_get("side").unwrap().unwrap(),
+            &b"cached only"[..]
+        );
         assert_eq!(client.store().get("side").unwrap(), None, "store untouched");
         client.cache_invalidate("side");
         assert_eq!(client.cache_get("side").unwrap(), None);
@@ -608,7 +821,10 @@ mod tests {
         client.put("k", b"v").unwrap();
         assert!(client.revalidate("k").unwrap(), "fresh value is current");
         client.store().inner.put("k", b"v2").unwrap();
-        assert!(!client.revalidate("k").unwrap(), "changed value is not current");
+        assert!(
+            !client.revalidate("k").unwrap(),
+            "changed value is not current"
+        );
         assert_eq!(client.get("k").unwrap().unwrap(), &b"v2"[..]);
     }
 
@@ -635,27 +851,172 @@ mod tests {
         // The put traced the encode pipeline and the store write.
         let put = &traces[0];
         let put_stages: Vec<&str> = put.stages.iter().map(|&(s, _)| s).collect();
-        assert_eq!(put_stages, ["compress", "encrypt", "store_io", "cache_write"]);
+        assert_eq!(
+            put_stages,
+            ["compress", "encrypt", "store_io", "cache_write"]
+        );
         // The cold get traced lookup, store fetch, and the decode pipeline
         // in reverse codec order.
         let cold = &traces[2];
         let cold_stages: Vec<&str> = cold.stages.iter().map(|&(s, _)| s).collect();
-        assert_eq!(cold_stages, ["cache_lookup", "store_io", "decrypt", "decompress"]);
+        assert_eq!(
+            cold_stages,
+            ["cache_lookup", "store_io", "decrypt", "decompress"]
+        );
 
         // Histograms landed under the documented names.
-        assert_eq!(reg.histogram_snapshot("dscl_op_duration_ns", &[("op", "get")]).unwrap().count, 2);
-        assert!(
-            reg.histogram_snapshot("dscl_stage_duration_ns", &[("op", "get"), ("stage", "decrypt")])
+        assert_eq!(
+            reg.histogram_snapshot("dscl_op_duration_ns", &[("op", "get")])
                 .unwrap()
-                .count
+                .count,
+            2
+        );
+        assert!(
+            reg.histogram_snapshot(
+                "dscl_stage_duration_ns",
+                &[("op", "get"), ("stage", "decrypt")]
+            )
+            .unwrap()
+            .count
                 >= 1
         );
         // Counters were published (1 hit from the warm get, 1 miss after
         // the invalidate).
         let text = reg.render_prometheus();
-        assert!(text.contains("dscl_cache_hits_total{client=\"dscl(m)\"} 1"), "{text}");
-        assert!(text.contains("dscl_cache_misses_total{client=\"dscl(m)\"} 1"), "{text}");
+        assert!(
+            text.contains("dscl_cache_hits_total{client=\"dscl(m)\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dscl_cache_misses_total{client=\"dscl(m)\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("cache_hits_total{cache=\"lru\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn batch_round_trip_through_compression_encryption_and_cache() {
+        let cache = lru();
+        let reg = Arc::new(obs::Registry::new());
+        let cfg = DsclConfig {
+            cache_content: CacheContent::Encoded,
+            ..Default::default()
+        };
+        let client = EnhancedClient::new(MemKv::new("m"))
+            .with_cache(cache.clone())
+            .with_codec(Box::new(GzipCodec::default()))
+            .with_codec(Box::new(AesCodec::aes128(&[9u8; 16])))
+            .with_config(cfg)
+            .with_registry(reg.clone());
+        let entries: Vec<(String, Vec<u8>)> = (0..8)
+            .map(|i| {
+                (
+                    format!("k{i}"),
+                    format!("secret payload {i} ").repeat(40).into_bytes(),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+            .collect();
+        client.put_many(&refs).unwrap();
+
+        // Write-through left one envelope per key; each decodes through the
+        // full pipeline back to its plaintext, and none leaks it.
+        for (k, v) in &entries {
+            let raw = cache.get(k).expect("write-through cached every key");
+            let env = Envelope::decode(&raw).expect("valid envelope");
+            assert!(env.encoded, "Encoded config caches ciphertext");
+            assert!(
+                !raw.windows(6).any(|w| w == b"secret"),
+                "plaintext leaked to cache"
+            );
+            assert_eq!(client.decode_value(&env.payload).unwrap(), *v);
+        }
+
+        // A full-batch read is served from cache: hit counter advances by
+        // the batch size and the store sees nothing.
+        let before = client.stats().cache_hits;
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        let got = client.get_many(&keys).unwrap();
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.as_deref() == Some(entries[i].1.as_slice())));
+        assert_eq!(client.stats().cache_hits, before + 8);
+
+        // Batch sizes and per-batch latency are observable.
+        let sizes = reg
+            .histogram_snapshot("dscl_batch_size", &[("op", "get_many")])
+            .unwrap();
+        assert_eq!((sizes.count, sizes.max), (1, 8));
+        assert_eq!(
+            reg.histogram_snapshot("dscl_op_duration_ns", &[("op", "put_many")])
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn batch_get_fetches_all_misses_in_one_store_call() {
+        let client = EnhancedClient::new(CountingStore::new()).with_cache(lru());
+        client
+            .put_many(&[
+                ("k0", b"v0".as_slice()),
+                ("k1", b"v1"),
+                ("k2", b"v2"),
+                ("k3", b"v3"),
+            ])
+            .unwrap();
+        client.cache_invalidate("k1");
+        client.cache_invalidate("k3");
+        let got = client
+            .get_many(&["k0", "k1", "k2", "k3", "absent"])
+            .unwrap();
+        assert_eq!(got[1].as_deref(), Some(b"v1".as_ref()));
+        assert_eq!(got[4], None);
+        // Two hits from cache; the three misses shared one grouped fetch.
+        assert_eq!(client.store().batch_gets(), 1);
+        assert_eq!(client.store().gets(), 0);
+        let s = client.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (2, 3));
+        // The fetched values were installed: an identical batch is all hits.
+        client.get_many(&["k0", "k1", "k2", "k3"]).unwrap();
+        assert_eq!(client.store().batch_gets(), 1);
+        assert_eq!(client.stats().cache_hits, 2 + 4);
+    }
+
+    #[test]
+    fn batch_path_refetches_expired_instead_of_revalidating() {
+        let client = EnhancedClient::new(CountingStore::new())
+            .with_cache(lru())
+            .with_ttl(Duration::from_millis(20));
+        client.put("k", b"v").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            client.get_many(&["k"]).unwrap()[0].as_deref(),
+            Some(b"v".as_ref())
+        );
+        assert_eq!(client.store().cond_gets(), 0, "batch path groups refetches");
+        assert_eq!(client.store().batch_gets(), 1);
+    }
+
+    #[test]
+    fn batch_delete_drops_cache_entries() {
+        let cache = lru();
+        let client = EnhancedClient::new(MemKv::new("m")).with_cache(cache.clone());
+        client
+            .put_many(&[("a", b"1".as_slice()), ("b", b"2")])
+            .unwrap();
+        assert!(cache.get("a").is_some());
+        assert_eq!(
+            client.delete_many(&["a", "absent", "b"]).unwrap(),
+            vec![true, false, true]
+        );
+        assert!(cache.get("a").is_none() && cache.get("b").is_none());
+        assert_eq!(client.get_many(&["a", "b"]).unwrap(), vec![None, None]);
     }
 
     #[test]
@@ -705,15 +1066,23 @@ mod tests {
 
     #[test]
     fn fresh_cache_masks_store_outage_but_expiry_surfaces_it() {
-        let flaky = FlakyStore { inner: MemKv::new("f"), fail: Mutex::new(false) };
-        let client = EnhancedClient::new(flaky).with_cache(lru()).with_ttl(Duration::from_millis(50));
+        let flaky = FlakyStore {
+            inner: MemKv::new("f"),
+            fail: Mutex::new(false),
+        };
+        let client = EnhancedClient::new(flaky)
+            .with_cache(lru())
+            .with_ttl(Duration::from_millis(50));
         client.put("k", b"v").unwrap();
         *client.store().fail.lock() = true;
         // Paper §III: a well-managed cache lets the application continue
         // through poor connectivity — while the entry is fresh.
         assert_eq!(client.get("k").unwrap().unwrap(), &b"v"[..]);
         std::thread::sleep(Duration::from_millis(60));
-        assert!(client.get("k").is_err(), "expired + dead store must surface the error");
+        assert!(
+            client.get("k").is_err(),
+            "expired + dead store must surface the error"
+        );
         *client.store().fail.lock() = false;
         assert_eq!(client.get("k").unwrap().unwrap(), &b"v"[..]);
     }

@@ -56,7 +56,9 @@ impl Default for DsclConfig {
 impl DsclConfig {
     /// TTL in ms (0 = none) for envelope headers.
     pub(crate) fn ttl_ms(&self, over: Option<Duration>) -> u64 {
-        over.or(self.default_ttl).map(|d| d.as_millis() as u64).unwrap_or(0)
+        over.or(self.default_ttl)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
     }
 }
 
@@ -75,7 +77,10 @@ mod tests {
 
     #[test]
     fn ttl_resolution() {
-        let c = DsclConfig { default_ttl: Some(Duration::from_secs(2)), ..Default::default() };
+        let c = DsclConfig {
+            default_ttl: Some(Duration::from_secs(2)),
+            ..Default::default()
+        };
         assert_eq!(c.ttl_ms(None), 2000);
         assert_eq!(c.ttl_ms(Some(Duration::from_millis(500))), 500);
     }

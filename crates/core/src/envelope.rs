@@ -42,7 +42,13 @@ pub struct Envelope {
 impl Envelope {
     /// Build an envelope stamped "now".
     pub fn new(etag: Etag, ttl_ms: u64, encoded: bool, payload: Bytes) -> Envelope {
-        Envelope { etag, stored_ms: now_millis(), ttl_ms, encoded, payload }
+        Envelope {
+            etag,
+            stored_ms: now_millis(),
+            ttl_ms,
+            encoded,
+            payload,
+        }
     }
 
     /// Has the TTL elapsed at `now_ms`?
@@ -96,7 +102,12 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let e = Envelope::new(Etag(0xdead_beef), 5000, true, Bytes::from_static(b"payload"));
+        let e = Envelope::new(
+            Etag(0xdead_beef),
+            5000,
+            true,
+            Bytes::from_static(b"payload"),
+        );
         let decoded = Envelope::decode(&e.encode()).unwrap();
         assert_eq!(decoded, e);
         let plain = Envelope::new(Etag(1), 0, false, Bytes::new());
@@ -131,7 +142,9 @@ mod tests {
         assert!(Envelope::decode(b"too short").is_err());
         assert!(Envelope::decode(&[0u8; 64]).is_err());
         // Unknown flag bit.
-        let mut bytes = Envelope::new(Etag(1), 0, false, Bytes::new()).encode().to_vec();
+        let mut bytes = Envelope::new(Etag(1), 0, false, Bytes::new())
+            .encode()
+            .to_vec();
         bytes[4] = 0x80;
         assert!(Envelope::decode(&bytes).is_err());
     }

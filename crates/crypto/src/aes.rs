@@ -45,12 +45,8 @@ const fn build_sbox() -> [u8; 256] {
     while i < 256 {
         let b = inv[i];
         // Affine transform: s = b ⊕ rotl1(b) ⊕ rotl2(b) ⊕ rotl3(b) ⊕ rotl4(b) ⊕ 0x63
-        let s = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        let s =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
         sbox[i] = s;
         i += 1;
     }
@@ -71,7 +67,9 @@ pub(crate) const SBOX: [u8; 256] = build_sbox();
 pub(crate) const INV_SBOX: [u8; 256] = invert_sbox(&SBOX);
 
 /// Round constants for key expansion (enough for AES-256's 14 rounds).
-const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
 
 /// Supported key sizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -275,7 +273,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]
@@ -327,7 +328,11 @@ mod tests {
             let mut block = [0u8; 16];
             block.copy_from_slice(&plain);
             aes.encrypt_block(&mut block);
-            assert_eq!(block.to_vec(), hex(cipher_hex), "encrypt mismatch for {size:?}");
+            assert_eq!(
+                block.to_vec(),
+                hex(cipher_hex),
+                "encrypt mismatch for {size:?}"
+            );
             aes.decrypt_block(&mut block);
             assert_eq!(block.to_vec(), plain, "decrypt mismatch for {size:?}");
         }

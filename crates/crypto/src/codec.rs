@@ -47,7 +47,11 @@ impl AesCodec {
             Mode::Cbc => format!("aes-{bits}-cbc"),
             Mode::Ctr => format!("aes-{bits}-ctr"),
         };
-        AesCodec { aes: Aes::new(key, size), mode, name }
+        AesCodec {
+            aes: Aes::new(key, size),
+            mode,
+            name,
+        }
     }
 
     /// The paper's configuration: AES-128 (CBC).
@@ -131,7 +135,10 @@ mod tests {
         let c = AesCodec::aes128(&[1u8; 16]);
         let a = c.encode(b"same plaintext").unwrap();
         let b = c.encode(b"same plaintext").unwrap();
-        assert_ne!(a, b, "two encryptions of the same value must differ (fresh IV)");
+        assert_ne!(
+            a, b,
+            "two encryptions of the same value must differ (fresh IV)"
+        );
         assert_eq!(c.decode(&a).unwrap(), c.decode(&b).unwrap());
     }
 

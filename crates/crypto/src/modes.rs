@@ -15,7 +15,9 @@ pub fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
 
 /// Strip PKCS#7 padding; errors on malformed padding.
 pub fn pkcs7_unpad(data: &[u8]) -> Result<Vec<u8>> {
-    let &last = data.last().ok_or_else(|| StoreError::codec("empty ciphertext"))?;
+    let &last = data
+        .last()
+        .ok_or_else(|| StoreError::codec("empty ciphertext"))?;
     let pad = last as usize;
     if pad == 0 || pad > 16 || pad > data.len() {
         return Err(StoreError::codec("invalid PKCS#7 padding length"));
@@ -47,7 +49,9 @@ pub fn cbc_encrypt(aes: &Aes, iv: &[u8; 16], plain: &[u8]) -> Vec<u8> {
 /// multiple of the block size or the padding is invalid.
 pub fn cbc_decrypt(aes: &Aes, iv: &[u8; 16], cipher: &[u8]) -> Result<Vec<u8>> {
     if cipher.is_empty() || !cipher.len().is_multiple_of(16) {
-        return Err(StoreError::codec("ciphertext length not a positive multiple of 16"));
+        return Err(StoreError::codec(
+            "ciphertext length not a positive multiple of 16",
+        ));
     }
     let mut out = Vec::with_capacity(cipher.len());
     let mut prev = *iv;
@@ -96,7 +100,10 @@ mod tests {
     use crate::aes::{Aes, KeySize};
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]
@@ -191,7 +198,7 @@ mod tests {
         let cipher = cbc_encrypt(&aes, &iv, b"attack at dawn");
         let wrong_iv = [4u8; 16];
         match cbc_decrypt(&aes, &wrong_iv, &cipher) {
-            Err(_) => {}                                      // padding destroyed
+            Err(_) => {}                                        // padding destroyed
             Ok(p) => assert_ne!(p, b"attack at dawn".to_vec()), // or garbled
         }
     }

@@ -32,7 +32,10 @@ pub struct Traffic {
 impl Traffic {
     /// Snapshot (read, written).
     pub fn snapshot(&self) -> (u64, u64) {
-        (self.read.load(Ordering::Relaxed), self.written.load(Ordering::Relaxed))
+        (
+            self.read.load(Ordering::Relaxed),
+            self.written.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -94,7 +97,9 @@ impl<S: KeyValue> DeltaChainStore<S> {
         match self.inner.get(&Self::meta_key(key))? {
             None => Ok(None),
             Some(raw) => {
-                self.traffic.read.fetch_add(raw.len() as u64, Ordering::Relaxed);
+                self.traffic
+                    .read
+                    .fetch_add(raw.len() as u64, Ordering::Relaxed);
                 serde_json::from_slice(&raw)
                     .map(Some)
                     .map_err(|e| StoreError::corrupt(format!("bad delta manifest: {e}")))
@@ -104,20 +109,26 @@ impl<S: KeyValue> DeltaChainStore<S> {
 
     fn write_manifest(&self, key: &str, m: &Manifest) -> Result<()> {
         let raw = serde_json::to_vec(m).expect("manifest serializes");
-        self.traffic.written.fetch_add(raw.len() as u64, Ordering::Relaxed);
+        self.traffic
+            .written
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
         self.inner.put(&Self::meta_key(key), &raw)
     }
 
     fn tracked_get(&self, key: &str) -> Result<Option<Bytes>> {
         let v = self.inner.get(key)?;
         if let Some(ref b) = v {
-            self.traffic.read.fetch_add(b.len() as u64, Ordering::Relaxed);
+            self.traffic
+                .read
+                .fetch_add(b.len() as u64, Ordering::Relaxed);
         }
         Ok(v)
     }
 
     fn tracked_put(&self, key: &str, value: &[u8]) -> Result<()> {
-        self.traffic.written.fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.traffic
+            .written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
         self.inner.put(key, value)
     }
 
@@ -173,7 +184,13 @@ impl<S: KeyValue> KeyValue for DeltaChainStore<S> {
                 // actually saves bytes; otherwise send a fresh base.
                 if m.deltas < self.max_deltas && delta.len() < value.len() {
                     self.tracked_put(&Self::delta_key(key, m.gen, m.deltas), &delta)?;
-                    self.write_manifest(key, &Manifest { gen: m.gen, deltas: m.deltas + 1 })
+                    self.write_manifest(
+                        key,
+                        &Manifest {
+                            gen: m.gen,
+                            deltas: m.deltas + 1,
+                        },
+                    )
                 } else {
                     self.consolidate(key, Some(&m), value)
                 }
@@ -295,7 +312,11 @@ mod tests {
         let s = store(8);
         s.put("k", &vec![1u8; 5000]).unwrap();
         s.put("k", &vec![2u8; 5000]).unwrap(); // nothing shared → full write
-        assert_eq!(s.inner().keys().unwrap().len(), 2, "should have consolidated");
+        assert_eq!(
+            s.inner().keys().unwrap().len(),
+            2,
+            "should have consolidated"
+        );
         assert_eq!(s.get("k").unwrap().unwrap(), vec![2u8; 5000]);
     }
 

@@ -247,7 +247,10 @@ mod tests {
     fn identical_objects_give_tiny_delta() {
         let data = b"identical content, fairly long so a copy op wins".repeat(10);
         let n = round_trip(&data, &data, DEFAULT_WINDOW);
-        assert!(n < 32, "identity delta should be a single Copy, got {n} bytes");
+        assert!(
+            n < 32,
+            "identity delta should be a single Copy, got {n} bytes"
+        );
     }
 
     #[test]
@@ -353,7 +356,10 @@ mod tests {
             *b = i as u8;
         }
         let n = round_trip(&base, &target, DEFAULT_WINDOW);
-        assert!(n < 400, "100-byte edit on 64 KiB object gave {n}-byte delta");
+        assert!(
+            n < 400,
+            "100-byte edit on 64 KiB object gave {n}-byte delta"
+        );
     }
 
     #[test]

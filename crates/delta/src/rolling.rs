@@ -34,7 +34,11 @@ impl RollingHash {
         for _ in 0..window - 1 {
             top_power = top_power.wrapping_mul(BASE);
         }
-        RollingHash { window, top_power, hash }
+        RollingHash {
+            window,
+            top_power,
+            hash,
+        }
     }
 
     /// Current hash value.

@@ -37,7 +37,12 @@ impl FsKv {
     pub fn open(root: impl AsRef<Path>) -> Result<FsKv> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        Ok(FsKv { root, name: "fskv".to_string(), fsync: false, tmp_counter: AtomicU64::new(0) })
+        Ok(FsKv {
+            root,
+            name: "fskv".to_string(),
+            fsync: false,
+            tmp_counter: AtomicU64::new(0),
+        })
     }
 
     /// Enable fsync-per-write durability.
@@ -61,9 +66,7 @@ impl FsKv {
         let mut out = String::with_capacity(key.len() + 8);
         for &b in key.as_bytes() {
             match b {
-                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => {
-                    out.push(b as char)
-                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
                 _ => out.push_str(&format!("%{b:02X}")),
             }
         }
@@ -93,14 +96,10 @@ impl FsKv {
     fn path_for(&self, key: &str) -> PathBuf {
         self.root.join(format!("{}{SUFFIX}", Self::escape(key)))
     }
-}
 
-impl KeyValue for FsKv {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+    /// Write one value atomically (temp file + rename), without syncing the
+    /// directory — callers batching several writes sync it once at the end.
+    fn write_value(&self, key: &str, value: &[u8]) -> Result<()> {
         let final_path = self.path_for(key);
         // Unique temp name: concurrent writers to the same key must not
         // clobber each other's scratch file.
@@ -118,6 +117,16 @@ impl KeyValue for FsKv {
         }
         fs::rename(&tmp, &final_path)?;
         Ok(())
+    }
+}
+
+impl KeyValue for FsKv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.write_value(key, value)
     }
 
     fn get(&self, key: &str) -> Result<Option<Bytes>> {
@@ -176,6 +185,26 @@ impl KeyValue for FsKv {
             }
         }
         Ok(st)
+    }
+
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        for (k, v) in entries {
+            self.write_value(k, v)?;
+        }
+        // One directory sync makes every rename in the batch durable — one
+        // metadata flush for N writes instead of one per key.
+        if self.fsync && !entries.is_empty() {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        let out: Vec<bool> = keys.iter().map(|k| self.delete(k)).collect::<Result<_>>()?;
+        if self.fsync && !keys.is_empty() {
+            self.sync()?;
+        }
+        Ok(out)
     }
 
     fn sync(&self) -> Result<()> {
@@ -238,10 +267,19 @@ mod tests {
 
     #[test]
     fn escape_round_trip() {
-        for key in ["simple", "with space", "a/b/c", "%already", "uni-ключ", "..", "a.b_c-d"] {
+        for key in [
+            "simple",
+            "with space",
+            "a/b/c",
+            "%already",
+            "uni-ключ",
+            "..",
+            "a.b_c-d",
+        ] {
             let esc = FsKv::escape(key);
             assert!(
-                esc.bytes().all(|b| b.is_ascii_alphanumeric() || b"._-%".contains(&b)),
+                esc.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b"._-%".contains(&b)),
                 "escape left unsafe bytes: {esc}"
             );
             assert_eq!(FsKv::unescape(&esc).as_deref(), Some(key));
@@ -277,6 +315,30 @@ mod tests {
         let kv = kv.with_fsync(true);
         kv.put("durable", b"yes").unwrap();
         assert_eq!(kv.get("durable").unwrap().unwrap(), &b"yes"[..]);
+    }
+
+    #[test]
+    fn batch_ops_with_fsync_survive_reopen() {
+        let dir = tempdir::TempDir::new();
+        {
+            let kv = FsKv::open(dir.path()).unwrap().with_fsync(true);
+            let entries: Vec<(String, Vec<u8>)> = (0..10)
+                .map(|i| (format!("k{i}"), vec![i as u8; 16]))
+                .collect();
+            let refs: Vec<(&str, &[u8])> = entries
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_slice()))
+                .collect();
+            kv.put_many(&refs).unwrap();
+            assert_eq!(
+                kv.delete_many(&["k0", "absent", "k1"]).unwrap(),
+                vec![true, false, true]
+            );
+        }
+        let kv = FsKv::open(dir.path()).unwrap();
+        assert_eq!(kv.stats().unwrap().keys, 8);
+        assert_eq!(kv.get("k0").unwrap(), None);
+        assert_eq!(kv.get("k9").unwrap().unwrap(), Bytes::from(vec![9u8; 16]));
     }
 
     #[test]

@@ -156,7 +156,9 @@ mod tests {
 
     #[test]
     fn stages_apply_in_order_and_reverse() {
-        let p = Pipeline::new().then(Box::new(Tag(1))).then(Box::new(Tag(2)));
+        let p = Pipeline::new()
+            .then(Box::new(Tag(1)))
+            .then(Box::new(Tag(2)));
         let enc = p.encode(b"x").unwrap();
         // Tag(2) runs last on encode, so its marker is outermost.
         assert_eq!(enc, vec![2, 1, b'x']);
@@ -165,7 +167,9 @@ mod tests {
 
     #[test]
     fn mixed_pipeline_round_trips() {
-        let p = Pipeline::new().then(Box::new(Xor(0x5a))).then(Box::new(Tag(9)));
+        let p = Pipeline::new()
+            .then(Box::new(Xor(0x5a)))
+            .then(Box::new(Tag(9)));
         assert_eq!(p.len(), 2);
         let data = b"the quick brown fox";
         assert_eq!(p.decode(&p.encode(data).unwrap()).unwrap(), data);
@@ -173,21 +177,33 @@ mod tests {
 
     #[test]
     fn observer_sees_each_stage_in_execution_order() {
-        let p = Pipeline::new().then(Box::new(Xor(0x5a))).then(Box::new(Tag(9)));
+        let p = Pipeline::new()
+            .then(Box::new(Xor(0x5a)))
+            .then(Box::new(Tag(9)));
         let mut seen = Vec::new();
-        let enc = p.encode_with(b"abc", |name, _| seen.push(name.to_string())).unwrap();
+        let enc = p
+            .encode_with(b"abc", |name, _| seen.push(name.to_string()))
+            .unwrap();
         assert_eq!(seen, ["xor", "tag"]);
         seen.clear();
-        p.decode_with(&enc, |name, _| seen.push(name.to_string())).unwrap();
+        p.decode_with(&enc, |name, _| seen.push(name.to_string()))
+            .unwrap();
         assert_eq!(seen, ["tag", "xor"], "decode runs in reverse");
     }
 
     #[test]
     fn observer_stops_at_failing_stage() {
-        let p = Pipeline::new().then(Box::new(Xor(1))).then(Box::new(Tag(7)));
+        let p = Pipeline::new()
+            .then(Box::new(Xor(1)))
+            .then(Box::new(Tag(7)));
         let mut seen = Vec::new();
-        assert!(p.decode_with(b"\x08oops", |name, _| seen.push(name.to_string())).is_err());
-        assert!(seen.is_empty(), "failing first decode stage observed nothing");
+        assert!(p
+            .decode_with(b"\x08oops", |name, _| seen.push(name.to_string()))
+            .is_err());
+        assert!(
+            seen.is_empty(),
+            "failing first decode stage observed nothing"
+        );
     }
 
     #[test]

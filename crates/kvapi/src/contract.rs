@@ -25,6 +25,7 @@ pub fn run_all<S: KeyValue>(store: &S) {
     large_values(store);
     conditional_get(store);
     unusual_keys(store);
+    batch_ops(store);
 }
 
 /// As `run_all` but additionally hammers the store from several threads.
@@ -37,7 +38,11 @@ pub fn run_all_concurrent(store: Arc<dyn KeyValue>) {
 /// put → get → contains round trip.
 pub fn basic_crud<S: KeyValue>(s: &S) {
     s.clear().expect("clear");
-    assert_eq!(s.get("missing").expect("get missing"), None, "get of absent key must be None");
+    assert_eq!(
+        s.get("missing").expect("get missing"),
+        None,
+        "get of absent key must be None"
+    );
     assert!(!s.contains("missing").expect("contains missing"));
     s.put("alpha", b"one").expect("put");
     assert_eq!(s.get("alpha").expect("get").as_deref(), Some(&b"one"[..]));
@@ -61,8 +66,14 @@ pub fn overwrite_replaces<S: KeyValue>(s: &S) {
 pub fn delete_semantics<S: KeyValue>(s: &S) {
     s.clear().unwrap();
     s.put("d", b"x").unwrap();
-    assert!(s.delete("d").expect("delete existing"), "delete of present key must return true");
-    assert!(!s.delete("d").expect("delete absent"), "delete of absent key must return false");
+    assert!(
+        s.delete("d").expect("delete existing"),
+        "delete of present key must return true"
+    );
+    assert!(
+        !s.delete("d").expect("delete absent"),
+        "delete of absent key must return false"
+    );
     assert_eq!(s.get("d").unwrap(), None);
 }
 
@@ -71,23 +82,34 @@ pub fn delete_semantics<S: KeyValue>(s: &S) {
 pub fn empty_and_binary_values<S: KeyValue>(s: &S) {
     s.clear().unwrap();
     s.put("empty", b"").unwrap();
-    assert_eq!(s.get("empty").unwrap().as_deref(), Some(&b""[..]), "empty value must round-trip");
+    assert_eq!(
+        s.get("empty").unwrap().as_deref(),
+        Some(&b""[..]),
+        "empty value must round-trip"
+    );
     let all: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
     s.put("binary", &all).unwrap();
-    assert_eq!(s.get("binary").unwrap().as_deref(), Some(&all[..]), "binary payload mangled");
+    assert_eq!(
+        s.get("binary").unwrap().as_deref(),
+        Some(&all[..]),
+        "binary payload mangled"
+    );
 }
 
 /// keys() sees exactly the live keys; clear() empties the store.
 pub fn key_enumeration_and_clear<S: KeyValue>(s: &S) {
     s.clear().unwrap();
     for i in 0..10 {
-        s.put(&format!("key{i}"), format!("v{i}").as_bytes()).unwrap();
+        s.put(&format!("key{i}"), format!("v{i}").as_bytes())
+            .unwrap();
     }
     s.delete("key3").unwrap();
     let mut keys = s.keys().expect("keys");
     keys.sort();
-    let expected: Vec<String> =
-        (0..10).filter(|i| *i != 3).map(|i| format!("key{i}")).collect();
+    let expected: Vec<String> = (0..10)
+        .filter(|i| *i != 3)
+        .map(|i| format!("key{i}"))
+        .collect();
     assert_eq!(keys, expected);
     s.clear().expect("clear");
     assert!(s.keys().unwrap().is_empty(), "clear must remove every key");
@@ -117,7 +139,10 @@ pub fn large_values<S: KeyValue>(s: &S) {
 pub fn conditional_get<S: KeyValue>(s: &S) {
     s.clear().unwrap();
     s.put("c", b"v1").unwrap();
-    let v = s.get_versioned("c").expect("get_versioned").expect("present");
+    let v = s
+        .get_versioned("c")
+        .expect("get_versioned")
+        .expect("present");
     assert_eq!(&v.data[..], b"v1");
     assert_eq!(
         s.get_if_none_match("c", v.etag).unwrap(),
@@ -141,7 +166,9 @@ pub fn conditional_get<S: KeyValue>(s: &S) {
         CondGet::Modified(_)
     ));
     // put_versioned's returned tag must validate as current immediately.
-    let tag = s.put_versioned("pv", b"tagged value").expect("put_versioned");
+    let tag = s
+        .put_versioned("pv", b"tagged value")
+        .expect("put_versioned");
     assert_eq!(
         s.get_if_none_match("pv", tag).unwrap(),
         CondGet::NotModified,
@@ -171,6 +198,115 @@ pub fn unusual_keys<S: KeyValue>(s: &S) {
         );
     }
     assert_eq!(s.keys().unwrap().len(), keys.len());
+}
+
+/// Batch operations: empty batches, duplicate keys within one batch,
+/// equivalence with sequential single-key operations, and partial misses.
+/// A store overriding the batch defaults with a pipelined native path must
+/// preserve exactly these semantics.
+pub fn batch_ops<S: KeyValue>(s: &S) {
+    s.clear().unwrap();
+
+    // Empty batches are no-ops with empty results.
+    assert!(s.get_many(&[]).expect("empty get_many").is_empty());
+    s.put_many(&[]).expect("empty put_many");
+    assert!(s.delete_many(&[]).expect("empty delete_many").is_empty());
+    assert!(
+        s.keys().unwrap().is_empty(),
+        "empty batches must not create keys"
+    );
+
+    // put_many stores every entry; get_many answers positionally with None
+    // for misses (partial miss).
+    s.put_many(&[("b1", b"v1"), ("b2", b"v2"), ("b3", b"v3")])
+        .expect("put_many");
+    let got = s.get_many(&["b1", "absent", "b3", "b2"]).expect("get_many");
+    assert_eq!(got.len(), 4, "get_many must answer every position");
+    assert_eq!(got[0].as_deref(), Some(&b"v1"[..]));
+    assert_eq!(got[1], None, "missing key must yield None, not an error");
+    assert_eq!(got[2].as_deref(), Some(&b"v3"[..]));
+    assert_eq!(got[3].as_deref(), Some(&b"v2"[..]));
+
+    // Duplicate keys in one put batch: last write wins, as if sequential.
+    s.put_many(&[("dup", b"first"), ("dup", b"second"), ("dup", b"final")])
+        .unwrap();
+    assert_eq!(
+        s.get("dup").unwrap().as_deref(),
+        Some(&b"final"[..]),
+        "duplicate keys in put_many must resolve to the last write"
+    );
+    // Duplicate keys in one get batch: every position answered.
+    let got = s.get_many(&["dup", "dup", "absent", "dup"]).unwrap();
+    assert!(got[0].as_deref() == Some(&b"final"[..]) && got[0] == got[1] && got[1] == got[3]);
+    assert_eq!(got[2], None);
+
+    // Batch equivalence with sequential ops: same end state and values.
+    let entries: Vec<(String, Vec<u8>)> = (0..10)
+        .map(|i| (format!("eq{i}"), format!("val{i}").into_bytes()))
+        .collect();
+    let batch_refs: Vec<(&str, &[u8])> = entries
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_slice()))
+        .collect();
+    s.put_many(&batch_refs).unwrap();
+    for (k, v) in &entries {
+        assert_eq!(
+            s.get(k).unwrap().as_deref(),
+            Some(v.as_slice()),
+            "put_many and sequential puts must agree on {k:?}"
+        );
+    }
+    let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+    let batched = s.get_many(&keys).unwrap();
+    let sequential: Vec<_> = keys.iter().map(|k| s.get(k).unwrap()).collect();
+    assert_eq!(
+        batched, sequential,
+        "get_many must agree with sequential gets"
+    );
+
+    // delete_many reports presence per position; a key duplicated in one
+    // delete batch is only present for its first occurrence.
+    let deleted = s.delete_many(&["eq0", "absent", "eq1", "eq1"]).unwrap();
+    assert_eq!(deleted, vec![true, false, true, false]);
+    assert_eq!(s.get("eq0").unwrap(), None);
+
+    // Versioned batch ops agree with their single-key counterparts.
+    let tags = s
+        .put_many_versioned(&[("vb1", b"one"), ("vb2", b"two")])
+        .expect("put_many_versioned");
+    assert_eq!(tags.len(), 2);
+    for (i, k) in ["vb1", "vb2"].iter().enumerate() {
+        assert_eq!(
+            s.get_if_none_match(k, tags[i]).unwrap(),
+            CondGet::NotModified,
+            "etag from put_many_versioned must validate as current for {k:?}"
+        );
+    }
+    let versioned = s
+        .get_many_versioned(&["vb1", "absent", "vb2"])
+        .expect("get_many_versioned");
+    assert_eq!(versioned[0].as_ref().map(|v| v.etag), Some(tags[0]));
+    assert!(versioned[1].is_none());
+    assert_eq!(
+        versioned[2].as_ref().map(|v| &v.data[..]),
+        Some(&b"two"[..])
+    );
+
+    // Binary payloads and unusual keys survive the batch path too.
+    let all: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+    s.put_many(&[("bin ary/key", &all), ("empty", b"")])
+        .unwrap();
+    let got = s.get_many(&["bin ary/key", "empty"]).unwrap();
+    assert_eq!(
+        got[0].as_deref(),
+        Some(&all[..]),
+        "binary payload mangled in batch"
+    );
+    assert_eq!(
+        got[1].as_deref(),
+        Some(&b""[..]),
+        "empty value must round-trip in batch"
+    );
 }
 
 /// Many threads doing disjoint and overlapping writes; the store must stay
@@ -244,6 +380,9 @@ mod tests {
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_all(&broken);
         }));
-        assert!(res.is_err(), "contract suite failed to catch a truncating store");
+        assert!(
+            res.is_err(),
+            "contract suite failed to catch a truncating store"
+        );
     }
 }

@@ -43,9 +43,23 @@ impl MemKv {
     }
 
     fn shard(&self, key: &str) -> &RwLock<HashMap<String, Entry>> {
+        &self.shards[Self::shard_index(key)]
+    }
+
+    fn shard_index(key: &str) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// Group batch positions by shard so each shard's lock is taken exactly
+    /// once per batch, regardless of batch size.
+    fn plan_batch(keys: &[&str]) -> [Vec<usize>; SHARDS] {
+        let mut plan: [Vec<usize>; SHARDS] = std::array::from_fn(|_| Vec::new());
+        for (i, k) in keys.iter().enumerate() {
+            plan[Self::shard_index(k)].push(i);
+        }
+        plan
     }
 }
 
@@ -67,7 +81,12 @@ impl KeyValue for MemKv {
         let version = shard.get(key).map(|e| e.version + 1).unwrap_or(0);
         shard.insert(
             key.to_string(),
-            Entry { data, etag, modified_ms: now_millis(), version },
+            Entry {
+                data,
+                etag,
+                modified_ms: now_millis(),
+                version,
+            },
         );
         Ok(())
     }
@@ -117,6 +136,80 @@ impl KeyValue for MemKv {
         }))
     }
 
+    fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        let mut out = vec![None; keys.len()];
+        for (s, positions) in Self::plan_batch(keys).iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let shard = self.shards[s].read();
+            for &i in positions {
+                out[i] = shard.get(keys[i]).map(|e| e.data.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        let keys: Vec<&str> = entries.iter().map(|&(k, _)| k).collect();
+        for (s, positions) in Self::plan_batch(&keys).iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].write();
+            // Positions are in batch order, so duplicates resolve to the
+            // last write naturally.
+            for &i in positions {
+                let (key, value) = entries[i];
+                let data = Bytes::copy_from_slice(value);
+                let etag = Etag::of_bytes(&data);
+                let version = shard.get(key).map(|e| e.version + 1).unwrap_or(0);
+                shard.insert(
+                    key.to_string(),
+                    Entry {
+                        data,
+                        etag,
+                        modified_ms: now_millis(),
+                        version,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        let mut out = vec![false; keys.len()];
+        for (s, positions) in Self::plan_batch(keys).iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].write();
+            for &i in positions {
+                out[i] = shard.remove(keys[i]).is_some();
+            }
+        }
+        Ok(out)
+    }
+
+    fn get_many_versioned(&self, keys: &[&str]) -> Result<Vec<Option<Versioned>>> {
+        let mut out = vec![None; keys.len()];
+        for (s, positions) in Self::plan_batch(keys).iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let shard = self.shards[s].read();
+            for &i in positions {
+                out[i] = shard.get(keys[i]).map(|e| Versioned {
+                    data: e.data.clone(),
+                    etag: e.etag,
+                    modified_ms: e.modified_ms,
+                });
+            }
+        }
+        Ok(out)
+    }
+
     fn get_if_none_match(&self, key: &str, etag: Etag) -> Result<CondGet> {
         let shard = self.shard(key).read();
         match shard.get(key) {
@@ -160,6 +253,25 @@ mod tests {
         let st = kv.stats().unwrap();
         assert_eq!(st.keys, 2);
         assert_eq!(st.bytes, 150);
+    }
+
+    #[test]
+    fn batch_ops_group_by_shard() {
+        let kv = MemKv::new("m");
+        let keys: Vec<String> = (0..100).map(|i| format!("key{i}")).collect();
+        let entries: Vec<(&str, &[u8])> = keys.iter().map(|k| (k.as_str(), k.as_bytes())).collect();
+        kv.put_many(&entries).unwrap();
+        assert_eq!(kv.stats().unwrap().keys, 100);
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let got = kv.get_many(&refs).unwrap();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v.as_deref(), Some(keys[i].as_bytes()));
+        }
+        let vers = kv.get_many_versioned(&refs).unwrap();
+        assert!(vers.iter().all(|v| v.is_some()));
+        let deleted = kv.delete_many(&refs).unwrap();
+        assert!(deleted.iter().all(|&d| d));
+        assert_eq!(kv.stats().unwrap().keys, 0);
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub trait KeyValue: Send + Sync {
     ///
     /// [`keys`]: KeyValue::keys
     fn stats(&self) -> Result<StoreStats> {
-        Ok(StoreStats { keys: self.keys()?.len() as u64, bytes: 0 })
+        Ok(StoreStats {
+            keys: self.keys()?.len() as u64,
+            bytes: 0,
+        })
     }
 
     /// Retrieve the value together with version metadata.
@@ -114,6 +117,75 @@ pub trait KeyValue: Send + Sync {
     /// Flush any buffered state to durable storage. Default: no-op.
     fn sync(&self) -> Result<()> {
         Ok(())
+    }
+
+    // ---- batch operations ----
+    //
+    // Remote stores pay one network round trip per operation; batching
+    // amortizes that RTT across many keys. The defaults below loop over the
+    // single-key operations, so every existing `KeyValue` implementation
+    // keeps working unchanged — but native implementations override them to
+    // pipeline the whole batch into one round trip (HTTP multi-op request,
+    // RESP pipelining, a single SQL transaction, one lock acquisition, ...).
+    //
+    // Semantics shared by all implementations (enforced by
+    // [`contract::batch_ops`](crate::contract::batch_ops)):
+    //
+    // * results are positional: `get_many(keys)[i]` corresponds to `keys[i]`;
+    // * duplicate keys are allowed — each position is answered independently,
+    //   and in `put_many` the *last* write for a key wins;
+    // * an empty batch is a no-op returning an empty result;
+    // * a batch is equivalent to applying the operations sequentially in
+    //   order (batches are an optimization, not a transaction guarantee —
+    //   although stores may provide atomicity, callers must not rely on it).
+
+    /// Retrieve many values in one call; `None` per missing key, in key
+    /// order. Default: a `get` loop.
+    fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Store many key/value pairs in one call. Later entries overwrite
+    /// earlier ones for the same key. Default: a `put` loop.
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        for (k, v) in entries {
+            self.put(k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Remove many keys in one call; returns, per key in order, whether a
+    /// value was present. A key duplicated within the batch is only present
+    /// for its first occurrence. Default: a `delete` loop.
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        keys.iter().map(|k| self.delete(k)).collect()
+    }
+
+    /// Batch [`get_versioned`](KeyValue::get_versioned): values plus version
+    /// metadata, in key order.
+    ///
+    /// The default derives content etags from [`get_many`](KeyValue::get_many)
+    /// — matching the `get_versioned` default, and inheriting whatever
+    /// pipelining the store's `get_many` provides. Stores with
+    /// server-assigned versions override this alongside `get_versioned` so
+    /// batch reads carry the same etags as single reads.
+    fn get_many_versioned(&self, keys: &[&str]) -> Result<Vec<Option<Versioned>>> {
+        Ok(self
+            .get_many(keys)?
+            .into_iter()
+            .map(|v| v.map(Versioned::new))
+            .collect())
+    }
+
+    /// Batch [`put_versioned`](KeyValue::put_versioned): store many pairs
+    /// and return the etag now associated with each, in entry order.
+    ///
+    /// The default writes through [`put_many`](KeyValue::put_many) and
+    /// derives content tags — consistent with the `put_versioned` default.
+    /// Stores with server-assigned version counters override this.
+    fn put_many_versioned(&self, entries: &[(&str, &[u8])]) -> Result<Vec<Etag>> {
+        self.put_many(entries)?;
+        Ok(entries.iter().map(|(_, v)| Etag::of_bytes(v)).collect())
     }
 }
 
@@ -158,6 +230,21 @@ macro_rules! forward_keyvalue {
             fn sync(&self) -> Result<()> {
                 (**self).sync()
             }
+            fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+                (**self).get_many(keys)
+            }
+            fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+                (**self).put_many(entries)
+            }
+            fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+                (**self).delete_many(keys)
+            }
+            fn get_many_versioned(&self, keys: &[&str]) -> Result<Vec<Option<Versioned>>> {
+                (**self).get_many_versioned(keys)
+            }
+            fn put_many_versioned(&self, entries: &[(&str, &[u8])]) -> Result<Vec<Etag>> {
+                (**self).put_many_versioned(entries)
+            }
         }
     };
 }
@@ -185,7 +272,10 @@ mod tests {
         let kv = MemKv::new("m");
         kv.put("k", b"v1").unwrap();
         let v = kv.get_versioned("k").unwrap().unwrap();
-        assert_eq!(kv.get_if_none_match("k", v.etag).unwrap(), CondGet::NotModified);
+        assert_eq!(
+            kv.get_if_none_match("k", v.etag).unwrap(),
+            CondGet::NotModified
+        );
         kv.put("k", b"v2").unwrap();
         match kv.get_if_none_match("k", v.etag).unwrap() {
             CondGet::Modified(nv) => assert_eq!(&nv.data[..], b"v2"),
@@ -234,5 +324,79 @@ mod tests {
         }
         let shim = Shim(kv);
         assert_eq!(shim.stats().unwrap().keys, 2);
+    }
+
+    /// Minimal store exposing only the required methods, so the batch
+    /// defaults (loops over single-key ops) are what actually runs.
+    struct Minimal(MemKv);
+    impl KeyValue for Minimal {
+        fn name(&self) -> &str {
+            "minimal"
+        }
+        fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+            self.0.put(k, v)
+        }
+        fn get(&self, k: &str) -> Result<Option<Bytes>> {
+            self.0.get(k)
+        }
+        fn delete(&self, k: &str) -> Result<bool> {
+            self.0.delete(k)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.0.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.0.clear()
+        }
+    }
+
+    #[test]
+    fn default_batch_ops_loop_over_singles() {
+        let kv = Minimal(MemKv::new("m"));
+        kv.put_many(&[("a", b"1"), ("b", b"2"), ("a", b"3")])
+            .unwrap();
+        let got = kv.get_many(&["a", "missing", "b"]).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            got[0].as_deref(),
+            Some(&b"3"[..]),
+            "last write wins for duplicate keys"
+        );
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_deref(), Some(&b"2"[..]));
+        assert_eq!(
+            kv.delete_many(&["a", "a", "b"]).unwrap(),
+            vec![true, false, true]
+        );
+        assert!(kv.get_many(&[]).unwrap().is_empty());
+        kv.put_many(&[]).unwrap();
+        assert!(kv.delete_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn default_versioned_batch_ops_match_single_versions() {
+        let kv = Minimal(MemKv::new("m"));
+        let tags = kv
+            .put_many_versioned(&[("x", b"one"), ("y", b"two")])
+            .unwrap();
+        assert_eq!(tags, vec![Etag::of_bytes(b"one"), Etag::of_bytes(b"two")]);
+        let got = kv.get_many_versioned(&["x", "gone", "y"]).unwrap();
+        assert_eq!(got[0].as_ref().unwrap().etag, tags[0]);
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_ref().unwrap().etag, tags[1]);
+        // The returned tags validate as current, like put_versioned's.
+        assert_eq!(
+            kv.get_if_none_match("x", tags[0]).unwrap(),
+            CondGet::NotModified
+        );
+    }
+
+    #[test]
+    fn batch_ops_forward_through_arc_and_box() {
+        let kv: Arc<dyn KeyValue> = Arc::new(MemKv::new("m"));
+        kv.put_many(&[("k1", b"v1"), ("k2", b"v2")]).unwrap();
+        let got = kv.get_many(&["k1", "k2"]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(&b"v1"[..]));
+        assert_eq!(kv.delete_many(&["k1", "k2"]).unwrap(), vec![true, true]);
     }
 }

@@ -46,7 +46,9 @@ impl Etag {
 
     /// Parse the wire form produced by [`Etag::to_hex`].
     pub fn from_hex(s: &str) -> Option<Etag> {
-        u64::from_str_radix(s.trim().trim_matches('"'), 16).ok().map(Etag)
+        u64::from_str_radix(s.trim().trim_matches('"'), 16)
+            .ok()
+            .map(Etag)
     }
 }
 
@@ -90,12 +92,20 @@ impl Versioned {
     pub fn new(data: impl Into<Bytes>) -> Versioned {
         let data = data.into();
         let etag = Etag::of_bytes(&data);
-        Versioned { data, etag, modified_ms: now_millis() }
+        Versioned {
+            data,
+            etag,
+            modified_ms: now_millis(),
+        }
     }
 
     /// Wrap raw bytes with an explicit store-assigned tag.
     pub fn with_etag(data: impl Into<Bytes>, etag: Etag, modified_ms: u64) -> Versioned {
-        Versioned { data: data.into(), etag, modified_ms }
+        Versioned {
+            data: data.into(),
+            etag,
+            modified_ms,
+        }
     }
 
     /// Length of the payload in bytes.

@@ -94,7 +94,10 @@ impl Cache for RemoteCache {
     }
 
     fn len(&self) -> usize {
-        self.client.keys(&format!("{}*", self.prefix)).map(|k| k.len()).unwrap_or(0)
+        self.client
+            .keys(&format!("{}*", self.prefix))
+            .map(|k| k.len())
+            .unwrap_or(0)
     }
 
     fn stats(&self) -> CacheStats {

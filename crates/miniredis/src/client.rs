@@ -24,7 +24,10 @@ impl Conn {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        Ok(Conn { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
     }
 
     fn round_trip(&mut self, cmd: &Value) -> Result<Value> {
@@ -130,7 +133,9 @@ impl RedisClient {
         match v {
             Value::Int(n) => Ok(n),
             Value::Error(e) => Err(StoreError::Rejected(e)),
-            other => Err(StoreError::protocol(format!("expected integer, got {other:?}"))),
+            other => Err(StoreError::protocol(format!(
+                "expected integer, got {other:?}"
+            ))),
         }
     }
 
@@ -155,13 +160,68 @@ impl RedisClient {
         match self.exec(&[b"GET", key.as_bytes()])? {
             Value::Bulk(b) => Ok(b),
             Value::Error(e) => Err(StoreError::Rejected(e)),
-            other => Err(StoreError::protocol(format!("expected bulk, got {other:?}"))),
+            other => Err(StoreError::protocol(format!(
+                "expected bulk, got {other:?}"
+            ))),
         }
+    }
+
+    /// `MGET key...` → one optional value per key, positionally, in a
+    /// single round trip.
+    pub fn mget(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(keys.len() + 1);
+        parts.push(b"MGET");
+        parts.extend(keys.iter().map(|k| k.as_bytes()));
+        match self.exec(&parts)? {
+            Value::Array(Some(items)) if items.len() == keys.len() => items
+                .into_iter()
+                .map(|v| match v {
+                    Value::Bulk(b) => Ok(b),
+                    other => Err(StoreError::protocol(format!("bad MGET item {other:?}"))),
+                })
+                .collect(),
+            Value::Error(e) => Err(StoreError::Rejected(e)),
+            other => Err(StoreError::protocol(format!("bad MGET reply {other:?}"))),
+        }
+    }
+
+    /// `MSET key value ...` — every pair stored in one round trip.
+    pub fn mset(&self, pairs: &[(&str, &[u8])]) -> Result<()> {
+        if pairs.is_empty() {
+            return Ok(()); // the server rejects a bare MSET
+        }
+        let mut parts: Vec<&[u8]> = Vec::with_capacity(pairs.len() * 2 + 1);
+        parts.push(b"MSET");
+        for (k, v) in pairs {
+            parts.push(k.as_bytes());
+            parts.push(v);
+        }
+        Self::expect_ok(self.exec(&parts)?)
     }
 
     /// `DEL key` → whether a value existed.
     pub fn del(&self, key: &str) -> Result<bool> {
         Ok(Self::expect_int(self.exec(&[b"DEL", key.as_bytes()])?)? > 0)
+    }
+
+    /// Pipelined one-key `DEL`s: variadic `DEL` only reports a total count,
+    /// which loses per-key presence, so this sends N commands on one socket
+    /// write and reads N replies — one round trip, positional answers.
+    pub fn del_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cmds: Vec<Vec<Vec<u8>>> = keys
+            .iter()
+            .map(|k| vec![b"DEL".to_vec(), k.as_bytes().to_vec()])
+            .collect();
+        self.pipeline(&cmds)?
+            .into_iter()
+            .map(|v| Ok(Self::expect_int(v)? > 0))
+            .collect()
     }
 
     /// `EXISTS key`.
@@ -200,7 +260,9 @@ impl RedisClient {
                     other => Err(StoreError::protocol(format!("bad KEYS item {other:?}"))),
                 })
                 .collect(),
-            other => Err(StoreError::protocol(format!("expected array, got {other:?}"))),
+            other => Err(StoreError::protocol(format!(
+                "expected array, got {other:?}"
+            ))),
         }
     }
 
@@ -241,9 +303,7 @@ impl RedisClient {
                         String::from_utf8(b.to_vec())
                             .map_err(|_| StoreError::protocol("non-utf8 key"))?,
                     ),
-                    other => {
-                        return Err(StoreError::protocol(format!("bad SCAN item {other:?}")))
-                    }
+                    other => return Err(StoreError::protocol(format!("bad SCAN item {other:?}"))),
                 }
             }
             if cursor == "0" {
@@ -342,6 +402,34 @@ mod tests {
         assert_eq!(replies.len(), 10);
         assert!(replies.iter().all(|r| *r == Value::ok()));
         assert_eq!(c.dbsize().unwrap(), 10);
+    }
+
+    #[test]
+    fn mget_mset_and_del_many_are_positional() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        c.mset(&[("a", b"1".as_slice()), ("b", b"2"), ("a", b"1b")])
+            .unwrap();
+        // MGET answers every position, including misses and duplicates.
+        assert_eq!(
+            c.mget(&["a", "nope", "b", "a"]).unwrap(),
+            vec![
+                Some(Bytes::from_static(b"1b")),
+                None,
+                Some(Bytes::from_static(b"2")),
+                Some(Bytes::from_static(b"1b")),
+            ]
+        );
+        // Pipelined DELs: a duplicate key is only present for its first DEL.
+        assert_eq!(
+            c.del_many(&["a", "nope", "b", "a"]).unwrap(),
+            vec![true, false, true, false]
+        );
+        assert_eq!(c.dbsize().unwrap(), 0);
+        // Empty batches never touch the socket.
+        assert_eq!(c.mget(&[]).unwrap(), Vec::<Option<Bytes>>::new());
+        c.mset(&[]).unwrap();
+        assert_eq!(c.del_many(&[]).unwrap(), Vec::<bool>::new());
     }
 
     #[test]

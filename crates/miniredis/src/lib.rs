@@ -24,8 +24,8 @@
 //! discussion).
 
 pub mod cache;
-pub mod persist;
 pub mod client;
+pub mod persist;
 pub mod resp;
 pub mod server;
 pub mod store;

@@ -68,7 +68,8 @@ pub fn load(path: impl AsRef<Path>) -> Result<Vec<SnapshotEntry>> {
     };
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic).map_err(|_| StoreError::corrupt("snapshot too short"))?;
+    r.read_exact(&mut magic)
+        .map_err(|_| StoreError::corrupt("snapshot too short"))?;
     if &magic != MAGIC {
         return Err(StoreError::corrupt("bad snapshot magic"));
     }
@@ -86,16 +87,20 @@ pub fn load(path: impl AsRef<Path>) -> Result<Vec<SnapshotEntry>> {
             return Err(StoreError::corrupt("implausible key length"));
         }
         let mut key = vec![0u8; key_len];
-        r.read_exact(&mut key).map_err(|_| StoreError::corrupt("truncated snapshot key"))?;
-        r.read_exact(&mut len4).map_err(|_| StoreError::corrupt("truncated snapshot"))?;
+        r.read_exact(&mut key)
+            .map_err(|_| StoreError::corrupt("truncated snapshot key"))?;
+        r.read_exact(&mut len4)
+            .map_err(|_| StoreError::corrupt("truncated snapshot"))?;
         let val_len = u32::from_le_bytes(len4) as usize;
         if val_len > 1 << 30 {
             return Err(StoreError::corrupt("implausible value length"));
         }
         let mut value = vec![0u8; val_len];
-        r.read_exact(&mut value).map_err(|_| StoreError::corrupt("truncated snapshot value"))?;
+        r.read_exact(&mut value)
+            .map_err(|_| StoreError::corrupt("truncated snapshot value"))?;
         let mut exp8 = [0u8; 8];
-        r.read_exact(&mut exp8).map_err(|_| StoreError::corrupt("truncated snapshot expiry"))?;
+        r.read_exact(&mut exp8)
+            .map_err(|_| StoreError::corrupt("truncated snapshot expiry"))?;
         let expires_at = match u64::from_le_bytes(exp8) {
             0 => None,
             t => Some(t),
@@ -104,7 +109,11 @@ pub fn load(path: impl AsRef<Path>) -> Result<Vec<SnapshotEntry>> {
             continue;
         }
         let key = String::from_utf8(key).map_err(|_| StoreError::corrupt("non-utf8 key"))?;
-        out.push(SnapshotEntry { key, value, expires_at });
+        out.push(SnapshotEntry {
+            key,
+            value,
+            expires_at,
+        });
     }
     Ok(out)
 }
@@ -121,7 +130,11 @@ mod tests {
     fn round_trip() {
         let path = temp("rt");
         let entries = vec![
-            SnapshotEntry { key: "a".into(), value: b"1".to_vec(), expires_at: None },
+            SnapshotEntry {
+                key: "a".into(),
+                value: b"1".to_vec(),
+                expires_at: None,
+            },
             SnapshotEntry {
                 key: "b".into(),
                 value: vec![0u8; 10_000],
@@ -141,10 +154,22 @@ mod tests {
     fn expired_entries_dropped_on_save_and_load() {
         let path = temp("exp");
         let entries = vec![
-            SnapshotEntry { key: "live".into(), value: b"x".to_vec(), expires_at: None },
-            SnapshotEntry { key: "dead".into(), value: b"y".to_vec(), expires_at: Some(1) },
+            SnapshotEntry {
+                key: "live".into(),
+                value: b"x".to_vec(),
+                expires_at: None,
+            },
+            SnapshotEntry {
+                key: "dead".into(),
+                value: b"y".to_vec(),
+                expires_at: Some(1),
+            },
         ];
-        assert_eq!(save(&path, entries.into_iter()).unwrap(), 1, "dead entry skipped at save");
+        assert_eq!(
+            save(&path, entries.into_iter()).unwrap(),
+            1,
+            "dead entry skipped at save"
+        );
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].key, "live");
@@ -166,8 +191,12 @@ mod tests {
         // Truncated mid-entry.
         save(
             &path,
-            vec![SnapshotEntry { key: "k".into(), value: vec![9; 100], expires_at: None }]
-                .into_iter(),
+            vec![SnapshotEntry {
+                key: "k".into(),
+                value: vec![9; 100],
+                expires_at: None,
+            }]
+            .into_iter(),
         )
         .unwrap();
         let mut data = std::fs::read(&path).unwrap();

@@ -94,8 +94,9 @@ pub fn read_value(r: &mut impl BufRead) -> Result<Value> {
             .map(Value::Int)
             .map_err(|_| StoreError::protocol(format!("bad integer {rest:?}"))),
         "$" => {
-            let n: i64 =
-                rest.parse().map_err(|_| StoreError::protocol(format!("bad bulk len {rest:?}")))?;
+            let n: i64 = rest
+                .parse()
+                .map_err(|_| StoreError::protocol(format!("bad bulk len {rest:?}")))?;
             if n < 0 {
                 return Ok(Value::Bulk(None));
             }
@@ -133,7 +134,12 @@ pub fn read_value(r: &mut impl BufRead) -> Result<Value> {
 
 /// Encode a client command (array of bulk strings).
 pub fn command(parts: &[&[u8]]) -> Value {
-    Value::Array(Some(parts.iter().map(|p| Value::bulk(Bytes::copy_from_slice(p))).collect()))
+    Value::Array(Some(
+        parts
+            .iter()
+            .map(|p| Value::bulk(Bytes::copy_from_slice(p)))
+            .collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -191,11 +197,11 @@ mod tests {
     #[test]
     fn malformed_input_rejected() {
         for bad in [
-            &b"hello\r\n"[..],          // unknown type
-            &b"$5\r\nhi\r\n"[..],       // bulk shorter than declared
-            &b":notanum\r\n"[..],       // bad integer
-            &b"$3\r\nabcXY"[..],        // missing CRLF terminator
-            &b"*2\r\n:1\r\n"[..],       // truncated array
+            &b"hello\r\n"[..],    // unknown type
+            &b"$5\r\nhi\r\n"[..], // bulk shorter than declared
+            &b":notanum\r\n"[..], // bad integer
+            &b"$3\r\nabcXY"[..],  // missing CRLF terminator
+            &b"*2\r\n:1\r\n"[..], // truncated array
         ] {
             assert!(
                 read_value(&mut BufReader::new(bad)).is_err(),

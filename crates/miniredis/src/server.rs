@@ -140,7 +140,11 @@ impl Server {
             for e in crate::persist::load(path)? {
                 g.insert(
                     e.key,
-                    Entry { data: Bytes::from(e.value), expires_at: e.expires_at, last_used: 0 },
+                    Entry {
+                        data: Bytes::from(e.value),
+                        expires_at: e.expires_at,
+                        last_used: 0,
+                    },
                 );
             }
         }
@@ -354,9 +358,10 @@ fn dispatch(
             None => wrong_args("echo"),
         },
         "SET" => {
-            let (Some(key), Some(val)) =
-                (args.first().and_then(arg_str), args.get(1).and_then(arg_bytes))
-            else {
+            let (Some(key), Some(val)) = (
+                args.first().and_then(arg_str),
+                args.get(1).and_then(arg_bytes),
+            ) else {
                 return wrong_args("set");
             };
             // Options: EX seconds | PX millis | NX
@@ -366,8 +371,10 @@ fn dispatch(
             while i < args.len() {
                 match arg_str(&args[i]).map(|s| s.to_ascii_uppercase()).as_deref() {
                     Some("EX") => {
-                        let Some(secs) =
-                            args.get(i + 1).and_then(arg_str).and_then(|s| s.parse::<u64>().ok())
+                        let Some(secs) = args
+                            .get(i + 1)
+                            .and_then(arg_str)
+                            .and_then(|s| s.parse::<u64>().ok())
                         else {
                             return err("invalid EX argument");
                         };
@@ -375,8 +382,10 @@ fn dispatch(
                         i += 2;
                     }
                     Some("PX") => {
-                        let Some(ms) =
-                            args.get(i + 1).and_then(arg_str).and_then(|s| s.parse::<u64>().ok())
+                        let Some(ms) = args
+                            .get(i + 1)
+                            .and_then(arg_str)
+                            .and_then(|s| s.parse::<u64>().ok())
                         else {
                             return err("invalid PX argument");
                         };
@@ -394,7 +403,14 @@ fn dispatch(
             if nx && g.check_live(&key, now) {
                 return Value::nil();
             }
-            g.insert(key, Entry { data: val, expires_at, last_used: tick });
+            g.insert(
+                key,
+                Entry {
+                    data: val,
+                    expires_at,
+                    last_used: tick,
+                },
+            );
             if max_memory > 0 {
                 g.evict_until_under(max_memory);
             }
@@ -439,11 +455,17 @@ fn dispatch(
         "PEXPIRE" | "EXPIRE" => {
             let (Some(key), Some(amount)) = (
                 args.first().and_then(arg_str),
-                args.get(1).and_then(arg_str).and_then(|s| s.parse::<u64>().ok()),
+                args.get(1)
+                    .and_then(arg_str)
+                    .and_then(|s| s.parse::<u64>().ok()),
             ) else {
                 return wrong_args("expire");
             };
-            let ms = if cmd == "EXPIRE" { amount * 1000 } else { amount };
+            let ms = if cmd == "EXPIRE" {
+                amount * 1000
+            } else {
+                amount
+            };
             let mut g = db.lock();
             if !g.check_live(&key, now) {
                 return Value::Int(0);
@@ -475,7 +497,11 @@ fn dispatch(
                 None => Value::Int(-1),
                 Some(t) => {
                     let remain = t.saturating_sub(now);
-                    Value::Int(if cmd == "TTL" { (remain / 1000) as i64 } else { remain as i64 })
+                    Value::Int(if cmd == "TTL" {
+                        (remain / 1000) as i64
+                    } else {
+                        remain as i64
+                    })
                 }
             }
         }
@@ -537,7 +563,14 @@ fn dispatch(
                 let (Some(key), Some(val)) = (arg_str(&pair[0]), arg_bytes(&pair[1])) else {
                     return err("bad MSET pair");
                 };
-                g.insert(key, Entry { data: val, expires_at: None, last_used: tick });
+                g.insert(
+                    key,
+                    Entry {
+                        data: val,
+                        expires_at: None,
+                        last_used: tick,
+                    },
+                );
             }
             if max_memory > 0 {
                 g.evict_until_under(max_memory);
@@ -566,7 +599,9 @@ fn dispatch(
                 }
             }
             Value::Array(Some(
-                live.into_iter().map(|k| Value::bulk(Bytes::from(k.into_bytes()))).collect(),
+                live.into_iter()
+                    .map(|k| Value::bulk(Bytes::from(k.into_bytes())))
+                    .collect(),
             ))
         }
         "SCAN" => {
@@ -660,7 +695,11 @@ fn dispatch(
         },
         "INFO" => {
             let g = db.lock();
-            let body = format!("# miniredis\r\nkeys:{}\r\nbytes:{}\r\n", g.map.len(), g.bytes);
+            let body = format!(
+                "# miniredis\r\nkeys:{}\r\nbytes:{}\r\n",
+                g.map.len(),
+                g.bytes
+            );
             Value::Bulk(Some(Bytes::from(body.into_bytes())))
         }
         other => Value::Error(format!("ERR unknown command '{other}'")),

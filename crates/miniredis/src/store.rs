@@ -21,7 +21,11 @@ pub struct RedisKv {
 impl RedisKv {
     /// Connect to a miniredis server.
     pub fn connect(addr: SocketAddr) -> RedisKv {
-        RedisKv { client: RedisClient::connect(addr), name: "redis".into(), prefix: String::new() }
+        RedisKv {
+            client: RedisClient::connect(addr),
+            name: "redis".into(),
+            prefix: String::new(),
+        }
     }
 
     /// Namespace all keys with `prefix`.
@@ -91,7 +95,32 @@ impl KeyValue for RedisKv {
     }
 
     fn stats(&self) -> Result<StoreStats> {
-        Ok(StoreStats { keys: self.keys()?.len() as u64, bytes: 0 })
+        Ok(StoreStats {
+            keys: self.keys()?.len() as u64,
+            bytes: 0,
+        })
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        let full: Vec<String> = keys.iter().map(|k| self.full(k)).collect();
+        let refs: Vec<&str> = full.iter().map(String::as_str).collect();
+        self.client.mget(&refs)
+    }
+
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        let full: Vec<String> = entries.iter().map(|(k, _)| self.full(k)).collect();
+        let pairs: Vec<(&str, &[u8])> = full
+            .iter()
+            .zip(entries)
+            .map(|(k, &(_, v))| (k.as_str(), v))
+            .collect();
+        self.client.mset(&pairs)
+    }
+
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        let full: Vec<String> = keys.iter().map(|k| self.full(k)).collect();
+        let refs: Vec<&str> = full.iter().map(String::as_str).collect();
+        self.client.del_many(&refs)
     }
 }
 
@@ -114,6 +143,33 @@ mod tests {
     }
 
     #[test]
+    fn batch_ops_respect_prefixes() {
+        let server = Server::start().unwrap();
+        let a = RedisKv::connect(server.addr()).with_prefix("a:");
+        let b = RedisKv::connect(server.addr()).with_prefix("b:");
+        a.put_many(&[("x", b"ax".as_slice()), ("y", b"ay")])
+            .unwrap();
+        b.put_many(&[("x", b"bx".as_slice())]).unwrap();
+        assert_eq!(
+            a.get_many(&["x", "y", "z"]).unwrap(),
+            vec![
+                Some(Bytes::from_static(b"ax")),
+                Some(Bytes::from_static(b"ay")),
+                None
+            ]
+        );
+        assert_eq!(
+            b.get_many(&["x", "y"]).unwrap()[0],
+            Some(Bytes::from_static(b"bx"))
+        );
+        assert_eq!(
+            a.delete_many(&["x", "y", "z"]).unwrap(),
+            vec![true, true, false]
+        );
+        assert!(b.contains("x").unwrap(), "b's namespace must be untouched");
+    }
+
+    #[test]
     fn prefixes_isolate_logical_stores() {
         let server = Server::start().unwrap();
         let a = RedisKv::connect(server.addr()).with_prefix("a:");
@@ -124,7 +180,11 @@ mod tests {
         assert_eq!(b.get("k").unwrap().unwrap(), &b"from-b"[..]);
         a.clear().unwrap();
         assert_eq!(a.get("k").unwrap(), None);
-        assert_eq!(b.get("k").unwrap().unwrap(), &b"from-b"[..], "clear must respect prefix");
+        assert_eq!(
+            b.get("k").unwrap().unwrap(),
+            &b"from-b"[..],
+            "clear must respect prefix"
+        );
         assert_eq!(b.keys().unwrap(), vec!["k"]);
     }
 }

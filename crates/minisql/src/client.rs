@@ -24,7 +24,10 @@ impl Conn {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        Ok(Conn { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
     }
 }
 
@@ -58,8 +61,10 @@ impl MiniSqlClient {
 
     /// Execute a statement verbatim.
     pub fn execute(&self, sql: &str) -> Result<ResultSet> {
-        let request =
-            serde_json::to_vec(&WireRequest { sql: sql.to_string() }).expect("serializes");
+        let request = serde_json::to_vec(&WireRequest {
+            sql: sql.to_string(),
+        })
+        .expect("serializes");
         for attempt in 0..2 {
             let mut conn = match self.pool.lock().pop() {
                 Some(c) if attempt == 0 => c,
@@ -94,6 +99,64 @@ impl MiniSqlClient {
     /// Execute with `?` parameter binding.
     pub fn execute_bound(&self, sql: &str, params: &[SqlValue]) -> Result<ResultSet> {
         self.execute(&bind(sql, params)?)
+    }
+
+    /// Execute statements back-to-back on one connection: every frame is
+    /// written before any reply is read (the server answers in order), so a
+    /// batch pays one round trip instead of one per statement.
+    ///
+    /// The outer `Result` is transport-level; each inner `Result` is that
+    /// statement's own outcome, positionally.
+    pub fn execute_batch(&self, stmts: &[String]) -> Result<Vec<Result<ResultSet>>> {
+        if stmts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let frames: Vec<Vec<u8>> = stmts
+            .iter()
+            .map(|sql| serde_json::to_vec(&WireRequest { sql: sql.clone() }).expect("serializes"))
+            .collect();
+        for attempt in 0..2 {
+            let mut conn = match self.pool.lock().pop() {
+                Some(c) if attempt == 0 => c,
+                _ => Conn::open(self.addr, self.timeout)?,
+            };
+            let outcome = (|| {
+                for frame in &frames {
+                    write_frame(&mut conn.writer, frame)?;
+                }
+                let mut payloads = Vec::with_capacity(frames.len());
+                for _ in &frames {
+                    match read_frame(&mut conn.reader)? {
+                        Some(p) => payloads.push(p),
+                        None => return Err(StoreError::Closed),
+                    }
+                }
+                Ok(payloads)
+            })();
+            match outcome {
+                Ok(payloads) => {
+                    let mut pool = self.pool.lock();
+                    if pool.len() < self.max_idle {
+                        pool.push(conn);
+                    }
+                    drop(pool);
+                    return payloads
+                        .iter()
+                        .map(|p| {
+                            let resp: WireResponse = serde_json::from_slice(p)
+                                .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
+                            Ok(match resp {
+                                WireResponse::Ok(rs) => Ok(rs),
+                                WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
+                            })
+                        })
+                        .collect();
+                }
+                Err(e) if e.is_transient() && attempt == 0 => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second attempt returns")
     }
 }
 
@@ -165,8 +228,11 @@ mod tests {
 
     #[test]
     fn bind_ignores_question_marks_in_strings() {
-        let sql = bind("SELECT * FROM t WHERE a = 'what?' AND b = ?", &[SqlValue::Int(1)])
-            .unwrap();
+        let sql = bind(
+            "SELECT * FROM t WHERE a = 'what?' AND b = ?",
+            &[SqlValue::Int(1)],
+        )
+        .unwrap();
         assert_eq!(sql, "SELECT * FROM t WHERE a = 'what?' AND b = 1");
     }
 
@@ -180,14 +246,21 @@ mod tests {
     fn end_to_end_over_tcp() {
         let server = SqlServer::start_in_memory().unwrap();
         let c = MiniSqlClient::connect(server.addr());
-        c.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v BLOB)").unwrap();
+        c.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v BLOB)")
+            .unwrap();
         c.execute_bound(
             "INSERT INTO t VALUES (?, ?)",
-            &[SqlValue::Text("key1".into()), SqlValue::Blob(b"value1".to_vec())],
+            &[
+                SqlValue::Text("key1".into()),
+                SqlValue::Blob(b"value1".to_vec()),
+            ],
         )
         .unwrap();
         let rs = c
-            .execute_bound("SELECT v FROM t WHERE k = ?", &[SqlValue::Text("key1".into())])
+            .execute_bound(
+                "SELECT v FROM t WHERE k = ?",
+                &[SqlValue::Text("key1".into())],
+            )
             .unwrap();
         assert_eq!(rs.scalar(), Some(&SqlValue::Blob(b"value1".to_vec())));
         // Errors travel back as rejections.
@@ -196,11 +269,39 @@ mod tests {
     }
 
     #[test]
+    fn execute_batch_pipelines_and_reports_per_statement() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = MiniSqlClient::connect(server.addr());
+        c.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INT)")
+            .unwrap();
+        let stmts: Vec<String> = (0..10)
+            .map(|i| format!("INSERT INTO t VALUES ('k{i}', {i})"))
+            .chain([
+                "SELECT COUNT(*) FROM t".to_string(),
+                "SELECT * FROM nope".to_string(),
+            ])
+            .collect();
+        let replies = c.execute_batch(&stmts).unwrap();
+        assert_eq!(replies.len(), 12);
+        assert!(replies[..10].iter().all(Result::is_ok));
+        assert_eq!(
+            replies[10].as_ref().unwrap().scalar(),
+            Some(&SqlValue::Int(10))
+        );
+        // A rejected statement answers its own position without poisoning
+        // the rest of the pipeline.
+        assert!(replies[11].is_err());
+        assert!(c.execute_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
     fn concurrent_clients_share_one_database() {
         let server = SqlServer::start_in_memory().unwrap();
         let addr = server.addr();
         let setup = MiniSqlClient::connect(addr);
-        setup.execute("CREATE TABLE c (id INT PRIMARY KEY, who TEXT)").unwrap();
+        setup
+            .execute("CREATE TABLE c (id INT PRIMARY KEY, who TEXT)")
+            .unwrap();
         let handles: Vec<_> = (0..4)
             .map(|t| {
                 std::thread::spawn(move || {
@@ -208,7 +309,10 @@ mod tests {
                     for i in 0..50 {
                         c.execute_bound(
                             "INSERT INTO c VALUES (?, ?)",
-                            &[SqlValue::Int((t * 50 + i) as i64), SqlValue::Text(format!("t{t}"))],
+                            &[
+                                SqlValue::Int((t * 50 + i) as i64),
+                                SqlValue::Text(format!("t{t}")),
+                            ],
                         )
                         .unwrap();
                     }

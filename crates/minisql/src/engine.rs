@@ -32,7 +32,10 @@ pub struct ResultSet {
 
 impl ResultSet {
     fn affected(n: u64) -> ResultSet {
-        ResultSet { affected: n, ..Default::default() }
+        ResultSet {
+            affected: n,
+            ..Default::default()
+        }
     }
 
     /// First value of the first row, if any (convenience for point reads).
@@ -85,7 +88,9 @@ impl Table {
     }
 
     fn col_index(&self, name: &str) -> Option<usize> {
-        self.schema.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.schema
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     fn pk_key(&self, row: &Row) -> Option<PkKey> {
@@ -207,7 +212,11 @@ impl Table {
         if let Some(expr) = filter {
             if let Some(pk_col) = self.pk {
                 if let Some(lit) = point_lookup_literal(expr, &self.schema[pk_col].name) {
-                    return self.index.get(&PkKey(lit)).map(|&s| vec![s]).unwrap_or_default();
+                    return self
+                        .index
+                        .get(&PkKey(lit))
+                        .map(|&s| vec![s])
+                        .unwrap_or_default();
                 }
             }
             for (&ci, map) in &self.secondary {
@@ -216,13 +225,17 @@ impl Table {
                 }
             }
         }
-        (0..self.rows.len()).filter(|&s| self.rows[s].is_some()).collect()
+        (0..self.rows.len())
+            .filter(|&s| self.rows[s].is_some())
+            .collect()
     }
 }
 
 /// Match `pk = literal` / `literal = pk` for the index fast path.
 fn point_lookup_literal(expr: &Expr, pk_name: &str) -> Option<SqlValue> {
-    let Expr::Bin(lhs, BinOp::Eq, rhs) = expr else { return None };
+    let Expr::Bin(lhs, BinOp::Eq, rhs) = expr else {
+        return None;
+    };
     match (lhs.as_ref(), rhs.as_ref()) {
         (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c))
             if c.eq_ignore_ascii_case(pk_name) =>
@@ -235,13 +248,36 @@ fn point_lookup_literal(expr: &Expr, pk_name: &str) -> Option<SqlValue> {
 
 #[allow(clippy::enum_variant_names)]
 enum UndoOp {
-    UnInsert { table: String, slot: usize },
-    UnDelete { table: String, slot: usize, row: Row },
-    UnUpdate { table: String, slot: usize, old_row: Row },
-    UnCreate { table: String },
-    UnDrop { table: String, snapshot: TableSnapshot, index_names: Vec<(String, usize)> },
-    UnCreateIndex { name: String },
-    UnDropIndex { name: String, table: String, col: usize },
+    UnInsert {
+        table: String,
+        slot: usize,
+    },
+    UnDelete {
+        table: String,
+        slot: usize,
+        row: Row,
+    },
+    UnUpdate {
+        table: String,
+        slot: usize,
+        old_row: Row,
+    },
+    UnCreate {
+        table: String,
+    },
+    UnDrop {
+        table: String,
+        snapshot: TableSnapshot,
+        index_names: Vec<(String, usize)>,
+    },
+    UnCreateIndex {
+        name: String,
+    },
+    UnDropIndex {
+        name: String,
+        table: String,
+        col: usize,
+    },
 }
 
 struct Txn {
@@ -356,7 +392,10 @@ impl Inner {
                 if self.txn.is_some() {
                     return Err(StoreError::Rejected("already in a transaction".into()));
                 }
-                self.txn = Some(Txn { undo: Vec::new(), statements: Vec::new() });
+                self.txn = Some(Txn {
+                    undo: Vec::new(),
+                    statements: Vec::new(),
+                });
                 Ok(ResultSet::default())
             }
             Statement::Commit => {
@@ -381,13 +420,20 @@ impl Inner {
                 // statement's effects.
                 let explicit = self.txn.is_some();
                 if !explicit {
-                    self.txn = Some(Txn { undo: Vec::new(), statements: Vec::new() });
+                    self.txn = Some(Txn {
+                        undo: Vec::new(),
+                        statements: Vec::new(),
+                    });
                 }
                 let undo_mark = self.txn.as_ref().expect("txn exists").undo.len();
                 let result = self.run_mutation(mutating);
                 match result {
                     Ok(rs) => {
-                        self.txn.as_mut().expect("txn exists").statements.push(sql.to_string());
+                        self.txn
+                            .as_mut()
+                            .expect("txn exists")
+                            .statements
+                            .push(sql.to_string());
                         if !explicit {
                             let txn = self.txn.take().expect("txn exists");
                             self.log_commit(txn.statements)?;
@@ -428,9 +474,17 @@ impl Inner {
             return Ok(());
         };
         let snap = DbSnapshot {
-            tables: self.tables.iter().map(|(n, t)| (n.clone(), t.snapshot())).collect(),
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, t)| (n.clone(), t.snapshot()))
+                .collect(),
             txn_counter: self.txn_counter,
-            indexes: self.indexes.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            indexes: self
+                .indexes
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
         };
         let blob = serde_json::to_vec(&snap).expect("snapshot serializes");
         write_snapshot(&path, &blob)?;
@@ -453,7 +507,11 @@ impl Inner {
                         t.restore_slot(slot, row);
                     }
                 }
-                UndoOp::UnUpdate { table, slot, old_row } => {
+                UndoOp::UnUpdate {
+                    table,
+                    slot,
+                    old_row,
+                } => {
                     if let Some(t) = self.tables.get_mut(&table) {
                         t.replace_row(slot, old_row);
                     }
@@ -461,8 +519,13 @@ impl Inner {
                 UndoOp::UnCreate { table } => {
                     self.tables.remove(&table);
                 }
-                UndoOp::UnDrop { table, snapshot, index_names } => {
-                    self.tables.insert(table.clone(), Table::from_snapshot(snapshot));
+                UndoOp::UnDrop {
+                    table,
+                    snapshot,
+                    index_names,
+                } => {
+                    self.tables
+                        .insert(table.clone(), Table::from_snapshot(snapshot));
                     for (name, col) in index_names {
                         self.indexes.insert(name, (table.clone(), col));
                     }
@@ -485,7 +548,11 @@ impl Inner {
     }
 
     fn push_undo(&mut self, op: UndoOp) {
-        self.txn.as_mut().expect("mutations run inside a txn").undo.push(op);
+        self.txn
+            .as_mut()
+            .expect("mutations run inside a txn")
+            .undo
+            .push(op);
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
@@ -496,18 +563,27 @@ impl Inner {
 
     fn run_mutation(&mut self, stmt: Statement) -> Result<ResultSet> {
         match stmt {
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 let key = name.to_ascii_lowercase();
                 if self.tables.contains_key(&key) {
                     return if if_not_exists {
                         Ok(ResultSet::default())
                     } else {
-                        Err(StoreError::Rejected(format!("table {name:?} already exists")))
+                        Err(StoreError::Rejected(format!(
+                            "table {name:?} already exists"
+                        )))
                     };
                 }
                 // Duplicate column names are a schema error.
                 for (i, c) in columns.iter().enumerate() {
-                    if columns[..i].iter().any(|o| o.name.eq_ignore_ascii_case(&c.name)) {
+                    if columns[..i]
+                        .iter()
+                        .any(|o| o.name.eq_ignore_ascii_case(&c.name))
+                    {
                         return Err(StoreError::Rejected(format!(
                             "duplicate column {:?}",
                             c.name
@@ -515,7 +591,9 @@ impl Inner {
                     }
                 }
                 if columns.is_empty() {
-                    return Err(StoreError::Rejected("table needs at least one column".into()));
+                    return Err(StoreError::Rejected(
+                        "table needs at least one column".into(),
+                    ));
                 }
                 self.tables.insert(key.clone(), Table::new(columns));
                 self.push_undo(UndoOp::UnCreate { table: key });
@@ -545,13 +623,20 @@ impl Inner {
                     None => Err(StoreError::Rejected(format!("no such table {name:?}"))),
                 }
             }
-            Statement::CreateIndex { name, table, column, if_not_exists } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                if_not_exists,
+            } => {
                 let iname = name.to_ascii_lowercase();
                 if self.indexes.contains_key(&iname) {
                     return if if_not_exists {
                         Ok(ResultSet::default())
                     } else {
-                        Err(StoreError::Rejected(format!("index {name:?} already exists")))
+                        Err(StoreError::Rejected(format!(
+                            "index {name:?} already exists"
+                        )))
                     };
                 }
                 let tkey = table.to_ascii_lowercase();
@@ -581,17 +666,28 @@ impl Inner {
                         if let Some(t) = self.tables.get_mut(&table) {
                             t.secondary.remove(&col);
                         }
-                        self.push_undo(UndoOp::UnDropIndex { name: iname, table, col });
+                        self.push_undo(UndoOp::UnDropIndex {
+                            name: iname,
+                            table,
+                            col,
+                        });
                         Ok(ResultSet::default())
                     }
                     None if if_exists => Ok(ResultSet::default()),
                     None => Err(StoreError::Rejected(format!("no such index {name:?}"))),
                 }
             }
-            Statement::Insert { table, columns, rows, or_replace } => {
-                self.run_insert(&table, &columns, &rows, or_replace)
-            }
-            Statement::Update { table, sets, filter } => self.run_update(&table, &sets, filter),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+                or_replace,
+            } => self.run_insert(&table, &columns, &rows, or_replace),
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => self.run_update(&table, &sets, filter),
             Statement::Delete { table, filter } => self.run_delete(&table, filter),
             _ => unreachable!("non-mutating statement routed to run_mutation"),
         }
@@ -615,9 +711,8 @@ impl Inner {
                 columns
                     .iter()
                     .map(|c| {
-                        t.col_index(c).ok_or_else(|| {
-                            StoreError::Rejected(format!("no such column {c:?}"))
-                        })
+                        t.col_index(c)
+                            .ok_or_else(|| StoreError::Rejected(format!("no such column {c:?}")))
                     })
                     .collect::<Result<_>>()?
             };
@@ -656,13 +751,20 @@ impl Inner {
                         )));
                     }
                     let old = t.replace_row(slot, row);
-                    self.push_undo(UndoOp::UnUpdate { table: key.clone(), slot, old_row: old });
+                    self.push_undo(UndoOp::UnUpdate {
+                        table: key.clone(),
+                        slot,
+                        old_row: old,
+                    });
                     affected += 1;
                     continue;
                 }
             }
             let slot = t.insert_row(row);
-            self.push_undo(UndoOp::UnInsert { table: key.clone(), slot });
+            self.push_undo(UndoOp::UnInsert {
+                table: key.clone(),
+                slot,
+            });
             affected += 1;
         }
         Ok(ResultSet::affected(affected))
@@ -723,7 +825,11 @@ impl Inner {
                 }
             }
             let old = t.replace_row(slot, new_row);
-            undos.push(UndoOp::UnUpdate { table: key.clone(), slot, old_row: old });
+            undos.push(UndoOp::UnUpdate {
+                table: key.clone(),
+                slot,
+                old_row: old,
+            });
             affected += 1;
         }
         self.txn.as_mut().expect("in txn").undo.extend(undos);
@@ -746,15 +852,26 @@ impl Inner {
             }
             let t = self.tables.get_mut(&key).expect("exists");
             let removed = t.remove_slot(slot).expect("live slot");
-            self.push_undo(UndoOp::UnDelete { table: key.clone(), slot, row: removed });
+            self.push_undo(UndoOp::UnDelete {
+                table: key.clone(),
+                slot,
+                row: removed,
+            });
             affected += 1;
         }
         Ok(ResultSet::affected(affected))
     }
 
     fn run_select(&mut self, stmt: Statement) -> Result<ResultSet> {
-        let Statement::Select { projection, table, filter, group_by, order_by, limit, offset } =
-            stmt
+        let Statement::Select {
+            projection,
+            table,
+            filter,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        } = stmt
         else {
             unreachable!("run_select takes Select");
         };
@@ -858,7 +975,12 @@ fn aggregate_rows(
         aggs.iter()
             .zip(&arg_cols)
             .map(|(a, ci)| {
-                let values = || group.iter().map(|r| &r[ci.expect("has col")]).filter(|v| !v.is_null());
+                let values = || {
+                    group
+                        .iter()
+                        .map(|r| &r[ci.expect("has col")])
+                        .filter(|v| !v.is_null())
+                };
                 Ok(match a.func {
                     AggFunc::CountStar => SqlValue::Int(group.len() as i64),
                     AggFunc::Count => SqlValue::Int(values().count() as i64),
@@ -901,14 +1023,8 @@ fn aggregate_rows(
                             best = Some(match best {
                                 None => v,
                                 Some(b) => match v.compare(b) {
-                                    Some(std::cmp::Ordering::Less)
-                                        if a.func == AggFunc::Min =>
-                                    {
-                                        v
-                                    }
-                                    Some(std::cmp::Ordering::Greater)
-                                        if a.func == AggFunc::Max =>
-                                    {
+                                    Some(std::cmp::Ordering::Less) if a.func == AggFunc::Min => v,
+                                    Some(std::cmp::Ordering::Greater) if a.func == AggFunc::Max => {
                                         v
                                     }
                                     None => {
@@ -951,7 +1067,11 @@ fn aggregate_rows(
                 row.extend(compute(&group)?);
                 out_rows.push(row);
             }
-            Ok(ResultSet { columns, rows: out_rows, affected: 0 })
+            Ok(ResultSet {
+                columns,
+                rows: out_rows,
+                affected: 0,
+            })
         }
     }
 }

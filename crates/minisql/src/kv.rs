@@ -7,10 +7,11 @@
 //! transaction paying the WAL fsync — which is why, as in the paper's
 //! Fig. 10, SQL writes are far slower than reads.
 
-use crate::client::MiniSqlClient;
+use crate::client::{bind, MiniSqlClient};
 use crate::value::SqlValue;
 use bytes::Bytes;
 use kvapi::{KeyValue, Result, StoreError, StoreStats};
+use parking_lot::Mutex;
 use std::net::SocketAddr;
 
 /// Key-value store backed by a minisql server.
@@ -18,6 +19,10 @@ pub struct SqlKv {
     client: MiniSqlClient,
     name: String,
     table: String,
+    /// Serializes batch transactions issued through this handle: the engine
+    /// tracks one global transaction, so two interleaved `BEGIN`s from the
+    /// same store would reject each other.
+    txn: Mutex<()>,
 }
 
 impl SqlKv {
@@ -30,13 +35,20 @@ impl SqlKv {
     /// a server).
     pub fn connect_table(addr: SocketAddr, table: &str) -> Result<SqlKv> {
         if !table.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-            return Err(StoreError::Rejected(format!("invalid table name {table:?}")));
+            return Err(StoreError::Rejected(format!(
+                "invalid table name {table:?}"
+            )));
         }
         let client = MiniSqlClient::connect(addr);
         client.execute(&format!(
             "CREATE TABLE IF NOT EXISTS {table} (k TEXT PRIMARY KEY, v BLOB NOT NULL)"
         ))?;
-        Ok(SqlKv { client, name: "minisql".to_string(), table: table.to_string() })
+        Ok(SqlKv {
+            client,
+            name: "minisql".to_string(),
+            table: table.to_string(),
+            txn: Mutex::new(()),
+        })
     }
 
     /// Override the display name.
@@ -50,6 +62,43 @@ impl SqlKv {
     pub fn client(&self) -> &MiniSqlClient {
         &self.client
     }
+
+    /// Pipeline `BEGIN` plus `stmts`, then `COMMIT` on success or `ROLLBACK`
+    /// if any statement was rejected. The whole batch pays the WAL fsync
+    /// once at commit instead of once per auto-committed statement, and two
+    /// round trips total instead of one per statement.
+    fn run_in_txn(&self, stmts: Vec<String>) -> Result<Vec<crate::engine::ResultSet>> {
+        let _guard = self.txn.lock();
+        let mut batch = Vec::with_capacity(stmts.len() + 1);
+        batch.push("BEGIN".to_string());
+        batch.extend(stmts);
+        let replies = match self.client.execute_batch(&batch) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = self.client.execute("ROLLBACK");
+                return Err(e);
+            }
+        };
+        let mut out = Vec::with_capacity(replies.len().saturating_sub(1));
+        for reply in replies.into_iter().skip(1) {
+            match reply {
+                Ok(rs) => out.push(rs),
+                Err(e) => {
+                    let _ = self.client.execute("ROLLBACK");
+                    return Err(e);
+                }
+            }
+        }
+        self.client.execute("COMMIT")?;
+        Ok(out)
+    }
+
+    fn select_stmt(&self, key: &str) -> Result<String> {
+        bind(
+            &format!("SELECT v FROM {} WHERE k = ?", self.table),
+            &[SqlValue::Text(key.to_string())],
+        )
+    }
 }
 
 impl KeyValue for SqlKv {
@@ -60,7 +109,10 @@ impl KeyValue for SqlKv {
     fn put(&self, key: &str, value: &[u8]) -> Result<()> {
         self.client.execute_bound(
             &format!("INSERT OR REPLACE INTO {} VALUES (?, ?)", self.table),
-            &[SqlValue::Text(key.to_string()), SqlValue::Blob(value.to_vec())],
+            &[
+                SqlValue::Text(key.to_string()),
+                SqlValue::Blob(value.to_vec()),
+            ],
         )?;
         Ok(())
     }
@@ -74,7 +126,9 @@ impl KeyValue for SqlKv {
             None => Ok(None),
             Some(mut row) => match row.pop() {
                 Some(SqlValue::Blob(b)) => Ok(Some(Bytes::from(b))),
-                other => Err(StoreError::protocol(format!("expected blob, got {other:?}"))),
+                other => Err(StoreError::protocol(format!(
+                    "expected blob, got {other:?}"
+                ))),
             },
         }
     }
@@ -96,28 +150,93 @@ impl KeyValue for SqlKv {
     }
 
     fn keys(&self) -> Result<Vec<String>> {
-        let rs = self.client.execute(&format!("SELECT k FROM {} ORDER BY k", self.table))?;
+        let rs = self
+            .client
+            .execute(&format!("SELECT k FROM {} ORDER BY k", self.table))?;
         rs.rows
             .into_iter()
             .map(|mut row| match row.pop() {
                 Some(SqlValue::Text(k)) => Ok(k),
-                other => Err(StoreError::protocol(format!("expected text key, got {other:?}"))),
+                other => Err(StoreError::protocol(format!(
+                    "expected text key, got {other:?}"
+                ))),
             })
             .collect()
     }
 
     fn clear(&self) -> Result<()> {
-        self.client.execute(&format!("DELETE FROM {}", self.table))?;
+        self.client
+            .execute(&format!("DELETE FROM {}", self.table))?;
         Ok(())
     }
 
     fn stats(&self) -> Result<StoreStats> {
-        let rs = self.client.execute(&format!("SELECT COUNT(*) FROM {}", self.table))?;
+        let rs = self
+            .client
+            .execute(&format!("SELECT COUNT(*) FROM {}", self.table))?;
         let keys = match rs.scalar() {
             Some(SqlValue::Int(n)) => *n as u64,
             _ => 0,
         };
         Ok(StoreStats { keys, bytes: 0 })
+    }
+
+    fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        // Point SELECTs pipelined on one connection — no transaction needed
+        // for reads, but still one round trip for the whole batch.
+        let stmts: Vec<String> = keys
+            .iter()
+            .map(|k| self.select_stmt(k))
+            .collect::<Result<_>>()?;
+        self.client
+            .execute_batch(&stmts)?
+            .into_iter()
+            .map(|reply| match reply?.rows.into_iter().next() {
+                None => Ok(None),
+                Some(mut row) => match row.pop() {
+                    Some(SqlValue::Blob(b)) => Ok(Some(Bytes::from(b))),
+                    other => Err(StoreError::protocol(format!(
+                        "expected blob, got {other:?}"
+                    ))),
+                },
+            })
+            .collect()
+    }
+
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let stmts: Vec<String> = entries
+            .iter()
+            .map(|&(k, v)| {
+                bind(
+                    &format!("INSERT OR REPLACE INTO {} VALUES (?, ?)", self.table),
+                    &[SqlValue::Text(k.to_string()), SqlValue::Blob(v.to_vec())],
+                )
+            })
+            .collect::<Result<_>>()?;
+        self.run_in_txn(stmts).map(|_| ())
+    }
+
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let stmts: Vec<String> = keys
+            .iter()
+            .map(|k| {
+                bind(
+                    &format!("DELETE FROM {} WHERE k = ?", self.table),
+                    &[SqlValue::Text(k.to_string())],
+                )
+            })
+            .collect::<Result<_>>()?;
+        Ok(self
+            .run_in_txn(stmts)?
+            .into_iter()
+            .map(|rs| rs.affected > 0)
+            .collect())
     }
 }
 
@@ -160,6 +279,50 @@ mod tests {
         assert_eq!(a.get("k").unwrap(), None);
         assert_eq!(b.get("k").unwrap().unwrap(), &b"b"[..]);
         assert!(SqlKv::connect_table(server.addr(), "bad name").is_err());
+    }
+
+    #[test]
+    fn batch_puts_commit_as_one_transaction() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let kv = SqlKv::connect(server.addr()).unwrap();
+        let entries: Vec<(String, Vec<u8>)> = (0..20)
+            .map(|i| (format!("k{i}"), format!("v{i}").into_bytes()))
+            .collect();
+        let refs: Vec<(&str, &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+            .collect();
+        kv.put_many(&refs).unwrap();
+        assert_eq!(kv.stats().unwrap().keys, 20);
+        // No transaction left dangling: a fresh explicit one must start.
+        kv.client().execute("BEGIN").unwrap();
+        kv.client().execute("COMMIT").unwrap();
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        let got = kv.get_many(&keys).unwrap();
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.as_deref() == Some(entries[i].1.as_slice())));
+        let deleted = kv.delete_many(&keys).unwrap();
+        assert!(deleted.iter().all(|&d| d));
+        assert_eq!(kv.stats().unwrap().keys, 0);
+    }
+
+    #[test]
+    fn batch_keys_with_quotes_stay_escaped() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let kv = SqlKv::connect(server.addr()).unwrap();
+        let evil = "x'; DROP TABLE kv; --";
+        kv.put_many(&[(evil, b"payload".as_slice()), ("plain", b"p")])
+            .unwrap();
+        assert_eq!(
+            kv.get_many(&[evil, "plain"]).unwrap(),
+            vec![
+                Some(Bytes::from_static(b"payload")),
+                Some(Bytes::from_static(b"p"))
+            ]
+        );
+        assert_eq!(kv.delete_many(&[evil]).unwrap(), vec![true]);
     }
 
     #[test]

@@ -103,14 +103,20 @@ impl Parser {
                     self.expect_kw("EXISTS")?;
                     true
                 };
-                return Ok(Statement::DropIndex { name: self.ident()?, if_exists });
+                return Ok(Statement::DropIndex {
+                    name: self.ident()?,
+                    if_exists,
+                });
             }
             self.expect_kw("TABLE")?;
             let if_exists = self.eat_kw("IF") && {
                 self.expect_kw("EXISTS")?;
                 true
             };
-            return Ok(Statement::DropTable { name: self.ident()?, if_exists });
+            return Ok(Statement::DropTable {
+                name: self.ident()?,
+                if_exists,
+            });
         }
         if self.eat_kw("INSERT") {
             return self.insert();
@@ -154,7 +160,12 @@ impl Parser {
         self.expect_sym("(")?;
         let column = self.ident()?;
         self.expect_sym(")")?;
-        Ok(Statement::CreateIndex { name, table, column, if_not_exists })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+            if_not_exists,
+        })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -195,7 +206,12 @@ impl Parser {
                     break;
                 }
             }
-            columns.push(ColumnDef { name: col_name, ty, primary_key, not_null });
+            columns.push(ColumnDef {
+                name: col_name,
+                ty,
+                primary_key,
+                not_null,
+            });
             if self.eat_sym(",") {
                 continue;
             }
@@ -205,7 +221,11 @@ impl Parser {
         if columns.iter().filter(|c| c.primary_key).count() > 1 {
             return Err(self.error("multiple PRIMARY KEY columns"));
         }
-        Ok(Statement::CreateTable { name, columns, if_not_exists })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -246,7 +266,12 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, rows, or_replace })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+            or_replace,
+        })
     }
 
     /// Parse one aggregate call if the next tokens form one.
@@ -266,9 +291,15 @@ impl Parser {
         }
         self.pos += 2; // function word + '('
         let agg = if func == AggFunc::Count && self.eat_sym("*") {
-            Aggregate { func: AggFunc::CountStar, col: None }
+            Aggregate {
+                func: AggFunc::CountStar,
+                col: None,
+            }
         } else {
-            Aggregate { func, col: Some(self.ident()?) }
+            Aggregate {
+                func,
+                col: Some(self.ident()?),
+            }
         };
         self.expect_sym(")")?;
         Ok(Some(agg))
@@ -283,8 +314,7 @@ impl Parser {
                 match self.try_aggregate()? {
                     Some(a) => aggs.push(a),
                     None => {
-                        return Err(self
-                            .error("projections mixing aggregates and plain columns"))
+                        return Err(self.error("projections mixing aggregates and plain columns"))
                     }
                 }
             }
@@ -321,9 +351,25 @@ impl Parser {
         } else {
             None
         };
-        let limit = if self.eat_kw("LIMIT") { Some(self.usize_lit()?) } else { None };
-        let offset = if self.eat_kw("OFFSET") { Some(self.usize_lit()?) } else { None };
-        Ok(Statement::Select { projection, table, filter, group_by, order_by, limit, offset })
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.usize_lit()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw("OFFSET") {
+            Some(self.usize_lit()?)
+        } else {
+            None
+        };
+        Ok(Statement::Select {
+            projection,
+            table,
+            filter,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn usize_lit(&mut self) -> Result<usize> {
@@ -346,7 +392,11 @@ impl Parser {
             }
         }
         let filter = self.where_clause()?;
-        Ok(Statement::Update { table, sets, filter })
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn where_clause(&mut self) -> Result<Option<Expr>> {
@@ -472,9 +522,7 @@ impl Parser {
             Some(Token::Real(f)) => Ok(Expr::Lit(SqlValue::Real(f))),
             Some(Token::Str(s)) => Ok(Expr::Lit(SqlValue::Text(s))),
             Some(Token::Blob(b)) => Ok(Expr::Lit(SqlValue::Blob(b))),
-            Some(Token::Word(w)) if w.eq_ignore_ascii_case("NULL") => {
-                Ok(Expr::Lit(SqlValue::Null))
-            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("NULL") => Ok(Expr::Lit(SqlValue::Null)),
             Some(Token::Word(w)) if w.eq_ignore_ascii_case("TRUE") => {
                 Ok(Expr::Lit(SqlValue::Bool(true)))
             }
@@ -482,9 +530,10 @@ impl Parser {
                 Ok(Expr::Lit(SqlValue::Bool(false)))
             }
             Some(Token::Word(w)) => Ok(Expr::Col(w)),
-            Some(Token::Sym("?")) => Err(self.error(
-                "unbound '?' placeholder: bind parameters client-side before sending",
-            )),
+            Some(Token::Sym("?")) => {
+                Err(self
+                    .error("unbound '?' placeholder: bind parameters client-side before sending"))
+            }
             other => Err(self.error(format!("expected expression, got {other:?}"))),
         }
     }
@@ -496,12 +545,14 @@ mod tests {
 
     #[test]
     fn create_table() {
-        let s = parse(
-            "CREATE TABLE IF NOT EXISTS kv (k TEXT PRIMARY KEY, v BLOB NOT NULL, n INT)",
-        )
-        .unwrap();
+        let s = parse("CREATE TABLE IF NOT EXISTS kv (k TEXT PRIMARY KEY, v BLOB NOT NULL, n INT)")
+            .unwrap();
         match s {
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 assert_eq!(name, "kv");
                 assert!(if_not_exists);
                 assert_eq!(columns.len(), 3);
@@ -529,7 +580,12 @@ mod tests {
     fn insert_multi_row_and_or_replace() {
         let s = parse("INSERT OR REPLACE INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
-            Statement::Insert { table, columns, rows, or_replace } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+                or_replace,
+            } => {
                 assert_eq!(table, "t");
                 assert!(or_replace);
                 assert_eq!(columns, vec!["a", "b"]);
@@ -547,8 +603,19 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::Select { projection, table, filter, order_by, limit, offset, .. } => {
-                assert_eq!(projection, Projection::Columns(vec!["a".into(), "b".into()]));
+            Statement::Select {
+                projection,
+                table,
+                filter,
+                order_by,
+                limit,
+                offset,
+                ..
+            } => {
+                assert_eq!(
+                    projection,
+                    Projection::Columns(vec!["a".into(), "b".into()])
+                );
                 assert_eq!(table, "t");
                 assert!(filter.is_some());
                 assert_eq!(order_by, Some(("a".into(), Order::Desc)));
@@ -563,8 +630,18 @@ mod tests {
     fn count_star() {
         let s = parse("SELECT COUNT(*) FROM t WHERE v IS NOT NULL").unwrap();
         match s {
-            Statement::Select { projection: Projection::Aggregates(aggs), filter: Some(f), .. } => {
-                assert_eq!(aggs, vec![Aggregate { func: AggFunc::CountStar, col: None }]);
+            Statement::Select {
+                projection: Projection::Aggregates(aggs),
+                filter: Some(f),
+                ..
+            } => {
+                assert_eq!(
+                    aggs,
+                    vec![Aggregate {
+                        func: AggFunc::CountStar,
+                        col: None
+                    }]
+                );
                 assert_eq!(f, Expr::IsNull(Box::new(Expr::Col("v".into())), true));
             }
             other => panic!("{other:?}"),
@@ -575,13 +652,21 @@ mod tests {
     fn precedence() {
         // a = 1 OR b = 2 AND c = 3  →  a=1 OR (b=2 AND c=3)
         let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
-        let Statement::Select { filter: Some(Expr::Bin(_, BinOp::Or, rhs)), .. } = s else {
+        let Statement::Select {
+            filter: Some(Expr::Bin(_, BinOp::Or, rhs)),
+            ..
+        } = s
+        else {
             panic!("expected OR at top level");
         };
         assert!(matches!(*rhs, Expr::Bin(_, BinOp::And, _)));
         // 1 + 2 * 3  →  1 + (2*3)
         let s = parse("SELECT * FROM t WHERE x = 1 + 2 * 3").unwrap();
-        let Statement::Select { filter: Some(Expr::Bin(_, BinOp::Eq, rhs)), .. } = s else {
+        let Statement::Select {
+            filter: Some(Expr::Bin(_, BinOp::Eq, rhs)),
+            ..
+        } = s
+        else {
             panic!("expected Eq at top");
         };
         assert!(matches!(*rhs, Expr::Bin(_, BinOp::Add, _)));
@@ -590,7 +675,11 @@ mod tests {
     #[test]
     fn unary_minus_and_not() {
         let s = parse("SELECT * FROM t WHERE NOT x < -5").unwrap();
-        let Statement::Select { filter: Some(Expr::Not(inner)), .. } = s else {
+        let Statement::Select {
+            filter: Some(Expr::Not(inner)),
+            ..
+        } = s
+        else {
             panic!("expected NOT");
         };
         assert!(matches!(*inner, Expr::Bin(_, BinOp::Lt, _)));
@@ -615,7 +704,13 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let s = parse("DELETE FROM t").unwrap();
-        assert_eq!(s, Statement::Delete { table: "t".into(), filter: None });
+        assert_eq!(
+            s,
+            Statement::Delete {
+                table: "t".into(),
+                filter: None
+            }
+        );
     }
 
     #[test]

@@ -47,10 +47,13 @@ pub(crate) fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     }
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME {
-        return Err(StoreError::protocol(format!("frame of {len} bytes exceeds limit")));
+        return Err(StoreError::protocol(format!(
+            "frame of {len} bytes exceeds limit"
+        )));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload).map_err(|_| StoreError::protocol("truncated frame"))?;
+    r.read_exact(&mut payload)
+        .map_err(|_| StoreError::protocol("truncated frame"))?;
     Ok(Some(payload))
 }
 
@@ -125,7 +128,13 @@ impl SqlServer {
             }))
         };
 
-        Ok(SqlServer { addr, shutdown, accept_thread, conns, db })
+        Ok(SqlServer {
+            addr,
+            shutdown,
+            accept_thread,
+            conns,
+            db,
+        })
     }
 
     /// Bound address.

@@ -163,7 +163,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 j += 1;
             }
             if j >= bytes.len() {
-                return Err(StoreError::Rejected("unterminated quoted identifier".into()));
+                return Err(StoreError::Rejected(
+                    "unterminated quoted identifier".into(),
+                ));
             }
             out.push(Token::Word(sql[i + 1..j].to_string()));
             i = j + 1;

@@ -79,7 +79,9 @@ impl SqlValue {
     /// mode).
     pub fn coerce(self, ty: SqlType) -> Result<SqlValue> {
         let reject = |v: &SqlValue| {
-            Err(StoreError::Rejected(format!("cannot store {v:?} in {ty:?} column")))
+            Err(StoreError::Rejected(format!(
+                "cannot store {v:?} in {ty:?} column"
+            )))
         };
         match (ty, self) {
             (_, SqlValue::Null) => Ok(SqlValue::Null),
@@ -203,8 +205,13 @@ mod tests {
             SqlValue::Text("ab".into()).coerce(SqlType::Blob).unwrap(),
             SqlValue::Blob(b"ab".to_vec())
         );
-        assert!(SqlValue::Text("ab".into()).coerce(SqlType::Integer).is_err());
-        assert_eq!(SqlValue::Null.coerce(SqlType::Integer).unwrap(), SqlValue::Null);
+        assert!(SqlValue::Text("ab".into())
+            .coerce(SqlType::Integer)
+            .is_err());
+        assert_eq!(
+            SqlValue::Null.coerce(SqlType::Integer).unwrap(),
+            SqlValue::Null
+        );
     }
 
     #[test]
@@ -212,7 +219,10 @@ mod tests {
         use SqlValue::*;
         assert_eq!(Int(1).compare(&Int(2)), Some(Ordering::Less));
         assert_eq!(Int(2).compare(&Real(2.0)), Some(Ordering::Equal));
-        assert_eq!(Text("b".into()).compare(&Text("a".into())), Some(Ordering::Greater));
+        assert_eq!(
+            Text("b".into()).compare(&Text("a".into())),
+            Some(Ordering::Greater)
+        );
         assert_eq!(Null.compare(&Int(1)), None);
         assert_eq!(Int(1).compare(&Text("1".into())), None);
     }

@@ -41,7 +41,11 @@ fn crc32(data: &[u8]) -> u32 {
     for &b in data {
         crc ^= u32::from(b);
         for _ in 0..8 {
-            crc = if crc & 1 != 0 { 0xedb8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                0xedb8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
         }
     }
     crc ^ 0xffff_ffff
@@ -61,7 +65,12 @@ impl Wal {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let bytes = file.metadata()?.len();
-        Ok(Wal { path, file, sync, bytes })
+        Ok(Wal {
+            path,
+            file,
+            sync,
+            bytes,
+        })
     }
 
     /// Append one committed transaction; honors the sync mode.
@@ -86,7 +95,11 @@ impl Wal {
 
     /// Truncate the log (after a checkpoint has made it redundant).
     pub fn truncate(&mut self) -> Result<()> {
-        self.file = OpenOptions::new().create(true).write(true).truncate(true).open(&self.path)?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)?;
         self.file.sync_data()?;
         // Reopen in append mode.
         self.file = OpenOptions::new().append(true).open(&self.path)?;
@@ -163,7 +176,10 @@ mod tests {
     }
 
     fn rec(txn: u64, sql: &str) -> WalRecord {
-        WalRecord { txn, statements: vec![sql.to_string()] }
+        WalRecord {
+            txn,
+            statements: vec![sql.to_string()],
+        }
     }
 
     #[test]

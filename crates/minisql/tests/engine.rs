@@ -43,13 +43,17 @@ fn where_combinations() {
         .execute("SELECT name FROM users WHERE age >= 30 AND score > 5.0 ORDER BY name")
         .unwrap();
     assert_eq!(rs.rows, vec![vec![SqlValue::Text("alice".into())]]);
-    let rs = db.execute("SELECT name FROM users WHERE age IS NULL").unwrap();
+    let rs = db
+        .execute("SELECT name FROM users WHERE age IS NULL")
+        .unwrap();
     assert_eq!(rs.rows, vec![vec![SqlValue::Text("carol".into())]]);
     let rs = db
         .execute("SELECT COUNT(*) FROM users WHERE score IS NOT NULL")
         .unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(3)));
-    let rs = db.execute("SELECT name FROM users WHERE name LIKE '%a%' ORDER BY name").unwrap();
+    let rs = db
+        .execute("SELECT name FROM users WHERE name LIKE '%a%' ORDER BY name")
+        .unwrap();
     assert_eq!(rs.rows.len(), 3); // alice, carol, dave
 }
 
@@ -57,9 +61,13 @@ fn where_combinations() {
 fn null_comparisons_never_match() {
     let db = db_with_users();
     // age = NULL matches nothing (three-valued logic).
-    let rs = db.execute("SELECT name FROM users WHERE age = NULL").unwrap();
+    let rs = db
+        .execute("SELECT name FROM users WHERE age = NULL")
+        .unwrap();
     assert!(rs.rows.is_empty());
-    let rs = db.execute("SELECT name FROM users WHERE age != 30").unwrap();
+    let rs = db
+        .execute("SELECT name FROM users WHERE age != 30")
+        .unwrap();
     // carol (NULL age) excluded.
     assert_eq!(rs.rows.len(), 2);
 }
@@ -74,14 +82,19 @@ fn order_limit_offset() {
     // (reverse of NULL-first). Skip dave → alice, bob.
     assert_eq!(
         rs.rows,
-        vec![vec![SqlValue::Text("alice".into())], vec![SqlValue::Text("bob".into())]]
+        vec![
+            vec![SqlValue::Text("alice".into())],
+            vec![SqlValue::Text("bob".into())]
+        ]
     );
 }
 
 #[test]
 fn update_with_expressions() {
     let db = db_with_users();
-    let rs = db.execute("UPDATE users SET age = age + 1 WHERE age IS NOT NULL").unwrap();
+    let rs = db
+        .execute("UPDATE users SET age = age + 1 WHERE age IS NOT NULL")
+        .unwrap();
     assert_eq!(rs.affected, 3);
     let rs = db.execute("SELECT age FROM users WHERE id = 1").unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(31)));
@@ -95,7 +108,8 @@ fn delete_and_count() {
     let rs = db.execute("SELECT COUNT(*) FROM users").unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(3)));
     // Slot reuse: insert after delete.
-    db.execute("INSERT INTO users (id, name) VALUES (5, 'erin')").unwrap();
+    db.execute("INSERT INTO users (id, name) VALUES (5, 'erin')")
+        .unwrap();
     let rs = db.execute("SELECT COUNT(*) FROM users").unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(4)));
 }
@@ -103,33 +117,47 @@ fn delete_and_count() {
 #[test]
 fn primary_key_uniqueness() {
     let db = db_with_users();
-    let err = db.execute("INSERT INTO users (id, name) VALUES (1, 'dup')").unwrap_err();
+    let err = db
+        .execute("INSERT INTO users (id, name) VALUES (1, 'dup')")
+        .unwrap_err();
     assert!(err.to_string().contains("duplicate"), "{err}");
     // OR REPLACE takes the other path.
-    db.execute("INSERT OR REPLACE INTO users (id, name) VALUES (1, 'replaced')").unwrap();
+    db.execute("INSERT OR REPLACE INTO users (id, name) VALUES (1, 'replaced')")
+        .unwrap();
     let rs = db.execute("SELECT name FROM users WHERE id = 1").unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Text("replaced".into())));
     // PK update collision detected.
-    let err = db.execute("UPDATE users SET id = 2 WHERE id = 1").unwrap_err();
+    let err = db
+        .execute("UPDATE users SET id = 2 WHERE id = 1")
+        .unwrap_err();
     assert!(err.to_string().contains("duplicate"), "{err}");
 }
 
 #[test]
 fn not_null_enforced() {
     let db = db_with_users();
-    assert!(db.execute("INSERT INTO users (id) VALUES (9)").is_err(), "name is NOT NULL");
-    assert!(db.execute("UPDATE users SET name = NULL WHERE id = 1").is_err());
+    assert!(
+        db.execute("INSERT INTO users (id) VALUES (9)").is_err(),
+        "name is NOT NULL"
+    );
+    assert!(db
+        .execute("UPDATE users SET name = NULL WHERE id = 1")
+        .is_err());
 }
 
 #[test]
 fn type_coercion_on_write() {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE t (a INT PRIMARY KEY, b REAL, c BLOB)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, 2, 'text-as-blob')").unwrap();
+    db.execute("CREATE TABLE t (a INT PRIMARY KEY, b REAL, c BLOB)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 2, 'text-as-blob')")
+        .unwrap();
     let rs = db.execute("SELECT b, c FROM t WHERE a = 1").unwrap();
     assert_eq!(rs.rows[0][0], SqlValue::Real(2.0));
     assert_eq!(rs.rows[0][1], SqlValue::Blob(b"text-as-blob".to_vec()));
-    assert!(db.execute("INSERT INTO t VALUES (2, 'nope', x'00')").is_err());
+    assert!(db
+        .execute("INSERT INTO t VALUES (2, 'nope', x'00')")
+        .is_err());
 }
 
 #[test]
@@ -140,8 +168,14 @@ fn multi_row_insert_is_atomic() {
         .execute("INSERT INTO users (id, name) VALUES (10, 'ok'), (1, 'dup')")
         .unwrap_err();
     assert!(err.to_string().contains("duplicate"), "{err}");
-    let rs = db.execute("SELECT COUNT(*) FROM users WHERE id = 10").unwrap();
-    assert_eq!(rs.scalar(), Some(&SqlValue::Int(0)), "partial insert leaked");
+    let rs = db
+        .execute("SELECT COUNT(*) FROM users WHERE id = 10")
+        .unwrap();
+    assert_eq!(
+        rs.scalar(),
+        Some(&SqlValue::Int(0)),
+        "partial insert leaked"
+    );
 }
 
 #[test]
@@ -149,15 +183,25 @@ fn transactions_commit_and_rollback() {
     let db = db_with_users();
     db.execute("BEGIN").unwrap();
     db.execute("DELETE FROM users").unwrap();
-    db.execute("INSERT INTO users (id, name) VALUES (100, 'only')").unwrap();
+    db.execute("INSERT INTO users (id, name) VALUES (100, 'only')")
+        .unwrap();
     let rs = db.execute("SELECT COUNT(*) FROM users").unwrap();
-    assert_eq!(rs.scalar(), Some(&SqlValue::Int(1)), "txn sees its own writes");
+    assert_eq!(
+        rs.scalar(),
+        Some(&SqlValue::Int(1)),
+        "txn sees its own writes"
+    );
     db.execute("ROLLBACK").unwrap();
     let rs = db.execute("SELECT COUNT(*) FROM users").unwrap();
-    assert_eq!(rs.scalar(), Some(&SqlValue::Int(4)), "rollback restores everything");
+    assert_eq!(
+        rs.scalar(),
+        Some(&SqlValue::Int(4)),
+        "rollback restores everything"
+    );
 
     db.execute("BEGIN").unwrap();
-    db.execute("UPDATE users SET name = 'x' WHERE id = 1").unwrap();
+    db.execute("UPDATE users SET name = 'x' WHERE id = 1")
+        .unwrap();
     db.execute("COMMIT").unwrap();
     let rs = db.execute("SELECT name FROM users WHERE id = 1").unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Text("x".into())));
@@ -170,7 +214,8 @@ fn rollback_restores_schema_changes() {
     db.execute("INSERT INTO keep VALUES (1)").unwrap();
     db.execute("BEGIN").unwrap();
     db.execute("DROP TABLE keep").unwrap();
-    db.execute("CREATE TABLE fresh (b INT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE fresh (b INT PRIMARY KEY)")
+        .unwrap();
     db.execute("ROLLBACK").unwrap();
     // keep is back with data; fresh is gone.
     let rs = db.execute("SELECT COUNT(*) FROM keep").unwrap();
@@ -191,10 +236,16 @@ fn nested_begin_rejected() {
 #[test]
 fn division_by_zero_and_arithmetic() {
     let db = db_with_users();
-    assert!(db.execute("SELECT name FROM users WHERE age / 0 = 1").is_err());
-    let rs = db.execute("SELECT name FROM users WHERE (age * 2) % 10 = 0 AND age > 0").unwrap();
+    assert!(db
+        .execute("SELECT name FROM users WHERE age / 0 = 1")
+        .is_err());
+    let rs = db
+        .execute("SELECT name FROM users WHERE (age * 2) % 10 = 0 AND age > 0")
+        .unwrap();
     assert_eq!(rs.rows.len(), 2); // alice 30→60, bob 25→50
-    let rs = db.execute("SELECT name FROM users WHERE score * 2 = 19.0").unwrap();
+    let rs = db
+        .execute("SELECT name FROM users WHERE score * 2 = 19.0")
+        .unwrap();
     assert_eq!(rs.rows, vec![vec![SqlValue::Text("alice".into())]]);
 }
 
@@ -204,7 +255,8 @@ fn durability_and_recovery() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Database::open(&dir, SyncMode::Always).unwrap();
-        db.execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v BLOB)").unwrap();
+        db.execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v BLOB)")
+            .unwrap();
         db.execute("INSERT INTO kv VALUES ('a', x'0102')").unwrap();
         db.execute("BEGIN").unwrap();
         db.execute("INSERT INTO kv VALUES ('b', x'03')").unwrap();
@@ -217,7 +269,10 @@ fn durability_and_recovery() {
     let rs = db.execute("SELECT k FROM kv ORDER BY k").unwrap();
     assert_eq!(
         rs.rows,
-        vec![vec![SqlValue::Text("a".into())], vec![SqlValue::Text("b".into())]],
+        vec![
+            vec![SqlValue::Text("a".into())],
+            vec![SqlValue::Text("b".into())]
+        ],
         "committed rows survive, uncommitted do not"
     );
     std::fs::remove_dir_all(&dir).ok();
@@ -229,19 +284,25 @@ fn checkpoint_then_recover() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Database::open(&dir, SyncMode::Os).unwrap();
-        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)").unwrap();
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+            .unwrap();
         for i in 0..50 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
         }
         db.checkpoint().unwrap();
         // Post-checkpoint writes live only in the (truncated) WAL.
-        db.execute("INSERT INTO t VALUES (1000, 'after checkpoint')").unwrap();
+        db.execute("INSERT INTO t VALUES (1000, 'after checkpoint')")
+            .unwrap();
     }
     let db = Database::open(&dir, SyncMode::Os).unwrap();
     let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(51)));
     let rs = db.execute("SELECT b FROM t WHERE a = 1000").unwrap();
-    assert_eq!(rs.scalar(), Some(&SqlValue::Text("after checkpoint".into())));
+    assert_eq!(
+        rs.scalar(),
+        Some(&SqlValue::Text("after checkpoint".into()))
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -252,13 +313,19 @@ fn auto_checkpoint_by_threshold() {
     {
         let db = Database::open(&dir, SyncMode::Os).unwrap();
         db.set_checkpoint_threshold(1024);
-        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)").unwrap();
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+            .unwrap();
         for i in 0..200 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'padding padding padding {i}')"))
-                .unwrap();
+            db.execute(&format!(
+                "INSERT INTO t VALUES ({i}, 'padding padding padding {i}')"
+            ))
+            .unwrap();
         }
         let wal_size = std::fs::metadata(dir.join("wal.log")).unwrap().len();
-        assert!(wal_size < 200 * 40, "wal should have been checkpoint-truncated, is {wal_size}");
+        assert!(
+            wal_size < 200 * 40,
+            "wal should have been checkpoint-truncated, is {wal_size}"
+        );
         assert!(dir.join("db.snapshot").exists());
     }
     let db = Database::open(&dir, SyncMode::Os).unwrap();
@@ -270,9 +337,13 @@ fn auto_checkpoint_by_threshold() {
 #[test]
 fn boolean_columns() {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE flags (id INT PRIMARY KEY, active BOOLEAN)").unwrap();
-    db.execute("INSERT INTO flags VALUES (1, TRUE), (2, FALSE), (3, NULL)").unwrap();
-    let rs = db.execute("SELECT id FROM flags WHERE active ORDER BY id").unwrap();
+    db.execute("CREATE TABLE flags (id INT PRIMARY KEY, active BOOLEAN)")
+        .unwrap();
+    db.execute("INSERT INTO flags VALUES (1, TRUE), (2, FALSE), (3, NULL)")
+        .unwrap();
+    let rs = db
+        .execute("SELECT id FROM flags WHERE active ORDER BY id")
+        .unwrap();
     assert_eq!(rs.rows, vec![vec![SqlValue::Int(1)]]);
     let rs = db.execute("SELECT id FROM flags WHERE NOT active").unwrap();
     assert_eq!(rs.rows, vec![vec![SqlValue::Int(2)]]);
@@ -294,7 +365,8 @@ fn type_check_metadata() {
     let db = Database::in_memory();
     db.execute("CREATE TABLE a (x INT PRIMARY KEY)").unwrap();
     assert!(db.execute("CREATE TABLE a (x INT PRIMARY KEY)").is_err());
-    db.execute("CREATE TABLE IF NOT EXISTS a (x INT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE IF NOT EXISTS a (x INT PRIMARY KEY)")
+        .unwrap();
     let mut names = db.table_names();
     names.sort();
     assert_eq!(names, vec!["a"]);
@@ -307,8 +379,20 @@ fn type_check_metadata() {
 fn aggregate_functions() {
     let db = db_with_users();
     // ages: alice 30, bob 25, carol NULL, dave 41
-    let rs = db.execute("SELECT SUM(age), AVG(age), MIN(age), MAX(age), COUNT(age), COUNT(*) FROM users").unwrap();
-    assert_eq!(rs.columns, vec!["sum(age)", "avg(age)", "min(age)", "max(age)", "count(age)", "count"]);
+    let rs = db
+        .execute("SELECT SUM(age), AVG(age), MIN(age), MAX(age), COUNT(age), COUNT(*) FROM users")
+        .unwrap();
+    assert_eq!(
+        rs.columns,
+        vec![
+            "sum(age)",
+            "avg(age)",
+            "min(age)",
+            "max(age)",
+            "count(age)",
+            "count"
+        ]
+    );
     assert_eq!(rs.rows.len(), 1);
     let row = &rs.rows[0];
     assert_eq!(row[0], SqlValue::Int(96));
@@ -322,10 +406,14 @@ fn aggregate_functions() {
 #[test]
 fn aggregates_with_where_and_empty_set() {
     let db = db_with_users();
-    let rs = db.execute("SELECT SUM(age) FROM users WHERE age > 28").unwrap();
+    let rs = db
+        .execute("SELECT SUM(age) FROM users WHERE age > 28")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(71)));
     // Aggregates over an empty set are NULL (except counts).
-    let rs = db.execute("SELECT SUM(age), MIN(age), COUNT(*) FROM users WHERE age > 1000").unwrap();
+    let rs = db
+        .execute("SELECT SUM(age), MIN(age), COUNT(*) FROM users WHERE age > 1000")
+        .unwrap();
     assert_eq!(rs.rows[0][0], SqlValue::Null);
     assert_eq!(rs.rows[0][1], SqlValue::Null);
     assert_eq!(rs.rows[0][2], SqlValue::Int(0));
@@ -335,7 +423,9 @@ fn aggregates_with_where_and_empty_set() {
 fn aggregate_over_reals_mixes_types() {
     let db = db_with_users();
     // scores: 9.5, 7.0, 8.25, NULL
-    let rs = db.execute("SELECT SUM(score), AVG(score) FROM users").unwrap();
+    let rs = db
+        .execute("SELECT SUM(score), AVG(score) FROM users")
+        .unwrap();
     assert_eq!(rs.rows[0][0], SqlValue::Real(24.75));
     assert_eq!(rs.rows[0][1], SqlValue::Real(8.25));
 }
@@ -343,7 +433,8 @@ fn aggregate_over_reals_mixes_types() {
 #[test]
 fn group_by_single_column() {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE orders (id INT PRIMARY KEY, customer TEXT, amount INT)").unwrap();
+    db.execute("CREATE TABLE orders (id INT PRIMARY KEY, customer TEXT, amount INT)")
+        .unwrap();
     db.execute(
         "INSERT INTO orders VALUES (1,'ada',100),(2,'bob',50),(3,'ada',25),(4,'bob',75),(5,'cyd',1)",
     )
@@ -356,9 +447,21 @@ fn group_by_single_column() {
     assert_eq!(
         rs.rows,
         vec![
-            vec![SqlValue::Text("ada".into()), SqlValue::Int(125), SqlValue::Int(2)],
-            vec![SqlValue::Text("bob".into()), SqlValue::Int(125), SqlValue::Int(2)],
-            vec![SqlValue::Text("cyd".into()), SqlValue::Int(1), SqlValue::Int(1)],
+            vec![
+                SqlValue::Text("ada".into()),
+                SqlValue::Int(125),
+                SqlValue::Int(2)
+            ],
+            vec![
+                SqlValue::Text("bob".into()),
+                SqlValue::Int(125),
+                SqlValue::Int(2)
+            ],
+            vec![
+                SqlValue::Text("cyd".into()),
+                SqlValue::Int(1),
+                SqlValue::Int(1)
+            ],
         ]
     );
     // GROUP BY + WHERE composes.
@@ -371,56 +474,106 @@ fn group_by_single_column() {
 #[test]
 fn aggregate_misuse_rejected() {
     let db = db_with_users();
-    assert!(db.execute("SELECT SUM(name) FROM users").is_err(), "SUM of text");
-    assert!(db.execute("SELECT SUM(nope) FROM users").is_err(), "unknown column");
-    assert!(db.execute("SELECT name, SUM(age) FROM users").is_err(), "mixed projection");
-    assert!(db.execute("SELECT name FROM users GROUP BY name").is_err(), "GROUP BY without aggregates");
+    assert!(
+        db.execute("SELECT SUM(name) FROM users").is_err(),
+        "SUM of text"
+    );
+    assert!(
+        db.execute("SELECT SUM(nope) FROM users").is_err(),
+        "unknown column"
+    );
+    assert!(
+        db.execute("SELECT name, SUM(age) FROM users").is_err(),
+        "mixed projection"
+    );
+    assert!(
+        db.execute("SELECT name FROM users GROUP BY name").is_err(),
+        "GROUP BY without aggregates"
+    );
 }
 
 #[test]
 fn count_as_column_name_still_works() {
     // The aggregate keywords are contextual: only WORD '(' starts a call.
     let db = Database::in_memory();
-    db.execute("CREATE TABLE t (count INT PRIMARY KEY, min TEXT)").unwrap();
+    db.execute("CREATE TABLE t (count INT PRIMARY KEY, min TEXT)")
+        .unwrap();
     db.execute("INSERT INTO t VALUES (7, 'x')").unwrap();
     let rs = db.execute("SELECT count, min FROM t").unwrap();
-    assert_eq!(rs.rows[0], vec![SqlValue::Int(7), SqlValue::Text("x".into())]);
+    assert_eq!(
+        rs.rows[0],
+        vec![SqlValue::Int(7), SqlValue::Text("x".into())]
+    );
 }
 
 #[test]
 fn secondary_index_lifecycle() {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE people (id INT PRIMARY KEY, city TEXT, age INT)").unwrap();
-    for (i, city) in ["oslo", "lima", "oslo", "kyiv", "lima", "oslo"].iter().enumerate() {
-        db.execute(&format!("INSERT INTO people VALUES ({i}, '{city}', {})", 20 + i)).unwrap();
+    db.execute("CREATE TABLE people (id INT PRIMARY KEY, city TEXT, age INT)")
+        .unwrap();
+    for (i, city) in ["oslo", "lima", "oslo", "kyiv", "lima", "oslo"]
+        .iter()
+        .enumerate()
+    {
+        db.execute(&format!(
+            "INSERT INTO people VALUES ({i}, '{city}', {})",
+            20 + i
+        ))
+        .unwrap();
     }
-    db.execute("CREATE INDEX idx_city ON people (city)").unwrap();
+    db.execute("CREATE INDEX idx_city ON people (city)")
+        .unwrap();
     // Indexed point lookup returns the same rows a scan would.
-    let rs = db.execute("SELECT id FROM people WHERE city = 'oslo' ORDER BY id").unwrap();
+    let rs = db
+        .execute("SELECT id FROM people WHERE city = 'oslo' ORDER BY id")
+        .unwrap();
     assert_eq!(
         rs.rows,
-        vec![vec![SqlValue::Int(0)], vec![SqlValue::Int(2)], vec![SqlValue::Int(5)]]
+        vec![
+            vec![SqlValue::Int(0)],
+            vec![SqlValue::Int(2)],
+            vec![SqlValue::Int(5)]
+        ]
     );
     // Index stays consistent through INSERT / UPDATE / DELETE.
-    db.execute("INSERT INTO people VALUES (10, 'oslo', 99)").unwrap();
-    db.execute("UPDATE people SET city = 'kyiv' WHERE id = 2").unwrap();
+    db.execute("INSERT INTO people VALUES (10, 'oslo', 99)")
+        .unwrap();
+    db.execute("UPDATE people SET city = 'kyiv' WHERE id = 2")
+        .unwrap();
     db.execute("DELETE FROM people WHERE id = 0").unwrap();
-    let rs = db.execute("SELECT COUNT(*) FROM people WHERE city = 'oslo'").unwrap();
+    let rs = db
+        .execute("SELECT COUNT(*) FROM people WHERE city = 'oslo'")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(2))); // 5 and 10
-    let rs = db.execute("SELECT COUNT(*) FROM people WHERE city = 'kyiv'").unwrap();
+    let rs = db
+        .execute("SELECT COUNT(*) FROM people WHERE city = 'kyiv'")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(2))); // 2 and 3
-    // Errors.
-    assert!(db.execute("CREATE INDEX idx_city ON people (city)").is_err(), "dup name");
-    db.execute("CREATE INDEX IF NOT EXISTS idx_city ON people (city)").unwrap();
-    assert!(db.execute("CREATE INDEX idx2 ON people (city)").is_err(), "dup column");
-    assert!(db.execute("CREATE INDEX idx3 ON people (id)").is_err(), "pk already indexed");
+                                                      // Errors.
+    assert!(
+        db.execute("CREATE INDEX idx_city ON people (city)")
+            .is_err(),
+        "dup name"
+    );
+    db.execute("CREATE INDEX IF NOT EXISTS idx_city ON people (city)")
+        .unwrap();
+    assert!(
+        db.execute("CREATE INDEX idx2 ON people (city)").is_err(),
+        "dup column"
+    );
+    assert!(
+        db.execute("CREATE INDEX idx3 ON people (id)").is_err(),
+        "pk already indexed"
+    );
     assert!(db.execute("CREATE INDEX idx4 ON people (nope)").is_err());
     // Drop.
     db.execute("DROP INDEX idx_city").unwrap();
     assert!(db.execute("DROP INDEX idx_city").is_err());
     db.execute("DROP INDEX IF EXISTS idx_city").unwrap();
     // Queries still correct via scan.
-    let rs = db.execute("SELECT COUNT(*) FROM people WHERE city = 'lima'").unwrap();
+    let rs = db
+        .execute("SELECT COUNT(*) FROM people WHERE city = 'lima'")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(2)));
 }
 
@@ -430,25 +583,38 @@ fn secondary_index_rollback_and_recovery() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Database::open(&dir, SyncMode::Always).unwrap();
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'a')").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'a')")
+            .unwrap();
         db.execute("CREATE INDEX idx_tag ON t (tag)").unwrap();
         // Rollback of an index creation.
         db.execute("BEGIN").unwrap();
         db.execute("DROP INDEX idx_tag").unwrap();
         db.execute("ROLLBACK").unwrap();
-        let rs = db.execute("SELECT COUNT(*) FROM t WHERE tag = 'a'").unwrap();
-        assert_eq!(rs.scalar(), Some(&SqlValue::Int(2)), "restored index still answers");
+        let rs = db
+            .execute("SELECT COUNT(*) FROM t WHERE tag = 'a'")
+            .unwrap();
+        assert_eq!(
+            rs.scalar(),
+            Some(&SqlValue::Int(2)),
+            "restored index still answers"
+        );
         db.checkpoint().unwrap();
         db.execute("INSERT INTO t VALUES (4, 'a')").unwrap();
     }
     // Recovery rebuilds the index (snapshot + WAL replay).
     let db = Database::open(&dir, SyncMode::Always).unwrap();
-    let rs = db.execute("SELECT COUNT(*) FROM t WHERE tag = 'a'").unwrap();
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t WHERE tag = 'a'")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(3)));
     // The index also survives an UPDATE that shifts values after recovery.
-    db.execute("UPDATE t SET tag = 'z' WHERE tag = 'a'").unwrap();
-    let rs = db.execute("SELECT COUNT(*) FROM t WHERE tag = 'z'").unwrap();
+    db.execute("UPDATE t SET tag = 'z' WHERE tag = 'a'")
+        .unwrap();
+    let rs = db
+        .execute("SELECT COUNT(*) FROM t WHERE tag = 'z'")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&SqlValue::Int(3)));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -456,7 +622,8 @@ fn secondary_index_rollback_and_recovery() {
 #[test]
 fn indexed_lookup_is_faster_than_scan() {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE big (id INT PRIMARY KEY, grp INT, pad TEXT)").unwrap();
+    db.execute("CREATE TABLE big (id INT PRIMARY KEY, grp INT, pad TEXT)")
+        .unwrap();
     db.execute("BEGIN").unwrap();
     for i in 0..5000 {
         db.execute(&format!(

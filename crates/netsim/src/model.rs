@@ -51,7 +51,10 @@ impl LatencyModel {
 
     /// Deterministic sampler over this model.
     pub fn sampler(&self, seed: u64) -> LatencySampler {
-        LatencySampler { model: self.clone(), rng: Mutex::new(SmallRng::seed_from_u64(seed)) }
+        LatencySampler {
+            model: self.clone(),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+        }
     }
 
     /// The deterministic (jitter-free, spike-free) delay for a payload —
@@ -184,11 +187,16 @@ mod tests {
             service_ms: 0.0,
         };
         let s = m.sampler(9);
-        let mut v: Vec<f64> = (0..4001).map(|_| s.sample(0).as_secs_f64() * 1000.0).collect();
+        let mut v: Vec<f64> = (0..4001)
+            .map(|_| s.sample(0).as_secs_f64() * 1000.0)
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         // Lognormal with median-1 multiplier: median ≈ nominal within ~10%.
-        assert!((median - 100.0).abs() < 10.0, "median {median} drifted from nominal 100");
+        assert!(
+            (median - 100.0).abs() < 10.0,
+            "median {median} drifted from nominal 100"
+        );
     }
 
     #[test]
@@ -202,9 +210,14 @@ mod tests {
             service_ms: 0.0,
         };
         let s = base.sampler(5);
-        let samples: Vec<f64> = (0..2000).map(|_| s.sample(0).as_secs_f64() * 1000.0).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| s.sample(0).as_secs_f64() * 1000.0)
+            .collect();
         let spikes = samples.iter().filter(|&&ms| ms > 400.0).count();
         let frac = spikes as f64 / samples.len() as f64;
-        assert!((frac - 0.2).abs() < 0.05, "spike fraction {frac} far from configured 0.2");
+        assert!(
+            (frac - 0.2).abs() < 0.05,
+            "spike fraction {frac} far from configured 0.2"
+        );
     }
 }

@@ -119,13 +119,22 @@ mod tests {
         for size in [0usize, 10_000, 1_000_000] {
             let f = full.nominal_ms(size);
             let t = tenth.nominal_ms(size);
-            assert!((t - f * 0.1).abs() < 1e-6, "size {size}: {t} != {}", f * 0.1);
+            assert!(
+                (t - f * 0.1).abs() < 1e-6,
+                "size {size}: {t} != {}",
+                f * 0.1
+            );
         }
     }
 
     #[test]
     fn name_round_trip() {
-        for p in [Profile::Cloud1, Profile::Cloud2, Profile::Loopback, Profile::None] {
+        for p in [
+            Profile::Cloud1,
+            Profile::Cloud2,
+            Profile::Loopback,
+            Profile::None,
+        ] {
             assert_eq!(Profile::from_name(p.name()), Some(p));
         }
         assert_eq!(Profile::from_name("Cloud-Store-1"), Some(Profile::Cloud1));

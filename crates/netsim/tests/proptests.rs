@@ -5,12 +5,12 @@ use proptest::prelude::*;
 
 fn model() -> impl Strategy<Value = LatencyModel> {
     (
-        0.0f64..500.0,   // base rtt
-        0.0f64..1.0,     // jitter sigma
-        1e3f64..1e9,     // bandwidth
-        0.0f64..0.5,     // contention prob
-        1.0f64..20.0,    // contention mult
-        0.0f64..20.0,    // service ms
+        0.0f64..500.0, // base rtt
+        0.0f64..1.0,   // jitter sigma
+        1e3f64..1e9,   // bandwidth
+        0.0f64..0.5,   // contention prob
+        1.0f64..20.0,  // contention mult
+        0.0f64..20.0,  // service ms
     )
         .prop_map(|(rtt, sigma, bw, cp, cm, svc)| LatencyModel {
             base_rtt_ms: rtt,

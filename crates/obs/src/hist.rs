@@ -119,7 +119,11 @@ impl LatencyHistogram {
             buckets,
             count,
             sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
             max: self.max.load(Ordering::Relaxed),
         }
     }
@@ -147,8 +151,12 @@ impl HistogramSnapshot {
         if other.count == 0 {
             return;
         }
-        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len() + other.buckets.len());
-        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        let mut merged: Vec<(u32, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
         loop {
             match (a.peek(), b.peek()) {
                 (None, None) => break,
@@ -176,7 +184,11 @@ impl HistogramSnapshot {
             }
         }
         self.buckets = merged;
-        self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
         self.max = self.max.max(other.max);
         self.count += other.count;
         self.sum += other.sum;
@@ -262,10 +274,23 @@ mod tests {
 
     #[test]
     fn bucket_bounds_bracket_their_values() {
-        for v in [16u64, 17, 100, 1000, 4096, 65535, 1 << 20, (1 << 40) + 12345, u64::MAX] {
+        for v in [
+            16u64,
+            17,
+            100,
+            1000,
+            4096,
+            65535,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
             let i = bucket_index(v);
             assert!(bucket_low(i) <= v, "low({i}) > {v}");
-            assert!(v <= bucket_high(i) || bucket_high(i) == u64::MAX, "high({i}) < {v}");
+            assert!(
+                v <= bucket_high(i) || bucket_high(i) == u64::MAX,
+                "high({i}) < {v}"
+            );
         }
     }
 
@@ -291,7 +316,12 @@ mod tests {
         }
         let snap = h.snapshot();
         assert_eq!(snap.count, n);
-        for (q, exact) in [(0.50, 50_000u64), (0.90, 90_000), (0.99, 99_000), (0.999, 99_900)] {
+        for (q, exact) in [
+            (0.50, 50_000u64),
+            (0.90, 90_000),
+            (0.99, 99_000),
+            (0.999, 99_900),
+        ] {
             let got = snap.quantile(q);
             let err = (got as f64 - exact as f64).abs() / exact as f64;
             assert!(

@@ -80,8 +80,9 @@ mod concurrency_tests {
     fn per_thread_merge_equals_shared() {
         const THREADS: usize = 8;
         let shared = Arc::new(LatencyHistogram::new());
-        let locals: Vec<Arc<LatencyHistogram>> =
-            (0..THREADS).map(|_| Arc::new(LatencyHistogram::new())).collect();
+        let locals: Vec<Arc<LatencyHistogram>> = (0..THREADS)
+            .map(|_| Arc::new(LatencyHistogram::new()))
+            .collect();
 
         let handles: Vec<_> = locals
             .iter()

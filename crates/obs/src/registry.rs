@@ -71,10 +71,15 @@ struct MetricKey {
 
 impl MetricKey {
     fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
-        let mut labels: Vec<(String, String)> =
-            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         labels.sort();
-        MetricKey { name: name.to_string(), labels }
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
     }
 
     /// `name{k="v",...}` (Prometheus form; bare name when label-free).
@@ -82,8 +87,11 @@ impl MetricKey {
         if self.labels.is_empty() {
             return self.name.clone();
         }
-        let body: Vec<String> =
-            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
         format!("{}{{{}}}", self.name, body.join(","))
     }
 
@@ -91,14 +99,18 @@ impl MetricKey {
     fn render_with(&self, extra: &[(String, String)]) -> String {
         let mut all = self.labels.clone();
         all.extend_from_slice(extra);
-        let body: Vec<String> =
-            all.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+        let body: Vec<String> = all
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
         format!("{}{{{}}}", self.name, body.join(","))
     }
 }
 
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 enum Metric {
@@ -128,7 +140,10 @@ impl Registry {
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = MetricKey::new(name, labels);
         let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        match metrics.entry(key).or_insert_with(|| Metric::Counter(Counter::default())) {
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
             Metric::Counter(c) => c.clone(),
             _ => panic!("metric {name} already registered with a different type"),
         }
@@ -138,7 +153,10 @@ impl Registry {
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = MetricKey::new(name, labels);
         let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        match metrics.entry(key).or_insert_with(|| Metric::Gauge(Gauge::default())) {
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
             Metric::Gauge(g) => g.clone(),
             _ => panic!("metric {name} already registered with a different type"),
         }
@@ -168,7 +186,10 @@ impl Registry {
 
     /// The most recent completed traces, oldest first.
     pub fn recent_traces(&self) -> Vec<CompletedTrace> {
-        self.recent.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.recent
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Prometheus text exposition (text/plain; version=0.0.4).
@@ -210,19 +231,25 @@ impl Registry {
                             bucket_key.render_with(&[("le".to_string(), le.to_string())])
                         );
                     }
-                    let inf_key =
-                        MetricKey { name: format!("{base}_bucket"), labels: key.labels.clone() };
+                    let inf_key = MetricKey {
+                        name: format!("{base}_bucket"),
+                        labels: key.labels.clone(),
+                    };
                     let _ = writeln!(
                         out,
                         "{} {}",
                         inf_key.render_with(&[("le".to_string(), "+Inf".to_string())]),
                         snap.count
                     );
-                    let sum_key =
-                        MetricKey { name: format!("{base}_sum"), labels: key.labels.clone() };
+                    let sum_key = MetricKey {
+                        name: format!("{base}_sum"),
+                        labels: key.labels.clone(),
+                    };
                     let _ = writeln!(out, "{} {}", sum_key.render(), snap.sum);
-                    let count_key =
-                        MetricKey { name: format!("{base}_count"), labels: key.labels.clone() };
+                    let count_key = MetricKey {
+                        name: format!("{base}_count"),
+                        labels: key.labels.clone(),
+                    };
                     let _ = writeln!(out, "{} {}", count_key.render(), snap.count);
                 }
             }
@@ -269,7 +296,11 @@ impl Registry {
     }
 
     /// Snapshot of one histogram, if registered.
-    pub fn histogram_snapshot(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
         let key = MetricKey::new(name, labels);
         let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         match metrics.get(&key) {
@@ -316,7 +347,10 @@ mod tests {
         assert!(text.contains("# TYPE entries gauge"), "{text}");
         assert!(text.contains("entries -3"), "{text}");
         assert!(text.contains("# TYPE latency_ns histogram"), "{text}");
-        assert!(text.contains("latency_ns_bucket{op=\"get\",le=\"+Inf\"} 2"), "{text}");
+        assert!(
+            text.contains("latency_ns_bucket{op=\"get\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
         assert!(text.contains("latency_ns_sum{op=\"get\"} 200100"), "{text}");
         assert!(text.contains("latency_ns_count{op=\"get\"} 2"), "{text}");
         // Cumulative bucket counts are monotone.
@@ -336,7 +370,10 @@ mod tests {
         let json = reg.render_json();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v.get("a_total"), Some(&serde_json::Value::Int(1)));
-        assert_eq!(v.get("lat").unwrap().get("count"), Some(&serde_json::Value::Int(1)));
+        assert_eq!(
+            v.get("lat").unwrap().get("count"),
+            Some(&serde_json::Value::Int(1))
+        );
     }
 
     #[test]

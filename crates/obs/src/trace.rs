@@ -23,7 +23,11 @@ pub struct Trace {
 impl Trace {
     /// Start a trace for one operation.
     pub fn begin(op: &'static str) -> Trace {
-        Trace { op, started: Instant::now(), stages: Vec::with_capacity(8) }
+        Trace {
+            op,
+            started: Instant::now(),
+            stages: Vec::with_capacity(8),
+        }
     }
 
     /// Time a closure as one named stage. Stages repeat if called twice
@@ -57,7 +61,11 @@ impl Trace {
         registry
             .histogram(&format!("{prefix}_op_duration_ns"), &[("op", self.op)])
             .record_duration(total);
-        let done = CompletedTrace { op: self.op, total, stages: self.stages };
+        let done = CompletedTrace {
+            op: self.op,
+            total,
+            stages: self.stages,
+        };
         registry.push_trace(done.clone());
         done
     }
@@ -104,8 +112,12 @@ mod tests {
     fn stage_sum_bounded_by_total() {
         let reg = Registry::new();
         let mut t = Trace::begin("get");
-        t.time("cache_lookup", || std::thread::sleep(Duration::from_millis(2)));
-        t.time("decompress", || std::thread::sleep(Duration::from_millis(1)));
+        t.time("cache_lookup", || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        t.time("decompress", || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
         std::thread::sleep(Duration::from_millis(1)); // untimed glue
         let done = t.finish(&reg, "dscl");
         assert!(done.stage_sum() <= done.total, "{done:?}");
@@ -122,10 +134,15 @@ mod tests {
             t.finish(&reg, "dscl");
         }
         let snap = reg
-            .histogram_snapshot("dscl_stage_duration_ns", &[("op", "put"), ("stage", "encrypt")])
+            .histogram_snapshot(
+                "dscl_stage_duration_ns",
+                &[("op", "put"), ("stage", "encrypt")],
+            )
             .unwrap();
         assert_eq!(snap.count, 3);
-        let total = reg.histogram_snapshot("dscl_op_duration_ns", &[("op", "put")]).unwrap();
+        let total = reg
+            .histogram_snapshot("dscl_op_duration_ns", &[("op", "put")])
+            .unwrap();
         assert_eq!(total.count, 3);
         assert_eq!(reg.recent_traces().len(), 3);
     }

@@ -68,54 +68,43 @@ impl AsyncKeyValue {
         self.pool.submit(move || store.keys())
     }
 
-    /// Fan out many gets across the pool; the returned future completes
-    /// when all replies are in, preserving request order.
-    ///
-    /// The combining step runs on a pool worker *after* the per-key jobs
-    /// (FIFO queue), so this is deadlock-free even on a 1-worker pool —
-    /// but do not block on the returned future from *inside* another job
-    /// on the same single-worker pool.
-    pub fn get_many(&self, keys: &[&str]) -> ListenableFuture<Vec<Result<Option<Bytes>>>> {
-        let futures: Vec<_> = keys.iter().map(|k| self.get(k)).collect();
+    /// Asynchronous batch get: one pool job invokes the store's native
+    /// [`KeyValue::get_many`], so a pipelining store pays one round trip
+    /// for the whole batch instead of one per key. Results are positional.
+    pub fn get_many(&self, keys: &[&str]) -> ListenableFuture<Result<Vec<Option<Bytes>>>> {
+        let store = self.store.clone();
+        let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
         self.pool.submit(move || {
-            futures
-                .into_iter()
-                .map(|f| match Arc::try_unwrap(f.get()) {
-                    Ok(v) => v,
-                    Err(arc) => clone_result(&arc),
-                })
-                .collect()
+            let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            store.get_many(&refs)
         })
     }
 
-    /// Fan out many puts; completes when every write has finished,
-    /// reporting per-key results in request order.
-    pub fn put_many(
-        &self,
-        entries: Vec<(String, Vec<u8>)>,
-    ) -> ListenableFuture<Vec<Result<()>>> {
-        let futures: Vec<_> =
-            entries.into_iter().map(|(k, v)| self.put(&k, v)).collect();
+    /// Asynchronous batch put through the store's native
+    /// [`KeyValue::put_many`] — a single future for the whole batch, not
+    /// one per key, so the caller can overlap its own work with one
+    /// pipelined write.
+    pub fn put_many(&self, entries: Vec<(String, Vec<u8>)>) -> ListenableFuture<Result<()>> {
+        let store = self.store.clone();
         self.pool.submit(move || {
-            futures
-                .into_iter()
-                .map(|f| match Arc::try_unwrap(f.get()) {
-                    Ok(v) => v,
-                    Err(arc) => match arc.as_ref() {
-                        Ok(()) => Ok(()),
-                        Err(e) => Err(kvapi::StoreError::Other(e.to_string())),
-                    },
-                })
-                .collect()
+            let refs: Vec<(&str, &[u8])> = entries
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_slice()))
+                .collect();
+            store.put_many(&refs)
         })
     }
-}
 
-/// Clone a shared get-result (errors are not `Clone`; stringify them).
-fn clone_result(r: &Result<Option<Bytes>>) -> Result<Option<Bytes>> {
-    match r {
-        Ok(v) => Ok(v.clone()),
-        Err(e) => Err(kvapi::StoreError::Other(e.to_string())),
+    /// Asynchronous batch delete through the store's native
+    /// [`KeyValue::delete_many`]; the result reports, positionally,
+    /// whether each key existed.
+    pub fn delete_many(&self, keys: &[&str]) -> ListenableFuture<Result<Vec<bool>>> {
+        let store = self.store.clone();
+        let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+        self.pool.submit(move || {
+            let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            store.delete_many(&refs)
+        })
     }
 }
 
@@ -169,11 +158,19 @@ mod tests {
 
     #[test]
     fn caller_overlaps_with_store_latency() {
-        let kv = AsyncKeyValue::new(Arc::new(SlowStore(MemKv::new("s"))), Arc::new(ThreadPool::new(4)));
+        let kv = AsyncKeyValue::new(
+            Arc::new(SlowStore(MemKv::new("s"))),
+            Arc::new(ThreadPool::new(4)),
+        );
         let t0 = Instant::now();
-        let futures: Vec<_> = (0..4).map(|i| kv.put(&format!("k{i}"), vec![0u8; 8])).collect();
+        let futures: Vec<_> = (0..4)
+            .map(|i| kv.put(&format!("k{i}"), vec![0u8; 8]))
+            .collect();
         let submit_time = t0.elapsed();
-        assert!(submit_time < Duration::from_millis(40), "submission must not block: {submit_time:?}");
+        assert!(
+            submit_time < Duration::from_millis(40),
+            "submission must not block: {submit_time:?}"
+        );
         for f in futures {
             f.get().as_ref().as_ref().unwrap();
         }
@@ -212,8 +209,13 @@ mod tests {
             Arc::new(ThreadPool::new(1)),
         );
         let f = kv.get("missing");
-        assert!(f.get_timeout(Duration::from_millis(10)).is_none(), "still running");
-        let v = f.get_timeout(Duration::from_millis(500)).expect("finishes within timeout");
+        assert!(
+            f.get_timeout(Duration::from_millis(10)).is_none(),
+            "still running"
+        );
+        let v = f
+            .get_timeout(Duration::from_millis(500))
+            .expect("finishes within timeout");
         assert!(v.as_ref().as_ref().unwrap().is_none());
     }
 }
@@ -230,21 +232,81 @@ mod batch_tests {
         kv.put("a", &b"1"[..]).get();
         kv.put("c", &b"3"[..]).get();
         let results = kv.get_many(&["a", "b", "c"]).get();
-        let results = results.as_ref();
+        let results = results.as_ref().as_ref().unwrap();
         assert_eq!(results.len(), 3);
-        assert_eq!(results[0].as_ref().unwrap().as_deref(), Some(&b"1"[..]));
-        assert_eq!(results[1].as_ref().unwrap(), &None);
-        assert_eq!(results[2].as_ref().unwrap().as_deref(), Some(&b"3"[..]));
+        assert_eq!(results[0].as_deref(), Some(&b"1"[..]));
+        assert_eq!(results[1], None);
+        assert_eq!(results[2].as_deref(), Some(&b"3"[..]));
     }
 
     #[test]
     fn put_many_writes_everything() {
         let store = Arc::new(MemKv::new("m"));
         let kv = AsyncKeyValue::new(store.clone(), Arc::new(ThreadPool::new(4)));
-        let entries: Vec<(String, Vec<u8>)> =
-            (0..20).map(|i| (format!("k{i}"), vec![i as u8; 10])).collect();
-        let results = kv.put_many(entries).get();
-        assert!(results.as_ref().iter().all(|r| r.is_ok()));
+        let entries: Vec<(String, Vec<u8>)> = (0..20)
+            .map(|i| (format!("k{i}"), vec![i as u8; 10]))
+            .collect();
+        kv.put_many(entries).get().as_ref().as_ref().unwrap();
         assert_eq!(store.stats().unwrap().keys, 20);
+    }
+
+    #[test]
+    fn delete_many_reports_presence() {
+        let kv = AsyncKeyValue::new(Arc::new(MemKv::new("m")), Arc::new(ThreadPool::new(2)));
+        kv.put("a", &b"1"[..]).get();
+        kv.put("b", &b"2"[..]).get();
+        let deleted = kv.delete_many(&["a", "missing", "b"]).get();
+        assert_eq!(deleted.as_ref().as_ref().unwrap(), &vec![true, false, true]);
+        assert!(!kv.contains("a").get().as_ref().as_ref().unwrap());
+    }
+
+    /// The async batch must reach the store as ONE `get_many` call — that
+    /// is what lets pipelining stores amortize the round trip.
+    #[test]
+    fn batch_rides_the_native_path() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct CountingBatches {
+            inner: MemKv,
+            batch_gets: AtomicU64,
+            single_gets: AtomicU64,
+        }
+        impl KeyValue for CountingBatches {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+                self.inner.put(k, v)
+            }
+            fn get(&self, k: &str) -> Result<Option<Bytes>> {
+                self.single_gets.fetch_add(1, Ordering::SeqCst);
+                self.inner.get(k)
+            }
+            fn delete(&self, k: &str) -> Result<bool> {
+                self.inner.delete(k)
+            }
+            fn keys(&self) -> Result<Vec<String>> {
+                self.inner.keys()
+            }
+            fn clear(&self) -> Result<()> {
+                self.inner.clear()
+            }
+            fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+                self.batch_gets.fetch_add(1, Ordering::SeqCst);
+                self.inner.get_many(keys)
+            }
+        }
+
+        let store = Arc::new(CountingBatches {
+            inner: MemKv::new("m"),
+            batch_gets: AtomicU64::new(0),
+            single_gets: AtomicU64::new(0),
+        });
+        let kv = AsyncKeyValue::new(store.clone(), Arc::new(ThreadPool::new(2)));
+        kv.put("a", &b"1"[..]).get();
+        let got = kv.get_many(&["a", "b", "c", "d"]).get();
+        assert_eq!(got.as_ref().as_ref().unwrap().len(), 4);
+        assert_eq!(store.batch_gets.load(Ordering::SeqCst), 1);
+        assert_eq!(store.single_gets.load(Ordering::SeqCst), 0);
     }
 }

@@ -47,7 +47,12 @@ pub fn coordinated_put(stores: &[Arc<dyn KeyValue>], key: &str, value: &[u8]) ->
         return Err(StoreError::Rejected("no stores to coordinate".into()));
     }
     let txid = now_millis() ^ (stores.len() as u64) << 48 ^ fastrand_like(key);
-    let intent = Intent { txid, key: key.to_string(), value: value.to_vec(), at_ms: now_millis() };
+    let intent = Intent {
+        txid,
+        key: key.to_string(),
+        value: value.to_vec(),
+        at_ms: now_millis(),
+    };
     let blob = serde_json::to_vec(&intent).expect("intent serializes");
     let intent_key = format!("{INTENT_PREFIX}{key}");
 
@@ -84,7 +89,9 @@ pub fn coordinated_put(stores: &[Arc<dyn KeyValue>], key: &str, value: &[u8]) ->
 pub fn recover(store: &dyn KeyValue) -> Result<Vec<Recovery>> {
     let mut out = Vec::new();
     for k in store.keys()? {
-        let Some(orig_key) = k.strip_prefix(INTENT_PREFIX) else { continue };
+        let Some(orig_key) = k.strip_prefix(INTENT_PREFIX) else {
+            continue;
+        };
         let Some(blob) = store.get(&k)? else { continue };
         let intent: Intent = serde_json::from_slice(&blob)
             .map_err(|e| StoreError::corrupt(format!("bad intent record: {e}")))?;
@@ -102,7 +109,9 @@ pub fn recover(store: &dyn KeyValue) -> Result<Vec<Recovery>> {
 
 /// Cheap deterministic hash for txid mixing (not security-relevant).
 fn fastrand_like(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 #[cfg(test)]
@@ -112,7 +121,9 @@ mod tests {
     use kvapi::Bytes;
 
     fn stores(n: usize) -> Vec<Arc<dyn KeyValue>> {
-        (0..n).map(|i| Arc::new(MemKv::new(format!("s{i}"))) as Arc<dyn KeyValue>).collect()
+        (0..n)
+            .map(|i| Arc::new(MemKv::new(format!("s{i}"))) as Arc<dyn KeyValue>)
+            .collect()
     }
 
     #[test]
@@ -154,15 +165,27 @@ mod tests {
         let ss: Vec<Arc<dyn KeyValue>> = vec![good.clone(), Arc::new(DeadStore)];
         let err = coordinated_put(&ss, "k", b"v").unwrap_err();
         assert!(err.to_string().contains("prepare failed"), "{err}");
-        assert!(good.keys().unwrap().is_empty(), "rollback must remove the intent");
-        assert_eq!(good.get("k").unwrap(), None, "real key must never be written");
+        assert!(
+            good.keys().unwrap().is_empty(),
+            "rollback must remove the intent"
+        );
+        assert_eq!(
+            good.get("k").unwrap(),
+            None,
+            "real key must never be written"
+        );
     }
 
     #[test]
     fn recover_finishes_interrupted_commit() {
         let s = MemKv::new("m");
         // Simulate a coordinator that crashed after phase 1 on this store.
-        let intent = Intent { txid: 1, key: "doc".into(), value: b"v2".to_vec(), at_ms: 0 };
+        let intent = Intent {
+            txid: 1,
+            key: "doc".into(),
+            value: b"v2".to_vec(),
+            at_ms: 0,
+        };
         s.put("doc", b"v1").unwrap();
         s.put(
             &format!("{INTENT_PREFIX}doc"),
@@ -179,7 +202,12 @@ mod tests {
     fn recover_discards_already_committed_intents() {
         let s = MemKv::new("m");
         // Crash after phase 2 (value already written) but before cleanup.
-        let intent = Intent { txid: 1, key: "doc".into(), value: b"v2".to_vec(), at_ms: 0 };
+        let intent = Intent {
+            txid: 1,
+            key: "doc".into(),
+            value: b"v2".to_vec(),
+            at_ms: 0,
+        };
         s.put("doc", b"v2").unwrap();
         s.put(
             &format!("{INTENT_PREFIX}doc"),

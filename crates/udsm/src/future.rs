@@ -58,7 +58,9 @@ pub struct ListenableFuture<T> {
 
 impl<T> Clone for ListenableFuture<T> {
     fn clone(&self) -> Self {
-        ListenableFuture { shared: self.shared.clone() }
+        ListenableFuture {
+            shared: self.shared.clone(),
+        }
     }
 }
 
@@ -66,10 +68,18 @@ impl<T> ListenableFuture<T> {
     /// Create an incomplete future and its completer.
     pub fn pending() -> (ListenableFuture<T>, Completer<T>) {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { value: None, listeners: Vec::new() }),
+            state: Mutex::new(State {
+                value: None,
+                listeners: Vec::new(),
+            }),
             cond: Condvar::new(),
         });
-        (ListenableFuture { shared: shared.clone() }, Completer { shared })
+        (
+            ListenableFuture {
+                shared: shared.clone(),
+            },
+            Completer { shared },
+        )
     }
 
     /// An already-completed future.
@@ -185,7 +195,9 @@ mod tests {
     #[should_panic(expected = "completed twice")]
     fn double_complete_panics() {
         let (_f, c) = ListenableFuture::<u32>::pending();
-        let shared = Completer { shared: c.shared.clone() };
+        let shared = Completer {
+            shared: c.shared.clone(),
+        };
         c.complete(1);
         shared.complete(2);
     }

@@ -38,8 +38,14 @@ pub enum OpKind {
     Other,
 }
 
-const KINDS: [OpKind; 6] =
-    [OpKind::Get, OpKind::Put, OpKind::Delete, OpKind::Contains, OpKind::CondGet, OpKind::Other];
+const KINDS: [OpKind; 6] = [
+    OpKind::Get,
+    OpKind::Put,
+    OpKind::Delete,
+    OpKind::Contains,
+    OpKind::CondGet,
+    OpKind::Other,
+];
 
 /// Running summary of one operation kind (Welford's online algorithm).
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq)]
@@ -111,12 +117,20 @@ pub struct MonitorReport {
 impl MonitorReport {
     /// Summary for one kind.
     pub fn summary(&self, op: OpKind) -> Summary {
-        self.summaries.iter().find(|(k, _)| *k == op).map(|(_, s)| *s).unwrap_or_default()
+        self.summaries
+            .iter()
+            .find(|(k, _)| *k == op)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
     }
 
     /// Latency histogram for one kind (empty when absent).
     pub fn histogram(&self, op: OpKind) -> HistogramSnapshot {
-        self.hists.iter().find(|(k, _)| *k == op).map(|(_, h)| h.clone()).unwrap_or_default()
+        self.hists
+            .iter()
+            .find(|(k, _)| *k == op)
+            .map(|(_, h)| h.clone())
+            .unwrap_or_default()
     }
 
     /// Median latency in milliseconds for one kind (0 without samples).
@@ -196,7 +210,11 @@ impl<S: KeyValue> MonitoredStore<S> {
             if g.recent.len() == g.recent_cap {
                 g.recent.pop_front();
             }
-            g.recent.push_back(Sample { at_ms: now_millis(), op, latency_ms: ms });
+            g.recent.push_back(Sample {
+                at_ms: now_millis(),
+                op,
+                latency_ms: ms,
+            });
         }
         out
     }
@@ -208,7 +226,11 @@ impl<S: KeyValue> MonitoredStore<S> {
             store: self.inner.name().to_string(),
             summaries: KINDS.iter().copied().zip(g.summaries).collect(),
             recent: g.recent.iter().copied().collect(),
-            hists: KINDS.iter().copied().zip(g.hists.iter().map(|h| h.snapshot())).collect(),
+            hists: KINDS
+                .iter()
+                .copied()
+                .zip(g.hists.iter().map(|h| h.snapshot()))
+                .collect(),
         }
     }
 
@@ -312,7 +334,11 @@ mod tests {
         }
         let r = m.report();
         assert_eq!(r.recent.len(), 5, "only the most recent N are detailed");
-        assert_eq!(r.summary(OpKind::Put).count, 25, "summary keeps the full history");
+        assert_eq!(
+            r.summary(OpKind::Put).count,
+            25,
+            "summary keeps the full history"
+        );
         assert!(r.recent.iter().all(|s| s.op == OpKind::Put));
         // Oldest-first ordering.
         for w in r.recent.windows(2) {

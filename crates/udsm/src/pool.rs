@@ -37,7 +37,11 @@ impl ThreadPool {
                     .expect("spawn worker")
             })
             .collect();
-        ThreadPool { tx: Some(tx), workers, size }
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            size,
+        }
     }
 
     /// Number of workers.

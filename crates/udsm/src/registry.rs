@@ -134,7 +134,8 @@ mod tests {
         udsm.register("dst", Arc::new(MemKv::new("dst")));
         let src = udsm.store("src").unwrap();
         for i in 0..10 {
-            src.put(&format!("k{i}"), format!("v{i}").as_bytes()).unwrap();
+            src.put(&format!("k{i}"), format!("v{i}").as_bytes())
+                .unwrap();
         }
         assert_eq!(udsm.copy_all("src", "dst").unwrap(), 10);
         let dst = udsm.store("dst").unwrap();

@@ -49,14 +49,20 @@ pub enum ValueSource {
 impl ValueSource {
     /// Default: moderately compressible synthetic data.
     pub fn synthetic() -> ValueSource {
-        ValueSource::Synthetic { seed: 42, compressibility: 0.5 }
+        ValueSource::Synthetic {
+            seed: 42,
+            compressibility: 0.5,
+        }
     }
 
     /// Produce a value of exactly `size` bytes; `index` varies content
     /// between operations.
     pub fn generate(&self, size: usize, index: u64) -> Result<Vec<u8>> {
         match self {
-            ValueSource::Synthetic { seed, compressibility } => {
+            ValueSource::Synthetic {
+                seed,
+                compressibility,
+            } => {
                 let mut rng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9e37_79b9));
                 let phrase = b"the universal data store manager stores and retrieves objects. ";
                 let mut out = Vec::with_capacity(size);
@@ -190,14 +196,17 @@ impl WorkloadSpec {
                     hist.record_duration(op0.elapsed());
                     debug_assert_eq!(got.len(), size);
                 }
-                run_means
-                    .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+                run_means.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
             }
             points.push((size as f64, mean(&run_means)));
             tails.push(tail_ms(&hist));
             store.delete(&key)?;
         }
-        Ok(Series { label: label.to_string(), points, tails })
+        Ok(Series {
+            label: label.to_string(),
+            points,
+            tails,
+        })
     }
 
     /// Mean write latency vs object size (Fig. 10 per store).
@@ -218,8 +227,7 @@ impl WorkloadSpec {
                     store.put(&format!("wl-write-{size}-{i}"), v)?;
                     hist.record_duration(op0.elapsed());
                 }
-                run_means
-                    .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+                run_means.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
             }
             for i in 0..self.ops_per_point {
                 store.delete(&format!("wl-write-{size}-{i}"))?;
@@ -227,7 +235,11 @@ impl WorkloadSpec {
             points.push((size as f64, mean(&run_means)));
             tails.push(tail_ms(&hist));
         }
-        Ok(Series { label: label.to_string(), points, tails })
+        Ok(Series {
+            label: label.to_string(),
+            points,
+            tails,
+        })
     }
 
     /// Read latency vs size for each configured hit rate, against a given
@@ -256,8 +268,7 @@ impl WorkloadSpec {
                 for _ in 0..self.ops_per_point {
                     let _ = store.get(&key)?;
                 }
-                miss_runs
-                    .push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+                miss_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
             }
 
             // Hit path: prime the cache, then read from it.
@@ -296,6 +307,81 @@ impl WorkloadSpec {
                 tails: Vec::new(),
             })
             .collect())
+    }
+
+    /// Batch latency vs batch size for `get_many`/`put_many` — the RTT
+    /// amortization curve the batch API exists to produce. X values are
+    /// batch sizes (keys per call), Y values are mean milliseconds *per
+    /// batch*; a store that pipelines shows a near-flat curve while the
+    /// looping default grows linearly. Object size is the smallest size in
+    /// the spec (batching amortizes round trips, not bandwidth, so small
+    /// objects show the effect most clearly).
+    pub fn batch_sweep(
+        &self,
+        store: &dyn KeyValue,
+        label: &str,
+        batch_sizes: &[usize],
+    ) -> Result<(Series, Series)> {
+        let value_size = self.sizes.first().copied().unwrap_or(100);
+        let mut get_points = Vec::with_capacity(batch_sizes.len());
+        let mut put_points = Vec::with_capacity(batch_sizes.len());
+        let mut get_tails = Vec::with_capacity(batch_sizes.len());
+        let mut put_tails = Vec::with_capacity(batch_sizes.len());
+        for &n in batch_sizes {
+            let keys: Vec<String> = (0..n).map(|i| format!("wl-batch-{n}-{i}")).collect();
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let values: Vec<Vec<u8>> = (0..n)
+                .map(|i| self.source.generate(value_size, (n * 1000 + i) as u64))
+                .collect::<Result<_>>()?;
+            let entries: Vec<(&str, &[u8])> = key_refs
+                .iter()
+                .zip(&values)
+                .map(|(&k, v)| (k, v.as_slice()))
+                .collect();
+
+            let put_hist = obs::LatencyHistogram::new();
+            let mut put_runs = Vec::with_capacity(self.runs);
+            for _ in 0..self.runs {
+                let t0 = Instant::now();
+                for _ in 0..self.ops_per_point {
+                    let op0 = Instant::now();
+                    store.put_many(&entries)?;
+                    put_hist.record_duration(op0.elapsed());
+                }
+                put_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+            }
+
+            let get_hist = obs::LatencyHistogram::new();
+            let mut get_runs = Vec::with_capacity(self.runs);
+            for _ in 0..self.runs {
+                let t0 = Instant::now();
+                for _ in 0..self.ops_per_point {
+                    let op0 = Instant::now();
+                    let got = store.get_many(&key_refs)?;
+                    get_hist.record_duration(op0.elapsed());
+                    debug_assert!(got.iter().all(Option::is_some));
+                }
+                get_runs.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
+            }
+
+            store.delete_many(&key_refs)?;
+            get_points.push((n as f64, mean(&get_runs)));
+            put_points.push((n as f64, mean(&put_runs)));
+            get_tails.push(tail_ms(&get_hist));
+            put_tails.push(tail_ms(&put_hist));
+        }
+        Ok((
+            Series {
+                label: format!("{label} get_many"),
+                points: get_points,
+                tails: get_tails,
+            },
+            Series {
+                label: format!("{label} put_many"),
+                points: put_points,
+                tails: put_tails,
+            },
+        ))
     }
 
     /// Encode/decode latency vs size for a codec (Figs. 20/21: AES and
@@ -436,7 +522,10 @@ mod tests {
 
     #[test]
     fn synthetic_values_deterministic_and_sized() {
-        let src = ValueSource::Synthetic { seed: 7, compressibility: 0.5 };
+        let src = ValueSource::Synthetic {
+            seed: 7,
+            compressibility: 0.5,
+        };
         let a = src.generate(5000, 1).unwrap();
         let b = src.generate(5000, 1).unwrap();
         let c = src.generate(5000, 2).unwrap();
@@ -447,15 +536,24 @@ mod tests {
 
     #[test]
     fn compressibility_affects_entropy() {
-        let loose = ValueSource::Synthetic { seed: 1, compressibility: 0.0 }
-            .generate(20_000, 0)
-            .unwrap();
-        let tight = ValueSource::Synthetic { seed: 1, compressibility: 1.0 }
-            .generate(20_000, 0)
-            .unwrap();
+        let loose = ValueSource::Synthetic {
+            seed: 1,
+            compressibility: 0.0,
+        }
+        .generate(20_000, 0)
+        .unwrap();
+        let tight = ValueSource::Synthetic {
+            seed: 1,
+            compressibility: 1.0,
+        }
+        .generate(20_000, 0)
+        .unwrap();
         let distinct = |v: &[u8]| v.iter().collect::<std::collections::HashSet<_>>().len();
         assert!(distinct(&loose) > 200);
-        assert!(distinct(&tight) < 40, "fully structured data uses a small alphabet");
+        assert!(
+            distinct(&tight) < 40,
+            "fully structured data uses a small alphabet"
+        );
     }
 
     #[test]
@@ -505,7 +603,10 @@ mod tests {
             let l50 = series[1].points[i].1;
             let l100 = series[2].points[i].1;
             let expect = 0.5 * l100 + 0.5 * l0;
-            assert!((l50 - expect).abs() < 1e-9, "midpoint must be exact interpolation");
+            assert!(
+                (l50 - expect).abs() < 1e-9,
+                "midpoint must be exact interpolation"
+            );
         }
     }
 
@@ -522,8 +623,16 @@ mod tests {
     #[test]
     fn gnuplot_output_format() {
         let series = vec![
-            Series { label: "a".into(), points: vec![(100.0, 1.5), (1000.0, 2.5)], tails: vec![] },
-            Series { label: "b".into(), points: vec![(100.0, 3.0), (1000.0, 4.0)], tails: vec![] },
+            Series {
+                label: "a".into(),
+                points: vec![(100.0, 1.5), (1000.0, 2.5)],
+                tails: vec![],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(100.0, 3.0), (1000.0, 4.0)],
+                tails: vec![],
+            },
         ];
         let path = std::env::temp_dir().join(format!("wl-gp-{}", std::process::id()));
         write_gnuplot(&path, &series).unwrap();
@@ -541,6 +650,31 @@ mod tests {
     }
 
     #[test]
+    fn batch_sweep_produces_per_batch_curves() {
+        let spec = quick_spec();
+        let store = MemKv::new("m");
+        let (gets, puts) = spec.batch_sweep(&store, "mem", &[1, 4, 16]).unwrap();
+        assert_eq!(gets.label, "mem get_many");
+        assert_eq!(puts.label, "mem put_many");
+        let sizes: Vec<f64> = gets.points.iter().map(|&(x, _)| x).collect();
+        assert_eq!(sizes, vec![1.0, 4.0, 16.0]);
+        assert_eq!(gets.tails.len(), 3, "p50/p99 pair per batch size");
+        assert!(gets
+            .tails
+            .iter()
+            .all(|&(p50, p99)| 0.0 <= p50 && p50 <= p99));
+        assert!(store.keys().unwrap().is_empty(), "sweep must clean up");
+
+        // The gnuplot file carries the percentile columns the figure needs.
+        let path = std::env::temp_dir().join(format!("wl-batch-{}", std::process::id()));
+        write_gnuplot(&path, &[gets, puts]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header = text.lines().nth(1).unwrap();
+        assert!(header.contains("mem get_many p50") && header.contains("mem put_many p99"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn gnuplot_emits_percentile_columns_for_tailed_series() {
         let series = vec![Series {
             label: "mem".into(),
@@ -553,7 +687,11 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[1].contains("mem\tmem p50\tmem p99"), "{:?}", lines[1]);
         assert_eq!(lines[2].split('\t').count(), 4, "size + mean + p50 + p99");
-        assert!(lines[2].contains("1.200000") && lines[2].contains("4.800000"), "{:?}", lines[2]);
+        assert!(
+            lines[2].contains("1.200000") && lines[2].contains("4.800000"),
+            "{:?}",
+            lines[2]
+        );
         std::fs::remove_file(&path).ok();
     }
 }
@@ -675,7 +813,9 @@ mod comparison_tests {
         let fast: Arc<dyn KeyValue> = Arc::new(MemKv::new("fast"));
         let slow: Arc<dyn KeyValue> =
             Arc::new(Slowed(MemKv::new("s"), std::time::Duration::from_millis(3)));
-        let cmp = spec.compare_stores(&[("fast", fast), ("slow", slow)]).unwrap();
+        let cmp = spec
+            .compare_stores(&[("fast", fast), ("slow", slow)])
+            .unwrap();
         assert_eq!(cmp.best_reader_at(100), Some("fast"));
         assert_eq!(cmp.best_writer_at(1000), Some("fast"));
         let md = cmp.to_markdown();

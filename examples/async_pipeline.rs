@@ -79,6 +79,9 @@ fn main() -> Result<()> {
     });
     readback.get();
 
-    assert!(async_elapsed < sync_elapsed, "async fan-out should beat serial round trips");
+    assert!(
+        async_elapsed < sync_elapsed,
+        "async fan-out should beat serial round trips"
+    );
     Ok(())
 }

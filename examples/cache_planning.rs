@@ -27,7 +27,9 @@ const OBJECT_BYTES: usize = 2_000;
 
 /// Zipf-ish key sampler over `UNIVERSE` keys.
 fn sample_key(state: &mut u64) -> String {
-    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let u = ((*state >> 11) as f64) / ((1u64 << 53) as f64);
     let rank = ((1.0 / (u + 1e-12)).powf(0.75) as usize) % UNIVERSE;
     format!("obj{rank:04}")
@@ -64,7 +66,10 @@ fn main() -> Result<()> {
     }
     let target = 0.80;
     let Some(needed) = profiler.size_for_hit_rate(target) else {
-        println!("target {:.0}% not reachable (cold misses dominate)", target * 100.0);
+        println!(
+            "target {:.0}% not reachable (cold misses dominate)",
+            target * 100.0
+        );
         return Ok(());
     };
     println!(
@@ -78,8 +83,8 @@ fn main() -> Result<()> {
     // single shard so the budget maps cleanly onto entry count.
     let per_entry = (OBJECT_BYTES + 7 + 29 + 64) as u64;
     let sized_cache = Arc::new(InProcessLru::with_shards(needed as u64 * per_entry, 1));
-    let client2 = EnhancedClient::new(CloudClient::connect(server.addr()))
-        .with_cache(sized_cache.clone());
+    let client2 =
+        EnhancedClient::new(CloudClient::connect(server.addr())).with_cache(sized_cache.clone());
     let mut rng = 0x1234_5678u64; // same trace
     for _ in 0..ACCESSES {
         let key = sample_key(&mut rng);

@@ -76,7 +76,13 @@ fn main() -> Result<()> {
     document[0] ^= 1;
     store.put("report", &document)?;
     let keys = store.inner().keys()?;
-    println!("after consolidation the server holds {} objects: {keys:?}", keys.len());
-    assert!(keys.len() <= 2, "consolidation should leave meta + base only");
+    println!(
+        "after consolidation the server holds {} objects: {keys:?}",
+        keys.len()
+    );
+    assert!(
+        keys.len() <= 2,
+        "consolidation should leave meta + base only"
+    );
     Ok(())
 }

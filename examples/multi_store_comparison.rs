@@ -14,8 +14,8 @@ use cloudstore::{CloudServer, CloudServerConfig};
 use minisql::wal::SyncMode;
 use minisql::{SqlServer, SqlServerConfig};
 use std::sync::Arc;
-use udsm_suite::prelude::*;
 use udsm::workload::{to_markdown, ValueSource};
+use udsm_suite::prelude::*;
 
 fn main() -> Result<()> {
     let dir = std::env::temp_dir().join(format!("udsm-compare-{}", std::process::id()));
@@ -44,8 +44,14 @@ fn main() -> Result<()> {
     let manager = UniversalDataStoreManager::new(4);
     manager.register("filesystem", Arc::new(FsKv::open(dir.join("fs"))?));
     manager.register("minisql", Arc::new(SqlKv::connect(sql_server.addr())?));
-    manager.register("cloud1", Arc::new(CloudClient::connect(cloud1_server.addr())));
-    manager.register("cloud2", Arc::new(CloudClient::connect(cloud2_server.addr())));
+    manager.register(
+        "cloud1",
+        Arc::new(CloudClient::connect(cloud1_server.addr())),
+    );
+    manager.register(
+        "cloud2",
+        Arc::new(CloudClient::connect(cloud2_server.addr())),
+    );
     manager.register("redis", Arc::new(RedisKv::connect(redis_server.addr())));
 
     // ---- sweep ----
@@ -65,8 +71,14 @@ fn main() -> Result<()> {
         writes.push(spec.write_sweep(store.as_ref(), &name)?);
     }
 
-    println!("\nRead latency (ms) by object size:\n{}", to_markdown(&reads));
-    println!("Write latency (ms) by object size:\n{}", to_markdown(&writes));
+    println!(
+        "\nRead latency (ms) by object size:\n{}",
+        to_markdown(&reads)
+    );
+    println!(
+        "Write latency (ms) by object size:\n{}",
+        to_markdown(&writes)
+    );
     println!(
         "Expected shape (paper Figs. 9–10): cloud stores slowest (cloud1 > cloud2),\n\
          minisql writes pay the durable commit, redis and the file system are fastest."

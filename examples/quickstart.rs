@@ -62,7 +62,10 @@ fn main() -> Result<()> {
     for name in manager.names() {
         let store = manager.store(&name)?;
         store.put("shared", format!("written via {name}").as_bytes())?;
-        println!("{name}: {:?}", String::from_utf8_lossy(&store.get("shared")?.unwrap()));
+        println!(
+            "{name}: {:?}",
+            String::from_utf8_lossy(&store.get("shared")?.unwrap())
+        );
     }
 
     // ---- 4. The asynchronous interface ----

@@ -47,7 +47,10 @@ fn main() -> Result<()> {
 
     // What the server actually holds:
     let raw = client.store().get("record")?.expect("stored");
-    assert!(!raw.windows(7).any(|w| w == b"patient"), "plaintext must not leave the client");
+    assert!(
+        !raw.windows(7).any(|w| w == b"patient"),
+        "plaintext must not leave the client"
+    );
     println!(
         "server holds {} opaque bytes (plaintext was {})",
         raw.len(),

@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
-# CI gate: release build, full test suite, and lint-clean clippy.
+# CI gate: formatting, release build, full test suite, lint-clean clippy,
+# and a batch-sweep smoke run so the workload path is exercised every build.
 # The build environment is offline; all external deps are vendored shims.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release --offline
-cargo test -q --offline
-cargo clippy --offline -- -D warnings
+cargo test -q --workspace --offline
+cargo clippy --workspace --offline -- -D warnings
+
+# Smoke: the batch-size sweep must run end-to-end and emit the p50/p99
+# gnuplot columns the RTT-amortization figure is plotted from.
+sweep_out="$(mktemp)"
+trap 'rm -f "$sweep_out"' EXIT
+cargo run -q --release --offline -p udsm-suite --bin udsm-cli -- \
+    sweep --mem --batch-sizes 1,16 --ops 5 --runs 1 --out "$sweep_out"
+grep -q 'get_many p50' "$sweep_out"
+grep -q 'put_many p99' "$sweep_out"

@@ -4,6 +4,7 @@
 //! cargo run --release --bin udsm-cli -- --demo        # in-process demo servers
 //! cargo run --release --bin udsm-cli -- --fs /tmp/kv  # just a file-system store
 //! cargo run --release --bin udsm-cli -- --demo --encrypt "passphrase" --compress
+//! cargo run --release --bin udsm-cli -- sweep --mem --batch-sizes 1,4,16,64
 //! ```
 //!
 //! Inside the shell: `help` lists commands. Every registered store is
@@ -63,7 +64,100 @@ struct DemoServers {
     sql_addr: std::net::SocketAddr,
 }
 
+/// Non-interactive batch-size sweep (`udsm-cli sweep --mem …`): measures
+/// `get_many`/`put_many` latency per batch across the requested batch sizes
+/// and emits the standard gnuplot columns (mean + p50 + p99), so the output
+/// drops straight into the repro plotting pipeline. CI runs this as a smoke
+/// test on every build.
+fn run_sweep(args: &[String]) -> Result<()> {
+    let usage = "usage: udsm-cli sweep --mem [--batch-sizes 1,4,16,64] [--size BYTES] \
+                 [--ops N] [--runs N] [--out FILE]";
+    let mut mem = false;
+    let mut batch_sizes: Vec<usize> = vec![1, 4, 16, 64];
+    let mut size = 1024usize;
+    let mut ops = 10usize;
+    let mut runs = 2usize;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| kvapi::StoreError::Rejected(format!("{a} needs {what}\n{usage}")))
+        };
+        match a.as_str() {
+            "--mem" => mem = true,
+            "--batch-sizes" => {
+                batch_sizes = next("a comma-separated list")?
+                    .split(',')
+                    .map(|s| s.trim().parse())
+                    .collect::<std::result::Result<_, _>>()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad batch size: {e}")))?;
+            }
+            "--size" => {
+                size = next("a byte count")?
+                    .parse()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad size: {e}")))?;
+            }
+            "--ops" => {
+                ops = next("a count")?
+                    .parse()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad ops: {e}")))?;
+            }
+            "--runs" => {
+                runs = next("a count")?
+                    .parse()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad runs: {e}")))?;
+            }
+            "--out" => out = Some(std::path::PathBuf::from(next("a path")?)),
+            other => {
+                return Err(kvapi::StoreError::Rejected(format!(
+                    "unknown sweep argument {other:?}\n{usage}"
+                )))
+            }
+        }
+    }
+    // Only the in-memory store is wired up so far; networked stores need
+    // endpoint flags and belong to a later revision of this command.
+    if !mem || batch_sizes.is_empty() {
+        return Err(kvapi::StoreError::Rejected(usage.to_string()));
+    }
+
+    let store = kvapi::mem::MemKv::new("mem");
+    let spec = WorkloadSpec {
+        sizes: vec![size],
+        ops_per_point: ops,
+        runs,
+        source: ValueSource::synthetic(),
+        hit_rates: vec![],
+    };
+    let (gets, puts) = spec.batch_sweep(&store, store.name(), &batch_sizes)?;
+    let series = [gets, puts];
+    eprintln!(
+        "batch sweep over {batch_sizes:?} keys/batch, {size} B objects, \
+         {ops} ops x {runs} runs per point"
+    );
+    eprint!("{}", udsm::workload::to_markdown(&series));
+    match out {
+        Some(path) => {
+            udsm::workload::write_gnuplot(&path, &series)?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => {
+            let tmp = std::env::temp_dir().join(format!("udsm-sweep-{}", std::process::id()));
+            udsm::workload::write_gnuplot(&tmp, &series)?;
+            print!("{}", std::fs::read_to_string(&tmp)?);
+            std::fs::remove_file(&tmp).ok();
+        }
+    }
+    Ok(())
+}
+
 fn main() -> Result<()> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("sweep") {
+        return run_sweep(&argv[1..]);
+    }
     let opts = parse_args();
     let manager = UniversalDataStoreManager::new(4);
     let registry = Arc::new(obs::Registry::new());
@@ -74,14 +168,26 @@ fn main() -> Result<()> {
         let cloud = cloudstore::CloudServer::start_with_profile(netsim::Profile::Cloud2, 1)?;
         let sql = minisql::SqlServer::start_in_memory()?;
         let sql_addr = sql.addr();
-        manager.register("redis", wrap(RedisKv::connect(redis.addr()), &opts, &registry));
+        manager.register(
+            "redis",
+            wrap(RedisKv::connect(redis.addr()), &opts, &registry),
+        );
         manager.register(
             "cloud",
-            wrap(CloudClient::connect(cloud.addr()).with_registry(registry.clone()), &opts, &registry),
+            wrap(
+                CloudClient::connect(cloud.addr()).with_registry(registry.clone()),
+                &opts,
+                &registry,
+            ),
         );
         manager.register("sql", wrap(SqlKv::connect(sql_addr)?, &opts, &registry));
         manager.register("mem", wrap(kvapi::mem::MemKv::new("mem"), &opts, &registry));
-        demo = Some(DemoServers { _redis: redis, _cloud: cloud, _sql: sql, sql_addr });
+        demo = Some(DemoServers {
+            _redis: redis,
+            _cloud: cloud,
+            _sql: sql,
+            sql_addr,
+        });
         println!("demo servers started: redis, cloud (WAN-simulated), sql, mem");
     }
     if let Some(dir) = &opts.fs_dir {

@@ -25,8 +25,8 @@ pub use dscl_crypto;
 pub use dscl_delta;
 pub use fskv;
 pub use kvapi;
-pub use minisql;
 pub use miniredis;
+pub use minisql;
 pub use netsim;
 pub use udsm;
 
@@ -39,8 +39,8 @@ pub mod prelude {
     pub use dscl_crypto::AesCodec;
     pub use fskv::FsKv;
     pub use kvapi::{Bytes, KeyValue, Result, StoreError};
-    pub use minisql::SqlKv;
     pub use miniredis::{RedisKv, RemoteCache};
+    pub use minisql::SqlKv;
     pub use udsm::{AsyncKeyValue, MonitoredStore, UniversalDataStoreManager, WorkloadSpec};
 }
 
@@ -51,8 +51,8 @@ mod tests {
         use crate::prelude::*;
         let kv = kvapi::mem::MemKv::new("m");
         kv.put("k", b"v").unwrap();
-        let client = EnhancedClient::new(kv)
-            .with_cache(std::sync::Arc::new(InProcessLru::new(1 << 20)));
+        let client =
+            EnhancedClient::new(kv).with_cache(std::sync::Arc::new(InProcessLru::new(1 << 20)));
         assert_eq!(client.get("k").unwrap().unwrap(), Bytes::from_static(b"v"));
     }
 }

@@ -50,7 +50,10 @@ fn cache_eliminates_wan_round_trips() {
     // One uncached read for contrast.
     let t0 = Instant::now();
     let _ = client.store().get("obj").unwrap();
-    assert!(t0.elapsed() >= Duration::from_millis(20), "direct read must pay the WAN");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(20),
+        "direct read must pay the WAN"
+    );
 }
 
 #[test]
@@ -73,7 +76,10 @@ fn revalidation_over_real_http_304() {
     let s = client.stats();
     assert_eq!(s.revalidations, 1);
     assert_eq!(s.revalidated_current, 1, "unchanged object must 304");
-    assert!(reval_time >= Duration::from_millis(9), "revalidation still pays one RTT");
+    assert!(
+        reval_time >= Duration::from_millis(9),
+        "revalidation still pays one RTT"
+    );
 
     // Out-of-band change: next expiry must fetch the new version.
     client.store().put("big", b"changed").unwrap();
@@ -91,7 +97,10 @@ fn full_stack_confidentiality_and_compression() {
         .with_cache(cache.clone())
         .with_codec(Box::new(GzipCodec::default()))
         .with_codec(Box::new(AesCodec::aes128(b"sixteen byte key")))
-        .with_config(DsclConfig { cache_content: CacheContent::Encoded, ..Default::default() });
+        .with_config(DsclConfig {
+            cache_content: CacheContent::Encoded,
+            ..Default::default()
+        });
 
     let secret = "SSN 123-45-6789, diagnosis: classified. ".repeat(100);
     client.put("phi", secret.as_bytes()).unwrap();
@@ -100,7 +109,10 @@ fn full_stack_confidentiality_and_compression() {
     // the original (compression before encryption preserved the savings).
     let server_bytes = client.store().get("phi").unwrap().unwrap();
     assert!(!server_bytes.windows(3).any(|w| w == b"SSN"));
-    assert!(server_bytes.len() < secret.len() / 2, "compress-then-encrypt must stay small");
+    assert!(
+        server_bytes.len() < secret.len() / 2,
+        "compress-then-encrypt must stay small"
+    );
     // Cache side: same encoded bytes (CacheContent::Encoded).
     let cached = cache.get("phi").unwrap();
     assert!(!cached.windows(3).any(|w| w == b"SSN"));
@@ -140,7 +152,10 @@ fn cache_content_plaintext_vs_encoded_tradeoff() {
         let client = EnhancedClient::new(CloudClient::connect(server.addr()))
             .with_cache(Arc::new(InProcessLru::new(16 << 20)))
             .with_codec(Box::new(AesCodec::aes128(&[1u8; 16])))
-            .with_config(DsclConfig { cache_content: content, ..Default::default() });
+            .with_config(DsclConfig {
+                cache_content: content,
+                ..Default::default()
+            });
         client.put("k", b"the same plaintext either way").unwrap();
         assert_eq!(
             client.get("k").unwrap().unwrap(),
@@ -163,7 +178,9 @@ fn delta_chains_compose_under_the_enhanced_client() {
         .with_cache(Arc::new(InProcessLru::new(16 << 20)))
         .with_codec(Box::new(GzipCodec::default()));
 
-    let mut doc = "chapter one: it was a dark and stormy night. ".repeat(400).into_bytes();
+    let mut doc = "chapter one: it was a dark and stormy night. "
+        .repeat(400)
+        .into_bytes();
     client.put("novel", &doc).unwrap();
     let (_, base_sent) = client.store().traffic.snapshot();
 
@@ -185,5 +202,9 @@ fn delta_chains_compose_under_the_enhanced_client() {
     );
     // Whatever the delta efficiency, correctness must hold after the mix.
     client.cache_invalidate("novel");
-    assert_eq!(client.get("novel").unwrap().unwrap(), &doc[..], "store round-trip");
+    assert_eq!(
+        client.get("novel").unwrap().unwrap(),
+        &doc[..],
+        "store round-trip"
+    );
 }

@@ -5,9 +5,9 @@
 use dscl::EnhancedClient;
 use dscl_cache::Cache;
 use kvapi::KeyValue;
+use miniredis::{RemoteCache, Server as RedisServer};
 use minisql::wal::SyncMode;
 use minisql::{SqlKv, SqlServer, SqlServerConfig};
-use miniredis::{RemoteCache, Server as RedisServer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,7 +26,8 @@ fn sql_server_crash_recovery_end_to_end() {
         addr = server.addr();
         let kv = SqlKv::connect(addr).unwrap();
         for i in 0..25 {
-            kv.put(&format!("k{i}"), format!("v{i}").as_bytes()).unwrap();
+            kv.put(&format!("k{i}"), format!("v{i}").as_bytes())
+                .unwrap();
         }
         // Server drops here — an abrupt stop with a populated WAL.
     }
@@ -38,7 +39,11 @@ fn sql_server_crash_recovery_end_to_end() {
     })
     .unwrap();
     let kv = SqlKv::connect(server.addr()).unwrap();
-    assert_eq!(kv.stats().unwrap().keys, 25, "all committed writes must survive");
+    assert_eq!(
+        kv.stats().unwrap().keys,
+        25,
+        "all committed writes must survive"
+    );
     assert_eq!(kv.get("k13").unwrap().unwrap(), &b"v13"[..]);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -48,8 +53,8 @@ fn remote_cache_outage_degrades_reads_not_correctness() {
     let mut redis = RedisServer::start().unwrap();
     let primary = kvapi::mem::MemKv::new("primary");
     primary.put("k", b"authoritative").unwrap();
-    let client = EnhancedClient::new(primary)
-        .with_cache(Arc::new(RemoteCache::connect(redis.addr())));
+    let client =
+        EnhancedClient::new(primary).with_cache(Arc::new(RemoteCache::connect(redis.addr())));
     assert_eq!(client.get("k").unwrap().unwrap(), &b"authoritative"[..]);
     assert_eq!(client.stats().cache_misses, 1);
 
@@ -74,7 +79,10 @@ fn server_side_ttl_expiry_works_through_the_cache_interface() {
     native.set_px("cache:volatile", b"short-lived", 60).unwrap();
     assert!(cache.get("volatile").is_some());
     std::thread::sleep(Duration::from_millis(90));
-    assert!(cache.get("volatile").is_none(), "server-side TTL must expire the entry");
+    assert!(
+        cache.get("volatile").is_none(),
+        "server-side TTL must expire the entry"
+    );
 }
 
 #[test]
@@ -87,10 +95,12 @@ fn eviction_under_memory_pressure_preserves_store_correctness() {
     })
     .unwrap();
     let primary = kvapi::mem::MemKv::new("primary");
-    let client = EnhancedClient::new(primary)
-        .with_cache(Arc::new(RemoteCache::connect(redis.addr())));
+    let client =
+        EnhancedClient::new(primary).with_cache(Arc::new(RemoteCache::connect(redis.addr())));
     for i in 0..100 {
-        client.put(&format!("k{i}"), format!("value-{i}").repeat(60).as_bytes()).unwrap();
+        client
+            .put(&format!("k{i}"), format!("value-{i}").repeat(60).as_bytes())
+            .unwrap();
     }
     for i in (0..100).rev() {
         assert_eq!(
@@ -100,7 +110,10 @@ fn eviction_under_memory_pressure_preserves_store_correctness() {
         );
     }
     let s = client.stats();
-    assert!(s.cache_misses > 0, "with a 20 KB cache some reads must miss");
+    assert!(
+        s.cache_misses > 0,
+        "with a 20 KB cache some reads must miss"
+    );
 }
 
 #[test]
@@ -116,11 +129,17 @@ fn coordinator_crash_is_recoverable_per_store() {
     let intent = serde_json::json!({
         "txid": 99, "key": "doc", "value": b"new".to_vec(), "at_ms": 0
     });
-    store.put("__udsm_intent__/doc", intent.to_string().as_bytes()).unwrap();
+    store
+        .put("__udsm_intent__/doc", intent.to_string().as_bytes())
+        .unwrap();
     let actions = udsm::coord::recover(&store).unwrap();
     assert_eq!(actions.len(), 1);
     assert_eq!(store.get("doc").unwrap().unwrap(), &b"new"[..]);
-    assert!(store.keys().unwrap().iter().all(|k| !k.starts_with("__udsm_intent__")));
+    assert!(store
+        .keys()
+        .unwrap()
+        .iter()
+        .all(|k| !k.starts_with("__udsm_intent__")));
 }
 
 #[test]
@@ -139,8 +158,11 @@ fn wal_checkpoint_cycle_survives_repeated_restarts() {
         let expect = round * 40;
         assert_eq!(kv.stats().unwrap().keys, expect as u64, "round {round}");
         for i in 0..40 {
-            kv.put(&format!("r{round}-k{i}"), b"some padding to grow the wal quickly")
-                .unwrap();
+            kv.put(
+                &format!("r{round}-k{i}"),
+                b"some padding to grow the wal quickly",
+            )
+            .unwrap();
         }
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -179,6 +201,10 @@ fn redis_warm_restart_from_snapshot() {
     let c = miniredis::RedisClient::connect(server.addr());
     assert_eq!(c.get("warm1").unwrap().unwrap(), &b"survives"[..]);
     assert_eq!(c.get("warm2").unwrap().unwrap().len(), 5000);
-    assert_eq!(c.get("volatile").unwrap(), None, "expired entries must not be resurrected");
+    assert_eq!(
+        c.get("volatile").unwrap(),
+        None,
+        "expired entries must not be resurrected"
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -9,8 +9,8 @@ use dscl_cache::InProcessLru;
 use dscl_compress::GzipCodec;
 use dscl_crypto::AesCodec;
 use kvapi::KeyValue;
-use minisql::{SqlKv, SqlServer};
 use miniredis::{RedisKv, Server as RedisServer};
+use minisql::{SqlKv, SqlServer};
 use std::sync::Arc;
 use std::time::Duration;
 

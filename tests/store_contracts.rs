@@ -12,8 +12,8 @@ use dscl_crypto::AesCodec;
 use fskv::FsKv;
 use kvapi::contract;
 use kvapi::KeyValue;
-use minisql::{SqlKv, SqlServer};
 use miniredis::{RedisKv, Server as RedisServer};
+use minisql::{SqlKv, SqlServer};
 use std::sync::Arc;
 use udsm::MonitoredStore;
 

@@ -7,8 +7,8 @@ use dscl::EnhancedClient;
 use dscl_cache::{Cache, StoreCache};
 use fskv::FsKv;
 use kvapi::KeyValue;
-use minisql::{SqlKv, SqlServer};
 use miniredis::{RedisKv, Server as RedisServer};
+use minisql::{SqlKv, SqlServer};
 use std::sync::Arc;
 use udsm::workload::{ValueSource, WorkloadSpec};
 use udsm::{MonitorReport, MonitoredStore, OpKind, UniversalDataStoreManager};
@@ -38,7 +38,13 @@ fn world(tag: &str) -> World {
     manager.register("sql", Arc::new(SqlKv::connect(sql.addr()).unwrap()));
     manager.register("redis", Arc::new(RedisKv::connect(redis.addr())));
     manager.register("cloud", Arc::new(CloudClient::connect(cloud.addr())));
-    World { manager, _redis: redis, _cloud: cloud, _sql: sql, dir }
+    World {
+        manager,
+        _redis: redis,
+        _cloud: cloud,
+        _sql: sql,
+        dir,
+    }
 }
 
 #[test]
@@ -51,7 +57,12 @@ fn one_code_path_four_real_backends() {
     }
     for name in w.manager.names() {
         let store = w.manager.store(&name).unwrap();
-        save_profile(store.as_ref(), "ada", format!("stored in {name}").as_bytes()).unwrap();
+        save_profile(
+            store.as_ref(),
+            "ada",
+            format!("stored in {name}").as_bytes(),
+        )
+        .unwrap();
         assert_eq!(
             store.get("profiles/ada").unwrap().unwrap(),
             format!("stored in {name}").as_bytes()
@@ -64,14 +75,23 @@ fn async_interface_on_every_registered_store() {
     let w = world("async");
     for name in w.manager.names() {
         let akv = w.manager.async_store(&name).unwrap();
-        let puts: Vec<_> =
-            (0..8).map(|i| akv.put(&format!("async/{i}"), vec![i as u8; 1000])).collect();
+        let puts: Vec<_> = (0..8)
+            .map(|i| akv.put(&format!("async/{i}"), vec![i as u8; 1000]))
+            .collect();
         for p in puts {
-            p.get().as_ref().as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+            p.get()
+                .as_ref()
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
         let keys = akv.keys().get();
         assert_eq!(
-            keys.as_ref().as_ref().unwrap().iter().filter(|k| k.starts_with("async/")).count(),
+            keys.as_ref()
+                .as_ref()
+                .unwrap()
+                .iter()
+                .filter(|k| k.starts_with("async/"))
+                .count(),
             8,
             "{name}"
         );
@@ -92,7 +112,9 @@ fn monitor_persists_into_another_store() {
     assert_eq!(report.summary(OpKind::Get).count, 30);
     let archive = w.manager.store("sql").unwrap();
     report.persist(archive.as_ref(), "perf/cloud").unwrap();
-    let loaded = MonitorReport::load(archive.as_ref(), "perf/cloud").unwrap().unwrap();
+    let loaded = MonitorReport::load(archive.as_ref(), "perf/cloud")
+        .unwrap()
+        .unwrap();
     assert_eq!(loaded.summary(OpKind::Get).count, 30);
     assert_eq!(loaded.recent.len(), 50);
 }
@@ -126,7 +148,10 @@ fn any_store_functions_as_cache_for_another() {
     let redis_as_cache = StoreCache::new(w.manager.store("redis").unwrap());
     let client = EnhancedClient::new(cloud).with_cache(Arc::new(redis_as_cache));
     client.put("via-store-cache", b"payload").unwrap();
-    assert_eq!(client.get("via-store-cache").unwrap().unwrap(), &b"payload"[..]);
+    assert_eq!(
+        client.get("via-store-cache").unwrap().unwrap(),
+        &b"payload"[..]
+    );
     assert_eq!(client.stats().cache_hits, 1);
     // The cache entries really live in redis (as DSCL envelopes).
     let redis = w.manager.store("redis").unwrap();
@@ -138,7 +163,8 @@ fn copy_all_migrates_between_heterogeneous_stores() {
     let w = world("copy");
     let sql = w.manager.store("sql").unwrap();
     for i in 0..20 {
-        sql.put(&format!("row/{i}"), format!("value {i}").as_bytes()).unwrap();
+        sql.put(&format!("row/{i}"), format!("value {i}").as_bytes())
+            .unwrap();
     }
     // SQL → cloud migration through the common interface.
     assert_eq!(w.manager.copy_all("sql", "cloud").unwrap(), 20);
@@ -150,8 +176,10 @@ fn copy_all_migrates_between_heterogeneous_stores() {
 #[test]
 fn coordinated_put_across_real_stores() {
     let w = world("coord");
-    let stores: Vec<Arc<dyn KeyValue>> =
-        vec![w.manager.store("files").unwrap(), w.manager.store("redis").unwrap()];
+    let stores: Vec<Arc<dyn KeyValue>> = vec![
+        w.manager.store("files").unwrap(),
+        w.manager.store("redis").unwrap(),
+    ];
     udsm::coord::coordinated_put(&stores, "config", b"v2").unwrap();
     for s in &stores {
         assert_eq!(s.get("config").unwrap().unwrap(), &b"v2"[..]);
@@ -175,8 +203,8 @@ fn metrics_endpoint_scrapes_over_real_tcp() {
     assert!(hits >= 1, "{counter}");
     // …and a populated latency histogram with cumulative buckets.
     assert!(
-        text.lines().any(|l| l.starts_with("cloudstore_request_duration_ns_bucket{")
-            && l.contains("le=")),
+        text.lines()
+            .any(|l| l.starts_with("cloudstore_request_duration_ns_bucket{") && l.contains("le=")),
         "no histogram buckets in scrape:\n{text}"
     );
     let count_line = text
@@ -206,25 +234,36 @@ fn traced_get_through_full_pipeline_bounds_stage_sum_by_total() {
     let writer = EnhancedClient::new(CloudClient::connect(w._cloud.addr()))
         .with_cache(Arc::new(dscl_cache::InProcessLru::new(1 << 20)))
         .with_registry(reg.clone());
-    let writer = codecs().into_iter().fold(writer, |c, codec| c.with_codec(codec));
+    let writer = codecs()
+        .into_iter()
+        .fold(writer, |c, codec| c.with_codec(codec));
     writer.put("traced", &[7u8; 4096]).unwrap();
 
     // A second client with a cold cache forces the full decode path.
     let reader = EnhancedClient::new(CloudClient::connect(w._cloud.addr()))
         .with_cache(Arc::new(dscl_cache::InProcessLru::new(1 << 20)))
         .with_registry(reg.clone());
-    let reader = codecs().into_iter().fold(reader, |c, codec| c.with_codec(codec));
+    let reader = codecs()
+        .into_iter()
+        .fold(reader, |c, codec| c.with_codec(codec));
     assert_eq!(reader.get("traced").unwrap().unwrap(), &[7u8; 4096][..]);
 
     let traces = reg.recent_traces();
     assert!(!traces.is_empty());
     for t in &traces {
-        assert!(t.stage_sum() <= t.total, "stages exceed total in {}", t.render());
+        assert!(
+            t.stage_sum() <= t.total,
+            "stages exceed total in {}",
+            t.render()
+        );
     }
     let get = traces.iter().find(|t| t.op == "get").expect("a get trace");
     let stages: Vec<&str> = get.stages.iter().map(|(s, _)| *s).collect();
     for expected in ["cache_lookup", "store_io", "decrypt", "decompress"] {
-        assert!(stages.contains(&expected), "missing {expected} in {stages:?}");
+        assert!(
+            stages.contains(&expected),
+            "missing {expected} in {stages:?}"
+        );
     }
 }
 

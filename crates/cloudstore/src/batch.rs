@@ -138,14 +138,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn bytes(&mut self, len: usize) -> Result<&'a [u8]> {
-        if self.buf.len() - self.pos < len + 1 {
+        // Checked: a peer-declared length near usize::MAX must come back as
+        // a protocol error, not an arithmetic overflow panic.
+        let need = len
+            .checked_add(1)
+            .ok_or_else(|| bad("payload length overflow"))?;
+        if self.buf.len() - self.pos < need {
             return Err(bad("truncated payload"));
         }
         let out = &self.buf[self.pos..self.pos + len];
         if self.buf[self.pos + len] != b'\n' {
             return Err(bad("payload missing terminator"));
         }
-        self.pos += len + 1;
+        self.pos += need;
         Ok(out)
     }
 }
@@ -276,6 +281,8 @@ mod tests {
             b"batch/1 1\nP key 10\nshort\n", // truncated put payload
             b"batch/1 1\nX k\n",             // unknown op
             b"batch/1 99999999\n",           // over the op limit
+            // usize::MAX length must not overflow the cursor arithmetic
+            b"batch/1 1\nP key 18446744073709551615\nx\n",
         ] {
             assert!(decode_request(bad_body).is_err(), "accepted {bad_body:?}");
         }
@@ -283,6 +290,8 @@ mod tests {
             &b"batch/1 1\nV zz 0 1\nx\n"[..], // bad etag
             b"batch/1 1\nD 7\n",              // bad delete flag
             b"batch/1 1\nV 0 0 5\nab\n",      // truncated value
+            // usize::MAX length must not overflow the cursor arithmetic
+            b"batch/1 1\nV 0 0 18446744073709551615\nx\n",
         ] {
             assert!(decode_response(bad_body).is_err(), "accepted {bad_body:?}");
         }

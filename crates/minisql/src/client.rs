@@ -107,6 +107,11 @@ impl MiniSqlClient {
     ///
     /// The outer `Result` is transport-level; each inner `Result` is that
     /// statement's own outcome, positionally.
+    ///
+    /// Unlike [`MiniSqlClient::execute`], a batch is never replayed once any
+    /// frame has been sent: the server may have executed a prefix, so a
+    /// transport error after the first flush surfaces as an error rather
+    /// than risking statements running twice.
     pub fn execute_batch(&self, stmts: &[String]) -> Result<Vec<Result<ResultSet>>> {
         if stmts.is_empty() {
             return Ok(Vec::new());
@@ -120,9 +125,19 @@ impl MiniSqlClient {
                 Some(c) if attempt == 0 => c,
                 _ => Conn::open(self.addr, self.timeout)?,
             };
+            // A batch is only safe to retry while no frame has reached the
+            // server: once a frame is flushed the server may have executed a
+            // prefix of the batch, and replaying it would run statements
+            // twice (wrong `delete_many` booleans, duplicate `BEGIN`s).
+            // `write_frame` flushes each frame, so a failure writing the
+            // first one means the server saw at most an incomplete frame and
+            // executed nothing — the one case a stale pooled connection can
+            // be retried on a fresh socket.
+            let mut frame_sent = false;
             let outcome = (|| {
                 for frame in &frames {
                     write_frame(&mut conn.writer, frame)?;
+                    frame_sent = true;
                 }
                 let mut payloads = Vec::with_capacity(frames.len());
                 for _ in &frames {
@@ -152,7 +167,7 @@ impl MiniSqlClient {
                         })
                         .collect();
                 }
-                Err(e) if e.is_transient() && attempt == 0 => continue,
+                Err(e) if e.is_transient() && attempt == 0 && !frame_sent => continue,
                 Err(e) => return Err(e),
             }
         }

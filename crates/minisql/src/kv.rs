@@ -63,24 +63,30 @@ impl SqlKv {
         &self.client
     }
 
-    /// Pipeline `BEGIN` plus `stmts`, then `COMMIT` on success or `ROLLBACK`
-    /// if any statement was rejected. The whole batch pays the WAL fsync
-    /// once at commit instead of once per auto-committed statement, and two
-    /// round trips total instead of one per statement.
+    /// Open a transaction, pipeline `stmts` inside it, then `COMMIT` on
+    /// success or `ROLLBACK` if any statement was rejected. The whole batch
+    /// pays the WAL fsync once at commit instead of once per auto-committed
+    /// statement, and three round trips total instead of one per statement.
+    ///
+    /// `BEGIN` gets its own round trip rather than riding the pipeline: the
+    /// engine tracks one global transaction across all connections, so a
+    /// concurrent client may already hold it. If `BEGIN` were pipelined and
+    /// rejected, our statements would silently join the foreign transaction
+    /// and the trailing `COMMIT` would commit that client's uncommitted
+    /// work. Verifying `BEGIN` first means nothing of ours is sent unless
+    /// the transaction is actually ours.
     fn run_in_txn(&self, stmts: Vec<String>) -> Result<Vec<crate::engine::ResultSet>> {
         let _guard = self.txn.lock();
-        let mut batch = Vec::with_capacity(stmts.len() + 1);
-        batch.push("BEGIN".to_string());
-        batch.extend(stmts);
-        let replies = match self.client.execute_batch(&batch) {
+        self.client.execute("BEGIN")?;
+        let replies = match self.client.execute_batch(&stmts) {
             Ok(r) => r,
             Err(e) => {
                 let _ = self.client.execute("ROLLBACK");
                 return Err(e);
             }
         };
-        let mut out = Vec::with_capacity(replies.len().saturating_sub(1));
-        for reply in replies.into_iter().skip(1) {
+        let mut out = Vec::with_capacity(replies.len());
+        for reply in replies {
             match reply {
                 Ok(rs) => out.push(rs),
                 Err(e) => {
@@ -306,6 +312,32 @@ mod tests {
         let deleted = kv.delete_many(&keys).unwrap();
         assert!(deleted.iter().all(|&d| d));
         assert_eq!(kv.stats().unwrap().keys, 0);
+    }
+
+    #[test]
+    fn batch_write_rejected_while_foreign_transaction_open() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let a = SqlKv::connect(server.addr()).unwrap();
+        let b = SqlKv::connect(server.addr()).unwrap();
+        // `a` holds the engine's single global transaction with an
+        // uncommitted insert in flight.
+        a.client().execute("BEGIN").unwrap();
+        a.client()
+            .execute("INSERT INTO kv VALUES ('theirs', x'aa')")
+            .unwrap();
+        // `b`'s batch must fail cleanly instead of joining — and worse,
+        // committing — the foreign transaction.
+        let err = b.put_many(&[("ours", b"1".as_slice())]).unwrap_err();
+        assert!(err.to_string().contains("transaction"), "{err}");
+        assert!(b.delete_many(&["theirs"]).is_err());
+        // Nothing of `b`'s batch leaked in, and `a`'s transaction is still
+        // open and intact.
+        a.client().execute("COMMIT").unwrap();
+        assert_eq!(a.get("ours").unwrap(), None);
+        assert_eq!(a.get("theirs").unwrap().unwrap(), &b"\xaa"[..]);
+        // With the transaction released, batches work again.
+        b.put_many(&[("ours", b"1".as_slice())]).unwrap();
+        assert_eq!(b.get("ours").unwrap().unwrap(), &b"1"[..]);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! ports; `scale` shrinks the injected WAN latencies proportionally so quick
 //! runs keep the figures' *shape* at a fraction of the wall-clock cost.
 
+#![forbid(unsafe_code)]
+
 use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
 use fskv::FsKv;
 use kvapi::KeyValue;

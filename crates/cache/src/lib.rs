@@ -31,6 +31,8 @@
 //! the underlying cache", so the DSCL layer (`dscl` crate) wraps values with
 //! expiration metadata before they reach a cache.
 
+#![forbid(unsafe_code)]
+
 pub mod adapter;
 pub mod api;
 pub mod clock;

@@ -23,6 +23,9 @@
 //! `G` → `V` (hit, with version metadata) or `N` (miss); `P` → `P` with the
 //! server-assigned etag; `D` → `D` with whether a value was present.
 
+// Wire-facing arithmetic must be visibly checked or saturating.
+#![warn(clippy::arithmetic_side_effects)]
+
 use crate::http::{escape_segment, unescape_segment};
 use bytes::Bytes;
 use kvapi::{Etag, Result, StoreError, Versioned};
@@ -61,7 +64,7 @@ fn bad(msg: impl std::fmt::Display) -> StoreError {
 
 /// Serialize a batch request body.
 pub fn encode_request(ops: &[BatchOp]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 * ops.len());
+    let mut out = Vec::with_capacity(ops.len().saturating_mul(64));
     out.extend_from_slice(format!("batch/1 {}\n", ops.len()).as_bytes());
     for op in ops {
         match op {
@@ -85,7 +88,7 @@ pub fn encode_request(ops: &[BatchOp]) -> Vec<u8> {
 
 /// Serialize a batch response body.
 pub fn encode_response(replies: &[BatchReply]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 * replies.len());
+    let mut out = Vec::with_capacity(replies.len().saturating_mul(64));
     out.extend_from_slice(format!("batch/1 {}\n", replies.len()).as_bytes());
     for reply in replies {
         match reply {
@@ -113,7 +116,7 @@ pub fn encode_response(replies: &[BatchReply]) -> Vec<u8> {
 /// decoding the operations (used for batch-size metrics).
 pub fn peek_len(body: &[u8]) -> Option<usize> {
     let end = body.iter().position(|&b| b == b'\n')?;
-    std::str::from_utf8(&body[..end])
+    std::str::from_utf8(body.get(..end)?)
         .ok()?
         .strip_prefix("batch/1 ")?
         .parse()
@@ -128,29 +131,34 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn line(&mut self) -> Result<&'a str> {
-        let rest = &self.buf[self.pos..];
+        let rest = self
+            .buf
+            .get(self.pos..)
+            .ok_or_else(|| bad("cursor past end"))?;
         let end = rest
             .iter()
             .position(|&b| b == b'\n')
             .ok_or_else(|| bad("missing line terminator"))?;
-        self.pos += end + 1;
-        std::str::from_utf8(&rest[..end]).map_err(|_| bad("non-utf8 header line"))
+        self.pos = self.pos.saturating_add(end).saturating_add(1);
+        let line = rest.get(..end).ok_or_else(|| bad("truncated line"))?;
+        std::str::from_utf8(line).map_err(|_| bad("non-utf8 header line"))
     }
 
     fn bytes(&mut self, len: usize) -> Result<&'a [u8]> {
         // Checked: a peer-declared length near usize::MAX must come back as
         // a protocol error, not an arithmetic overflow panic.
-        let need = len
-            .checked_add(1)
+        let end = self
+            .pos
+            .checked_add(len)
             .ok_or_else(|| bad("payload length overflow"))?;
-        if self.buf.len() - self.pos < need {
-            return Err(bad("truncated payload"));
-        }
-        let out = &self.buf[self.pos..self.pos + len];
-        if self.buf[self.pos + len] != b'\n' {
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| bad("truncated payload"))?;
+        if self.buf.get(end) != Some(&b'\n') {
             return Err(bad("payload missing terminator"));
         }
-        self.pos += need;
+        self.pos = end.saturating_add(1);
         Ok(out)
     }
 }

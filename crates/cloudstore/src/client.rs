@@ -128,10 +128,18 @@ impl CloudClient {
         let head_only = req.method == "HEAD";
         // First attempt may reuse a pooled (possibly stale) connection;
         // on transient failure, retry once on a freshly opened one.
+        // xlint: idempotent reason="every cloudstore verb is idempotent: GET/HEAD/DELETE by definition, PUT carries the full object, and batch POST re-applies the same op list to the same keys"
         for attempt in 0..2 {
-            let mut conn = match self.pool.lock().pop() {
-                Some(c) if attempt == 0 => c,
-                _ => Conn::open(self.addr, self.timeout)?,
+            // Take the pooled connection in its own statement so the pool
+            // guard is released before Conn::open can block on the network.
+            let pooled = if attempt == 0 {
+                self.pool.lock().pop()
+            } else {
+                None
+            };
+            let mut conn = match pooled {
+                Some(c) => c,
+                None => Conn::open(self.addr, self.timeout)?,
             };
             let result = write_request(&mut conn.writer, req)
                 .map_err(StoreError::from)
@@ -148,7 +156,7 @@ impl CloudClient {
                 Err(e) => return Err(e),
             }
         }
-        unreachable!("second attempt returns")
+        Err(StoreError::Closed)
     }
 
     fn object_path(key: &str) -> String {

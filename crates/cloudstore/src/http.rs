@@ -189,7 +189,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>> {
             "unsupported version {version}"
         )));
     }
-    let headers = parse_headers(&lines[1..])?;
+    let headers = parse_headers(lines.get(1..).unwrap_or_default())?;
     let body = read_body(r, &headers)?;
     Ok(Some(Request {
         method: method.to_string(),
@@ -223,7 +223,7 @@ pub fn read_response(r: &mut impl BufRead, head_only: bool) -> Result<Response> 
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| StoreError::protocol(format!("bad status line {first:?}")))?;
     let reason = parts.next().unwrap_or("").to_string();
-    let headers = parse_headers(&lines[1..])?;
+    let headers = parse_headers(lines.get(1..).unwrap_or_default())?;
     let body = if head_only || status == 304 || status == 204 {
         Vec::new()
     } else {
@@ -270,14 +270,14 @@ pub fn unescape_segment(seg: &str) -> Option<String> {
     let bytes = seg.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
-            let hex = seg.get(i + 1..i + 3)?;
+    while let Some(&b) = bytes.get(i) {
+        if b == b'%' {
+            let hex = seg.get(i.saturating_add(1)..i.saturating_add(3))?;
             out.push(u8::from_str_radix(hex, 16).ok()?);
-            i += 3;
+            i = i.saturating_add(3);
         } else {
-            out.push(bytes[i]);
-            i += 1;
+            out.push(b);
+            i = i.saturating_add(1);
         }
     }
     String::from_utf8(out).ok()

@@ -23,6 +23,8 @@
 //! not preserve: absolute numbers of the authors' 2016 WAN paths — the
 //! reproduction targets the figures' *shape*, per EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod client;
 pub mod http;

@@ -49,7 +49,7 @@ pub struct CloudServerConfig {
 impl Default for CloudServerConfig {
     fn default() -> Self {
         CloudServerConfig {
-            bind: "127.0.0.1:0".parse().expect("static addr"),
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             latency: LatencyModel::zero(),
             seed: 0xc10d,
         }

@@ -20,6 +20,8 @@
 //! inputs and all compression levels; known-answer tests pin CRC-32 and the
 //! fixed-Huffman bit layout.
 
+#![forbid(unsafe_code)]
+
 pub mod bitio;
 pub mod codec;
 pub mod crc32;

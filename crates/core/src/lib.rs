@@ -31,6 +31,8 @@
 //! [`revalidate`]: EnhancedClient::revalidate
 //! [`encode_value`]: EnhancedClient::encode_value
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod config;
 pub mod envelope;

@@ -25,6 +25,8 @@
 //! implementation and makes no constant-time claims; do not lift it into a
 //! production system that must resist cache-timing adversaries.
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod codec;
 pub mod modes;

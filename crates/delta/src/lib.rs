@@ -18,6 +18,8 @@
 //! instruments the byte traffic so the ablation benchmark can reproduce the
 //! claim.
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod encode;
 pub mod rolling;

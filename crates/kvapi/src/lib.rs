@@ -25,6 +25,8 @@
 //! * [`contract`] — a reusable conformance suite that every store's test
 //!   module runs, so all stores are held to identical semantics.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod contract;
 pub mod error;

@@ -84,8 +84,13 @@ impl RedisClient {
 
     /// Issue one command, retrying once on a fresh connection after a
     /// transient failure (a pooled socket may have gone stale).
+    ///
+    /// Only for idempotent commands: a transient failure after the server
+    /// applied the command replays it. Non-idempotent commands (INCR) go
+    /// through [`RedisClient::exec_once`].
     pub fn exec(&self, parts: &[&[u8]]) -> Result<Value> {
         let cmd = command(parts);
+        // xlint: idempotent reason="non-idempotent commands are routed through exec_once; everything sent here (SET/GET/DEL/EXPIRE/...) re-applies the same state"
         for attempt in 0..2 {
             let mut conn = self.checkout(attempt > 0)?;
             match conn.round_trip(&cmd) {
@@ -97,7 +102,18 @@ impl RedisClient {
                 Err(e) => return Err(e),
             }
         }
-        unreachable!("loop returns on second attempt")
+        Err(StoreError::Closed)
+    }
+
+    /// Issue one command exactly once — no retry, so a failure after the
+    /// server applied the effect cannot double-apply it. At-most-once is the
+    /// only safe default for commands like INCR.
+    fn exec_once(&self, parts: &[&[u8]]) -> Result<Value> {
+        let cmd = command(parts);
+        let mut conn = self.checkout(false)?;
+        let v = conn.round_trip(&cmd)?;
+        self.checkin(conn);
+        Ok(v)
     }
 
     /// Send all commands, then read all replies (pipelining).
@@ -244,9 +260,10 @@ impl RedisClient {
         }
     }
 
-    /// `INCR key`.
+    /// `INCR key`. Sent at-most-once: a retried INCR that actually reached
+    /// the server would increment twice.
     pub fn incr(&self, key: &str) -> Result<i64> {
-        Self::expect_int(self.exec(&[b"INCR", key.as_bytes()])?)
+        Self::expect_int(self.exec_once(&[b"INCR", key.as_bytes()])?)
     }
 
     /// `KEYS pattern`.
@@ -287,8 +304,9 @@ impl RedisClient {
             if parts.len() != 2 {
                 return Err(StoreError::protocol("SCAN reply must have 2 elements"));
             }
-            let keys = parts.pop().expect("len checked");
-            let cur = parts.pop().expect("len checked");
+            let (Some(keys), Some(cur)) = (parts.pop(), parts.pop()) else {
+                return Err(StoreError::protocol("SCAN reply must have 2 elements"));
+            };
             let Value::Bulk(Some(c)) = cur else {
                 return Err(StoreError::protocol("bad SCAN cursor"));
             };

@@ -23,6 +23,8 @@
 //! comparing remote-process against in-process caching (its Fig. 19
 //! discussion).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod client;
 pub mod persist;

@@ -4,6 +4,9 @@
 //! integers (`:42`), bulk strings (`$5\r\nhello\r\n`, `$-1` = nil) and
 //! arrays (`*2\r\n…`, `*-1` = nil array).
 
+// Wire-facing arithmetic must be visibly checked or saturating.
+#![warn(clippy::arithmetic_side_effects)]
+
 use bytes::Bytes;
 use kvapi::{Result, StoreError};
 use std::io::{BufRead, Write};
@@ -75,13 +78,25 @@ fn read_line(r: &mut impl BufRead) -> Result<String> {
     if !line.ends_with("\r\n") {
         return Err(StoreError::protocol("RESP line missing CRLF"));
     }
-    line.truncate(line.len() - 2);
+    line.truncate(line.len().saturating_sub(2));
     Ok(line)
 }
+
+/// Nesting allowed before a frame is rejected — deep enough for any real
+/// client, shallow enough that a hostile `*1\r\n*1\r\n…` chain can't blow
+/// the stack.
+const MAX_DEPTH: usize = 32;
 
 /// Deserialize one value from `r`. Returns `StoreError::Closed` on clean EOF
 /// at a frame boundary.
 pub fn read_value(r: &mut impl BufRead) -> Result<Value> {
+    read_value_at(r, 0)
+}
+
+fn read_value_at(r: &mut impl BufRead, depth: usize) -> Result<Value> {
+    if depth > MAX_DEPTH {
+        return Err(StoreError::protocol("RESP frame nested too deeply"));
+    }
     let line = read_line(r)?;
     let (kind, rest) = line
         .split_at_checked(1)
@@ -103,13 +118,15 @@ pub fn read_value(r: &mut impl BufRead) -> Result<Value> {
             if n > 512 * 1024 * 1024 {
                 return Err(StoreError::protocol("bulk string too large"));
             }
-            let mut buf = vec![0u8; n as usize + 2];
+            let len =
+                usize::try_from(n).map_err(|_| StoreError::protocol("bulk len out of range"))?;
+            let mut buf = vec![0u8; len.saturating_add(2)];
             r.read_exact(&mut buf)
                 .map_err(|_| StoreError::protocol("truncated bulk string"))?;
-            if &buf[n as usize..] != b"\r\n" {
+            if buf.get(len..) != Some(b"\r\n") {
                 return Err(StoreError::protocol("bulk string missing CRLF"));
             }
-            buf.truncate(n as usize);
+            buf.truncate(len);
             Ok(Value::Bulk(Some(Bytes::from(buf))))
         }
         "*" => {
@@ -122,9 +139,11 @@ pub fn read_value(r: &mut impl BufRead) -> Result<Value> {
             if n > 1_000_000 {
                 return Err(StoreError::protocol("array too large"));
             }
-            let mut items = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                items.push(read_value(r)?);
+            let len =
+                usize::try_from(n).map_err(|_| StoreError::protocol("array len out of range"))?;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(read_value_at(r, depth.saturating_add(1))?);
             }
             Ok(Value::Array(Some(items)))
         }
@@ -208,6 +227,15 @@ mod tests {
                 "accepted malformed {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn hostile_nesting_rejected() {
+        // A chain of single-element arrays deeper than MAX_DEPTH must come
+        // back as a protocol error, not a stack overflow.
+        let frame = "*1\r\n".repeat(MAX_DEPTH + 2).into_bytes();
+        let err = read_value(&mut BufReader::new(&frame[..])).unwrap_err();
+        assert!(format!("{err}").contains("nested"), "{err:?}");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            bind: "127.0.0.1:0".parse().expect("static addr parses"),
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             max_memory: 0,
             sweep_interval: Duration::from_millis(100),
             persistence: None,
@@ -96,13 +96,15 @@ impl Db {
     fn evict_until_under(&mut self, budget: u64) -> u64 {
         let mut evicted = 0;
         while budget > 0 && self.bytes > budget && !self.map.is_empty() {
-            let victim = self
+            let Some(victim) = self
                 .map
                 .iter()
                 .take(8)
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("map non-empty");
+            else {
+                break;
+            };
             self.remove(&victim);
             evicted += 1;
         }
@@ -136,8 +138,11 @@ impl Server {
         let addr = listener.local_addr()?;
         let db = Arc::new(Mutex::new(Db::default()));
         if let Some(path) = &cfg.persistence {
+            // Load from disk before taking the lock: file I/O under the db
+            // mutex would stall the first connections on a slow disk.
+            let entries = crate::persist::load(path)?;
             let mut g = db.lock();
-            for e in crate::persist::load(path)? {
+            for e in entries {
                 g.insert(
                     e.key,
                     Entry {
@@ -337,11 +342,11 @@ fn dispatch(
     if parts.is_empty() {
         return err("empty command");
     }
-    let Some(cmd) = arg_str(&parts[0]) else {
+    let Some(cmd) = parts.first().and_then(arg_str) else {
         return err("command name must be a bulk string");
     };
     let cmd = cmd.to_ascii_uppercase();
-    let args = &parts[1..];
+    let args = parts.get(1..).unwrap_or_default();
     let now = now_millis();
     let tick = clock.fetch_add(1, Ordering::Relaxed);
 
@@ -369,7 +374,12 @@ fn dispatch(
             let mut nx = false;
             let mut i = 2;
             while i < args.len() {
-                match arg_str(&args[i]).map(|s| s.to_ascii_uppercase()).as_deref() {
+                match args
+                    .get(i)
+                    .and_then(arg_str)
+                    .map(|s| s.to_ascii_uppercase())
+                    .as_deref()
+                {
                     Some("EX") => {
                         let Some(secs) = args
                             .get(i + 1)
@@ -378,7 +388,9 @@ fn dispatch(
                         else {
                             return err("invalid EX argument");
                         };
-                        expires_at = Some(now + secs * 1000);
+                        // Saturate: `SET k v EX 18446744073709551615` must
+                        // mean "never expires", not an overflow trap.
+                        expires_at = Some(now.saturating_add(secs.saturating_mul(1000)));
                         i += 2;
                     }
                     Some("PX") => {
@@ -389,7 +401,7 @@ fn dispatch(
                         else {
                             return err("invalid PX argument");
                         };
-                        expires_at = Some(now + ms);
+                        expires_at = Some(now.saturating_add(ms));
                         i += 2;
                     }
                     Some("NX") => {
@@ -424,9 +436,13 @@ fn dispatch(
             if !g.check_live(&key, now) {
                 return Value::nil();
             }
-            let e = g.map.get_mut(&key).expect("live key present");
-            e.last_used = tick;
-            Value::Bulk(Some(e.data.clone()))
+            match g.map.get_mut(&key) {
+                Some(e) => {
+                    e.last_used = tick;
+                    Value::Bulk(Some(e.data.clone()))
+                }
+                None => Value::nil(),
+            }
         }
         "DEL" => {
             let mut n = 0i64;
@@ -462,7 +478,7 @@ fn dispatch(
                 return wrong_args("expire");
             };
             let ms = if cmd == "EXPIRE" {
-                amount * 1000
+                amount.saturating_mul(1000)
             } else {
                 amount
             };
@@ -470,7 +486,10 @@ fn dispatch(
             if !g.check_live(&key, now) {
                 return Value::Int(0);
             }
-            g.map.get_mut(&key).expect("live").expires_at = Some(now + ms);
+            let Some(e) = g.map.get_mut(&key) else {
+                return Value::Int(0);
+            };
+            e.expires_at = Some(now.saturating_add(ms));
             Value::Int(1)
         }
         "PERSIST" => {
@@ -481,7 +500,9 @@ fn dispatch(
             if !g.check_live(&key, now) {
                 return Value::Int(0);
             }
-            let e = g.map.get_mut(&key).expect("live");
+            let Some(e) = g.map.get_mut(&key) else {
+                return Value::Int(0);
+            };
             let had = e.expires_at.take().is_some();
             Value::Int(i64::from(had))
         }
@@ -493,7 +514,7 @@ fn dispatch(
             if !g.check_live(&key, now) {
                 return Value::Int(-2);
             }
-            match g.map[&key].expires_at {
+            match g.map.get(&key).and_then(|e| e.expires_at) {
                 None => Value::Int(-1),
                 Some(t) => {
                     let remain = t.saturating_sub(now);
@@ -519,8 +540,10 @@ fn dispatch(
             };
             let mut g = db.lock();
             let cur: i64 = if g.check_live(&key, now) {
-                match std::str::from_utf8(&g.map[&key].data)
-                    .ok()
+                match g
+                    .map
+                    .get(&key)
+                    .and_then(|e| std::str::from_utf8(&e.data).ok())
                     .and_then(|s| s.parse::<i64>().ok())
                 {
                     Some(v) => v,
@@ -546,9 +569,10 @@ fn dispatch(
             let items = args
                 .iter()
                 .map(|a| match arg_str(a) {
-                    Some(key) if g.check_live(&key, now) => {
-                        Value::Bulk(Some(g.map[&key].data.clone()))
-                    }
+                    Some(key) if g.check_live(&key, now) => match g.map.get(&key) {
+                        Some(e) => Value::Bulk(Some(e.data.clone())),
+                        None => Value::nil(),
+                    },
                     _ => Value::nil(),
                 })
                 .collect();
@@ -560,7 +584,10 @@ fn dispatch(
             }
             let mut g = db.lock();
             for pair in args.chunks_exact(2) {
-                let (Some(key), Some(val)) = (arg_str(&pair[0]), arg_bytes(&pair[1])) else {
+                let (Some(key), Some(val)) = (
+                    pair.first().and_then(arg_str),
+                    pair.get(1).and_then(arg_bytes),
+                ) else {
                     return err("bad MSET pair");
                 };
                 g.insert(
@@ -617,17 +644,25 @@ fn dispatch(
             let mut count = 10usize;
             let mut i = 1;
             while i < args.len() {
-                match arg_str(&args[i]).map(|s| s.to_ascii_uppercase()).as_deref() {
+                match args
+                    .get(i)
+                    .and_then(arg_str)
+                    .map(|s| s.to_ascii_uppercase())
+                    .as_deref()
+                {
                     Some("MATCH") => {
                         pattern = args.get(i + 1).and_then(arg_str);
                         i += 2;
                     }
                     Some("COUNT") => {
+                        // `COUNT 0` would otherwise cut the batch before its
+                        // first key and panic picking a cursor from it.
                         count = args
                             .get(i + 1)
                             .and_then(arg_str)
                             .and_then(|s| s.parse().ok())
-                            .unwrap_or(10);
+                            .unwrap_or(10)
+                            .max(1);
                         i += 2;
                     }
                     other => return err(format!("unknown SCAN option {other:?}")),
@@ -644,7 +679,7 @@ fn dispatch(
             let mut g = db.lock();
             let mut keys: Vec<String> = g.map.keys().cloned().collect();
             keys.sort();
-            let mut batch = Vec::new();
+            let mut batch: Vec<String> = Vec::new();
             let mut next_cursor = String::from("0");
             for k in keys {
                 if (cursor != "0" && k.as_str() <= cursor.as_str()) || !g.check_live(&k, now) {
@@ -653,8 +688,10 @@ fn dispatch(
                 if !matches(&k) {
                     continue;
                 }
-                if batch.len() == count {
-                    next_cursor = batch.last().cloned().expect("non-empty batch");
+                if batch.len() >= count {
+                    if let Some(last) = batch.last() {
+                        next_cursor = last.clone();
+                    }
                     break;
                 }
                 batch.push(k);

@@ -60,19 +60,38 @@ impl MiniSqlClient {
     }
 
     /// Execute a statement verbatim.
+    ///
+    /// Statements are retried once on a fresh connection after a transient
+    /// failure, but only while a replay cannot double-apply: either the
+    /// statement is read-only (`SELECT`), or the frame never reached the
+    /// server (`write_frame` failed before its flush completed).
     pub fn execute(&self, sql: &str) -> Result<ResultSet> {
         let request = serde_json::to_vec(&WireRequest {
             sql: sql.to_string(),
         })
-        .expect("serializes");
+        .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))?;
+        let read_only = sql
+            .trim_start()
+            .get(..6)
+            .is_some_and(|p| p.eq_ignore_ascii_case("SELECT"));
         for attempt in 0..2 {
-            let mut conn = match self.pool.lock().pop() {
-                Some(c) if attempt == 0 => c,
-                _ => Conn::open(self.addr, self.timeout)?,
+            // Pop the pooled connection in its own statement so the pool
+            // guard drops before Conn::open can block on the network.
+            let pooled = if attempt == 0 {
+                self.pool.lock().pop()
+            } else {
+                None
             };
-            let outcome = write_frame(&mut conn.writer, &request)
-                .map_err(StoreError::from)
-                .and_then(|()| read_frame(&mut conn.reader));
+            let mut conn = match pooled {
+                Some(c) => c,
+                None => Conn::open(self.addr, self.timeout)?,
+            };
+            let mut frame_sent = false;
+            let outcome = (|| {
+                write_frame(&mut conn.writer, &request).map_err(StoreError::from)?;
+                frame_sent = true;
+                read_frame(&mut conn.reader)
+            })();
             match outcome {
                 Ok(Some(payload)) => {
                     let mut pool = self.pool.lock();
@@ -87,13 +106,18 @@ impl MiniSqlClient {
                         WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
                     };
                 }
-                Ok(None) if attempt == 0 => continue,
+                // The frame was flushed before the peer vanished: the server
+                // may already have executed it, so only read-only statements
+                // are safe to replay.
+                Ok(None) if attempt == 0 && read_only => continue,
                 Ok(None) => return Err(StoreError::Closed),
-                Err(e) if e.is_transient() && attempt == 0 => continue,
+                Err(e) if e.is_transient() && attempt == 0 && (read_only || !frame_sent) => {
+                    continue
+                }
                 Err(e) => return Err(e),
             }
         }
-        unreachable!("second attempt returns")
+        Err(StoreError::Closed)
     }
 
     /// Execute with `?` parameter binding.
@@ -118,12 +142,20 @@ impl MiniSqlClient {
         }
         let frames: Vec<Vec<u8>> = stmts
             .iter()
-            .map(|sql| serde_json::to_vec(&WireRequest { sql: sql.clone() }).expect("serializes"))
-            .collect();
+            .map(|sql| {
+                serde_json::to_vec(&WireRequest { sql: sql.clone() })
+                    .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))
+            })
+            .collect::<Result<_>>()?;
         for attempt in 0..2 {
-            let mut conn = match self.pool.lock().pop() {
-                Some(c) if attempt == 0 => c,
-                _ => Conn::open(self.addr, self.timeout)?,
+            let pooled = if attempt == 0 {
+                self.pool.lock().pop()
+            } else {
+                None
+            };
+            let mut conn = match pooled {
+                Some(c) => c,
+                None => Conn::open(self.addr, self.timeout)?,
             };
             // A batch is only safe to retry while no frame has reached the
             // server: once a frame is flushed the server may have executed a
@@ -171,7 +203,7 @@ impl MiniSqlClient {
                 Err(e) => return Err(e),
             }
         }
-        unreachable!("second attempt returns")
+        Err(StoreError::Closed)
     }
 }
 

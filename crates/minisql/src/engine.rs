@@ -246,6 +246,7 @@ fn point_lookup_literal(expr: &Expr, pk_name: &str) -> Option<SqlValue> {
     }
 }
 
+// The Un- prefix is the point: each variant names the inverse of a statement.
 #[allow(clippy::enum_variant_names)]
 enum UndoOp {
     UnInsert {
@@ -326,9 +327,12 @@ impl Database {
         let snapshot_path = dir.join("db.snapshot");
 
         let db = Database::in_memory();
+        // Read the snapshot before taking the lock, for the same reason the
+        // WAL is opened outside it below.
+        let snapshot_blob = read_snapshot(&snapshot_path)?;
         {
             let mut inner = db.inner.lock();
-            if let Some(blob) = read_snapshot(&snapshot_path)? {
+            if let Some(blob) = snapshot_blob {
                 let snap: DbSnapshot = serde_json::from_slice(&blob)
                     .map_err(|e| StoreError::corrupt(format!("bad snapshot: {e}")))?;
                 inner.txn_counter = snap.txn_counter;
@@ -352,12 +356,15 @@ impl Database {
                 })?;
             }
         }
+        // Open the WAL before taking the lock: file I/O (and its fsyncs)
+        // never runs under the database mutex.
+        let wal = Wal::open(&wal_path, sync)?;
         {
             let mut inner = db.inner.lock();
             if let Some(last) = records.last() {
                 inner.txn_counter = inner.txn_counter.max(last.txn);
             }
-            inner.wal = Some(Wal::open(&wal_path, sync)?);
+            inner.wal = Some(wal);
         }
         Ok(db)
     }

@@ -24,6 +24,8 @@
 //!   databases ("the key-value interface for SQL databases can also be
 //!   implemented using JDBC").
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod client;
 pub mod engine;

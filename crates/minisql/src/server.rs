@@ -33,7 +33,10 @@ pub(crate) enum WireResponse {
 }
 
 pub(crate) fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
@@ -51,7 +54,8 @@ pub(crate) fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
             "frame of {len} bytes exceeds limit"
         )));
     }
-    let mut payload = vec![0u8; len as usize];
+    let len = usize::try_from(len).map_err(|_| StoreError::protocol("frame len out of range"))?;
+    let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)
         .map_err(|_| StoreError::protocol("truncated frame"))?;
     Ok(Some(payload))
@@ -71,7 +75,7 @@ pub struct SqlServerConfig {
 impl Default for SqlServerConfig {
     fn default() -> Self {
         SqlServerConfig {
-            bind: "127.0.0.1:0".parse().expect("static addr"),
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             data_dir: None,
             sync: SyncMode::Always,
         }
@@ -178,7 +182,10 @@ fn serve(stream: TcpStream, db: Arc<Database>) -> Result<()> {
                 Err(e) => WireResponse::Err(e.to_string()),
             },
         };
-        let bytes = serde_json::to_vec(&response).expect("response serializes");
+        // A response that fails to serialize must not kill the connection:
+        // degrade to an in-band error the client can surface.
+        let bytes = serde_json::to_vec(&response)
+            .unwrap_or_else(|_| br#"{"err":"response serialization failed"}"#.to_vec());
         write_frame(&mut writer, &bytes)?;
     }
     Ok(())

@@ -15,6 +15,8 @@
 //!
 //! The model is deterministic given a seed, so benchmarks are repeatable.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod profiles;
 

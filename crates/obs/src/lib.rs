@@ -21,6 +21,8 @@
 //!   (`cloudstore_requests_total{route="/v1/objects",method="GET",status="200"}`);
 //! * `*_total` counters, `*_ns` nanosecond histograms, bare nouns gauges.
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod registry;
 pub mod trace;

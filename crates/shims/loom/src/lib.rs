@@ -1,0 +1,654 @@
+//! Offline shim of the `loom` model checker's core idea: run a concurrent
+//! test body under a deterministic scheduler, and *exhaustively* explore
+//! every interleaving of its synchronization operations.
+//!
+//! [`model`] runs the closure repeatedly. Threads spawned with
+//! [`thread::spawn`] are real OS threads, but strictly serialized: exactly
+//! one runs at a time, and at every scheduling point (lock acquire, lock
+//! release, spawn, join, [`thread::yield_now`]) the scheduler picks which
+//! runnable thread proceeds next. Each pick is a recorded decision;
+//! depth-first backtracking over the decision trace enumerates every
+//! schedule. A schedule where every live thread is blocked panics with
+//! `"deadlock"`, and an assertion failure in any schedule propagates out of
+//! [`model`] — so a passing `model()` call means the invariant held under
+//! *all* interleavings of the modeled operations, not just the ones the OS
+//! happened to produce.
+//!
+//! Divergences from real loom, chosen for this workspace:
+//! * Only `Mutex`/`thread`/`Arc` are modeled (no atomics orderings, no
+//!   `UnsafeCell` tracking) — the workspace's sharded cache and connection
+//!   pool are lock-based.
+//! * `Mutex::lock` returns the guard directly (parking_lot style, matching
+//!   the `parking_lot` shim the production code uses) rather than a
+//!   `LockResult`.
+//! * Exploration is capped at [`MAX_EXECUTIONS`] schedules as a runaway
+//!   backstop; hitting the cap panics rather than silently passing.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdGuard, OnceLock, PoisonError};
+
+/// Hard cap on explored schedules; a model that exceeds it panics.
+pub const MAX_EXECUTIONS: usize = 100_000;
+
+thread_local! {
+    /// Model-thread id of the current OS thread (usize::MAX = not a model thread).
+    static CUR: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn cur() -> usize {
+    let id = CUR.with(Cell::get);
+    assert!(
+        id != usize::MAX,
+        "loom primitives may only be used inside loom::model"
+    );
+    id
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    /// Waiting for a mutex (by lock id).
+    BlockedLock(usize),
+    /// Waiting for a thread (by thread id) to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct State {
+    /// Per-execution thread table; index is the model-thread id.
+    threads: Vec<Run>,
+    /// Which thread holds the token (may run).
+    active: usize,
+    /// Held-flags for mutexes registered this execution.
+    locks: Vec<bool>,
+    /// OS handles of spawned child threads, joined at execution end.
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Decision trace: (choice index, number of options) per scheduling point.
+    trace: Vec<(usize, usize)>,
+    /// Replay cursor into `trace`.
+    pos: usize,
+    /// Execution aborted (deadlock or panic): all threads unwind out.
+    dead: bool,
+    /// First panic message observed this execution.
+    panic: Option<String>,
+}
+
+struct Sched {
+    state: StdMutex<State>,
+    cv: Condvar,
+}
+
+fn sched() -> &'static Sched {
+    static S: OnceLock<Sched> = OnceLock::new();
+    S.get_or_init(|| Sched {
+        state: StdMutex::new(State {
+            threads: Vec::new(),
+            active: 0,
+            locks: Vec::new(),
+            handles: Vec::new(),
+            trace: Vec::new(),
+            pos: 0,
+            dead: false,
+            panic: None,
+        }),
+        cv: Condvar::new(),
+    })
+}
+
+impl Sched {
+    fn st(&self) -> StdGuard<'_, State> {
+        // A panicking model thread poisons the lock; the state itself stays
+        // consistent (mutations are all single-step), so recover.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record (or replay) one scheduling decision with `n` options.
+    fn choose(st: &mut State, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let c = if st.pos < st.trace.len() {
+            // Replaying a prefix from a previous execution. The model body
+            // must be deterministic, so the option count matches; clamp
+            // defensively anyway.
+            st.trace[st.pos].1 = n;
+            st.trace[st.pos].0.min(n.saturating_sub(1))
+        } else {
+            st.trace.push((0, n));
+            0
+        };
+        st.pos = st.pos.saturating_add(1);
+        c
+    }
+
+    fn enabled(st: &State) -> Vec<usize> {
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|&(_, r)| *r == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the next thread to run and hand it the token. Returns false when
+    /// the execution is dead (deadlock detected here, or already aborted).
+    fn pick_next(&self, st: &mut State) -> bool {
+        if st.dead {
+            self.cv.notify_all();
+            return false;
+        }
+        let enabled = Self::enabled(st);
+        if enabled.is_empty() {
+            if st.threads.iter().all(|r| *r == Run::Finished) {
+                self.cv.notify_all();
+                return true;
+            }
+            // Live threads exist but none can run.
+            if st.panic.is_none() {
+                st.panic = Some(format!(
+                    "deadlock: every live thread is blocked ({:?})",
+                    st.threads
+                ));
+            }
+            st.dead = true;
+            self.cv.notify_all();
+            return false;
+        }
+        let pick = Self::choose(st, enabled.len());
+        st.active = enabled[pick];
+        self.cv.notify_all();
+        true
+    }
+
+    /// Block until this thread holds the token again (or the run is dead).
+    /// Returns false if the execution died while waiting.
+    fn wait_for_token<'a>(
+        &self,
+        mut st: StdGuard<'a, State>,
+        me: usize,
+    ) -> (StdGuard<'a, State>, bool) {
+        while st.active != me && !st.dead {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let alive = !st.dead;
+        (st, alive)
+    }
+
+    /// A full scheduling point for the running thread: choose a successor
+    /// (possibly itself) and wait for the token back. Panics (to unwind the
+    /// model body) if the execution dies.
+    fn yield_point(&self) {
+        let me = cur();
+        let mut st = self.st();
+        if !self.pick_next(&mut st) {
+            drop(st);
+            panic!("loom: model aborted");
+        }
+        let (st, alive) = self.wait_for_token(st, me);
+        drop(st);
+        if !alive {
+            panic!("loom: model aborted");
+        }
+    }
+}
+
+/// Run `body` on model thread `id`, then mark it finished and hand off.
+fn enter_thread(id: usize, body: impl FnOnce()) {
+    CUR.with(|c| c.set(id));
+    let s = sched();
+    {
+        let (st, alive) = s.wait_for_token(s.st(), id);
+        drop(st);
+        if !alive {
+            // Execution died before this thread first ran; fall through to
+            // the finish bookkeeping below with no body run.
+            finish_thread(id);
+            return;
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "model thread panicked".to_string());
+        let mut st = s.st();
+        // First genuine panic wins; secondary "model aborted" unwinds from
+        // other threads never overwrite it.
+        if st.panic.is_none() {
+            st.panic = Some(msg);
+        }
+        st.dead = true;
+        s.cv.notify_all();
+    }
+    finish_thread(id);
+}
+
+fn finish_thread(id: usize) {
+    let s = sched();
+    let mut st = s.st();
+    st.threads[id] = Run::Finished;
+    for r in st.threads.iter_mut() {
+        if *r == Run::BlockedJoin(id) {
+            *r = Run::Runnable;
+        }
+    }
+    // Hand the token on (or end/abort the execution); this thread exits
+    // either way, so it never waits for the token back.
+    let _ = s.pick_next(&mut st);
+}
+
+/// Explore every schedule of `f`. Panics if any schedule deadlocks, panics,
+/// or the execution cap is hit.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+    let _serial = MODEL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+
+    let s = sched();
+    {
+        let mut st = s.st();
+        st.trace.clear();
+        st.pos = 0;
+    }
+    let f = std::sync::Arc::new(f);
+    let mut executions = 0usize;
+    loop {
+        executions = executions.saturating_add(1);
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom: exceeded {MAX_EXECUTIONS} schedules; shrink the model"
+        );
+        // Reset per-execution state (the decision trace persists).
+        {
+            let mut st = s.st();
+            st.threads = vec![Run::Runnable];
+            st.active = 0;
+            st.locks.clear();
+            st.dead = false;
+            st.panic = None;
+            st.pos = 0;
+        }
+        let body = f.clone();
+        let root = std::thread::spawn(move || enter_thread(0, move || body()));
+        // Wait for every model thread to finish, then reap the OS threads.
+        let handles = {
+            let mut st = s.st();
+            while !st.threads.iter().all(|r| *r == Run::Finished) {
+                st = s.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            std::mem::take(&mut st.handles)
+        };
+        let _ = root.join();
+        for h in handles {
+            let _ = h.join();
+        }
+        let failed = {
+            let mut st = s.st();
+            // Decisions past `pos` belong to abandoned deeper explorations.
+            let pos = st.pos;
+            st.trace.truncate(pos);
+            st.panic.take()
+        };
+        if let Some(msg) = failed {
+            panic!("loom: schedule {executions} failed: {msg}");
+        }
+        // Depth-first advance: bump the deepest decision with options left.
+        let more = {
+            let mut st = s.st();
+            loop {
+                match st.trace.last().copied() {
+                    None => break false,
+                    Some((c, n)) if c.saturating_add(1) < n => {
+                        if let Some(last) = st.trace.last_mut() {
+                            last.0 = c.saturating_add(1);
+                        }
+                        break true;
+                    }
+                    Some(_) => {
+                        st.trace.pop();
+                    }
+                }
+            }
+        };
+        if !more {
+            return;
+        }
+    }
+}
+
+/// Model-aware threads.
+pub mod thread {
+    use super::{cur, enter_thread, sched, Run, Sched};
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        id: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    }
+
+    /// Spawn a model thread. A scheduling point for the parent.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let s = sched();
+        let slot = Arc::new(StdMutex::new(None));
+        let slot2 = slot.clone();
+        let id = {
+            let mut st = s.st();
+            st.threads.push(Run::Runnable);
+            st.threads.len() - 1
+        };
+        let os = std::thread::spawn(move || {
+            enter_thread(id, move || {
+                let out = f();
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            });
+        });
+        {
+            let mut st = s.st();
+            st.handles.push(os);
+        }
+        s.yield_point();
+        JoinHandle { id, slot }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish; a scheduling point.
+        pub fn join(self) -> std::thread::Result<T> {
+            let s = sched();
+            let me = cur();
+            loop {
+                let mut st = s.st();
+                if st.dead {
+                    drop(st);
+                    panic!("loom: model aborted");
+                }
+                if st.threads[self.id] == Run::Finished {
+                    break;
+                }
+                st.threads[me] = Run::BlockedJoin(self.id);
+                if !s.pick_next(&mut st) {
+                    drop(st);
+                    panic!("loom: model aborted");
+                }
+                let (st, alive) = s.wait_for_token(st, me);
+                drop(st);
+                if !alive {
+                    panic!("loom: model aborted");
+                }
+            }
+            match self
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+            {
+                Some(v) => Ok(v),
+                // The thread died before storing a result (it panicked); the
+                // scheduler has already recorded the original message.
+                None => Err(Box::new("loom: joined thread produced no value")),
+            }
+        }
+    }
+
+    /// Explicit scheduling point.
+    pub fn yield_now() {
+        Sched::yield_point(sched());
+    }
+}
+
+/// Model-aware sync primitives.
+pub mod sync {
+    use super::{cur, sched, Run};
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub use std::sync::Arc;
+
+    /// A mutex whose acquire/release are scheduling points explored by the
+    /// model. The data lives in an `UnsafeCell`; mutual exclusion is
+    /// enforced by the scheduler (only the token-holding thread runs, and
+    /// the held-flag blocks competing lockers).
+    pub struct Mutex<T> {
+        /// Lock id within the current execution (`usize::MAX` = unassigned).
+        id: AtomicUsize,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler serializes all model threads and the held-flag
+    // protocol guarantees at most one live guard, so `&T`/`&mut T` handed
+    // out by the guard are never aliased across threads.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    // SAFETY: as above — shared references to the Mutex only touch `data`
+    // through a guard, and guard acquisition is mutually exclusive.
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    /// Exclusive access to a [`Mutex`]'s data; released (a scheduling
+    /// point) on drop.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Wrap `value`. Mutexes must be created inside the model body so
+        /// each execution re-registers them.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                id: AtomicUsize::new(usize::MAX),
+                data: UnsafeCell::new(value),
+            }
+        }
+
+        fn ensure_id(&self) -> usize {
+            // Single-step registration is race-free: only one model thread
+            // runs at a time.
+            let id = self.id.load(Ordering::Relaxed);
+            if id != usize::MAX {
+                return id;
+            }
+            let s = sched();
+            let mut st = s.st();
+            st.locks.push(false);
+            let id = st.locks.len() - 1;
+            drop(st);
+            self.id.store(id, Ordering::Relaxed);
+            id
+        }
+
+        /// Acquire. A scheduling point before the attempt, and blocks (as a
+        /// modeled state, explored by the scheduler) while held elsewhere.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let id = self.ensure_id();
+            let s = sched();
+            s.yield_point();
+            let me = cur();
+            loop {
+                let mut st = s.st();
+                if st.dead {
+                    drop(st);
+                    panic!("loom: model aborted");
+                }
+                // A mutex captured from outside the model body keeps its id
+                // across executions while the lock table is reset; re-extend.
+                while st.locks.len() <= id {
+                    st.locks.push(false);
+                }
+                if !st.locks[id] {
+                    st.locks[id] = true;
+                    return MutexGuard { lock: self };
+                }
+                st.threads[me] = Run::BlockedLock(id);
+                if !s.pick_next(&mut st) {
+                    drop(st);
+                    panic!("loom: model aborted");
+                }
+                let (st, alive) = s.wait_for_token(st, me);
+                drop(st);
+                if !alive {
+                    panic!("loom: model aborted");
+                }
+            }
+        }
+
+        /// Consume the mutex, returning the data (no scheduling point).
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+    }
+
+    impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: this guard proves the held-flag is set for this lock
+            // and only one guard can exist at a time (see `lock`).
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: exclusive `&mut self` on the sole live guard.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<'a, T> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            let s = sched();
+            let id = self.lock.id.load(Ordering::Relaxed);
+            let mut st = s.st();
+            if let Some(held) = st.locks.get_mut(id) {
+                *held = false;
+            }
+            for r in st.threads.iter_mut() {
+                if *r == Run::BlockedLock(id) {
+                    *r = Run::Runnable;
+                }
+            }
+            if st.dead {
+                // Unwinding out of a dead execution: release without
+                // scheduling (and never panic from a drop).
+                s.cv.notify_all();
+                return;
+            }
+            // Release is a scheduling point, but must not panic in drop:
+            // on abort just fall through, the caller's next scheduling
+            // point unwinds.
+            let me = cur();
+            if s.pick_next(&mut st) {
+                let (st, _alive) = s.wait_for_token(st, me);
+                drop(st);
+            }
+        }
+    }
+}
+
+pub use sync::Arc;
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Mutex};
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Two unsynchronized read-modify-write sections lose an update under
+    /// at least one interleaving; the model must find it.
+    #[test]
+    #[should_panic(expected = "lost update")]
+    fn finds_lost_update() {
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let n2 = n.clone();
+            let t = thread::spawn(move || {
+                let read = *n2.lock();
+                // The other thread can interleave here.
+                *n2.lock() = read + 1;
+            });
+            {
+                let read = *n.lock();
+                *n.lock() = read + 1;
+            }
+            t.join().expect("child");
+            assert_eq!(*n.lock(), 2, "lost update");
+        });
+    }
+
+    /// Holding the lock across the whole read-modify-write makes every
+    /// schedule correct.
+    #[test]
+    fn locked_counter_holds_everywhere() {
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0u32));
+            let n2 = n.clone();
+            let t = thread::spawn(move || {
+                let mut g = n2.lock();
+                *g += 1;
+            });
+            {
+                let mut g = n.lock();
+                *g += 1;
+            }
+            t.join().expect("child");
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    /// The checker actually explores more than one schedule.
+    #[test]
+    fn explores_multiple_schedules() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+            let m = Arc::new(Mutex::new(0u8));
+            let m2 = m.clone();
+            let t = thread::spawn(move || {
+                *m2.lock() += 1;
+            });
+            *m.lock() += 1;
+            t.join().expect("child");
+        });
+        assert!(
+            RUNS.load(Ordering::SeqCst) > 1,
+            "expected multiple interleavings, got {}",
+            RUNS.load(Ordering::SeqCst)
+        );
+    }
+
+    /// Classic AB-BA lock ordering inversion must be reported as deadlock.
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn detects_ab_ba_deadlock() {
+        super::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop((_ga, _gb));
+            t.join().expect("child");
+        });
+    }
+
+    /// yield_now is a legal scheduling point and the model terminates.
+    #[test]
+    fn yield_now_terminates() {
+        super::model(|| {
+            let t = thread::spawn(|| {
+                thread::yield_now();
+                7u8
+            });
+            thread::yield_now();
+            assert_eq!(t.join().expect("child"), 7);
+        });
+    }
+}

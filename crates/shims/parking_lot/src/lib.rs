@@ -84,9 +84,12 @@ impl Condvar {
     /// Block until notified, releasing the guard while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         // std's wait consumes the guard and returns a fresh one;
-        // parking_lot's takes `&mut`. Move the guard out and back. The
-        // moved-out guard can't be double-dropped: the only fallible step
-        // is the poison check, which is recovered with `into_inner`.
+        // parking_lot's takes `&mut`. Move the guard out and back.
+        // SAFETY: ptr::read duplicates the guard, but exactly one copy is
+        // ever dropped — wait() consumes the moved-out value and returns a
+        // fresh guard that ptr::write installs over the (never-dropped)
+        // original. The only fallible step is the poison check, recovered
+        // with `into_inner`, so no early return can leak the duplicate.
         unsafe {
             let taken = std::ptr::read(guard);
             let reacquired = self.inner.wait(taken).unwrap_or_else(|e| e.into_inner());
@@ -101,6 +104,9 @@ impl Condvar {
         deadline: std::time::Instant,
     ) -> WaitTimeoutResult {
         let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        // SAFETY: same move-out/move-back protocol as `wait` above — one of
+        // the two guard copies is consumed by wait_timeout, the other is
+        // overwritten without being dropped.
         unsafe {
             let taken = std::ptr::read(guard);
             let (reacquired, result) =

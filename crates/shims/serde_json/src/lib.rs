@@ -254,7 +254,10 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is validated UTF-8).
+                    // Consume one UTF-8 scalar.
+                    // SAFETY: `bytes` came from a `&str` (validated UTF-8)
+                    // and `pos` only ever advances by whole scalar widths,
+                    // so every suffix is valid UTF-8.
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();

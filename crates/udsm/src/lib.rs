@@ -25,6 +25,8 @@
 //! * [`coord`] — the paper's §VII future work, implemented as an extension:
 //!   best-effort coordinated updates across multiple stores.
 
+#![forbid(unsafe_code)]
+
 pub mod asynckv;
 pub mod coord;
 pub mod future;

@@ -1,0 +1,103 @@
+//! Scope policy: which rules apply to which workspace files.
+//!
+//! Paths are matched by suffix against workspace-relative, `/`-separated
+//! paths, so both `cargo run -p xlint` from the workspace root and the
+//! fixture tests (which feed virtual paths) resolve identically.
+
+/// Frame-parser files: rule `wire-arith` (unchecked arithmetic on
+/// wire-derived lengths) applies here.
+const PARSER_FILES: &[&str] = &[
+    "crates/cloudstore/src/batch.rs",
+    "crates/cloudstore/src/http.rs",
+    "crates/miniredis/src/resp.rs",
+    "crates/miniredis/src/server.rs",
+    "crates/minisql/src/server.rs",
+];
+
+/// Server connection-handler and client request-path files: rule
+/// `panic-path` (no unwrap/expect/indexing — a panic is a dropped
+/// connection) applies here.
+const REQUEST_PATH_FILES: &[&str] = &[
+    "crates/cloudstore/src/server.rs",
+    "crates/cloudstore/src/client.rs",
+    "crates/cloudstore/src/http.rs",
+    "crates/cloudstore/src/batch.rs",
+    "crates/miniredis/src/server.rs",
+    "crates/miniredis/src/client.rs",
+    "crates/miniredis/src/resp.rs",
+    "crates/minisql/src/server.rs",
+    "crates/minisql/src/client.rs",
+];
+
+/// Crates allowed to contain `unsafe` (always with a `SAFETY:` comment).
+const UNSAFE_ALLOWED: &[&str] = &["crates/fskv/", "crates/shims/"];
+
+/// Rule scoping policy for one scan run.
+#[derive(Default)]
+pub struct Policy;
+
+impl Policy {
+    /// Files the walker should not scan at all.
+    pub fn skip(&self, path: &str) -> bool {
+        path.contains("target/") || path.contains(".git/") || path.contains("crates/xlint/")
+    }
+
+    /// Test/bench/example code: panics and shortcuts are acceptable there.
+    fn is_test_code(&self, path: &str) -> bool {
+        path.starts_with("tests/")
+            || path.contains("/tests/")
+            || path.contains("/examples/")
+            || path.contains("/benches/")
+    }
+
+    /// Vendored shim crates: exempt from the behavioral rules (they mimic
+    /// external APIs verbatim), but still subject to `unsafe-allowlist`.
+    fn is_shim(&self, path: &str) -> bool {
+        path.contains("crates/shims/")
+    }
+
+    /// Does `wire-arith` apply to this file?
+    pub fn wire_arith_applies(&self, path: &str) -> bool {
+        PARSER_FILES.iter().any(|f| path.ends_with(f))
+    }
+
+    /// Does `panic-path` apply to this file?
+    pub fn panic_path_applies(&self, path: &str) -> bool {
+        REQUEST_PATH_FILES.iter().any(|f| path.ends_with(f))
+    }
+
+    /// Do the workspace-wide rules (`guard-across-io`, `retry-idempotency`)
+    /// apply to this file?
+    pub fn general_rules_apply(&self, path: &str) -> bool {
+        !self.is_shim(path) && !self.is_test_code(path)
+    }
+
+    /// May this file contain `unsafe` at all?
+    pub fn unsafe_allowed(&self, path: &str) -> bool {
+        UNSAFE_ALLOWED
+            .iter()
+            .any(|prefix| path.starts_with(prefix) || path.contains(&format!("/{prefix}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping() {
+        let p = Policy;
+        assert!(p.wire_arith_applies("crates/miniredis/src/resp.rs"));
+        assert!(!p.wire_arith_applies("crates/cache/src/lru.rs"));
+        assert!(p.panic_path_applies("crates/minisql/src/client.rs"));
+        assert!(!p.panic_path_applies("crates/minisql/src/engine.rs"));
+        assert!(p.general_rules_apply("crates/cache/src/lru.rs"));
+        assert!(!p.general_rules_apply("crates/shims/parking_lot/src/lib.rs"));
+        assert!(!p.general_rules_apply("crates/kvapi/tests/contract.rs"));
+        assert!(p.unsafe_allowed("crates/fskv/src/lib.rs"));
+        assert!(p.unsafe_allowed("crates/shims/serde_json/src/lib.rs"));
+        assert!(!p.unsafe_allowed("crates/cache/src/lru.rs"));
+        assert!(p.skip("crates/xlint/src/rules.rs"));
+        assert!(p.skip("target/debug/build/foo.rs"));
+    }
+}

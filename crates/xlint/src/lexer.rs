@@ -1,0 +1,398 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! per-function scanners: identifiers, literals, punctuation, and comments
+//! (kept as tokens, because suppressions and `SAFETY:` justifications live
+//! in comments), each tagged with its 1-based source line.
+//!
+//! This is deliberately *not* a full Rust lexer. It understands everything
+//! needed to never mis-tokenize real code in this workspace: line and block
+//! comments (nested), string/raw-string/byte-string literals, char literals
+//! vs. lifetimes, and numeric literals. Anything else is single-character
+//! punctuation; rules that need multi-character operators (`+=`, `..`)
+//! inspect token neighborhoods.
+
+/// Token classification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `let`, `unsafe`, names...).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String / raw string / byte string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// `// ...` comment (text includes the slashes).
+    LineComment,
+    /// `/* ... */` comment.
+    BlockComment,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// One token with its source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: Kind,
+    /// Raw text (empty for punctuation; see `Kind::Punct`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this token the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Is this token the punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct(c)
+    }
+
+    /// Is this a comment token?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become punctuation.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line = line.saturating_add(1);
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::LineComment,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::BlockComment,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (end, nl) = scan_string(b, i);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if starts_string_prefix(b, i) => {
+                let (end, nl, kind) = scan_prefixed_literal(b, i);
+                toks.push(Tok {
+                    kind,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                let (end, kind) = scan_quote(b, i);
+                toks.push(Tok {
+                    kind,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Don't swallow `..` range operators or method calls on
+                    // literals (`1.max(x)`): only take a dot followed by a
+                    // digit.
+                    if b[i] == b'.' && !b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii() => {
+                toks.push(Tok {
+                    kind: Kind::Punct(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 outside literals (e.g. in doc text that
+                // slipped through): skip the full code point.
+                let mut j = i + 1;
+                while j < b.len() && (b[j] & 0xc0) == 0x80 {
+                    j += 1;
+                }
+                i = j;
+            }
+        }
+    }
+    toks
+}
+
+/// Does `r`/`b` at `i` begin a raw/byte string or byte-char literal prefix?
+fn starts_string_prefix(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'b' => {
+            matches!(b.get(i + 1), Some(&b'"') | Some(&b'\''))
+                || (b.get(i + 1) == Some(&b'r')
+                    && matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')))
+        }
+        b'r' => matches!(b.get(i + 1), Some(&b'"') | Some(&b'#')),
+        _ => false,
+    }
+}
+
+/// Scan a plain `"..."` string starting at `i`; returns (end, newlines).
+fn scan_string(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    let mut nl = 0;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scan `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` starting at `i`.
+fn scan_prefixed_literal(b: &[u8], i: usize) -> (usize, usize, Kind) {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'\'') {
+        // b'x' byte char.
+        let (end, _) = scan_char(b, j);
+        return (end, 0, Kind::Char);
+    }
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        // `r#foo` raw identifier — treat as ident-ish; emit as one token.
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, 0, Kind::Ident);
+    }
+    j += 1;
+    let mut nl = 0;
+    let raw = hashes > 0 || b[i] == b'r' || (b[i] == b'b' && b.get(i + 1) == Some(&b'r'));
+    while j < b.len() {
+        if b[j] == b'\n' {
+            nl += 1;
+            j += 1;
+            continue;
+        }
+        if !raw && b[j] == b'\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && b.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, nl, Kind::Str);
+            }
+        }
+        j += 1;
+    }
+    (j, nl, Kind::Str)
+}
+
+/// Scan a `'…'` char literal starting at the quote; returns (end, _).
+fn scan_char(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    if b.get(j) == Some(&b'\\') {
+        j += 2;
+        // \u{...}
+        if b.get(j - 1) == Some(&b'u') && b.get(j) == Some(&b'{') {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        }
+    } else {
+        // One code point.
+        j += 1;
+        while j < b.len() && (b[j] & 0xc0) == 0x80 {
+            j += 1;
+        }
+    }
+    if b.get(j) == Some(&b'\'') {
+        j += 1;
+    }
+    (j, 0)
+}
+
+/// Disambiguate `'a` (lifetime) from `'x'` (char literal) at `i`.
+fn scan_quote(b: &[u8], i: usize) -> (usize, Kind) {
+    // Escape ⇒ definitely a char literal.
+    if b.get(i + 1) == Some(&b'\\') {
+        let (end, _) = scan_char(b, i);
+        return (end, Kind::Char);
+    }
+    // `'X'` where X is one code point ⇒ char literal.
+    let mut j = i + 1;
+    if j < b.len() {
+        j += 1;
+        while j < b.len() && (b[j] & 0xc0) == 0x80 {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return (j + 1, Kind::Char);
+        }
+    }
+    // Otherwise a lifetime: consume ident chars.
+    let mut j = i + 1;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (j.max(i + 1), Kind::Lifetime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("fn foo(a: usize) -> u32 { a as u32 + 1 }");
+        let names: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, ["fn", "foo", "a", "usize", "u32", "a", "as", "u32"]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r#"
+// unwrap() in a comment
+let s = "a + b [0] unwrap()";
+/* multi
+   line * comment */
+let c = 'x';
+let lt: &'static str = "y";
+"#;
+        let names = idents(src);
+        assert!(names.iter().all(|n| n != "unwrap"), "{names:?}");
+        // Comments preserved as tokens.
+        let comments: Vec<_> = lex(src).into_iter().filter(Tok::is_comment).collect();
+        assert_eq!(comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let src = r##"let a = r#"raw " string"#; let b = b"bytes"; let c = b'\n';"##;
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::Str).count(),
+            2,
+            "{toks:?}"
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'y'; }");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn numeric_literals() {
+        let toks = lex("512 * 1024 + 0xff_u32 - 1.5e3 .. 2");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Num).count(), 5);
+    }
+}

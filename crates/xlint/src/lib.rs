@@ -1,0 +1,229 @@
+//! xlint — offline workspace invariant checker.
+//!
+//! A dependency-free static-analysis pass over the UDSM workspace. It lexes
+//! each Rust source file with a lightweight tokenizer, extracts function
+//! spans, and runs five deny-by-default rules tuned to this codebase's
+//! failure modes (see `DESIGN.md`, "Static analysis & invariants"):
+//!
+//! * `wire-arith` — unchecked `+`/`*`/`as usize` on wire-derived lengths in
+//!   the frame parsers.
+//! * `panic-path` — `unwrap`/`expect`/indexing/panicking macros in server
+//!   connection handlers and client request paths.
+//! * `guard-across-io` — a `Mutex`/`RwLock` guard held across a blocking
+//!   I/O or network call.
+//! * `retry-idempotency` — retry loops over network calls must carry an
+//!   `// xlint: idempotent reason="…"` marker or a flushed-state guard.
+//! * `unsafe-allowlist` — `unsafe` only in `fskv`/`crates/shims`, and only
+//!   with an adjacent `SAFETY:` comment.
+//!
+//! Findings are suppressible in-source:
+//!
+//! ```text
+//! // xlint: allow(panic-path) reason="startup config, not a request path"
+//! ```
+//!
+//! A suppression covers findings on its own line or the next line. Unused
+//! suppressions and reason-less suppressions are themselves findings
+//! (`suppression-hygiene`), so the allow-list can't rot.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use config::Policy;
+use report::Finding;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Run every applicable rule over one file's source text.
+///
+/// `path` must be workspace-relative with `/` separators — scoping in
+/// [`Policy`] matches on it, and it lands verbatim in the findings.
+pub fn check_source(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    let toks = lexer::lex(src);
+    let fns = scan::fn_spans(&toks);
+    let controls = scan::controls(&toks);
+
+    let mut findings = Vec::new();
+    if policy.wire_arith_applies(path) {
+        findings.extend(rules::wire_arith(path, &toks, &fns));
+    }
+    if policy.panic_path_applies(path) {
+        findings.extend(rules::panic_path(path, &toks, &fns));
+    }
+    if policy.general_rules_apply(path) {
+        findings.extend(rules::guard_across_io(path, &toks, &fns));
+        findings.extend(rules::retry_idempotency(path, &toks, &fns, &controls));
+    }
+    findings.extend(rules::unsafe_allowlist(
+        path,
+        &toks,
+        policy.unsafe_allowed(path),
+    ));
+
+    // Apply suppressions: an `allow(<rule>)` on line L covers findings on
+    // L or L+1 (comment-above or trailing-comment placement).
+    for f in &mut findings {
+        if let Some(c) = controls.iter().find(|c| {
+            c.verb == "allow" && c.rule == f.rule && (c.line == f.line || c.line + 1 == f.line)
+        }) {
+            c.used.set(true);
+            f.suppressed = Some(c.reason.clone().unwrap_or_default());
+        }
+    }
+
+    // Suppression hygiene (not itself suppressible).
+    for c in &controls {
+        match c.verb.as_str() {
+            "allow" => {
+                if !rules::RULES.contains(&c.rule.as_str()) {
+                    findings.push(Finding::new(
+                        rules::HYGIENE,
+                        path,
+                        c.line,
+                        format!("allow() names unknown rule `{}`", c.rule),
+                    ));
+                } else if !c.used.get() {
+                    findings.push(Finding::new(
+                        rules::HYGIENE,
+                        path,
+                        c.line,
+                        format!("unused suppression: allow({}) matches no finding", c.rule),
+                    ));
+                } else if c.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
+                    findings.push(Finding::new(
+                        rules::HYGIENE,
+                        path,
+                        c.line,
+                        format!("allow({}) needs a reason=\"…\"", c.rule),
+                    ));
+                }
+            }
+            "idempotent"
+                if c.used.get() && c.reason.as_deref().is_none_or(|r| r.trim().is_empty()) =>
+            {
+                findings.push(Finding::new(
+                    rules::HYGIENE,
+                    path,
+                    c.line,
+                    "xlint: idempotent needs a reason=\"…\" naming why replay is safe",
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // Overlapping fn spans (nested fns) can double-report: dedupe on
+    // (rule, line), then order by line for stable output.
+    let mut seen = BTreeSet::new();
+    findings.retain(|f| seen.insert((f.rule, f.line, f.message.clone())));
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Recursively collect `.rs` files under `root`, honoring [`Policy::skip`].
+fn collect_files(root: &Path, dir: &Path, policy: &Policy, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        if policy.skip(&rel) || rel.starts_with(".") {
+            continue;
+        }
+        if path.is_dir() {
+            collect_files(root, &path, policy, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scan the whole workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> Vec<Finding> {
+    let policy = Policy;
+    let mut files = Vec::new();
+    collect_files(root, root, &policy, &mut files);
+    let mut findings = Vec::new();
+    for file in files {
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        findings.extend(check_source(&rel_path(root, &file), &src, &policy));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = r#"
+fn handle(parts: &[u8]) {
+    // xlint: allow(panic-path) reason="length checked two lines up"
+    let a = parts[0];
+    let b = parts[1]; // xlint: allow(panic-path) reason="ditto"
+}
+"#;
+        let fs = check_source("crates/miniredis/src/server.rs", src, &Policy);
+        assert!(
+            fs.iter().all(|f| f.suppressed.is_some()),
+            "all findings suppressed: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn unused_and_reasonless_allows_are_flagged() {
+        let src = r#"
+// xlint: allow(panic-path) reason="nothing here panics"
+fn quiet() {}
+
+fn handle(parts: &[u8]) {
+    // xlint: allow(panic-path)
+    let a = parts[0];
+}
+"#;
+        let fs = check_source("crates/miniredis/src/server.rs", src, &Policy);
+        let hygiene: Vec<_> = fs.iter().filter(|f| f.rule == rules::HYGIENE).collect();
+        assert_eq!(hygiene.len(), 2, "{fs:?}");
+        assert!(hygiene.iter().any(|f| f.message.contains("unused")));
+        assert!(hygiene.iter().any(|f| f.message.contains("needs a reason")));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let src = "// xlint: allow(made-up) reason=\"x\"\nfn f() {}\n";
+        let fs = check_source("crates/cache/src/lru.rs", src, &Policy);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn rules_scope_by_path() {
+        // Indexing is fine outside the request-path files…
+        let src = "fn f(parts: &[u8]) { let a = parts[0]; }";
+        assert!(check_source("crates/cache/src/lru.rs", src, &Policy).is_empty());
+        // …but flagged inside them.
+        assert_eq!(
+            check_source("crates/miniredis/src/server.rs", src, &Policy).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! xlint CLI.
+//!
+//! ```text
+//! cargo run -p xlint                  # report findings, exit 0
+//! cargo run -p xlint -- --deny-all    # exit 1 if any unsuppressed finding
+//! cargo run -p xlint -- --json        # machine-readable report
+//! cargo run -p xlint -- --show-suppressed
+//! cargo run -p xlint -- --root path/to/workspace
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_all = false;
+    let mut show_suppressed = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--show-suppressed" => show_suppressed = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("xlint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "xlint — offline workspace invariant checker\n\n\
+                     USAGE: xlint [--json] [--deny-all] [--show-suppressed] [--root DIR]\n\n\
+                     Rules: wire-arith, panic-path, guard-across-io, retry-idempotency,\n\
+                     unsafe-allowlist (+ suppression-hygiene meta checks).\n\
+                     Suppress with: // xlint: allow(<rule>) reason=\"…\""
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xlint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root
+        .or_else(|| {
+            std::env::var_os("CARGO_MANIFEST_DIR").map(|d| {
+                // crates/xlint -> workspace root
+                let mut p = PathBuf::from(d);
+                p.pop();
+                p.pop();
+                p
+            })
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = xlint::check_workspace(&root);
+    let active = findings.iter().filter(|f| f.suppressed.is_none()).count();
+    let suppressed = findings.len() - active;
+
+    if json {
+        println!("{}", xlint::report::render_json(&findings));
+    } else {
+        print!("{}", xlint::report::render_text(&findings, show_suppressed));
+        println!(
+            "xlint: {active} finding{} ({suppressed} suppressed)",
+            if active == 1 { "" } else { "s" }
+        );
+    }
+
+    if deny_all && active > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

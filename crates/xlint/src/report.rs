@@ -1,0 +1,122 @@
+//! Findings and their machine-readable rendering.
+//!
+//! JSON is emitted by hand (this crate is dependency-free by design); the
+//! format is a flat array of objects so CI and editors can consume it
+//! without knowing the rule set.
+
+/// One rule violation (possibly suppressed by an `xlint: allow`).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule name (`wire-arith`, `panic-path`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(reason)` when an `xlint: allow(<rule>)` covers this finding.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// Build an active (unsuppressed) finding.
+    pub fn new(rule: &'static str, file: &str, line: usize, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+            suppressed: None,
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render every finding (suppressed included) as a JSON array.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"suppressed\":{}}}",
+            escape_json(f.rule),
+            escape_json(&f.file),
+            f.line,
+            escape_json(&f.message),
+            match &f.suppressed {
+                None => "null".to_string(),
+                Some(reason) => format!("\"{}\"", escape_json(reason)),
+            }
+        ));
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Render findings for the terminal; suppressed ones only with `verbose`.
+pub fn render_text(findings: &[Finding], verbose: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        match &f.suppressed {
+            None => out.push_str(&format!(
+                "deny  {:<18} {}:{}  {}\n",
+                f.rule, f.file, f.line, f.message
+            )),
+            Some(reason) if verbose => out.push_str(&format!(
+                "allow {:<18} {}:{}  {} (reason: {})\n",
+                f.rule, f.file, f.line, f.message, reason
+            )),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        let fs = vec![
+            Finding::new("panic-path", "a.rs", 3, "bad \"quote\"\nline"),
+            Finding {
+                suppressed: Some("because".into()),
+                ..Finding::new("wire-arith", "b.rs", 9, "x")
+            },
+        ];
+        let json = render_json(&fs);
+        assert!(json.contains("\\\"quote\\\"\\nline"));
+        assert!(json.contains("\"suppressed\":null"));
+        assert!(json.contains("\"suppressed\":\"because\""));
+    }
+
+    #[test]
+    fn text_hides_suppressed_unless_verbose() {
+        let fs = vec![Finding {
+            suppressed: Some("r".into()),
+            ..Finding::new("wire-arith", "b.rs", 9, "x")
+        }];
+        assert!(render_text(&fs, false).is_empty());
+        assert!(render_text(&fs, true).contains("allow"));
+    }
+}

@@ -1,0 +1,800 @@
+//! The five deny-by-default rules.
+//!
+//! Every rule works on the token stream plus the function spans from
+//! [`crate::scan`]; none require type information. They are deliberately
+//! *syntactic over-approximations*: a flagged site that is provably safe
+//! gets an `// xlint: allow(<rule>) reason="..."` suppression rather than a
+//! smarter analysis — the reason string is the point.
+
+use crate::lexer::{Kind, Tok};
+use crate::report::Finding;
+use crate::scan::{match_delim, Control, FnSpan};
+use std::collections::BTreeSet;
+
+/// Rule: unchecked `+`/`*`/`as usize` on wire-derived lengths.
+pub const WIRE_ARITH: &str = "wire-arith";
+/// Rule: unwrap/expect/indexing/panic in request paths.
+pub const PANIC_PATH: &str = "panic-path";
+/// Rule: lock guard live across a blocking I/O or network call.
+pub const GUARD_IO: &str = "guard-across-io";
+/// Rule: retry loop without an idempotency marker or flushed-state guard.
+pub const RETRY: &str = "retry-idempotency";
+/// Rule: `unsafe` outside the allow-list, or without a SAFETY: comment.
+pub const UNSAFE: &str = "unsafe-allowlist";
+/// Meta rule: suppression hygiene (unused allows, missing reasons).
+pub const HYGIENE: &str = "suppression-hygiene";
+
+/// All suppressible rule names (for validating `allow(...)` arguments).
+pub const RULES: &[&str] = &[WIRE_ARITH, PANIC_PATH, GUARD_IO, RETRY, UNSAFE];
+
+fn prev_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
+    toks[..i].iter().rev().find(|t| !t.is_comment())
+}
+
+fn next_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
+    toks.get(i + 1..)?.iter().find(|t| !t.is_comment())
+}
+
+/// `toks[i]` is an identifier called as a method: `recv.name(...)`.
+fn is_method_call(toks: &[Tok], i: usize) -> bool {
+    prev_nc(toks, i).is_some_and(|t| t.is_punct('.'))
+        && next_nc(toks, i).is_some_and(|t| t.is_punct('('))
+}
+
+/// `toks[i]` is an identifier invoked with `(` (method or free call).
+fn is_call(toks: &[Tok], i: usize) -> bool {
+    next_nc(toks, i).is_some_and(|t| t.is_punct('('))
+}
+
+/// `toks[i]` is `.lock()` / `.read()` / `.write()` with *empty* parens —
+/// the shape of a `Mutex`/`RwLock` guard acquisition. (`Read::read` and
+/// `Write::write` always take a buffer argument, so the empty parens
+/// distinguish the two.)
+fn is_guard_acquire(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if !(t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")) {
+        return false;
+    }
+    if !prev_nc(toks, i).is_some_and(|p| p.is_punct('.')) {
+        return false;
+    }
+    let Some(open) = toks.get(i + 1..).and_then(|rest| {
+        rest.iter()
+            .position(|t| !t.is_comment())
+            .map(|off| i + 1 + off)
+    }) else {
+        return false;
+    };
+    toks[open].is_punct('(') && next_nc(toks, open).is_some_and(|t| t.is_punct(')'))
+}
+
+/// Idents whose *call* blocks on I/O, the network, or time.
+const BLOCKING: &[&str] = &[
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_line",
+    "flush",
+    "read_value",
+    "write_value",
+    "read_frame",
+    "write_frame",
+    "read_request",
+    "write_request",
+    "read_response",
+    "write_response",
+    "round_trip",
+    "round_trip_inner",
+    "open",
+    "connect",
+    "connect_timeout",
+    "accept",
+    "sleep",
+    "sync_all",
+    "sync_data",
+    "load",
+    "save",
+    "recv",
+    "join",
+];
+
+/// Is `toks[i]` a blocking call? A couple of idents need disambiguation:
+/// `.load(`/`.save(` method calls are atomics/accessors (the file-I/O
+/// `persist::load` style calls are path-qualified), and `join`/`recv` only
+/// block when called with no arguments (thread join, channel recv — not
+/// `Path::join`).
+fn is_blocking_call(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if t.kind != Kind::Ident || !BLOCKING.contains(&t.text.as_str()) || !is_call(toks, i) {
+        return false;
+    }
+    match t.text.as_str() {
+        "load" | "save" => !prev_nc(toks, i).is_some_and(|p| p.is_punct('.')),
+        "join" | "recv" => {
+            // Require empty parens.
+            let open = (i + 1..toks.len()).find(|&j| !toks[j].is_comment());
+            open.is_some_and(|o| {
+                toks[o].is_punct('(') && next_nc(toks, o).is_some_and(|n| n.is_punct(')'))
+            })
+        }
+        _ => true,
+    }
+}
+
+const TAINT_SOURCES: &[&str] = &[
+    "parse",
+    "from_le_bytes",
+    "from_be_bytes",
+    "from_str_radix",
+    "peek_len",
+];
+
+/// Identifiers never treated as value bindings when they appear in a `let`
+/// pattern (constructors, primitives, common wrapper types).
+const NON_BINDING_IDENTS: &[&str] = &[
+    "Some", "None", "Ok", "Err", "mut", "ref", "box", "u8", "u16", "u32", "u64", "u128", "usize",
+    "i8", "i16", "i32", "i64", "i128", "isize", "f32", "f64", "bool", "str", "String", "Vec",
+    "Option", "Result", "Box", "Bytes",
+];
+
+fn lenish(name: &str) -> bool {
+    matches!(name, "len" | "n" | "count" | "size" | "length")
+        || name.ends_with("_len")
+        || name.ends_with("_size")
+        || name.ends_with("_count")
+}
+
+/// One `let` statement's shape inside a function body.
+struct LetStmt {
+    /// Idents bound by the pattern (constructors/types filtered out).
+    bindings: Vec<String>,
+    /// Token range of the initializer expression.
+    rhs: (usize, usize),
+    /// Index one past the end of the whole statement.
+    end: usize,
+}
+
+/// Parse the `let` starting at `toks[i]` (which must be the `let` ident).
+/// Understands plain `let`, `let`-`else`, and the `if let` / `while let`
+/// forms (whose "RHS" ends at the block brace).
+fn parse_let(toks: &[Tok], i: usize, limit: usize) -> Option<LetStmt> {
+    let head_is_cond = prev_nc(toks, i).is_some_and(|t| t.is_ident("if") || t.is_ident("while"));
+    let mut bindings = Vec::new();
+    let mut j = i + 1;
+    let mut depth = 0usize;
+    let mut in_type = false;
+    // Pattern (and optional type annotation) up to the `=`.
+    while j < limit {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct('=') {
+            break;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{')) {
+            return None; // `let` with no initializer
+        } else if depth == 0 && t.is_punct(':') {
+            in_type = true;
+        } else if !in_type
+            && t.kind == Kind::Ident
+            && !NON_BINDING_IDENTS.contains(&t.text.as_str())
+        {
+            bindings.push(t.text.clone());
+        }
+        j += 1;
+    }
+    if j >= limit {
+        return None;
+    }
+    let rhs_start = j + 1;
+    let mut k = rhs_start;
+    let mut d = 0usize;
+    while k < limit {
+        let t = &toks[k];
+        if head_is_cond && d == 0 && t.is_punct('{') {
+            // `if let P = expr {` — the expression ends at the block.
+            return Some(LetStmt {
+                bindings,
+                rhs: (rhs_start, k),
+                end: k,
+            });
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            d += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            d = d.saturating_sub(1);
+        } else if d == 0 && t.is_punct(';') {
+            return Some(LetStmt {
+                bindings,
+                rhs: (rhs_start, k),
+                end: k + 1,
+            });
+        }
+        k += 1;
+    }
+    None
+}
+
+/// `wire-arith`: taint wire-derived lengths, flag unchecked `+`/`*`/`as
+/// usize` on them.
+pub fn wire_arith(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        let mut tainted: BTreeSet<String> =
+            f.params.iter().filter(|p| lenish(p)).cloned().collect();
+        // Propagate through `let` bindings; two passes handle the rare
+        // use-before-redefinition ordering.
+        for _ in 0..2 {
+            let mut i = f.body_start;
+            while i < f.body_end {
+                if toks[i].is_ident("let") {
+                    if let Some(stmt) = parse_let(toks, i, f.body_end) {
+                        let rhs = &toks[stmt.rhs.0..stmt.rhs.1];
+                        let dirty = rhs.iter().enumerate().any(|(off, t)| {
+                            t.kind == Kind::Ident
+                                && (TAINT_SOURCES.contains(&t.text.as_str())
+                                    || (tainted.contains(&t.text) && !is_method_call(rhs, off)))
+                        });
+                        if dirty {
+                            tainted.extend(stmt.bindings.iter().cloned());
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+        if tainted.is_empty() {
+            // Direct-source check below still applies.
+        }
+        for i in f.body_start..f.body_end {
+            let t = &toks[i];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            // `u32::from_le_bytes(buf) as usize` without a binding.
+            if TAINT_SOURCES.contains(&t.text.as_str()) && is_call(toks, i) {
+                let open = (i + 1..f.body_end).find(|&j| toks[j].is_punct('('));
+                if let Some(open) = open {
+                    let close = match_delim(toks, open, '(', ')');
+                    if toks.get(close).is_some_and(|t| t.is_ident("as"))
+                        && toks.get(close + 1).is_some_and(|t| t.is_ident("usize"))
+                    {
+                        out.push(Finding::new(
+                            WIRE_ARITH,
+                            path,
+                            toks[close].line,
+                            format!(
+                                "`{}(..) as usize` on a wire-derived value; use usize::try_from",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+                continue;
+            }
+            if !tainted.contains(&t.text) || is_method_call(toks, i) {
+                continue;
+            }
+            let next = next_nc(toks, i);
+            let prev = prev_nc(toks, i);
+            if next.is_some_and(|n| n.is_ident("as")) {
+                // Find the cast target (skip comments).
+                let as_idx = (i + 1..f.body_end).find(|&j| toks[j].is_ident("as"));
+                if as_idx
+                    .and_then(|a| next_nc(toks, a))
+                    .is_some_and(|t| t.is_ident("usize"))
+                {
+                    out.push(Finding::new(
+                        WIRE_ARITH,
+                        path,
+                        t.line,
+                        format!(
+                            "`{} as usize` on a wire-derived length; use usize::try_from",
+                            t.text
+                        ),
+                    ));
+                    continue;
+                }
+            }
+            let plus_or_star = |tok: &Tok| tok.is_punct('+') || tok.is_punct('*');
+            let next_arith = next.is_some_and(plus_or_star);
+            // For a preceding `*`, make sure it is multiplication, not a
+            // dereference (`*len` at the start of an expression).
+            let prev_arith = prev.is_some_and(|p| {
+                p.is_punct('+')
+                    || (p.is_punct('*') && {
+                        let before = toks[..i].iter().rev().filter(|t| !t.is_comment()).nth(1);
+                        before.is_some_and(|b| {
+                            matches!(b.kind, Kind::Ident | Kind::Num)
+                                || b.is_punct(')')
+                                || b.is_punct(']')
+                        })
+                    })
+            });
+            if next_arith || prev_arith {
+                out.push(Finding::new(
+                    WIRE_ARITH,
+                    path,
+                    t.line,
+                    format!(
+                        "unchecked arithmetic on wire-derived length `{}`; use checked_add/checked_mul (or saturating_*)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Rust keywords that can directly precede `[` without it being indexing.
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "mut", "ref", "as", "box", "move", "static",
+    "const", "dyn", "impl", "where", "break",
+];
+
+/// `panic-path`: no unwrap/expect/panics/slice-indexing in request paths.
+pub fn panic_path(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        for i in f.body_start..f.body_end {
+            let t = &toks[i];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            if (t.is_ident("unwrap") || t.is_ident("expect")) && is_method_call(toks, i) {
+                out.push(Finding::new(
+                    PANIC_PATH,
+                    path,
+                    t.line,
+                    format!(
+                        ".{}() in a request path: a panic drops the connection",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            if matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) && next_nc(toks, i).is_some_and(|n| n.is_punct('!'))
+            {
+                // `debug_assert!`-style macros are separate idents, so this
+                // only matches the four panicking macros themselves.
+                out.push(Finding::new(
+                    PANIC_PATH,
+                    path,
+                    t.line,
+                    format!(
+                        "{}! in a request path: a panic drops the connection",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            if next_nc(toks, i).is_some_and(|n| n.is_punct('['))
+                && !NON_INDEX_PRECEDERS.contains(&t.text.as_str())
+            {
+                out.push(Finding::new(
+                    PANIC_PATH,
+                    path,
+                    t.line,
+                    format!(
+                        "slice/map indexing `{}[..]` in a request path: use .get()",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `guard-across-io`: a `Mutex`/`RwLock` guard must not be live across a
+/// blocking I/O or network call.
+pub fn guard_across_io(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        // Named guards retire when their block closes or they are dropped;
+        // temporary guards (match/if-let/for scrutinees holding a guard)
+        // retire at a token index.
+        let mut named: Vec<(String, usize)> = Vec::new(); // (name, depth)
+        let mut temps: Vec<(usize, usize)> = Vec::new(); // (end_idx, line)
+        let mut depth = 0usize;
+        let mut i = f.body_start + 1;
+        while i + 1 < f.body_end {
+            let t = &toks[i];
+            temps.retain(|&(end, _)| i < end);
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                named.retain(|&(_, d)| d <= depth);
+            } else if t.is_ident("let") {
+                if let Some(stmt) = parse_let(toks, i, f.body_end) {
+                    let rhs = &toks[stmt.rhs.0..stmt.rhs.1];
+                    // Only brace-depth-0 acquisitions create statement-long
+                    // temporaries; one inside a nested block or closure body
+                    // (`let t = { … x.lock() … };`) drops at that block's end
+                    // or never runs here at all.
+                    let mut bd = 0usize;
+                    let mut acq = None;
+                    for (off, t) in rhs.iter().enumerate() {
+                        if t.is_punct('{') {
+                            bd += 1;
+                        } else if t.is_punct('}') {
+                            bd = bd.saturating_sub(1);
+                        } else if bd == 0 && is_guard_acquire(rhs, off) {
+                            acq = Some(off);
+                            break;
+                        }
+                    }
+                    if let Some(acq) = acq {
+                        // Guard acquisition at the *end* of the initializer
+                        // binds a named guard; anywhere earlier it is a
+                        // temporary that lives until the statement's `;`
+                        // (Rust temporary-lifetime rules — the PR 2 bug).
+                        let tail_is_acquire = rhs
+                            .iter()
+                            .rposition(|t| !t.is_comment())
+                            .is_some_and(|last| last <= acq + 2);
+                        if tail_is_acquire {
+                            if let Some(name) = stmt.bindings.first() {
+                                named.push((name.clone(), depth));
+                            }
+                        } else {
+                            temps.push((stmt.end, toks[i].line));
+                        }
+                    }
+                }
+            } else if t.is_ident("match") || t.is_ident("for") || t.is_ident("while") {
+                // Scrutinee/iterator temporaries holding a guard live for
+                // the whole block.
+                let scrut_start = if t.is_ident("for") {
+                    (i + 1..f.body_end).find(|&j| toks[j].is_ident("in"))
+                } else {
+                    Some(i)
+                };
+                if let Some(s) = scrut_start {
+                    let mut d = 0usize;
+                    let mut open = None;
+                    for (j, tj) in toks.iter().enumerate().take(f.body_end).skip(s + 1) {
+                        if tj.is_punct('(') || tj.is_punct('[') {
+                            d += 1;
+                        } else if tj.is_punct(')') || tj.is_punct(']') {
+                            d = d.saturating_sub(1);
+                        } else if d == 0 && tj.is_punct('{') {
+                            open = Some(j);
+                            break;
+                        } else if d == 0 && tj.is_punct(';') {
+                            break;
+                        }
+                    }
+                    if let Some(open) = open {
+                        let scrut = &toks[i + 1..open];
+                        if scrut
+                            .iter()
+                            .enumerate()
+                            .any(|(off, _)| is_guard_acquire(scrut, off))
+                        {
+                            let end = match_delim(toks, open, '{', '}');
+                            temps.push((end, t.line));
+                        }
+                    }
+                }
+            } else if t.is_ident("drop") && is_call(toks, i) {
+                if let Some(arg) = toks.get(i + 2) {
+                    named.retain(|(name, _)| name != &arg.text);
+                }
+            } else if is_blocking_call(toks, i) && (!named.is_empty() || !temps.is_empty()) {
+                let holder = named
+                    .last()
+                    .map(|(n, _)| format!("guard `{n}`"))
+                    .or_else(|| {
+                        temps
+                            .last()
+                            .map(|&(_, line)| format!("guard temporary from line {line}"))
+                    })
+                    .unwrap_or_default();
+                out.push(Finding::new(
+                    GUARD_IO,
+                    path,
+                    t.line,
+                    format!(
+                        "blocking call `{}` while {holder} is live; narrow the lock scope",
+                        t.text
+                    ),
+                ));
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Idents whose presence in a loop body marks it as a network retry loop.
+const NET_CALLS: &[&str] = &[
+    "round_trip",
+    "round_trip_inner",
+    "write_frame",
+    "read_frame",
+    "write_request",
+    "read_response",
+    "write_value",
+    "read_value",
+    "checkout",
+    "exec",
+    "open",
+    "connect",
+    "send_request",
+];
+
+/// Guard identifiers that show a retry loop tracks replay safety.
+fn is_replay_guard_ident(name: &str) -> bool {
+    name.contains("idempotent")
+        || name.contains("read_only")
+        || name.contains("flushed")
+        || name == "sent"
+        || name.contains("_sent")
+        || name.starts_with("sent_")
+}
+
+/// `retry-idempotency`: a retry loop over network calls must carry an
+/// `// xlint: idempotent reason="..."` marker or a flushed-state check.
+pub fn retry_idempotency(
+    path: &str,
+    toks: &[Tok],
+    fns: &[FnSpan],
+    controls: &[Control],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        for i in f.body_start..f.body_end {
+            let t = &toks[i];
+            if !(t.is_ident("loop") || t.is_ident("for") || t.is_ident("while")) {
+                continue;
+            }
+            // Head = loop keyword to the body `{`; body = the block.
+            let mut d = 0usize;
+            let mut open = None;
+            for (j, tj) in toks.iter().enumerate().take(f.body_end).skip(i + 1) {
+                if tj.is_punct('(') || tj.is_punct('[') {
+                    d += 1;
+                } else if tj.is_punct(')') || tj.is_punct(']') {
+                    d = d.saturating_sub(1);
+                } else if d == 0 && tj.is_punct('{') {
+                    open = Some(j);
+                    break;
+                } else if d == 0 && tj.is_punct(';') {
+                    break;
+                }
+            }
+            let Some(open) = open else { continue };
+            let end = match_delim(toks, open, '{', '}');
+            let span = &toks[i..end];
+            let has_continue = span.iter().any(|t| t.is_ident("continue"));
+            let has_net = span.iter().enumerate().any(|(off, t)| {
+                t.kind == Kind::Ident && NET_CALLS.contains(&t.text.as_str()) && is_call(span, off)
+            });
+            let has_attempt = span.iter().any(|t| {
+                t.kind == Kind::Ident
+                    && (t.text.contains("attempt")
+                        || t.text.contains("retry")
+                        || t.text.contains("tries"))
+            });
+            if !(has_continue && has_net && has_attempt) {
+                continue;
+            }
+            let guarded = span
+                .iter()
+                .any(|t| t.kind == Kind::Ident && is_replay_guard_ident(&t.text))
+                || toks[f.body_start..f.body_end]
+                    .iter()
+                    .any(|t| t.kind == Kind::Ident && is_replay_guard_ident(&t.text));
+            let end_line = toks.get(end.saturating_sub(1)).map_or(t.line, |t| t.line);
+            let marker = controls
+                .iter()
+                .find(|c| c.verb == "idempotent" && c.line >= f.line && c.line <= end_line);
+            if let Some(m) = marker {
+                m.used.set(true);
+                continue;
+            }
+            if !guarded {
+                out.push(Finding::new(
+                    RETRY,
+                    path,
+                    t.line,
+                    "retry loop over network calls without an `// xlint: idempotent` marker \
+                     or a flushed/sent-state guard: a replay may double-apply effects",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `unsafe-allowlist`: `unsafe` only where allowed, always justified.
+pub fn unsafe_allowlist(path: &str, toks: &[Tok], allowed: bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in toks.iter() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !allowed {
+            out.push(Finding::new(
+                UNSAFE,
+                path,
+                t.line,
+                "`unsafe` outside the allow-list (fskv, crates/shims)",
+            ));
+            continue;
+        }
+        // A justification counts if a SAFETY comment appears within a few
+        // lines above the `unsafe` (or trailing on the same/next line).
+        let justified = toks.iter().any(|c| {
+            c.is_comment()
+                && c.text.contains("SAFETY")
+                && c.line <= t.line.saturating_add(1)
+                && c.line.saturating_add(6) >= t.line
+        });
+        if !justified {
+            out.push(Finding::new(
+                UNSAFE,
+                path,
+                t.line,
+                "`unsafe` without an adjacent SAFETY: comment",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::{controls, fn_spans};
+
+    fn run<F>(src: &str, f: F) -> Vec<Finding>
+    where
+        F: Fn(&str, &[Tok], &[FnSpan]) -> Vec<Finding>,
+    {
+        let toks = lex(src);
+        let fns = fn_spans(&toks);
+        f("test.rs", &toks, &fns)
+    }
+
+    #[test]
+    fn wire_arith_taints_through_lets() {
+        let src = r#"
+fn parse(buf: &[u8]) {
+    let n: u32 = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let total = n as usize + 2;
+    let ok = usize::try_from(n);
+}
+"#;
+        let fs = run(src, wire_arith);
+        assert!(fs.iter().any(|f| f.line == 4), "{fs:?}");
+        assert!(!fs.iter().any(|f| f.line == 5), "{fs:?}");
+    }
+
+    #[test]
+    fn wire_arith_param_taint_and_mul() {
+        let src = "fn body(len: usize) { let need = len * 2; }";
+        assert_eq!(run(src, wire_arith).len(), 1);
+        let clean = "fn body(len: usize) { let need = len.checked_mul(2); }";
+        assert!(run(clean, wire_arith).is_empty());
+    }
+
+    #[test]
+    fn panic_path_flags_unwrap_index_and_macros() {
+        let src = r#"
+fn handle(parts: &[u8], i: usize) {
+    let a = parts[i];
+    let b = parts.first().unwrap();
+    let c = parts.iter().next().expect("x");
+    unreachable!("nope");
+    let ok = parts.get(i);
+    let v = vec![1, 2];
+}
+"#;
+        let fs = run(src, panic_path);
+        let lines: Vec<usize> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [3, 4, 5, 6], "{fs:?}");
+    }
+
+    #[test]
+    fn guard_io_flags_match_scrutinee_temporary() {
+        let src = r#"
+fn fetch(&self) -> Result<Conn> {
+    for attempt in 0..2 {
+        let mut conn = match self.pool.lock().pop() {
+            Some(c) => c,
+            _ => Conn::open(self.addr)?,
+        };
+    }
+    Err(Error)
+}
+"#;
+        let fs = run(src, guard_across_io);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("open"));
+    }
+
+    #[test]
+    fn guard_io_allows_scoped_guard_and_drop() {
+        let src = r#"
+fn ok(&self) {
+    {
+        let mut pool = self.pool.lock();
+        pool.push(1);
+    }
+    let conn = Conn::open(self.addr);
+    let g = self.state.lock();
+    drop(g);
+    self.writer.flush();
+}
+"#;
+        assert!(run(src, guard_across_io).is_empty());
+    }
+
+    #[test]
+    fn guard_io_flags_named_guard_across_flush() {
+        let src = r#"
+fn bad(&self) {
+    let g = self.state.lock();
+    self.writer.flush();
+}
+"#;
+        let fs = run(src, guard_across_io);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("`g`"));
+    }
+
+    #[test]
+    fn retry_needs_marker_or_guard() {
+        let bad = r#"
+fn exec(&self) -> Result<Value> {
+    for attempt in 0..2 {
+        let mut conn = self.checkout(attempt > 0)?;
+        match conn.round_trip(&cmd) {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt == 0 => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(Error)
+}
+"#;
+        let toks = lex(bad);
+        let fns = fn_spans(&toks);
+        let cs = controls(&toks);
+        assert_eq!(retry_idempotency("t.rs", &toks, &fns, &cs).len(), 1);
+
+        let marked = bad.replace(
+            "for attempt",
+            "// xlint: idempotent reason=\"only GETs retried\"\n    for attempt",
+        );
+        let toks = lex(&marked);
+        let fns = fn_spans(&toks);
+        let cs = controls(&toks);
+        assert!(retry_idempotency("t.rs", &toks, &fns, &cs).is_empty());
+        assert!(cs[0].used.get(), "marker consumed");
+
+        let guarded = bad.replace("let mut conn", "let frame_sent = false; let mut conn");
+        let toks = lex(&guarded);
+        let fns = fn_spans(&toks);
+        let cs = controls(&toks);
+        assert!(retry_idempotency("t.rs", &toks, &fns, &cs).is_empty());
+    }
+
+    #[test]
+    fn unsafe_rules() {
+        let toks = lex("fn f() { unsafe { x() } }");
+        assert_eq!(unsafe_allowlist("a.rs", &toks, false).len(), 1);
+        assert_eq!(unsafe_allowlist("a.rs", &toks, true).len(), 1);
+        let toks = lex("fn f() { // SAFETY: checked above\n unsafe { x() } }");
+        assert!(unsafe_allowlist("a.rs", &toks, true).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Structural passes over the token stream: function spans, `#[cfg(test)]`
+//! regions, and the `// xlint: ...` control-comment grammar (suppressions
+//! and idempotency markers).
+
+use crate::lexer::{Kind, Tok};
+
+/// A function's token span inside a file's token stream.
+#[derive(Debug)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Index of the body's opening `{` in the token stream.
+    pub body_start: usize,
+    /// Index one past the body's closing `}`.
+    pub body_end: usize,
+    /// Parameter names (identifier patterns only).
+    pub params: Vec<String>,
+    /// Inside a `#[cfg(test)]` module or carrying `#[test]`.
+    pub is_test: bool,
+}
+
+/// Find the index one past the token matching the opener at `open_idx`.
+/// `toks[open_idx]` must be the opening delimiter. Comments are skipped for
+/// depth accounting but included in the range.
+pub fn match_delim(toks: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Token index ranges that belong to `#[cfg(test)] mod … { … }` blocks.
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `# [ cfg ( test ) ]` allowing arbitrary cfg expressions that
+        // contain the ident `test` (covers `cfg(all(test, …))`).
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = match_delim(toks, i + 1, '[', ']');
+            let attr = &toks[i + 1..attr_end];
+            let is_cfg_test =
+                attr.iter().any(|t| t.is_ident("cfg")) && attr.iter().any(|t| t.is_ident("test"));
+            if is_cfg_test {
+                // Find what the attribute decorates; if it's a mod with a
+                // body, the whole body is a test region. If it's a fn, the
+                // fn-span pass handles it via `#[test]`-style detection.
+                let mut j = attr_end;
+                while j < toks.len() && toks[j].is_comment() {
+                    j += 1;
+                }
+                if toks
+                    .get(j)
+                    .is_some_and(|t| t.is_ident("mod") || t.is_ident("pub"))
+                {
+                    // Skip to the `{` of the mod body.
+                    while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|t| t.is_punct('{')) {
+                        let end = match_delim(toks, j, '{', '}');
+                        out.push((j, end));
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Was the item starting near `idx` preceded by a `#[test]`-ish attribute?
+fn has_test_attr(toks: &[Tok], fn_idx: usize) -> bool {
+    // Walk backwards over comments/attributes/visibility directly before
+    // the `fn` keyword.
+    let mut i = fn_idx;
+    let mut budget = 40; // attributes are short; don't scan the whole file
+    while i > 0 && budget > 0 {
+        budget -= 1;
+        i -= 1;
+        let t = &toks[i];
+        if t.is_comment() || t.is_ident("pub") || t.is_ident("crate") {
+            continue;
+        }
+        if t.is_punct(']') {
+            // Scan back to the matching `[` and its `#`.
+            let mut depth = 1;
+            let mut j = i;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                if toks[j].is_punct(']') {
+                    depth += 1;
+                } else if toks[j].is_punct('[') {
+                    depth -= 1;
+                }
+            }
+            let attr = &toks[j..=i];
+            if attr
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("bench"))
+            {
+                return true;
+            }
+            i = j;
+            if i > 0 && toks[i - 1].is_punct('#') {
+                i -= 1;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Extract all function spans from the token stream.
+pub fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let regions = test_regions(toks);
+    let in_test_region = |idx: usize| regions.iter().any(|&(s, e)| idx >= s && idx < e);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // Name must be an identifier (excludes `fn(..)` pointer types).
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = toks[i].line;
+        // Find the parameter list `(` — may be preceded by generics `<...>`.
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let params_end = match_delim(toks, j, '(', ')');
+        let params = param_names(&toks[j..params_end]);
+        // Seek the body `{` or a trait-decl `;` at angle/paren depth 0.
+        let mut k = params_end;
+        let mut body_start = None;
+        while k < toks.len() {
+            if toks[k].is_punct('{') {
+                body_start = Some(k);
+                break;
+            }
+            if toks[k].is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let Some(body_start) = body_start else {
+            i = k + 1;
+            continue;
+        };
+        let body_end = match_delim(toks, body_start, '{', '}');
+        let is_test = in_test_region(i) || has_test_attr(toks, i);
+        out.push(FnSpan {
+            name,
+            line,
+            body_start,
+            body_end,
+            params,
+            is_test,
+        });
+        // Continue scanning *inside* the body too (nested fns) — the caller
+        // deduplicates findings reported from overlapping spans.
+        i += 2;
+    }
+    out
+}
+
+/// Identifier patterns in a parameter list token slice (includes the parens).
+fn param_names(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 1
+            && t.kind == Kind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !t.is_ident("self")
+        {
+            out.push(t.text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One parsed `// xlint: …` control comment.
+#[derive(Debug, Clone)]
+pub struct Control {
+    /// Source line of the comment.
+    pub line: usize,
+    /// `allow` rule name, or `"idempotent"` for markers.
+    pub verb: String,
+    /// Rule name for `allow(<rule>)`; empty for `idempotent`.
+    pub rule: String,
+    /// The `reason="…"` payload, if present.
+    pub reason: Option<String>,
+    /// Consumed by a finding (suppressions) or a loop (markers).
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Parse every `xlint:` control comment in the token stream.
+///
+/// Grammar (inside any comment):
+///   `xlint: allow(<rule>) reason="<text>"`
+///   `xlint: idempotent reason="<text>"`
+pub fn controls(toks: &[Tok]) -> Vec<Control> {
+    let mut out = Vec::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        let Some(pos) = t.text.find("xlint:") else {
+            continue;
+        };
+        let rest = t.text[pos + "xlint:".len()..].trim_start();
+        let reason = rest.find("reason=\"").and_then(|r| {
+            let tail = &rest[r + "reason=\"".len()..];
+            tail.find('"').map(|q| tail[..q].to_string())
+        });
+        if let Some(args) = rest.strip_prefix("allow(") {
+            if let Some(close) = args.find(')') {
+                out.push(Control {
+                    line: t.line,
+                    verb: "allow".to_string(),
+                    rule: args[..close].trim().to_string(),
+                    reason,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+        } else if rest.starts_with("idempotent") {
+            out.push(Control {
+                line: t.line,
+                verb: "idempotent".to_string(),
+                rule: String::new(),
+                reason,
+                used: std::cell::Cell::new(false),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_params() {
+        let toks = lex(
+            "impl Foo { pub fn bar(&self, len: usize, n: u32) -> u8 { len as u8 } }\n\
+             fn free<T: Clone>(x: T) {}",
+        );
+        let fns = fn_spans(&toks);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "bar");
+        assert_eq!(fns[0].params, ["len", "n"]);
+        assert_eq!(fns[1].name, "free");
+        assert_eq!(fns[1].params, ["x"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns_as_test() {
+        let toks = lex(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n    fn helper() {}\n}",
+        );
+        let fns = fn_spans(&toks);
+        let by_name = |n: &str| fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("prod").is_test);
+        assert!(by_name("t").is_test);
+        assert!(by_name("helper").is_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_functions() {
+        let toks = lex("type F = fn(usize) -> u8; fn real(cb: fn() -> u8) {}");
+        let fns = fn_spans(&toks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn parses_controls() {
+        let toks = lex("// xlint: allow(panic-path) reason=\"startup only\"\n\
+             let x = 1; // xlint: idempotent reason=\"GET is safe\"\n\
+             // xlint: allow(wire-arith)\n");
+        let cs = controls(&toks);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].rule, "panic-path");
+        assert_eq!(cs[0].reason.as_deref(), Some("startup only"));
+        assert_eq!(cs[1].verb, "idempotent");
+        assert_eq!(cs[1].line, 2);
+        assert_eq!(cs[2].rule, "wire-arith");
+        assert!(cs[2].reason.is_none());
+    }
+}

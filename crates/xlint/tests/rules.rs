@@ -1,0 +1,461 @@
+//! Fixture corpus: for every rule, a *bad* fixture that must fire and a
+//! *good* fixture (the corrected idiom actually used in the workspace) that
+//! must stay clean. The bad fixtures are distilled from real defects this
+//! repo has shipped and fixed — PR 2's unchecked cursor arithmetic,
+//! retry-after-flush replay, and lock-scope leakage among them — so the
+//! corpus doubles as a regression suite for the linter itself.
+//!
+//! Fixtures are fed through [`xlint::check_source`] under *virtual* paths
+//! (e.g. `crates/cloudstore/src/batch.rs`) so the scope policy resolves
+//! exactly as it does in a real workspace walk; nothing here touches disk,
+//! and the walker skips `crates/xlint/` so these snippets can never trip CI.
+
+use xlint::check_source;
+use xlint::config::Policy;
+
+/// Active (unsuppressed) rule names fired on `src` under virtual `path`.
+fn fired(path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = check_source(path, src, &Policy)
+        .into_iter()
+        .filter(|f| f.suppressed.is_none())
+        .map(|f| f.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+fn assert_fires(rule: &str, path: &str, src: &str) {
+    let rules = fired(path, src);
+    assert!(
+        rules.contains(&rule),
+        "expected {rule} to fire on {path}, got {rules:?}\n--- fixture ---\n{src}"
+    );
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let rules = fired(path, src);
+    assert!(
+        rules.is_empty(),
+        "expected no findings on {path}, got {rules:?}\n--- fixture ---\n{src}"
+    );
+}
+
+const PARSER: &str = "crates/cloudstore/src/batch.rs";
+const WIRE: &str = "crates/miniredis/src/resp.rs";
+const CLIENT: &str = "crates/miniredis/src/client.rs";
+const SERVER: &str = "crates/cloudstore/src/server.rs";
+const GENERAL: &str = "crates/cache/src/lru.rs";
+
+// ---------------------------------------------------------------- wire-arith
+
+/// PR 2 regression: the batch cursor advanced with bare `+` on a
+/// wire-supplied length, so a hostile header could overflow and alias.
+#[test]
+fn wire_arith_fires_on_unchecked_cursor_advance() {
+    assert_fires(
+        "wire-arith",
+        PARSER,
+        r#"
+fn bytes(buf: &[u8], pos: usize, header: &str) -> usize {
+    let len: usize = header.parse().unwrap_or(0);
+    let end = pos + len;
+    end
+}
+"#,
+    );
+}
+
+#[test]
+fn wire_arith_fires_on_as_usize_of_wire_integer() {
+    assert_fires(
+        "wire-arith",
+        WIRE,
+        r#"
+fn bulk_len(line: &str) -> usize {
+    let n = i64::from_str_radix(line, 10).unwrap_or(-1);
+    n as usize
+}
+"#,
+    );
+}
+
+#[test]
+fn wire_arith_fires_on_multiply_of_decoded_count() {
+    assert_fires(
+        "wire-arith",
+        PARSER,
+        r#"
+fn alloc(hdr: [u8; 4]) -> usize {
+    let count = u32::from_le_bytes(hdr);
+    let count = count as usize;
+    count * 64
+}
+"#,
+    );
+}
+
+/// The corrected idiom: checked/saturating ops and `usize::try_from`.
+#[test]
+fn wire_arith_clean_on_checked_arithmetic() {
+    assert_clean(
+        PARSER,
+        r#"
+fn bytes(buf: &[u8], pos: usize, header: &str) -> Option<usize> {
+    let len: usize = header.parse().ok()?;
+    let end = pos.checked_add(len)?;
+    buf.get(pos..end)?;
+    Some(end)
+}
+"#,
+    );
+}
+
+/// The same bare `+` outside a parser file is not wire-reachable.
+#[test]
+fn wire_arith_scoped_to_parser_files() {
+    assert_clean(
+        GENERAL,
+        r#"
+fn bump(pos: usize, len_str: &str) -> usize {
+    let len: usize = len_str.parse().unwrap_or(0);
+    pos + len
+}
+"#,
+    );
+}
+
+// ---------------------------------------------------------------- panic-path
+
+#[test]
+fn panic_path_fires_on_unwrap_in_handler() {
+    assert_fires(
+        "panic-path",
+        SERVER,
+        r#"
+fn handle(req: Option<&str>) -> String {
+    let verb = req.unwrap();
+    verb.to_string()
+}
+"#,
+    );
+}
+
+#[test]
+fn panic_path_fires_on_slice_indexing() {
+    assert_fires(
+        "panic-path",
+        CLIENT,
+        r#"
+fn first_arg(parts: &[String]) -> String {
+    parts[0].clone()
+}
+"#,
+    );
+}
+
+#[test]
+fn panic_path_fires_on_panicking_macro() {
+    assert_fires(
+        "panic-path",
+        SERVER,
+        r#"
+fn dispatch(cmd: &str) -> u8 {
+    match cmd {
+        "GET" => 1,
+        _ => unreachable!("bad verb"),
+    }
+}
+"#,
+    );
+}
+
+/// The corrected idiom: `get`/`let-else`/error returns.
+#[test]
+fn panic_path_clean_on_fallible_idiom() {
+    assert_clean(
+        SERVER,
+        r#"
+fn handle(req: Option<&str>) -> Result<String, String> {
+    let Some(verb) = req else {
+        return Err("empty request".to_string());
+    };
+    Ok(verb.to_string())
+}
+"#,
+    );
+}
+
+/// Unwraps in `#[test]` code are fine even in scoped files.
+#[test]
+fn panic_path_ignores_test_functions() {
+    assert_clean(
+        SERVER,
+        r#"
+#[test]
+fn roundtrip() {
+    let v: Option<u8> = Some(1);
+    assert_eq!(v.unwrap(), 1);
+}
+"#,
+    );
+}
+
+// ----------------------------------------------------------- guard-across-io
+
+/// PR 2 regression: the persist path loaded a snapshot file while holding
+/// the db lock, stalling every connection behind disk I/O.
+#[test]
+fn guard_across_io_fires_on_named_guard_over_file_load() {
+    assert_fires(
+        "guard-across-io",
+        GENERAL,
+        r#"
+fn start(db: &Mutex<Db>, path: &Path) -> Result<()> {
+    let mut g = db.lock();
+    let entries = load(path)?;
+    g.extend(entries);
+    Ok(())
+}
+"#,
+    );
+}
+
+#[test]
+fn guard_across_io_fires_on_guard_over_socket_write() {
+    assert_fires(
+        "guard-across-io",
+        GENERAL,
+        r#"
+fn flush_stats(stats: &RwLock<Stats>, conn: &mut TcpStream) -> Result<()> {
+    let snapshot = stats.read();
+    conn.write_all(snapshot.render().as_bytes())?;
+    Ok(())
+}
+"#,
+    );
+}
+
+/// The corrected idiom: copy out under the lock, do I/O after the guard
+/// drops (explicitly or by scope).
+#[test]
+fn guard_across_io_clean_when_guard_dropped_first() {
+    assert_clean(
+        GENERAL,
+        r#"
+fn flush_stats(stats: &RwLock<Stats>, conn: &mut TcpStream) -> Result<()> {
+    let rendered = {
+        let snapshot = stats.read();
+        snapshot.render()
+    };
+    conn.write_all(rendered.as_bytes())?;
+    Ok(())
+}
+
+fn save_under_lock_released(db: &Mutex<Db>, path: &Path) -> Result<()> {
+    let g = db.lock();
+    let dump = g.serialize();
+    drop(g);
+    save(path, &dump)
+}
+"#,
+    );
+}
+
+// -------------------------------------------------------- retry-idempotency
+
+/// PR 2 regression: minisql's client retried after the request frame was
+/// already flushed, so a non-idempotent statement could apply twice.
+#[test]
+fn retry_fires_on_unguarded_retry_loop() {
+    assert_fires(
+        "retry-idempotency",
+        CLIENT,
+        r#"
+fn execute(&self, sql: &str) -> Result<Value> {
+    for attempt in 0..2 {
+        let mut conn = self.checkout()?;
+        match conn.round_trip(sql) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt == 0 => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(Error::Closed)
+}
+"#,
+    );
+}
+
+/// The corrected idiom: a flushed-state check gates the retry.
+#[test]
+fn retry_clean_with_replay_guard() {
+    assert_clean(
+        CLIENT,
+        r#"
+fn execute(&self, sql: &str) -> Result<Value> {
+    for attempt in 0..2 {
+        let mut conn = self.checkout()?;
+        let mut frame_sent = false;
+        let outcome = conn.send_then_read(sql, &mut frame_sent);
+        match outcome {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt == 0 && !frame_sent => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(Error::Closed)
+}
+"#,
+    );
+}
+
+/// The documented escape hatch: a reasoned idempotency marker.
+#[test]
+fn retry_clean_with_idempotent_marker() {
+    assert_clean(
+        CLIENT,
+        r#"
+fn fetch(&self, key: &str) -> Result<Value> {
+    // xlint: idempotent reason="GET carries no state; replay returns the same value"
+    for attempt in 0..2 {
+        let mut conn = self.checkout()?;
+        match conn.round_trip(key) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt == 0 => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(Error::Closed)
+}
+"#,
+    );
+}
+
+/// A marker without a reason fires the hygiene meta-rule instead.
+#[test]
+fn reasonless_marker_is_flagged() {
+    let rules = fired(
+        CLIENT,
+        r#"
+fn fetch(&self, key: &str) -> Result<Value> {
+    // xlint: idempotent
+    for attempt in 0..2 {
+        let mut conn = self.checkout()?;
+        match conn.round_trip(key) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt == 0 => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(Error::Closed)
+}
+"#,
+    );
+    assert_eq!(rules, vec!["suppression-hygiene"], "got {rules:?}");
+}
+
+// --------------------------------------------------------- unsafe-allowlist
+
+#[test]
+fn unsafe_fires_outside_allowlist() {
+    assert_fires(
+        "unsafe-allowlist",
+        GENERAL,
+        r#"
+fn peek(v: &[u8]) -> u8 {
+    // SAFETY: caller promises v is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}
+"#,
+    );
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires_even_in_fskv() {
+    assert_fires(
+        "unsafe-allowlist",
+        "crates/fskv/src/lib.rs",
+        r#"
+fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+"#,
+    );
+}
+
+#[test]
+fn unsafe_clean_in_allowlisted_crate_with_safety_comment() {
+    assert_clean(
+        "crates/shims/parking_lot/src/lib.rs",
+        r#"
+fn dup<T>(guard: &mut T) -> T {
+    // SAFETY: exactly one of the two copies is ever dropped; the original
+    // is overwritten without running its destructor.
+    unsafe { std::ptr::read(guard) }
+}
+"#,
+    );
+}
+
+// -------------------------------------------------------------- suppressions
+
+#[test]
+fn allow_with_reason_suppresses_and_stays_clean() {
+    assert_clean(
+        SERVER,
+        r#"
+fn handle(req: Option<&str>) -> String {
+    // xlint: allow(panic-path) reason="req is pre-validated by the framing layer"
+    req.unwrap().to_string()
+}
+"#,
+    );
+}
+
+#[test]
+fn allow_without_reason_trades_finding_for_hygiene() {
+    let rules = fired(
+        SERVER,
+        r#"
+fn handle(req: Option<&str>) -> String {
+    // xlint: allow(panic-path)
+    req.unwrap().to_string()
+}
+"#,
+    );
+    assert_eq!(rules, vec!["suppression-hygiene"], "got {rules:?}");
+}
+
+#[test]
+fn unused_allow_is_flagged() {
+    let rules = fired(
+        SERVER,
+        r#"
+fn handle(req: &str) -> String {
+    // xlint: allow(panic-path) reason="stale"
+    req.to_string()
+}
+"#,
+    );
+    assert_eq!(rules, vec!["suppression-hygiene"], "got {rules:?}");
+}
+
+/// Every rule in the catalog has at least one bad fixture above; this pins
+/// the catalog so adding a rule without a fixture fails loudly.
+#[test]
+fn rule_catalog_is_covered() {
+    let covered = [
+        "wire-arith",
+        "panic-path",
+        "guard-across-io",
+        "retry-idempotency",
+        "unsafe-allowlist",
+    ];
+    for rule in xlint::rules::RULES {
+        assert!(
+            covered.contains(rule),
+            "rule {rule} has no fixture in this corpus"
+        );
+    }
+}

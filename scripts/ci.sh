@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: formatting, release build, full test suite, lint-clean clippy,
-# and a batch-sweep smoke run so the workload path is exercised every build.
+# the in-tree static analyzer, exhaustive interleaving models, and a
+# batch-sweep smoke run so the workload path is exercised every build.
 # The build environment is offline; all external deps are vendored shims.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -8,7 +9,17 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release --offline
 cargo test -q --workspace --offline
-cargo clippy --workspace --offline -- -D warnings
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Static analysis: the five deny-by-default invariant rules (wire arithmetic,
+# panic paths, guard-across-I/O, retry idempotency, unsafe allowlist) must
+# report zero active findings. See DESIGN.md §8.
+cargo run -q --release --offline -p xlint -- --deny-all
+
+# Model checking: every interleaving of the cache-shard and connection-pool
+# locking protocols, plus the loom shim's own scheduler tests.
+cargo test -q --offline --test loom_models
+cargo test -q --offline -p loom
 
 # Smoke: the batch-size sweep must run end-to-end and emit the p50/p99
 # gnuplot columns the RTT-amortization figure is plotted from.

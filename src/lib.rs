@@ -17,6 +17,8 @@
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
+#![forbid(unsafe_code)]
+
 pub use cloudstore;
 pub use dscl;
 pub use dscl_cache;

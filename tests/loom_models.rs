@@ -1,0 +1,177 @@
+//! Exhaustive interleaving checks for the workspace's two lock-based hot
+//! paths, run under the deterministic scheduler in the `loom` shim.
+//!
+//! The models reproduce the *locking protocol* of the production code —
+//! `InProcessLru`'s per-shard map + byte accounting, and the clients'
+//! `Mutex<Vec<Conn>>` checkout/checkin pool — with the I/O stripped out, so
+//! the scheduler can enumerate every schedule of the lock operations. A pass
+//! here means the invariant holds under *all* interleavings, not just the
+//! ones a timing-based stress test happens to hit.
+
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+/// One cache shard: entries as (key, cost) plus the shard's byte counter,
+/// guarded by a single lock exactly like `InProcessLru`'s shard struct.
+#[derive(Default)]
+struct Shard {
+    entries: Vec<(u8, usize)>,
+    used: usize,
+}
+
+impl Shard {
+    fn put(&mut self, key: u8, cost: usize, budget: usize) {
+        if let Some(pos) = self.entries.iter().position(|e| e.0 == key) {
+            let (_, old) = self.entries.remove(pos);
+            self.used -= old;
+        }
+        self.entries.push((key, cost));
+        self.used += cost;
+        // Evict-until-under, oldest first, never evicting the new entry.
+        while self.used > budget && self.entries.len() > 1 {
+            let (_, cost) = self.entries.remove(0);
+            self.used -= cost;
+        }
+    }
+
+    fn get(&mut self, key: u8) -> Option<usize> {
+        let pos = self.entries.iter().position(|e| e.0 == key)?;
+        // LRU touch: move to the back.
+        let entry = self.entries.remove(pos);
+        let cost = entry.1;
+        self.entries.push(entry);
+        Some(cost)
+    }
+
+    fn check(&self) {
+        let sum: usize = self.entries.iter().map(|e| e.1).sum();
+        assert_eq!(self.used, sum, "byte counter out of sync with entries");
+        let mut keys: Vec<u8> = self.entries.iter().map(|e| e.0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), self.entries.len(), "duplicate key in shard");
+    }
+}
+
+/// Two writers hammer the same shard with put/get/evict; the byte counter
+/// must match the entry costs and keys stay unique under every schedule.
+#[test]
+fn cache_shard_accounting_holds_under_all_interleavings() {
+    loom::model(|| {
+        const BUDGET: usize = 10;
+        let shard = Arc::new(Mutex::new(Shard::default()));
+
+        let s2 = shard.clone();
+        let writer = thread::spawn(move || {
+            s2.lock().put(1, 6, BUDGET);
+            s2.lock().put(2, 6, BUDGET); // forces eviction of key 1
+        });
+
+        {
+            shard.lock().put(3, 4, BUDGET);
+            let _ = shard.lock().get(3);
+            shard.lock().put(3, 5, BUDGET); // overwrite: must not double-count
+        }
+
+        writer.join().expect("writer");
+        let g = shard.lock();
+        g.check();
+        assert!(g.used <= BUDGET, "budget exceeded after evict: {}", g.used);
+    });
+}
+
+/// A get that releases the lock between lookup and touch would race with an
+/// eviction; the production code holds the shard lock for the whole
+/// operation. Model the *correct* protocol and assert it exhaustively.
+#[test]
+fn cache_get_during_evict_never_corrupts() {
+    loom::model(|| {
+        let shard = Arc::new(Mutex::new(Shard::default()));
+        shard.lock().put(1, 3, 10);
+
+        let s2 = shard.clone();
+        let evictor = thread::spawn(move || {
+            // Evict everything (budget 0 forces the loop) except the newest.
+            s2.lock().put(2, 1, 0);
+        });
+
+        let got = shard.lock().get(1);
+        // Key 1 is either still present (get ran first) or evicted; both are
+        // valid outcomes, but the shard must be internally consistent.
+        assert!(got.is_none() || got == Some(3));
+
+        evictor.join().expect("evictor");
+        shard.lock().check();
+    });
+}
+
+/// Connection-pool checkout/checkin, mirroring `CloudClient`/`RedisClient`:
+/// checkout pops an idle conn or opens a fresh one; checkin returns it only
+/// while the pool is under `max_idle`. Invariants: the pool never exceeds
+/// `max_idle`, and no connection id is ever pooled twice.
+#[test]
+fn pool_checkout_checkin_never_duplicates_or_overflows() {
+    loom::model(|| {
+        const MAX_IDLE: usize = 1;
+        let pool = Arc::new(Mutex::new(Vec::<u32>::new()));
+        let next_id = Arc::new(Mutex::new(0u32));
+
+        let checkout = |pool: &Mutex<Vec<u32>>, next_id: &Mutex<u32>| -> u32 {
+            if let Some(c) = pool.lock().pop() {
+                return c;
+            }
+            let mut n = next_id.lock();
+            *n += 1;
+            *n
+        };
+        let checkin = |pool: &Mutex<Vec<u32>>, conn: u32| {
+            let mut p = pool.lock();
+            if p.len() < MAX_IDLE {
+                p.push(conn);
+            } // else: dropped, like closing the socket
+        };
+
+        let (p2, n2) = (pool.clone(), next_id.clone());
+        let worker = thread::spawn(move || {
+            let conn = checkout(&p2, &n2);
+            checkin(&p2, conn);
+            conn
+        });
+
+        let mine = checkout(&pool, &next_id);
+        checkin(&pool, mine);
+        let theirs = worker.join().expect("worker");
+
+        let p = pool.lock();
+        assert!(p.len() <= MAX_IDLE, "pool overflowed: {:?}", *p);
+        let mut ids = p.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), p.len(), "same conn pooled twice: {:?}", *p);
+        // Two workers open at most two connections total — a pool that
+        // leaked or double-opened would mint higher ids.
+        assert!((1..=2).contains(&mine) && (1..=2).contains(&theirs));
+    });
+}
+
+/// Regression guard: taking the two shard locks in opposite orders from two
+/// threads deadlocks, and the model checker must say so. This is the shape
+/// the guard-across-io lint and the cache's single-lock-per-op design avoid.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn cross_shard_lock_inversion_is_reported_as_deadlock() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(0u8));
+        let b = Arc::new(Mutex::new(0u8));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop(_ga);
+        drop(_gb);
+        t.join().expect("child");
+    });
+}

@@ -13,26 +13,33 @@ use crate::http::{
 };
 use bytes::Bytes;
 use kvapi::{CondGet, Etag, KeyValue, Result, StoreError, StoreStats, Versioned};
-use parking_lot::Mutex;
+use resilience::{DeadlineStream, IdlePool, Resilience, ResiliencePolicy, SharedDeadline};
 use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<DeadlineStream>,
+    writer: BufWriter<DeadlineStream>,
+    /// Armed with the current request's deadline before any I/O; both
+    /// halves of the stream honour it on every syscall.
+    deadline: SharedDeadline,
 }
 
 impl Conn {
-    fn open(addr: SocketAddr, timeout: Duration) -> Result<Conn> {
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
+    fn open(addr: SocketAddr, policy: &ResiliencePolicy) -> Result<Conn> {
+        let deadline = SharedDeadline::new();
+        let stream = DeadlineStream::connect(
+            addr,
+            policy.connect_timeout,
+            policy.request_timeout,
+            deadline.clone(),
+        )?;
         Ok(Conn {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            deadline,
         })
     }
 }
@@ -41,27 +48,34 @@ impl Conn {
 ///
 /// Keeps a pool of keep-alive connections so concurrent callers (e.g. the
 /// UDSM's asynchronous interface fanning out on its thread pool) issue
-/// requests in parallel instead of serializing on one socket.
+/// requests in parallel instead of serializing on one socket. Every round
+/// trip runs under the client's [`resilience`] policy: a total request
+/// deadline, breaker gating, and bounded-backoff retries (every cloudstore
+/// verb is idempotent, so replays are safe).
 pub struct CloudClient {
     addr: SocketAddr,
     name: String,
-    timeout: Duration,
-    pool: Mutex<Vec<Conn>>,
-    max_idle: usize,
+    resilience: Resilience,
+    pool: IdlePool<Conn>,
     registry: Option<Arc<obs::Registry>>,
 }
 
 impl CloudClient {
-    /// Connect (lazily) to a cloud store server.
+    /// Connect (lazily) to a cloud store server with the default
+    /// [`ResiliencePolicy`] (shared by all native clients, so cross-store
+    /// sweeps compare identical failure budgets).
     pub fn connect(addr: SocketAddr) -> CloudClient {
+        CloudClient::connect_with_policy(addr, ResiliencePolicy::default())
+    }
+
+    /// Connect with an explicit resilience policy.
+    pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> CloudClient {
+        let pool = IdlePool::new(policy.max_idle, policy.max_idle_age);
         CloudClient {
             addr,
             name: "cloud".to_string(),
-            // Generous: the simulated WAN adds hundreds of ms, and large
-            // objects ride a modeled ~MB/s bandwidth.
-            timeout: Duration::from_secs(120),
-            pool: Mutex::new(Vec::new()),
-            max_idle: 16,
+            resilience: Resilience::new(policy),
+            pool,
             registry: None,
         }
     }
@@ -82,10 +96,21 @@ impl CloudClient {
         self
     }
 
-    /// Override the request timeout.
-    pub fn with_timeout(mut self, timeout: Duration) -> CloudClient {
-        self.timeout = timeout;
-        self
+    /// Override the total per-request deadline (connect timeout is clamped
+    /// to it). The rest of the policy keeps its current values.
+    pub fn with_timeout(self, timeout: Duration) -> CloudClient {
+        let mut policy = self.resilience.policy().clone();
+        policy.connect_timeout = policy.connect_timeout.min(timeout);
+        policy.request_timeout = timeout;
+        let mut c = CloudClient::connect_with_policy(self.addr, policy);
+        c.name = self.name;
+        c.registry = self.registry;
+        c
+    }
+
+    /// This endpoint's live resilience state (breaker, retry counters).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
     }
 
     fn round_trip(&self, req: &Request) -> Result<Response> {
@@ -120,43 +145,37 @@ impl CloudClient {
                 &[("store", &self.name), ("method", &req.method)],
             )
             .record_duration(t0.elapsed());
+            self.resilience.publish(reg, &self.name);
         }
         result
     }
 
     fn round_trip_inner(&self, req: &Request) -> Result<Response> {
         let head_only = req.method == "HEAD";
-        // First attempt may reuse a pooled (possibly stale) connection;
-        // on transient failure, retry once on a freshly opened one.
-        // xlint: idempotent reason="every cloudstore verb is idempotent: GET/HEAD/DELETE by definition, PUT carries the full object, and batch POST re-applies the same op list to the same keys"
-        for attempt in 0..2 {
-            // Take the pooled connection in its own statement so the pool
-            // guard is released before Conn::open can block on the network.
-            let pooled = if attempt == 0 {
-                self.pool.lock().pop()
+        // Replays are safe here: every cloudstore verb is idempotent —
+        // GET/HEAD/DELETE by definition, PUT carries the full object, and
+        // batch POST re-applies the same op list to the same keys.
+        self.resilience.run_idempotent(|deadline, attempt| {
+            // The first attempt may reuse a pooled connection; retries
+            // always open fresh (the pooled socket is what just failed).
+            let pooled = if attempt == 1 {
+                self.pool.checkout()
             } else {
                 None
             };
             let mut conn = match pooled {
                 Some(c) => c,
-                None => Conn::open(self.addr, self.timeout)?,
+                None => Conn::open(self.addr, self.resilience.policy())?,
             };
+            conn.deadline.arm(*deadline);
             let result = write_request(&mut conn.writer, req)
                 .map_err(StoreError::from)
                 .and_then(|()| read_response(&mut conn.reader, head_only));
-            match result {
-                Ok(resp) => {
-                    let mut pool = self.pool.lock();
-                    if pool.len() < self.max_idle {
-                        pool.push(conn);
-                    }
-                    return Ok(resp);
-                }
-                Err(e) if e.is_transient() && attempt == 0 => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Err(StoreError::Closed)
+            conn.deadline.disarm();
+            let resp = result?;
+            self.pool.checkin(conn);
+            Ok(resp)
+        })
     }
 
     fn object_path(key: &str) -> String {
@@ -168,10 +187,15 @@ impl CloudClient {
             .header("etag")
             .and_then(Etag::from_hex)
             .ok_or_else(|| StoreError::protocol("response missing etag"))?;
+        // A missing or garbled modification time is a protocol violation,
+        // exactly like a missing etag: defaulting it to 0 would make expiry
+        // logic see an object "modified at the epoch" and treat it as
+        // permanently stale.
         let modified_ms = resp
             .header("x-modified-ms")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
+            .ok_or_else(|| StoreError::protocol("response missing x-modified-ms"))?
+            .parse()
+            .map_err(|_| StoreError::protocol("unparseable x-modified-ms"))?;
         Ok(Versioned::with_etag(
             Bytes::copy_from_slice(&resp.body),
             etag,
@@ -747,6 +771,88 @@ mod tests {
         assert_eq!(c.get_many(&[]).unwrap(), Vec::<Option<Bytes>>::new());
         c.put_many(&[]).unwrap();
         assert_eq!(c.delete_many(&[]).unwrap(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn missing_or_garbled_modified_ms_is_a_protocol_error() {
+        let etag = format!("\"{}\"", Etag(7).to_hex());
+        let ok = Response::new(200)
+            .with_header("etag", etag.clone())
+            .with_header("x-modified-ms", "123")
+            .with_body(b"v".to_vec());
+        assert_eq!(CloudClient::parse_versioned(&ok).unwrap().modified_ms, 123);
+        // Regression: these used to silently parse as modified_ms == 0
+        // ("modified at the epoch"), which expiry logic reads as
+        // permanently stale.
+        let missing = Response::new(200)
+            .with_header("etag", etag.clone())
+            .with_body(b"v".to_vec());
+        assert!(matches!(
+            CloudClient::parse_versioned(&missing),
+            Err(StoreError::Protocol(_))
+        ));
+        let garbled = Response::new(200)
+            .with_header("etag", etag)
+            .with_header("x-modified-ms", "yesterday")
+            .with_body(b"v".to_vec());
+        assert!(matches!(
+            CloudClient::parse_versioned(&garbled),
+            Err(StoreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn aged_pool_does_not_inflate_first_request_latency() {
+        let server = CloudServer::start_local().unwrap();
+        let mut short_age = resilience::ResiliencePolicy::test_profile();
+        short_age.max_idle_age = Duration::from_millis(50);
+        let aging = CloudClient::connect_with_policy(server.addr(), short_age);
+        let control = CloudClient::connect_with_policy(
+            server.addr(),
+            resilience::ResiliencePolicy::test_profile(),
+        );
+
+        aging.put("k", b"v").unwrap();
+        control.put("k", b"v").unwrap();
+        // Server-side idle close: both pools now hold dead sockets, but
+        // only `aging` knows its connection is too old to trust.
+        server.drop_connections();
+        std::thread::sleep(Duration::from_millis(100));
+
+        assert_eq!(aging.get("k").unwrap().as_deref(), Some(b"v".as_ref()));
+        assert_eq!(
+            aging.resilience().retries(),
+            0,
+            "aged-out conn must be dropped at checkout, not discovered via a doomed round trip"
+        );
+        assert_eq!(control.get("k").unwrap().as_deref(), Some(b"v".as_ref()));
+        assert!(
+            control.resilience().retries() >= 1,
+            "control client (long idle age) pays the doomed first attempt"
+        );
+    }
+
+    #[test]
+    fn injected_error_faults_surface_and_clear() {
+        use netsim::FaultModel;
+        let server = CloudServer::start(crate::server::CloudServerConfig {
+            fault: FaultModel {
+                error_prob: 1.0,
+                ..FaultModel::none()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let c = CloudClient::connect_with_policy(
+            server.addr(),
+            resilience::ResiliencePolicy::test_profile(),
+        );
+        // In-band server errors are rejections, not transport failures:
+        // no retry, and the breaker stays closed.
+        assert!(matches!(c.get("k"), Err(StoreError::Rejected(_))));
+        assert_eq!(c.resilience().retries(), 0);
+        server.fault_injector().set_model(FaultModel::none());
+        assert_eq!(c.get("k").unwrap(), None);
     }
 
     #[test]

@@ -25,10 +25,10 @@ use crate::http::{read_request, unescape_segment, write_response, Request, Respo
 use bytes::Bytes;
 use kvapi::value::{now_millis, Etag};
 use kvapi::{Result, Versioned};
-use netsim::{LatencyModel, LatencySampler};
+use netsim::{FaultAction, FaultInjector, FaultModel, LatencyModel, LatencySampler};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,7 +42,10 @@ pub struct CloudServerConfig {
     pub bind: SocketAddr,
     /// Injected latency model.
     pub latency: LatencyModel,
-    /// RNG seed for the latency sampler (fixed = reproducible runs).
+    /// Injected fault model (refusals, resets, stalls, dribbles, ...).
+    pub fault: FaultModel,
+    /// RNG seed for the latency sampler and fault injector (fixed =
+    /// reproducible runs).
     pub seed: u64,
 }
 
@@ -51,6 +54,7 @@ impl Default for CloudServerConfig {
         CloudServerConfig {
             bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             latency: LatencyModel::zero(),
+            fault: FaultModel::none(),
             seed: 0xc10d,
         }
     }
@@ -78,6 +82,7 @@ pub struct CloudServer {
     /// Requests served (observability).
     pub requests_served: Arc<AtomicU64>,
     registry: Arc<obs::Registry>,
+    fault: Arc<FaultInjector>,
 }
 
 impl CloudServer {
@@ -105,18 +110,31 @@ impl CloudServer {
         let requests_served = Arc::new(AtomicU64::new(0));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let registry = Arc::new(obs::Registry::new());
+        // The fault injector draws from its own RNG stream (offset seed) so
+        // enabling faults does not perturb the latency sample sequence.
+        let fault = Arc::new(cfg.fault.injector(cfg.seed ^ 0xfa17));
 
         let accept_thread = {
             let shutdown = shutdown.clone();
             let served = requests_served.clone();
             let conns = conns.clone();
             let registry = registry.clone();
+            let fault = fault.clone();
             Some(std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    if fault.refuse_connection() {
+                        // Sever before any byte is exchanged, like a load
+                        // balancer shedding or a dead backend.
+                        registry
+                            .counter("cloudstore_faults_injected_total", &[("action", "refuse")])
+                            .inc();
+                        drop(stream);
+                        continue;
+                    }
                     if let Ok(clone) = stream.try_clone() {
                         let mut g = conns.lock();
                         g.retain(|s| s.peer_addr().is_ok());
@@ -126,8 +144,9 @@ impl CloudServer {
                     let sampler = sampler.clone();
                     let served = served.clone();
                     let registry = registry.clone();
+                    let fault = fault.clone();
                     std::thread::spawn(move || {
-                        let _ = serve_connection(stream, objects, sampler, served, registry);
+                        let _ = serve_connection(stream, objects, sampler, served, registry, fault);
                     });
                 }
             }))
@@ -140,6 +159,7 @@ impl CloudServer {
             conns,
             requests_served,
             registry,
+            fault,
         })
     }
 
@@ -153,6 +173,21 @@ impl CloudServer {
     /// is served over HTTP at `GET /metrics`.
     pub fn registry(&self) -> &Arc<obs::Registry> {
         &self.registry
+    }
+
+    /// This server's fault injector. Swap its model at runtime to start or
+    /// clear an outage mid-test: `server.fault_injector().set_model(...)`.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.fault
+    }
+
+    /// Sever every established connection while keeping the listener alive
+    /// — the shape of a server-side idle close (or a rolling restart), used
+    /// to exercise client pool staleness.
+    pub fn drop_connections(&self) {
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
     }
 
     /// Stop the server and sever connections.
@@ -191,12 +226,24 @@ fn route_label(path: &str) -> &'static str {
     }
 }
 
+fn fault_label(action: &FaultAction) -> &'static str {
+    match action {
+        FaultAction::Deliver => "deliver",
+        FaultAction::ErrorReply => "error",
+        FaultAction::Reset => "reset",
+        FaultAction::Stall(_) => "stall",
+        FaultAction::Dribble(_) => "dribble",
+        FaultAction::PartialWrite => "partial",
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     objects: Arc<RwLock<ObjectMap>>,
     sampler: Arc<LatencySampler>,
     served: Arc<AtomicU64>,
     registry: Arc<obs::Registry>,
+    fault: Arc<FaultInjector>,
 ) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -217,6 +264,27 @@ fn serve_connection(
             // transfers headers, so it must not be charged body latency.
             resp.body.clear();
         }
+        // The fault decision is made after the request was fully read —
+        // these are reply-side faults, modelling a server that *received*
+        // the operation (and may have applied it) but whose answer is lost
+        // or degraded.
+        let action = fault.reply_action();
+        if action != FaultAction::Deliver {
+            registry
+                .counter(
+                    "cloudstore_faults_injected_total",
+                    &[("action", fault_label(&action))],
+                )
+                .inc();
+        }
+        match action {
+            FaultAction::Reset => return Ok(()),
+            FaultAction::Stall(d) => std::thread::sleep(d),
+            FaultAction::ErrorReply => {
+                resp = Response::new(500).with_body(b"injected fault".to_vec());
+            }
+            _ => {}
+        }
         // Inject WAN delay sized by the dominant payload direction. A 304
         // only carries headers, which is exactly why revalidation saves
         // bandwidth and time in the reproduced experiments.
@@ -226,7 +294,27 @@ fn serve_connection(
             req.body.len().max(resp.body.len())
         };
         std::thread::sleep(sampler.sample(payload));
-        write_response(&mut writer, &resp)?;
+        match action {
+            FaultAction::Dribble(delay) => {
+                let mut wire = Vec::new();
+                write_response(&mut wire, &resp)?;
+                for &b in wire.iter().take(netsim::fault::DRIBBLE_MAX_BYTES) {
+                    writer.write_all(&[b])?;
+                    writer.flush()?;
+                    std::thread::sleep(delay);
+                }
+                // The rest of the reply never arrives.
+                return Ok(());
+            }
+            FaultAction::PartialWrite => {
+                let mut wire = Vec::new();
+                write_response(&mut wire, &resp)?;
+                writer.write_all(wire.get(..wire.len() / 2).unwrap_or_default())?;
+                writer.flush()?;
+                return Ok(());
+            }
+            _ => write_response(&mut writer, &resp)?,
+        }
         // Account after replying so the delay isn't inflated further; the
         // histogram still includes the injected WAN latency by design.
         let route = route_label(&req.path);

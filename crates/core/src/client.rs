@@ -206,25 +206,57 @@ impl<S: KeyValue> EnhancedClient<S> {
         };
         let mut env = Envelope::decode(&raw)?;
         self.stats.add(&self.stats.revalidations, 1);
+        // Every arm below only touches the cache while the entry is still
+        // the one we revalidated: a concurrent `put` that lands while the
+        // conditional get is in flight has newer data (in cache AND store),
+        // and the answer to our older etag must not clobber it.
         match self.store.get_if_none_match(key, env.etag)? {
             CondGet::NotModified => {
                 self.stats.add(&self.stats.revalidated_current, 1);
                 env.touch();
-                cache.put(key, env.encode());
+                if self.cache_unchanged(cache, key, env.etag) {
+                    cache.put(key, env.encode());
+                }
                 Ok(true)
             }
             CondGet::Modified(v) => {
-                self.install(key, &v, &mut None)?;
+                if self.cache_unchanged(cache, key, env.etag) {
+                    self.install(key, &v, &mut None)?;
+                }
                 Ok(false)
             }
             CondGet::Missing => {
-                cache.remove(key);
+                if self.cache_unchanged(cache, key, env.etag) {
+                    cache.remove(key);
+                }
                 Ok(false)
             }
         }
     }
 
     // ---- internals ----
+
+    /// May this expired envelope be served in place of `err`? Requires a
+    /// configured `stale_while_error` window that has not elapsed, and an
+    /// error that means "store unreachable" (transport failure or shed by
+    /// an open breaker) — a store that *answered* is authoritative.
+    fn stale_eligible(&self, env: &Envelope, err: &kvapi::StoreError) -> bool {
+        let Some(window) = self.config.stale_while_error else {
+            return false;
+        };
+        let unreachable = err.is_transient() || matches!(err, kvapi::StoreError::Unavailable(_));
+        unreachable && env.within_stale_window(now_millis(), window.as_millis() as u64)
+    }
+
+    /// Is the cached entry for `key` still the one we read (same etag)?
+    /// Used to avoid clobbering an envelope a concurrent `put` installed
+    /// while a revalidation round trip was in flight.
+    fn cache_unchanged(&self, cache: &Arc<dyn Cache>, key: &str, etag: Etag) -> bool {
+        cache
+            .get(key)
+            .and_then(|raw| Envelope::decode(&raw).ok())
+            .is_some_and(|current| current.etag == etag)
+    }
 
     /// Run the decode pipeline, attributing per-codec time to the trace.
     fn decode_traced(&self, data: &[u8], trace: &mut Option<Trace>) -> Result<Vec<u8>> {
@@ -341,14 +373,24 @@ impl<S: KeyValue> EnhancedClient<S> {
     ) -> Result<Vec<Option<Bytes>>> {
         let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
         let mut miss_positions: Vec<usize> = Vec::new();
+        // Expired envelopes held back as serve-stale fallbacks (only
+        // collected when a `stale_while_error` window is configured).
+        let mut stale_envs: Vec<(usize, Envelope)> = Vec::new();
         if let Some(cache) = &self.cache {
             let now = now_millis();
+            let keep_stale = self.config.stale_while_error.is_some();
             let mut hit_envs: Vec<(usize, Envelope)> = Vec::new();
             timed(trace, "cache_lookup", || {
                 for (i, key) in keys.iter().enumerate() {
                     match cache.get(key) {
                         Some(raw) => match Envelope::decode(&raw) {
                             Ok(env) if !env.is_expired(now) => hit_envs.push((i, env)),
+                            Ok(env) if keep_stale => {
+                                // Expired but kept (in cache too) as the
+                                // fallback should the grouped fetch fail.
+                                stale_envs.push((i, env));
+                                miss_positions.push(i);
+                            }
                             _ => {
                                 // Expired or foreign bytes: refetch with the
                                 // rest of the batch.
@@ -376,9 +418,30 @@ impl<S: KeyValue> EnhancedClient<S> {
             return Ok(out);
         }
         let miss_keys: Vec<&str> = miss_positions.iter().map(|&i| keys[i]).collect();
-        let fetched = timed(trace, "store_io", || {
+        let fetched = match timed(trace, "store_io", || {
             self.store.get_many_versioned(&miss_keys)
-        })?;
+        }) {
+            Ok(f) => f,
+            // Store unreachable: the batch can still succeed, but only if
+            // EVERY missing position has an expired copy inside its grace
+            // window — a partial answer would silently misreport the rest
+            // as absent.
+            Err(e)
+                if stale_envs.len() == miss_positions.len()
+                    && !stale_envs.is_empty()
+                    && stale_envs
+                        .iter()
+                        .all(|(_, env)| self.stale_eligible(env, &e)) =>
+            {
+                self.stats
+                    .add(&self.stats.stale_serves, stale_envs.len() as u64);
+                for (i, env) in &stale_envs {
+                    out[*i] = Some(self.materialize(env, trace)?);
+                }
+                return Ok(out);
+            }
+            Err(e) => return Err(e),
+        };
         if fetched.len() != miss_keys.len() {
             return Err(kvapi::StoreError::protocol(format!(
                 "store answered {} of {} batched gets",
@@ -387,8 +450,15 @@ impl<S: KeyValue> EnhancedClient<S> {
             )));
         }
         for (&pos, v) in miss_positions.iter().zip(fetched) {
-            if let Some(v) = v {
-                out[pos] = Some(self.install(keys[pos], &v, trace)?);
+            match v {
+                Some(v) => out[pos] = Some(self.install(keys[pos], &v, trace)?),
+                None => {
+                    // A retained stale entry whose key is gone at the store
+                    // must not linger as a future fallback.
+                    if let Some(cache) = &self.cache {
+                        cache.remove(keys[pos]);
+                    }
+                }
             }
         }
         Ok(out)
@@ -461,23 +531,52 @@ impl<S: KeyValue> EnhancedClient<S> {
                         // 2. Expired entry → revalidate (paper Fig. 7).
                         if self.config.revalidate {
                             self.stats.add(&self.stats.revalidations, 1);
-                            match timed(trace, "store_io", || {
+                            let cond = timed(trace, "store_io", || {
                                 self.store.get_if_none_match(key, env.etag)
-                            })? {
-                                CondGet::NotModified => {
+                            });
+                            match cond {
+                                Ok(CondGet::NotModified) => {
                                     self.stats.add(&self.stats.revalidated_current, 1);
                                     env.touch();
                                     cache.put(key, env.encode());
                                     return self.materialize(&env, trace).map(Some);
                                 }
-                                CondGet::Modified(v) => {
+                                Ok(CondGet::Modified(v)) => {
                                     return self.install(key, &v, trace).map(Some);
                                 }
-                                CondGet::Missing => {
+                                Ok(CondGet::Missing) => {
                                     cache.remove(key);
                                     return Ok(None);
                                 }
+                                // Store unreachable: inside the configured
+                                // grace window the expired copy beats an
+                                // error (§III: the cache carries the app
+                                // through poor connectivity).
+                                Err(e) if self.stale_eligible(&env, &e) => {
+                                    self.stats.add(&self.stats.stale_serves, 1);
+                                    return self.materialize(&env, trace).map(Some);
+                                }
+                                Err(e) => return Err(e),
                             }
+                        }
+                        // Expired, revalidation disabled: refetch, falling
+                        // back to the stale copy when the store is down.
+                        if self.config.stale_while_error.is_some() {
+                            self.stats.add(&self.stats.cache_misses, 1);
+                            let fetched =
+                                timed(trace, "store_io", || self.store.get_versioned(key));
+                            return match fetched {
+                                Ok(Some(v)) => self.install(key, &v, trace).map(Some),
+                                Ok(None) => {
+                                    cache.remove(key);
+                                    Ok(None)
+                                }
+                                Err(e) if self.stale_eligible(&env, &e) => {
+                                    self.stats.add(&self.stats.stale_serves, 1);
+                                    self.materialize(&env, trace).map(Some)
+                                }
+                                Err(e) => Err(e),
+                            };
                         }
                         cache.remove(key);
                     }
@@ -826,6 +925,148 @@ mod tests {
             "changed value is not current"
         );
         assert_eq!(client.get("k").unwrap().unwrap(), &b"v2"[..]);
+    }
+
+    #[test]
+    fn revalidate_missing_evicts_and_does_not_resurrect() {
+        let client = EnhancedClient::new(CountingStore::new()).with_cache(lru());
+        client.put("k", b"v").unwrap();
+        // Deleted at the store out of band; the cached copy is now a ghost.
+        client.store().inner.delete("k").unwrap();
+        assert!(!client.revalidate("k").unwrap(), "missing is not current");
+        assert_eq!(client.cache_get("k").unwrap(), None, "ghost evicted");
+        assert_eq!(client.get("k").unwrap(), None, "no resurrect-after-delete");
+    }
+
+    /// Store whose conditional get runs a caller-supplied action after
+    /// computing its answer — a deterministic interleaving of a
+    /// "concurrent" put inside the revalidation round trip.
+    struct RacingStore {
+        inner: Arc<MemKv>,
+        during_cond_get: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    }
+    impl KeyValue for RacingStore {
+        fn name(&self) -> &str {
+            "racing"
+        }
+        fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+            self.inner.put(k, v)
+        }
+        fn get(&self, k: &str) -> Result<Option<Bytes>> {
+            self.inner.get(k)
+        }
+        fn get_if_none_match(&self, k: &str, e: Etag) -> Result<CondGet> {
+            let answer = self.inner.get_if_none_match(k, e);
+            if let Some(hook) = self.during_cond_get.lock().take() {
+                hook();
+            }
+            answer
+        }
+        fn delete(&self, k: &str) -> Result<bool> {
+            self.inner.delete(k)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.inner.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.inner.clear()
+        }
+    }
+
+    #[test]
+    fn revalidate_racing_put_does_not_clobber_newer_envelope() {
+        let cache = lru();
+        let inner = Arc::new(MemKv::new("r"));
+        let client = EnhancedClient::new(RacingStore {
+            inner: inner.clone(),
+            during_cond_get: Mutex::new(None),
+        })
+        .with_cache(cache.clone());
+        client.put("k", b"v1").unwrap();
+        // Out-of-band store update: revalidation will answer Modified(v2).
+        inner.put("k", b"v2").unwrap();
+        // While the conditional get is in flight, a concurrent put lands v3
+        // in the store and (write-through) the cache.
+        {
+            let inner = inner.clone();
+            let cache = cache.clone();
+            *client.store().during_cond_get.lock() = Some(Box::new(move || {
+                let etag = inner.put_versioned("k", b"v3").unwrap();
+                let env = Envelope::new(etag, 0, false, Bytes::from_static(b"v3"));
+                cache.put("k", env.encode());
+            }));
+        }
+        assert!(!client.revalidate("k").unwrap(), "v1 was not current");
+        // The answer to the OLD etag (v2) must not overwrite the newer v3.
+        assert_eq!(
+            client.cache_get("k").unwrap().unwrap(),
+            &b"v3"[..],
+            "revalidation clobbered the concurrent put"
+        );
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v3"[..]);
+    }
+
+    #[test]
+    fn stale_window_serves_cached_reads_while_store_is_down() {
+        let flaky = FlakyStore {
+            inner: MemKv::new("f"),
+            fail: Mutex::new(false),
+        };
+        let cfg = DsclConfig {
+            default_ttl: Some(Duration::from_millis(30)),
+            stale_while_error: Some(Duration::from_millis(200)),
+            ..Default::default()
+        };
+        let reg = Arc::new(obs::Registry::new());
+        let client = EnhancedClient::new(flaky)
+            .with_cache(lru())
+            .with_config(cfg)
+            .with_registry(reg.clone());
+        client.put("k", b"v").unwrap();
+        *client.store().fail.lock() = true;
+        std::thread::sleep(Duration::from_millis(40));
+        // Expired + dead store, but inside the grace window: serve stale.
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v"[..]);
+        assert_eq!(client.stats().stale_serves, 1);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("dscl_stale_serves_total{client=\"dscl(flaky)\"} 1"),
+            "{text}"
+        );
+        // Once expiry + window have both elapsed, the error surfaces again.
+        std::thread::sleep(Duration::from_millis(220));
+        assert!(client.get("k").is_err(), "grace window elapsed");
+        // Store heals: normal revalidation resumes.
+        *client.store().fail.lock() = false;
+        assert_eq!(client.get("k").unwrap().unwrap(), &b"v"[..]);
+    }
+
+    #[test]
+    fn batch_get_serves_stale_when_store_is_down() {
+        let flaky = FlakyStore {
+            inner: MemKv::new("f"),
+            fail: Mutex::new(false),
+        };
+        let cfg = DsclConfig {
+            default_ttl: Some(Duration::from_millis(20)),
+            stale_while_error: Some(Duration::from_secs(10)),
+            ..Default::default()
+        };
+        let client = EnhancedClient::new(flaky)
+            .with_cache(lru())
+            .with_config(cfg);
+        client
+            .put_many(&[("a", b"1".as_slice()), ("b", b"2")])
+            .unwrap();
+        *client.store().fail.lock() = true;
+        std::thread::sleep(Duration::from_millis(30));
+        let got = client.get_many(&["a", "b"]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(b"1".as_ref()));
+        assert_eq!(got[1].as_deref(), Some(b"2".as_ref()));
+        assert_eq!(client.stats().stale_serves, 2);
+        // A batch with any position lacking a cached fallback cannot be
+        // answered partially: the store error surfaces.
+        assert!(client.get_many(&["a", "never-cached"]).is_err());
     }
 
     #[test]

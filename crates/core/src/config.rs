@@ -40,6 +40,11 @@ pub struct DsclConfig {
     /// refetching (§III / Fig. 7). When false, expired entries are treated
     /// as misses.
     pub revalidate: bool,
+    /// Serve an *expired* cached entry when the store is unreachable
+    /// (transport failure, open circuit breaker), for up to this long past
+    /// its normal expiry. `None` (the default) keeps strict behaviour:
+    /// expired + dead store surfaces the error.
+    pub stale_while_error: Option<Duration>,
 }
 
 impl Default for DsclConfig {
@@ -49,6 +54,7 @@ impl Default for DsclConfig {
             default_ttl: None,
             cache_content: CacheContent::Plaintext,
             revalidate: true,
+            stale_while_error: None,
         }
     }
 }
@@ -72,6 +78,7 @@ mod tests {
         assert_eq!(c.policy, CachePolicy::WriteThrough);
         assert_eq!(c.cache_content, CacheContent::Plaintext);
         assert!(c.revalidate);
+        assert_eq!(c.stale_while_error, None);
         assert_eq!(c.ttl_ms(None), 0);
     }
 

@@ -56,6 +56,18 @@ impl Envelope {
         self.ttl_ms != 0 && now_ms >= self.stored_ms.saturating_add(self.ttl_ms)
     }
 
+    /// Is this (possibly expired) entry still inside the serve-stale grace
+    /// window — expiry plus `window_ms` — at `now_ms`? Immortal entries
+    /// (ttl 0) are always usable.
+    pub fn within_stale_window(&self, now_ms: u64, window_ms: u64) -> bool {
+        self.ttl_ms == 0
+            || now_ms
+                < self
+                    .stored_ms
+                    .saturating_add(self.ttl_ms)
+                    .saturating_add(window_ms)
+    }
+
     /// Refresh the stored timestamp (after a successful revalidation: the
     /// object was confirmed current, so its TTL restarts).
     pub fn touch(&mut self) {
@@ -125,6 +137,16 @@ mod tests {
         // ttl 0 = immortal.
         e.ttl_ms = 0;
         assert!(!e.is_expired(u64::MAX));
+    }
+
+    #[test]
+    fn stale_window_extends_past_expiry() {
+        let e = Envelope::new(Etag(1), 100, false, Bytes::from_static(b"x"));
+        let born = e.stored_ms;
+        assert!(e.within_stale_window(born + 150, 100), "inside grace");
+        assert!(!e.within_stale_window(born + 200, 100), "grace elapsed");
+        let immortal = Envelope::new(Etag(1), 0, false, Bytes::from_static(b"x"));
+        assert!(immortal.within_stale_window(u64::MAX, 0));
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub struct DsclStats {
     pub revalidations: u64,
     /// Revalidations answered `NotModified` (the bandwidth-saving case).
     pub revalidated_current: u64,
+    /// Expired entries served anyway because the store was unreachable and
+    /// a `stale_while_error` window was configured.
+    pub stale_serves: u64,
     /// Bytes of plaintext passed through the encode pipeline on writes.
     pub bytes_encoded: u64,
     /// Bytes produced by the encode pipeline (measures compression benefit).
@@ -25,6 +28,7 @@ pub(crate) struct StatsCell {
     pub cache_misses: AtomicU64,
     pub revalidations: AtomicU64,
     pub revalidated_current: AtomicU64,
+    pub stale_serves: AtomicU64,
     pub bytes_encoded: AtomicU64,
     pub bytes_stored: AtomicU64,
 }
@@ -39,6 +43,7 @@ impl DsclStats {
             ("dscl_cache_misses_total", self.cache_misses),
             ("dscl_revalidations_total", self.revalidations),
             ("dscl_revalidated_current_total", self.revalidated_current),
+            ("dscl_stale_serves_total", self.stale_serves),
             ("dscl_bytes_encoded_total", self.bytes_encoded),
             ("dscl_bytes_stored_total", self.bytes_stored),
         ];
@@ -55,6 +60,7 @@ impl StatsCell {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             revalidations: self.revalidations.load(Ordering::Relaxed),
             revalidated_current: self.revalidated_current.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
             bytes_encoded: self.bytes_encoded.load(Ordering::Relaxed),
             bytes_stored: self.bytes_stored.load(Ordering::Relaxed),
         }

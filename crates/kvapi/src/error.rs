@@ -29,6 +29,10 @@ pub enum StoreError {
     Closed,
     /// The operation did not complete within its deadline.
     Timeout,
+    /// The endpoint is temporarily unavailable and calls are being shed
+    /// (e.g. an open circuit breaker). Deliberately **not** transient:
+    /// retrying immediately is exactly what the breaker exists to prevent.
+    Unavailable(String),
     /// Payload failed to decode after retrieval (decryption/decompression).
     Codec(String),
     /// Anything else.
@@ -74,6 +78,7 @@ impl fmt::Display for StoreError {
             StoreError::Conflict(m) => write!(f, "conflict: {m}"),
             StoreError::Closed => write!(f, "store closed"),
             StoreError::Timeout => write!(f, "operation timed out"),
+            StoreError::Unavailable(m) => write!(f, "endpoint unavailable: {m}"),
             StoreError::Codec(m) => write!(f, "codec error: {m}"),
             StoreError::Other(m) => write!(f, "{m}"),
         }
@@ -115,6 +120,9 @@ mod tests {
         assert!(!StoreError::Protocol("x".into()).is_transient());
         assert!(!StoreError::Corrupt("x".into()).is_transient());
         assert!(!StoreError::Unsupported("x").is_transient());
+        // Unavailable means "calls are being shed" — retrying defeats the
+        // point, so it must classify as non-transient.
+        assert!(!StoreError::Unavailable("breaker open".into()).is_transient());
     }
 
     #[test]

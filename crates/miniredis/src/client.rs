@@ -8,32 +8,46 @@
 use crate::resp::{command, read_value, write_value, Value};
 use bytes::Bytes;
 use kvapi::{Result, StoreError};
-use parking_lot::Mutex;
+use resilience::{
+    Deadline, DeadlineStream, IdlePool, Resilience, ResiliencePolicy, SharedDeadline,
+};
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::time::Duration;
 
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<DeadlineStream>,
+    writer: BufWriter<DeadlineStream>,
+    /// Armed with the current request's deadline before any I/O; both
+    /// halves of the stream honour it on every syscall.
+    deadline: SharedDeadline,
 }
 
 impl Conn {
-    fn open(addr: SocketAddr, timeout: Duration) -> Result<Conn> {
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
+    fn open(addr: SocketAddr, policy: &ResiliencePolicy) -> Result<Conn> {
+        let deadline = SharedDeadline::new();
+        let stream = DeadlineStream::connect(
+            addr,
+            policy.connect_timeout,
+            policy.request_timeout,
+            deadline.clone(),
+        )?;
         Ok(Conn {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            deadline,
         })
     }
 
-    fn round_trip(&mut self, cmd: &Value) -> Result<Value> {
-        write_value(&mut self.writer, cmd)?;
-        self.writer.flush()?;
-        read_value(&mut self.reader)
+    fn round_trip(&mut self, cmd: &Value, deadline: &Deadline) -> Result<Value> {
+        self.deadline.arm(*deadline);
+        let result = (|| {
+            write_value(&mut self.writer, cmd)?;
+            self.writer.flush()?;
+            read_value(&mut self.reader)
+        })();
+        self.deadline.disarm();
+        result
     }
 }
 
@@ -41,100 +55,116 @@ impl Conn {
 ///
 /// Maintains a small pool of connections so concurrent callers (the UDSM
 /// thread pool, multi-threaded cache users) run in parallel rather than
-/// serializing on one socket — like Jedis's pooled mode.
+/// serializing on one socket — like Jedis's pooled mode. Every command runs
+/// under the client's [`resilience`] policy: one total request deadline,
+/// breaker gating, and (for idempotent commands only) bounded-backoff
+/// retries.
 pub struct RedisClient {
     addr: SocketAddr,
-    timeout: Duration,
-    pool: Mutex<Vec<Conn>>,
-    max_idle: usize,
+    resilience: Resilience,
+    pool: IdlePool<Conn>,
 }
 
 impl RedisClient {
-    /// Connect to a server (lazily; the first command opens the socket).
+    /// Connect to a server (lazily; the first command opens the socket)
+    /// with the default [`ResiliencePolicy`] shared by all native clients.
     pub fn connect(addr: SocketAddr) -> RedisClient {
+        RedisClient::connect_with_policy(addr, ResiliencePolicy::default())
+    }
+
+    /// Connect with an explicit resilience policy.
+    pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> RedisClient {
+        let pool = IdlePool::new(policy.max_idle, policy.max_idle_age);
         RedisClient {
             addr,
-            timeout: Duration::from_secs(10),
-            pool: Mutex::new(Vec::new()),
-            max_idle: 16,
+            resilience: Resilience::new(policy),
+            pool,
         }
     }
 
-    /// Override the per-operation timeout.
-    pub fn with_timeout(mut self, timeout: Duration) -> RedisClient {
-        self.timeout = timeout;
-        self
+    /// Override the total per-request deadline (connect timeout is clamped
+    /// to it). The rest of the policy keeps its current values.
+    pub fn with_timeout(self, timeout: Duration) -> RedisClient {
+        let mut policy = self.resilience.policy().clone();
+        policy.connect_timeout = policy.connect_timeout.min(timeout);
+        policy.request_timeout = timeout;
+        RedisClient::connect_with_policy(self.addr, policy)
+    }
+
+    /// This endpoint's live resilience state (breaker, retry counters).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
     }
 
     fn checkout(&self, fresh: bool) -> Result<Conn> {
         if !fresh {
-            if let Some(c) = self.pool.lock().pop() {
+            if let Some(c) = self.pool.checkout() {
                 return Ok(c);
             }
         }
-        Conn::open(self.addr, self.timeout)
+        Conn::open(self.addr, self.resilience.policy())
     }
 
     fn checkin(&self, conn: Conn) {
-        let mut pool = self.pool.lock();
-        if pool.len() < self.max_idle {
-            pool.push(conn);
-        }
+        self.pool.checkin(conn);
     }
 
-    /// Issue one command, retrying once on a fresh connection after a
-    /// transient failure (a pooled socket may have gone stale).
+    /// Issue one command, retrying with backoff on a fresh connection
+    /// after a transient failure (a pooled socket may have gone stale).
     ///
     /// Only for idempotent commands: a transient failure after the server
     /// applied the command replays it. Non-idempotent commands (INCR) go
-    /// through [`RedisClient::exec_once`].
+    /// through [`RedisClient::exec_once`]. Everything sent here
+    /// (SET/GET/DEL/EXPIRE/...) re-applies the same state.
     pub fn exec(&self, parts: &[&[u8]]) -> Result<Value> {
         let cmd = command(parts);
-        // xlint: idempotent reason="non-idempotent commands are routed through exec_once; everything sent here (SET/GET/DEL/EXPIRE/...) re-applies the same state"
-        for attempt in 0..2 {
-            let mut conn = self.checkout(attempt > 0)?;
-            match conn.round_trip(&cmd) {
-                Ok(v) => {
-                    self.checkin(conn);
-                    return Ok(v);
-                }
-                Err(e) if e.is_transient() && attempt == 0 => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Err(StoreError::Closed)
+        self.resilience.run_idempotent(|deadline, attempt| {
+            let mut conn = self.checkout(attempt > 1)?;
+            let v = conn.round_trip(&cmd, deadline)?;
+            self.checkin(conn);
+            Ok(v)
+        })
     }
 
     /// Issue one command exactly once — no retry, so a failure after the
     /// server applied the effect cannot double-apply it. At-most-once is the
-    /// only safe default for commands like INCR.
+    /// only safe default for commands like INCR. Still breaker-gated and
+    /// deadline-bounded.
     fn exec_once(&self, parts: &[&[u8]]) -> Result<Value> {
         let cmd = command(parts);
-        let mut conn = self.checkout(false)?;
-        let v = conn.round_trip(&cmd)?;
-        self.checkin(conn);
-        Ok(v)
+        self.resilience.run_once(|deadline| {
+            let mut conn = self.checkout(false)?;
+            let v = conn.round_trip(&cmd, deadline)?;
+            self.checkin(conn);
+            Ok(v)
+        })
     }
 
-    /// Send all commands, then read all replies (pipelining).
+    /// Send all commands, then read all replies (pipelining). Not retried:
+    /// callers may pipeline non-idempotent commands, and a half-applied
+    /// batch must not be replayed wholesale.
     pub fn pipeline(&self, cmds: &[Vec<Vec<u8>>]) -> Result<Vec<Value>> {
-        let mut conn = self.checkout(false)?;
-        let result = (|| {
-            for parts in cmds {
-                let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
-                write_value(&mut conn.writer, &command(&refs))?;
+        self.resilience.run_once(|deadline| {
+            let mut conn = self.checkout(false)?;
+            conn.deadline.arm(*deadline);
+            let result = (|| {
+                for parts in cmds {
+                    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+                    write_value(&mut conn.writer, &command(&refs))?;
+                }
+                conn.writer.flush()?;
+                let mut replies = Vec::with_capacity(cmds.len());
+                for _ in cmds {
+                    replies.push(read_value(&mut conn.reader)?);
+                }
+                Ok(replies)
+            })();
+            conn.deadline.disarm();
+            if result.is_ok() {
+                self.checkin(conn);
             }
-            conn.writer.flush()?;
-            let mut replies = Vec::with_capacity(cmds.len());
-            for _ in cmds {
-                replies.push(read_value(&mut conn.reader)?);
-            }
-            Ok(replies)
-        })();
-        if result.is_ok() {
-            self.checkin(conn);
-        }
-        result
+            result
+        })
     }
 
     fn expect_ok(v: Value) -> Result<()> {
@@ -459,6 +489,38 @@ mod tests {
         server.stop();
         // Server gone: command must error, not hang or panic.
         assert!(c.ping().is_err() || c.get("k").is_err());
+    }
+
+    /// A pooled connection the server has long since closed must be aged
+    /// out at checkout, not handed to the request — otherwise the first
+    /// command after an idle period eats a doomed round-trip plus a retry.
+    #[test]
+    fn aged_pool_does_not_inflate_first_request_latency() {
+        let server = Server::start().unwrap();
+        let mut aging_policy = ResiliencePolicy::test_profile();
+        aging_policy.max_idle_age = Duration::from_millis(50);
+        let aging = RedisClient::connect_with_policy(server.addr(), aging_policy);
+        let control =
+            RedisClient::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+
+        aging.set("k", b"v").unwrap();
+        control.set("k", b"v").unwrap();
+        // Server drops every established connection (idle-timeout style),
+        // then both pools sit past the aging client's max idle age.
+        server.drop_connections();
+        std::thread::sleep(Duration::from_millis(100));
+
+        assert_eq!(aging.get("k").unwrap().unwrap(), Bytes::from_static(b"v"));
+        assert_eq!(
+            aging.resilience().retries(),
+            0,
+            "aged-out pool must open fresh, not burn a retry on a dead socket"
+        );
+        assert_eq!(control.get("k").unwrap().unwrap(), Bytes::from_static(b"v"));
+        assert!(
+            control.resilience().retries() >= 1,
+            "control kept the dead socket and had to retry"
+        );
     }
 
     #[test]

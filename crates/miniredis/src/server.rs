@@ -5,6 +5,7 @@ use crate::resp::{read_value, write_value, Value};
 use bytes::Bytes;
 use kvapi::value::now_millis;
 use kvapi::{Result, StoreError};
+use netsim::{FaultAction, FaultInjector, FaultModel};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -28,6 +29,10 @@ pub struct ServerConfig {
     /// restarted, it can quickly be brought to a warm state"). Loaded at
     /// startup, written by the `SAVE` command and on [`Server::stop`].
     pub persistence: Option<PathBuf>,
+    /// Injected fault model (refusals, resets, stalls, dribbles, ...).
+    pub fault: FaultModel,
+    /// Seed for the fault injector's RNG (fixed = reproducible chaos runs).
+    pub fault_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -37,6 +42,8 @@ impl Default for ServerConfig {
             max_memory: 0,
             sweep_interval: Duration::from_millis(100),
             persistence: None,
+            fault: FaultModel::none(),
+            fault_seed: 0x4ed1,
         }
     }
 }
@@ -124,6 +131,7 @@ pub struct Server {
     persistence: Option<PathBuf>,
     /// Total commands served (observability for tests).
     pub commands_served: Arc<AtomicU64>,
+    fault: Arc<FaultInjector>,
 }
 
 impl Server {
@@ -181,6 +189,7 @@ impl Server {
 
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let persistence = cfg.persistence.clone();
+        let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
         let accept_thread = {
             let shutdown = shutdown.clone();
             let commands_served = commands_served.clone();
@@ -188,12 +197,17 @@ impl Server {
             let db = db.clone();
             let persistence = persistence.clone();
             let max_memory = cfg.max_memory;
+            let fault = fault.clone();
             Some(std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    if fault.refuse_connection() {
+                        drop(stream);
+                        continue;
+                    }
                     if let Ok(clone) = stream.try_clone() {
                         let mut g = conns.lock();
                         // Keep the registry from growing without bound.
@@ -204,8 +218,11 @@ impl Server {
                     let clock = clock.clone();
                     let served = commands_served.clone();
                     let persist = persistence.clone();
+                    let fault = fault.clone();
                     std::thread::spawn(move || {
-                        let _ = handle_connection(stream, db, clock, max_memory, served, persist);
+                        let _ = handle_connection(
+                            stream, db, clock, max_memory, served, persist, fault,
+                        );
                     });
                 }
             }))
@@ -220,7 +237,23 @@ impl Server {
             db,
             persistence,
             commands_served,
+            fault,
         })
+    }
+
+    /// This server's fault injector; swap its model at runtime to start or
+    /// clear an outage mid-test.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.fault
+    }
+
+    /// Sever every established connection while keeping the listener alive
+    /// — the shape of a server-side idle close, used to exercise client
+    /// pool staleness.
+    pub fn drop_connections(&self) {
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
     }
 
     /// The bound address clients should connect to.
@@ -284,6 +317,7 @@ fn handle_connection(
     max_memory: u64,
     served: Arc<AtomicU64>,
     persist: Option<PathBuf>,
+    fault: Arc<FaultInjector>,
 ) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -299,9 +333,45 @@ fn handle_connection(
             }
         };
         served.fetch_add(1, Ordering::Relaxed);
+        // Reply-side fault, decided after the command was read: the server
+        // *received* (and below, applies) the command even when its answer
+        // is lost — which is exactly what makes blind retries of
+        // non-idempotent commands dangerous.
+        let action = fault.reply_action();
         let reply = dispatch(frame, &db, &clock, max_memory, persist.as_ref());
-        write_value(&mut writer, &reply)?;
-        writer.flush()?;
+        match action {
+            FaultAction::Reset => return Ok(()),
+            FaultAction::ErrorReply => {
+                write_value(&mut writer, &Value::Error("ERR injected fault".into()))?;
+                writer.flush()?;
+            }
+            FaultAction::Stall(d) => {
+                std::thread::sleep(d);
+                write_value(&mut writer, &reply)?;
+                writer.flush()?;
+            }
+            FaultAction::Dribble(delay) => {
+                let mut wire = Vec::new();
+                write_value(&mut wire, &reply)?;
+                for &b in wire.iter().take(netsim::fault::DRIBBLE_MAX_BYTES) {
+                    writer.write_all(&[b])?;
+                    writer.flush()?;
+                    std::thread::sleep(delay);
+                }
+                return Ok(());
+            }
+            FaultAction::PartialWrite => {
+                let mut wire = Vec::new();
+                write_value(&mut wire, &reply)?;
+                writer.write_all(wire.get(..wire.len() / 2).unwrap_or_default())?;
+                writer.flush()?;
+                return Ok(());
+            }
+            FaultAction::Deliver => {
+                write_value(&mut writer, &reply)?;
+                writer.flush()?;
+            }
+        }
     }
 }
 

@@ -21,8 +21,14 @@ pub struct RedisKv {
 impl RedisKv {
     /// Connect to a miniredis server.
     pub fn connect(addr: SocketAddr) -> RedisKv {
+        RedisKv::connect_with_policy(addr, resilience::ResiliencePolicy::default())
+    }
+
+    /// Connect with an explicit resilience policy (deadline, retry,
+    /// breaker, pool tuning) instead of the defaults.
+    pub fn connect_with_policy(addr: SocketAddr, policy: resilience::ResiliencePolicy) -> RedisKv {
         RedisKv {
-            client: RedisClient::connect(addr),
+            client: RedisClient::connect_with_policy(addr, policy),
             name: "redis".into(),
             prefix: String::new(),
         }

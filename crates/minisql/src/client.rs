@@ -8,25 +8,32 @@ use crate::engine::ResultSet;
 use crate::server::{read_frame, write_frame, WireRequest, WireResponse};
 use crate::value::SqlValue;
 use kvapi::{Result, StoreError};
-use parking_lot::Mutex;
+use resilience::{DeadlineStream, IdlePool, Resilience, ResiliencePolicy, SharedDeadline};
 use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::time::Duration;
 
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<DeadlineStream>,
+    writer: BufWriter<DeadlineStream>,
+    /// Armed with the current request's deadline before any I/O; both
+    /// halves of the stream honour it on every syscall.
+    deadline: SharedDeadline,
 }
 
 impl Conn {
-    fn open(addr: SocketAddr, timeout: Duration) -> Result<Conn> {
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
+    fn open(addr: SocketAddr, policy: &ResiliencePolicy) -> Result<Conn> {
+        let deadline = SharedDeadline::new();
+        let stream = DeadlineStream::connect(
+            addr,
+            policy.connect_timeout,
+            policy.request_timeout,
+            deadline.clone(),
+        )?;
         Ok(Conn {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            deadline,
         })
     }
 }
@@ -34,37 +41,63 @@ impl Conn {
 /// Thread-safe client for a [`crate::SqlServer`].
 ///
 /// Pools connections so concurrent statements from different threads run in
-/// parallel (like a JDBC connection pool).
+/// parallel (like a JDBC connection pool). Every statement runs under the
+/// client's resilience policy: one total request deadline, breaker gating,
+/// and retries gated by replay safety (read-only statements, or frames that
+/// never reached the server).
 pub struct MiniSqlClient {
     addr: SocketAddr,
-    timeout: Duration,
-    pool: Mutex<Vec<Conn>>,
-    max_idle: usize,
+    resilience: Resilience,
+    pool: IdlePool<Conn>,
 }
 
 impl MiniSqlClient {
-    /// Connect lazily to `addr`.
+    /// Connect lazily to `addr` with the default [`ResiliencePolicy`]
+    /// shared by all native clients.
     pub fn connect(addr: SocketAddr) -> MiniSqlClient {
+        MiniSqlClient::connect_with_policy(addr, ResiliencePolicy::default())
+    }
+
+    /// Connect with an explicit resilience policy.
+    pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> MiniSqlClient {
+        let pool = IdlePool::new(policy.max_idle, policy.max_idle_age);
         MiniSqlClient {
             addr,
-            timeout: Duration::from_secs(30),
-            pool: Mutex::new(Vec::new()),
-            max_idle: 16,
+            resilience: Resilience::new(policy),
+            pool,
         }
     }
 
-    /// Override the per-statement timeout.
-    pub fn with_timeout(mut self, timeout: Duration) -> MiniSqlClient {
-        self.timeout = timeout;
-        self
+    /// Override the total per-statement deadline (connect timeout is
+    /// clamped to it). The rest of the policy keeps its current values.
+    pub fn with_timeout(self, timeout: Duration) -> MiniSqlClient {
+        let mut policy = self.resilience.policy().clone();
+        policy.connect_timeout = policy.connect_timeout.min(timeout);
+        policy.request_timeout = timeout;
+        MiniSqlClient::connect_with_policy(self.addr, policy)
+    }
+
+    /// This endpoint's live resilience state (breaker, retry counters).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    fn checkout(&self, fresh: bool) -> Result<Conn> {
+        if !fresh {
+            if let Some(c) = self.pool.checkout() {
+                return Ok(c);
+            }
+        }
+        Conn::open(self.addr, self.resilience.policy())
     }
 
     /// Execute a statement verbatim.
     ///
-    /// Statements are retried once on a fresh connection after a transient
-    /// failure, but only while a replay cannot double-apply: either the
-    /// statement is read-only (`SELECT`), or the frame never reached the
-    /// server (`write_frame` failed before its flush completed).
+    /// Statements are retried with backoff on a fresh connection after a
+    /// transient failure, but only while a replay cannot double-apply:
+    /// either the statement is read-only (`SELECT`), or the frame never
+    /// reached the server (`write_frame` failed before its flush
+    /// completed). The [`resilience::ReplayGuard`] carries that contract.
     pub fn execute(&self, sql: &str) -> Result<ResultSet> {
         let request = serde_json::to_vec(&WireRequest {
             sql: sql.to_string(),
@@ -74,50 +107,29 @@ impl MiniSqlClient {
             .trim_start()
             .get(..6)
             .is_some_and(|p| p.eq_ignore_ascii_case("SELECT"));
-        for attempt in 0..2 {
-            // Pop the pooled connection in its own statement so the pool
-            // guard drops before Conn::open can block on the network.
-            let pooled = if attempt == 0 {
-                self.pool.lock().pop()
-            } else {
-                None
-            };
-            let mut conn = match pooled {
-                Some(c) => c,
-                None => Conn::open(self.addr, self.timeout)?,
-            };
-            let mut frame_sent = false;
+        self.resilience.run_guarded(|deadline, attempt, guard| {
+            let mut conn = self.checkout(attempt > 1)?;
+            conn.deadline.arm(*deadline);
             let outcome = (|| {
                 write_frame(&mut conn.writer, &request).map_err(StoreError::from)?;
-                frame_sent = true;
+                // The frame was flushed: the server may already have
+                // executed it, so only read-only statements stay safe to
+                // replay from here on.
+                if !read_only {
+                    guard.poison();
+                }
                 read_frame(&mut conn.reader)
             })();
-            match outcome {
-                Ok(Some(payload)) => {
-                    let mut pool = self.pool.lock();
-                    if pool.len() < self.max_idle {
-                        pool.push(conn);
-                    }
-                    drop(pool);
-                    let resp: WireResponse = serde_json::from_slice(&payload)
-                        .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
-                    return match resp {
-                        WireResponse::Ok(rs) => Ok(rs),
-                        WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
-                    };
-                }
-                // The frame was flushed before the peer vanished: the server
-                // may already have executed it, so only read-only statements
-                // are safe to replay.
-                Ok(None) if attempt == 0 && read_only => continue,
-                Ok(None) => return Err(StoreError::Closed),
-                Err(e) if e.is_transient() && attempt == 0 && (read_only || !frame_sent) => {
-                    continue
-                }
-                Err(e) => return Err(e),
+            conn.deadline.disarm();
+            let payload = outcome?.ok_or(StoreError::Closed)?;
+            self.pool.checkin(conn);
+            let resp: WireResponse = serde_json::from_slice(&payload)
+                .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
+            match resp {
+                WireResponse::Ok(rs) => Ok(rs),
+                WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
             }
-        }
-        Err(StoreError::Closed)
+        })
     }
 
     /// Execute with `?` parameter binding.
@@ -147,29 +159,21 @@ impl MiniSqlClient {
                     .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))
             })
             .collect::<Result<_>>()?;
-        for attempt in 0..2 {
-            let pooled = if attempt == 0 {
-                self.pool.lock().pop()
-            } else {
-                None
-            };
-            let mut conn = match pooled {
-                Some(c) => c,
-                None => Conn::open(self.addr, self.timeout)?,
-            };
-            // A batch is only safe to retry while no frame has reached the
-            // server: once a frame is flushed the server may have executed a
-            // prefix of the batch, and replaying it would run statements
-            // twice (wrong `delete_many` booleans, duplicate `BEGIN`s).
-            // `write_frame` flushes each frame, so a failure writing the
-            // first one means the server saw at most an incomplete frame and
-            // executed nothing — the one case a stale pooled connection can
-            // be retried on a fresh socket.
-            let mut frame_sent = false;
+        // A batch is only safe to retry while no frame has reached the
+        // server: once a frame is flushed the server may have executed a
+        // prefix of the batch, and replaying it would run statements twice
+        // (wrong `delete_many` booleans, duplicate `BEGIN`s). `write_frame`
+        // flushes each frame, so a failure writing the first one means the
+        // server saw at most an incomplete frame and executed nothing — the
+        // one case a stale pooled connection can be retried on a fresh
+        // socket.
+        self.resilience.run_guarded(|deadline, attempt, guard| {
+            let mut conn = self.checkout(attempt > 1)?;
+            conn.deadline.arm(*deadline);
             let outcome = (|| {
                 for frame in &frames {
                     write_frame(&mut conn.writer, frame)?;
-                    frame_sent = true;
+                    guard.poison();
                 }
                 let mut payloads = Vec::with_capacity(frames.len());
                 for _ in &frames {
@@ -180,30 +184,21 @@ impl MiniSqlClient {
                 }
                 Ok(payloads)
             })();
-            match outcome {
-                Ok(payloads) => {
-                    let mut pool = self.pool.lock();
-                    if pool.len() < self.max_idle {
-                        pool.push(conn);
-                    }
-                    drop(pool);
-                    return payloads
-                        .iter()
-                        .map(|p| {
-                            let resp: WireResponse = serde_json::from_slice(p)
-                                .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
-                            Ok(match resp {
-                                WireResponse::Ok(rs) => Ok(rs),
-                                WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
-                            })
-                        })
-                        .collect();
-                }
-                Err(e) if e.is_transient() && attempt == 0 && !frame_sent => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Err(StoreError::Closed)
+            conn.deadline.disarm();
+            let payloads = outcome?;
+            self.pool.checkin(conn);
+            payloads
+                .iter()
+                .map(|p| {
+                    let resp: WireResponse = serde_json::from_slice(p)
+                        .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
+                    Ok(match resp {
+                        WireResponse::Ok(rs) => Ok(rs),
+                        WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
+                    })
+                })
+                .collect()
+        })
     }
 }
 

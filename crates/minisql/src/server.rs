@@ -8,6 +8,7 @@
 use crate::engine::{Database, ResultSet};
 use crate::wal::SyncMode;
 use kvapi::{Result, StoreError};
+use netsim::{FaultAction, FaultInjector, FaultModel};
 use serde::{Deserialize, Serialize};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,6 +71,10 @@ pub struct SqlServerConfig {
     pub data_dir: Option<PathBuf>,
     /// Commit durability.
     pub sync: SyncMode,
+    /// Fault-injection model (chaos testing); defaults to no faults.
+    pub fault: FaultModel,
+    /// Seed for the fault injector's RNG (deterministic chaos runs).
+    pub fault_seed: u64,
 }
 
 impl Default for SqlServerConfig {
@@ -78,6 +83,8 @@ impl Default for SqlServerConfig {
             bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             data_dir: None,
             sync: SyncMode::Always,
+            fault: FaultModel::none(),
+            fault_seed: 0x5a1f,
         }
     }
 }
@@ -89,6 +96,7 @@ pub struct SqlServer {
     accept_thread: Option<JoinHandle<()>>,
     conns: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
     db: Arc<Database>,
+    fault: Arc<FaultInjector>,
 }
 
 impl SqlServer {
@@ -108,25 +116,32 @@ impl SqlServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<parking_lot::Mutex<Vec<TcpStream>>> =
             Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
 
         let accept_thread = {
             let shutdown = shutdown.clone();
             let conns = conns.clone();
             let db = db.clone();
+            let fault = fault.clone();
             Some(std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    if fault.refuse_connection() {
+                        drop(stream);
+                        continue;
+                    }
                     if let Ok(clone) = stream.try_clone() {
                         let mut g = conns.lock();
                         g.retain(|s| s.peer_addr().is_ok());
                         g.push(clone);
                     }
                     let db = db.clone();
+                    let fault = fault.clone();
                     std::thread::spawn(move || {
-                        let _ = serve(stream, db);
+                        let _ = serve(stream, db, fault);
                     });
                 }
             }))
@@ -138,6 +153,7 @@ impl SqlServer {
             accept_thread,
             conns,
             db,
+            fault,
         })
     }
 
@@ -149,6 +165,20 @@ impl SqlServer {
     /// Direct handle to the embedded database (in-process use, tests).
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// Live fault injector — swap the model mid-run with
+    /// [`FaultInjector::set_model`] for recovery tests.
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.fault
+    }
+
+    /// Sever every established connection while keeping the listener alive —
+    /// simulates a server-side idle disconnect for pool-staleness tests.
+    pub fn drop_connections(&self) {
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
     }
 
     /// Stop the server.
@@ -170,23 +200,54 @@ impl Drop for SqlServer {
     }
 }
 
-fn serve(stream: TcpStream, db: Arc<Database>) -> Result<()> {
+fn serve(stream: TcpStream, db: Arc<Database>, fault: Arc<FaultInjector>) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(payload) = read_frame(&mut reader)? {
-        let response = match serde_json::from_slice::<WireRequest>(&payload) {
+        // The statement always executes before the fault decision: an
+        // injected failure models "reply lost after the effect applied",
+        // which is exactly the case that makes blind replays dangerous.
+        let mut response = match serde_json::from_slice::<WireRequest>(&payload) {
             Err(e) => WireResponse::Err(format!("bad request: {e}")),
             Ok(req) => match db.execute(&req.sql) {
                 Ok(rs) => WireResponse::Ok(rs),
                 Err(e) => WireResponse::Err(e.to_string()),
             },
         };
+        let action = fault.reply_action();
+        match action {
+            FaultAction::Reset => return Ok(()),
+            FaultAction::ErrorReply => {
+                response = WireResponse::Err("injected fault".to_string());
+            }
+            FaultAction::Stall(d) => std::thread::sleep(d),
+            FaultAction::Deliver | FaultAction::Dribble(_) | FaultAction::PartialWrite => {}
+        }
         // A response that fails to serialize must not kill the connection:
         // degrade to an in-band error the client can surface.
         let bytes = serde_json::to_vec(&response)
             .unwrap_or_else(|_| br#"{"err":"response serialization failed"}"#.to_vec());
-        write_frame(&mut writer, &bytes)?;
+        match action {
+            FaultAction::Dribble(delay) => {
+                let mut wire = Vec::with_capacity(4 + bytes.len());
+                write_frame(&mut wire, &bytes)?;
+                for &b in wire.iter().take(netsim::fault::DRIBBLE_MAX_BYTES) {
+                    writer.write_all(&[b])?;
+                    writer.flush()?;
+                    std::thread::sleep(delay);
+                }
+                return Ok(());
+            }
+            FaultAction::PartialWrite => {
+                let mut wire = Vec::with_capacity(4 + bytes.len());
+                write_frame(&mut wire, &bytes)?;
+                writer.write_all(wire.get(..wire.len() / 2).unwrap_or_default())?;
+                writer.flush()?;
+                return Ok(());
+            }
+            _ => write_frame(&mut writer, &bytes)?,
+        }
     }
     Ok(())
 }

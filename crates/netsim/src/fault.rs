@@ -1,0 +1,334 @@
+//! The fault model: deterministic, seedable injection of the failure modes
+//! a WAN client actually sees.
+//!
+//! The latency model answers "how long does a healthy request take"; this
+//! module answers "what happens when the path is *not* healthy". Each
+//! simulated failure mode maps to a real-world cause:
+//!
+//! * **connection refusal** — the service is down or a load balancer sheds
+//!   the connection before any byte is exchanged;
+//! * **mid-stream reset** — a crashed worker, an idle-timeout firewall, or
+//!   a failing NAT drops the connection after the request was sent;
+//! * **stall** — the reply is delayed far beyond the latency model (GC
+//!   pause, overloaded server, black-holed packets awaiting TCP timeouts);
+//! * **byte-dribble** — the reply arrives one byte at a time (slow-loris
+//!   shaped degradation that defeats naive *per-socket-op* timeouts: every
+//!   individual read makes progress, yet the request never completes);
+//! * **partial write** — a prefix of the reply is delivered and the
+//!   connection dies, so framing-layer truncation handling is exercised;
+//! * **error rate** — the service answers, but with a server-side error.
+//!
+//! Like [`crate::LatencyModel`], every decision is drawn from a seeded RNG,
+//! so a chaos run is reproducible bit-for-bit for a fixed request order.
+//! The model inside a [`FaultInjector`] can be swapped at runtime
+//! ([`FaultInjector::set_model`]) which is how recovery tests clear an
+//! outage and assert the client converges.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Probabilities (each in `0.0..=1.0`) for the simulated failure modes of
+/// one network path / remote service.
+///
+/// Reply-side faults are evaluated in precedence order — error rate, reset,
+/// stall, dribble, partial write — and at most one fires per request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultModel {
+    /// Probability a new connection is refused (severed before any I/O).
+    pub refuse_prob: f64,
+    /// Probability the connection is reset after the request is read but
+    /// before any reply byte is written.
+    pub reset_prob: f64,
+    /// Probability the reply stalls for [`FaultModel::stall_ms`] first.
+    pub stall_prob: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: f64,
+    /// Probability the reply is dribbled out a byte at a time.
+    pub dribble_prob: f64,
+    /// Delay between dribbled bytes, in milliseconds.
+    pub dribble_delay_ms: f64,
+    /// Probability only a prefix of the reply is written before the
+    /// connection dies.
+    pub partial_write_prob: f64,
+    /// Probability the service answers with an in-band server error.
+    pub error_prob: f64,
+}
+
+impl FaultModel {
+    /// A model that never injects anything (the healthy-path default).
+    pub fn none() -> FaultModel {
+        FaultModel {
+            refuse_prob: 0.0,
+            reset_prob: 0.0,
+            stall_prob: 0.0,
+            stall_ms: 0.0,
+            dribble_prob: 0.0,
+            dribble_delay_ms: 0.0,
+            partial_write_prob: 0.0,
+            error_prob: 0.0,
+        }
+    }
+
+    /// A total outage: every connection is refused.
+    pub fn outage() -> FaultModel {
+        FaultModel {
+            refuse_prob: 1.0,
+            ..FaultModel::none()
+        }
+    }
+
+    /// The chaos-suite profile: `rate` of resets plus `rate` of stalls of
+    /// `stall_ms` each — the ISSUE's "seeded 5% reset + stall" shape is
+    /// `FaultModel::chaos(0.05, 2000.0)`.
+    pub fn chaos(rate: f64, stall_ms: f64) -> FaultModel {
+        FaultModel {
+            reset_prob: rate,
+            stall_prob: rate,
+            stall_ms,
+            ..FaultModel::none()
+        }
+    }
+
+    /// Does this model ever inject anything? (Lets servers skip the RNG on
+    /// the hot path when faults are disabled.)
+    pub fn is_none(&self) -> bool {
+        self.refuse_prob <= 0.0
+            && self.reset_prob <= 0.0
+            && self.stall_prob <= 0.0
+            && self.dribble_prob <= 0.0
+            && self.partial_write_prob <= 0.0
+            && self.error_prob <= 0.0
+    }
+
+    /// Deterministic injector over this model.
+    pub fn injector(&self, seed: u64) -> FaultInjector {
+        FaultInjector {
+            model: Mutex::new(self.clone()),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            injected: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+/// What the server should do to one reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Write the reply normally.
+    Deliver,
+    /// Answer with an in-band server error (HTTP 500 / `-ERR` / err frame).
+    ErrorReply,
+    /// Drop the connection without writing anything.
+    Reset,
+    /// Sleep this long, then write the reply normally (if the client is
+    /// still there).
+    Stall(Duration),
+    /// Write the reply one byte at a time with this delay between bytes,
+    /// then drop the connection after [`DRIBBLE_MAX_BYTES`] bytes.
+    Dribble(Duration),
+    /// Write roughly the first half of the reply bytes, then drop.
+    PartialWrite,
+}
+
+/// Dribbled replies are cut off after this many bytes so a fault never
+/// blocks a server thread indefinitely; the point is made long before.
+pub const DRIBBLE_MAX_BYTES: usize = 32;
+
+/// Draws fault decisions from a [`FaultModel`] using a seeded RNG.
+///
+/// Shared by all connection threads of a server (like
+/// [`crate::LatencySampler`]) so a run is reproducible for a fixed request
+/// order. The model can be swapped mid-run, which is how chaos tests start
+/// and clear outages.
+pub struct FaultInjector {
+    model: Mutex<FaultModel>,
+    rng: Mutex<SmallRng>,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Replace the model (e.g. clear an outage). Takes effect for the next
+    /// decision; in-flight stalls are not interrupted.
+    pub fn set_model(&self, model: FaultModel) {
+        *lock(&self.model) = model;
+    }
+
+    /// Current model (cloned).
+    pub fn model(&self) -> FaultModel {
+        lock(&self.model).clone()
+    }
+
+    /// Total faults injected so far (refusals + non-`Deliver` actions).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Should this new connection be refused (severed before any I/O)?
+    pub fn refuse_connection(&self) -> bool {
+        let p = lock(&self.model).refuse_prob;
+        if p <= 0.0 {
+            return false;
+        }
+        let refuse = lock(&self.rng).gen_bool(p.min(1.0));
+        if refuse {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        refuse
+    }
+
+    /// Decide the fate of one reply. At most one fault fires, evaluated in
+    /// precedence order: error, reset, stall, dribble, partial write.
+    pub fn reply_action(&self) -> FaultAction {
+        let model = lock(&self.model).clone();
+        if model.is_none() {
+            return FaultAction::Deliver;
+        }
+        let action = {
+            let mut rng = lock(&self.rng);
+            if model.error_prob > 0.0 && rng.gen_bool(model.error_prob.min(1.0)) {
+                FaultAction::ErrorReply
+            } else if model.reset_prob > 0.0 && rng.gen_bool(model.reset_prob.min(1.0)) {
+                FaultAction::Reset
+            } else if model.stall_prob > 0.0 && rng.gen_bool(model.stall_prob.min(1.0)) {
+                FaultAction::Stall(Duration::from_secs_f64(model.stall_ms.max(0.0) / 1000.0))
+            } else if model.dribble_prob > 0.0 && rng.gen_bool(model.dribble_prob.min(1.0)) {
+                FaultAction::Dribble(Duration::from_secs_f64(
+                    model.dribble_delay_ms.max(0.0) / 1000.0,
+                ))
+            } else if model.partial_write_prob > 0.0
+                && rng.gen_bool(model.partial_write_prob.min(1.0))
+            {
+                FaultAction::PartialWrite
+            } else {
+                FaultAction::Deliver
+            }
+        };
+        if action != FaultAction::Deliver {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+}
+
+/// Poison-proof lock: fault decisions must keep flowing even if a panicking
+/// connection thread died while holding the mutex.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_model_never_fires() {
+        let inj = FaultModel::none().injector(1);
+        assert!(!inj.refuse_connection());
+        for _ in 0..100 {
+            assert_eq!(inj.reply_action(), FaultAction::Deliver);
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn outage_refuses_everything() {
+        let inj = FaultModel::outage().injector(2);
+        for _ in 0..20 {
+            assert!(inj.refuse_connection());
+        }
+        assert_eq!(inj.injected(), 20);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let m = FaultModel {
+            reset_prob: 0.2,
+            stall_prob: 0.2,
+            stall_ms: 10.0,
+            error_prob: 0.1,
+            ..FaultModel::none()
+        };
+        let a: Vec<FaultAction> = {
+            let inj = m.injector(42);
+            (0..64).map(|_| inj.reply_action()).collect()
+        };
+        let b: Vec<FaultAction> = {
+            let inj = m.injector(42);
+            (0..64).map(|_| inj.reply_action()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<FaultAction> = {
+            let inj = m.injector(43);
+            (0..64).map(|_| inj.reply_action()).collect()
+        };
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn rates_are_approximately_honored() {
+        let inj = FaultModel::chaos(0.25, 5.0).injector(7);
+        let n = 4000;
+        let mut resets = 0;
+        let mut stalls = 0;
+        for _ in 0..n {
+            match inj.reply_action() {
+                FaultAction::Reset => resets += 1,
+                FaultAction::Stall(d) => {
+                    assert_eq!(d, Duration::from_millis(5));
+                    stalls += 1;
+                }
+                FaultAction::Deliver => {}
+                other => panic!("chaos model produced {other:?}"),
+            }
+        }
+        let reset_frac = resets as f64 / n as f64;
+        // Stalls are drawn after resets miss, so their observed rate is
+        // 0.25 of the remaining 0.75.
+        let stall_frac = stalls as f64 / n as f64;
+        assert!((reset_frac - 0.25).abs() < 0.05, "reset rate {reset_frac}");
+        assert!(
+            (stall_frac - 0.1875).abs() < 0.05,
+            "stall rate {stall_frac}"
+        );
+        assert_eq!(inj.injected(), resets + stalls);
+    }
+
+    #[test]
+    fn model_swap_takes_effect_immediately() {
+        let inj = FaultModel::outage().injector(3);
+        assert!(inj.refuse_connection());
+        inj.set_model(FaultModel::none());
+        assert!(!inj.refuse_connection());
+        assert_eq!(inj.reply_action(), FaultAction::Deliver);
+        inj.set_model(FaultModel {
+            error_prob: 1.0,
+            ..FaultModel::none()
+        });
+        assert_eq!(inj.reply_action(), FaultAction::ErrorReply);
+    }
+
+    #[test]
+    fn at_most_one_fault_per_reply() {
+        // With every probability at 1.0, precedence picks exactly one.
+        let m = FaultModel {
+            refuse_prob: 0.0,
+            reset_prob: 1.0,
+            stall_prob: 1.0,
+            stall_ms: 1.0,
+            dribble_prob: 1.0,
+            dribble_delay_ms: 1.0,
+            partial_write_prob: 1.0,
+            error_prob: 1.0,
+        };
+        let inj = m.injector(9);
+        assert_eq!(inj.reply_action(), FaultAction::ErrorReply);
+    }
+}

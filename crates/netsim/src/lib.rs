@@ -17,8 +17,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod model;
 pub mod profiles;
 
+pub use fault::{FaultAction, FaultInjector, FaultModel};
 pub use model::{LatencyModel, LatencySampler};
 pub use profiles::Profile;

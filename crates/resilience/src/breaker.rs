@@ -1,0 +1,226 @@
+//! A per-endpoint circuit breaker.
+//!
+//! When an endpoint is down, every attempt costs a full connect-or-timeout
+//! round trip and a retry burst on top. The breaker converts that sustained
+//! failure into fast local rejection: after `failure_threshold` consecutive
+//! transport failures it *opens* and sheds calls instantly with
+//! [`StoreError::Unavailable`]; after `cooldown` it goes *half-open* and
+//! admits exactly one probe. A successful probe closes the breaker, a
+//! failed one re-opens it for another cooldown.
+
+use kvapi::StoreError;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive transport failures before the breaker opens.
+    pub failure_threshold: u32,
+    /// How long to shed calls before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Observable breaker state. The numeric mapping (`as_gauge`) is what the
+/// obs gauge `resilience_breaker_state` exports: 0 closed, 1 open, 2
+/// half-open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+/// The breaker itself. One instance per endpoint, shared by every request
+/// to that endpoint.
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            policy,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        lock(&self.inner).state
+    }
+
+    /// Gate one attempt. `Ok` admits it (and, when half-open, claims the
+    /// single probe slot — the caller *must* then report `on_success` or
+    /// `on_failure`); `Err(Unavailable)` sheds it without touching the
+    /// network.
+    pub fn admit(&self) -> Result<(), StoreError> {
+        let mut inner = lock(&self.inner);
+        match inner.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .map(|at| at.elapsed() >= self.policy.cooldown)
+                    .unwrap_or(true);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    Ok(())
+                } else {
+                    Err(StoreError::Unavailable("circuit breaker open".into()))
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    Err(StoreError::Unavailable(
+                        "circuit breaker half-open, probe in flight".into(),
+                    ))
+                } else {
+                    inner.probe_in_flight = true;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Report a successful (or healthily-rejected) attempt.
+    pub fn on_success(&self) {
+        let mut inner = lock(&self.inner);
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+        inner.probe_in_flight = false;
+    }
+
+    /// Report a transport failure.
+    pub fn on_failure(&self) {
+        let mut inner = lock(&self.inner);
+        inner.probe_in_flight = false;
+        match inner.state {
+            BreakerState::HalfOpen => {
+                // Failed probe: straight back to open for another cooldown.
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+            }
+            BreakerState::Closed => {
+                inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+                if inner.consecutive_failures >= self.policy.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(30),
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_and_sheds() {
+        let b = quick();
+        for _ in 0..3 {
+            assert!(b.admit().is_ok());
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        match b.admit() {
+            Err(StoreError::Unavailable(_)) => {}
+            other => panic!("open breaker must shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let b = quick();
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = quick();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.admit().is_ok(), "cooled-down breaker admits a probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(
+            b.admit().is_err(),
+            "second caller is shed while the probe is in flight"
+        );
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = quick();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.admit().is_ok());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.admit().is_err(), "re-opened breaker sheds again");
+    }
+
+    #[test]
+    fn gauge_mapping_is_stable() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0);
+        assert_eq!(BreakerState::Open.as_gauge(), 1);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! Total per-request budgets, and a stream wrapper that enforces them at
+//! every socket operation.
+//!
+//! Per-socket-op timeouts bound each *syscall*, not the *request*: a peer
+//! that dribbles one byte per `read` makes progress on every call and can
+//! hold a request hostage for `ops × timeout` — effectively forever. A
+//! [`Deadline`] is the fix: one budget fixed at request start, and every
+//! subsequent connect/read/write is given only the time that remains.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A fixed point in time by which the whole request must finish.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    end: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            end: Instant::now() + budget,
+        }
+    }
+
+    /// Time left, or `None` once the deadline has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        let now = Instant::now();
+        if now >= self.end {
+            None
+        } else {
+            Some(self.end - now)
+        }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        self.remaining().is_none()
+    }
+}
+
+/// The deadline cell shared between a client and the [`DeadlineStream`]s of
+/// its pooled connections.
+///
+/// Connections outlive requests, so the stream cannot own the deadline: the
+/// client *arms* the shared cell at the start of each request and every
+/// socket op on every connection it touches honours it. While disarmed
+/// (between requests) the stream falls back to its per-op timeout.
+#[derive(Clone, Default)]
+pub struct SharedDeadline(Arc<Mutex<Option<Deadline>>>);
+
+impl SharedDeadline {
+    pub fn new() -> SharedDeadline {
+        SharedDeadline::default()
+    }
+
+    /// Arm for the current request.
+    pub fn arm(&self, deadline: Deadline) {
+        *lock(&self.0) = Some(deadline);
+    }
+
+    /// Disarm after the request completes.
+    pub fn disarm(&self) {
+        *lock(&self.0) = None;
+    }
+
+    /// Budget for the next socket op: `Ok(None)` when disarmed, the
+    /// remaining time when armed, or `TimedOut` when armed and expired.
+    fn op_budget(&self) -> io::Result<Option<Duration>> {
+        match *lock(&self.0) {
+            None => Ok(None),
+            Some(d) => match d.remaining() {
+                Some(rem) => Ok(Some(rem)),
+                None => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                )),
+            },
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A `TcpStream` whose every read/write is bounded by the remaining request
+/// budget in a [`SharedDeadline`].
+///
+/// Before each syscall the socket timeout is re-armed from what is left of
+/// the deadline, so no matter how slowly the peer dribbles bytes the
+/// request as a whole cannot exceed its budget. When no deadline is armed,
+/// `fallback` (a per-op timeout) applies.
+pub struct DeadlineStream {
+    inner: TcpStream,
+    deadline: SharedDeadline,
+    fallback: Duration,
+}
+
+/// Socket timeouts must be non-zero (`set_read_timeout(Some(ZERO))` is an
+/// error), so an almost-spent budget is clamped up to this floor; the
+/// deadline check on the *next* op still catches true expiry.
+const MIN_OP_TIMEOUT: Duration = Duration::from_millis(1);
+
+impl DeadlineStream {
+    /// Connect within `min(connect_timeout, remaining deadline budget)` and
+    /// wrap the stream. `TCP_NODELAY` is set: every protocol here is
+    /// request/response, where Nagle only adds latency.
+    pub fn connect(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        fallback: Duration,
+        deadline: SharedDeadline,
+    ) -> io::Result<DeadlineStream> {
+        let budget = match deadline.op_budget()? {
+            Some(rem) => connect_timeout.min(rem).max(MIN_OP_TIMEOUT),
+            None => connect_timeout,
+        };
+        let stream = TcpStream::connect_timeout(&addr, budget)?;
+        stream.set_nodelay(true)?;
+        Ok(DeadlineStream {
+            inner: stream,
+            deadline,
+            fallback,
+        })
+    }
+
+    /// Clone the stream handle (shared socket, shared deadline) — the usual
+    /// split into a buffered reader half and writer half.
+    pub fn try_clone(&self) -> io::Result<DeadlineStream> {
+        Ok(DeadlineStream {
+            inner: self.inner.try_clone()?,
+            deadline: self.deadline.clone(),
+            fallback: self.fallback,
+        })
+    }
+
+    /// Re-arm the socket timeouts for the next op from the shared deadline
+    /// (or the fallback). Fails with `TimedOut` once the deadline passed.
+    fn arm_socket(&self) -> io::Result<()> {
+        let budget = match self.deadline.op_budget()? {
+            Some(rem) => rem.max(MIN_OP_TIMEOUT),
+            None => self.fallback,
+        };
+        self.inner.set_read_timeout(Some(budget))?;
+        self.inner.set_write_timeout(Some(budget))?;
+        Ok(())
+    }
+
+    /// Normalize the platform's "socket timeout" error kinds (`WouldBlock`
+    /// on Unix, `TimedOut` on Windows) so callers see one kind.
+    fn normalize(e: io::Error) -> io::Error {
+        if e.kind() == io::ErrorKind::WouldBlock {
+            io::Error::new(io::ErrorKind::TimedOut, "socket operation timed out")
+        } else {
+            e
+        }
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.arm_socket()?;
+        self.inner.read(buf).map_err(Self::normalize)
+    }
+}
+
+impl Write for DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.arm_socket()?;
+        self.inner.write(buf).map_err(Self::normalize)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush().map_err(Self::normalize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    #[test]
+    fn deadline_counts_down_and_expires() {
+        let d = Deadline::within(Duration::from_millis(40));
+        assert!(!d.expired());
+        let rem = d.remaining().expect("fresh deadline has budget");
+        assert!(rem <= Duration::from_millis(40));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(d.expired());
+        assert!(d.remaining().is_none());
+    }
+
+    #[test]
+    fn shared_deadline_arms_and_disarms() {
+        let sd = SharedDeadline::new();
+        assert!(sd.op_budget().expect("disarmed is ok").is_none());
+        sd.arm(Deadline::within(Duration::from_secs(5)));
+        assert!(sd.op_budget().expect("armed with budget").is_some());
+        sd.arm(Deadline::within(Duration::ZERO));
+        assert_eq!(
+            sd.op_budget().expect_err("expired").kind(),
+            io::ErrorKind::TimedOut
+        );
+        sd.disarm();
+        assert!(sd.op_budget().expect("disarmed again").is_none());
+    }
+
+    /// The slow-loris scenario: a server that sends one byte then goes
+    /// silent must not hold a read beyond the armed deadline, even though
+    /// the first byte "made progress".
+    #[test]
+    fn dribbling_peer_cannot_outlive_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            s.write_all(b"x").expect("dribble one byte");
+            // Hold the connection open, silently, long past the deadline.
+            std::thread::sleep(Duration::from_millis(400));
+        });
+
+        let sd = SharedDeadline::new();
+        sd.arm(Deadline::within(Duration::from_millis(80)));
+        let stream =
+            DeadlineStream::connect(addr, Duration::from_secs(1), Duration::from_secs(1), sd)
+                .expect("connect");
+        let started = Instant::now();
+        let mut line = String::new();
+        let err = BufReader::new(stream)
+            .read_line(&mut line)
+            .expect_err("read past the dribbled byte must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_millis(300),
+            "deadline bounded the read, not the peer"
+        );
+        server.join().expect("server thread");
+    }
+}

@@ -1,0 +1,421 @@
+//! # resilience — deadlines, backoff, circuit breaking
+//!
+//! The native store clients originally handled failure with one blind
+//! immediate retry on a fresh connection, bounded only by per-socket-op
+//! timeouts (and wildly different ones: 120 s for cloudstore, 10 s for
+//! miniredis, 30 s for minisql). This crate replaces all of that with one
+//! policy-driven failure budget shared by every client:
+//!
+//! * [`Deadline`] / [`DeadlineStream`] — a total per-request budget threaded
+//!   through connect, read and write, immune to slow-loris byte dribble;
+//! * [`RetryPolicy`] — bounded exponential backoff with decorrelated
+//!   jitter, applied only to transient failures of idempotent operations;
+//! * [`CircuitBreaker`] — per-endpoint fast-fail once an endpoint is
+//!   provably down, with a half-open probe to detect recovery;
+//! * [`IdlePool`] — connection reuse that ages out idle sockets instead of
+//!   handing callers a connection the server already closed.
+//!
+//! [`Resilience`] bundles these behind two entry points: [`Resilience::
+//! run_idempotent`] for operations safe to replay, and
+//! [`Resilience::run_once`] for operations that must execute at most once
+//! (these still get the deadline and the breaker — just never a retry,
+//! composing with the `exec_once` / `frame_sent` replay guards downstream).
+
+#![forbid(unsafe_code)]
+
+pub mod breaker;
+pub mod deadline;
+pub mod pool;
+pub mod retry;
+
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+pub use deadline::{Deadline, DeadlineStream, SharedDeadline};
+pub use pool::IdlePool;
+pub use retry::RetryPolicy;
+
+use kvapi::{Result, StoreError};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One failure budget for every store client.
+///
+/// The previous per-client socket timeouts (cloudstore 120 s, miniredis
+/// 10 s, minisql 30 s) made cross-store workload sweeps incomparable: the
+/// same outage cost each store a different amount of wall clock. The
+/// default here — a 30 s total request budget — is what every native
+/// client now inherits.
+#[derive(Clone, Debug)]
+pub struct ResiliencePolicy {
+    /// Total wall-clock budget for one logical request, covering connect,
+    /// all socket I/O, and any backoff sleeps and retries within it.
+    pub request_timeout: Duration,
+    /// Per-attempt cap on TCP connect (further clamped by the deadline).
+    pub connect_timeout: Duration,
+    /// Retry schedule for transient failures of idempotent operations.
+    pub retry: RetryPolicy,
+    /// Per-endpoint circuit breaker tuning.
+    pub breaker: BreakerPolicy,
+    /// Max pooled idle connections per endpoint.
+    pub max_idle: usize,
+    /// Idle age beyond which a pooled connection is presumed dead.
+    pub max_idle_age: Duration,
+    /// Seed for backoff jitter (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> ResiliencePolicy {
+        ResiliencePolicy {
+            request_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            max_idle: 16,
+            max_idle_age: Duration::from_secs(60),
+            seed: 0x5e11_1e5e,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// A tight-budget profile for tests: short deadline, fast backoff,
+    /// quick breaker cooldown.
+    pub fn test_profile() -> ResiliencePolicy {
+        ResiliencePolicy {
+            request_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(500),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(50),
+            },
+            breaker: BreakerPolicy {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(100),
+            },
+            max_idle: 4,
+            max_idle_age: Duration::from_secs(10),
+            seed: 0x7e57,
+        }
+    }
+}
+
+/// Policy plus live state (breaker, jitter RNG, counters) for one endpoint.
+///
+/// Clients hold one `Resilience` per endpoint and route every request
+/// through [`run_idempotent`](Self::run_idempotent) or
+/// [`run_once`](Self::run_once).
+pub struct Resilience {
+    policy: ResiliencePolicy,
+    breaker: CircuitBreaker,
+    rng: Mutex<SmallRng>,
+    retries: AtomicU64,
+    breaker_rejections: AtomicU64,
+    deadline_expiries: AtomicU64,
+}
+
+impl Resilience {
+    pub fn new(policy: ResiliencePolicy) -> Resilience {
+        let breaker = CircuitBreaker::new(policy.breaker.clone());
+        let rng = Mutex::new(SmallRng::seed_from_u64(policy.seed));
+        Resilience {
+            policy,
+            breaker,
+            rng,
+            retries: AtomicU64::new(0),
+            breaker_rejections: AtomicU64::new(0),
+            deadline_expiries: AtomicU64::new(0),
+        }
+    }
+
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Retry attempts performed (beyond first attempts) since creation.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Calls shed by the circuit breaker without touching the network.
+    pub fn breaker_rejections(&self) -> u64 {
+        self.breaker_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Requests that exhausted their total deadline.
+    pub fn deadline_expiries(&self) -> u64 {
+        self.deadline_expiries.load(Ordering::Relaxed)
+    }
+
+    /// Run an idempotent operation: breaker-gated, deadline-bounded, and
+    /// retried with backoff on transient failure.
+    ///
+    /// `f` is called with the request deadline (arm it on the connection's
+    /// [`SharedDeadline`]) and the 1-based attempt number.
+    pub fn run_idempotent<T>(&self, mut f: impl FnMut(&Deadline, u32) -> Result<T>) -> Result<T> {
+        self.run(true, move |deadline, attempt, _guard| f(deadline, attempt))
+    }
+
+    /// Run a non-idempotent operation: breaker-gated and deadline-bounded,
+    /// but **never retried** — at-most-once is the caller's contract.
+    pub fn run_once<T>(&self, f: impl FnOnce(&Deadline) -> Result<T>) -> Result<T> {
+        let mut f = Some(f);
+        self.run(false, |deadline, _attempt, _guard| {
+            // Only reachable once: with idempotent=false, run() never
+            // re-invokes after a failure.
+            match f.take() {
+                Some(f) => f(deadline),
+                None => Err(StoreError::Other("run_once invoked twice".into())),
+            }
+        })
+    }
+
+    /// Run an operation whose replay safety is decided *during* the attempt:
+    /// retried like [`run_idempotent`](Self::run_idempotent) until the
+    /// closure calls [`ReplayGuard::poison`], after which a failure is final.
+    ///
+    /// This is the `frame_sent` contract: a statement that may already have
+    /// reached (and been executed by) the server must not be replayed, but a
+    /// failure *before* the request left the client is always safe to retry.
+    pub fn run_guarded<T>(
+        &self,
+        f: impl FnMut(&Deadline, u32, &ReplayGuard) -> Result<T>,
+    ) -> Result<T> {
+        self.run(true, f)
+    }
+
+    fn run<T>(
+        &self,
+        idempotent: bool,
+        mut f: impl FnMut(&Deadline, u32, &ReplayGuard) -> Result<T>,
+    ) -> Result<T> {
+        let deadline = Deadline::within(self.policy.request_timeout);
+        let guard = ReplayGuard::default();
+        let mut prev_sleep = self.policy.retry.base;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if let Err(e) = self.breaker.admit() {
+                self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+            let err = match f(&deadline, attempt, &guard) {
+                Ok(v) => {
+                    self.breaker.on_success();
+                    return Ok(v);
+                }
+                Err(e) => e,
+            };
+            // Only transport-level failures count against the endpoint's
+            // health: a server that answers — even with a rejection or a
+            // malformed reply — is reachable.
+            if err.is_transient() {
+                self.breaker.on_failure();
+            } else {
+                self.breaker.on_success();
+            }
+            if deadline.expired() {
+                self.deadline_expiries.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Timeout);
+            }
+            let out_of_attempts = attempt >= self.policy.retry.max_attempts.max(1);
+            if !idempotent || guard.poisoned() || !err.is_transient() || out_of_attempts {
+                return Err(err);
+            }
+            let sleep = {
+                let mut rng = lock(&self.rng);
+                self.policy.retry.backoff(prev_sleep, &mut rng)
+            };
+            prev_sleep = sleep;
+            match deadline.remaining() {
+                Some(remaining) => std::thread::sleep(sleep.min(remaining)),
+                None => {
+                    self.deadline_expiries.fetch_add(1, Ordering::Relaxed);
+                    return Err(StoreError::Timeout);
+                }
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publish retry/breaker/deadline counters and the breaker state gauge
+    /// to `reg`, labelled by endpoint.
+    pub fn publish(&self, reg: &obs::Registry, endpoint: &str) {
+        let labels = &[("endpoint", endpoint)];
+        reg.counter("resilience_retries_total", labels)
+            .set(self.retries());
+        reg.counter("resilience_breaker_rejections_total", labels)
+            .set(self.breaker_rejections());
+        reg.counter("resilience_deadline_expiries_total", labels)
+            .set(self.deadline_expiries());
+        reg.gauge("resilience_breaker_state", labels)
+            .set(self.breaker.state().as_gauge());
+    }
+}
+
+/// Replay-safety latch handed to [`Resilience::run_guarded`] closures.
+///
+/// Starts clean; the closure poisons it the moment the request may have
+/// produced a server-side effect (e.g. the frame was flushed to the wire).
+/// Once poisoned, the surrounding retry loop treats every failure as final.
+#[derive(Default)]
+pub struct ReplayGuard {
+    poisoned: std::cell::Cell<bool>,
+}
+
+impl ReplayGuard {
+    /// Mark the in-flight request as possibly applied — no replay after this.
+    pub fn poison(&self) {
+        self.poisoned.set(true);
+    }
+
+    /// Has replay been ruled out?
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.get()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn res() -> Resilience {
+        Resilience::new(ResiliencePolicy::test_profile())
+    }
+
+    #[test]
+    fn idempotent_retries_transient_failures() {
+        let r = res();
+        let calls = AtomicU32::new(0);
+        let out = r.run_idempotent(|_d, attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < 3 {
+                Err(StoreError::Closed)
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.expect("third attempt succeeds"), 3);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(r.retries(), 2);
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let r = res();
+        let calls = AtomicU32::new(0);
+        let out: Result<()> = r.run_idempotent(|_d, _a| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(StoreError::Protocol("bad frame".into()))
+        });
+        assert!(matches!(out, Err(StoreError::Protocol(_))));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(r.retries(), 0);
+    }
+
+    #[test]
+    fn run_once_never_replays() {
+        let r = res();
+        let calls = AtomicU32::new(0);
+        let out: Result<()> = r.run_once(|_d| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(StoreError::Closed)
+        });
+        assert!(matches!(out, Err(StoreError::Closed)));
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "at most once");
+    }
+
+    #[test]
+    fn guarded_run_retries_until_poisoned() {
+        // Attempt 1 fails before "sending" → retried. Attempt 2 poisons the
+        // guard (frame on the wire) then fails → final, no third attempt.
+        let r = res();
+        let calls = AtomicU32::new(0);
+        let out: Result<()> = r.run_guarded(|_d, attempt, guard| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if attempt >= 2 {
+                guard.poison();
+            }
+            Err(StoreError::Closed)
+        });
+        assert!(matches!(out, Err(StoreError::Closed)));
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "no replay once poisoned");
+        assert_eq!(r.retries(), 1);
+    }
+
+    #[test]
+    fn breaker_opens_then_sheds_then_recovers() {
+        let r = res();
+        for _ in 0..3 {
+            let _: Result<()> = r.run_once(|_d| Err(StoreError::Closed));
+        }
+        assert_eq!(r.breaker().state(), BreakerState::Open);
+        let shed: Result<()> = r.run_once(|_d| Ok(()));
+        assert!(
+            matches!(shed, Err(StoreError::Unavailable(_))),
+            "open breaker sheds without calling f"
+        );
+        assert_eq!(r.breaker_rejections(), 1);
+        std::thread::sleep(Duration::from_millis(120));
+        let probed = r.run_once(|_d| Ok(42));
+        assert_eq!(probed.expect("half-open probe admitted"), 42);
+        assert_eq!(r.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn rejections_by_server_do_not_trip_the_breaker() {
+        let r = res();
+        for _ in 0..10 {
+            let _: Result<()> = r.run_once(|_d| Err(StoreError::Rejected("no".into())));
+        }
+        assert_eq!(r.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn exhausted_deadline_reports_timeout() {
+        let mut policy = ResiliencePolicy::test_profile();
+        policy.request_timeout = Duration::from_millis(30);
+        policy.retry.max_attempts = 100;
+        let r = Resilience::new(policy);
+        let started = std::time::Instant::now();
+        let out: Result<()> = r.run_idempotent(|_d, _a| {
+            std::thread::sleep(Duration::from_millis(10));
+            Err(StoreError::Closed)
+        });
+        assert!(matches!(out, Err(StoreError::Timeout)));
+        assert!(r.deadline_expiries() >= 1);
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "deadline bounds the whole retry loop"
+        );
+    }
+
+    #[test]
+    fn publish_exports_counters_and_state() {
+        let r = res();
+        let _: Result<()> = r.run_idempotent(|_d, a| {
+            if a < 2 {
+                Err(StoreError::Closed)
+            } else {
+                Ok(())
+            }
+        });
+        let reg = obs::Registry::new();
+        r.publish(&reg, "store-a");
+        let text = reg.render_prometheus();
+        assert!(text.contains("resilience_retries_total{endpoint=\"store-a\"} 1"));
+        assert!(text.contains("resilience_breaker_state{endpoint=\"store-a\"} 0"));
+    }
+}

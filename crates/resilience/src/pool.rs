@@ -1,0 +1,142 @@
+//! Idle-aware connection pooling.
+//!
+//! Servers, load balancers and NATs silently drop connections that sit idle
+//! past their timeout. A pool that hands such a connection out anyway
+//! condemns the first request to a doomed round trip (write succeeds into
+//! the kernel buffer, read hits EOF) before the retry path opens a fresh
+//! one. [`IdlePool`] ages entries at checkout instead: anything idle longer
+//! than `max_idle_age` is dropped on the floor, so callers only ever see
+//! connections young enough to plausibly still be open.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Idle<T> {
+    conn: T,
+    since: Instant,
+}
+
+/// A LIFO pool of at most `max_idle` connections, each discarded once it
+/// has sat unused for `max_idle_age`.
+pub struct IdlePool<T> {
+    conns: Mutex<Vec<Idle<T>>>,
+    max_idle: usize,
+    max_idle_age: Duration,
+    aged_out: AtomicU64,
+}
+
+impl<T> IdlePool<T> {
+    pub fn new(max_idle: usize, max_idle_age: Duration) -> IdlePool<T> {
+        IdlePool {
+            conns: Mutex::new(Vec::new()),
+            max_idle,
+            max_idle_age,
+            aged_out: AtomicU64::new(0),
+        }
+    }
+
+    /// Most recently used connection that is still young enough, if any.
+    ///
+    /// LIFO order means the entry at the back is the freshest; once it is
+    /// over age, everything beneath it is older still, so the whole pool is
+    /// drained in one pass.
+    pub fn checkout(&self) -> Option<T> {
+        let mut conns = lock(&self.conns);
+        let now = Instant::now();
+        while let Some(idle) = conns.pop() {
+            if now.duration_since(idle.since) <= self.max_idle_age {
+                return Some(idle.conn);
+            }
+            let stale = conns.len() + 1;
+            self.aged_out.fetch_add(stale as u64, Ordering::Relaxed);
+            conns.clear();
+        }
+        None
+    }
+
+    /// Return a healthy connection; dropped instead if the pool is full.
+    pub fn checkin(&self, conn: T) {
+        let mut conns = lock(&self.conns);
+        if conns.len() < self.max_idle {
+            conns.push(Idle {
+                conn,
+                since: Instant::now(),
+            });
+        }
+    }
+
+    /// Drop everything (e.g. after the endpoint was declared dead).
+    pub fn clear(&self) {
+        lock(&self.conns).clear();
+    }
+
+    /// Currently pooled connections.
+    pub fn len(&self) -> usize {
+        lock(&self.conns).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Connections discarded for exceeding `max_idle_age`.
+    pub fn aged_out(&self) -> u64 {
+        self.aged_out.load(Ordering::Relaxed)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_reuse_and_capacity() {
+        let pool = IdlePool::new(2, Duration::from_secs(60));
+        pool.checkin(1);
+        pool.checkin(2);
+        pool.checkin(3); // over capacity, dropped
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.checkout(), Some(2), "most recently used first");
+        assert_eq!(pool.checkout(), Some(1));
+        assert_eq!(pool.checkout(), None);
+    }
+
+    #[test]
+    fn aged_connections_are_dropped_at_checkout() {
+        let pool = IdlePool::new(8, Duration::from_millis(20));
+        pool.checkin("old");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(
+            pool.checkout(),
+            None,
+            "aged-out conn must not be handed out"
+        );
+        assert_eq!(pool.aged_out(), 1);
+        pool.checkin("fresh");
+        assert_eq!(pool.checkout(), Some("fresh"));
+    }
+
+    #[test]
+    fn one_stale_head_drains_the_older_tail() {
+        let pool = IdlePool::new(8, Duration::from_millis(20));
+        pool.checkin("oldest");
+        pool.checkin("old");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(pool.checkout(), None);
+        assert_eq!(pool.aged_out(), 2, "both entries counted");
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let pool = IdlePool::new(8, Duration::from_secs(60));
+        pool.checkin(1);
+        pool.clear();
+        assert_eq!(pool.checkout(), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Bounded exponential backoff with decorrelated jitter.
+//!
+//! Synchronized retries are how one hiccup becomes a retry storm: if every
+//! client sleeps the same deterministic `base * 2^n`, they all return at
+//! once. Decorrelated jitter (the AWS Architecture Blog variant) draws each
+//! sleep uniformly from `[base, prev * 3]` and clamps to a cap, spreading
+//! retries in time while still growing the envelope exponentially.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// How many times to try, and how long to sleep between tries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` means never retry).
+    pub max_attempts: u32,
+    /// Lower bound and growth seed for backoff sleeps.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Never retry; the single attempt still gets deadline + breaker.
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// Next backoff sleep: `min(cap, uniform(base, prev * 3))`, where
+    /// `prev` is what this function returned last time (pass `base` before
+    /// the first retry).
+    pub fn backoff(&self, prev: Duration, rng: &mut SmallRng) -> Duration {
+        let base = self.base.min(self.cap);
+        let hi = prev
+            .checked_mul(3)
+            .unwrap_or(self.cap)
+            .clamp(base, self.cap.max(base));
+        if hi <= base {
+            return base;
+        }
+        let span = (hi - base).as_nanos() as u64;
+        base + Duration::from_nanos(rng.gen_range(0..=span))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 25 ms base, 1 s cap — two quick retries that stay
+    /// well inside the default 30 s request budget.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_stays_within_base_and_cap() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut prev = p.base;
+        for _ in 0..200 {
+            let s = p.backoff(prev, &mut rng);
+            assert!(s >= p.base, "sleep {s:?} below base");
+            assert!(s <= p.cap, "sleep {s:?} above cap");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn backoff_is_jittered_not_constant() {
+        let p = RetryPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let sleeps: Vec<Duration> = (0..16).map(|_| p.backoff(p.base, &mut rng)).collect();
+        let distinct: std::collections::HashSet<_> = sleeps.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "decorrelated jitter must vary: {sleeps:?}"
+        );
+    }
+
+    #[test]
+    fn no_retry_is_single_attempt() {
+        let p = RetryPolicy::no_retry();
+        assert_eq!(p.max_attempts, 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(p.backoff(p.base, &mut rng), Duration::ZERO);
+    }
+}

@@ -11,6 +11,7 @@ use crate::future::ListenableFuture;
 use crate::pool::ThreadPool;
 use bytes::Bytes;
 use kvapi::{KeyValue, Result};
+use resilience::{Resilience, ResiliencePolicy};
 use std::sync::Arc;
 
 /// Non-blocking handle to a store.
@@ -18,12 +19,36 @@ use std::sync::Arc;
 pub struct AsyncKeyValue {
     store: Arc<dyn KeyValue>,
     pool: Arc<ThreadPool>,
+    /// Optional wrapper-level failure budget: breaker + retry for reads,
+    /// breaker-gated at-most-once for writes. The native clients carry
+    /// their own [`Resilience`] internally; this layer covers stores that
+    /// don't (in-process maps, third-party adapters).
+    resilience: Option<Arc<Resilience>>,
 }
 
 impl AsyncKeyValue {
     /// Wrap `store`, executing its operations on `pool`.
     pub fn new(store: Arc<dyn KeyValue>, pool: Arc<ThreadPool>) -> AsyncKeyValue {
-        AsyncKeyValue { store, pool }
+        AsyncKeyValue {
+            store,
+            pool,
+            resilience: None,
+        }
+    }
+
+    /// Wrap `store` and run every submitted operation under `policy`:
+    /// reads are retried on transient failure, writes execute at most
+    /// once, and a tripped breaker sheds both without touching the store.
+    pub fn with_resilience(
+        store: Arc<dyn KeyValue>,
+        pool: Arc<ThreadPool>,
+        policy: ResiliencePolicy,
+    ) -> AsyncKeyValue {
+        AsyncKeyValue {
+            store,
+            pool,
+            resilience: Some(Arc::new(Resilience::new(policy))),
+        }
     }
 
     /// The wrapped store.
@@ -31,11 +56,42 @@ impl AsyncKeyValue {
         &self.store
     }
 
+    /// The wrapper-level resilience state, when configured.
+    pub fn resilience(&self) -> Option<&Arc<Resilience>> {
+        self.resilience.as_ref()
+    }
+
+    /// Submit an idempotent (read-side) operation: retried under the
+    /// wrapper policy when one is configured.
+    fn submit_read<T: Send + Sync + 'static>(
+        &self,
+        f: impl Fn() -> Result<T> + Send + 'static,
+    ) -> ListenableFuture<Result<T>> {
+        let resilience = self.resilience.clone();
+        self.pool.submit(move || match &resilience {
+            Some(r) => r.run_idempotent(|_deadline, _attempt| f()),
+            None => f(),
+        })
+    }
+
+    /// Submit a write-side operation: breaker-gated but never replayed —
+    /// the wrapper cannot know whether a failed write reached the store.
+    fn submit_write<T: Send + Sync + 'static>(
+        &self,
+        f: impl FnOnce() -> Result<T> + Send + 'static,
+    ) -> ListenableFuture<Result<T>> {
+        let resilience = self.resilience.clone();
+        self.pool.submit(move || match &resilience {
+            Some(r) => r.run_once(|_deadline| f()),
+            None => f(),
+        })
+    }
+
     /// Asynchronous get.
     pub fn get(&self, key: &str) -> ListenableFuture<Result<Option<Bytes>>> {
         let store = self.store.clone();
         let key = key.to_string();
-        self.pool.submit(move || store.get(&key))
+        self.submit_read(move || store.get(&key))
     }
 
     /// Asynchronous put. The application "can make a request to a data
@@ -45,27 +101,27 @@ impl AsyncKeyValue {
         let store = self.store.clone();
         let key = key.to_string();
         let value = value.into();
-        self.pool.submit(move || store.put(&key, &value))
+        self.submit_write(move || store.put(&key, &value))
     }
 
     /// Asynchronous delete.
     pub fn delete(&self, key: &str) -> ListenableFuture<Result<bool>> {
         let store = self.store.clone();
         let key = key.to_string();
-        self.pool.submit(move || store.delete(&key))
+        self.submit_write(move || store.delete(&key))
     }
 
     /// Asynchronous contains.
     pub fn contains(&self, key: &str) -> ListenableFuture<Result<bool>> {
         let store = self.store.clone();
         let key = key.to_string();
-        self.pool.submit(move || store.contains(&key))
+        self.submit_read(move || store.contains(&key))
     }
 
     /// Asynchronous key listing.
     pub fn keys(&self) -> ListenableFuture<Result<Vec<String>>> {
         let store = self.store.clone();
-        self.pool.submit(move || store.keys())
+        self.submit_read(move || store.keys())
     }
 
     /// Asynchronous batch get: one pool job invokes the store's native
@@ -74,7 +130,7 @@ impl AsyncKeyValue {
     pub fn get_many(&self, keys: &[&str]) -> ListenableFuture<Result<Vec<Option<Bytes>>>> {
         let store = self.store.clone();
         let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
-        self.pool.submit(move || {
+        self.submit_read(move || {
             let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
             store.get_many(&refs)
         })
@@ -86,7 +142,7 @@ impl AsyncKeyValue {
     /// pipelined write.
     pub fn put_many(&self, entries: Vec<(String, Vec<u8>)>) -> ListenableFuture<Result<()>> {
         let store = self.store.clone();
-        self.pool.submit(move || {
+        self.submit_write(move || {
             let refs: Vec<(&str, &[u8])> = entries
                 .iter()
                 .map(|(k, v)| (k.as_str(), v.as_slice()))
@@ -101,7 +157,7 @@ impl AsyncKeyValue {
     pub fn delete_many(&self, keys: &[&str]) -> ListenableFuture<Result<Vec<bool>>> {
         let store = self.store.clone();
         let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
-        self.pool.submit(move || {
+        self.submit_write(move || {
             let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
             store.delete_many(&refs)
         })
@@ -200,6 +256,88 @@ mod tests {
             assert!(Instant::now() < deadline, "listener never fired");
             std::thread::yield_now();
         }
+    }
+
+    /// With a wrapper policy, a dead store trips the breaker and later
+    /// async calls are shed without touching the store; once the store
+    /// heals and the cooldown passes, the half-open probe closes it again.
+    #[test]
+    fn async_breaker_sheds_and_recovers() {
+        use kvapi::StoreError;
+
+        struct FlakyStore {
+            inner: MemKv,
+            down: AtomicBool,
+            calls: std::sync::atomic::AtomicU64,
+        }
+        impl KeyValue for FlakyStore {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn put(&self, k: &str, v: &[u8]) -> Result<()> {
+                self.inner.put(k, v)
+            }
+            fn get(&self, k: &str) -> Result<Option<Bytes>> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                if self.down.load(Ordering::SeqCst) {
+                    return Err(StoreError::Closed);
+                }
+                self.inner.get(k)
+            }
+            fn delete(&self, k: &str) -> Result<bool> {
+                self.inner.delete(k)
+            }
+            fn keys(&self) -> Result<Vec<String>> {
+                self.inner.keys()
+            }
+            fn clear(&self) -> Result<()> {
+                self.inner.clear()
+            }
+        }
+
+        let store = Arc::new(FlakyStore {
+            inner: MemKv::new("m"),
+            down: AtomicBool::new(false),
+            calls: std::sync::atomic::AtomicU64::new(0),
+        });
+        let kv = AsyncKeyValue::with_resilience(
+            store.clone(),
+            Arc::new(ThreadPool::new(2)),
+            resilience::ResiliencePolicy::test_profile(),
+        );
+        kv.put("k", &b"v"[..]).get().as_ref().as_ref().unwrap();
+
+        store.down.store(true, Ordering::SeqCst);
+        // Three transient attempts inside one idempotent read trip the
+        // test-profile breaker (threshold 3).
+        assert!(kv.get("k").get().as_ref().is_err());
+        assert_eq!(
+            kv.resilience().unwrap().breaker().state(),
+            resilience::BreakerState::Open
+        );
+        let calls_when_open = store.calls.load(Ordering::SeqCst);
+        let shed = kv.get("k").get();
+        assert!(
+            matches!(shed.as_ref(), Err(StoreError::Unavailable(_))),
+            "open breaker sheds async reads"
+        );
+        assert_eq!(
+            store.calls.load(Ordering::SeqCst),
+            calls_when_open,
+            "shed call never reached the store"
+        );
+
+        store.down.store(false, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(120));
+        let healed = kv.get("k").get();
+        assert_eq!(
+            healed.as_ref().as_ref().unwrap().as_deref(),
+            Some(&b"v"[..])
+        );
+        assert_eq!(
+            kv.resilience().unwrap().breaker().state(),
+            resilience::BreakerState::Closed
+        );
     }
 
     #[test]

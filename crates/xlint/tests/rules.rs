@@ -332,6 +332,60 @@ fn fetch(&self, key: &str) -> Result<Value> {
     );
 }
 
+/// The resilience-layer call shape: all retry control flow lives inside
+/// `Resilience::run_guarded`, and the closure poisons the [`ReplayGuard`]
+/// the moment the request frame is flushed. No loop in client code means
+/// nothing for the rule to flag — this is the shape every native client
+/// uses after the resilience refactor.
+#[test]
+fn retry_clean_with_resilience_run_guarded() {
+    assert_clean(
+        CLIENT,
+        r#"
+fn execute(&self, sql: &str) -> Result<Value> {
+    let request = encode(sql);
+    self.resilience.run_guarded(|deadline, attempt, guard| {
+        let mut conn = self.checkout(attempt > 1)?;
+        conn.deadline.arm(*deadline);
+        let outcome = (|| {
+            write_frame(&mut conn.writer, &request)?;
+            guard.poison();
+            read_frame(&mut conn.reader)
+        })();
+        conn.deadline.disarm();
+        outcome
+    })
+}
+"#,
+    );
+}
+
+/// Hand-rolling an extra retry loop *around* the resilience layer defeats
+/// the replay guard (the inner call already retried or refused to), so the
+/// rule still fires on the outer loop.
+#[test]
+fn retry_fires_on_manual_loop_around_resilience() {
+    assert_fires(
+        "retry-idempotency",
+        CLIENT,
+        r#"
+fn store(&self, key: &str, value: &[u8]) -> Result<()> {
+    let mut tries = 0;
+    loop {
+        match self.exec(&[b"SET", key.as_bytes(), value]) {
+            Ok(_) => return Ok(()),
+            Err(e) if e.is_transient() && tries < 2 => {
+                tries += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+"#,
+    );
+}
+
 /// A marker without a reason fires the hygiene meta-rule instead.
 #[test]
 fn reasonless_marker_is_flagged() {

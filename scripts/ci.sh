@@ -21,6 +21,12 @@ cargo run -q --release --offline -p xlint -- --deny-all
 cargo test -q --offline --test loom_models
 cargo test -q --offline -p loom
 
+# Chaos smoke: the kv contract under seeded fault injection — bounded
+# latency under resets+stalls, at-most-once non-idempotent effects,
+# breaker open/shed/re-close, and serve-stale through a total outage.
+# Deterministic (fixed fault seeds); see DESIGN.md §9.
+cargo test -q --offline --test chaos_contracts
+
 # Smoke: the batch-size sweep must run end-to-end and emit the p50/p99
 # gnuplot columns the RTT-amortization figure is plotted from.
 sweep_out="$(mktemp)"

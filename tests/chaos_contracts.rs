@@ -1,0 +1,259 @@
+//! Chaos contract suite: the key-value contract run under seeded fault
+//! injection.
+//!
+//! Every scenario here is deterministic — the servers draw fault decisions
+//! from a fixed-seed RNG (`fault_seed` in each server config), so a failure
+//! reproduces bit-for-bit. The suite asserts the resilience layer's three
+//! load-bearing promises:
+//!
+//! 1. **Bounded latency**: under a 5% reset + 5% stall model, every
+//!    operation completes or fails within the request deadline — no
+//!    slow-loris hang, no unbounded retry storm.
+//! 2. **At-most-once effects**: non-idempotent operations (`INCR`,
+//!    `INSERT`) are never applied twice, even when the server applies the
+//!    effect and then loses the reply.
+//! 3. **Shed and recover**: a total outage provably opens the circuit
+//!    breaker (fast-fail without touching the network), and the breaker
+//!    re-closes once the fault clears; the enhanced client meanwhile keeps
+//!    serving cached reads inside its stale window.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dscl::{DsclConfig, EnhancedClient};
+use dscl_cache::InProcessLru;
+use kvapi::{KeyValue, StoreError};
+use miniredis::{RedisClient, RedisKv, Server};
+use minisql::{MiniSqlClient, SqlServer};
+use netsim::FaultModel;
+use resilience::{BreakerState, ResiliencePolicy};
+
+/// Per-op wall-clock ceiling: the test profile's 2 s request budget plus
+/// scheduling slack. Nothing — not a stall, not a dribble — may push one
+/// logical operation past this.
+const OP_CEILING: Duration = Duration::from_secs(3);
+
+/// Under seeded 5% resets + 5% stalls, every op finishes (ok or err)
+/// inside the deadline, the workload makes forward progress, and once the
+/// fault model is cleared the full kv contract passes against the same
+/// server — convergence after chaos.
+#[test]
+fn seeded_chaos_keeps_ops_inside_deadline_and_converges() {
+    let server = Server::start().unwrap();
+    let kv = RedisKv::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+
+    server
+        .fault_injector()
+        .set_model(FaultModel::chaos(0.05, 50.0));
+
+    let (mut ok, mut failed) = (0u32, 0u32);
+    for i in 0..150 {
+        let key = format!("chaos-{}", i % 10);
+        let start = Instant::now();
+        let outcome: Result<(), StoreError> = match i % 4 {
+            0 => kv.put(&key, format!("v{i}").as_bytes()),
+            1 => kv.get(&key).map(|_| ()),
+            2 => kv.contains(&key).map(|_| ()),
+            _ => kv.delete(&key).map(|_| ()),
+        };
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < OP_CEILING,
+            "op {i} took {elapsed:?}, past the deadline ceiling"
+        );
+        match outcome {
+            Ok(()) => ok += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    assert!(
+        ok > failed,
+        "no forward progress under 5% chaos: {ok} ok vs {failed} failed"
+    );
+
+    // Fault clears; wait out the breaker cooldown, then the server must
+    // satisfy the full contract again.
+    server.fault_injector().set_model(FaultModel::none());
+    std::thread::sleep(Duration::from_millis(150));
+    kvapi::contract::run_all(&kv);
+    assert_eq!(
+        kv.client().resilience().breaker().state(),
+        BreakerState::Closed,
+        "breaker still open after the fault cleared and the contract passed"
+    );
+}
+
+/// `INCR` rides the no-retry path (`exec_once`): when the server applies
+/// the increment and then resets the connection, the client sees an error
+/// but must NOT replay. The counter therefore never exceeds the number of
+/// issued commands, and never undercounts acknowledged successes.
+#[test]
+fn non_idempotent_increments_apply_at_most_once_under_resets() {
+    let server = Server::start().unwrap();
+    let client = RedisClient::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+
+    server.fault_injector().set_model(FaultModel {
+        reset_prob: 0.3,
+        ..FaultModel::none()
+    });
+
+    let attempts = 60i64;
+    let mut acknowledged = 0i64;
+    for _ in 0..attempts {
+        if client.incr("ctr").is_ok() {
+            acknowledged += 1;
+        }
+    }
+
+    server.fault_injector().set_model(FaultModel::none());
+    std::thread::sleep(Duration::from_millis(150));
+    let raw = client.get("ctr").unwrap().expect("counter must exist");
+    let applied: i64 = std::str::from_utf8(&raw).unwrap().parse().unwrap();
+
+    assert!(
+        acknowledged < attempts,
+        "fault model never fired; the test exercised nothing"
+    );
+    assert!(
+        applied <= attempts,
+        "counter at {applied} after {attempts} commands: a non-idempotent \
+         op was replayed"
+    );
+    assert!(
+        applied >= acknowledged,
+        "counter at {applied} but {acknowledged} increments were \
+         acknowledged: an acknowledged effect was lost"
+    );
+}
+
+/// SQL `INSERT`s under reply-loss: effects the server applied before the
+/// reset stay applied exactly once, and the client never replays a
+/// statement whose frame already reached the wire.
+#[test]
+fn sql_writes_survive_reply_loss_without_duplication() {
+    let server = SqlServer::start_in_memory().unwrap();
+    let client =
+        MiniSqlClient::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+    client
+        .execute("CREATE TABLE chaos (id INTEGER PRIMARY KEY, body TEXT)")
+        .unwrap();
+
+    server.fault_injector().set_model(FaultModel {
+        reset_prob: 0.3,
+        ..FaultModel::none()
+    });
+
+    let attempts = 40usize;
+    let mut acknowledged = 0usize;
+    for i in 0..attempts {
+        let stmt = format!("INSERT INTO chaos (id, body) VALUES ({i}, 'row-{i}')");
+        if client.execute(&stmt).is_ok() {
+            acknowledged += 1;
+        }
+    }
+
+    server.fault_injector().set_model(FaultModel::none());
+    std::thread::sleep(Duration::from_millis(150));
+    let rs = client.execute("SELECT id FROM chaos").unwrap();
+    let applied = rs.rows.len();
+
+    assert!(acknowledged < attempts, "fault model never fired");
+    assert!(
+        applied <= attempts,
+        "{applied} rows from {attempts} single-row inserts: a write was \
+         duplicated"
+    );
+    assert!(
+        applied >= acknowledged,
+        "{applied} rows but {acknowledged} inserts acknowledged"
+    );
+}
+
+/// A total outage must trip the per-endpoint breaker: after the failure
+/// threshold, calls are shed instantly (no network I/O, no deadline burn),
+/// and once the outage clears and the cooldown elapses the breaker
+/// half-opens, probes, and re-closes.
+#[test]
+fn breaker_opens_sheds_fast_and_recovers() {
+    let mut server = cloudstore::CloudServer::start_local().unwrap();
+    let client = cloudstore::CloudClient::connect_with_policy(
+        server.addr(),
+        ResiliencePolicy::test_profile(),
+    );
+    client.put("k", b"v").unwrap();
+
+    server.fault_injector().set_model(FaultModel::outage());
+    server.drop_connections();
+
+    // One failing request burns the whole retry budget (3 attempts), which
+    // meets the test profile's failure threshold of 3.
+    assert!(client.get("k").is_err(), "outage must surface an error");
+    assert_eq!(client.resilience().breaker().state(), BreakerState::Open);
+
+    // While open, calls are shed without touching the network: fast, and
+    // counted as breaker rejections.
+    let rejections_before = client.resilience().breaker_rejections();
+    let start = Instant::now();
+    let shed = client.get("k");
+    let shed_elapsed = start.elapsed();
+    assert!(
+        matches!(shed, Err(StoreError::Unavailable(_))),
+        "open breaker must shed with Unavailable, got {shed:?}"
+    );
+    assert!(
+        shed_elapsed < Duration::from_millis(500),
+        "shed call took {shed_elapsed:?}; an open breaker must fail fast"
+    );
+    assert!(client.resilience().breaker_rejections() > rejections_before);
+
+    // Outage clears; after the cooldown the half-open probe succeeds and
+    // the breaker re-closes.
+    server.fault_injector().set_model(FaultModel::none());
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(client.get("k").unwrap().unwrap(), &b"v"[..]);
+    assert_eq!(client.resilience().breaker().state(), BreakerState::Closed);
+
+    server.stop();
+}
+
+/// At 100% faults the enhanced client keeps answering reads from expired
+/// cache entries inside the configured stale window, and reports each
+/// stale serve through the obs registry. When the store heals, normal
+/// revalidation resumes.
+#[test]
+fn enhanced_client_serves_stale_reads_through_total_outage() {
+    let server = Server::start().unwrap();
+    let kv = RedisKv::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+    let reg = Arc::new(obs::Registry::new());
+    let client = EnhancedClient::new(kv)
+        .with_cache(Arc::new(InProcessLru::new(16 << 20)))
+        .with_config(DsclConfig {
+            default_ttl: Some(Duration::from_millis(40)),
+            stale_while_error: Some(Duration::from_secs(10)),
+            ..Default::default()
+        })
+        .with_registry(reg.clone());
+
+    client.put("k", b"cached").unwrap();
+
+    server.fault_injector().set_model(FaultModel::outage());
+    server.drop_connections();
+    std::thread::sleep(Duration::from_millis(60)); // entry is now expired
+
+    // Expired entry + unreachable store + open stale window: serve stale.
+    assert_eq!(client.get("k").unwrap().unwrap(), &b"cached"[..]);
+    assert!(client.stats().stale_serves >= 1, "{:?}", client.stats());
+    let text = reg.render_prometheus();
+    assert!(
+        text.contains("dscl_stale_serves_total"),
+        "stale serves missing from metrics:\n{text}"
+    );
+
+    // A key that was never cached has nothing to fall back on.
+    assert!(client.get("never-cached").is_err());
+
+    // Store heals: the next read revalidates against the server again.
+    server.fault_injector().set_model(FaultModel::none());
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(client.get("k").unwrap().unwrap(), &b"cached"[..]);
+}

@@ -113,9 +113,55 @@ impl CloudClient {
         &self.resilience
     }
 
-    fn round_trip(&self, req: &Request) -> Result<Response> {
+    /// Send one HTTP request through the resilience layer and return the
+    /// response. This is how non-object endpoints (`GET /metrics`,
+    /// `GET /trace`) are reached; the key-value API is built on it.
+    pub fn round_trip(&self, req: &Request) -> Result<Response> {
+        // Join the caller's trace when one is active on this thread,
+        // otherwise become the root of a new one. The context is minted
+        // once, *outside* the retry loop, so every attempt of one logical
+        // request shares a single span identity.
+        let parent = obs::ctx::current();
+        let ctx = match parent {
+            Some(p) => p.child(),
+            None => obs::TraceContext::new_root(),
+        };
+        let (trace, scope) = if parent.is_none() {
+            (
+                Some(obs::Trace::begin(req.method.clone()).with_ctx(ctx)),
+                Some(obs::ctx::activate(ctx)),
+            )
+        } else {
+            (None, None)
+        };
+        let traced = req.clone().with_header("x-trace-ctx", ctx.encode());
         let t0 = Instant::now();
-        let result = self.round_trip_inner(req);
+        let result = self.round_trip_inner(&traced);
+        if let Ok(resp) = &result {
+            if let Some(span) = resp
+                .header("x-server-span")
+                .and_then(obs::ServerSpan::decode)
+            {
+                obs::ctx::report_server_span(span);
+            }
+        }
+        if let Some(mut t) = trace {
+            t.add("net_rtt", t0.elapsed());
+            if let Some(s) = scope {
+                t.absorb_scope(s.finish());
+            }
+            if let Err(e) = &result {
+                t.set_error(e.to_string());
+            }
+            match &self.registry {
+                Some(reg) => {
+                    t.finish(reg, "cloudstore_client");
+                }
+                None => {
+                    t.complete("cloudstore-client");
+                }
+            }
+        }
         if let Some(reg) = &self.registry {
             let status = match &result {
                 Ok(resp) => resp.status.to_string(),
@@ -853,6 +899,83 @@ mod tests {
         assert_eq!(c.resilience().retries(), 0);
         server.fault_injector().set_model(FaultModel::none());
         assert_eq!(c.get("k").unwrap(), None);
+    }
+
+    #[test]
+    fn joined_trace_carries_server_span_and_reaches_the_recorder() {
+        use netsim::FaultModel;
+        // Force a 500 so the server-side record is an error trace: the tail
+        // sampler retains 100% of those, making retrieval deterministic.
+        let server = CloudServer::start(crate::server::CloudServerConfig {
+            fault: FaultModel {
+                error_prob: 1.0,
+                ..FaultModel::none()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let c = CloudClient::connect_with_policy(
+            server.addr(),
+            resilience::ResiliencePolicy::test_profile(),
+        );
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        assert!(matches!(c.put("k", b"v"), Err(StoreError::Rejected(_))));
+        let data = scope.finish();
+        // The server answered with its span even though the reply was a
+        // fault-injected 500.
+        assert_eq!(data.server_spans.len(), 1, "{:?}", data.server_spans);
+        assert_eq!(data.server_spans[0].server, "cloudstore");
+        // The server-side record joined our trace id and was retained.
+        let traces = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+        let server_rec = traces
+            .iter()
+            .find(|t| t.origin == "cloudstore")
+            .expect("server-side trace retained");
+        assert_eq!(server_rec.op, "PUT /v1/objects");
+        // The client minted a child span for the round trip; the server
+        // span parents on that child, inside our trace.
+        assert_eq!(server_rec.ctx.unwrap().trace_id, root.trace_id);
+        assert!(
+            server_rec.ctx.unwrap().parent_id.is_some(),
+            "server span must parent on the client context"
+        );
+        assert!(server_rec.stages.iter().any(|&(s, _)| s == "execute"));
+        // And GET /trace exports it as JSON.
+        server.fault_injector().set_model(FaultModel::none());
+        let resp = c.round_trip(&Request::new("GET", "/trace")).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(
+            body.contains(&format!("{:032x}", root.trace_id)),
+            "GET /trace missing the joined trace: {body}"
+        );
+    }
+
+    #[test]
+    fn untraced_requests_still_work_and_get_no_span_header() {
+        // Mixed versions, old client side: a request without `x-trace-ctx`
+        // is served identically and the response carries no span header.
+        let server = CloudServer::start_local().unwrap();
+        let c = CloudClient::connect(server.addr());
+        let bare = Request::new("GET", "/v1/ping");
+        let resp = c.round_trip_inner(&bare).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-server-span"), None);
+        // Mixed versions, old server side: the traced client tolerates a
+        // response lacking the span header (and a garbled one).
+        assert!(obs::ServerSpan::decode("not a span").is_none());
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        let spanless = Response::new(200);
+        if let Some(span) = spanless
+            .header("x-server-span")
+            .and_then(obs::ServerSpan::decode)
+        {
+            obs::ctx::report_server_span(span);
+        }
+        assert!(scope.finish().server_spans.is_empty());
     }
 
     #[test]

@@ -31,4 +31,5 @@ pub mod http;
 pub mod server;
 
 pub use client::CloudClient;
+pub use http::{Request, Response};
 pub use server::{CloudServer, CloudServerConfig};

@@ -222,6 +222,7 @@ fn route_label(path: &str) -> &'static str {
         "/v1/stats" => "/v1/stats",
         "/v1/ping" => "/v1/ping",
         "/metrics" => "/metrics",
+        "/trace" => "/trace",
         _ => "other",
     }
 }
@@ -251,6 +252,16 @@ fn serve_connection(
     while let Some(req) = read_request(&mut reader)? {
         served.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
+        // Distributed tracing: an `x-trace-ctx` header joins this request
+        // to the client's trace. Requests without the header (old clients)
+        // are served identically, minus the span.
+        let trace_ctx = req
+            .header("x-trace-ctx")
+            .and_then(obs::TraceContext::decode);
+        // Queue wait: everything between arrival and dispatch (parsing,
+        // bookkeeping; a real accept queue would land here too).
+        let queue = t0.elapsed();
+        let t_exec = Instant::now();
         let resp = if req.method == "GET" && req.path == "/metrics" {
             Response::new(200)
                 .with_header("content-type", "text/plain; version=0.0.4")
@@ -258,6 +269,7 @@ fn serve_connection(
         } else {
             route(&req, &objects)
         };
+        let execute = t_exec.elapsed();
         let mut resp = resp;
         if req.method == "HEAD" {
             // Drop the body before sizing the delay: an existence check only
@@ -284,6 +296,28 @@ fn serve_connection(
                 resp = Response::new(500).with_body(b"injected fault".to_vec());
             }
             _ => {}
+        }
+        if let Some(cctx) = trace_ctx {
+            // Serialize cost is measured on a probe render (only when the
+            // request is traced) because the span rides a response header
+            // and therefore must exist before the real serialization.
+            let t_ser = Instant::now();
+            let mut probe = Vec::new();
+            let _ = write_response(&mut probe, &resp);
+            let serialize = t_ser.elapsed();
+            let span = obs::ServerSpan::new("cloudstore", queue, execute, serialize);
+            resp = resp.with_header("x-server-span", span.encode());
+            let mut rec = obs::CompletedTrace::server_side(
+                &cctx,
+                &span,
+                format!("{} {}", req.method, route_label(&req.path)),
+            );
+            if resp.status >= 500 {
+                // Mark failures so the tail sampler's 100%-error rule
+                // applies to the server-side record too.
+                rec.error = Some(format!("status {}", resp.status));
+            }
+            obs::FlightRecorder::global().record(rec);
         }
         // Inject WAN delay sized by the dominant payload direction. A 304
         // only carries headers, which is exactly why revalidation saves
@@ -435,6 +469,9 @@ fn route(req: &Request, objects: &RwLock<ObjectMap>) -> Response {
             Response::new(200).with_body(format!("{} {}", g.map.len(), g.bytes).into_bytes())
         }
         ("GET", "/v1/ping") => Response::new(200).with_body(b"pong".to_vec()),
+        ("GET", "/trace") => Response::new(200)
+            .with_header("content-type", "application/json")
+            .with_body(obs::FlightRecorder::global().render_json().into_bytes()),
         _ => Response::new(404).with_body(b"no such route".to_vec()),
     }
 }

@@ -76,12 +76,14 @@ impl<S: KeyValue> EnhancedClient<S> {
         }
     }
 
-    /// Attach a metrics registry. `get`/`put` then run under an
-    /// [`obs::Trace`], publishing per-stage latency histograms
+    /// Attach a metrics registry. Every `get`/`put` already runs under an
+    /// [`obs::Trace`] feeding the global flight recorder; a registry
+    /// additionally publishes per-stage latency histograms
     /// (`dscl_stage_duration_ns{op,stage}`), per-op totals
-    /// (`dscl_op_duration_ns{op}`), and the client's cumulative counters
-    /// after every operation. Use [`obs::global()`] to share one registry
-    /// process-wide, or a fresh `Registry` per client for isolation.
+    /// (`dscl_op_duration_ns{op}`) with trace-id exemplars, and the
+    /// client's cumulative counters after every operation. Use
+    /// [`obs::global()`] to share one registry process-wide, or a fresh
+    /// `Registry` per client for isolation.
     pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
         self.registry = Some(registry);
         self
@@ -304,17 +306,49 @@ impl<S: KeyValue> EnhancedClient<S> {
 
     /// `put` with an explicit TTL override for the cached copy.
     pub fn put_with_ttl(&self, key: &str, value: &[u8], ttl: Option<Duration>) -> Result<()> {
-        let mut trace = self.registry.as_ref().map(|_| Trace::begin("put"));
+        let (mut trace, scope) = self.begin_op("put");
         let out = self.put_inner(key, value, ttl, &mut trace);
-        self.finish_trace(trace);
+        self.finish_op(trace, scope, out.as_ref().err());
         out
     }
 
-    /// End a traced operation: publish the trace and refresh counters.
-    fn finish_trace(&self, trace: Option<Trace>) {
-        if let (Some(t), Some(reg)) = (trace, &self.registry) {
-            t.finish(reg, "dscl");
-            self.publish_metrics();
+    /// Begin a traced operation: join the caller's active trace (child
+    /// context) or mint a new root, and activate the context so nested
+    /// layers — resilience retries, store clients returning server spans —
+    /// report into this operation.
+    fn begin_op(&self, op: &'static str) -> (Option<Trace>, obs::ctx::ContextScope) {
+        let ctx = match obs::ctx::current() {
+            Some(parent) => parent.child(),
+            None => obs::TraceContext::new_root(),
+        };
+        (
+            Some(Trace::begin(op).with_ctx(ctx)),
+            obs::ctx::activate(ctx),
+        )
+    }
+
+    /// End a traced operation: drain the scope into the trace, then publish
+    /// histograms + counters when a registry is attached, or hand the trace
+    /// straight to the flight recorder otherwise.
+    fn finish_op(
+        &self,
+        trace: Option<Trace>,
+        scope: obs::ctx::ContextScope,
+        error: Option<&kvapi::StoreError>,
+    ) {
+        let Some(mut t) = trace else { return };
+        t.absorb_scope(scope.finish());
+        if let Some(e) = error {
+            t.set_error(e.to_string());
+        }
+        match &self.registry {
+            Some(reg) => {
+                t.finish(reg, "dscl");
+                self.publish_metrics();
+            }
+            None => {
+                t.complete("dscl");
+            }
         }
     }
 
@@ -330,6 +364,11 @@ impl<S: KeyValue> EnhancedClient<S> {
             .add(&self.stats.bytes_encoded, value.len() as u64);
         self.stats
             .add(&self.stats.bytes_stored, encoded.len() as u64);
+        if encoded.len() != value.len() {
+            if let Some(t) = trace.as_mut() {
+                t.event("codec", format!("in={} out={}", value.len(), encoded.len()));
+            }
+        }
         // put_versioned returns the store's authoritative etag from the
         // write itself — no extra round trip.
         let etag = timed(trace, "store_io", || {
@@ -406,6 +445,12 @@ impl<S: KeyValue> EnhancedClient<S> {
                 .add(&self.stats.cache_hits, hit_envs.len() as u64);
             self.stats
                 .add(&self.stats.cache_misses, miss_positions.len() as u64);
+            if let Some(t) = trace.as_mut() {
+                t.event(
+                    "cache",
+                    format!("hits={} misses={}", hit_envs.len(), miss_positions.len()),
+                );
+            }
             // Materialize outside the lookup stage so codec time is
             // attributed to the decode stages, as on the single-key path.
             for (i, env) in &hit_envs {
@@ -435,6 +480,12 @@ impl<S: KeyValue> EnhancedClient<S> {
             {
                 self.stats
                     .add(&self.stats.stale_serves, stale_envs.len() as u64);
+                if let Some(t) = trace.as_mut() {
+                    t.event(
+                        "cache",
+                        format!("stale_serve x{} after: {e}", stale_envs.len()),
+                    );
+                }
                 for (i, env) in &stale_envs {
                     out[*i] = Some(self.materialize(env, trace)?);
                 }
@@ -526,6 +577,9 @@ impl<S: KeyValue> EnhancedClient<S> {
                     Ok(mut env) => {
                         if !env.is_expired(now_millis()) {
                             self.stats.add(&self.stats.cache_hits, 1);
+                            if let Some(t) = trace.as_mut() {
+                                t.event("cache", "hit");
+                            }
                             return self.materialize(&env, trace).map(Some);
                         }
                         // 2. Expired entry → revalidate (paper Fig. 7).
@@ -537,6 +591,9 @@ impl<S: KeyValue> EnhancedClient<S> {
                             match cond {
                                 Ok(CondGet::NotModified) => {
                                     self.stats.add(&self.stats.revalidated_current, 1);
+                                    if let Some(t) = trace.as_mut() {
+                                        t.event("cache", "revalidated current");
+                                    }
                                     env.touch();
                                     cache.put(key, env.encode());
                                     return self.materialize(&env, trace).map(Some);
@@ -554,6 +611,9 @@ impl<S: KeyValue> EnhancedClient<S> {
                                 // through poor connectivity).
                                 Err(e) if self.stale_eligible(&env, &e) => {
                                     self.stats.add(&self.stats.stale_serves, 1);
+                                    if let Some(t) = trace.as_mut() {
+                                        t.event("cache", format!("stale_serve after: {e}"));
+                                    }
                                     return self.materialize(&env, trace).map(Some);
                                 }
                                 Err(e) => return Err(e),
@@ -573,6 +633,9 @@ impl<S: KeyValue> EnhancedClient<S> {
                                 }
                                 Err(e) if self.stale_eligible(&env, &e) => {
                                     self.stats.add(&self.stats.stale_serves, 1);
+                                    if let Some(t) = trace.as_mut() {
+                                        t.event("cache", format!("stale_serve after: {e}"));
+                                    }
                                     self.materialize(&env, trace).map(Some)
                                 }
                                 Err(e) => Err(e),
@@ -587,6 +650,9 @@ impl<S: KeyValue> EnhancedClient<S> {
                 }
             }
             self.stats.add(&self.stats.cache_misses, 1);
+            if let Some(t) = trace.as_mut() {
+                t.event("cache", "miss");
+            }
         }
         // 3. Miss → fetch, decode, populate.
         match timed(trace, "store_io", || self.store.get_versioned(key))? {
@@ -606,9 +672,9 @@ impl<S: KeyValue> KeyValue for EnhancedClient<S> {
     }
 
     fn get(&self, key: &str) -> Result<Option<Bytes>> {
-        let mut trace = self.registry.as_ref().map(|_| Trace::begin("get"));
+        let (mut trace, scope) = self.begin_op("get");
         let out = self.get_inner(key, &mut trace);
-        self.finish_trace(trace);
+        self.finish_op(trace, scope, out.as_ref().err());
         out
     }
 
@@ -649,17 +715,17 @@ impl<S: KeyValue> KeyValue for EnhancedClient<S> {
 
     fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
         self.record_batch("get_many", keys.len());
-        let mut trace = self.registry.as_ref().map(|_| Trace::begin("get_many"));
+        let (mut trace, scope) = self.begin_op("get_many");
         let out = self.get_many_inner(keys, &mut trace);
-        self.finish_trace(trace);
+        self.finish_op(trace, scope, out.as_ref().err());
         out
     }
 
     fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
         self.record_batch("put_many", entries.len());
-        let mut trace = self.registry.as_ref().map(|_| Trace::begin("put_many"));
+        let (mut trace, scope) = self.begin_op("put_many");
         let out = self.put_many_inner(entries, &mut trace);
-        self.finish_trace(trace);
+        self.finish_op(trace, scope, out.as_ref().err());
         out
     }
 
@@ -1303,6 +1369,59 @@ mod tests {
         fn clear(&self) -> Result<()> {
             self.inner.clear()
         }
+    }
+
+    #[test]
+    fn operations_join_the_callers_trace_and_failures_reach_the_recorder() {
+        let client = EnhancedClient::new(FlakyStore {
+            inner: MemKv::new("f"),
+            fail: Mutex::new(true),
+        });
+        // Simulate an enclosing operation (a UDSM call, a workload op): the
+        // client must join it with a child context, not mint its own root.
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        assert!(client.get("k").is_err());
+        scope.finish();
+        let recs = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+        let rec = recs
+            .iter()
+            .find(|r| r.origin == "dscl")
+            .expect("failed get must be retained by the tail sampler");
+        assert_eq!(rec.op, "get");
+        assert!(rec.error.is_some(), "store error must mark the trace");
+        let ctx = rec.ctx.expect("trace carries its context");
+        assert_eq!(ctx.trace_id, root.trace_id);
+        assert_eq!(ctx.parent_id, Some(root.span_id), "child of the caller");
+    }
+
+    #[test]
+    fn traced_operations_carry_cache_and_codec_events() {
+        let reg = Arc::new(obs::Registry::new());
+        let client = EnhancedClient::new(MemKv::new("m"))
+            .with_cache(lru())
+            .with_codec(Box::new(GzipCodec::default()))
+            .with_registry(reg.clone());
+        let text = "compressible payload ".repeat(100);
+        client.put("k", text.as_bytes()).unwrap();
+        assert_eq!(client.get("k").unwrap().unwrap(), text.as_bytes());
+        let traces = reg.recent_traces();
+        let put = &traces[0];
+        assert!(
+            put.events
+                .iter()
+                .any(|e| e.name == "codec" && e.detail.starts_with("in=")),
+            "put should note the codec ratio: {:?}",
+            put.events
+        );
+        let get = &traces[1];
+        assert!(
+            get.events
+                .iter()
+                .any(|e| e.name == "cache" && e.detail == "hit"),
+            "warm get should note the cache hit: {:?}",
+            get.events
+        );
     }
 
     #[test]

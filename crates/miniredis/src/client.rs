@@ -109,6 +109,90 @@ impl RedisClient {
         self.pool.checkin(conn);
     }
 
+    /// Begin the distributed-tracing bookkeeping for one command: join the
+    /// caller's active trace (child span) or become a new root (own trace +
+    /// scope). The context is minted once per *logical* command — outside
+    /// the retry loop — so every attempt shares a single span identity.
+    fn begin_traced(
+        parts: &[&[u8]],
+    ) -> (
+        obs::TraceContext,
+        Option<obs::Trace>,
+        Option<obs::ctx::ContextScope>,
+    ) {
+        let parent = obs::ctx::current();
+        let ctx = match parent {
+            Some(p) => p.child(),
+            None => obs::TraceContext::new_root(),
+        };
+        if parent.is_none() {
+            let op = parts
+                .first()
+                .map(|c| String::from_utf8_lossy(c).to_ascii_uppercase())
+                .unwrap_or_else(|| "?".into());
+            (
+                ctx,
+                Some(obs::Trace::begin(op).with_ctx(ctx)),
+                Some(obs::ctx::activate(ctx)),
+            )
+        } else {
+            (ctx, None, None)
+        }
+    }
+
+    /// Close the owned half of [`RedisClient::begin_traced`]: absorb the
+    /// scope's events and server spans, mark failures, and offer the trace
+    /// to the flight recorder. A joined (non-owned) command has nothing to
+    /// close — its root will.
+    fn finish_traced(
+        trace: Option<obs::Trace>,
+        scope: Option<obs::ctx::ContextScope>,
+        result: &Result<Value>,
+    ) {
+        if let Some(mut t) = trace {
+            if let Some(s) = scope {
+                t.absorb_scope(s.finish());
+            }
+            match result {
+                Err(e) => t.set_error(e.to_string()),
+                Ok(Value::Error(e)) => t.set_error(e.clone()),
+                Ok(_) => {}
+            }
+            t.complete("miniredis-client");
+        }
+    }
+
+    /// Undo the server's traced-reply envelope: a two-element array whose
+    /// second element is a `trace-span=` bulk. The span is reported to the
+    /// active scope; the real reply is returned. Replies from servers that
+    /// don't speak the envelope (or error replies, which are never wrapped)
+    /// pass through untouched.
+    fn unwrap_traced(v: Value) -> Value {
+        match v {
+            Value::Array(Some(mut items)) if items.len() == 2 => {
+                let is_span = matches!(
+                    items.get(1),
+                    Some(Value::Bulk(Some(b))) if b.starts_with(b"trace-span=")
+                );
+                if is_span {
+                    if let Some(Value::Bulk(Some(b))) = items.pop() {
+                        if let Some(span) = std::str::from_utf8(&b)
+                            .ok()
+                            .and_then(|s| s.strip_prefix("trace-span="))
+                            .and_then(obs::ServerSpan::decode)
+                        {
+                            obs::ctx::report_server_span(span);
+                        }
+                    }
+                    items.pop().unwrap_or_else(Value::nil)
+                } else {
+                    Value::Array(Some(items))
+                }
+            }
+            other => other,
+        }
+    }
+
     /// Issue one command, retrying with backoff on a fresh connection
     /// after a transient failure (a pooled socket may have gone stale).
     ///
@@ -117,13 +201,22 @@ impl RedisClient {
     /// through [`RedisClient::exec_once`]. Everything sent here
     /// (SET/GET/DEL/EXPIRE/...) re-applies the same state.
     pub fn exec(&self, parts: &[&[u8]]) -> Result<Value> {
-        let cmd = command(parts);
-        self.resilience.run_idempotent(|deadline, attempt| {
-            let mut conn = self.checkout(attempt > 1)?;
-            let v = conn.round_trip(&cmd, deadline)?;
-            self.checkin(conn);
-            Ok(v)
-        })
+        let (ctx, trace, scope) = Self::begin_traced(parts);
+        let ctx_arg = format!("trace-ctx={}", ctx.encode()).into_bytes();
+        let mut full: Vec<&[u8]> = parts.to_vec();
+        full.push(&ctx_arg);
+        let cmd = command(&full);
+        let result = self
+            .resilience
+            .run_idempotent(|deadline, attempt| {
+                let mut conn = self.checkout(attempt > 1)?;
+                let v = conn.round_trip(&cmd, deadline)?;
+                self.checkin(conn);
+                Ok(v)
+            })
+            .map(Self::unwrap_traced);
+        Self::finish_traced(trace, scope, &result);
+        result
     }
 
     /// Issue one command exactly once — no retry, so a failure after the
@@ -131,13 +224,22 @@ impl RedisClient {
     /// only safe default for commands like INCR. Still breaker-gated and
     /// deadline-bounded.
     fn exec_once(&self, parts: &[&[u8]]) -> Result<Value> {
-        let cmd = command(parts);
-        self.resilience.run_once(|deadline| {
-            let mut conn = self.checkout(false)?;
-            let v = conn.round_trip(&cmd, deadline)?;
-            self.checkin(conn);
-            Ok(v)
-        })
+        let (ctx, trace, scope) = Self::begin_traced(parts);
+        let ctx_arg = format!("trace-ctx={}", ctx.encode()).into_bytes();
+        let mut full: Vec<&[u8]> = parts.to_vec();
+        full.push(&ctx_arg);
+        let cmd = command(&full);
+        let result = self
+            .resilience
+            .run_once(|deadline| {
+                let mut conn = self.checkout(false)?;
+                let v = conn.round_trip(&cmd, deadline)?;
+                self.checkin(conn);
+                Ok(v)
+            })
+            .map(Self::unwrap_traced);
+        Self::finish_traced(trace, scope, &result);
+        result
     }
 
     /// Send all commands, then read all replies (pipelining). Not retried:
@@ -369,6 +471,20 @@ impl RedisClient {
     pub fn flushall(&self) -> Result<()> {
         Self::expect_ok(self.exec(&[b"FLUSHALL"])?)
     }
+
+    /// `METRICS` → the server's Prometheus text exposition, scraped through
+    /// the data plane (no HTTP sidecar needed).
+    pub fn fetch_metrics(&self) -> Result<String> {
+        match self.exec(&[b"METRICS"])? {
+            Value::Bulk(Some(b)) => {
+                String::from_utf8(b.to_vec()).map_err(|_| StoreError::protocol("non-utf8 metrics"))
+            }
+            Value::Error(e) => Err(StoreError::Rejected(e)),
+            other => Err(StoreError::protocol(format!(
+                "expected bulk metrics, got {other:?}"
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +636,86 @@ mod tests {
         assert!(
             control.resilience().retries() >= 1,
             "control kept the dead socket and had to retry"
+        );
+    }
+
+    #[test]
+    fn metrics_command_scrapes_prometheus_text() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        c.set("k", b"v").unwrap();
+        c.get("k").unwrap();
+        c.get("k").unwrap();
+        let text = c.fetch_metrics().unwrap();
+        assert!(
+            text.contains("miniredis_commands_total{cmd=\"SET\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("miniredis_commands_total{cmd=\"GET\"} 2"),
+            "{text}"
+        );
+        // The in-process registry agrees with the wire scrape.
+        assert!(server
+            .registry()
+            .render_prometheus()
+            .contains("miniredis_commands_total{cmd=\"SET\"} 1"));
+    }
+
+    #[test]
+    fn traced_commands_join_the_server_span() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        c.set("k", b"v").unwrap();
+        assert_eq!(c.get("k").unwrap().unwrap(), Bytes::from_static(b"v"));
+        let data = scope.finish();
+        assert_eq!(data.server_spans.len(), 2, "{:?}", data.server_spans);
+        assert!(data.server_spans.iter().all(|s| s.server == "miniredis"));
+    }
+
+    #[test]
+    fn traced_error_reply_is_unwrapped_and_retained_by_the_recorder() {
+        let server = Server::start().unwrap();
+        let c = RedisClient::connect(server.addr());
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        // Error replies are never wrapped: the client sees the bare error.
+        match c.exec(&[b"NOSUCHCMD"]).unwrap() {
+            Value::Error(e) => assert!(e.contains("unknown command")),
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        let data = scope.finish();
+        assert!(data.server_spans.is_empty(), "errors carry no span");
+        // But the server-side record is an error trace → retained 100%.
+        let recs = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+        let rec = recs
+            .iter()
+            .find(|t| t.origin == "miniredis")
+            .expect("server-side error trace retained");
+        assert_eq!(rec.op, "NOSUCHCMD");
+        assert!(rec.error.as_deref().unwrap_or("").contains("unknown"));
+    }
+
+    #[test]
+    fn untraced_old_client_gets_plain_replies() {
+        // Mixed versions: a raw RESP client that never sends `trace-ctx=`
+        // must see byte-identical behaviour — no envelope on replies.
+        use crate::resp::{read_value, write_value};
+        use std::io::Write;
+        let server = Server::start().unwrap();
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        write_value(&mut writer, &command(&[b"SET", b"k", b"v"])).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(read_value(&mut reader).unwrap(), Value::ok());
+        write_value(&mut writer, &command(&[b"GET", b"k"])).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(
+            read_value(&mut reader).unwrap(),
+            Value::Bulk(Some(Bytes::from_static(b"v")))
         );
     }
 

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -132,6 +132,7 @@ pub struct Server {
     /// Total commands served (observability for tests).
     pub commands_served: Arc<AtomicU64>,
     fault: Arc<FaultInjector>,
+    registry: Arc<obs::Registry>,
 }
 
 impl Server {
@@ -190,6 +191,7 @@ impl Server {
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let persistence = cfg.persistence.clone();
         let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
+        let registry = Arc::new(obs::Registry::new());
         let accept_thread = {
             let shutdown = shutdown.clone();
             let commands_served = commands_served.clone();
@@ -198,6 +200,7 @@ impl Server {
             let persistence = persistence.clone();
             let max_memory = cfg.max_memory;
             let fault = fault.clone();
+            let registry = registry.clone();
             Some(std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
@@ -214,15 +217,17 @@ impl Server {
                         g.retain(|s| s.peer_addr().is_ok());
                         g.push(clone);
                     }
-                    let db = db.clone();
-                    let clock = clock.clone();
-                    let served = commands_served.clone();
-                    let persist = persistence.clone();
-                    let fault = fault.clone();
+                    let shared = ConnShared {
+                        db: db.clone(),
+                        clock: clock.clone(),
+                        max_memory,
+                        served: commands_served.clone(),
+                        persist: persistence.clone(),
+                        fault: fault.clone(),
+                        registry: registry.clone(),
+                    };
                     std::thread::spawn(move || {
-                        let _ = handle_connection(
-                            stream, db, clock, max_memory, served, persist, fault,
-                        );
+                        let _ = handle_connection(stream, shared);
                     });
                 }
             }))
@@ -238,7 +243,14 @@ impl Server {
             persistence,
             commands_served,
             fault,
+            registry,
         })
+    }
+
+    /// The server-side metrics registry (also scrapeable over the wire via
+    /// the `METRICS` command).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// This server's fault injector; swap its model at runtime to start or
@@ -310,20 +322,44 @@ fn save_db(db: &Mutex<Db>, path: &PathBuf) -> Result<u64> {
     crate::persist::save(path, entries.into_iter())
 }
 
-fn handle_connection(
-    stream: TcpStream,
+/// Everything one connection thread needs, bundled so the handler keeps a
+/// civilized signature.
+struct ConnShared {
     db: Arc<Mutex<Db>>,
     clock: Arc<AtomicU64>,
     max_memory: u64,
     served: Arc<AtomicU64>,
     persist: Option<PathBuf>,
     fault: Arc<FaultInjector>,
-) -> Result<()> {
+    registry: Arc<obs::Registry>,
+}
+
+/// Strip a trailing `trace-ctx=<encoded>` bulk from a command array and
+/// decode it. Old clients never send one; a last argument that merely
+/// *resembles* the marker but fails to decode is left untouched.
+fn extract_trace_ctx(frame: &mut Value) -> Option<obs::TraceContext> {
+    let Value::Array(Some(parts)) = frame else {
+        return None;
+    };
+    let ctx = match parts.last() {
+        Some(Value::Bulk(Some(b))) => std::str::from_utf8(b)
+            .ok()
+            .and_then(|s| s.strip_prefix("trace-ctx="))
+            .and_then(obs::TraceContext::decode),
+        _ => None,
+    };
+    if ctx.is_some() {
+        parts.pop();
+    }
+    ctx
+}
+
+fn handle_connection(stream: TcpStream, shared: ConnShared) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
-        let frame = match read_value(&mut reader) {
+        let mut frame = match read_value(&mut reader) {
             Ok(f) => f,
             Err(StoreError::Closed) => return Ok(()),
             Err(e) => {
@@ -332,13 +368,64 @@ fn handle_connection(
                 return Err(e);
             }
         };
-        served.fetch_add(1, Ordering::Relaxed);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let trace_ctx = extract_trace_ctx(&mut frame);
+        let op = match &frame {
+            Value::Array(Some(parts)) => parts
+                .first()
+                .and_then(arg_str)
+                .map(|s| s.to_ascii_uppercase())
+                .unwrap_or_else(|| "?".into()),
+            _ => "?".into(),
+        };
         // Reply-side fault, decided after the command was read: the server
         // *received* (and below, applies) the command even when its answer
         // is lost — which is exactly what makes blind retries of
         // non-idempotent commands dangerous.
-        let action = fault.reply_action();
-        let reply = dispatch(frame, &db, &clock, max_memory, persist.as_ref());
+        let action = shared.fault.reply_action();
+        let queue = t0.elapsed();
+        let t_exec = Instant::now();
+        let mut reply = dispatch(
+            frame,
+            &shared.db,
+            &shared.clock,
+            shared.max_memory,
+            shared.persist.as_ref(),
+            &shared.registry,
+        );
+        let execute = t_exec.elapsed();
+        if let Some(cctx) = trace_ctx {
+            // Serialize cost comes from a probe render of the unwrapped
+            // reply: the span rides *inside* the reply, so it must exist
+            // before the real serialization.
+            let t_ser = Instant::now();
+            let mut probe = Vec::new();
+            let _ = write_value(&mut probe, &reply);
+            let serialize = t_ser.elapsed();
+            let span = obs::ServerSpan::new("miniredis", queue, execute, serialize);
+            let mut rec = obs::CompletedTrace::server_side(&cctx, &span, op);
+            rec.error = match (&action, &reply) {
+                (FaultAction::Reset, _) => Some("connection reset before reply".into()),
+                (FaultAction::ErrorReply, _) => Some("injected fault".into()),
+                (_, Value::Error(e)) => Some(e.clone()),
+                _ => None,
+            };
+            // Recorded even when the reply is about to be lost (Reset,
+            // partial writes): the command's *effect* was applied, and the
+            // trace proving that is what makes lost-reply retries auditable.
+            obs::FlightRecorder::global().record(rec);
+            // Error replies are never wrapped — error-reply handling must
+            // stay byte-identical for every client generation.
+            if !matches!(reply, Value::Error(_)) && !matches!(action, FaultAction::ErrorReply) {
+                reply = Value::Array(Some(vec![
+                    reply,
+                    Value::Bulk(Some(Bytes::from(
+                        format!("trace-span={}", span.encode()).into_bytes(),
+                    ))),
+                ]));
+            }
+        }
         match action {
             FaultAction::Reset => return Ok(()),
             FaultAction::ErrorReply => {
@@ -405,6 +492,7 @@ fn dispatch(
     clock: &AtomicU64,
     max_memory: u64,
     persist: Option<&PathBuf>,
+    registry: &obs::Registry,
 ) -> Value {
     let Value::Array(Some(parts)) = frame else {
         return err("expected command array");
@@ -416,6 +504,9 @@ fn dispatch(
         return err("command name must be a bulk string");
     };
     let cmd = cmd.to_ascii_uppercase();
+    registry
+        .counter("miniredis_commands_total", &[("cmd", &cmd)])
+        .inc();
     let args = parts.get(1..).unwrap_or_default();
     let now = now_millis();
     let tick = clock.fetch_add(1, Ordering::Relaxed);
@@ -800,6 +891,10 @@ fn dispatch(
                 Err(e) => err(format!("save failed: {e}")),
             },
         },
+        // Wire-scrapeable metrics: the registry's Prometheus text as one
+        // bulk string, so sidecar-less deployments can still be scraped
+        // through the data plane.
+        "METRICS" => Value::Bulk(Some(Bytes::from(registry.render_prometheus().into_bytes()))),
         "INFO" => {
             let g = db.lock();
             let body = format!(

@@ -9,6 +9,7 @@ use crate::server::{read_frame, write_frame, WireRequest, WireResponse};
 use crate::value::SqlValue;
 use kvapi::{Result, StoreError};
 use resilience::{DeadlineStream, IdlePool, Resilience, ResiliencePolicy, SharedDeadline};
+use serde::Deserialize;
 use std::io::{BufReader, BufWriter};
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -91,6 +92,29 @@ impl MiniSqlClient {
         Conn::open(self.addr, self.resilience.policy())
     }
 
+    /// Decode one response payload: lift the server span (spliced inside
+    /// the `ok` object by tracing-aware servers) into the active trace
+    /// scope, then deserialize the envelope. Old servers send no span;
+    /// old-shaped payloads decode identically.
+    fn decode_response(payload: &[u8]) -> Result<ResultSet> {
+        let val: serde::Value = serde_json::from_slice(payload)
+            .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
+        if let Some(span) = val
+            .get("ok")
+            .and_then(|ok| ok.get("span"))
+            .and_then(|s| s.as_str())
+            .and_then(obs::ServerSpan::decode)
+        {
+            obs::ctx::report_server_span(span);
+        }
+        let resp = WireResponse::from_value(&val)
+            .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
+        match resp {
+            WireResponse::Ok(rs) => Ok(rs),
+            WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
+        }
+    }
+
     /// Execute a statement verbatim.
     ///
     /// Statements are retried with backoff on a fresh connection after a
@@ -99,8 +123,44 @@ impl MiniSqlClient {
     /// reached the server (`write_frame` failed before its flush
     /// completed). The [`resilience::ReplayGuard`] carries that contract.
     pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        // Join the caller's active trace (child span) or become a new root.
+        // Minted once per *statement*, outside the retry loop, so every
+        // attempt shares one span identity.
+        let parent = obs::ctx::current();
+        let ctx = match parent {
+            Some(p) => p.child(),
+            None => obs::TraceContext::new_root(),
+        };
+        let (trace, scope) = if parent.is_none() {
+            let op = sql
+                .split_whitespace()
+                .next()
+                .unwrap_or("?")
+                .to_ascii_uppercase();
+            (
+                Some(obs::Trace::begin(op).with_ctx(ctx)),
+                Some(obs::ctx::activate(ctx)),
+            )
+        } else {
+            (None, None)
+        };
+        let result = self.execute_with_ctx(sql, ctx);
+        if let Some(mut t) = trace {
+            if let Some(s) = scope {
+                t.absorb_scope(s.finish());
+            }
+            if let Err(e) = &result {
+                t.set_error(e.to_string());
+            }
+            t.complete("minisql-client");
+        }
+        result
+    }
+
+    fn execute_with_ctx(&self, sql: &str, ctx: obs::TraceContext) -> Result<ResultSet> {
         let request = serde_json::to_vec(&WireRequest {
             sql: sql.to_string(),
+            ctx: Some(ctx.encode()),
         })
         .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))?;
         let read_only = sql
@@ -123,18 +183,26 @@ impl MiniSqlClient {
             conn.deadline.disarm();
             let payload = outcome?.ok_or(StoreError::Closed)?;
             self.pool.checkin(conn);
-            let resp: WireResponse = serde_json::from_slice(&payload)
-                .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
-            match resp {
-                WireResponse::Ok(rs) => Ok(rs),
-                WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
-            }
+            Self::decode_response(&payload)
         })
     }
 
     /// Execute with `?` parameter binding.
     pub fn execute_bound(&self, sql: &str, params: &[SqlValue]) -> Result<ResultSet> {
         self.execute(&bind(sql, params)?)
+    }
+
+    /// Scrape the server's metrics registry through the data plane: the
+    /// `METRICS` pseudo-statement answers one row holding the Prometheus
+    /// text exposition.
+    pub fn fetch_metrics(&self) -> Result<String> {
+        let rs = self.execute("METRICS")?;
+        match rs.scalar() {
+            Some(SqlValue::Text(text)) => Ok(text.clone()),
+            other => Err(StoreError::protocol(format!(
+                "expected one metrics cell, got {other:?}"
+            ))),
+        }
     }
 
     /// Execute statements back-to-back on one connection: every frame is
@@ -155,8 +223,11 @@ impl MiniSqlClient {
         let frames: Vec<Vec<u8>> = stmts
             .iter()
             .map(|sql| {
-                serde_json::to_vec(&WireRequest { sql: sql.clone() })
-                    .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))
+                serde_json::to_vec(&WireRequest {
+                    sql: sql.clone(),
+                    ctx: None,
+                })
+                .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))
             })
             .collect::<Result<_>>()?;
         // A batch is only safe to retry while no frame has reached the
@@ -366,6 +437,88 @@ mod tests {
         }
         let rs = setup.execute("SELECT COUNT(*) FROM c").unwrap();
         assert_eq!(rs.scalar(), Some(&SqlValue::Int(200)));
+    }
+
+    #[test]
+    fn metrics_statement_scrapes_prometheus_text() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = MiniSqlClient::connect(server.addr());
+        c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        c.execute("SELECT * FROM t").unwrap();
+        let text = c.fetch_metrics().unwrap();
+        assert!(
+            text.contains("minisql_statements_total{op=\"CREATE\",outcome=\"ok\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("minisql_statements_total{op=\"SELECT\",outcome=\"ok\"} 1"),
+            "{text}"
+        );
+        // The in-process registry agrees with the wire scrape.
+        assert!(server
+            .registry()
+            .render_prometheus()
+            .contains("minisql_statements_total"));
+    }
+
+    #[test]
+    fn traced_statements_join_the_server_span() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = MiniSqlClient::connect(server.addr());
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        let data = scope.finish();
+        assert_eq!(data.server_spans.len(), 2, "{:?}", data.server_spans);
+        assert!(data.server_spans.iter().all(|s| s.server == "minisql"));
+    }
+
+    #[test]
+    fn traced_statement_error_is_retained_by_the_recorder() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = MiniSqlClient::connect(server.addr());
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        assert!(c.execute("SELECT * FROM missing").is_err());
+        drop(scope);
+        let recs = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+        let rec = recs
+            .iter()
+            .find(|t| t.origin == "minisql")
+            .expect("server-side error trace retained");
+        assert_eq!(rec.op, "SELECT");
+        assert!(rec.error.is_some());
+    }
+
+    #[test]
+    fn old_wire_shapes_still_parse() {
+        // Mixed versions, old client → new server: a request without the
+        // ctx field must execute normally (the server already proved this
+        // for every execute_batch frame, which sends ctx: null — here we
+        // check a frame with the field entirely absent).
+        use crate::server::{read_frame, write_frame};
+        let server = SqlServer::start_in_memory().unwrap();
+        let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            br#"{"sql":"CREATE TABLE o (a INT PRIMARY KEY)"}"#,
+        )
+        .unwrap();
+        let payload = read_frame(&mut reader).unwrap().unwrap();
+        let text = String::from_utf8(payload).unwrap();
+        assert!(text.contains("\"ok\""), "{text}");
+        assert!(
+            !text.contains("span"),
+            "untraced request must not grow a span: {text}"
+        );
+        // Mixed versions, new client → old server: a response without a
+        // span decodes identically.
+        let rs = MiniSqlClient::decode_response(br#"{"ok":{"columns":[],"rows":[],"affected":3}}"#)
+            .unwrap();
+        assert_eq!(rs.affected, 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! serialized inside [`Database`].
 
 use crate::engine::{Database, ResultSet};
+use crate::value::SqlValue;
 use crate::wal::SyncMode;
 use kvapi::{Result, StoreError};
 use netsim::{FaultAction, FaultInjector, FaultModel};
@@ -16,6 +17,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Maximum accepted frame size (64 MiB).
 const MAX_FRAME: u32 = 64 * 1024 * 1024;
@@ -23,6 +25,9 @@ const MAX_FRAME: u32 = 64 * 1024 * 1024;
 #[derive(Serialize, Deserialize)]
 pub(crate) struct WireRequest {
     pub sql: String,
+    /// Encoded [`obs::TraceContext`]; absent (or null) from old clients.
+    #[serde(default)]
+    pub ctx: Option<String>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -97,6 +102,7 @@ pub struct SqlServer {
     conns: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
     db: Arc<Database>,
     fault: Arc<FaultInjector>,
+    registry: Arc<obs::Registry>,
 }
 
 impl SqlServer {
@@ -117,12 +123,14 @@ impl SqlServer {
         let conns: Arc<parking_lot::Mutex<Vec<TcpStream>>> =
             Arc::new(parking_lot::Mutex::new(Vec::new()));
         let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
+        let registry = Arc::new(obs::Registry::new());
 
         let accept_thread = {
             let shutdown = shutdown.clone();
             let conns = conns.clone();
             let db = db.clone();
             let fault = fault.clone();
+            let registry = registry.clone();
             Some(std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
@@ -140,8 +148,9 @@ impl SqlServer {
                     }
                     let db = db.clone();
                     let fault = fault.clone();
+                    let registry = registry.clone();
                     std::thread::spawn(move || {
-                        let _ = serve(stream, db, fault);
+                        let _ = serve(stream, db, fault, registry);
                     });
                 }
             }))
@@ -154,7 +163,14 @@ impl SqlServer {
             conns,
             db,
             fault,
+            registry,
         })
+    }
+
+    /// The server-side metrics registry (also scrapeable over the wire via
+    /// the `METRICS` pseudo-statement).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// Bound address.
@@ -200,35 +216,120 @@ impl Drop for SqlServer {
     }
 }
 
-fn serve(stream: TcpStream, db: Arc<Database>, fault: Arc<FaultInjector>) -> Result<()> {
+/// The `METRICS` pseudo-statement: one row, one column, the registry's
+/// Prometheus text — wire-scrapeable without a separate HTTP listener.
+fn metrics_result(registry: &obs::Registry) -> ResultSet {
+    ResultSet {
+        columns: vec!["metrics".to_string()],
+        rows: vec![vec![SqlValue::Text(registry.render_prometheus())]],
+        affected: 0,
+    }
+}
+
+fn serve(
+    stream: TcpStream,
+    db: Arc<Database>,
+    fault: Arc<FaultInjector>,
+    registry: Arc<obs::Registry>,
+) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(payload) = read_frame(&mut reader)? {
+        let t0 = Instant::now();
+        let parsed = serde_json::from_slice::<WireRequest>(&payload);
+        let trace_ctx = parsed
+            .as_ref()
+            .ok()
+            .and_then(|r| r.ctx.as_deref())
+            .and_then(obs::TraceContext::decode);
+        let op = match &parsed {
+            Ok(r) => r
+                .sql
+                .split_whitespace()
+                .next()
+                .unwrap_or("?")
+                .to_ascii_uppercase(),
+            Err(_) => "bad-request".to_string(),
+        };
+        // Queue wait: arrival to dispatch (frame parse, bookkeeping).
+        let queue = t0.elapsed();
+        let t_exec = Instant::now();
         // The statement always executes before the fault decision: an
         // injected failure models "reply lost after the effect applied",
         // which is exactly the case that makes blind replays dangerous.
-        let mut response = match serde_json::from_slice::<WireRequest>(&payload) {
+        let mut response = match &parsed {
             Err(e) => WireResponse::Err(format!("bad request: {e}")),
+            Ok(req) if req.sql.trim() == "METRICS" => WireResponse::Ok(metrics_result(&registry)),
             Ok(req) => match db.execute(&req.sql) {
                 Ok(rs) => WireResponse::Ok(rs),
                 Err(e) => WireResponse::Err(e.to_string()),
             },
         };
+        let execute = t_exec.elapsed();
+        registry
+            .counter(
+                "minisql_statements_total",
+                &[
+                    ("op", &op),
+                    (
+                        "outcome",
+                        match &response {
+                            WireResponse::Ok(_) => "ok",
+                            WireResponse::Err(_) => "err",
+                        },
+                    ),
+                ],
+            )
+            .inc();
         let action = fault.reply_action();
+        if matches!(action, FaultAction::ErrorReply) {
+            response = WireResponse::Err("injected fault".to_string());
+        }
+        let bytes = if let Some(cctx) = trace_ctx {
+            // Serialize cost comes from a probe render of the unspliced
+            // response: the span rides *inside* the reply, so it must
+            // exist before the real serialization.
+            let t_ser = Instant::now();
+            let mut val = serde_json::value_of(&response);
+            let _ = serde_json::value_to_string(&val);
+            let serialize = t_ser.elapsed();
+            let span = obs::ServerSpan::new("minisql", queue, execute, serialize);
+            let mut rec = obs::CompletedTrace::server_side(&cctx, &span, op);
+            rec.error = match (&action, &response) {
+                (FaultAction::Reset, _) => Some("connection reset before reply".into()),
+                (_, WireResponse::Err(e)) => Some(e.clone()),
+                _ => None,
+            };
+            // Recorded even when the reply is about to be lost (Reset,
+            // partial writes): the statement's *effect* was applied, and
+            // the trace proving that makes lost-reply retries auditable.
+            obs::FlightRecorder::global().record(rec);
+            // Splice the span *inside* the ok object — the response
+            // envelope must keep exactly one top-level key, and unknown
+            // fields inside a result set are ignored by every client
+            // generation. Error responses carry no span.
+            if let serde::Value::Object(pairs) = &mut val {
+                if let Some((_, serde::Value::Object(ok_pairs))) =
+                    pairs.iter_mut().find(|(k, _)| k == "ok")
+                {
+                    ok_pairs.push(("span".to_string(), serde::Value::String(span.encode())));
+                }
+            }
+            serde_json::value_to_string(&val).into_bytes()
+        } else {
+            // A response that fails to serialize must not kill the
+            // connection: degrade to an in-band error the client can
+            // surface.
+            serde_json::to_vec(&response)
+                .unwrap_or_else(|_| br#"{"err":"response serialization failed"}"#.to_vec())
+        };
         match action {
             FaultAction::Reset => return Ok(()),
-            FaultAction::ErrorReply => {
-                response = WireResponse::Err("injected fault".to_string());
+            FaultAction::Stall(d) => {
+                std::thread::sleep(d);
+                write_frame(&mut writer, &bytes)?;
             }
-            FaultAction::Stall(d) => std::thread::sleep(d),
-            FaultAction::Deliver | FaultAction::Dribble(_) | FaultAction::PartialWrite => {}
-        }
-        // A response that fails to serialize must not kill the connection:
-        // degrade to an in-band error the client can surface.
-        let bytes = serde_json::to_vec(&response)
-            .unwrap_or_else(|_| br#"{"err":"response serialization failed"}"#.to_vec());
-        match action {
             FaultAction::Dribble(delay) => {
                 let mut wire = Vec::with_capacity(4 + bytes.len());
                 write_frame(&mut wire, &bytes)?;
@@ -246,7 +347,7 @@ fn serve(stream: TcpStream, db: Arc<Database>, fault: Arc<FaultInjector>) -> Res
                 writer.flush()?;
                 return Ok(());
             }
-            _ => write_frame(&mut writer, &bytes)?,
+            FaultAction::Deliver | FaultAction::ErrorReply => write_frame(&mut writer, &bytes)?,
         }
     }
     Ok(())

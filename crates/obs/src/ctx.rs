@@ -1,0 +1,402 @@
+//! Distributed trace context: ids, wire encodings, and thread-local
+//! propagation.
+//!
+//! A [`TraceContext`] names one logical client operation (128-bit trace id)
+//! and one span within it (64-bit span id). Clients generate a root context
+//! once per operation — **outside** any retry boundary, so every attempt
+//! shares the same ids (xlint's `trace-ctx-loss` rule enforces this) — and
+//! propagate a child context over each wire protocol:
+//!
+//! * cloudstore — `x-trace-ctx` request header, `x-server-span` response
+//!   header;
+//! * miniredis — trailing `trace-ctx=<ctx>` bulk argument, `trace-span=`
+//!   bulk in a two-element reply wrapper;
+//! * minisql — `ctx` field in the request frame, `span` field spliced into
+//!   the response frame.
+//!
+//! Ids come from a process-wide seeded RNG, so a fixed-seed run produces
+//! the same trace ids every time — chaos failures reproduce bit-for-bit,
+//! trace ids included.
+//!
+//! The thread-local scope ([`activate`] / [`current`]) is how layers
+//! communicate without parameter threading: the owner of a trace activates
+//! its context, nested layers (resilience retries, store clients receiving
+//! server spans) report into the active scope via [`report_event`] /
+//! [`report_server_span`], and the owner drains the scope into its
+//! [`crate::Trace`] when the operation completes.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Seed for the trace-id generator (deterministic runs).
+const ID_SEED: u64 = 0x7ace;
+
+fn id_rng() -> &'static Mutex<SmallRng> {
+    static RNG: OnceLock<Mutex<SmallRng>> = OnceLock::new();
+    RNG.get_or_init(|| Mutex::new(SmallRng::seed_from_u64(ID_SEED)))
+}
+
+/// A fresh non-zero 64-bit span id from the seeded id generator.
+pub fn fresh_span_id() -> u64 {
+    let mut rng = id_rng().lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let id = rng.next_u64();
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+fn fresh_trace_id() -> u128 {
+    let mut rng = id_rng().lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let id = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// The identity of one span within one distributed trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit id shared by every span of one logical operation.
+    pub trace_id: u128,
+    /// This span's 64-bit id.
+    pub span_id: u64,
+    /// The parent span's id (`None` for a root span).
+    pub parent_id: Option<u64>,
+    /// Sampling hint carried on the wire (retention is decided by the
+    /// flight recorder's tail sampler, not here).
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A new root context with fresh trace and span ids.
+    ///
+    /// Call this once per logical operation, *before* entering any retry
+    /// helper — a context minted inside a retry closure gives every attempt
+    /// a different trace and the attempts can never be joined.
+    pub fn new_root() -> TraceContext {
+        TraceContext {
+            trace_id: fresh_trace_id(),
+            span_id: fresh_span_id(),
+            parent_id: None,
+            sampled: true,
+        }
+    }
+
+    /// A child context: same trace, fresh span id, parented to this span.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: fresh_span_id(),
+            parent_id: Some(self.span_id),
+            sampled: self.sampled,
+        }
+    }
+
+    /// Wire encoding: `<trace:032x>-<span:016x>-<parent:016x|empty>-<0|1>`.
+    pub fn encode(&self) -> String {
+        let parent = match self.parent_id {
+            Some(p) => format!("{p:016x}"),
+            None => String::new(),
+        };
+        format!(
+            "{:032x}-{:016x}-{parent}-{}",
+            self.trace_id,
+            self.span_id,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parse the wire encoding; `None` on any malformed input (old peers,
+    /// corruption — the caller must treat this as "no context").
+    pub fn decode(s: &str) -> Option<TraceContext> {
+        let mut parts = s.split('-');
+        let trace_id = u128::from_str_radix(parts.next()?, 16).ok()?;
+        let span_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let parent = parts.next()?;
+        let parent_id = if parent.is_empty() {
+            None
+        } else {
+            Some(u64::from_str_radix(parent, 16).ok()?)
+        };
+        let sampled = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        if parts.next().is_some() || trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            parent_id,
+            sampled,
+        })
+    }
+}
+
+/// A server's account of one request it served, returned to the client in
+/// the response for client-side trace assembly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerSpan {
+    /// Which server produced the span (`miniredis`, `minisql`,
+    /// `cloudstore`). Must contain no whitespace — it is the first field of
+    /// the space-separated wire encoding.
+    pub server: String,
+    /// The server-side span id (parented to the client's span).
+    pub span_id: u64,
+    /// Time the request waited between arrival and execution.
+    pub queue_ns: u64,
+    /// Time spent executing the operation.
+    pub execute_ns: u64,
+    /// Time spent serializing the response.
+    pub serialize_ns: u64,
+}
+
+impl ServerSpan {
+    /// A span with a fresh id from measured stage durations.
+    pub fn new(
+        server: &str,
+        queue: std::time::Duration,
+        execute: std::time::Duration,
+        serialize: std::time::Duration,
+    ) -> ServerSpan {
+        let ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        ServerSpan {
+            server: server.to_string(),
+            span_id: fresh_span_id(),
+            queue_ns: ns(queue),
+            execute_ns: ns(execute),
+            serialize_ns: ns(serialize),
+        }
+    }
+
+    /// Wire encoding: `<server> <span:016x> <queue> <execute> <serialize>`.
+    pub fn encode(&self) -> String {
+        format!(
+            "{} {:016x} {} {} {}",
+            self.server, self.span_id, self.queue_ns, self.execute_ns, self.serialize_ns
+        )
+    }
+
+    /// Parse the wire encoding; `None` on malformed input.
+    pub fn decode(s: &str) -> Option<ServerSpan> {
+        let mut parts = s.split_whitespace();
+        let server = parts.next()?.to_string();
+        let span_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let queue_ns: u64 = parts.next()?.parse().ok()?;
+        let execute_ns: u64 = parts.next()?.parse().ok()?;
+        let serialize_ns: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(ServerSpan {
+            server,
+            span_id,
+            queue_ns,
+            execute_ns,
+            serialize_ns,
+        })
+    }
+}
+
+struct ScopeState {
+    ctx: TraceContext,
+    events: Vec<(Instant, String, String)>,
+    server_spans: Vec<ServerSpan>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+/// Everything reported into a scope while it was active.
+#[derive(Default)]
+pub struct ScopeData {
+    /// `(when, name, detail)` events, in report order.
+    pub events: Vec<(Instant, String, String)>,
+    /// Server spans received from responses, in arrival order.
+    pub server_spans: Vec<ServerSpan>,
+}
+
+/// RAII handle for an activated scope; call [`ContextScope::finish`] to
+/// collect what was reported. Dropping without finishing restores the outer
+/// scope and discards the collected data (panic safety).
+pub struct ContextScope {
+    prev: Option<ScopeState>,
+    armed: bool,
+}
+
+/// Make `ctx` the current thread's active trace context. Nested activations
+/// shadow the outer scope until finished/dropped.
+pub fn activate(ctx: TraceContext) -> ContextScope {
+    let prev = ACTIVE.with(|a| {
+        a.borrow_mut().replace(ScopeState {
+            ctx,
+            events: Vec::new(),
+            server_spans: Vec::new(),
+        })
+    });
+    ContextScope { prev, armed: true }
+}
+
+impl ContextScope {
+    /// Deactivate, restoring any outer scope, and return what nested layers
+    /// reported while this scope was active.
+    pub fn finish(mut self) -> ScopeData {
+        self.armed = false;
+        let state = ACTIVE.with(|a| a.borrow_mut().take());
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+        match state {
+            Some(s) => ScopeData {
+                events: s.events,
+                server_spans: s.server_spans,
+            },
+            None => ScopeData::default(),
+        }
+    }
+}
+
+impl Drop for ContextScope {
+    fn drop(&mut self) {
+        if self.armed {
+            ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+        }
+    }
+}
+
+/// The active trace context, if any. Store clients use this to decide
+/// whether to join an enclosing trace (child context) or start their own
+/// root.
+pub fn current() -> Option<TraceContext> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|s| s.ctx))
+}
+
+/// Record a structured event (`retry`, `breaker`, `deadline`, `cache`, …)
+/// into the active scope. No-op when no scope is active.
+pub fn report_event(name: &str, detail: impl Into<String>) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.events
+                .push((Instant::now(), name.to_string(), detail.into()));
+        }
+    });
+}
+
+/// Record a server span received in a response into the active scope.
+/// No-op when no scope is active.
+pub fn report_server_span(span: ServerSpan) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.server_spans.push(span);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_encode_decode_round_trips() {
+        let root = TraceContext::new_root();
+        assert_eq!(TraceContext::decode(&root.encode()), Some(root));
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, Some(root.span_id));
+        assert_ne!(child.span_id, root.span_id);
+        assert_eq!(TraceContext::decode(&child.encode()), Some(child));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        for bad in [
+            "",
+            "zz",
+            "0-0--1",
+            "deadbeef-cafe--2",
+            "deadbeef-cafe--1-extra",
+            "deadbeef-cafe-",
+        ] {
+            assert_eq!(TraceContext::decode(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn server_span_round_trips() {
+        let span = ServerSpan {
+            server: "miniredis".to_string(),
+            span_id: 0xabcd,
+            queue_ns: 10,
+            execute_ns: 20,
+            serialize_ns: 30,
+        };
+        assert_eq!(ServerSpan::decode(&span.encode()), Some(span));
+        assert_eq!(ServerSpan::decode("junk"), None);
+        assert_eq!(ServerSpan::decode("s 10 1 2 3 4"), None);
+    }
+
+    #[test]
+    fn scope_collects_and_restores() {
+        assert!(current().is_none());
+        let outer_ctx = TraceContext::new_root();
+        let outer = activate(outer_ctx);
+        assert_eq!(current(), Some(outer_ctx));
+        report_event("retry", "attempt=2");
+
+        // A nested scope shadows, then restores the outer one.
+        let inner_ctx = outer_ctx.child();
+        let inner = activate(inner_ctx);
+        assert_eq!(current(), Some(inner_ctx));
+        report_event("inner", "x");
+        let inner_data = inner.finish();
+        assert_eq!(inner_data.events.len(), 1);
+        assert_eq!(inner_data.events[0].1, "inner");
+
+        assert_eq!(current(), Some(outer_ctx));
+        report_server_span(ServerSpan {
+            server: "minisql".to_string(),
+            span_id: 7,
+            queue_ns: 1,
+            execute_ns: 2,
+            serialize_ns: 3,
+        });
+        let data = outer.finish();
+        assert!(current().is_none());
+        assert_eq!(data.events.len(), 1);
+        assert_eq!(data.events[0].1, "retry");
+        assert_eq!(data.server_spans.len(), 1);
+    }
+
+    #[test]
+    fn reports_without_scope_are_noops() {
+        report_event("retry", "attempt=2");
+        report_server_span(ServerSpan {
+            server: "x".to_string(),
+            span_id: 1,
+            queue_ns: 0,
+            execute_ns: 0,
+            serialize_ns: 0,
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn dropped_scope_restores_outer() {
+        let outer_ctx = TraceContext::new_root();
+        let outer = activate(outer_ctx);
+        {
+            let _inner = activate(outer_ctx.child());
+            assert_ne!(current(), Some(outer_ctx));
+        }
+        assert_eq!(current(), Some(outer_ctx));
+        outer.finish();
+    }
+}

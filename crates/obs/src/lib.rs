@@ -10,7 +10,13 @@
 //!   exposition or JSON; [`global()`] is the process-wide default;
 //! * [`trace`] — a per-request [`Trace`] that times named pipeline stages
 //!   (`cache_lookup`, `decompress`, `decrypt`, `net_rtt`, `store_io`, ...)
-//!   and publishes them as per-stage histograms plus a recent-trace ring.
+//!   and publishes them as per-stage histograms plus a recent-trace ring;
+//! * [`ctx`] — distributed-trace identity ([`TraceContext`], [`ServerSpan`])
+//!   with per-protocol wire encodings and a thread-local propagation scope
+//!   connecting nested layers to the trace that owns the operation;
+//! * [`recorder`] — an always-on tail-sampling [`FlightRecorder`] (bounded
+//!   lock-sharded ring) that retains every error trace, everything slower
+//!   than a rolling p99, and a small uniform sample of fast successes.
 //!
 //! Metric naming scheme used across the workspace:
 //!
@@ -23,13 +29,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ctx;
 pub mod hist;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use ctx::{ServerSpan, TraceContext};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
-pub use registry::{global, Counter, Gauge, Registry};
-pub use trace::{CompletedTrace, Trace};
+pub use recorder::FlightRecorder;
+pub use registry::{global, Counter, Exemplar, Gauge, Registry};
+pub use trace::{CompletedTrace, Trace, TraceEvent};
 
 #[cfg(test)]
 mod concurrency_tests {

@@ -1,0 +1,337 @@
+//! Always-on tail-sampling flight recorder.
+//!
+//! Every completed trace — client- and server-side — is offered to the
+//! recorder; a tail sampler decides retention *after* the outcome is known
+//! (hence "tail"): errors are always kept, anything slower than a rolling
+//! p99 of recent totals is kept, and fast successes are uniformly sampled
+//! at 1-in-32 (≈3%, under the 5% budget) so the recorder always holds a
+//! baseline to compare outliers against. Storage is a lock-sharded ring
+//! with a hard byte ceiling: each shard evicts oldest-first until a new
+//! entry fits, and an entry larger than a whole shard is dropped rather
+//! than breaking the bound.
+//!
+//! Client and server halves of one distributed trace share a trace id and
+//! therefore land in the same shard, so [`FlightRecorder::by_trace_id`] is
+//! a single-shard scan.
+
+use crate::hist::LatencyHistogram;
+use crate::trace::CompletedTrace;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of independently locked shards.
+const SHARDS: usize = 8;
+/// Default total byte ceiling across all shards (1 MiB).
+pub const DEFAULT_BYTE_CEILING: usize = 1 << 20;
+/// Samples required before the rolling-p99 slow rule activates.
+const P99_WARMUP: u64 = 100;
+/// Fast successes kept: one in this many (≈3.1%).
+const FAST_SAMPLE: u64 = 32;
+
+#[derive(Default)]
+struct Shard {
+    entries: VecDeque<(u64, CompletedTrace)>,
+    bytes: usize,
+}
+
+/// A bounded, sharded store of sampled [`CompletedTrace`]s.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<Shard>>,
+    shard_ceiling: usize,
+    totals: LatencyHistogram,
+    seen: AtomicU64,
+    kept: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder bounded to roughly `byte_ceiling` bytes of retained
+    /// traces (hard bound: [`FlightRecorder::bytes_used`] never exceeds it).
+    pub fn new(byte_ceiling: usize) -> FlightRecorder {
+        FlightRecorder {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_ceiling: (byte_ceiling / SHARDS).max(1),
+            totals: LatencyHistogram::new(),
+            seen: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide recorder every trace completion feeds.
+    pub fn global() -> &'static FlightRecorder {
+        static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+        GLOBAL.get_or_init(|| FlightRecorder::new(DEFAULT_BYTE_CEILING))
+    }
+
+    /// Offer a completed trace; the tail sampler decides whether it is
+    /// retained. Returns `true` when the trace was kept.
+    pub fn record(&self, trace: CompletedTrace) -> bool {
+        let seq = self.seen.fetch_add(1, Ordering::Relaxed);
+        let total_ns = u64::try_from(trace.total.as_nanos()).unwrap_or(u64::MAX);
+        let snap = self.totals.snapshot();
+        self.totals.record(total_ns);
+        // "Slow" means a strictly higher log-linear bucket than the rolling
+        // p99 — a value inside the p99's own bucket is within the
+        // histogram's resolution, not an outlier (and under a uniform load
+        // it would otherwise match every single trace).
+        let slow = snap.count >= P99_WARMUP
+            && crate::hist::bucket_index(total_ns) > crate::hist::bucket_index(snap.p99());
+        let keep = trace.error.is_some() || slow || seq.is_multiple_of(FAST_SAMPLE);
+        if !keep {
+            return false;
+        }
+        let cost = approx_bytes(&trace);
+        if cost > self.shard_ceiling {
+            return false;
+        }
+        let idx = shard_index(&trace, seq);
+        let mut shard = lock(&self.shards[idx]);
+        while shard.bytes.saturating_add(cost) > self.shard_ceiling {
+            match shard.entries.pop_front() {
+                Some((_, old)) => shard.bytes = shard.bytes.saturating_sub(approx_bytes(&old)),
+                None => break,
+            }
+        }
+        shard.bytes = shard.bytes.saturating_add(cost);
+        shard.entries.push_back((seq, trace));
+        drop(shard);
+        self.kept.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Every retained entry (client and server) belonging to one trace id,
+    /// oldest first.
+    pub fn by_trace_id(&self, trace_id: u128) -> Vec<CompletedTrace> {
+        let idx = usize::try_from(trace_id % SHARDS as u128).unwrap_or(0);
+        let shard = lock(&self.shards[idx]);
+        shard
+            .entries
+            .iter()
+            .filter(|(_, t)| t.ctx.map(|c| c.trace_id) == Some(trace_id))
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+
+    /// The `n` most recently retained traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<CompletedTrace> {
+        let mut all = self.all_with_seq();
+        all.sort_by_key(|e| std::cmp::Reverse(e.0));
+        all.into_iter().take(n).map(|(_, t)| t).collect()
+    }
+
+    /// The `n` slowest retained traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<CompletedTrace> {
+        let mut all = self.all_with_seq();
+        all.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(&b.0)));
+        all.into_iter().take(n).map(|(_, t)| t).collect()
+    }
+
+    /// Every retained trace that completed with an error, newest first.
+    pub fn errors(&self) -> Vec<CompletedTrace> {
+        let mut all = self.all_with_seq();
+        all.sort_by_key(|e| std::cmp::Reverse(e.0));
+        all.into_iter()
+            .filter(|(_, t)| t.error.is_some())
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// Traces offered to the recorder since startup.
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Traces retained by the tail sampler since startup (retained does not
+    /// imply still resident — old entries are evicted by the byte ceiling).
+    pub fn kept(&self) -> u64 {
+        self.kept.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes currently held across all shards.
+    pub fn bytes_used(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock(s).bytes)
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// The configured total byte ceiling.
+    pub fn byte_ceiling(&self) -> usize {
+        self.shard_ceiling.saturating_mul(SHARDS)
+    }
+
+    /// All retained traces as a JSON array (the `GET /trace` payload),
+    /// newest first.
+    pub fn render_json(&self) -> String {
+        let traces = self.recent(usize::MAX);
+        let mut out = String::from("[");
+        for (i, t) in traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    fn all_with_seq(&self) -> Vec<(u64, CompletedTrace)> {
+        let mut all = Vec::new();
+        for s in &self.shards {
+            let shard = lock(s);
+            all.extend(shard.entries.iter().cloned());
+        }
+        all
+    }
+}
+
+fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn shard_index(trace: &CompletedTrace, seq: u64) -> usize {
+    let key = match trace.ctx {
+        Some(c) => c.trace_id,
+        None => u128::from(seq),
+    };
+    usize::try_from(key % SHARDS as u128).unwrap_or(0)
+}
+
+fn approx_bytes(t: &CompletedTrace) -> usize {
+    let mut n = std::mem::size_of::<CompletedTrace>();
+    n = n.saturating_add(t.origin.len()).saturating_add(t.op.len());
+    n = n.saturating_add(t.stages.len().saturating_mul(24));
+    for e in &t.events {
+        n = n
+            .saturating_add(48)
+            .saturating_add(e.name.len())
+            .saturating_add(e.detail.len());
+    }
+    for s in &t.server_spans {
+        n = n.saturating_add(48).saturating_add(s.server.len());
+    }
+    n.saturating_add(t.error.as_ref().map_or(0, String::len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::TraceContext;
+    use std::time::Duration;
+
+    fn mk(trace_id: u128, total_ms: u64, error: Option<&str>) -> CompletedTrace {
+        CompletedTrace {
+            origin: "test".to_string(),
+            op: "get".to_string(),
+            total: Duration::from_millis(total_ms),
+            stages: Vec::new(),
+            other: Duration::from_millis(total_ms),
+            ctx: Some(TraceContext {
+                trace_id,
+                span_id: 1,
+                parent_id: None,
+                sampled: true,
+            }),
+            events: Vec::new(),
+            server_spans: Vec::new(),
+            error: error.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn errors_are_always_retained_and_fast_successes_sampled() {
+        let rec = FlightRecorder::new(DEFAULT_BYTE_CEILING);
+        let mut error_ids = Vec::new();
+        for i in 0..10_000u64 {
+            // Every 1000th op fails; the rest are uniformly fast.
+            if i % 1000 == 999 {
+                let id = u128::from(i) + 1;
+                rec.record(mk(id, 1, Some("boom")));
+                error_ids.push(id);
+            } else {
+                rec.record(mk(u128::from(i) + 1_000_000, 1, None));
+            }
+        }
+        for id in &error_ids {
+            assert!(
+                rec.by_trace_id(*id).iter().any(|t| t.error.is_some()),
+                "error trace {id} was not retained"
+            );
+        }
+        assert_eq!(rec.errors().len(), error_ids.len());
+        // Fast successes: ≤5% of the 10k-op sweep.
+        let fast_kept = rec.kept() - error_ids.len() as u64;
+        assert!(
+            fast_kept <= 500,
+            "kept {fast_kept} fast successes out of ~10k (>5%)"
+        );
+        assert!(fast_kept > 0, "uniform sample kept nothing");
+        assert_eq!(rec.seen(), 10_000);
+    }
+
+    #[test]
+    fn slow_traces_are_retained_after_warmup() {
+        let rec = FlightRecorder::new(DEFAULT_BYTE_CEILING);
+        for i in 0..500u64 {
+            rec.record(mk(u128::from(i) + 1, 1, None));
+        }
+        // Far beyond the rolling p99 of the 1 ms baseline.
+        assert!(rec.record(mk(0xdead, 250, None)));
+        let got = rec.by_trace_id(0xdead);
+        assert_eq!(got.len(), 1);
+        assert!(rec.slowest(1)[0].total >= Duration::from_millis(250));
+    }
+
+    #[test]
+    fn byte_ceiling_is_a_hard_bound() {
+        let ceiling = 16 * 1024;
+        let rec = FlightRecorder::new(ceiling);
+        for i in 0..5_000u64 {
+            // Errors bypass sampling, so every record is an insert attempt.
+            rec.record(mk(u128::from(i) + 1, 1, Some("x")));
+            assert!(
+                rec.bytes_used() <= rec.byte_ceiling(),
+                "bytes_used {} exceeded ceiling {}",
+                rec.bytes_used(),
+                rec.byte_ceiling()
+            );
+        }
+        assert!(rec.byte_ceiling() <= ceiling);
+        assert!(rec.recent(10).len() == 10, "ring should still hold entries");
+    }
+
+    #[test]
+    fn oversized_traces_are_dropped_not_kept() {
+        let rec = FlightRecorder::new(256);
+        let mut big = mk(1, 1, Some("x"));
+        big.error = Some("y".repeat(4096));
+        assert!(!rec.record(big));
+        assert_eq!(rec.kept(), 0);
+        assert!(rec.by_trace_id(1).is_empty());
+    }
+
+    #[test]
+    fn recent_orders_newest_first() {
+        let rec = FlightRecorder::new(DEFAULT_BYTE_CEILING);
+        for i in 1..=5u128 {
+            rec.record(mk(i, 1, Some("e")));
+        }
+        let recent = rec.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].ctx.unwrap().trace_id, 5);
+        assert_eq!(recent[1].ctx.unwrap().trace_id, 4);
+    }
+
+    #[test]
+    fn render_json_is_a_well_formed_array() {
+        let rec = FlightRecorder::new(DEFAULT_BYTE_CEILING);
+        rec.record(mk(0xabc, 2, None));
+        rec.record(mk(0xdef, 3, Some("boom")));
+        let json = rec.render_json();
+        let parsed = serde_json::from_slice::<serde_json::Value>(json.as_bytes()).unwrap();
+        let arr = parsed.as_array().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert!(json.contains("00000000000000000000000000000abc"));
+        assert!(json.contains("boom"));
+    }
+}

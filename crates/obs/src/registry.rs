@@ -119,6 +119,18 @@ enum Metric {
     Histogram(Arc<LatencyHistogram>),
 }
 
+/// A histogram exemplar: the trace behind an extreme observation. Rendered
+/// in OpenMetrics form (`... # {trace_id="..."} value`) on the bucket that
+/// contains the observation, so a p99 spike in a dashboard links directly
+/// to a captured trace in the flight recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (nanoseconds for latency histograms).
+    pub value: u64,
+    /// The trace that produced it.
+    pub trace_id: u128,
+}
+
 /// How many completed traces the registry retains for dumping.
 pub const RECENT_TRACES: usize = 64;
 
@@ -128,6 +140,7 @@ pub const RECENT_TRACES: usize = 64;
 pub struct Registry {
     metrics: Mutex<BTreeMap<MetricKey, Metric>>,
     recent: Mutex<Vec<CompletedTrace>>,
+    exemplars: Mutex<BTreeMap<MetricKey, Exemplar>>,
 }
 
 impl Registry {
@@ -175,6 +188,34 @@ impl Registry {
         }
     }
 
+    /// Offer an exemplar for the histogram `name{labels}`. The registry
+    /// keeps the largest-valued exemplar per histogram, so the retained one
+    /// always sits in the highest occupied bucket (the p99 tail).
+    pub fn observe_exemplar(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: u64,
+        trace_id: u128,
+    ) {
+        let key = MetricKey::new(name, labels);
+        let mut exemplars = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = exemplars.entry(key).or_insert(Exemplar { value, trace_id });
+        if value >= slot.value {
+            *slot = Exemplar { value, trace_id };
+        }
+    }
+
+    /// The retained exemplar for `name{labels}`, if any.
+    pub fn exemplar(&self, name: &str, labels: &[(&str, &str)]) -> Option<Exemplar> {
+        let key = MetricKey::new(name, labels);
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .copied()
+    }
+
     /// Record a completed trace into the bounded recent-trace ring.
     pub(crate) fn push_trace(&self, trace: CompletedTrace) {
         let mut recent = self.recent.lock().unwrap_or_else(|e| e.into_inner());
@@ -220,27 +261,53 @@ impl Registry {
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
                     let base = key.name.clone();
+                    // OpenMetrics exemplar: attached to the first bucket
+                    // whose upper bound contains the exemplar's value.
+                    let exemplar = self
+                        .exemplars
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get(key)
+                        .copied();
+                    let mut exemplar_pending = exemplar;
                     for (le, cumulative) in snap.cumulative() {
                         let bucket_key = MetricKey {
                             name: format!("{base}_bucket"),
                             labels: key.labels.clone(),
                         };
-                        let _ = writeln!(
+                        let _ = write!(
                             out,
                             "{} {cumulative}",
                             bucket_key.render_with(&[("le".to_string(), le.to_string())])
                         );
+                        match exemplar_pending {
+                            Some(ex) if ex.value <= le => {
+                                let _ = write!(
+                                    out,
+                                    " # {{trace_id=\"{:032x}\"}} {}",
+                                    ex.trace_id, ex.value
+                                );
+                                exemplar_pending = None;
+                            }
+                            _ => {}
+                        }
+                        out.push('\n');
                     }
                     let inf_key = MetricKey {
                         name: format!("{base}_bucket"),
                         labels: key.labels.clone(),
                     };
-                    let _ = writeln!(
+                    let _ = write!(
                         out,
                         "{} {}",
                         inf_key.render_with(&[("le".to_string(), "+Inf".to_string())]),
                         snap.count
                     );
+                    if let Some(ex) = exemplar_pending {
+                        let _ =
+                            write!(out, " # {{trace_id=\"{:032x}\"}} {}", ex.trace_id, ex.value);
+                    }
+                    out.push('\n');
                     let sum_key = MetricKey {
                         name: format!("{base}_sum"),
                         labels: key.labels.clone(),
@@ -374,6 +441,47 @@ mod tests {
             v.get("lat").unwrap().get("count"),
             Some(&serde_json::Value::Int(1))
         );
+    }
+
+    #[test]
+    fn exemplar_keeps_max_and_renders_on_containing_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ns", &[("op", "get")]);
+        h.record(100);
+        h.record(90_000);
+        reg.observe_exemplar("lat_ns", &[("op", "get")], 100, 0x1);
+        reg.observe_exemplar("lat_ns", &[("op", "get")], 90_000, 0x2);
+        reg.observe_exemplar("lat_ns", &[("op", "get")], 50, 0x3); // smaller: ignored
+        assert_eq!(
+            reg.exemplar("lat_ns", &[("op", "get")]),
+            Some(Exemplar {
+                value: 90_000,
+                trace_id: 0x2
+            })
+        );
+        let text = reg.render_prometheus();
+        let ex_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("# {trace_id="))
+            .collect();
+        assert_eq!(ex_lines.len(), 1, "{text}");
+        let line = ex_lines[0];
+        assert!(line.starts_with("lat_ns_bucket"), "{line}");
+        assert!(
+            line.contains(&format!("# {{trace_id=\"{:032x}\"}} 90000", 0x2)),
+            "{line}"
+        );
+        // The exemplar sits in a bucket whose bound contains its value.
+        let le: u64 = line
+            .split("le=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(le >= 90_000, "{line}");
     }
 
     #[test]

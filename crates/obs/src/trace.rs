@@ -2,32 +2,58 @@
 //!
 //! A [`Trace`] accompanies one logical operation (a DSCL `get`, a server
 //! request) and records how long each named stage took — `cache_lookup`,
-//! `decompress`, `net_rtt`, ... Finishing a trace publishes each stage into
-//! per-stage histograms in a [`Registry`] and pushes the trace onto the
-//! registry's recent-trace ring for dumping.
+//! `decompress`, `net_rtt`, ... A trace may carry a [`TraceContext`]
+//! (distributed identity), structured [`TraceEvent`]s (retries, breaker
+//! transitions, cache hits), and [`ServerSpan`]s returned by servers over
+//! the wire. Finishing a trace publishes each stage into per-stage
+//! histograms in a [`Registry`], attaches a histogram exemplar linking the
+//! p99 bucket back to the trace id, pushes the trace onto the registry's
+//! recent-trace ring, and offers it to the global flight recorder.
 //!
 //! Stage timings are measured inside the operation, so their sum is always
-//! ≤ the trace's total wall-clock time (the remainder is untimed glue).
+//! ≤ the trace's total wall-clock time; the remainder is reported as the
+//! explicit [`CompletedTrace::other`] duration so waterfalls sum to wall
+//! time instead of silently under-reporting.
 
 use std::time::{Duration, Instant};
 
+use crate::ctx::{ScopeData, ServerSpan, TraceContext};
 use crate::registry::Registry;
 
 /// An in-flight trace.
 pub struct Trace {
-    op: &'static str,
+    op: String,
     started: Instant,
     stages: Vec<(&'static str, Duration)>,
+    ctx: Option<TraceContext>,
+    events: Vec<TraceEvent>,
+    server_spans: Vec<ServerSpan>,
+    error: Option<String>,
 }
 
 impl Trace {
     /// Start a trace for one operation.
-    pub fn begin(op: &'static str) -> Trace {
+    pub fn begin(op: impl Into<String>) -> Trace {
         Trace {
-            op,
+            op: op.into(),
             started: Instant::now(),
             stages: Vec::with_capacity(8),
+            ctx: None,
+            events: Vec::new(),
+            server_spans: Vec::new(),
+            error: None,
         }
+    }
+
+    /// Attach a distributed-trace identity.
+    pub fn with_ctx(mut self, ctx: TraceContext) -> Trace {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    /// The trace's distributed identity, if any.
+    pub fn ctx(&self) -> Option<TraceContext> {
+        self.ctx
     }
 
     /// Time a closure as one named stage. Stages repeat if called twice
@@ -44,45 +70,164 @@ impl Trace {
         self.stages.push((stage, d));
     }
 
+    /// Record a structured event at the current offset from trace start.
+    pub fn event(&mut self, name: impl Into<String>, detail: impl Into<String>) {
+        self.events.push(TraceEvent {
+            at: self.started.elapsed(),
+            name: name.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Attach a server span returned over the wire.
+    pub fn add_server_span(&mut self, span: ServerSpan) {
+        self.server_spans.push(span);
+    }
+
+    /// Absorb what nested layers reported into a context scope while this
+    /// operation ran (event instants become offsets from trace start).
+    pub fn absorb_scope(&mut self, data: ScopeData) {
+        for (at, name, detail) in data.events {
+            self.events.push(TraceEvent {
+                at: at.duration_since(self.started),
+                name,
+                detail,
+            });
+        }
+        self.server_spans.extend(data.server_spans);
+    }
+
+    /// Mark the operation as failed.
+    pub fn set_error(&mut self, msg: impl Into<String>) {
+        self.error = Some(msg.into());
+    }
+
     /// End the trace: record per-stage and total latency histograms into
     /// `registry` (`<prefix>_stage_duration_ns{op=..., stage=...}` and
-    /// `<prefix>_op_duration_ns{op=...}`) and keep the trace in the
-    /// registry's recent ring.
+    /// `<prefix>_op_duration_ns{op=...}`), attach an exemplar when the
+    /// trace carries a context, keep the trace in the registry's recent
+    /// ring, and offer it to the global flight recorder.
     pub fn finish(self, registry: &Registry, prefix: &str) -> CompletedTrace {
         let total = self.started.elapsed();
         for &(stage, d) in &self.stages {
             registry
                 .histogram(
                     &format!("{prefix}_stage_duration_ns"),
-                    &[("op", self.op), ("stage", stage)],
+                    &[("op", &self.op), ("stage", stage)],
                 )
                 .record_duration(d);
         }
         registry
-            .histogram(&format!("{prefix}_op_duration_ns"), &[("op", self.op)])
+            .histogram(&format!("{prefix}_op_duration_ns"), &[("op", &self.op)])
             .record_duration(total);
-        let done = CompletedTrace {
-            op: self.op,
-            total,
-            stages: self.stages,
-        };
+        if let Some(ctx) = self.ctx {
+            let ns = u64::try_from(total.as_nanos()).unwrap_or(u64::MAX);
+            registry.observe_exemplar(
+                &format!("{prefix}_op_duration_ns"),
+                &[("op", &self.op)],
+                ns,
+                ctx.trace_id,
+            );
+        }
+        let done = self.seal(prefix, total);
         registry.push_trace(done.clone());
+        crate::recorder::FlightRecorder::global().record(done.clone());
         done
     }
+
+    /// End the trace without a registry: compute totals and offer the
+    /// result to the global flight recorder only. `origin` labels which
+    /// component produced the trace (`dscl`, `miniredis`, ...).
+    pub fn complete(self, origin: &str) -> CompletedTrace {
+        let total = self.started.elapsed();
+        let done = self.seal(origin, total);
+        crate::recorder::FlightRecorder::global().record(done.clone());
+        done
+    }
+
+    fn seal(self, origin: &str, total: Duration) -> CompletedTrace {
+        let stage_sum: Duration = self.stages.iter().map(|&(_, d)| d).sum();
+        CompletedTrace {
+            origin: origin.to_string(),
+            op: self.op,
+            total,
+            other: total.saturating_sub(stage_sum),
+            stages: self.stages,
+            ctx: self.ctx,
+            events: self.events,
+            server_spans: self.server_spans,
+            error: self.error,
+        }
+    }
+}
+
+/// A structured event within a trace (`retry`, `breaker`, `cache`, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Offset from trace start.
+    pub at: Duration,
+    /// Event kind.
+    pub name: String,
+    /// Structured detail, e.g. `attempt=2 backoff_ms=41`.
+    pub detail: String,
 }
 
 /// A finished trace.
 #[derive(Clone, Debug)]
 pub struct CompletedTrace {
+    /// Which component produced the trace (`dscl`, `miniredis`, ...).
+    pub origin: String,
     /// Operation name (`get`, `put`, ...).
-    pub op: &'static str,
+    pub op: String,
     /// Total wall-clock time of the operation.
     pub total: Duration,
     /// `(stage, duration)` in execution order.
     pub stages: Vec<(&'static str, Duration)>,
+    /// Untimed remainder: `total − Σ stages`, made explicit so waterfalls
+    /// sum to wall time.
+    pub other: Duration,
+    /// Distributed identity, when the operation was traced across the wire.
+    pub ctx: Option<TraceContext>,
+    /// Structured events, in time order as recorded.
+    pub events: Vec<TraceEvent>,
+    /// Spans returned by servers that served this operation's requests.
+    pub server_spans: Vec<ServerSpan>,
+    /// Error message when the operation failed.
+    pub error: Option<String>,
 }
 
 impl CompletedTrace {
+    /// The server-side half of a distributed trace: a trace whose span ids
+    /// come from `span`, parented to the client's `ctx`, with the span's
+    /// queue/execute/serialize timings as its stages. Servers record this
+    /// into the global flight recorder so by-trace-id queries return both
+    /// halves even when the reply to the client was lost.
+    pub fn server_side(client: &TraceContext, span: &ServerSpan, op: impl Into<String>) -> Self {
+        let queue = Duration::from_nanos(span.queue_ns);
+        let execute = Duration::from_nanos(span.execute_ns);
+        let serialize = Duration::from_nanos(span.serialize_ns);
+        CompletedTrace {
+            origin: span.server.clone(),
+            op: op.into(),
+            total: queue.saturating_add(execute).saturating_add(serialize),
+            stages: vec![
+                ("queue", queue),
+                ("execute", execute),
+                ("serialize", serialize),
+            ],
+            other: Duration::ZERO,
+            ctx: Some(TraceContext {
+                trace_id: client.trace_id,
+                span_id: span.span_id,
+                parent_id: Some(client.span_id),
+                sampled: client.sampled,
+            }),
+            events: Vec::new(),
+            server_spans: Vec::new(),
+            error: None,
+        }
+    }
+
     /// Sum of all stage durations (≤ [`CompletedTrace::total`]).
     pub fn stage_sum(&self) -> Duration {
         self.stages.iter().map(|&(_, d)| d).sum()
@@ -102,6 +247,155 @@ impl CompletedTrace {
             stages.join(", ")
         )
     }
+
+    /// Multi-line per-stage waterfall, bars scaled to the total duration:
+    ///
+    /// ```text
+    /// get dscl trace=0123… 2.345ms
+    ///   cache_lookup  ######······· 0.412ms
+    ///   other         #············ 0.010ms
+    ///   server miniredis span=… queue=… execute=… serialize=…
+    ///   +0.300ms retry attempt=2 backoff_ms=41
+    /// ```
+    pub fn waterfall(&self) -> String {
+        const BAR: usize = 24;
+        let total_ms = self.total.as_secs_f64() * 1e3;
+        let mut out = match self.ctx {
+            Some(c) => format!(
+                "{} {} trace={:032x} {:.3}ms",
+                self.op, self.origin, c.trace_id, total_ms
+            ),
+            None => format!("{} {} {:.3}ms", self.op, self.origin, total_ms),
+        };
+        if let Some(err) = &self.error {
+            out.push_str(&format!(" ERROR: {err}"));
+        }
+        out.push('\n');
+        let width = self
+            .stages
+            .iter()
+            .map(|&(s, _)| s.len())
+            .chain(std::iter::once("other".len()))
+            .max()
+            .unwrap_or(5);
+        let mut bar_line = |name: &str, d: Duration| {
+            let ms = d.as_secs_f64() * 1e3;
+            let frac = if total_ms > 0.0 { ms / total_ms } else { 0.0 };
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let filled = ((frac * BAR as f64).round() as usize).min(BAR);
+            let bar = format!(
+                "{}{}",
+                "#".repeat(filled),
+                ".".repeat(BAR.saturating_sub(filled))
+            );
+            out.push_str(&format!("  {name:<width$} {bar} {ms:.3}ms\n"));
+        };
+        for &(stage, d) in &self.stages {
+            bar_line(stage, d);
+        }
+        bar_line("other", self.other);
+        for s in &self.server_spans {
+            out.push_str(&format!(
+                "  server {} span={:016x} queue={:.3}ms execute={:.3}ms serialize={:.3}ms\n",
+                s.server,
+                s.span_id,
+                s.queue_ns as f64 / 1e6,
+                s.execute_ns as f64 / 1e6,
+                s.serialize_ns as f64 / 1e6,
+            ));
+        }
+        for e in &self.events {
+            out.push_str(&format!(
+                "  +{:.3}ms {} {}\n",
+                e.at.as_secs_f64() * 1e3,
+                e.name,
+                e.detail
+            ));
+        }
+        out
+    }
+
+    /// JSON object rendering (the `GET /trace` element format). Hand-built
+    /// so the `&'static str` stage names need no serde support.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"origin\":\"{}\"", json_escape(&self.origin)));
+        out.push_str(&format!(",\"op\":\"{}\"", json_escape(&self.op)));
+        match self.ctx {
+            Some(c) => {
+                out.push_str(&format!(",\"trace_id\":\"{:032x}\"", c.trace_id));
+                out.push_str(&format!(",\"span_id\":\"{:016x}\"", c.span_id));
+                match c.parent_id {
+                    Some(p) => out.push_str(&format!(",\"parent_id\":\"{p:016x}\"")),
+                    None => out.push_str(",\"parent_id\":null"),
+                }
+            }
+            None => out.push_str(",\"trace_id\":null,\"span_id\":null,\"parent_id\":null"),
+        }
+        out.push_str(&format!(",\"total_ns\":{}", ns(self.total)));
+        out.push_str(",\"stages\":[");
+        for (i, &(stage, d)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[\"{}\",{}]", json_escape(stage), ns(d)));
+        }
+        out.push_str(&format!("],\"other_ns\":{}", ns(self.other)));
+        out.push_str(",\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at_ns\":{},\"name\":\"{}\",\"detail\":\"{}\"}}",
+                ns(e.at),
+                json_escape(&e.name),
+                json_escape(&e.detail)
+            ));
+        }
+        out.push_str("],\"server_spans\":[");
+        for (i, s) in self.server_spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"server\":\"{}\",\"span_id\":\"{:016x}\",\"queue_ns\":{},\
+                 \"execute_ns\":{},\"serialize_ns\":{}}}",
+                json_escape(&s.server),
+                s.span_id,
+                s.queue_ns,
+                s.execute_ns,
+                s.serialize_ns
+            ));
+        }
+        out.push_str("],\"error\":");
+        match &self.error {
+            Some(e) => out.push_str(&format!("\"{}\"", json_escape(e))),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -123,6 +417,17 @@ mod tests {
         assert!(done.stage_sum() <= done.total, "{done:?}");
         assert_eq!(done.stages.len(), 2);
         assert_eq!(done.stages[0].0, "cache_lookup");
+    }
+
+    #[test]
+    fn other_makes_stages_sum_to_wall_time() {
+        let reg = Registry::new();
+        let mut t = Trace::begin("get");
+        t.add("net_rtt", Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(2)); // untimed glue
+        let done = t.finish(&reg, "t");
+        assert!(done.other >= Duration::from_millis(1), "{done:?}");
+        assert_eq!(done.stage_sum() + done.other, done.total);
     }
 
     #[test]
@@ -163,5 +468,73 @@ mod tests {
         t.add("net_rtt", Duration::from_micros(1500));
         let done = t.finish(&reg, "cs");
         assert_eq!(done.stages, vec![("net_rtt", Duration::from_micros(1500))]);
+    }
+
+    #[test]
+    fn finish_attaches_exemplar_for_traced_ops() {
+        let reg = Registry::new();
+        let ctx = TraceContext::new_root();
+        let mut t = Trace::begin("get").with_ctx(ctx);
+        t.add("net_rtt", Duration::from_micros(10));
+        t.finish(&reg, "ex");
+        let ex = reg.exemplar("ex_op_duration_ns", &[("op", "get")]).unwrap();
+        assert_eq!(ex.trace_id, ctx.trace_id);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(&format!("# {{trace_id=\"{:032x}\"}}", ctx.trace_id)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn events_and_scope_data_are_absorbed() {
+        let ctx = TraceContext::new_root();
+        let scope = crate::ctx::activate(ctx);
+        let mut t = Trace::begin("get").with_ctx(ctx);
+        t.event("cache", "miss");
+        crate::ctx::report_event("retry", "attempt=2 backoff_ms=7");
+        crate::ctx::report_server_span(ServerSpan {
+            server: "miniredis".to_string(),
+            span_id: 9,
+            queue_ns: 1,
+            execute_ns: 2,
+            serialize_ns: 3,
+        });
+        t.absorb_scope(scope.finish());
+        let done = t.complete("test");
+        assert_eq!(done.events.len(), 2);
+        assert_eq!(done.events[0].name, "cache");
+        assert_eq!(done.events[1].detail, "attempt=2 backoff_ms=7");
+        assert_eq!(done.server_spans.len(), 1);
+        let wf = done.waterfall();
+        assert!(wf.contains("server miniredis"), "{wf}");
+        assert!(wf.contains("retry attempt=2"), "{wf}");
+        assert!(wf.contains("other"), "{wf}");
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_complete() {
+        let ctx = TraceContext::new_root();
+        let mut t = Trace::begin("put\"x").with_ctx(ctx);
+        t.add("store_io", Duration::from_micros(5));
+        t.event("cache", "hit");
+        t.set_error("boom \"quoted\"");
+        let done = t.complete("dscl");
+        let json = done.to_json();
+        let v = serde_json::from_slice::<serde_json::Value>(json.as_bytes()).unwrap();
+        assert_eq!(
+            v.get("trace_id").and_then(|t| t.as_str()),
+            Some(format!("{:032x}", ctx.trace_id).as_str())
+        );
+        assert!(v.get("total_ns").is_some());
+        assert_eq!(
+            v.get("stages").and_then(|s| s.as_array()).map(|a| a.len()),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("events").and_then(|s| s.as_array()).map(|a| a.len()),
+            Some(1)
+        );
+        assert!(v.get("error").and_then(|e| e.as_str()).is_some());
     }
 }

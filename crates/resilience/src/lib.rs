@@ -202,13 +202,19 @@ impl Resilience {
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
+            let pre_admit = self.breaker.state();
             if let Err(e) = self.breaker.admit() {
+                self.note_transition(pre_admit);
+                obs::ctx::report_event("breaker", "shed");
                 self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
             }
+            self.note_transition(pre_admit);
             let err = match f(&deadline, attempt, &guard) {
                 Ok(v) => {
+                    let pre = self.breaker.state();
                     self.breaker.on_success();
+                    self.note_transition(pre);
                     return Ok(v);
                 }
                 Err(e) => e,
@@ -216,12 +222,15 @@ impl Resilience {
             // Only transport-level failures count against the endpoint's
             // health: a server that answers — even with a rejection or a
             // malformed reply — is reachable.
+            let pre = self.breaker.state();
             if err.is_transient() {
                 self.breaker.on_failure();
             } else {
                 self.breaker.on_success();
             }
+            self.note_transition(pre);
             if deadline.expired() {
+                obs::ctx::report_event("deadline", "expired");
                 self.deadline_expiries.fetch_add(1, Ordering::Relaxed);
                 return Err(StoreError::Timeout);
             }
@@ -235,13 +244,37 @@ impl Resilience {
             };
             prev_sleep = sleep;
             match deadline.remaining() {
-                Some(remaining) => std::thread::sleep(sleep.min(remaining)),
+                Some(remaining) => {
+                    let backoff = sleep.min(remaining);
+                    obs::ctx::report_event(
+                        "retry",
+                        format!(
+                            "attempt={} backoff_ms={}",
+                            attempt.saturating_add(1),
+                            backoff.as_millis()
+                        ),
+                    );
+                    std::thread::sleep(backoff);
+                }
                 None => {
+                    obs::ctx::report_event("deadline", "expired");
                     self.deadline_expiries.fetch_add(1, Ordering::Relaxed);
                     return Err(StoreError::Timeout);
                 }
             }
             self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Report a breaker state change (if any since `before`) as a trace
+    /// event into the active context scope.
+    fn note_transition(&self, before: BreakerState) {
+        let now = self.breaker.state();
+        if now != before {
+            obs::ctx::report_event(
+                "breaker",
+                format!("{}→{}", state_label(before), state_label(now)),
+            );
         }
     }
 
@@ -284,6 +317,14 @@ impl ReplayGuard {
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn state_label(s: BreakerState) -> &'static str {
+    match s {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half-open",
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +440,67 @@ mod tests {
         assert!(
             started.elapsed() < Duration::from_millis(500),
             "deadline bounds the whole retry loop"
+        );
+    }
+
+    #[test]
+    fn retry_and_breaker_events_reach_the_active_trace_scope() {
+        let r = res();
+        let scope = obs::ctx::activate(obs::ctx::TraceContext::new_root());
+        // Three transient failures: two retries scheduled, breaker trips.
+        let _: Result<()> = r.run_idempotent(|_d, _a| Err(StoreError::Closed));
+        // A fourth call is shed by the now-open breaker.
+        let _: Result<()> = r.run_idempotent(|_d, _a| Ok(()));
+        let data = scope.finish();
+        let retries: Vec<&str> = data
+            .events
+            .iter()
+            .filter(|(_, n, _)| n == "retry")
+            .map(|(_, _, d)| d.as_str())
+            .collect();
+        assert_eq!(retries.len(), 2, "{:?}", data.events);
+        assert!(
+            retries[0].starts_with("attempt=2 backoff_ms="),
+            "{retries:?}"
+        );
+        assert!(
+            retries[1].starts_with("attempt=3 backoff_ms="),
+            "{retries:?}"
+        );
+        assert!(
+            data.events
+                .iter()
+                .any(|(_, n, d)| n == "breaker" && d == "closed→open"),
+            "{:?}",
+            data.events
+        );
+        assert!(
+            data.events
+                .iter()
+                .any(|(_, n, d)| n == "breaker" && d == "shed"),
+            "{:?}",
+            data.events
+        );
+    }
+
+    #[test]
+    fn deadline_expiry_emits_event() {
+        let mut policy = ResiliencePolicy::test_profile();
+        policy.request_timeout = Duration::from_millis(20);
+        policy.retry.max_attempts = 100;
+        let r = Resilience::new(policy);
+        let scope = obs::ctx::activate(obs::ctx::TraceContext::new_root());
+        let _: Result<()> = r.run_idempotent(|_d, _a| {
+            std::thread::sleep(Duration::from_millis(10));
+            Err(StoreError::Closed)
+        });
+        let data = scope.finish();
+        assert!(
+            data.events
+                .iter()
+                .any(|(_, n, d)| n == "deadline" && d == "expired"),
+            "{:?}",
+            data.events
         );
     }
 

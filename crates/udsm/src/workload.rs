@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Where test values come from.
 #[derive(Clone)]
@@ -115,6 +115,12 @@ pub struct Series {
     /// Empty for derived series (e.g. hit-rate extrapolations), which have
     /// no per-operation samples to take percentiles over.
     pub tails: Vec<(f64, f64)>,
+    /// Per-size `(trace id, latency ms)` of the slowest traced operation,
+    /// parallel to `points`. Read/write sweeps run every operation under a
+    /// root [`obs::TraceContext`], so the id can be resolved against the
+    /// flight recorder (`udsm-cli trace --id`). Empty for sweeps that do
+    /// not trace per-operation (derived, codec, batch curves).
+    pub slowest: Vec<(u128, f64)>,
 }
 
 /// Workload parameters.
@@ -175,37 +181,69 @@ fn tail_ms(hist: &obs::LatencyHistogram) -> (f64, f64) {
     (snap.p50() as f64 / 1e6, snap.p99() as f64 / 1e6)
 }
 
+/// Run one workload operation under a fresh root trace: activates the
+/// context so enhanced clients and store clients join it (their spans and
+/// events land in this trace), times `f` as one stage, and offers the
+/// completed trace to the global flight recorder under origin `workload`.
+/// Returns the result, the measured duration, and the trace id.
+fn traced_op<R>(
+    op: &'static str,
+    stage: &'static str,
+    f: impl FnOnce() -> Result<R>,
+) -> (Result<R>, Duration, u128) {
+    let ctx = obs::TraceContext::new_root();
+    let scope = obs::ctx::activate(ctx);
+    let mut trace = obs::Trace::begin(op).with_ctx(ctx);
+    let t0 = Instant::now();
+    let out = f();
+    let elapsed = t0.elapsed();
+    trace.add(stage, elapsed);
+    trace.absorb_scope(scope.finish());
+    if let Err(e) = &out {
+        trace.set_error(e.to_string());
+    }
+    trace.complete("workload");
+    (out, elapsed, ctx.trace_id)
+}
+
 impl WorkloadSpec {
     /// Mean read latency vs object size (Fig. 9 per store).
     pub fn read_sweep(&self, store: &dyn KeyValue, label: &str) -> Result<Series> {
         let mut points = Vec::with_capacity(self.sizes.len());
         let mut tails = Vec::with_capacity(self.sizes.len());
+        let mut slowest = Vec::with_capacity(self.sizes.len());
         for &size in &self.sizes {
             let key = format!("wl-read-{size}");
             let value = self.source.generate(size, size as u64)?;
             store.put(&key, &value)?;
             let mut run_means = Vec::with_capacity(self.runs);
             let hist = obs::LatencyHistogram::new();
+            let mut slow = (0u128, Duration::ZERO);
             for _ in 0..self.runs {
                 let t0 = Instant::now();
                 for _ in 0..self.ops_per_point {
-                    let op0 = Instant::now();
-                    let got = store
-                        .get(&key)?
-                        .ok_or_else(|| StoreError::Other("workload value vanished".into()))?;
-                    hist.record_duration(op0.elapsed());
+                    let (got, elapsed, trace_id) =
+                        traced_op("read", "store_get", || store.get(&key));
+                    let got =
+                        got?.ok_or_else(|| StoreError::Other("workload value vanished".into()))?;
+                    hist.record_duration(elapsed);
                     debug_assert_eq!(got.len(), size);
+                    if elapsed > slow.1 {
+                        slow = (trace_id, elapsed);
+                    }
                 }
                 run_means.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
             }
             points.push((size as f64, mean(&run_means)));
             tails.push(tail_ms(&hist));
+            slowest.push((slow.0, slow.1.as_secs_f64() * 1000.0));
             store.delete(&key)?;
         }
         Ok(Series {
             label: label.to_string(),
             points,
             tails,
+            slowest,
         })
     }
 
@@ -213,9 +251,11 @@ impl WorkloadSpec {
     pub fn write_sweep(&self, store: &dyn KeyValue, label: &str) -> Result<Series> {
         let mut points = Vec::with_capacity(self.sizes.len());
         let mut tails = Vec::with_capacity(self.sizes.len());
+        let mut slowest = Vec::with_capacity(self.sizes.len());
         for &size in &self.sizes {
             let mut run_means = Vec::with_capacity(self.runs);
             let hist = obs::LatencyHistogram::new();
+            let mut slow = (0u128, Duration::ZERO);
             for run in 0..self.runs {
                 // Distinct values per op so stores cannot dedupe.
                 let values: Vec<Vec<u8>> = (0..self.ops_per_point)
@@ -223,9 +263,14 @@ impl WorkloadSpec {
                     .collect::<Result<_>>()?;
                 let t0 = Instant::now();
                 for (i, v) in values.iter().enumerate() {
-                    let op0 = Instant::now();
-                    store.put(&format!("wl-write-{size}-{i}"), v)?;
-                    hist.record_duration(op0.elapsed());
+                    let (out, elapsed, trace_id) = traced_op("write", "store_put", || {
+                        store.put(&format!("wl-write-{size}-{i}"), v)
+                    });
+                    out?;
+                    hist.record_duration(elapsed);
+                    if elapsed > slow.1 {
+                        slow = (trace_id, elapsed);
+                    }
                 }
                 run_means.push(t0.elapsed().as_secs_f64() * 1000.0 / self.ops_per_point as f64);
             }
@@ -234,11 +279,13 @@ impl WorkloadSpec {
             }
             points.push((size as f64, mean(&run_means)));
             tails.push(tail_ms(&hist));
+            slowest.push((slow.0, slow.1.as_secs_f64() * 1000.0));
         }
         Ok(Series {
             label: label.to_string(),
             points,
             tails,
+            slowest,
         })
     }
 
@@ -305,6 +352,7 @@ impl WorkloadSpec {
                     .collect(),
                 // Extrapolated curves have no per-op samples to rank.
                 tails: Vec::new(),
+                slowest: Vec::new(),
             })
             .collect())
     }
@@ -375,11 +423,13 @@ impl WorkloadSpec {
                 label: format!("{label} get_many"),
                 points: get_points,
                 tails: get_tails,
+                slowest: Vec::new(),
             },
             Series {
                 label: format!("{label} put_many"),
                 points: put_points,
                 tails: put_tails,
+                slowest: Vec::new(),
             },
         ))
     }
@@ -426,11 +476,13 @@ impl WorkloadSpec {
                 label: format!("{} encode", codec.name()),
                 points: enc_points,
                 tails: enc_tails,
+                slowest: Vec::new(),
             },
             Series {
                 label: format!("{} decode", codec.name()),
                 points: dec_points,
                 tails: dec_tails,
+                slowest: Vec::new(),
             },
         ))
     }
@@ -467,6 +519,24 @@ pub fn write_gnuplot(path: impl AsRef<Path>, series: &[Series]) -> Result<()> {
         writeln!(f)?;
     }
     Ok(())
+}
+
+/// One line per sweep point naming the slowest traced operation, ready to
+/// paste into `udsm-cli trace --id <trace>`. Series without per-op traces
+/// (derived or batch curves) contribute nothing.
+pub fn slowest_report(series: &[Series]) -> String {
+    let mut out = String::new();
+    for s in series {
+        for (&(size, _), &(trace_id, ms)) in s.points.iter().zip(&s.slowest) {
+            if trace_id != 0 {
+                out.push_str(&format!(
+                    "{}  size={size}  slowest={ms:.3}ms  trace={trace_id:032x}\n",
+                    s.label
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Render series as a Markdown table (size column + one column per series).
@@ -590,6 +660,22 @@ mod tests {
     }
 
     #[test]
+    fn sweeps_track_the_slowest_trace_per_point() {
+        let spec = quick_spec();
+        let store = MemKv::new("m");
+        let r = spec.read_sweep(&store, "mem").unwrap();
+        let w = spec.write_sweep(&store, "mem").unwrap();
+        // One (trace id, ms) per size, ids minted by the per-op tracer.
+        assert_eq!(r.slowest.len(), 2);
+        assert_eq!(w.slowest.len(), 2);
+        assert!(r.slowest.iter().all(|&(id, _)| id != 0));
+        let report = slowest_report(&[r, w]);
+        assert_eq!(report.lines().count(), 4, "{report}");
+        assert!(report.contains("trace="), "{report}");
+        assert!(report.contains("size=1000"), "{report}");
+    }
+
+    #[test]
     fn cached_sweep_interpolates_between_miss_and_hit() {
         let spec = quick_spec();
         let store = MemKv::new("m");
@@ -627,11 +713,13 @@ mod tests {
                 label: "a".into(),
                 points: vec![(100.0, 1.5), (1000.0, 2.5)],
                 tails: vec![],
+                slowest: vec![],
             },
             Series {
                 label: "b".into(),
                 points: vec![(100.0, 3.0), (1000.0, 4.0)],
                 tails: vec![],
+                slowest: vec![],
             },
         ];
         let path = std::env::temp_dir().join(format!("wl-gp-{}", std::process::id()));
@@ -680,6 +768,7 @@ mod tests {
             label: "mem".into(),
             points: vec![(100.0, 1.5), (1000.0, 2.5)],
             tails: vec![(1.2, 4.8), (2.0, 9.9)],
+            slowest: vec![],
         }];
         let path = std::env::temp_dir().join(format!("wl-gp-tails-{}", std::process::id()));
         write_gnuplot(&path, &series).unwrap();

@@ -2,7 +2,7 @@
 //!
 //! A dependency-free static-analysis pass over the UDSM workspace. It lexes
 //! each Rust source file with a lightweight tokenizer, extracts function
-//! spans, and runs five deny-by-default rules tuned to this codebase's
+//! spans, and runs six deny-by-default rules tuned to this codebase's
 //! failure modes (see `DESIGN.md`, "Static analysis & invariants"):
 //!
 //! * `wire-arith` — unchecked `+`/`*`/`as usize` on wire-derived lengths in
@@ -15,6 +15,9 @@
 //!   `// xlint: idempotent reason="…"` marker or a flushed-state guard.
 //! * `unsafe-allowlist` — `unsafe` only in `fskv`/`crates/shims`, and only
 //!   with an adjacent `SAFETY:` comment.
+//! * `trace-ctx-loss` — no `TraceContext::new_root()` inside a retry
+//!   closure: the context is minted once per logical request, before the
+//!   retry boundary, or the attempts can never be joined into one trace.
 //!
 //! Findings are suppressible in-source:
 //!
@@ -58,6 +61,7 @@ pub fn check_source(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
     if policy.general_rules_apply(path) {
         findings.extend(rules::guard_across_io(path, &toks, &fns));
         findings.extend(rules::retry_idempotency(path, &toks, &fns, &controls));
+        findings.extend(rules::trace_ctx_loss(path, &toks, &fns));
     }
     findings.extend(rules::unsafe_allowlist(
         path,

@@ -1,4 +1,4 @@
-//! The five deny-by-default rules.
+//! The six deny-by-default rules.
 //!
 //! Every rule works on the token stream plus the function spans from
 //! [`crate::scan`]; none require type information. They are deliberately
@@ -21,11 +21,14 @@ pub const GUARD_IO: &str = "guard-across-io";
 pub const RETRY: &str = "retry-idempotency";
 /// Rule: `unsafe` outside the allow-list, or without a SAFETY: comment.
 pub const UNSAFE: &str = "unsafe-allowlist";
+/// Rule: trace context minted inside a retry closure (identity lost across
+/// attempts).
+pub const TRACE_CTX: &str = "trace-ctx-loss";
 /// Meta rule: suppression hygiene (unused allows, missing reasons).
 pub const HYGIENE: &str = "suppression-hygiene";
 
 /// All suppressible rule names (for validating `allow(...)` arguments).
-pub const RULES: &[&str] = &[WIRE_ARITH, PANIC_PATH, GUARD_IO, RETRY, UNSAFE];
+pub const RULES: &[&str] = &[WIRE_ARITH, PANIC_PATH, GUARD_IO, RETRY, UNSAFE, TRACE_CTX];
 
 fn prev_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
     toks[..i].iter().rev().find(|t| !t.is_comment())
@@ -614,6 +617,53 @@ pub fn retry_idempotency(
     out
 }
 
+/// The resilience layer's retry entry points: everything inside their
+/// argument list runs once *per attempt*.
+const RETRY_ENTRY_POINTS: &[&str] = &["run_idempotent", "run_guarded", "run_once"];
+
+/// `trace-ctx-loss`: minting a [`obs::TraceContext`] root inside a retry
+/// closure gives every attempt a fresh trace identity, so the attempts of
+/// one logical request can never be joined again. The context must be
+/// minted once, *before* the retry boundary (the shape every native client
+/// uses: `let ctx = …; resilience.run_idempotent(|…| { /* uses ctx */ })`).
+pub fn trace_ctx_loss(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        for i in f.body_start..f.body_end {
+            let t = &toks[i];
+            if t.kind != Kind::Ident
+                || !RETRY_ENTRY_POINTS.contains(&t.text.as_str())
+                || !is_call(toks, i)
+            {
+                continue;
+            }
+            let Some(open) = (i + 1..f.body_end).find(|&j| !toks[j].is_comment()) else {
+                continue;
+            };
+            if !toks[open].is_punct('(') {
+                continue;
+            }
+            let close = match_delim(toks, open, '(', ')').min(f.body_end);
+            for j in open..close {
+                let tj = &toks[j];
+                if tj.kind == Kind::Ident && tj.is_ident("new_root") && is_call(toks, j) {
+                    out.push(Finding::new(
+                        TRACE_CTX,
+                        path,
+                        tj.line,
+                        format!(
+                            "`new_root()` inside `{}`: each retry attempt gets a fresh trace \
+                             identity; mint the context once, before the retry boundary",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// `unsafe-allowlist`: `unsafe` only where allowed, always justified.
 pub fn unsafe_allowlist(path: &str, toks: &[Tok], allowed: bool) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -787,6 +837,29 @@ fn exec(&self) -> Result<Value> {
         let fns = fn_spans(&toks);
         let cs = controls(&toks);
         assert!(retry_idempotency("t.rs", &toks, &fns, &cs).is_empty());
+    }
+
+    #[test]
+    fn trace_ctx_loss_fires_only_inside_retry_closures() {
+        let bad = r#"
+fn fetch(&self) -> Result<Value> {
+    self.resilience.run_idempotent(|deadline, attempt| {
+        let ctx = obs::TraceContext::new_root();
+        self.round_trip(ctx)
+    })
+}
+"#;
+        let fs = run(bad, trace_ctx_loss);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("run_idempotent"));
+
+        let good = r#"
+fn fetch(&self) -> Result<Value> {
+    let ctx = obs::TraceContext::new_root();
+    self.resilience.run_idempotent(|deadline, attempt| self.round_trip(ctx))
+}
+"#;
+        assert!(run(good, trace_ctx_loss).is_empty());
     }
 
     #[test]

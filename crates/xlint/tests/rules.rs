@@ -409,6 +409,48 @@ fn fetch(&self, key: &str) -> Result<Value> {
     assert_eq!(rules, vec!["suppression-hygiene"], "got {rules:?}");
 }
 
+// ----------------------------------------------------------- trace-ctx-loss
+
+/// Minting the trace context inside the retry closure gives every attempt
+/// a fresh identity — the attempts of one logical request can never be
+/// joined into one trace again.
+#[test]
+fn trace_ctx_loss_fires_on_root_minted_inside_retry_closure() {
+    assert_fires(
+        "trace-ctx-loss",
+        CLIENT,
+        r#"
+fn fetch(&self, key: &str) -> Result<Value> {
+    self.resilience.run_idempotent(|deadline, attempt| {
+        let ctx = obs::TraceContext::new_root();
+        let framed = attach(key, ctx.encode());
+        self.round_trip(&framed)
+    })
+}
+"#,
+    );
+}
+
+/// The corrected idiom (what every native client does): join the caller's
+/// trace or mint the root once, *before* the retry boundary, so all
+/// attempts share one span identity.
+#[test]
+fn trace_ctx_clean_when_minted_before_retry_boundary() {
+    assert_clean(
+        CLIENT,
+        r#"
+fn fetch(&self, key: &str) -> Result<Value> {
+    let ctx = match obs::ctx::current() {
+        Some(parent) => parent.child(),
+        None => obs::TraceContext::new_root(),
+    };
+    let framed = attach(key, ctx.encode());
+    self.resilience.run_idempotent(|deadline, attempt| self.round_trip(&framed))
+}
+"#,
+    );
+}
+
 // --------------------------------------------------------- unsafe-allowlist
 
 #[test]
@@ -505,6 +547,7 @@ fn rule_catalog_is_covered() {
         "guard-across-io",
         "retry-idempotency",
         "unsafe-allowlist",
+        "trace-ctx-loss",
     ];
     for rule in xlint::rules::RULES {
         assert!(

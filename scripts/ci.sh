@@ -11,9 +11,9 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Static analysis: the five deny-by-default invariant rules (wire arithmetic,
-# panic paths, guard-across-I/O, retry idempotency, unsafe allowlist) must
-# report zero active findings. See DESIGN.md §8.
+# Static analysis: the six deny-by-default invariant rules (wire arithmetic,
+# panic paths, guard-across-I/O, retry idempotency, unsafe allowlist,
+# trace-context loss) must report zero active findings. See DESIGN.md §8.
 cargo run -q --release --offline -p xlint -- --deny-all
 
 # Model checking: every interleaving of the cache-shard and connection-pool
@@ -26,6 +26,15 @@ cargo test -q --offline -p loom
 # breaker open/shed/re-close, and serve-stale through a total outage.
 # Deterministic (fixed fault seeds); see DESIGN.md §9.
 cargo test -q --offline --test chaos_contracts
+
+# Trace smoke: one sweep plus a forced incident must yield a joined
+# distributed trace (client stages, retry events, breaker transitions, a
+# server-side span) retrievable via GET /trace, with every histogram
+# exemplar resolving in the flight recorder. Also the chaos trace suite:
+# deadline-bounded black holes and at-most-once INCR, proven by trace.
+# See DESIGN.md §10.
+cargo test -q --offline --test trace_smoke
+cargo test -q --offline --test chaos_trace
 
 # Smoke: the batch-size sweep must run end-to-end and emit the p50/p99
 # gnuplot columns the RTT-amortization figure is plotted from.

@@ -153,10 +153,100 @@ fn run_sweep(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `udsm-cli trace` — inspect the in-process flight recorder and print
+/// per-trace waterfalls. A fresh process has an empty recorder, so by
+/// default a small built-in demo workload (enhanced client over an
+/// in-process miniredis) runs first to give the waterfalls something to
+/// show: client stages, joined server spans, and one recorded error.
+fn run_trace(args: &[String]) -> Result<()> {
+    let usage = "usage: udsm-cli trace [--slow N | --errors | --id HEX] [--no-demo]";
+    let mut slow = 5usize;
+    let mut errors = false;
+    let mut id: Option<u128> = None;
+    let mut no_demo = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--slow" => {
+                slow = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    kvapi::StoreError::Rejected(format!("--slow needs a count\n{usage}"))
+                })?;
+            }
+            "--errors" => errors = true,
+            "--id" => {
+                let hex = it.next().ok_or_else(|| {
+                    kvapi::StoreError::Rejected(format!("--id needs a hex trace id\n{usage}"))
+                })?;
+                id = Some(u128::from_str_radix(hex, 16).map_err(|e| {
+                    kvapi::StoreError::Rejected(format!("bad trace id {hex:?}: {e}"))
+                })?);
+            }
+            "--no-demo" => no_demo = true,
+            other => {
+                return Err(kvapi::StoreError::Rejected(format!(
+                    "unknown trace argument {other:?}\n{usage}"
+                )))
+            }
+        }
+    }
+    let rec = obs::FlightRecorder::global();
+    if rec.kept() == 0 && !no_demo {
+        eprintln!("flight recorder is empty — running the built-in demo workload first");
+        seed_demo_traces()?;
+    }
+    let picked = match (id, errors) {
+        (Some(id), _) => rec.by_trace_id(id),
+        (None, true) => rec.errors(),
+        (None, false) => rec.slowest(slow),
+    };
+    if picked.is_empty() {
+        println!(
+            "no matching traces (recorder kept {} of {} seen)",
+            rec.kept(),
+            rec.seen()
+        );
+        return Ok(());
+    }
+    for t in &picked {
+        println!("{}", t.waterfall());
+    }
+    eprintln!(
+        "recorder: kept {} of {} traces, {} of {} bytes",
+        rec.kept(),
+        rec.seen(),
+        rec.bytes_used(),
+        rec.byte_ceiling()
+    );
+    Ok(())
+}
+
+/// A tiny traced workload for `udsm-cli trace` on an empty recorder:
+/// puts/gets through an enhanced client over an in-process miniredis (so
+/// traces carry codec stages and joined server spans), plus one failing
+/// command so `--errors` has content.
+fn seed_demo_traces() -> Result<()> {
+    let server = miniredis::Server::start()?;
+    let client = EnhancedClient::new(RedisKv::connect(server.addr()))
+        .with_cache(Arc::new(InProcessLru::new(1 << 20)))
+        .with_codec(Box::new(GzipCodec::default()));
+    let payload = "demo payload for the flight recorder ".repeat(32);
+    for i in 0..16 {
+        let key = format!("demo-{i}");
+        client.put(&key, payload.as_bytes())?;
+        let _ = client.get(&key)?;
+    }
+    let raw = miniredis::RedisClient::connect(server.addr());
+    let _ = raw.exec(&[b"NOSUCHCMD"]);
+    Ok(())
+}
+
 fn main() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("trace") {
+        return run_trace(&argv[1..]);
     }
     let opts = parse_args();
     let manager = UniversalDataStoreManager::new(4);
@@ -237,7 +327,7 @@ fn main() -> Result<()> {
             match cmd {
                 "help" => {
                     println!(
-                        "commands:\n  stores                list registered stores\n  use <store>           switch store\n  put <key> <value>     store a value\n  get <key>             fetch a value\n  del <key>             delete a key\n  keys                  list keys\n  clear                 remove every key\n  stats                 store statistics\n  copy <from> <to>      copy all keys between stores\n  sql <statement>       raw SQL (demo sql store)\n  bench                 quick read/write sweep on the current store\n  monitor <n>           run n timed ops and print a report\n  metrics               dump Prometheus-style metrics (client + demo cloud server)\n  quit                  exit"
+                        "commands:\n  stores                list registered stores\n  use <store>           switch store\n  put <key> <value>     store a value\n  get <key>             fetch a value\n  del <key>             delete a key\n  keys                  list keys\n  clear                 remove every key\n  stats                 store statistics\n  copy <from> <to>      copy all keys between stores\n  sql <statement>       raw SQL (demo sql store)\n  bench                 quick read/write sweep on the current store\n  monitor <n>           run n timed ops and print a report\n  metrics               dump Prometheus-style metrics (client + demo cloud server)\n  trace [n]             waterfalls of the n slowest recorded traces (default 5)\n  quit                  exit"
                     );
                 }
                 "stores" => println!("{:?} (current: {current})", manager.names()),
@@ -324,11 +414,13 @@ fn main() -> Result<()> {
                     let store = manager.store(&current)?;
                     let r = spec.read_sweep(store.as_ref(), &current)?;
                     let w = spec.write_sweep(store.as_ref(), &current)?;
-                    for (label, series) in [("read", r), ("write", w)] {
-                        for (size, ms) in series.points {
+                    for (label, series) in [("read", &r), ("write", &w)] {
+                        for &(size, ms) in &series.points {
                             println!("{label} {size:>8.0} B  {ms:>10.4} ms");
                         }
                     }
+                    // Slowest trace per sweep point, resolvable via `trace`.
+                    print!("{}", udsm::workload::slowest_report(&[r, w]));
                 }
                 "monitor" => {
                     let n: usize = arg1.and_then(|s| s.parse().ok()).unwrap_or(100);
@@ -367,6 +459,20 @@ fn main() -> Result<()> {
                         println!("# --- cloud server {} ---", d._cloud.addr());
                         print!("{}", d._cloud.registry().render_prometheus());
                     }
+                }
+                "trace" => {
+                    let rec = obs::FlightRecorder::global();
+                    let n: usize = arg1.and_then(|s| s.parse().ok()).unwrap_or(5);
+                    for t in rec.slowest(n) {
+                        println!("{}", t.waterfall());
+                    }
+                    println!(
+                        "recorder: kept {} of {} traces, {} of {} bytes",
+                        rec.kept(),
+                        rec.seen(),
+                        rec.bytes_used(),
+                        rec.byte_ceiling()
+                    );
                 }
                 "quit" | "exit" => return Ok(true),
                 other => println!("unknown command {other:?} (try 'help')"),

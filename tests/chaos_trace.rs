@@ -1,0 +1,187 @@
+//! Chaos tracing suite: under seeded fault injection, the distributed
+//! trace of one logical operation must tell the whole story — every retry
+//! attempt with its backoff, the breaker transition that shed load, and
+//! exactly the server-side work that actually happened (at-most-once made
+//! auditable).
+//!
+//! All scenarios are deterministic: servers draw fault decisions from
+//! fixed-seed RNGs, trace ids come from the seeded id generator, and the
+//! tail sampler retains 100% of errored traces, so every `by_trace_id`
+//! lookup below is guaranteed to succeed.
+
+use std::time::Duration;
+
+use kvapi::KeyValue;
+use miniredis::{RedisClient, RedisKv, Server};
+use netsim::FaultModel;
+use resilience::ResiliencePolicy;
+
+/// A GET whose reply is lost to a mid-stream reset black-holes until the
+/// request deadline expires (the server keeps the socket open; no FIN ever
+/// arrives). The captured trace must show the deadline event, and the
+/// flight recorder must hold exactly one errored server-side span joined
+/// to our trace: the server *did* the work — only the answer vanished.
+#[test]
+fn reset_black_holes_are_deadline_bounded_and_leave_an_errored_server_span() {
+    let server = Server::start().unwrap();
+    let kv = RedisKv::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+    server.fault_injector().set_model(FaultModel {
+        reset_prob: 1.0,
+        ..FaultModel::none()
+    });
+
+    let root = obs::TraceContext::new_root();
+    let scope = obs::ctx::activate(root);
+    assert!(kv.get("k").is_err(), "a black-holed reply must surface");
+    let data = scope.finish();
+
+    assert!(
+        data.events
+            .iter()
+            .any(|(_, name, detail)| name == "deadline" && detail == "expired"),
+        "black-holed reply must be cut by the deadline: {:?}",
+        data.events
+    );
+    // The reply never arrived, so no server span reached the client...
+    assert!(data.server_spans.is_empty());
+    // ...but the server recorded its side of the story, joined to OUR
+    // trace: exactly one errored GET execution, auditable after the fact.
+    let recs = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+    let server_recs: Vec<_> = recs.iter().filter(|r| r.origin == "miniredis").collect();
+    assert_eq!(server_recs.len(), 1, "one attempt, one record: {recs:?}");
+    let r = server_recs[0];
+    assert_eq!(r.op, "GET");
+    assert!(r.error.is_some(), "reset must mark the server record");
+    assert!(r.stages.iter().any(|(s, _)| s == &"execute"));
+    assert_eq!(r.ctx.unwrap().trace_id, root.trace_id);
+}
+
+/// A GET against a fully refused endpoint burns the whole retry budget
+/// fast. The captured trace must carry one event per retry attempt (with
+/// the chosen backoff) and the breaker's closed→open transition — and no
+/// server-side record, because no attempt ever reached the command loop.
+#[test]
+fn refused_connections_trace_every_retry_and_the_breaker_opening() {
+    let server = Server::start().unwrap();
+    let kv = RedisKv::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+    server.fault_injector().set_model(FaultModel::outage());
+
+    let root = obs::TraceContext::new_root();
+    let scope = obs::ctx::activate(root);
+    assert!(kv.get("k").is_err(), "total refusals must surface an error");
+    let data = scope.finish();
+
+    // Every attempt after the first announced itself with its backoff.
+    let retries: Vec<&(std::time::Instant, String, String)> = data
+        .events
+        .iter()
+        .filter(|(_, name, _)| name == "retry")
+        .collect();
+    assert_eq!(
+        retries.len(),
+        2,
+        "3-attempt budget must log exactly 2 retry events: {:?}",
+        data.events
+    );
+    for (i, (_, _, detail)) in retries.iter().enumerate() {
+        assert!(
+            detail.contains(&format!("attempt={}", i + 2)) && detail.contains("backoff_ms="),
+            "retry event {i} malformed: {detail:?}"
+        );
+    }
+    // The burned budget met the test profile's failure threshold.
+    assert!(
+        data.events
+            .iter()
+            .any(|(_, name, detail)| name == "breaker" && detail == "closed→open"),
+        "breaker transition missing from the trace: {:?}",
+        data.events
+    );
+    // Refusal severs the connection before the command is read: the trace
+    // proves no server-side work happened.
+    let recs = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+    assert!(
+        recs.iter().all(|r| r.origin != "miniredis"),
+        "refused attempts must leave no server record: {recs:?}"
+    );
+}
+
+/// Guarded (non-idempotent) INCRs under seeded 30% resets: every issued
+/// command's trace contains AT MOST one server-side execute span — the
+/// trace is the proof that the no-retry path never replays. Failed
+/// commands still leave exactly one errored server record (the effect that
+/// was applied before the reply was lost).
+#[test]
+fn guarded_incr_traces_prove_at_most_once_under_resets() {
+    let server = Server::start().unwrap();
+    let client = RedisClient::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+    server.fault_injector().set_model(FaultModel {
+        reset_prob: 0.3,
+        ..FaultModel::none()
+    });
+
+    let mut failed_ids: Vec<u128> = Vec::new();
+    let mut ok_count = 0u32;
+    for _ in 0..40 {
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        let outcome = client.incr("ctr");
+        let data = scope.finish();
+        match outcome {
+            Ok(_) => {
+                ok_count += 1;
+                assert_eq!(
+                    data.server_spans.len(),
+                    1,
+                    "acknowledged INCR carries exactly one server span"
+                );
+                assert_eq!(data.server_spans[0].server, "miniredis");
+            }
+            Err(_) => {
+                assert!(
+                    data.server_spans.is_empty(),
+                    "reply was lost; no span can have arrived"
+                );
+                failed_ids.push(root.trace_id);
+            }
+        }
+        // Idempotency guard: never more than one server-side execution,
+        // acknowledged or not.
+        let recs = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+        let executes = recs
+            .iter()
+            .filter(|r| r.origin == "miniredis" && r.op == "INCR")
+            .count();
+        assert!(
+            executes <= 1,
+            "INCR trace {:032x} shows {executes} server executions — replayed!",
+            root.trace_id
+        );
+    }
+
+    assert!(ok_count > 0, "no INCR succeeded; fault model too harsh");
+    assert!(!failed_ids.is_empty(), "fault model never fired");
+    // Every lost-reply INCR left exactly one errored server record: the
+    // applied-then-lost effect is visible in the flight recorder even
+    // though the client never saw a reply.
+    for id in &failed_ids {
+        let recs = obs::FlightRecorder::global().by_trace_id(*id);
+        let execs: Vec<_> = recs
+            .iter()
+            .filter(|r| r.origin == "miniredis" && r.op == "INCR")
+            .collect();
+        assert_eq!(execs.len(), 1, "trace {id:032x}: {execs:?}");
+        assert!(
+            execs[0].error.is_some(),
+            "lost-reply record must be marked errored (and thus retained)"
+        );
+    }
+
+    // Ground truth agrees with the traces.
+    server.fault_injector().set_model(FaultModel::none());
+    std::thread::sleep(Duration::from_millis(150));
+    let raw = client.get("ctr").unwrap().expect("counter exists");
+    let applied: i64 = std::str::from_utf8(&raw).unwrap().parse().unwrap();
+    assert!(applied >= i64::from(ok_count));
+    assert!(applied <= 40);
+}

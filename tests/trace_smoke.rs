@@ -1,0 +1,166 @@
+//! Trace pipeline smoke test — the CI gate for end-to-end distributed
+//! tracing. One small sweep through the full stack (enhanced client →
+//! cloudstore over real HTTP) must produce:
+//!
+//! 1. joined traces retrievable as JSON via `GET /trace`;
+//! 2. Prometheus histogram exemplars in `GET /metrics` whose trace ids
+//!    resolve in the flight recorder;
+//! 3. a recorder that retained every error while staying inside its byte
+//!    ceiling.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cloudstore::{CloudClient, CloudServer, Request};
+use dscl::EnhancedClient;
+use dscl_cache::InProcessLru;
+use dscl_compress::GzipCodec;
+use kvapi::KeyValue;
+use netsim::FaultModel;
+use resilience::ResiliencePolicy;
+
+#[test]
+fn sweep_produces_joined_traces_exported_over_http_with_resolving_exemplars() {
+    let server = CloudServer::start_local().unwrap();
+    // The enhanced client publishes into the SERVER's registry, so one
+    // `GET /metrics` scrape shows client stage histograms (with exemplars)
+    // next to the server's own counters.
+    let reg = server.registry().clone();
+    let client = EnhancedClient::new(CloudClient::connect_with_policy(
+        server.addr(),
+        ResiliencePolicy::test_profile(),
+    ))
+    .with_cache(Arc::new(InProcessLru::new(4 << 20)))
+    .with_codec(Box::new(GzipCodec::default()))
+    .with_registry(reg.clone());
+
+    // Small mixed sweep: puts and gets across a few sizes.
+    let payload = "trace smoke payload ".repeat(64);
+    for i in 0..20 {
+        let key = format!("smoke-{}", i % 5);
+        client.put(&key, payload.as_bytes()).unwrap();
+        assert!(client.get(&key).unwrap().is_some());
+    }
+
+    // Fault phase. Every failing op below errors, so the tail sampler
+    // retains it 100%, and burns retry backoffs, so it is by far the
+    // slowest op of its kind (the local server injects zero latency) —
+    // making it the exemplar for its latency histogram. Everything
+    // asserted afterwards is therefore deterministic.
+    //
+    // First the put exemplar, on a separate endpoint client so its breaker
+    // state doesn't interact with the get story below.
+    server.fault_injector().set_model(FaultModel::outage());
+    let put_client = EnhancedClient::new(CloudClient::connect_with_policy(
+        server.addr(),
+        ResiliencePolicy::test_profile(),
+    ))
+    .with_registry(reg.clone());
+    let put_root = obs::TraceContext::new_root();
+    let put_scope = obs::ctx::activate(put_root);
+    assert!(put_client.put("smoke-0", b"x").is_err());
+    put_scope.finish();
+
+    // Now one joined trace telling a whole incident story, as two child
+    // ops of a single root: (1) a get against the refused endpoint burns
+    // the retry budget and opens the breaker; (2) after the cooldown, the
+    // half-open probe reaches the server, which answers 500 — carrying its
+    // server-side span back — and the breaker closes again.
+    // Sever the pooled connections too — refusal only affects new ones.
+    server.drop_connections();
+    let root = obs::TraceContext::new_root();
+    let scope = obs::ctx::activate(root);
+    let t0 = Instant::now();
+    assert!(client.get("never-stored").is_err(), "outage must surface");
+    let slow_elapsed = t0.elapsed();
+    server.fault_injector().set_model(FaultModel {
+        error_prob: 1.0,
+        ..FaultModel::none()
+    });
+    std::thread::sleep(Duration::from_millis(150)); // breaker cooldown
+    assert!(
+        client.get("never-stored-2").is_err(),
+        "injected 500 must surface"
+    );
+    scope.finish();
+    server.fault_injector().set_model(FaultModel::none());
+
+    // Both failed child ops reached the recorder, joined to our trace.
+    let recs = obs::FlightRecorder::global().by_trace_id(root.trace_id);
+    let dscl_recs: Vec<_> = recs.iter().filter(|r| r.origin == "dscl").collect();
+    assert_eq!(dscl_recs.len(), 2, "both failing gets retained: {recs:?}");
+    for r in &dscl_recs {
+        assert!(r.error.is_some());
+        assert_eq!(r.ctx.unwrap().parent_id, Some(root.span_id));
+    }
+    let events: Vec<_> = dscl_recs.iter().flat_map(|r| &r.events).collect();
+    let retries = events.iter().filter(|e| e.name == "retry").count();
+    assert_eq!(retries, 2, "2 forced retries in the trace: {events:?}");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "breaker" && e.detail == "closed→open"),
+        "breaker opening missing from the trace: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "breaker" && e.detail.ends_with("→closed")),
+        "breaker re-close missing from the trace: {events:?}"
+    );
+    // The half-open probe's 500 still carried the server's span home.
+    let spans: Vec<_> = dscl_recs.iter().flat_map(|r| &r.server_spans).collect();
+    assert_eq!(spans.len(), 1, "one reply arrived, one span: {recs:?}");
+    assert_eq!(spans[0].server, "cloudstore");
+
+    // `GET /trace` exports the recorder as JSON, including our trace.
+    let raw = CloudClient::connect(server.addr());
+    let resp = raw.round_trip(&Request::new("GET", "/trace")).unwrap();
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8(resp.body).unwrap();
+    let id_hex = format!("{:032x}", root.trace_id);
+    assert!(
+        body.contains(&id_hex),
+        "GET /trace missing trace {id_hex}: {body}"
+    );
+
+    // `GET /metrics` carries an exemplar on the get-latency histogram, and
+    // it names our slow trace (which resolves in the recorder).
+    let resp = raw.round_trip(&Request::new("GET", "/metrics")).unwrap();
+    assert_eq!(resp.status, 200);
+    let metrics = String::from_utf8(resp.body).unwrap();
+    assert!(
+        metrics.contains("dscl_op_duration_ns"),
+        "client histograms missing from the server scrape:\n{metrics}"
+    );
+    let exemplar_ids: Vec<u128> = metrics
+        .lines()
+        .filter_map(|l| l.split("trace_id=\"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .filter_map(|hex| u128::from_str_radix(hex, 16).ok())
+        .collect();
+    assert!(
+        !exemplar_ids.is_empty(),
+        "no exemplars in the scrape:\n{metrics}"
+    );
+    assert!(
+        exemplar_ids.contains(&root.trace_id),
+        "slowest get ({slow_elapsed:?}) should be the exemplar; ids: {exemplar_ids:?}"
+    );
+    for id in &exemplar_ids {
+        assert!(
+            !obs::FlightRecorder::global().by_trace_id(*id).is_empty(),
+            "exemplar trace {id:032x} does not resolve in the recorder"
+        );
+    }
+
+    // Recorder hygiene: everything was seen, errors kept, memory bounded.
+    let rec = obs::FlightRecorder::global();
+    assert!(rec.seen() > 0);
+    assert!(
+        rec.bytes_used() <= rec.byte_ceiling(),
+        "recorder over its byte ceiling: {} > {}",
+        rec.bytes_used(),
+        rec.byte_ceiling()
+    );
+}

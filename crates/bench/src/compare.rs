@@ -1,0 +1,248 @@
+//! The regression comparator: diff two [`BenchReport`]s and decide whether
+//! the newer one is allowed to land.
+//!
+//! Comparison is per `(workload, target, op)` row. Latency percentiles
+//! (p50, p99) regress when the new value exceeds the old by more than the
+//! configured percentage *and* by more than an absolute floor (sub-floor
+//! jitter on microsecond-scale ops is measurement noise, not a
+//! regression). Throughput regresses when it drops by more than its own
+//! percentage threshold. Rows present on only one side are reported but
+//! never fail the gate — workloads are allowed to be added and retired.
+//!
+//! A missing predecessor file is not an error: this harness created the
+//! first `BENCH_<n>.json` in the repo's history, so the CLI treats
+//! "nothing to compare against" as a clean pass with a note.
+
+use crate::report::BenchReport;
+
+/// Regression tolerances. Defaults are deliberately loose — shared CI
+/// hardware jitters; the gate exists to catch step changes, not 3% noise.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Max allowed relative latency growth, percent (p50 and p99).
+    pub latency_pct: f64,
+    /// Latency growth below this many microseconds never regresses.
+    pub latency_floor_us: f64,
+    /// Max allowed relative throughput drop, percent.
+    pub throughput_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            latency_pct: 35.0,
+            latency_floor_us: 25.0,
+            throughput_pct: 30.0,
+        }
+    }
+}
+
+/// One metric's old→new movement.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// `workload/target/op` row identity.
+    pub row: String,
+    /// Metric name ("p50_us", "p99_us", "throughput_ops_s").
+    pub metric: &'static str,
+    /// Value in the older report.
+    pub old: f64,
+    /// Value in the newer report.
+    pub new: f64,
+    /// Relative change in percent (positive = value grew).
+    pub change_pct: f64,
+    /// True when the movement crosses the regression threshold in the
+    /// bad direction.
+    pub regressed: bool,
+}
+
+/// The comparator's verdict.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Every compared metric, in row order.
+    pub deltas: Vec<Delta>,
+    /// Rows present in exactly one of the two reports.
+    pub unmatched: Vec<String>,
+}
+
+impl CompareReport {
+    /// Metrics that crossed their regression threshold.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// True when the newer report should fail the gate.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Render the verdict as a one-screen text report.
+    pub fn render(&self, thresholds: &Thresholds) -> String {
+        let mut out = format!(
+            "{:<36} {:<18} {:>12} {:>12} {:>9}\n",
+            "row", "metric", "old", "new", "change"
+        );
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<36} {:<18} {:>12.1} {:>12.1} {:>+8.1}%{}\n",
+                d.row,
+                d.metric,
+                d.old,
+                d.new,
+                d.change_pct,
+                if d.regressed { "  REGRESSION" } else { "" }
+            ));
+        }
+        for row in &self.unmatched {
+            out.push_str(&format!("{row}: present in only one report (skipped)\n"));
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            out.push_str(&format!(
+                "OK: no metric regressed beyond +{:.0}% latency (floor {:.0} µs) / \
+                 -{:.0}% throughput\n",
+                thresholds.latency_pct, thresholds.latency_floor_us, thresholds.throughput_pct
+            ));
+        } else {
+            out.push_str(&format!("FAIL: {} regression(s)\n", regressions.len()));
+        }
+        out
+    }
+}
+
+fn pct_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+/// Diff `new` against `old` under `thresholds`.
+pub fn compare(old: &BenchReport, new: &BenchReport, thresholds: &Thresholds) -> CompareReport {
+    let mut report = CompareReport::default();
+    let row_key = |w: &str, t: &str, op: &str| format!("{w}/{t}/{op}");
+
+    let mut old_rows = std::collections::BTreeMap::new();
+    for w in &old.workloads {
+        for op in &w.ops {
+            old_rows.insert(row_key(&w.workload, &w.target, &op.op), op);
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for w in &new.workloads {
+        for op in &w.ops {
+            let key = row_key(&w.workload, &w.target, &op.op);
+            let Some(old_op) = old_rows.get(key.as_str()) else {
+                report.unmatched.push(format!("{key} (new only)"));
+                continue;
+            };
+            seen.insert(key.clone());
+            for (metric, old_v, new_v) in [
+                ("p50_us", old_op.p50_us, op.p50_us),
+                ("p99_us", old_op.p99_us, op.p99_us),
+                (
+                    "throughput_ops_s",
+                    old_op.throughput_ops_s,
+                    op.throughput_ops_s,
+                ),
+            ] {
+                let change = pct_change(old_v, new_v);
+                let regressed = if metric == "throughput_ops_s" {
+                    change < -thresholds.throughput_pct
+                } else {
+                    change > thresholds.latency_pct && (new_v - old_v) > thresholds.latency_floor_us
+                };
+                report.deltas.push(Delta {
+                    row: key.clone(),
+                    metric,
+                    old: old_v,
+                    new: new_v,
+                    change_pct: change,
+                    regressed,
+                });
+            }
+        }
+    }
+    for key in old_rows.keys() {
+        if !seen.contains(key) {
+            report.unmatched.push(format!("{key} (old only)"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::sample_report;
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = sample_report("BENCH_6");
+        let out = compare(&a, &a, &Thresholds::default());
+        assert!(!out.has_regressions(), "{:?}", out.regressions());
+        assert!(out.unmatched.is_empty());
+        assert!(out.render(&Thresholds::default()).contains("OK:"));
+    }
+
+    #[test]
+    fn doctored_latency_regression_fails() {
+        let old = sample_report("BENCH_6");
+        let mut new = sample_report("BENCH_7");
+        new.workloads[0].ops[0].p50_us *= 10.0;
+        new.workloads[0].ops[0].p99_us *= 10.0;
+        let out = compare(&old, &new, &Thresholds::default());
+        assert!(out.has_regressions());
+        let metrics: Vec<&str> = out.regressions().iter().map(|d| d.metric).collect();
+        assert!(metrics.contains(&"p50_us"), "{metrics:?}");
+        assert!(metrics.contains(&"p99_us"), "{metrics:?}");
+        assert!(out.render(&Thresholds::default()).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn throughput_drop_fails_but_latency_improvement_passes() {
+        let old = sample_report("BENCH_6");
+        let mut new = sample_report("BENCH_7");
+        new.workloads[0].ops[0].p50_us /= 4.0; // improvement
+        new.workloads[0].ops[0].throughput_ops_s /= 3.0; // 67% drop
+        let out = compare(&old, &new, &Thresholds::default());
+        let regressed: Vec<&str> = out.regressions().iter().map(|d| d.metric).collect();
+        assert_eq!(regressed, vec!["throughput_ops_s"], "{:?}", out.deltas);
+    }
+
+    #[test]
+    fn sub_floor_latency_jitter_never_regresses() {
+        let old = sample_report("BENCH_6");
+        let mut new = sample_report("BENCH_7");
+        // +100% relative, but only +9 µs absolute: below the floor.
+        new.workloads[0].ops[0].p50_us = 18.0;
+        let th = Thresholds {
+            latency_floor_us: 25.0,
+            ..Thresholds::default()
+        };
+        assert!(!compare(&old, &new, &th).has_regressions());
+        // Drop the floor and the same movement regresses.
+        let th = Thresholds {
+            latency_floor_us: 0.0,
+            ..th
+        };
+        assert!(compare(&old, &new, &th).has_regressions());
+    }
+
+    #[test]
+    fn unmatched_rows_are_reported_but_do_not_fail() {
+        let old = sample_report("BENCH_6");
+        let mut new = sample_report("BENCH_7");
+        new.workloads[0].ops[0].op = "renamed".into();
+        let out = compare(&old, &new, &Thresholds::default());
+        assert!(!out.has_regressions());
+        assert_eq!(out.unmatched.len(), 2, "{:?}", out.unmatched);
+        let text = out.render(&Thresholds::default());
+        assert!(text.contains("new only"), "{text}");
+        assert!(text.contains("old only"), "{text}");
+    }
+}

@@ -1,0 +1,487 @@
+//! The pinned-workload harness behind `BENCH_<n>.json`.
+//!
+//! Four workloads, each seeded and deterministic in the *operation stream*
+//! it issues (latencies of course vary run to run — that is what the
+//! comparator's thresholds absorb):
+//!
+//! - `small_op` — closed-loop 70/30 get/put mix over a 64-key space of
+//!   128-byte values: the paper's metadata-sized hot-path shape.
+//! - `large_value` — sequential puts then gets of 256 KiB values (64 KiB in
+//!   quick mode): the streaming shape where codec and wire cost dominate.
+//! - `batch` — `put_many`/`get_many` sweeps over growing batch sizes: the
+//!   §IV.C batching amortization curve.
+//! - `cache_hit` — the same reads through a primed `InProcessLru` versus a
+//!   cache-less client: the paper's Guava-cache speedup, as a ratio the
+//!   comparator can watch.
+//!
+//! Each workload runs against two targets: `inproc` ([`MemKv`], measuring
+//! pure client overhead) and `remote` (a [`CloudServer`] behind the scaled
+//! `Cloud2` netsim profile, measuring the WAN shape).
+
+use crate::report::{
+    BenchReport, EnvFingerprint, OpStats, ResourceUsage, WorkloadResult, SCHEMA_VERSION,
+};
+use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
+use dscl::EnhancedClient;
+use dscl_cache::InProcessLru;
+use kvapi::mem::MemKv;
+use kvapi::{KeyValue, Result, StoreError};
+use netsim::Profile;
+use obs::LatencyHistogram;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The pinned workload names, in run order.
+pub const WORKLOADS: &[&str] = &["small_op", "large_value", "batch", "cache_hit"];
+
+/// The pinned target names, in run order.
+pub const TARGETS: &[&str] = &["inproc", "remote"];
+
+/// Knobs for one harness run. The defaults are the committed-baseline
+/// configuration; `quick` shrinks op counts and value sizes for CI smoke
+/// runs (the resulting JSON is still schema-valid, just noisier).
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessConfig {
+    /// Seed for every workload's op-stream RNG.
+    pub seed: u64,
+    /// netsim latency scale for the remote target (1.0 = paper-like).
+    pub scale: f64,
+    /// Shrink op counts / value sizes for a fast smoke run.
+    pub quick: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> HarnessConfig {
+        HarnessConfig {
+            seed: 0x5EED,
+            scale: 0.02,
+            quick: false,
+        }
+    }
+}
+
+impl HarnessConfig {
+    fn ops(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Records per-op-kind latency histograms during a workload.
+#[derive(Default)]
+struct OpRecorder {
+    hists: BTreeMap<String, LatencyHistogram>,
+}
+
+impl OpRecorder {
+    /// Time one operation under label `op`.
+    fn time<R>(&mut self, op: &str, f: impl FnOnce() -> Result<R>) -> Result<R> {
+        let t0 = Instant::now();
+        let out = f()?;
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.hists.entry(op.to_string()).or_default().record(ns);
+        Ok(out)
+    }
+
+    fn into_ops(self) -> Vec<OpStats> {
+        self.hists
+            .into_iter()
+            .map(|(op, h)| OpStats::from_hist(op, &h.snapshot()))
+            .collect()
+    }
+}
+
+/// A deterministic, mildly compressible value of `len` bytes.
+fn pattern_value(len: usize, tag: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(tag))
+        .collect()
+}
+
+fn run_small_op(
+    store: &Arc<dyn KeyValue>,
+    cfg: &HarnessConfig,
+    rec: &mut OpRecorder,
+) -> Result<()> {
+    const KEYS: usize = 64;
+    let ops = cfg.ops(400, 60);
+    let value = pattern_value(128, 1);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    for i in 0..KEYS {
+        store.put(&format!("small-{i:03}"), &value)?;
+    }
+    for _ in 0..ops {
+        let key = format!("small-{:03}", rng.gen_range(0..KEYS));
+        if rng.gen_bool(0.7) {
+            rec.time("get", || store.get(&key))?;
+        } else {
+            rec.time("put", || store.put(&key, &value))?;
+        }
+    }
+    Ok(())
+}
+
+fn run_large_value(
+    store: &Arc<dyn KeyValue>,
+    cfg: &HarnessConfig,
+    rec: &mut OpRecorder,
+) -> Result<()> {
+    let size = if cfg.quick { 64 << 10 } else { 256 << 10 };
+    let ops = cfg.ops(24, 6);
+    let value = pattern_value(size, 2);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x1a56e);
+    for _ in 0..ops {
+        let key = format!("large-{}", rng.gen_range(0..4u32));
+        rec.time("put_large", || store.put(&key, &value))?;
+    }
+    for _ in 0..ops {
+        let key = format!("large-{}", rng.gen_range(0..4u32));
+        rec.time("get_large", || store.get(&key))?;
+    }
+    Ok(())
+}
+
+fn run_batch(store: &Arc<dyn KeyValue>, cfg: &HarnessConfig, rec: &mut OpRecorder) -> Result<()> {
+    let sizes: &[usize] = if cfg.quick { &[1, 8] } else { &[1, 8, 32] };
+    let rounds = cfg.ops(6, 2);
+    let value = pattern_value(64, 3);
+    for &size in sizes {
+        let keys: Vec<String> = (0..size).map(|j| format!("batch-{size}-{j}")).collect();
+        let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let entries: Vec<(&str, &[u8])> = key_refs.iter().map(|k| (*k, value.as_slice())).collect();
+        for _ in 0..rounds {
+            rec.time(&format!("put_many/{size}"), || store.put_many(&entries))?;
+            rec.time(&format!("get_many/{size}"), || store.get_many(&key_refs))?;
+        }
+    }
+    Ok(())
+}
+
+fn run_cache_hit(
+    store: &Arc<dyn KeyValue>,
+    cfg: &HarnessConfig,
+    rec: &mut OpRecorder,
+) -> Result<()> {
+    const KEYS: usize = 32;
+    let ops = cfg.ops(200, 40);
+    let value = pattern_value(4 << 10, 4);
+    let cached =
+        EnhancedClient::new(Arc::clone(store)).with_cache(Arc::new(InProcessLru::new(16 << 20)));
+    let uncached = EnhancedClient::new(Arc::clone(store));
+    // Populate, then prime the LRU with one read per key so the measured
+    // loop is all hits.
+    for i in 0..KEYS {
+        cached.put(&format!("ch-{i:02}"), &value)?;
+    }
+    for i in 0..KEYS {
+        cached.get(&format!("ch-{i:02}"))?;
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xcac4e);
+    for _ in 0..ops {
+        let key = format!("ch-{:02}", rng.gen_range(0..KEYS));
+        rec.time("get_hit", || cached.get(&key))?;
+        rec.time("get_miss", || uncached.get(&key))?;
+    }
+    Ok(())
+}
+
+/// Run one named workload against one store, returning its result row.
+/// Exposed so tests can drive a single workload against an instrumented
+/// store (determinism checks, profiler attribution).
+pub fn run_workload(
+    name: &str,
+    target: &str,
+    store: &Arc<dyn KeyValue>,
+    cfg: &HarnessConfig,
+) -> Result<WorkloadResult> {
+    let mut rec = OpRecorder::default();
+    store.clear()?;
+    let t0 = Instant::now();
+    match name {
+        "small_op" => run_small_op(store, cfg, &mut rec)?,
+        "large_value" => run_large_value(store, cfg, &mut rec)?,
+        "batch" => run_batch(store, cfg, &mut rec)?,
+        "cache_hit" => run_cache_hit(store, cfg, &mut rec)?,
+        other => {
+            return Err(StoreError::Other(format!(
+                "unknown workload {other:?} (pinned: {WORKLOADS:?})"
+            )))
+        }
+    }
+    Ok(WorkloadResult {
+        workload: name.to_string(),
+        target: target.to_string(),
+        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        ops: rec.into_ops(),
+    })
+}
+
+/// The two pinned targets. The remote server lives as long as this struct.
+pub struct Targets {
+    inproc: Arc<dyn KeyValue>,
+    remote: Arc<dyn KeyValue>,
+    _server: CloudServer,
+}
+
+impl Targets {
+    /// Bring up both targets at the given netsim scale.
+    pub fn start(scale: f64) -> Result<Targets> {
+        let server = CloudServer::start(CloudServerConfig {
+            latency: Profile::Cloud2.scaled_model(scale),
+            seed: 0xbe6c,
+            ..Default::default()
+        })?;
+        let remote: Arc<dyn KeyValue> =
+            Arc::new(CloudClient::connect(server.addr()).with_name("remote"));
+        Ok(Targets {
+            inproc: Arc::new(MemKv::new("inproc")),
+            remote,
+            _server: server,
+        })
+    }
+
+    /// `(name, store)` pairs in pinned order.
+    pub fn all(&self) -> Vec<(&'static str, Arc<dyn KeyValue>)> {
+        vec![
+            ("inproc", Arc::clone(&self.inproc)),
+            ("remote", Arc::clone(&self.remote)),
+        ]
+    }
+}
+
+/// Run the pinned matrix (optionally restricted to one workload name) and
+/// return the result rows in pinned order.
+pub fn run(cfg: &HarnessConfig, only: Option<&str>) -> Result<Vec<WorkloadResult>> {
+    if let Some(name) = only {
+        if !WORKLOADS.contains(&name) {
+            return Err(StoreError::Other(format!(
+                "unknown workload {name:?} (pinned: {WORKLOADS:?})"
+            )));
+        }
+    }
+    let targets = Targets::start(cfg.scale)?;
+    let mut out = Vec::new();
+    for (target, store) in targets.all() {
+        for name in WORKLOADS {
+            if only.is_some_and(|w| w != *name) {
+                continue;
+            }
+            out.push(run_workload(name, target, &store, cfg)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Full harness run packaged as a `BENCH_<n>.json` document: process
+/// resource samples bracket the workloads, and the environment fingerprint
+/// records enough to judge whether two files are comparable.
+pub fn run_to_report(bench: &str, cfg: &HarnessConfig, only: Option<&str>) -> Result<BenchReport> {
+    let start = obs::procinfo::sample();
+    let workloads = run(cfg, only)?;
+    let end = obs::procinfo::sample();
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench: bench.to_string(),
+        env: EnvFingerprint {
+            commit: current_commit(),
+            scale: cfg.scale,
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            os: std::env::consts::OS.to_string(),
+        },
+        workloads,
+        resources: ResourceUsage::between(start, end),
+    };
+    report.validate()?;
+    Ok(report)
+}
+
+/// Resolve the current git commit by walking up from the working directory
+/// to the nearest `.git/HEAD`. Returns `"unknown"` outside a checkout —
+/// the fingerprint is advisory, never fatal.
+pub fn current_commit() -> String {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        if let Ok(head) = std::fs::read_to_string(d.join(".git/HEAD")) {
+            let head = head.trim();
+            if let Some(refname) = head.strip_prefix("ref: ") {
+                if let Ok(hash) = std::fs::read_to_string(d.join(".git").join(refname)) {
+                    return hash.trim().to_string();
+                }
+                return refname.to_string();
+            }
+            return head.to_string();
+        }
+        dir = d.parent().map(std::path::Path::to_path_buf);
+    }
+    "unknown".to_string()
+}
+
+/// An AES-dominated open-loop workload for exercising the sampling
+/// profiler: every put encrypts and every get decrypts a 256 KiB value, so
+/// a correct profile attributes the bulk of its samples to
+/// `encrypt`/`decrypt`. Used by `udsm-cli profile` and the acceptance test.
+pub fn run_aes_demo(ops: usize) -> Result<()> {
+    let store: Arc<dyn KeyValue> = Arc::new(MemKv::new("profile-demo"));
+    let client =
+        EnhancedClient::new(store).with_codec(Box::new(dscl_crypto::AesCodec::from_passphrase(
+            "bench-profile",
+            dscl_crypto::KeySize::Aes128,
+            dscl_crypto::codec::Mode::Cbc,
+        )));
+    let value = pattern_value(256 << 10, 5);
+    for i in 0..ops {
+        let key = format!("prof-{}", i % 8);
+        client.put(&key, &value)?;
+        client.get(&key)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Delegates to MemKv while logging every op it sees, so two runs can
+    /// be compared op-for-op.
+    struct RecordingStore {
+        inner: MemKv,
+        log: Mutex<Vec<String>>,
+    }
+
+    impl RecordingStore {
+        fn new() -> RecordingStore {
+            RecordingStore {
+                inner: MemKv::new("recording"),
+                log: Mutex::new(Vec::new()),
+            }
+        }
+        fn note(&self, entry: String) {
+            self.log.lock().unwrap().push(entry);
+        }
+    }
+
+    impl KeyValue for RecordingStore {
+        fn name(&self) -> &str {
+            "recording"
+        }
+        fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+            self.note(format!("put {key} {}", value.len()));
+            self.inner.put(key, value)
+        }
+        fn get(&self, key: &str) -> Result<Option<bytes::Bytes>> {
+            self.note(format!("get {key}"));
+            self.inner.get(key)
+        }
+        fn delete(&self, key: &str) -> Result<bool> {
+            self.note(format!("delete {key}"));
+            self.inner.delete(key)
+        }
+        fn clear(&self) -> Result<()> {
+            self.inner.clear()
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.inner.keys()
+        }
+    }
+
+    fn op_stream(name: &str, cfg: &HarnessConfig) -> Vec<String> {
+        let store = Arc::new(RecordingStore::new());
+        let dyn_store: Arc<dyn KeyValue> = store.clone();
+        run_workload(name, "inproc", &dyn_store, cfg).unwrap();
+        let log = store.log.lock().unwrap();
+        log.clone()
+    }
+
+    #[test]
+    fn workload_op_streams_are_deterministic_under_a_seed() {
+        let cfg = HarnessConfig {
+            quick: true,
+            ..HarnessConfig::default()
+        };
+        for name in WORKLOADS {
+            let a = op_stream(name, &cfg);
+            let b = op_stream(name, &cfg);
+            assert!(!a.is_empty(), "{name} issued no ops");
+            assert_eq!(a, b, "{name}: same seed must issue the same op stream");
+        }
+        // A different seed perturbs at least the keyed workloads.
+        let other = HarnessConfig {
+            seed: 0xD1FF,
+            ..cfg
+        };
+        assert_ne!(
+            op_stream("small_op", &cfg),
+            op_stream("small_op", &other),
+            "different seeds should pick different keys"
+        );
+    }
+
+    #[test]
+    fn every_pinned_workload_produces_expected_op_rows() {
+        let cfg = HarnessConfig {
+            quick: true,
+            ..HarnessConfig::default()
+        };
+        let store: Arc<dyn KeyValue> = Arc::new(MemKv::new("rows"));
+        let expect: &[(&str, &[&str])] = &[
+            ("small_op", &["get", "put"]),
+            ("large_value", &["get_large", "put_large"]),
+            (
+                "batch",
+                &["get_many/1", "get_many/8", "put_many/1", "put_many/8"],
+            ),
+            ("cache_hit", &["get_hit", "get_miss"]),
+        ];
+        for (name, ops) in expect {
+            let result = run_workload(name, "inproc", &store, &cfg).unwrap();
+            let got: Vec<&str> = result.ops.iter().map(|o| o.op.as_str()).collect();
+            assert_eq!(&got, ops, "{name}");
+            for op in &result.ops {
+                assert!(op.count > 0, "{name}/{}", op.op);
+                assert!(op.throughput_ops_s > 0.0, "{name}/{}", op.op);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected() {
+        let store: Arc<dyn KeyValue> = Arc::new(MemKv::new("x"));
+        let err = run_workload("nope", "inproc", &store, &HarnessConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn quick_matrix_run_yields_a_valid_report() {
+        let cfg = HarnessConfig {
+            quick: true,
+            scale: 0.0,
+            ..HarnessConfig::default()
+        };
+        let report = run_to_report("BENCH_TEST", &cfg, None).unwrap();
+        assert_eq!(report.workloads.len(), WORKLOADS.len() * TARGETS.len());
+        let json = report.to_json().unwrap();
+        BenchReport::from_json(&json).unwrap();
+    }
+
+    #[test]
+    fn single_workload_filter_restricts_the_matrix() {
+        let cfg = HarnessConfig {
+            quick: true,
+            scale: 0.0,
+            ..HarnessConfig::default()
+        };
+        let rows = run(&cfg, Some("small_op")).unwrap();
+        assert_eq!(rows.len(), TARGETS.len());
+        assert!(rows.iter().all(|r| r.workload == "small_op"));
+        assert!(run(&cfg, Some("bogus")).is_err());
+    }
+}

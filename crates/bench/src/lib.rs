@@ -10,6 +10,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod compare;
+pub mod harness;
+pub mod report;
+
 use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
 use fskv::FsKv;
 use kvapi::KeyValue;

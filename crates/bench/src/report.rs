@@ -1,0 +1,302 @@
+//! The `BENCH_<n>.json` schema: what one pinned-workload harness run
+//! records, versioned so future PRs can evolve the format without breaking
+//! the comparator on historical files.
+//!
+//! One file is one run: an environment fingerprint (commit, latency scale,
+//! CPU count, OS), one [`WorkloadResult`] per (workload × target) with
+//! per-op latency percentiles and throughput, and the process resource
+//! usage around the run (start/end [`obs::ProcSample`]s plus their delta).
+//! Latencies are microseconds — the unit the paper's figures use — taken
+//! from `obs` log-linear histograms, so percentile error is bounded at
+//! 6.25%.
+
+use kvapi::{Result, StoreError};
+use obs::procinfo::{ProcDelta, ProcSample};
+use serde::{Deserialize, Serialize};
+
+/// Current schema version; bump when the JSON shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Latency/throughput summary for one operation kind within a workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Operation label ("get", "put_large", "get_many/8", ...).
+    pub op: String,
+    /// Operations measured.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Closed-loop throughput: ops divided by summed op latency.
+    pub throughput_ops_s: f64,
+}
+
+impl OpStats {
+    /// Summarize a histogram of per-op nanosecond samples.
+    pub fn from_hist(op: impl Into<String>, snap: &obs::HistogramSnapshot) -> OpStats {
+        let secs = snap.sum as f64 / 1e9;
+        OpStats {
+            op: op.into(),
+            count: snap.count,
+            mean_us: snap.mean() / 1e3,
+            p50_us: snap.p50() as f64 / 1e3,
+            p95_us: snap.quantile(0.95) as f64 / 1e3,
+            p99_us: snap.p99() as f64 / 1e3,
+            throughput_ops_s: if secs > 0.0 {
+                snap.count as f64 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// One workload run against one target store.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Pinned workload name ("small_op", "large_value", "batch",
+    /// "cache_hit").
+    pub workload: String,
+    /// Target store ("inproc" or "remote").
+    pub target: String,
+    /// Wall-clock time for the whole workload, milliseconds.
+    pub elapsed_ms: f64,
+    /// Per-op-kind stats.
+    pub ops: Vec<OpStats>,
+}
+
+/// Where and how the run happened — enough to judge comparability.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnvFingerprint {
+    /// Git commit hash (or "unknown" outside a checkout).
+    pub commit: String,
+    /// netsim latency scale factor the remote target ran at.
+    pub scale: f64,
+    /// Available CPU parallelism.
+    pub cpus: u64,
+    /// `std::env::consts::OS`.
+    pub os: String,
+}
+
+/// Process resource usage bracketing the run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Sample taken before the first workload.
+    pub start: ProcSample,
+    /// Sample taken after the last workload.
+    pub end: ProcSample,
+    /// `end − start`.
+    pub delta: ProcDelta,
+}
+
+impl ResourceUsage {
+    /// Bracket two samples.
+    pub fn between(start: ProcSample, end: ProcSample) -> ResourceUsage {
+        ResourceUsage {
+            start,
+            end,
+            delta: start.delta_to(&end),
+        }
+    }
+}
+
+/// A complete `BENCH_<n>.json` document.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u64,
+    /// The file's identity, e.g. "BENCH_6".
+    pub bench: String,
+    /// Run environment.
+    pub env: EnvFingerprint,
+    /// One entry per (workload × target).
+    pub workloads: Vec<WorkloadResult>,
+    /// Process resource usage around the run.
+    pub resources: ResourceUsage,
+}
+
+impl BenchReport {
+    /// Serialize to the committed JSON form.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| StoreError::Other(format!("bench report does not serialize: {e}")))
+    }
+
+    /// Parse and validate a report. Rejects unknown schema versions and
+    /// structurally empty reports, so the CI gate catches a truncated or
+    /// hand-mangled file early.
+    pub fn from_json(json: &str) -> Result<BenchReport> {
+        let report: BenchReport = serde_json::from_str(json)
+            .map_err(|e| StoreError::Other(format!("bench report does not parse: {e}")))?;
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// Structural validity: known schema, at least one workload, every
+    /// workload carrying at least one op row with a positive count.
+    pub fn validate(&self) -> Result<()> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(StoreError::Other(format!(
+                "unsupported bench schema version {} (this build reads {SCHEMA_VERSION})",
+                self.schema_version
+            )));
+        }
+        if self.workloads.is_empty() {
+            return Err(StoreError::Other("bench report has no workloads".into()));
+        }
+        for w in &self.workloads {
+            if w.ops.is_empty() {
+                return Err(StoreError::Other(format!(
+                    "workload {}/{} has no op stats",
+                    w.workload, w.target
+                )));
+            }
+            for op in &w.ops {
+                if op.count == 0 {
+                    return Err(StoreError::Other(format!(
+                        "op {}/{}/{} has zero samples",
+                        w.workload, w.target, op.op
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Load from a file path (parse + validate).
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<BenchReport> {
+        BenchReport::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Write the committed JSON form to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_json()?).map_err(StoreError::from)
+    }
+
+    /// Human-oriented one-screen summary (stderr companion to the JSON).
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{} @ {} (scale {}, {} cpus, {})\n",
+            self.bench, self.env.commit, self.env.scale, self.env.cpus, self.env.os
+        );
+        out.push_str(&format!(
+            "{:<12} {:<8} {:<14} {:>8} {:>10} {:>10} {:>10} {:>12}\n",
+            "workload", "target", "op", "count", "p50_us", "p95_us", "p99_us", "ops/s"
+        ));
+        for w in &self.workloads {
+            for op in &w.ops {
+                out.push_str(&format!(
+                    "{:<12} {:<8} {:<14} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>12.0}\n",
+                    w.workload,
+                    w.target,
+                    op.op,
+                    op.count,
+                    op.p50_us,
+                    op.p95_us,
+                    op.p99_us,
+                    op.throughput_ops_s
+                ));
+            }
+        }
+        let d = &self.resources.delta;
+        out.push_str(&format!(
+            "resources: rss {:+} B, cpu user {} ms / sys {} ms, fds {:+}, threads {:+}\n",
+            d.rss_bytes, d.user_cpu_ms, d.sys_cpu_ms, d.open_fds, d.threads
+        ));
+        out
+    }
+}
+
+/// A minimal, structurally valid report for tests and doctoring.
+#[cfg(test)]
+pub fn sample_report(bench: &str) -> BenchReport {
+    let start = obs::procinfo::sample();
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench: bench.to_string(),
+        env: EnvFingerprint {
+            commit: "deadbeef".into(),
+            scale: 0.02,
+            cpus: 4,
+            os: "linux".into(),
+        },
+        workloads: vec![WorkloadResult {
+            workload: "small_op".into(),
+            target: "inproc".into(),
+            elapsed_ms: 12.5,
+            ops: vec![OpStats {
+                op: "get".into(),
+                count: 100,
+                mean_us: 10.0,
+                p50_us: 9.0,
+                p95_us: 20.0,
+                p99_us: 30.0,
+                throughput_ops_s: 100_000.0,
+            }],
+        }],
+        resources: ResourceUsage::between(start, obs::procinfo::sample()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report("BENCH_6");
+        let json = report.to_json().unwrap();
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back, report, "serialize → parse must be the identity");
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let mut report = sample_report("BENCH_6");
+        report.schema_version = SCHEMA_VERSION + 1;
+        let json = report.to_json().unwrap();
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn empty_or_zero_sample_reports_are_rejected() {
+        let mut report = sample_report("BENCH_6");
+        report.workloads.clear();
+        assert!(report.validate().is_err());
+
+        let mut report = sample_report("BENCH_6");
+        report.workloads[0].ops[0].count = 0;
+        let err = report.validate().unwrap_err();
+        assert!(err.to_string().contains("zero samples"), "{err}");
+    }
+
+    #[test]
+    fn op_stats_summarize_a_histogram() {
+        let h = obs::LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1_000); // 1..=1000 µs
+        }
+        let stats = OpStats::from_hist("get", &h.snapshot());
+        assert_eq!(stats.count, 1000);
+        assert!((stats.mean_us - 500.5).abs() < 35.0, "{stats:?}");
+        assert!((stats.p50_us - 500.0).abs() / 500.0 < 0.07, "{stats:?}");
+        assert!((stats.p99_us - 990.0).abs() / 990.0 < 0.07, "{stats:?}");
+        // 1000 ops in ~0.5005 s of summed latency ≈ 2000 ops/s.
+        assert!((stats.throughput_ops_s - 1998.0).abs() < 50.0, "{stats:?}");
+    }
+
+    #[test]
+    fn render_table_mentions_every_op_row() {
+        let report = sample_report("BENCH_6");
+        let table = report.render_table();
+        assert!(table.contains("BENCH_6"), "{table}");
+        assert!(table.contains("small_op"), "{table}");
+        assert!(table.contains("resources:"), "{table}");
+    }
+}

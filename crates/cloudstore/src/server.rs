@@ -263,6 +263,9 @@ fn serve_connection(
         let queue = t0.elapsed();
         let t_exec = Instant::now();
         let resp = if req.method == "GET" && req.path == "/metrics" {
+            // Refresh process gauges (RSS, CPU, fds, threads) so every
+            // scrape sees current resource telemetry.
+            obs::procinfo::publish(&registry);
             Response::new(200)
                 .with_header("content-type", "text/plain; version=0.0.4")
                 .with_body(registry.render_prometheus().into_bytes())

@@ -13,31 +13,9 @@ use obs::{Registry, Trace};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Stage name for a codec's `encode` direction (put path).
-fn encode_stage(codec: &str) -> &'static str {
-    if codec.contains("gzip") || codec.contains("deflate") {
-        "compress"
-    } else if codec.contains("aes") {
-        "encrypt"
-    } else if codec.contains("delta") {
-        "delta_encode"
-    } else {
-        "encode"
-    }
-}
-
-/// Stage name for a codec's `decode` direction (get path).
-fn decode_stage(codec: &str) -> &'static str {
-    if codec.contains("gzip") || codec.contains("deflate") {
-        "decompress"
-    } else if codec.contains("aes") {
-        "decrypt"
-    } else if codec.contains("delta") {
-        "delta_decode"
-    } else {
-        "decode"
-    }
-}
+// Codec-name → trace-stage mapping now lives beside the pipeline itself
+// (shared with the sampling profiler's scope labels).
+use kvapi::codec::{decode_stage, encode_stage};
 
 /// Run `f` as a named stage when a trace is active, plain otherwise.
 fn timed<R>(trace: &mut Option<Trace>, stage: &'static str, f: impl FnOnce() -> R) -> R {

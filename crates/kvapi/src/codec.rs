@@ -22,6 +22,34 @@ pub trait Codec: Send + Sync {
     fn decode(&self, encoded: &[u8]) -> Result<Vec<u8>>;
 }
 
+/// Canonical trace-stage label for a codec's `encode` direction, keyed by
+/// the codec's [`Codec::name`] — the vocabulary traces, metrics, and
+/// sampled profiles share (`compress`, `encrypt`, `delta_encode`, ...).
+pub fn encode_stage(codec: &str) -> &'static str {
+    if codec.contains("gzip") || codec.contains("deflate") {
+        "compress"
+    } else if codec.contains("aes") {
+        "encrypt"
+    } else if codec.contains("delta") {
+        "delta_encode"
+    } else {
+        "encode"
+    }
+}
+
+/// Canonical trace-stage label for a codec's `decode` direction (get path).
+pub fn decode_stage(codec: &str) -> &'static str {
+    if codec.contains("gzip") || codec.contains("deflate") {
+        "decompress"
+    } else if codec.contains("aes") {
+        "decrypt"
+    } else if codec.contains("delta") {
+        "delta_decode"
+    } else {
+        "decode"
+    }
+}
+
 /// A pipeline of codecs applied in order on encode, reverse order on decode.
 ///
 /// An empty pipeline is the identity transformation.
@@ -72,6 +100,7 @@ impl Pipeline {
     ) -> Result<Vec<u8>> {
         let mut cur = plain.to_vec();
         for s in &self.stages {
+            let _prof = xprof::enter(encode_stage(s.name()));
             let t0 = Instant::now();
             cur = s.encode(&cur)?;
             observe(s.name(), t0.elapsed());
@@ -88,6 +117,7 @@ impl Pipeline {
     ) -> Result<Vec<u8>> {
         let mut cur = encoded.to_vec();
         for s in self.stages.iter().rev() {
+            let _prof = xprof::enter(decode_stage(s.name()));
             let t0 = Instant::now();
             cur = s.decode(&cur)?;
             observe(s.name(), t0.elapsed());

@@ -660,6 +660,12 @@ mod tests {
             .registry()
             .render_prometheus()
             .contains("miniredis_commands_total{cmd=\"SET\"} 1"));
+        // Process resource gauges ride along on every scrape.
+        assert!(
+            text.contains("# TYPE process_resident_memory_bytes gauge"),
+            "{text}"
+        );
+        assert!(text.contains("process_threads "), "{text}");
     }
 
     #[test]

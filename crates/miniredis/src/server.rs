@@ -894,7 +894,12 @@ fn dispatch(
         // Wire-scrapeable metrics: the registry's Prometheus text as one
         // bulk string, so sidecar-less deployments can still be scraped
         // through the data plane.
-        "METRICS" => Value::Bulk(Some(Bytes::from(registry.render_prometheus().into_bytes()))),
+        "METRICS" => {
+            // Refresh process gauges so every scrape sees current resource
+            // telemetry alongside the op metrics.
+            obs::procinfo::publish(registry);
+            Value::Bulk(Some(Bytes::from(registry.render_prometheus().into_bytes())))
+        }
         "INFO" => {
             let g = db.lock();
             let body = format!(

@@ -459,6 +459,12 @@ mod tests {
             .registry()
             .render_prometheus()
             .contains("minisql_statements_total"));
+        // Process resource gauges ride along on every scrape.
+        assert!(
+            text.contains("# TYPE process_resident_memory_bytes gauge"),
+            "{text}"
+        );
+        assert!(text.contains("process_open_fds "), "{text}");
     }
 
     #[test]

@@ -219,6 +219,9 @@ impl Drop for SqlServer {
 /// The `METRICS` pseudo-statement: one row, one column, the registry's
 /// Prometheus text — wire-scrapeable without a separate HTTP listener.
 fn metrics_result(registry: &obs::Registry) -> ResultSet {
+    // Refresh process gauges so every scrape sees current resource
+    // telemetry alongside the op metrics.
+    obs::procinfo::publish(registry);
     ResultSet {
         columns: vec!["metrics".to_string()],
         rows: vec![vec![SqlValue::Text(registry.render_prometheus())]],

@@ -16,7 +16,10 @@
 //!   connecting nested layers to the trace that owns the operation;
 //! * [`recorder`] — an always-on tail-sampling [`FlightRecorder`] (bounded
 //!   lock-sharded ring) that retains every error trace, everything slower
-//!   than a rolling p99, and a small uniform sample of fast successes.
+//!   than a rolling p99, and a small uniform sample of fast successes;
+//! * [`procinfo`] — process resource telemetry ([`ProcSample`]) read from
+//!   `/proc/self` (RSS, user/sys CPU, open fds, threads), publishable as
+//!   `process_*` gauges into any [`Registry`] at scrape time.
 //!
 //! Metric naming scheme used across the workspace:
 //!
@@ -31,12 +34,14 @@
 
 pub mod ctx;
 pub mod hist;
+pub mod procinfo;
 pub mod recorder;
 pub mod registry;
 pub mod trace;
 
 pub use ctx::{ServerSpan, TraceContext};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use procinfo::{ProcDelta, ProcSample};
 pub use recorder::FlightRecorder;
 pub use registry::{global, Counter, Exemplar, Gauge, Registry};
 pub use trace::{CompletedTrace, Trace, TraceEvent};

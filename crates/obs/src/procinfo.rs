@@ -1,0 +1,233 @@
+//! Process resource telemetry read from `/proc/self`.
+//!
+//! One [`sample`] reads resident set size and thread count from
+//! `/proc/self/status`, user/system CPU time from `/proc/self/stat`, and
+//! the open file-descriptor count from `/proc/self/fd`. [`publish`] mirrors
+//! a sample into a [`Registry`] as gauges, so every scrape surface
+//! (cloudstore `GET /metrics`, miniredis `METRICS`, minisql `METRICS`, the
+//! CLI `metrics` command) exposes server-side resource usage alongside its
+//! request metrics, and the bench harness records deltas per run.
+//!
+//! On platforms without procfs (or inside restricted sandboxes) sampling
+//! degrades to an all-zero sample with [`ProcSample::available`] `false`
+//! rather than failing — resource telemetry is additive, never load-bearing.
+//!
+//! Limits: CPU time is converted from clock ticks assuming the near-
+//! universal `CLK_TCK` of 100 (procfs exposes no portable way to read it
+//! without libc); resolution is therefore 10 ms.
+
+use crate::registry::Registry;
+use serde::{Deserialize, Serialize};
+
+/// Kernel clock ticks per second assumed for `/proc/self/stat` CPU fields.
+const CLK_TCK: u64 = 100;
+
+/// A point-in-time reading of this process's resource usage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcSample {
+    /// Resident set size in bytes (`VmRSS`).
+    pub rss_bytes: u64,
+    /// Cumulative user-mode CPU time in milliseconds (`utime`).
+    pub user_cpu_ms: u64,
+    /// Cumulative kernel-mode CPU time in milliseconds (`stime`).
+    pub sys_cpu_ms: u64,
+    /// Open file descriptors (entries in `/proc/self/fd`).
+    pub open_fds: u64,
+    /// OS threads in the process (`Threads`).
+    pub threads: u64,
+    /// False when procfs was unreadable and every field is zero.
+    pub available: bool,
+}
+
+/// Difference between two samples taken around a measured region. CPU
+/// fields are cumulative so their deltas are non-negative; RSS, fds, and
+/// threads can shrink, hence signed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcDelta {
+    /// RSS growth in bytes (negative = shrank).
+    pub rss_bytes: i64,
+    /// User CPU consumed in the interval, milliseconds.
+    pub user_cpu_ms: u64,
+    /// System CPU consumed in the interval, milliseconds.
+    pub sys_cpu_ms: u64,
+    /// Net change in open file descriptors.
+    pub open_fds: i64,
+    /// Net change in thread count.
+    pub threads: i64,
+}
+
+impl ProcSample {
+    /// The delta from `self` (taken first) to `end` (taken later).
+    pub fn delta_to(&self, end: &ProcSample) -> ProcDelta {
+        ProcDelta {
+            rss_bytes: end.rss_bytes as i64 - self.rss_bytes as i64,
+            user_cpu_ms: end.user_cpu_ms.saturating_sub(self.user_cpu_ms),
+            sys_cpu_ms: end.sys_cpu_ms.saturating_sub(self.sys_cpu_ms),
+            open_fds: end.open_fds as i64 - self.open_fds as i64,
+            threads: end.threads as i64 - self.threads as i64,
+        }
+    }
+}
+
+/// Read the current process's resource usage. Never fails: unreadable
+/// sources yield a zeroed sample with `available: false`.
+pub fn sample() -> ProcSample {
+    let status = std::fs::read_to_string("/proc/self/status");
+    let stat = std::fs::read_to_string("/proc/self/stat");
+    let fds = std::fs::read_dir("/proc/self/fd")
+        .map(|entries| entries.count() as u64)
+        .unwrap_or(0);
+    let (Ok(status), Ok(stat)) = (status, stat) else {
+        return ProcSample::default();
+    };
+
+    let mut rss_bytes = 0u64;
+    let mut threads = 0u64;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss_bytes = first_number(rest).saturating_mul(1024);
+        } else if let Some(rest) = line.strip_prefix("Threads:") {
+            threads = first_number(rest);
+        }
+    }
+
+    // /proc/self/stat: `pid (comm) state ppid ...` — comm may itself
+    // contain spaces and parentheses, so split after the *last* ')'.
+    // Post-comm fields are 1-based from `state`; utime is the 12th and
+    // stime the 13th of those.
+    let (user_cpu_ms, sys_cpu_ms) = match stat.rfind(')') {
+        Some(pos) => {
+            let fields: Vec<&str> = stat[pos.saturating_add(1)..].split_whitespace().collect();
+            let tick_ms = |s: Option<&&str>| {
+                s.and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+                    .saturating_mul(1000)
+                    / CLK_TCK
+            };
+            (tick_ms(fields.get(11)), tick_ms(fields.get(12)))
+        }
+        None => (0, 0),
+    };
+
+    ProcSample {
+        rss_bytes,
+        user_cpu_ms,
+        sys_cpu_ms,
+        open_fds: fds,
+        threads,
+        available: true,
+    }
+}
+
+fn first_number(s: &str) -> u64 {
+    s.split_whitespace()
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Take a sample and mirror it into `registry` as gauges. Call at scrape
+/// time so exported values are current:
+///
+/// * `process_resident_memory_bytes`
+/// * `process_cpu_user_ms` / `process_cpu_sys_ms`
+/// * `process_open_fds`
+/// * `process_threads`
+pub fn publish(registry: &Registry) -> ProcSample {
+    let s = sample();
+    registry
+        .gauge("process_resident_memory_bytes", &[])
+        .set(s.rss_bytes.min(i64::MAX as u64) as i64);
+    registry
+        .gauge("process_cpu_user_ms", &[])
+        .set(s.user_cpu_ms.min(i64::MAX as u64) as i64);
+    registry
+        .gauge("process_cpu_sys_ms", &[])
+        .set(s.sys_cpu_ms.min(i64::MAX as u64) as i64);
+    registry
+        .gauge("process_open_fds", &[])
+        .set(s.open_fds.min(i64::MAX as u64) as i64);
+    registry
+        .gauge("process_threads", &[])
+        .set(s.threads.min(i64::MAX as u64) as i64);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_reads_live_process_state() {
+        let s = sample();
+        // CI runs on Linux; a running Rust test binary must show memory,
+        // at least one thread, and at least stdin/stdout/stderr open.
+        assert!(s.available, "procfs should be readable on Linux: {s:?}");
+        assert!(s.rss_bytes > 0, "{s:?}");
+        assert!(s.threads >= 1, "{s:?}");
+        assert!(s.open_fds >= 3, "{s:?}");
+    }
+
+    #[test]
+    fn deltas_are_signed_where_shrinking_is_possible() {
+        let start = ProcSample {
+            rss_bytes: 2048,
+            user_cpu_ms: 100,
+            sys_cpu_ms: 50,
+            open_fds: 10,
+            threads: 4,
+            available: true,
+        };
+        let end = ProcSample {
+            rss_bytes: 1024,
+            user_cpu_ms: 150,
+            sys_cpu_ms: 50,
+            open_fds: 12,
+            threads: 3,
+            available: true,
+        };
+        let d = start.delta_to(&end);
+        assert_eq!(d.rss_bytes, -1024);
+        assert_eq!(d.user_cpu_ms, 50);
+        assert_eq!(d.sys_cpu_ms, 0);
+        assert_eq!(d.open_fds, 2);
+        assert_eq!(d.threads, -1);
+    }
+
+    #[test]
+    fn publish_exports_all_gauges() {
+        let reg = Registry::new();
+        let s = publish(&reg);
+        let text = reg.render_prometheus();
+        for name in [
+            "process_resident_memory_bytes",
+            "process_cpu_user_ms",
+            "process_cpu_sys_ms",
+            "process_open_fds",
+            "process_threads",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} gauge")), "{text}");
+            assert!(
+                text.lines().any(|l| l.starts_with(name)),
+                "missing {name} in:\n{text}"
+            );
+        }
+        // The JSON rendering carries them too.
+        let json = reg.render_json();
+        assert!(json.contains("\"process_resident_memory_bytes\""), "{json}");
+        assert!(json.contains("\"process_threads\""), "{json}");
+        // Gauge values agree with the returned sample.
+        assert!(
+            text.contains(&format!("process_threads {}", s.threads)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sample_round_trips_through_serde() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ProcSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -57,8 +57,12 @@ impl Trace {
     }
 
     /// Time a closure as one named stage. Stages repeat if called twice
-    /// with the same name (both samples are kept).
+    /// with the same name (both samples are kept). While an `xprof`
+    /// profiling session is active, the closure also runs inside a
+    /// profiler scope of the same name, so sampled profiles share the
+    /// trace stage vocabulary.
     pub fn time<R>(&mut self, stage: &'static str, f: impl FnOnce() -> R) -> R {
+        let _prof = xprof::enter(stage);
         let t0 = Instant::now();
         let out = f();
         self.stages.push((stage, t0.elapsed()));

@@ -1,0 +1,595 @@
+//! `xprof` — an in-tree checkpoint-based sampling profiler.
+//!
+//! The build environment has no registry access, so instead of `pprof` or
+//! perf integration the workspace carries this hand-rolled sampler. It is
+//! *checkpoint-based*: instrumented code brackets interesting regions with
+//! [`enter`] (returning an RAII [`Scope`]), which publishes the current
+//! stage stack into a per-thread slot of lock-free atomics. While a
+//! profiling session is active, a background sampler thread wakes on a
+//! fixed interval and reads every registered thread's stack, attributing
+//! one sample per thread per tick to the collapsed stack it observed.
+//!
+//! Design properties:
+//!
+//! * **Zero overhead when disabled.** [`enter`] checks one relaxed atomic
+//!   and returns a no-op guard; no thread-local is touched, no thread is
+//!   registered, and no sampler thread or timer exists outside an active
+//!   session ([`start`]/[`stop`]).
+//! * **Stage vocabulary, not symbols.** Samples attribute to the labels the
+//!   tracing layer already uses (`cache_lookup`, `compress`, `encrypt`,
+//!   `net_rtt`, `store_get`, ...), so a profile reads like a trace
+//!   waterfall aggregated over thousands of operations.
+//! * **Honest limits.** This is not a preemptive profiler: code that never
+//!   passes a checkpoint is invisible (it shows up as `idle` samples), and
+//!   resolution is bounded by the sampling interval and by the scheduler's
+//!   willingness to wake the sampler on time. Attribution races with stack
+//!   pushes/pops can misplace a sample by one frame; with thousands of
+//!   samples that error is statistical noise.
+//!
+//! The collapsed-stack text rendering (`stage;substage count`) is the
+//! flamegraph interchange format, and [`Profile::top_table`] prints the
+//! per-stage self/total summary `udsm-cli profile` shows.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Deepest stage stack a thread slot can publish; deeper frames are
+/// counted for balance but not sampled.
+pub const MAX_DEPTH: usize = 16;
+
+/// Sentinel label id meaning "no frame written yet".
+const NO_LABEL: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Label interning
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Interner {
+    by_name: BTreeMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERN: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERN.get_or_init(|| Mutex::new(Interner::default()))
+}
+
+fn intern(label: &str) -> u32 {
+    let mut g = interner().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = g.by_name.get(label) {
+        return id;
+    }
+    let id = g.names.len() as u32;
+    g.names.push(label.to_string());
+    g.by_name.insert(label.to_string(), id);
+    id
+}
+
+fn resolve(id: u32) -> String {
+    let g = interner().lock().unwrap_or_else(|e| e.into_inner());
+    g.names
+        .get(id as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("?{id}"))
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread stage slots
+// ---------------------------------------------------------------------------
+
+/// One thread's published stage stack: `frames[0..depth]` are interned
+/// label ids, written before `depth` is raised (release) so the sampler
+/// (acquire) never reads an unwritten frame.
+struct ThreadSlot {
+    depth: AtomicUsize,
+    frames: [AtomicU32; MAX_DEPTH],
+    alive: AtomicBool,
+}
+
+impl ThreadSlot {
+    fn new() -> ThreadSlot {
+        ThreadSlot {
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(NO_LABEL)),
+            alive: AtomicBool::new(true),
+        }
+    }
+}
+
+fn thread_registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
+    static THREADS: OnceLock<Mutex<Vec<Arc<ThreadSlot>>>> = OnceLock::new();
+    THREADS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Marks the slot dead when its thread exits, so the sampler stops
+/// attributing samples to it and the registry can prune it.
+struct SlotHandle(Arc<ThreadSlot>);
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        self.0.alive.store(false, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static SLOT: SlotHandle = {
+        let slot = Arc::new(ThreadSlot::new());
+        thread_registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&slot));
+        SlotHandle(slot)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Enabling and the public scope API
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True while a profiling session is running.
+pub fn is_active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of thread slots currently registered (live or dead). Stays zero
+/// until some thread calls [`enter`] during an active session — the
+/// "no overhead when disabled" observable.
+pub fn registered_threads() -> usize {
+    thread_registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .len()
+}
+
+/// RAII guard for one profiled stage; pops the frame on drop. No-op (and
+/// allocation-free) when no profiling session is active.
+pub struct Scope(Option<Arc<ThreadSlot>>);
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if let Some(slot) = &self.0 {
+            let d = slot.depth.load(Ordering::Relaxed);
+            slot.depth.store(d.saturating_sub(1), Ordering::Release);
+        }
+    }
+}
+
+/// Push `label` onto this thread's stage stack until the returned guard
+/// drops. When no session is active this is one atomic load and returns a
+/// no-op guard.
+pub fn enter(label: &str) -> Scope {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Scope(None);
+    }
+    let id = intern(label);
+    let slot = SLOT.with(|h| Arc::clone(&h.0));
+    let d = slot.depth.load(Ordering::Relaxed);
+    if d < MAX_DEPTH {
+        slot.frames[d].store(id, Ordering::Relaxed);
+    }
+    slot.depth.store(d + 1, Ordering::Release);
+    Scope(Some(slot))
+}
+
+// ---------------------------------------------------------------------------
+// Collector and sampler
+// ---------------------------------------------------------------------------
+
+/// Accumulates samples keyed by collapsed stack (interned label ids).
+#[derive(Default)]
+struct Collector {
+    counts: Mutex<BTreeMap<Vec<u32>, u64>>,
+    total: AtomicU64,
+    idle: AtomicU64,
+}
+
+impl Collector {
+    /// Take one sample of every live registered thread.
+    fn sample_all(&self) {
+        let threads: Vec<Arc<ThreadSlot>> = thread_registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|t| t.alive.load(Ordering::Acquire))
+            .cloned()
+            .collect();
+        for slot in threads {
+            let depth = slot.depth.load(Ordering::Acquire).min(MAX_DEPTH);
+            self.total.fetch_add(1, Ordering::Relaxed);
+            if depth == 0 {
+                self.idle.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let mut stack = Vec::with_capacity(depth);
+            for frame in slot.frames.iter().take(depth) {
+                let id = frame.load(Ordering::Relaxed);
+                if id == NO_LABEL {
+                    break;
+                }
+                stack.push(id);
+            }
+            if stack.is_empty() {
+                self.idle.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+            *counts.entry(stack).or_insert(0) += 1;
+        }
+    }
+
+    fn record_ids(&self, stack: Vec<u32>) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if stack.is_empty() {
+            self.idle.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+        *counts.entry(stack).or_insert(0) += 1;
+    }
+
+    fn into_profile(self) -> Profile {
+        let counts = self.counts.into_inner().unwrap_or_else(|e| e.into_inner());
+        let stacks = counts
+            .into_iter()
+            .map(|(ids, n)| (ids.iter().map(|&id| resolve(id)).collect(), n))
+            .collect();
+        Profile {
+            stacks,
+            total_samples: self.total.load(Ordering::Relaxed),
+            idle_samples: self.idle.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Session {
+    stop: Arc<AtomicBool>,
+    collector: Arc<Collector>,
+    join: std::thread::JoinHandle<()>,
+}
+
+fn session_slot() -> &'static Mutex<Option<Session>> {
+    static SESSION: OnceLock<Mutex<Option<Session>>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(None))
+}
+
+/// Start a profiling session sampling every `interval`. Fails if a session
+/// is already active (the profiler is process-global).
+pub fn start(interval: Duration) -> Result<(), &'static str> {
+    let mut session = session_slot().lock().unwrap_or_else(|e| e.into_inner());
+    if session.is_some() {
+        return Err("a profiling session is already active");
+    }
+    // Prune slots of threads that exited during previous sessions.
+    thread_registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(|t| t.alive.load(Ordering::Acquire));
+    let stop = Arc::new(AtomicBool::new(false));
+    let collector = Arc::new(Collector::default());
+    let join = {
+        let stop = Arc::clone(&stop);
+        let collector = Arc::clone(&collector);
+        std::thread::Builder::new()
+            .name("xprof-sampler".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    collector.sample_all();
+                }
+            })
+            .map_err(|_| "failed to spawn sampler thread")?
+    };
+    ENABLED.store(true, Ordering::Relaxed);
+    *session = Some(Session {
+        stop,
+        collector,
+        join,
+    });
+    Ok(())
+}
+
+/// Stop the active session and return its [`Profile`]. Returns `None` when
+/// no session is active.
+pub fn stop() -> Option<Profile> {
+    let session = session_slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()?;
+    ENABLED.store(false, Ordering::Relaxed);
+    session.stop.store(true, Ordering::Relaxed);
+    let _ = session.join.join();
+    let collector =
+        Arc::try_unwrap(session.collector).unwrap_or_else(|arc| Collector {
+            counts: Mutex::new(arc.counts.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+            total: AtomicU64::new(arc.total.load(Ordering::Relaxed)),
+            idle: AtomicU64::new(arc.idle.load(Ordering::Relaxed)),
+        });
+    Some(collector.into_profile())
+}
+
+// ---------------------------------------------------------------------------
+// Profile: the session result
+// ---------------------------------------------------------------------------
+
+/// Per-stage aggregate: samples where the stage was the innermost frame
+/// (`self_samples`) and samples where it appeared anywhere on the stack
+/// (`total_samples`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage label.
+    pub stage: String,
+    /// Samples with this stage as the leaf frame.
+    pub self_samples: u64,
+    /// Samples with this stage anywhere on the stack.
+    pub total_samples: u64,
+}
+
+/// The result of a profiling session: collapsed stacks with sample counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// `(stack frames outermost-first, sample count)`, sorted by stack.
+    pub stacks: Vec<(Vec<String>, u64)>,
+    /// Samples taken, including idle ones.
+    pub total_samples: u64,
+    /// Samples that found an empty stage stack.
+    pub idle_samples: u64,
+}
+
+impl Profile {
+    /// Build a profile from an explicit sample sequence (each sample is a
+    /// stack, outermost frame first; an empty stack is an idle sample).
+    /// This is the deterministic path the unit tests and any offline
+    /// re-aggregation use — it shares the accumulation code with the live
+    /// sampler.
+    pub fn from_samples<'a, I, S>(samples: I) -> Profile
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[&'a str]>,
+    {
+        let collector = Collector::default();
+        for sample in samples {
+            let ids: Vec<u32> = sample.as_ref().iter().map(|s| intern(s)).collect();
+            collector.record_ids(ids);
+        }
+        collector.into_profile()
+    }
+
+    /// Samples attributed to at least one stage.
+    pub fn attributed_samples(&self) -> u64 {
+        self.stacks.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Collapsed-stack text: one `frame;frame;... count` line per distinct
+    /// stack, sorted lexically — the flamegraph interchange format.
+    pub fn collapsed(&self) -> String {
+        let mut lines: Vec<(String, u64)> = self
+            .stacks
+            .iter()
+            .map(|(stack, n)| (stack.join(";"), *n))
+            .collect();
+        // Sort by the joined label path, not intern order, so the same
+        // sample multiset always renders identically.
+        lines.sort();
+        let mut out = String::new();
+        for (line, n) in lines {
+            out.push_str(&line);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-stage self/total summaries, sorted by self samples descending
+    /// (ties broken by label so output is deterministic).
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        let mut self_counts: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut total_counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for (stack, n) in &self.stacks {
+            if let Some(leaf) = stack.last() {
+                *self_counts.entry(leaf).or_insert(0) += n;
+            }
+            // A stage nested under itself must not double-count the sample.
+            let mut seen: Vec<&str> = Vec::with_capacity(stack.len());
+            for frame in stack {
+                if !seen.contains(&frame.as_str()) {
+                    seen.push(frame);
+                    *total_counts.entry(frame).or_insert(0) += n;
+                }
+            }
+        }
+        let mut out: Vec<StageSummary> = total_counts
+            .iter()
+            .map(|(&stage, &total)| StageSummary {
+                stage: stage.to_string(),
+                self_samples: self_counts.get(stage).copied().unwrap_or(0),
+                total_samples: total,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.self_samples
+                .cmp(&a.self_samples)
+                .then_with(|| a.stage.cmp(&b.stage))
+        });
+        out
+    }
+
+    /// The stage with the most self samples, if any sample was attributed.
+    pub fn top_stage(&self) -> Option<String> {
+        self.stage_summaries().into_iter().next().map(|s| s.stage)
+    }
+
+    /// A fixed-width top-`n` table of stages by self samples, with
+    /// percentages of all attributed samples.
+    pub fn top_table(&self, n: usize) -> String {
+        let attributed = self.attributed_samples().max(1);
+        let mut out = format!(
+            "{:<24} {:>10} {:>7} {:>10} {:>7}\n",
+            "stage", "self", "self%", "total", "total%"
+        );
+        for s in self.stage_summaries().into_iter().take(n) {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>6.1}% {:>10} {:>6.1}%\n",
+                s.stage,
+                s.self_samples,
+                s.self_samples as f64 * 100.0 / attributed as f64,
+                s.total_samples,
+                s.total_samples as f64 * 100.0 / attributed as f64,
+            ));
+        }
+        out.push_str(&format!(
+            "samples: {} attributed, {} idle, {} total\n",
+            self.attributed_samples(),
+            self.idle_samples,
+            self.total_samples
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the tests that drive the process-global session.
+    fn session_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn attribution_sums_to_total() {
+        let profile = Profile::from_samples([
+            vec!["get"],
+            vec!["get", "encrypt"],
+            vec!["get", "encrypt"],
+            vec![],
+            vec!["put"],
+        ]);
+        assert_eq!(profile.total_samples, 5);
+        assert_eq!(profile.idle_samples, 1);
+        assert_eq!(profile.attributed_samples(), 4);
+        assert_eq!(
+            profile.attributed_samples() + profile.idle_samples,
+            profile.total_samples
+        );
+        let summaries = profile.stage_summaries();
+        let self_sum: u64 = summaries.iter().map(|s| s.self_samples).sum();
+        assert_eq!(self_sum, profile.attributed_samples());
+        let get = summaries.iter().find(|s| s.stage == "get").unwrap();
+        assert_eq!(get.self_samples, 1);
+        assert_eq!(get.total_samples, 3);
+    }
+
+    #[test]
+    fn collapsed_output_is_stable_for_a_fixed_sample_sequence() {
+        let samples = [
+            vec!["op", "cache_lookup"],
+            vec!["op", "encrypt"],
+            vec!["op", "encrypt"],
+            vec!["op"],
+            vec!["flush"],
+        ];
+        let a = Profile::from_samples(samples.clone());
+        let b = Profile::from_samples(samples);
+        assert_eq!(a.collapsed(), b.collapsed());
+        assert_eq!(
+            a.collapsed(),
+            "flush 1\nop 1\nop;cache_lookup 1\nop;encrypt 2\n"
+        );
+        assert_eq!(a.top_stage().as_deref(), Some("encrypt"));
+        let table = a.top_table(10);
+        assert!(table.contains("encrypt"), "{table}");
+        assert!(table.contains("samples: 5 attributed, 0 idle"), "{table}");
+    }
+
+    #[test]
+    fn nested_repeated_stage_counts_sample_once_in_total() {
+        let profile = Profile::from_samples([vec!["a", "b", "a"]]);
+        let a = profile
+            .stage_summaries()
+            .into_iter()
+            .find(|s| s.stage == "a")
+            .unwrap();
+        assert_eq!(a.total_samples, 1);
+        assert_eq!(a.self_samples, 1);
+    }
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let _guard = session_lock();
+        assert!(!is_active());
+        let before = registered_threads();
+        {
+            let _scope = enter("should-not-register");
+        }
+        assert_eq!(
+            registered_threads(),
+            before,
+            "enter() must not touch thread slots while disabled"
+        );
+        assert!(stop().is_none(), "no session to stop");
+    }
+
+    #[test]
+    fn live_session_samples_an_instrumented_thread() {
+        let _guard = session_lock();
+        start(Duration::from_micros(200)).unwrap();
+        assert!(is_active());
+        assert!(
+            start(Duration::from_micros(200)).is_err(),
+            "second session must be refused"
+        );
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < Duration::from_millis(60) {
+            let _outer = enter("outer");
+            let _inner = enter("inner");
+            std::hint::black_box(fibonacci(12));
+        }
+        let profile = stop().expect("active session");
+        assert!(!is_active());
+        assert!(profile.total_samples > 0, "sampler took no samples");
+        assert!(
+            profile.attributed_samples() > 0,
+            "no samples attributed: {profile:?}"
+        );
+        let collapsed = profile.collapsed();
+        assert!(collapsed.contains("outer;inner"), "{collapsed}");
+    }
+
+    #[test]
+    fn scopes_beyond_max_depth_stay_balanced() {
+        let _guard = session_lock();
+        start(Duration::from_millis(50)).unwrap();
+        {
+            let mut scopes = Vec::new();
+            for i in 0..MAX_DEPTH + 4 {
+                scopes.push(enter(&format!("deep{i}")));
+            }
+        }
+        // All scopes dropped: the slot must be back to depth 0, so a fresh
+        // stack starts at the bottom again.
+        let _scope = enter("after");
+        let slot = SLOT.with(|h| Arc::clone(&h.0));
+        assert_eq!(slot.depth.load(Ordering::Relaxed), 1);
+        drop(_scope);
+        stop().unwrap();
+    }
+
+    fn fibonacci(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fibonacci(n - 1) + fibonacci(n - 2)
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the pinned-workload bench harness and write the next BENCH_<n>.json.
+#
+# Picks n = highest committed BENCH number + 1, runs the full (non-quick)
+# harness in release mode, and — when a predecessor exists — gates the new
+# file against it with the default regression thresholds. Pass extra
+# arguments through to `udsm-cli bench` (e.g. --quick, --scale 0.1,
+# --profile).
+#
+#   scripts/bench.sh               # full run, auto-numbered, gated
+#   scripts/bench.sh --quick       # fast smoke, still auto-numbered
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prev=""
+next=1
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n="${f#BENCH_}"
+    n="${n%.json}"
+    case "$n" in
+    *[!0-9]*) continue ;;
+    esac
+    if [ "$n" -ge "$next" ]; then
+        next=$((n + 1))
+        prev="$f"
+    fi
+done
+out="BENCH_${next}.json"
+
+cargo build --release --offline -q
+./target/release/udsm-cli bench --out "$out" "$@"
+
+if [ -n "$prev" ]; then
+    echo "comparing $out against $prev"
+    ./target/release/udsm-cli bench --compare "$prev" "$out"
+else
+    echo "no previous BENCH_*.json — $out is the first baseline"
+fi
+echo "wrote $out"

@@ -44,3 +44,19 @@ cargo run -q --release --offline -p udsm-suite --bin udsm-cli -- \
     sweep --mem --batch-sizes 1,16 --ops 5 --runs 1 --out "$sweep_out"
 grep -q 'get_many p50' "$sweep_out"
 grep -q 'put_many p99' "$sweep_out"
+
+# Bench smoke: the pinned-workload harness must run end-to-end at tiny
+# scale, emit schema-valid JSON (proven by a self-compare round-trip), and
+# diff cleanly — report-only, CI hardware jitters — against the committed
+# baseline. See DESIGN.md §11.
+bench_out="$(mktemp)"
+trap 'rm -f "$sweep_out" "$bench_out"' EXIT
+cargo run -q --release --offline -p udsm-suite --bin udsm-cli -- \
+    bench --quick --scale 0.0 --name ci-smoke --out "$bench_out"
+cargo run -q --release --offline -p udsm-suite --bin udsm-cli -- \
+    bench --compare "$bench_out" "$bench_out" >/dev/null
+baseline="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+if [ -n "$baseline" ]; then
+    cargo run -q --release --offline -p udsm-suite --bin udsm-cli -- \
+        bench --compare "$baseline" "$bench_out" --report-only >/dev/null
+fi

@@ -240,6 +240,187 @@ fn seed_demo_traces() -> Result<()> {
     Ok(())
 }
 
+/// Non-interactive pinned-workload bench harness (`udsm-cli bench`): runs
+/// the four pinned workloads against the in-process and netsim-remote
+/// targets and emits a schema-versioned `BENCH_<n>.json`, or — with
+/// `--compare OLD NEW` — diffs two such files and exits non-zero on
+/// regression. See DESIGN.md §11 ("Performance observatory").
+fn run_bench(args: &[String]) -> Result<()> {
+    let usage = "usage: udsm-cli bench [--workload NAME] [--profile] [--out FILE] \
+                 [--name BENCH_n] [--scale F] [--seed N] [--quick]\n\
+                 \x20      udsm-cli bench --compare OLD NEW [--report-only] \
+                 [--latency-pct F] [--latency-floor-us F] [--throughput-pct F]";
+    if args.first().map(String::as_str) == Some("--compare") {
+        return run_bench_compare(&args[1..], usage);
+    }
+    let mut cfg = bench::harness::HarnessConfig::default();
+    let mut workload: Option<String> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut name: Option<String> = None;
+    let mut profile = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| kvapi::StoreError::Rejected(format!("{a} needs {what}\n{usage}")))
+        };
+        match a.as_str() {
+            "--workload" => workload = Some(next("a workload name")?.to_string()),
+            "--out" => out = Some(next("a file path")?.into()),
+            "--name" => name = Some(next("a bench name")?.to_string()),
+            "--profile" => profile = true,
+            "--quick" => cfg.quick = true,
+            "--scale" => {
+                cfg.scale = next("a scale factor")?
+                    .parse()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad scale: {e}")))?;
+            }
+            "--seed" => {
+                cfg.seed = next("a seed")?
+                    .parse()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad seed: {e}")))?;
+            }
+            other => {
+                return Err(kvapi::StoreError::Rejected(format!(
+                    "unknown bench argument {other:?}\n{usage}"
+                )))
+            }
+        }
+    }
+    // The bench name defaults to the output file's stem ("BENCH_6.json" →
+    // "BENCH_6") so the committed file self-identifies.
+    let bench_name = name
+        .or_else(|| {
+            out.as_ref()
+                .and_then(|p| p.file_stem())
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "BENCH_adhoc".to_string());
+    if profile {
+        xprof::start(std::time::Duration::from_micros(250))
+            .map_err(|e| kvapi::StoreError::Rejected(format!("profiler: {e}")))?;
+    }
+    let report = bench::harness::run_to_report(&bench_name, &cfg, workload.as_deref())?;
+    if profile {
+        match xprof::stop() {
+            Some(p) => {
+                eprintln!("--- sampled profile ---");
+                eprint!("{}", p.top_table(10));
+            }
+            None => eprintln!("profiler captured no samples"),
+        }
+    }
+    print!("{}", report.render_table());
+    if let Some(path) = out {
+        report.save(&path)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// `udsm-cli bench --compare OLD NEW`. A missing OLD file is a clean pass
+/// (first baseline in the repo's history); regressions beyond the
+/// thresholds are a hard error unless `--report-only`.
+fn run_bench_compare(args: &[String], usage: &str) -> Result<()> {
+    let mut thresholds = bench::compare::Thresholds::default();
+    let mut report_only = false;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| kvapi::StoreError::Rejected(format!("{a} needs {what}\n{usage}")))
+        };
+        let parse_f64 = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|e| kvapi::StoreError::Rejected(format!("bad threshold: {e}")))
+        };
+        match a.as_str() {
+            "--report-only" => report_only = true,
+            "--latency-pct" => thresholds.latency_pct = parse_f64(next("a percent")?)?,
+            "--latency-floor-us" => thresholds.latency_floor_us = parse_f64(next("microseconds")?)?,
+            "--throughput-pct" => thresholds.throughput_pct = parse_f64(next("a percent")?)?,
+            flag if flag.starts_with("--") => {
+                return Err(kvapi::StoreError::Rejected(format!(
+                    "unknown compare argument {flag:?}\n{usage}"
+                )))
+            }
+            file => files.push(file),
+        }
+    }
+    let [old_path, new_path] = files[..] else {
+        return Err(kvapi::StoreError::Rejected(format!(
+            "--compare needs exactly OLD and NEW files\n{usage}"
+        )));
+    };
+    if !std::path::Path::new(old_path).exists() {
+        println!(
+            "no predecessor {old_path}: nothing to compare against — treating as first baseline (OK)"
+        );
+        return Ok(());
+    }
+    let old = bench::report::BenchReport::load(old_path)?;
+    let new = bench::report::BenchReport::load(new_path)?;
+    let verdict = bench::compare::compare(&old, &new, &thresholds);
+    print!("{}", verdict.render(&thresholds));
+    if verdict.has_regressions() && !report_only {
+        return Err(kvapi::StoreError::Rejected(format!(
+            "{} benchmark regression(s) in {new_path} vs {old_path}",
+            verdict.regressions().len()
+        )));
+    }
+    Ok(())
+}
+
+/// `udsm-cli profile`: run the AES-dominated demo workload under the
+/// sampling profiler and print collapsed stacks plus the top-N stage table.
+fn run_profile(args: &[String]) -> Result<()> {
+    let usage = "usage: udsm-cli profile [--ops N] [--interval-us N] [--top N]";
+    let mut ops = 40usize;
+    let mut interval_us = 200u64;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| kvapi::StoreError::Rejected(format!("{a} needs {what}\n{usage}")))
+        };
+        match a.as_str() {
+            "--ops" => ops = next("a count")? as usize,
+            "--interval-us" => interval_us = next("microseconds")?,
+            "--top" => top = next("a count")? as usize,
+            other => {
+                return Err(kvapi::StoreError::Rejected(format!(
+                    "unknown profile argument {other:?}\n{usage}"
+                )))
+            }
+        }
+    }
+    xprof::start(std::time::Duration::from_micros(interval_us))
+        .map_err(|e| kvapi::StoreError::Rejected(format!("profiler: {e}")))?;
+    let run = bench::harness::run_aes_demo(ops);
+    let profile = xprof::stop();
+    run?;
+    let profile =
+        profile.ok_or_else(|| kvapi::StoreError::Other("profiler session vanished".to_string()))?;
+    println!(
+        "# {} samples ({} attributed, {} idle), interval {interval_us} µs",
+        profile.total_samples,
+        profile.attributed_samples(),
+        profile.idle_samples
+    );
+    print!("{}", profile.collapsed());
+    println!();
+    print!("{}", profile.top_table(top));
+    if let Some(stage) = profile.top_stage() {
+        println!("top stage: {stage}");
+    }
+    Ok(())
+}
+
 fn main() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("sweep") {
@@ -247,6 +428,12 @@ fn main() -> Result<()> {
     }
     if argv.first().map(String::as_str) == Some("trace") {
         return run_trace(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        return run_bench(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("profile") {
+        return run_profile(&argv[1..]);
     }
     let opts = parse_args();
     let manager = UniversalDataStoreManager::new(4);

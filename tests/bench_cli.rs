@@ -1,0 +1,158 @@
+//! End-to-end tests for `udsm-cli bench` / `udsm-cli profile`: the
+//! performance-observatory surface CI drives. These run the real binary
+//! (via `CARGO_BIN_EXE_udsm-cli`) so exit codes — the thing the CI gate
+//! actually consumes — are what is asserted.
+
+use bench::report::BenchReport;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_udsm-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("udsm-bench-cli-{}-{name}", std::process::id()))
+}
+
+/// One quick harness run shared by the compare tests (each full CLI run
+/// spins up a netsim server; no need to repeat it per test).
+fn quick_bench(out: &PathBuf) -> BenchReport {
+    let status = cli()
+        .args([
+            "bench", "--quick", "--scale", "0.0", "--name", "baseline", "--out",
+        ])
+        .arg(out)
+        .status()
+        .expect("spawn udsm-cli bench");
+    assert!(status.success(), "bench run failed: {status:?}");
+    BenchReport::load(out).expect("emitted file must be schema-valid")
+}
+
+#[test]
+fn bench_emits_schema_valid_json_and_compare_gates_regressions() {
+    let baseline_path = tmp("baseline.json");
+    let report = quick_bench(&baseline_path);
+    assert_eq!(report.bench, "baseline");
+    assert!(
+        report.workloads.len() >= 8,
+        "expected the full workload × target matrix, got {}",
+        report.workloads.len()
+    );
+    assert!(report.env.cpus >= 1);
+    assert!(
+        report.resources.start.available,
+        "procfs should be readable"
+    );
+
+    // Self-compare: identical files never regress.
+    let status = cli()
+        .args(["bench", "--compare"])
+        .arg(&baseline_path)
+        .arg(&baseline_path)
+        .status()
+        .unwrap();
+    assert!(status.success(), "self-compare must pass: {status:?}");
+
+    // Doctor a ×20 latency regression into a copy: the gate must fail.
+    let mut doctored = report.clone();
+    doctored.workloads[0].ops[0].p50_us *= 20.0;
+    doctored.workloads[0].ops[0].p99_us *= 20.0;
+    let doctored_path = tmp("doctored.json");
+    doctored.save(&doctored_path).unwrap();
+    let out = cli()
+        .args(["bench", "--compare"])
+        .arg(&baseline_path)
+        .arg(&doctored_path)
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "doctored regression must exit non-zero\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("REGRESSION"),
+        "verdict should name the regression"
+    );
+
+    // The same diff in report-only mode is informational: exit zero.
+    let status = cli()
+        .args(["bench", "--compare"])
+        .arg(&baseline_path)
+        .arg(&doctored_path)
+        .arg("--report-only")
+        .status()
+        .unwrap();
+    assert!(status.success(), "--report-only must not gate: {status:?}");
+
+    let _ = std::fs::remove_file(&baseline_path);
+    let _ = std::fs::remove_file(&doctored_path);
+}
+
+#[test]
+fn compare_tolerates_a_missing_predecessor() {
+    let new_path = tmp("first.json");
+    // The NEW side only needs to exist for this path; reuse a tiny run.
+    let report = quick_bench(&new_path);
+    assert!(report.validate().is_ok());
+    let out = cli()
+        .args(["bench", "--compare"])
+        .arg(tmp("does-not-exist.json"))
+        .arg(&new_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "missing predecessor is a clean pass: {:?}",
+        out.status
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("first baseline"),
+        "should say why it passed"
+    );
+    let _ = std::fs::remove_file(&new_path);
+}
+
+#[test]
+fn bench_rejects_unknown_workloads_and_arguments() {
+    let status = cli()
+        .args(["bench", "--workload", "bogus", "--quick", "--scale", "0.0"])
+        .status()
+        .unwrap();
+    assert!(!status.success(), "unknown workload must fail");
+    let status = cli().args(["bench", "--frobnicate"]).status().unwrap();
+    assert!(!status.success(), "unknown flag must fail");
+}
+
+#[test]
+fn profiler_attributes_the_aes_demo_to_crypto_stages() {
+    // Acceptance: on the AES-dominated demo workload the sampled profile's
+    // top stage is the crypto work, not bookkeeping.
+    let out = cli()
+        .args(["profile", "--ops", "3", "--interval-us", "200"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "profile run failed: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let top = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("top stage: "))
+        .unwrap_or_else(|| panic!("no top-stage line in:\n{stdout}"));
+    assert!(
+        top == "encrypt" || top == "decrypt",
+        "AES demo must be crypto-dominated, got {top:?}\n{stdout}"
+    );
+    // The collapsed-stack section is present and parseable: "<path> <n>".
+    let collapsed: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains(' ') && !l.starts_with('#') && !l.contains(':'))
+        .collect();
+    assert!(
+        collapsed.iter().any(|l| l
+            .rsplit(' ')
+            .next()
+            .is_some_and(|n| n.parse::<u64>().is_ok())),
+        "no collapsed stack lines in:\n{stdout}"
+    );
+}

@@ -213,6 +213,15 @@ fn metrics_endpoint_scrapes_over_real_tcp() {
         .unwrap_or_else(|| panic!("no histogram count in scrape:\n{text}"));
     let n: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
     assert!(n >= 2, "{count_line}");
+    // Process resource gauges ride along on every scrape.
+    for gauge in ["process_resident_memory_bytes", "process_threads"] {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(&format!("{gauge} ")))
+            .unwrap_or_else(|| panic!("no {gauge} gauge in scrape:\n{text}"));
+        let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(v > 0.0, "{line}");
+    }
 }
 
 #[test]

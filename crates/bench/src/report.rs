@@ -231,7 +231,7 @@ pub fn sample_report(bench: &str) -> BenchReport {
             elapsed_ms: 12.5,
             ops: vec![OpStats {
                 op: "get".into(),
-                count: 100,
+                count: 2800,
                 mean_us: 10.0,
                 p50_us: 9.0,
                 p95_us: 20.0,

@@ -9,75 +9,123 @@
 
 use crate::batch::{self, BatchOp, BatchReply};
 use crate::http::{
-    escape_segment, read_response, unescape_segment, write_request, Request, Response,
+    escape_segment, read_response, scan_response, unescape_segment, write_request, Request,
+    Response, Scan,
 };
 use bytes::Bytes;
-use kvapi::{CondGet, Etag, KeyValue, Result, StoreError, StoreStats, Versioned};
-use resilience::{DeadlineStream, IdlePool, Resilience, ResiliencePolicy, SharedDeadline};
-use std::io::{BufReader, BufWriter};
+use kvapi::{
+    CondGet, Etag, Framer, KeyValue, ReplyMeta, Result, RpcClient, RpcSender, SendOptions,
+    StoreError, StoreStats, Transport, Versioned,
+};
+use resilience::{Resilience, ResiliencePolicy};
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-struct Conn {
-    reader: BufReader<DeadlineStream>,
-    writer: BufWriter<DeadlineStream>,
-    /// Armed with the current request's deadline before any I/O; both
-    /// halves of the stream honour it on every syscall.
-    deadline: SharedDeadline,
+/// [`Framer`] for HTTP/1.1 replies: delimits a status line + headers +
+/// content-length body via [`scan_response`], honouring the parser's body
+/// suppression (HEAD via [`ReplyMeta::head_only`], 304/204 by status), and
+/// extracts the server's `x-mux-id` header echo as the correlation id.
+struct HttpFramer;
+
+impl Framer for HttpFramer {
+    fn scan_reply(&self, buf: &[u8], meta: &ReplyMeta) -> Option<usize> {
+        match scan_response(buf, meta.head_only) {
+            Scan::Frame(n) => Some(n),
+            Scan::NeedMore => None,
+        }
+    }
+
+    fn reply_id(&self, frame: &[u8]) -> Option<u64> {
+        // Walk the head only: the first empty line ends the search, so
+        // body bytes are never scanned for a header-shaped pattern.
+        for raw in frame.split(|&b| b == b'\n') {
+            let line = match raw.last() {
+                Some(&b'\r') => raw.get(..raw.len().saturating_sub(1)).unwrap_or_default(),
+                _ => raw,
+            };
+            if line.is_empty() {
+                return None;
+            }
+            let Some(idx) = line.iter().position(|&b| b == b':') else {
+                continue;
+            };
+            let key = line.get(..idx).unwrap_or_default();
+            if std::str::from_utf8(key)
+                .map(|k| k.trim().eq_ignore_ascii_case("x-mux-id"))
+                .unwrap_or(false)
+            {
+                return std::str::from_utf8(line.get(idx.saturating_add(1)..).unwrap_or_default())
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok());
+            }
+        }
+        None
+    }
 }
 
-impl Conn {
-    fn open(addr: SocketAddr, policy: &ResiliencePolicy) -> Result<Conn> {
-        let deadline = SharedDeadline::new();
-        let stream = DeadlineStream::connect(
-            addr,
-            policy.connect_timeout,
-            policy.request_timeout,
-            deadline.clone(),
-        )?;
-        Ok(Conn {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            deadline,
-        })
+fn build_sender(
+    addr: SocketAddr,
+    policy: &ResiliencePolicy,
+    transport: Transport,
+) -> Box<dyn RpcSender> {
+    let framer: Arc<dyn Framer> = Arc::new(HttpFramer);
+    match transport {
+        Transport::Blocking => Box::new(rpc::BlockingSender::new(addr, policy.clone(), framer)),
+        Transport::Multiplexed => Box::new(rpc::MuxSender::new(addr, policy.clone(), framer)),
     }
 }
 
 /// HTTP client for a [`crate::CloudServer`], usable as a `KeyValue` store.
 ///
-/// Keeps a pool of keep-alive connections so concurrent callers (e.g. the
+/// Requests travel over a pluggable [`RpcSender`]: the blocking transport
+/// keeps a pool of keep-alive connections so concurrent callers (e.g. the
 /// UDSM's asynchronous interface fanning out on its thread pool) issue
-/// requests in parallel instead of serializing on one socket. Every round
-/// trip runs under the client's [`resilience`] policy: a total request
-/// deadline, breaker gating, and bounded-backoff retries (every cloudstore
-/// verb is idempotent, so replays are safe).
+/// requests in parallel, while the multiplexed transport interleaves all
+/// callers on one shared connection, correlating replies through the
+/// server's `x-mux-id` header echo. Every round trip runs under the
+/// client's [`resilience`] policy: a total request deadline, breaker
+/// gating, and bounded-backoff retries (every cloudstore verb is
+/// idempotent, so replays are safe).
 pub struct CloudClient {
     addr: SocketAddr,
     name: String,
     resilience: Resilience,
-    pool: IdlePool<Conn>,
+    transport: Transport,
+    sender: Box<dyn RpcSender>,
     registry: Option<Arc<obs::Registry>>,
 }
 
 impl CloudClient {
     /// Connect (lazily) to a cloud store server with the default
     /// [`ResiliencePolicy`] (shared by all native clients, so cross-store
-    /// sweeps compare identical failure budgets).
+    /// sweeps compare identical failure budgets) and the blocking
+    /// transport.
     pub fn connect(addr: SocketAddr) -> CloudClient {
-        CloudClient::connect_with_policy(addr, ResiliencePolicy::default())
+        CloudClient::connect_with(addr, ResiliencePolicy::default(), Transport::Blocking)
     }
 
-    /// Connect with an explicit resilience policy.
-    pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> CloudClient {
-        let pool = IdlePool::new(policy.max_idle, policy.max_idle_age);
+    /// Connect with an explicit resilience policy and [`Transport`].
+    pub fn connect_with(
+        addr: SocketAddr,
+        policy: ResiliencePolicy,
+        transport: Transport,
+    ) -> CloudClient {
+        let sender = build_sender(addr, &policy, transport);
         CloudClient {
             addr,
             name: "cloud".to_string(),
             resilience: Resilience::new(policy),
-            pool,
+            transport,
+            sender,
             registry: None,
         }
+    }
+
+    /// Connect with an explicit resilience policy.
+    #[deprecated(note = "transport-split API: use `connect_with` and pick a `Transport`")]
+    pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> CloudClient {
+        CloudClient::connect_with(addr, policy, Transport::Blocking)
     }
 
     /// Attach a metrics registry. Every round trip then counts into
@@ -97,12 +145,13 @@ impl CloudClient {
     }
 
     /// Override the total per-request deadline (connect timeout is clamped
-    /// to it). The rest of the policy keeps its current values.
+    /// to it). The rest of the policy — and the transport — keeps its
+    /// current values.
     pub fn with_timeout(self, timeout: Duration) -> CloudClient {
         let mut policy = self.resilience.policy().clone();
         policy.connect_timeout = policy.connect_timeout.min(timeout);
         policy.request_timeout = timeout;
-        let mut c = CloudClient::connect_with_policy(self.addr, policy);
+        let mut c = CloudClient::connect_with(self.addr, policy, self.transport);
         c.name = self.name;
         c.registry = self.registry;
         c
@@ -198,29 +247,34 @@ impl CloudClient {
 
     fn round_trip_inner(&self, req: &Request) -> Result<Response> {
         let head_only = req.method == "HEAD";
+        let meta = ReplyMeta { head_only };
         // Replays are safe here: every cloudstore verb is idempotent —
         // GET/HEAD/DELETE by definition, PUT carries the full object, and
         // batch POST re-applies the same op list to the same keys.
         self.resilience.run_idempotent(|deadline, attempt| {
-            // The first attempt may reuse a pooled connection; retries
-            // always open fresh (the pooled socket is what just failed).
-            let pooled = if attempt == 1 {
-                self.pool.checkout()
-            } else {
-                None
+            // A multiplexed sender interleaves callers on one shared
+            // connection, so each request carries a correlation id the
+            // server echoes back as `x-mux-id`; the blocking sender
+            // answers `None` and the header is omitted — old wire shape.
+            let id = self.sender.next_correlation_id();
+            let mut wire = Vec::new();
+            match id {
+                Some(n) => write_request(
+                    &mut wire,
+                    &req.clone().with_header("x-mux-id", n.to_string()),
+                )?,
+                None => write_request(&mut wire, req)?,
+            }
+            let opts = SendOptions {
+                // Retries bypass shared/pooled sockets — what just failed.
+                fresh_conn: attempt > 1,
+                deadline: Some(deadline.instant()),
+                correlation_id: id,
+                meta,
+                ..SendOptions::default()
             };
-            let mut conn = match pooled {
-                Some(c) => c,
-                None => Conn::open(self.addr, self.resilience.policy())?,
-            };
-            conn.deadline.arm(*deadline);
-            let result = write_request(&mut conn.writer, req)
-                .map_err(StoreError::from)
-                .and_then(|()| read_response(&mut conn.reader, head_only));
-            conn.deadline.disarm();
-            let resp = result?;
-            self.pool.checkin(conn);
-            Ok(resp)
+            let frame = self.sender.send(&wire, &opts)?;
+            read_response(&mut frame.as_slice(), head_only)
         })
     }
 
@@ -302,6 +356,12 @@ impl CloudClient {
             )));
         }
         String::from_utf8(resp.body).map_err(|_| StoreError::protocol("non-utf8 metrics body"))
+    }
+}
+
+impl RpcClient for CloudClient {
+    fn sender(&self) -> &dyn RpcSender {
+        self.sender.as_ref()
     }
 }
 
@@ -852,10 +912,11 @@ mod tests {
         let server = CloudServer::start_local().unwrap();
         let mut short_age = resilience::ResiliencePolicy::test_profile();
         short_age.max_idle_age = Duration::from_millis(50);
-        let aging = CloudClient::connect_with_policy(server.addr(), short_age);
-        let control = CloudClient::connect_with_policy(
+        let aging = CloudClient::connect_with(server.addr(), short_age, Transport::Blocking);
+        let control = CloudClient::connect_with(
             server.addr(),
             resilience::ResiliencePolicy::test_profile(),
+            Transport::Blocking,
         );
 
         aging.put("k", b"v").unwrap();
@@ -889,9 +950,10 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let c = CloudClient::connect_with_policy(
+        let c = CloudClient::connect_with(
             server.addr(),
             resilience::ResiliencePolicy::test_profile(),
+            Transport::Blocking,
         );
         // In-band server errors are rejections, not transport failures:
         // no retry, and the breaker stays closed.
@@ -914,9 +976,10 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let c = CloudClient::connect_with_policy(
+        let c = CloudClient::connect_with(
             server.addr(),
             resilience::ResiliencePolicy::test_profile(),
+            Transport::Blocking,
         );
         let root = obs::TraceContext::new_root();
         let scope = obs::ctx::activate(root);
@@ -990,5 +1053,88 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed)
                 >= 2
         );
+    }
+
+    fn mux_client(addr: SocketAddr) -> CloudClient {
+        CloudClient::connect_with(
+            addr,
+            resilience::ResiliencePolicy::test_profile(),
+            Transport::Multiplexed,
+        )
+    }
+
+    #[test]
+    fn transports_are_reported() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert_eq!(
+            RpcClient::transport(&CloudClient::connect(addr)),
+            Transport::Blocking,
+            "default transport stays blocking for compatibility"
+        );
+        assert_eq!(
+            RpcClient::transport(&mux_client(addr)),
+            Transport::Multiplexed
+        );
+    }
+
+    #[test]
+    fn multiplexed_contract() {
+        let server = CloudServer::start_local().unwrap();
+        kvapi::contract::run_all(&mux_client(server.addr()));
+    }
+
+    #[test]
+    fn multiplexed_contract_concurrent() {
+        // Every thread's requests interleave on the one shared connection;
+        // x-mux-id correlation must route each reply to its caller.
+        let server = CloudServer::start_local().unwrap();
+        kvapi::contract::run_all_concurrent(Arc::new(mux_client(server.addr())));
+    }
+
+    #[test]
+    fn multiplexed_head_and_304_keep_the_shared_connection_in_sync() {
+        // Body-suppressed replies are the framing hazard on a shared
+        // connection: a HEAD reply advertises a content-length it never
+        // sends, and a 304 does the same. If the framer waited for those
+        // bodies, every later reply on the connection would misframe.
+        let server = CloudServer::start_local().unwrap();
+        let c = mux_client(server.addr());
+        c.put("big", &vec![7u8; 100_000]).unwrap();
+        let v = c.get_versioned("big").unwrap().unwrap();
+        assert!(c.contains("big").unwrap(), "HEAD frames without a body");
+        assert_eq!(
+            c.get_if_none_match("big", v.etag).unwrap(),
+            CondGet::NotModified,
+            "304 frames without a body"
+        );
+        // The connection still frames full-body replies correctly.
+        assert_eq!(c.get("big").unwrap().map(|b| b.len()), Some(100_000));
+        assert!(!c.contains("absent").unwrap());
+    }
+
+    #[test]
+    fn multiplexed_replies_carry_the_server_span() {
+        let server = CloudServer::start_local().unwrap();
+        let c = mux_client(server.addr());
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        c.put("k", b"v").unwrap();
+        let data = scope.finish();
+        assert_eq!(data.server_spans.len(), 1, "{:?}", data.server_spans);
+        assert_eq!(data.server_spans[0].server, "cloudstore");
+    }
+
+    #[test]
+    fn multiplexed_batches_amortize_like_blocking_ones() {
+        let server = CloudServer::start_local().unwrap();
+        let c = mux_client(server.addr());
+        let tags = c
+            .put_many_versioned(&[("a", b"alpha".as_slice()), ("b", b"beta")])
+            .unwrap();
+        assert_eq!(tags.len(), 2);
+        let got = c.get_many(&["a", "missing", "b"]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(b"alpha".as_ref()));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_deref(), Some(b"beta".as_ref()));
     }
 }

@@ -251,6 +251,185 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()
     w.flush()
 }
 
+/// Result of structurally scanning a buffer for one complete request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scan {
+    /// Only a prefix of a request is buffered; read more bytes.
+    NeedMore,
+    /// `buf[..len]` is one deliverable unit: either a complete request or
+    /// a malformed prefix [`read_request`] rejects without reading further.
+    Frame(usize),
+}
+
+/// Structurally locate one request (head + content-length body) in `buf`
+/// without validating it. Exactly as eager as [`read_request`]: a
+/// [`Scan::Frame`] slice parses to a request or an error with no more
+/// input needed, and on [`Scan::NeedMore`] the parser at EOF would report
+/// truncation. This lets the event-driven server reuse the blocking
+/// parser per request with byte-identical errors.
+pub fn scan_request(buf: &[u8]) -> Scan {
+    let mut pos = 0usize;
+    let mut content_length: Option<&[u8]> = None;
+    let mut first_line = true;
+    let head_end = loop {
+        let Some(nl) = buf
+            .get(pos..)
+            .and_then(|r| r.iter().position(|&b| b == b'\n'))
+        else {
+            // No complete line buffered. If the buffered prefix already
+            // exceeds the header cap, the parser errors without more data.
+            return if buf.len() > MAX_HEADER_BYTES {
+                Scan::Frame(buf.len())
+            } else {
+                Scan::NeedMore
+            };
+        };
+        let Some(line_end) = pos.checked_add(nl).and_then(|p| p.checked_add(1)) else {
+            return Scan::Frame(buf.len());
+        };
+        if line_end > MAX_HEADER_BYTES {
+            // The parser's running total trips the cap inside this line.
+            return Scan::Frame(line_end);
+        }
+        let mut content = buf.get(pos..pos.saturating_add(nl)).unwrap_or_default();
+        if content.last() == Some(&b'\r') {
+            content = content
+                .get(..content.len().saturating_sub(1))
+                .unwrap_or_default();
+        }
+        if content.is_empty() {
+            break line_end;
+        }
+        if !first_line {
+            // Last occurrence wins, matching the parser's BTreeMap insert.
+            if let Some(idx) = content.iter().position(|&b| b == b':') {
+                let key = content.get(..idx).unwrap_or_default();
+                if key
+                    .iter()
+                    .map(|b| b.to_ascii_lowercase())
+                    .eq(b"content-length".iter().copied())
+                    || std::str::from_utf8(key)
+                        .map(|k| k.trim().eq_ignore_ascii_case("content-length"))
+                        .unwrap_or(false)
+                {
+                    content_length = content.get(idx.saturating_add(1)..);
+                }
+            }
+        }
+        first_line = false;
+        pos = line_end;
+    };
+    let Some(raw) = content_length else {
+        // No body: the head alone is the request.
+        return Scan::Frame(head_end);
+    };
+    let Some(len) = std::str::from_utf8(raw)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    else {
+        // Unparseable content-length: the parser rejects the head as-is.
+        return Scan::Frame(head_end);
+    };
+    if len > MAX_BODY_BYTES {
+        // The parser rejects the length before reading the body.
+        return Scan::Frame(head_end);
+    }
+    match head_end.checked_add(len) {
+        Some(need) if buf.len() >= need => Scan::Frame(need),
+        Some(_) => Scan::NeedMore,
+        None => Scan::Frame(head_end),
+    }
+}
+
+/// Structurally locate one response (status line + headers +
+/// content-length body) in `buf` without validating it. Exactly as eager
+/// as [`read_response`] with the same `head_only` flag: a [`Scan::Frame`]
+/// slice parses to a response or a definitive error with no more input,
+/// and 304/204 statuses suppress the body precisely as the parser does.
+/// This is what lets a multiplexed client transport delimit replies on a
+/// shared connection without understanding HTTP semantics itself.
+pub fn scan_response(buf: &[u8], head_only: bool) -> Scan {
+    let mut pos = 0usize;
+    let mut content_length: Option<&[u8]> = None;
+    let mut status: Option<u16> = None;
+    let mut first_line = true;
+    let head_end = loop {
+        let Some(nl) = buf
+            .get(pos..)
+            .and_then(|r| r.iter().position(|&b| b == b'\n'))
+        else {
+            // No complete line buffered. If the buffered prefix already
+            // exceeds the header cap, the parser errors without more data.
+            return if buf.len() > MAX_HEADER_BYTES {
+                Scan::Frame(buf.len())
+            } else {
+                Scan::NeedMore
+            };
+        };
+        let Some(line_end) = pos.checked_add(nl).and_then(|p| p.checked_add(1)) else {
+            return Scan::Frame(buf.len());
+        };
+        if line_end > MAX_HEADER_BYTES {
+            // The parser's running total trips the cap inside this line.
+            return Scan::Frame(line_end);
+        }
+        let mut content = buf.get(pos..pos.saturating_add(nl)).unwrap_or_default();
+        if content.last() == Some(&b'\r') {
+            content = content
+                .get(..content.len().saturating_sub(1))
+                .unwrap_or_default();
+        }
+        if content.is_empty() {
+            break line_end;
+        }
+        if first_line {
+            status = std::str::from_utf8(content)
+                .ok()
+                .and_then(|line| line.split(' ').nth(1))
+                .and_then(|s| s.parse::<u16>().ok());
+        } else if let Some(idx) = content.iter().position(|&b| b == b':') {
+            // Last occurrence wins, matching the parser's BTreeMap insert.
+            let key = content.get(..idx).unwrap_or_default();
+            if std::str::from_utf8(key)
+                .map(|k| k.trim().eq_ignore_ascii_case("content-length"))
+                .unwrap_or(false)
+            {
+                content_length = content.get(idx.saturating_add(1)..);
+            }
+        }
+        first_line = false;
+        pos = line_end;
+    };
+    let Some(code) = status else {
+        // Unparseable status line: the parser rejects the head as-is.
+        return Scan::Frame(head_end);
+    };
+    if head_only || code == 304 || code == 204 {
+        // The parser skips the body even when a length is advertised.
+        return Scan::Frame(head_end);
+    }
+    let Some(raw) = content_length else {
+        // No body: the head alone is the response.
+        return Scan::Frame(head_end);
+    };
+    let Some(len) = std::str::from_utf8(raw)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    else {
+        // Unparseable content-length: the parser rejects the head as-is.
+        return Scan::Frame(head_end);
+    };
+    if len > MAX_BODY_BYTES {
+        // The parser rejects the length before reading the body.
+        return Scan::Frame(head_end);
+    }
+    match head_end.checked_add(len) {
+        Some(need) if buf.len() >= need => Scan::Frame(need),
+        Some(_) => Scan::NeedMore,
+        None => Scan::Frame(head_end),
+    }
+}
+
 /// Percent-encode a key for use as one path segment.
 pub fn escape_segment(key: &str) -> String {
     let mut out = String::with_capacity(key.len());
@@ -365,6 +544,167 @@ mod tests {
     fn truncated_body_detected() {
         let text = "PUT /k HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
         assert!(read_request(&mut BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn scanner_agrees_with_parser_on_complete_requests() {
+        let cases: Vec<Vec<u8>> = vec![
+            {
+                let mut b = Vec::new();
+                write_request(
+                    &mut b,
+                    &Request::new("PUT", "/v1/objects/k").with_body(b"hello".to_vec()),
+                )
+                .unwrap();
+                b
+            },
+            {
+                let mut b = Vec::new();
+                write_request(&mut b, &Request::new("GET", "/v1/keys")).unwrap();
+                b
+            },
+            b"GET /v1/ping HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+            // LF-only line endings and mixed-case content-length.
+            b"PUT /k HTTP/1.1\nContent-Length: 3\n\nabc".to_vec(),
+            // Duplicate content-length: last one wins, like the parser's map.
+            b"PUT /k HTTP/1.1\r\ncontent-length: 9\r\ncontent-length: 2\r\n\r\nab".to_vec(),
+        ];
+        for wire in cases {
+            // The exact frame scans complete...
+            assert_eq!(scan_request(&wire), Scan::Frame(wire.len()), "{wire:?}");
+            // ...and parses clean with nothing left over.
+            let mut rd = BufReader::new(wire.as_slice());
+            assert!(read_request(&mut rd).unwrap().is_some());
+            // Every strict prefix needs more bytes.
+            for cut in 0..wire.len() {
+                assert_eq!(
+                    scan_request(wire.get(..cut).unwrap()),
+                    Scan::NeedMore,
+                    "cut={cut}"
+                );
+            }
+            // Pipelining: trailing bytes don't change the boundary.
+            let mut two = wire.clone();
+            two.extend_from_slice(&wire);
+            assert_eq!(scan_request(&two), Scan::Frame(wire.len()));
+        }
+    }
+
+    #[test]
+    fn scanner_delivers_malformed_requests_for_parser_rejection() {
+        // Each case is deliverable (no more input needed) and the parser
+        // must reject the delivered slice — same outcome as the blocking
+        // reader hitting the error mid-stream.
+        let cases: Vec<Vec<u8>> = vec![
+            b"NOT-HTTP\r\n\r\n".to_vec(),
+            b"GET /x HTTP/0.9\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1\r\nbad-header-no-colon\r\n\r\n".to_vec(),
+            b"PUT /k HTTP/1.1\r\ncontent-length: banana\r\n\r\n".to_vec(),
+            {
+                let huge = usize::MAX.to_string();
+                format!("PUT /k HTTP/1.1\r\ncontent-length: {huge}\r\n\r\n").into_bytes()
+            },
+        ];
+        for wire in cases {
+            let Scan::Frame(len) = scan_request(&wire) else {
+                panic!("not deliverable: {wire:?}");
+            };
+            let mut rd = BufReader::new(wire.get(..len).unwrap());
+            assert!(read_request(&mut rd).is_err(), "{wire:?}");
+        }
+        // An endless header block trips the cap without a blank line.
+        let mut huge = b"GET /x HTTP/1.1\r\n".to_vec();
+        while huge.len() <= MAX_HEADER_BYTES {
+            huge.extend_from_slice(b"x-pad: 0123456789abcdef\r\n");
+        }
+        let Scan::Frame(len) = scan_request(&huge) else {
+            panic!("oversized head not deliverable");
+        };
+        let mut rd = BufReader::new(huge.get(..len).unwrap());
+        assert!(read_request(&mut rd).is_err());
+    }
+
+    #[test]
+    fn response_scanner_agrees_with_parser() {
+        let cases: Vec<Vec<u8>> = vec![
+            {
+                let mut b = Vec::new();
+                write_response(
+                    &mut b,
+                    &Response::new(200)
+                        .with_header("etag", "\"ab\"")
+                        .with_body(b"payload".to_vec()),
+                )
+                .unwrap();
+                b
+            },
+            {
+                let mut b = Vec::new();
+                write_response(&mut b, &Response::new(404)).unwrap();
+                b
+            },
+            // LF-only line endings and mixed-case content-length.
+            b"HTTP/1.1 200 OK\nContent-Length: 3\n\nabc".to_vec(),
+        ];
+        for wire in cases {
+            // The exact frame scans complete...
+            assert_eq!(
+                scan_response(&wire, false),
+                Scan::Frame(wire.len()),
+                "{wire:?}"
+            );
+            // ...and parses clean with nothing left over.
+            let mut rd = BufReader::new(wire.as_slice());
+            read_response(&mut rd, false).unwrap();
+            // Every strict prefix needs more bytes.
+            for cut in 0..wire.len() {
+                assert_eq!(
+                    scan_response(wire.get(..cut).unwrap(), false),
+                    Scan::NeedMore,
+                    "cut={cut}"
+                );
+            }
+            // Pipelining: trailing bytes don't change the boundary.
+            let mut two = wire.clone();
+            two.extend_from_slice(&wire);
+            assert_eq!(scan_response(&two, false), Scan::Frame(wire.len()));
+        }
+    }
+
+    #[test]
+    fn response_scanner_suppresses_bodies_like_the_parser() {
+        // A HEAD reply advertises the body length but sends no body: with
+        // head_only the head alone is the frame, and the parser agrees.
+        let head = b"HTTP/1.1 200 OK\r\netag: \"ab\"\r\ncontent-length: 1000000\r\n\r\n";
+        assert_eq!(scan_response(head, true), Scan::Frame(head.len()));
+        let got = read_response(&mut BufReader::new(&head[..]), true).unwrap();
+        assert_eq!(got.status, 200);
+        assert!(got.body.is_empty());
+        // Without the hint the scanner would wait for the advertised body.
+        assert_eq!(scan_response(head, false), Scan::NeedMore);
+        // 304 and 204 suppress the body by status, regardless of the hint.
+        for status in [304u16, 204] {
+            let wire = format!("HTTP/1.1 {status} X\r\ncontent-length: 5\r\n\r\n").into_bytes();
+            assert_eq!(scan_response(&wire, false), Scan::Frame(wire.len()));
+            let got = read_response(&mut BufReader::new(wire.as_slice()), false).unwrap();
+            assert_eq!(got.status, status);
+            assert!(got.body.is_empty());
+        }
+    }
+
+    #[test]
+    fn response_scanner_delivers_malformed_heads_for_rejection() {
+        for wire in [
+            b"NOT-HTTP\r\n\r\ntrailing".as_slice(),
+            b"HTTP/1.1 banana OK\r\ncontent-length: 5\r\n\r\n".as_slice(),
+            b"HTTP/1.1 200 OK\r\ncontent-length: nope\r\n\r\n".as_slice(),
+        ] {
+            let Scan::Frame(len) = scan_response(wire, false) else {
+                panic!("not deliverable: {wire:?}");
+            };
+            let mut rd = BufReader::new(wire.get(..len).unwrap());
+            assert!(read_response(&mut rd, false).is_err(), "{wire:?}");
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! reproduced figures.
 
 use crate::batch::{self, BatchOp, BatchReply};
-use crate::http::{read_request, unescape_segment, write_response, Request, Response};
+use crate::http::{
+    read_request, scan_request, unescape_segment, write_response, Request, Response, Scan,
+};
 use bytes::Bytes;
 use kvapi::value::{now_millis, Etag};
 use kvapi::{Result, Versioned};
@@ -33,7 +35,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -47,6 +49,10 @@ pub struct CloudServerConfig {
     /// RNG seed for the latency sampler and fault injector (fixed =
     /// reproducible runs).
     pub seed: u64,
+    /// Serve with the historical thread-per-connection loop instead of the
+    /// epoll reactor. Kept only to demonstrate the scaling ceiling the
+    /// reactor removes; the wire behavior is identical.
+    pub legacy_threads: bool,
 }
 
 impl Default for CloudServerConfig {
@@ -56,6 +62,7 @@ impl Default for CloudServerConfig {
             latency: LatencyModel::zero(),
             fault: FaultModel::none(),
             seed: 0xc10d,
+            legacy_threads: false,
         }
     }
 }
@@ -78,9 +85,14 @@ pub struct CloudServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<reactor::ReactorThread>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     /// Requests served (observability).
     pub requests_served: Arc<AtomicU64>,
+    /// Connections accepted and handed a handler (refused ones excluded).
+    /// Lets tests assert how many sockets a client strategy really opened —
+    /// e.g. that a multiplexed client's concurrent callers share one.
+    pub connections_accepted: Arc<AtomicU64>,
     registry: Arc<obs::Registry>,
     fault: Arc<FaultInjector>,
 }
@@ -109,55 +121,85 @@ impl CloudServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests_served = Arc::new(AtomicU64::new(0));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let connections_accepted = Arc::new(AtomicU64::new(0));
         let registry = Arc::new(obs::Registry::new());
         // The fault injector draws from its own RNG stream (offset seed) so
         // enabling faults does not perturb the latency sample sequence.
         let fault = Arc::new(cfg.fault.injector(cfg.seed ^ 0xfa17));
 
-        let accept_thread = {
+        let shared = ConnShared {
+            objects,
+            sampler,
+            served: requests_served.clone(),
+            registry: registry.clone(),
+            fault: fault.clone(),
+        };
+        let (accept_thread, reactor) = if cfg.legacy_threads {
             let shutdown = shutdown.clone();
-            let served = requests_served.clone();
             let conns = conns.clone();
-            let registry = registry.clone();
-            let fault = fault.clone();
-            Some(std::thread::spawn(move || {
+            let accepted = connections_accepted.clone();
+            let shared = shared.clone();
+            let thread = std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    if fault.refuse_connection() {
+                    if shared.fault.refuse_connection() {
                         // Sever before any byte is exchanged, like a load
                         // balancer shedding or a dead backend.
-                        registry
+                        shared
+                            .registry
                             .counter("cloudstore_faults_injected_total", &[("action", "refuse")])
                             .inc();
                         drop(stream);
                         continue;
                     }
+                    accepted.fetch_add(1, Ordering::Relaxed);
                     if let Ok(clone) = stream.try_clone() {
                         let mut g = conns.lock();
                         g.retain(|s| s.peer_addr().is_ok());
                         g.push(clone);
                     }
-                    let objects = objects.clone();
-                    let sampler = sampler.clone();
-                    let served = served.clone();
-                    let registry = registry.clone();
-                    let fault = fault.clone();
+                    let shared = shared.clone();
                     std::thread::spawn(move || {
-                        let _ = serve_connection(stream, objects, sampler, served, registry, fault);
+                        let _ = serve_connection(stream, shared);
                     });
                 }
-            }))
+            });
+            (Some(thread), None)
+        } else {
+            let mut r = reactor::Reactor::new()?;
+            let shutdown = shutdown.clone();
+            let accepted = connections_accepted.clone();
+            r.listen(listener, move |_peer: SocketAddr| {
+                if shutdown.load(Ordering::Relaxed) {
+                    return None;
+                }
+                if shared.fault.refuse_connection() {
+                    shared
+                        .registry
+                        .counter("cloudstore_faults_injected_total", &[("action", "refuse")])
+                        .inc();
+                    return None;
+                }
+                accepted.fetch_add(1, Ordering::Relaxed);
+                Some(Box::new(CloudConn {
+                    shared: shared.clone(),
+                    dead: false,
+                }) as Box<dyn reactor::ConnHandler>)
+            })?;
+            (None, Some(r.spawn()))
         };
 
         Ok(CloudServer {
             addr,
             shutdown,
             accept_thread,
+            reactor,
             conns,
             requests_served,
+            connections_accepted,
             registry,
             fault,
         })
@@ -185,6 +227,9 @@ impl CloudServer {
     /// — the shape of a server-side idle close (or a rolling restart), used
     /// to exercise client pool staleness.
     pub fn drop_connections(&self) {
+        if let Some(rt) = &self.reactor {
+            rt.handle().close_all_conns();
+        }
         for c in self.conns.lock().drain(..) {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
@@ -193,7 +238,13 @@ impl CloudServer {
     /// Stop the server and sever connections.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(self.addr);
+        if let Some(mut rt) = self.reactor.take() {
+            rt.shutdown();
+        }
+        if self.accept_thread.is_some() {
+            // Unblock the legacy accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
         for c in self.conns.lock().drain(..) {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
@@ -238,100 +289,200 @@ fn fault_label(action: &FaultAction) -> &'static str {
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
+/// Everything one connection needs (reactor handler or legacy thread),
+/// shared across all connections of a server instance.
+#[derive(Clone)]
+struct ConnShared {
     objects: Arc<RwLock<ObjectMap>>,
     sampler: Arc<LatencySampler>,
     served: Arc<AtomicU64>,
     registry: Arc<obs::Registry>,
     fault: Arc<FaultInjector>,
-) -> Result<()> {
+}
+
+/// The outcome of serving one parsed request: the (possibly fault-mangled)
+/// response plus the injected delays that must elapse before its bytes hit
+/// the wire. Shared verbatim by the reactor handler and the legacy
+/// thread-per-connection loop so the two modes cannot drift.
+struct Reply {
+    action: FaultAction,
+    /// `None` when the action is [`FaultAction::Reset`]: the connection is
+    /// severed with no reply, no trace record, and no metrics.
+    resp: Option<Response>,
+    /// Injected stall (reply-side fault) preceding any reply byte.
+    stall: Duration,
+    /// Injected WAN delay preceding the reply bytes.
+    wan: Duration,
+    t0: Instant,
+}
+
+/// Route one request and decide its fate: tracing, fault action, response
+/// headers (server span, `x-mux-id` echo), and injected delays. Performs
+/// every side effect except sleeping and writing — callers apply
+/// `stall + wan` (thread sleep or outbox delay steps) before the bytes.
+fn execute_request(req: &Request, shared: &ConnShared) -> Reply {
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    // Distributed tracing: an `x-trace-ctx` header joins this request
+    // to the client's trace. Requests without the header (old clients)
+    // are served identically, minus the span.
+    let trace_ctx = req
+        .header("x-trace-ctx")
+        .and_then(obs::TraceContext::decode);
+    // Queue wait: everything between arrival and dispatch (parsing,
+    // bookkeeping; a real accept queue would land here too).
+    let queue = t0.elapsed();
+    let t_exec = Instant::now();
+    let resp = if req.method == "GET" && req.path == "/metrics" {
+        // Refresh process gauges (RSS, CPU, fds, threads) so every
+        // scrape sees current resource telemetry.
+        obs::procinfo::publish(&shared.registry);
+        Response::new(200)
+            .with_header("content-type", "text/plain; version=0.0.4")
+            .with_body(shared.registry.render_prometheus().into_bytes())
+    } else {
+        route(req, &shared.objects)
+    };
+    let execute = t_exec.elapsed();
+    let mut resp = resp;
+    if req.method == "HEAD" {
+        // Drop the body before sizing the delay: an existence check only
+        // transfers headers, so it must not be charged body latency.
+        resp.body.clear();
+    }
+    // The fault decision is made after the request was fully read —
+    // these are reply-side faults, modelling a server that *received*
+    // the operation (and may have applied it) but whose answer is lost
+    // or degraded.
+    let action = shared.fault.reply_action();
+    if action != FaultAction::Deliver {
+        shared
+            .registry
+            .counter(
+                "cloudstore_faults_injected_total",
+                &[("action", fault_label(&action))],
+            )
+            .inc();
+    }
+    let mut stall = Duration::ZERO;
+    match action {
+        FaultAction::Reset => {
+            return Reply {
+                action,
+                resp: None,
+                stall,
+                wan: Duration::ZERO,
+                t0,
+            }
+        }
+        FaultAction::Stall(d) => stall = d,
+        FaultAction::ErrorReply => {
+            resp = Response::new(500).with_body(b"injected fault".to_vec());
+        }
+        _ => {}
+    }
+    // Connection multiplexing: a client interleaving requests on one
+    // connection tags each with `x-mux-id`; echoing it lets replies be
+    // matched by correlation id instead of arrival order.
+    if let Some(id) = req.header("x-mux-id") {
+        let id = id.to_string();
+        resp = resp.with_header("x-mux-id", id);
+    }
+    if let Some(cctx) = trace_ctx {
+        // Serialize cost is measured on a probe render (only when the
+        // request is traced) because the span rides a response header
+        // and therefore must exist before the real serialization.
+        let t_ser = Instant::now();
+        let mut probe = Vec::new();
+        let _ = write_response(&mut probe, &resp);
+        let serialize = t_ser.elapsed();
+        let span = obs::ServerSpan::new("cloudstore", queue, execute, serialize);
+        resp = resp.with_header("x-server-span", span.encode());
+        let mut rec = obs::CompletedTrace::server_side(
+            &cctx,
+            &span,
+            format!("{} {}", req.method, route_label(&req.path)),
+        );
+        if resp.status >= 500 {
+            // Mark failures so the tail sampler's 100%-error rule
+            // applies to the server-side record too.
+            rec.error = Some(format!("status {}", resp.status));
+        }
+        obs::FlightRecorder::global().record(rec);
+    }
+    // Inject WAN delay sized by the dominant payload direction. A 304
+    // only carries headers, which is exactly why revalidation saves
+    // bandwidth and time in the reproduced experiments.
+    let payload = if resp.status == 304 {
+        0
+    } else {
+        req.body.len().max(resp.body.len())
+    };
+    let wan = shared.sampler.sample(payload);
+    Reply {
+        action,
+        resp: Some(resp),
+        stall,
+        wan,
+        t0,
+    }
+}
+
+/// Per-request accounting, recorded only for replies that were fully
+/// written (resets, dribbles, and partial writes are not counted — the
+/// fault counter already saw them).
+fn record_reply_metrics(shared: &ConnShared, req: &Request, resp: &Response, duration: Duration) {
+    let route = route_label(&req.path);
+    let status = resp.status.to_string();
+    shared
+        .registry
+        .counter(
+            "cloudstore_requests_total",
+            &[
+                ("route", route),
+                ("method", &req.method),
+                ("status", &status),
+            ],
+        )
+        .inc();
+    shared
+        .registry
+        .counter("cloudstore_bytes_in_total", &[("route", route)])
+        .add(req.body.len() as u64);
+    shared
+        .registry
+        .counter("cloudstore_bytes_out_total", &[("route", route)])
+        .add(resp.body.len() as u64);
+    shared
+        .registry
+        .histogram("cloudstore_request_duration_ns", &[("route", route)])
+        .record_duration(duration);
+    if req.path == "/v1/batch" {
+        if let Some(n) = batch::peek_len(&req.body) {
+            shared
+                .registry
+                .histogram("cloudstore_batch_ops", &[])
+                .record(n as u64);
+        }
+    }
+}
+
+/// The historical blocking loop, kept behind
+/// [`CloudServerConfig::legacy_threads`]. Shares [`execute_request`] with
+/// the reactor handler; only the sleeping and writing live here.
+fn serve_connection(stream: TcpStream, shared: ConnShared) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(req) = read_request(&mut reader)? {
-        served.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        // Distributed tracing: an `x-trace-ctx` header joins this request
-        // to the client's trace. Requests without the header (old clients)
-        // are served identically, minus the span.
-        let trace_ctx = req
-            .header("x-trace-ctx")
-            .and_then(obs::TraceContext::decode);
-        // Queue wait: everything between arrival and dispatch (parsing,
-        // bookkeeping; a real accept queue would land here too).
-        let queue = t0.elapsed();
-        let t_exec = Instant::now();
-        let resp = if req.method == "GET" && req.path == "/metrics" {
-            // Refresh process gauges (RSS, CPU, fds, threads) so every
-            // scrape sees current resource telemetry.
-            obs::procinfo::publish(&registry);
-            Response::new(200)
-                .with_header("content-type", "text/plain; version=0.0.4")
-                .with_body(registry.render_prometheus().into_bytes())
-        } else {
-            route(&req, &objects)
+        let reply = execute_request(&req, &shared);
+        let Some(resp) = reply.resp else {
+            // Reset: sever with nothing written.
+            return Ok(());
         };
-        let execute = t_exec.elapsed();
-        let mut resp = resp;
-        if req.method == "HEAD" {
-            // Drop the body before sizing the delay: an existence check only
-            // transfers headers, so it must not be charged body latency.
-            resp.body.clear();
-        }
-        // The fault decision is made after the request was fully read —
-        // these are reply-side faults, modelling a server that *received*
-        // the operation (and may have applied it) but whose answer is lost
-        // or degraded.
-        let action = fault.reply_action();
-        if action != FaultAction::Deliver {
-            registry
-                .counter(
-                    "cloudstore_faults_injected_total",
-                    &[("action", fault_label(&action))],
-                )
-                .inc();
-        }
-        match action {
-            FaultAction::Reset => return Ok(()),
-            FaultAction::Stall(d) => std::thread::sleep(d),
-            FaultAction::ErrorReply => {
-                resp = Response::new(500).with_body(b"injected fault".to_vec());
-            }
-            _ => {}
-        }
-        if let Some(cctx) = trace_ctx {
-            // Serialize cost is measured on a probe render (only when the
-            // request is traced) because the span rides a response header
-            // and therefore must exist before the real serialization.
-            let t_ser = Instant::now();
-            let mut probe = Vec::new();
-            let _ = write_response(&mut probe, &resp);
-            let serialize = t_ser.elapsed();
-            let span = obs::ServerSpan::new("cloudstore", queue, execute, serialize);
-            resp = resp.with_header("x-server-span", span.encode());
-            let mut rec = obs::CompletedTrace::server_side(
-                &cctx,
-                &span,
-                format!("{} {}", req.method, route_label(&req.path)),
-            );
-            if resp.status >= 500 {
-                // Mark failures so the tail sampler's 100%-error rule
-                // applies to the server-side record too.
-                rec.error = Some(format!("status {}", resp.status));
-            }
-            obs::FlightRecorder::global().record(rec);
-        }
-        // Inject WAN delay sized by the dominant payload direction. A 304
-        // only carries headers, which is exactly why revalidation saves
-        // bandwidth and time in the reproduced experiments.
-        let payload = if resp.status == 304 {
-            0
-        } else {
-            req.body.len().max(resp.body.len())
-        };
-        std::thread::sleep(sampler.sample(payload));
-        match action {
+        std::thread::sleep(reply.stall);
+        std::thread::sleep(reply.wan);
+        match reply.action {
             FaultAction::Dribble(delay) => {
                 let mut wire = Vec::new();
                 write_response(&mut wire, &resp)?;
@@ -354,36 +505,100 @@ fn serve_connection(
         }
         // Account after replying so the delay isn't inflated further; the
         // histogram still includes the injected WAN latency by design.
-        let route = route_label(&req.path);
-        let status = resp.status.to_string();
-        registry
-            .counter(
-                "cloudstore_requests_total",
-                &[
-                    ("route", route),
-                    ("method", &req.method),
-                    ("status", &status),
-                ],
-            )
-            .inc();
-        registry
-            .counter("cloudstore_bytes_in_total", &[("route", route)])
-            .add(req.body.len() as u64);
-        registry
-            .counter("cloudstore_bytes_out_total", &[("route", route)])
-            .add(resp.body.len() as u64);
-        registry
-            .histogram("cloudstore_request_duration_ns", &[("route", route)])
-            .record_duration(t0.elapsed());
-        if req.path == "/v1/batch" {
-            if let Some(n) = batch::peek_len(&req.body) {
-                registry
-                    .histogram("cloudstore_batch_ops", &[])
-                    .record(n as u64);
-            }
-        }
+        record_reply_metrics(&shared, &req, &resp, reply.t0.elapsed());
     }
     Ok(())
+}
+
+/// Per-connection state machine driven by the reactor: scan one complete
+/// request out of the input buffer, parse it with the same blocking-path
+/// parser (byte-identical errors), and queue the reply — injected stall and
+/// WAN delays become outbox delay steps preceding the bytes.
+struct CloudConn {
+    shared: ConnShared,
+    /// The session is over (reset, dribble, partial write, malformed
+    /// request) but the socket stays open: the blocking build parked such
+    /// connections without ever sending a FIN (the accept loop holds a
+    /// clone), so a lost reply black-holes until the client's deadline.
+    /// Later buffered requests must not execute and never get replies.
+    dead: bool,
+}
+
+impl CloudConn {
+    /// Serve one parsed request. Returns `false` when the session is over
+    /// (reset, dribble, partial write — the reply is deliberately
+    /// incomplete and the blocking path also stopped serving).
+    fn process(&mut self, req: &Request, out: &mut reactor::Outbox) -> bool {
+        let reply = execute_request(req, &self.shared);
+        let Some(resp) = reply.resp else {
+            // Reset: sever with nothing written.
+            return false;
+        };
+        out.delay(reply.stall);
+        out.delay(reply.wan);
+        let mut wire = Vec::new();
+        let _ = write_response(&mut wire, &resp);
+        match reply.action {
+            FaultAction::Dribble(delay) => {
+                for &b in wire.iter().take(netsim::fault::DRIBBLE_MAX_BYTES) {
+                    out.send(vec![b]);
+                    out.delay(delay);
+                }
+                // The rest of the reply never arrives.
+                return false;
+            }
+            FaultAction::PartialWrite => {
+                out.send(wire.get(..wire.len() / 2).unwrap_or_default().to_vec());
+                return false;
+            }
+            _ => out.send(wire),
+        }
+        // The reply is queued, not yet written; charge the injected delays
+        // explicitly so the histogram includes the WAN latency exactly as
+        // the blocking path's post-write accounting did.
+        let duration = reply
+            .t0
+            .elapsed()
+            .saturating_add(reply.stall)
+            .saturating_add(reply.wan);
+        record_reply_metrics(&self.shared, req, &resp, duration);
+        true
+    }
+}
+
+impl reactor::ConnHandler for CloudConn {
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        while !self.dead {
+            match scan_request(inbuf) {
+                Scan::NeedMore => break,
+                Scan::Frame(len) => {
+                    let len = len.min(inbuf.len());
+                    let frame: Vec<u8> = inbuf.drain(..len).collect();
+                    let mut reader = BufReader::new(frame.as_slice());
+                    match read_request(&mut reader) {
+                        Ok(Some(req)) if self.process(&req, out) => {}
+                        // Malformed request or fault-severed reply: the
+                        // blocking loop stopped serving with no (further)
+                        // bytes — and no FIN, since the accept loop holds
+                        // a clone of the socket.
+                        _ => self.dead = true,
+                    }
+                }
+            }
+        }
+        if self.dead {
+            // Discard anything the parked client keeps sending so the
+            // buffer stays bounded.
+            inbuf.clear();
+        }
+    }
+
+    fn on_eof(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        // A partial head or truncated body at EOF is a read error on the
+        // blocking path: the connection closes with no reply.
+        inbuf.clear();
+        out.close();
+    }
 }
 
 fn route(req: &Request, objects: &RwLock<ObjectMap>) -> Response {

@@ -31,10 +31,12 @@ pub mod codec;
 pub mod contract;
 pub mod error;
 pub mod mem;
+pub mod rpc;
 pub mod traits;
 pub mod value;
 
 pub use bytes::Bytes;
 pub use error::{Result, StoreError};
+pub use rpc::{Framer, ReplyMeta, RpcClient, RpcSender, SendOptions, Transport};
 pub use traits::{CondGet, KeyValue, StoreStats};
 pub use value::{Etag, Versioned};

@@ -1,0 +1,222 @@
+//! The transport-split RPC surface.
+//!
+//! Every remote client in the workspace speaks a request/response protocol
+//! over TCP, but historically each one hard-wired its own blocking socket
+//! loop. This module splits that into two halves:
+//!
+//! * **What** to send — the protocol client (SQL statements, RESP
+//!   commands, HTTP requests) builds fully framed request bytes and
+//!   decodes fully framed reply bytes.
+//! * **How** to send it — an [`RpcSender`] moves one framed request to the
+//!   server and returns the framed reply, over whichever transport it
+//!   implements: a pooled blocking socket, or a shared multiplexed
+//!   connection driven by an event loop.
+//!
+//! The traits live here (and not next to the transports) so protocol
+//! crates depend only on `kvapi`: a sender implementation can be swapped
+//! without the protocol client knowing which one it got.
+//!
+//! # Correlation
+//!
+//! A multiplexed transport interleaves many in-flight requests on one
+//! connection, so replies must be matched to requests. Protocols with a
+//! correlation slot (the minisql envelope's `id` field, cloudstore's
+//! `x-mux-id` header echo) embed an id the sender allocates via
+//! [`RpcSender::next_correlation_id`]; the transport's [`Framer`] extracts
+//! it back out of each reply. Protocols without a slot (RESP) are
+//! blocking-only: [`RpcSender::next_correlation_id`] answers `None` and the
+//! transport relies on strict request ordering.
+
+use crate::error::Result;
+use std::time::Instant;
+
+/// Which wire strategy a sender uses. Exposed so callers can assert on, or
+/// log, how their requests travel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// One socket per in-flight request, checked out of an idle pool;
+    /// every call blocks its thread on the socket.
+    Blocking,
+    /// Many in-flight requests interleaved on one shared connection driven
+    /// by an event loop; calls park on a completion, not a socket.
+    Multiplexed,
+}
+
+/// Per-request hints a [`Framer`] may need to delimit the reply.
+///
+/// HTTP is the motivating case: a `HEAD` response advertises a
+/// content-length but carries no body bytes, so the framer cannot know
+/// where the reply ends without knowing what was asked.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplyMeta {
+    /// The reply consists of headers only, even if it advertises a body.
+    pub head_only: bool,
+}
+
+/// Options for one [`RpcSender::send`] call.
+#[derive(Default)]
+pub struct SendOptions<'a> {
+    /// Bypass any pooled/shared connection state and use a fresh
+    /// connection (set on retry attempts, where the pooled socket is the
+    /// prime suspect).
+    pub fresh_conn: bool,
+    /// Absolute deadline for the whole exchange. `None` means the
+    /// transport's configured request timeout applies.
+    pub deadline: Option<Instant>,
+    /// Correlation id the caller embedded in the request bytes (obtained
+    /// from [`RpcSender::next_correlation_id`]). Multiplexed transports
+    /// use it to match the reply; blocking transports ignore it.
+    pub correlation_id: Option<u64>,
+    /// Reply-delimiting hints for the transport's [`Framer`].
+    pub meta: ReplyMeta,
+    /// Invoked once the request may have reached the server (after the
+    /// blocking flush, or on handoff to the event loop; for a pipelined
+    /// batch, once the *first* request is out). Replay-safety guards hook
+    /// here: past this point a non-idempotent request must not be retried.
+    /// Always called on the requesting thread, so single-threaded state
+    /// (a `ReplayGuard`) can be captured by reference.
+    pub on_sent: Option<&'a dyn Fn()>,
+}
+
+impl<'a> SendOptions<'a> {
+    /// Mark the point past which the request may have reached the server.
+    pub fn sent(&self) {
+        if let Some(f) = self.on_sent {
+            f();
+        }
+    }
+}
+
+/// Protocol-specific reply delimiting, supplied by the protocol crate to
+/// whichever transport carries it.
+///
+/// A framer must be exactly as eager as the protocol's parser: when
+/// [`Framer::scan_reply`] answers `Some(len)`, the first `len` bytes must
+/// decode (or produce a definitive protocol error) with no further input.
+pub trait Framer: Send + Sync {
+    /// Length of one complete reply at the start of `buf`, or `None` if
+    /// more bytes are needed.
+    fn scan_reply(&self, buf: &[u8], meta: &ReplyMeta) -> Option<usize>;
+
+    /// The correlation id carried by a complete reply frame, when the
+    /// protocol has a correlation slot and the reply used it.
+    fn reply_id(&self, frame: &[u8]) -> Option<u64>;
+}
+
+/// One request/response exchange over some transport.
+///
+/// Implementations are shared (`&self`, `Send + Sync`): one sender serves
+/// concurrent callers, each exchange carrying its own [`SendOptions`].
+pub trait RpcSender: Send + Sync {
+    /// Which wire strategy this sender uses.
+    fn transport(&self) -> Transport;
+
+    /// Allocate a correlation id for the next request, when this transport
+    /// needs one. Callers embed it in the request bytes and pass it back
+    /// via [`SendOptions::correlation_id`].
+    fn next_correlation_id(&self) -> Option<u64> {
+        None
+    }
+
+    /// Send one framed request, return the framed reply.
+    fn send(&self, req: &[u8], opts: &SendOptions<'_>) -> Result<Vec<u8>>;
+
+    /// Send one framed request, delivering the framed reply to `done`
+    /// instead of blocking. The default implementation degrades to a
+    /// synchronous [`RpcSender::send`] on the calling thread; multiplexed
+    /// transports override it to complete from the event loop.
+    fn send_async(
+        &self,
+        req: Vec<u8>,
+        opts: &SendOptions<'_>,
+        done: Box<dyn FnOnce(Result<Vec<u8>>) + Send + 'static>,
+    ) {
+        done(self.send(&req, opts));
+    }
+
+    /// Send many framed requests back-to-back and collect the replies
+    /// positionally. The default sends them one at a time; transports
+    /// override to pipeline (write all, then read all) or interleave.
+    fn send_pipelined(&self, reqs: &[Vec<u8>], opts: &SendOptions<'_>) -> Result<Vec<Vec<u8>>> {
+        reqs.iter().map(|r| self.send(r, opts)).collect()
+    }
+}
+
+/// Implemented by protocol clients built on a pluggable [`RpcSender`] —
+/// the uniform way to ask any client how its requests travel.
+pub trait RpcClient {
+    /// The transport carrying this client's requests.
+    fn sender(&self) -> &dyn RpcSender;
+
+    /// Shorthand for `self.sender().transport()`.
+    fn transport(&self) -> Transport {
+        self.sender().transport()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Echo(AtomicU64);
+
+    impl RpcSender for Echo {
+        fn transport(&self) -> Transport {
+            Transport::Blocking
+        }
+        fn next_correlation_id(&self) -> Option<u64> {
+            Some(self.0.fetch_add(1, Ordering::Relaxed))
+        }
+        fn send(&self, req: &[u8], opts: &SendOptions<'_>) -> Result<Vec<u8>> {
+            opts.sent();
+            Ok(req.to_vec())
+        }
+    }
+
+    #[test]
+    fn default_async_degrades_to_sync() {
+        let s = Echo(AtomicU64::new(7));
+        let got = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let g = got.clone();
+        s.send_async(
+            b"ping".to_vec(),
+            &SendOptions::default(),
+            Box::new(move |r| {
+                *g.lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+            }),
+        );
+        let held = got.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(
+            held.as_ref()
+                .and_then(|r| r.as_ref().ok())
+                .map(Vec::as_slice),
+            Some(&b"ping"[..])
+        );
+    }
+
+    #[test]
+    fn default_pipeline_is_sequential_sends() {
+        let s = Echo(AtomicU64::new(0));
+        let reqs = vec![b"a".to_vec(), b"b".to_vec()];
+        let replies = s.send_pipelined(&reqs, &SendOptions::default()).unwrap();
+        assert_eq!(replies, reqs);
+    }
+
+    #[test]
+    fn on_sent_hook_fires_through_sent() {
+        let fired = AtomicU64::new(0);
+        let hook = || {
+            fired.fetch_add(1, Ordering::Relaxed);
+        };
+        let opts = SendOptions {
+            on_sent: Some(&hook),
+            ..SendOptions::default()
+        };
+        let s = Echo(AtomicU64::new(0));
+        s.send(b"x", &opts).unwrap();
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert_eq!(s.next_correlation_id(), Some(0));
+        assert_eq!(s.next_correlation_id(), Some(1));
+    }
+}

@@ -1,68 +1,64 @@
 //! A Jedis-like client for the miniredis server.
 //!
-//! One TCP connection guarded by a mutex, lazy reconnect after transient
-//! failures, and a pipelining entry point ([`RedisClient::pipeline`]) that
-//! sends a batch of commands before reading any replies — the standard
+//! Built on the transport-split RPC surface (see [`kvapi::rpc`]): the
+//! client renders RESP command frames and decodes RESP replies, while a
+//! pooled blocking [`rpc::BlockingSender`] moves the bytes. RESP has no
+//! correlation slot, so this protocol is blocking-only — replies are
+//! matched purely by request order on an exclusively-owned socket, which a
+//! multiplexed transport cannot guarantee once a request times out.
+//! A pipelining entry point ([`RedisClient::pipeline`]) sends a batch of
+//! commands before reading any replies — the standard
 //! round-trip-amortization trick.
 
-use crate::resp::{command, read_value, write_value, Value};
+use crate::resp::{command, read_value, scan_frame, write_value, Scan, Value};
 use bytes::Bytes;
-use kvapi::{Result, StoreError};
-use resilience::{
-    Deadline, DeadlineStream, IdlePool, Resilience, ResiliencePolicy, SharedDeadline,
-};
-use std::io::{BufReader, BufWriter, Write};
+use kvapi::{Framer, ReplyMeta, Result, RpcClient, RpcSender, SendOptions, StoreError};
+use resilience::{Resilience, ResiliencePolicy};
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
-struct Conn {
-    reader: BufReader<DeadlineStream>,
-    writer: BufWriter<DeadlineStream>,
-    /// Armed with the current request's deadline before any I/O; both
-    /// halves of the stream honour it on every syscall.
-    deadline: SharedDeadline,
+/// Reply delimiting for RESP, reusing the server-side scanner. RESP has no
+/// correlation slot: [`Framer::reply_id`] always answers `None`.
+struct RespFramer;
+
+impl Framer for RespFramer {
+    fn scan_reply(&self, buf: &[u8], _meta: &ReplyMeta) -> Option<usize> {
+        match scan_frame(buf) {
+            Scan::Frame(len) => Some(len),
+            Scan::NeedMore => None,
+        }
+    }
+
+    fn reply_id(&self, _frame: &[u8]) -> Option<u64> {
+        None
+    }
 }
 
-impl Conn {
-    fn open(addr: SocketAddr, policy: &ResiliencePolicy) -> Result<Conn> {
-        let deadline = SharedDeadline::new();
-        let stream = DeadlineStream::connect(
-            addr,
-            policy.connect_timeout,
-            policy.request_timeout,
-            deadline.clone(),
-        )?;
-        Ok(Conn {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            deadline,
-        })
-    }
+/// Render one command [`Value`] to its RESP wire bytes.
+fn encode_command(cmd: &Value) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_value(&mut buf, cmd)?;
+    Ok(buf)
+}
 
-    fn round_trip(&mut self, cmd: &Value, deadline: &Deadline) -> Result<Value> {
-        self.deadline.arm(*deadline);
-        let result = (|| {
-            write_value(&mut self.writer, cmd)?;
-            self.writer.flush()?;
-            read_value(&mut self.reader)
-        })();
-        self.deadline.disarm();
-        result
-    }
+/// Parse one framed RESP reply.
+fn decode_reply(mut frame: &[u8]) -> Result<Value> {
+    read_value(&mut frame)
 }
 
 /// Thread-safe client handle.
 ///
-/// Maintains a small pool of connections so concurrent callers (the UDSM
-/// thread pool, multi-threaded cache users) run in parallel rather than
-/// serializing on one socket — like Jedis's pooled mode. Every command runs
-/// under the client's [`resilience`] policy: one total request deadline,
-/// breaker gating, and (for idempotent commands only) bounded-backoff
-/// retries.
+/// Commands travel over a pooled blocking transport, so concurrent callers
+/// (the UDSM thread pool, multi-threaded cache users) run in parallel
+/// rather than serializing on one socket — like Jedis's pooled mode. Every
+/// command runs under the client's [`resilience`] policy: one total
+/// request deadline, breaker gating, and (for idempotent commands only)
+/// bounded-backoff retries.
 pub struct RedisClient {
     addr: SocketAddr,
     resilience: Resilience,
-    pool: IdlePool<Conn>,
+    sender: Box<dyn RpcSender>,
 }
 
 impl RedisClient {
@@ -74,11 +70,15 @@ impl RedisClient {
 
     /// Connect with an explicit resilience policy.
     pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> RedisClient {
-        let pool = IdlePool::new(policy.max_idle, policy.max_idle_age);
+        let sender = Box::new(rpc::BlockingSender::new(
+            addr,
+            policy.clone(),
+            Arc::new(RespFramer),
+        ));
         RedisClient {
             addr,
             resilience: Resilience::new(policy),
-            pool,
+            sender,
         }
     }
 
@@ -94,19 +94,6 @@ impl RedisClient {
     /// This endpoint's live resilience state (breaker, retry counters).
     pub fn resilience(&self) -> &Resilience {
         &self.resilience
-    }
-
-    fn checkout(&self, fresh: bool) -> Result<Conn> {
-        if !fresh {
-            if let Some(c) = self.pool.checkout() {
-                return Ok(c);
-            }
-        }
-        Conn::open(self.addr, self.resilience.policy())
-    }
-
-    fn checkin(&self, conn: Conn) {
-        self.pool.checkin(conn);
     }
 
     /// Begin the distributed-tracing bookkeeping for one command: join the
@@ -205,16 +192,17 @@ impl RedisClient {
         let ctx_arg = format!("trace-ctx={}", ctx.encode()).into_bytes();
         let mut full: Vec<&[u8]> = parts.to_vec();
         full.push(&ctx_arg);
-        let cmd = command(&full);
-        let result = self
-            .resilience
-            .run_idempotent(|deadline, attempt| {
-                let mut conn = self.checkout(attempt > 1)?;
-                let v = conn.round_trip(&cmd, deadline)?;
-                self.checkin(conn);
-                Ok(v)
+        let result = encode_command(&command(&full)).and_then(|req| {
+            self.resilience.run_idempotent(|deadline, attempt| {
+                let opts = SendOptions {
+                    fresh_conn: attempt > 1,
+                    deadline: Some(deadline.instant()),
+                    ..SendOptions::default()
+                };
+                decode_reply(&self.sender.send(&req, &opts)?)
             })
-            .map(Self::unwrap_traced);
+        });
+        let result = result.map(Self::unwrap_traced);
         Self::finish_traced(trace, scope, &result);
         result
     }
@@ -228,16 +216,16 @@ impl RedisClient {
         let ctx_arg = format!("trace-ctx={}", ctx.encode()).into_bytes();
         let mut full: Vec<&[u8]> = parts.to_vec();
         full.push(&ctx_arg);
-        let cmd = command(&full);
-        let result = self
-            .resilience
-            .run_once(|deadline| {
-                let mut conn = self.checkout(false)?;
-                let v = conn.round_trip(&cmd, deadline)?;
-                self.checkin(conn);
-                Ok(v)
+        let result = encode_command(&command(&full)).and_then(|req| {
+            self.resilience.run_once(|deadline| {
+                let opts = SendOptions {
+                    deadline: Some(deadline.instant()),
+                    ..SendOptions::default()
+                };
+                decode_reply(&self.sender.send(&req, &opts)?)
             })
-            .map(Self::unwrap_traced);
+        });
+        let result = result.map(Self::unwrap_traced);
         Self::finish_traced(trace, scope, &result);
         result
     }
@@ -246,26 +234,23 @@ impl RedisClient {
     /// callers may pipeline non-idempotent commands, and a half-applied
     /// batch must not be replayed wholesale.
     pub fn pipeline(&self, cmds: &[Vec<Vec<u8>>]) -> Result<Vec<Value>> {
+        let frames: Vec<Vec<u8>> = cmds
+            .iter()
+            .map(|parts| {
+                let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+                encode_command(&command(&refs))
+            })
+            .collect::<Result<_>>()?;
         self.resilience.run_once(|deadline| {
-            let mut conn = self.checkout(false)?;
-            conn.deadline.arm(*deadline);
-            let result = (|| {
-                for parts in cmds {
-                    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
-                    write_value(&mut conn.writer, &command(&refs))?;
-                }
-                conn.writer.flush()?;
-                let mut replies = Vec::with_capacity(cmds.len());
-                for _ in cmds {
-                    replies.push(read_value(&mut conn.reader)?);
-                }
-                Ok(replies)
-            })();
-            conn.deadline.disarm();
-            if result.is_ok() {
-                self.checkin(conn);
-            }
-            result
+            let opts = SendOptions {
+                deadline: Some(deadline.instant()),
+                ..SendOptions::default()
+            };
+            self.sender
+                .send_pipelined(&frames, &opts)?
+                .iter()
+                .map(|f| decode_reply(f))
+                .collect()
         })
     }
 
@@ -484,6 +469,12 @@ impl RedisClient {
                 "expected bulk metrics, got {other:?}"
             ))),
         }
+    }
+}
+
+impl RpcClient for RedisClient {
+    fn sender(&self) -> &dyn RpcSender {
+        self.sender.as_ref()
     }
 }
 

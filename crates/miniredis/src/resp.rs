@@ -151,6 +151,90 @@ fn read_value_at(r: &mut impl BufRead, depth: usize) -> Result<Value> {
     }
 }
 
+/// Result of structurally scanning a buffer for one complete frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scan {
+    /// The buffer holds only a prefix of a frame; read more bytes.
+    NeedMore,
+    /// `buf[..len]` is one deliverable unit: either a complete frame or a
+    /// malformed prefix [`read_value`] will reject without reading further.
+    Frame(usize),
+}
+
+/// Structurally locate one frame in `buf` without validating content.
+///
+/// The scanner is exactly as eager as [`read_value`]: whenever it returns
+/// [`Scan::Frame`], the parser run over that slice terminates (with a value
+/// or an error) without needing more input, and whenever it returns
+/// [`Scan::NeedMore`], the parser at EOF would report truncation. This is
+/// what lets the event-driven server reuse the blocking parser per frame
+/// and keep its error text byte-identical.
+pub fn scan_frame(buf: &[u8]) -> Scan {
+    match scan_at(buf, 0, 0) {
+        Some(end) => Scan::Frame(end),
+        None => Scan::NeedMore,
+    }
+}
+
+/// Find the end of the line starting at `pos`: returns (next position,
+/// line content without the terminator). Any `\n` terminates — lines
+/// missing the `\r` are structurally complete and rejected by the parser.
+fn scan_line(buf: &[u8], pos: usize) -> Option<(usize, &[u8])> {
+    let rest = buf.get(pos..)?;
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let mut line = rest.get(..nl).unwrap_or_default();
+    if line.last() == Some(&b'\r') {
+        line = line.get(..line.len().saturating_sub(1)).unwrap_or_default();
+    }
+    pos.checked_add(nl)?.checked_add(1).map(|next| (next, line))
+}
+
+fn scan_int(line: &[u8]) -> Option<i64> {
+    std::str::from_utf8(line).ok()?.parse().ok()
+}
+
+fn scan_at(buf: &[u8], pos: usize, depth: usize) -> Option<usize> {
+    let (line_end, line) = scan_line(buf, pos)?;
+    if depth > MAX_DEPTH {
+        // The parser errors on entry at this depth without consuming; the
+        // enclosing frame is already deliverable.
+        return Some(pos);
+    }
+    let payload = line.get(1..).unwrap_or_default();
+    match line.first() {
+        Some(b'+') | Some(b'-') | Some(b':') => Some(line_end),
+        Some(b'$') => match scan_int(payload) {
+            Some(n) if n >= 0 => {
+                if n > 512 * 1024 * 1024 {
+                    // Parser rejects the length before touching the payload.
+                    return Some(line_end);
+                }
+                let len = usize::try_from(n).ok()?;
+                let need = line_end.checked_add(len)?.checked_add(2)?;
+                (buf.len() >= need).then_some(need)
+            }
+            // Negative (nil) or unparseable: the line alone decides.
+            _ => Some(line_end),
+        },
+        Some(b'*') => match scan_int(payload) {
+            Some(n) if n > 0 => {
+                if n > 1_000_000 {
+                    return Some(line_end);
+                }
+                let mut at = line_end;
+                for _ in 0..n {
+                    at = scan_at(buf, at, depth.saturating_add(1))?;
+                }
+                Some(at)
+            }
+            // Empty, nil, or unparseable array: the line alone decides.
+            _ => Some(line_end),
+        },
+        // Unknown type byte or empty line: parser rejects the line as-is.
+        _ => Some(line_end),
+    }
+}
+
 /// Encode a client command (array of bulk strings).
 pub fn command(parts: &[&[u8]]) -> Value {
     Value::Array(Some(
@@ -236,6 +320,69 @@ mod tests {
         let frame = "*1\r\n".repeat(MAX_DEPTH + 2).into_bytes();
         let err = read_value(&mut BufReader::new(&frame[..])).unwrap_err();
         assert!(format!("{err}").contains("nested"), "{err:?}");
+    }
+
+    #[test]
+    fn scanner_agrees_with_parser_on_complete_frames() {
+        for v in [
+            Value::Simple("OK".into()),
+            Value::Error("ERR x".into()),
+            Value::Int(-7),
+            Value::bulk(&b"hello"[..]),
+            Value::bulk(&b""[..]),
+            Value::nil(),
+            Value::Array(None),
+            Value::Array(Some(vec![])),
+            Value::Array(Some(vec![
+                Value::bulk(&b"SET"[..]),
+                Value::bulk(&b"k"[..]),
+                Value::Array(Some(vec![Value::Int(1), Value::nil()])),
+            ])),
+        ] {
+            let mut wire = Vec::new();
+            write_value(&mut wire, &v).unwrap();
+            // The exact frame scans to its full length...
+            assert_eq!(scan_frame(&wire), Scan::Frame(wire.len()), "{v:?}");
+            // ...every strict prefix wants more bytes...
+            for cut in 0..wire.len() {
+                assert_eq!(
+                    scan_frame(&wire[..cut]),
+                    Scan::NeedMore,
+                    "{v:?} cut at {cut}"
+                );
+            }
+            // ...and trailing pipelined bytes don't change the boundary.
+            let mut two = wire.clone();
+            two.extend_from_slice(&wire);
+            assert_eq!(scan_frame(&two), Scan::Frame(wire.len()));
+        }
+    }
+
+    #[test]
+    fn scanner_delivers_malformed_frames_for_parser_rejection() {
+        // Each input is structurally terminal: the scanner hands it over
+        // and the parser must then fail without wanting more bytes.
+        for bad in [
+            &b"hello\r\n"[..],         // unknown type byte
+            &b":notanum\r\n"[..],      // bad integer
+            &b"$abc\r\n"[..],          // bad bulk length
+            &b"$999999999999\r\n"[..], // bulk beyond the size cap
+            &b"*xyz\r\n"[..],          // bad array length
+            &b"\r\n"[..],              // empty frame line
+            &b"+no-cr\n"[..],          // LF-only line
+        ] {
+            let Scan::Frame(len) = scan_frame(bad) else {
+                panic!("scanner wanted more for {bad:?}");
+            };
+            assert!(len <= bad.len());
+            assert!(
+                read_value(&mut BufReader::new(bad)).is_err(),
+                "parser accepted {bad:?}"
+            );
+        }
+        // Hostile nesting: deliverable (the parser depth-rejects it).
+        let deep = "*1\r\n".repeat(MAX_DEPTH + 2).into_bytes();
+        assert!(matches!(scan_frame(&deep), Scan::Frame(_)));
     }
 
     #[test]

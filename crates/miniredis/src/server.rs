@@ -1,7 +1,16 @@
-//! The miniredis server: threaded TCP, per-key expiry, bounded memory with
-//! approximate-LRU eviction.
+//! The miniredis server: event-driven TCP on the in-tree epoll reactor,
+//! per-key expiry, bounded memory with approximate-LRU eviction.
+//!
+//! Each connection is a [`reactor::ConnHandler`] state machine: the RESP
+//! scanner ([`crate::resp::scan_frame`]) finds complete frames in the
+//! input buffer, the existing blocking parser decodes them (keeping every
+//! error byte-identical), and fault-injected reply shapes (stalls,
+//! dribbles, partial writes) become ordered write-pipeline steps instead
+//! of sleeps. The old thread-per-connection mode survives behind
+//! [`ServerConfig::legacy_threads`] for A/B comparison — it is the build
+//! the C10K test demonstrates cannot scale.
 
-use crate::resp::{read_value, write_value, Value};
+use crate::resp::{read_value, write_value, Scan, Value};
 use bytes::Bytes;
 use kvapi::value::now_millis;
 use kvapi::{Result, StoreError};
@@ -33,6 +42,10 @@ pub struct ServerConfig {
     pub fault: FaultModel,
     /// Seed for the fault injector's RNG (fixed = reproducible chaos runs).
     pub fault_seed: u64,
+    /// Serve with one OS thread per connection instead of the epoll
+    /// reactor. Kept only to demonstrate the scaling ceiling the reactor
+    /// removes; everything else behaves identically.
+    pub legacy_threads: bool,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +57,7 @@ impl Default for ServerConfig {
             persistence: None,
             fault: FaultModel::none(),
             fault_seed: 0x4ed1,
+            legacy_threads: false,
         }
     }
 }
@@ -125,7 +139,9 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     sweep_thread: Option<JoinHandle<()>>,
-    /// Established connections, so `stop` can sever them.
+    /// The event loop serving connections (None in legacy threaded mode).
+    reactor: Option<reactor::ReactorThread>,
+    /// Established connections in legacy mode, so `stop` can sever them.
     conns: Arc<Mutex<Vec<TcpStream>>>,
     db: Arc<Mutex<Db>>,
     persistence: Option<PathBuf>,
@@ -192,22 +208,26 @@ impl Server {
         let persistence = cfg.persistence.clone();
         let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
         let registry = Arc::new(obs::Registry::new());
-        let accept_thread = {
+        let shared = ConnShared {
+            db: db.clone(),
+            clock,
+            max_memory: cfg.max_memory,
+            served: commands_served.clone(),
+            persist: persistence.clone(),
+            fault: fault.clone(),
+            registry: registry.clone(),
+        };
+        let (accept_thread, reactor) = if cfg.legacy_threads {
             let shutdown = shutdown.clone();
-            let commands_served = commands_served.clone();
             let conns = conns.clone();
-            let db = db.clone();
-            let persistence = persistence.clone();
-            let max_memory = cfg.max_memory;
-            let fault = fault.clone();
-            let registry = registry.clone();
-            Some(std::thread::spawn(move || {
+            let shared = shared.clone();
+            let thread = std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    if fault.refuse_connection() {
+                    if shared.fault.refuse_connection() {
                         drop(stream);
                         continue;
                     }
@@ -217,20 +237,26 @@ impl Server {
                         g.retain(|s| s.peer_addr().is_ok());
                         g.push(clone);
                     }
-                    let shared = ConnShared {
-                        db: db.clone(),
-                        clock: clock.clone(),
-                        max_memory,
-                        served: commands_served.clone(),
-                        persist: persistence.clone(),
-                        fault: fault.clone(),
-                        registry: registry.clone(),
-                    };
+                    let shared = shared.clone();
                     std::thread::spawn(move || {
                         let _ = handle_connection(stream, shared);
                     });
                 }
-            }))
+            });
+            (Some(thread), None)
+        } else {
+            let mut r = reactor::Reactor::new()?;
+            let shutdown = shutdown.clone();
+            r.listen(listener, move |_peer: SocketAddr| {
+                if shutdown.load(Ordering::Relaxed) || shared.fault.refuse_connection() {
+                    return None;
+                }
+                Some(Box::new(RedisConn {
+                    shared: shared.clone(),
+                    dead: false,
+                }) as Box<dyn reactor::ConnHandler>)
+            })?;
+            (None, Some(r.spawn()))
         };
 
         Ok(Server {
@@ -238,6 +264,7 @@ impl Server {
             shutdown,
             accept_thread,
             sweep_thread,
+            reactor,
             conns,
             db,
             persistence,
@@ -263,6 +290,9 @@ impl Server {
     /// — the shape of a server-side idle close, used to exercise client
     /// pool staleness.
     pub fn drop_connections(&self) {
+        if let Some(rt) = &self.reactor {
+            rt.handle().close_all_conns();
+        }
         for conn in self.conns.lock().drain(..) {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
@@ -286,8 +316,13 @@ impl Server {
     pub fn stop(&mut self) {
         let _ = self.save_snapshot();
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        if let Some(mut rt) = self.reactor.take() {
+            rt.shutdown();
+        }
+        if self.accept_thread.is_some() {
+            // Unblock the legacy accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
         for conn in self.conns.lock().drain(..) {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
@@ -322,8 +357,9 @@ fn save_db(db: &Mutex<Db>, path: &PathBuf) -> Result<u64> {
     crate::persist::save(path, entries.into_iter())
 }
 
-/// Everything one connection thread needs, bundled so the handler keeps a
-/// civilized signature.
+/// Everything one connection needs (reactor handler or legacy thread),
+/// bundled so the handlers keep civilized signatures.
+#[derive(Clone)]
 struct ConnShared {
     db: Arc<Mutex<Db>>,
     clock: Arc<AtomicU64>,
@@ -354,12 +390,186 @@ fn extract_trace_ctx(frame: &mut Value) -> Option<obs::TraceContext> {
     ctx
 }
 
+/// Serve one decoded command: fault decision, dispatch, trace recording.
+/// Returns the action to apply on the write side and the (possibly
+/// trace-wrapped) reply. Shared verbatim by the reactor handler and the
+/// legacy threaded loop so the two modes cannot drift.
+fn execute_frame(mut frame: Value, shared: &ConnShared) -> (FaultAction, Value) {
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let trace_ctx = extract_trace_ctx(&mut frame);
+    let op = match &frame {
+        Value::Array(Some(parts)) => parts
+            .first()
+            .and_then(arg_str)
+            .map(|s| s.to_ascii_uppercase())
+            .unwrap_or_else(|| "?".into()),
+        _ => "?".into(),
+    };
+    // Reply-side fault, decided after the command was read: the server
+    // *received* (and below, applies) the command even when its answer
+    // is lost — which is exactly what makes blind retries of
+    // non-idempotent commands dangerous.
+    let action = shared.fault.reply_action();
+    let queue = t0.elapsed();
+    let t_exec = Instant::now();
+    let mut reply = dispatch(
+        frame,
+        &shared.db,
+        &shared.clock,
+        shared.max_memory,
+        shared.persist.as_ref(),
+        &shared.registry,
+    );
+    let execute = t_exec.elapsed();
+    if let Some(cctx) = trace_ctx {
+        // Serialize cost comes from a probe render of the unwrapped
+        // reply: the span rides *inside* the reply, so it must exist
+        // before the real serialization.
+        let t_ser = Instant::now();
+        let mut probe = Vec::new();
+        let _ = write_value(&mut probe, &reply);
+        let serialize = t_ser.elapsed();
+        let span = obs::ServerSpan::new("miniredis", queue, execute, serialize);
+        let mut rec = obs::CompletedTrace::server_side(&cctx, &span, op);
+        rec.error = match (&action, &reply) {
+            (FaultAction::Reset, _) => Some("connection reset before reply".into()),
+            (FaultAction::ErrorReply, _) => Some("injected fault".into()),
+            (_, Value::Error(e)) => Some(e.clone()),
+            _ => None,
+        };
+        // Recorded even when the reply is about to be lost (Reset,
+        // partial writes): the command's *effect* was applied, and the
+        // trace proving that is what makes lost-reply retries auditable.
+        obs::FlightRecorder::global().record(rec);
+        // Error replies are never wrapped — error-reply handling must
+        // stay byte-identical for every client generation.
+        if !matches!(reply, Value::Error(_)) && !matches!(action, FaultAction::ErrorReply) {
+            reply = Value::Array(Some(vec![
+                reply,
+                Value::Bulk(Some(Bytes::from(
+                    format!("trace-span={}", span.encode()).into_bytes(),
+                ))),
+            ]));
+        }
+    }
+    (action, reply)
+}
+
+/// Render a value to its wire bytes (serialization to a Vec can't fail).
+fn render(v: &Value) -> Vec<u8> {
+    let mut wire = Vec::new();
+    let _ = write_value(&mut wire, v);
+    wire
+}
+
+/// Reactor state machine for one RESP connection: scan complete frames
+/// out of the input buffer, execute each, and map the fault actions that
+/// used to block a thread (stall, dribble) onto timed write-pipeline
+/// steps. Wire bytes and their pacing are identical to the legacy loop.
+struct RedisConn {
+    shared: ConnShared,
+    /// The session is over (reset, dribble, partial write, protocol
+    /// error) but the socket stays open: the blocking build parked such
+    /// connections without ever sending a FIN (the accept loop holds a
+    /// clone), so a lost reply black-holes until the client's deadline.
+    /// Later buffered frames must not execute and never get replies.
+    dead: bool,
+}
+
+impl RedisConn {
+    fn process(&mut self, frame_bytes: &[u8], out: &mut reactor::Outbox) {
+        let mut cursor: &[u8] = frame_bytes;
+        let frame = match read_value(&mut cursor) {
+            Ok(f) => f,
+            Err(StoreError::Closed) => {
+                // Unreachable for a scanner-complete frame; park quietly
+                // like the blocking loop does at EOF.
+                self.dead = true;
+                return;
+            }
+            Err(e) => {
+                out.send(render(&Value::Error(format!("ERR protocol: {e}"))));
+                self.dead = true;
+                return;
+            }
+        };
+        let (action, reply) = execute_frame(frame, &self.shared);
+        match action {
+            FaultAction::Reset => {
+                // Reply lost: black-hole, no FIN.
+                self.dead = true;
+            }
+            FaultAction::ErrorReply => {
+                out.send(render(&Value::Error("ERR injected fault".into())));
+            }
+            FaultAction::Stall(d) => {
+                out.delay(d);
+                out.send(render(&reply));
+            }
+            FaultAction::Dribble(delay) => {
+                let wire = render(&reply);
+                for &b in wire.iter().take(netsim::fault::DRIBBLE_MAX_BYTES) {
+                    out.send(vec![b]);
+                    out.delay(delay);
+                }
+                // The rest of the reply never arrives, and neither does a
+                // FIN: the client is left holding a stalled read.
+                self.dead = true;
+            }
+            FaultAction::PartialWrite => {
+                let wire = render(&reply);
+                out.send(wire.get(..wire.len() / 2).unwrap_or_default().to_vec());
+                self.dead = true;
+            }
+            FaultAction::Deliver => out.send(render(&reply)),
+        }
+    }
+}
+
+impl reactor::ConnHandler for RedisConn {
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        while !self.dead {
+            match crate::resp::scan_frame(inbuf) {
+                Scan::NeedMore => break,
+                Scan::Frame(len) => {
+                    if len > inbuf.len() {
+                        break;
+                    }
+                    let frame: Vec<u8> = inbuf.drain(..len).collect();
+                    self.process(&frame, out);
+                }
+            }
+        }
+        if self.dead {
+            // Discard anything the parked client keeps sending so the
+            // buffer stays bounded.
+            inbuf.clear();
+        }
+    }
+
+    fn on_eof(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        if !self.dead && !inbuf.is_empty() {
+            // Peer hung up mid-frame: run the parser over the remnant so
+            // truncation errors stay byte-identical to the blocking build.
+            let mut cursor: &[u8] = inbuf.as_slice();
+            if let Err(e) = read_value(&mut cursor) {
+                if !matches!(e, StoreError::Closed) {
+                    out.send(render(&Value::Error(format!("ERR protocol: {e}"))));
+                }
+            }
+            inbuf.clear();
+        }
+        out.close();
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: ConnShared) -> Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
-        let mut frame = match read_value(&mut reader) {
+        let frame = match read_value(&mut reader) {
             Ok(f) => f,
             Err(StoreError::Closed) => return Ok(()),
             Err(e) => {
@@ -368,64 +578,7 @@ fn handle_connection(stream: TcpStream, shared: ConnShared) -> Result<()> {
                 return Err(e);
             }
         };
-        shared.served.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        let trace_ctx = extract_trace_ctx(&mut frame);
-        let op = match &frame {
-            Value::Array(Some(parts)) => parts
-                .first()
-                .and_then(arg_str)
-                .map(|s| s.to_ascii_uppercase())
-                .unwrap_or_else(|| "?".into()),
-            _ => "?".into(),
-        };
-        // Reply-side fault, decided after the command was read: the server
-        // *received* (and below, applies) the command even when its answer
-        // is lost — which is exactly what makes blind retries of
-        // non-idempotent commands dangerous.
-        let action = shared.fault.reply_action();
-        let queue = t0.elapsed();
-        let t_exec = Instant::now();
-        let mut reply = dispatch(
-            frame,
-            &shared.db,
-            &shared.clock,
-            shared.max_memory,
-            shared.persist.as_ref(),
-            &shared.registry,
-        );
-        let execute = t_exec.elapsed();
-        if let Some(cctx) = trace_ctx {
-            // Serialize cost comes from a probe render of the unwrapped
-            // reply: the span rides *inside* the reply, so it must exist
-            // before the real serialization.
-            let t_ser = Instant::now();
-            let mut probe = Vec::new();
-            let _ = write_value(&mut probe, &reply);
-            let serialize = t_ser.elapsed();
-            let span = obs::ServerSpan::new("miniredis", queue, execute, serialize);
-            let mut rec = obs::CompletedTrace::server_side(&cctx, &span, op);
-            rec.error = match (&action, &reply) {
-                (FaultAction::Reset, _) => Some("connection reset before reply".into()),
-                (FaultAction::ErrorReply, _) => Some("injected fault".into()),
-                (_, Value::Error(e)) => Some(e.clone()),
-                _ => None,
-            };
-            // Recorded even when the reply is about to be lost (Reset,
-            // partial writes): the command's *effect* was applied, and the
-            // trace proving that is what makes lost-reply retries auditable.
-            obs::FlightRecorder::global().record(rec);
-            // Error replies are never wrapped — error-reply handling must
-            // stay byte-identical for every client generation.
-            if !matches!(reply, Value::Error(_)) && !matches!(action, FaultAction::ErrorReply) {
-                reply = Value::Array(Some(vec![
-                    reply,
-                    Value::Bulk(Some(Bytes::from(
-                        format!("trace-span={}", span.encode()).into_bytes(),
-                    ))),
-                ]));
-            }
-        }
+        let (action, reply) = execute_frame(frame, &shared);
         match action {
             FaultAction::Reset => return Ok(()),
             FaultAction::ErrorReply => {

@@ -3,70 +3,109 @@
 //! `?` placeholders are bound client-side: values are rendered as SQL
 //! literals with proper escaping before the statement is sent — the same
 //! effective contract as JDBC's `PreparedStatement` for this engine.
+//!
+//! The client is transport-split (see [`kvapi::rpc`]): it builds framed
+//! wire requests and decodes framed replies, while an [`RpcSender`] moves
+//! the bytes — one pooled blocking socket per in-flight statement
+//! ([`Transport::Blocking`], the historical behavior), or many statements
+//! interleaved on one shared reactor-driven connection
+//! ([`Transport::Multiplexed`]), matched back by the envelope's `id` field.
 
 use crate::engine::ResultSet;
-use crate::server::{read_frame, write_frame, WireRequest, WireResponse};
+use crate::server::{WireRequest, WireResponse};
 use crate::value::SqlValue;
-use kvapi::{Result, StoreError};
-use resilience::{DeadlineStream, IdlePool, Resilience, ResiliencePolicy, SharedDeadline};
+use kvapi::{Framer, ReplyMeta, Result, RpcClient, RpcSender, SendOptions, StoreError, Transport};
+use resilience::{Resilience, ResiliencePolicy};
 use serde::Deserialize;
-use std::io::{BufReader, BufWriter};
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
-struct Conn {
-    reader: BufReader<DeadlineStream>,
-    writer: BufWriter<DeadlineStream>,
-    /// Armed with the current request's deadline before any I/O; both
-    /// halves of the stream honour it on every syscall.
-    deadline: SharedDeadline,
+/// Reply delimiting for the minisql wire: a 4-byte LE length prefix, then
+/// that many bytes of JSON.
+struct MiniSqlFramer;
+
+impl Framer for MiniSqlFramer {
+    fn scan_reply(&self, buf: &[u8], _meta: &ReplyMeta) -> Option<usize> {
+        let head: [u8; 4] = buf.get(..4)?.try_into().ok()?;
+        let len = u32::from_le_bytes(head) as usize;
+        let total = len.checked_add(4)?;
+        (buf.len() >= total).then_some(total)
+    }
+
+    fn reply_id(&self, frame: &[u8]) -> Option<u64> {
+        let val: serde::Value = serde_json::from_slice(frame.get(4..)?).ok()?;
+        match val.get("id")? {
+            serde::Value::Int(n) => u64::try_from(*n).ok(),
+            serde::Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
 }
 
-impl Conn {
-    fn open(addr: SocketAddr, policy: &ResiliencePolicy) -> Result<Conn> {
-        let deadline = SharedDeadline::new();
-        let stream = DeadlineStream::connect(
-            addr,
-            policy.connect_timeout,
-            policy.request_timeout,
-            deadline.clone(),
-        )?;
-        Ok(Conn {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            deadline,
-        })
+/// Wrap a JSON payload in the wire's length-prefix frame.
+fn encode_frame(payload: &[u8]) -> Result<Vec<u8>> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| StoreError::protocol("request frame too large"))?;
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+fn build_sender(
+    addr: SocketAddr,
+    policy: &ResiliencePolicy,
+    transport: Transport,
+) -> Box<dyn RpcSender> {
+    let framer: Arc<dyn Framer> = Arc::new(MiniSqlFramer);
+    match transport {
+        Transport::Blocking => Box::new(rpc::BlockingSender::new(addr, policy.clone(), framer)),
+        Transport::Multiplexed => Box::new(rpc::MuxSender::new(addr, policy.clone(), framer)),
     }
 }
 
 /// Thread-safe client for a [`crate::SqlServer`].
 ///
-/// Pools connections so concurrent statements from different threads run in
-/// parallel (like a JDBC connection pool). Every statement runs under the
-/// client's resilience policy: one total request deadline, breaker gating,
-/// and retries gated by replay safety (read-only statements, or frames that
-/// never reached the server).
+/// Every statement runs under the client's resilience policy: one total
+/// request deadline, breaker gating, and retries gated by replay safety
+/// (read-only statements, or frames that never reached the server).
+/// Concurrency comes from the transport: pooled sockets run statements on
+/// parallel connections (like a JDBC connection pool); the multiplexed
+/// transport interleaves them on one shared connection.
 pub struct MiniSqlClient {
     addr: SocketAddr,
     resilience: Resilience,
-    pool: IdlePool<Conn>,
+    transport: Transport,
+    sender: Box<dyn RpcSender>,
 }
 
 impl MiniSqlClient {
     /// Connect lazily to `addr` with the default [`ResiliencePolicy`]
-    /// shared by all native clients.
+    /// shared by all native clients, over the blocking transport.
     pub fn connect(addr: SocketAddr) -> MiniSqlClient {
-        MiniSqlClient::connect_with_policy(addr, ResiliencePolicy::default())
+        MiniSqlClient::connect_with(addr, ResiliencePolicy::default(), Transport::Blocking)
     }
 
-    /// Connect with an explicit resilience policy.
-    pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> MiniSqlClient {
-        let pool = IdlePool::new(policy.max_idle, policy.max_idle_age);
+    /// Connect with an explicit resilience policy and transport.
+    pub fn connect_with(
+        addr: SocketAddr,
+        policy: ResiliencePolicy,
+        transport: Transport,
+    ) -> MiniSqlClient {
+        let sender = build_sender(addr, &policy, transport);
         MiniSqlClient {
             addr,
             resilience: Resilience::new(policy),
-            pool,
+            transport,
+            sender,
         }
+    }
+
+    /// Connect with an explicit resilience policy.
+    #[deprecated(note = "transport-split API: use `connect_with` and pick a `Transport`")]
+    pub fn connect_with_policy(addr: SocketAddr, policy: ResiliencePolicy) -> MiniSqlClient {
+        MiniSqlClient::connect_with(addr, policy, Transport::Blocking)
     }
 
     /// Override the total per-statement deadline (connect timeout is
@@ -75,7 +114,7 @@ impl MiniSqlClient {
         let mut policy = self.resilience.policy().clone();
         policy.connect_timeout = policy.connect_timeout.min(timeout);
         policy.request_timeout = timeout;
-        MiniSqlClient::connect_with_policy(self.addr, policy)
+        MiniSqlClient::connect_with(self.addr, policy, self.transport)
     }
 
     /// This endpoint's live resilience state (breaker, retry counters).
@@ -83,21 +122,12 @@ impl MiniSqlClient {
         &self.resilience
     }
 
-    fn checkout(&self, fresh: bool) -> Result<Conn> {
-        if !fresh {
-            if let Some(c) = self.pool.checkout() {
-                return Ok(c);
-            }
-        }
-        Conn::open(self.addr, self.resilience.policy())
-    }
-
     /// Decode one response payload: lift the server span (spliced inside
     /// the `ok` object by tracing-aware servers) into the active trace
     /// scope, then deserialize the envelope. Old servers send no span;
     /// old-shaped payloads decode identically.
     fn decode_response(payload: &[u8]) -> Result<ResultSet> {
-        let val: serde::Value = serde_json::from_slice(payload)
+        let mut val: serde::Value = serde_json::from_slice(payload)
             .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
         if let Some(span) = val
             .get("ok")
@@ -106,6 +136,11 @@ impl MiniSqlClient {
             .and_then(obs::ServerSpan::decode)
         {
             obs::ctx::report_server_span(span);
+        }
+        // Drop the echoed correlation id (multiplexed transport) before
+        // decoding: the response envelope itself is a one-variant object.
+        if let serde::Value::Object(pairs) = &mut val {
+            pairs.retain(|(k, _)| k != "id");
         }
         let resp = WireResponse::from_value(&val)
             .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
@@ -120,7 +155,7 @@ impl MiniSqlClient {
     /// Statements are retried with backoff on a fresh connection after a
     /// transient failure, but only while a replay cannot double-apply:
     /// either the statement is read-only (`SELECT`), or the frame never
-    /// reached the server (`write_frame` failed before its flush
+    /// reached the server (the transport failed before the send-off
     /// completed). The [`resilience::ReplayGuard`] carries that contract.
     pub fn execute(&self, sql: &str) -> Result<ResultSet> {
         // Join the caller's active trace (child span) or become a new root.
@@ -158,32 +193,39 @@ impl MiniSqlClient {
     }
 
     fn execute_with_ctx(&self, sql: &str, ctx: obs::TraceContext) -> Result<ResultSet> {
-        let request = serde_json::to_vec(&WireRequest {
-            sql: sql.to_string(),
-            ctx: Some(ctx.encode()),
-        })
-        .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))?;
         let read_only = sql
             .trim_start()
             .get(..6)
             .is_some_and(|p| p.eq_ignore_ascii_case("SELECT"));
         self.resilience.run_guarded(|deadline, attempt, guard| {
-            let mut conn = self.checkout(attempt > 1)?;
-            conn.deadline.arm(*deadline);
-            let outcome = (|| {
-                write_frame(&mut conn.writer, &request).map_err(StoreError::from)?;
-                // The frame was flushed: the server may already have
+            // A fresh correlation id per attempt: a retry must not collide
+            // with the abandoned entry its predecessor may have left on
+            // the shared connection.
+            let id = self.sender.next_correlation_id();
+            let payload = serde_json::to_vec(&WireRequest {
+                sql: sql.to_string(),
+                ctx: Some(ctx.encode()),
+                id,
+            })
+            .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))?;
+            let frame = encode_frame(&payload)?;
+            let poison = || {
+                // The frame was sent off: the server may already have
                 // executed it, so only read-only statements stay safe to
                 // replay from here on.
                 if !read_only {
                     guard.poison();
                 }
-                read_frame(&mut conn.reader)
-            })();
-            conn.deadline.disarm();
-            let payload = outcome?.ok_or(StoreError::Closed)?;
-            self.pool.checkin(conn);
-            Self::decode_response(&payload)
+            };
+            let opts = SendOptions {
+                fresh_conn: attempt > 1,
+                deadline: Some(deadline.instant()),
+                correlation_id: id,
+                on_sent: Some(&poison),
+                ..SendOptions::default()
+            };
+            let reply = self.sender.send(&frame, &opts)?;
+            Self::decode_response(reply.get(4..).unwrap_or_default())
         })
     }
 
@@ -206,16 +248,16 @@ impl MiniSqlClient {
     }
 
     /// Execute statements back-to-back on one connection: every frame is
-    /// written before any reply is read (the server answers in order), so a
-    /// batch pays one round trip instead of one per statement.
+    /// sent before any reply is collected (the server answers in order),
+    /// so a batch pays one round trip instead of one per statement.
     ///
     /// The outer `Result` is transport-level; each inner `Result` is that
     /// statement's own outcome, positionally.
     ///
-    /// Unlike [`MiniSqlClient::execute`], a batch is never replayed once any
-    /// frame has been sent: the server may have executed a prefix, so a
-    /// transport error after the first flush surfaces as an error rather
-    /// than risking statements running twice.
+    /// Unlike [`MiniSqlClient::execute`], a batch is never replayed once
+    /// any frame has been sent: the server may have executed a prefix, so
+    /// a transport error after the first send-off surfaces as an error
+    /// rather than risking statements running twice.
     pub fn execute_batch(&self, stmts: &[String]) -> Result<Vec<Result<ResultSet>>> {
         if stmts.is_empty() {
             return Ok(Vec::new());
@@ -223,46 +265,37 @@ impl MiniSqlClient {
         let frames: Vec<Vec<u8>> = stmts
             .iter()
             .map(|sql| {
-                serde_json::to_vec(&WireRequest {
+                let payload = serde_json::to_vec(&WireRequest {
                     sql: sql.clone(),
                     ctx: None,
+                    id: None,
                 })
-                .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))
+                .map_err(|e| StoreError::protocol(format!("request does not serialize: {e}")))?;
+                encode_frame(&payload)
             })
             .collect::<Result<_>>()?;
         // A batch is only safe to retry while no frame has reached the
-        // server: once a frame is flushed the server may have executed a
-        // prefix of the batch, and replaying it would run statements twice
-        // (wrong `delete_many` booleans, duplicate `BEGIN`s). `write_frame`
-        // flushes each frame, so a failure writing the first one means the
-        // server saw at most an incomplete frame and executed nothing — the
-        // one case a stale pooled connection can be retried on a fresh
-        // socket.
+        // server: once one is out the server may have executed a prefix of
+        // the batch, and replaying it would run statements twice (wrong
+        // `delete_many` booleans, duplicate `BEGIN`s). The transport fires
+        // `on_sent` at exactly that boundary — the one case a stale pooled
+        // connection can still be retried on a fresh socket is a failure
+        // before the first frame's send-off.
         self.resilience.run_guarded(|deadline, attempt, guard| {
-            let mut conn = self.checkout(attempt > 1)?;
-            conn.deadline.arm(*deadline);
-            let outcome = (|| {
-                for frame in &frames {
-                    write_frame(&mut conn.writer, frame)?;
-                    guard.poison();
-                }
-                let mut payloads = Vec::with_capacity(frames.len());
-                for _ in &frames {
-                    match read_frame(&mut conn.reader)? {
-                        Some(p) => payloads.push(p),
-                        None => return Err(StoreError::Closed),
-                    }
-                }
-                Ok(payloads)
-            })();
-            conn.deadline.disarm();
-            let payloads = outcome?;
-            self.pool.checkin(conn);
-            payloads
+            let poison = || guard.poison();
+            let opts = SendOptions {
+                fresh_conn: attempt > 1,
+                deadline: Some(deadline.instant()),
+                on_sent: Some(&poison),
+                ..SendOptions::default()
+            };
+            let replies = self.sender.send_pipelined(&frames, &opts)?;
+            replies
                 .iter()
-                .map(|p| {
-                    let resp: WireResponse = serde_json::from_slice(p)
-                        .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
+                .map(|reply| {
+                    let resp: WireResponse =
+                        serde_json::from_slice(reply.get(4..).unwrap_or_default())
+                            .map_err(|e| StoreError::protocol(format!("bad response: {e}")))?;
                     Ok(match resp {
                         WireResponse::Ok(rs) => Ok(rs),
                         WireResponse::Err(msg) => Err(StoreError::Rejected(msg)),
@@ -270,6 +303,12 @@ impl MiniSqlClient {
                 })
                 .collect()
         })
+    }
+}
+
+impl RpcClient for MiniSqlClient {
+    fn sender(&self) -> &dyn RpcSender {
+        self.sender.as_ref()
     }
 }
 
@@ -324,6 +363,14 @@ mod tests {
     use super::*;
     use crate::server::SqlServer;
 
+    fn mux_client(addr: SocketAddr) -> MiniSqlClient {
+        MiniSqlClient::connect_with(
+            addr,
+            ResiliencePolicy::test_profile(),
+            Transport::Multiplexed,
+        )
+    }
+
     #[test]
     fn bind_renders_literals() {
         let sql = bind(
@@ -359,6 +406,7 @@ mod tests {
     fn end_to_end_over_tcp() {
         let server = SqlServer::start_in_memory().unwrap();
         let c = MiniSqlClient::connect(server.addr());
+        assert_eq!(RpcClient::transport(&c), Transport::Blocking);
         c.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v BLOB)")
             .unwrap();
         c.execute_bound(
@@ -520,6 +568,10 @@ mod tests {
             !text.contains("span"),
             "untraced request must not grow a span: {text}"
         );
+        assert!(
+            !text.contains("\"id\""),
+            "id-less request must not grow an id echo: {text}"
+        );
         // Mixed versions, new client → old server: a response without a
         // span decodes identically.
         let rs = MiniSqlClient::decode_response(br#"{"ok":{"columns":[],"rows":[],"affected":3}}"#)
@@ -535,5 +587,75 @@ mod tests {
         c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
         server.stop();
         assert!(c.execute("SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn multiplexed_statements_execute_end_to_end() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = mux_client(server.addr());
+        assert_eq!(RpcClient::transport(&c), Transport::Multiplexed);
+        c.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INT)")
+            .unwrap();
+        c.execute("INSERT INTO t VALUES ('a', 1)").unwrap();
+        let rs = c.execute("SELECT v FROM t WHERE k = 'a'").unwrap();
+        assert_eq!(rs.scalar(), Some(&SqlValue::Int(1)));
+        // Rejections still decode positionally (the id echo must be
+        // stripped before the envelope parses).
+        let err = c.execute("SELECT * FROM missing").unwrap_err();
+        assert!(matches!(err, StoreError::Rejected(_)), "{err:?}");
+    }
+
+    #[test]
+    fn multiplexed_statements_interleave_on_one_connection() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = std::sync::Arc::new(mux_client(server.addr()));
+        c.execute("CREATE TABLE c (id INT PRIMARY KEY)").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        c.execute(&format!("INSERT INTO c VALUES ({})", t * 25 + i))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rs = c.execute("SELECT COUNT(*) FROM c").unwrap();
+        assert_eq!(rs.scalar(), Some(&SqlValue::Int(100)));
+    }
+
+    #[test]
+    fn multiplexed_traced_statements_join_the_server_span() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = mux_client(server.addr());
+        let root = obs::TraceContext::new_root();
+        let scope = obs::ctx::activate(root);
+        c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        let data = scope.finish();
+        assert_eq!(data.server_spans.len(), 2, "{:?}", data.server_spans);
+        assert!(data.server_spans.iter().all(|s| s.server == "minisql"));
+    }
+
+    #[test]
+    fn multiplexed_batch_pipelines_on_the_shared_connection() {
+        let server = SqlServer::start_in_memory().unwrap();
+        let c = mux_client(server.addr());
+        c.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v INT)")
+            .unwrap();
+        let stmts: Vec<String> = (0..8)
+            .map(|i| format!("INSERT INTO t VALUES ('k{i}', {i})"))
+            .chain(["SELECT COUNT(*) FROM t".to_string()])
+            .collect();
+        let replies = c.execute_batch(&stmts).unwrap();
+        assert_eq!(replies.len(), 9);
+        assert_eq!(
+            replies[8].as_ref().unwrap().scalar(),
+            Some(&SqlValue::Int(8))
+        );
     }
 }

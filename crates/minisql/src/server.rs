@@ -28,6 +28,12 @@ pub(crate) struct WireRequest {
     /// Encoded [`obs::TraceContext`]; absent (or null) from old clients.
     #[serde(default)]
     pub ctx: Option<String>,
+    /// Correlation id for multiplexed transports: echoed as a top-level
+    /// `id` key in the response so many in-flight requests can share one
+    /// socket. Absent (or null) from blocking clients — and responses to
+    /// id-less requests keep the legacy exactly-one-top-level-key shape.
+    #[serde(default)]
+    pub id: Option<u64>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -80,6 +86,9 @@ pub struct SqlServerConfig {
     pub fault: FaultModel,
     /// Seed for the fault injector's RNG (deterministic chaos runs).
     pub fault_seed: u64,
+    /// Serve with one OS thread per connection instead of the epoll
+    /// reactor (the C10K counter-demonstration build).
+    pub legacy_threads: bool,
 }
 
 impl Default for SqlServerConfig {
@@ -90,6 +99,7 @@ impl Default for SqlServerConfig {
             sync: SyncMode::Always,
             fault: FaultModel::none(),
             fault_seed: 0x5a1f,
+            legacy_threads: false,
         }
     }
 }
@@ -99,6 +109,8 @@ pub struct SqlServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// The event loop serving connections (None in legacy threaded mode).
+    reactor: Option<reactor::ReactorThread>,
     conns: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
     db: Arc<Database>,
     fault: Arc<FaultInjector>,
@@ -125,13 +137,13 @@ impl SqlServer {
         let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
         let registry = Arc::new(obs::Registry::new());
 
-        let accept_thread = {
+        let (accept_thread, reactor) = if cfg.legacy_threads {
             let shutdown = shutdown.clone();
             let conns = conns.clone();
             let db = db.clone();
             let fault = fault.clone();
             let registry = registry.clone();
-            Some(std::thread::spawn(move || {
+            let thread = std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Relaxed) {
                         break;
@@ -153,13 +165,33 @@ impl SqlServer {
                         let _ = serve(stream, db, fault, registry);
                     });
                 }
-            }))
+            });
+            (Some(thread), None)
+        } else {
+            let mut r = reactor::Reactor::new()?;
+            let shutdown = shutdown.clone();
+            let db = db.clone();
+            let fault = fault.clone();
+            let registry = registry.clone();
+            r.listen(listener, move |_peer: SocketAddr| {
+                if shutdown.load(Ordering::Relaxed) || fault.refuse_connection() {
+                    return None;
+                }
+                Some(Box::new(SqlConn {
+                    db: db.clone(),
+                    fault: fault.clone(),
+                    registry: registry.clone(),
+                    dead: false,
+                }) as Box<dyn reactor::ConnHandler>)
+            })?;
+            (None, Some(r.spawn()))
         };
 
         Ok(SqlServer {
             addr,
             shutdown,
             accept_thread,
+            reactor,
             conns,
             db,
             fault,
@@ -192,6 +224,9 @@ impl SqlServer {
     /// Sever every established connection while keeping the listener alive —
     /// simulates a server-side idle disconnect for pool-staleness tests.
     pub fn drop_connections(&self) {
+        if let Some(rt) = &self.reactor {
+            rt.handle().close_all_conns();
+        }
         for c in self.conns.lock().drain(..) {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
@@ -200,7 +235,12 @@ impl SqlServer {
     /// Stop the server.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(self.addr);
+        if let Some(mut rt) = self.reactor.take() {
+            rt.shutdown();
+        }
+        if self.accept_thread.is_some() {
+            let _ = TcpStream::connect(self.addr);
+        }
         for c in self.conns.lock().drain(..) {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
@@ -229,6 +269,204 @@ fn metrics_result(registry: &obs::Registry) -> ResultSet {
     }
 }
 
+/// Serve one request payload: parse, execute, record metrics/traces, and
+/// serialize the response. Returns the fault action to apply on the write
+/// side plus the (unframed) response bytes. Shared verbatim by the
+/// reactor handler and the legacy threaded loop so the modes cannot drift.
+fn execute_payload(
+    payload: &[u8],
+    db: &Database,
+    fault: &FaultInjector,
+    registry: &obs::Registry,
+) -> (FaultAction, Vec<u8>) {
+    let t0 = Instant::now();
+    let parsed = serde_json::from_slice::<WireRequest>(payload);
+    let trace_ctx = parsed
+        .as_ref()
+        .ok()
+        .and_then(|r| r.ctx.as_deref())
+        .and_then(obs::TraceContext::decode);
+    let req_id = parsed.as_ref().ok().and_then(|r| r.id);
+    let op = match &parsed {
+        Ok(r) => r
+            .sql
+            .split_whitespace()
+            .next()
+            .unwrap_or("?")
+            .to_ascii_uppercase(),
+        Err(_) => "bad-request".to_string(),
+    };
+    // Queue wait: arrival to dispatch (frame parse, bookkeeping).
+    let queue = t0.elapsed();
+    let t_exec = Instant::now();
+    // The statement always executes before the fault decision: an
+    // injected failure models "reply lost after the effect applied",
+    // which is exactly the case that makes blind replays dangerous.
+    let mut response = match &parsed {
+        Err(e) => WireResponse::Err(format!("bad request: {e}")),
+        Ok(req) if req.sql.trim() == "METRICS" => WireResponse::Ok(metrics_result(registry)),
+        Ok(req) => match db.execute(&req.sql) {
+            Ok(rs) => WireResponse::Ok(rs),
+            Err(e) => WireResponse::Err(e.to_string()),
+        },
+    };
+    let execute = t_exec.elapsed();
+    registry
+        .counter(
+            "minisql_statements_total",
+            &[
+                ("op", &op),
+                (
+                    "outcome",
+                    match &response {
+                        WireResponse::Ok(_) => "ok",
+                        WireResponse::Err(_) => "err",
+                    },
+                ),
+            ],
+        )
+        .inc();
+    let action = fault.reply_action();
+    if matches!(action, FaultAction::ErrorReply) {
+        response = WireResponse::Err("injected fault".to_string());
+    }
+    let bytes = if let Some(cctx) = trace_ctx {
+        // Serialize cost comes from a probe render of the unspliced
+        // response: the span rides *inside* the reply, so it must
+        // exist before the real serialization.
+        let t_ser = Instant::now();
+        let mut val = serde_json::value_of(&response);
+        let _ = serde_json::value_to_string(&val);
+        let serialize = t_ser.elapsed();
+        let span = obs::ServerSpan::new("minisql", queue, execute, serialize);
+        let mut rec = obs::CompletedTrace::server_side(&cctx, &span, op);
+        rec.error = match (&action, &response) {
+            (FaultAction::Reset, _) => Some("connection reset before reply".into()),
+            (_, WireResponse::Err(e)) => Some(e.clone()),
+            _ => None,
+        };
+        // Recorded even when the reply is about to be lost (Reset,
+        // partial writes): the statement's *effect* was applied, and
+        // the trace proving that makes lost-reply retries auditable.
+        obs::FlightRecorder::global().record(rec);
+        // Splice the span *inside* the ok object — the response
+        // envelope must keep exactly one top-level key, and unknown
+        // fields inside a result set are ignored by every client
+        // generation. Error responses carry no span.
+        if let serde::Value::Object(pairs) = &mut val {
+            if let Some((_, serde::Value::Object(ok_pairs))) =
+                pairs.iter_mut().find(|(k, _)| k == "ok")
+            {
+                ok_pairs.push(("span".to_string(), serde::Value::String(span.encode())));
+            }
+            if let Some(id) = req_id {
+                pairs.push(("id".to_string(), serde::Value::UInt(id)));
+            }
+        }
+        serde_json::value_to_string(&val).into_bytes()
+    } else if let Some(id) = req_id {
+        // Multiplexed request: echo the correlation id as an extra
+        // top-level key. Only id-carrying (new) clients ever see this
+        // shape; id-less responses stay exactly-one-key.
+        let mut val = serde_json::value_of(&response);
+        if let serde::Value::Object(pairs) = &mut val {
+            pairs.push(("id".to_string(), serde::Value::UInt(id)));
+        }
+        serde_json::value_to_string(&val).into_bytes()
+    } else {
+        // A response that fails to serialize must not kill the
+        // connection: degrade to an in-band error the client can
+        // surface.
+        serde_json::to_vec(&response)
+            .unwrap_or_else(|_| br#"{"err":"response serialization failed"}"#.to_vec())
+    };
+    (action, bytes)
+}
+
+/// Reactor state machine for one minisql connection: 4-byte LE length
+/// prefix + JSON payload per frame. Blocking fault shapes become timed
+/// write-pipeline steps; wire bytes and pacing match the legacy loop.
+struct SqlConn {
+    db: Arc<Database>,
+    fault: Arc<FaultInjector>,
+    registry: Arc<obs::Registry>,
+    /// The session is over (reset, dribble, partial write, framing error)
+    /// but the socket stays open: the blocking build parked such
+    /// connections without ever sending a FIN (the accept loop holds a
+    /// clone), so a lost reply black-holes until the client's deadline.
+    /// Later buffered frames must not execute and never get replies.
+    dead: bool,
+}
+
+impl reactor::ConnHandler for SqlConn {
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        while !self.dead {
+            let Some(header) = inbuf.get(..4).and_then(|h| <[u8; 4]>::try_from(h).ok()) else {
+                break;
+            };
+            let len = u32::from_le_bytes(header);
+            if len > MAX_FRAME {
+                // The blocking loop errors out of read_frame here and
+                // parks without writing anything (no FIN: the accept loop
+                // holds a clone of the socket).
+                self.dead = true;
+                break;
+            }
+            let Some(total) = usize::try_from(len).ok().and_then(|l| l.checked_add(4)) else {
+                self.dead = true;
+                break;
+            };
+            if inbuf.len() < total {
+                break;
+            }
+            let frame: Vec<u8> = inbuf.drain(..total).collect();
+            let payload = frame.get(4..).unwrap_or_default();
+            let (action, bytes) = execute_payload(payload, &self.db, &self.fault, &self.registry);
+            let mut wire = Vec::with_capacity(bytes.len().saturating_add(4));
+            if write_frame(&mut wire, &bytes).is_err() {
+                self.dead = true;
+                break;
+            }
+            match action {
+                FaultAction::Reset => {
+                    // Reply lost: black-hole, no FIN.
+                    self.dead = true;
+                }
+                FaultAction::Stall(d) => {
+                    out.delay(d);
+                    out.send(wire);
+                }
+                FaultAction::Dribble(delay) => {
+                    for &b in wire.iter().take(netsim::fault::DRIBBLE_MAX_BYTES) {
+                        out.send(vec![b]);
+                        out.delay(delay);
+                    }
+                    // The rest of the reply never arrives, and neither
+                    // does a FIN.
+                    self.dead = true;
+                }
+                FaultAction::PartialWrite => {
+                    out.send(wire.get(..wire.len() / 2).unwrap_or_default().to_vec());
+                    self.dead = true;
+                }
+                FaultAction::Deliver | FaultAction::ErrorReply => out.send(wire),
+            }
+        }
+        if self.dead {
+            // Discard anything the parked client keeps sending so the
+            // buffer stays bounded.
+            inbuf.clear();
+        }
+    }
+
+    fn on_eof(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        // The blocking loop treats EOF (even mid-frame) as end-of-session
+        // without writing anything; match that.
+        inbuf.clear();
+        out.close();
+    }
+}
+
 fn serve(
     stream: TcpStream,
     db: Arc<Database>,
@@ -239,94 +477,7 @@ fn serve(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(payload) = read_frame(&mut reader)? {
-        let t0 = Instant::now();
-        let parsed = serde_json::from_slice::<WireRequest>(&payload);
-        let trace_ctx = parsed
-            .as_ref()
-            .ok()
-            .and_then(|r| r.ctx.as_deref())
-            .and_then(obs::TraceContext::decode);
-        let op = match &parsed {
-            Ok(r) => r
-                .sql
-                .split_whitespace()
-                .next()
-                .unwrap_or("?")
-                .to_ascii_uppercase(),
-            Err(_) => "bad-request".to_string(),
-        };
-        // Queue wait: arrival to dispatch (frame parse, bookkeeping).
-        let queue = t0.elapsed();
-        let t_exec = Instant::now();
-        // The statement always executes before the fault decision: an
-        // injected failure models "reply lost after the effect applied",
-        // which is exactly the case that makes blind replays dangerous.
-        let mut response = match &parsed {
-            Err(e) => WireResponse::Err(format!("bad request: {e}")),
-            Ok(req) if req.sql.trim() == "METRICS" => WireResponse::Ok(metrics_result(&registry)),
-            Ok(req) => match db.execute(&req.sql) {
-                Ok(rs) => WireResponse::Ok(rs),
-                Err(e) => WireResponse::Err(e.to_string()),
-            },
-        };
-        let execute = t_exec.elapsed();
-        registry
-            .counter(
-                "minisql_statements_total",
-                &[
-                    ("op", &op),
-                    (
-                        "outcome",
-                        match &response {
-                            WireResponse::Ok(_) => "ok",
-                            WireResponse::Err(_) => "err",
-                        },
-                    ),
-                ],
-            )
-            .inc();
-        let action = fault.reply_action();
-        if matches!(action, FaultAction::ErrorReply) {
-            response = WireResponse::Err("injected fault".to_string());
-        }
-        let bytes = if let Some(cctx) = trace_ctx {
-            // Serialize cost comes from a probe render of the unspliced
-            // response: the span rides *inside* the reply, so it must
-            // exist before the real serialization.
-            let t_ser = Instant::now();
-            let mut val = serde_json::value_of(&response);
-            let _ = serde_json::value_to_string(&val);
-            let serialize = t_ser.elapsed();
-            let span = obs::ServerSpan::new("minisql", queue, execute, serialize);
-            let mut rec = obs::CompletedTrace::server_side(&cctx, &span, op);
-            rec.error = match (&action, &response) {
-                (FaultAction::Reset, _) => Some("connection reset before reply".into()),
-                (_, WireResponse::Err(e)) => Some(e.clone()),
-                _ => None,
-            };
-            // Recorded even when the reply is about to be lost (Reset,
-            // partial writes): the statement's *effect* was applied, and
-            // the trace proving that makes lost-reply retries auditable.
-            obs::FlightRecorder::global().record(rec);
-            // Splice the span *inside* the ok object — the response
-            // envelope must keep exactly one top-level key, and unknown
-            // fields inside a result set are ignored by every client
-            // generation. Error responses carry no span.
-            if let serde::Value::Object(pairs) = &mut val {
-                if let Some((_, serde::Value::Object(ok_pairs))) =
-                    pairs.iter_mut().find(|(k, _)| k == "ok")
-                {
-                    ok_pairs.push(("span".to_string(), serde::Value::String(span.encode())));
-                }
-            }
-            serde_json::value_to_string(&val).into_bytes()
-        } else {
-            // A response that fails to serialize must not kill the
-            // connection: degrade to an in-band error the client can
-            // surface.
-            serde_json::to_vec(&response)
-                .unwrap_or_else(|_| br#"{"err":"response serialization failed"}"#.to_vec())
-        };
+        let (action, bytes) = execute_payload(&payload, &db, &fault, &registry);
         match action {
             FaultAction::Reset => return Ok(()),
             FaultAction::Stall(d) => {

@@ -26,6 +26,16 @@ impl Deadline {
         }
     }
 
+    /// A deadline at an absolute point in time.
+    pub fn at(end: Instant) -> Deadline {
+        Deadline { end }
+    }
+
+    /// The absolute point in time this deadline expires.
+    pub fn instant(&self) -> Instant {
+        self.end
+    }
+
     /// Time left, or `None` once the deadline has passed.
     pub fn remaining(&self) -> Option<Duration> {
         let now = Instant::now();

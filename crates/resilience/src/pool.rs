@@ -8,13 +8,28 @@
 //! than `max_idle_age` is dropped on the floor, so callers only ever see
 //! connections young enough to plausibly still be open.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Idle<T> {
     conn: T,
     since: Instant,
+    /// Live request count for entries that are *handles to a shared
+    /// connection* (multiplexing) rather than exclusively owned sockets.
+    /// `None` for plain entries. An entry whose counter is non-zero is
+    /// carrying traffic right now and is never aged out: "idle time" is a
+    /// per-socket concept, and a multiplexed socket with requests in
+    /// flight is not idle no matter how long ago it was checked in.
+    in_flight: Option<Arc<AtomicUsize>>,
+}
+
+impl<T> Idle<T> {
+    fn busy(&self) -> bool {
+        self.in_flight
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed) > 0)
+    }
 }
 
 /// A LIFO pool of at most `max_idle` connections, each discarded once it
@@ -36,32 +51,46 @@ impl<T> IdlePool<T> {
         }
     }
 
-    /// Most recently used connection that is still young enough, if any.
+    /// Most recently used connection that is still young enough — or still
+    /// busy — if any.
     ///
-    /// LIFO order means the entry at the back is the freshest; once it is
-    /// over age, everything beneath it is older still, so the whole pool is
-    /// drained in one pass.
+    /// LIFO order means the entry at the back is the freshest; stale idle
+    /// entries beneath it are aged out one by one on the way down. Entries
+    /// checked in via [`IdlePool::checkin_shared`] with requests in flight
+    /// are exempt from aging: a multiplexed connection carrying traffic is
+    /// alive by definition, however long ago it was checked in.
     pub fn checkout(&self) -> Option<T> {
         let mut conns = lock(&self.conns);
         let now = Instant::now();
         while let Some(idle) = conns.pop() {
-            if now.duration_since(idle.since) <= self.max_idle_age {
+            if idle.busy() || now.duration_since(idle.since) <= self.max_idle_age {
                 return Some(idle.conn);
             }
-            let stale = conns.len() + 1;
-            self.aged_out.fetch_add(stale as u64, Ordering::Relaxed);
-            conns.clear();
+            self.aged_out.fetch_add(1, Ordering::Relaxed);
         }
         None
     }
 
     /// Return a healthy connection; dropped instead if the pool is full.
     pub fn checkin(&self, conn: T) {
+        self.insert(conn, None);
+    }
+
+    /// Return a handle to a *shared* (multiplexed) connection, with
+    /// `in_flight` tracking its live request count. While the counter is
+    /// non-zero the entry is never aged out at checkout — per-socket idle
+    /// aging must not sever a connection other requests are riding.
+    pub fn checkin_shared(&self, conn: T, in_flight: Arc<AtomicUsize>) {
+        self.insert(conn, Some(in_flight));
+    }
+
+    fn insert(&self, conn: T, in_flight: Option<Arc<AtomicUsize>>) {
         let mut conns = lock(&self.conns);
         if conns.len() < self.max_idle {
             conns.push(Idle {
                 conn,
                 since: Instant::now(),
+                in_flight,
             });
         }
     }
@@ -138,5 +167,32 @@ mod tests {
         pool.checkin(1);
         pool.clear();
         assert_eq!(pool.checkout(), None);
+    }
+
+    /// Regression: a multiplexed connection handle with requests in flight
+    /// must never be aged out, no matter how stale its checkin time — and
+    /// a stale idle entry sitting *under* a busy one must still age out
+    /// without taking the busy entry with it.
+    #[test]
+    fn busy_shared_connections_are_never_aged_out() {
+        let pool = IdlePool::new(8, Duration::from_millis(20));
+        let load = Arc::new(AtomicUsize::new(1));
+        pool.checkin("plain-stale");
+        pool.checkin_shared("mux-busy", load.clone());
+        std::thread::sleep(Duration::from_millis(40));
+        // LIFO: the busy mux handle is on top; it is over age but carrying
+        // a request, so it comes back instead of being dropped.
+        assert_eq!(pool.checkout(), Some("mux-busy"));
+        assert_eq!(pool.aged_out(), 0, "busy entry must not count as aged");
+        // The plain stale entry beneath it still ages out normally.
+        assert_eq!(pool.checkout(), None);
+        assert_eq!(pool.aged_out(), 1);
+        // Once the last in-flight request completes the handle is subject
+        // to normal aging again.
+        pool.checkin_shared("mux-idle", load.clone());
+        load.store(0, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(pool.checkout(), None, "quiesced mux handle ages out");
+        assert_eq!(pool.aged_out(), 2);
     }
 }

@@ -1,0 +1,266 @@
+//! The pooled blocking-socket transport.
+
+use kvapi::{Framer, RpcSender, SendOptions, StoreError, Transport};
+use resilience::{Deadline, DeadlineStream, IdlePool, ResiliencePolicy, SharedDeadline};
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// One pooled, deadline-bounded blocking socket per in-flight request.
+///
+/// This is the transport every client in the workspace historically
+/// hard-wired, extracted behind [`RpcSender`]: checkout (or open) a
+/// [`DeadlineStream`], arm the request deadline, write the framed request,
+/// read until the [`Framer`] delimits one reply, check the socket back in.
+/// Concurrency comes from sockets — N parallel requests occupy N
+/// connections and N blocked threads.
+pub struct BlockingSender {
+    addr: SocketAddr,
+    policy: ResiliencePolicy,
+    framer: Arc<dyn Framer>,
+    pool: IdlePool<BlockConn>,
+}
+
+struct BlockConn {
+    stream: DeadlineStream,
+    deadline: SharedDeadline,
+}
+
+impl BlockingSender {
+    pub fn new(addr: SocketAddr, policy: ResiliencePolicy, framer: Arc<dyn Framer>) -> Self {
+        let pool = IdlePool::new(policy.max_idle, policy.max_idle_age);
+        BlockingSender {
+            addr,
+            policy,
+            framer,
+            pool,
+        }
+    }
+
+    /// Number of idle pooled sockets, for introspection in tests.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn deadline_for(&self, opts: &SendOptions<'_>) -> Deadline {
+        match opts.deadline {
+            Some(at) => Deadline::at(at),
+            None => Deadline::within(self.policy.request_timeout),
+        }
+    }
+
+    fn open(&self, deadline: &Deadline) -> kvapi::Result<BlockConn> {
+        let shared = SharedDeadline::new();
+        shared.arm(*deadline);
+        let stream = DeadlineStream::connect(
+            self.addr,
+            self.policy.connect_timeout,
+            self.policy.request_timeout,
+            shared.clone(),
+        )?;
+        Ok(BlockConn {
+            stream,
+            deadline: shared,
+        })
+    }
+
+    fn lease(&self, opts: &SendOptions<'_>, deadline: &Deadline) -> kvapi::Result<BlockConn> {
+        let pooled = if opts.fresh_conn {
+            None
+        } else {
+            self.pool.checkout()
+        };
+        match pooled {
+            Some(conn) => {
+                conn.deadline.arm(*deadline);
+                Ok(conn)
+            }
+            None => self.open(deadline),
+        }
+    }
+
+    /// Read from `conn` into `buf` until the framer delimits one reply,
+    /// then split it off the front (pipelined replies ride back-to-back).
+    fn read_reply(
+        &self,
+        conn: &mut BlockConn,
+        buf: &mut Vec<u8>,
+        opts: &SendOptions<'_>,
+    ) -> kvapi::Result<Vec<u8>> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if let Some(len) = self.framer.scan_reply(buf, &opts.meta) {
+                let rest = buf.split_off(len.min(buf.len()));
+                let frame = std::mem::replace(buf, rest);
+                return Ok(frame);
+            }
+            let n = conn.stream.read(&mut scratch)?;
+            if n == 0 {
+                return Err(StoreError::Closed);
+            }
+            buf.extend_from_slice(scratch.get(..n).unwrap_or_default());
+        }
+    }
+
+    fn exchange(
+        &self,
+        conn: &mut BlockConn,
+        reqs: &[&[u8]],
+        opts: &SendOptions<'_>,
+    ) -> kvapi::Result<Vec<Vec<u8>>> {
+        // `sent()` fires after the *first* request hits the wire: from
+        // that point the server may have executed a prefix of the batch,
+        // so replay guards must trip even if a later write fails.
+        for (i, req) in reqs.iter().enumerate() {
+            conn.stream.write_all(req)?;
+            if i == 0 {
+                conn.stream.flush()?;
+                opts.sent();
+            }
+        }
+        conn.stream.flush()?;
+        let mut buf = Vec::new();
+        let mut replies = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            replies.push(self.read_reply(conn, &mut buf, opts)?);
+        }
+        Ok(replies)
+    }
+
+    fn run(&self, reqs: &[&[u8]], opts: &SendOptions<'_>) -> kvapi::Result<Vec<Vec<u8>>> {
+        let deadline = self.deadline_for(opts);
+        let mut conn = self.lease(opts, &deadline)?;
+        let result = self.exchange(&mut conn, reqs, opts);
+        conn.deadline.disarm();
+        if result.is_ok() {
+            // A connection that just failed mid-exchange is in an unknown
+            // protocol state; only clean ones go back to the pool.
+            self.pool.checkin(conn);
+        }
+        result
+    }
+}
+
+impl RpcSender for BlockingSender {
+    fn transport(&self) -> Transport {
+        Transport::Blocking
+    }
+
+    fn send(&self, req: &[u8], opts: &SendOptions<'_>) -> kvapi::Result<Vec<u8>> {
+        let mut replies = self.run(&[req], opts)?;
+        replies.pop().ok_or(StoreError::Closed)
+    }
+
+    fn send_pipelined(
+        &self,
+        reqs: &[Vec<u8>],
+        opts: &SendOptions<'_>,
+    ) -> kvapi::Result<Vec<Vec<u8>>> {
+        let refs: Vec<&[u8]> = reqs.iter().map(Vec::as_slice).collect();
+        self.run(&refs, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{echo_server, frame, TinyFramer};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    fn sender(addr: SocketAddr) -> BlockingSender {
+        BlockingSender::new(addr, ResiliencePolicy::test_profile(), Arc::new(TinyFramer))
+    }
+
+    #[test]
+    fn echoes_one_frame_and_pools_the_socket() {
+        let (addr, conns) = echo_server();
+        let s = sender(addr);
+        let req = frame(7, b"hello");
+        let reply = s.send(&req, &SendOptions::default()).expect("echo");
+        assert_eq!(reply, req);
+        assert_eq!(s.pooled(), 1, "socket returned to the pool");
+        let reply2 = s.send(&req, &SendOptions::default()).expect("echo again");
+        assert_eq!(reply2, req);
+        assert_eq!(
+            conns.load(Ordering::SeqCst),
+            1,
+            "second send reused the socket"
+        );
+    }
+
+    #[test]
+    fn fresh_conn_bypasses_the_pool() {
+        let (addr, conns) = echo_server();
+        let s = sender(addr);
+        s.send(&frame(1, b"a"), &SendOptions::default())
+            .expect("seed the pool");
+        let opts = SendOptions {
+            fresh_conn: true,
+            ..SendOptions::default()
+        };
+        s.send(&frame(2, b"b"), &opts).expect("fresh send");
+        assert_eq!(
+            conns.load(Ordering::SeqCst),
+            2,
+            "fresh_conn opened a new socket"
+        );
+    }
+
+    #[test]
+    fn pipelined_replies_come_back_positionally() {
+        let (addr, conns) = echo_server();
+        let s = sender(addr);
+        let reqs = vec![frame(1, b"one"), frame(2, b"two"), frame(3, b"three")];
+        let replies = s
+            .send_pipelined(&reqs, &SendOptions::default())
+            .expect("pipeline");
+        assert_eq!(replies, reqs);
+        assert_eq!(
+            conns.load(Ordering::SeqCst),
+            1,
+            "one socket carried the batch"
+        );
+    }
+
+    #[test]
+    fn on_sent_fires_after_flush() {
+        let (addr, _) = echo_server();
+        let s = sender(addr);
+        let fired = AtomicUsize::new(0);
+        let hook = || {
+            fired.fetch_add(1, Ordering::SeqCst);
+        };
+        let opts = SendOptions {
+            on_sent: Some(&hook),
+            ..SendOptions::default()
+        };
+        s.send(&frame(9, b"x"), &opts).expect("send");
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn silent_server_times_out_at_the_deadline() {
+        // A listener that accepts and never replies.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let _held = listener.accept();
+            std::thread::sleep(Duration::from_secs(2));
+        });
+        let s = sender(addr);
+        let opts = SendOptions {
+            deadline: Some(Instant::now() + Duration::from_millis(80)),
+            ..SendOptions::default()
+        };
+        let started = Instant::now();
+        let err = s
+            .send(&frame(1, b"never"), &opts)
+            .expect_err("must time out");
+        assert!(err.is_transient(), "timeout must be retryable, got {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_millis(800),
+            "deadline bounded the wait"
+        );
+    }
+}

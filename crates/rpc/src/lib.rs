@@ -1,0 +1,96 @@
+//! # rpc — transports for the `kvapi` RPC surface
+//!
+//! The protocol clients (`minisql`, `miniredis`, `cloudstore`) describe
+//! *what* to send through [`kvapi::Framer`] and consume replies as framed
+//! bytes; this crate supplies the *how* — the two [`kvapi::RpcSender`]
+//! implementations they can be constructed over:
+//!
+//! * [`BlockingSender`] — the classic strategy: one socket per in-flight
+//!   request, checked out of a [`resilience::IdlePool`], every byte moved
+//!   by the calling thread under a [`resilience::SharedDeadline`].
+//! * [`MuxSender`] — the event-driven strategy: all requests interleave on
+//!   one shared connection owned by a client-side [`reactor`] thread,
+//!   matched back to callers by correlation id (or strict FIFO order for
+//!   requests without one). Callers park on a completion slot, not on a
+//!   socket, so thousands of logical requests need one fd and one
+//!   background thread rather than a thread each.
+//!
+//! Both senders speak through the same [`kvapi::Framer`], so a protocol
+//! client is transport-agnostic: it builds request bytes, picks a sender,
+//! and decodes whatever framed reply comes back.
+
+mod blocking;
+mod mux;
+
+pub use blocking::BlockingSender;
+pub use mux::MuxSender;
+
+use std::sync::Mutex;
+
+/// Lock helper: these locks guard pure data, so a poisoned lock (a caller
+/// panicked mid-update elsewhere) is still safe to read through.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod testutil {
+    use kvapi::{Framer, ReplyMeta};
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpListener};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Test protocol: `[u8 len][u8 id][len payload bytes]`, echoed back
+    /// verbatim by the test server. The one-byte `id` doubles as the
+    /// correlation slot.
+    pub struct TinyFramer;
+
+    impl Framer for TinyFramer {
+        fn scan_reply(&self, buf: &[u8], _meta: &ReplyMeta) -> Option<usize> {
+            let len = *buf.first()? as usize;
+            let total = len.checked_add(2)?;
+            (buf.len() >= total).then_some(total)
+        }
+        fn reply_id(&self, frame: &[u8]) -> Option<u64> {
+            frame.get(1).map(|&id| u64::from(id))
+        }
+    }
+
+    /// Encode one tiny-protocol frame.
+    pub fn frame(id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut f = vec![payload.len() as u8, id as u8];
+        f.extend_from_slice(payload);
+        f
+    }
+
+    /// An echo server for the tiny protocol. Each accepted connection is
+    /// served by its own thread (the *test double* may block; the code
+    /// under test must not). Returns the address and a connection counter.
+    pub fn echo_server() -> (SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let conns = Arc::new(AtomicUsize::new(0));
+        let counter = conns.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                counter.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 512];
+                    loop {
+                        match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if stream.write_all(buf.get(..n).unwrap_or_default()).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, conns)
+    }
+}

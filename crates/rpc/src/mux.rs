@@ -1,0 +1,694 @@
+//! The reactor-driven multiplexed transport.
+
+use crate::lock;
+use kvapi::{Framer, ReplyMeta, RpcSender, SendOptions, StoreError, Transport};
+use reactor::{ConnHandler, ConnId, Handle, Outbox, Reactor, ReactorThread};
+use resilience::{Deadline, IdlePool, ResiliencePolicy};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Many in-flight requests interleaved on one shared connection, driven by
+/// a client-side [`Reactor`] thread.
+///
+/// Each request registers a pending entry (correlation id, reply-framing
+/// meta, completion), hands its bytes to the event loop, and parks on the
+/// completion — not on a socket. The loop's [`ConnHandler`] delimits
+/// replies with the protocol's [`Framer`] in strict server order and
+/// completes entries by echoed correlation id (falling back to FIFO order
+/// for replies without one). One fd and one background thread carry any
+/// number of logical requests.
+///
+/// Failure semantics, which the chaos suites pin down:
+///
+/// * The connection dying — peer reset, server `drop_connections()`,
+///   reactor shutdown — fails **every** in-flight request exactly once
+///   with [`StoreError::Closed`] (the entries are drained under one lock,
+///   so no request is failed twice or missed).
+/// * A request whose deadline passes abandons its entry but leaves a
+///   tombstone in reply order, so the late reply is still framed correctly
+///   and discarded instead of being matched to a later request.
+/// * `fresh_conn` retries get a dedicated connection: on a shared socket
+///   "give me an unpolluted connection" must not sever the requests other
+///   callers have in flight.
+pub struct MuxSender {
+    addr: SocketAddr,
+    policy: ResiliencePolicy,
+    framer: Arc<dyn Framer>,
+    reactor: Mutex<Option<ReactorThread>>,
+    /// Slot for the one shared connection handle. Checked in via
+    /// [`IdlePool::checkin_shared`] with the live-request counter, so idle
+    /// aging can never sever a connection carrying traffic.
+    pool: IdlePool<MuxConn>,
+    next_id: AtomicU64,
+}
+
+/// A cloneable handle to one multiplexed connection.
+#[derive(Clone)]
+struct MuxConn {
+    id: ConnId,
+    handle: Handle,
+    state: Arc<MuxState>,
+}
+
+#[derive(Default)]
+struct MuxState {
+    pending: Mutex<PendingMap>,
+    /// Live (non-abandoned) request count, shared with the idle pool.
+    in_flight: Arc<AtomicUsize>,
+    /// Set (under the `pending` lock) when the connection died; late
+    /// registrations fail fast instead of parking forever.
+    closed: AtomicBool,
+}
+
+#[derive(Default)]
+struct PendingMap {
+    /// Correlation ids in send order — the order the server will reply in.
+    fifo: VecDeque<u64>,
+    map: HashMap<u64, Waiter>,
+}
+
+enum Waiter {
+    /// A caller parked on a completion slot.
+    Sync {
+        meta: ReplyMeta,
+        slot: Arc<SyncSlot>,
+    },
+    /// A callback to run with the reply (from the reactor thread).
+    Async {
+        meta: ReplyMeta,
+        done: Box<dyn FnOnce(kvapi::Result<Vec<u8>>) + Send>,
+    },
+    /// Timed out locally. The tombstone keeps its place in reply order so
+    /// the late reply is framed with the right meta and discarded, rather
+    /// than matched to whoever sent next.
+    Abandoned { meta: ReplyMeta },
+}
+
+impl Waiter {
+    fn meta(&self) -> ReplyMeta {
+        match self {
+            Waiter::Sync { meta, .. } | Waiter::Async { meta, .. } | Waiter::Abandoned { meta } => {
+                *meta
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct SyncSlot {
+    cell: Mutex<Option<kvapi::Result<Vec<u8>>>>,
+    cv: Condvar,
+}
+
+impl MuxState {
+    /// Deliver `res` to a waiter taken out of the pending map. Runs with
+    /// the `pending` lock released: an async `done` may itself send.
+    fn complete(waiter: Waiter, res: kvapi::Result<Vec<u8>>, in_flight: &AtomicUsize) {
+        match waiter {
+            Waiter::Sync { slot, .. } => {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                *lock(&slot.cell) = Some(res);
+                slot.cv.notify_all();
+            }
+            Waiter::Async { done, .. } => {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                done(res);
+            }
+            Waiter::Abandoned { .. } => {}
+        }
+    }
+
+    /// The connection died: fail everything in flight, exactly once.
+    fn fail_all(&self) {
+        let drained: Vec<Waiter> = {
+            let mut p = lock(&self.pending);
+            self.closed.store(true, Ordering::SeqCst);
+            p.fifo.clear();
+            p.map.drain().map(|(_, w)| w).collect()
+        };
+        for waiter in drained {
+            MuxState::complete(waiter, Err(StoreError::Closed), &self.in_flight);
+        }
+    }
+}
+
+/// The per-connection state machine run on the reactor thread.
+struct MuxHandler {
+    framer: Arc<dyn Framer>,
+    state: Arc<MuxState>,
+}
+
+impl ConnHandler for MuxHandler {
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+        loop {
+            let taken = {
+                let mut p = lock(&self.state.pending);
+                let Some(&front) = p.fifo.front() else {
+                    // Bytes with nothing in flight: the server broke the
+                    // protocol. Sever; on_close cleans up.
+                    if !inbuf.is_empty() {
+                        out.close();
+                    }
+                    return;
+                };
+                // Frame with the oldest unreplied request's meta — replies
+                // come back in FIFO order on one connection.
+                let meta = p.map.get(&front).map(Waiter::meta).unwrap_or_default();
+                let Some(len) = self.framer.scan_reply(inbuf, &meta) else {
+                    return;
+                };
+                let frame: Vec<u8> = inbuf.drain(..len.min(inbuf.len())).collect();
+                // Match by echoed correlation id when the reply carries
+                // one we know; otherwise strict FIFO.
+                let id = match self.framer.reply_id(&frame) {
+                    Some(id) if p.map.contains_key(&id) => id,
+                    _ => front,
+                };
+                p.fifo.retain(|&q| q != id);
+                (frame, p.map.remove(&id))
+            };
+            let (frame, waiter) = taken;
+            if let Some(waiter) = waiter {
+                MuxState::complete(waiter, Ok(frame), &self.state.in_flight);
+            }
+        }
+    }
+
+    fn on_close(&mut self) {
+        self.state.fail_all();
+    }
+}
+
+impl MuxSender {
+    pub fn new(addr: SocketAddr, policy: ResiliencePolicy, framer: Arc<dyn Framer>) -> Self {
+        let pool = IdlePool::new(1, policy.max_idle_age);
+        MuxSender {
+            addr,
+            policy,
+            framer,
+            reactor: Mutex::new(None),
+            pool,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn deadline_for(&self, opts: &SendOptions<'_>) -> Deadline {
+        match opts.deadline {
+            Some(at) => Deadline::at(at),
+            None => Deadline::within(self.policy.request_timeout),
+        }
+    }
+
+    /// The (lazily spawned) client-side event loop.
+    fn reactor_handle(&self) -> kvapi::Result<Handle> {
+        let mut guard = lock(&self.reactor);
+        let live = guard.as_ref().is_some_and(|rt| rt.handle().is_live());
+        if !live {
+            *guard = Some(Reactor::new()?.spawn());
+        }
+        guard
+            .as_ref()
+            .map(ReactorThread::handle)
+            .ok_or(StoreError::Closed)
+    }
+
+    fn connect(&self, deadline: &Deadline) -> kvapi::Result<MuxConn> {
+        let budget = deadline
+            .remaining()
+            .ok_or(StoreError::Timeout)?
+            .min(self.policy.connect_timeout)
+            .max(Duration::from_millis(1));
+        let stream = TcpStream::connect_timeout(&self.addr, budget)?;
+        let state = Arc::new(MuxState::default());
+        let handle = self.reactor_handle()?;
+        let id = handle.add_connection(
+            stream,
+            Box::new(MuxHandler {
+                framer: self.framer.clone(),
+                state: state.clone(),
+            }),
+        );
+        Ok(MuxConn { id, handle, state })
+    }
+
+    /// The shared connection (reconnecting if it died), or a dedicated one
+    /// for `fresh_conn` retries. Returns `(conn, dedicated)`.
+    fn lease(&self, fresh: bool, deadline: &Deadline) -> kvapi::Result<(MuxConn, bool)> {
+        if fresh {
+            return Ok((self.connect(deadline)?, true));
+        }
+        if let Some(conn) = self.pool.checkout() {
+            if !conn.state.closed.load(Ordering::SeqCst) && conn.handle.is_live() {
+                // Put the handle straight back so concurrent callers share
+                // it; the live-request counter rides along for aging.
+                self.pool
+                    .checkin_shared(conn.clone(), conn.state.in_flight.clone());
+                return Ok((conn, false));
+            }
+        }
+        let conn = self.connect(deadline)?;
+        self.pool
+            .checkin_shared(conn.clone(), conn.state.in_flight.clone());
+        Ok((conn, false))
+    }
+
+    fn register_sync(
+        &self,
+        conn: &MuxConn,
+        id: u64,
+        meta: ReplyMeta,
+    ) -> kvapi::Result<Arc<SyncSlot>> {
+        let slot = Arc::new(SyncSlot::default());
+        let mut p = lock(&conn.state.pending);
+        if conn.state.closed.load(Ordering::SeqCst) {
+            return Err(StoreError::Closed);
+        }
+        p.fifo.push_back(id);
+        p.map.insert(
+            id,
+            Waiter::Sync {
+                meta,
+                slot: slot.clone(),
+            },
+        );
+        conn.state.in_flight.fetch_add(1, Ordering::SeqCst);
+        Ok(slot)
+    }
+
+    /// Replace a still-waiting entry with a tombstone (deadline ran out).
+    /// False when the entry is gone or already being completed — the
+    /// caller should collect the imminent result instead.
+    fn abandon(&self, conn: &MuxConn, id: u64) -> bool {
+        let mut p = lock(&conn.state.pending);
+        match p.map.get_mut(&id) {
+            Some(w) if !matches!(w, Waiter::Abandoned { .. }) => {
+                let meta = w.meta();
+                *w = Waiter::Abandoned { meta };
+                conn.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn wait(
+        &self,
+        conn: &MuxConn,
+        id: u64,
+        slot: &Arc<SyncSlot>,
+        deadline: &Deadline,
+    ) -> kvapi::Result<Vec<u8>> {
+        let mut cell = lock(&slot.cell);
+        loop {
+            if let Some(res) = cell.take() {
+                return res;
+            }
+            let Some(rem) = deadline.remaining() else {
+                drop(cell);
+                if self.abandon(conn, id) {
+                    return Err(StoreError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request deadline exceeded",
+                    )));
+                }
+                // Completion is in flight on another thread; collect it.
+                cell = lock(&slot.cell);
+                if cell.is_none() {
+                    cell = slot
+                        .cv
+                        .wait_timeout(cell, Duration::from_millis(1))
+                        .map(|(g, _)| g)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner().0);
+                }
+                continue;
+            };
+            cell = slot
+                .cv
+                .wait_timeout(cell, rem)
+                .map(|(g, _)| g)
+                .unwrap_or_else(|poisoned| poisoned.into_inner().0);
+        }
+    }
+}
+
+impl RpcSender for MuxSender {
+    fn transport(&self) -> Transport {
+        Transport::Multiplexed
+    }
+
+    fn next_correlation_id(&self) -> Option<u64> {
+        Some(self.alloc_id())
+    }
+
+    fn send(&self, req: &[u8], opts: &SendOptions<'_>) -> kvapi::Result<Vec<u8>> {
+        let deadline = self.deadline_for(opts);
+        let (conn, dedicated) = self.lease(opts.fresh_conn, &deadline)?;
+        let id = opts.correlation_id.unwrap_or_else(|| self.alloc_id());
+        let registered = self.register_sync(&conn, id, opts.meta);
+        let result = match registered {
+            Ok(slot) => {
+                conn.handle.send(conn.id, req.to_vec());
+                opts.sent();
+                self.wait(&conn, id, &slot, &deadline)
+            }
+            Err(e) => Err(e),
+        };
+        if dedicated {
+            conn.handle.close(conn.id);
+        }
+        result
+    }
+
+    fn send_async(
+        &self,
+        req: Vec<u8>,
+        opts: &SendOptions<'_>,
+        done: Box<dyn FnOnce(kvapi::Result<Vec<u8>>) + Send + 'static>,
+    ) {
+        let deadline = self.deadline_for(opts);
+        let (conn, dedicated) = match self.lease(opts.fresh_conn, &deadline) {
+            Ok(leased) => leased,
+            Err(e) => return done(Err(e)),
+        };
+        // A dedicated connection has no other users: close it once this
+        // request completes (however it completes).
+        let done: Box<dyn FnOnce(kvapi::Result<Vec<u8>>) + Send> = if dedicated {
+            let handle = conn.handle.clone();
+            let conn_id = conn.id;
+            Box::new(move |res| {
+                handle.close(conn_id);
+                done(res);
+            })
+        } else {
+            done
+        };
+        let id = opts.correlation_id.unwrap_or_else(|| self.alloc_id());
+        {
+            let mut p = lock(&conn.state.pending);
+            if conn.state.closed.load(Ordering::SeqCst) {
+                drop(p);
+                return done(Err(StoreError::Closed));
+            }
+            p.fifo.push_back(id);
+            p.map.insert(
+                id,
+                Waiter::Async {
+                    meta: opts.meta,
+                    done,
+                },
+            );
+            conn.state.in_flight.fetch_add(1, Ordering::SeqCst);
+        }
+        conn.handle.send(conn.id, req);
+        opts.sent();
+        // Enforce the deadline from the loop: if the entry is still
+        // pending when the budget runs out, fail it and leave a tombstone.
+        let state = conn.state.clone();
+        let rem = deadline.remaining().unwrap_or(Duration::ZERO);
+        conn.handle.after(rem, move |_reactor| {
+            let taken = {
+                let mut p = lock(&state.pending);
+                let meta = match p.map.get(&id) {
+                    Some(w @ (Waiter::Sync { .. } | Waiter::Async { .. })) => Some(w.meta()),
+                    _ => None,
+                };
+                meta.and_then(|m| p.map.insert(id, Waiter::Abandoned { meta: m }))
+            };
+            if let Some(waiter) = taken {
+                MuxState::complete(
+                    waiter,
+                    Err(StoreError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request deadline exceeded",
+                    ))),
+                    &state.in_flight,
+                );
+            }
+        });
+    }
+
+    /// Interleave the batch on the shared connection: register and fire
+    /// every request, then collect the replies positionally.
+    fn send_pipelined(
+        &self,
+        reqs: &[Vec<u8>],
+        opts: &SendOptions<'_>,
+    ) -> kvapi::Result<Vec<Vec<u8>>> {
+        let deadline = self.deadline_for(opts);
+        let (conn, dedicated) = self.lease(opts.fresh_conn, &deadline)?;
+        let mut waits = Vec::with_capacity(reqs.len());
+        let mut setup_err = None;
+        for req in reqs {
+            let id = self.alloc_id();
+            match self.register_sync(&conn, id, opts.meta) {
+                Ok(slot) => {
+                    conn.handle.send(conn.id, req.clone());
+                    if waits.is_empty() {
+                        // First request handed to the loop: past this
+                        // point the server may have executed a prefix.
+                        opts.sent();
+                    }
+                    waits.push((id, slot));
+                }
+                Err(e) => {
+                    setup_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut replies = Vec::with_capacity(waits.len());
+        let mut first_err = setup_err;
+        for (id, slot) in &waits {
+            match self.wait(&conn, *id, slot, &deadline) {
+                Ok(frame) => replies.push(frame),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if dedicated {
+            conn.handle.close(conn.id);
+        }
+        match first_err {
+            None => Ok(replies),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{echo_server, frame, TinyFramer};
+    use std::time::Instant;
+
+    fn sender(addr: SocketAddr) -> MuxSender {
+        MuxSender::new(addr, ResiliencePolicy::test_profile(), Arc::new(TinyFramer))
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_connection() {
+        let (addr, conns) = echo_server();
+        let s = Arc::new(sender(addr));
+        let mut threads = Vec::new();
+        for i in 0..8u64 {
+            let s = s.clone();
+            threads.push(std::thread::spawn(move || {
+                let id = s.next_correlation_id().expect("mux allocates ids");
+                let req = frame(id, format!("payload-{i}").as_bytes());
+                let opts = SendOptions {
+                    correlation_id: Some(id),
+                    ..SendOptions::default()
+                };
+                let reply = s.send(&req, &opts).expect("echo");
+                assert_eq!(reply, req, "reply matched to the right request");
+            }));
+        }
+        for t in threads {
+            t.join().expect("worker");
+        }
+        assert_eq!(
+            conns.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "eight concurrent requests rode one socket"
+        );
+    }
+
+    #[test]
+    fn fresh_conn_gets_a_dedicated_socket_and_shared_stays_up() {
+        let (addr, conns) = echo_server();
+        let s = sender(addr);
+        s.send(&frame(1, b"seed"), &SendOptions::default())
+            .expect("seed");
+        let opts = SendOptions {
+            fresh_conn: true,
+            ..SendOptions::default()
+        };
+        s.send(&frame(2, b"retry"), &opts).expect("fresh send");
+        assert_eq!(conns.load(std::sync::atomic::Ordering::SeqCst), 2);
+        // The shared connection was not severed by the fresh one.
+        s.send(&frame(3, b"after"), &SendOptions::default())
+            .expect("shared again");
+        assert_eq!(conns.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn pipelined_batch_interleaves_on_the_shared_connection() {
+        let (addr, conns) = echo_server();
+        let s = sender(addr);
+        let reqs: Vec<Vec<u8>> = (1..=5u64).map(|i| frame(i, &[b'a' + i as u8])).collect();
+        let replies = s
+            .send_pipelined(&reqs, &SendOptions::default())
+            .expect("pipeline");
+        assert_eq!(replies, reqs);
+        assert_eq!(conns.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn send_async_completes_from_the_loop_thread() {
+        let (addr, _) = echo_server();
+        let s = sender(addr);
+        let slot = Arc::new(SyncSlot::default());
+        let done_slot = slot.clone();
+        let req = frame(4, b"async");
+        s.send_async(
+            req.clone(),
+            &SendOptions::default(),
+            Box::new(move |res| {
+                *lock(&done_slot.cell) = Some(res);
+                done_slot.cv.notify_all();
+            }),
+        );
+        let mut cell = lock(&slot.cell);
+        while cell.is_none() {
+            cell = slot
+                .cv
+                .wait_timeout(cell, Duration::from_secs(2))
+                .map(|(g, _)| g)
+                .unwrap_or_else(|p| p.into_inner().0);
+        }
+        assert_eq!(cell.take().expect("completed").expect("echoed"), req);
+    }
+
+    #[test]
+    fn deadline_abandons_but_late_replies_never_misroute() {
+        // A server that swallows the first request entirely, then echoes
+        // normally: the abandoned entry's tombstone must keep reply order
+        // intact for the follow-up request.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 256];
+            // Swallow the first frame.
+            let mut first: Option<usize> = None;
+            loop {
+                let n = match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => n,
+                };
+                buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                if first.is_none() {
+                    if let Some(&len) = buf.first() {
+                        let total = len as usize + 2;
+                        if buf.len() >= total {
+                            buf.drain(..total);
+                            first = Some(total);
+                        }
+                    }
+                }
+                if first.is_some() && !buf.is_empty() {
+                    // Echo everything after the swallowed frame.
+                    if stream.write_all(&buf).is_err() {
+                        return;
+                    }
+                    buf.clear();
+                }
+            }
+        });
+        let s = sender(addr);
+        let opts = SendOptions {
+            deadline: Some(Instant::now() + Duration::from_millis(100)),
+            ..SendOptions::default()
+        };
+        let err = s
+            .send(&frame(1, b"swallowed"), &opts)
+            .expect_err("times out");
+        assert!(err.is_transient(), "timeout is retryable: {err:?}");
+        // The follow-up request gets its own reply, not the dead one's.
+        let req = frame(2, b"follow-up");
+        let reply = s.send(&req, &SendOptions::default()).expect("follow-up");
+        assert_eq!(reply, req);
+    }
+
+    #[test]
+    fn connection_death_fails_all_in_flight_exactly_once() {
+        // A server that accepts, reads a bit, then slams the connection.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut chunk = [0u8; 64];
+            let _ = stream.read(&mut chunk);
+            std::thread::sleep(Duration::from_millis(50));
+            drop(stream); // FIN; client reactor sees EOF and tears down
+        });
+        let s = Arc::new(sender(addr));
+        let failures = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for i in 0..4u64 {
+            let s = s.clone();
+            let failures = failures.clone();
+            threads.push(std::thread::spawn(move || {
+                let err = s
+                    .send(&frame(i + 1, b"doomed"), &SendOptions::default())
+                    .expect_err("connection died");
+                assert!(matches!(err, StoreError::Closed), "got {err:?}");
+                failures.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for t in threads {
+            t.join().expect("worker");
+        }
+        assert_eq!(
+            failures.load(Ordering::SeqCst),
+            4,
+            "every in-flight request failed exactly once"
+        );
+    }
+
+    #[test]
+    fn reconnects_after_the_shared_connection_dies() {
+        let (addr, conns) = echo_server();
+        let s = sender(addr);
+        s.send(&frame(1, b"a"), &SendOptions::default())
+            .expect("first");
+        // Kill the shared connection from the client side.
+        {
+            let checked_out = s.pool.checkout().expect("shared conn cached");
+            checked_out.handle.close(checked_out.id);
+            // Wait for the reactor to tear it down.
+            let t0 = Instant::now();
+            while !checked_out.state.closed.load(Ordering::SeqCst) {
+                assert!(t0.elapsed() < Duration::from_secs(2), "close observed");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        s.send(&frame(2, b"b"), &SendOptions::default())
+            .expect("reconnected");
+        assert_eq!(conns.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,882 @@
+//! The event loop: connection slots, write pipelines, timers, and the
+//! cross-thread control channel.
+//!
+//! One [`Reactor`] owns an epoll instance plus every listener and
+//! connection registered on it. It can be driven two ways:
+//!
+//! * **deterministic single-threaded mode** — tests call [`Reactor::turn`]
+//!   directly and observe exactly one batch of events per call;
+//! * **background mode** — [`Reactor::spawn`] moves the loop onto a
+//!   dedicated thread; other threads talk to it through a cloneable
+//!   [`Handle`] (self-pipe waker + control queue).
+//!
+//! Per connection the reactor keeps an input buffer and an ordered *write
+//! pipeline* of steps ([`Outbox`]): byte chunks, pauses, and close. Steps
+//! release strictly in FIFO order — a pause at the head of the queue holds
+//! every later chunk back — which is how the event-driven servers
+//! reproduce the byte-exact wire behavior of their old blocking
+//! write-then-sleep code paths without ever blocking the loop.
+
+use crate::poll::Poller;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Stable identifier for a connection, valid across the reactor's lifetime
+/// (slot indices are recycled; these are not).
+pub type ConnId = u64;
+
+/// Per-connection protocol state machine driven by the reactor.
+///
+/// Callbacks run on the reactor thread and must never block: no sleeps, no
+/// blocking syscalls, no lock guard held across an [`Outbox`] scheduling
+/// call. Delays are expressed as [`Outbox::delay`] steps instead.
+pub trait ConnHandler: Send {
+    /// New bytes were appended to `inbuf`. Consume any complete frames
+    /// from the front (`Vec::drain`) and queue replies on `out`; leave
+    /// incomplete trailing bytes in place for the next call.
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox);
+
+    /// Peer closed its write side. `inbuf` holds any unconsumed trailing
+    /// bytes (a truncated frame, typically). Default: close.
+    fn on_eof(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+        let _ = inbuf;
+        out.close();
+    }
+
+    /// The connection is gone (flushed close, error, severed, shutdown).
+    fn on_close(&mut self) {}
+}
+
+/// Accepts inbound connections on a listener; `None` refuses (severs the
+/// socket before any I/O, the shape of `FaultInjector::refuse_connection`).
+pub trait Acceptor: Send {
+    /// Decide whether to serve `peer` and with which handler.
+    fn accept(&mut self, peer: SocketAddr) -> Option<Box<dyn ConnHandler>>;
+}
+
+impl<F> Acceptor for F
+where
+    F: FnMut(SocketAddr) -> Option<Box<dyn ConnHandler>> + Send,
+{
+    fn accept(&mut self, peer: SocketAddr) -> Option<Box<dyn ConnHandler>> {
+        self(peer)
+    }
+}
+
+/// Write-pipeline steps a handler may queue for its own connection.
+#[derive(Debug)]
+enum Step {
+    /// Bytes to write (in order).
+    Bytes(Vec<u8>),
+    /// Pause the pipeline once this step reaches the head; the clock
+    /// starts then, matching a blocking `sleep` between two writes.
+    Delay(Duration),
+    /// Flush everything queued before this step, then close.
+    Close,
+}
+
+/// Ordered output operations recorded by a [`ConnHandler`] callback and
+/// applied to the connection's write pipeline when the callback returns.
+#[derive(Default)]
+pub struct Outbox {
+    steps: Vec<Step>,
+}
+
+impl Outbox {
+    /// Queue bytes for writing.
+    pub fn send(&mut self, bytes: impl Into<Vec<u8>>) {
+        self.steps.push(Step::Bytes(bytes.into()));
+    }
+
+    /// Queue a pause: later steps wait `d` after everything queued before.
+    pub fn delay(&mut self, d: Duration) {
+        if !d.is_zero() {
+            self.steps.push(Step::Delay(d));
+        }
+    }
+
+    /// Close the connection after flushing everything queued before.
+    pub fn close(&mut self) {
+        self.steps.push(Step::Close);
+    }
+
+    /// True if nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// A queued pipeline step with its release state.
+enum QStep {
+    Bytes {
+        buf: Vec<u8>,
+        off: usize,
+    },
+    Delay {
+        dur: Duration,
+        until: Option<Instant>,
+    },
+    Close,
+}
+
+struct ConnState {
+    sock: TcpStream,
+    id: ConnId,
+    handler: Option<Box<dyn ConnHandler>>,
+    inbuf: Vec<u8>,
+    outq: VecDeque<QStep>,
+    /// Registered epoll interest (readable, writable).
+    registered: (bool, bool),
+    /// Peer EOF seen (or read error): stop reading.
+    eof: bool,
+    /// A delay step at the head of the queue has an armed timer.
+    parked: bool,
+}
+
+enum Slot {
+    Listener {
+        sock: TcpListener,
+        acceptor: Box<dyn Acceptor>,
+    },
+    Conn(ConnState),
+}
+
+type TimerCb = Box<dyn FnOnce(&mut Reactor) + Send>;
+
+enum TimerKind {
+    /// Re-run the write pipeline of a parked connection.
+    Unpark(ConnId),
+    /// Arbitrary callback on the loop.
+    Call(TimerCb),
+}
+
+struct TimerEntry {
+    when: Instant,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest deadline wins.
+        (other.when, other.seq).cmp(&(self.when, self.seq))
+    }
+}
+
+enum Control {
+    AddConn {
+        id: ConnId,
+        stream: TcpStream,
+        handler: Box<dyn ConnHandler>,
+    },
+    Send {
+        id: ConnId,
+        bytes: Vec<u8>,
+    },
+    CloseConn {
+        id: ConnId,
+    },
+    CloseAll,
+    After {
+        delay: Duration,
+        cb: TimerCb,
+    },
+    Shutdown,
+}
+
+struct Shared {
+    q: Mutex<VecDeque<Control>>,
+    wake_tx: UnixStream,
+    next_id: AtomicU64,
+    live: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, c: Control) {
+        if !self.live.load(Ordering::Acquire) {
+            return;
+        }
+        if let Ok(mut q) = self.q.lock() {
+            q.push_back(c);
+        }
+        // A full pipe still wakes the loop; ignore short/failed writes.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// Cloneable, `Send` entry point to a running reactor. All operations are
+/// queued and applied on the loop thread; sends to ids that are already
+/// closed (or never existed) are silently dropped.
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Hand an established stream to the loop. Returns immediately with
+    /// the connection's id; registration happens on the loop thread.
+    pub fn add_connection(&self, stream: TcpStream, handler: Box<dyn ConnHandler>) -> ConnId {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.push(Control::AddConn {
+            id,
+            stream,
+            handler,
+        });
+        id
+    }
+
+    /// Queue bytes on a connection's write pipeline.
+    pub fn send(&self, id: ConnId, bytes: Vec<u8>) {
+        self.shared.push(Control::Send { id, bytes });
+    }
+
+    /// Close a connection after flushing already-queued output.
+    pub fn close(&self, id: ConnId) {
+        self.shared.push(Control::CloseConn { id });
+    }
+
+    /// Sever every connection (listeners stay). The server-side
+    /// `drop_connections()` chaos primitive.
+    pub fn close_all_conns(&self) {
+        self.shared.push(Control::CloseAll);
+    }
+
+    /// Run `cb` on the loop thread after `delay`.
+    pub fn after(&self, delay: Duration, cb: impl FnOnce(&mut Reactor) + Send + 'static) {
+        self.shared.push(Control::After {
+            delay,
+            cb: Box::new(cb),
+        });
+    }
+
+    /// Run `cb` on the loop thread as soon as it is idle.
+    pub fn run(&self, cb: impl FnOnce(&mut Reactor) + Send + 'static) {
+        self.shared.push(Control::After {
+            delay: Duration::ZERO,
+            cb: Box::new(cb),
+        });
+    }
+
+    /// Ask the loop to tear everything down and exit.
+    pub fn shutdown(&self) {
+        self.shared.push(Control::Shutdown);
+    }
+
+    /// False once the loop has exited (late sends become no-ops).
+    pub fn is_live(&self) -> bool {
+        self.shared.live.load(Ordering::Acquire)
+    }
+}
+
+/// Token reserved for the self-pipe waker.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// The epoll event loop. See the module docs for the two driving modes.
+pub struct Reactor {
+    poller: Poller,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    /// Slot indices freed this turn; recycled only next turn so stale
+    /// events from the same epoll batch can't hit a reused slot.
+    pending_free: Vec<usize>,
+    ids: HashMap<ConnId, usize>,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    shared: Arc<Shared>,
+    wake_rx: UnixStream,
+    events: Vec<crate::poll::Event>,
+    scratch: Vec<u8>,
+    shutdown: bool,
+}
+
+impl Reactor {
+    /// Build an idle reactor.
+    pub fn new() -> io::Result<Reactor> {
+        let poller = Poller::new(1024)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        poller.add(wake_rx.as_raw_fd(), WAKER_TOKEN, true, false)?;
+        Ok(Reactor {
+            poller,
+            slots: Vec::new(),
+            free: Vec::new(),
+            pending_free: Vec::new(),
+            ids: HashMap::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            shared: Arc::new(Shared {
+                q: Mutex::new(VecDeque::new()),
+                wake_tx,
+                next_id: AtomicU64::new(1),
+                live: AtomicBool::new(true),
+            }),
+            wake_rx,
+            events: Vec::new(),
+            scratch: vec![0u8; 64 * 1024],
+            shutdown: false,
+        })
+    }
+
+    /// A cloneable cross-thread handle to this loop.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// True once [`Handle::shutdown`] (or [`Reactor::shutdown_now`]) has
+    /// torn the loop down.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Number of live connections (not listeners).
+    pub fn conn_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn alloc_slot(&mut self, slot: Slot) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                if let Some(entry) = self.slots.get_mut(idx) {
+                    *entry = Some(slot);
+                }
+                idx
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Register a listening socket; `acceptor` decides per connection.
+    pub fn listen(
+        &mut self,
+        sock: TcpListener,
+        acceptor: impl Acceptor + 'static,
+    ) -> io::Result<()> {
+        sock.set_nonblocking(true)?;
+        let fd = sock.as_raw_fd();
+        let idx = self.alloc_slot(Slot::Listener {
+            sock,
+            acceptor: Box::new(acceptor),
+        });
+        self.poller.add(fd, idx as u64, true, false)
+    }
+
+    /// Register an established stream with a handler. Used directly in
+    /// deterministic tests; background callers go through
+    /// [`Handle::add_connection`].
+    pub fn add_connection(
+        &mut self,
+        stream: TcpStream,
+        handler: Box<dyn ConnHandler>,
+    ) -> io::Result<ConnId> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.install_conn(id, stream, handler)?;
+        Ok(id)
+    }
+
+    fn install_conn(
+        &mut self,
+        id: ConnId,
+        stream: TcpStream,
+        handler: Box<dyn ConnHandler>,
+    ) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let fd = stream.as_raw_fd();
+        let idx = self.alloc_slot(Slot::Conn(ConnState {
+            sock: stream,
+            id,
+            handler: Some(handler),
+            inbuf: Vec::new(),
+            outq: VecDeque::new(),
+            registered: (true, false),
+            eof: false,
+            parked: false,
+        }));
+        self.ids.insert(id, idx);
+        self.poller.add(fd, idx as u64, true, false)
+    }
+
+    fn arm_timer(&mut self, when: Instant, kind: TimerKind) {
+        self.timer_seq = self.timer_seq.wrapping_add(1);
+        self.timers.push(TimerEntry {
+            when,
+            seq: self.timer_seq,
+            kind,
+        });
+    }
+
+    /// Run `cb` on this loop after `delay`.
+    pub fn after(&mut self, delay: Duration, cb: impl FnOnce(&mut Reactor) + Send + 'static) {
+        self.arm_timer(Instant::now() + delay, TimerKind::Call(Box::new(cb)));
+    }
+
+    /// Queue bytes on `id`'s write pipeline (no-op for unknown ids).
+    pub fn send(&mut self, id: ConnId, bytes: Vec<u8>) {
+        let Some(&idx) = self.ids.get(&id) else {
+            return;
+        };
+        if let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) {
+            c.outq.push_back(QStep::Bytes { buf: bytes, off: 0 });
+        }
+        self.flush_conn(idx);
+    }
+
+    /// Close `id` after flushing already-queued output.
+    pub fn close(&mut self, id: ConnId) {
+        let Some(&idx) = self.ids.get(&id) else {
+            return;
+        };
+        if let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) {
+            c.outq.push_back(QStep::Close);
+        }
+        self.flush_conn(idx);
+    }
+
+    /// Sever every connection immediately (queued output is discarded,
+    /// like a process kill). Listeners keep accepting.
+    pub fn close_all_conns(&mut self) {
+        let idxs: Vec<usize> = self.ids.values().copied().collect();
+        for idx in idxs {
+            self.teardown(idx);
+        }
+    }
+
+    /// Tear everything down and mark the loop finished.
+    pub fn shutdown_now(&mut self) {
+        self.shared.live.store(false, Ordering::Release);
+        self.close_all_conns();
+        for idx in 0..self.slots.len() {
+            if let Some(Some(Slot::Listener { sock, .. })) = self.slots.get(idx) {
+                let _ = self.poller.delete(sock.as_raw_fd());
+            }
+            if let Some(entry) = self.slots.get_mut(idx) {
+                *entry = None;
+            }
+        }
+        self.shutdown = true;
+    }
+
+    fn teardown(&mut self, idx: usize) {
+        let Some(Some(Slot::Conn(_))) = self.slots.get(idx) else {
+            return;
+        };
+        let Some(Some(Slot::Conn(mut c))) = self.slots.get_mut(idx).map(Option::take) else {
+            return;
+        };
+        let _ = self.poller.delete(c.sock.as_raw_fd());
+        self.ids.remove(&c.id);
+        self.pending_free.push(idx);
+        if let Some(mut h) = c.handler.take() {
+            h.on_close();
+        }
+    }
+
+    /// Apply a handler's recorded output steps to its connection.
+    fn apply_outbox(&mut self, idx: usize, out: Outbox) {
+        if let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) {
+            for step in out.steps {
+                c.outq.push_back(match step {
+                    Step::Bytes(buf) => QStep::Bytes { buf, off: 0 },
+                    Step::Delay(dur) => QStep::Delay { dur, until: None },
+                    Step::Close => QStep::Close,
+                });
+            }
+        }
+        self.flush_conn(idx);
+    }
+
+    /// Drive a connection's write pipeline as far as it will go.
+    fn flush_conn(&mut self, idx: usize) {
+        let mut park: Option<(Instant, ConnId)> = None;
+        let mut dead = false;
+        let mut want_out = false;
+        if let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) {
+            loop {
+                match c.outq.front_mut() {
+                    None => break,
+                    Some(QStep::Delay { dur, until }) => {
+                        let now = Instant::now();
+                        match until {
+                            None => {
+                                let t = now + *dur;
+                                *until = Some(t);
+                                if !c.parked {
+                                    c.parked = true;
+                                    park = Some((t, c.id));
+                                }
+                                break;
+                            }
+                            Some(t) if *t <= now => {
+                                c.parked = false;
+                                c.outq.pop_front();
+                            }
+                            Some(_) => break,
+                        }
+                    }
+                    Some(QStep::Bytes { buf, off }) => {
+                        let mut done = false;
+                        loop {
+                            let chunk = buf.get(*off..).unwrap_or_default();
+                            if chunk.is_empty() {
+                                done = true;
+                                break;
+                            }
+                            match c.sock.write(chunk) {
+                                Ok(0) => {
+                                    dead = true;
+                                    break;
+                                }
+                                Ok(n) => *off = off.saturating_add(n),
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                    want_out = true;
+                                    break;
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                                Err(_) => {
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if dead || want_out {
+                            break;
+                        }
+                        if done {
+                            c.outq.pop_front();
+                        }
+                    }
+                    Some(QStep::Close) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            return;
+        }
+        if let Some((when, id)) = park {
+            self.arm_timer(when, TimerKind::Unpark(id));
+        }
+        if dead {
+            self.teardown(idx);
+        } else {
+            self.update_interest(idx, want_out);
+        }
+    }
+
+    fn update_interest(&mut self, idx: usize, want_out: bool) {
+        if let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) {
+            let want = (!c.eof, want_out);
+            if want != c.registered {
+                c.registered = want;
+                let _ = self
+                    .poller
+                    .modify(c.sock.as_raw_fd(), idx as u64, want.0, want.1);
+            }
+        }
+    }
+
+    /// Read everything available, then run the handler over new bytes and
+    /// (once) over EOF.
+    fn do_read(&mut self, idx: usize) {
+        let mut got = false;
+        let mut hit_eof = false;
+        if let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) {
+            if c.eof {
+                return;
+            }
+            loop {
+                match c.sock.read(&mut self.scratch) {
+                    Ok(0) => {
+                        hit_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.inbuf
+                            .extend_from_slice(self.scratch.get(..n).unwrap_or_default());
+                        got = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Read errors (reset by peer, ...) end the read
+                        // side; the handler decides what to flush back.
+                        hit_eof = true;
+                        break;
+                    }
+                }
+            }
+            if hit_eof {
+                c.eof = true;
+            }
+        } else {
+            return;
+        }
+        if got {
+            self.run_handler(idx, false);
+        }
+        if hit_eof {
+            self.run_handler(idx, true);
+            self.update_interest(idx, false);
+        }
+    }
+
+    /// Invoke the handler (data or EOF callback) with the connection's
+    /// input buffer, then apply its outbox.
+    fn run_handler(&mut self, idx: usize, eof: bool) {
+        let taken = match self.slots.get_mut(idx) {
+            Some(Some(Slot::Conn(c))) => {
+                c.handler.take().map(|h| (h, std::mem::take(&mut c.inbuf)))
+            }
+            _ => None,
+        };
+        let Some((mut handler, mut inbuf)) = taken else {
+            return;
+        };
+        let mut out = Outbox::default();
+        if eof {
+            handler.on_eof(&mut inbuf, &mut out);
+        } else {
+            handler.on_data(&mut inbuf, &mut out);
+        }
+        if let Some(Some(Slot::Conn(c))) = self.slots.get_mut(idx) {
+            c.inbuf = inbuf;
+            c.handler = Some(handler);
+        }
+        self.apply_outbox(idx, out);
+    }
+
+    fn do_accept(&mut self, idx: usize) {
+        // Take the listener slot out so accepting can't alias the slot
+        // vector while new connections are installed.
+        let Some(slot @ Some(Slot::Listener { .. })) = self.slots.get_mut(idx).map(Option::take)
+        else {
+            return;
+        };
+        let Some(Slot::Listener { sock, mut acceptor }) = slot else {
+            return;
+        };
+        loop {
+            match sock.accept() {
+                Ok((stream, peer)) => match acceptor.accept(peer) {
+                    Some(handler) => {
+                        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+                        let _ = self.install_conn(id, stream, handler);
+                    }
+                    None => drop(stream),
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        if let Some(entry) = self.slots.get_mut(idx) {
+            *entry = Some(Slot::Listener { sock, acceptor });
+        }
+    }
+
+    fn drain_controls(&mut self) -> bool {
+        let drained: Vec<Control> = match self.shared.q.lock() {
+            Ok(mut q) => q.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        let any = !drained.is_empty();
+        for c in drained {
+            match c {
+                Control::AddConn {
+                    id,
+                    stream,
+                    handler,
+                } => {
+                    let _ = self.install_conn(id, stream, handler);
+                }
+                Control::Send { id, bytes } => self.send(id, bytes),
+                Control::CloseConn { id } => self.close(id),
+                Control::CloseAll => self.close_all_conns(),
+                Control::After { delay, cb } => {
+                    self.arm_timer(Instant::now() + delay, TimerKind::Call(cb))
+                }
+                Control::Shutdown => self.shutdown_now(),
+            }
+            if self.shutdown {
+                return true;
+            }
+        }
+        any
+    }
+
+    fn fire_timers(&mut self) -> bool {
+        let mut fired = false;
+        loop {
+            let due = match self.timers.peek() {
+                Some(t) => t.when <= Instant::now(),
+                None => false,
+            };
+            if !due {
+                break;
+            }
+            let Some(entry) = self.timers.pop() else {
+                break;
+            };
+            fired = true;
+            match entry.kind {
+                TimerKind::Unpark(id) => {
+                    if let Some(&idx) = self.ids.get(&id) {
+                        self.flush_conn(idx);
+                    }
+                }
+                TimerKind::Call(cb) => cb(self),
+            }
+            if self.shutdown {
+                break;
+            }
+        }
+        fired
+    }
+
+    /// Run one iteration: drain controls, wait for events up to `timeout`
+    /// (bounded further by the nearest timer), dispatch, fire due timers.
+    /// Returns whether anything happened (events, timers, or controls).
+    pub fn turn(&mut self, timeout: Option<Duration>) -> io::Result<bool> {
+        if self.shutdown {
+            return Ok(false);
+        }
+        self.free.append(&mut self.pending_free);
+        let mut progress = self.drain_controls();
+        if self.shutdown {
+            return Ok(progress);
+        }
+
+        let now = Instant::now();
+        let timer_gap = self.timers.peek().map(|t| {
+            if t.when <= now {
+                Duration::ZERO
+            } else {
+                t.when - now
+            }
+        });
+        let eff = match (timeout, timer_gap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+
+        self.events.clear();
+        let mut events = std::mem::take(&mut self.events);
+        self.poller.wait(eff, |ev| events.push(ev))?;
+        for ev in &events {
+            progress = true;
+            if ev.token == WAKER_TOKEN {
+                let mut sink = [0u8; 64];
+                while let Ok(n) = self.wake_rx.read(&mut sink) {
+                    if n < sink.len() {
+                        break;
+                    }
+                }
+                continue;
+            }
+            let idx = match usize::try_from(ev.token) {
+                Ok(i) => i,
+                Err(_) => continue,
+            };
+            match self.slots.get(idx) {
+                Some(Some(Slot::Listener { .. })) => self.do_accept(idx),
+                Some(Some(Slot::Conn(_))) => {
+                    if ev.readable {
+                        self.do_read(idx);
+                    }
+                    if ev.writable {
+                        self.flush_conn(idx);
+                    }
+                }
+                _ => {}
+            }
+            if self.shutdown {
+                break;
+            }
+        }
+        events.clear();
+        self.events = events;
+        if self.shutdown {
+            return Ok(progress);
+        }
+
+        // Controls queued by handlers or arriving during the wait.
+        progress |= self.drain_controls();
+        if !self.shutdown {
+            progress |= self.fire_timers();
+        }
+        Ok(progress)
+    }
+
+    /// Move the loop onto a dedicated thread. Use [`ReactorThread::handle`]
+    /// to talk to it and [`ReactorThread::shutdown`] (or drop) to stop it.
+    pub fn spawn(mut self) -> ReactorThread {
+        let handle = self.handle();
+        let join = std::thread::Builder::new()
+            .name("reactor".into())
+            .spawn(move || {
+                while !self.shutdown {
+                    if self.turn(None).is_err() {
+                        self.shutdown_now();
+                    }
+                }
+            })
+            .expect("spawn reactor thread");
+        ReactorThread {
+            handle,
+            join: Some(join),
+        }
+    }
+}
+
+/// A reactor running on its own thread.
+pub struct ReactorThread {
+    handle: Handle,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorThread {
+    /// Cross-thread handle to the loop.
+    pub fn handle(&self) -> Handle {
+        self.handle.clone()
+    }
+
+    /// Stop the loop and join its thread (idempotent).
+    pub fn shutdown(&mut self) {
+        self.handle.shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ReactorThread {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,25 @@
+//! In-tree epoll event loop for the event-driven servers and the
+//! multiplexed client transport.
+//!
+//! No registry dependencies: the epoll/rlimit syscalls are bound directly
+//! against glibc in [`sys`], the same discipline as the other shims. The
+//! public surface is:
+//!
+//! * [`Reactor`] — the loop itself: listeners, per-connection read/write
+//!   state machines, a timer heap, and a self-pipe waker. Drive it
+//!   deterministically with [`Reactor::turn`] in tests, or move it to a
+//!   background thread with [`Reactor::spawn`].
+//! * [`ConnHandler`] / [`Acceptor`] — protocol callbacks. Handlers consume
+//!   complete frames from the input buffer and queue replies on an
+//!   [`Outbox`]; they must never block (see the `blocking-in-reactor`
+//!   xlint rule).
+//! * [`Handle`] — cloneable cross-thread access: add connections, send,
+//!   close, schedule timers, shut down.
+//! * [`sys::raise_nofile`] — lift the fd ceiling for C10K-scale tests.
+
+mod event_loop;
+mod poll;
+pub mod sys;
+
+pub use event_loop::{Acceptor, ConnHandler, ConnId, Handle, Outbox, Reactor, ReactorThread};
+pub use poll::{Event, Poller};

@@ -1,0 +1,136 @@
+//! Safe wrapper around one epoll instance.
+
+use crate::sys;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (or a pending error/hangup, which also wakes readers).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup condition on the fd.
+    pub hangup: bool,
+}
+
+/// An epoll instance plus the event buffer it fills.
+pub struct Poller {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Create an epoll instance sized for `capacity` events per wait.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.clamp(16, 4096)],
+        })
+    }
+
+    fn mask(readable: bool, writable: bool) -> u32 {
+        let mut m = sys::EPOLLRDHUP;
+        if readable {
+            m |= sys::EPOLLIN;
+        }
+        if writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+
+    /// Register `fd` with interest flags and a caller token.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Self::mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Change `fd`'s interest flags.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Self::mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block for readiness up to `timeout` (`None` = indefinitely) and
+    /// invoke `sink` for each event.
+    pub fn wait(
+        &mut self,
+        timeout: Option<Duration>,
+        mut sink: impl FnMut(Event),
+    ) -> io::Result<usize> {
+        // Nanosecond-precision wait: timer deadlines (delayed sends carry
+        // injected sub-millisecond WAN latency) must not be quantized up
+        // to epoll's millisecond tick. See sys::wait_ns.
+        let n = sys::wait_ns(self.epfd, &mut self.buf, timeout)?;
+        for ev in self.buf.iter().take(n) {
+            let bits = ev.events;
+            sink(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP)
+                    != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_round_trip() {
+        let mut poller = Poller::new(64).expect("poller");
+        let (mut a, b) = UnixStream::pair().expect("pair");
+        b.set_nonblocking(true).expect("nonblocking");
+        poller.add(b.as_raw_fd(), 7, true, false).expect("add");
+
+        // Nothing pending: zero events at a short timeout.
+        let n = poller
+            .wait(Some(Duration::from_millis(10)), |_| {})
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        a.write_all(b"x").expect("write");
+        let mut seen = Vec::new();
+        poller
+            .wait(Some(Duration::from_millis(1000)), |ev| seen.push(ev))
+            .expect("wait");
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen.first().map(|e| e.token), Some(7));
+        assert!(seen.first().is_some_and(|e| e.readable));
+
+        poller.delete(b.as_raw_fd()).expect("del");
+    }
+}

@@ -1,0 +1,293 @@
+//! Behavior tests for the reactor: echo round trips, ordered delayed
+//! writes, refusal, severing, deterministic stepping, and timers.
+
+use reactor::{ConnHandler, Outbox, Reactor};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Newline-delimited echo: replies `ok:<line>\n` per line, closes on "quit".
+struct Echo {
+    closed: Arc<AtomicUsize>,
+}
+
+impl ConnHandler for Echo {
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+        while let Some(pos) = inbuf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = inbuf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim_end();
+            if text == "quit" {
+                out.close();
+                return;
+            }
+            out.send(format!("ok:{text}\n"));
+        }
+    }
+
+    fn on_close(&mut self) {
+        self.closed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn step_until(r: &mut Reactor, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !done() {
+        assert!(t0.elapsed() < deadline, "deterministic loop timed out");
+        r.turn(Some(Duration::from_millis(10))).expect("turn");
+    }
+}
+
+#[test]
+fn deterministic_echo_round_trip() {
+    let closed = Arc::new(AtomicUsize::new(0));
+    let mut r = Reactor::new().expect("reactor");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let c2 = closed.clone();
+    r.listen(listener, move |_peer| {
+        Some(Box::new(Echo { closed: c2.clone() }) as Box<dyn ConnHandler>)
+    })
+    .expect("listen");
+
+    let mut client = TcpStream::connect(addr).expect("connect");
+    client.set_nonblocking(true).expect("nonblocking");
+    client.write_all(b"hello\nworld\n").expect("write");
+
+    let mut got = Vec::new();
+    step_until(&mut r, Duration::from_secs(5), || {
+        let mut buf = [0u8; 256];
+        match client.read(&mut buf) {
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            Err(_) => {}
+        }
+        got == b"ok:hello\nok:world\n"
+    });
+
+    client.write_all(b"quit\n").expect("write quit");
+    let t0 = Instant::now();
+    while r.conn_count() > 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "conn never closed");
+        r.turn(Some(Duration::from_millis(10))).expect("turn");
+    }
+    assert_eq!(closed.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn background_mode_echo() {
+    let closed = Arc::new(AtomicUsize::new(0));
+    let mut r = Reactor::new().expect("reactor");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let c2 = closed.clone();
+    r.listen(listener, move |_peer| {
+        Some(Box::new(Echo { closed: c2.clone() }) as Box<dyn ConnHandler>)
+    })
+    .expect("listen");
+    let mut rt = r.spawn();
+
+    let mut client = TcpStream::connect(addr).expect("connect");
+    client.write_all(b"ping\n").expect("write");
+    let mut buf = [0u8; 8];
+    client.read_exact(&mut buf).expect("read");
+    assert_eq!(&buf, b"ok:ping\n");
+
+    rt.shutdown();
+    // After shutdown the severed socket reads EOF.
+    let mut rest = Vec::new();
+    let _ = client.read_to_end(&mut rest);
+    assert!(rest.is_empty());
+}
+
+/// Delay steps hold back everything queued after them, in order.
+struct DelayedReply;
+
+impl ConnHandler for DelayedReply {
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+        if inbuf.iter().any(|&b| b == b'\n') {
+            inbuf.clear();
+            out.send("first|");
+            out.delay(Duration::from_millis(80));
+            out.send("second|");
+            out.delay(Duration::from_millis(80));
+            out.send("third");
+            out.close();
+        }
+    }
+}
+
+#[test]
+fn write_pipeline_orders_delays_and_bytes() {
+    let mut r = Reactor::new().expect("reactor");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    r.listen(listener, move |_peer| {
+        Some(Box::new(DelayedReply) as Box<dyn ConnHandler>)
+    })
+    .expect("listen");
+    let mut rt = r.spawn();
+
+    let t0 = Instant::now();
+    let mut client = TcpStream::connect(addr).expect("connect");
+    client.write_all(b"go\n").expect("write");
+    let mut all = Vec::new();
+    client.read_to_end(&mut all).expect("read to close");
+    let elapsed = t0.elapsed();
+    assert_eq!(all, b"first|second|third");
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "delays should gate later chunks: {elapsed:?}"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn acceptor_refusal_severs_before_io() {
+    let mut r = Reactor::new().expect("reactor");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    r.listen(listener, move |_peer| None::<Box<dyn ConnHandler>>)
+        .expect("listen");
+    let mut rt = r.spawn();
+
+    let mut client = TcpStream::connect(addr).expect("connect");
+    let mut buf = Vec::new();
+    // Refused connections read EOF (or reset) without any bytes.
+    let _ = client.read_to_end(&mut buf);
+    assert!(buf.is_empty());
+    rt.shutdown();
+}
+
+#[test]
+fn close_all_conns_severs_in_flight() {
+    let closed = Arc::new(AtomicUsize::new(0));
+    let mut r = Reactor::new().expect("reactor");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let c2 = closed.clone();
+    r.listen(listener, move |_peer| {
+        Some(Box::new(Echo { closed: c2.clone() }) as Box<dyn ConnHandler>)
+    })
+    .expect("listen");
+    let mut rt = r.spawn();
+    let handle = rt.handle();
+
+    let mut a = TcpStream::connect(addr).expect("connect a");
+    let mut b = TcpStream::connect(addr).expect("connect b");
+    a.write_all(b"one\n").expect("write");
+    let mut buf = [0u8; 7];
+    a.read_exact(&mut buf).expect("reply");
+
+    handle.close_all_conns();
+    let mut rest = Vec::new();
+    let _ = a.read_to_end(&mut rest);
+    assert!(rest.is_empty());
+    let mut rest_b = Vec::new();
+    let _ = b.read_to_end(&mut rest_b);
+    assert!(rest_b.is_empty());
+    assert_eq!(closed.load(Ordering::SeqCst), 2);
+
+    // Listener still accepts after the purge.
+    let mut c = TcpStream::connect(addr).expect("reconnect");
+    c.write_all(b"again\n").expect("write");
+    let mut buf = [0u8; 9];
+    c.read_exact(&mut buf).expect("reply after purge");
+    assert_eq!(&buf, b"ok:again\n");
+    rt.shutdown();
+}
+
+#[test]
+fn timers_fire_in_deadline_order() {
+    let mut r = Reactor::new().expect("reactor");
+    let fired = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let (f1, f2, f3) = (fired.clone(), fired.clone(), fired.clone());
+    r.after(Duration::from_millis(60), move |_| {
+        if let Ok(mut v) = f1.lock() {
+            v.push(3);
+        }
+    });
+    r.after(Duration::from_millis(20), move |_| {
+        if let Ok(mut v) = f2.lock() {
+            v.push(1);
+        }
+    });
+    r.after(Duration::from_millis(40), move |_| {
+        if let Ok(mut v) = f3.lock() {
+            v.push(2);
+        }
+    });
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_millis(500) {
+        r.turn(Some(Duration::from_millis(10))).expect("turn");
+        if fired.lock().map(|v| v.len() == 3).unwrap_or(false) {
+            break;
+        }
+    }
+    assert_eq!(*fired.lock().expect("lock"), vec![1, 2, 3]);
+}
+
+#[test]
+fn handle_after_runs_on_loop_thread() {
+    let r = Reactor::new().expect("reactor");
+    let mut rt = r.spawn();
+    let handle = rt.handle();
+    let hit = Arc::new(AtomicUsize::new(0));
+    let h2 = hit.clone();
+    handle.after(Duration::from_millis(10), move |_| {
+        h2.fetch_add(1, Ordering::SeqCst);
+    });
+    let t0 = Instant::now();
+    while hit.load(Ordering::SeqCst) == 0 && t0.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(hit.load(Ordering::SeqCst), 1);
+    rt.shutdown();
+    assert!(!handle.is_live());
+}
+
+/// Partial-frame bytes surface to `on_eof` so protocol code can produce
+/// the same truncation errors as its blocking reader.
+struct EofCapture {
+    leftover: Arc<std::sync::Mutex<Vec<u8>>>,
+}
+
+impl ConnHandler for EofCapture {
+    fn on_data(&mut self, _inbuf: &mut Vec<u8>, _out: &mut Outbox) {}
+
+    fn on_eof(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+        if let Ok(mut g) = self.leftover.lock() {
+            g.extend_from_slice(inbuf);
+        }
+        out.close();
+    }
+}
+
+#[test]
+fn eof_delivers_partial_frame_bytes() {
+    let leftover = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut r = Reactor::new().expect("reactor");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let l2 = leftover.clone();
+    r.listen(listener, move |_peer| {
+        Some(Box::new(EofCapture {
+            leftover: l2.clone(),
+        }) as Box<dyn ConnHandler>)
+    })
+    .expect("listen");
+
+    let mut client = TcpStream::connect(addr).expect("connect");
+    client.write_all(b"trunc").expect("write");
+    drop(client);
+
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(5) {
+        r.turn(Some(Duration::from_millis(10))).expect("turn");
+        if leftover.lock().map(|g| !g.is_empty()).unwrap_or(false) && r.conn_count() == 0 {
+            break;
+        }
+    }
+    assert_eq!(&*leftover.lock().expect("lock"), b"trunc");
+}

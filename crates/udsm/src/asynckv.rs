@@ -6,6 +6,21 @@
 //! [`KeyValue`] implementation gets async operations by construction: the
 //! blocking call runs on a pool worker and the caller holds a
 //! [`ListenableFuture`].
+//!
+//! # Composition with the multiplexed transport
+//!
+//! This wrapper is transport-agnostic, which is exactly what unifies it
+//! with the `RpcSender` split: wrap a protocol client built on the
+//! multiplexed transport (e.g. `CloudClient::connect_with(addr, policy,
+//! Transport::Multiplexed)`) and every in-flight future becomes one
+//! correlated request on the client's single shared connection — N
+//! concurrent futures, one socket — instead of checking N sockets out of
+//! a blocking pool. Nothing here changes per transport: the pool worker
+//! parks on a completion rather than a socket, and [`with_resilience`]
+//! semantics (read retries, at-most-once writes, breaker shedding) are
+//! identical over both.
+//!
+//! [`with_resilience`]: AsyncKeyValue::with_resilience
 
 use crate::future::ListenableFuture;
 use crate::pool::ThreadPool;

@@ -2,7 +2,7 @@
 //!
 //! A dependency-free static-analysis pass over the UDSM workspace. It lexes
 //! each Rust source file with a lightweight tokenizer, extracts function
-//! spans, and runs six deny-by-default rules tuned to this codebase's
+//! spans, and runs seven deny-by-default rules tuned to this codebase's
 //! failure modes (see `DESIGN.md`, "Static analysis & invariants"):
 //!
 //! * `wire-arith` — unchecked `+`/`*`/`as usize` on wire-derived lengths in
@@ -18,6 +18,10 @@
 //! * `trace-ctx-loss` — no `TraceContext::new_root()` inside a retry
 //!   closure: the context is minted once per logical request, before the
 //!   retry boundary, or the attempts can never be joined into one trace.
+//! * `blocking-in-reactor` — no blocking syscalls, `thread::sleep`, or
+//!   lock-guard-across-await inside a reactor callback (any fn whose
+//!   signature takes an `Outbox`): one stalled handler stalls every
+//!   connection on that event loop.
 //!
 //! Findings are suppressible in-source:
 //!
@@ -62,6 +66,7 @@ pub fn check_source(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
         findings.extend(rules::guard_across_io(path, &toks, &fns));
         findings.extend(rules::retry_idempotency(path, &toks, &fns, &controls));
         findings.extend(rules::trace_ctx_loss(path, &toks, &fns));
+        findings.extend(rules::blocking_in_reactor(path, &toks, &fns));
     }
     findings.extend(rules::unsafe_allowlist(
         path,

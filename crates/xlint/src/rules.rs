@@ -24,11 +24,22 @@ pub const UNSAFE: &str = "unsafe-allowlist";
 /// Rule: trace context minted inside a retry closure (identity lost across
 /// attempts).
 pub const TRACE_CTX: &str = "trace-ctx-loss";
+/// Rule: blocking syscall, `thread::sleep`, or guard-across-await inside a
+/// reactor callback (a fn whose signature takes an `Outbox`).
+pub const REACTOR_BLOCK: &str = "blocking-in-reactor";
 /// Meta rule: suppression hygiene (unused allows, missing reasons).
 pub const HYGIENE: &str = "suppression-hygiene";
 
 /// All suppressible rule names (for validating `allow(...)` arguments).
-pub const RULES: &[&str] = &[WIRE_ARITH, PANIC_PATH, GUARD_IO, RETRY, UNSAFE, TRACE_CTX];
+pub const RULES: &[&str] = &[
+    WIRE_ARITH,
+    PANIC_PATH,
+    GUARD_IO,
+    RETRY,
+    UNSAFE,
+    TRACE_CTX,
+    REACTOR_BLOCK,
+];
 
 fn prev_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
     toks[..i].iter().rev().find(|t| !t.is_comment())
@@ -664,6 +675,109 @@ pub fn trace_ctx_loss(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Finding> 
     out
 }
 
+/// Frame-codec helpers exempt from `blocking-in-reactor`. They are named
+/// like I/O, but a reactor callback only ever runs them over in-memory
+/// buffers: the reactor owns the socket, and a handler's sole path to the
+/// wire is its `Outbox`. Flagging them would force a blanket suppression
+/// onto every handler, which is exactly how allow-lists rot.
+const REACTOR_CODEC: &[&str] = &[
+    "read_value",
+    "write_value",
+    "read_frame",
+    "write_frame",
+    "read_request",
+    "write_request",
+    "read_response",
+    "write_response",
+];
+
+/// `blocking-in-reactor`: no blocking syscalls, no `thread::sleep`, and no
+/// lock guard held across an await point inside a reactor callback.
+///
+/// The gate is syntactic: a non-test fn whose signature mentions `Outbox`
+/// is a callback running *on* the event loop, where one stalled handler
+/// stalls every connection on the thread. Time belongs to `out.delay(..)`
+/// and bytes to `out.send(..)`; anything slower than a parse must move off
+/// the loop.
+pub fn blocking_in_reactor(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        let head = toks.get(f.head_start..f.body_start).unwrap_or_default();
+        if !head.iter().any(|t| t.is_ident("Outbox")) {
+            continue;
+        }
+        // Named guards retire at block close or explicit drop, mirroring
+        // the `guard-across-io` liveness model.
+        let mut named: Vec<(String, usize)> = Vec::new();
+        let mut depth = 0usize;
+        let mut i = f.body_start + 1;
+        while i + 1 < f.body_end {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                named.retain(|&(_, d)| d <= depth);
+            } else if t.is_ident("let") {
+                if let Some(stmt) = parse_let(toks, i, f.body_end) {
+                    // Only brace-depth-0 acquisitions bind a guard to the
+                    // `let`; one inside a nested block drops at that
+                    // block's end (same model as `guard-across-io`).
+                    let rhs = &toks[stmt.rhs.0..stmt.rhs.1];
+                    let mut bd = 0usize;
+                    let mut acquired = false;
+                    for (off, t) in rhs.iter().enumerate() {
+                        if t.is_punct('{') {
+                            bd += 1;
+                        } else if t.is_punct('}') {
+                            bd = bd.saturating_sub(1);
+                        } else if bd == 0 && is_guard_acquire(rhs, off) {
+                            acquired = true;
+                            break;
+                        }
+                    }
+                    if acquired {
+                        if let Some(name) = stmt.bindings.first() {
+                            named.push((name.clone(), depth));
+                        }
+                    }
+                }
+            } else if t.is_ident("drop") && is_call(toks, i) {
+                if let Some(arg) = toks.get(i + 2) {
+                    named.retain(|(name, _)| name != &arg.text);
+                }
+            } else if t.is_ident("await") && prev_nc(toks, i).is_some_and(|p| p.is_punct('.')) {
+                if let Some((name, _)) = named.last() {
+                    out.push(Finding::new(
+                        REACTOR_BLOCK,
+                        path,
+                        t.line,
+                        format!(
+                            "lock guard `{name}` held across an await point in reactor \
+                             callback `{}`; drop it before yielding",
+                            f.name
+                        ),
+                    ));
+                }
+            } else if is_blocking_call(toks, i) && !REACTOR_CODEC.contains(&t.text.as_str()) {
+                out.push(Finding::new(
+                    REACTOR_BLOCK,
+                    path,
+                    t.line,
+                    format!(
+                        "blocking `{}()` in reactor callback `{}` stalls every connection \
+                         on this event loop; use the `Outbox` (`out.delay`/`out.send`) or \
+                         move the work off the loop",
+                        t.text, f.name
+                    ),
+                ));
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
 /// `unsafe-allowlist`: `unsafe` only where allowed, always justified.
 pub fn unsafe_allowlist(path: &str, toks: &[Tok], allowed: bool) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -860,6 +974,71 @@ fn fetch(&self) -> Result<Value> {
 }
 "#;
         assert!(run(good, trace_ctx_loss).is_empty());
+    }
+
+    #[test]
+    fn reactor_block_gates_on_outbox_in_signature() {
+        // The legacy thread-per-connection loop may sleep; the reactor
+        // callback with the same body must not.
+        let legacy = r#"
+fn serve(&mut self, stream: &mut TcpStream, d: Duration) {
+    std::thread::sleep(d);
+}
+"#;
+        assert!(run(legacy, blocking_in_reactor).is_empty());
+
+        let callback = r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+    std::thread::sleep(self.stall);
+    out.send(inbuf.split_off(0));
+}
+"#;
+        let fs = run(callback, blocking_in_reactor);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("sleep"));
+        assert!(fs[0].message.contains("on_data"));
+    }
+
+    #[test]
+    fn reactor_block_exempts_in_memory_codec_helpers() {
+        let src = r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+    let mut cursor = inbuf.as_slice();
+    let frame = read_value(&mut cursor);
+    let mut wire = Vec::new();
+    let _ = write_frame(&mut wire, &frame);
+    out.delay(self.stall);
+    out.send(wire);
+}
+"#;
+        assert!(run(src, blocking_in_reactor).is_empty());
+    }
+
+    #[test]
+    fn reactor_block_flags_guard_across_await() {
+        let bad = r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+    let g = self.state.lock();
+    self.notify(&g).await;
+    out.send(g.render());
+}
+"#;
+        let fs = run(bad, blocking_in_reactor);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("`g`"));
+        assert!(fs[0].message.contains("await"));
+
+        let good = r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+    let rendered = {
+        let g = self.state.lock();
+        g.render()
+    };
+    self.notify(&rendered).await;
+    out.send(rendered);
+}
+"#;
+        assert!(run(good, blocking_in_reactor).is_empty());
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub struct FnSpan {
     pub name: String,
     /// 1-based line of the `fn` keyword.
     pub line: usize,
+    /// Index of the `fn` keyword itself; `head_start..body_start` is the
+    /// signature (name, generics, parameter list, return type).
+    pub head_start: usize,
     /// Index of the body's opening `{` in the token stream.
     pub body_start: usize,
     /// Index one past the body's closing `}`.
@@ -194,6 +197,7 @@ pub fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
         out.push(FnSpan {
             name,
             line,
+            head_start: i,
             body_start,
             body_end,
             params,

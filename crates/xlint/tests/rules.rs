@@ -494,6 +494,97 @@ fn dup<T>(guard: &mut T) -> T {
     );
 }
 
+// ------------------------------------------------------- blocking-in-reactor
+
+/// A reactor callback that sleeps stalls every connection sharing its
+/// event loop. The reactor idiom is `out.delay(..)`: the reply is queued
+/// with a deadline and the loop keeps serving everyone else.
+#[test]
+fn reactor_block_fires_on_sleep_in_callback() {
+    assert_fires(
+        "blocking-in-reactor",
+        SERVER,
+        r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+    if let Some(d) = self.stall {
+        std::thread::sleep(d);
+    }
+    out.send(inbuf.split_off(0));
+}
+"#,
+    );
+}
+
+/// Writing to a socket from inside a callback bypasses the reactor's
+/// write-interest machinery *and* blocks the loop when the peer is slow.
+#[test]
+fn reactor_block_fires_on_direct_socket_write() {
+    assert_fires(
+        "blocking-in-reactor",
+        SERVER,
+        r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+    let _ = self.peer.write_all(inbuf);
+    let _ = self.peer.flush();
+    inbuf.clear();
+}
+"#,
+    );
+}
+
+/// Holding a lock guard across an await point parks every other task that
+/// needs the lock for the duration of the yield.
+#[test]
+fn reactor_block_fires_on_guard_across_await() {
+    assert_fires(
+        "blocking-in-reactor",
+        GENERAL,
+        r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut Outbox) {
+    let g = self.state.lock();
+    self.notify(&g).await;
+    out.send(inbuf.split_off(0));
+}
+"#,
+    );
+}
+
+/// The corrected idiom (what every handler in the workspace does): parse
+/// from the in-memory buffer, queue bytes and delays on the `Outbox`, and
+/// let the reactor own the socket. The frame-codec helpers are named like
+/// I/O but run over in-memory buffers here, so they stay clean.
+#[test]
+fn reactor_block_clean_on_outbox_idiom() {
+    assert_clean(
+        GENERAL,
+        r#"
+fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+    let mut cursor = inbuf.as_slice();
+    let frame = read_value(&mut cursor);
+    let mut wire = Vec::new();
+    let _ = write_frame(&mut wire, &frame);
+    out.delay(self.stall);
+    out.send(wire);
+}
+"#,
+    );
+}
+
+/// The same sleep in the legacy thread-per-connection loop is that
+/// thread's own problem, not the event loop's — the gate is the `Outbox`
+/// in the signature.
+#[test]
+fn reactor_block_scoped_to_outbox_signatures() {
+    assert_clean(
+        GENERAL,
+        r#"
+fn serve(&mut self, stream: &mut TcpStream, d: Duration) {
+    std::thread::sleep(d);
+}
+"#,
+    );
+}
+
 // -------------------------------------------------------------- suppressions
 
 #[test]
@@ -548,6 +639,7 @@ fn rule_catalog_is_covered() {
         "retry-idempotency",
         "unsafe-allowlist",
         "trace-ctx-loss",
+        "blocking-in-reactor",
     ];
     for rule in xlint::rules::RULES {
         assert!(

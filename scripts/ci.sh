@@ -11,9 +11,10 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Static analysis: the six deny-by-default invariant rules (wire arithmetic,
-# panic paths, guard-across-I/O, retry idempotency, unsafe allowlist,
-# trace-context loss) must report zero active findings. See DESIGN.md §8.
+# Static analysis: the seven deny-by-default invariant rules (wire
+# arithmetic, panic paths, guard-across-I/O, retry idempotency, unsafe
+# allowlist, trace-context loss, blocking-in-reactor) must report zero
+# active findings. See DESIGN.md §8.
 cargo run -q --release --offline -p xlint -- --deny-all
 
 # Model checking: every interleaving of the cache-shard and connection-pool
@@ -35,6 +36,12 @@ cargo test -q --offline --test chaos_contracts
 # See DESIGN.md §10.
 cargo test -q --offline --test trace_smoke
 cargo test -q --offline --test chaos_trace
+
+# C10K smoke at reduced scale: a 2k-connection swarm on the reactor
+# servers — bounded RSS, constant thread count, every reply delivered.
+# The full 10 000-connection acceptance run is the same test at its
+# default scale (`cargo test --test c10k`, part of the workspace suite).
+C10K_CONNS=2000 cargo test -q --offline --test c10k
 
 # Smoke: the batch-size sweep must run end-to-end and emit the p50/p99
 # gnuplot columns the RTT-amortization figure is plotted from.

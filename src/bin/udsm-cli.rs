@@ -249,7 +249,8 @@ fn run_bench(args: &[String]) -> Result<()> {
     let usage = "usage: udsm-cli bench [--workload NAME] [--profile] [--out FILE] \
                  [--name BENCH_n] [--scale F] [--seed N] [--quick]\n\
                  \x20      udsm-cli bench --compare OLD NEW [--report-only] \
-                 [--latency-pct F] [--latency-floor-us F] [--throughput-pct F]";
+                 [--latency-pct F] [--latency-floor-us F] [--throughput-pct F] \
+                 [--tail-min-count N]";
     if args.first().map(String::as_str) == Some("--compare") {
         return run_bench_compare(&args[1..], usage);
     }
@@ -342,6 +343,11 @@ fn run_bench_compare(args: &[String], usage: &str) -> Result<()> {
             "--latency-pct" => thresholds.latency_pct = parse_f64(next("a percent")?)?,
             "--latency-floor-us" => thresholds.latency_floor_us = parse_f64(next("microseconds")?)?,
             "--throughput-pct" => thresholds.throughput_pct = parse_f64(next("a percent")?)?,
+            "--tail-min-count" => {
+                thresholds.tail_min_count = next("a sample count")?
+                    .parse()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad count: {e}")))?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(kvapi::StoreError::Rejected(format!(
                     "unknown compare argument {flag:?}\n{usage}"

@@ -54,10 +54,13 @@ fn bench_emits_schema_valid_json_and_compare_gates_regressions() {
         .unwrap();
     assert!(status.success(), "self-compare must pass: {status:?}");
 
-    // Doctor a ×20 latency regression into a copy: the gate must fail.
+    // Doctor a +1ms latency regression into a copy: comfortably past the
+    // relative and absolute-floor thresholds on the p50 (the quick run's
+    // handfuls of samples mean its p99s report but never gate — see
+    // Thresholds::tail_min_count). The gate must fail.
     let mut doctored = report.clone();
-    doctored.workloads[0].ops[0].p50_us *= 20.0;
-    doctored.workloads[0].ops[0].p99_us *= 20.0;
+    doctored.workloads[0].ops[0].p50_us += 1000.0;
+    doctored.workloads[0].ops[0].p99_us += 1000.0;
     let doctored_path = tmp("doctored.json");
     doctored.save(&doctored_path).unwrap();
     let out = cli()

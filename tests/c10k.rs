@@ -1,0 +1,249 @@
+//! C10K acceptance: ten thousand concurrent connections on the reactor
+//! servers, with bounded memory and tail latency.
+//!
+//! This is the scaling claim the reactor rewrite exists to make good on:
+//! the thread-per-connection build spends one OS thread (stack, scheduler
+//! slot) per socket, so ten thousand idle-ish connections cost gigabytes
+//! of address space and minutes of scheduler churn; the reactor spends one
+//! epoll registration and two `Vec` buffers. The swarm here drives both
+//! sides event-driven — the 10k client sockets ride one client reactor —
+//! so the test itself stays at a handful of threads.
+//!
+//! Scale knob: `C10K_CONNS` (default 10 000) — ci.sh's quick smoke runs a
+//! reduced swarm; the full count is the acceptance run. The swarm also
+//! self-limits to what `RLIMIT_NOFILE` actually grants (client and server
+//! share this process, so each connection costs two fds).
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cloudstore::http::{scan_response, write_request, Request, Scan};
+use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
+use kvapi::KeyValue;
+use resilience::ResiliencePolicy;
+
+/// Requested swarm size (`C10K_CONNS` overrides for reduced-scale smokes).
+fn requested_conns() -> usize {
+    std::env::var("C10K_CONNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// Lift the fd ceiling and return the swarm size it can actually carry:
+/// two fds per connection (client end + server end) plus slack for the
+/// reactors, test harness, and stdio.
+fn sized_swarm(want: usize) -> usize {
+    let need = (want as u64) * 2 + 512;
+    let granted = reactor::sys::raise_nofile(need).unwrap_or(1024);
+    let fit = usize::try_from(granted.saturating_sub(512) / 2).unwrap_or(want);
+    want.min(fit)
+}
+
+/// Shared scoreboard for the swarm.
+struct Scoreboard {
+    done: AtomicUsize,
+    failed: AtomicUsize,
+    latencies: Mutex<Vec<Duration>>,
+}
+
+/// Client-side connection state machine: fire one GET, parse one reply,
+/// record the latency, hang up.
+struct SwarmConn {
+    fired: Instant,
+    board: Arc<Scoreboard>,
+    got_reply: bool,
+}
+
+impl reactor::ConnHandler for SwarmConn {
+    fn on_data(&mut self, inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        if self.got_reply {
+            inbuf.clear();
+            return;
+        }
+        match scan_response(inbuf, false) {
+            Scan::Frame(_) => {
+                self.got_reply = true;
+                // A framed reply is only a success if the GET actually
+                // found the seeded object.
+                if inbuf.starts_with(b"HTTP/1.1 200") {
+                    if let Ok(mut l) = self.board.latencies.lock() {
+                        l.push(self.fired.elapsed());
+                    }
+                    self.board.done.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.board.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                out.close();
+            }
+            Scan::NeedMore => {}
+        }
+    }
+
+    fn on_eof(&mut self, _inbuf: &mut Vec<u8>, out: &mut reactor::Outbox) {
+        if !self.got_reply {
+            self.board.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        out.close();
+    }
+}
+
+struct SwarmOutcome {
+    conns: usize,
+    p99: Duration,
+    rss_delta_bytes: i64,
+    threads_delta: i64,
+}
+
+/// Open `conns` sockets against `server`, hold them all concurrently,
+/// then fire one GET each and wait for every reply.
+fn run_swarm(server: &CloudServer, conns: usize, settle: Duration) -> SwarmOutcome {
+    // Warm object so every GET is a small 200.
+    let seed_client = CloudClient::connect_with(
+        server.addr(),
+        ResiliencePolicy::test_profile(),
+        kvapi::Transport::Blocking,
+    );
+    seed_client.put("c10k", b"payload").expect("seed put");
+
+    let mut wire = Vec::new();
+    write_request(&mut wire, &Request::new("GET", "/v1/objects/c10k")).expect("encode request");
+
+    let before = obs::procinfo::sample();
+    let mut client_loop = reactor::Reactor::new().expect("client reactor").spawn();
+    let handle = client_loop.handle();
+
+    // Phase A: establish the whole swarm before any request flows, so the
+    // connections are genuinely concurrent, not a sequential trickle.
+    let mut streams = Vec::with_capacity(conns);
+    for i in 0..conns {
+        match TcpStream::connect(server.addr()) {
+            Ok(s) => streams.push(s),
+            Err(e) => panic!("connect #{i} failed: {e} (fd ceiling too low?)"),
+        }
+    }
+    let deadline = Instant::now() + settle;
+    while server.connections_accepted.load(Ordering::Relaxed) < conns as u64 {
+        assert!(
+            Instant::now() < deadline,
+            "server accepted only {} of {conns} connections",
+            server.connections_accepted.load(Ordering::Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Phase B: hand every socket to the client reactor and fire the GETs.
+    let board = Arc::new(Scoreboard {
+        done: AtomicUsize::new(0),
+        failed: AtomicUsize::new(0),
+        latencies: Mutex::new(Vec::with_capacity(conns)),
+    });
+    for stream in streams {
+        let conn = SwarmConn {
+            fired: Instant::now(),
+            board: board.clone(),
+            got_reply: false,
+        };
+        let id = handle.add_connection(stream, Box::new(conn));
+        handle.send(id, wire.clone());
+    }
+
+    let deadline = Instant::now() + settle;
+    loop {
+        let done = board.done.load(Ordering::Relaxed);
+        let failed = board.failed.load(Ordering::Relaxed);
+        assert_eq!(failed, 0, "{failed} connections dropped without a reply");
+        if done == conns {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {done} of {conns} replies arrived in {settle:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let after = obs::procinfo::sample();
+    client_loop.shutdown();
+
+    let mut latencies = board.latencies.lock().expect("scoreboard").clone();
+    latencies.sort_unstable();
+    let p99 = latencies
+        .get(latencies.len().saturating_mul(99) / 100)
+        .or_else(|| latencies.last())
+        .copied()
+        .unwrap_or_default();
+    let delta = before.delta_to(&after);
+    SwarmOutcome {
+        conns,
+        p99,
+        rss_delta_bytes: delta.rss_bytes,
+        threads_delta: delta.threads,
+    }
+}
+
+/// The acceptance run: the reactor server carries the full swarm with
+/// bounded RSS growth and a sane tail. Budgets are deliberately loose —
+/// they exist to catch regressions of *kind* (per-connection threads,
+/// per-connection megabyte buffers), not scheduler jitter.
+#[test]
+fn c10k_reactor_swarm_bounded_memory_and_tail() {
+    let conns = sized_swarm(requested_conns());
+    assert!(
+        conns >= 1000,
+        "fd ceiling too low for a meaningful swarm ({conns})"
+    );
+    let server = CloudServer::start(CloudServerConfig::default()).expect("server");
+    let outcome = run_swarm(&server, conns, Duration::from_secs(120));
+
+    assert_eq!(outcome.conns, conns);
+    // Memory: the whole swarm — 2×conns sockets' worth of buffers across
+    // client and server reactors — must stay under ~25 KiB per connection.
+    let budget = (conns as i64) * 25 * 1024;
+    assert!(
+        outcome.rss_delta_bytes < budget,
+        "RSS grew {} bytes for {conns} conns (budget {budget})",
+        outcome.rss_delta_bytes
+    );
+    // Concurrency model: the reactor adds a constant number of threads
+    // (client loop + its waker), never one per connection.
+    assert!(
+        outcome.threads_delta.unsigned_abs() < 16,
+        "thread count moved by {} — per-connection threads are back",
+        outcome.threads_delta
+    );
+    // Tail: every reply funnels through one loop on shared CPUs, so the
+    // p99 sees real queueing — but it must stay in seconds, not minutes.
+    assert!(
+        outcome.p99 < Duration::from_secs(30),
+        "p99 {:?} over budget",
+        outcome.p99
+    );
+}
+
+/// The counter-demonstration the acceptance criteria ask for: the same
+/// swarm against the `legacy_threads` build. One OS thread per accepted
+/// connection means the thread count explodes with the swarm size and the
+/// process usually hits spawn failure or scheduler collapse long before
+/// 10k — which is exactly why this test is `#[ignore]`d: run it by hand
+/// (`cargo test --test c10k -- --ignored`) to watch the old design die.
+#[test]
+#[ignore = "demonstrates the thread-per-connection ceiling; expected to exhaust resources"]
+fn c10k_thread_per_connection_counter_demo() {
+    let conns = sized_swarm(requested_conns());
+    let server = CloudServer::start(CloudServerConfig {
+        legacy_threads: true,
+        ..Default::default()
+    })
+    .expect("server");
+    let outcome = run_swarm(&server, conns, Duration::from_secs(120));
+    // If the swarm even completes, hold it to the same budgets the
+    // reactor meets; thread-per-connection fails the thread delta by
+    // construction (one thread per live connection).
+    assert!(
+        outcome.threads_delta.unsigned_abs() < 16,
+        "legacy build spawned {} threads for {conns} connections",
+        outcome.threads_delta
+    );
+}

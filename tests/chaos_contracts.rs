@@ -132,8 +132,11 @@ fn non_idempotent_increments_apply_at_most_once_under_resets() {
 #[test]
 fn sql_writes_survive_reply_loss_without_duplication() {
     let server = SqlServer::start_in_memory().unwrap();
-    let client =
-        MiniSqlClient::connect_with_policy(server.addr(), ResiliencePolicy::test_profile());
+    let client = MiniSqlClient::connect_with(
+        server.addr(),
+        ResiliencePolicy::test_profile(),
+        kvapi::Transport::Blocking,
+    );
     client
         .execute("CREATE TABLE chaos (id INTEGER PRIMARY KEY, body TEXT)")
         .unwrap();
@@ -176,9 +179,10 @@ fn sql_writes_survive_reply_loss_without_duplication() {
 #[test]
 fn breaker_opens_sheds_fast_and_recovers() {
     let mut server = cloudstore::CloudServer::start_local().unwrap();
-    let client = cloudstore::CloudClient::connect_with_policy(
+    let client = cloudstore::CloudClient::connect_with(
         server.addr(),
         ResiliencePolicy::test_profile(),
+        kvapi::Transport::Blocking,
     );
     client.put("k", b"v").unwrap();
 

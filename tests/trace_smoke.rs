@@ -26,9 +26,10 @@ fn sweep_produces_joined_traces_exported_over_http_with_resolving_exemplars() {
     // `GET /metrics` scrape shows client stage histograms (with exemplars)
     // next to the server's own counters.
     let reg = server.registry().clone();
-    let client = EnhancedClient::new(CloudClient::connect_with_policy(
+    let client = EnhancedClient::new(CloudClient::connect_with(
         server.addr(),
         ResiliencePolicy::test_profile(),
+        kvapi::Transport::Blocking,
     ))
     .with_cache(Arc::new(InProcessLru::new(4 << 20)))
     .with_codec(Box::new(GzipCodec::default()))
@@ -51,9 +52,10 @@ fn sweep_produces_joined_traces_exported_over_http_with_resolving_exemplars() {
     // First the put exemplar, on a separate endpoint client so its breaker
     // state doesn't interact with the get story below.
     server.fault_injector().set_model(FaultModel::outage());
-    let put_client = EnhancedClient::new(CloudClient::connect_with_policy(
+    let put_client = EnhancedClient::new(CloudClient::connect_with(
         server.addr(),
         ResiliencePolicy::test_profile(),
+        kvapi::Transport::Blocking,
     ))
     .with_registry(reg.clone());
     let put_root = obs::TraceContext::new_root();

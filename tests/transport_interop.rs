@@ -1,0 +1,221 @@
+//! Mixed-version interop and mid-multiplex chaos for the transport-split
+//! client API.
+//!
+//! "Old" here means the pre-reactor generation: servers running the
+//! thread-per-connection loop (`legacy_threads: true`) and clients pinned
+//! to the blocking transport, whose wire shape carries no correlation ids.
+//! Every pairing of {old, new} client × {old, new} server must
+//! interoperate, because rollouts upgrade one side at a time.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
+use kvapi::{KeyValue, RpcClient, StoreError, Transport};
+use minisql::{MiniSqlClient, SqlServer, SqlServerConfig};
+use resilience::ResiliencePolicy;
+
+fn legacy_cloud() -> CloudServer {
+    CloudServer::start(CloudServerConfig {
+        legacy_threads: true,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn legacy_sql() -> SqlServer {
+    SqlServer::start(SqlServerConfig {
+        legacy_threads: true,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// New clients, old servers: both transports against the historical
+/// thread-per-connection builds. The multiplexed client's correlation ids
+/// ride headers/fields the old serving loop already echoes, so an
+/// upgraded client needs nothing from the server it talks to.
+#[test]
+fn both_transports_interoperate_with_legacy_threaded_servers() {
+    let cloud = legacy_cloud();
+    let sql = legacy_sql();
+    for transport in [Transport::Blocking, Transport::Multiplexed] {
+        let c =
+            CloudClient::connect_with(cloud.addr(), ResiliencePolicy::test_profile(), transport);
+        assert_eq!(RpcClient::transport(&c), transport);
+        let key = format!("legacy/{transport:?}");
+        c.put(&key, b"from the future").unwrap();
+        assert_eq!(
+            c.get(&key).unwrap().as_deref(),
+            Some(b"from the future".as_ref())
+        );
+        assert!(c.contains(&key).unwrap(), "HEAD against the legacy loop");
+
+        let s =
+            MiniSqlClient::connect_with(sql.addr(), ResiliencePolicy::test_profile(), transport);
+        let table = format!("t_{}", format!("{transport:?}").to_lowercase());
+        s.execute(&format!(
+            "CREATE TABLE {table} (id INTEGER PRIMARY KEY, v TEXT)"
+        ))
+        .unwrap();
+        s.execute(&format!("INSERT INTO {table} (id, v) VALUES (1, 'x')"))
+            .unwrap();
+        let rs = s.execute(&format!("SELECT v FROM {table}")).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+}
+
+/// Old clients, new servers: the blocking transport never allocates a
+/// correlation id, so its requests are byte-identical to the previous
+/// generation's — the reactor servers must serve them unchanged.
+#[test]
+fn old_wire_clients_interoperate_with_reactor_servers() {
+    let cloud = CloudServer::start_local().unwrap();
+    let c = CloudClient::connect_with(
+        cloud.addr(),
+        ResiliencePolicy::test_profile(),
+        Transport::Blocking,
+    );
+    assert!(c.sender().next_correlation_id().is_none(), "old wire shape");
+    c.put("k", b"v").unwrap();
+    assert_eq!(c.get("k").unwrap().as_deref(), Some(b"v".as_ref()));
+
+    let sql = SqlServer::start_in_memory().unwrap();
+    let s = MiniSqlClient::connect_with(
+        sql.addr(),
+        ResiliencePolicy::test_profile(),
+        Transport::Blocking,
+    );
+    s.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
+    s.execute("INSERT INTO t (id) VALUES (7)").unwrap();
+    assert_eq!(s.execute("SELECT id FROM t").unwrap().rows.len(), 1);
+}
+
+/// Chaos: the server severs every connection while a multiplexed client
+/// has several requests in flight on its one shared socket. Each in-flight
+/// request must fail exactly once (no hang, no lost waiter, no duplicate
+/// completion) and the sender must recover on a fresh connection.
+#[test]
+fn dropped_connection_mid_multiplex_fails_all_in_flight_exactly_once() {
+    // 150 ms of injected RTT keeps requests in flight long enough to be
+    // severed deterministically.
+    let server = CloudServer::start(CloudServerConfig {
+        latency: netsim::LatencyModel {
+            base_rtt_ms: 150.0,
+            jitter_sigma: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            contention_prob: 0.0,
+            contention_mult: 1.0,
+            service_ms: 0.0,
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    // No retries: every observed outcome is one attempt, so "fails exactly
+    // once" is directly visible at the call site.
+    let mut policy = ResiliencePolicy::test_profile();
+    policy.retry = resilience::RetryPolicy::no_retry();
+    let client = Arc::new(CloudClient::connect_with(
+        server.addr(),
+        policy,
+        Transport::Multiplexed,
+    ));
+
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let c = client.clone();
+            std::thread::spawn(move || c.get(&format!("k{i}")))
+        })
+        .collect();
+    // Let all four requests reach the wire, then sever.
+    std::thread::sleep(Duration::from_millis(60));
+    server.drop_connections();
+
+    let mut failures = 0;
+    for t in threads {
+        match t.join().unwrap() {
+            Err(StoreError::Closed | StoreError::Io(_) | StoreError::Unavailable(_)) => {
+                failures += 1;
+            }
+            other => panic!("in-flight request must fail transiently, got {other:?}"),
+        }
+    }
+    assert_eq!(failures, 4, "every in-flight request fails, none hang");
+    assert_eq!(
+        server.connections_accepted.load(Ordering::Relaxed),
+        1,
+        "all four rode one shared connection, and no-retry means no reconnect yet"
+    );
+
+    // Recovery: past the breaker cooldown, the next request transparently
+    // opens a fresh shared connection.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(client.get("k0").unwrap(), None);
+    assert_eq!(
+        server.connections_accepted.load(Ordering::Relaxed),
+        2,
+        "recovery opens exactly one new shared connection"
+    );
+}
+
+/// The same mid-flight sever, now with the retry budget enabled and a
+/// trace active: the request must succeed transparently, and its trace
+/// must carry exactly one retry event for the severed attempt.
+#[test]
+fn mid_multiplex_drop_is_retried_once_and_traced() {
+    let server = CloudServer::start(CloudServerConfig {
+        latency: netsim::LatencyModel {
+            base_rtt_ms: 150.0,
+            jitter_sigma: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            contention_prob: 0.0,
+            contention_mult: 1.0,
+            service_ms: 0.0,
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    let client = Arc::new(CloudClient::connect_with(
+        server.addr(),
+        ResiliencePolicy::test_profile(),
+        Transport::Multiplexed,
+    ));
+
+    // Sever from a helper thread once the request is in flight.
+    let (got, data) = std::thread::scope(|scope| {
+        let t = scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(60));
+            server.drop_connections();
+        });
+        let root = obs::TraceContext::new_root();
+        let trace_scope = obs::ctx::activate(root);
+        let got = client.get("k");
+        let data = trace_scope.finish();
+        t.join().unwrap();
+        (got, data)
+    });
+    assert_eq!(got.unwrap(), None, "the severed request recovers via retry");
+    let retries: Vec<_> = data
+        .events
+        .iter()
+        .filter(|(_, name, _)| name == "retry")
+        .collect();
+    assert_eq!(
+        retries.len(),
+        1,
+        "one severed attempt, one retry event: {:?}",
+        data.events
+    );
+    assert!(
+        retries[0].2.contains("attempt=2"),
+        "retry event names the second attempt: {:?}",
+        retries[0]
+    );
+    assert_eq!(
+        server.connections_accepted.load(Ordering::Relaxed),
+        2,
+        "the retry rode a fresh connection"
+    );
+}

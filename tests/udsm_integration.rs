@@ -288,3 +288,56 @@ fn cache_interface_over_every_store_behaves_like_a_cache() {
         assert!(cache.get("k").is_none(), "{name}");
     }
 }
+
+/// The transport split composed with the UDSM: wrap a *multiplexed*
+/// cloud client in [`udsm::AsyncKeyValue`] and every in-flight future
+/// becomes one correlated request on a single shared connection — the
+/// async interface keeps its `with_resilience` semantics while the socket
+/// count drops from one-per-in-flight-request to one total.
+#[test]
+fn async_futures_multiplex_on_one_shared_connection() {
+    use kvapi::{RpcClient, Transport};
+    use resilience::ResiliencePolicy;
+    use std::sync::atomic::Ordering;
+
+    let server = CloudServer::start_local().unwrap();
+    let client = CloudClient::connect_with(
+        server.addr(),
+        ResiliencePolicy::test_profile(),
+        Transport::Multiplexed,
+    );
+    assert_eq!(RpcClient::transport(&client), Transport::Multiplexed);
+    let akv = udsm::AsyncKeyValue::with_resilience(
+        Arc::new(client),
+        Arc::new(udsm::ThreadPool::new(8)),
+        ResiliencePolicy::test_profile(),
+    );
+
+    // 32 writes submitted before any completion is awaited: up to 8 pool
+    // workers are inside `send` at once, all riding the same socket.
+    let puts: Vec<_> = (0..32)
+        .map(|i| akv.put(&format!("mux/{i}"), vec![i as u8; 512]))
+        .collect();
+    for f in &puts {
+        f.get().as_ref().as_ref().unwrap();
+    }
+    let gets: Vec<_> = (0..32).map(|i| akv.get(&format!("mux/{i}"))).collect();
+    for (i, f) in gets.iter().enumerate() {
+        assert_eq!(
+            f.get().as_ref().as_ref().unwrap().as_deref(),
+            Some(vec![i as u8; 512].as_slice())
+        );
+    }
+
+    assert_eq!(
+        server.connections_accepted.load(Ordering::Relaxed),
+        1,
+        "64 async ops over the multiplexed transport must share one connection"
+    );
+
+    // The wrapper-level breaker still sheds when the endpoint dies: stop
+    // the server and the in-flight budget burns down to an error, not a
+    // hang — identical semantics to the blocking transport.
+    let wrapped = akv.resilience().unwrap();
+    assert_eq!(wrapped.breaker().state(), resilience::BreakerState::Closed);
+}

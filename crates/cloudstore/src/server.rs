@@ -53,6 +53,9 @@ pub struct CloudServerConfig {
     /// epoll reactor. Kept only to demonstrate the scaling ceiling the
     /// reactor removes; the wire behavior is identical.
     pub legacy_threads: bool,
+    /// Kernel accept backlog for the listener (reactor mode). Sized for
+    /// connect bursts; std's bind() default of 128 drops overflow SYNs.
+    pub accept_backlog: usize,
 }
 
 impl Default for CloudServerConfig {
@@ -63,6 +66,7 @@ impl Default for CloudServerConfig {
             fault: FaultModel::none(),
             seed: 0xc10d,
             legacy_threads: false,
+            accept_backlog: reactor::DEFAULT_ACCEPT_BACKLOG,
         }
     }
 }
@@ -172,23 +176,27 @@ impl CloudServer {
             let mut r = reactor::Reactor::new()?;
             let shutdown = shutdown.clone();
             let accepted = connections_accepted.clone();
-            r.listen(listener, move |_peer: SocketAddr| {
-                if shutdown.load(Ordering::Relaxed) {
-                    return None;
-                }
-                if shared.fault.refuse_connection() {
-                    shared
-                        .registry
-                        .counter("cloudstore_faults_injected_total", &[("action", "refuse")])
-                        .inc();
-                    return None;
-                }
-                accepted.fetch_add(1, Ordering::Relaxed);
-                Some(Box::new(CloudConn {
-                    shared: shared.clone(),
-                    dead: false,
-                }) as Box<dyn reactor::ConnHandler>)
-            })?;
+            r.listen_with_backlog(
+                listener,
+                move |_peer: SocketAddr| {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                    if shared.fault.refuse_connection() {
+                        shared
+                            .registry
+                            .counter("cloudstore_faults_injected_total", &[("action", "refuse")])
+                            .inc();
+                        return None;
+                    }
+                    accepted.fetch_add(1, Ordering::Relaxed);
+                    Some(Box::new(CloudConn {
+                        shared: shared.clone(),
+                        dead: false,
+                    }) as Box<dyn reactor::ConnHandler>)
+                },
+                cfg.accept_backlog,
+            )?;
             (None, Some(r.spawn()))
         };
 

@@ -122,7 +122,11 @@ mod tests {
             for len in [0usize, 1, 15, 16, 17, 1000] {
                 let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
                 let enc = c.encode(&data).unwrap();
-                if !data.is_empty() {
+                // Ciphertext must not leak plaintext; skip the shortest
+                // inputs, where a stream cipher legitimately collides
+                // (1 byte of CTR output equals the plaintext whenever the
+                // keystream byte is zero — p = 1/256 per run).
+                if data.len() >= 4 {
                     assert_ne!(&enc[17..], &data[..data.len().min(enc.len() - 17)]);
                 }
                 assert_eq!(c.decode(&enc).unwrap(), data, "mode {mode:?} len {len}");

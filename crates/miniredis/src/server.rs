@@ -46,6 +46,9 @@ pub struct ServerConfig {
     /// reactor. Kept only to demonstrate the scaling ceiling the reactor
     /// removes; everything else behaves identically.
     pub legacy_threads: bool,
+    /// Kernel accept backlog for the listener (reactor mode). Sized for
+    /// connect bursts; std's bind() default of 128 drops overflow SYNs.
+    pub accept_backlog: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +61,7 @@ impl Default for ServerConfig {
             fault: FaultModel::none(),
             fault_seed: 0x4ed1,
             legacy_threads: false,
+            accept_backlog: reactor::DEFAULT_ACCEPT_BACKLOG,
         }
     }
 }
@@ -247,15 +251,19 @@ impl Server {
         } else {
             let mut r = reactor::Reactor::new()?;
             let shutdown = shutdown.clone();
-            r.listen(listener, move |_peer: SocketAddr| {
-                if shutdown.load(Ordering::Relaxed) || shared.fault.refuse_connection() {
-                    return None;
-                }
-                Some(Box::new(RedisConn {
-                    shared: shared.clone(),
-                    dead: false,
-                }) as Box<dyn reactor::ConnHandler>)
-            })?;
+            r.listen_with_backlog(
+                listener,
+                move |_peer: SocketAddr| {
+                    if shutdown.load(Ordering::Relaxed) || shared.fault.refuse_connection() {
+                        return None;
+                    }
+                    Some(Box::new(RedisConn {
+                        shared: shared.clone(),
+                        dead: false,
+                    }) as Box<dyn reactor::ConnHandler>)
+                },
+                cfg.accept_backlog,
+            )?;
             (None, Some(r.spawn()))
         };
 

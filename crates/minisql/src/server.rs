@@ -89,6 +89,9 @@ pub struct SqlServerConfig {
     /// Serve with one OS thread per connection instead of the epoll
     /// reactor (the C10K counter-demonstration build).
     pub legacy_threads: bool,
+    /// Kernel accept backlog for the listener (reactor mode). Sized for
+    /// connect bursts; std's bind() default of 128 drops overflow SYNs.
+    pub accept_backlog: usize,
 }
 
 impl Default for SqlServerConfig {
@@ -100,6 +103,7 @@ impl Default for SqlServerConfig {
             fault: FaultModel::none(),
             fault_seed: 0x5a1f,
             legacy_threads: false,
+            accept_backlog: reactor::DEFAULT_ACCEPT_BACKLOG,
         }
     }
 }
@@ -173,17 +177,21 @@ impl SqlServer {
             let db = db.clone();
             let fault = fault.clone();
             let registry = registry.clone();
-            r.listen(listener, move |_peer: SocketAddr| {
-                if shutdown.load(Ordering::Relaxed) || fault.refuse_connection() {
-                    return None;
-                }
-                Some(Box::new(SqlConn {
-                    db: db.clone(),
-                    fault: fault.clone(),
-                    registry: registry.clone(),
-                    dead: false,
-                }) as Box<dyn reactor::ConnHandler>)
-            })?;
+            r.listen_with_backlog(
+                listener,
+                move |_peer: SocketAddr| {
+                    if shutdown.load(Ordering::Relaxed) || fault.refuse_connection() {
+                        return None;
+                    }
+                    Some(Box::new(SqlConn {
+                        db: db.clone(),
+                        fault: fault.clone(),
+                        registry: registry.clone(),
+                        dead: false,
+                    }) as Box<dyn reactor::ConnHandler>)
+                },
+                cfg.accept_backlog,
+            )?;
             (None, Some(r.spawn()))
         };
 

@@ -263,6 +263,7 @@ impl Registry {
                     let base = key.name.clone();
                     // OpenMetrics exemplar: attached to the first bucket
                     // whose upper bound contains the exemplar's value.
+                    // xlint: lock-order(metrics -> exemplars) reason="render holds the metric table while sampling each histogram's exemplar; recording paths take exemplars alone, so the nesting is one-directional"
                     let exemplar = self
                         .exemplars
                         .lock()

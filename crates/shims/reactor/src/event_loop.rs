@@ -288,6 +288,12 @@ impl Handle {
 /// Token reserved for the self-pipe waker.
 const WAKER_TOKEN: u64 = u64::MAX;
 
+/// Accept backlog used by [`Reactor::listen`]. One loop thread handles
+/// thousands of sockets, so bursts of simultaneous connects are the
+/// normal case (C10K ramp-up, chaos reconnect storms), and a pending
+/// connection costs the kernel almost nothing — size for the burst.
+pub const DEFAULT_ACCEPT_BACKLOG: usize = 1024;
+
 /// The epoll event loop. See the module docs for the two driving modes.
 pub struct Reactor {
     poller: Poller,
@@ -368,14 +374,30 @@ impl Reactor {
         }
     }
 
-    /// Register a listening socket; `acceptor` decides per connection.
+    /// Register a listening socket with the default accept backlog
+    /// ([`DEFAULT_ACCEPT_BACKLOG`]); `acceptor` decides per connection.
     pub fn listen(
         &mut self,
         sock: TcpListener,
         acceptor: impl Acceptor + 'static,
     ) -> io::Result<()> {
+        self.listen_with_backlog(sock, acceptor, DEFAULT_ACCEPT_BACKLOG)
+    }
+
+    /// Register a listening socket, resizing its kernel accept backlog.
+    /// `std::net::TcpListener::bind` hardcodes 128; one reactor thread
+    /// serving thousands of connections wants far more headroom for
+    /// connect bursts, so the backlog is re-issued here (`listen(2)` on an
+    /// established listener updates it in place on Linux).
+    pub fn listen_with_backlog(
+        &mut self,
+        sock: TcpListener,
+        acceptor: impl Acceptor + 'static,
+        backlog: usize,
+    ) -> io::Result<()> {
         sock.set_nonblocking(true)?;
         let fd = sock.as_raw_fd();
+        crate::sys::set_listen_backlog(fd, i32::try_from(backlog).unwrap_or(i32::MAX))?;
         let idx = self.alloc_slot(Slot::Listener {
             sock,
             acceptor: Box::new(acceptor),

@@ -21,5 +21,8 @@ mod event_loop;
 mod poll;
 pub mod sys;
 
-pub use event_loop::{Acceptor, ConnHandler, ConnId, Handle, Outbox, Reactor, ReactorThread};
+pub use event_loop::{
+    Acceptor, ConnHandler, ConnId, Handle, Outbox, Reactor, ReactorThread,
+    DEFAULT_ACCEPT_BACKLOG,
+};
 pub use poll::{Event, Poller};

@@ -71,6 +71,7 @@ extern "C" {
     fn close(fd: i32) -> i32;
     fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    fn listen(sockfd: i32, backlog: i32) -> i32;
     fn syscall(num: i64, ...) -> i64;
 }
 
@@ -186,6 +187,22 @@ pub fn wait_ns(
         }
         return Err(err);
     }
+}
+
+/// Re-issue `listen(2)` on an already-listening socket to resize its
+/// accept backlog. `std::net::TcpListener::bind` hardcodes a backlog of
+/// 128; under a connection burst the kernel drops (or SYN-cookies) the
+/// overflow, which shows up as client-side connect timeouts long before
+/// the event loop is actually saturated. Linux applies the new backlog to
+/// an established listener in place.
+pub fn set_listen_backlog(fd: i32, backlog: i32) -> io::Result<()> {
+    // SAFETY: `listen` takes no pointers; `fd` is a listening socket owned
+    // by the caller, and a negative return is the only failure mode.
+    let rc = unsafe { listen(fd, backlog.max(1)) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
 }
 
 /// Close an fd obtained from [`create`].

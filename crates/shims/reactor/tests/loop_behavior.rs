@@ -291,3 +291,66 @@ fn eof_delivers_partial_frame_bytes() {
     }
     assert_eq!(&*leftover.lock().expect("lock"), b"trunc");
 }
+
+#[test]
+fn burst_of_connects_is_drained_per_readiness_event() {
+    // A single readiness event on the listener must accept every pending
+    // connection (the accept loop drains to WouldBlock), and the resized
+    // backlog must hold a burst well past std's 128 default without
+    // refusing anyone. All sockets connect before the reactor takes a
+    // single turn, so the kernel queue alone absorbs the burst.
+    const BURST: usize = 200;
+    let closed = Arc::new(AtomicUsize::new(0));
+    let mut r = Reactor::new().expect("reactor");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let c2 = closed.clone();
+    r.listen_with_backlog(
+        listener,
+        move |_peer| Some(Box::new(Echo { closed: c2.clone() }) as Box<dyn ConnHandler>),
+        512,
+    )
+    .expect("listen");
+
+    let mut clients = Vec::with_capacity(BURST);
+    for _ in 0..BURST {
+        clients.push(TcpStream::connect(addr).expect("connect burst"));
+    }
+
+    let t0 = Instant::now();
+    while r.conn_count() < BURST {
+        assert!(t0.elapsed() < Duration::from_secs(10), "accept burst stalled");
+        r.turn(Some(Duration::from_millis(10))).expect("turn");
+    }
+
+    // Every one of them is really served, not just parked in a slot.
+    for client in &mut clients {
+        client.write_all(b"ping\n").expect("write");
+    }
+    let mut answered = 0usize;
+    let t0 = Instant::now();
+    let mut buf = [0u8; 16];
+    for client in &mut clients {
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        loop {
+            r.turn(Some(Duration::from_millis(1))).expect("turn");
+            match client.read(&mut buf) {
+                Ok(n) if n > 0 => {
+                    answered += 1;
+                    break;
+                }
+                Ok(_) => panic!("peer closed"),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    assert!(t0.elapsed() < Duration::from_secs(20), "echo burst stalled");
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+    }
+    assert_eq!(answered, BURST);
+}

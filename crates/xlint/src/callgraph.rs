@@ -1,0 +1,234 @@
+//! Phase-1½: the resolved intra-workspace call graph.
+//!
+//! Resolution is conservative *by precision*, not by fan-out: an edge is
+//! only drawn when the target is nearly certain, because the passes that
+//! consume the graph (lock-order transitive closure, deadline
+//! reachability, taint propagation) amplify every false edge into false
+//! findings. The ladder, in order:
+//!
+//! 1. `self.f()` inside `impl T` → methods named `f` with receiver `T`.
+//! 2. `Qual::f()` → methods of `Qual` (`Self::f` uses the enclosing impl);
+//!    falling back to free functions named `f` (module-qualified helpers
+//!    like `persist::load`).
+//! 3. `x.f()` with an untyped receiver → resolved only if the workspace
+//!    has exactly one method named `f`; ambiguous names (`get`, `len`,
+//!    `send`, ...) draw no edge. Documented limitation: shared method
+//!    names on untyped receivers are invisible to the passes.
+//! 4. `f(...)` free call → free functions named `f`, preferring the same
+//!    file, then the same crate (the `lock(&m)` poison helper exists per
+//!    crate; each resolves to its own).
+//!
+//! Trait-object and closure calls are never resolved (no type info), and
+//! test functions are excluded as both callers and callees.
+
+use crate::model::{Call, CallKind, FileData, Model};
+
+/// For each function, the resolved callee fn indices of each call site
+/// (parallel to `FnNode::calls`).
+pub struct CallGraph {
+    pub callees: Vec<Vec<Vec<usize>>>,
+}
+
+/// Resolve one call site from `caller` to candidate fn indices.
+pub fn resolve(model: &Model, caller: usize, call: &Call) -> Vec<usize> {
+    let Some(cands) = model.by_name.get(&call.name) else {
+        return Vec::new();
+    };
+    let caller_fn = &model.fns[caller];
+    let live: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| !model.fns[i].is_test && i != caller)
+        .collect();
+    if live.is_empty() {
+        return Vec::new();
+    }
+    match &call.kind {
+        CallKind::Method { on_self: true } => {
+            if let Some(recv) = &caller_fn.recv {
+                let typed: Vec<usize> = live
+                    .iter()
+                    .copied()
+                    .filter(|&i| model.fns[i].recv.as_deref() == Some(recv))
+                    .collect();
+                if !typed.is_empty() {
+                    return typed;
+                }
+            }
+            unique_method(model, &live)
+        }
+        CallKind::Method { on_self: false } => unique_method(model, &live),
+        CallKind::Path { qual } => {
+            let want = if qual == "Self" {
+                caller_fn.recv.clone()
+            } else {
+                Some(qual.clone())
+            };
+            let typed: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&i| model.fns[i].recv == want)
+                .collect();
+            if !typed.is_empty() {
+                return typed;
+            }
+            // Module-qualified free helper (`persist::load(...)`).
+            live.iter()
+                .copied()
+                .filter(|&i| model.fns[i].recv.is_none())
+                .collect()
+        }
+        CallKind::Free => {
+            let free: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&i| model.fns[i].recv.is_none())
+                .collect();
+            if free.is_empty() {
+                return Vec::new();
+            }
+            let same_file: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&i| model.fns[i].file == caller_fn.file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let same_crate: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&i| model.fns[i].krate == caller_fn.krate)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            free
+        }
+    }
+}
+
+/// Rung 3: untyped method receiver — only a workspace-unique method name
+/// resolves.
+fn unique_method(model: &Model, live: &[usize]) -> Vec<usize> {
+    let methods: Vec<usize> = live
+        .iter()
+        .copied()
+        .filter(|&i| model.fns[i].recv.is_some())
+        .collect();
+    if methods.len() == 1 {
+        methods
+    } else {
+        Vec::new()
+    }
+}
+
+/// Resolve every call site in the model.
+pub fn build(model: &Model) -> CallGraph {
+    let callees = model
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            f.calls
+                .iter()
+                .map(|c| {
+                    if f.is_test {
+                        Vec::new()
+                    } else {
+                        resolve(model, i, c)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    CallGraph { callees }
+}
+
+/// Flattened callee set of one function.
+pub fn callees_of(graph: &CallGraph, fn_idx: usize) -> impl Iterator<Item = usize> + '_ {
+    graph.callees[fn_idx].iter().flatten().copied()
+}
+
+/// Render the call graph as a GraphViz digraph.
+pub fn dot(files: &[FileData], model: &Model, graph: &CallGraph) -> String {
+    let mut out = String::from("digraph calls {\n  rankdir=LR;\n  node [shape=box];\n");
+    let mut edges = std::collections::BTreeSet::new();
+    for (i, f) in model.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        for &j in graph.callees[i].iter().flatten() {
+            edges.insert((label(files, model, i), label(files, model, j)));
+        }
+    }
+    for (a, b) in edges {
+        out.push_str(&format!("  \"{a}\" -> \"{b}\";\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn label(files: &[FileData], model: &Model, i: usize) -> String {
+    let f = &model.fns[i];
+    format!("{}\\n{}", f.qname(), files[f.file].path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{build as build_model, FileData};
+
+    fn two_files() -> Vec<FileData> {
+        vec![
+            FileData::new(
+                "crates/rpc/src/a.rs",
+                r#"
+impl MuxSender {
+    fn send(&self) { self.lease(); scan_reply(); other.unique_helper(); other.get(0); }
+    fn lease(&self) { lock(&self.pool); }
+}
+fn lock(m: &M) {}
+fn scan_reply() {}
+"#,
+            ),
+            FileData::new(
+                "crates/cache/src/b.rs",
+                r#"
+impl Shard {
+    fn unique_helper(&self) {}
+    fn get(&self, k: usize) {}
+}
+impl Other { fn get(&self, k: usize) {} }
+fn lock(m: &M) {}
+"#,
+            ),
+        ]
+    }
+
+    #[test]
+    fn resolution_ladder() {
+        let files = two_files();
+        let m = build_model(&files);
+        let g = build(&m);
+        let idx = |name: &str, krate: &str| {
+            m.fns
+                .iter()
+                .position(|f| f.name == name && f.krate == krate)
+                .unwrap()
+        };
+        let send = idx("send", "rpc");
+        let resolved: Vec<Vec<usize>> = g.callees[send].clone();
+        // self.lease() → typed match.
+        assert_eq!(resolved[0], vec![idx("lease", "rpc")]);
+        // scan_reply() free → same file.
+        assert_eq!(resolved[1], vec![idx("scan_reply", "rpc")]);
+        // other.unique_helper() → unique method in workspace.
+        assert_eq!(resolved[2], vec![idx("unique_helper", "cache")]);
+        // other.get(0) → ambiguous (two `get` methods): no edge.
+        assert!(resolved[3].is_empty(), "{resolved:?}");
+        // lease's `lock(&self.pool)` → the same-crate helper, not cache's.
+        let lease = idx("lease", "rpc");
+        assert_eq!(g.callees[lease][0], vec![idx("lock", "rpc")]);
+    }
+}

@@ -32,6 +32,24 @@ const REQUEST_PATH_FILES: &[&str] = &[
 /// Crates allowed to contain `unsafe` (always with a `SAFETY:` comment).
 const UNSAFE_ALLOWED: &[&str] = &["crates/fskv/", "crates/shims/"];
 
+/// Client-side request-path code: the scope of `deadline-propagation`
+/// reachability. Server handlers are deliberately outside it — their time
+/// discipline is the reactor's (`blocking-in-reactor`), not a per-request
+/// budget.
+const CLIENT_PATH_PREFIXES: &[&str] = &[
+    "crates/rpc/src/",
+    "crates/core/src/",
+    "crates/resilience/src/",
+];
+const CLIENT_PATH_FILES: &[&str] = &[
+    "crates/cloudstore/src/client.rs",
+    "crates/cloudstore/src/http.rs",
+    "crates/cloudstore/src/batch.rs",
+    "crates/miniredis/src/client.rs",
+    "crates/miniredis/src/resp.rs",
+    "crates/minisql/src/client.rs",
+];
+
 /// Rule scoping policy for one scan run.
 #[derive(Default)]
 pub struct Policy;
@@ -70,6 +88,28 @@ impl Policy {
     /// apply to this file?
     pub fn general_rules_apply(&self, path: &str) -> bool {
         !self.is_shim(path) && !self.is_test_code(path)
+    }
+
+    /// Do frame-parser reads in this file seed `wire-taint`? The
+    /// `wire-arith` parser files plus the rpc framers (length-prefixed
+    /// reply scanning lives there since the transport split).
+    pub fn taint_seed_applies(&self, path: &str) -> bool {
+        self.wire_arith_applies(path) || path.contains("crates/rpc/src/")
+    }
+
+    /// Does `lock-order` track this file? Everything non-test, with one
+    /// shim exception: the reactor is in-tree concurrency, not a vendored
+    /// API mimic, so its lock discipline is checked like first-party code.
+    pub fn lock_order_applies(&self, path: &str) -> bool {
+        !self.is_test_code(path) && (!self.is_shim(path) || path.contains("crates/shims/reactor/"))
+    }
+
+    /// Is this file on the client request path (`deadline-propagation`
+    /// reachability scope)?
+    pub fn deadline_applies(&self, path: &str) -> bool {
+        !self.is_test_code(path)
+            && (CLIENT_PATH_PREFIXES.iter().any(|p| path.contains(p))
+                || CLIENT_PATH_FILES.iter().any(|f| path.ends_with(f)))
     }
 
     /// May this file contain `unsafe` at all?

@@ -1,0 +1,216 @@
+//! `deadline-propagation`: every function on a client request path that
+//! touches a socket must take or derive a `Deadline`.
+//!
+//! Entry points are the client-facing request boundaries: `RpcSender`
+//! implementations' `send`/`send_async`/`send_pipelined`, every
+//! `EnhancedClient` operation, and the resilience `run_*` family. From
+//! those the pass walks the resolved call graph, restricted to the
+//! client-side files in [`Policy::deadline_applies`] (server handlers
+//! answer to the reactor's timers, not a request budget). A reachable
+//! function performing socket I/O (`connect`, `write_all`, `read_exact`,
+//! `flush`, ...) must be *deadline-aware*: a signature mentioning
+//! `Deadline`/`SendOptions`/a deadline-carrying struct (closed over fields
+//! by the model), a `deadline` parameter, or a body that consults one
+//! (`Deadline::`, `set_read_timeout`, ...). Anything else is a path where
+//! the request budget was dropped on the floor — exactly the regression
+//! class the PR 7 transport split introduced.
+
+use crate::callgraph::CallGraph;
+use crate::config::Policy;
+use crate::lexer::Kind;
+use crate::model::{FileData, Model};
+use crate::report::Finding;
+use crate::rules;
+use std::collections::BTreeMap;
+
+/// Calls that hit the socket (or block on it) on the client side.
+const SOCKET_IO: &[&str] = &[
+    "connect",
+    "connect_timeout",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_line",
+    "flush",
+];
+
+/// Identifiers in a signature or body that show the function carries or
+/// consults a request budget.
+const DEADLINE_MARKS: &[&str] = &[
+    "deadline",
+    "Deadline",
+    "SharedDeadline",
+    "DeadlineStream",
+    "SendOptions",
+    "set_read_timeout",
+    "set_write_timeout",
+];
+
+fn is_entry(model: &Model, fi: usize) -> bool {
+    let f = &model.fns[fi];
+    (f.krate == "rpc"
+        && f.recv.is_some()
+        && matches!(f.name.as_str(), "send" | "send_async" | "send_pipelined"))
+        || f.recv.as_deref() == Some("EnhancedClient")
+        || (f.krate == "resilience"
+            && matches!(
+                f.name.as_str(),
+                "run_idempotent" | "run_once" | "run_guarded"
+            ))
+}
+
+fn deadline_aware(files: &[FileData], model: &Model, fi: usize) -> bool {
+    let f = &model.fns[fi];
+    // Methods *on* a deadline-carrying type (DeadlineStream's own Read/Write
+    // impls) are the budget mechanism, not a leak of it.
+    if f.recv
+        .as_deref()
+        .is_some_and(|r| DEADLINE_MARKS.contains(&r) || model.deadline_types.contains(r))
+    {
+        return true;
+    }
+    if f.sig_idents
+        .iter()
+        .any(|s| DEADLINE_MARKS.contains(&s.as_str()) || model.deadline_types.contains(s))
+    {
+        return true;
+    }
+    let toks = &files[f.file].toks;
+    (f.body.0..f.body.1).any(|i| {
+        !f.in_nested(i)
+            && toks[i].kind == Kind::Ident
+            && (DEADLINE_MARKS.contains(&toks[i].text.as_str())
+                || model.deadline_types.contains(&toks[i].text))
+    })
+}
+
+/// Run the pass.
+pub fn deadline_propagation(
+    files: &[FileData],
+    model: &Model,
+    graph: &CallGraph,
+    policy: &Policy,
+) -> Vec<Finding> {
+    let in_scope = |fi: usize| {
+        let f = &model.fns[fi];
+        !f.is_test && policy.deadline_applies(&files[f.file].path)
+    };
+
+    // BFS from the entry points; remember which entry first reached each fn.
+    let mut entry_of: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for fi in 0..model.fns.len() {
+        if in_scope(fi) && is_entry(model, fi) {
+            entry_of.insert(fi, fi);
+            queue.push(fi);
+        }
+    }
+    while let Some(fi) = queue.pop() {
+        let entry = entry_of[&fi];
+        for (ci, _) in model.fns[fi].calls.iter().enumerate() {
+            for &callee in &graph.callees[fi][ci] {
+                if in_scope(callee) && !entry_of.contains_key(&callee) {
+                    entry_of.insert(callee, entry);
+                    queue.push(callee);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (&fi, &entry) in &entry_of {
+        let f = &model.fns[fi];
+        if deadline_aware(files, model, fi) {
+            continue;
+        }
+        let Some(io) = f
+            .calls
+            .iter()
+            .find(|c| SOCKET_IO.contains(&c.name.as_str()))
+        else {
+            continue;
+        };
+        let e = &model.fns[entry];
+        out.push(Finding::new(
+            rules::DEADLINE,
+            &files[f.file].path,
+            io.line,
+            format!(
+                "`{}` performs socket I/O (`{}` at {}:{}) on the request path from `{}` \
+                 ({}:{}) but neither takes nor derives a Deadline; thread the budget through \
+                 or wrap the stream in DeadlineStream",
+                f.qname(),
+                io.name,
+                files[f.file].path,
+                io.line,
+                e.qname(),
+                files[e.file].path,
+                e.line,
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build as build_graph;
+    use crate::config::Policy;
+    use crate::model::{build as build_model, FileData};
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<FileData> = files.iter().map(|(p, s)| FileData::new(p, s)).collect();
+        let model = build_model(&files);
+        let graph = build_graph(&model);
+        deadline_propagation(&files, &model, &graph, &Policy)
+    }
+
+    #[test]
+    fn dropped_budget_across_the_seam_is_flagged() {
+        let findings = run(&[(
+            "crates/rpc/src/blocking.rs",
+            r#"
+impl BlockingSender {
+    fn send(&self, req: &[u8], deadline: &Deadline) -> Result<Vec<u8>> {
+        self.push_frame(req)
+    }
+    fn push_frame(&self, req: &[u8]) -> Result<Vec<u8>> {
+        self.stream.write_all(req)
+    }
+}
+"#,
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("push_frame"));
+        assert!(findings[0].message.contains("BlockingSender::send"));
+    }
+
+    #[test]
+    fn deadline_carrying_param_type_is_aware() {
+        let findings = run(&[(
+            "crates/rpc/src/blocking.rs",
+            r#"
+struct BlockConn { stream: DeadlineStream }
+impl BlockingSender {
+    fn send(&self, req: &[u8], deadline: &Deadline) -> Result<Vec<u8>> {
+        self.push_frame(req)
+    }
+    fn push_frame(&self, conn: &mut BlockConn) -> Result<Vec<u8>> {
+        conn.stream.write_all(b"x")
+    }
+}
+"#,
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unreachable_io_is_not_flagged() {
+        let findings = run(&[(
+            "crates/rpc/src/blocking.rs",
+            "fn orphan_write(s: &mut TcpStream) { s.write_all(b\"x\").unwrap(); }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,9 +1,13 @@
 //! xlint — offline workspace invariant checker.
 //!
-//! A dependency-free static-analysis pass over the UDSM workspace. It lexes
-//! each Rust source file with a lightweight tokenizer, extracts function
-//! spans, and runs seven deny-by-default rules tuned to this codebase's
-//! failure modes (see `DESIGN.md`, "Static analysis & invariants"):
+//! A dependency-free static-analysis pass over the UDSM workspace, run as
+//! a two-phase driver. Phase 1 lexes every Rust source file with a
+//! lightweight tokenizer and builds a workspace model: a symbol table of
+//! functions and methods (with `impl` receivers and signature tokens), a
+//! conservatively-resolved call graph, and a table of every lock
+//! acquisition. Phase 2 runs the rules — seven per-file rules tuned to
+//! this codebase's failure modes plus three inter-procedural passes over
+//! the model (see `DESIGN.md`, "Static analysis & invariants"):
 //!
 //! * `wire-arith` — unchecked `+`/`*`/`as usize` on wire-derived lengths in
 //!   the frame parsers.
@@ -22,6 +26,14 @@
 //!   lock-guard-across-await inside a reactor callback (any fn whose
 //!   signature takes an `Outbox`): one stalled handler stalls every
 //!   connection on that event loop.
+//! * `wire-taint` — inter-procedural: a wire-derived integer propagated
+//!   through call edges and return values must not reach an allocation or
+//!   `as usize` cast without a checked bound.
+//! * `lock-order` — inter-procedural: the global lock-acquisition graph
+//!   must be acyclic, and direct nested acquisition needs a declared
+//!   `// xlint: lock-order(a -> b) reason="…"` total order.
+//! * `deadline-propagation` — inter-procedural: socket I/O reachable from
+//!   a client request entry point must take or derive a `Deadline`.
 //!
 //! Findings are suppressible in-source:
 //!
@@ -30,54 +42,138 @@
 //! ```
 //!
 //! A suppression covers findings on its own line or the next line. Unused
-//! suppressions and reason-less suppressions are themselves findings
-//! (`suppression-hygiene`), so the allow-list can't rot.
+//! suppressions, reason-less suppressions, and unused `lock-order`
+//! declarations are themselves findings (`suppression-hygiene`), so the
+//! allow-list can't rot.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
+pub mod deadline;
 pub mod lexer;
+pub mod locks;
+pub mod model;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 use config::Policy;
+use model::FileData;
 use report::Finding;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
-/// Run every applicable rule over one file's source text.
+/// Wall-clock per phase, for `--timing` and the CI budget gate.
+#[derive(Clone, Debug, Default)]
+pub struct Timing {
+    /// (phase name, milliseconds), in execution order.
+    pub phases: Vec<(&'static str, u128)>,
+}
+
+impl Timing {
+    fn record(&mut self, name: &'static str, since: Instant) -> Instant {
+        self.phases.push((name, since.elapsed().as_millis()));
+        Instant::now()
+    }
+
+    /// Total analysis time in milliseconds.
+    pub fn total_ms(&self) -> u128 {
+        self.phases.iter().map(|(_, ms)| ms).sum()
+    }
+
+    /// Render the self-report table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("xlint timing:\n");
+        for (name, ms) in &self.phases {
+            out.push_str(&format!("  {name:<22} {ms:>6} ms\n"));
+        }
+        out.push_str(&format!("  {:<22} {:>6} ms\n", "total", self.total_ms()));
+        out
+    }
+}
+
+/// Everything one analysis run produces: findings plus the phase-1 model
+/// artifacts (`--graph dot`, the acyclicity test) and timing.
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub files: Vec<FileData>,
+    pub model: model::Model,
+    pub call_graph: callgraph::CallGraph,
+    pub lock_graph: locks::LockGraph,
+    pub timing: Timing,
+}
+
+/// Run the full two-phase analysis over in-memory sources.
 ///
-/// `path` must be workspace-relative with `/` separators — scoping in
-/// [`Policy`] matches on it, and it lands verbatim in the findings.
-pub fn check_source(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
-    let toks = lexer::lex(src);
-    let fns = scan::fn_spans(&toks);
-    let controls = scan::controls(&toks);
+/// Paths must be workspace-relative with `/` separators — scoping in
+/// [`Policy`] matches on them, and they land verbatim in the findings.
+pub fn analyze(sources: &[(String, String)], policy: &Policy) -> Analysis {
+    let mut timing = Timing::default();
+    let t = Instant::now();
 
+    // Phase 1: lex + structural scan + workspace model + call graph.
+    let files: Vec<FileData> = sources
+        .iter()
+        .map(|(path, src)| FileData::new(path, src))
+        .collect();
+    let t = timing.record("lex+scan", t);
+    let model = model::build(&files);
+    let call_graph = callgraph::build(&model);
+    let t = timing.record("model+callgraph", t);
+
+    // Phase 2a: the per-file rules.
     let mut findings = Vec::new();
-    if policy.wire_arith_applies(path) {
-        findings.extend(rules::wire_arith(path, &toks, &fns));
+    for fd in &files {
+        let path = fd.path.as_str();
+        if policy.wire_arith_applies(path) {
+            findings.extend(rules::wire_arith(path, &fd.toks, &fd.fns));
+        }
+        if policy.panic_path_applies(path) {
+            findings.extend(rules::panic_path(path, &fd.toks, &fd.fns));
+        }
+        if policy.general_rules_apply(path) {
+            findings.extend(rules::guard_across_io(path, &fd.toks, &fd.fns));
+            findings.extend(rules::retry_idempotency(
+                path,
+                &fd.toks,
+                &fd.fns,
+                &fd.controls,
+            ));
+            findings.extend(rules::trace_ctx_loss(path, &fd.toks, &fd.fns));
+            findings.extend(rules::blocking_in_reactor(path, &fd.toks, &fd.fns));
+        }
+        findings.extend(rules::unsafe_allowlist(
+            path,
+            &fd.toks,
+            policy.unsafe_allowed(path),
+        ));
     }
-    if policy.panic_path_applies(path) {
-        findings.extend(rules::panic_path(path, &toks, &fns));
-    }
-    if policy.general_rules_apply(path) {
-        findings.extend(rules::guard_across_io(path, &toks, &fns));
-        findings.extend(rules::retry_idempotency(path, &toks, &fns, &controls));
-        findings.extend(rules::trace_ctx_loss(path, &toks, &fns));
-        findings.extend(rules::blocking_in_reactor(path, &toks, &fns));
-    }
-    findings.extend(rules::unsafe_allowlist(
-        path,
-        &toks,
-        policy.unsafe_allowed(path),
-    ));
+    let t = timing.record("per-file rules", t);
 
-    // Apply suppressions: an `allow(<rule>)` on line L covers findings on
-    // L or L+1 (comment-above or trailing-comment placement).
+    // Phase 2b: the inter-procedural passes.
+    findings.extend(taint::wire_taint(&files, &model, &call_graph, policy));
+    let t = timing.record("wire-taint", t);
+    let (lock_findings, lock_graph) = locks::lock_order(&files, &model, &call_graph, policy);
+    findings.extend(lock_findings);
+    let t = timing.record("lock-order", t);
+    findings.extend(deadline::deadline_propagation(
+        &files,
+        &model,
+        &call_graph,
+        policy,
+    ));
+    let t = timing.record("deadline-propagation", t);
+
+    // Suppressions: an `allow(<rule>)` on line L in the finding's own file
+    // covers findings on L or L+1.
     for f in &mut findings {
-        if let Some(c) = controls.iter().find(|c| {
+        let Some(fd) = files.iter().find(|fd| fd.path == f.file) else {
+            continue;
+        };
+        if let Some(c) = fd.controls.iter().find(|c| {
             c.verb == "allow" && c.rule == f.rule && (c.line == f.line || c.line + 1 == f.line)
         }) {
             c.used.set(true);
@@ -86,52 +182,96 @@ pub fn check_source(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
     }
 
     // Suppression hygiene (not itself suppressible).
-    for c in &controls {
-        match c.verb.as_str() {
-            "allow" => {
-                if !rules::RULES.contains(&c.rule.as_str()) {
+    for fd in &files {
+        for c in &fd.controls {
+            let path = fd.path.as_str();
+            match c.verb.as_str() {
+                "allow" => {
+                    if !rules::RULES.contains(&c.rule.as_str()) {
+                        findings.push(Finding::new(
+                            rules::HYGIENE,
+                            path,
+                            c.line,
+                            format!("allow() names unknown rule `{}`", c.rule),
+                        ));
+                    } else if !c.used.get() {
+                        findings.push(Finding::new(
+                            rules::HYGIENE,
+                            path,
+                            c.line,
+                            format!("unused suppression: allow({}) matches no finding", c.rule),
+                        ));
+                    } else if c.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
+                        findings.push(Finding::new(
+                            rules::HYGIENE,
+                            path,
+                            c.line,
+                            format!("allow({}) needs a reason=\"…\"", c.rule),
+                        ));
+                    }
+                }
+                "idempotent"
+                    if c.used.get() && c.reason.as_deref().is_none_or(|r| r.trim().is_empty()) =>
+                {
                     findings.push(Finding::new(
                         rules::HYGIENE,
                         path,
                         c.line,
-                        format!("allow() names unknown rule `{}`", c.rule),
-                    ));
-                } else if !c.used.get() {
-                    findings.push(Finding::new(
-                        rules::HYGIENE,
-                        path,
-                        c.line,
-                        format!("unused suppression: allow({}) matches no finding", c.rule),
-                    ));
-                } else if c.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
-                    findings.push(Finding::new(
-                        rules::HYGIENE,
-                        path,
-                        c.line,
-                        format!("allow({}) needs a reason=\"…\"", c.rule),
+                        "xlint: idempotent needs a reason=\"…\" naming why replay is safe",
                     ));
                 }
+                "lock-order" => {
+                    if !c.used.get() {
+                        findings.push(Finding::new(
+                            rules::HYGIENE,
+                            path,
+                            c.line,
+                            format!(
+                                "unused declaration: lock-order({}) matches no nested \
+                                 acquisition",
+                                c.rule
+                            ),
+                        ));
+                    } else if c.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
+                        findings.push(Finding::new(
+                            rules::HYGIENE,
+                            path,
+                            c.line,
+                            format!("lock-order({}) needs a reason=\"…\"", c.rule),
+                        ));
+                    }
+                }
+                _ => {}
             }
-            "idempotent"
-                if c.used.get() && c.reason.as_deref().is_none_or(|r| r.trim().is_empty()) =>
-            {
-                findings.push(Finding::new(
-                    rules::HYGIENE,
-                    path,
-                    c.line,
-                    "xlint: idempotent needs a reason=\"…\" naming why replay is safe",
-                ));
-            }
-            _ => {}
         }
     }
+    timing.record("suppressions", t);
 
     // Overlapping fn spans (nested fns) can double-report: dedupe on
-    // (rule, line), then order by line for stable output.
+    // (file, rule, line, message), then order for stable output.
     let mut seen = BTreeSet::new();
-    findings.retain(|f| seen.insert((f.rule, f.line, f.message.clone())));
-    findings.sort_by_key(|f| (f.line, f.rule));
-    findings
+    findings.retain(|f| seen.insert((f.file.clone(), f.rule, f.line, f.message.clone())));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    Analysis {
+        findings,
+        files,
+        model,
+        call_graph,
+        lock_graph,
+        timing,
+    }
+}
+
+/// Run every applicable rule over a set of in-memory sources; the
+/// multi-file entry the cross-file fixture corpus drives.
+pub fn check_sources(sources: &[(String, String)], policy: &Policy) -> Vec<Finding> {
+    analyze(sources, policy).findings
+}
+
+/// Run every applicable rule over one file's source text.
+pub fn check_source(path: &str, src: &str, policy: &Policy) -> Vec<Finding> {
+    check_sources(&[(path.to_string(), src.to_string())], policy)
 }
 
 /// Recursively collect `.rs` files under `root`, honoring [`Policy::skip`].
@@ -162,20 +302,25 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
+/// Read and analyze the whole workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> Analysis {
+    let policy = Policy;
+    let mut paths = Vec::new();
+    collect_files(root, root, &policy, &mut paths);
+    let sources: Vec<(String, String)> = paths
+        .into_iter()
+        .filter_map(|p| {
+            std::fs::read_to_string(&p)
+                .ok()
+                .map(|src| (rel_path(root, &p), src))
+        })
+        .collect();
+    analyze(&sources, &policy)
+}
+
 /// Scan the whole workspace rooted at `root`.
 pub fn check_workspace(root: &Path) -> Vec<Finding> {
-    let policy = Policy;
-    let mut files = Vec::new();
-    collect_files(root, root, &policy, &mut files);
-    let mut findings = Vec::new();
-    for file in files {
-        let Ok(src) = std::fs::read_to_string(&file) else {
-            continue;
-        };
-        findings.extend(check_source(&rel_path(root, &file), &src, &policy));
-    }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    findings
+    analyze_workspace(root).findings
 }
 
 #[cfg(test)]
@@ -234,5 +379,27 @@ fn handle(parts: &[u8]) {
             check_source("crates/miniredis/src/server.rs", src, &Policy).len(),
             1
         );
+    }
+
+    #[test]
+    fn unused_lock_order_declaration_is_flagged() {
+        let src = "// xlint: lock-order(a -> b) reason=\"no such nesting\"\nfn f() {}\n";
+        let fs = check_source("crates/cache/src/lru.rs", src, &Policy);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("unused declaration"), "{fs:?}");
+    }
+
+    #[test]
+    fn timing_report_covers_all_phases() {
+        let a = analyze(
+            &[("crates/cache/src/lru.rs".into(), "fn f() {}".into())],
+            &Policy,
+        );
+        let names: Vec<&str> = a.timing.phases.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"model+callgraph"), "{names:?}");
+        assert!(names.contains(&"wire-taint"), "{names:?}");
+        assert!(names.contains(&"lock-order"), "{names:?}");
+        assert!(names.contains(&"deadline-propagation"), "{names:?}");
+        assert!(a.timing.render().contains("total"));
     }
 }

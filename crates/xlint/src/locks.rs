@@ -1,0 +1,614 @@
+//! `lock-order`: the global lock-acquisition graph, its cycles, and the
+//! documented-order requirement for nested acquisition.
+//!
+//! An edge `A → B` means lock `B` was acquired while `A` was held — either
+//! directly in one function body (tracked with the same guard-liveness
+//! model as `guard-across-io`: named guards retire at block close or
+//! `drop`, temporaries at their statement or scrutinee end), or
+//! transitively: a call made while holding `A` whose resolved callee
+//! closure acquires `B`. Nodes are the coarse [`crate::model::LockSite`]
+//! labels, so two same-named locks in a crate conflate — an
+//! over-approximation that can add an edge but never hide one.
+//!
+//! Findings:
+//! * a cycle anywhere in the graph (reported once per cycle, naming every
+//!   edge with its acquisition site), and
+//! * a *direct* nested acquisition with no documented order — each `A → B`
+//!   nesting must carry `// xlint: lock-order(A -> B) reason="…"` in the
+//!   same file, which `suppression-hygiene` audits like any other control.
+
+use crate::callgraph::{self, CallGraph};
+use crate::config::Policy;
+use crate::model::{FileData, Model};
+use crate::report::Finding;
+use crate::rules::{self, is_call, parse_let};
+use crate::scan::match_delim;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One edge in the lock-acquisition graph.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Acquisition (or call) site that created the edge.
+    pub file: String,
+    pub line: usize,
+    /// Enclosing function's qualified name.
+    pub func: String,
+    /// `Some(callee)` when the edge is via a call made while holding.
+    pub via: Option<String>,
+    /// Direct nesting inside one body (these require documentation).
+    pub direct: bool,
+}
+
+/// The assembled graph, deduplicated on `(from, to)`.
+pub struct LockGraph {
+    pub edges: Vec<LockEdge>,
+}
+
+impl LockGraph {
+    /// All cycles, canonicalized (each reported once, rotation-invariant).
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for e in &self.edges {
+            adj.entry(&e.from).or_default().push(&e.to);
+        }
+        let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut out = Vec::new();
+        for &start in adj.keys() {
+            let mut stack: Vec<&str> = vec![start];
+            let mut on_path: BTreeSet<&str> = [start].into();
+            dfs(&adj, start, &mut stack, &mut on_path, &mut |cycle| {
+                let canon = canonical(cycle);
+                if seen_cycles.insert(canon.clone()) {
+                    out.push(canon);
+                }
+            });
+        }
+        out
+    }
+
+    /// Render as a GraphViz digraph (dashed edges are call-mediated).
+    pub fn dot(&self) -> String {
+        let mut out = String::from("digraph locks {\n  node [shape=ellipse];\n");
+        for e in &self.edges {
+            let style = if e.direct { "solid" } else { "dashed" };
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [style={style}, label=\"{}:{}\"];\n",
+                e.from, e.to, e.file, e.line
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn dfs<'a>(
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    node: &'a str,
+    stack: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    emit: &mut impl FnMut(&[&str]),
+) {
+    for &next in adj.get(node).into_iter().flatten() {
+        if let Some(pos) = stack.iter().position(|&n| n == next) {
+            emit(&stack[pos..]);
+            continue;
+        }
+        if on_path.insert(next) {
+            stack.push(next);
+            dfs(adj, next, stack, on_path, emit);
+            stack.pop();
+            // Leave `next` in `on_path`: it acts as a visited set per
+            // start node, bounding the walk; cycles through it are found
+            // when the DFS starts from a node on them.
+        }
+    }
+}
+
+/// Rotate a cycle so its lexicographically-smallest label leads.
+fn canonical(cycle: &[&str]) -> Vec<String> {
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| **s)
+        .map_or(0, |(i, _)| i);
+    cycle[min..]
+        .iter()
+        .chain(cycle[..min].iter())
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// A lock held at some point during the walk of one body.
+struct Holder {
+    site: usize,
+    kind: HolderKind,
+}
+
+enum HolderKind {
+    /// Bound to a name; retires at block close below `depth` or `drop`.
+    Named { binding: String, depth: usize },
+    /// Temporary; retires at a token index.
+    Temp { end: usize },
+}
+
+/// Chained methods that keep the value a guard (`.lock().unwrap()`).
+const GUARD_CHAIN: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Token index one past the lock-acquisition expression at `site_tok`
+/// (through any guard-preserving method chain).
+fn acquire_expr_end(toks: &[crate::lexer::Tok], site_tok: usize, limit: usize) -> usize {
+    let Some(open) = (site_tok + 1..limit).find(|&j| !toks[j].is_comment()) else {
+        return site_tok + 1;
+    };
+    if !toks[open].is_punct('(') {
+        return site_tok + 1;
+    }
+    let mut end = match_delim(toks, open, '(', ')');
+    loop {
+        let Some(dot) = (end..limit).find(|&j| !toks[j].is_comment()) else {
+            return end;
+        };
+        if !toks[dot].is_punct('.') {
+            return end;
+        }
+        let Some(m) = (dot + 1..limit).find(|&j| !toks[j].is_comment()) else {
+            return end;
+        };
+        if !GUARD_CHAIN.contains(&toks[m].text.as_str()) {
+            return end;
+        }
+        let Some(mo) = (m + 1..limit).find(|&j| !toks[j].is_comment()) else {
+            return end;
+        };
+        if !toks[mo].is_punct('(') {
+            return end;
+        }
+        end = match_delim(toks, mo, '(', ')');
+    }
+}
+
+/// Classify each lock site of a function into its holder kind.
+fn classify_sites(
+    toks: &[crate::lexer::Tok],
+    f: &crate::model::FnNode,
+) -> Vec<(usize, HolderKind)> {
+    let mut out: Vec<Option<HolderKind>> = f.locks.iter().map(|_| None).collect();
+    // `let` statements binding or temporarily holding a guard.
+    let mut i = f.body.0;
+    while i < f.body.1 {
+        if f.in_nested(i) || !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let Some(stmt) = parse_let(toks, i, f.body.1) else {
+            i += 1;
+            continue;
+        };
+        for (si, site) in f.locks.iter().enumerate() {
+            if out[si].is_some() || site.tok < stmt.rhs.0 || site.tok >= stmt.rhs.1 {
+                continue;
+            }
+            // Brace-depth-0 within the initializer only; a `{ .. }` or
+            // closure body inside the RHS has its own lifetime.
+            let bd = toks[stmt.rhs.0..site.tok]
+                .iter()
+                .fold(0i32, |d, t| match () {
+                    _ if t.is_punct('{') => d + 1,
+                    _ if t.is_punct('}') => d - 1,
+                    _ => d,
+                });
+            if bd != 0 {
+                continue;
+            }
+            let expr_end = acquire_expr_end(toks, site.tok, stmt.rhs.1);
+            let tail = toks[expr_end..stmt.rhs.1]
+                .iter()
+                .all(crate::lexer::Tok::is_comment);
+            out[si] = Some(if tail {
+                match stmt.bindings.first() {
+                    Some(b) => HolderKind::Named {
+                        binding: b.clone(),
+                        depth: 0, // fixed up during the walk
+                    },
+                    None => HolderKind::Temp { end: stmt.end },
+                }
+            } else {
+                HolderKind::Temp { end: stmt.end }
+            });
+        }
+        i = stmt.end.max(i + 1);
+    }
+    // `match`/`for`/`while` scrutinees holding a guard live to block end.
+    for i in f.body.0..f.body.1 {
+        let t = &toks[i];
+        if !(t.is_ident("match") || t.is_ident("for") || t.is_ident("while")) || f.in_nested(i) {
+            continue;
+        }
+        let mut d = 0usize;
+        let mut open = None;
+        for (j, tj) in toks.iter().enumerate().take(f.body.1).skip(i + 1) {
+            if tj.is_punct('(') || tj.is_punct('[') {
+                d += 1;
+            } else if tj.is_punct(')') || tj.is_punct(']') {
+                d = d.saturating_sub(1);
+            } else if d == 0 && tj.is_punct('{') {
+                open = Some(j);
+                break;
+            } else if d == 0 && tj.is_punct(';') {
+                break;
+            }
+        }
+        let Some(open) = open else { continue };
+        let end = match_delim(toks, open, '{', '}');
+        for (si, site) in f.locks.iter().enumerate() {
+            if out[si].is_none() && site.tok > i && site.tok < open {
+                out[si] = Some(HolderKind::Temp { end });
+            }
+        }
+    }
+    // Everything else: statement-long temporary to the next `;`.
+    for (si, site) in f.locks.iter().enumerate() {
+        if out[si].is_some() {
+            continue;
+        }
+        let mut d = 0i32;
+        let mut end = f.body.1;
+        for (j, t) in toks.iter().enumerate().take(f.body.1).skip(site.tok) {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                d -= 1;
+                if d < 0 {
+                    end = j;
+                    break;
+                }
+            } else if d == 0 && t.is_punct(';') {
+                end = j + 1;
+                break;
+            }
+        }
+        out[si] = Some(HolderKind::Temp { end });
+    }
+    out.into_iter().flatten().enumerate().collect()
+}
+
+/// Run the pass over the workspace; returns findings plus the graph for
+/// `--graph dot` and the acyclicity test.
+pub fn lock_order(
+    files: &[FileData],
+    model: &Model,
+    graph: &CallGraph,
+    policy: &Policy,
+) -> (Vec<Finding>, LockGraph) {
+    let in_scope = |fi: usize| {
+        let f = &model.fns[fi];
+        !f.is_test && policy.lock_order_applies(&files[f.file].path)
+    };
+
+    // Pass A: direct edges + calls made while holding.
+    let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    let mut held_calls: Vec<(String, usize, usize)> = Vec::new(); // (held label, fn, call idx)
+    for fi in 0..model.fns.len() {
+        if !in_scope(fi) {
+            continue;
+        }
+        let f = &model.fns[fi];
+        let toks = &files[f.file].toks;
+        let path = &files[f.file].path;
+        let kinds = classify_sites(toks, f);
+        let site_at = |tok: usize| f.locks.iter().position(|s| s.tok == tok);
+        let mut active: Vec<Holder> = Vec::new();
+        let mut depth = 0usize;
+        for i in f.body.0 + 1..f.body.1.saturating_sub(1) {
+            if f.in_nested(i) {
+                continue;
+            }
+            let t = &toks[i];
+            active.retain(|h| match &h.kind {
+                HolderKind::Temp { end } => i < *end,
+                HolderKind::Named { .. } => true,
+            });
+            if t.is_punct('{') {
+                depth += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                active.retain(|h| match &h.kind {
+                    HolderKind::Named { depth: d, .. } => *d <= depth,
+                    HolderKind::Temp { .. } => true,
+                });
+                continue;
+            }
+            if t.is_ident("drop") && is_call(toks, i) {
+                if let Some(arg) = toks.get(i + 2) {
+                    active.retain(|h| match &h.kind {
+                        HolderKind::Named { binding, .. } => binding != &arg.text,
+                        HolderKind::Temp { .. } => true,
+                    });
+                }
+                continue;
+            }
+            if let Some(si) = site_at(i) {
+                let label = &f.locks[si].label;
+                for h in &active {
+                    let from = &f.locks[h.site].label;
+                    if from != label {
+                        edges
+                            .entry((from.clone(), label.clone()))
+                            .or_insert_with(|| LockEdge {
+                                from: from.clone(),
+                                to: label.clone(),
+                                file: path.clone(),
+                                line: f.locks[si].line,
+                                func: f.qname(),
+                                via: None,
+                                direct: true,
+                            });
+                    }
+                }
+                if let Some((_, kind)) = kinds.iter().find(|(k, _)| *k == si) {
+                    let kind = match kind {
+                        HolderKind::Named { binding, .. } => HolderKind::Named {
+                            binding: binding.clone(),
+                            depth,
+                        },
+                        HolderKind::Temp { end } => HolderKind::Temp { end: *end },
+                    };
+                    active.push(Holder { site: si, kind });
+                }
+                continue;
+            }
+            if !active.is_empty() {
+                if let Some(ci) = f.calls.iter().position(|c| c.tok == i) {
+                    for h in &active {
+                        held_calls.push((f.locks[h.site].label.clone(), fi, ci));
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass B: transitive lock sets per function, then call-mediated edges.
+    let mut trans: Vec<BTreeSet<String>> = model
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            if in_scope(fi) {
+                f.locks.iter().map(|l| l.label.clone()).collect()
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for fi in 0..model.fns.len() {
+            if model.fns[fi].is_test {
+                continue;
+            }
+            let merged: BTreeSet<String> = callgraph::callees_of(graph, fi)
+                .flat_map(|c| trans[c].iter().cloned().collect::<Vec<_>>())
+                .collect();
+            for l in merged {
+                if trans[fi].insert(l) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (held, fi, ci) in held_calls {
+        let f = &model.fns[fi];
+        let call = &f.calls[ci];
+        let path = &files[f.file].path;
+        for &callee in &graph.callees[fi][ci] {
+            for to in &trans[callee] {
+                if *to == held {
+                    continue;
+                }
+                edges
+                    .entry((held.clone(), to.clone()))
+                    .or_insert_with(|| LockEdge {
+                        from: held.clone(),
+                        to: to.clone(),
+                        file: path.clone(),
+                        line: call.line,
+                        func: f.qname(),
+                        via: Some(model.fns[callee].qname()),
+                        direct: false,
+                    });
+            }
+        }
+    }
+    let lock_graph = LockGraph {
+        edges: edges.into_values().collect(),
+    };
+
+    // Findings: cycles, then undocumented direct nestings.
+    let mut out = Vec::new();
+    for cycle in lock_graph.cycles() {
+        let mut desc = Vec::new();
+        for (i, from) in cycle.iter().enumerate() {
+            let to = &cycle[(i + 1) % cycle.len()];
+            if let Some(e) = lock_graph
+                .edges
+                .iter()
+                .find(|e| &e.from == from && &e.to == to)
+            {
+                let via = e
+                    .via
+                    .as_ref()
+                    .map(|v| format!(" via `{v}`"))
+                    .unwrap_or_default();
+                desc.push(format!(
+                    "{from} -> {to} at {}:{} in `{}`{via}",
+                    e.file, e.line, e.func
+                ));
+            }
+        }
+        let first = lock_graph
+            .edges
+            .iter()
+            .find(|e| e.from == cycle[0])
+            .expect("cycle edge");
+        out.push(Finding::new(
+            rules::LOCK_ORDER,
+            &first.file,
+            first.line,
+            format!(
+                "lock-order cycle: {} -> {}; {}",
+                cycle.join(" -> "),
+                cycle[0],
+                desc.join("; ")
+            ),
+        ));
+    }
+    for e in lock_graph.edges.iter().filter(|e| e.direct) {
+        let fd = files
+            .iter()
+            .find(|fd| fd.path == e.file)
+            .expect("edge file");
+        let declared = fd.controls.iter().find(|c| {
+            c.verb == "lock-order" && order_matches(&c.rule, short(&e.from), short(&e.to))
+        });
+        if let Some(c) = declared {
+            c.used.set(true);
+        } else {
+            out.push(Finding::new(
+                rules::LOCK_ORDER,
+                &e.file,
+                e.line,
+                format!(
+                    "`{}` acquires `{}` while holding `{}` with no documented order; declare \
+                     `// xlint: lock-order({} -> {}) reason=\"…\"` or restructure",
+                    e.func,
+                    short(&e.to),
+                    short(&e.from),
+                    short(&e.from),
+                    short(&e.to),
+                ),
+            ));
+        }
+    }
+    (out, lock_graph)
+}
+
+/// Label without its `crate:` prefix (what declarations are written in).
+fn short(label: &str) -> &str {
+    label.split_once(':').map_or(label, |(_, f)| f)
+}
+
+/// Does a `lock-order(a -> b)` declaration body match the edge `a → b`?
+fn order_matches(decl: &str, from: &str, to: &str) -> bool {
+    let Some((a, b)) = decl.split_once("->") else {
+        return false;
+    };
+    a.trim() == from && b.trim() == to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build as build_graph;
+    use crate::model::{build as build_model, FileData};
+
+    fn run(src: &str) -> (Vec<Finding>, LockGraph) {
+        let files = vec![FileData::new("crates/cache/src/lru.rs", src)];
+        let model = build_model(&files);
+        let graph = build_graph(&model);
+        lock_order(&files, &model, &graph, &Policy)
+    }
+
+    #[test]
+    fn nested_acquisition_needs_declared_order() {
+        let (findings, graph) = run(r#"
+impl Store {
+    fn totals(&self) {
+        let a = self.index.lock();
+        let b = self.totals.lock();
+    }
+}
+"#);
+        assert_eq!(graph.edges.len(), 1, "{:?}", graph.edges);
+        assert!(graph.edges[0].direct);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no documented order"));
+    }
+
+    #[test]
+    fn declared_order_is_accepted_and_marked_used() {
+        let (findings, _) = run(r#"
+// xlint: lock-order(index -> totals) reason="index is always outermost"
+impl Store {
+    fn totals(&self) {
+        let a = self.index.lock();
+        let b = self.totals.lock();
+    }
+}
+"#);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn sequential_acquisition_is_clean() {
+        let (findings, graph) = run(r#"
+impl Store {
+    fn totals(&self) {
+        { let a = self.index.lock(); }
+        let b = self.totals.lock();
+        drop(b);
+        let c = self.index.lock();
+    }
+}
+"#);
+        assert!(graph.edges.is_empty(), "{:?}", graph.edges);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn two_fn_inverse_order_is_a_cycle() {
+        let (findings, graph) = run(r#"
+// xlint: lock-order(a -> b) reason="forward path"
+// xlint: lock-order(b -> a) reason="backward path"
+impl Store {
+    fn fwd(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+    fn bwd(&self) { let g = self.b.lock(); let h = self.a.lock(); }
+}
+"#);
+        assert_eq!(graph.edges.len(), 2);
+        let cycles = graph.cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert!(
+            findings.iter().any(|f| f.message.contains("cycle")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn call_mediated_edge_found_through_helper() {
+        let (_, graph) = run(r#"
+impl Store {
+    fn outer(&self) {
+        let g = self.index.lock();
+        self.refresh();
+    }
+    fn refresh(&self) { let t = self.totals.lock(); }
+}
+"#);
+        let e = graph
+            .edges
+            .iter()
+            .find(|e| e.to == "cache:totals")
+            .expect("edge");
+        assert!(!e.direct);
+        assert_eq!(e.via.as_deref(), Some("Store::refresh"));
+    }
+
+    use crate::config::Policy;
+}

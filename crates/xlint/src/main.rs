@@ -5,6 +5,10 @@
 //! cargo run -p xlint -- --deny-all    # exit 1 if any unsuppressed finding
 //! cargo run -p xlint -- --json        # machine-readable report
 //! cargo run -p xlint -- --show-suppressed
+//! cargo run -p xlint -- --graph calls # workspace call graph as GraphViz dot
+//! cargo run -p xlint -- --graph locks # lock-acquisition graph as dot
+//! cargo run -p xlint -- --timing      # per-phase wall-clock self-report
+//! cargo run -p xlint -- --max-ms 30000  # fail if analysis exceeds budget
 //! cargo run -p xlint -- --root path/to/workspace
 //! ```
 
@@ -17,6 +21,9 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut deny_all = false;
     let mut show_suppressed = false;
+    let mut timing = false;
+    let mut graph: Option<String> = None;
+    let mut max_ms: Option<u128> = None;
     let mut root: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -25,6 +32,23 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--deny-all" => deny_all = true,
             "--show-suppressed" => show_suppressed = true,
+            "--timing" => timing = true,
+            "--graph" => match args.next() {
+                Some(which) if which == "calls" || which == "locks" || which == "dot" => {
+                    graph = Some(which);
+                }
+                _ => {
+                    eprintln!("xlint: --graph requires `calls`, `locks`, or `dot` (both)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-ms" => match args.next().and_then(|n| n.parse::<u128>().ok()) {
+                Some(ms) => max_ms = Some(ms),
+                None => {
+                    eprintln!("xlint: --max-ms requires a millisecond budget");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -35,10 +59,15 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "xlint — offline workspace invariant checker\n\n\
-                     USAGE: xlint [--json] [--deny-all] [--show-suppressed] [--root DIR]\n\n\
-                     Rules: wire-arith, panic-path, guard-across-io, retry-idempotency,\n\
-                     unsafe-allowlist (+ suppression-hygiene meta checks).\n\
-                     Suppress with: // xlint: allow(<rule>) reason=\"…\""
+                     USAGE: xlint [--json] [--deny-all] [--show-suppressed]\n\
+                     \x20      [--graph calls|locks|dot] [--timing] [--max-ms N] [--root DIR]\n\n\
+                     Per-file rules: wire-arith, panic-path, guard-across-io,\n\
+                     retry-idempotency, unsafe-allowlist, trace-ctx-loss,\n\
+                     blocking-in-reactor.\n\
+                     Workspace passes: wire-taint, lock-order, deadline-propagation\n\
+                     (+ suppression-hygiene meta checks).\n\
+                     Suppress with: // xlint: allow(<rule>) reason=\"…\"\n\
+                     Declare nesting: // xlint: lock-order(a -> b) reason=\"…\""
                 );
                 return ExitCode::SUCCESS;
             }
@@ -61,18 +90,44 @@ fn main() -> ExitCode {
         })
         .unwrap_or_else(|| PathBuf::from("."));
 
-    let findings = xlint::check_workspace(&root);
+    let analysis = xlint::analyze_workspace(&root);
+
+    if let Some(which) = graph {
+        if which == "calls" || which == "dot" {
+            print!(
+                "{}",
+                xlint::callgraph::dot(&analysis.files, &analysis.model, &analysis.call_graph)
+            );
+        }
+        if which == "locks" || which == "dot" {
+            print!("{}", analysis.lock_graph.dot());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = &analysis.findings;
     let active = findings.iter().filter(|f| f.suppressed.is_none()).count();
     let suppressed = findings.len() - active;
 
     if json {
-        println!("{}", xlint::report::render_json(&findings));
+        println!("{}", xlint::report::render_json(findings));
     } else {
-        print!("{}", xlint::report::render_text(&findings, show_suppressed));
+        print!("{}", xlint::report::render_text(findings, show_suppressed));
         println!(
             "xlint: {active} finding{} ({suppressed} suppressed)",
             if active == 1 { "" } else { "s" }
         );
+    }
+    if timing {
+        eprint!("{}", analysis.timing.render());
+    }
+
+    if let Some(budget) = max_ms {
+        let spent = analysis.timing.total_ms();
+        if spent > budget {
+            eprintln!("xlint: analysis took {spent} ms, over the --max-ms {budget} budget");
+            return ExitCode::FAILURE;
+        }
     }
 
     if deny_all && active > 0 {

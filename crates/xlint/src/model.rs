@@ -1,0 +1,628 @@
+//! Phase 1 of the workspace-aware driver: the workspace model.
+//!
+//! The model is everything the inter-procedural passes need, extracted in
+//! one pass over every file's token stream: a symbol table of functions and
+//! methods (with their `impl` receiver type and signature tokens), the call
+//! sites inside each body, the lock-acquisition sites (both the
+//! `.lock()`/`.read()`/`.write()` guard shape and the workspace's
+//! `lock(&mutex)` poison-recovery helper shape), and the set of
+//! deadline-carrying struct types (anything transitively holding a
+//! `Deadline`). No type checker: receivers are resolved by name and `impl`
+//! context only, which is exactly as much as the passes promise.
+
+use crate::lexer::{Kind, Tok};
+use crate::scan::{self, match_delim, Control, FnSpan};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lexed file plus its structural scans, shared by the per-file rules
+/// and the workspace model so each file is tokenized exactly once.
+pub struct FileData {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnSpan>,
+    pub controls: Vec<Control>,
+}
+
+impl FileData {
+    /// Lex and scan one source file.
+    pub fn new(path: &str, src: &str) -> FileData {
+        let toks = crate::lexer::lex(src);
+        let fns = scan::fn_spans(&toks);
+        let controls = scan::controls(&toks);
+        FileData {
+            path: path.to_string(),
+            toks,
+            fns,
+            controls,
+        }
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(...)` — a free (or imported) function.
+    Free,
+    /// `x.foo(...)`; `on_self` when the receiver chain is rooted at `self`.
+    Method { on_self: bool },
+    /// `Qual::foo(...)` with the last path qualifier.
+    Path { qual: String },
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Callee identifier.
+    pub name: String,
+    pub kind: CallKind,
+    /// Token index of the callee identifier in the file's stream.
+    pub tok: usize,
+    pub line: usize,
+}
+
+/// One `Mutex`/`RwLock` acquisition site.
+#[derive(Clone, Debug)]
+pub struct LockSite {
+    /// Canonical graph label: `<crate>:<final receiver segment>` — e.g.
+    /// `self.state.pending.lock()` in crate `rpc` labels `rpc:pending`.
+    /// Deliberately coarse: conflating two same-named locks in one crate
+    /// over-approximates (may report a spurious edge), never misses one.
+    pub label: String,
+    /// Token index of the acquiring ident (`lock`/`read`/`write`).
+    pub tok: usize,
+    pub line: usize,
+}
+
+/// One function in the workspace symbol table.
+pub struct FnNode {
+    /// Index of the owning [`FileData`].
+    pub file: usize,
+    /// Crate name derived from the path (`crates/rpc/...` → `rpc`).
+    pub krate: String,
+    pub name: String,
+    /// Enclosing `impl` type, if any (`impl Trait for T` records `T`).
+    pub recv: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    pub is_test: bool,
+    /// Parameter names, `self` excluded (mirrors [`FnSpan::params`]).
+    pub params: Vec<String>,
+    /// Every identifier in the signature (param and return types included).
+    pub sig_idents: BTreeSet<String>,
+    /// `body.0` is the `{`, `body.1` one past the `}` (token indices).
+    pub body: (usize, usize),
+    /// Token ranges of *nested* `fn` items inside this body; their tokens
+    /// belong to the inner function, not this one.
+    pub nested: Vec<(usize, usize)>,
+    pub calls: Vec<Call>,
+    pub locks: Vec<LockSite>,
+}
+
+impl FnNode {
+    /// Qualified display name (`MuxSender::send` or `checkout`).
+    pub fn qname(&self) -> String {
+        match &self.recv {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Is the token index inside this body but owned by a nested fn?
+    pub fn in_nested(&self, tok: usize) -> bool {
+        self.nested.iter().any(|&(s, e)| tok >= s && tok < e)
+    }
+}
+
+/// The whole-workspace model the inter-procedural passes run over.
+pub struct Model {
+    pub fns: Vec<FnNode>,
+    /// Function name → indices into `fns`.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Struct types that transitively hold a `Deadline` (seeded with
+    /// `Deadline`/`SharedDeadline`/`DeadlineStream`, closed over field
+    /// types), so `deadline-propagation` recognizes e.g. a `BlockConn`
+    /// parameter as carrying the request budget.
+    pub deadline_types: BTreeSet<String>,
+}
+
+/// Crate name from a workspace-relative path. `crates/shims/loom/...`
+/// resolves to `loom`; files outside `crates/` (root `src/`, `tests/`)
+/// resolve to the root package, `udsm`.
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        match parts.next() {
+            Some("shims") => parts.next().unwrap_or("shims").to_string(),
+            Some(name) => name.to_string(),
+            None => "udsm".to_string(),
+        }
+    } else {
+        "udsm".to_string()
+    }
+}
+
+/// Token index ranges of `impl` bodies with their receiver type name.
+fn impl_regions(toks: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Skip `impl<...>` generic parameters.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Scan to the body `{`, remembering `for` and `where` at depth 0:
+        // the receiver type sits between `for` (or the generics) and
+        // `where` (or the `{`).
+        let (mut depth, mut for_idx, mut where_idx, mut open) = (0usize, None, None, None);
+        let mut k = j;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_ident("for") {
+                for_idx = Some(k);
+            } else if depth == 0 && t.is_ident("where") {
+                where_idx = Some(k);
+            } else if depth == 0 && t.is_punct('{') {
+                open = Some(k);
+                break;
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            i = k + 1;
+            continue;
+        };
+        let ty_start = for_idx.map_or(j, |f| f + 1);
+        let ty_end = where_idx.unwrap_or(open);
+        // Receiver name = last identifier at angle depth 0 in the type
+        // region (`Wrap<T>` → `Wrap`, `fmt::Display for Error` → `Error`).
+        let mut depth = 0usize;
+        let mut name = None;
+        for t in &toks[ty_start..ty_end] {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.kind == Kind::Ident && t.text != "dyn" && t.text != "mut" {
+                name = Some(t.text.clone());
+            }
+        }
+        let end = match_delim(toks, open, '{', '}');
+        if let Some(name) = name {
+            out.push((open, end, name));
+        }
+        i = open + 1;
+    }
+    out
+}
+
+/// `struct Name { field: Type, ... }` → (name, identifiers used in field
+/// types). Tuple and unit structs contribute their payload type idents.
+fn struct_field_types(toks: &[Tok]) -> Vec<(String, BTreeSet<String>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !toks[i].is_ident("struct") || toks[i + 1].kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let mut j = i + 2;
+        // Skip generics / where clause up to `{`, `(` or `;`.
+        let mut depth = 0usize;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+        let mut tys = BTreeSet::new();
+        if toks.get(j).is_some_and(|t| t.is_punct('{')) {
+            let end = match_delim(toks, j, '{', '}');
+            // Field types are the token runs between a depth-1 `:` and the
+            // next depth-1 `,` (or the closing brace).
+            let mut d = 0usize;
+            let mut in_ty = false;
+            for t in &toks[j..end] {
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('<') || t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct('>') || t.is_punct(']') {
+                    d = d.saturating_sub(1);
+                } else if d == 1 && t.is_punct(':') {
+                    in_ty = true;
+                } else if d == 1 && t.is_punct(',') {
+                    in_ty = false;
+                } else if in_ty && t.kind == Kind::Ident {
+                    tys.insert(t.text.clone());
+                }
+            }
+            i = end;
+        } else if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            let end = match_delim(toks, j, '(', ')');
+            for t in &toks[j..end] {
+                if t.kind == Kind::Ident {
+                    tys.insert(t.text.clone());
+                }
+            }
+            i = end;
+        } else {
+            i = j + 1;
+        }
+        out.push((name, tys));
+    }
+    out
+}
+
+/// Keywords that may directly precede `(` without being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "as", "in", "move", "else", "let",
+    "unsafe", "break", "impl", "dyn", "where", "async",
+];
+
+fn prev_nc(toks: &[Tok], i: usize) -> Option<(usize, &Tok)> {
+    toks[..i]
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, t)| !t.is_comment())
+}
+
+fn next_nc(toks: &[Tok], i: usize) -> Option<(usize, &Tok)> {
+    toks.iter()
+        .enumerate()
+        .skip(i + 1)
+        .find(|(_, t)| !t.is_comment())
+}
+
+/// Mirror of `rules::is_guard_acquire`: `.lock()`/`.read()`/`.write()` with
+/// empty parens — the guard-acquisition shape.
+fn is_guard_acquire(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if !(t.is_ident("lock") || t.is_ident("read") || t.is_ident("write")) {
+        return false;
+    }
+    if !prev_nc(toks, i).is_some_and(|(_, p)| p.is_punct('.')) {
+        return false;
+    }
+    let Some((open, ot)) = next_nc(toks, i) else {
+        return false;
+    };
+    ot.is_punct('(') && next_nc(toks, open).is_some_and(|(_, t)| t.is_punct(')'))
+}
+
+/// Walk a `.`-separated receiver chain *backwards* from the token index of
+/// a method name; returns the chain segments in source order. A call or
+/// index in the chain contributes the ident before its `(`/`[`
+/// (`self.shard(k).lock()` → `["self", "shard"]`).
+fn recv_chain(toks: &[Tok], method_idx: usize) -> Vec<String> {
+    let mut segs = Vec::new();
+    let Some((mut i, dot)) = prev_nc(toks, method_idx) else {
+        return segs;
+    };
+    if !dot.is_punct('.') {
+        return segs;
+    }
+    // `i` is at a `.`; each segment ends just before it.
+    while let Some((j, t)) = prev_nc(toks, i) {
+        let seg_idx = if t.kind == Kind::Ident {
+            Some(j)
+        } else if t.is_punct(')') || t.is_punct(']') {
+            // Scan back over the balanced group to the ident naming it.
+            let (open, close) = if t.is_punct(')') {
+                ('(', ')')
+            } else {
+                ('[', ']')
+            };
+            let mut depth = 1usize;
+            let mut k = j;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if toks[k].is_punct(close) {
+                    depth += 1;
+                } else if toks[k].is_punct(open) {
+                    depth -= 1;
+                }
+            }
+            prev_nc(toks, k).and_then(|(m, t)| (t.kind == Kind::Ident).then_some(m))
+        } else {
+            None
+        };
+        let Some(seg_idx) = seg_idx else { break };
+        segs.push(toks[seg_idx].text.clone());
+        match prev_nc(toks, seg_idx) {
+            Some((k, t)) if t.is_punct('.') => i = k,
+            _ => break,
+        }
+    }
+    segs.reverse();
+    segs
+}
+
+/// Build the lock label for a receiver chain in context.
+fn lock_label(krate: &str, recv: Option<&str>, chain: &[String]) -> String {
+    let field = match chain.last() {
+        Some(f) if f != "self" => f.clone(),
+        // Bare `self.lock()` — label by the impl type.
+        _ => recv.unwrap_or("self").to_string(),
+    };
+    format!("{krate}:{field}")
+}
+
+/// Extract calls and lock sites from one function body.
+fn scan_body(toks: &[Tok], node: &mut FnNode, recv: Option<&str>, krate: &str, params: &[String]) {
+    // The workspace's poison-recovery helper (`fn lock<T>(m: &Mutex<T>) ->
+    // MutexGuard` with `into_inner`) locks *its parameter*; the acquisition
+    // belongs to its callers, where the `lock(&x)` call-site shape below
+    // attributes it.
+    let body = &toks[node.body.0..node.body.1];
+    let is_poison_helper = body.iter().any(|t| t.is_ident("into_inner"));
+
+    let mut i = node.body.0 + 1;
+    while i + 1 < node.body.1 {
+        if node.in_nested(i) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        // Guard-shape lock acquisition.
+        if is_guard_acquire(toks, i) {
+            let chain = recv_chain(toks, i);
+            let root_is_param = chain.first().is_some_and(|r| params.contains(r));
+            if !(is_poison_helper && root_is_param) {
+                node.locks.push(LockSite {
+                    label: lock_label(krate, recv, &chain),
+                    tok: i,
+                    line: t.line,
+                });
+            }
+            i += 1;
+            continue;
+        }
+        // Helper-shape acquisition: a free call `lock(&chain)`.
+        let is_called = next_nc(toks, i).is_some_and(|(_, n)| n.is_punct('('));
+        let after_dot = prev_nc(toks, i).is_some_and(|(_, p)| p.is_punct('.'));
+        if t.is_ident("lock") && is_called && !after_dot {
+            if let Some((open, _)) = next_nc(toks, i) {
+                if next_nc(toks, open).is_some_and(|(_, a)| a.is_punct('&')) {
+                    let close = match_delim(toks, open, '(', ')');
+                    let chain: Vec<String> = toks[open + 1..close.saturating_sub(1)]
+                        .iter()
+                        .filter(|t| t.kind == Kind::Ident)
+                        .map(|t| t.text.clone())
+                        .collect();
+                    if !chain.is_empty() {
+                        node.locks.push(LockSite {
+                            label: lock_label(krate, recv, &chain),
+                            tok: i,
+                            line: t.line,
+                        });
+                    }
+                    // Still record the call edge to the helper below.
+                }
+            }
+        }
+        // Call site.
+        if is_called && !NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            let kind = match prev_nc(toks, i) {
+                Some((_, p)) if p.is_punct('.') => CallKind::Method {
+                    on_self: recv_chain(toks, i).first().is_some_and(|r| r == "self"),
+                },
+                Some((j, p)) if p.is_punct(':') => {
+                    // `Qual::name(` — find the ident before the `::`.
+                    match prev_nc(toks, j)
+                        .and_then(|(k, c)| c.is_punct(':').then(|| prev_nc(toks, k)).flatten())
+                    {
+                        Some((_, q)) if q.kind == Kind::Ident => CallKind::Path {
+                            qual: q.text.clone(),
+                        },
+                        _ => CallKind::Free,
+                    }
+                }
+                _ => CallKind::Free,
+            };
+            node.calls.push(Call {
+                name: t.text.clone(),
+                kind,
+                tok: i,
+                line: t.line,
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Build the workspace model over every file (phase 1).
+pub fn build(files: &[FileData]) -> Model {
+    let mut fns = Vec::new();
+    let mut struct_tys: Vec<(String, BTreeSet<String>)> = Vec::new();
+    for (file_idx, fd) in files.iter().enumerate() {
+        let krate = crate_of(&fd.path);
+        let impls = impl_regions(&fd.toks);
+        struct_tys.extend(struct_field_types(&fd.toks));
+        let file_is_test = fd.path.starts_with("tests/")
+            || fd.path.contains("/tests/")
+            || fd.path.contains("/benches/");
+        for f in &fd.fns {
+            // Innermost impl body containing the fn header.
+            let recv = impls
+                .iter()
+                .filter(|&&(s, e, _)| f.head_start > s && f.head_start < e)
+                .min_by_key(|&&(s, e, _)| e - s)
+                .map(|(_, _, name)| name.clone());
+            let sig_idents: BTreeSet<String> = fd.toks[f.head_start..f.body_start]
+                .iter()
+                .filter(|t| t.kind == Kind::Ident)
+                .map(|t| t.text.clone())
+                .collect();
+            let nested: Vec<(usize, usize)> = fd
+                .fns
+                .iter()
+                .filter(|g| g.head_start > f.head_start && g.body_end <= f.body_end)
+                .map(|g| (g.head_start, g.body_end))
+                .collect();
+            let mut node = FnNode {
+                file: file_idx,
+                krate: krate.clone(),
+                name: f.name.clone(),
+                recv,
+                line: f.line,
+                is_test: f.is_test || file_is_test,
+                params: f.params.clone(),
+                sig_idents,
+                body: (f.body_start, f.body_end),
+                nested,
+                calls: Vec::new(),
+                locks: Vec::new(),
+            };
+            let recv = node.recv.clone();
+            let params = node.params.clone();
+            scan_body(&fd.toks, &mut node, recv.as_deref(), &krate, &params);
+            fns.push(node);
+        }
+    }
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    // Deadline-carrying types: close the seed set over struct fields.
+    let mut deadline_types: BTreeSet<String> = ["Deadline", "SharedDeadline", "DeadlineStream"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    loop {
+        let before = deadline_types.len();
+        for (name, tys) in &struct_tys {
+            if tys.iter().any(|t| deadline_types.contains(t)) {
+                deadline_types.insert(name.clone());
+            }
+        }
+        if deadline_types.len() == before {
+            break;
+        }
+    }
+    Model {
+        fns,
+        by_name,
+        deadline_types,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(path: &str, src: &str) -> Model {
+        build(&[FileData::new(path, src)])
+    }
+
+    #[test]
+    fn impl_receiver_and_calls() {
+        let m = model_of(
+            "crates/rpc/src/x.rs",
+            r#"
+impl MuxSender {
+    fn send(&self) { self.lease(); helper(2); Framer::scan(b); }
+    fn lease(&self) {}
+}
+fn helper(n: usize) {}
+"#,
+        );
+        let send = &m.fns[0];
+        assert_eq!(send.recv.as_deref(), Some("MuxSender"));
+        assert_eq!(send.qname(), "MuxSender::send");
+        let kinds: Vec<(&str, &CallKind)> = send
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), &c.kind))
+            .collect();
+        assert_eq!(kinds.len(), 3, "{kinds:?}");
+        assert_eq!(kinds[0], ("lease", &CallKind::Method { on_self: true }));
+        assert_eq!(kinds[1], ("helper", &CallKind::Free));
+        assert_eq!(
+            kinds[2],
+            (
+                "scan",
+                &CallKind::Path {
+                    qual: "Framer".into()
+                }
+            )
+        );
+        assert!(m.fns[2].recv.is_none());
+    }
+
+    #[test]
+    fn lock_sites_both_shapes() {
+        let m = model_of(
+            "crates/rpc/src/x.rs",
+            r#"
+impl MuxState {
+    fn register(&self) {
+        let g = self.pending.lock();
+        let h = lock(&self.reactor);
+        let s = self.shards[0].lock();
+    }
+}
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+"#,
+        );
+        let labels: Vec<&str> = m.fns[0].locks.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(labels, ["rpc:pending", "rpc:reactor", "rpc:shards"]);
+        // The poison helper's internal site is attributed to callers only.
+        assert!(m.fns[1].locks.is_empty(), "{:?}", m.fns[1].locks);
+    }
+
+    #[test]
+    fn deadline_types_close_over_fields() {
+        let m = model_of(
+            "crates/rpc/src/x.rs",
+            "struct BlockConn { stream: DeadlineStream, n: usize }\n\
+             struct Plain { n: usize }\n\
+             struct Outer { conn: BlockConn }\n",
+        );
+        assert!(m.deadline_types.contains("BlockConn"));
+        assert!(m.deadline_types.contains("Outer"));
+        assert!(!m.deadline_types.contains("Plain"));
+    }
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_of("crates/rpc/src/mux.rs"), "rpc");
+        assert_eq!(crate_of("crates/shims/reactor/src/sys.rs"), "reactor");
+        assert_eq!(crate_of("src/lib.rs"), "udsm");
+        assert_eq!(crate_of("tests/c10k.rs"), "udsm");
+    }
+}

@@ -29,6 +29,15 @@ pub const TRACE_CTX: &str = "trace-ctx-loss";
 pub const REACTOR_BLOCK: &str = "blocking-in-reactor";
 /// Meta rule: suppression hygiene (unused allows, missing reasons).
 pub const HYGIENE: &str = "suppression-hygiene";
+/// Inter-procedural rule: wire-derived integer reaches an allocation or
+/// `as usize` cast across a call boundary without a checked bound.
+pub const WIRE_TAINT: &str = "wire-taint";
+/// Inter-procedural rule: global lock-acquisition graph cycles and
+/// undocumented nested acquisitions.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Inter-procedural rule: socket I/O reachable from a client request entry
+/// point must take or derive a `Deadline`.
+pub const DEADLINE: &str = "deadline-propagation";
 
 /// All suppressible rule names (for validating `allow(...)` arguments).
 pub const RULES: &[&str] = &[
@@ -39,24 +48,27 @@ pub const RULES: &[&str] = &[
     UNSAFE,
     TRACE_CTX,
     REACTOR_BLOCK,
+    WIRE_TAINT,
+    LOCK_ORDER,
+    DEADLINE,
 ];
 
-fn prev_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
+pub(crate) fn prev_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
     toks[..i].iter().rev().find(|t| !t.is_comment())
 }
 
-fn next_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
+pub(crate) fn next_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
     toks.get(i + 1..)?.iter().find(|t| !t.is_comment())
 }
 
 /// `toks[i]` is an identifier called as a method: `recv.name(...)`.
-fn is_method_call(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn is_method_call(toks: &[Tok], i: usize) -> bool {
     prev_nc(toks, i).is_some_and(|t| t.is_punct('.'))
         && next_nc(toks, i).is_some_and(|t| t.is_punct('('))
 }
 
 /// `toks[i]` is an identifier invoked with `(` (method or free call).
-fn is_call(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn is_call(toks: &[Tok], i: usize) -> bool {
     next_nc(toks, i).is_some_and(|t| t.is_punct('('))
 }
 
@@ -135,7 +147,7 @@ fn is_blocking_call(toks: &[Tok], i: usize) -> bool {
     }
 }
 
-const TAINT_SOURCES: &[&str] = &[
+pub(crate) const TAINT_SOURCES: &[&str] = &[
     "parse",
     "from_le_bytes",
     "from_be_bytes",
@@ -159,19 +171,19 @@ fn lenish(name: &str) -> bool {
 }
 
 /// One `let` statement's shape inside a function body.
-struct LetStmt {
+pub(crate) struct LetStmt {
     /// Idents bound by the pattern (constructors/types filtered out).
-    bindings: Vec<String>,
+    pub(crate) bindings: Vec<String>,
     /// Token range of the initializer expression.
-    rhs: (usize, usize),
+    pub(crate) rhs: (usize, usize),
     /// Index one past the end of the whole statement.
-    end: usize,
+    pub(crate) end: usize,
 }
 
 /// Parse the `let` starting at `toks[i]` (which must be the `let` ident).
 /// Understands plain `let`, `let`-`else`, and the `if let` / `while let`
 /// forms (whose "RHS" ends at the block brace).
-fn parse_let(toks: &[Tok], i: usize, limit: usize) -> Option<LetStmt> {
+pub(crate) fn parse_let(toks: &[Tok], i: usize, limit: usize) -> Option<LetStmt> {
     let head_is_cond = prev_nc(toks, i).is_some_and(|t| t.is_ident("if") || t.is_ident("while"));
     let mut bindings = Vec::new();
     let mut j = i + 1;

@@ -224,9 +224,27 @@ fn param_names(toks: &[Tok]) -> Vec<String> {
         } else if depth == 1
             && t.kind == Kind::Ident
             && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
             && !t.is_ident("self")
         {
-            out.push(t.text.clone());
+            // A parameter name starts a `name: Type` pair right after `(`
+            // or `,` (optionally via `mut`); idents mid-type such as the
+            // `std` of `impl std::io::Read` don't qualify.
+            let mut p = i;
+            let prev_ok = loop {
+                if p == 0 {
+                    break false;
+                }
+                p -= 1;
+                let pt = &toks[p];
+                if pt.is_comment() || pt.is_ident("mut") {
+                    continue;
+                }
+                break pt.is_punct('(') || pt.is_punct(',');
+            };
+            if prev_ok {
+                out.push(t.text.clone());
+            }
         }
         i += 1;
     }
@@ -253,6 +271,7 @@ pub struct Control {
 /// Grammar (inside any comment):
 ///   `xlint: allow(<rule>) reason="<text>"`
 ///   `xlint: idempotent reason="<text>"`
+///   `xlint: lock-order(<a> -> <b>) reason="<text>"`
 pub fn controls(toks: &[Tok]) -> Vec<Control> {
     let mut out = Vec::new();
     for t in toks.iter().filter(|t| t.is_comment()) {
@@ -269,6 +288,19 @@ pub fn controls(toks: &[Tok]) -> Vec<Control> {
                 out.push(Control {
                     line: t.line,
                     verb: "allow".to_string(),
+                    rule: args[..close].trim().to_string(),
+                    reason,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+        } else if let Some(args) = rest.strip_prefix("lock-order(") {
+            // A declared lock order: the `rule` field carries the
+            // `a -> b` body verbatim; the lock-order pass matches it
+            // against observed nested acquisitions.
+            if let Some(close) = args.find(')') {
+                out.push(Control {
+                    line: t.line,
+                    verb: "lock-order".to_string(),
                     rule: args[..close].trim().to_string(),
                     reason,
                     used: std::cell::Cell::new(false),

@@ -1,0 +1,565 @@
+//! `wire-taint`: inter-procedural taint from wire-derived integers to
+//! allocation sites and unchecked casts.
+//!
+//! Seeds are the frame-parser reads (`parse`, `from_le_bytes`,
+//! `from_str_radix`, ... — the same [`rules::TAINT_SOURCES`] list
+//! `wire-arith` uses) in the parser/framer files named by
+//! [`Policy::taint_seed_applies`]. Taint then flows three ways:
+//!
+//! * through `let` bindings inside a function (the `wire-arith` model);
+//! * into a callee's parameter when a tainted value is passed as an
+//!   argument (via the resolved call graph);
+//! * out of a callee whose return region is tainted, into the caller's
+//!   binding.
+//!
+//! A finding fires when a tainted value reaches `with_capacity`/`reserve`/
+//! `vec![_; n]`/`take(n)…read_to_end` or an `as usize` cast without a
+//! preceding checked bound (`try_from`, `checked_*`, `saturating_*`,
+//! `.min`/`.clamp`, or an explicit `<`/`>` comparison). Intra-function
+//! cases inside the `wire-arith` parser files stay that rule's job; this
+//! pass reports the cross-function flows (and intra-function flows in
+//! files `wire-arith` does not cover, e.g. the rpc framers). Every message
+//! names both the seed site and the sink site.
+
+use crate::callgraph::CallGraph;
+use crate::config::Policy;
+use crate::lexer::{Kind, Tok};
+use crate::model::{FileData, Model};
+use crate::report::Finding;
+use crate::rules::{self, is_call, is_method_call, next_nc, parse_let, prev_nc};
+use crate::scan::match_delim;
+use std::collections::BTreeMap;
+
+/// Where a tainted value was first read off the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Origin {
+    /// Seeding function index.
+    pub seed_fn: usize,
+    /// Workspace-relative file of the seed read.
+    pub file: String,
+    pub line: usize,
+    /// The seeding source call (`parse`, `from_le_bytes`, ...).
+    pub source: String,
+}
+
+/// Calls that bound a value; a tainted name passing through one (or
+/// compared with `<`/`>`) is considered checked from that token on.
+const SANITIZERS: &[&str] = &[
+    "try_from",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "min",
+    "clamp",
+];
+
+/// Allocation-style sink calls taking a size argument.
+const ALLOC_SINKS: &[&str] = &["with_capacity", "reserve", "reserve_exact"];
+
+fn fn_scope<'a>(files: &'a [FileData], model: &Model, fi: usize) -> (&'a FileData, &'a [Tok]) {
+    let fd = &files[model.fns[fi].file];
+    (fd, &fd.toks)
+}
+
+/// Is the mention at `i` only used for its size (`name.len()`,
+/// `name.is_empty()`)? The collection already exists in memory, so its
+/// length is a safe bound — allocating `with_capacity(buf.len())` cannot
+/// exceed what was already read.
+fn is_len_projection(toks: &[Tok], i: usize) -> bool {
+    next_nc(toks, i).is_some_and(|t| t.is_punct('.'))
+        && (i + 1..toks.len())
+            .find(|&j| toks[j].kind == Kind::Ident)
+            .is_some_and(|j| toks[j].is_ident("len") || toks[j].is_ident("is_empty"))
+}
+
+/// Is the punct at `i` a binary mask/modulo (`x & MASK`, `x % cap`)? Both
+/// bound the result, so an initializer containing one is sanitized. A `&`
+/// with no value-shaped left operand is a reference, not a mask.
+fn is_mask_op(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if !(t.is_punct('&') || t.is_punct('%')) {
+        return false;
+    }
+    if toks.get(i + 1).is_some_and(|n| n.is_punct('&')) || (i > 0 && toks[i - 1].is_punct('&')) {
+        return false; // `&&`
+    }
+    prev_nc(toks, i).is_some_and(|p| {
+        p.kind == Kind::Ident || p.kind == Kind::Num || p.is_punct(')') || p.is_punct(']')
+    })
+}
+
+/// First plain value mention of `name` in `toks[range]` (not a method
+/// name, not a `.len()` projection).
+fn mention_index(toks: &[Tok], range: (usize, usize), name: &str) -> Option<usize> {
+    (range.0..range.1.min(toks.len())).find(|&i| {
+        toks[i].is_ident(name) && !is_method_call(toks, i) && !is_len_projection(toks, i)
+    })
+}
+
+fn mentions(toks: &[Tok], range: (usize, usize), name: &str) -> bool {
+    mention_index(toks, range, name).is_some()
+}
+
+/// Per-name token index of the first bounds check inside a body.
+fn check_index(toks: &[Tok], body: (usize, usize), name: &str) -> Option<usize> {
+    for i in body.0..body.1 {
+        if !toks[i].is_ident(name) {
+            continue;
+        }
+        // `name < limit`, `limit > name`, `name <= limit`, ...
+        let adj_cmp = |t: &Tok| t.is_punct('<') || t.is_punct('>');
+        if next_nc(toks, i).is_some_and(adj_cmp) || prev_nc(toks, i).is_some_and(adj_cmp) {
+            return Some(i);
+        }
+        // `name.min(..)` / `name.checked_mul(..)` receiver position.
+        if next_nc(toks, i).is_some_and(|t| t.is_punct('.')) {
+            if let Some(m) = (i + 1..body.1).find(|&j| toks[j].kind == Kind::Ident) {
+                if SANITIZERS.contains(&toks[m].text.as_str()) {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    // `usize::try_from(name)` / `cap.min(name)` argument position.
+    for i in body.0..body.1 {
+        if toks[i].kind == Kind::Ident
+            && SANITIZERS.contains(&toks[i].text.as_str())
+            && is_call(toks, i)
+        {
+            if let Some(open) = (i + 1..body.1).find(|&j| toks[j].is_punct('(')) {
+                let close = match_delim(toks, open, '(', ')');
+                if mentions(toks, (open, close), name) {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Compute the locally-tainted names of one function from its seeds,
+/// injected parameter taint, and the return taint of resolved callees.
+fn local_taint(
+    files: &[FileData],
+    model: &Model,
+    graph: &CallGraph,
+    policy: &Policy,
+    fi: usize,
+    param_taint: &[Option<Origin>],
+    rets: &[Option<Origin>],
+) -> BTreeMap<String, Origin> {
+    let f = &model.fns[fi];
+    let (fd, toks) = fn_scope(files, model, fi);
+    let seed_scope = policy.taint_seed_applies(&fd.path);
+    let mut tainted: BTreeMap<String, Origin> = BTreeMap::new();
+    for (pi, p) in f.params.iter().enumerate() {
+        if let Some(o) = param_taint.get(pi).and_then(|o| o.as_ref()) {
+            tainted.insert(p.clone(), o.clone());
+        }
+    }
+    // Two passes over the `let`s, as in `wire-arith`, to settle ordering.
+    for _ in 0..2 {
+        let mut i = f.body.0;
+        while i < f.body.1 {
+            if f.in_nested(i) || !toks[i].is_ident("let") {
+                i += 1;
+                continue;
+            }
+            let Some(stmt) = parse_let(toks, i, f.body.1) else {
+                i += 1;
+                continue;
+            };
+            let rhs = (stmt.rhs.0, stmt.rhs.1);
+            let rhs_toks = &toks[rhs.0..rhs.1];
+            let sanitized = rhs_toks.iter().enumerate().any(|(off, t)| {
+                (t.kind == Kind::Ident && SANITIZERS.contains(&t.text.as_str()))
+                    || is_mask_op(rhs_toks, off)
+            });
+            if sanitized {
+                i = stmt.end.max(i + 1);
+                continue;
+            }
+            let mut origin: Option<Origin> = None;
+            // Direct seed read in the initializer.
+            if seed_scope {
+                if let Some(off) = rhs_toks.iter().position(|t| {
+                    t.kind == Kind::Ident && rules::TAINT_SOURCES.contains(&t.text.as_str())
+                }) {
+                    origin = Some(Origin {
+                        seed_fn: fi,
+                        file: fd.path.clone(),
+                        line: rhs_toks[off].line,
+                        source: rhs_toks[off].text.clone(),
+                    });
+                }
+            }
+            // Tainted name used in the initializer — unless a bounds check
+            // on that name precedes this statement, or the mention sits in
+            // the argument list of a *resolved* call (then taint flows into
+            // the callee's params and back out via its return taint, which
+            // the next branch handles; the callee may bound the value).
+            if origin.is_none() {
+                let resolved_args: Vec<(usize, usize)> = f
+                    .calls
+                    .iter()
+                    .enumerate()
+                    .filter(|(ci, c)| {
+                        c.tok >= rhs.0 && c.tok < rhs.1 && !graph.callees[fi][*ci].is_empty()
+                    })
+                    .flat_map(|(_, c)| arg_ranges(toks, c.tok, rhs.1))
+                    .collect();
+                origin = rhs_toks
+                    .iter()
+                    .enumerate()
+                    .find_map(|(off, t)| {
+                        let g = rhs.0 + off;
+                        (t.kind == Kind::Ident
+                            && !is_method_call(rhs_toks, off)
+                            && !is_len_projection(rhs_toks, off)
+                            && tainted.contains_key(&t.text)
+                            && !resolved_args.iter().any(|&(s, e)| g >= s && g < e)
+                            && check_index(toks, f.body, &t.text).is_none_or(|chk| chk >= rhs.0))
+                        .then(|| tainted.get(&t.text))
+                        .flatten()
+                    })
+                    .cloned();
+            }
+            // Call in the initializer whose return is tainted.
+            if origin.is_none() {
+                origin = f
+                    .calls
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.tok >= rhs.0 && c.tok < rhs.1)
+                    .find_map(|(ci, _)| {
+                        graph.callees[fi][ci]
+                            .iter()
+                            .find_map(|&callee| rets[callee].clone())
+                    });
+            }
+            if let Some(o) = origin {
+                for b in &stmt.bindings {
+                    tainted.entry(b.clone()).or_insert_with(|| o.clone());
+                }
+            }
+            i = stmt.end.max(i + 1);
+        }
+    }
+    tainted
+}
+
+/// The return region of a body: every `return <expr>;` plus the tail
+/// expression after the last depth-1 `;`.
+fn return_regions(toks: &[Tok], body: (usize, usize)) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut last_semi = body.0;
+    for i in body.0..body.1 {
+        let t = &toks[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 1 && t.is_punct(';') {
+            last_semi = i;
+        } else if t.is_ident("return") {
+            let end = (i + 1..body.1)
+                .find(|&j| toks[j].is_punct(';'))
+                .unwrap_or(body.1);
+            out.push((i + 1, end));
+        }
+    }
+    if last_semi + 1 < body.1 {
+        out.push((last_semi + 1, body.1.saturating_sub(1)));
+    }
+    out
+}
+
+/// Does this function return a tainted value, and from which origin?
+fn return_taint(
+    files: &[FileData],
+    model: &Model,
+    graph: &CallGraph,
+    policy: &Policy,
+    fi: usize,
+    tainted: &BTreeMap<String, Origin>,
+    rets: &[Option<Origin>],
+) -> Option<Origin> {
+    let f = &model.fns[fi];
+    let (fd, toks) = fn_scope(files, model, fi);
+    let regions = return_regions(toks, f.body);
+    for &(s, e) in &regions {
+        // A tainted local flowing out...
+        for (name, o) in tainted {
+            if mentions(toks, (s, e), name) && check_index(toks, f.body, name).is_none() {
+                return Some(o.clone());
+            }
+        }
+        // ...or a direct seed read in the return expression...
+        if policy.taint_seed_applies(&fd.path) {
+            for i in s..e.min(toks.len()) {
+                if toks[i].kind == Kind::Ident
+                    && rules::TAINT_SOURCES.contains(&toks[i].text.as_str())
+                    && is_call(toks, i)
+                {
+                    return Some(Origin {
+                        seed_fn: fi,
+                        file: fd.path.clone(),
+                        line: toks[i].line,
+                        source: toks[i].text.clone(),
+                    });
+                }
+            }
+        }
+        // ...or a tail call into a function with a tainted return.
+        for (ci, c) in f.calls.iter().enumerate() {
+            if c.tok >= s && c.tok < e {
+                if let Some(o) = graph.callees[fi][ci]
+                    .iter()
+                    .find_map(|&callee| rets[callee].clone())
+                {
+                    return Some(o);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Argument slices of the call whose ident is at `call_tok`.
+fn arg_ranges(toks: &[Tok], call_tok: usize, limit: usize) -> Vec<(usize, usize)> {
+    let Some(open) = (call_tok + 1..limit).find(|&j| !toks[j].is_comment()) else {
+        return Vec::new();
+    };
+    if !toks[open].is_punct('(') {
+        return Vec::new();
+    }
+    let close = match_delim(toks, open, '(', ')').saturating_sub(1);
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = open + 1;
+    for (i, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') || t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct(',') {
+            out.push((start, i));
+            start = i + 1;
+        }
+    }
+    if start < close {
+        out.push((start, close));
+    } else if start == open + 1 && close > open + 1 {
+        out.push((open + 1, close));
+    }
+    out
+}
+
+/// Run the pass: fixpoint propagation, then sink reporting.
+pub fn wire_taint(
+    files: &[FileData],
+    model: &Model,
+    graph: &CallGraph,
+    policy: &Policy,
+) -> Vec<Finding> {
+    let n = model.fns.len();
+    let mut param_taint: Vec<Vec<Option<Origin>>> = model
+        .fns
+        .iter()
+        .map(|f| vec![None; f.params.len()])
+        .collect();
+    let mut rets: Vec<Option<Origin>> = vec![None; n];
+
+    let applies = |fi: usize| {
+        let f = &model.fns[fi];
+        let path = &files[f.file].path;
+        !f.is_test && (policy.general_rules_apply(path) || policy.wire_arith_applies(path))
+    };
+
+    // Monotone fixpoint: parameter and return taint are only ever set,
+    // never cleared, so this terminates in O(params + fns) rounds.
+    loop {
+        let mut changed = false;
+        for fi in 0..n {
+            if !applies(fi) {
+                continue;
+            }
+            let local = local_taint(files, model, graph, policy, fi, &param_taint[fi], &rets);
+            if rets[fi].is_none() {
+                if let Some(o) = return_taint(files, model, graph, policy, fi, &local, &rets) {
+                    rets[fi] = Some(o);
+                    changed = true;
+                }
+            }
+            let f = &model.fns[fi];
+            let (fd, toks) = fn_scope(files, model, fi);
+            let seed_scope = policy.taint_seed_applies(&fd.path);
+            for (ci, c) in f.calls.iter().enumerate() {
+                if graph.callees[fi][ci].is_empty() {
+                    continue;
+                }
+                for (argi, range) in arg_ranges(toks, c.tok, f.body.1).into_iter().enumerate() {
+                    let mut origin = local.iter().find_map(|(name, o)| {
+                        (mentions(toks, range, name)
+                            && check_index(toks, f.body, name).is_none_or(|chk| chk >= range.0))
+                        .then(|| o.clone())
+                    });
+                    if origin.is_none() && seed_scope {
+                        origin = (range.0..range.1).find_map(|i| {
+                            (toks[i].kind == Kind::Ident
+                                && rules::TAINT_SOURCES.contains(&toks[i].text.as_str())
+                                && is_call(toks, i))
+                            .then(|| Origin {
+                                seed_fn: fi,
+                                file: fd.path.clone(),
+                                line: toks[i].line,
+                                source: toks[i].text.clone(),
+                            })
+                        });
+                    }
+                    // A tainted-return call sitting directly in argument
+                    // position: `sink_fn(parse_len(h))`.
+                    if origin.is_none() {
+                        origin = f
+                            .calls
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c2)| c2.tok >= range.0 && c2.tok < range.1)
+                            .find_map(|(ci2, _)| {
+                                graph.callees[fi][ci2]
+                                    .iter()
+                                    .find_map(|&cal| rets[cal].clone())
+                            });
+                    }
+                    let Some(origin) = origin else { continue };
+                    for &callee in &graph.callees[fi][ci] {
+                        if applies(callee)
+                            && argi < param_taint[callee].len()
+                            && param_taint[callee][argi].is_none()
+                        {
+                            param_taint[callee][argi] = Some(origin.clone());
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reporting: sinks on tainted names. Intra-function flows are left to
+    // `wire-arith` in the files it covers.
+    let mut out = Vec::new();
+    for (fi, ptaint) in param_taint.iter().enumerate() {
+        if !applies(fi) {
+            continue;
+        }
+        let local = local_taint(files, model, graph, policy, fi, ptaint, &rets);
+        if local.is_empty() {
+            continue;
+        }
+        let f = &model.fns[fi];
+        let (fd, toks) = fn_scope(files, model, fi);
+        let reportable = |o: &Origin| o.seed_fn != fi || !policy.wire_arith_applies(&fd.path);
+        let mut sink = |name: &str, o: &Origin, line: usize, what: &str| {
+            if !reportable(o) {
+                return;
+            }
+            out.push(Finding::new(
+                rules::WIRE_TAINT,
+                &fd.path,
+                line,
+                format!(
+                    "wire-derived `{name}` (read via `{}` at {}:{}) reaches {what} at {}:{line} \
+                     without a checked bound; clamp or `usize::try_from` it first",
+                    o.source, o.file, o.line, fd.path
+                ),
+            ));
+        };
+        for (name, o) in &local {
+            let checked_at = check_index(toks, f.body, name);
+            let is_clean = |tok: usize| checked_at.is_some_and(|chk| chk < tok);
+            // A mention is bounded if the first check on the name sits at or
+            // before it — this credits in-argument clamps like
+            // `reserve(n.min(CAP))`, where the check *is* the mention.
+            let mention_clean = |m: usize| checked_at.is_some_and(|chk| chk <= m);
+            let mut i = f.body.0;
+            while i + 1 < f.body.1 {
+                i += 1;
+                if f.in_nested(i) || toks[i].kind != Kind::Ident {
+                    continue;
+                }
+                let t = &toks[i];
+                // Allocation sinks: `with_capacity(name)`, `reserve(name)`.
+                if ALLOC_SINKS.contains(&t.text.as_str()) && is_call(toks, i) {
+                    for range in arg_ranges(toks, i, f.body.1) {
+                        if let Some(m) = mention_index(toks, range, name) {
+                            if !mention_clean(m) {
+                                sink(name, o, t.line, &format!("`{}`", t.text));
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // `vec![0; name]`.
+                if t.is_ident("vec") && next_nc(toks, i).is_some_and(|n| n.is_punct('!')) {
+                    if let Some(open) =
+                        (i + 1..f.body.1).find(|&j| toks[j].is_punct('[') || toks[j].is_punct('('))
+                    {
+                        let (oc, cc) = if toks[open].is_punct('[') {
+                            ('[', ']')
+                        } else {
+                            ('(', ')')
+                        };
+                        let close = match_delim(toks, open, oc, cc);
+                        let semi = (open..close).find(|&j| toks[j].is_punct(';'));
+                        if let Some(semi) = semi {
+                            if let Some(m) = mention_index(toks, (semi, close), name) {
+                                if !mention_clean(m) {
+                                    sink(name, o, t.line, "`vec![_; n]`");
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // `.take(name)` feeding `read_to_end`.
+                if t.is_ident("take") && is_method_call(toks, i) {
+                    let stmt_end = (i..f.body.1)
+                        .find(|&j| toks[j].is_punct(';'))
+                        .unwrap_or(f.body.1);
+                    let fed = (i..stmt_end).any(|j| toks[j].is_ident("read_to_end"));
+                    for range in arg_ranges(toks, i, f.body.1) {
+                        if let Some(m) = mention_index(toks, range, name) {
+                            if fed && !mention_clean(m) {
+                                sink(name, o, t.line, "`take(n).read_to_end`");
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // `name as usize`.
+                if t.is_ident(name)
+                    && !is_method_call(toks, i)
+                    && next_nc(toks, i).is_some_and(|nx| nx.is_ident("as"))
+                {
+                    let as_idx = (i + 1..f.body.1).find(|&j| toks[j].is_ident("as"));
+                    if as_idx
+                        .and_then(|a| next_nc(toks, a))
+                        .is_some_and(|ty| ty.is_ident("usize"))
+                        && !is_clean(i)
+                    {
+                        sink(name, o, t.line, "an `as usize` cast");
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -640,6 +640,9 @@ fn rule_catalog_is_covered() {
         "unsafe-allowlist",
         "trace-ctx-loss",
         "blocking-in-reactor",
+        "wire-taint",
+        "lock-order",
+        "deadline-propagation",
     ];
     for rule in xlint::rules::RULES {
         assert!(
@@ -647,4 +650,632 @@ fn rule_catalog_is_covered() {
             "rule {rule} has no fixture in this corpus"
         );
     }
+}
+
+// ------------------------------------------------------- multi-file helpers
+
+/// Active rule names fired across a set of virtual files analyzed together
+/// (the workspace-model passes see all of them in one call graph).
+fn fired_multi(files: &[(&str, &str)]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings_multi(files)
+        .into_iter()
+        .filter(|f| f.suppressed.is_none())
+        .map(|f| f.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+fn findings_multi(files: &[(&str, &str)]) -> Vec<xlint::report::Finding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+        .collect();
+    xlint::check_sources(&owned, &Policy)
+}
+
+fn assert_fires_multi(rule: &str, files: &[(&str, &str)]) {
+    let rules = fired_multi(files);
+    assert!(
+        rules.contains(&rule),
+        "expected {rule} to fire across {:?}, got {rules:?}",
+        files.iter().map(|(p, _)| *p).collect::<Vec<_>>()
+    );
+}
+
+fn assert_clean_multi(files: &[(&str, &str)]) {
+    let rules = fired_multi(files);
+    assert!(
+        rules.is_empty(),
+        "expected no findings across {:?}, got {rules:?}",
+        files.iter().map(|(p, _)| *p).collect::<Vec<_>>()
+    );
+}
+
+const RPC: &str = "crates/rpc/src/framer.rs";
+
+// ---------------------------------------------------------------- wire-taint
+
+/// A wire-derived count crosses a file boundary into an allocation: the
+/// parser reads it, a helper in another crate allocates with it, and no
+/// checked bound intervenes anywhere on the path.
+#[test]
+fn wire_taint_fires_on_cross_file_alloc_chain() {
+    let files = [
+        (
+            PARSER,
+            r#"
+fn decode(header: &str) -> Vec<u8> {
+    let n: usize = header.parse().unwrap_or(0);
+    build_table(n)
+}
+"#,
+        ),
+        (
+            GENERAL,
+            r#"
+pub fn build_table(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}
+"#,
+        ),
+    ];
+    assert_fires_multi("wire-taint", &files);
+    // The finding names both ends of the flow: the seed read in the parser
+    // and the allocation sink in the other file.
+    let f = findings_multi(&files)
+        .into_iter()
+        .find(|f| f.rule == "wire-taint")
+        .expect("wire-taint finding");
+    assert!(f.message.contains(PARSER), "no seed site in: {}", f.message);
+    assert!(
+        f.message.contains(GENERAL),
+        "no sink site in: {}",
+        f.message
+    );
+}
+
+#[test]
+fn wire_taint_clean_when_callee_bounds_the_count() {
+    assert_clean_multi(&[
+        (
+            PARSER,
+            r#"
+fn decode(header: &str) -> Vec<u8> {
+    let n: usize = header.parse().unwrap_or(0);
+    build_table(n)
+}
+"#,
+        ),
+        (
+            GENERAL,
+            r#"
+pub fn build_table(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n.min(4096))
+}
+"#,
+        ),
+    ]);
+}
+
+/// A helper's tainted *return value* flows into the caller's `vec![_; n]`
+/// — same file, but across the function boundary `wire-arith` stops at.
+#[test]
+fn wire_taint_fires_on_tainted_return_into_vec_macro() {
+    assert_fires_multi(
+        "wire-taint",
+        &[(
+            PARSER,
+            r#"
+fn frame_len(header: &str) -> usize {
+    header.parse().unwrap_or(0)
+}
+fn read_frame(header: &str) -> Vec<u8> {
+    let n = frame_len(header);
+    let buf = vec![0u8; n];
+    buf
+}
+"#,
+        )],
+    );
+}
+
+#[test]
+fn wire_taint_clean_when_caller_checks_the_return() {
+    assert_clean_multi(&[(
+        PARSER,
+        r#"
+fn frame_len(header: &str) -> usize {
+    header.parse().unwrap_or(0)
+}
+fn read_frame(header: &str) -> Vec<u8> {
+    let n = frame_len(header);
+    if n > 65536 {
+        return Vec::new();
+    }
+    let buf = vec![0u8; n];
+    buf
+}
+"#,
+    )]);
+}
+
+/// The rpc framers are outside `wire-arith`'s file list, so even an
+/// intra-function flow there is this pass's to report.
+#[test]
+fn wire_taint_fires_intra_function_in_rpc_framer() {
+    assert_fires_multi(
+        "wire-taint",
+        &[(
+            RPC,
+            r#"
+fn scan_reply(line: &str, buf: &mut Vec<u8>) {
+    let n: usize = line.parse().unwrap_or(0);
+    buf.reserve(n);
+}
+"#,
+        )],
+    );
+}
+
+#[test]
+fn wire_taint_clean_in_rpc_framer_with_clamp() {
+    assert_clean_multi(&[(
+        RPC,
+        r#"
+fn scan_reply(line: &str, buf: &mut Vec<u8>) {
+    let n: usize = line.parse().unwrap_or(0);
+    buf.reserve(n.min(16 * 1024));
+}
+"#,
+    )]);
+}
+
+/// A tainted parameter reaching `.take(n).read_to_end` in a second file:
+/// the bounded-reader idiom is only bounded if `n` itself is.
+#[test]
+fn wire_taint_fires_on_cross_file_take_read_to_end() {
+    assert_fires_multi(
+        "wire-taint",
+        &[
+            (
+                PARSER,
+                r#"
+fn content_length(v: &str) -> u64 {
+    v.parse().unwrap_or(0)
+}
+fn dispatch(v: &str, r: &mut impl std::io::Read) -> Vec<u8> {
+    slurp(r, content_length(v))
+}
+"#,
+            ),
+            (
+                GENERAL,
+                r#"
+pub fn slurp(r: &mut impl std::io::Read, n: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = r.take(n).read_to_end(&mut out);
+    out
+}
+"#,
+            ),
+        ],
+    );
+}
+
+#[test]
+fn wire_taint_clean_when_take_len_is_clamped_at_the_seam() {
+    assert_clean_multi(&[
+        (
+            PARSER,
+            r#"
+fn content_length(v: &str) -> u64 {
+    v.parse().unwrap_or(0)
+}
+fn dispatch(v: &str, r: &mut impl std::io::Read) -> Vec<u8> {
+    let n = content_length(v).min(1 << 20);
+    slurp(r, n)
+}
+"#,
+        ),
+        (
+            GENERAL,
+            r#"
+pub fn slurp(r: &mut impl std::io::Read, n: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = r.take(n).read_to_end(&mut out);
+    out
+}
+"#,
+        ),
+    ]);
+}
+
+// ---------------------------------------------------------------- lock-order
+
+/// Direct nested acquisition with no declared order.
+#[test]
+fn lock_order_fires_on_undeclared_nesting() {
+    assert_fires_multi(
+        "lock-order",
+        &[(
+            GENERAL,
+            r#"
+use std::sync::Mutex;
+struct Store { index: Mutex<Vec<u8>>, blobs: Mutex<Vec<u8>> }
+impl Store {
+    fn compact(&self) {
+        let idx = self.index.lock().unwrap();
+        let blobs = self.blobs.lock().unwrap();
+        drop(blobs);
+        drop(idx);
+    }
+}
+"#,
+        )],
+    );
+}
+
+#[test]
+fn lock_order_clean_with_declared_order() {
+    assert_clean_multi(&[(
+        GENERAL,
+        r#"
+use std::sync::Mutex;
+struct Store { index: Mutex<Vec<u8>>, blobs: Mutex<Vec<u8>> }
+impl Store {
+    fn compact(&self) {
+        // xlint: lock-order(index -> blobs) reason="compaction snapshots blobs under the index lock"
+        let idx = self.index.lock().unwrap();
+        let blobs = self.blobs.lock().unwrap();
+        drop(blobs);
+        drop(idx);
+    }
+}
+"#,
+    )]);
+}
+
+/// Two functions acquiring the same pair in opposite orders is a cycle even
+/// when each edge is individually declared: declaring doesn't excuse it.
+#[test]
+fn lock_order_fires_on_declared_but_inverted_pair() {
+    let files = [(
+        GENERAL,
+        r#"
+use std::sync::Mutex;
+struct Store { index: Mutex<Vec<u8>>, blobs: Mutex<Vec<u8>> }
+impl Store {
+    fn compact(&self) {
+        // xlint: lock-order(index -> blobs) reason="snapshot"
+        let idx = self.index.lock().unwrap();
+        let blobs = self.blobs.lock().unwrap();
+        drop(blobs);
+        drop(idx);
+    }
+    fn restore(&self) {
+        // xlint: lock-order(blobs -> index) reason="restore"
+        let blobs = self.blobs.lock().unwrap();
+        let idx = self.index.lock().unwrap();
+        drop(idx);
+        drop(blobs);
+    }
+}
+"#,
+    )];
+    assert_fires_multi("lock-order", &files);
+    let f = findings_multi(&files)
+        .into_iter()
+        .find(|f| f.rule == "lock-order" && f.message.contains("cycle"))
+        .expect("cycle finding");
+    assert!(f.message.contains("index") && f.message.contains("blobs"));
+}
+
+/// Three locks, three files, one cycle: a -> b, b -> c, c -> a. Each file
+/// looks locally innocent; only the workspace graph sees the loop.
+#[test]
+fn lock_order_fires_on_three_lock_cycle_across_files() {
+    let files = [
+        (
+            "crates/cache/src/tiers.rs",
+            r#"
+use std::sync::Mutex;
+pub struct Tiers { pub hot: Mutex<u8>, pub warm: Mutex<u8>, pub cold: Mutex<u8> }
+impl Tiers {
+    pub fn promote(&self) {
+        // xlint: lock-order(hot -> warm) reason="promotion copies up"
+        let h = self.hot.lock().unwrap();
+        let w = self.warm.lock().unwrap();
+        drop(w);
+        drop(h);
+    }
+}
+"#,
+        ),
+        (
+            "crates/cache/src/demote.rs",
+            r#"
+impl crate::tiers::Tiers {
+    pub fn demote(&self) {
+        // xlint: lock-order(warm -> cold) reason="demotion copies down"
+        let w = self.warm.lock().unwrap();
+        let c = self.cold.lock().unwrap();
+        drop(c);
+        drop(w);
+    }
+}
+"#,
+        ),
+        (
+            "crates/cache/src/sweep.rs",
+            r#"
+impl crate::tiers::Tiers {
+    pub fn sweep(&self) {
+        // xlint: lock-order(cold -> hot) reason="sweep revives"
+        let c = self.cold.lock().unwrap();
+        let h = self.hot.lock().unwrap();
+        drop(h);
+        drop(c);
+    }
+}
+"#,
+        ),
+    ];
+    assert_fires_multi("lock-order", &files);
+    let f = findings_multi(&files)
+        .into_iter()
+        .find(|f| f.rule == "lock-order" && f.message.contains("cycle"))
+        .expect("cycle finding");
+    for label in ["hot", "warm", "cold"] {
+        assert!(f.message.contains(label), "{label} missing: {}", f.message);
+    }
+}
+
+#[test]
+fn lock_order_clean_with_consistent_total_order_across_files() {
+    assert_clean_multi(&[
+        (
+            "crates/cache/src/tiers.rs",
+            r#"
+use std::sync::Mutex;
+pub struct Tiers { pub hot: Mutex<u8>, pub warm: Mutex<u8>, pub cold: Mutex<u8> }
+impl Tiers {
+    pub fn promote(&self) {
+        // xlint: lock-order(hot -> warm) reason="promotion copies up"
+        let h = self.hot.lock().unwrap();
+        let w = self.warm.lock().unwrap();
+        drop(w);
+        drop(h);
+    }
+}
+"#,
+        ),
+        (
+            "crates/cache/src/demote.rs",
+            r#"
+impl crate::tiers::Tiers {
+    pub fn demote(&self) {
+        // xlint: lock-order(warm -> cold) reason="demotion copies down"
+        let w = self.warm.lock().unwrap();
+        let c = self.cold.lock().unwrap();
+        drop(c);
+        drop(w);
+    }
+}
+"#,
+        ),
+    ]);
+}
+
+/// A cycle formed through a *call*: one function locks B while a lock-A
+/// holder calls into it, and another path nests them the other way round.
+#[test]
+fn lock_order_fires_on_call_mediated_cycle() {
+    assert_fires_multi(
+        "lock-order",
+        &[(
+            GENERAL,
+            r#"
+use std::sync::Mutex;
+struct Store { index: Mutex<Vec<u8>>, blobs: Mutex<Vec<u8>> }
+impl Store {
+    fn flush_blobs(&self) {
+        let b = self.blobs.lock().unwrap();
+        drop(b);
+    }
+    fn compact(&self) {
+        // xlint: lock-order(index -> blobs) reason="flush under index"
+        let idx = self.index.lock().unwrap();
+        self.flush_blobs();
+        drop(idx);
+    }
+    fn rebuild(&self) {
+        // xlint: lock-order(blobs -> index) reason="rebuild scans"
+        let b = self.blobs.lock().unwrap();
+        let idx = self.index.lock().unwrap();
+        drop(idx);
+        drop(b);
+    }
+}
+"#,
+        )],
+    );
+}
+
+#[test]
+fn lock_order_clean_when_guard_dropped_before_call() {
+    assert_clean_multi(&[(
+        GENERAL,
+        r#"
+use std::sync::Mutex;
+struct Store { index: Mutex<Vec<u8>>, blobs: Mutex<Vec<u8>> }
+impl Store {
+    fn flush_blobs(&self) {
+        let b = self.blobs.lock().unwrap();
+        drop(b);
+    }
+    fn compact(&self) {
+        {
+            let idx = self.index.lock().unwrap();
+            drop(idx);
+        }
+        self.flush_blobs();
+    }
+}
+"#,
+    )]);
+}
+
+// ------------------------------------------------------ deadline-propagation
+
+/// The PR 7 regression shape: `send` takes a Deadline but the helper it
+/// delegates the actual socket write to doesn't — the budget dies at the
+/// first internal seam.
+#[test]
+fn deadline_fires_when_budget_dropped_across_rpc_seam() {
+    let files = [(
+        "crates/rpc/src/blocking.rs",
+        r#"
+impl BlockingSender {
+    fn send(&self, req: &[u8], deadline: &Deadline) -> Result<Vec<u8>> {
+        self.push_frame(req)
+    }
+    fn push_frame(&self, req: &[u8]) -> Result<Vec<u8>> {
+        self.stream.write_all(req)
+    }
+}
+"#,
+    )];
+    assert_fires_multi("deadline-propagation", &files);
+    let f = findings_multi(&files)
+        .into_iter()
+        .find(|f| f.rule == "deadline-propagation")
+        .expect("deadline finding");
+    assert!(f.message.contains("push_frame"), "{}", f.message);
+    assert!(f.message.contains("BlockingSender::send"), "{}", f.message);
+}
+
+#[test]
+fn deadline_clean_when_budget_threaded_through_the_seam() {
+    assert_clean_multi(&[(
+        "crates/rpc/src/blocking.rs",
+        r#"
+impl BlockingSender {
+    fn send(&self, req: &[u8], deadline: &Deadline) -> Result<Vec<u8>> {
+        self.push_frame(req, deadline)
+    }
+    fn push_frame(&self, req: &[u8], deadline: &Deadline) -> Result<Vec<u8>> {
+        self.stream.write_all(req)
+    }
+}
+"#,
+    )]);
+}
+
+/// The seam can span files: an EnhancedClient op reaching plain socket I/O
+/// in a helper module two hops away.
+#[test]
+fn deadline_fires_across_file_boundary_from_enhanced_client() {
+    assert_fires_multi(
+        "deadline-propagation",
+        &[
+            (
+                "crates/core/src/client.rs",
+                r#"
+impl EnhancedClient {
+    pub fn get(&self, key: &str) -> Result<Vec<u8>> {
+        fetch(&self.transport, key)
+    }
+}
+"#,
+            ),
+            (
+                "crates/core/src/transport.rs",
+                r#"
+pub fn fetch(t: &Transport, key: &str) -> Result<Vec<u8>> {
+    let mut buf = [0u8; 256];
+    t.sock.read_exact(&mut buf)
+}
+"#,
+            ),
+        ],
+    );
+}
+
+#[test]
+fn deadline_clean_when_helper_consults_stream_timeouts() {
+    assert_clean_multi(&[
+        (
+            "crates/core/src/client.rs",
+            r#"
+impl EnhancedClient {
+    pub fn get(&self, key: &str) -> Result<Vec<u8>> {
+        fetch(&self.transport, key, self.deadline)
+    }
+}
+"#,
+        ),
+        (
+            "crates/core/src/transport.rs",
+            r#"
+pub fn fetch(t: &Transport, key: &str, deadline: Deadline) -> Result<Vec<u8>> {
+    t.sock.set_read_timeout(Some(deadline.remaining()))?;
+    let mut buf = [0u8; 256];
+    t.sock.read_exact(&mut buf)
+}
+"#,
+        ),
+    ]);
+}
+
+/// The resilience `run_*` entry points are request boundaries too: a dial
+/// helper reachable from `run_idempotent` must carry the budget.
+#[test]
+fn deadline_fires_from_resilience_run_entry() {
+    assert_fires_multi(
+        "deadline-propagation",
+        &[(
+            "crates/resilience/src/retry.rs",
+            r#"
+pub fn run_idempotent(addr: &str) -> Result<Vec<u8>> {
+    dial(addr)
+}
+fn dial(addr: &str) -> Result<Vec<u8>> {
+    let mut s = TcpStream::connect(addr)?;
+    s.write_all(b"hello")
+}
+"#,
+        )],
+    );
+}
+
+#[test]
+fn deadline_clean_when_dial_derives_a_connect_budget() {
+    assert_clean_multi(&[(
+        "crates/resilience/src/retry.rs",
+        r#"
+pub fn run_idempotent(addr: &str, deadline: &Deadline) -> Result<Vec<u8>> {
+    dial(addr, deadline)
+}
+fn dial(addr: &str, deadline: &Deadline) -> Result<Vec<u8>> {
+    let mut s = TcpStream::connect_timeout(&addr.parse()?, deadline.remaining())?;
+    s.write_all(b"hello")
+}
+"#,
+    )]);
+}
+
+/// Functions on server files are out of scope: their time discipline is
+/// the reactor's, not a per-request budget.
+#[test]
+fn deadline_ignores_server_side_io() {
+    assert_clean_multi(&[(
+        SERVER,
+        r#"
+fn pump(s: &mut TcpStream) -> Result<()> {
+    s.write_all(b"pong")
+}
+"#,
+    )]);
 }

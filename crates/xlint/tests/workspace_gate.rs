@@ -1,0 +1,67 @@
+//! The analyzer run CI gates on, executed against the real workspace:
+//! `--deny-all` must be clean and the global lock graph provably acyclic.
+//!
+//! These are integration tests of the repository itself, not of fixture
+//! snippets — if a change introduces an undeclared lock nesting, a taint
+//! path, or a dropped deadline anywhere in the tree, they fail here
+//! before `ci.sh` ever runs.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/xlint -> crates -> repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+#[test]
+fn workspace_is_deny_all_clean() {
+    let a = xlint::analyze_workspace(&workspace_root());
+    let active: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.suppressed.is_none())
+        .collect();
+    assert!(
+        active.is_empty(),
+        "workspace has active findings:\n{}",
+        active
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_lock_graph_is_acyclic() {
+    let a = xlint::analyze_workspace(&workspace_root());
+    let cycles = a.lock_graph.cycles();
+    assert!(
+        cycles.is_empty(),
+        "lock-acquisition graph has cycles: {cycles:?}\n{}",
+        a.lock_graph.dot()
+    );
+    // The graph must be non-trivial for acyclicity to mean anything: the
+    // workspace is known to contain at least one declared nesting
+    // (obs registry: metrics -> exemplars).
+    assert!(
+        a.lock_graph
+            .edges
+            .iter()
+            .any(|e| e.from.contains("metrics") && e.to.contains("exemplars")),
+        "expected the obs metrics -> exemplars edge in the lock graph"
+    );
+}
+
+#[test]
+fn workspace_analysis_fits_the_ci_budget() {
+    let a = xlint::analyze_workspace(&workspace_root());
+    let total = a.timing.total_ms();
+    assert!(
+        total <= 30_000,
+        "two-phase workspace analysis took {total} ms, over the 30 s CI budget"
+    );
+}

@@ -11,11 +11,14 @@ cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Static analysis: the seven deny-by-default invariant rules (wire
+# Static analysis: the seven deny-by-default per-file rules (wire
 # arithmetic, panic paths, guard-across-I/O, retry idempotency, unsafe
-# allowlist, trace-context loss, blocking-in-reactor) must report zero
-# active findings. See DESIGN.md §8.
-cargo run -q --release --offline -p xlint -- --deny-all
+# allowlist, trace-context loss, blocking-in-reactor) plus the three
+# workspace-model passes (wire-taint, lock-order, deadline-propagation)
+# must report zero active findings. The analyzer self-reports phase
+# timings and the gate fails if the full two-phase analysis exceeds the
+# 30 s budget. See DESIGN.md §8.
+cargo run -q --release --offline -p xlint -- --deny-all --timing --max-ms 30000
 
 # Model checking: every interleaving of the cache-shard and connection-pool
 # locking protocols, plus the loom shim's own scheduler tests.

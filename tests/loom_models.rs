@@ -175,3 +175,169 @@ fn cross_shard_lock_inversion_is_reported_as_deadlock() {
         t.join().expect("child");
     });
 }
+
+/// The mux transport's in-flight correlation table (`MuxState` in
+/// `crates/rpc/src/mux.rs`), with the wire stripped out: a FIFO of
+/// correlation ids plus an id → waiter map and a live-request counter,
+/// all guarded by one `pending` lock. Delivery runs with the lock
+/// released, exactly like `MuxState::complete`. The real counter is an
+/// atomic; the loom shim models no atomics, so it lives in the same
+/// table here — the protocol (who decrements, exactly once) is what is
+/// being checked, not the memory ordering.
+#[derive(Default)]
+struct MuxTable {
+    fifo: Vec<u64>,
+    map: Vec<(u64, MuxWaiter)>,
+    in_flight: usize,
+}
+
+enum MuxWaiter {
+    /// A parked caller's completion slot (receives the reply payload).
+    Waiting(Arc<Mutex<Option<u64>>>),
+    /// Locally timed out; holds its place in reply order as a tombstone.
+    Abandoned,
+}
+
+fn mux_register(tbl: &Mutex<MuxTable>, id: u64) -> Arc<Mutex<Option<u64>>> {
+    let slot = Arc::new(Mutex::new(None));
+    let mut t = tbl.lock();
+    t.fifo.push(id);
+    t.map.push((id, MuxWaiter::Waiting(slot.clone())));
+    t.in_flight += 1;
+    slot
+}
+
+/// Reactor side: one reply frame arrives carrying `echoed` as its
+/// correlation id (and as its payload, so misdelivery is observable).
+/// Matches by echoed id when known, else strict FIFO; completes with the
+/// pending lock released. Returns false with nothing in flight.
+fn mux_reply(tbl: &Mutex<MuxTable>, echoed: u64) -> bool {
+    let taken = {
+        let mut t = tbl.lock();
+        let Some(&front) = t.fifo.first() else {
+            return false;
+        };
+        let id = if t.map.iter().any(|e| e.0 == echoed) {
+            echoed
+        } else {
+            front
+        };
+        t.fifo.retain(|&q| q != id);
+        let pos = t.map.iter().position(|e| e.0 == id);
+        pos.map(|p| t.map.remove(p).1)
+    };
+    match taken {
+        Some(MuxWaiter::Waiting(slot)) => {
+            tbl.lock().in_flight -= 1;
+            *slot.lock() = Some(echoed);
+            true
+        }
+        Some(MuxWaiter::Abandoned) | None => true,
+    }
+}
+
+/// Caller side: deadline ran out. Tombstone the entry (it keeps its reply-
+/// order position) and drop it from the live count — unless the reply got
+/// there first, in which case the caller collects the imminent result.
+fn mux_abandon(tbl: &Mutex<MuxTable>, id: u64) -> bool {
+    let mut t = tbl.lock();
+    let Some(pos) = t.map.iter().position(|e| e.0 == id) else {
+        return false;
+    };
+    if matches!(t.map[pos].1, MuxWaiter::Abandoned) {
+        return false;
+    }
+    t.map[pos].1 = MuxWaiter::Abandoned;
+    t.in_flight -= 1;
+    true
+}
+
+/// Out-of-order replies interleaved with a concurrent register+cancel:
+/// every waiter gets exactly its own reply, the cancelled request gets
+/// nothing, and the live count drains to zero under every schedule.
+#[test]
+fn mux_inflight_replies_never_misdeliver_under_any_interleaving() {
+    loom::model(|| {
+        let tbl = Arc::new(Mutex::new(MuxTable::default()));
+        let slot1 = mux_register(&tbl, 1);
+        let slot2 = mux_register(&tbl, 2);
+
+        // Reactor thread: the server answers id 2 before id 1 (both echo
+        // their correlation id, so matching is by id, not arrival order).
+        let t2 = tbl.clone();
+        let reactor = thread::spawn(move || {
+            assert!(mux_reply(&t2, 2));
+            assert!(mux_reply(&t2, 1));
+        });
+
+        // Caller thread (here: main) races a third request's register and
+        // local timeout against both deliveries.
+        let slot3 = mux_register(&tbl, 3);
+        assert!(mux_abandon(&tbl, 3), "nobody else completes id 3");
+
+        reactor.join().expect("reactor");
+
+        assert_eq!(*slot1.lock(), Some(1), "waiter 1 got someone else's reply");
+        assert_eq!(*slot2.lock(), Some(2), "waiter 2 got someone else's reply");
+        assert_eq!(*slot3.lock(), None, "cancelled waiter must get nothing");
+        let t = tbl.lock();
+        assert_eq!(t.in_flight, 0, "live count leaked");
+        // The tombstone keeps its reply-order position until its late
+        // reply burns it.
+        assert_eq!(t.fifo, vec![3]);
+    });
+}
+
+/// The cancel/complete race: exactly one side wins. If abandon wins the
+/// waiter sees nothing and the reply burns the tombstone; if the reply
+/// wins the caller collects it and abandon reports too-late. Either way
+/// the live count is decremented exactly once.
+#[test]
+fn mux_abandon_and_reply_race_resolves_exactly_once() {
+    loom::model(|| {
+        let tbl = Arc::new(Mutex::new(MuxTable::default()));
+        let slot = mux_register(&tbl, 7);
+
+        let t2 = tbl.clone();
+        let reactor = thread::spawn(move || {
+            assert!(mux_reply(&t2, 7));
+        });
+
+        let abandoned = mux_abandon(&tbl, 7);
+        reactor.join().expect("reactor");
+
+        let delivered = slot.lock().is_some();
+        assert!(
+            abandoned != delivered,
+            "abandon={abandoned} delivered={delivered}: the waiter must be \
+             resolved by exactly one side"
+        );
+        assert_eq!(tbl.lock().in_flight, 0, "double decrement or leak");
+    });
+}
+
+/// A reply with an unrecognized correlation id falls back to strict FIFO:
+/// it completes the oldest unreplied request, never a newer one.
+#[test]
+fn mux_unlabeled_reply_goes_to_fifo_front() {
+    loom::model(|| {
+        let tbl = Arc::new(Mutex::new(MuxTable::default()));
+        let slot1 = mux_register(&tbl, 1);
+
+        let t2 = tbl.clone();
+        let reactor = thread::spawn(move || {
+            // Server echoes an id we never sent (or none at all).
+            assert!(mux_reply(&t2, 99));
+        });
+
+        let slot2 = mux_register(&tbl, 2);
+        reactor.join().expect("reactor");
+
+        // Whichever registration order the schedule produced, the frame
+        // went to the FIFO front — and id 1 registered before spawn, so
+        // the front is always 1.
+        assert_eq!(*slot1.lock(), Some(99));
+        assert_eq!(*slot2.lock(), None);
+        assert_eq!(tbl.lock().in_flight, 1);
+    });
+}

@@ -13,6 +13,11 @@
 //! - `cache_hit` — the same reads through a primed `InProcessLru` versus a
 //!   cache-less client: the paper's Guava-cache speedup, as a ratio the
 //!   comparator can watch.
+//! - `cluster` — a 70/30 mix through a three-node [`ClusterClient`] built
+//!   from prefixed views of the target store (router overhead on the real
+//!   target), plus a hedged-vs-unhedged read pair over tail-injected
+//!   in-memory nodes so the hedging p99 win is a number the comparator can
+//!   watch.
 //!
 //! Each workload runs against two targets: `inproc` ([`MemKv`], measuring
 //! pure client overhead) and `remote` (a [`CloudServer`] behind the scaled
@@ -22,6 +27,7 @@ use crate::report::{
     BenchReport, EnvFingerprint, OpStats, ResourceUsage, WorkloadResult, SCHEMA_VERSION,
 };
 use cloudstore::{CloudClient, CloudServer, CloudServerConfig};
+use cluster::{ClusterClient, ClusterPolicy};
 use dscl::EnhancedClient;
 use dscl_cache::InProcessLru;
 use kvapi::mem::MemKv;
@@ -31,11 +37,12 @@ use obs::LatencyHistogram;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The pinned workload names, in run order.
-pub const WORKLOADS: &[&str] = &["small_op", "large_value", "batch", "cache_hit"];
+pub const WORKLOADS: &[&str] = &["small_op", "large_value", "batch", "cache_hit", "cluster"];
 
 /// The pinned target names, in run order.
 pub const TARGETS: &[&str] = &["inproc", "remote"];
@@ -197,6 +204,176 @@ fn run_cache_hit(
     Ok(())
 }
 
+/// A namespaced view of a shared store: one cluster "node" living under a
+/// key prefix, so three of them over one target store exercise the router's
+/// replica fan-out against real target latency.
+struct PrefixStore {
+    inner: Arc<dyn KeyValue>,
+    prefix: String,
+}
+
+impl PrefixStore {
+    fn new(inner: Arc<dyn KeyValue>, prefix: impl Into<String>) -> PrefixStore {
+        PrefixStore {
+            inner,
+            prefix: prefix.into(),
+        }
+    }
+    fn full(&self, key: &str) -> String {
+        format!("{}{key}", self.prefix)
+    }
+}
+
+impl KeyValue for PrefixStore {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.inner.put(&self.full(key), value)
+    }
+    fn get(&self, key: &str) -> Result<Option<bytes::Bytes>> {
+        self.inner.get(&self.full(key))
+    }
+    fn delete(&self, key: &str) -> Result<bool> {
+        self.inner.delete(&self.full(key))
+    }
+    fn keys(&self) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .keys()?
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&self.prefix).map(str::to_string))
+            .collect())
+    }
+    fn clear(&self) -> Result<()> {
+        for key in self.keys()? {
+            self.inner.delete(&self.full(&key))?;
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory store whose every `slow_every`-th read stalls for `stall` —
+/// a deterministic stand-in for a replica's latency spikes, so the hedged
+/// and unhedged clusters face the same tail.
+struct TailStore {
+    inner: MemKv,
+    reads: AtomicU64,
+    slow_every: u64,
+    stall: Duration,
+}
+
+impl TailStore {
+    fn new(name: &str, slow_every: u64, stall: Duration) -> TailStore {
+        TailStore {
+            inner: MemKv::new(name),
+            reads: AtomicU64::new(0),
+            slow_every: slow_every.max(1),
+            stall,
+        }
+    }
+}
+
+impl KeyValue for TailStore {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.inner.put(key, value)
+    }
+    fn get(&self, key: &str) -> Result<Option<bytes::Bytes>> {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.slow_every) {
+            std::thread::sleep(self.stall);
+        }
+        self.inner.get(key)
+    }
+    fn delete(&self, key: &str) -> Result<bool> {
+        self.inner.delete(key)
+    }
+    fn keys(&self) -> Result<Vec<String>> {
+        self.inner.keys()
+    }
+    fn clear(&self) -> Result<()> {
+        self.inner.clear()
+    }
+}
+
+/// How often a [`TailStore`] read stalls, and for how long. At 2000 ops the
+/// stalls are ~2.5% of reads — comfortably above the p99, so the unhedged
+/// row's tail sits in the stall band while the hedged row's tracks the
+/// hedge delay.
+const TAIL_SLOW_EVERY: u64 = 40;
+const TAIL_STALL: Duration = Duration::from_millis(2);
+const HEDGE_DELAY: Duration = Duration::from_micros(300);
+
+fn run_cluster(store: &Arc<dyn KeyValue>, cfg: &HarnessConfig, rec: &mut OpRecorder) -> Result<()> {
+    const KEYS: usize = 48;
+    let ops = cfg.ops(2000, 40);
+    let value = pattern_value(256, 6);
+
+    // Router overhead on the real target: three prefixed views of the
+    // bench store form a replicated cluster (hedging off, so the op stream
+    // the target sees stays deterministic under the seed).
+    let nodes: Vec<(String, Arc<dyn KeyValue>)> = (0..3)
+        .map(|i| {
+            let id = format!("node-{i}");
+            let view: Arc<dyn KeyValue> =
+                Arc::new(PrefixStore::new(Arc::clone(store), format!("{id}:")));
+            (id, view)
+        })
+        .collect();
+    let routed = ClusterClient::from_stores("bench-cluster", nodes, ClusterPolicy::default());
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xc105e);
+    for i in 0..KEYS {
+        routed.put(&format!("cl-{i:02}"), &value)?;
+    }
+    for _ in 0..ops {
+        let key = format!("cl-{:02}", rng.gen_range(0..KEYS));
+        if rng.gen_bool(0.7) {
+            rec.time("get", || routed.get(&key))?;
+        } else {
+            rec.time("put", || routed.put(&key, &value))?;
+        }
+    }
+
+    // The hedging payoff, as a comparator-visible pair: two identical
+    // three-node clusters over tail-injected in-memory stores, one with a
+    // hedge delay and one without, reading the same key stream.
+    let tail_cluster = |tag: &str, hedge: Option<Duration>| -> ClusterClient {
+        let nodes: Vec<(String, Arc<dyn KeyValue>)> = (0..3)
+            .map(|i| {
+                let id = format!("node-{i}");
+                let st: Arc<dyn KeyValue> = Arc::new(TailStore::new(
+                    &format!("{tag}-{i}"),
+                    TAIL_SLOW_EVERY,
+                    TAIL_STALL,
+                ));
+                (id, st)
+            })
+            .collect();
+        let policy = ClusterPolicy {
+            hedge_delay: hedge,
+            ..ClusterPolicy::default()
+        };
+        ClusterClient::from_stores(format!("tail-{tag}"), nodes, policy)
+    };
+    let unhedged = tail_cluster("unhedged", None);
+    let hedged = tail_cluster("hedged", Some(HEDGE_DELAY));
+    for i in 0..KEYS {
+        let key = format!("cl-{i:02}");
+        unhedged.put(&key, &value)?;
+        hedged.put(&key, &value)?;
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4ed6e);
+    for _ in 0..ops {
+        let key = format!("cl-{:02}", rng.gen_range(0..KEYS));
+        rec.time("get_unhedged", || unhedged.get(&key))?;
+        rec.time("get_hedged", || hedged.get(&key))?;
+    }
+    Ok(())
+}
+
 /// Run one named workload against one store, returning its result row.
 /// Exposed so tests can drive a single workload against an instrumented
 /// store (determinism checks, profiler attribution).
@@ -214,6 +391,7 @@ pub fn run_workload(
         "large_value" => run_large_value(store, cfg, &mut rec)?,
         "batch" => run_batch(store, cfg, &mut rec)?,
         "cache_hit" => run_cache_hit(store, cfg, &mut rec)?,
+        "cluster" => run_cluster(store, cfg, &mut rec)?,
         other => {
             return Err(StoreError::Other(format!(
                 "unknown workload {other:?} (pinned: {WORKLOADS:?})"
@@ -446,6 +624,7 @@ mod tests {
                 &["get_many/1", "get_many/8", "put_many/1", "put_many/8"],
             ),
             ("cache_hit", &["get_hit", "get_miss"]),
+            ("cluster", &["get", "get_hedged", "get_unhedged", "put"]),
         ];
         for (name, ops) in expect {
             let result = run_workload(name, "inproc", &store, &cfg).unwrap();
@@ -456,6 +635,37 @@ mod tests {
                 assert!(op.throughput_ops_s > 0.0, "{name}/{}", op.op);
             }
         }
+    }
+
+    #[test]
+    fn cluster_hedging_cuts_the_tail_p99() {
+        // Full op counts: 2000 reads per row puts the p99 above the
+        // comparator's tail_min_count, so this is the same statistic the
+        // gate watches in BENCH_<n>.json.
+        let cfg = HarnessConfig::default();
+        let store: Arc<dyn KeyValue> = Arc::new(MemKv::new("hedge"));
+        let result = run_workload("cluster", "inproc", &store, &cfg).unwrap();
+        let p99 = |op: &str| {
+            result
+                .ops
+                .iter()
+                .find(|o| o.op == op)
+                .map(|o| o.p99_us)
+                .unwrap_or(f64::NAN)
+        };
+        let (hedged, unhedged) = (p99("get_hedged"), p99("get_unhedged"));
+        // The injected stalls must dominate the unhedged tail (2 ms stall
+        // band, generous floor for scheduler noise)…
+        assert!(
+            unhedged > 1_200.0,
+            "unhedged p99 should sit in the stall band, got {unhedged} µs"
+        );
+        // …and the hedge must beat it: its tail tracks the 300 µs hedge
+        // delay plus a fast replica read, far under the stall.
+        assert!(
+            hedged < unhedged,
+            "hedged p99 {hedged} µs should beat unhedged {unhedged} µs"
+        );
     }
 
     #[test]

@@ -1,0 +1,1371 @@
+//! # cluster — a client-side router over any set of kvapi stores
+//!
+//! The paper's Universal Data Store Manager gives every store one common
+//! key-value interface; this crate exploits that uniformity one level up.
+//! A [`ClusterClient`] *is itself* a [`KeyValue`]: it shards keys across N
+//! endpoint stores with a consistent-hash ring ([`ring::HashRing`], virtual
+//! nodes for balance and minimal movement), replicates each key to
+//! `replicas` distinct owners, and layers the workspace's resilience
+//! toolkit per endpoint — a [`resilience::CircuitBreaker`] per node, one
+//! deadline + retry budget per logical request.
+//!
+//! Three behaviours distinguish it from a plain proxy:
+//!
+//! * **Hedged reads** — when [`ClusterPolicy::hedge_delay`] is set and a
+//!   read has not answered within the delay, a second request is fired at
+//!   the next owner and the first reply wins. The loser is *abandoned*:
+//!   its eventual failure reports [`Verdict::Abandoned`] so a cancelled
+//!   hedge can never be mistaken for a failed half-open breaker probe.
+//! * **Replication with read-repair** — writes go to every current owner;
+//!   a partially-applied write marks the key *dirty* and pins the etag the
+//!   cluster acknowledged, and the next read of a dirty key reads all
+//!   owners, restores the pinned version (falling back to the newest copy
+//!   by `(modified_ms, etag)` only when no pin exists) and rewrites stale
+//!   or missing copies. The pin matters: `modified_ms` ties on the
+//!   millisecond, and breaking a tie by etag hash could resurrect an
+//!   older copy over the acknowledged write.
+//! * **Live resharding** ([`reshard`]) — a ring change keeps the previous
+//!   topology as a read-union until a background migration sweep has moved
+//!   every key, guarded per key by etag comparison so re-running a sweep
+//!   (or resuming one after a crash) is at-most-once in effects.
+//!
+//! The router never speaks a wire protocol: endpoints are materialised by
+//! a [`kvapi::Connector`], so the same cluster logic runs over in-process
+//! `MemKv` nodes in tests and real remote clients in production.
+
+#![forbid(unsafe_code)]
+
+pub mod node;
+pub mod reshard;
+pub mod ring;
+
+pub use node::{no_nodes, verdict_for, Node, Verdict};
+pub use ring::HashRing;
+
+use kvapi::{Bytes, CondGet, Connector, Etag, KeyValue, Result, StoreError, StoreStats, Versioned};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use resilience::{Deadline, ResiliencePolicy};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Tuning for one [`ClusterClient`].
+#[derive(Clone, Debug)]
+pub struct ClusterPolicy {
+    /// Total copies of each key, primary included. Clamped to the node
+    /// count at routing time.
+    pub replicas: usize,
+    /// Virtual nodes per endpoint on the hash ring.
+    pub vnodes: usize,
+    /// Fire a second read at the next owner if the first has not answered
+    /// within this delay. `None` disables hedging (reads fail over
+    /// sequentially instead).
+    pub hedge_delay: Option<Duration>,
+    /// Repair dirty keys (partially-applied writes) on read.
+    pub read_repair: bool,
+    /// Per-request deadline, retry schedule and per-node breaker tuning.
+    pub resilience: ResiliencePolicy,
+}
+
+impl Default for ClusterPolicy {
+    fn default() -> ClusterPolicy {
+        ClusterPolicy {
+            replicas: 2,
+            vnodes: 64,
+            hedge_delay: None,
+            read_repair: true,
+            resilience: ResiliencePolicy::default(),
+        }
+    }
+}
+
+impl ClusterPolicy {
+    /// Tight budgets for tests: the resilience test profile, fewer vnodes.
+    pub fn test_profile() -> ClusterPolicy {
+        ClusterPolicy {
+            replicas: 2,
+            vnodes: 32,
+            hedge_delay: None,
+            read_repair: true,
+            resilience: ResiliencePolicy::test_profile(),
+        }
+    }
+}
+
+/// Current routing state: the live node set and ring, plus — during a
+/// reshard — the previous topology, kept as a read union until the
+/// migration sweep completes.
+pub(crate) struct Topology {
+    pub(crate) nodes: Vec<Arc<Node>>,
+    pub(crate) ring: HashRing,
+    pub(crate) prev: Option<(Vec<Arc<Node>>, HashRing)>,
+    pub(crate) version: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    hedges_fired: AtomicU64,
+    hedge_wins: AtomicU64,
+    failovers: AtomicU64,
+    read_repairs: AtomicU64,
+    migrated_keys: AtomicU64,
+}
+
+/// A sharded, replicated, hedging [`KeyValue`] router over N endpoints.
+pub struct ClusterClient {
+    name: String,
+    policy: ClusterPolicy,
+    topo: RwLock<Topology>,
+    /// Keys whose replicas may disagree (a write skipped an owner), each
+    /// pinned to the etag the cluster acknowledged for its last write so
+    /// repair and migration can never resurrect an older copy over it.
+    dirty: Mutex<BTreeMap<String, Etag>>,
+    /// Keys still to be examined by the active migration sweep.
+    pub(crate) migration: Mutex<VecDeque<String>>,
+    rng: Mutex<SmallRng>,
+    metrics: Metrics,
+}
+
+impl ClusterClient {
+    /// Build a cluster over pre-constructed stores (id, client) — the
+    /// in-process path used by tests and benchmarks.
+    pub fn from_stores(
+        name: impl Into<String>,
+        stores: Vec<(String, Arc<dyn KeyValue>)>,
+        policy: ClusterPolicy,
+    ) -> ClusterClient {
+        let nodes: Vec<Arc<Node>> = stores
+            .into_iter()
+            .map(|(id, st)| Arc::new(Node::new(id, st, policy.resilience.breaker.clone())))
+            .collect();
+        let ids: Vec<String> = nodes.iter().map(|n| n.id().to_string()).collect();
+        let ring = HashRing::new(&ids, policy.vnodes);
+        ClusterClient {
+            name: name.into(),
+            rng: Mutex::new(SmallRng::seed_from_u64(policy.resilience.seed)),
+            policy,
+            topo: RwLock::new(Topology {
+                nodes,
+                ring,
+                prev: None,
+                version: 1,
+            }),
+            dirty: Mutex::new(BTreeMap::new()),
+            migration: Mutex::new(VecDeque::new()),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Connect to each endpoint through `connector` and build the cluster.
+    pub fn connect(
+        name: impl Into<String>,
+        endpoints: &[String],
+        connector: &dyn Connector,
+        policy: ClusterPolicy,
+    ) -> Result<ClusterClient> {
+        let mut stores = Vec::with_capacity(endpoints.len());
+        for ep in endpoints {
+            stores.push((ep.clone(), connector.connect(ep)?));
+        }
+        Ok(ClusterClient::from_stores(name, stores, policy))
+    }
+
+    pub fn policy(&self) -> &ClusterPolicy {
+        &self.policy
+    }
+
+    /// Monotonic topology version, bumped by every ring change.
+    pub fn ring_version(&self) -> u64 {
+        self.topo.read().version
+    }
+
+    /// Ids of the current (post-reshard) node set, in ring order.
+    pub fn node_ids(&self) -> Vec<String> {
+        self.topo
+            .read()
+            .nodes
+            .iter()
+            .map(|n| n.id().to_string())
+            .collect()
+    }
+
+    /// Hedge requests fired (second leg launched after the hedge delay).
+    pub fn hedges_fired(&self) -> u64 {
+        self.metrics.hedges_fired.load(Ordering::Relaxed)
+    }
+
+    /// Hedged reads where the *second* leg answered first.
+    pub fn hedge_wins(&self) -> u64 {
+        self.metrics.hedge_wins.load(Ordering::Relaxed)
+    }
+
+    /// Reads/writes that fell over to another owner after a failure.
+    pub fn failovers(&self) -> u64 {
+        self.metrics.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Dirty keys repaired on read.
+    pub fn read_repairs(&self) -> u64 {
+        self.metrics.read_repairs.load(Ordering::Relaxed)
+    }
+
+    /// Keys copied to a new owner by migration sweeps.
+    pub fn migrated_keys(&self) -> u64 {
+        self.metrics.migrated_keys.load(Ordering::Relaxed)
+    }
+
+    /// Is `key` currently marked dirty (replicas may disagree)?
+    pub fn is_dirty(&self, key: &str) -> bool {
+        self.dirty.lock().contains_key(key)
+    }
+
+    /// The etag pinned by `key`'s last partially-applied write, if dirty.
+    pub(crate) fn dirty_pin(&self, key: &str) -> Option<Etag> {
+        self.dirty.lock().get(key).copied()
+    }
+
+    fn mark_dirty(&self, key: &str, acked: Etag) {
+        self.dirty.lock().insert(key.to_string(), acked);
+    }
+
+    fn clear_dirty(&self, key: &str) {
+        self.dirty.lock().remove(key);
+    }
+
+    /// Publish cluster and per-node health to `reg`.
+    pub fn publish(&self, reg: &obs::Registry) {
+        let labels = &[("cluster", self.name.as_str())];
+        reg.counter("cluster_hedges_fired_total", labels)
+            .set(self.hedges_fired());
+        reg.counter("cluster_hedge_wins_total", labels)
+            .set(self.hedge_wins());
+        reg.counter("cluster_failovers_total", labels)
+            .set(self.failovers());
+        reg.counter("cluster_read_repairs_total", labels)
+            .set(self.read_repairs());
+        reg.counter("cluster_migrated_keys_total", labels)
+            .set(self.migrated_keys());
+        let (nodes, version) = {
+            let t = self.topo.read();
+            (t.nodes.clone(), t.version)
+        };
+        reg.gauge("cluster_ring_version", labels)
+            .set(i64::try_from(version).unwrap_or(i64::MAX));
+        for node in &nodes {
+            let nl = &[("cluster", self.name.as_str()), ("node", node.id())];
+            reg.counter("cluster_node_requests_total", nl)
+                .set(node.requests());
+            reg.counter("cluster_node_failures_total", nl)
+                .set(node.failures());
+            reg.counter("cluster_node_sheds_total", nl)
+                .set(node.sheds());
+            reg.gauge("cluster_node_breaker_state", nl)
+                .set(node.breaker().state().as_gauge());
+        }
+    }
+
+    // ---- routing ---------------------------------------------------------
+
+    /// Current owners of `key` (primary first).
+    fn owner_nodes(&self, key: &str) -> Vec<Arc<Node>> {
+        let t = self.topo.read();
+        t.ring
+            .owners(key, self.policy.replicas)
+            .into_iter()
+            .filter_map(|i| t.nodes.get(i).cloned())
+            .collect()
+    }
+
+    /// Current owners plus — during a reshard — previous owners, deduped
+    /// by node id. This union is what keeps every key readable while the
+    /// migration sweep is still moving it.
+    fn candidates_for(&self, key: &str) -> Vec<Arc<Node>> {
+        let t = self.topo.read();
+        let mut out: Vec<Arc<Node>> = t
+            .ring
+            .owners(key, self.policy.replicas)
+            .into_iter()
+            .filter_map(|i| t.nodes.get(i).cloned())
+            .collect();
+        if let Some((pnodes, pring)) = &t.prev {
+            for i in pring.owners(key, self.policy.replicas) {
+                if let Some(n) = pnodes.get(i) {
+                    if !out.iter().any(|o| o.id() == n.id()) {
+                        out.push(n.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ---- failure budget --------------------------------------------------
+
+    /// One deadline + backoff budget wrapped around a whole routing round.
+    /// Rounds are idempotent: reads are read-only and replicated writes
+    /// rewrite identical bytes, so a replayed round cannot double-apply.
+    fn with_retry<T>(&self, mut f: impl FnMut(&Deadline) -> Result<T>) -> Result<T> {
+        let retry = self.policy.resilience.retry.clone();
+        let deadline = Deadline::within(self.policy.resilience.request_timeout);
+        let mut prev_sleep = retry.base;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt = attempt.saturating_add(1);
+            let err = match f(&deadline) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if !err.is_transient() || attempt >= retry.max_attempts.max(1) {
+                return Err(err);
+            }
+            let sleep = {
+                let mut rng = self.rng.lock();
+                retry.backoff(prev_sleep, &mut rng)
+            };
+            prev_sleep = sleep;
+            match deadline.remaining() {
+                Some(rem) => {
+                    let backoff = sleep.min(rem);
+                    obs::ctx::report_event(
+                        "retry",
+                        format!(
+                            "attempt={} backoff_ms={}",
+                            attempt.saturating_add(1),
+                            backoff.as_millis()
+                        ),
+                    );
+                    std::thread::sleep(backoff);
+                }
+                None => return Err(StoreError::Timeout),
+            }
+        }
+    }
+
+    // ---- read path -------------------------------------------------------
+
+    /// The versioned read behind `get`/`get_versioned`/`get_if_none_match`:
+    /// repair-first for dirty keys, then a hedged or sequential sweep over
+    /// the owner union, retried within one deadline on transient failure.
+    fn read(&self, key: &str) -> Result<Option<Versioned>> {
+        if self.policy.read_repair && self.is_dirty(key) {
+            return self.repair_key(key);
+        }
+        let candidates = self.candidates_for(key);
+        if candidates.is_empty() {
+            return Err(no_nodes());
+        }
+        self.with_retry(|deadline| match self.policy.hedge_delay {
+            Some(delay) => self.hedged_round(key, &candidates, deadline, delay),
+            None => self.sequential_round(key, &candidates),
+        })
+    }
+
+    /// Probe owners in ring order; first hit wins. A miss is only
+    /// authoritative once every reachable owner has been asked — a stale
+    /// replica may miss a key its peers hold.
+    fn sequential_round(&self, key: &str, candidates: &[Arc<Node>]) -> Result<Option<Versioned>> {
+        let mut saw_miss = false;
+        let mut last_err: Option<StoreError> = None;
+        let last = candidates.len().saturating_sub(1);
+        for (i, node) in candidates.iter().enumerate() {
+            match node.run(|s| s.get_versioned(key)) {
+                Ok(Some(v)) => return Ok(Some(v)),
+                Ok(None) => saw_miss = true,
+                Err(e) => {
+                    last_err = Some(e);
+                    if i < last {
+                        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if saw_miss {
+            Ok(None)
+        } else {
+            Err(last_err.unwrap_or_else(no_nodes))
+        }
+    }
+
+    /// One hedged read round. The first leg goes to the primary; if it has
+    /// not answered within `delay`, the next owner gets a hedge leg and the
+    /// first `Ok(Some)` wins. Losers are left running: when one later
+    /// fails, its worker reports [`Verdict::Abandoned`] to the node breaker
+    /// (a cancelled hedge is not evidence the endpoint is down, and must
+    /// never consume a half-open probe verdict).
+    fn hedged_round(
+        &self,
+        key: &str,
+        candidates: &[Arc<Node>],
+        deadline: &Deadline,
+        delay: Duration,
+    ) -> Result<Option<Versioned>> {
+        let (tx, rx) = mpsc::channel::<(usize, Result<Option<Versioned>>)>();
+        let settled = Arc::new(AtomicBool::new(false));
+        let mut hedge_launched = vec![false; candidates.len()];
+        let mut launched = 0usize;
+        let mut outstanding = 0usize;
+        let mut saw_miss = false;
+        let mut last_err: Option<StoreError> = None;
+        loop {
+            // Fire the next leg whenever nothing is in flight: the first
+            // leg, or a failover after a miss/failure concluded the last.
+            if outstanding == 0 && launched < candidates.len() {
+                if let Some(node) = candidates.get(launched) {
+                    spawn_leg(
+                        node.clone(),
+                        key.to_string(),
+                        launched,
+                        tx.clone(),
+                        settled.clone(),
+                    );
+                }
+                launched = launched.saturating_add(1);
+                outstanding = outstanding.saturating_add(1);
+            }
+            if outstanding == 0 {
+                settled.store(true, Ordering::Release);
+                return if saw_miss {
+                    Ok(None)
+                } else {
+                    Err(last_err.unwrap_or_else(no_nodes))
+                };
+            }
+            let Some(remaining) = deadline.remaining() else {
+                settled.store(true, Ordering::Release);
+                return Err(StoreError::Timeout);
+            };
+            let hedge_armed = launched < candidates.len();
+            let wait = if hedge_armed {
+                delay.min(remaining)
+            } else {
+                remaining
+            };
+            match rx.recv_timeout(wait) {
+                Ok((idx, Ok(Some(v)))) => {
+                    settled.store(true, Ordering::Release);
+                    if hedge_launched.get(idx).copied().unwrap_or(false) {
+                        self.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(Some(v));
+                }
+                Ok((_, Ok(None))) => {
+                    outstanding = outstanding.saturating_sub(1);
+                    saw_miss = true;
+                }
+                Ok((_, Err(e))) => {
+                    outstanding = outstanding.saturating_sub(1);
+                    last_err = Some(e);
+                    if launched < candidates.len() {
+                        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) if hedge_armed && !deadline.expired() => {
+                    if let Some(node) = candidates.get(launched) {
+                        self.metrics.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                        obs::ctx::report_event("hedge_fired", format!("key={key} leg={launched}"));
+                        if let Some(slot) = hedge_launched.get_mut(launched) {
+                            *slot = true;
+                        }
+                        spawn_leg(
+                            node.clone(),
+                            key.to_string(),
+                            launched,
+                            tx.clone(),
+                            settled.clone(),
+                        );
+                        launched = launched.saturating_add(1);
+                        outstanding = outstanding.saturating_add(1);
+                    }
+                }
+                Err(_) => {
+                    settled.store(true, Ordering::Release);
+                    return Err(StoreError::Timeout);
+                }
+            }
+        }
+    }
+
+    // ---- write path ------------------------------------------------------
+
+    /// Replicated write: every current owner gets the value; the first
+    /// owner to accept it is the acting primary whose etag is returned.
+    /// Any skipped owner marks the key dirty for read-repair. Only a write
+    /// rejected by *every* owner fails.
+    fn write_key(&self, key: &str, value: &[u8]) -> Result<Etag> {
+        let owners = self.owner_nodes(key);
+        if owners.is_empty() {
+            return Err(no_nodes());
+        }
+        self.with_retry(|_deadline| {
+            let mut etag: Option<Etag> = None;
+            let mut partial = false;
+            let mut last_err: Option<StoreError> = None;
+            for node in &owners {
+                match node.run(|s| s.put_versioned(key, value)) {
+                    Ok(e) => {
+                        if etag.is_none() {
+                            etag = Some(e);
+                        }
+                    }
+                    Err(e) => {
+                        partial = true;
+                        last_err = Some(e);
+                    }
+                }
+            }
+            match etag {
+                Some(e) => {
+                    if partial {
+                        self.mark_dirty(key, e);
+                        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.clear_dirty(key);
+                    }
+                    Ok(e)
+                }
+                None => Err(last_err.unwrap_or_else(no_nodes)),
+            }
+        })
+    }
+
+    // ---- read-repair -----------------------------------------------------
+
+    /// Read every reachable owner, pick the winner — the version pinned by
+    /// the key's dirty mark when there is one, else the newest copy by
+    /// `(modified_ms, etag)` — rewrite stale/missing current owners, and
+    /// clear the dirty mark once all of them are confirmed converged. A
+    /// pinned version whose copy is unreachable blocks the rewrite: repair
+    /// then serves the best available value but changes nothing, so an
+    /// older same-millisecond copy can never overwrite the acknowledged
+    /// write by winning an etag-hash tiebreak.
+    pub fn repair_key(&self, key: &str) -> Result<Option<Versioned>> {
+        let owners = self.owner_nodes(key);
+        let readers = self.candidates_for(key);
+        if readers.is_empty() {
+            return Err(no_nodes());
+        }
+        let mut votes: Vec<(Arc<Node>, Option<Versioned>)> = Vec::new();
+        let mut errors = 0usize;
+        let mut last_err: Option<StoreError> = None;
+        for node in &readers {
+            match node.run(|s| s.get_versioned(key)) {
+                Ok(v) => votes.push((node.clone(), v)),
+                Err(e) => {
+                    errors = errors.saturating_add(1);
+                    last_err = Some(e);
+                }
+            }
+        }
+        if votes.is_empty() {
+            return Err(last_err.unwrap_or_else(no_nodes));
+        }
+        let present: Vec<Versioned> = votes.iter().filter_map(|(_, v)| v.clone()).collect();
+        if present.is_empty() {
+            // Every reachable owner agrees the key is absent.
+            if errors == 0 {
+                self.clear_dirty(key);
+            }
+            return Ok(None);
+        }
+        let pin = self.dirty_pin(key);
+        let pinned = pin.and_then(|p| present.iter().find(|v| v.etag == p).cloned());
+        if pin.is_some() && pinned.is_none() {
+            // The acknowledged write's copy is not reachable right now:
+            // serve the best available value but repair nothing, so the
+            // pinned version survives until its holder comes back.
+            return Ok(present
+                .into_iter()
+                .max_by_key(|v| (v.modified_ms, v.etag.0)));
+        }
+        let winner = pinned.or_else(|| {
+            present
+                .iter()
+                .max_by_key(|v| (v.modified_ms, v.etag.0))
+                .cloned()
+        });
+        let Some(winner) = winner else {
+            return Ok(None);
+        };
+        let mut rewrote = false;
+        let mut failed = errors > 0;
+        for node in &owners {
+            let have = votes
+                .iter()
+                .find(|(n, _)| Arc::ptr_eq(n, node))
+                .map(|(_, v)| v.clone());
+            match have {
+                Some(Some(v)) if v.etag == winner.etag => {}
+                Some(_) => match node.run(|s| s.put(key, &winner.data)) {
+                    Ok(()) => rewrote = true,
+                    Err(_) => failed = true,
+                },
+                // Unreadable owner: can't prove convergence, stay dirty.
+                None => failed = true,
+            }
+        }
+        if rewrote {
+            self.metrics.read_repairs.fetch_add(1, Ordering::Relaxed);
+            obs::ctx::report_event("read_repair", format!("key={key}"));
+        }
+        if !failed {
+            self.clear_dirty(key);
+        }
+        Ok(Some(winner))
+    }
+
+    // ---- batch (per-key results) ----------------------------------------
+
+    /// Per-key batch read. Clean keys are grouped by primary and fetched
+    /// with one native `get_many` per shard; keys on a failed shard — and
+    /// dirty keys, which need the repair path — fall back to the full
+    /// per-key read. Each position gets its own verdict.
+    pub fn try_get_many(&self, keys: &[&str]) -> Vec<Result<Option<Bytes>>> {
+        let (nodes, ring) = {
+            let t = self.topo.read();
+            (t.nodes.clone(), t.ring.clone())
+        };
+        let mut out: Vec<Option<Result<Option<Bytes>>>> = keys.iter().map(|_| None).collect();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        {
+            let dirty = self.dirty.lock();
+            for (pos, key) in keys.iter().enumerate() {
+                if self.policy.read_repair && dirty.contains_key(*key) {
+                    continue; // slow path below
+                }
+                match ring.primary(key) {
+                    Some(n) => groups.entry(n).or_default().push(pos),
+                    None => {
+                        if let Some(slot) = out.get_mut(pos) {
+                            *slot = Some(Err(no_nodes()));
+                        }
+                    }
+                }
+            }
+        }
+        for (nidx, positions) in groups {
+            let Some(node) = nodes.get(nidx) else {
+                continue; // slow path below
+            };
+            let gkeys: Vec<&str> = positions
+                .iter()
+                .filter_map(|&p| keys.get(p).copied())
+                .collect();
+            match node.run(|s| s.get_many(&gkeys)) {
+                Ok(vals) if vals.len() == gkeys.len() => {
+                    for (i, &pos) in positions.iter().enumerate() {
+                        if let Some(slot) = out.get_mut(pos) {
+                            *slot = Some(Ok(vals.get(i).cloned().flatten()));
+                        }
+                    }
+                }
+                // Shard call failed (or was malformed): every key in the
+                // group retries individually with failover below.
+                Ok(_) | Err(_) => {
+                    self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(pos, slot)| match slot {
+                Some(r) => r,
+                None => keys.get(pos).map_or_else(
+                    || Err(no_nodes()),
+                    |k| self.read(k).map(|ov| ov.map(|v| v.data)),
+                ),
+            })
+            .collect()
+    }
+
+    /// Per-key batch write: each entry is a full replicated [`write_key`]
+    /// with its own verdict, so one rejected key never hides the etags of
+    /// the keys that did land.
+    pub fn try_put_many(&self, entries: &[(&str, &[u8])]) -> Vec<Result<Etag>> {
+        entries.iter().map(|(k, v)| self.write_key(k, v)).collect()
+    }
+}
+
+/// Fire one read leg on its own thread. The worker reports its own breaker
+/// verdict: truthfully on success, and as [`Verdict::Abandoned`] when it
+/// failed *after* the round settled — at that point the failure is
+/// indistinguishable from cancellation and must not count against the node.
+fn spawn_leg(
+    node: Arc<Node>,
+    key: String,
+    idx: usize,
+    tx: mpsc::Sender<(usize, Result<Option<Versioned>>)>,
+    settled: Arc<AtomicBool>,
+) {
+    std::thread::spawn(move || {
+        let res = match node.begin() {
+            Ok(permit) => {
+                let res = node.store().get_versioned(&key);
+                let lost = settled.load(Ordering::Acquire);
+                let verdict = match (&res, lost) {
+                    (Err(e), true) if e.is_transient() => Verdict::Abandoned,
+                    _ => verdict_for(&res),
+                };
+                node.finish(permit, verdict);
+                res
+            }
+            Err(e) => Err(e),
+        };
+        let _ = tx.send((idx, res));
+    });
+}
+
+impl KeyValue for ClusterClient {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.write_key(key, value).map(|_| ())
+    }
+
+    fn put_versioned(&self, key: &str, value: &[u8]) -> Result<Etag> {
+        self.write_key(key, value)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Bytes>> {
+        self.read(key).map(|ov| ov.map(|v| v.data))
+    }
+
+    fn get_versioned(&self, key: &str) -> Result<Option<Versioned>> {
+        self.read(key)
+    }
+
+    fn get_if_none_match(&self, key: &str, etag: Etag) -> Result<CondGet> {
+        match self.read(key)? {
+            None => Ok(CondGet::Missing),
+            Some(v) if v.etag == etag => Ok(CondGet::NotModified),
+            Some(v) => Ok(CondGet::Modified(v)),
+        }
+    }
+
+    /// Delete from every reachable owner (current and, mid-reshard,
+    /// previous). Succeeds if any owner answered; an owner that was down
+    /// during the delete may later resurrect the key through read-repair —
+    /// see DESIGN.md §13 for the blind spot.
+    fn delete(&self, key: &str) -> Result<bool> {
+        let candidates = self.candidates_for(key);
+        if candidates.is_empty() {
+            return Err(no_nodes());
+        }
+        let mut existed = false;
+        let mut oks = 0usize;
+        let mut last_err: Option<StoreError> = None;
+        for node in &candidates {
+            match node.run(|s| s.delete(key)) {
+                Ok(b) => {
+                    oks = oks.saturating_add(1);
+                    existed = existed || b;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if oks == 0 {
+            return Err(last_err.unwrap_or_else(no_nodes));
+        }
+        if last_err.is_none() {
+            self.clear_dirty(key);
+        }
+        Ok(existed)
+    }
+
+    /// Union of keys over every reachable node (current and previous).
+    /// Tolerates individual node failures; errors only when no node
+    /// answered at all.
+    fn keys(&self) -> Result<Vec<String>> {
+        let (nodes, prev) = {
+            let t = self.topo.read();
+            (t.nodes.clone(), t.prev.clone())
+        };
+        let mut all = nodes;
+        if let Some((pnodes, _)) = prev {
+            for n in pnodes {
+                if !all.iter().any(|a| a.id() == n.id()) {
+                    all.push(n);
+                }
+            }
+        }
+        let mut set = BTreeSet::new();
+        let mut oks = 0usize;
+        let mut last_err: Option<StoreError> = None;
+        for node in &all {
+            match node.run(|s| s.keys()) {
+                Ok(ks) => {
+                    oks = oks.saturating_add(1);
+                    set.extend(ks);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if oks == 0 {
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+        }
+        Ok(set.into_iter().collect())
+    }
+
+    fn clear(&self) -> Result<()> {
+        let (nodes, prev) = {
+            let t = self.topo.read();
+            (t.nodes.clone(), t.prev.clone())
+        };
+        let mut all = nodes;
+        if let Some((pnodes, _)) = prev {
+            for n in pnodes {
+                if !all.iter().any(|a| a.id() == n.id()) {
+                    all.push(n);
+                }
+            }
+        }
+        let mut first_err: Option<StoreError> = None;
+        for node in &all {
+            if let Err(e) = node.run(|s| s.clear()) {
+                first_err.get_or_insert(e);
+            }
+        }
+        if first_err.is_none() {
+            self.dirty.lock().clear();
+            self.migration.lock().clear();
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        let nodes = self.topo.read().nodes.clone();
+        let mut first_err: Option<StoreError> = None;
+        for node in &nodes {
+            if let Err(e) = node.run(|s| s.sync()) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        let keys = self.keys()?;
+        let mut bytes = 0u64;
+        for k in &keys {
+            if let Some(v) = self.get(k)? {
+                bytes = bytes.saturating_add(v.len() as u64);
+            }
+        }
+        Ok(StoreStats {
+            keys: keys.len() as u64,
+            bytes,
+        })
+    }
+
+    /// All-or-error facade over [`try_get_many`](ClusterClient::try_get_many):
+    /// the first per-key error fails the whole batch.
+    fn get_many(&self, keys: &[&str]) -> Result<Vec<Option<Bytes>>> {
+        self.try_get_many(keys).into_iter().collect()
+    }
+
+    /// All-or-error facade over [`try_put_many`](ClusterClient::try_put_many).
+    /// Entries before a failed key may already be applied (and replicated);
+    /// the error reports the first failure, it does not roll back.
+    fn put_many(&self, entries: &[(&str, &[u8])]) -> Result<()> {
+        for r in self.try_put_many(entries) {
+            r?;
+        }
+        Ok(())
+    }
+
+    fn delete_many(&self, keys: &[&str]) -> Result<Vec<bool>> {
+        keys.iter().map(|k| self.delete(k)).collect()
+    }
+
+    fn get_many_versioned(&self, keys: &[&str]) -> Result<Vec<Option<Versioned>>> {
+        keys.iter().map(|k| self.read(k)).collect()
+    }
+
+    fn put_many_versioned(&self, entries: &[(&str, &[u8])]) -> Result<Vec<Etag>> {
+        self.try_put_many(entries).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use kvapi::mem::MemKv;
+
+    /// A store wrapper whose gets/puts can be failed on demand, for
+    /// outage and partial-write tests.
+    pub struct FlakyStore {
+        pub inner: MemKv,
+        pub fail_reads: AtomicBool,
+        pub fail_writes: AtomicBool,
+        /// Writes that reached the inner store (at-most-once audits).
+        pub writes: AtomicU64,
+    }
+
+    impl FlakyStore {
+        pub fn new(name: &str) -> FlakyStore {
+            FlakyStore {
+                inner: MemKv::new(name),
+                fail_reads: AtomicBool::new(false),
+                fail_writes: AtomicBool::new(false),
+                writes: AtomicU64::new(0),
+            }
+        }
+
+        fn check_read(&self) -> Result<()> {
+            if self.fail_reads.load(Ordering::Relaxed) {
+                Err(StoreError::Closed)
+            } else {
+                Ok(())
+            }
+        }
+
+        fn check_write(&self) -> Result<()> {
+            if self.fail_writes.load(Ordering::Relaxed) {
+                Err(StoreError::Closed)
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl KeyValue for FlakyStore {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+            self.check_write()?;
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.inner.put(key, value)
+        }
+        fn put_versioned(&self, key: &str, value: &[u8]) -> Result<Etag> {
+            self.check_write()?;
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            self.inner.put_versioned(key, value)
+        }
+        fn get(&self, key: &str) -> Result<Option<Bytes>> {
+            self.check_read()?;
+            self.inner.get(key)
+        }
+        fn get_versioned(&self, key: &str) -> Result<Option<Versioned>> {
+            self.check_read()?;
+            self.inner.get_versioned(key)
+        }
+        fn delete(&self, key: &str) -> Result<bool> {
+            self.check_write()?;
+            self.inner.delete(key)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.check_read()?;
+            self.inner.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.check_write()?;
+            self.inner.clear()
+        }
+    }
+
+    /// A store whose reads stall, for hedging tests.
+    pub struct SlowStore {
+        pub inner: MemKv,
+        pub delay: Duration,
+    }
+
+    impl KeyValue for SlowStore {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+            self.inner.put(key, value)
+        }
+        fn get(&self, key: &str) -> Result<Option<Bytes>> {
+            std::thread::sleep(self.delay);
+            self.inner.get(key)
+        }
+        fn get_versioned(&self, key: &str) -> Result<Option<Versioned>> {
+            std::thread::sleep(self.delay);
+            self.inner.get_versioned(key)
+        }
+        fn delete(&self, key: &str) -> Result<bool> {
+            self.inner.delete(key)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.inner.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.inner.clear()
+        }
+    }
+
+    /// A [`FlakyStore`] whose reads report one fixed `modified_ms` for
+    /// every value — the worst case for `(modified_ms, etag)` conflict
+    /// resolution, where every comparison degrades to the etag-hash
+    /// tiebreak. Real stores produce this whenever two writes land within
+    /// the same millisecond.
+    pub struct TiedClockStore {
+        pub inner: FlakyStore,
+    }
+
+    impl TiedClockStore {
+        pub fn new(name: &str) -> TiedClockStore {
+            TiedClockStore {
+                inner: FlakyStore::new(name),
+            }
+        }
+    }
+
+    impl KeyValue for TiedClockStore {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+            self.inner.put(key, value)
+        }
+        fn put_versioned(&self, key: &str, value: &[u8]) -> Result<Etag> {
+            self.inner.put_versioned(key, value)
+        }
+        fn get(&self, key: &str) -> Result<Option<Bytes>> {
+            self.inner.get(key)
+        }
+        fn get_versioned(&self, key: &str) -> Result<Option<Versioned>> {
+            Ok(self.inner.get_versioned(key)?.map(|v| Versioned {
+                modified_ms: 42,
+                ..v
+            }))
+        }
+        fn delete(&self, key: &str) -> Result<bool> {
+            self.inner.delete(key)
+        }
+        fn keys(&self) -> Result<Vec<String>> {
+            self.inner.keys()
+        }
+        fn clear(&self) -> Result<()> {
+            self.inner.clear()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{FlakyStore, SlowStore, TiedClockStore};
+    use super::*;
+    use kvapi::mem::MemKv;
+
+    fn mem_cluster(n: usize, policy: ClusterPolicy) -> (ClusterClient, Vec<Arc<MemKv>>) {
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut backing = Vec::new();
+        for i in 0..n {
+            let m = Arc::new(MemKv::new(format!("node-{i}")));
+            backing.push(m.clone());
+            stores.push((format!("node-{i}"), m as Arc<dyn KeyValue>));
+        }
+        (ClusterClient::from_stores("c", stores, policy), backing)
+    }
+
+    fn ids(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("node-{i}")).collect()
+    }
+
+    #[test]
+    fn basic_ops_roundtrip_over_three_nodes() {
+        let (c, _) = mem_cluster(3, ClusterPolicy::test_profile());
+        assert_eq!(c.get("k").unwrap(), None);
+        c.put("k", b"v1").unwrap();
+        assert_eq!(c.get("k").unwrap().as_deref(), Some(b"v1".as_slice()));
+        assert!(c.contains("k").unwrap());
+        c.put("k", b"v2").unwrap();
+        assert_eq!(c.get("k").unwrap().as_deref(), Some(b"v2".as_slice()));
+        assert!(c.delete("k").unwrap());
+        assert!(!c.delete("k").unwrap());
+        assert_eq!(c.get("k").unwrap(), None);
+    }
+
+    #[test]
+    fn conformance_contract_passes_on_a_three_node_cluster() {
+        let (c, _) = mem_cluster(3, ClusterPolicy::test_profile());
+        kvapi::contract::run_all(&c);
+    }
+
+    #[test]
+    fn values_are_replicated_to_replica_count_owners() {
+        let policy = ClusterPolicy::test_profile();
+        let replicas = policy.replicas;
+        let (c, backing) = mem_cluster(4, policy);
+        for i in 0..40 {
+            c.put(&format!("key-{i}"), b"data").unwrap();
+        }
+        for i in 0..40 {
+            let key = format!("key-{i}");
+            let copies = backing.iter().filter(|m| m.contains(&key).unwrap()).count();
+            assert_eq!(copies, replicas, "key {key} on {copies} nodes");
+        }
+    }
+
+    #[test]
+    fn reads_fail_over_when_the_primary_is_down() {
+        let policy = ClusterPolicy::test_profile();
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut flaky = Vec::new();
+        for i in 0..3 {
+            let f = Arc::new(FlakyStore::new(&format!("node-{i}")));
+            flaky.push(f.clone());
+            stores.push((format!("node-{i}"), f as Arc<dyn KeyValue>));
+        }
+        let vnodes = policy.vnodes;
+        let c = ClusterClient::from_stores("c", stores, policy);
+        c.put("k", b"v").unwrap();
+        let ring = HashRing::new(&ids(3), vnodes);
+        let primary = ring.primary("k").unwrap();
+        flaky[primary].fail_reads.store(true, Ordering::Relaxed);
+        assert_eq!(c.get("k").unwrap().as_deref(), Some(b"v".as_slice()));
+        assert!(c.failovers() >= 1, "failover counted");
+    }
+
+    #[test]
+    fn hedged_read_beats_a_stalled_primary() {
+        let mut policy = ClusterPolicy::test_profile();
+        policy.hedge_delay = Some(Duration::from_millis(15));
+        let vnodes = policy.vnodes;
+        // Find a key whose primary we can stall.
+        let ring = HashRing::new(&ids(3), vnodes);
+        let key = (0..200)
+            .map(|i| format!("key-{i}"))
+            .find(|k| ring.primary(k) == Some(0))
+            .unwrap();
+        let slow = Arc::new(SlowStore {
+            inner: MemKv::new("node-0"),
+            delay: Duration::from_millis(250),
+        });
+        slow.inner.put(&key, b"v").unwrap();
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> =
+            vec![("node-0".to_string(), slow as Arc<dyn KeyValue>)];
+        for i in 1..3 {
+            let m = Arc::new(MemKv::new(format!("node-{i}")));
+            m.put(&key, b"v").unwrap();
+            stores.push((format!("node-{i}"), m as Arc<dyn KeyValue>));
+        }
+        let c = ClusterClient::from_stores("c", stores, policy);
+        let started = std::time::Instant::now();
+        assert_eq!(c.get(&key).unwrap().as_deref(), Some(b"v".as_slice()));
+        assert!(
+            started.elapsed() < Duration::from_millis(200),
+            "hedge cut the stall short: {:?}",
+            started.elapsed()
+        );
+        assert!(c.hedges_fired() >= 1, "hedge fired");
+        assert!(c.hedge_wins() >= 1, "hedge won");
+    }
+
+    #[test]
+    fn partial_write_marks_dirty_and_read_repairs_on_heal() {
+        let policy = ClusterPolicy::test_profile();
+        let vnodes = policy.vnodes;
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut flaky = Vec::new();
+        for i in 0..3 {
+            let f = Arc::new(FlakyStore::new(&format!("node-{i}")));
+            flaky.push(f.clone());
+            stores.push((format!("node-{i}"), f as Arc<dyn KeyValue>));
+        }
+        let c = ClusterClient::from_stores("c", stores, policy);
+        let ring = HashRing::new(&ids(3), vnodes);
+        let key = (0..200)
+            .map(|i| format!("key-{i}"))
+            .find(|k| ring.owners(k, 2).first() == Some(&0))
+            .unwrap();
+        let replica = ring.owners(&key, 2)[1];
+        // The replica is down during the write: partial success.
+        flaky[replica].fail_writes.store(true, Ordering::Relaxed);
+        let etag = c.put_versioned(&key, b"fresh").unwrap();
+        assert!(c.is_dirty(&key), "partial write marked dirty");
+        assert!(!flaky[replica].inner.contains(&key).unwrap());
+        // Heal, then read: repair rewrites the replica and converges.
+        flaky[replica].fail_writes.store(false, Ordering::Relaxed);
+        let got = c.get_versioned(&key).unwrap().unwrap();
+        assert_eq!(got.etag, etag);
+        assert!(!c.is_dirty(&key), "repair cleared the dirty mark");
+        assert_eq!(
+            flaky[replica]
+                .inner
+                .get_versioned(&key)
+                .unwrap()
+                .unwrap()
+                .etag,
+            etag,
+            "replica converged to the winning etag"
+        );
+        assert!(c.read_repairs() >= 1);
+    }
+
+    #[test]
+    fn repair_prefers_the_acknowledged_write_over_an_etag_tiebreak() {
+        // Regression: with every copy tied on modified_ms (two writes in
+        // the same millisecond), (modified_ms, etag) conflict resolution
+        // degrades to an etag-hash coin flip, and repair could resurrect
+        // the stale copy over the write the cluster acknowledged. The
+        // dirty mark's pinned etag must decide instead.
+        let policy = ClusterPolicy::test_profile();
+        let vnodes = policy.vnodes;
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut tied = Vec::new();
+        for i in 0..3 {
+            let t = Arc::new(TiedClockStore::new(&format!("node-{i}")));
+            tied.push(t.clone());
+            stores.push((format!("node-{i}"), t as Arc<dyn KeyValue>));
+        }
+        let c = ClusterClient::from_stores("c", stores, policy);
+        let ring = HashRing::new(&ids(3), vnodes);
+        let key = (0..200)
+            .map(|i| format!("key-{i}"))
+            .find(|k| ring.owners(k, 2).first() == Some(&0))
+            .unwrap();
+        let replica = ring.owners(&key, 2)[1];
+        // Order the two values so the STALE one wins an etag-hash tiebreak.
+        let (stale, fresh) = if Etag::of_bytes(b"tie-a").0 > Etag::of_bytes(b"tie-b").0 {
+            (&b"tie-a"[..], &b"tie-b"[..])
+        } else {
+            (&b"tie-b"[..], &b"tie-a"[..])
+        };
+        c.put(&key, stale).unwrap();
+        // The replica misses the fresh write: it still holds the stale
+        // value, whose etag hash beats the fresh one.
+        tied[replica]
+            .inner
+            .fail_writes
+            .store(true, Ordering::Relaxed);
+        let acked = c.put_versioned(&key, fresh).unwrap();
+        assert!(c.is_dirty(&key));
+        tied[replica]
+            .inner
+            .fail_writes
+            .store(false, Ordering::Relaxed);
+        // Read-repair must restore the acknowledged write everywhere, not
+        // the tiebreak winner.
+        assert_eq!(c.get(&key).unwrap().as_deref(), Some(fresh));
+        assert!(!c.is_dirty(&key));
+        for owner in ring.owners(&key, 2) {
+            assert_eq!(
+                tied[owner]
+                    .inner
+                    .inner
+                    .get_versioned(&key)
+                    .unwrap()
+                    .unwrap()
+                    .etag,
+                acked,
+                "node-{owner} converged to the acknowledged write"
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_get_sees_cluster_etags() {
+        let (c, _) = mem_cluster(3, ClusterPolicy::test_profile());
+        let etag = c.put_versioned("k", b"v").unwrap();
+        assert!(matches!(
+            c.get_if_none_match("k", etag).unwrap(),
+            CondGet::NotModified
+        ));
+        c.put("k", b"v2").unwrap();
+        assert!(matches!(
+            c.get_if_none_match("k", etag).unwrap(),
+            CondGet::Modified(_)
+        ));
+        assert!(matches!(
+            c.get_if_none_match("missing", etag).unwrap(),
+            CondGet::Missing
+        ));
+    }
+
+    #[test]
+    fn batch_ops_span_shards() {
+        let (c, _) = mem_cluster(3, ClusterPolicy::test_profile());
+        let keys: Vec<String> = (0..20).map(|i| format!("key-{i}")).collect();
+        let vals: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 4]).collect();
+        let entries: Vec<(&str, &[u8])> = keys
+            .iter()
+            .map(|k| k.as_str())
+            .zip(vals.iter().map(|v| v.as_slice()))
+            .collect();
+        c.put_many(&entries).unwrap();
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        let got = c.get_many(&refs).unwrap();
+        assert_eq!(got.len(), 20);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v.as_deref(), Some(vals[i].as_slice()));
+        }
+        let deleted = c.delete_many(&refs).unwrap();
+        assert!(deleted.iter().all(|&b| b));
+        assert!(c.get_many(&refs).unwrap().iter().all(|v| v.is_none()));
+    }
+
+    #[test]
+    fn try_get_many_gives_each_key_its_own_verdict() {
+        let policy = ClusterPolicy::test_profile();
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut flaky = Vec::new();
+        for i in 0..3 {
+            let f = Arc::new(FlakyStore::new(&format!("node-{i}")));
+            flaky.push(f.clone());
+            stores.push((format!("node-{i}"), f as Arc<dyn KeyValue>));
+        }
+        let c = ClusterClient::from_stores("c", stores, policy);
+        for i in 0..12 {
+            c.put(&format!("key-{i}"), b"v").unwrap();
+        }
+        // Kill every node: each key must report its own error rather than
+        // the batch panicking or short-circuiting silently.
+        for f in &flaky {
+            f.fail_reads.store(true, Ordering::Relaxed);
+        }
+        let keys: Vec<String> = (0..12).map(|i| format!("key-{i}")).collect();
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        let per_key = c.try_get_many(&refs);
+        assert_eq!(per_key.len(), 12);
+        assert!(per_key.iter().all(|r| r.is_err()));
+        assert!(c.get_many(&refs).is_err(), "facade surfaces the error");
+        // Heal one node and let its tripped breaker cool down: its shard's
+        // keys recover, the rest still error.
+        flaky[0].fail_reads.store(false, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(150));
+        let per_key = c.try_get_many(&refs);
+        assert!(per_key.iter().any(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn publish_exports_cluster_metrics() {
+        let (c, _) = mem_cluster(3, ClusterPolicy::test_profile());
+        c.put("k", b"v").unwrap();
+        let _ = c.get("k").unwrap();
+        let reg = obs::Registry::new();
+        c.publish(&reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("cluster_ring_version{cluster=\"c\"} 1"));
+        assert!(text.contains("cluster_node_requests_total{cluster=\"c\",node=\"node-0\"}"));
+        assert!(text.contains("cluster_hedges_fired_total{cluster=\"c\"} 0"));
+    }
+
+    #[test]
+    fn connect_builds_nodes_through_the_connector() {
+        let connector = |ep: &str| -> Result<Arc<dyn KeyValue>> {
+            Ok(Arc::new(MemKv::new(ep)) as Arc<dyn KeyValue>)
+        };
+        let eps: Vec<String> = (0..3).map(|i| format!("node-{i}")).collect();
+        let c =
+            ClusterClient::connect("c", &eps, &connector, ClusterPolicy::test_profile()).unwrap();
+        c.put("k", b"v").unwrap();
+        assert_eq!(c.get("k").unwrap().as_deref(), Some(b"v".as_slice()));
+        assert_eq!(c.node_ids(), eps);
+    }
+}

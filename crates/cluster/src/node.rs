@@ -1,0 +1,186 @@
+//! One cluster member: a store client plus its health state.
+
+use kvapi::{KeyValue, Result, StoreError};
+use resilience::{BreakerPolicy, CircuitBreaker, Permit};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a finished node attempt reports back to the breaker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The endpoint answered (even with a logical rejection).
+    Success,
+    /// A transport-level failure: counts against the endpoint's health.
+    Failure,
+    /// The attempt was cancelled without a verdict — a hedge loser. Frees
+    /// a half-open probe slot but never re-opens the breaker.
+    Abandoned,
+}
+
+/// A cluster node: endpoint id, its [`KeyValue`] client, a per-node
+/// circuit breaker, and request counters for the per-shard metrics.
+pub struct Node {
+    id: String,
+    store: Arc<dyn KeyValue>,
+    breaker: CircuitBreaker,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    sheds: AtomicU64,
+}
+
+impl Node {
+    pub fn new(id: impl Into<String>, store: Arc<dyn KeyValue>, policy: BreakerPolicy) -> Node {
+        Node {
+            id: id.into(),
+            store,
+            breaker: CircuitBreaker::new(policy),
+            requests: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+        }
+    }
+
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    pub fn store(&self) -> &Arc<dyn KeyValue> {
+        &self.store
+    }
+
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Requests admitted to this node since creation.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Admitted requests that failed at the transport level.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by this node's open breaker.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Gate an attempt on the breaker. The returned permit must be
+    /// reported back through [`finish`](Node::finish).
+    pub fn begin(&self) -> Result<Permit> {
+        match self.breaker.admit() {
+            Ok(p) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(p)
+            }
+            Err(e) => {
+                self.sheds.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Report an attempt's outcome.
+    pub fn finish(&self, permit: Permit, verdict: Verdict) {
+        match verdict {
+            Verdict::Success => self.breaker.on_success(permit),
+            Verdict::Failure => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                self.breaker.on_failure(permit);
+            }
+            Verdict::Abandoned => self.breaker.on_abandon(permit),
+        }
+    }
+
+    /// Run one breaker-gated operation against this node's store, with the
+    /// standard verdict mapping: transient errors are failures, everything
+    /// else (including logical rejections) proves the endpoint reachable.
+    pub fn run<T>(&self, f: impl FnOnce(&dyn KeyValue) -> Result<T>) -> Result<T> {
+        let permit = self.begin()?;
+        match f(self.store.as_ref()) {
+            Ok(v) => {
+                self.finish(permit, Verdict::Success);
+                Ok(v)
+            }
+            Err(e) => {
+                self.finish(
+                    permit,
+                    if e.is_transient() {
+                        Verdict::Failure
+                    } else {
+                        Verdict::Success
+                    },
+                );
+                Err(e)
+            }
+        }
+    }
+
+    /// True when the breaker would currently shed a call — used to skip a
+    /// known-bad node when picking a hedge target.
+    pub fn is_shedding(&self) -> bool {
+        self.breaker.state() == resilience::BreakerState::Open
+    }
+}
+
+/// Map an error to the verdict [`Node::run`] would have reported.
+pub fn verdict_for(res: &Result<impl Sized>) -> Verdict {
+    match res {
+        Ok(_) => Verdict::Success,
+        Err(e) if e.is_transient() => Verdict::Failure,
+        Err(_) => Verdict::Success,
+    }
+}
+
+/// The shed error every empty-candidate path returns.
+pub fn no_nodes() -> StoreError {
+    StoreError::Unavailable("cluster has no reachable owner for this key".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mem::MemKv;
+    use resilience::BreakerState;
+    use std::time::Duration;
+
+    fn node() -> Node {
+        Node::new(
+            "n0",
+            Arc::new(MemKv::new("n0")),
+            BreakerPolicy {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(20),
+            },
+        )
+    }
+
+    #[test]
+    fn run_counts_and_trips_on_transient_failures() {
+        let n = node();
+        assert!(n.run(|s| s.put("k", b"v")).is_ok());
+        for _ in 0..2 {
+            let _ = n.run(|_| -> Result<()> { Err(StoreError::Timeout) });
+        }
+        assert_eq!(n.breaker().state(), BreakerState::Open);
+        assert!(n.is_shedding());
+        assert_eq!(n.requests(), 3);
+        assert_eq!(n.failures(), 2);
+        // Shed without touching the store.
+        let err = n.run(|s| s.get("k")).expect_err("shed");
+        assert!(matches!(err, StoreError::Unavailable(_)));
+        assert_eq!(n.sheds(), 1);
+    }
+
+    #[test]
+    fn rejections_do_not_trip_the_node() {
+        let n = node();
+        for _ in 0..5 {
+            let _ = n.run(|_| -> Result<()> { Err(StoreError::Rejected("no".into())) });
+        }
+        assert_eq!(n.breaker().state(), BreakerState::Closed);
+        assert_eq!(n.failures(), 0);
+    }
+}

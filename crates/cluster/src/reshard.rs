@@ -1,0 +1,574 @@
+//! Live resharding: change the ring, keep serving, migrate in the
+//! background.
+//!
+//! [`ClusterClient::apply_ring_change`] installs a new node set and ring
+//! but keeps the previous topology as a *read union*: every key stays
+//! readable from wherever it currently lives while a background sweep
+//! ([`ClusterClient::migrate_step`] / [`ClusterClient::run_migration`])
+//! moves data to its new owners. The sweep is **at-most-once in effects
+//! per key**: a copy happens only when the destination is missing the
+//! winning etag, and a source delete only after every copy landed — so a
+//! sweep that crashes, is re-run, or races a concurrent ring re-apply
+//! never duplicates work, it only skips what is already done.
+
+use crate::node::no_nodes;
+use crate::ring::HashRing;
+use crate::{ClusterClient, Node};
+use kvapi::{Connector, Result, StoreError, Versioned};
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Outcome of one [`ClusterClient::migrate_step`] batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Keys examined this step.
+    pub examined: usize,
+    /// Keys that needed (and received) a copy to a new owner.
+    pub moved: usize,
+    /// Keys put back on the queue after a failure.
+    pub requeued: usize,
+    /// Keys still pending after this step.
+    pub remaining: usize,
+}
+
+impl ClusterClient {
+    /// Install a new endpoint set. Nodes whose id survives keep their
+    /// `Node` instance — and with it their circuit-breaker history; new
+    /// endpoints are materialised through `connector`. The old topology is
+    /// retained as a read union until [`run_migration`](Self::run_migration)
+    /// (or enough [`migrate_step`](Self::migrate_step) calls) drains the
+    /// migration queue. Returns the new ring version.
+    pub fn apply_ring_change(
+        &self,
+        endpoints: &[String],
+        connector: &dyn Connector,
+    ) -> Result<u64> {
+        let current = self.topo.read().nodes.clone();
+        // Connect new endpoints with no lock held (connect blocks).
+        let mut new_nodes: Vec<Arc<Node>> = Vec::with_capacity(endpoints.len());
+        for ep in endpoints {
+            match current.iter().find(|n| n.id() == ep.as_str()) {
+                Some(n) => new_nodes.push(n.clone()),
+                None => new_nodes.push(Arc::new(Node::new(
+                    ep.clone(),
+                    connector.connect(ep)?,
+                    self.policy.resilience.breaker.clone(),
+                ))),
+            }
+        }
+        let ids: Vec<String> = new_nodes.iter().map(|n| n.id().to_string()).collect();
+        let ring = HashRing::new(&ids, self.policy.vnodes);
+        let (version, prev_nodes) = {
+            let mut t = self.topo.write();
+            let old_nodes = std::mem::take(&mut t.nodes);
+            let old_ring = t.ring.clone();
+            t.nodes = new_nodes;
+            t.ring = ring;
+            t.prev = Some((old_nodes.clone(), old_ring));
+            t.version = t.version.saturating_add(1);
+            (t.version, old_nodes)
+        };
+        obs::ctx::report_event("ring_version", format!("v={version}"));
+        // Seed the migration queue with every key the old topology holds.
+        // An unreachable old node's keys cannot be enumerated (or moved);
+        // they stay where they are and remain readable through the union
+        // until a later sweep finds them.
+        let mut keys = BTreeSet::new();
+        let mut oks = 0usize;
+        let mut last_err: Option<StoreError> = None;
+        for node in &prev_nodes {
+            match node.run(|s| s.keys()) {
+                Ok(ks) => {
+                    oks = oks.saturating_add(1);
+                    keys.extend(ks);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if oks == 0 && !prev_nodes.is_empty() {
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+        }
+        let mut q = self.migration.lock();
+        q.clear();
+        q.extend(keys);
+        Ok(version)
+    }
+
+    /// Is a reshard still in progress (union view active)?
+    pub fn reshard_active(&self) -> bool {
+        self.topo.read().prev.is_some()
+    }
+
+    /// Keys the active migration sweep has not yet examined.
+    pub fn migration_pending(&self) -> usize {
+        self.migration.lock().len()
+    }
+
+    /// Migrate up to `batch` keys. Keys that fail (an owner unreachable
+    /// mid-copy) are requeued and retried by a later step; keys already in
+    /// place are skipped without touching any store. When the queue drains
+    /// the previous topology is dropped and the union view ends.
+    pub fn migrate_step(&self, batch: usize) -> Result<StepReport> {
+        let mut report = StepReport::default();
+        for _ in 0..batch.max(1) {
+            let Some(key) = self.migration.lock().pop_front() else {
+                break;
+            };
+            report.examined = report.examined.saturating_add(1);
+            match self.migrate_key(&key) {
+                Ok(true) => report.moved = report.moved.saturating_add(1),
+                Ok(false) => {}
+                Err(_) => {
+                    report.requeued = report.requeued.saturating_add(1);
+                    self.migration.lock().push_back(key);
+                }
+            }
+        }
+        report.remaining = self.migration.lock().len();
+        if report.remaining == 0 {
+            let retired = {
+                let mut t = self.topo.write();
+                let had_prev = t.prev.is_some();
+                t.prev = None;
+                had_prev.then_some(t.version)
+            };
+            if let Some(version) = retired {
+                obs::ctx::report_event("ring_version", format!("v={version} migration=complete"));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Run [`migrate_step`](Self::migrate_step) until the queue drains.
+    /// Returns total keys moved. Errors out (leaving the union view and
+    /// the queue intact for a retry) if a full pass over the queue makes
+    /// no progress — e.g. a destination owner is down.
+    pub fn run_migration(&self) -> Result<u64> {
+        let mut moved: u64 = 0;
+        loop {
+            let pending = self.migration_pending();
+            if pending == 0 {
+                // Drain-detection ran inside migrate_step; make sure the
+                // union view is dropped even if the queue started empty.
+                if self.reshard_active() {
+                    let _ = self.migrate_step(1)?;
+                }
+                return Ok(moved);
+            }
+            let step = self.migrate_step(pending)?;
+            moved = moved.saturating_add(step.moved as u64);
+            if step.requeued == step.examined && step.examined > 0 {
+                return Err(StoreError::Unavailable(format!(
+                    "migration stalled: {} keys cannot reach their new owners",
+                    step.remaining
+                )));
+            }
+        }
+    }
+
+    /// Move one key to its new owners if (and only if) ownership changed.
+    /// Effects are guarded by etag: a destination already holding the
+    /// winning version is skipped, so replays are at-most-once.
+    fn migrate_key(&self, key: &str) -> Result<bool> {
+        let (nodes, ring, prev) = {
+            let t = self.topo.read();
+            (t.nodes.clone(), t.ring.clone(), t.prev.clone())
+        };
+        let Some((pnodes, pring)) = prev else {
+            return Ok(false);
+        };
+        let new_owners: Vec<Arc<Node>> = ring
+            .owners(key, self.policy.replicas)
+            .into_iter()
+            .filter_map(|i| nodes.get(i).cloned())
+            .collect();
+        let old_owners: Vec<Arc<Node>> = pring
+            .owners(key, self.policy.replicas)
+            .into_iter()
+            .filter_map(|i| pnodes.get(i).cloned())
+            .collect();
+        let new_ids: BTreeSet<&str> = new_owners.iter().map(|n| n.id()).collect();
+        let old_ids: BTreeSet<&str> = old_owners.iter().map(|n| n.id()).collect();
+        if new_ids == old_ids {
+            return Ok(false);
+        }
+        // Read every involved owner once; the winner is the newest copy.
+        let mut readers: Vec<Arc<Node>> = old_owners.clone();
+        for n in &new_owners {
+            if !readers.iter().any(|r| r.id() == n.id()) {
+                readers.push(n.clone());
+            }
+        }
+        let mut votes: Vec<(Arc<Node>, Result<Option<Versioned>>)> = Vec::new();
+        for node in &readers {
+            let res = node.run(|s| s.get_versioned(key));
+            votes.push((node.clone(), res));
+        }
+        let present: Vec<Versioned> = votes
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().ok().cloned().flatten())
+            .collect();
+        if present.is_empty() {
+            // No reachable copy: deleted concurrently, or every holder is
+            // down. Nothing to move; surface an error only if nothing at
+            // all answered so the key stays pending.
+            return if votes.iter().any(|(_, r)| r.is_ok()) {
+                Ok(false)
+            } else {
+                Err(no_nodes())
+            };
+        }
+        // Winner selection, most-authoritative first. `(modified_ms, etag)`
+        // ties on the millisecond and breaks the tie by etag hash, so it
+        // alone could pick a de-owned stale copy over a write the cluster
+        // acknowledged moments ago.
+        //
+        // 1. A dirty key's pinned etag — the last acknowledged write. If
+        //    its copy is unreachable, keep the key pending rather than
+        //    migrate an older copy over it.
+        // 2. Consensus among readable current owners: writes route to
+        //    them, so when every reachable holder among them agrees, an
+        //    old-topology copy must not override that agreement.
+        // 3. Newest copy by `(modified_ms, etag)` across every owner.
+        let winner = if let Some(pin) = self.dirty_pin(key) {
+            match present.iter().find(|v| v.etag == pin).cloned() {
+                Some(v) => v,
+                None => return Err(no_nodes()),
+            }
+        } else {
+            let held: Vec<&Versioned> = votes
+                .iter()
+                .filter(|(n, _)| new_ids.contains(n.id()))
+                .filter_map(|(_, r)| r.as_ref().ok().and_then(|v| v.as_ref()))
+                .collect();
+            let consensus = held
+                .first()
+                .filter(|f| held.iter().all(|v| v.etag == f.etag))
+                .map(|v| (*v).clone());
+            match consensus.or_else(|| {
+                present
+                    .iter()
+                    .max_by_key(|v| (v.modified_ms, v.etag.0))
+                    .cloned()
+            }) {
+                Some(v) => v,
+                None => return Ok(false),
+            }
+        };
+        let mut copied = false;
+        for node in &new_owners {
+            let have = votes
+                .iter()
+                .find(|(n, _)| n.id() == node.id())
+                .map(|(_, r)| r.as_ref().ok().cloned());
+            match have {
+                Some(Some(Some(v))) if v.etag == winner.etag => {}
+                Some(Some(_)) => {
+                    node.run(|s| s.put(key, &winner.data))?;
+                    copied = true;
+                }
+                // Destination unreadable: cannot prove the guard, keep the
+                // key pending rather than risk a duplicate effect.
+                _ => return Err(no_nodes()),
+            }
+        }
+        // Copies all landed: retire the old copies that lost ownership.
+        // Re-deleting on a replayed sweep is a no-op.
+        for node in &old_owners {
+            if !new_ids.contains(node.id()) {
+                node.run(|s| s.delete(key)).map(|_| ())?;
+            }
+        }
+        if copied {
+            self.metrics.migrated_keys.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(copied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{FlakyStore, TiedClockStore};
+    use crate::{ClusterClient, ClusterPolicy};
+    use kvapi::mem::MemKv;
+    use kvapi::KeyValue;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    fn eps(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("node-{i}")).collect()
+    }
+
+    /// A connector backed by a shared map, so tests can inspect the
+    /// stores it hands out.
+    struct MapConnector {
+        stores: Mutex<HashMap<String, Arc<MemKv>>>,
+    }
+
+    impl MapConnector {
+        fn new() -> MapConnector {
+            MapConnector {
+                stores: Mutex::new(HashMap::new()),
+            }
+        }
+
+        fn store(&self, ep: &str) -> Arc<MemKv> {
+            self.stores
+                .lock()
+                .entry(ep.to_string())
+                .or_insert_with(|| Arc::new(MemKv::new(ep)))
+                .clone()
+        }
+    }
+
+    impl kvapi::Connector for MapConnector {
+        fn connect(&self, endpoint: &str) -> kvapi::Result<Arc<dyn KeyValue>> {
+            Ok(self.store(endpoint) as Arc<dyn KeyValue>)
+        }
+    }
+
+    #[test]
+    fn adding_a_node_keeps_keys_readable_and_migrates_them() {
+        let connector = MapConnector::new();
+        let c = ClusterClient::connect("c", &eps(3), &connector, ClusterPolicy::test_profile())
+            .unwrap();
+        for i in 0..60 {
+            c.put(&format!("key-{i}"), format!("val-{i}").as_bytes())
+                .unwrap();
+        }
+        let scope = obs::ctx::activate(obs::ctx::TraceContext::new_root());
+        let v = c.apply_ring_change(&eps(4), &connector).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(c.ring_version(), 2);
+        assert!(c.reshard_active());
+        assert!(c.migration_pending() > 0);
+        // Mid-sweep: the union view keeps every key readable even though
+        // some now route primarily to the (still empty) new node.
+        for i in 0..60 {
+            assert_eq!(
+                c.get(&format!("key-{i}")).unwrap().as_deref(),
+                Some(format!("val-{i}").as_bytes())
+            );
+        }
+        let moved = c.run_migration().unwrap();
+        assert!(moved > 0, "some keys moved to the new node");
+        assert!(!c.reshard_active(), "union view retired");
+        assert_eq!(c.migrated_keys(), moved);
+        let data = scope.finish();
+        assert!(
+            data.events
+                .iter()
+                .any(|(_, n, d)| n == "ring_version" && d.contains("v=2")),
+            "{:?}",
+            data.events
+        );
+        // Every key is still readable and exactly `replicas` copies exist.
+        let replicas = c.policy().replicas;
+        for i in 0..60 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                c.get(&key).unwrap().as_deref(),
+                Some(format!("val-{i}").as_bytes())
+            );
+            let copies = (0..4)
+                .filter(|&n| {
+                    connector
+                        .store(&format!("node-{n}"))
+                        .contains(&key)
+                        .unwrap()
+                })
+                .count();
+            assert_eq!(copies, replicas, "key {key} on {copies} nodes");
+        }
+        assert!(
+            !connector.store("node-3").keys().unwrap().is_empty(),
+            "new node received data"
+        );
+    }
+
+    #[test]
+    fn removing_a_node_drains_it_and_preserves_replication() {
+        let connector = MapConnector::new();
+        let c = ClusterClient::connect("c", &eps(4), &connector, ClusterPolicy::test_profile())
+            .unwrap();
+        for i in 0..60 {
+            c.put(&format!("key-{i}"), b"v").unwrap();
+        }
+        c.apply_ring_change(&eps(3), &connector).unwrap();
+        // Mid-sweep, keys whose only copies sit on the removed node are
+        // still served through the union view.
+        for i in 0..60 {
+            assert!(c.get(&format!("key-{i}")).unwrap().is_some());
+        }
+        c.run_migration().unwrap();
+        assert!(
+            connector.store("node-3").keys().unwrap().is_empty(),
+            "removed node drained"
+        );
+        let replicas = c.policy().replicas;
+        for i in 0..60 {
+            let key = format!("key-{i}");
+            assert!(c.get(&key).unwrap().is_some());
+            let copies = (0..3)
+                .filter(|&n| {
+                    connector
+                        .store(&format!("node-{n}"))
+                        .contains(&key)
+                        .unwrap()
+                })
+                .count();
+            assert_eq!(copies, replicas);
+        }
+    }
+
+    #[test]
+    fn rerunning_a_sweep_applies_no_duplicate_effects() {
+        let policy = ClusterPolicy::test_profile();
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut flaky = Vec::new();
+        for i in 0..4 {
+            let f = Arc::new(FlakyStore::new(&format!("node-{i}")));
+            flaky.push(f.clone());
+            stores.push((format!("node-{i}"), f as Arc<dyn KeyValue>));
+        }
+        let initial: Vec<(String, Arc<dyn KeyValue>)> = stores.drain(..3).collect();
+        let spare = flaky[3].clone();
+        let c = ClusterClient::from_stores("c", initial, policy);
+        for i in 0..40 {
+            c.put(&format!("key-{i}"), b"v").unwrap();
+        }
+        let connector = move |ep: &str| -> kvapi::Result<Arc<dyn KeyValue>> {
+            assert_eq!(ep, "node-3", "only the new endpoint is connected");
+            Ok(spare.clone() as Arc<dyn KeyValue>)
+        };
+        c.apply_ring_change(&eps(4), &connector).unwrap();
+        let first = c.run_migration().unwrap();
+        assert!(first > 0);
+        let writes_after_first: Vec<u64> = flaky
+            .iter()
+            .map(|f| f.writes.load(std::sync::atomic::Ordering::Relaxed))
+            .collect();
+        // Re-applying the identical ring and sweeping again must examine
+        // the same keys but apply zero effects: every destination already
+        // holds the winning etag (or ownership did not change at all).
+        c.apply_ring_change(&eps(4), &connector).unwrap();
+        let second = c.run_migration().unwrap();
+        assert_eq!(second, 0, "second sweep moved nothing");
+        let writes_after_second: Vec<u64> = flaky
+            .iter()
+            .map(|f| f.writes.load(std::sync::atomic::Ordering::Relaxed))
+            .collect();
+        assert_eq!(
+            writes_after_first, writes_after_second,
+            "no store write was replayed"
+        );
+    }
+
+    #[test]
+    fn migration_keeps_the_current_owners_value_over_an_etag_tiebreak() {
+        // Regression: with every copy tied on modified_ms, the
+        // (modified_ms, etag) fallback degrades to an etag-hash coin flip
+        // — a stale copy left on a de-owned old owner could win it and be
+        // copied back over the value the current owners agree on. The
+        // current-owner consensus rule must decide instead.
+        let policy = ClusterPolicy::test_profile();
+        let vnodes = policy.vnodes;
+        let replicas = policy.replicas;
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut tied = Vec::new();
+        for i in 0..4 {
+            let t = Arc::new(TiedClockStore::new(&format!("node-{i}")));
+            tied.push(t.clone());
+            stores.push((format!("node-{i}"), t.clone() as Arc<dyn KeyValue>));
+        }
+        let c = ClusterClient::from_stores("c", stores, policy);
+        // A key owned by the soon-to-be-removed node-3: after the ring
+        // change node-3 is de-owned but still holds its old copy.
+        let ring4 = HashRing::new(&eps(4), vnodes);
+        let key = (0..400)
+            .map(|i| format!("key-{i}"))
+            .find(|k| ring4.owners(k, replicas).contains(&3))
+            .unwrap();
+        // Order the two values so the STALE one wins an etag-hash tiebreak.
+        let (stale, fresh) =
+            if kvapi::Etag::of_bytes(b"tie-a").0 > kvapi::Etag::of_bytes(b"tie-b").0 {
+                (&b"tie-a"[..], &b"tie-b"[..])
+            } else {
+                (&b"tie-b"[..], &b"tie-a"[..])
+            };
+        c.put(&key, stale).unwrap();
+        let connector = |_ep: &str| -> kvapi::Result<Arc<dyn KeyValue>> {
+            panic!("shrink connects no new endpoints")
+        };
+        c.apply_ring_change(&eps(3), &connector).unwrap();
+        // Mid-reshard the write routes to the new owners; node-3 keeps the
+        // stale copy, tied on modified_ms with the larger etag hash.
+        c.put(&key, fresh).unwrap();
+        c.run_migration().unwrap();
+        assert_eq!(c.get(&key).unwrap().as_deref(), Some(fresh));
+        assert!(
+            tied[3].inner.inner.get(&key).unwrap().is_none(),
+            "de-owned node drained"
+        );
+        let ring3 = HashRing::new(&eps(3), vnodes);
+        for owner in ring3.owners(&key, replicas) {
+            assert_eq!(
+                tied[owner].inner.inner.get(&key).unwrap().as_deref(),
+                Some(fresh),
+                "node-{owner} kept the current owners' value"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_stalls_loudly_when_a_destination_is_down() {
+        let policy = ClusterPolicy::test_profile();
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut flaky = Vec::new();
+        for i in 0..3 {
+            let f = Arc::new(FlakyStore::new(&format!("node-{i}")));
+            flaky.push(f.clone());
+            stores.push((format!("node-{i}"), f as Arc<dyn KeyValue>));
+        }
+        let initial: Vec<(String, Arc<dyn KeyValue>)> = stores.drain(..2).collect();
+        let spare = flaky[2].clone();
+        let c = ClusterClient::from_stores("c", initial, policy);
+        for i in 0..30 {
+            c.put(&format!("key-{i}"), b"v").unwrap();
+        }
+        // The new node is unreachable: the sweep must keep those keys
+        // pending (still served via the union) rather than dropping them.
+        spare
+            .fail_reads
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        spare
+            .fail_writes
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        let spare_conn = spare.clone();
+        let connector = move |_ep: &str| -> kvapi::Result<Arc<dyn KeyValue>> {
+            Ok(spare_conn.clone() as Arc<dyn KeyValue>)
+        };
+        c.apply_ring_change(&eps(3), &connector).unwrap();
+        let err = c.run_migration().expect_err("stalled sweep errors");
+        assert!(matches!(err, kvapi::StoreError::Unavailable(_)), "{err:?}");
+        assert!(c.reshard_active(), "union view survives the stall");
+        assert!(c.migration_pending() > 0);
+        for i in 0..30 {
+            assert!(c.get(&format!("key-{i}")).unwrap().is_some());
+        }
+        // Heal, let the tripped breaker cool down, then finish.
+        spare
+            .fail_reads
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        spare
+            .fail_writes
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        c.run_migration().unwrap();
+        assert!(!c.reshard_active());
+    }
+}

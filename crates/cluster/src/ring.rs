@@ -1,0 +1,192 @@
+//! The consistent-hash ring.
+//!
+//! Each node contributes `vnodes` points to a 64-bit ring, hashed from
+//! `"{node_id}#{i}"` with the same FNV-1a the workspace uses for content
+//! etags. A key's owners are found by hashing the key and walking the ring
+//! clockwise from that point, collecting the first `n` *distinct* nodes.
+//! Virtual nodes smooth the key distribution and — because points are
+//! derived from stable node ids — adding or removing one node moves only
+//! the ~1/N of keys whose arcs it gains or loses, which is exactly what
+//! keeps a live reshard's migration sweep small.
+
+/// An immutable ring over a fixed node set. Node identity is positional
+/// (`usize` index into the owning topology's node list); the ids are only
+/// hashed to place points.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, node_index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    node_count: usize,
+}
+
+/// 64-bit FNV-1a, matching `kvapi::Etag::of_bytes`.
+fn fnv1a(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Ring placement hash: FNV-1a through a splitmix64-style finalizer.
+///
+/// Raw FNV-1a of short, similar strings (`node-0#17` vs `node-2#17`)
+/// clusters badly in the high bits, which skews ring arcs by 20x and
+/// defeats vnode smoothing; the avalanche mix restores uniformity while
+/// staying a pure function of the same bytes.
+fn point(data: &[u8]) -> u64 {
+    let mut z = fnv1a(data);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl HashRing {
+    /// Build a ring over `node_ids`, each contributing `vnodes` points.
+    pub fn new(node_ids: &[String], vnodes: usize) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(node_ids.len() * vnodes);
+        for (idx, id) in node_ids.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((point(format!("{id}#{v}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            node_count: node_ids.len(),
+        }
+    }
+
+    /// Number of distinct nodes on the ring.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The first `n` distinct nodes clockwise from `key`'s point — the
+    /// key's primary (first) and replicas, capped at the node count.
+    /// Empty only for an empty ring.
+    pub fn owners(&self, key: &str, n: usize) -> Vec<usize> {
+        let want = n.max(1).min(self.node_count);
+        let mut out = Vec::with_capacity(want);
+        if self.points.is_empty() {
+            return out;
+        }
+        let h = point(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        for i in 0..self.points.len() {
+            let slot = (start + i) % self.points.len();
+            let Some(&(_, node)) = self.points.get(slot) else {
+                break;
+            };
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The key's primary owner, or `None` on an empty ring.
+    pub fn primary(&self, key: &str) -> Option<usize> {
+        self.owners(key, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn owners_are_distinct_and_deterministic() {
+        let ring = HashRing::new(&ids(&["a", "b", "c"]), 64);
+        for key in ["alpha", "beta", "gamma", "delta"] {
+            let o1 = ring.owners(key, 2);
+            let o2 = ring.owners(key, 2);
+            assert_eq!(o1, o2, "same key, same owners");
+            assert_eq!(o1.len(), 2);
+            assert_ne!(o1[0], o1[1], "replica is a distinct node");
+        }
+    }
+
+    #[test]
+    fn replica_count_is_capped_at_node_count() {
+        let ring = HashRing::new(&ids(&["a", "b"]), 16);
+        assert_eq!(ring.owners("k", 5).len(), 2);
+        let solo = HashRing::new(&ids(&["a"]), 16);
+        assert_eq!(solo.owners("k", 3), vec![0]);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(&[], 16);
+        assert!(ring.owners("k", 2).is_empty());
+        assert_eq!(ring.primary("k"), None);
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let ring = HashRing::new(&ids(&["a", "b", "c", "d"]), 64);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            let p = ring.primary(&format!("key-{i}")).expect("owner");
+            counts[p] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Perfect balance is 1000; vnode smoothing should keep every
+            // node within a loose 2x band.
+            assert!(
+                (500..=2000).contains(&c),
+                "node {i} owns {c} of 4000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_only_a_fraction_of_keys() {
+        let three = HashRing::new(&ids(&["a", "b", "c"]), 64);
+        let four = HashRing::new(&ids(&["a", "b", "c", "d"]), 64);
+        let total = 4000;
+        let mut moved = 0;
+        for i in 0..total {
+            let key = format!("key-{i}");
+            let before = three.primary(&key).expect("owner");
+            let after = four.primary(&key).expect("owner");
+            // Node indices 0..=2 mean the same ids in both rings.
+            if after != before {
+                moved += 1;
+                assert_eq!(after, 3, "keys only move to the new node, got {after}");
+            }
+        }
+        // Expected movement ~1/4; allow a wide band but far below a
+        // naive-mod-N reshuffle (~3/4).
+        assert!(
+            (total / 10..total / 2).contains(&moved),
+            "moved {moved} of {total}"
+        );
+    }
+
+    #[test]
+    fn ring_hash_matches_etag_fnv() {
+        // The ring builds on the workspace's content-hash function; pin
+        // both the FNV base and the mixed placement hash so ring layout
+        // stays stable across refactors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"abc"), kvapi::Etag::of_bytes(b"abc").0);
+        assert_eq!(point(b"abc"), {
+            let mut z = kvapi::Etag::of_bytes(b"abc").0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! Router-facing connection factory.
+//!
+//! A cluster router is store-agnostic: it shards keys across N endpoints
+//! but never speaks a wire protocol itself. [`Connector`] is the seam —
+//! given an endpoint string it yields a ready [`KeyValue`] client, so the
+//! same router runs over cloudstore, miniredis, minisql or in-process
+//! `MemKv` nodes, over either transport, depending only on which connector
+//! it was built with.
+
+use crate::traits::KeyValue;
+use crate::Result;
+use std::sync::Arc;
+
+/// Builds a [`KeyValue`] client for one endpoint.
+///
+/// Implementations decide what an endpoint string means (a `host:port`, a
+/// registry name, a file path) and which client and transport to build for
+/// it. Connectors are shared and may be called concurrently; each call
+/// should yield an independent client for that endpoint.
+pub trait Connector: Send + Sync {
+    /// Connect to `endpoint` and return its store client.
+    fn connect(&self, endpoint: &str) -> Result<Arc<dyn KeyValue>>;
+}
+
+/// Closures are connectors: `|ep| Ok(Arc::new(MemKv::new(ep)) as _)`.
+impl<F> Connector for F
+where
+    F: Fn(&str) -> Result<Arc<dyn KeyValue>> + Send + Sync,
+{
+    fn connect(&self, endpoint: &str) -> Result<Arc<dyn KeyValue>> {
+        self(endpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemKv;
+
+    #[test]
+    fn closures_are_connectors() {
+        let connector = |ep: &str| -> Result<Arc<dyn KeyValue>> {
+            Ok(Arc::new(MemKv::new(ep)) as Arc<dyn KeyValue>)
+        };
+        let dynamic: &dyn Connector = &connector;
+        let store = dynamic.connect("node-a").expect("connect");
+        store.put("k", b"v").expect("put");
+        assert_eq!(
+            store.get("k").expect("get").as_deref(),
+            Some(b"v".as_slice())
+        );
+        assert_eq!(store.name(), "node-a");
+    }
+}

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod codec;
+pub mod connector;
 pub mod contract;
 pub mod error;
 pub mod mem;
@@ -36,6 +37,7 @@ pub mod traits;
 pub mod value;
 
 pub use bytes::Bytes;
+pub use connector::Connector;
 pub use error::{Result, StoreError};
 pub use rpc::{Framer, ReplyMeta, RpcClient, RpcSender, SendOptions, Transport};
 pub use traits::{CondGet, KeyValue, StoreStats};

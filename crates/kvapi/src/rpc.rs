@@ -140,6 +140,22 @@ pub trait RpcSender: Send + Sync {
     fn send_pipelined(&self, reqs: &[Vec<u8>], opts: &SendOptions<'_>) -> Result<Vec<Vec<u8>>> {
         reqs.iter().map(|r| self.send(r, opts)).collect()
     }
+
+    /// Abandon an in-flight request by correlation id: the hedge-loss
+    /// hook. A hedged read fires a delayed second request and keeps the
+    /// first reply; the loser's slot must be reclaimed promptly — its
+    /// parked waiter completed with a transient error — rather than
+    /// holding transport state until the full request deadline.
+    ///
+    /// Returns true when an in-flight entry was found and cancelled;
+    /// false when the request already completed (the caller should
+    /// collect its result) or the transport tracks no correlation state.
+    /// The default is the latter: blocking transports have nothing to
+    /// abandon.
+    fn abandon(&self, correlation_id: u64) -> bool {
+        let _ = correlation_id;
+        false
+    }
 }
 
 /// Implemented by protocol clients built on a pluggable [`RpcSender`] —

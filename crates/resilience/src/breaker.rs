@@ -7,6 +7,21 @@
 //! [`StoreError::Unavailable`]; after `cooldown` it goes *half-open* and
 //! admits exactly one probe. A successful probe closes the breaker, a
 //! failed one re-opens it for another cooldown.
+//!
+//! # Probe accounting under concurrency
+//!
+//! `admit()` returns a [`Permit`] that the caller hands back to exactly one
+//! of `on_success` / `on_failure` / `on_abandon`. The permit records whether
+//! this attempt *is* the half-open probe and the breaker generation it was
+//! issued under. Only the probe permit of the current generation can close
+//! a half-open breaker or re-open it; verdicts from other in-flight
+//! requests (admitted earlier, while the breaker was still closed) are
+//! ignored for state transitions. Without this, a hedged read — two
+//! in-flight requests per logical op — could have its slow loser complete
+//! during the half-open window and be miscounted as the probe's verdict.
+//!
+//! `on_abandon` releases a probe slot without recording a verdict: the
+//! hedge loser was cancelled, not failed, so the next caller may probe.
 
 use kvapi::StoreError;
 use std::sync::Mutex;
@@ -50,11 +65,39 @@ impl BreakerState {
     }
 }
 
+/// Proof of admission returned by [`CircuitBreaker::admit`]. Hand it back
+/// to exactly one of `on_success` / `on_failure` / `on_abandon`.
+///
+/// The permit is `Copy` so a caller can stash it across a spawned hedge
+/// attempt; the generation check makes a stale permit harmless.
+#[derive(Clone, Copy, Debug)]
+pub struct Permit {
+    probe: bool,
+    generation: u64,
+}
+
+impl Permit {
+    /// True when this attempt holds the single half-open probe slot.
+    pub fn is_probe(&self) -> bool {
+        self.probe
+    }
+}
+
 struct Inner {
     state: BreakerState,
     consecutive_failures: u32,
     opened_at: Option<Instant>,
     probe_in_flight: bool,
+    /// Bumped on every state transition; probe verdicts from an older
+    /// generation are ignored.
+    generation: u64,
+}
+
+impl Inner {
+    fn transition(&mut self, to: BreakerState) {
+        self.state = to;
+        self.generation = self.generation.wrapping_add(1);
+    }
 }
 
 /// The breaker itself. One instance per endpoint, shared by every request
@@ -73,6 +116,7 @@ impl CircuitBreaker {
                 consecutive_failures: 0,
                 opened_at: None,
                 probe_in_flight: false,
+                generation: 0,
             }),
         }
     }
@@ -81,23 +125,31 @@ impl CircuitBreaker {
         lock(&self.inner).state
     }
 
-    /// Gate one attempt. `Ok` admits it (and, when half-open, claims the
-    /// single probe slot — the caller *must* then report `on_success` or
-    /// `on_failure`); `Err(Unavailable)` sheds it without touching the
-    /// network.
-    pub fn admit(&self) -> Result<(), StoreError> {
+    /// Gate one attempt. `Ok(permit)` admits it — the caller *must* then
+    /// report the permit to `on_success`, `on_failure`, or `on_abandon`;
+    /// `Err(Unavailable)` sheds it without touching the network.
+    ///
+    /// When the breaker is open and cooled down, the admitted attempt
+    /// becomes the single half-open probe (`permit.is_probe()`).
+    pub fn admit(&self) -> Result<Permit, StoreError> {
         let mut inner = lock(&self.inner);
         match inner.state {
-            BreakerState::Closed => Ok(()),
+            BreakerState::Closed => Ok(Permit {
+                probe: false,
+                generation: inner.generation,
+            }),
             BreakerState::Open => {
                 let cooled = inner
                     .opened_at
                     .map(|at| at.elapsed() >= self.policy.cooldown)
                     .unwrap_or(true);
                 if cooled {
-                    inner.state = BreakerState::HalfOpen;
+                    inner.transition(BreakerState::HalfOpen);
                     inner.probe_in_flight = true;
-                    Ok(())
+                    Ok(Permit {
+                        probe: true,
+                        generation: inner.generation,
+                    })
                 } else {
                     Err(StoreError::Unavailable("circuit breaker open".into()))
                 }
@@ -109,39 +161,72 @@ impl CircuitBreaker {
                     ))
                 } else {
                     inner.probe_in_flight = true;
-                    Ok(())
+                    Ok(Permit {
+                        probe: true,
+                        generation: inner.generation,
+                    })
                 }
             }
         }
     }
 
     /// Report a successful (or healthily-rejected) attempt.
-    pub fn on_success(&self) {
+    pub fn on_success(&self, permit: Permit) {
         let mut inner = lock(&self.inner);
-        inner.state = BreakerState::Closed;
-        inner.consecutive_failures = 0;
-        inner.opened_at = None;
-        inner.probe_in_flight = false;
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures = 0;
+            }
+            BreakerState::HalfOpen => {
+                if permit.probe && permit.generation == inner.generation {
+                    inner.transition(BreakerState::Closed);
+                    inner.consecutive_failures = 0;
+                    inner.opened_at = None;
+                    inner.probe_in_flight = false;
+                }
+                // A non-probe success (admitted before the breaker opened)
+                // is stale evidence: leave the probe to decide.
+            }
+            BreakerState::Open => {}
+        }
     }
 
     /// Report a transport failure.
-    pub fn on_failure(&self) {
+    pub fn on_failure(&self, permit: Permit) {
         let mut inner = lock(&self.inner);
-        inner.probe_in_flight = false;
         match inner.state {
             BreakerState::HalfOpen => {
-                // Failed probe: straight back to open for another cooldown.
-                inner.state = BreakerState::Open;
-                inner.opened_at = Some(Instant::now());
+                // Only the probe's own failure re-opens; a concurrent
+                // non-probe request failing late must not be recorded as
+                // the probe's verdict.
+                if permit.probe && permit.generation == inner.generation {
+                    inner.probe_in_flight = false;
+                    inner.transition(BreakerState::Open);
+                    inner.opened_at = Some(Instant::now());
+                }
             }
             BreakerState::Closed => {
                 inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
                 if inner.consecutive_failures >= self.policy.failure_threshold {
-                    inner.state = BreakerState::Open;
+                    inner.transition(BreakerState::Open);
                     inner.opened_at = Some(Instant::now());
                 }
             }
             BreakerState::Open => {}
+        }
+    }
+
+    /// The attempt was abandoned without a verdict — e.g. a hedge loser
+    /// cancelled after the other leg won. Releases the probe slot (so the
+    /// next caller may probe) but never counts as a probe failure and
+    /// never transitions state.
+    pub fn on_abandon(&self, permit: Permit) {
+        let mut inner = lock(&self.inner);
+        if permit.probe
+            && permit.generation == inner.generation
+            && inner.state == BreakerState::HalfOpen
+        {
+            inner.probe_in_flight = false;
         }
     }
 }
@@ -161,12 +246,16 @@ mod tests {
         })
     }
 
+    fn fail_once(b: &CircuitBreaker) {
+        let p = b.admit().expect("closed breaker admits");
+        b.on_failure(p);
+    }
+
     #[test]
     fn opens_after_threshold_and_sheds() {
         let b = quick();
         for _ in 0..3 {
-            assert!(b.admit().is_ok());
-            b.on_failure();
+            fail_once(&b);
         }
         assert_eq!(b.state(), BreakerState::Open);
         match b.admit() {
@@ -178,11 +267,12 @@ mod tests {
     #[test]
     fn success_resets_consecutive_failures() {
         let b = quick();
-        b.on_failure();
-        b.on_failure();
-        b.on_success();
-        b.on_failure();
-        b.on_failure();
+        fail_once(&b);
+        fail_once(&b);
+        let p = b.admit().unwrap();
+        b.on_success(p);
+        fail_once(&b);
+        fail_once(&b);
         assert_eq!(b.state(), BreakerState::Closed);
     }
 
@@ -190,16 +280,17 @@ mod tests {
     fn half_open_admits_exactly_one_probe() {
         let b = quick();
         for _ in 0..3 {
-            b.on_failure();
+            fail_once(&b);
         }
         std::thread::sleep(Duration::from_millis(40));
-        assert!(b.admit().is_ok(), "cooled-down breaker admits a probe");
+        let probe = b.admit().expect("cooled-down breaker admits a probe");
+        assert!(probe.is_probe());
         assert_eq!(b.state(), BreakerState::HalfOpen);
         assert!(
             b.admit().is_err(),
             "second caller is shed while the probe is in flight"
         );
-        b.on_success();
+        b.on_success(probe);
         assert_eq!(b.state(), BreakerState::Closed);
         assert!(b.admit().is_ok());
     }
@@ -208,13 +299,107 @@ mod tests {
     fn failed_probe_reopens() {
         let b = quick();
         for _ in 0..3 {
-            b.on_failure();
+            fail_once(&b);
         }
         std::thread::sleep(Duration::from_millis(40));
-        assert!(b.admit().is_ok());
-        b.on_failure();
+        let probe = b.admit().unwrap();
+        b.on_failure(probe);
         assert_eq!(b.state(), BreakerState::Open);
         assert!(b.admit().is_err(), "re-opened breaker sheds again");
+    }
+
+    #[test]
+    fn late_non_probe_failure_is_not_a_probe_verdict() {
+        let b = quick();
+        // A slow request admitted while closed...
+        let slow = b.admit().unwrap();
+        assert!(!slow.is_probe());
+        // ...then the endpoint degrades: threshold failures open the breaker.
+        for _ in 0..3 {
+            fail_once(&b);
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = b.admit().unwrap();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The slow request now fails. It must not re-open the breaker or
+        // steal the probe slot.
+        b.on_failure(slow);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit().is_err(), "probe slot still held by the probe");
+        b.on_success(probe);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn late_non_probe_success_does_not_close_half_open() {
+        let b = quick();
+        let slow = b.admit().unwrap();
+        for _ in 0..3 {
+            fail_once(&b);
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = b.admit().unwrap();
+        // The slow pre-open request succeeds late: stale evidence, the
+        // probe still decides.
+        b.on_success(slow);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_failure(probe);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn abandoned_probe_releases_slot_without_verdict() {
+        let b = quick();
+        for _ in 0..3 {
+            fail_once(&b);
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        let probe = b.admit().unwrap();
+        assert!(b.admit().is_err());
+        // Hedge loser: cancelled, not failed.
+        b.on_abandon(probe);
+        assert_eq!(
+            b.state(),
+            BreakerState::HalfOpen,
+            "abandon is not a failure: breaker must not re-open"
+        );
+        let probe2 = b.admit().expect("released slot admits the next probe");
+        assert!(probe2.is_probe());
+        b.on_success(probe2);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn abandon_of_non_probe_is_a_no_op() {
+        let b = quick();
+        let p = b.admit().unwrap();
+        b.on_abandon(p);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Failure counting unaffected.
+        for _ in 0..3 {
+            fail_once(&b);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn stale_probe_verdict_from_prior_generation_is_ignored() {
+        let b = quick();
+        for _ in 0..3 {
+            fail_once(&b);
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        let probe1 = b.admit().unwrap();
+        b.on_failure(probe1); // re-opens, bumps generation
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(40));
+        let probe2 = b.admit().unwrap();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A duplicate report of the dead probe must not close the breaker.
+        b.on_success(probe1);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success(probe2);
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]

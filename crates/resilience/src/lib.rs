@@ -28,7 +28,7 @@ pub mod deadline;
 pub mod pool;
 pub mod retry;
 
-pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker, Permit};
 pub use deadline::{Deadline, DeadlineStream, SharedDeadline};
 pub use pool::IdlePool;
 pub use retry::RetryPolicy;
@@ -203,17 +203,20 @@ impl Resilience {
         loop {
             attempt += 1;
             let pre_admit = self.breaker.state();
-            if let Err(e) = self.breaker.admit() {
-                self.note_transition(pre_admit);
-                obs::ctx::report_event("breaker", "shed");
-                self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
-                return Err(e);
-            }
+            let permit = match self.breaker.admit() {
+                Ok(p) => p,
+                Err(e) => {
+                    self.note_transition(pre_admit);
+                    obs::ctx::report_event("breaker", "shed");
+                    self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            };
             self.note_transition(pre_admit);
             let err = match f(&deadline, attempt, &guard) {
                 Ok(v) => {
                     let pre = self.breaker.state();
-                    self.breaker.on_success();
+                    self.breaker.on_success(permit);
                     self.note_transition(pre);
                     return Ok(v);
                 }
@@ -224,9 +227,9 @@ impl Resilience {
             // malformed reply — is reachable.
             let pre = self.breaker.state();
             if err.is_transient() {
-                self.breaker.on_failure();
+                self.breaker.on_failure(permit);
             } else {
-                self.breaker.on_success();
+                self.breaker.on_success(permit);
             }
             self.note_transition(pre);
             if deadline.expired() {

@@ -285,8 +285,10 @@ impl MuxSender {
 
     /// Replace a still-waiting entry with a tombstone (deadline ran out).
     /// False when the entry is gone or already being completed — the
-    /// caller should collect the imminent result instead.
-    fn abandon(&self, conn: &MuxConn, id: u64) -> bool {
+    /// caller should collect the imminent result instead. Only safe from
+    /// the parked caller itself (it does not complete the slot); external
+    /// cancellation goes through [`RpcSender::abandon`].
+    fn tombstone(&self, conn: &MuxConn, id: u64) -> bool {
         let mut p = lock(&conn.state.pending);
         match p.map.get_mut(&id) {
             Some(w) if !matches!(w, Waiter::Abandoned { .. }) => {
@@ -313,7 +315,7 @@ impl MuxSender {
             }
             let Some(rem) = deadline.remaining() else {
                 drop(cell);
-                if self.abandon(conn, id) {
+                if self.tombstone(conn, id) {
                     return Err(StoreError::Io(io::Error::new(
                         io::ErrorKind::TimedOut,
                         "request deadline exceeded",
@@ -482,6 +484,43 @@ impl RpcSender for MuxSender {
         match first_err {
             None => Ok(replies),
             Some(e) => Err(e),
+        }
+    }
+
+    /// Hedge-loss cancellation through the correlation table: take the
+    /// loser's waiter out of the shared connection's pending map, leave an
+    /// `Abandoned` tombstone in its reply-order slot (so the late reply is
+    /// framed correctly and discarded), and complete the parked waiter
+    /// immediately with a transient error. The winner's reply already
+    /// answered the logical operation; the loser must not camp on its
+    /// deadline.
+    fn abandon(&self, correlation_id: u64) -> bool {
+        let Some(conn) = self.pool.checkout() else {
+            return false;
+        };
+        self.pool
+            .checkin_shared(conn.clone(), conn.state.in_flight.clone());
+        let taken = {
+            let mut p = lock(&conn.state.pending);
+            let meta = match p.map.get(&correlation_id) {
+                Some(w @ (Waiter::Sync { .. } | Waiter::Async { .. })) => Some(w.meta()),
+                _ => None,
+            };
+            meta.and_then(|m| p.map.insert(correlation_id, Waiter::Abandoned { meta: m }))
+        };
+        match taken {
+            Some(waiter) => {
+                MuxState::complete(
+                    waiter,
+                    Err(StoreError::Io(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "abandoned: hedge winner already replied",
+                    ))),
+                    &conn.state.in_flight,
+                );
+                true
+            }
+            None => false,
         }
     }
 }
@@ -668,6 +707,172 @@ mod tests {
             4,
             "every in-flight request failed exactly once"
         );
+    }
+
+    /// A server that swallows the first frame it reads, then echoes
+    /// everything after it. The first request never gets a reply; later
+    /// requests do.
+    fn swallow_first_server() -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 256];
+            let mut swallowed = false;
+            loop {
+                let n = match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => n,
+                };
+                buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                if !swallowed {
+                    if let Some(&len) = buf.first() {
+                        let total = len as usize + 2;
+                        if buf.len() >= total {
+                            buf.drain(..total);
+                            swallowed = true;
+                        }
+                    }
+                }
+                if swallowed && !buf.is_empty() {
+                    if stream.write_all(&buf).is_err() {
+                        return;
+                    }
+                    buf.clear();
+                }
+            }
+        });
+        addr
+    }
+
+    /// Regression (fail-fast): shutting the client reactor down mid-flight
+    /// must complete every parked waiter with a transient `Closed` error
+    /// promptly — the reactor clock's shutdown control drives `on_close` →
+    /// `fail_all` — never leaving them parked until the request deadline.
+    #[test]
+    fn reactor_shutdown_mid_flight_fails_fast_with_a_transient_error() {
+        // Black-hole server: accepts and reads, never replies, keeps the
+        // socket open so only the client-side teardown can end the wait.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut chunk = [0u8; 256];
+            while let Ok(n) = stream.read(&mut chunk) {
+                if n == 0 {
+                    return;
+                }
+            }
+        });
+        let s = Arc::new(sender(addr));
+        let s2 = s.clone();
+        let started = Instant::now();
+        let parked = std::thread::spawn(move || {
+            // A deadline far beyond what this test tolerates: if the error
+            // comes back quickly it was fail-fast, not deadline expiry.
+            let opts = SendOptions {
+                deadline: Some(Instant::now() + Duration::from_secs(30)),
+                ..SendOptions::default()
+            };
+            s2.send(&frame(1, b"parked"), &opts)
+        });
+        // Let the request reach the wire, then kill the client event loop.
+        std::thread::sleep(Duration::from_millis(100));
+        if let Some(rt) = lock(&s.reactor).as_mut() {
+            rt.shutdown();
+        }
+        let err = parked
+            .join()
+            .expect("waiter thread")
+            .expect_err("no reply possible");
+        assert!(matches!(err, StoreError::Closed), "got {err:?}");
+        assert!(err.is_transient(), "fail-fast error must be retryable");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "waiter parked for {:?} — not fail-fast",
+            started.elapsed()
+        );
+    }
+
+    /// Regression (fail-fast): handing a connection to a reactor that is
+    /// already gone must deliver `on_close` synchronously, so the mux
+    /// state is marked closed and registrations fail instead of parking.
+    /// Before the fix the queued `AddConn` control was silently dropped
+    /// and the handler never learned the loop was dead.
+    #[test]
+    fn adding_a_connection_to_a_dead_reactor_closes_the_handler() {
+        let (addr, _) = echo_server();
+        let mut rt = Reactor::new().expect("reactor").spawn();
+        let handle = rt.handle();
+        rt.shutdown();
+        assert!(!handle.is_live());
+
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let state = Arc::new(MuxState::default());
+        let _ = handle.add_connection(
+            stream,
+            Box::new(MuxHandler {
+                framer: Arc::new(TinyFramer),
+                state: state.clone(),
+            }),
+        );
+        assert!(
+            state.closed.load(Ordering::SeqCst),
+            "dead loop must close the handler synchronously"
+        );
+    }
+
+    /// The hedge-loss pattern end to end: the loser's parked waiter is
+    /// completed promptly through the correlation table, its tombstone
+    /// keeps reply order intact, and the connection stays usable.
+    #[test]
+    fn abandon_on_hedge_loss_unparks_the_loser_and_preserves_reply_order() {
+        let addr = swallow_first_server();
+        let s = Arc::new(sender(addr));
+        let loser_id = s.next_correlation_id().expect("mux allocates ids");
+        let s2 = s.clone();
+        let started = Instant::now();
+        let loser = std::thread::spawn(move || {
+            let opts = SendOptions {
+                correlation_id: Some(loser_id),
+                deadline: Some(Instant::now() + Duration::from_secs(30)),
+                ..SendOptions::default()
+            };
+            s2.send(&frame(loser_id, b"loser"), &opts)
+        });
+        // Let the loser register and reach the wire, then abandon it —
+        // in the hedged-read flow this is the moment the other replica's
+        // reply wins.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            RpcSender::abandon(&*s, loser_id),
+            "in-flight loser found and cancelled"
+        );
+        let err = loser
+            .join()
+            .expect("loser thread")
+            .expect_err("abandoned leg must not succeed");
+        assert!(err.is_transient(), "abandonment is retryable: {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "loser parked for {:?} — abandon must unpark promptly",
+            started.elapsed()
+        );
+        // Double-abandon reports too-late.
+        assert!(!RpcSender::abandon(&*s, loser_id));
+        // The shared connection still works and the follow-up gets its
+        // own reply, not the loser's.
+        let follow_id = s.next_correlation_id().expect("id");
+        let req = frame(follow_id, b"follow-up");
+        let opts = SendOptions {
+            correlation_id: Some(follow_id),
+            ..SendOptions::default()
+        };
+        let reply = s.send(&req, &opts).expect("follow-up");
+        assert_eq!(reply, req);
     }
 
     #[test]

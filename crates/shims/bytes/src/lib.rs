@@ -21,18 +21,24 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer (no allocation shared with anything).
     pub fn new() -> Bytes {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Wrap a static slice. (The shim copies; the workspace only uses this
     /// for tiny test literals.)
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Length in bytes.
@@ -72,7 +78,9 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 

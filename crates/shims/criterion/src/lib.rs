@@ -18,12 +18,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Build an id from a function name and a parameter value.
     pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{function_id}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
     }
 
     /// Build an id from a parameter alone.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 

@@ -64,10 +64,19 @@ pub mod channel {
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             ready: Condvar::new(),
         });
-        (Sender { shared: shared.clone() }, Receiver { shared })
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -86,8 +95,14 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
-            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
-            Sender { shared: self.shared.clone() }
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -119,20 +134,35 @@ pub mod channel {
 
         /// Dequeue without blocking; `None` when currently empty.
         pub fn try_recv(&self) -> Option<T> {
-            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).items.pop_front()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .pop_front()
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
-            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
-            Receiver { shared: self.shared.clone() }
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers -= 1;
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers -= 1;
         }
     }
 

@@ -18,7 +18,9 @@ pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 impl<T> Mutex<T> {
     /// Create a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
@@ -68,7 +70,9 @@ pub struct Condvar {
 impl Condvar {
     /// Create a new condition variable.
     pub const fn new() -> Condvar {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     /// Wake one waiter.
@@ -109,8 +113,10 @@ impl Condvar {
         // overwritten without being dropped.
         unsafe {
             let taken = std::ptr::read(guard);
-            let (reacquired, result) =
-                self.inner.wait_timeout(taken, timeout).unwrap_or_else(|e| e.into_inner());
+            let (reacquired, result) = self
+                .inner
+                .wait_timeout(taken, timeout)
+                .unwrap_or_else(|e| e.into_inner());
             std::ptr::write(guard, reacquired);
             WaitTimeoutResult(result.timed_out())
         }
@@ -131,7 +137,9 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 impl<T> RwLock<T> {
     /// Create a new lock.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.

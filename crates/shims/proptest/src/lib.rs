@@ -93,7 +93,13 @@ pub trait Strategy {
     /// producing a container of the same type. `depth` bounds recursion;
     /// the size-tuning parameters of real proptest are accepted and
     /// ignored.
-    fn prop_recursive<S, F>(self, depth: u32, _desired_size: u32, _expected_branch: u32, f: F) -> Recursive<Self::Value>
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
     where
         Self: Sized + 'static,
         S: Strategy<Value = Self::Value> + 'static,
@@ -269,7 +275,9 @@ impl Strategy for &str {
         let (alphabet, min, max) = parse_simple_regex(self)
             .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (shim supports one char class with a quantifier)"));
         let len = rng.gen_range(min..=max);
-        (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
     }
 }
 
@@ -517,7 +525,9 @@ macro_rules! __proptest_fns {
 /// The usual glob import (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{any, Any, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union};
+    pub use crate::{
+        any, Any, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 

@@ -321,7 +321,10 @@ mod tests {
     fn gen_bool_tracks_probability() {
         let mut rng = SmallRng::seed_from_u64(2);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
-        assert!((2000..3000).contains(&hits), "got {hits} of 10000 at p=0.25");
+        assert!(
+            (2000..3000).contains(&hits),
+            "got {hits} of 10000 at p=0.25"
+        );
     }
 
     #[test]

@@ -209,15 +209,30 @@ struct Shared {
 }
 
 impl Shared {
-    fn push(&self, c: Control) {
-        if !self.live.load(Ordering::Acquire) {
-            return;
+    /// Queue a control for the loop. Returns the control back when the
+    /// loop is already dead so the caller can dispose of it properly —
+    /// an `AddConn` carries a handler whose `on_close` contract must hold
+    /// even when the loop never sees it. The liveness check runs under
+    /// the queue lock, pairing with `shutdown_now`'s flag-then-drain (also
+    /// under the lock): a control either lands before the drain and is
+    /// closed by it, or observes `live == false` and comes back here.
+    fn push(&self, c: Control) -> Option<Control> {
+        let rejected = match self.q.lock() {
+            Ok(mut q) => {
+                if self.live.load(Ordering::Acquire) {
+                    q.push_back(c);
+                    None
+                } else {
+                    Some(c)
+                }
+            }
+            Err(_) => Some(c),
+        };
+        if rejected.is_none() {
+            // A full pipe still wakes the loop; ignore short/failed writes.
+            let _ = (&self.wake_tx).write(&[1]);
         }
-        if let Ok(mut q) = self.q.lock() {
-            q.push_back(c);
-        }
-        // A full pipe still wakes the loop; ignore short/failed writes.
-        let _ = (&self.wake_tx).write(&[1]);
+        rejected
     }
 }
 
@@ -234,11 +249,16 @@ impl Handle {
     /// the connection's id; registration happens on the loop thread.
     pub fn add_connection(&self, stream: TcpStream, handler: Box<dyn ConnHandler>) -> ConnId {
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared.push(Control::AddConn {
+        if let Some(Control::AddConn { mut handler, .. }) = self.shared.push(Control::AddConn {
             id,
             stream,
             handler,
-        });
+        }) {
+            // The loop is already gone: deliver the close synchronously so
+            // the handler fails its in-flight work fast instead of letting
+            // callers park until their deadlines.
+            handler.on_close();
+        }
         id
     }
 
@@ -422,9 +442,15 @@ impl Reactor {
         &mut self,
         id: ConnId,
         stream: TcpStream,
-        handler: Box<dyn ConnHandler>,
+        mut handler: Box<dyn ConnHandler>,
     ) -> io::Result<()> {
-        stream.set_nonblocking(true)?;
+        // Every failure path must still deliver `on_close`: client-side
+        // handlers (the mux transport) use it to fail their in-flight
+        // waiters fast instead of parking them until the request deadline.
+        if let Err(e) = stream.set_nonblocking(true) {
+            handler.on_close();
+            return Err(e);
+        }
         let _ = stream.set_nodelay(true);
         let fd = stream.as_raw_fd();
         let idx = self.alloc_slot(Slot::Conn(ConnState {
@@ -438,7 +464,11 @@ impl Reactor {
             parked: false,
         }));
         self.ids.insert(id, idx);
-        self.poller.add(fd, idx as u64, true, false)
+        if let Err(e) = self.poller.add(fd, idx as u64, true, false) {
+            self.teardown(idx);
+            return Err(e);
+        }
+        Ok(())
     }
 
     fn arm_timer(&mut self, when: Instant, kind: TimerKind) {
@@ -489,6 +519,19 @@ impl Reactor {
     /// Tear everything down and mark the loop finished.
     pub fn shutdown_now(&mut self) {
         self.shared.live.store(false, Ordering::Release);
+        // Controls still queued will never be applied. An AddConn carries
+        // a handler that was promised an eventual `on_close`; deliver it
+        // now so its in-flight work fails fast. (Flag-then-drain pairs
+        // with the liveness check in `Shared::push` — see there.)
+        let leftover: Vec<Control> = match self.shared.q.lock() {
+            Ok(mut q) => q.drain(..).collect(),
+            Err(_) => Vec::new(),
+        };
+        for c in leftover {
+            if let Control::AddConn { mut handler, .. } = c {
+                handler.on_close();
+            }
+        }
         self.close_all_conns();
         for idx in 0..self.slots.len() {
             if let Some(Some(Slot::Listener { sock, .. })) = self.slots.get(idx) {

@@ -22,7 +22,6 @@ mod poll;
 pub mod sys;
 
 pub use event_loop::{
-    Acceptor, ConnHandler, ConnId, Handle, Outbox, Reactor, ReactorThread,
-    DEFAULT_ACCEPT_BACKLOG,
+    Acceptor, ConnHandler, ConnId, Handle, Outbox, Reactor, ReactorThread, DEFAULT_ACCEPT_BACKLOG,
 };
 pub use poll::{Event, Poller};

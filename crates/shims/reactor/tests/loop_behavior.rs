@@ -319,7 +319,10 @@ fn burst_of_connects_is_drained_per_readiness_event() {
 
     let t0 = Instant::now();
     while r.conn_count() < BURST {
-        assert!(t0.elapsed() < Duration::from_secs(10), "accept burst stalled");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "accept burst stalled"
+        );
         r.turn(Some(Duration::from_millis(10))).expect("turn");
     }
 

@@ -66,7 +66,10 @@ impl Value {
 
     /// Object field lookup.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Short description for error messages.
@@ -272,7 +275,10 @@ impl Deserialize for f64 {
             Value::Float(f) => Ok(*f),
             Value::Int(n) => Ok(*n as f64),
             Value::UInt(n) => Ok(*n as f64),
-            other => Err(Error::msg(format!("expected number, found {}", other.kind()))),
+            other => Err(Error::msg(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -297,7 +303,10 @@ impl Deserialize for String {
     fn from_value(v: &Value) -> Result<String, Error> {
         match v {
             Value::String(s) => Ok(s.clone()),
-            other => Err(Error::msg(format!("expected string, found {}", other.kind()))),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -339,7 +348,10 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Vec<T>, Error> {
         match v {
             Value::Array(items) => items.iter().map(T::from_value).collect(),
-            other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 }

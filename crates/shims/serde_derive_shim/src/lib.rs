@@ -31,12 +31,18 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
         Ok(item) => item,
         Err(msg) => return compile_error(&msg),
     };
-    let code = if serialize { gen_serialize(&item) } else { gen_deserialize(&item) };
+    let code = if serialize {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
     code.parse().expect("derive shim generated invalid Rust")
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("literal error")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal error")
 }
 
 // ---- a tiny item model ----
@@ -171,7 +177,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     pos += 1;
     if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
         if p.as_char() == '<' {
-            return Err(format!("serde shim derive does not support generic type `{name}`"));
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
         }
     }
 
@@ -212,10 +220,17 @@ fn parse_named_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
         pos += 1;
         match tokens.get(pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         skip_type(&tokens, &mut pos);
-        fields.push(Field { name, default: attrs.default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
     }
     Ok(fields)
 }
@@ -297,7 +312,11 @@ fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
                 pos += 1;
             }
         }
-        variants.push(Variant { name, rename: attrs.rename, kind });
+        variants.push(Variant {
+            name,
+            rename: attrs.rename,
+            kind,
+        });
     }
     Ok(variants)
 }
@@ -321,8 +340,9 @@ fn gen_serialize(item: &Item) -> String {
         }
         Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("::serde::Value::Array(vec![{}])", items.join(", "))
         }
         Shape::UnitStruct => "::serde::Value::Null".to_string(),
@@ -375,7 +395,10 @@ fn gen_deserialize(item: &Item) -> String {
                     let fallback = if f.default {
                         "::std::default::Default::default()".to_string()
                     } else {
-                        format!("return Err(::serde::missing_field(\"{name}\", \"{0}\"))", f.name)
+                        format!(
+                            "return Err(::serde::missing_field(\"{name}\", \"{0}\"))",
+                            f.name
+                        )
                     };
                     format!(
                         "{0}: match ::serde::field(pairs, \"{0}\") {{\n\
@@ -397,8 +420,9 @@ fn gen_deserialize(item: &Item) -> String {
             format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
         }
         Shape::TupleStruct(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
             format!(
                 "let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\
                      format!(\"expected array for {name}, found {{}}\", v.kind())))?;\n\

@@ -305,12 +305,11 @@ pub fn stop() -> Option<Profile> {
     ENABLED.store(false, Ordering::Relaxed);
     session.stop.store(true, Ordering::Relaxed);
     let _ = session.join.join();
-    let collector =
-        Arc::try_unwrap(session.collector).unwrap_or_else(|arc| Collector {
-            counts: Mutex::new(arc.counts.lock().unwrap_or_else(|e| e.into_inner()).clone()),
-            total: AtomicU64::new(arc.total.load(Ordering::Relaxed)),
-            idle: AtomicU64::new(arc.idle.load(Ordering::Relaxed)),
-        });
+    let collector = Arc::try_unwrap(session.collector).unwrap_or_else(|arc| Collector {
+        counts: Mutex::new(arc.counts.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+        total: AtomicU64::new(arc.total.load(Ordering::Relaxed)),
+        idle: AtomicU64::new(arc.idle.load(Ordering::Relaxed)),
+    });
     Some(collector.into_profile())
 }
 

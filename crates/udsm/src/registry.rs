@@ -66,6 +66,30 @@ impl UniversalDataStoreManager {
         &self.pool
     }
 
+    /// Build a [`cluster::ClusterClient`] over `endpoints` through
+    /// `connector` and register it under `name` — a sharded, replicated,
+    /// hedging cluster is just another [`KeyValue`], so it automatically
+    /// gets the async interface, monitoring, and workload generation like
+    /// every other store. The client handle is returned so callers can
+    /// drive ring changes and publish cluster metrics.
+    pub fn register_cluster(
+        &self,
+        name: impl Into<String>,
+        endpoints: &[String],
+        connector: &dyn kvapi::Connector,
+        policy: cluster::ClusterPolicy,
+    ) -> Result<Arc<cluster::ClusterClient>> {
+        let name = name.into();
+        let client = Arc::new(cluster::ClusterClient::connect(
+            name.clone(),
+            endpoints,
+            connector,
+            policy,
+        )?);
+        self.register(name, client.clone() as Arc<dyn KeyValue>);
+        Ok(client)
+    }
+
     /// Copy every key from store `from` to store `to` — the common-interface
     /// payoff: any store can seed, back up, or replace any other.
     pub fn copy_all(&self, from: &str, to: &str) -> Result<u64> {
@@ -125,6 +149,36 @@ mod tests {
         akv.put("k", &b"async"[..]).get().as_ref().as_ref().unwrap();
         let v = akv.get("k").get();
         assert_eq!(v.as_ref().as_ref().unwrap().as_deref(), Some(&b"async"[..]));
+    }
+
+    #[test]
+    fn register_cluster_is_just_another_store() {
+        let udsm = UniversalDataStoreManager::new(2);
+        let connector = |ep: &str| -> Result<Arc<dyn KeyValue>> {
+            Ok(Arc::new(MemKv::new(ep)) as Arc<dyn KeyValue>)
+        };
+        let endpoints: Vec<String> = (0..3).map(|i| format!("node-{i}")).collect();
+        let client = udsm
+            .register_cluster(
+                "shard",
+                &endpoints,
+                &connector,
+                cluster::ClusterPolicy::test_profile(),
+            )
+            .unwrap();
+        assert_eq!(client.node_ids(), endpoints);
+        // The cluster is reachable through the ordinary registry path…
+        let store = udsm.store("shard").unwrap();
+        store.put("k", b"v").unwrap();
+        assert_eq!(store.get("k").unwrap().as_deref(), Some(&b"v"[..]));
+        // …and through the free async interface like any other store.
+        let akv = udsm.async_store("shard").unwrap();
+        let v = akv.get("k").get();
+        assert_eq!(v.as_ref().as_ref().unwrap().as_deref(), Some(&b"v"[..]));
+        // Seeding another store from the cluster works via the common
+        // interface too.
+        udsm.register("backup", Arc::new(MemKv::new("backup")));
+        assert_eq!(udsm.copy_all("shard", "backup").unwrap(), 1);
     }
 
     #[test]

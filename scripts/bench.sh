@@ -1,16 +1,39 @@
 #!/usr/bin/env bash
 # Run the pinned-workload bench harness and write the next BENCH_<n>.json.
 #
-# Picks n = highest committed BENCH number + 1, runs the full (non-quick)
-# harness in release mode, and — when a predecessor exists — gates the new
-# file against it with the default regression thresholds. Pass extra
-# arguments through to `udsm-cli bench` (e.g. --quick, --scale 0.1,
+# Picks n = highest committed BENCH number + 1 (gaps in the sequence are
+# fine — numbering continues past them, never backfills), runs the full
+# (non-quick) harness in release mode, and — when a predecessor exists —
+# gates the new file against it with the default regression thresholds.
+# `--number N` overrides the auto-pick (N must be unused and above the
+# current highest, so the sequence stays monotonic); everything else is
+# passed through to `udsm-cli bench` (e.g. --quick, --scale 0.1,
 # --profile).
 #
 #   scripts/bench.sh               # full run, auto-numbered, gated
 #   scripts/bench.sh --quick       # fast smoke, still auto-numbered
+#   scripts/bench.sh --number 9    # pin the output to BENCH_9.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+want=""
+passthru=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --number)
+        [ $# -ge 2 ] || {
+            echo "--number needs a value" >&2
+            exit 2
+        }
+        want="$2"
+        shift 2
+        ;;
+    *)
+        passthru+=("$1")
+        shift
+        ;;
+    esac
+done
 
 prev=""
 next=1
@@ -26,10 +49,25 @@ for f in BENCH_*.json; do
         prev="$f"
     fi
 done
+
+if [ -n "$want" ]; then
+    case "$want" in
+    *[!0-9]*)
+        echo "--number must be a positive integer, got '$want'" >&2
+        exit 2
+        ;;
+    esac
+    if [ "$want" -lt "$next" ]; then
+        echo "--number $want would collide with or precede the existing" \
+            "sequence (next auto number is $next)" >&2
+        exit 2
+    fi
+    next="$want"
+fi
 out="BENCH_${next}.json"
 
 cargo build --release --offline -q
-./target/release/udsm-cli bench --out "$out" "$@"
+./target/release/udsm-cli bench --out "$out" "${passthru[@]}"
 
 if [ -n "$prev" ]; then
     echo "comparing $out against $prev"

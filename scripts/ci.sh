@@ -31,6 +31,12 @@ cargo test -q --offline -p loom
 # Deterministic (fixed fault seeds); see DESIGN.md §9.
 cargo test -q --offline --test chaos_contracts
 
+# Cluster chaos smoke: kill one of three nodes mid-reshard under sustained
+# reads and writes (availability holds, ops stay bounded, zero duplicate
+# effects per store), and a partitioned replica converges to the winning
+# etag through read-repair after heal. See DESIGN.md §13.
+cargo test -q --offline --test chaos_contracts cluster_chaos::
+
 # Trace smoke: one sweep plus a forced incident must yield a joined
 # distributed trace (client stages, retry events, breaker transitions, a
 # server-side span) retrievable via GET /trace, with every histogram

@@ -261,3 +261,260 @@ fn enhanced_client_serves_stale_reads_through_total_outage() {
     std::thread::sleep(Duration::from_millis(150));
     assert_eq!(client.get("k").unwrap().unwrap(), &b"cached"[..]);
 }
+
+// ---------------------------------------------------------------------------
+// Cluster layer chaos: node kills mid-reshard, partitions, convergence.
+// ---------------------------------------------------------------------------
+
+mod cluster_chaos {
+    use super::*;
+    use cluster::{ClusterClient, ClusterPolicy};
+    use kvapi::{Bytes, Etag, Result as KvResult, Versioned};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// An in-process store with a kill switch and an applied-effects log,
+    /// so tests can partition a node precisely and audit that no write
+    /// effect is ever applied twice to the same node.
+    struct ChaosStore {
+        inner: kvapi::mem::MemKv,
+        dead: AtomicBool,
+        applied: Mutex<Vec<(String, Vec<u8>)>>,
+    }
+
+    impl ChaosStore {
+        fn new(name: &str) -> ChaosStore {
+            ChaosStore {
+                inner: kvapi::mem::MemKv::new(name),
+                dead: AtomicBool::new(false),
+                applied: Mutex::new(Vec::new()),
+            }
+        }
+
+        fn kill(&self) {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+
+        fn heal(&self) {
+            self.dead.store(false, Ordering::Relaxed);
+        }
+
+        fn gate(&self) -> KvResult<()> {
+            if self.dead.load(Ordering::Relaxed) {
+                Err(StoreError::Closed)
+            } else {
+                Ok(())
+            }
+        }
+
+        fn log_apply(&self, key: &str, value: &[u8]) {
+            self.applied
+                .lock()
+                .unwrap()
+                .push((key.to_string(), value.to_vec()));
+        }
+
+        /// Panics if the identical (key, value) effect reached this node
+        /// more than once — a replayed write or a double-applied
+        /// migration copy.
+        fn assert_no_duplicate_effects(&self) {
+            let log = self.applied.lock().unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in log.iter() {
+                assert!(
+                    seen.insert((k.clone(), v.clone())),
+                    "effect ({k:?}, {v:?}) applied twice to {}",
+                    self.inner.name()
+                );
+            }
+        }
+    }
+
+    impl KeyValue for ChaosStore {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn put(&self, key: &str, value: &[u8]) -> KvResult<()> {
+            self.gate()?;
+            self.log_apply(key, value);
+            self.inner.put(key, value)
+        }
+        fn put_versioned(&self, key: &str, value: &[u8]) -> KvResult<Etag> {
+            self.gate()?;
+            self.log_apply(key, value);
+            self.inner.put_versioned(key, value)
+        }
+        fn get(&self, key: &str) -> KvResult<Option<Bytes>> {
+            self.gate()?;
+            self.inner.get(key)
+        }
+        fn get_versioned(&self, key: &str) -> KvResult<Option<Versioned>> {
+            self.gate()?;
+            self.inner.get_versioned(key)
+        }
+        fn delete(&self, key: &str) -> KvResult<bool> {
+            self.gate()?;
+            self.inner.delete(key)
+        }
+        fn keys(&self) -> KvResult<Vec<String>> {
+            self.gate()?;
+            self.inner.keys()
+        }
+        fn clear(&self) -> KvResult<()> {
+            self.gate()?;
+            self.inner.clear()
+        }
+    }
+
+    fn chaos_cluster(n: usize) -> (ClusterClient, Vec<Arc<ChaosStore>>) {
+        let stores: Vec<Arc<ChaosStore>> = (0..n)
+            .map(|i| Arc::new(ChaosStore::new(&format!("node-{i}"))))
+            .collect();
+        let policy = ClusterPolicy::test_profile();
+        let client = ClusterClient::from_stores(
+            "chaos-cluster",
+            stores
+                .iter()
+                .map(|s| (s.name().to_string(), s.clone() as Arc<dyn KeyValue>))
+                .collect(),
+            policy,
+        );
+        (client, stores)
+    }
+
+    /// Kill one of three nodes in the middle of a resharding sweep, keep
+    /// reading and writing throughout, and demand: every op completes
+    /// inside the deadline (bounded latency), every key stays readable
+    /// (availability through the union view + replica failover), the
+    /// sweep finishes after heal, and no node ever sees the same write
+    /// effect twice (at-most-once, by exhaustive effect log audit).
+    #[test]
+    fn cluster_survives_killing_a_node_mid_sweep() {
+        let (c, stores) = chaos_cluster(4);
+        let four: Vec<String> = (0..4).map(|i| format!("node-{i}")).collect();
+        // Shrink to the three originals first so node-3 starts empty.
+        let spare = stores[3].clone();
+        let connector = move |ep: &str| -> KvResult<Arc<dyn KeyValue>> {
+            assert_eq!(ep, "node-3");
+            Ok(spare.clone() as Arc<dyn KeyValue>)
+        };
+        // Rebuild as a 3-node cluster (from_stores gave us 4 above).
+        let c3 = ClusterClient::from_stores(
+            "chaos-cluster",
+            stores[..3]
+                .iter()
+                .map(|s| (s.name().to_string(), s.clone() as Arc<dyn KeyValue>))
+                .collect(),
+            ClusterPolicy::test_profile(),
+        );
+        drop(c);
+
+        let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+        for i in 0..60 {
+            let key = format!("key-{i}");
+            let val = format!("seed-{i}").into_bytes();
+            c3.put(&key, &val).unwrap();
+            expected.insert(key, val);
+        }
+
+        let scope = obs::ctx::activate(obs::ctx::TraceContext::new_root());
+        c3.apply_ring_change(&four, &connector).unwrap();
+        assert!(c3.reshard_active());
+        // A little progress, then the kill lands mid-sweep.
+        c3.migrate_step(10).unwrap();
+        stores[1].kill();
+
+        let mut max_op = Duration::ZERO;
+        for i in 0..120u32 {
+            let key = format!("key-{}", i % 60);
+            let start = Instant::now();
+            if i % 3 == 0 {
+                let val = format!("live-{i}").into_bytes();
+                c3.put(&key, &val).unwrap();
+                expected.insert(key, val);
+            } else {
+                let got = c3.get(&key).unwrap();
+                assert!(got.is_some(), "key {key} unreadable during outage");
+            }
+            max_op = max_op.max(start.elapsed());
+        }
+        assert!(
+            max_op < OP_CEILING,
+            "an op ran {max_op:?} under a single-node outage"
+        );
+
+        // The sweep keeps making progress on reachable keys; keys pinned
+        // to the dead node stay queued rather than being dropped.
+        let _ = c3.migrate_step(c3.migration_pending().max(1));
+
+        // Heal, let breakers cool down, finish the sweep.
+        stores[1].heal();
+        std::thread::sleep(Duration::from_millis(150));
+        c3.run_migration().unwrap();
+        assert!(!c3.reshard_active(), "union view retired after the sweep");
+
+        for (key, val) in &expected {
+            assert_eq!(
+                c3.get(key).unwrap().as_deref(),
+                Some(val.as_slice()),
+                "key {key} lost its last write"
+            );
+        }
+        for s in &stores {
+            s.assert_no_duplicate_effects();
+        }
+        let data = scope.finish();
+        assert!(
+            data.events
+                .iter()
+                .any(|(_, n, d)| n == "ring_version" && d.contains("v=2")),
+            "ring change missing from trace: {:?}",
+            data.events
+        );
+    }
+
+    /// Partition a replica, write through the majority side, then heal:
+    /// the next read must repair the stale replica to the winning etag —
+    /// both owners end up bit-identical, chosen by (modified_ms, etag).
+    #[test]
+    fn partitioned_replica_converges_to_winning_etag_after_heal() {
+        let (c, stores) = chaos_cluster(3);
+        // Find a key and its two owners deterministically.
+        let ring = cluster::HashRing::new(
+            &(0..3).map(|i| format!("node-{i}")).collect::<Vec<_>>(),
+            c.policy().vnodes,
+        );
+        let key = (0..200)
+            .map(|i| format!("conv-{i}"))
+            .find(|k| ring.owners(k, 2).len() == 2)
+            .unwrap();
+        let owners = ring.owners(&key, 2);
+        let replica = &stores[owners[1]];
+
+        c.put(&key, b"v1").unwrap();
+
+        // Partition the replica; a divergent old write lands on it (as if
+        // it briefly served the minority side), then the majority write
+        // goes through the cluster.
+        replica.kill();
+        std::thread::sleep(Duration::from_millis(5));
+        let winning_etag = c.put_versioned(&key, b"v2-winner").unwrap();
+        assert!(c.is_dirty(&key), "partial write must be marked dirty");
+
+        // Heal and read: read-repair must converge both owners.
+        replica.heal();
+        std::thread::sleep(Duration::from_millis(150));
+        let served = c.get_versioned(&key).unwrap().unwrap();
+        assert_eq!(served.etag, winning_etag, "read serves the winner");
+        assert!(!c.is_dirty(&key), "repair clears the dirty mark");
+        assert!(c.read_repairs() >= 1);
+        for idx in owners {
+            let copy = stores[idx].inner.get_versioned(&key).unwrap().unwrap();
+            assert_eq!(
+                copy.etag, winning_etag,
+                "owner node-{idx} did not converge to the winning etag"
+            );
+        }
+    }
+}

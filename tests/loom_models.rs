@@ -316,6 +316,225 @@ fn mux_abandon_and_reply_race_resolves_exactly_once() {
     });
 }
 
+/// The circuit breaker's permit protocol (`CircuitBreaker` in
+/// `crates/resilience/src/breaker.rs`), time stripped out: the cooldown is
+/// modelled as always elapsed, so an admit against an open breaker claims
+/// the half-open probe immediately. Each state change bumps a generation;
+/// only the probe permit of the current generation may close a half-open
+/// breaker or re-open it, and `abandon` releases the probe slot without a
+/// verdict — the invariants hedged reads lean on, since a hedge puts two
+/// in-flight permits behind one logical op.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+#[derive(Clone, Copy)]
+struct BPermit {
+    probe: bool,
+    generation: u64,
+}
+
+struct Breaker {
+    state: BState,
+    failures: u32,
+    threshold: u32,
+    probe_in_flight: bool,
+    generation: u64,
+    log: Vec<(BState, BState)>,
+}
+
+impl Breaker {
+    fn new(threshold: u32) -> Breaker {
+        Breaker {
+            state: BState::Closed,
+            failures: 0,
+            threshold,
+            probe_in_flight: false,
+            generation: 0,
+            log: Vec::new(),
+        }
+    }
+
+    fn transition(&mut self, to: BState) {
+        self.log.push((self.state, to));
+        self.state = to;
+        self.generation += 1;
+    }
+}
+
+fn b_admit(b: &Mutex<Breaker>) -> Option<BPermit> {
+    let mut g = b.lock();
+    match g.state {
+        BState::Closed => Some(BPermit {
+            probe: false,
+            generation: g.generation,
+        }),
+        BState::Open => {
+            // Model time: the cooldown has always elapsed.
+            g.transition(BState::HalfOpen);
+            g.probe_in_flight = true;
+            Some(BPermit {
+                probe: true,
+                generation: g.generation,
+            })
+        }
+        BState::HalfOpen => {
+            if g.probe_in_flight {
+                None
+            } else {
+                g.probe_in_flight = true;
+                Some(BPermit {
+                    probe: true,
+                    generation: g.generation,
+                })
+            }
+        }
+    }
+}
+
+fn b_success(b: &Mutex<Breaker>, p: BPermit) {
+    let mut g = b.lock();
+    match g.state {
+        BState::Closed => g.failures = 0,
+        BState::HalfOpen => {
+            if p.probe && p.generation == g.generation {
+                g.transition(BState::Closed);
+                g.failures = 0;
+                g.probe_in_flight = false;
+            }
+        }
+        BState::Open => {}
+    }
+}
+
+fn b_failure(b: &Mutex<Breaker>, p: BPermit) {
+    let mut g = b.lock();
+    match g.state {
+        BState::HalfOpen => {
+            if p.probe && p.generation == g.generation {
+                g.probe_in_flight = false;
+                g.transition(BState::Open);
+            }
+        }
+        BState::Closed => {
+            g.failures += 1;
+            if g.failures >= g.threshold {
+                g.transition(BState::Open);
+            }
+        }
+        BState::Open => {}
+    }
+}
+
+fn b_abandon(b: &Mutex<Breaker>, p: BPermit) {
+    let mut g = b.lock();
+    if p.probe && p.generation == g.generation && g.state == BState::HalfOpen {
+        g.probe_in_flight = false;
+    }
+}
+
+/// Two callers race against a cooled-down open breaker: under every
+/// schedule exactly one is admitted as the probe and the other is shed,
+/// and the probe's success drives the canonical open → half-open → closed
+/// transition sequence with no detours.
+#[test]
+fn breaker_half_open_admits_exactly_one_probe_under_race() {
+    loom::model(|| {
+        let b = Arc::new(Mutex::new(Breaker::new(1)));
+        // Trip the breaker: one failure past the (model) threshold.
+        let p = b_admit(&b).expect("closed admits");
+        b_failure(&b, p);
+        assert_eq!(b.lock().state, BState::Open);
+
+        let b2 = b.clone();
+        let rival = thread::spawn(move || b_admit(&b2));
+
+        let mine = b_admit(&b);
+        let theirs = rival.join().expect("rival");
+
+        let probes = [mine, theirs]
+            .iter()
+            .filter(|p| p.map(|p| p.probe).unwrap_or(false))
+            .count();
+        assert_eq!(probes, 1, "exactly one probe admitted under any schedule");
+        assert_eq!(
+            [mine, theirs].iter().filter(|p| p.is_none()).count(),
+            1,
+            "the non-probe caller is shed while the probe is in flight"
+        );
+
+        let probe = mine.or(theirs).expect("one of the two was admitted");
+        b_success(&b, probe);
+        let g = b.lock();
+        assert_eq!(g.state, BState::Closed);
+        assert_eq!(
+            g.log,
+            vec![
+                (BState::Closed, BState::Open),
+                (BState::Open, BState::HalfOpen),
+                (BState::HalfOpen, BState::Closed),
+            ],
+            "canonical open → half-open → closed path"
+        );
+    });
+}
+
+/// The hedged-read shape: a slow hedge leg admitted while the breaker was
+/// still closed reports its late failure *and* the winning probe is
+/// abandoned (its logical op was answered by another replica), racing a
+/// third caller's admit. The stale failure must never be recorded as a
+/// probe verdict (no half-open → open transition), the abandon must free
+/// the slot without a verdict, and the follow-up probe still closes the
+/// breaker under every schedule.
+#[test]
+fn breaker_hedge_loser_never_counts_as_probe_failure() {
+    loom::model(|| {
+        let b = Arc::new(Mutex::new(Breaker::new(2)));
+        // Hedge loser: admitted while closed, still in flight.
+        let loser = b_admit(&b).expect("closed admits");
+        // Two fast failures trip the breaker underneath it.
+        for _ in 0..2 {
+            let p = b_admit(&b).expect("closed admits");
+            b_failure(&b, p);
+        }
+        assert_eq!(b.lock().state, BState::Open);
+        // Cooldown (modelled as elapsed): this admit is the probe.
+        let probe = b_admit(&b).expect("cooled breaker admits the probe");
+        assert!(probe.probe);
+
+        // Thread: the loser's transport error finally surfaces.
+        let b2 = b.clone();
+        let late = thread::spawn(move || b_failure(&b2, loser));
+
+        // Main: the probe's logical op was won by the other hedge leg, so
+        // the probe is abandoned — cancelled, not failed.
+        b_abandon(&b, probe);
+
+        late.join().expect("late failure");
+
+        {
+            let g = b.lock();
+            assert!(
+                !g.log.contains(&(BState::HalfOpen, BState::Open)),
+                "a stale failure or an abandon was recorded as a probe \
+                 verdict: {:?}",
+                g.log
+            );
+            assert_eq!(g.state, BState::HalfOpen, "no verdict yet: still probing");
+            assert!(!g.probe_in_flight, "abandon must release the probe slot");
+        }
+
+        // The released slot admits the next probe, which closes the breaker.
+        let probe2 = b_admit(&b).expect("released slot admits a probe");
+        assert!(probe2.probe);
+        b_success(&b, probe2);
+        assert_eq!(b.lock().state, BState::Closed);
+    });
+}
+
 /// A reply with an unrecognized correlation id falls back to strict FIFO:
 /// it completes the oldest unreplied request, never a newer one.
 #[test]

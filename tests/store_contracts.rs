@@ -81,3 +81,216 @@ fn monitored_store_is_transparent() {
     assert!(report.summary(udsm::OpKind::Put).count > 0);
     assert!(report.summary(udsm::OpKind::Get).count > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Cluster layer: the router is itself a KeyValue and must conform too.
+// ---------------------------------------------------------------------------
+
+mod cluster_conformance {
+    use super::*;
+    use cluster::{ClusterClient, ClusterPolicy, HashRing};
+    use kvapi::mem::MemKv;
+    use kvapi::{Bytes, Result as KvResult, StoreError, Versioned};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn mem_cluster(n: usize) -> ClusterClient {
+        let stores = (0..n)
+            .map(|i| {
+                let name = format!("node-{i}");
+                (
+                    name.clone(),
+                    Arc::new(MemKv::new(name)) as Arc<dyn KeyValue>,
+                )
+            })
+            .collect();
+        ClusterClient::from_stores("mem-cluster", stores, ClusterPolicy::test_profile())
+    }
+
+    /// The full kv contract over a three-node in-process cluster:
+    /// sharding, replication and failover must be behaviorally invisible.
+    #[test]
+    fn cluster_contract() {
+        contract::run_all(&mem_cluster(3));
+    }
+
+    #[test]
+    fn cluster_contract_concurrent() {
+        contract::run_all_concurrent(Arc::new(mem_cluster(3)));
+    }
+
+    /// The same router over real remote stores: three miniredis servers
+    /// behind the cluster, full contract.
+    #[test]
+    fn cluster_over_miniredis_conforms() {
+        let servers: Vec<RedisServer> = (0..3).map(|_| RedisServer::start().unwrap()).collect();
+        let stores = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    format!("node-{i}"),
+                    Arc::new(RedisKv::connect_with_policy(
+                        s.addr(),
+                        resilience::ResiliencePolicy::test_profile(),
+                    )) as Arc<dyn KeyValue>,
+                )
+            })
+            .collect();
+        let c = ClusterClient::from_stores("redis-cluster", stores, ClusterPolicy::test_profile());
+        contract::run_all(&c);
+    }
+
+    /// A node whose reads and writes can be cut, for partial-failure
+    /// semantics tests.
+    struct CuttableStore {
+        inner: MemKv,
+        cut: AtomicBool,
+    }
+
+    impl CuttableStore {
+        fn new(name: &str) -> CuttableStore {
+            CuttableStore {
+                inner: MemKv::new(name),
+                cut: AtomicBool::new(false),
+            }
+        }
+
+        fn gate(&self) -> KvResult<()> {
+            if self.cut.load(Ordering::Relaxed) {
+                Err(StoreError::Closed)
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl KeyValue for CuttableStore {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn put(&self, key: &str, value: &[u8]) -> KvResult<()> {
+            self.gate()?;
+            self.inner.put(key, value)
+        }
+        fn put_versioned(&self, key: &str, value: &[u8]) -> KvResult<kvapi::Etag> {
+            self.gate()?;
+            self.inner.put_versioned(key, value)
+        }
+        fn get(&self, key: &str) -> KvResult<Option<Bytes>> {
+            self.gate()?;
+            self.inner.get(key)
+        }
+        fn get_versioned(&self, key: &str) -> KvResult<Option<Versioned>> {
+            self.gate()?;
+            self.inner.get_versioned(key)
+        }
+        fn delete(&self, key: &str) -> KvResult<bool> {
+            self.gate()?;
+            self.inner.delete(key)
+        }
+        fn keys(&self) -> KvResult<Vec<String>> {
+            self.gate()?;
+            self.inner.keys()
+        }
+        fn clear(&self) -> KvResult<()> {
+            self.gate()?;
+            self.inner.clear()
+        }
+    }
+
+    /// Batch ops spanning shards under a two-node outage. The contract:
+    /// `try_get_many`/`try_put_many` return one verdict per position —
+    /// keys with a reachable owner succeed, fully-orphaned keys fail with
+    /// their own error; the `get_many`/`put_many` facades surface the
+    /// first error (all-or-error), and entries that landed before a
+    /// failing one are NOT rolled back (documented partial effects).
+    #[test]
+    fn cluster_batch_partial_failure_gives_per_key_verdicts() {
+        let stores: Vec<Arc<CuttableStore>> = (0..3)
+            .map(|i| Arc::new(CuttableStore::new(&format!("node-{i}"))))
+            .collect();
+        let policy = ClusterPolicy::test_profile();
+        let vnodes = policy.vnodes;
+        let c = ClusterClient::from_stores(
+            "cut-cluster",
+            stores
+                .iter()
+                .map(|s| (s.name().to_string(), s.clone() as Arc<dyn KeyValue>))
+                .collect(),
+            policy,
+        );
+        let keys: Vec<String> = (0..30).map(|i| format!("key-{i}")).collect();
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        let entries: Vec<(&str, &[u8])> = refs.iter().map(|&k| (k, b"v".as_slice())).collect();
+        c.put_many(&entries).unwrap();
+
+        // Kill nodes 1 and 2: keys owned by {1,2} are orphaned, keys with
+        // node-0 as an owner keep a live replica. With 30 keys and three
+        // owner pairs both classes occur (the ring is deterministic).
+        let ring = HashRing::new(
+            &(0..3).map(|i| format!("node-{i}")).collect::<Vec<_>>(),
+            vnodes,
+        );
+        let orphaned: Vec<&str> = refs
+            .iter()
+            .copied()
+            .filter(|k| !ring.owners(k, 2).contains(&0))
+            .collect();
+        let reachable: Vec<&str> = refs
+            .iter()
+            .copied()
+            .filter(|k| ring.owners(k, 2).contains(&0))
+            .collect();
+        assert!(
+            !orphaned.is_empty() && !reachable.is_empty(),
+            "need both classes: {} orphaned / {} reachable",
+            orphaned.len(),
+            reachable.len()
+        );
+        stores[1].cut.store(true, Ordering::Relaxed);
+        stores[2].cut.store(true, Ordering::Relaxed);
+
+        // Reads: per-key verdicts line up with ownership.
+        let per_key = c.try_get_many(&refs);
+        assert_eq!(per_key.len(), refs.len());
+        for (k, verdict) in refs.iter().zip(&per_key) {
+            if ring.owners(k, 2).contains(&0) {
+                assert_eq!(
+                    verdict.as_ref().unwrap().as_deref(),
+                    Some(b"v".as_slice()),
+                    "reachable key {k} must succeed"
+                );
+            } else {
+                assert!(verdict.is_err(), "orphaned key {k} must carry its error");
+            }
+        }
+        // The all-or-error facade fails the whole batch on the first error.
+        assert!(c.get_many(&refs).is_err());
+
+        // Writes: reachable keys land (partially — marked dirty for
+        // read-repair), orphaned keys report errors positionally.
+        let new_entries: Vec<(&str, &[u8])> = refs.iter().map(|&k| (k, b"v2".as_slice())).collect();
+        let verdicts = c.try_put_many(&new_entries);
+        for (k, verdict) in refs.iter().zip(&verdicts) {
+            if ring.owners(k, 2).contains(&0) {
+                assert!(verdict.is_ok(), "reachable key {k}: {verdict:?}");
+            } else {
+                assert!(verdict.is_err(), "orphaned key {k} must fail the write");
+            }
+        }
+        assert!(c.put_many(&new_entries).is_err(), "facade surfaces error");
+        // Partial effects are real: a reachable key already holds v2 even
+        // though the batch as a whole errored.
+        if let Some(k) = reachable.first() {
+            assert_eq!(c.get(k).unwrap().as_deref(), Some(b"v2".as_slice()));
+            assert!(c.is_dirty(k), "partial write left a dirty mark");
+        }
+
+        // Heal: per-key reads recover and repair clears dirt on touch.
+        stores[1].cut.store(false, Ordering::Relaxed);
+        stores[2].cut.store(false, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let healed = c.try_get_many(&refs);
+        assert!(healed.iter().all(|r| r.is_ok()), "all keys recover");
+    }
+}

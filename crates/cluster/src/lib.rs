@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod node;
+mod pool;
 pub mod reshard;
 pub mod ring;
 
@@ -125,6 +126,9 @@ pub struct ClusterClient {
     dirty: Mutex<BTreeMap<String, Etag>>,
     /// Keys still to be examined by the active migration sweep.
     pub(crate) migration: Mutex<VecDeque<String>>,
+    /// Reusable workers for hedged read legs — keeps thread spawning off
+    /// the hot read path.
+    legs: pool::LegPool,
     rng: Mutex<SmallRng>,
     metrics: Metrics,
 }
@@ -155,6 +159,7 @@ impl ClusterClient {
             }),
             dirty: Mutex::new(BTreeMap::new()),
             migration: Mutex::new(VecDeque::new()),
+            legs: pool::LegPool::new(),
             metrics: Metrics::default(),
         }
     }
@@ -415,6 +420,7 @@ impl ClusterClient {
             if outstanding == 0 && launched < candidates.len() {
                 if let Some(node) = candidates.get(launched) {
                     spawn_leg(
+                        &self.legs,
                         node.clone(),
                         key.to_string(),
                         launched,
@@ -470,6 +476,7 @@ impl ClusterClient {
                             *slot = true;
                         }
                         spawn_leg(
+                            &self.legs,
                             node.clone(),
                             key.to_string(),
                             launched,
@@ -619,17 +626,23 @@ impl ClusterClient {
     // ---- batch (per-key results) ----------------------------------------
 
     /// Per-key batch read. Clean keys are grouped by primary and fetched
-    /// with one native `get_many` per shard; keys on a failed shard — and
-    /// dirty keys, which need the repair path — fall back to the full
-    /// per-key read. Each position gets its own verdict.
+    /// with one native `get_many` per shard; only *hits* from that fast
+    /// path are trusted. A primary miss is never authoritative — a
+    /// replica may hold a copy the primary lacks (another client's
+    /// partial write) — so misses, keys on a failed shard, and dirty keys
+    /// (which need the repair path) all fall back to the full per-key
+    /// read, where only a complete owner round can conclude `None`.
+    /// During a reshard the fast path is skipped entirely: keys may still
+    /// live only on previous-topology owners the new ring never names.
+    /// Each position gets its own verdict.
     pub fn try_get_many(&self, keys: &[&str]) -> Vec<Result<Option<Bytes>>> {
-        let (nodes, ring) = {
+        let (nodes, ring, resharding) = {
             let t = self.topo.read();
-            (t.nodes.clone(), t.ring.clone())
+            (t.nodes.clone(), t.ring.clone(), t.prev.is_some())
         };
         let mut out: Vec<Option<Result<Option<Bytes>>>> = keys.iter().map(|_| None).collect();
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        {
+        if !resharding {
             let dirty = self.dirty.lock();
             for (pos, key) in keys.iter().enumerate() {
                 if self.policy.read_repair && dirty.contains_key(*key) {
@@ -656,8 +669,13 @@ impl ClusterClient {
             match node.run(|s| s.get_many(&gkeys)) {
                 Ok(vals) if vals.len() == gkeys.len() => {
                     for (i, &pos) in positions.iter().enumerate() {
-                        if let Some(slot) = out.get_mut(pos) {
-                            *slot = Some(Ok(vals.get(i).cloned().flatten()));
+                        // Hits settle here; a miss stays unresolved and
+                        // takes the full read below, because only a round
+                        // over every reachable owner may conclude `None`.
+                        if let Some(v) = vals.get(i).cloned().flatten() {
+                            if let Some(slot) = out.get_mut(pos) {
+                                *slot = Some(Ok(Some(v)));
+                            }
                         }
                     }
                 }
@@ -688,18 +706,21 @@ impl ClusterClient {
     }
 }
 
-/// Fire one read leg on its own thread. The worker reports its own breaker
-/// verdict: truthfully on success, and as [`Verdict::Abandoned`] when it
-/// failed *after* the round settled — at that point the failure is
+/// Fire one read leg on the cluster's leg pool (an idle pooled worker in
+/// the common case — never a fresh thread on the hot path unless every
+/// worker is wedged). The worker reports its own breaker verdict:
+/// truthfully on success, and as [`Verdict::Abandoned`] when it failed
+/// *after* the round settled — at that point the failure is
 /// indistinguishable from cancellation and must not count against the node.
 fn spawn_leg(
+    legs: &pool::LegPool,
     node: Arc<Node>,
     key: String,
     idx: usize,
     tx: mpsc::Sender<(usize, Result<Option<Versioned>>)>,
     settled: Arc<AtomicBool>,
 ) {
-    std::thread::spawn(move || {
+    legs.submit(move || {
         let res = match node.begin() {
             Ok(permit) => {
                 let res = node.store().get_versioned(&key);
@@ -1341,6 +1362,36 @@ mod tests {
         std::thread::sleep(Duration::from_millis(150));
         let per_key = c.try_get_many(&refs);
         assert!(per_key.iter().any(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn try_get_many_does_not_trust_a_primary_miss() {
+        // Regression: another client's partial write can leave a key on a
+        // replica only, and this client's dirty map knows nothing of it.
+        // The grouped fast path asks just the primary, so its miss must
+        // fall back to the full owner round instead of settling as an
+        // authoritative None.
+        let policy = ClusterPolicy::test_profile();
+        let vnodes = policy.vnodes;
+        let replicas = policy.replicas;
+        let (c, backing) = mem_cluster(3, policy);
+        let ring = HashRing::new(&ids(3), vnodes);
+        let key = (0..200)
+            .map(|i| format!("key-{i}"))
+            .find(|k| ring.owners(k, replicas).len() >= 2)
+            .unwrap();
+        let replica = ring.owners(&key, replicas)[1];
+        backing[replica].put(&key, b"replica-only").unwrap();
+        let got = c.try_get_many(&[&key]);
+        assert_eq!(
+            got[0].as_ref().unwrap().as_deref(),
+            Some(b"replica-only".as_slice()),
+            "primary miss must not hide the replica's copy"
+        );
+        assert_eq!(
+            c.get_many(&[&key]).unwrap()[0].as_deref(),
+            Some(b"replica-only".as_slice())
+        );
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! A small reusable worker pool for hedged read legs.
+//!
+//! With [`ClusterPolicy::hedge_delay`](crate::ClusterPolicy::hedge_delay)
+//! set, *every* read's first leg runs off-thread so the round can arm the
+//! hedge timer — which put an OS thread spawn on the hot read path and
+//! left every abandoned loser holding a whole thread until its store call
+//! returned. The pool keeps a few workers parked between rounds instead:
+//! a leg reuses an idle worker when one exists and grows the pool up to
+//! [`MAX_WORKERS`] otherwise. When every worker is busy (possibly wedged
+//! behind a slow abandoned call) a new leg falls back to a one-shot
+//! thread rather than queueing behind them, so a stuck loser can never
+//! starve a live round. Idle workers expire after [`IDLE_TTL`], so an
+//! idle or dropped cluster does not pin threads forever.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pooled workers kept at most; bursts beyond this overflow to one-shot
+/// threads instead of queueing behind possibly-wedged workers.
+pub(crate) const MAX_WORKERS: usize = 8;
+
+/// How long an idle worker parks before exiting.
+const IDLE_TTL: Duration = Duration::from_secs(10);
+
+pub(crate) struct LegPool {
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    ready: Condvar,
+    /// Pooled worker threads currently alive (one-shot overflow threads
+    /// are not counted — they never park).
+    workers: AtomicUsize,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Workers currently parked in `ready.wait_for`. Incremented and
+    /// decremented under the `state` lock, so a submitter that observes
+    /// `idle > 0` knows that worker is inside the wait and a notify will
+    /// reach it.
+    idle: usize,
+}
+
+impl LegPool {
+    pub(crate) fn new() -> LegPool {
+        LegPool {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    idle: 0,
+                }),
+                ready: Condvar::new(),
+                workers: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Pooled workers currently alive.
+    #[cfg(test)]
+    pub(crate) fn workers(&self) -> usize {
+        self.shared.workers.load(Ordering::Relaxed)
+    }
+
+    /// Run `job` on an idle worker, a newly grown worker, or — when the
+    /// pool is saturated — a one-shot thread. Never blocks on a busy
+    /// worker.
+    pub(crate) fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let job: Job = Box::new(job);
+        let mut st = self.shared.state.lock();
+        if st.idle > 0 {
+            st.queue.push_back(job);
+            drop(st);
+            self.shared.ready.notify_one();
+            return;
+        }
+        if self.shared.workers.load(Ordering::Relaxed) < MAX_WORKERS {
+            self.shared.workers.fetch_add(1, Ordering::Relaxed);
+            st.queue.push_back(job);
+            drop(st);
+            let shared = self.shared.clone();
+            std::thread::spawn(move || worker_loop(&shared));
+        } else {
+            drop(st);
+            std::thread::spawn(job);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(j) = st.queue.pop_front() {
+                    break Some(j);
+                }
+                st.idle = st.idle.saturating_add(1);
+                let deadline = std::time::Instant::now() + IDLE_TTL;
+                let timed_out = shared.ready.wait_until(&mut st, deadline).timed_out();
+                st.idle = st.idle.saturating_sub(1);
+                if timed_out && st.queue.is_empty() {
+                    break None;
+                }
+            }
+        };
+        match job {
+            Some(j) => j(),
+            None => {
+                shared.workers.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn sequential_jobs_reuse_a_parked_worker() {
+        let pool = LegPool::new();
+        let (tx, rx) = mpsc::channel();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                let _ = tx.send(format!("{:?}", std::thread::current().id()));
+            });
+            seen.insert(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+            // Give the worker time to park again so the next submit finds
+            // it idle instead of growing the pool.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            seen.len() <= 2,
+            "50 sequential legs ran on {} distinct threads",
+            seen.len()
+        );
+        assert!(pool.workers() <= 2, "pool grew to {}", pool.workers());
+    }
+
+    #[test]
+    fn a_saturated_pool_still_runs_new_jobs() {
+        // Wedge every pooled worker behind a gate (the abandoned-slow-leg
+        // scenario), then prove a fresh job still runs promptly.
+        let pool = LegPool::new();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new(AtomicUsize::new(0));
+        for _ in 0..MAX_WORKERS {
+            let gate = gate.clone();
+            let started = started.clone();
+            pool.submit(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while started.load(Ordering::SeqCst) < MAX_WORKERS {
+            assert!(std::time::Instant::now() < deadline, "workers never wedged");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.workers(), MAX_WORKERS);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || {
+            let _ = tx.send(42u8);
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            42,
+            "job starved behind wedged workers"
+        );
+        let (lock, cv) = &*gate;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+}

@@ -8,8 +8,12 @@
 //! moves data to its new owners. The sweep is **at-most-once in effects
 //! per key**: a copy happens only when the destination is missing the
 //! winning etag, and a source delete only after every copy landed — so a
-//! sweep that crashes, is re-run, or races a concurrent ring re-apply
-//! never duplicates work, it only skips what is already done.
+//! sweep that crashes or is re-run never duplicates work, it only skips
+//! what is already done. One reshard at a time: while a migration is
+//! pending, a further ring change is rejected with `Unavailable` rather
+//! than silently replacing the union view — dropping the old topology
+//! mid-sweep would strand every unmigrated key whose only copies live on
+//! nodes exclusive to it.
 
 use crate::node::no_nodes;
 use crate::ring::HashRing;
@@ -39,12 +43,31 @@ impl ClusterClient {
     /// retained as a read union until [`run_migration`](Self::run_migration)
     /// (or enough [`migrate_step`](Self::migrate_step) calls) drains the
     /// migration queue. Returns the new ring version.
+    ///
+    /// Fails with [`StoreError::Unavailable`] while a previous reshard is
+    /// still migrating: replacing the union view mid-sweep would drop the
+    /// old topology from the read path and forget its unmigrated keys,
+    /// silently losing any key whose only copies live on nodes exclusive
+    /// to it. Drain the current migration first.
     pub fn apply_ring_change(
         &self,
         endpoints: &[String],
         connector: &dyn Connector,
     ) -> Result<u64> {
-        let current = self.topo.read().nodes.clone();
+        let reshard_busy = || {
+            StoreError::Unavailable(
+                "a reshard is already in progress: drain the current migration \
+                 (run_migration) before applying another ring change"
+                    .into(),
+            )
+        };
+        let current = {
+            let t = self.topo.read();
+            if t.prev.is_some() {
+                return Err(reshard_busy());
+            }
+            t.nodes.clone()
+        };
         // Connect new endpoints with no lock held (connect blocks).
         let mut new_nodes: Vec<Arc<Node>> = Vec::with_capacity(endpoints.len());
         for ep in endpoints {
@@ -61,6 +84,11 @@ impl ClusterClient {
         let ring = HashRing::new(&ids, self.policy.vnodes);
         let (version, prev_nodes) = {
             let mut t = self.topo.write();
+            // Re-check under the write lock: a racing ring change may have
+            // slipped in since the unlocked connect phase above.
+            if t.prev.is_some() {
+                return Err(reshard_busy());
+            }
             let old_nodes = std::mem::take(&mut t.nodes);
             let old_ring = t.ring.clone();
             t.nodes = new_nodes;
@@ -388,6 +416,80 @@ mod tests {
             !connector.store("node-3").keys().unwrap().is_empty(),
             "new node received data"
         );
+    }
+
+    #[test]
+    fn get_many_mid_reshard_reads_through_the_union() {
+        // Regression: the batch fast path grouped keys by the NEW ring's
+        // primary and took its miss as authoritative — mid-reshard, keys
+        // that still live only on previous-topology owners came back None
+        // from get_many while get() found them through the read union.
+        let connector = MapConnector::new();
+        let policy = ClusterPolicy::test_profile();
+        let vnodes = policy.vnodes;
+        let replicas = policy.replicas;
+        let c = ClusterClient::connect("c", &eps(3), &connector, policy).unwrap();
+        for i in 0..60 {
+            c.put(&format!("key-{i}"), format!("val-{i}").as_bytes())
+                .unwrap();
+        }
+        c.apply_ring_change(&eps(4), &connector).unwrap();
+        assert!(c.reshard_active());
+        // The scenario is only meaningful if some key now routes to the
+        // (still empty) new node.
+        let ring4 = HashRing::new(&eps(4), vnodes);
+        assert!(
+            (0..60).any(|i| ring4.owners(&format!("key-{i}"), replicas).contains(&3)),
+            "no key re-routed to the new node"
+        );
+        let keys: Vec<String> = (0..60).map(|i| format!("key-{i}")).collect();
+        let refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+        let got = c.get_many(&refs).unwrap();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(
+                v.as_deref(),
+                Some(format!("val-{i}").as_bytes()),
+                "key-{i} unreadable through get_many mid-reshard"
+            );
+        }
+        c.run_migration().unwrap();
+    }
+
+    #[test]
+    fn a_second_ring_change_is_rejected_while_migration_is_pending() {
+        // Regression: a second apply_ring_change used to overwrite the
+        // union view and clear the queue, silently stranding every key
+        // whose only copies lived on nodes exclusive to the discarded
+        // topology. It must be rejected until the sweep drains.
+        let connector = MapConnector::new();
+        let c = ClusterClient::connect("c", &eps(3), &connector, ClusterPolicy::test_profile())
+            .unwrap();
+        for i in 0..40 {
+            c.put(&format!("key-{i}"), b"v").unwrap();
+        }
+        c.apply_ring_change(&eps(4), &connector).unwrap();
+        assert!(c.reshard_active());
+        let pending = c.migration_pending();
+        assert!(pending > 0);
+        let err = c
+            .apply_ring_change(&eps(5), &connector)
+            .expect_err("second ring change mid-migration must be rejected");
+        assert!(matches!(err, StoreError::Unavailable(_)), "{err:?}");
+        // The in-flight reshard is untouched: version, union and queue.
+        assert_eq!(c.ring_version(), 2);
+        assert!(c.reshard_active());
+        assert_eq!(c.migration_pending(), pending);
+        for i in 0..40 {
+            assert!(c.get(&format!("key-{i}")).unwrap().is_some());
+        }
+        // Drained, the next change applies cleanly.
+        c.run_migration().unwrap();
+        assert!(!c.reshard_active());
+        assert_eq!(c.apply_ring_change(&eps(5), &connector).unwrap(), 3);
+        c.run_migration().unwrap();
+        for i in 0..40 {
+            assert!(c.get(&format!("key-{i}")).unwrap().is_some());
+        }
     }
 
     #[test]

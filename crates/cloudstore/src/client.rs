@@ -658,37 +658,43 @@ mod tests {
         assert_eq!(resp.status, 404);
 
         let text = c.fetch_metrics().unwrap();
+        // Every series carries the server's stable node identity.
+        let node = format!("node=\"{}\"", server.addr());
         assert!(
-            text.contains(
-                "cloudstore_requests_total{method=\"PUT\",route=\"/v1/objects\",status=\"201\"} 1"
-            ),
+            text.contains(&format!(
+                "cloudstore_requests_total{{method=\"PUT\",route=\"/v1/objects\",status=\"201\",{node}}} 1"
+            )),
             "{text}"
         );
         assert!(
-            text.contains(
-                "cloudstore_requests_total{method=\"GET\",route=\"/v1/objects\",status=\"200\"} 1"
-            ),
+            text.contains(&format!(
+                "cloudstore_requests_total{{method=\"GET\",route=\"/v1/objects\",status=\"200\",{node}}} 1"
+            )),
             "{text}"
         );
         assert!(
-            text.contains(
-                "cloudstore_requests_total{method=\"GET\",route=\"/v1/objects\",status=\"404\"} 1"
-            ),
+            text.contains(&format!(
+                "cloudstore_requests_total{{method=\"GET\",route=\"/v1/objects\",status=\"404\",{node}}} 1"
+            )),
             "{text}"
         );
         assert!(
-            text.contains(
-                "cloudstore_requests_total{method=\"GET\",route=\"other\",status=\"404\"} 1"
-            ),
+            text.contains(&format!(
+                "cloudstore_requests_total{{method=\"GET\",route=\"other\",status=\"404\",{node}}} 1"
+            )),
             "fallthrough 404 not counted: {text}"
         );
         // The latency histogram saw all four object/other requests.
         assert!(
-            text.contains("cloudstore_request_duration_ns_count{route=\"/v1/objects\"} 3"),
+            text.contains(&format!(
+                "cloudstore_request_duration_ns_count{{route=\"/v1/objects\",{node}}} 3"
+            )),
             "{text}"
         );
         assert!(
-            text.contains("cloudstore_bytes_in_total{route=\"/v1/objects\"} 5"),
+            text.contains(&format!(
+                "cloudstore_bytes_in_total{{route=\"/v1/objects\",{node}}} 5"
+            )),
             "{text}"
         );
         // Server-side registry agrees with what the scrape returned.
@@ -856,13 +862,17 @@ mod tests {
             )
             .unwrap();
         assert_eq!(durations.count, 2);
-        // The server counted the same batches on its side.
+        // The server counted the same batches on its side (node-tagged).
         let text = c.fetch_metrics().unwrap();
-        assert!(text.contains("cloudstore_batch_ops_count 2"), "{text}");
+        let node = format!("node=\"{}\"", server.addr());
         assert!(
-            text.contains(
-                "cloudstore_requests_total{method=\"POST\",route=\"/v1/batch\",status=\"200\"} 2"
-            ),
+            text.contains(&format!("cloudstore_batch_ops_count{{{node}}} 2")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "cloudstore_requests_total{{method=\"POST\",route=\"/v1/batch\",status=\"200\",{node}}} 2"
+            )),
             "{text}"
         );
     }

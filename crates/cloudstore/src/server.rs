@@ -127,6 +127,8 @@ impl CloudServer {
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let connections_accepted = Arc::new(AtomicU64::new(0));
         let registry = Arc::new(obs::Registry::new());
+        // Stable node identity on every federated series.
+        registry.set_base_label("node", &addr.to_string());
         // The fault injector draws from its own RNG stream (offset seed) so
         // enabling faults does not perturb the latency sample sequence.
         let fault = Arc::new(cfg.fault.injector(cfg.seed ^ 0xfa17));

@@ -1,0 +1,585 @@
+//! Heartbeat health monitoring for a [`ClusterClient`]'s nodes.
+//!
+//! The cluster already has per-node circuit breakers, but a breaker only
+//! learns from traffic: a quiet shard can sit Open (or dead) for minutes
+//! without anyone noticing, and a slow node looks healthy until its
+//! latency finally trips the retry budget. The heartbeat closes both
+//! gaps. On each interval [`ClusterClient::probe_once`] fires one cheap
+//! read probe at every node — in parallel, on the same worker pool that
+//! runs hedge legs — and folds the probe latency together with the
+//! breaker's opinion into a three-state verdict:
+//!
+//! ```text
+//!           probe ok, fast, breaker closed
+//!        ┌────────────────────────────────────┐
+//!        ▼                                    │
+//!      ┌────┐  slow probe or half-open     ┌──────────┐
+//!      │ Up │ ────────────────────────────▶│ Degraded │
+//!      └────┘                              └──────────┘
+//!        │  probe error / timeout / shed        │
+//!        ▼                                      ▼
+//!      ┌──────┐◀───────────────────────────────┘
+//!      │ Down │   (recovery transitions run the same edges in reverse)
+//!      └──────┘
+//! ```
+//!
+//! State transitions emit a trace event and record a synthetic trace into
+//! the global flight recorder (errors for `-> Down`, so they are always
+//! retained), and [`ClusterClient::publish`] exports the verdicts as
+//! `cluster_node_up` / `cluster_node_health_state` / `cluster_node_probe_us`
+//! gauges for the federation layer to merge. The probe targets a reserved
+//! key ([`PROBE_KEY`]) that no workload writes; a miss is a perfectly
+//! healthy answer — only transport failures and timeouts count against a
+//! node.
+
+use crate::ClusterClient;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// The reserved key health probes read. Nothing writes it; a clean miss
+/// proves the endpoint is alive and serving.
+pub const PROBE_KEY: &str = "__cluster_probe__";
+
+/// A node's health verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// Probe answered promptly and the breaker is closed.
+    Up,
+    /// Probe answered but slowly, or the breaker is still re-proving the
+    /// node (half-open).
+    Degraded,
+    /// Probe failed, timed out, or was shed by an open breaker.
+    Down,
+}
+
+impl NodeState {
+    /// Gauge encoding for `cluster_node_health_state`: Up=2, Degraded=1,
+    /// Down=0 — ordered so "bigger is healthier" survives aggregation.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            NodeState::Up => 2,
+            NodeState::Degraded => 1,
+            NodeState::Down => 0,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeState::Up => "up",
+            NodeState::Degraded => "degraded",
+            NodeState::Down => "down",
+        }
+    }
+}
+
+/// Heartbeat tuning.
+#[derive(Clone, Debug)]
+pub struct HealthPolicy {
+    /// Time between probe rounds.
+    pub interval: Duration,
+    /// A probe slower than this is a timeout (counts as Down).
+    pub probe_timeout: Duration,
+    /// A successful probe slower than this marks the node Degraded.
+    pub degraded_latency: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            interval: Duration::from_secs(2),
+            probe_timeout: Duration::from_secs(1),
+            degraded_latency: Duration::from_millis(100),
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Millisecond-scale intervals so tests observe transitions quickly.
+    pub fn test_profile() -> HealthPolicy {
+        HealthPolicy {
+            interval: Duration::from_millis(25),
+            probe_timeout: Duration::from_millis(150),
+            degraded_latency: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One node's latest health observation.
+#[derive(Clone, Debug)]
+pub struct NodeHealth {
+    pub state: NodeState,
+    /// Last probe round-trip in microseconds; `-1` when the probe failed.
+    pub probe_us: i64,
+    /// State changes observed since monitoring began.
+    pub transitions: u64,
+    /// The error that drove the last `Down` verdict, if any.
+    pub last_error: Option<String>,
+}
+
+/// Handle for a running heartbeat thread. Dropping it (or calling
+/// [`stop`](Heartbeat::stop)) stops the thread promptly; the thread also
+/// exits on its own once the cluster it watches is dropped, because it
+/// holds only a [`Weak`] reference.
+pub struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Signal the probe loop to exit and wait for it.
+    pub fn stop(&mut self) {
+        let (flag, cv) = &*self.stop;
+        *flag.lock() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl ClusterClient {
+    /// Run one probe round against every current node, in parallel on the
+    /// hedge leg pool, and fold the results into the health map. Returns
+    /// the verdicts. Callers normally go through
+    /// [`start_heartbeat`](ClusterClient::start_heartbeat); this is public
+    /// so tests and CLI snapshots can probe deterministically.
+    pub fn probe_once(&self, hp: &HealthPolicy) -> BTreeMap<String, NodeHealth> {
+        let nodes = self.topo.read().nodes.clone();
+        let (tx, rx) = mpsc::channel::<(String, Result<Duration, String>)>();
+        let expected = nodes.len();
+        for node in nodes {
+            let tx = tx.clone();
+            self.legs.submit(move || {
+                let started = Instant::now();
+                let res = node.run(|s| s.get(PROBE_KEY));
+                let verdict = match res {
+                    // A miss (or any logical answer) proves liveness.
+                    Ok(_) => Ok(started.elapsed()),
+                    // Transient transport errors are the node failing to
+                    // answer. A shed (`Unavailable`, breaker open) is the
+                    // breaker remembering recent failures: the node is not
+                    // serving, which is exactly what Down means — and
+                    // under traffic the breaker usually opens before the
+                    // next probe round gets its own look.
+                    Err(e)
+                        if e.is_transient() || matches!(e, kvapi::StoreError::Unavailable(_)) =>
+                    {
+                        Err(e.to_string())
+                    }
+                    Err(_) => Ok(started.elapsed()),
+                };
+                let _ = tx.send((node.id().to_string(), verdict));
+            });
+        }
+        drop(tx);
+        // One shared deadline: a node that cannot answer within the probe
+        // timeout is Down even if its store call eventually returns.
+        let deadline = Instant::now() + hp.probe_timeout;
+        let mut results: BTreeMap<String, Result<Duration, String>> = BTreeMap::new();
+        while results.len() < expected {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok((id, verdict)) => {
+                    results.insert(id, verdict);
+                }
+                Err(_) => break,
+            }
+        }
+        self.apply_probe_results(hp, &results)
+    }
+
+    /// Derive states from probe outcomes, record transitions, and return
+    /// the updated map.
+    fn apply_probe_results(
+        &self,
+        hp: &HealthPolicy,
+        results: &BTreeMap<String, Result<Duration, String>>,
+    ) -> BTreeMap<String, NodeHealth> {
+        let nodes = self.topo.read().nodes.clone();
+        let mut health = self.health.lock();
+        // Forget nodes a reshard removed.
+        health.retain(|id, _| nodes.iter().any(|n| n.id() == id));
+        for node in &nodes {
+            let id = node.id().to_string();
+            let (state, probe_us, error) = match results.get(&id) {
+                Some(Ok(rtt)) => {
+                    let half_open = node.breaker().state() == resilience::BreakerState::HalfOpen;
+                    let state = if *rtt >= hp.degraded_latency || half_open {
+                        NodeState::Degraded
+                    } else {
+                        NodeState::Up
+                    };
+                    (state, rtt.as_micros() as i64, None)
+                }
+                Some(Err(e)) => (NodeState::Down, -1, Some(e.clone())),
+                // No answer before the shared deadline.
+                None => (NodeState::Down, -1, Some("probe timeout".to_string())),
+            };
+            let entry = health.entry(id.clone()).or_insert(NodeHealth {
+                state,
+                probe_us,
+                transitions: 0,
+                last_error: None,
+            });
+            let changed = entry.state != state || entry.transitions == 0;
+            let prev = entry.state;
+            entry.probe_us = probe_us;
+            if let Some(e) = &error {
+                entry.last_error = Some(e.clone());
+            }
+            if changed {
+                entry.state = state;
+                entry.transitions = entry.transitions.saturating_add(1);
+                self.report_transition(&id, prev, state, probe_us, error.as_deref());
+            }
+        }
+        health.clone()
+    }
+
+    /// Emit the transition as a trace event and a recorder entry, so
+    /// "when did node-2 go down?" is answerable from the flight recorder.
+    fn report_transition(
+        &self,
+        node: &str,
+        prev: NodeState,
+        next: NodeState,
+        probe_us: i64,
+        error: Option<&str>,
+    ) {
+        let detail = format!(
+            "cluster={} node={node} {}->{} probe_us={probe_us}",
+            self.name,
+            prev.as_str(),
+            next.as_str()
+        );
+        obs::ctx::report_event("node_health", detail.clone());
+        let err = match next {
+            NodeState::Down => Some(format!(
+                "node {node} down: {}",
+                error.unwrap_or("probe failed")
+            )),
+            _ => None,
+        };
+        obs::FlightRecorder::global().record(obs::CompletedTrace {
+            origin: format!("cluster:{}", self.name),
+            op: "node_health".to_string(),
+            total: Duration::ZERO,
+            stages: Vec::new(),
+            other: Duration::ZERO,
+            ctx: Some(obs::TraceContext::new_root()),
+            events: vec![obs::TraceEvent {
+                at: Duration::ZERO,
+                name: "node_health".to_string(),
+                detail,
+            }],
+            server_spans: Vec::new(),
+            error: err,
+        });
+    }
+
+    /// The latest health verdicts (empty until the first probe round).
+    pub fn node_health(&self) -> BTreeMap<String, NodeHealth> {
+        self.health.lock().clone()
+    }
+
+    /// Start a background heartbeat probing every `policy.interval`. The
+    /// thread holds only a weak reference to the cluster and exits when
+    /// the cluster is dropped, the returned handle is dropped, or
+    /// [`Heartbeat::stop`] is called.
+    pub fn start_heartbeat(self: &Arc<Self>, policy: HealthPolicy) -> Heartbeat {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let weak: Weak<ClusterClient> = Arc::downgrade(self);
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("cluster-heartbeat".to_string())
+            .spawn(move || loop {
+                {
+                    let (flag, cv) = &*stop2;
+                    let mut stopped = flag.lock();
+                    if !*stopped {
+                        cv.wait_until(&mut stopped, Instant::now() + policy.interval);
+                    }
+                    if *stopped {
+                        return;
+                    }
+                }
+                let Some(cluster) = weak.upgrade() else {
+                    return;
+                };
+                cluster.probe_once(&policy);
+            })
+            .expect("spawn heartbeat thread");
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Ring, ownership, migration, and health introspection as a JSON
+    /// document — the "what is the cluster doing right now" surface the
+    /// dashboard and operators read.
+    pub fn introspect_json(&self) -> String {
+        let (node_list, version, resharding) = {
+            let t = self.topo.read();
+            (t.nodes.clone(), t.version, t.prev.is_some())
+        };
+        let health = self.health.lock().clone();
+        let migration_pending = self.migration.lock().len();
+        let dirty_keys = self.dirty.lock().len();
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"cluster\":{},\"ring_version\":{version},\"resharding\":{resharding},\
+             \"migration_pending\":{migration_pending},\"dirty_keys\":{dirty_keys},\
+             \"migrated_keys\":{},\"nodes\":[",
+            json_string(&self.name),
+            self.migrated_keys()
+        ));
+        for (i, node) in node_list.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (state, probe_us, transitions) = match health.get(node.id()) {
+                Some(h) => (h.state.as_str(), h.probe_us, h.transitions),
+                None => ("unknown", -1, 0),
+            };
+            out.push_str(&format!(
+                "{{\"id\":{},\"state\":{},\"probe_us\":{probe_us},\
+                 \"transitions\":{transitions},\"breaker\":{},\
+                 \"requests\":{},\"failures\":{},\"sheds\":{}}}",
+                json_string(node.id()),
+                json_string(state),
+                json_string(breaker_name(node.breaker().state())),
+                node.requests(),
+                node.failures(),
+                node.sheds()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn breaker_name(state: resilience::BreakerState) -> &'static str {
+    match state {
+        resilience::BreakerState::Closed => "closed",
+        resilience::BreakerState::Open => "open",
+        resilience::BreakerState::HalfOpen => "half-open",
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// True once `stopped` observes the flag — helper for tests that need to
+/// wait on the heartbeat's first round without sleeping a fixed time.
+pub fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{FlakyStore, SlowStore};
+    use crate::{ClusterClient, ClusterPolicy};
+    use kvapi::mem::MemKv;
+    use kvapi::KeyValue;
+    use std::sync::atomic::Ordering;
+
+    fn flaky_cluster(n: usize) -> (Arc<ClusterClient>, Vec<Arc<FlakyStore>>) {
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = Vec::new();
+        let mut flaky = Vec::new();
+        for i in 0..n {
+            let f = Arc::new(FlakyStore::new(&format!("node-{i}")));
+            flaky.push(f.clone());
+            stores.push((format!("node-{i}"), f as Arc<dyn KeyValue>));
+        }
+        (
+            Arc::new(ClusterClient::from_stores(
+                "hc",
+                stores,
+                ClusterPolicy::test_profile(),
+            )),
+            flaky,
+        )
+    }
+
+    #[test]
+    fn probe_round_marks_healthy_nodes_up() {
+        let (c, _) = flaky_cluster(3);
+        let health = c.probe_once(&HealthPolicy::test_profile());
+        assert_eq!(health.len(), 3);
+        for (id, h) in &health {
+            assert_eq!(h.state, NodeState::Up, "{id}: {h:?}");
+            assert!(h.probe_us >= 0);
+            assert_eq!(h.transitions, 1, "first observation counts once");
+        }
+    }
+
+    #[test]
+    fn shedding_breaker_counts_as_down() {
+        // Under traffic the breaker usually opens before the heartbeat's
+        // own probe sees the failure; the shed (`Unavailable`) must read
+        // as Down, not as a healthy logical answer.
+        let (c, flaky) = flaky_cluster(3);
+        let hp = HealthPolicy::test_profile();
+        c.probe_once(&hp);
+        flaky[0].fail_reads.store(true, Ordering::Relaxed);
+        flaky[0].fail_writes.store(true, Ordering::Relaxed);
+        // Hammer until node-0's breaker is open and sheds.
+        let tripped = wait_until(Duration::from_secs(3), || {
+            for i in 0..8 {
+                let _ = c.put(&format!("trip-{i}"), b"x");
+                let _ = c.get(&format!("trip-{i}"));
+            }
+            c.topo
+                .read()
+                .nodes
+                .iter()
+                .find(|n| n.id() == "node-0")
+                .is_some_and(|n| n.is_shedding())
+        });
+        assert!(tripped, "breaker never opened on node-0");
+        let health = c.probe_once(&hp);
+        assert_eq!(health["node-0"].state, NodeState::Down, "{health:?}");
+        assert!(health["node-0"]
+            .last_error
+            .as_deref()
+            .is_some_and(|e| e.contains("unavailable")));
+    }
+
+    #[test]
+    fn dead_node_goes_down_and_recovers() {
+        let (c, flaky) = flaky_cluster(3);
+        let hp = HealthPolicy::test_profile();
+        c.probe_once(&hp);
+        flaky[1].fail_reads.store(true, Ordering::Relaxed);
+        let health = c.probe_once(&hp);
+        assert_eq!(health["node-1"].state, NodeState::Down);
+        assert_eq!(health["node-1"].probe_us, -1);
+        assert!(health["node-1"].last_error.is_some());
+        assert_eq!(health["node-0"].state, NodeState::Up);
+        // The transition left a retained (error) trace in the recorder.
+        let traces = obs::FlightRecorder::global().recent(256);
+        assert!(
+            traces.iter().any(|t| {
+                t.origin == "cluster:hc" && t.error.as_deref().is_some_and(|e| e.contains("node-1"))
+            }),
+            "recorder holds the down transition"
+        );
+        // Heal; breaker may need a probe round or two to re-close.
+        flaky[1].fail_reads.store(false, Ordering::Relaxed);
+        let recovered = wait_until(Duration::from_secs(3), || {
+            c.probe_once(&hp)["node-1"].state == NodeState::Up
+        });
+        assert!(recovered, "node-1 never recovered: {:?}", c.node_health());
+    }
+
+    #[test]
+    fn slow_node_is_degraded_not_down() {
+        let mut stores: Vec<(String, Arc<dyn KeyValue>)> = vec![(
+            "node-0".to_string(),
+            Arc::new(SlowStore {
+                inner: MemKv::new("node-0"),
+                delay: Duration::from_millis(40),
+            }) as Arc<dyn KeyValue>,
+        )];
+        for i in 1..3 {
+            stores.push((
+                format!("node-{i}"),
+                Arc::new(MemKv::new(format!("node-{i}"))) as Arc<dyn KeyValue>,
+            ));
+        }
+        let c = Arc::new(ClusterClient::from_stores(
+            "hc2",
+            stores,
+            ClusterPolicy::test_profile(),
+        ));
+        // degraded_latency 20ms < 40ms delay < probe_timeout 150ms.
+        let health = c.probe_once(&HealthPolicy::test_profile());
+        assert_eq!(health["node-0"].state, NodeState::Degraded);
+        assert_eq!(health["node-1"].state, NodeState::Up);
+    }
+
+    #[test]
+    fn heartbeat_thread_probes_on_its_own() {
+        let (c, _) = flaky_cluster(3);
+        let mut hb = c.start_heartbeat(HealthPolicy::test_profile());
+        let observed = wait_until(Duration::from_secs(3), || c.node_health().len() == 3);
+        assert!(observed, "heartbeat never completed a round");
+        hb.stop();
+        // Stop is prompt and idempotent.
+        hb.stop();
+    }
+
+    #[test]
+    fn introspect_json_names_every_node_and_the_ring() {
+        let (c, flaky) = flaky_cluster(3);
+        c.put("k", b"v").unwrap();
+        c.probe_once(&HealthPolicy::test_profile());
+        flaky[2].fail_reads.store(true, Ordering::Relaxed);
+        c.probe_once(&HealthPolicy::test_profile());
+        let j = c.introspect_json();
+        assert!(j.contains("\"ring_version\":1"), "{j}");
+        assert!(j.contains("\"resharding\":false"), "{j}");
+        assert!(j.contains("\"id\":\"node-0\""), "{j}");
+        assert!(j.contains("\"state\":\"down\""), "{j}");
+        assert!(j.contains("\"state\":\"up\""), "{j}");
+        // Sanity: it parses as JSON by the serde already in-tree.
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v.get("nodes").and_then(|n| n.as_array()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn publish_exports_health_gauges() {
+        let (c, flaky) = flaky_cluster(3);
+        c.probe_once(&HealthPolicy::test_profile());
+        flaky[1].fail_reads.store(true, Ordering::Relaxed);
+        c.probe_once(&HealthPolicy::test_profile());
+        let reg = obs::Registry::new();
+        c.publish(&reg);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("cluster_node_up{cluster=\"hc\",node=\"node-0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cluster_node_up{cluster=\"hc\",node=\"node-1\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("cluster_node_probe_us{cluster=\"hc\",node=\"node-0\"}"));
+        assert!(text.contains("cluster_node_health_state{cluster=\"hc\",node=\"node-1\"} 0"));
+    }
+}

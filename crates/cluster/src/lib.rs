@@ -35,11 +35,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod health;
 pub mod node;
 mod pool;
 pub mod reshard;
 pub mod ring;
 
+pub use health::{HealthPolicy, Heartbeat, NodeHealth, NodeState};
 pub use node::{no_nodes, verdict_for, Node, Verdict};
 pub use ring::HashRing;
 
@@ -131,6 +133,9 @@ pub struct ClusterClient {
     legs: pool::LegPool,
     rng: Mutex<SmallRng>,
     metrics: Metrics,
+    /// Latest heartbeat verdict per node id (see [`health`]). Empty until
+    /// the first probe round.
+    pub(crate) health: Mutex<BTreeMap<String, health::NodeHealth>>,
 }
 
 impl ClusterClient {
@@ -161,6 +166,7 @@ impl ClusterClient {
             migration: Mutex::new(VecDeque::new()),
             legs: pool::LegPool::new(),
             metrics: Metrics::default(),
+            health: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -259,6 +265,7 @@ impl ClusterClient {
         };
         reg.gauge("cluster_ring_version", labels)
             .set(i64::try_from(version).unwrap_or(i64::MAX));
+        let health = self.health.lock().clone();
         for node in &nodes {
             let nl = &[("cluster", self.name.as_str()), ("node", node.id())];
             reg.counter("cluster_node_requests_total", nl)
@@ -269,6 +276,15 @@ impl ClusterClient {
                 .set(node.sheds());
             reg.gauge("cluster_node_breaker_state", nl)
                 .set(node.breaker().state().as_gauge());
+            if let Some(h) = health.get(node.id()) {
+                // Binary liveness (degraded still serves) plus the full
+                // three-state verdict and the raw probe latency.
+                reg.gauge("cluster_node_up", nl)
+                    .set(i64::from(h.state != health::NodeState::Down));
+                reg.gauge("cluster_node_health_state", nl)
+                    .set(h.state.as_gauge());
+                reg.gauge("cluster_node_probe_us", nl).set(h.probe_us);
+            }
         }
     }
 

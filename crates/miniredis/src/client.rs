@@ -638,19 +638,28 @@ mod tests {
         c.get("k").unwrap();
         c.get("k").unwrap();
         let text = c.fetch_metrics().unwrap();
+        // Every series carries the server's stable node identity.
+        let node = format!("node=\"{}\"", server.addr());
         assert!(
-            text.contains("miniredis_commands_total{cmd=\"SET\"} 1"),
+            text.contains(&format!("miniredis_commands_total{{cmd=\"SET\",{node}}} 1")),
             "{text}"
         );
         assert!(
-            text.contains("miniredis_commands_total{cmd=\"GET\"} 2"),
+            text.contains(&format!("miniredis_commands_total{{cmd=\"GET\",{node}}} 2")),
+            "{text}"
+        );
+        // Server-side command latency histograms ride along, node-tagged.
+        assert!(
+            text.contains(&format!(
+                "miniredis_command_duration_ns_count{{cmd=\"GET\",{node}}} 2"
+            )),
             "{text}"
         );
         // The in-process registry agrees with the wire scrape.
         assert!(server
             .registry()
             .render_prometheus()
-            .contains("miniredis_commands_total{cmd=\"SET\"} 1"));
+            .contains(&format!("miniredis_commands_total{{cmd=\"SET\",{node}}} 1")));
         // Process resource gauges ride along on every scrape.
         assert!(
             text.contains("# TYPE process_resident_memory_bytes gauge"),

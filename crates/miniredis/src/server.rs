@@ -212,6 +212,8 @@ impl Server {
         let persistence = cfg.persistence.clone();
         let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
         let registry = Arc::new(obs::Registry::new());
+        // Stable node identity on every federated series.
+        registry.set_base_label("node", &addr.to_string());
         let shared = ConnShared {
             db: db.clone(),
             clock,
@@ -671,8 +673,9 @@ fn dispatch(
     let args = parts.get(1..).unwrap_or_default();
     let now = now_millis();
     let tick = clock.fetch_add(1, Ordering::Relaxed);
+    let started = std::time::Instant::now();
 
-    match cmd.as_str() {
+    let reply = match cmd.as_str() {
         "PING" => {
             if let Some(msg) = args.first().and_then(arg_bytes) {
                 Value::Bulk(Some(msg))
@@ -1071,5 +1074,11 @@ fn dispatch(
             Value::Bulk(Some(Bytes::from(body.into_bytes())))
         }
         other => Value::Error(format!("ERR unknown command '{other}'")),
-    }
+    };
+    // Per-command service time, so federated dashboards get a server-side
+    // p50/p99 per node (the command set is closed, so `cmd` is bounded).
+    registry
+        .histogram("miniredis_command_duration_ns", &[("cmd", &cmd)])
+        .record_duration(started.elapsed());
+    reply
 }

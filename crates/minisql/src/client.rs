@@ -494,12 +494,25 @@ mod tests {
         c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
         c.execute("SELECT * FROM t").unwrap();
         let text = c.fetch_metrics().unwrap();
+        // Every series carries the server's stable node identity.
+        let node = format!("node=\"{}\"", server.addr());
         assert!(
-            text.contains("minisql_statements_total{op=\"CREATE\",outcome=\"ok\"} 1"),
+            text.contains(&format!(
+                "minisql_statements_total{{op=\"CREATE\",outcome=\"ok\",{node}}} 1"
+            )),
             "{text}"
         );
         assert!(
-            text.contains("minisql_statements_total{op=\"SELECT\",outcome=\"ok\"} 1"),
+            text.contains(&format!(
+                "minisql_statements_total{{op=\"SELECT\",outcome=\"ok\",{node}}} 1"
+            )),
+            "{text}"
+        );
+        // Server-side execute latency histograms ride along, node-tagged.
+        assert!(
+            text.contains(&format!(
+                "minisql_statement_duration_ns_count{{op=\"SELECT\",{node}}} 1"
+            )),
             "{text}"
         );
         // The in-process registry agrees with the wire scrape.

@@ -140,6 +140,8 @@ impl SqlServer {
             Arc::new(parking_lot::Mutex::new(Vec::new()));
         let fault = Arc::new(cfg.fault.injector(cfg.fault_seed));
         let registry = Arc::new(obs::Registry::new());
+        // Stable node identity on every federated series.
+        registry.set_base_label("node", &addr.to_string());
 
         let (accept_thread, reactor) = if cfg.legacy_threads {
             let shutdown = shutdown.clone();
@@ -319,6 +321,11 @@ fn execute_payload(
         },
     };
     let execute = t_exec.elapsed();
+    // Server-side execute latency per statement kind, so federated
+    // dashboards get a per-node p50/p99 (the op set is closed).
+    registry
+        .histogram("minisql_statement_duration_ns", &[("op", &op)])
+        .record_duration(execute);
     registry
         .counter(
             "minisql_statements_total",

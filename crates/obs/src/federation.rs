@@ -1,0 +1,948 @@
+//! Metrics federation: parse Prometheus text back into metrics, merge
+//! scrapes from N nodes into one fleet view.
+//!
+//! The workspace's servers already expose their registries as Prometheus
+//! text (cloudstore `GET /metrics`, miniredis `METRICS`, minisql
+//! `METRICS`). This module closes the loop: [`parse_prometheus`] inverts
+//! [`Registry::render_prometheus`] — counters and gauges read back
+//! directly, and histogram `_bucket{le=...}` series re-hydrate into
+//! [`HistogramSnapshot`]s by mapping each emitted upper bound back to its
+//! log-linear bucket index (`le` values are exact `bucket_high` bounds, so
+//! `bucket_index(le - 1)` recovers the source bucket). The renderer's
+//! `_min`/`_max` extension series restore the exact observed extremes that
+//! quantile estimates clamp to, which makes the round trip *lossless*:
+//! `parse(render(reg))` reproduces every snapshot bit-for-bit, and merging
+//! three nodes' parses equals one registry that recorded all samples.
+//!
+//! [`Federation`] drives the scrape side: each [`MetricsSource`] returns
+//! one node's exposition text; [`Federation::poll`] parses all of them and
+//! produces a [`FleetView`] with per-node series (tagged `node="<id>"`)
+//! and a fleet-merged view (counters and gauges summed, histograms
+//! merged). Exemplars survive federation, so a fleet p99 spike still links
+//! to the trace that caused it.
+
+use crate::hist::{bucket_index, bucket_low, HistogramSnapshot};
+use crate::registry::{Exemplar, Registry};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Sorted `(key, value)` label pairs.
+pub type Labels = Vec<(String, String)>;
+
+/// One series' identity: metric name plus sorted labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    pub name: String,
+    pub labels: Labels,
+}
+
+impl SeriesKey {
+    /// Build a key with the labels sorted.
+    pub fn new(name: impl Into<String>, mut labels: Labels) -> SeriesKey {
+        labels.sort();
+        SeriesKey {
+            name: name.into(),
+            labels,
+        }
+    }
+
+    /// The value of one label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does this series have `name` and carry every `(key, value)` pair in
+    /// `subset`? (An empty subset matches every series of that name.)
+    pub fn matches(&self, name: &str, subset: &[(&str, &str)]) -> bool {
+        self.name == name && subset.iter().all(|&(k, v)| self.label(k) == Some(v))
+    }
+}
+
+/// One parsed metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sample {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metrics parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A registry's worth of parsed metrics — the in-memory form one scrape
+/// hydrates into, and the unit federation merges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedMetrics {
+    /// All series, keyed by `name{labels}`.
+    pub series: BTreeMap<SeriesKey, Sample>,
+    /// Histogram exemplars recovered from `# {trace_id="..."} value`
+    /// annotations, keyed by the owning histogram's base name + labels.
+    pub exemplars: BTreeMap<SeriesKey, Exemplar>,
+}
+
+impl ParsedMetrics {
+    /// The histogram snapshot for `name{labels}`, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.series.get(&key_of(name, labels)) {
+            Some(Sample::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The counter value for `name{labels}`, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.series.get(&key_of(name, labels)) {
+            Some(Sample::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value for `name{labels}`, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.series.get(&key_of(name, labels)) {
+            Some(Sample::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter named `name` whose labels are a superset of
+    /// `subset` — aggregation across a label dimension (e.g. all `cmd`s of
+    /// `miniredis_commands_total`). `None` when nothing matched.
+    pub fn counters_matching(&self, name: &str, subset: &[(&str, &str)]) -> Option<u64> {
+        let mut sum = None;
+        for (k, sample) in &self.series {
+            if let Sample::Counter(v) = sample {
+                if k.matches(name, subset) {
+                    sum = Some(sum.unwrap_or(0u64).saturating_add(*v));
+                }
+            }
+        }
+        sum
+    }
+
+    /// Sum of every gauge named `name` whose labels are a superset of
+    /// `subset`. `None` when nothing matched.
+    pub fn gauges_matching(&self, name: &str, subset: &[(&str, &str)]) -> Option<i64> {
+        let mut sum = None;
+        for (k, sample) in &self.series {
+            if let Sample::Gauge(v) = sample {
+                if k.matches(name, subset) {
+                    sum = Some(sum.unwrap_or(0i64).saturating_add(*v));
+                }
+            }
+        }
+        sum
+    }
+
+    /// Merge of every histogram named `name` whose labels are a superset
+    /// of `subset`. `None` when nothing matched.
+    pub fn histograms_matching(
+        &self,
+        name: &str,
+        subset: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (k, sample) in &self.series {
+            if let Sample::Histogram(h) = sample {
+                if k.matches(name, subset) {
+                    match &mut merged {
+                        Some(m) => m.merge(h),
+                        None => merged = Some(h.clone()),
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// Remove a label key from every series (federation strips the node
+    /// identity before merging). If two series collide once stripped they
+    /// are merged with [`merge_sample`].
+    pub fn strip_label(&mut self, key: &str) {
+        let old = std::mem::take(&mut self.series);
+        for (k, sample) in old {
+            let mut labels = k.labels;
+            labels.retain(|(lk, _)| lk != key);
+            insert_merged(&mut self.series, SeriesKey::new(k.name, labels), sample);
+        }
+        let old = std::mem::take(&mut self.exemplars);
+        for (k, ex) in old {
+            let mut labels = k.labels;
+            labels.retain(|(lk, _)| lk != key);
+            offer_exemplar(&mut self.exemplars, SeriesKey::new(k.name, labels), ex);
+        }
+    }
+
+    /// Strip the scrape's *self-identity* label only: removes `key="id"`
+    /// pairs, plus (for scrapes whose configured id differs from the
+    /// server's self-reported one) whatever single value of `key` is
+    /// stamped uniformly on every series — the renderer's base-label
+    /// signature. Genuinely per-series uses of the same key, like
+    /// `cluster_node_up{node="n0"}` next to `...{node="n1"}`, survive.
+    pub fn strip_identity_label(&mut self, key: &str, id: &str) {
+        let uniform: Option<String> = match self.series.keys().next().and_then(|k| k.label(key)) {
+            Some(first) => {
+                let first = first.to_string();
+                self.series
+                    .keys()
+                    .all(|k| k.label(key) == Some(first.as_str()))
+                    .then_some(first)
+            }
+            None => None,
+        };
+        let strip = |v: &str| v == id || uniform.as_deref() == Some(v);
+        let old = std::mem::take(&mut self.series);
+        for (k, sample) in old {
+            let mut labels = k.labels;
+            labels.retain(|(lk, lv)| !(lk == key && strip(lv)));
+            insert_merged(&mut self.series, SeriesKey::new(k.name, labels), sample);
+        }
+        let old = std::mem::take(&mut self.exemplars);
+        for (k, ex) in old {
+            let mut labels = k.labels;
+            labels.retain(|(lk, lv)| !(lk == key && strip(lv)));
+            offer_exemplar(&mut self.exemplars, SeriesKey::new(k.name, labels), ex);
+        }
+    }
+
+    /// A copy with `key="value"` added to every series that does not
+    /// already carry `key` — how the per-node fleet view tags each
+    /// scrape's origin. Series with their own use of the key (a cluster
+    /// scrape's `cluster_node_up{node="n0"}`) keep it.
+    pub fn with_label(&self, key: &str, value: &str) -> ParsedMetrics {
+        let mut out = ParsedMetrics::default();
+        for (k, sample) in &self.series {
+            out.series.insert(relabeled(k, key, value), sample.clone());
+        }
+        for (k, ex) in &self.exemplars {
+            out.exemplars.insert(relabeled(k, key, value), *ex);
+        }
+        out
+    }
+
+    /// Fold another node's metrics into this one: counters and gauges sum,
+    /// histograms merge. Gauges summing is the documented fleet semantic —
+    /// right for resource totals (RSS, fds), meaningless for enums like
+    /// breaker state, which is why the per-node view exists.
+    pub fn merge_from(&mut self, other: &ParsedMetrics) {
+        for (k, sample) in &other.series {
+            insert_merged(&mut self.series, k.clone(), sample.clone());
+        }
+        for (k, ex) in &other.exemplars {
+            offer_exemplar(&mut self.exemplars, k.clone(), *ex);
+        }
+    }
+
+    /// Load every series into a live [`Registry`] (collector-style: values
+    /// overwrite counters/gauges, histograms accumulate), so a federated
+    /// view renders and queries exactly like a local registry.
+    pub fn hydrate_into(&self, reg: &Registry) {
+        for (k, sample) in &self.series {
+            let labels: Vec<(&str, &str)> = k
+                .labels
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            match sample {
+                Sample::Counter(v) => reg.counter(&k.name, &labels).set(*v),
+                Sample::Gauge(v) => reg.gauge(&k.name, &labels).set(*v),
+                Sample::Histogram(h) => reg.merge_histogram(&k.name, &labels, h),
+            }
+        }
+        for (k, ex) in &self.exemplars {
+            let labels: Vec<(&str, &str)> = k
+                .labels
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            reg.observe_exemplar(&k.name, &labels, ex.value, ex.trace_id);
+        }
+    }
+}
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    SeriesKey::new(
+        name,
+        labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+    )
+}
+
+fn relabeled(k: &SeriesKey, key: &str, value: &str) -> SeriesKey {
+    if k.label(key).is_some() {
+        return k.clone();
+    }
+    let mut labels: Labels = k.labels.clone();
+    labels.push((key.to_string(), value.to_string()));
+    SeriesKey::new(k.name.clone(), labels)
+}
+
+fn insert_merged(map: &mut BTreeMap<SeriesKey, Sample>, key: SeriesKey, sample: Sample) {
+    match map.entry(key) {
+        std::collections::btree_map::Entry::Vacant(e) => {
+            e.insert(sample);
+        }
+        std::collections::btree_map::Entry::Occupied(mut e) => match (e.get_mut(), sample) {
+            (Sample::Counter(a), Sample::Counter(b)) => *a = a.saturating_add(b),
+            (Sample::Gauge(a), Sample::Gauge(b)) => *a = a.saturating_add(b),
+            (Sample::Histogram(a), Sample::Histogram(b)) => a.merge(&b),
+            // Kind conflict across nodes: keep the first seen. A fleet
+            // where one node registered `x` as a counter and another as a
+            // gauge is already broken; don't compound it.
+            _ => {}
+        },
+    }
+}
+
+fn offer_exemplar(map: &mut BTreeMap<SeriesKey, Exemplar>, key: SeriesKey, ex: Exemplar) {
+    let slot = map.entry(key).or_insert(ex);
+    if ex.value >= slot.value {
+        *slot = ex;
+    }
+}
+
+/// Parse Prometheus text exposition (as produced by
+/// [`Registry::render_prometheus`]) back into metrics.
+///
+/// Understands `# TYPE` lines for kind resolution, label escaping,
+/// histogram reconstruction from `_bucket`/`_sum`/`_count` series, the
+/// `_min`/`_max` extension series, and OpenMetrics exemplar annotations.
+/// Unknown `# ...` comment lines are skipped; malformed sample lines are
+/// errors.
+pub fn parse_prometheus(text: &str) -> Result<ParsedMetrics, ParseError> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // Histogram assembly state, keyed by (base name, labels sans `le`).
+    let mut buckets: BTreeMap<SeriesKey, Vec<(String, u64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+    let mut mins: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+    let mut maxs: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+    let mut out = ParsedMetrics::default();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(name), Some(kind)) = (it.next(), it.next()) {
+                types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or other comments
+        }
+        let (sample_part, exemplar_part) = match line.split_once(" # ") {
+            Some((s, e)) => (s, Some(e)),
+            None => (line, None),
+        };
+        let (name, labels, value) = parse_sample_line(sample_part, lineno)?;
+        let histogram_of = |suffix: &str| -> Option<String> {
+            let base = name.strip_suffix(suffix)?;
+            (types.get(base).map(String::as_str) == Some("histogram")).then(|| base.to_string())
+        };
+        if let Some(base) = histogram_of("_bucket") {
+            let mut series_labels = labels.clone();
+            let le = series_labels
+                .iter()
+                .position(|(k, _)| k == "le")
+                .map(|i| series_labels.remove(i).1)
+                .ok_or_else(|| ParseError {
+                    line: lineno,
+                    message: format!("{name}: bucket series without an le label"),
+                })?;
+            let key = SeriesKey::new(base.clone(), series_labels);
+            let cum = parse_u64(&value, lineno)?;
+            buckets.entry(key.clone()).or_default().push((le, cum));
+            if let Some(ex) = exemplar_part {
+                if let Some(ex) = parse_exemplar(ex) {
+                    offer_exemplar(&mut out.exemplars, key, ex);
+                }
+            }
+            continue;
+        }
+        if let Some(base) = histogram_of("_sum") {
+            sums.insert(SeriesKey::new(base, labels), parse_u64(&value, lineno)?);
+            continue;
+        }
+        if let Some(base) = histogram_of("_count") {
+            counts.insert(SeriesKey::new(base, labels), parse_u64(&value, lineno)?);
+            continue;
+        }
+        if let Some(base) = histogram_of("_min") {
+            mins.insert(SeriesKey::new(base, labels), parse_u64(&value, lineno)?);
+            continue;
+        }
+        if let Some(base) = histogram_of("_max") {
+            maxs.insert(SeriesKey::new(base, labels), parse_u64(&value, lineno)?);
+            continue;
+        }
+        let key = SeriesKey::new(name.clone(), labels);
+        let sample = match types.get(&name).map(String::as_str) {
+            Some("counter") => Sample::Counter(parse_u64(&value, lineno)?),
+            Some("gauge") => Sample::Gauge(parse_i64(&value, lineno)?),
+            Some("histogram") => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("{name}: bare sample for a histogram-typed family"),
+                })
+            }
+            // No TYPE line: negative values must be gauges; default the
+            // rest to counter, the common case.
+            _ => {
+                if value.starts_with('-') {
+                    Sample::Gauge(parse_i64(&value, lineno)?)
+                } else {
+                    Sample::Counter(parse_u64(&value, lineno)?)
+                }
+            }
+        };
+        out.series.insert(key, sample);
+    }
+
+    // Assemble the histograms.
+    for (key, mut entries) in buckets {
+        let total = counts
+            .get(&key)
+            .copied()
+            .or_else(|| entries.iter().find(|(le, _)| le == "+Inf").map(|&(_, c)| c));
+        entries.retain(|(le, _)| le != "+Inf");
+        let mut bounds: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
+        for (le, cum) in entries {
+            let le = le.parse::<u64>().map_err(|_| ParseError {
+                line: 0,
+                message: format!("{}: unparseable bucket bound le=\"{le}\"", key.name),
+            })?;
+            bounds.push((le, cum));
+        }
+        bounds.sort_unstable();
+        let mut sparse: Vec<(u32, u64)> = Vec::with_capacity(bounds.len());
+        let mut prev = 0u64;
+        for (le, cum) in bounds {
+            let n = cum.saturating_sub(prev);
+            prev = cum;
+            if n == 0 {
+                continue;
+            }
+            // Emitted bounds are exact exclusive bucket uppers, so the
+            // value just below the bound identifies the source bucket.
+            let index = bucket_index(le.saturating_sub(1)) as u32;
+            match sparse.last_mut() {
+                Some(last) if last.0 == index => last.1 += n,
+                _ => sparse.push((index, n)),
+            }
+        }
+        let count = total.unwrap_or(prev);
+        let min = mins
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| sparse.first().map_or(0, |&(i, _)| bucket_low(i as usize)));
+        let max = maxs
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| sparse.last().map_or(0, |&(i, _)| bucket_low(i as usize)));
+        let snap = HistogramSnapshot {
+            buckets: sparse,
+            count,
+            sum: sums.get(&key).copied().unwrap_or(0),
+            min,
+            max,
+        };
+        out.series.insert(key, Sample::Histogram(snap));
+    }
+    // A histogram family can be present but empty (registered, never
+    // recorded): it emits no buckets, only _sum/_count/_min/_max.
+    for (key, &count) in &counts {
+        if !out.series.contains_key(key) {
+            out.series.insert(
+                key.clone(),
+                Sample::Histogram(HistogramSnapshot {
+                    buckets: Vec::new(),
+                    count,
+                    sum: sums.get(key).copied().unwrap_or(0),
+                    min: mins.get(key).copied().unwrap_or(0),
+                    max: maxs.get(key).copied().unwrap_or(0),
+                }),
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Split `name{k="v",...} value` into its parts, unescaping label values.
+fn parse_sample_line(line: &str, lineno: usize) -> Result<(String, Labels, String), ParseError> {
+    let err = |message: String| ParseError {
+        line: lineno,
+        message,
+    };
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let name = &line[..brace];
+            let rest = &line[brace + 1..];
+            let close = find_label_end(rest)
+                .ok_or_else(|| err(format!("{name}: unterminated label set")))?;
+            let labels = parse_labels(&rest[..close], lineno)?;
+            let value = rest[close + 1..].trim();
+            return Ok((name.to_string(), labels, value.to_string()));
+        }
+        None => {
+            let mut it = line.split_whitespace();
+            (it.next(), it.next())
+        }
+    };
+    match (name_part, rest) {
+        (Some(name), Some(value)) => Ok((name.to_string(), Vec::new(), value.to_string())),
+        _ => Err(err(format!("malformed sample line: {line:?}"))),
+    }
+}
+
+/// Index of the closing `}` of a label set, honoring quoted values.
+fn find_label_end(rest: &str) -> Option<usize> {
+    let bytes = rest.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse `k="v",k2="v2"` (values escaped Prometheus-style).
+fn parse_labels(body: &str, lineno: usize) -> Result<Labels, ParseError> {
+    let err = |message: String| ParseError {
+        line: lineno,
+        message,
+    };
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(format!("label pair without '=': {rest:?}")))?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let Some(quoted) = after.strip_prefix('"') else {
+            return Err(err(format!("label value not quoted: {after:?}")));
+        };
+        let mut value = String::new();
+        let mut consumed = None;
+        let mut chars = quoted.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, other)) => value.push(other),
+                    None => return Err(err("dangling escape in label value".into())),
+                },
+                '"' => {
+                    consumed = Some(i);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let close = consumed.ok_or_else(|| err("unterminated label value".into()))?;
+        labels.push((key, value));
+        rest = quoted[close + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+/// Parse `{trace_id="..."} value` (the renderer's exemplar annotation).
+fn parse_exemplar(part: &str) -> Option<Exemplar> {
+    let rest = part.trim().strip_prefix('{')?;
+    let close = find_label_end(rest)?;
+    let labels = parse_labels(&rest[..close], 0).ok()?;
+    let trace_id = labels
+        .iter()
+        .find(|(k, _)| k == "trace_id")
+        .and_then(|(_, v)| u128::from_str_radix(v, 16).ok())?;
+    let value = rest[close + 1..].trim().parse::<u64>().ok()?;
+    Some(Exemplar { value, trace_id })
+}
+
+fn parse_u64(value: &str, lineno: usize) -> Result<u64, ParseError> {
+    value.parse::<u64>().map_err(|_| ParseError {
+        line: lineno,
+        message: format!("expected unsigned integer, got {value:?}"),
+    })
+}
+
+fn parse_i64(value: &str, lineno: usize) -> Result<i64, ParseError> {
+    value.parse::<i64>().map_err(|_| ParseError {
+        line: lineno,
+        message: format!("expected integer, got {value:?}"),
+    })
+}
+
+/// One scrapeable endpoint: a stable node identity plus a way to fetch its
+/// Prometheus text. Implemented over the store clients' `fetch_metrics`
+/// helpers (`obs` cannot depend on the store crates, so the wiring lives
+/// with the caller — see `udsm-cli top`).
+pub trait MetricsSource: Send + Sync {
+    /// Stable node identity, e.g. `"127.0.0.1:6379"`.
+    fn node_id(&self) -> String;
+    /// Fetch the node's current exposition text.
+    fn scrape(&self) -> Result<String, String>;
+}
+
+/// A [`MetricsSource`] from a closure.
+pub struct FnSource<F: Fn() -> Result<String, String> + Send + Sync> {
+    id: String,
+    fetch: F,
+}
+
+impl<F: Fn() -> Result<String, String> + Send + Sync> FnSource<F> {
+    pub fn new(id: impl Into<String>, fetch: F) -> FnSource<F> {
+        FnSource {
+            id: id.into(),
+            fetch,
+        }
+    }
+}
+
+impl<F: Fn() -> Result<String, String> + Send + Sync> MetricsSource for FnSource<F> {
+    fn node_id(&self) -> String {
+        self.id.clone()
+    }
+    fn scrape(&self) -> Result<String, String> {
+        (self.fetch)()
+    }
+}
+
+/// Scrapes N endpoints and merges them into a [`FleetView`].
+#[derive(Default)]
+pub struct Federation {
+    sources: Vec<Box<dyn MetricsSource>>,
+}
+
+/// One federation poll: per-node parses (node label stripped), the
+/// fleet-merged view, and any scrape/parse failures. A node that fails to
+/// scrape is simply absent from `nodes` and `merged` this round — health
+/// is the cluster heartbeat's job, not the scraper's.
+pub struct FleetView {
+    pub nodes: BTreeMap<String, ParsedMetrics>,
+    pub merged: ParsedMetrics,
+    pub errors: BTreeMap<String, String>,
+}
+
+impl Federation {
+    pub fn new() -> Federation {
+        Federation::default()
+    }
+
+    /// Register a scrape endpoint.
+    pub fn add_source(&mut self, source: Box<dyn MetricsSource>) {
+        self.sources.push(source);
+    }
+
+    /// Node ids of the registered endpoints, in registration order.
+    pub fn node_ids(&self) -> Vec<String> {
+        self.sources.iter().map(|s| s.node_id()).collect()
+    }
+
+    /// Scrape every source, parse, and merge.
+    pub fn poll(&self) -> FleetView {
+        let mut nodes = BTreeMap::new();
+        let mut merged = ParsedMetrics::default();
+        let mut errors = BTreeMap::new();
+        for source in &self.sources {
+            let id = source.node_id();
+            let text = match source.scrape() {
+                Ok(t) => t,
+                Err(e) => {
+                    errors.insert(id, e);
+                    continue;
+                }
+            };
+            let mut parsed = match parse_prometheus(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    errors.insert(id, e.to_string());
+                    continue;
+                }
+            };
+            // The node's self-identity label would otherwise keep every
+            // series distinct and defeat the merge. Identity-aware: a
+            // cluster scrape's per-member `node` labels are data, not
+            // identity, and survive.
+            parsed.strip_identity_label("node", &id);
+            merged.merge_from(&parsed);
+            nodes.insert(id, parsed);
+        }
+        FleetView {
+            nodes,
+            merged,
+            errors,
+        }
+    }
+}
+
+impl FleetView {
+    /// Every node's series, tagged `node="<id>"` — the per-node view.
+    pub fn per_node(&self) -> ParsedMetrics {
+        let mut out = ParsedMetrics::default();
+        for (id, parsed) in &self.nodes {
+            out.merge_from(&parsed.with_label("node", id));
+        }
+        out
+    }
+
+    /// The fleet-merged view hydrated into a live registry.
+    pub fn merged_registry(&self) -> Registry {
+        let reg = Registry::new();
+        self.merged.hydrate_into(&reg);
+        reg
+    }
+
+    /// The per-node view hydrated into a live registry.
+    pub fn per_node_registry(&self) -> Registry {
+        let reg = Registry::new();
+        self.per_node().hydrate_into(&reg);
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("requests_total", &[("route", "/v1"), ("method", "GET")])
+            .add(7);
+        reg.gauge("queue_depth", &[]).set(-4);
+        let h = reg.histogram("lat_ns", &[("op", "get")]);
+        for v in [3u64, 17, 900, 70_000, 70_001, 5_000_000] {
+            h.record(v);
+        }
+        reg.observe_exemplar("lat_ns", &[("op", "get")], 5_000_000, 0xabcd);
+        reg
+    }
+
+    #[test]
+    fn parse_inverts_render_exactly() {
+        let reg = sample_registry();
+        let parsed = parse_prometheus(&reg.render_prometheus()).unwrap();
+        assert_eq!(
+            parsed.counter("requests_total", &[("method", "GET"), ("route", "/v1")]),
+            Some(7)
+        );
+        assert_eq!(parsed.gauge("queue_depth", &[]), Some(-4));
+        let snap = parsed.histogram("lat_ns", &[("op", "get")]).unwrap();
+        assert_eq!(
+            snap,
+            &reg.histogram_snapshot("lat_ns", &[("op", "get")]).unwrap()
+        );
+        assert_eq!(
+            parsed.exemplars.get(&key_of("lat_ns", &[("op", "get")])),
+            Some(&Exemplar {
+                value: 5_000_000,
+                trace_id: 0xabcd
+            })
+        );
+    }
+
+    #[test]
+    fn round_trip_survives_a_second_generation() {
+        // render -> parse -> hydrate -> render -> parse is a fixpoint.
+        let reg = sample_registry();
+        let gen1 = parse_prometheus(&reg.render_prometheus()).unwrap();
+        let reg2 = Registry::new();
+        gen1.hydrate_into(&reg2);
+        let gen2 = parse_prometheus(&reg2.render_prometheus()).unwrap();
+        assert_eq!(gen1, gen2);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let reg = Registry::new();
+        reg.counter("weird_total", &[("k", "a\"b\\c\nd")]).add(1);
+        let parsed = parse_prometheus(&reg.render_prometheus()).unwrap();
+        assert_eq!(
+            parsed.counter("weird_total", &[("k", "a\"b\\c\nd")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn empty_histogram_family_round_trips() {
+        let reg = Registry::new();
+        let _ = reg.histogram("quiet_ns", &[]);
+        let parsed = parse_prometheus(&reg.render_prometheus()).unwrap();
+        let snap = parsed.histogram("quiet_ns", &[]).unwrap();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merged_three_ways_equals_one_registry() {
+        // The acceptance property, in miniature (the full 3-node version
+        // lives in tests/federation.rs): per-node parses merged must equal
+        // a single registry that recorded every sample.
+        let all = LatencyHistogram::new();
+        let mut merged = ParsedMetrics::default();
+        for node in 0..3u64 {
+            let reg = Registry::new();
+            reg.set_base_label("node", &format!("n{node}"));
+            let h = reg.histogram("lat_ns", &[]);
+            for i in 0..500 {
+                let v = (node * 7919 + i * 37) % 1_000_000;
+                h.record(v);
+                all.record(v);
+            }
+            reg.counter("ops_total", &[]).add(500);
+            let mut parsed = parse_prometheus(&reg.render_prometheus()).unwrap();
+            parsed.strip_label("node");
+            merged.merge_from(&parsed);
+        }
+        let got = merged.histogram("lat_ns", &[]).unwrap();
+        assert_eq!(got, &all.snapshot());
+        assert_eq!(got.p50(), all.snapshot().p50());
+        assert_eq!(got.p99(), all.snapshot().p99());
+        assert_eq!(merged.counter("ops_total", &[]), Some(1500));
+    }
+
+    #[test]
+    fn matching_helpers_aggregate_across_a_label_dimension() {
+        let reg = Registry::new();
+        reg.counter("cmds_total", &[("cmd", "GET")]).add(3);
+        reg.counter("cmds_total", &[("cmd", "SET")]).add(4);
+        reg.gauge("not_a_counter", &[]).set(9);
+        let h1 = reg.histogram("lat_ns", &[("op", "get")]);
+        let h2 = reg.histogram("lat_ns", &[("op", "put")]);
+        for v in [10u64, 20] {
+            h1.record(v);
+            h2.record(v * 100);
+        }
+        let parsed = parse_prometheus(&reg.render_prometheus()).unwrap();
+        assert_eq!(parsed.counters_matching("cmds_total", &[]), Some(7));
+        assert_eq!(
+            parsed.counters_matching("cmds_total", &[("cmd", "SET")]),
+            Some(4)
+        );
+        assert_eq!(
+            parsed.counters_matching("cmds_total", &[("cmd", "DEL")]),
+            None
+        );
+        assert_eq!(parsed.counters_matching("not_a_counter", &[]), None);
+        let all = parsed.histograms_matching("lat_ns", &[]).unwrap();
+        assert_eq!(all.count, 4);
+        assert_eq!(all.max, 2000);
+        let get = parsed
+            .histograms_matching("lat_ns", &[("op", "get")])
+            .unwrap();
+        assert_eq!(get.count, 2);
+    }
+
+    #[test]
+    fn poll_keeps_per_member_node_labels_of_a_cluster_scrape() {
+        // The identity label ("node" stamped uniformly by the renderer, or
+        // matching the configured source id) is stripped; a cluster
+        // scrape's per-member `node` labels are data and survive both the
+        // merge and the per-node view.
+        let mut fed = Federation::new();
+        let server = Registry::new();
+        server.set_base_label("node", "127.0.0.1:7001");
+        server.counter("ops_total", &[]).add(5);
+        let text = server.render_prometheus();
+        fed.add_source(Box::new(FnSource::new("127.0.0.1:7001", move || {
+            Ok(text.clone())
+        })));
+        let cluster = Registry::new();
+        cluster.gauge("cluster_node_up", &[("node", "n0")]).set(1);
+        cluster.gauge("cluster_node_up", &[("node", "n1")]).set(0);
+        cluster.counter("ops_total", &[]).add(2);
+        let text = cluster.render_prometheus();
+        fed.add_source(Box::new(FnSource::new("cluster", move || Ok(text.clone()))));
+        let view = fed.poll();
+        assert!(view.errors.is_empty(), "{:?}", view.errors);
+        assert_eq!(
+            view.merged.gauge("cluster_node_up", &[("node", "n0")]),
+            Some(1)
+        );
+        assert_eq!(
+            view.merged.gauge("cluster_node_up", &[("node", "n1")]),
+            Some(0)
+        );
+        assert_eq!(view.merged.counter("ops_total", &[]), Some(7));
+        let per_node = view.per_node();
+        // The server row is tagged with its identity; the cluster members
+        // keep their own node labels rather than being overwritten.
+        assert_eq!(
+            per_node.counter("ops_total", &[("node", "127.0.0.1:7001")]),
+            Some(5)
+        );
+        assert_eq!(
+            per_node.gauge("cluster_node_up", &[("node", "n0")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = parse_prometheus("# TYPE x counter\nx{a=\"unterminated 1\n").unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+        let err = parse_prometheus("just_a_name\n").unwrap_err();
+        assert_eq!(err.line, 1, "{err}");
+        assert!(parse_prometheus("# TYPE x counter\nx notanumber\n").is_err());
+    }
+
+    #[test]
+    fn per_node_view_tags_and_merge_strips() {
+        let mut fed = Federation::new();
+        for node in ["a:1", "b:2"] {
+            let reg = Registry::new();
+            reg.set_base_label("node", node);
+            reg.counter("ops_total", &[]).add(10);
+            let text = reg.render_prometheus();
+            fed.add_source(Box::new(FnSource::new(node, move || Ok(text.clone()))));
+        }
+        let view = fed.poll();
+        assert!(view.errors.is_empty());
+        assert_eq!(view.merged.counter("ops_total", &[]), Some(20));
+        let per_node = view.per_node();
+        assert_eq!(per_node.counter("ops_total", &[("node", "a:1")]), Some(10));
+        assert_eq!(per_node.counter("ops_total", &[("node", "b:2")]), Some(10));
+        // A failing source is reported, not fatal.
+        fed.add_source(Box::new(FnSource::new("c:3", || Err("refused".into()))));
+        let view = fed.poll();
+        assert_eq!(view.errors.get("c:3").map(String::as_str), Some("refused"));
+        assert_eq!(view.merged.counter("ops_total", &[]), Some(20));
+    }
+}

@@ -9,6 +9,7 @@
 //! produces an immutable, mergeable copy for quantile queries and
 //! persistence.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -98,6 +99,26 @@ impl LatencyHistogram {
     /// Record a duration in nanoseconds.
     pub fn record_duration(&self, d: Duration) {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Fold a snapshot's buckets and aggregates into this histogram — the
+    /// re-hydration path used by metrics federation, where a scraped
+    /// `HistogramSnapshot` is loaded back into a live registry. Exact:
+    /// a histogram hydrated from a snapshot renders the same `_bucket`
+    /// series and quantiles the source did.
+    pub fn accumulate(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        for &(index, n) in &snap.buckets {
+            if let Some(slot) = self.counts.get(index as usize) {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
     }
 
     /// Number of recorded values.
@@ -246,6 +267,51 @@ impl HistogramSnapshot {
         self.quantile(0.999)
     }
 
+    /// The windowed difference `self - earlier`, where `earlier` is an
+    /// older snapshot of the *same* cumulative histogram. Per-bucket counts
+    /// subtract saturating (a restarted process resets to zero; the window
+    /// then degrades to the current snapshot rather than underflowing).
+    /// Min/max are not recoverable for a window, so they are re-derived
+    /// from the surviving buckets' bounds — quantiles on the delta are
+    /// still correct to bucket resolution.
+    pub fn saturating_delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut old: BTreeMap<u32, u64> = earlier.buckets.iter().copied().collect();
+        let mut buckets = Vec::new();
+        for &(i, n) in &self.buckets {
+            let prior = old.remove(&i).unwrap_or(0);
+            let d = n.saturating_sub(prior);
+            if d > 0 {
+                buckets.push((i, d));
+            }
+        }
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        let min = buckets
+            .first()
+            .map_or(0, |&(i, _)| bucket_low(i as usize).max(self.min));
+        let max = buckets
+            .last()
+            .map_or(0, |&(i, _)| bucket_high(i as usize).min(self.max));
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+        }
+    }
+
+    /// How many recorded values are *at most* `threshold`, to bucket
+    /// resolution: whole buckets whose exclusive upper bound is within the
+    /// threshold count in full; a bucket straddling it counts as over —
+    /// the conservative reading an SLO wants.
+    pub fn count_at_most(&self, threshold: u64) -> u64 {
+        self.buckets
+            .iter()
+            .filter(|&&(i, _)| bucket_high(i as usize).saturating_sub(1) <= threshold)
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
     /// Cumulative `(upper_bound, cumulative_count)` pairs over non-empty
     /// buckets — the shape Prometheus `_bucket{le=...}` series need.
     pub fn cumulative(&self) -> Vec<(u64, u64)> {
@@ -372,6 +438,58 @@ mod tests {
             let err = (got as f64 - 1_000_000.0).abs() / 1_000_000.0;
             assert!(err <= 1.0 / SUBBUCKETS as f64, "q{q} -> {got}");
         }
+    }
+
+    #[test]
+    fn accumulate_rehydrates_a_snapshot_exactly() {
+        let src = LatencyHistogram::new();
+        for v in [1u64, 500, 70_000, 70_001, 1 << 33] {
+            src.record(v);
+        }
+        let snap = src.snapshot();
+        let back = LatencyHistogram::new();
+        back.accumulate(&snap);
+        assert_eq!(back.snapshot(), snap);
+        // Accumulating twice doubles counts but keeps min/max.
+        back.accumulate(&snap);
+        let twice = back.snapshot();
+        assert_eq!(twice.count, 2 * snap.count);
+        assert_eq!(twice.min, snap.min);
+        assert_eq!(twice.max, snap.max);
+    }
+
+    #[test]
+    fn saturating_delta_recovers_a_window() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in 100_000..100_500u64 {
+            h.record(v);
+        }
+        let delta = h.snapshot().saturating_delta(&earlier);
+        assert_eq!(delta.count, 500);
+        // The window holds only the slow tail, and its quantiles say so.
+        assert!(delta.p50() >= 90_000, "p50 {}", delta.p50());
+        // A reset baseline (newer than the current snapshot) saturates.
+        let empty = HistogramSnapshot::default().saturating_delta(&earlier);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn count_at_most_is_conservative_to_bucket_bounds() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Small values are exact buckets.
+        assert_eq!(s.count_at_most(3), 3);
+        assert_eq!(s.count_at_most(0), 0);
+        assert_eq!(s.count_at_most(u64::MAX), 4);
+        // A threshold inside the big value's bucket does not claim it.
+        assert_eq!(s.count_at_most(999_999), 3);
     }
 
     #[test]

@@ -19,7 +19,15 @@
 //!   than a rolling p99, and a small uniform sample of fast successes;
 //! * [`procinfo`] — process resource telemetry ([`ProcSample`]) read from
 //!   `/proc/self` (RSS, user/sys CPU, open fds, threads), publishable as
-//!   `process_*` gauges into any [`Registry`] at scrape time.
+//!   `process_*` gauges into any [`Registry`] at scrape time;
+//! * [`federation`] — a Prometheus text parser that inverts
+//!   [`Registry::render_prometheus`] plus a [`Federation`] merger that
+//!   scrapes N nodes into per-node and fleet-merged views, histograms
+//!   re-hydrated losslessly thanks to the `_min`/`_max` extension series;
+//! * [`slo`] — declared per-op objectives ([`Objective`]) judged over
+//!   sliding windows of federated metrics by an [`SloEngine`], exporting
+//!   burn-rate/error-budget gauges and recording burn alerts into the
+//!   flight recorder with exemplar trace links.
 //!
 //! Metric naming scheme used across the workspace:
 //!
@@ -33,17 +41,23 @@
 #![forbid(unsafe_code)]
 
 pub mod ctx;
+pub mod federation;
 pub mod hist;
 pub mod procinfo;
 pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod trace;
 
 pub use ctx::{ServerSpan, TraceContext};
+pub use federation::{
+    parse_prometheus, Federation, FleetView, FnSource, MetricsSource, ParsedMetrics,
+};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use procinfo::{ProcDelta, ProcSample};
 pub use recorder::FlightRecorder;
 pub use registry::{global, Counter, Exemplar, Gauge, Registry};
+pub use slo::{Objective, SloAlert, SloEngine, SloKind, SloStatus};
 pub use trace::{CompletedTrace, Trace, TraceEvent};
 
 #[cfg(test)]

@@ -95,10 +95,14 @@ impl MetricKey {
         format!("{}{{{}}}", self.name, body.join(","))
     }
 
-    /// Same but with extra labels appended (for histogram `le`).
+    /// Same but with extra labels appended (base identity labels, histogram
+    /// `le`). Falls back to the bare name when no label survives.
     fn render_with(&self, extra: &[(String, String)]) -> String {
         let mut all = self.labels.clone();
         all.extend_from_slice(extra);
+        if all.is_empty() {
+            return self.name.clone();
+        }
         let body: Vec<String> = all
             .iter()
             .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
@@ -141,12 +145,32 @@ pub struct Registry {
     metrics: Mutex<BTreeMap<MetricKey, Metric>>,
     recent: Mutex<Vec<CompletedTrace>>,
     exemplars: Mutex<BTreeMap<MetricKey, Exemplar>>,
+    /// Identity labels stamped onto every rendered series (e.g.
+    /// `node="host:port"`), so federated scrapes stay distinguishable.
+    base: Mutex<Vec<(String, String)>>,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Set (or replace) an identity label appended to every series this
+    /// registry renders. Servers call this once after bind with
+    /// `("node", "host:port")`; per-metric labels are untouched, so metric
+    /// handles resolved before or after are the same atomics.
+    pub fn set_base_label(&self, key: &str, value: &str) {
+        let mut base = self.base.lock().unwrap_or_else(|e| e.into_inner());
+        match base.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value.to_string(),
+            None => base.push((key.to_string(), value.to_string())),
+        }
+    }
+
+    /// The identity labels stamped onto rendered series.
+    pub fn base_labels(&self) -> Vec<(String, String)> {
+        self.base.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Counter handle for `name{labels}` (created on first use).
@@ -236,8 +260,16 @@ impl Registry {
     /// Prometheus text exposition (text/plain; version=0.0.4).
     ///
     /// Histograms emit cumulative `_bucket{le="..."}` series over their
-    /// non-empty buckets plus `le="+Inf"`, `_sum`, and `_count`.
+    /// non-empty buckets plus `le="+Inf"`, `_sum`, and `_count` — and two
+    /// extension series, `_min` and `_max`, carrying the exact observed
+    /// extremes. Those are what make the exposition a *lossless* federation
+    /// contract: quantile estimates clamp to min/max, so a parser that
+    /// recovers them reproduces this registry's p50/p99 exactly (see
+    /// [`crate::federation`]). Identity labels set via
+    /// [`set_base_label`](Registry::set_base_label) are appended to every
+    /// series.
     pub fn render_prometheus(&self) -> String {
+        let ident = self.base_labels();
         let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         let mut last_name = "";
@@ -253,17 +285,23 @@ impl Registry {
             }
             match metric {
                 Metric::Counter(c) => {
-                    let _ = writeln!(out, "{} {}", key.render(), c.get());
+                    let _ = writeln!(out, "{} {}", key.render_with(&ident), c.get());
                 }
                 Metric::Gauge(g) => {
-                    let _ = writeln!(out, "{} {}", key.render(), g.get());
+                    let _ = writeln!(out, "{} {}", key.render_with(&ident), g.get());
                 }
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
                     let base = key.name.clone();
-                    // OpenMetrics exemplar: attached to the first bucket
-                    // whose upper bound contains the exemplar's value.
-                    // xlint: lock-order(metrics -> exemplars) reason="render holds the metric table while sampling each histogram's exemplar; recording paths take exemplars alone, so the nesting is one-directional"
+                    let suffixed = |suffix: &str| MetricKey {
+                        name: format!("{base}{suffix}"),
+                        labels: key.labels.clone(),
+                    };
+                    let mut bucket_labels = ident.clone();
+                    bucket_labels.push((String::new(), String::new())); // le slot
+                                                                        // OpenMetrics exemplar: attached to the first bucket
+                                                                        // whose upper bound contains the exemplar's value.
+                                                                        // xlint: lock-order(metrics -> exemplars) reason="render holds the metric table while sampling each histogram's exemplar; recording paths take exemplars alone, so the nesting is one-directional"
                     let exemplar = self
                         .exemplars
                         .lock()
@@ -272,14 +310,13 @@ impl Registry {
                         .copied();
                     let mut exemplar_pending = exemplar;
                     for (le, cumulative) in snap.cumulative() {
-                        let bucket_key = MetricKey {
-                            name: format!("{base}_bucket"),
-                            labels: key.labels.clone(),
-                        };
+                        if let Some(slot) = bucket_labels.last_mut() {
+                            *slot = ("le".to_string(), le.to_string());
+                        }
                         let _ = write!(
                             out,
                             "{} {cumulative}",
-                            bucket_key.render_with(&[("le".to_string(), le.to_string())])
+                            suffixed("_bucket").render_with(&bucket_labels)
                         );
                         match exemplar_pending {
                             Some(ex) if ex.value <= le => {
@@ -294,14 +331,13 @@ impl Registry {
                         }
                         out.push('\n');
                     }
-                    let inf_key = MetricKey {
-                        name: format!("{base}_bucket"),
-                        labels: key.labels.clone(),
-                    };
+                    if let Some(slot) = bucket_labels.last_mut() {
+                        *slot = ("le".to_string(), "+Inf".to_string());
+                    }
                     let _ = write!(
                         out,
                         "{} {}",
-                        inf_key.render_with(&[("le".to_string(), "+Inf".to_string())]),
+                        suffixed("_bucket").render_with(&bucket_labels),
                         snap.count
                     );
                     if let Some(ex) = exemplar_pending {
@@ -309,16 +345,15 @@ impl Registry {
                             write!(out, " # {{trace_id=\"{:032x}\"}} {}", ex.trace_id, ex.value);
                     }
                     out.push('\n');
-                    let sum_key = MetricKey {
-                        name: format!("{base}_sum"),
-                        labels: key.labels.clone(),
-                    };
-                    let _ = writeln!(out, "{} {}", sum_key.render(), snap.sum);
-                    let count_key = MetricKey {
-                        name: format!("{base}_count"),
-                        labels: key.labels.clone(),
-                    };
-                    let _ = writeln!(out, "{} {}", count_key.render(), snap.count);
+                    let _ = writeln!(out, "{} {}", suffixed("_sum").render_with(&ident), snap.sum);
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        suffixed("_count").render_with(&ident),
+                        snap.count
+                    );
+                    let _ = writeln!(out, "{} {}", suffixed("_min").render_with(&ident), snap.min);
+                    let _ = writeln!(out, "{} {}", suffixed("_max").render_with(&ident), snap.max);
                 }
             }
         }
@@ -361,6 +396,12 @@ impl Registry {
         }
         out.push('}');
         out
+    }
+
+    /// Fold a scraped snapshot into the histogram `name{labels}` (created
+    /// on first use) — the federation re-hydration path.
+    pub fn merge_histogram(&self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        self.histogram(name, labels).accumulate(snap);
     }
 
     /// Snapshot of one histogram, if registered.
@@ -483,6 +524,48 @@ mod tests {
             .parse()
             .unwrap();
         assert!(le >= 90_000, "{line}");
+    }
+
+    #[test]
+    fn histograms_expose_min_max_extension_series() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ns", &[("op", "get")]);
+        h.record(7);
+        h.record(90_000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_ns_min{op=\"get\"} 7"), "{text}");
+        assert!(text.contains("lat_ns_max{op=\"get\"} 90000"), "{text}");
+    }
+
+    #[test]
+    fn base_labels_stamp_every_series() {
+        let reg = Registry::new();
+        reg.set_base_label("node", "127.0.0.1:9999");
+        reg.counter("hits_total", &[("cache", "lru")]).add(7);
+        reg.gauge("entries", &[]).set(3);
+        reg.histogram("lat_ns", &[]).record(100);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("hits_total{cache=\"lru\",node=\"127.0.0.1:9999\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("entries{node=\"127.0.0.1:9999\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_ns_count{node=\"127.0.0.1:9999\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_ns_bucket{node=\"127.0.0.1:9999\",le="),
+            "{text}"
+        );
+        // Replacing the label replaces, not duplicates.
+        reg.set_base_label("node", "10.0.0.1:1");
+        let text = reg.render_prometheus();
+        assert!(text.contains("entries{node=\"10.0.0.1:1\"} 3"), "{text}");
+        assert!(!text.contains("127.0.0.1:9999"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! SLO evaluation over federated metrics: error budgets, burn rates, and
+//! recorder-linked alerts.
+//!
+//! An [`Objective`] declares what "good" means for one operation — either
+//! a latency threshold over a histogram ("99% of gets under 5ms") or an
+//! availability ratio over counters ("99.9% of requests succeed") — and a
+//! sliding window to judge it over. The [`SloEngine`] is fed successive
+//! [`ParsedMetrics`] views (typically `FleetView::merged` from a
+//! federation poll); because the underlying series are cumulative, each
+//! window is computed as a *delta* between the newest sample and the
+//! oldest retained one, so the engine needs no cooperation from the
+//! servers being judged.
+//!
+//! The burn rate is the standard SRE quantity: the fraction of requests
+//! that were bad, divided by the fraction the objective allows
+//! (`1 - target`). Burn 1.0 means the error budget drains exactly as fast
+//! as it refills; burn 10 means an incident. When an objective's burn
+//! crosses its alert threshold the engine records a synthetic trace into
+//! the [`FlightRecorder`] — carrying the exemplar trace id of the slowest
+//! observation in the offending histogram when one is available — so the
+//! alert in a dashboard links straight to a concrete captured request.
+
+use crate::ctx::TraceContext;
+use crate::federation::ParsedMetrics;
+use crate::hist::HistogramSnapshot;
+use crate::recorder::FlightRecorder;
+use crate::registry::Registry;
+use crate::trace::{CompletedTrace, TraceEvent};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+/// What an objective measures.
+#[derive(Clone, Debug)]
+pub enum SloKind {
+    /// Good = observations at or under `threshold_ns` in the histogram
+    /// `histogram{labels}`. `labels` is a subset filter: all matching
+    /// series are merged before judging (empty = every label set).
+    Latency {
+        histogram: String,
+        labels: Vec<(String, String)>,
+        threshold_ns: u64,
+    },
+    /// Good = `1 - errors/total` for the two counters, each summed over
+    /// every series matching the `labels` subset filter.
+    Availability {
+        total: String,
+        errors: String,
+        labels: Vec<(String, String)>,
+    },
+}
+
+/// One declared objective.
+#[derive(Clone, Debug)]
+pub struct Objective {
+    /// Short stable name, used as the `op` label on the SLO gauges.
+    pub name: String,
+    pub kind: SloKind,
+    /// Target good fraction in `(0, 1)`, e.g. `0.99`.
+    pub target: f64,
+    /// Sliding window the objective is judged over.
+    pub window: Duration,
+    /// Burn rate at or above which an alert fires, e.g. `2.0`.
+    pub burn_alert: f64,
+}
+
+impl Objective {
+    /// A latency objective: `target` of ops on `histogram{labels}` at or
+    /// under `threshold_ns`, judged over `window`.
+    pub fn latency(
+        name: &str,
+        histogram: &str,
+        labels: &[(&str, &str)],
+        threshold_ns: u64,
+        target: f64,
+        window: Duration,
+    ) -> Objective {
+        Objective {
+            name: name.to_string(),
+            kind: SloKind::Latency {
+                histogram: histogram.to_string(),
+                labels: own(labels),
+                threshold_ns,
+            },
+            target,
+            window,
+            burn_alert: 2.0,
+        }
+    }
+
+    /// An availability objective: at most `1 - target` of `total{labels}`
+    /// may show up in `errors{labels}`, judged over `window`.
+    pub fn availability(
+        name: &str,
+        total: &str,
+        errors: &str,
+        labels: &[(&str, &str)],
+        target: f64,
+        window: Duration,
+    ) -> Objective {
+        Objective {
+            name: name.to_string(),
+            kind: SloKind::Availability {
+                total: total.to_string(),
+                errors: errors.to_string(),
+                labels: own(labels),
+            },
+            target,
+            window,
+            burn_alert: 2.0,
+        }
+    }
+
+    /// Override the alerting burn-rate threshold (default 2.0).
+    pub fn alert_at(mut self, burn: f64) -> Objective {
+        self.burn_alert = burn;
+        self
+    }
+}
+
+fn own(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Cumulative measurements captured from one metrics view.
+#[derive(Clone, Debug, Default)]
+struct WindowSample {
+    /// Latency: the full histogram snapshot at sample time.
+    hist: Option<HistogramSnapshot>,
+    /// Availability: (total, errors) counter readings.
+    counters: Option<(u64, u64)>,
+}
+
+/// The judged state of one objective at one evaluation.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    pub name: String,
+    /// Events in the window (histogram count delta or counter delta).
+    pub total: u64,
+    /// Events that violated the objective.
+    pub bad: u64,
+    /// Observed good fraction (1.0 when the window is empty).
+    pub good_fraction: f64,
+    /// `bad_fraction / (1 - target)`.
+    pub burn_rate: f64,
+    /// Fraction of the window's error budget still unspent, in `[0, 1]`.
+    pub budget_remaining: f64,
+    /// Whether this evaluation has the alert active.
+    pub alerting: bool,
+}
+
+/// A fired burn-rate alert.
+#[derive(Clone, Debug)]
+pub struct SloAlert {
+    pub objective: String,
+    pub burn_rate: f64,
+    /// Trace id of the synthetic alert trace recorded into the flight
+    /// recorder (and of the linked exemplar, when one was available).
+    pub trace_id: u128,
+    /// Millisecond timestamp passed to `evaluate`.
+    pub at_ms: u64,
+}
+
+/// Evaluates objectives against successive metric views.
+///
+/// Burn rates are exported as `slo_burn_rate_milli{op}` and remaining
+/// budget as `slo_error_budget_remaining_milli{op}` — gauges are integral,
+/// so both are fixed-point thousandths (burn 2.5 renders as 2500).
+pub struct SloEngine {
+    objectives: Vec<Objective>,
+    /// Per-objective history: (timestamp ms, cumulative sample). The front
+    /// entry is kept one step *older* than the window so the delta always
+    /// spans at least the full window once enough history exists.
+    history: BTreeMap<String, VecDeque<(u64, WindowSample)>>,
+    /// Objectives currently in the alerting state (edge-triggered firing).
+    active: BTreeMap<String, u128>,
+    alerts: Vec<SloAlert>,
+}
+
+impl SloEngine {
+    pub fn new(objectives: Vec<Objective>) -> SloEngine {
+        SloEngine {
+            objectives,
+            history: BTreeMap::new(),
+            active: BTreeMap::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Every alert fired so far, oldest first.
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
+    /// Feed one metrics view sampled at `now_ms`, publish SLO gauges into
+    /// `out`, and return each objective's judged status. Alert
+    /// transitions (burn crossing the threshold upward) record a
+    /// synthetic trace into the global [`FlightRecorder`].
+    pub fn evaluate(
+        &mut self,
+        source: &ParsedMetrics,
+        now_ms: u64,
+        out: &Registry,
+    ) -> Vec<SloStatus> {
+        let mut statuses = Vec::with_capacity(self.objectives.len());
+        for objective in &self.objectives {
+            let sample = capture(&objective.kind, source);
+            let history = self.history.entry(objective.name.clone()).or_default();
+            history.push_back((now_ms, sample));
+            // Trim, but always keep one entry older than the window as the
+            // delta baseline.
+            let horizon = now_ms.saturating_sub(objective.window.as_millis() as u64);
+            while history.len() > 2 && history[1].0 <= horizon {
+                history.pop_front();
+            }
+            let (total, bad, exemplar) = window_delta(objective, history, source);
+            let good_fraction = if total == 0 {
+                1.0
+            } else {
+                1.0 - bad as f64 / total as f64
+            };
+            let budget = (1.0 - objective.target).max(f64::EPSILON);
+            let bad_fraction = if total == 0 {
+                0.0
+            } else {
+                bad as f64 / total as f64
+            };
+            let burn_rate = bad_fraction / budget;
+            let budget_remaining = (1.0 - burn_rate).clamp(0.0, 1.0);
+            out.gauge("slo_burn_rate_milli", &[("op", &objective.name)])
+                .set((burn_rate * 1000.0).round() as i64);
+            out.gauge(
+                "slo_error_budget_remaining_milli",
+                &[("op", &objective.name)],
+            )
+            .set((budget_remaining * 1000.0).round() as i64);
+
+            let alerting = burn_rate >= objective.burn_alert && total > 0;
+            let was_active = self.active.contains_key(&objective.name);
+            if alerting && !was_active {
+                let trace_id = fire_alert(objective, burn_rate, total, bad, exemplar);
+                self.active.insert(objective.name.clone(), trace_id);
+                self.alerts.push(SloAlert {
+                    objective: objective.name.clone(),
+                    burn_rate,
+                    trace_id,
+                    at_ms: now_ms,
+                });
+            } else if !alerting && was_active {
+                self.active.remove(&objective.name);
+            }
+            statuses.push(SloStatus {
+                name: objective.name.clone(),
+                total,
+                bad,
+                good_fraction,
+                burn_rate,
+                budget_remaining,
+                alerting,
+            });
+        }
+        statuses
+    }
+}
+
+/// Read the objective's cumulative inputs out of one metrics view.
+/// `labels` is a *subset filter*: every series of the metric whose labels
+/// are a superset of it is aggregated (histograms merge, counters sum), so
+/// an empty filter judges the whole metric across all label dimensions.
+fn capture(kind: &SloKind, source: &ParsedMetrics) -> WindowSample {
+    match kind {
+        SloKind::Latency {
+            histogram, labels, ..
+        } => WindowSample {
+            hist: source.histograms_matching(histogram, &borrow(labels)),
+            counters: None,
+        },
+        SloKind::Availability {
+            total,
+            errors,
+            labels,
+        } => {
+            let l = borrow(labels);
+            WindowSample {
+                hist: None,
+                counters: Some((
+                    source.counters_matching(total, &l).unwrap_or(0),
+                    source.counters_matching(errors, &l).unwrap_or(0),
+                )),
+            }
+        }
+    }
+}
+
+fn borrow(labels: &[(String, String)]) -> Vec<(&str, &str)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect()
+}
+
+/// Judge the window: newest sample minus the oldest retained baseline.
+/// Returns (total, bad, exemplar trace id if relevant).
+fn window_delta(
+    objective: &Objective,
+    history: &VecDeque<(u64, WindowSample)>,
+    source: &ParsedMetrics,
+) -> (u64, u64, Option<u128>) {
+    let newest = &history.back().expect("pushed above").1;
+    let oldest = &history.front().expect("non-empty").1;
+    match &objective.kind {
+        SloKind::Latency {
+            histogram,
+            labels,
+            threshold_ns,
+        } => {
+            let (Some(now), Some(base)) = (&newest.hist, &oldest.hist) else {
+                // Series absent (node down, or first poll): judge what we
+                // have; a lone sample is its own window.
+                let Some(now) = &newest.hist else {
+                    return (0, 0, None);
+                };
+                let bad = now.count.saturating_sub(now.count_at_most(*threshold_ns));
+                let ex = exemplar_for(source, histogram, labels);
+                return (now.count, bad, ex);
+            };
+            let delta = now.saturating_delta(base);
+            let bad = delta
+                .count
+                .saturating_sub(delta.count_at_most(*threshold_ns));
+            (delta.count, bad, exemplar_for(source, histogram, labels))
+        }
+        SloKind::Availability { .. } => {
+            let (now_t, now_e) = newest.counters.unwrap_or((0, 0));
+            let (base_t, base_e) = oldest.counters.unwrap_or((0, 0));
+            let total = now_t.saturating_sub(base_t);
+            let bad = now_e.saturating_sub(base_e).min(total);
+            (total, bad, None)
+        }
+    }
+}
+
+fn exemplar_for(
+    source: &ParsedMetrics,
+    histogram: &str,
+    labels: &[(String, String)],
+) -> Option<u128> {
+    let key = crate::federation::SeriesKey::new(histogram, labels.to_vec());
+    source.exemplars.get(&key).map(|e| e.trace_id)
+}
+
+/// Record the alert as a synthetic trace so `udsm-cli traces` / recorder
+/// dumps show it next to the requests that burned the budget.
+fn fire_alert(
+    objective: &Objective,
+    burn: f64,
+    total: u64,
+    bad: u64,
+    exemplar: Option<u128>,
+) -> u128 {
+    let mut ctx = TraceContext::new_root();
+    if let Some(id) = exemplar {
+        // Share the exemplar's trace id: `by_trace_id` then returns both
+        // the alert and the slow request that exemplifies it.
+        ctx.trace_id = id;
+    }
+    let detail = format!(
+        "burn={burn:.2} target={} window_bad={bad}/{total} threshold={}",
+        objective.target,
+        match &objective.kind {
+            SloKind::Latency { threshold_ns, .. } => format!("{threshold_ns}ns"),
+            SloKind::Availability { .. } => "availability".to_string(),
+        }
+    );
+    let trace_id = ctx.trace_id;
+    FlightRecorder::global().record(CompletedTrace {
+        origin: "slo".to_string(),
+        op: objective.name.clone(),
+        total: Duration::ZERO,
+        stages: Vec::new(),
+        other: Duration::ZERO,
+        ctx: Some(ctx),
+        events: vec![TraceEvent {
+            at: Duration::ZERO,
+            name: "slo_burn_alert".to_string(),
+            detail: detail.clone(),
+        }],
+        server_spans: Vec::new(),
+        error: Some(format!("slo burn alert: {detail}")),
+    });
+    trace_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::parse_prometheus;
+
+    fn view_with_latency(fast: u64, slow: u64) -> ParsedMetrics {
+        let reg = Registry::new();
+        let h = reg.histogram("op_ns", &[("op", "get")]);
+        for _ in 0..fast {
+            h.record(1_000);
+        }
+        for _ in 0..slow {
+            h.record(50_000_000);
+        }
+        if slow > 0 {
+            reg.observe_exemplar("op_ns", &[("op", "get")], 50_000_000, 0xfeed);
+        }
+        parse_prometheus(&reg.render_prometheus()).unwrap()
+    }
+
+    #[test]
+    fn healthy_window_has_zero_burn() {
+        let mut engine = SloEngine::new(vec![Objective::latency(
+            "get",
+            "op_ns",
+            &[("op", "get")],
+            1_000_000,
+            0.99,
+            Duration::from_secs(60),
+        )]);
+        let out = Registry::new();
+        let statuses = engine.evaluate(&view_with_latency(100, 0), 1_000, &out);
+        assert_eq!(statuses[0].bad, 0);
+        assert_eq!(statuses[0].burn_rate, 0.0);
+        assert!(!statuses[0].alerting);
+        assert_eq!(out.gauge("slo_burn_rate_milli", &[("op", "get")]).get(), 0);
+        assert_eq!(
+            out.gauge("slo_error_budget_remaining_milli", &[("op", "get")])
+                .get(),
+            1000
+        );
+        assert!(engine.alerts().is_empty());
+    }
+
+    #[test]
+    fn burn_alert_fires_once_and_links_the_exemplar() {
+        let mut engine = SloEngine::new(vec![Objective::latency(
+            "get",
+            "op_ns",
+            &[("op", "get")],
+            1_000_000,
+            0.99,
+            Duration::from_secs(60),
+        )]);
+        let out = Registry::new();
+        engine.evaluate(&view_with_latency(100, 0), 1_000, &out);
+        // 10% of the next window is slow: burn = 0.10 / 0.01 = 10.
+        let statuses = engine.evaluate(&view_with_latency(190, 10), 2_000, &out);
+        assert!(statuses[0].alerting, "{statuses:?}");
+        assert!((statuses[0].burn_rate - 10.0).abs() < 0.5, "{statuses:?}");
+        assert_eq!(engine.alerts().len(), 1);
+        let alert = &engine.alerts()[0];
+        assert_eq!(alert.trace_id, 0xfeed, "alert should adopt the exemplar id");
+        let linked = FlightRecorder::global().by_trace_id(alert.trace_id);
+        assert!(
+            linked
+                .iter()
+                .any(|t| t.origin == "slo" && t.events.iter().any(|e| e.name == "slo_burn_alert")),
+            "recorder should hold the alert trace"
+        );
+        // Still burning: edge-triggered, no second alert.
+        engine.evaluate(&view_with_latency(280, 20), 3_000, &out);
+        assert_eq!(engine.alerts().len(), 1);
+    }
+
+    #[test]
+    fn availability_objective_counts_error_deltas() {
+        let mut engine = SloEngine::new(vec![Objective::availability(
+            "writes",
+            "ops_total",
+            "op_errors_total",
+            &[],
+            0.999,
+            Duration::from_secs(60),
+        )
+        .alert_at(5.0)]);
+        let out = Registry::new();
+        let view = |total: u64, errors: u64| {
+            let reg = Registry::new();
+            reg.counter("ops_total", &[]).add(total);
+            reg.counter("op_errors_total", &[]).add(errors);
+            parse_prometheus(&reg.render_prometheus()).unwrap()
+        };
+        engine.evaluate(&view(1000, 0), 1_000, &out);
+        let statuses = engine.evaluate(&view(2000, 10), 2_000, &out);
+        // 10 bad of 1000 new = 1% bad; budget 0.1% -> burn 10.
+        assert_eq!(statuses[0].total, 1000);
+        assert_eq!(statuses[0].bad, 10);
+        assert!((statuses[0].burn_rate - 10.0).abs() < 1e-9);
+        assert!(statuses[0].alerting);
+    }
+
+    #[test]
+    fn window_trim_keeps_a_baseline_older_than_the_window() {
+        let mut engine = SloEngine::new(vec![Objective::availability(
+            "w",
+            "ops_total",
+            "op_errors_total",
+            &[],
+            0.99,
+            Duration::from_millis(100),
+        )]);
+        let out = Registry::new();
+        let view = |total: u64| {
+            let reg = Registry::new();
+            reg.counter("ops_total", &[]).add(total);
+            reg.counter("op_errors_total", &[]).add(0);
+            parse_prometheus(&reg.render_prometheus()).unwrap()
+        };
+        for (i, t) in [100u64, 200, 300, 400, 500].iter().enumerate() {
+            engine.evaluate(&view(*t), (i as u64 + 1) * 50, &out);
+        }
+        // Window 100ms at t=300: baseline is the newest sample at or
+        // before t=200 (ops=400), not the very first one.
+        let statuses = engine.evaluate(&view(600), 300, &out);
+        assert_eq!(statuses[0].total, 600 - 400);
+    }
+}

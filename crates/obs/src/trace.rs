@@ -116,17 +116,20 @@ impl Trace {
         for &(stage, d) in &self.stages {
             registry
                 .histogram(
+                    // xlint: allow(metric-hygiene) reason="prefix is the closed set of component names (dscl, udsm, ...) chosen by in-tree callers, never request data"
                     &format!("{prefix}_stage_duration_ns"),
                     &[("op", &self.op), ("stage", stage)],
                 )
                 .record_duration(d);
         }
         registry
+            // xlint: allow(metric-hygiene) reason="prefix is the closed set of component names (dscl, udsm, ...) chosen by in-tree callers, never request data"
             .histogram(&format!("{prefix}_op_duration_ns"), &[("op", &self.op)])
             .record_duration(total);
         if let Some(ctx) = self.ctx {
             let ns = u64::try_from(total.as_nanos()).unwrap_or(u64::MAX);
             registry.observe_exemplar(
+                // xlint: allow(metric-hygiene) reason="prefix is the closed set of component names (dscl, udsm, ...) chosen by in-tree callers, never request data"
                 &format!("{prefix}_op_duration_ns"),
                 &[("op", &self.op)],
                 ns,

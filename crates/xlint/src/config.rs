@@ -90,6 +90,12 @@ impl Policy {
         !self.is_shim(path) && !self.is_test_code(path)
     }
 
+    /// Does `metric-hygiene` apply to this file? Shims don't register
+    /// first-party metrics, and tests may mint throwaway series freely.
+    pub fn metric_hygiene_applies(&self, path: &str) -> bool {
+        !self.is_shim(path) && !self.is_test_code(path)
+    }
+
     /// Do frame-parser reads in this file seed `wire-taint`? The
     /// `wire-arith` parser files plus the rpc framers (length-prefixed
     /// reply scanning lives there since the transport split).

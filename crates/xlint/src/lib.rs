@@ -145,6 +145,9 @@ pub fn analyze(sources: &[(String, String)], policy: &Policy) -> Analysis {
             findings.extend(rules::trace_ctx_loss(path, &fd.toks, &fd.fns));
             findings.extend(rules::blocking_in_reactor(path, &fd.toks, &fd.fns));
         }
+        if policy.metric_hygiene_applies(path) {
+            findings.extend(rules::metric_hygiene(path, &fd.toks, &fd.fns));
+        }
         findings.extend(rules::unsafe_allowlist(
             path,
             &fd.toks,

@@ -38,6 +38,10 @@ pub const LOCK_ORDER: &str = "lock-order";
 /// Inter-procedural rule: socket I/O reachable from a client request entry
 /// point must take or derive a `Deadline`.
 pub const DEADLINE: &str = "deadline-propagation";
+/// Rule: metric registration with a dynamically-built name or label value
+/// (`format!` inside a `.counter(..)`/`.gauge(..)`/`.histogram(..)` call):
+/// unbounded series cardinality.
+pub const METRIC_HYGIENE: &str = "metric-hygiene";
 
 /// All suppressible rule names (for validating `allow(...)` arguments).
 pub const RULES: &[&str] = &[
@@ -51,6 +55,7 @@ pub const RULES: &[&str] = &[
     WIRE_TAINT,
     LOCK_ORDER,
     DEADLINE,
+    METRIC_HYGIENE,
 ];
 
 pub(crate) fn prev_nc(toks: &[Tok], i: usize) -> Option<&Tok> {
@@ -826,6 +831,70 @@ pub fn unsafe_allowlist(path: &str, toks: &[Tok], allowed: bool) -> Vec<Finding>
     out
 }
 
+/// `metric-hygiene`: deny metric registration with dynamically-built names
+/// or unbounded label values. Every Prometheus series is a permanent
+/// allocation in every scraper that ever sees it; a `format!` feeding a
+/// `.counter(..)` / `.gauge(..)` / `.histogram(..)` / `.observe_exemplar(..)`
+/// call — whether it builds the *name* or interpolates a raw key into a
+/// *label* — mints a fresh series per distinct input and melts dashboards.
+/// Syntactic over-approximation by design: a `format!` over a provably
+/// closed set (a fixed prefix enum, a bounded op code) is safe, and says so
+/// with an `// xlint: allow(metric-hygiene) reason="..."`.
+pub fn metric_hygiene(path: &str, toks: &[Tok], fns: &[FnSpan]) -> Vec<Finding> {
+    /// Registry entry points whose arguments become series identity.
+    const REGISTRARS: &[&str] = &[
+        "counter",
+        "gauge",
+        "histogram",
+        "observe_exemplar",
+        "merge_histogram",
+    ];
+    let mut out = Vec::new();
+    for f in fns.iter().filter(|f| !f.is_test) {
+        for i in f.body_start..f.body_end {
+            let t = &toks[i];
+            if t.kind != Kind::Ident
+                || !REGISTRARS.contains(&t.text.as_str())
+                || !is_method_call(toks, i)
+            {
+                continue;
+            }
+            let Some(open) = toks.get(i + 1..f.body_end).and_then(|rest| {
+                rest.iter()
+                    .position(|t| !t.is_comment())
+                    .map(|off| i + 1 + off)
+            }) else {
+                continue;
+            };
+            if !toks[open].is_punct('(') {
+                continue;
+            }
+            let close = match_delim(toks, open, '(', ')').min(f.body_end);
+            for j in open..close {
+                let a = &toks[j];
+                if a.kind == Kind::Ident
+                    && a.is_ident("format")
+                    && next_nc(toks, j).is_some_and(|n| n.is_punct('!'))
+                {
+                    out.push(Finding::new(
+                        METRIC_HYGIENE,
+                        path,
+                        a.line,
+                        format!(
+                            "format! inside `.{}(...)`: dynamically-built metric \
+                             name or label value mints unbounded series \
+                             cardinality — use a static name and a closed label set",
+                            t.text
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -839,6 +908,36 @@ mod tests {
         let toks = lex(src);
         let fns = fn_spans(&toks);
         f("test.rs", &toks, &fns)
+    }
+
+    #[test]
+    fn metric_hygiene_flags_dynamic_names_and_labels() {
+        let src = r#"
+fn publish(reg: &Registry, shard: usize, key: &str) {
+    reg.counter(&format!("shard_{shard}_ops_total"), &[]).inc();
+    reg.histogram("op_ns", &[("key", &format!("k={key}"))]).record(1);
+    reg.gauge("depth", &[("shard", "0")]).set(1);
+    let h = self.histogram(op);
+}
+"#;
+        let fs = run(src, metric_hygiene);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().any(|f| f.line == 3), "dynamic name: {fs:?}");
+        assert!(fs.iter().any(|f| f.line == 4), "dynamic label: {fs:?}");
+        // Static registration and non-registry `.histogram(op)` (no
+        // format!) stay clean.
+        assert!(!fs.iter().any(|f| f.line >= 5), "{fs:?}");
+    }
+
+    #[test]
+    fn metric_hygiene_skips_test_fns() {
+        let src = r#"
+#[test]
+fn makes_throwaway_series() {
+    reg.counter(&format!("t_{i}"), &[]).inc();
+}
+"#;
+        assert!(run(src, metric_hygiene).is_empty());
     }
 
     #[test]

@@ -643,6 +643,7 @@ fn rule_catalog_is_covered() {
         "wire-taint",
         "lock-order",
         "deadline-propagation",
+        "metric-hygiene",
     ];
     for rule in xlint::rules::RULES {
         assert!(
@@ -1278,4 +1279,79 @@ fn pump(s: &mut TcpStream) -> Result<()> {
 }
 "#,
     )]);
+}
+
+// ------------------------------------------------------------ metric-hygiene
+
+/// A raw key interpolated into a label value mints one series per key —
+/// the canonical cardinality explosion.
+#[test]
+fn metric_hygiene_fires_on_interpolated_label_value() {
+    assert_fires(
+        "metric-hygiene",
+        GENERAL,
+        r#"
+fn record_hit(reg: &Registry, key: &str) {
+    reg.counter("cache_hits_total", &[("key", &format!("{key}"))])
+        .inc();
+}
+"#,
+    );
+}
+
+/// A dynamically-built metric *name* is just as unbounded.
+#[test]
+fn metric_hygiene_fires_on_dynamic_metric_name() {
+    assert_fires(
+        "metric-hygiene",
+        GENERAL,
+        r#"
+fn publish_shard(reg: &Registry, shard: usize) {
+    reg.gauge(&format!("shard_{shard}_depth"), &[]).set(1);
+}
+"#,
+    );
+}
+
+/// The corrected idiom: static name, the variable moved into a *bounded*
+/// label drawn from a closed set.
+#[test]
+fn metric_hygiene_clean_on_static_name_and_closed_labels() {
+    assert_clean(
+        GENERAL,
+        r#"
+fn record_hit(reg: &Registry, cache: &str, op: Op) {
+    reg.counter("cache_hits_total", &[("cache", cache), ("op", op.as_str())])
+        .inc();
+    reg.histogram("cache_op_ns", &[("op", op.as_str())]).record(7);
+}
+"#,
+    );
+}
+
+/// A documented allow (closed set proven by the caller) suppresses it.
+#[test]
+fn metric_hygiene_respects_reasoned_allow() {
+    assert_clean(
+        GENERAL,
+        r#"
+fn publish(reg: &Registry, prefix: &str) {
+    // xlint: allow(metric-hygiene) reason="prefix is a closed set of component names"
+    reg.counter(&format!("{prefix}_ops_total"), &[]).inc();
+}
+"#,
+    );
+}
+
+/// Test code may mint throwaway series freely.
+#[test]
+fn metric_hygiene_ignores_test_paths() {
+    assert_clean(
+        "crates/kvapi/tests/contract.rs",
+        r#"
+fn spam(reg: &Registry, i: usize) {
+    reg.counter(&format!("t_{i}_total"), &[]).inc();
+}
+"#,
+    );
 }

@@ -76,3 +76,20 @@ if [ -n "$baseline" ]; then
     cargo run -q --release --offline -p udsm-suite --bin udsm-cli -- \
         bench --compare "$baseline" "$bench_out" --report-only >/dev/null
 fi
+
+# Fleet observability gate (DESIGN.md §14): the 3-node federation property
+# suite (merge == single registry, quantiles within bucket resolution,
+# live scrape of all three protocol servers), the kill-a-node chaos proof
+# (heartbeat flips cluster_node_up within two probe intervals, SLO burn
+# alert links into the flight recorder), and one rendered frame of the
+# live dashboard over an in-process demo fleet.
+cargo test -q --offline --test federation
+cargo test -q --offline --test fleet_chaos
+top_out="$(mktemp)"
+trap 'rm -f "$sweep_out" "$bench_out" "$top_out"' EXIT
+cargo run -q --release --offline -p udsm-suite --bin udsm-cli -- \
+    top --demo --once --interval-ms 600 > "$top_out"
+grep -q 'udsm fleet top' "$top_out"
+grep -q 'cluster  ring v' "$top_out"
+grep -q 'redis-cmds' "$top_out"
+grep -Eq 'n[0-2] +up' "$top_out"

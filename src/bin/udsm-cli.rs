@@ -5,6 +5,8 @@
 //! cargo run --release --bin udsm-cli -- --fs /tmp/kv  # just a file-system store
 //! cargo run --release --bin udsm-cli -- --demo --encrypt "passphrase" --compress
 //! cargo run --release --bin udsm-cli -- sweep --mem --batch-sizes 1,4,16,64
+//! cargo run --release --bin udsm-cli -- top --demo          # live fleet dashboard
+//! cargo run --release --bin udsm-cli -- top --demo --once   # one snapshot frame
 //! ```
 //!
 //! Inside the shell: `help` lists commands. Every registered store is
@@ -427,10 +429,518 @@ fn run_profile(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `udsm-cli top` — a live terminal dashboard over the metrics
+/// federation. Scrapes every configured node each interval, merges the
+/// fleet view, and renders per-node throughput/latency/RSS, cluster
+/// health, and SLO burn. `--once` polls twice (so rates have a delta) and
+/// prints a single frame — the CI-friendly snapshot mode. `--demo` starts
+/// an in-process fleet (redis + WAN-simulated cloud + sql + a 3-node
+/// cluster with a running heartbeat) with background traffic, so the
+/// dashboard has something real to show.
+fn run_top(args: &[String]) -> Result<()> {
+    let usage = "usage: udsm-cli top [--demo] [--once] [--interval-ms N] [--rounds N] \
+                 [--redis ADDR] [--cloud ADDR] [--sql ADDR]";
+    let mut demo = false;
+    let mut once = false;
+    let mut interval_ms = 1000u64;
+    let mut rounds: Option<u64> = None;
+    let mut attach: Vec<(&'static str, std::net::SocketAddr)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| kvapi::StoreError::Rejected(format!("{a} needs {what}\n{usage}")))
+        };
+        let parse_addr = |s: &str| {
+            s.parse::<std::net::SocketAddr>()
+                .map_err(|e| kvapi::StoreError::Rejected(format!("bad address {s:?}: {e}")))
+        };
+        match a.as_str() {
+            "--demo" => demo = true,
+            "--once" => once = true,
+            "--interval-ms" => {
+                interval_ms = next("milliseconds")?
+                    .parse()
+                    .map_err(|e| kvapi::StoreError::Rejected(format!("bad interval: {e}")))?;
+            }
+            "--rounds" => {
+                rounds =
+                    Some(next("a count")?.parse().map_err(|e| {
+                        kvapi::StoreError::Rejected(format!("bad round count: {e}"))
+                    })?);
+            }
+            "--redis" => attach.push(("redis", parse_addr(next("HOST:PORT")?)?)),
+            "--cloud" => attach.push(("cloud", parse_addr(next("HOST:PORT")?)?)),
+            "--sql" => attach.push(("sql", parse_addr(next("HOST:PORT")?)?)),
+            other => {
+                return Err(kvapi::StoreError::Rejected(format!(
+                    "unknown top argument {other:?}\n{usage}"
+                )))
+            }
+        }
+    }
+    if !demo && attach.is_empty() {
+        return Err(kvapi::StoreError::Rejected(format!(
+            "nothing to watch: pass --demo or at least one --redis/--cloud/--sql\n{usage}"
+        )));
+    }
+
+    let mut fed = obs::Federation::new();
+    // Reconnect per scrape: a scrape a second does not need a pooled
+    // connection, and a node bounce heals on the next poll.
+    for &(kind, addr) in &attach {
+        add_scrape_source(&mut fed, kind, addr);
+    }
+    let _fleet = if demo {
+        Some(DemoFleet::start(&mut fed)?)
+    } else {
+        None
+    };
+
+    // Fleet objectives, judged over the merged view. Labels are subset
+    // filters, so each objective spans every label set of its metric.
+    let mut engine = obs::SloEngine::new(vec![
+        obs::Objective::latency(
+            "redis-cmds",
+            "miniredis_command_duration_ns",
+            &[],
+            5_000_000,
+            0.99,
+            std::time::Duration::from_secs(60),
+        ),
+        obs::Objective::latency(
+            "cloud-requests",
+            "cloudstore_request_duration_ns",
+            &[],
+            250_000_000,
+            0.95,
+            std::time::Duration::from_secs(60),
+        ),
+        obs::Objective::latency(
+            "sql-statements",
+            "minisql_statement_duration_ns",
+            &[],
+            25_000_000,
+            0.99,
+            std::time::Duration::from_secs(60),
+        ),
+        obs::Objective::availability(
+            "cluster-avail",
+            "cluster_node_requests_total",
+            "cluster_node_failures_total",
+            &[],
+            0.999,
+            std::time::Duration::from_secs(60),
+        ),
+    ]);
+    let slo_out = obs::Registry::new();
+
+    let started = std::time::Instant::now();
+    let interval = std::time::Duration::from_millis(interval_ms.max(50));
+    let total_rounds = if once { 2 } else { rounds.unwrap_or(u64::MAX) };
+    let mut prev: Option<(std::time::Instant, obs::FleetView)> = None;
+    for round in 0..total_rounds {
+        if round > 0 {
+            std::thread::sleep(interval);
+        }
+        let now = std::time::Instant::now();
+        let view = fed.poll();
+        let statuses =
+            engine.evaluate(&view.merged, started.elapsed().as_millis() as u64, &slo_out);
+        let frame = render_top_frame(
+            &view,
+            prev.as_ref().map(|(t, v)| (now.duration_since(*t), v)),
+            &statuses,
+            engine.alerts(),
+            round,
+            interval_ms,
+        );
+        if once {
+            if round + 1 == total_rounds {
+                print!("{frame}");
+            }
+        } else {
+            // Clear + home, then the frame: a flicker-free enough redraw
+            // for a once-a-second dashboard.
+            print!("\x1b[2J\x1b[H{frame}");
+            std::io::stdout().flush()?;
+        }
+        prev = Some((now, view));
+    }
+    Ok(())
+}
+
+/// Register one remote scrape endpoint on the federation.
+fn add_scrape_source(fed: &mut obs::Federation, kind: &'static str, addr: std::net::SocketAddr) {
+    let fetch: Box<dyn Fn() -> std::result::Result<String, String> + Send + Sync> = match kind {
+        "redis" => Box::new(move || {
+            miniredis::RedisClient::connect(addr)
+                .fetch_metrics()
+                .map_err(|e| e.to_string())
+        }),
+        "cloud" => Box::new(move || {
+            CloudClient::connect(addr)
+                .fetch_metrics()
+                .map_err(|e| e.to_string())
+        }),
+        _ => Box::new(move || {
+            minisql::MiniSqlClient::connect(addr)
+                .fetch_metrics()
+                .map_err(|e| e.to_string())
+        }),
+    };
+    fed.add_source(Box::new(obs::FnSource::new(addr.to_string(), move || {
+        fetch()
+    })));
+}
+
+/// The in-process demo fleet behind `udsm-cli top --demo`: three real
+/// servers scraped over the wire, a 3-node cluster with a live heartbeat
+/// federated as source "cluster", and a background traffic thread so every
+/// panel moves.
+struct DemoFleet {
+    _redis: miniredis::Server,
+    _cloud: cloudstore::CloudServer,
+    _sql: minisql::SqlServer,
+    _heartbeat: cluster::Heartbeat,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    traffic: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DemoFleet {
+    fn start(fed: &mut obs::Federation) -> Result<DemoFleet> {
+        let redis = miniredis::Server::start()?;
+        let cloud = cloudstore::CloudServer::start_with_profile(netsim::Profile::Cloud2, 1)?;
+        let sql = minisql::SqlServer::start_in_memory()?;
+        add_scrape_source(fed, "redis", redis.addr());
+        add_scrape_source(fed, "cloud", cloud.addr());
+        add_scrape_source(fed, "sql", sql.addr());
+
+        let stores: Vec<(String, Arc<dyn KeyValue>)> = (0..3)
+            .map(|i| {
+                let id = format!("n{i}");
+                (
+                    id.clone(),
+                    Arc::new(kvapi::mem::MemKv::new(&id)) as Arc<dyn KeyValue>,
+                )
+            })
+            .collect();
+        let clu = Arc::new(cluster::ClusterClient::from_stores(
+            "demo",
+            stores,
+            cluster::ClusterPolicy::default(),
+        ));
+        let heartbeat = clu.start_heartbeat(cluster::HealthPolicy {
+            interval: std::time::Duration::from_millis(250),
+            probe_timeout: std::time::Duration::from_millis(150),
+            degraded_latency: std::time::Duration::from_millis(50),
+        });
+        let publisher = clu.clone();
+        fed.add_source(Box::new(obs::FnSource::new("cluster", move || {
+            let reg = obs::Registry::new();
+            publisher.publish(&reg);
+            Ok(reg.render_prometheus())
+        })));
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stopped = stop.clone();
+        let (redis_addr, cloud_addr, sql_addr) = (redis.addr(), cloud.addr(), sql.addr());
+        let traffic = std::thread::Builder::new()
+            .name("top-demo-traffic".into())
+            .spawn(move || {
+                let rkv = RedisKv::connect(redis_addr);
+                let ckv = CloudClient::connect(cloud_addr);
+                let skv = SqlKv::connect(sql_addr).ok();
+                let mut i = 0u64;
+                while !stopped.load(std::sync::atomic::Ordering::Relaxed) {
+                    let key = format!("top-{}", i % 32);
+                    let val = format!("v{i}").into_bytes();
+                    let _ = rkv.put(&key, &val);
+                    let _ = rkv.get(&key);
+                    let _ = clu.put(&key, &val);
+                    let _ = clu.get(&key);
+                    if let Some(s) = &skv {
+                        let _ = s.put(&key, &val);
+                        let _ = s.get(&key);
+                    }
+                    // The cloud store sits behind a WAN profile; one
+                    // round-trip per tick keeps the thread responsive.
+                    if i.is_multiple_of(4) {
+                        let _ = ckv.put(&key, &val);
+                        let _ = ckv.get(&key);
+                    }
+                    i += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            })
+            .expect("spawn traffic thread");
+        Ok(DemoFleet {
+            _redis: redis,
+            _cloud: cloud,
+            _sql: sql,
+            _heartbeat: heartbeat,
+            stop,
+            traffic: Some(traffic),
+        })
+    }
+}
+
+impl Drop for DemoFleet {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = self.traffic.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Cumulative ops counters, one per server protocol plus the cluster view.
+const TOP_OPS_COUNTERS: &[&str] = &[
+    "cloudstore_requests_total",
+    "miniredis_commands_total",
+    "minisql_statements_total",
+    "cluster_node_requests_total",
+];
+
+/// Per-protocol request-duration histograms.
+const TOP_DURATION_HISTS: &[&str] = &[
+    "cloudstore_request_duration_ns",
+    "miniredis_command_duration_ns",
+    "minisql_statement_duration_ns",
+];
+
+fn top_ops_total(m: &obs::ParsedMetrics) -> u64 {
+    TOP_OPS_COUNTERS
+        .iter()
+        .filter_map(|name| m.counters_matching(name, &[]))
+        .sum()
+}
+
+fn top_durations(m: &obs::ParsedMetrics) -> Option<obs::HistogramSnapshot> {
+    let mut merged: Option<obs::HistogramSnapshot> = None;
+    for name in TOP_DURATION_HISTS {
+        if let Some(h) = m.histograms_matching(name, &[]) {
+            match &mut merged {
+                Some(acc) => acc.merge(&h),
+                None => merged = Some(h),
+            }
+        }
+    }
+    merged
+}
+
+fn top_node_kind(m: &obs::ParsedMetrics) -> &'static str {
+    if m.counters_matching("miniredis_commands_total", &[])
+        .is_some()
+    {
+        "redis"
+    } else if m
+        .counters_matching("cloudstore_requests_total", &[])
+        .is_some()
+    {
+        "cloud"
+    } else if m
+        .counters_matching("minisql_statements_total", &[])
+        .is_some()
+    {
+        "sql"
+    } else if m
+        .counters_matching("cluster_node_requests_total", &[])
+        .is_some()
+    {
+        "cluster"
+    } else {
+        "?"
+    }
+}
+
+fn top_breaker_name(gauge: i64) -> &'static str {
+    match gauge {
+        0 => "closed",
+        1 => "open",
+        2 => "half-open",
+        _ => "?",
+    }
+}
+
+fn top_health_name(gauge: i64) -> &'static str {
+    match gauge {
+        2 => "up",
+        1 => "degraded",
+        0 => "down",
+        _ => "?",
+    }
+}
+
+/// Render one dashboard frame from the current poll (and the previous one,
+/// for rates and windowed percentiles).
+fn render_top_frame(
+    view: &obs::FleetView,
+    prev: Option<(std::time::Duration, &obs::FleetView)>,
+    statuses: &[obs::SloStatus],
+    alerts: &[obs::SloAlert],
+    round: u64,
+    interval_ms: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "udsm fleet top — {} node(s), {} scrape error(s), round {}, every {} ms",
+        view.nodes.len(),
+        view.errors.len(),
+        round + 1,
+        interval_ms
+    );
+    let _ = writeln!(
+        out,
+        "\nnodes\n  {:<24} {:>7} {:>9} {:>10} {:>10} {:>9}",
+        "node", "kind", "qps", "p50 us", "p99 us", "rss MB"
+    );
+    for (id, m) in &view.nodes {
+        let prev_node = prev.and_then(|(_, v)| v.nodes.get(id));
+        let qps = match prev {
+            Some((dt, _)) if dt.as_secs_f64() > 0.0 => {
+                let before = prev_node.map(top_ops_total).unwrap_or(0);
+                let delta = top_ops_total(m).saturating_sub(before);
+                format!("{:.1}", delta as f64 / dt.as_secs_f64())
+            }
+            _ => "-".to_string(),
+        };
+        // Percentiles over just this interval when a previous snapshot
+        // exists, else over the node's lifetime.
+        let durations = top_durations(m).map(|cur| match prev_node.and_then(top_durations) {
+            Some(before) => cur.saturating_delta(&before),
+            None => cur,
+        });
+        let (p50, p99) = match &durations {
+            Some(d) if d.count > 0 => (
+                format!("{}", d.quantile(0.50) / 1_000),
+                format!("{}", d.quantile(0.99) / 1_000),
+            ),
+            _ => ("-".to_string(), "-".to_string()),
+        };
+        let rss = match m.gauge("process_resident_memory_bytes", &[]) {
+            Some(b) => format!("{:.1}", b as f64 / (1 << 20) as f64),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>7} {:>9} {:>10} {:>10} {:>9}",
+            id,
+            top_node_kind(m),
+            qps,
+            p50,
+            p99,
+            rss
+        );
+    }
+    for (id, err) in &view.errors {
+        let _ = writeln!(out, "  {id:<24} SCRAPE FAILED: {err}");
+    }
+
+    // Cluster panel: per-member health from the merged view, where the
+    // member `node` labels survive federation.
+    let merged = &view.merged;
+    let members: Vec<String> = merged
+        .series
+        .keys()
+        .filter(|k| k.name == "cluster_node_health_state")
+        .filter_map(|k| k.label("node").map(str::to_string))
+        .collect();
+    if !members.is_empty()
+        || merged
+            .gauges_matching("cluster_ring_version", &[])
+            .is_some()
+    {
+        let ring = merged
+            .gauges_matching("cluster_ring_version", &[])
+            .unwrap_or(0);
+        let migrated = merged
+            .counters_matching("cluster_migrated_keys_total", &[])
+            .unwrap_or(0);
+        let hedges = merged
+            .counters_matching("cluster_hedges_fired_total", &[])
+            .unwrap_or(0);
+        let hedge_wins = merged
+            .counters_matching("cluster_hedge_wins_total", &[])
+            .unwrap_or(0);
+        let failovers = merged
+            .counters_matching("cluster_failovers_total", &[])
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "\ncluster  ring v{ring}  migrated {migrated}  hedges {hedges} (won {hedge_wins})  failovers {failovers}"
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>9} {:>10} {:>10} {:>10} {:>10}",
+            "member", "state", "probe us", "breaker", "requests", "failures"
+        );
+        for member in &members {
+            let labels = &[("node", member.as_str())];
+            let state = merged
+                .gauges_matching("cluster_node_health_state", labels)
+                .map(top_health_name)
+                .unwrap_or("?");
+            let probe = merged
+                .gauges_matching("cluster_node_probe_us", labels)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let breaker = merged
+                .gauges_matching("cluster_node_breaker_state", labels)
+                .map(top_breaker_name)
+                .unwrap_or("?");
+            let requests = merged
+                .counters_matching("cluster_node_requests_total", labels)
+                .unwrap_or(0);
+            let failures = merged
+                .counters_matching("cluster_node_failures_total", labels)
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {member:<8} {state:>9} {probe:>10} {breaker:>10} {requests:>10} {failures:>10}"
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\nslo\n  {:<16} {:>9} {:>8} {:>10} {:>9}",
+        "objective", "window n", "burn", "budget", "state"
+    );
+    for s in statuses {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>9} {:>8.2} {:>9.0}% {:>9}",
+            s.name,
+            s.total,
+            s.burn_rate,
+            s.budget_remaining * 100.0,
+            if s.alerting { "ALERT" } else { "ok" }
+        );
+    }
+    if !alerts.is_empty() {
+        let _ = writeln!(out, "\nalerts ({} fired)", alerts.len());
+        for a in alerts.iter().rev().take(3) {
+            let _ = writeln!(
+                out,
+                "  +{}ms {} burn {:.1} trace {:032x}",
+                a.at_ms, a.objective, a.burn_rate, a.trace_id
+            );
+        }
+    }
+    out
+}
+
 fn main() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("top") {
+        return run_top(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("trace") {
         return run_trace(&argv[1..]);

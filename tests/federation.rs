@@ -1,0 +1,286 @@
+//! Fleet federation acceptance (DESIGN.md §14).
+//!
+//! * Merging N per-node scrapes must equal one registry that saw every
+//!   sample — bit-exact snapshots, so fleet p50/p99 are the true fleet
+//!   percentiles, not an average of averages.
+//! * Histogram quantiles are lossless *within bucket resolution*: the
+//!   reported quantile always lands inside the log-linear bucket holding
+//!   the exact rank-order statistic (property-style, seeded generator).
+//! * A live three-server scrape: every protocol's metrics surface carries
+//!   the stable `node="host:port"` identity label, federates over the
+//!   wire, and feeds the SLO engine without loss.
+
+use obs::hist::{bucket_high, bucket_index, bucket_low};
+use obs::{parse_prometheus, Federation, FnSource, LatencyHistogram, Registry};
+use std::time::Duration;
+use udsm_suite::prelude::*;
+
+/// Deterministic 64-bit LCG so the property runs are reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// Build one "node": a registry stamped with its identity label, fed with
+/// `n` latency samples per op from the shared generator, mirrored into the
+/// ground-truth histograms.
+fn feed_node(
+    node: usize,
+    n: usize,
+    rng: &mut Lcg,
+    truth: &mut [(&str, LatencyHistogram)],
+) -> String {
+    let reg = Registry::new();
+    reg.set_base_label("node", &format!("10.0.0.{node}:7000"));
+    for (op, all) in truth.iter_mut() {
+        let h = reg.histogram("fleet_op_duration_ns", &[("op", op)]);
+        for _ in 0..n {
+            // Span ~9 decades so many bucket sizes participate.
+            let v = rng.next() % 1_000_000_000;
+            h.record(v);
+            all.record(v);
+        }
+        reg.counter("fleet_ops_total", &[("op", op)]).add(n as u64);
+    }
+    reg.render_prometheus()
+}
+
+#[test]
+fn three_node_merge_equals_single_registry() {
+    let mut rng = Lcg(0x5eed_0010);
+    let mut truth = [
+        ("get", LatencyHistogram::new()),
+        ("put", LatencyHistogram::new()),
+    ];
+    let mut fed = Federation::new();
+    for node in 0..3 {
+        let text = feed_node(node, 800, &mut rng, &mut truth);
+        fed.add_source(Box::new(FnSource::new(
+            format!("10.0.0.{node}:7000"),
+            move || Ok(text.clone()),
+        )));
+    }
+    let view = fed.poll();
+    assert!(view.errors.is_empty(), "{:?}", view.errors);
+    for (op, all) in &truth {
+        let expect = all.snapshot();
+        let got = view
+            .merged
+            .histogram("fleet_op_duration_ns", &[("op", op)])
+            .unwrap_or_else(|| panic!("merged histogram for op={op} missing"));
+        // Bit-exact: buckets, count, sum, min, max all survive the
+        // render -> parse -> merge pipeline.
+        assert_eq!(got, &expect, "op={op}");
+        for q in [0.50, 0.99, 0.999] {
+            assert_eq!(got.quantile(q), expect.quantile(q), "op={op} q={q}");
+        }
+        assert_eq!(
+            view.merged.counter("fleet_ops_total", &[("op", op)]),
+            Some(2400)
+        );
+    }
+    // The per-node view keeps each node's identity and its own counts.
+    let per_node = view.per_node();
+    assert_eq!(
+        per_node.counter(
+            "fleet_ops_total",
+            &[("node", "10.0.0.1:7000"), ("op", "get")]
+        ),
+        Some(800)
+    );
+}
+
+#[test]
+fn merged_quantiles_land_in_the_exact_value_bucket() {
+    // Property: for every q, the federated quantile lies inside the
+    // log-linear bucket that holds the exact rank-order statistic of the
+    // raw sample population — the "lossless within bucket resolution"
+    // contract. Several seeds, uneven node sizes.
+    for seed in [1u64, 42, 0xdead_beef, 0x5eed_cafe] {
+        let mut rng = Lcg(seed);
+        let mut raw: Vec<u64> = Vec::new();
+        let mut fed = Federation::new();
+        for (node, n) in [(0usize, 150usize), (1, 700), (2, 37)] {
+            let reg = Registry::new();
+            reg.set_base_label("node", &format!("n{node}"));
+            let h = reg.histogram("lat_ns", &[]);
+            for _ in 0..n {
+                let v = rng.next() % 50_000_000;
+                h.record(v);
+                raw.push(v);
+            }
+            let text = reg.render_prometheus();
+            fed.add_source(Box::new(FnSource::new(format!("n{node}"), move || {
+                Ok(text.clone())
+            })));
+        }
+        raw.sort_unstable();
+        let view = fed.poll();
+        let merged = view.merged.histogram("lat_ns", &[]).unwrap();
+        assert_eq!(merged.count, raw.len() as u64);
+        assert_eq!(merged.min, raw[0]);
+        assert_eq!(merged.max, *raw.last().unwrap());
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let rank = ((q * raw.len() as f64).ceil() as usize).max(1);
+            let exact = raw[rank - 1];
+            let got = merged.quantile(q);
+            let bucket = bucket_index(exact);
+            assert!(
+                got >= bucket_low(bucket) && got <= bucket_high(bucket),
+                "seed={seed} q={q}: quantile {got} outside bucket \
+                 [{}, {}] of exact value {exact}",
+                bucket_low(bucket),
+                bucket_high(bucket),
+            );
+        }
+    }
+}
+
+/// Spin up all three protocol servers, push traffic through their native
+/// clients, and federate the real scrape surfaces (HTTP `GET /metrics`,
+/// RESP `METRICS`, sql `METRICS`).
+#[test]
+fn live_three_server_scrape_federates_with_node_identity() {
+    let redis = miniredis::Server::start().unwrap();
+    let cloud = CloudServer::start_with_profile(netsim::Profile::Loopback, 1).unwrap();
+    let sql = minisql::SqlServer::start_in_memory().unwrap();
+
+    let rkv = RedisKv::connect(redis.addr());
+    let ckv = CloudClient::connect(cloud.addr());
+    let skv = SqlKv::connect(sql.addr()).unwrap();
+    for i in 0..12 {
+        let key = format!("fleet-{i}");
+        let val = format!("value-{i}").into_bytes();
+        rkv.put(&key, &val).unwrap();
+        assert!(rkv.get(&key).unwrap().is_some());
+        ckv.put(&key, &val).unwrap();
+        assert!(ckv.get(&key).unwrap().is_some());
+        skv.put(&key, &val).unwrap();
+        assert!(skv.get(&key).unwrap().is_some());
+    }
+
+    // Satellite contract: every server's exposition text self-identifies
+    // with the same stable node label the federation keys on.
+    let scrapes = [
+        (
+            redis.addr(),
+            miniredis::RedisClient::connect(redis.addr())
+                .fetch_metrics()
+                .unwrap(),
+        ),
+        (cloud.addr(), ckv.fetch_metrics().unwrap()),
+        (
+            sql.addr(),
+            minisql::MiniSqlClient::connect(sql.addr())
+                .fetch_metrics()
+                .unwrap(),
+        ),
+    ];
+    for (addr, text) in &scrapes {
+        assert!(
+            text.contains(&format!("node=\"{addr}\"")),
+            "scrape of {addr} lacks its node identity label:\n{text}"
+        );
+        // And the text parses cleanly — the scrape surface is within the
+        // parser's round-trip contract.
+        parse_prometheus(text).unwrap();
+    }
+
+    let mut fed = Federation::new();
+    let (ra, ca, sa) = (redis.addr(), cloud.addr(), sql.addr());
+    fed.add_source(Box::new(FnSource::new(ra.to_string(), move || {
+        miniredis::RedisClient::connect(ra)
+            .fetch_metrics()
+            .map_err(|e| e.to_string())
+    })));
+    fed.add_source(Box::new(FnSource::new(ca.to_string(), move || {
+        CloudClient::connect(ca)
+            .fetch_metrics()
+            .map_err(|e| e.to_string())
+    })));
+    fed.add_source(Box::new(FnSource::new(sa.to_string(), move || {
+        minisql::MiniSqlClient::connect(sa)
+            .fetch_metrics()
+            .map_err(|e| e.to_string())
+    })));
+    let view = fed.poll();
+    assert!(view.errors.is_empty(), "{:?}", view.errors);
+    assert_eq!(view.nodes.len(), 3);
+
+    // Each node's protocol counters made it across, keyed by identity.
+    let redis_node = &view.nodes[&ra.to_string()];
+    assert!(
+        redis_node
+            .counters_matching("miniredis_commands_total", &[])
+            .unwrap_or(0)
+            >= 24
+    );
+    let cloud_node = &view.nodes[&ca.to_string()];
+    assert!(
+        cloud_node
+            .counters_matching("cloudstore_requests_total", &[])
+            .unwrap_or(0)
+            >= 24
+    );
+    let sql_node = &view.nodes[&sa.to_string()];
+    assert!(
+        sql_node
+            .counters_matching("minisql_statements_total", &[])
+            .unwrap_or(0)
+            >= 24
+    );
+
+    // Fleet-merged gauges sum (three servers in one process: merged RSS is
+    // the per-node reading tripled), and merged duration histograms hold
+    // every observation.
+    let rss_one = redis_node
+        .gauge("process_resident_memory_bytes", &[])
+        .unwrap();
+    let rss_fleet = view
+        .merged
+        .gauge("process_resident_memory_bytes", &[])
+        .unwrap();
+    assert!(
+        rss_fleet >= rss_one,
+        "merged {rss_fleet} < single {rss_one}"
+    );
+    let redis_lat = view
+        .merged
+        .histograms_matching("miniredis_command_duration_ns", &[])
+        .unwrap();
+    assert!(redis_lat.count >= 24, "{}", redis_lat.count);
+
+    // The merged view drives the SLO engine: a generous latency objective
+    // judges clean, totals reflect the window.
+    let mut engine = obs::SloEngine::new(vec![obs::Objective::latency(
+        "redis-cmds",
+        "miniredis_command_duration_ns",
+        &[],
+        Duration::from_secs(5).as_nanos() as u64,
+        0.99,
+        Duration::from_secs(60),
+    )]);
+    let out = Registry::new();
+    engine.evaluate(&view.merged, 1_000, &out);
+    for i in 0..6 {
+        rkv.put(&format!("more-{i}"), b"x").unwrap();
+    }
+    let view2 = fed.poll();
+    let statuses = engine.evaluate(&view2.merged, 2_000, &out);
+    assert_eq!(statuses.len(), 1);
+    assert!(statuses[0].total >= 6, "window saw {}", statuses[0].total);
+    assert_eq!(statuses[0].bad, 0);
+    assert!(!statuses[0].alerting);
+    assert!(
+        out.gauge("slo_burn_rate_milli", &[("op", "redis-cmds")])
+            .get()
+            >= 0
+    );
+}

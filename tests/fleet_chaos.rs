@@ -1,0 +1,244 @@
+//! Fleet observability under chaos (DESIGN.md §14): kill one of three
+//! cluster nodes mid-traffic and prove the whole detection pipeline —
+//! heartbeat flips the federated `cluster_node_up` gauge within two probe
+//! intervals, SLO burn rises over the merged view, and the flight
+//! recorder holds both the health transition and the alert-linked trace.
+
+use cluster::{health, ClusterClient, ClusterPolicy, HealthPolicy};
+use kvapi::{Bytes, Etag, KeyValue, Result as KvResult, StoreError, Versioned};
+use obs::{Federation, FleetView, FnSource, Objective, Registry, SloEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An in-process store with a kill switch: dead nodes answer every call
+/// with an error, exactly like a crashed process behind a live socket.
+struct KillableStore {
+    inner: kvapi::mem::MemKv,
+    dead: AtomicBool,
+}
+
+impl KillableStore {
+    fn new(name: &str) -> KillableStore {
+        KillableStore {
+            inner: kvapi::mem::MemKv::new(name),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+    }
+
+    fn heal(&self) {
+        self.dead.store(false, Ordering::Relaxed);
+    }
+
+    fn gate(&self) -> KvResult<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            Err(StoreError::Closed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl KeyValue for KillableStore {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn put(&self, key: &str, value: &[u8]) -> KvResult<()> {
+        self.gate()?;
+        self.inner.put(key, value)
+    }
+    fn put_versioned(&self, key: &str, value: &[u8]) -> KvResult<Etag> {
+        self.gate()?;
+        self.inner.put_versioned(key, value)
+    }
+    fn get(&self, key: &str) -> KvResult<Option<Bytes>> {
+        self.gate()?;
+        self.inner.get(key)
+    }
+    fn get_versioned(&self, key: &str) -> KvResult<Option<Versioned>> {
+        self.gate()?;
+        self.inner.get_versioned(key)
+    }
+    fn delete(&self, key: &str) -> KvResult<bool> {
+        self.gate()?;
+        self.inner.delete(key)
+    }
+    fn keys(&self) -> KvResult<Vec<String>> {
+        self.gate()?;
+        self.inner.keys()
+    }
+    fn clear(&self) -> KvResult<()> {
+        self.gate()?;
+        self.inner.clear()
+    }
+}
+
+/// The federated liveness reading for one member, if published yet.
+fn node_up(view: &FleetView, node: &str) -> Option<i64> {
+    view.merged
+        .gauges_matching("cluster_node_up", &[("node", node)])
+}
+
+#[test]
+fn killing_a_node_flips_health_raises_burn_and_links_traces() {
+    let probe_interval = Duration::from_millis(150);
+    let policy = HealthPolicy {
+        interval: probe_interval,
+        probe_timeout: Duration::from_millis(100),
+        degraded_latency: Duration::from_millis(50),
+    };
+
+    let stores: Vec<Arc<KillableStore>> = (0..3)
+        .map(|i| Arc::new(KillableStore::new(&format!("n{i}"))))
+        .collect();
+    let cluster = Arc::new(ClusterClient::from_stores(
+        "fleet",
+        stores
+            .iter()
+            .map(|s| (s.name().to_string(), s.clone() as Arc<dyn KeyValue>))
+            .collect(),
+        ClusterPolicy::test_profile(),
+    ));
+    let _heartbeat = cluster.start_heartbeat(policy);
+
+    // Federate the cluster exactly as `udsm-cli top` does: one scrape
+    // source publishing into a fresh registry per poll.
+    let publisher = cluster.clone();
+    let mut fed = Federation::new();
+    fed.add_source(Box::new(FnSource::new("cluster", move || {
+        let reg = Registry::new();
+        publisher.publish(&reg);
+        Ok(reg.render_prometheus())
+    })));
+
+    // Sustained read/write traffic for the whole scenario; failures after
+    // the kill are the SLO engine's raw material.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic = {
+        let (cluster, stop) = (cluster.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = format!("chaos-{}", i % 40);
+                let _ = cluster.put(&key, format!("v{i}").as_bytes());
+                let _ = cluster.get(&key);
+                i += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let mut engine = SloEngine::new(vec![Objective::availability(
+        "cluster-avail",
+        "cluster_node_requests_total",
+        "cluster_node_failures_total",
+        &[],
+        0.999,
+        Duration::from_secs(2),
+    )
+    .alert_at(2.0)]);
+    let slo_out = Registry::new();
+    let started = Instant::now();
+    let evaluate = |engine: &mut SloEngine, view: &FleetView| {
+        engine.evaluate(&view.merged, started.elapsed().as_millis() as u64, &slo_out)
+    };
+
+    // Phase 1: the heartbeat marks all three members live on the
+    // federated surface.
+    assert!(
+        health::wait_until(Duration::from_secs(5), || {
+            let view = fed.poll();
+            evaluate(&mut engine, &view);
+            (0..3).all(|i| node_up(&view, &format!("n{i}")) == Some(1))
+        }),
+        "heartbeat never marked all nodes up: {:?}",
+        cluster.node_health()
+    );
+
+    // Phase 2: kill n1 and time detection on the *federated* gauge. A
+    // probe round may be mid-flight at the kill, so the worst case is
+    // that stale round plus one full fresh round: two probe intervals
+    // (plus one probe timeout of in-flight budget as scheduling slack).
+    stores[1].kill();
+    let killed_at = Instant::now();
+    assert!(
+        health::wait_until(2 * probe_interval + Duration::from_millis(100), || {
+            let view = fed.poll();
+            evaluate(&mut engine, &view);
+            node_up(&view, "n1") == Some(0)
+        }),
+        "n1 still up on the federated surface {:?} after the kill",
+        killed_at.elapsed()
+    );
+    let detection = killed_at.elapsed();
+    assert!(
+        detection <= 2 * probe_interval + Duration::from_millis(100),
+        "detection took {detection:?}, over the two-interval budget"
+    );
+
+    // The transition itself is in the flight recorder, answerably: which
+    // node, which cluster, old and new state.
+    let transition = obs::FlightRecorder::global()
+        .recent(256)
+        .into_iter()
+        .find(|t| {
+            t.origin == "cluster:fleet"
+                && t.op == "node_health"
+                && t.error.as_deref().is_some_and(|e| e.contains("n1"))
+        });
+    assert!(
+        transition.is_some(),
+        "no node_health down-transition trace for n1 in the recorder"
+    );
+
+    // Phase 3: burn rises over the merged view and the alert trace links
+    // back through the recorder.
+    assert!(
+        health::wait_until(Duration::from_secs(5), || {
+            let view = fed.poll();
+            let statuses = evaluate(&mut engine, &view);
+            statuses.iter().any(|s| s.burn_rate >= 2.0) && !engine.alerts().is_empty()
+        }),
+        "SLO burn never crossed the alert threshold after the kill"
+    );
+    let alert = engine.alerts().last().unwrap().clone();
+    assert_eq!(alert.objective, "cluster-avail");
+    assert!(alert.burn_rate >= 2.0, "{}", alert.burn_rate);
+    let linked = obs::FlightRecorder::global().by_trace_id(alert.trace_id);
+    assert!(
+        !linked.is_empty(),
+        "alert trace {:032x} not found in the recorder",
+        alert.trace_id
+    );
+    assert!(linked.iter().any(|t| {
+        t.origin == "slo"
+            && t.op == "cluster-avail"
+            && t.events.iter().any(|e| e.name == "slo_burn_alert")
+    }));
+    // The burn gauge is on the SLO output registry for scraping.
+    assert!(
+        slo_out
+            .gauge("slo_burn_rate_milli", &[("op", "cluster-avail")])
+            .get()
+            >= 2000
+    );
+
+    // Phase 4: heal; the heartbeat brings the member back.
+    stores[1].heal();
+    assert!(
+        health::wait_until(Duration::from_secs(10), || {
+            let view = fed.poll();
+            evaluate(&mut engine, &view);
+            node_up(&view, "n1") == Some(1)
+        }),
+        "n1 never recovered after heal: {:?}",
+        cluster.node_health()
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    traffic.join().unwrap();
+}

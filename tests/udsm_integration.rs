@@ -209,15 +209,24 @@ fn metrics_endpoint_scrapes_over_real_tcp() {
     );
     let count_line = text
         .lines()
-        .find(|l| l.starts_with("cloudstore_request_duration_ns_count{route=\"/v1/objects\"}"))
+        .find(|l| {
+            l.starts_with("cloudstore_request_duration_ns_count{")
+                && l.contains("route=\"/v1/objects\"")
+        })
         .unwrap_or_else(|| panic!("no histogram count in scrape:\n{text}"));
     let n: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
     assert!(n >= 2, "{count_line}");
+    // The scrape self-identifies with the stable node label the federation
+    // keys on.
+    assert!(
+        text.contains(&format!("node=\"{}\"", w._cloud.addr())),
+        "no node identity label in scrape:\n{text}"
+    );
     // Process resource gauges ride along on every scrape.
     for gauge in ["process_resident_memory_bytes", "process_threads"] {
         let line = text
             .lines()
-            .find(|l| l.starts_with(&format!("{gauge} ")))
+            .find(|l| l.starts_with(&format!("{gauge}{{")) || l.starts_with(&format!("{gauge} ")))
             .unwrap_or_else(|| panic!("no {gauge} gauge in scrape:\n{text}"));
         let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
         assert!(v > 0.0, "{line}");
